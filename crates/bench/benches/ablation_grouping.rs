@@ -1,0 +1,30 @@
+//! Ablation: grouped pass-1 fixes (clock-pair and endpoint-set false
+//! paths) vs naive per-path-class refinement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use modemerge_core::merge::{merge_all, MergeOptions, ModeInput};
+use modemerge_workload::{generate_suite, paper_suite, PaperDesign};
+
+fn bench(c: &mut Criterion) {
+    let suite = generate_suite(&paper_suite(PaperDesign::F, 800));
+    let inputs: Vec<ModeInput> = suite
+        .modes
+        .iter()
+        .map(|(n, s)| ModeInput::new(n.clone(), s.clone()))
+        .collect();
+    let mut group = c.benchmark_group("ablation_grouping");
+    group.sample_size(10);
+    for (label, grouping) in [("grouped", true), ("per_path_class", false)] {
+        let options = MergeOptions {
+            group_fixes: grouping,
+            ..Default::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| merge_all(&suite.netlist, &inputs, &options).expect("merge").merged.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Ablation: per-mode analyses on 1 vs 2 vs 4 scoped threads (the
+//! paper's engine is multithreaded; the gain depends on core count).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use modemerge_core::merge::{merge_all, MergeOptions, ModeInput};
+use modemerge_workload::{generate_suite, paper_suite, PaperDesign};
+
+fn bench(c: &mut Criterion) {
+    let suite = generate_suite(&paper_suite(PaperDesign::E, 800));
+    let inputs: Vec<ModeInput> = suite
+        .modes
+        .iter()
+        .map(|(n, s)| ModeInput::new(n.clone(), s.clone()))
+        .collect();
+    let mut group = c.benchmark_group("ablation_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let options = MergeOptions {
+            threads,
+            ..Default::default()
+        };
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| merge_all(&suite.netlist, &inputs, &options).expect("merge").merged.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Ablation: exception uniquification (§3.1.10) on vs off. Without it,
+//! families carrying mode-specific multicycle exceptions are
+//! non-mergeable and the flow degrades to singleton cliques.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use modemerge_core::merge::{merge_all, MergeOptions, ModeInput};
+use modemerge_workload::{generate_suite, paper_suite, PaperDesign};
+
+fn bench(c: &mut Criterion) {
+    let suite = generate_suite(&paper_suite(PaperDesign::C, 800));
+    let inputs: Vec<ModeInput> = suite
+        .modes
+        .iter()
+        .map(|(n, s)| ModeInput::new(n.clone(), s.clone()))
+        .collect();
+    let mut group = c.benchmark_group("ablation_uniquify");
+    group.sample_size(10);
+    for (label, uniquify) in [("on", true), ("off", false)] {
+        let options = MergeOptions {
+            uniquify_exceptions: uniquify,
+            ..Default::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| merge_all(&suite.netlist, &inputs, &options).expect("merge").merged.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Micro-benches on the paper's Figure-1 circuit: the worked examples
+//! (Constraint Sets 3 and 6) end-to-end, plus single-mode analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use modemerge_core::merge::{merge_group, MergeOptions, ModeInput};
+use modemerge_netlist::paper::paper_circuit;
+use modemerge_sta::analysis::Analysis;
+use modemerge_sta::graph::TimingGraph;
+use modemerge_sta::mode::Mode;
+use modemerge_sdc::SdcFile;
+
+fn bench(c: &mut Criterion) {
+    let netlist = paper_circuit();
+    let graph = TimingGraph::build(&netlist).expect("acyclic");
+
+    let sdc = SdcFile::parse(
+        "create_clock -name clkA -period 10 [get_ports clk1]\n\
+         set_multicycle_path 2 -through [get_pins inv1/Z]\n\
+         set_false_path -through [get_pins and1/Z]\n",
+    )
+    .expect("parses");
+    let mode = Mode::bind("set1", &netlist, &sdc).expect("binds");
+    c.bench_function("fig1_analysis_constraint_set1", |b| {
+        b.iter(|| {
+            Analysis::run(&netlist, &graph, &mode)
+                .endpoint_relations()
+                .len()
+        })
+    });
+
+    let mode_a = ModeInput::parse(
+        "A",
+        "create_clock -p 10 -name clkA [get_port clk1]\n\
+         set_false_path -to rX/D\nset_false_path -to rY/D\n\
+         set_false_path -through inv3/Z\n",
+    )
+    .expect("parses");
+    let mode_b = ModeInput::parse(
+        "B",
+        "create_clock -p 10 -name clkA [get_port clk1]\n\
+         set_false_path -from rA/CP\nset_false_path -to rZ/D\n",
+    )
+    .expect("parses");
+    let inputs = [mode_a, mode_b];
+    let options = MergeOptions::default();
+    c.bench_function("fig1_merge_constraint_set6", |b| {
+        b.iter(|| merge_group(&netlist, &inputs, &options).expect("merges").report.comparison_false_paths)
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! STA engine scaling: full-analysis runtime vs design size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use modemerge_sdc::SdcFile;
+use modemerge_sta::analysis::Analysis;
+use modemerge_sta::graph::TimingGraph;
+use modemerge_sta::mode::Mode;
+use modemerge_workload::{generate_design, DesignSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sta_scaling");
+    group.sample_size(10);
+    for cells in [1_000usize, 4_000, 16_000] {
+        let netlist = generate_design(&DesignSpec::with_target_cells(
+            format!("scale_{cells}"),
+            cells,
+            9,
+        ));
+        let graph = TimingGraph::build(&netlist).expect("acyclic");
+        let sdc = SdcFile::parse(
+            "create_clock -name c0 -period 10 [get_ports clk0]\n\
+             create_clock -name c1 -period 12 [get_ports clk1]\n\
+             create_clock -name c2 -period 14 [get_ports clk2]\n\
+             set_case_analysis 0 [get_ports sel_a]\n\
+             set_case_analysis 1 [get_ports sel_b]\n\
+             set_case_analysis 0 [get_ports scan_en]\n",
+        )
+        .expect("parses");
+        let mode = Mode::bind("m", &netlist, &sdc).expect("binds");
+        group.throughput(Throughput::Elements(netlist.instance_count() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(netlist.instance_count()),
+            &cells,
+            |b, _| {
+                b.iter(|| {
+                    let analysis = Analysis::run(&netlist, &graph, &mode);
+                    analysis.endpoint_slacks().len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

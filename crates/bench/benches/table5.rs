@@ -1,0 +1,33 @@
+//! Criterion bench for Table 5: the full merge flow (plan + merge) per
+//! paper design, at a reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use modemerge_core::merge::{merge_all, MergeOptions, ModeInput};
+use modemerge_workload::{generate_suite, paper_suite, PaperDesign};
+
+const SCALE: usize = 400;
+
+fn bench_table5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_merge_flow");
+    group.sample_size(10);
+    for design in PaperDesign::ALL {
+        let suite = generate_suite(&paper_suite(design, SCALE));
+        let inputs: Vec<ModeInput> = suite
+            .modes
+            .iter()
+            .map(|(n, s)| ModeInput::new(n.clone(), s.clone()))
+            .collect();
+        let options = MergeOptions::default();
+        group.bench_function(format!("design_{}", design.letter()), |b| {
+            b.iter(|| {
+                let out = merge_all(&suite.netlist, &inputs, &options).expect("merge");
+                assert_eq!(out.merged.len(), design.merged_modes());
+                out.merged.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

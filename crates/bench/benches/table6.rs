@@ -1,0 +1,58 @@
+//! Criterion bench for Table 6: STA over the individual mode set vs the
+//! merged mode set, per paper design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use modemerge_core::merge::{merge_all, MergeOptions, ModeInput};
+use modemerge_sdc::SdcFile;
+use modemerge_sta::analysis::Analysis;
+use modemerge_sta::graph::TimingGraph;
+use modemerge_sta::mode::Mode;
+use modemerge_workload::{generate_suite, paper_suite, PaperDesign};
+
+const SCALE: usize = 400;
+
+fn sta_all(
+    netlist: &modemerge_netlist::Netlist,
+    graph: &TimingGraph,
+    modes: &[(String, SdcFile)],
+) -> usize {
+    let mut endpoints = 0;
+    for (name, sdc) in modes {
+        let mode = Mode::bind(name.clone(), netlist, sdc).expect("binds");
+        let analysis = Analysis::run(netlist, graph, &mode);
+        endpoints += analysis.endpoint_slacks().len();
+    }
+    endpoints
+}
+
+fn bench_table6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_sta");
+    group.sample_size(10);
+    for design in PaperDesign::ALL {
+        let suite = generate_suite(&paper_suite(design, SCALE));
+        let inputs: Vec<ModeInput> = suite
+            .modes
+            .iter()
+            .map(|(n, s)| ModeInput::new(n.clone(), s.clone()))
+            .collect();
+        let merged = merge_all(&suite.netlist, &inputs, &MergeOptions::default())
+            .expect("merge")
+            .merged;
+        let merged_modes: Vec<(String, SdcFile)> = merged
+            .into_iter()
+            .map(|m| (m.name, m.sdc))
+            .collect();
+        let graph = TimingGraph::build(&suite.netlist).expect("acyclic");
+
+        group.bench_function(format!("individual_{}", design.letter()), |b| {
+            b.iter(|| sta_all(&suite.netlist, &graph, &suite.modes))
+        });
+        group.bench_function(format!("merged_{}", design.letter()), |b| {
+            b.iter(|| sta_all(&suite.netlist, &graph, &merged_modes))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

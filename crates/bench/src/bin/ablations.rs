@@ -1,0 +1,88 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **Exception uniquification** (§3.1.10): with it disabled,
+//!    mode-specific multicycle exceptions cannot be isolated, whole
+//!    families become non-mergeable and the mode reduction collapses.
+//! 2. **Grouped pass-1 fixes**: with grouping disabled, every mismatching
+//!    path class is cut by its own pass-2 false path; the merged mode
+//!    balloons and merging slows down.
+//! 3. **Threads**: per-mode analyses run on scoped threads, like the
+//!    paper's multithreaded C++ engine.
+//!
+//! ```text
+//! cargo run --release -p modemerge-bench --bin ablations
+//! ```
+
+use modemerge_core::merge::{merge_all, MergeOptions, ModeInput};
+use modemerge_workload::{generate_suite, paper_suite, PaperDesign};
+use std::time::Instant;
+
+fn inputs_for(design: PaperDesign, scale: usize) -> (modemerge_netlist::Netlist, Vec<ModeInput>) {
+    let suite = generate_suite(&paper_suite(design, scale));
+    let inputs = suite
+        .modes
+        .iter()
+        .map(|(n, s)| ModeInput::new(n.clone(), s.clone()))
+        .collect();
+    (suite.netlist, inputs)
+}
+
+fn main() {
+    let scale = modemerge_bench::scale_from_env().max(200);
+
+    println!("Ablation 1: exception uniquification (design A, scale {scale})");
+    let (netlist, inputs) = inputs_for(PaperDesign::A, scale);
+    for (label, uniquify) in [("with uniquification", true), ("without", false)] {
+        let options = MergeOptions {
+            uniquify_exceptions: uniquify,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let out = merge_all(&netlist, &inputs, &options).expect("flow completes");
+        println!(
+            "  {label:<22} {} -> {} modes ({:.1} % reduction) in {} s",
+            inputs.len(),
+            out.merged.len(),
+            out.reduction_percent(inputs.len()),
+            modemerge_bench::secs(t0.elapsed())
+        );
+    }
+
+    println!("Ablation 2: grouped pass-1 fixes (design F, scale {scale})");
+    let (netlist, inputs) = inputs_for(PaperDesign::F, scale);
+    for (label, group) in [("grouped", true), ("per-path-class", false)] {
+        let options = MergeOptions {
+            group_fixes: group,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let out = merge_all(&netlist, &inputs, &options).expect("flow completes");
+        let fps: usize = out
+            .reports
+            .iter()
+            .map(|r| r.comparison_false_paths)
+            .sum();
+        println!(
+            "  {label:<22} {} refinement false paths in {} s",
+            fps,
+            modemerge_bench::secs(t0.elapsed())
+        );
+    }
+
+    println!("Ablation 3: analysis threads (design E, scale {scale})");
+    let (netlist, inputs) = inputs_for(PaperDesign::E, scale);
+    for threads in [1usize, 2, 4] {
+        let options = MergeOptions {
+            threads,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let out = merge_all(&netlist, &inputs, &options).expect("flow completes");
+        println!(
+            "  {threads} thread(s): {} -> {} modes in {} s",
+            inputs.len(),
+            out.merged.len(),
+            modemerge_bench::secs(t0.elapsed())
+        );
+    }
+}

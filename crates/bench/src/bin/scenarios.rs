@@ -1,0 +1,86 @@
+//! Scenario-count reduction: the paper's opening motivation is the
+//! `#modes × #corners` explosion. This harness times full multi-corner
+//! sign-off (every mode at every PVT corner) before and after mode
+//! merging.
+//!
+//! ```text
+//! MODEMERGE_SCALE=200 cargo run --release -p modemerge-bench --bin scenarios
+//! ```
+
+use modemerge_bench::{scale_from_env, secs};
+use modemerge_core::merge::{merge_all, MergeOptions, ModeInput};
+use modemerge_sdc::SdcFile;
+use modemerge_sta::analysis::Analysis;
+use modemerge_sta::graph::{DelayModel, TimingGraph};
+use modemerge_sta::mode::Mode;
+use modemerge_workload::{generate_suite, paper_suite, PaperDesign};
+use std::time::{Duration, Instant};
+
+const CORNERS: &[(&str, f64)] = &[("fast", 0.8), ("typ", 1.0), ("slow", 1.2)];
+
+fn sta_all_corners(
+    netlist: &modemerge_netlist::Netlist,
+    graphs: &[(String, TimingGraph)],
+    modes: &[(String, SdcFile)],
+) -> (usize, Duration) {
+    let t0 = Instant::now();
+    let mut scenarios = 0;
+    for (_, graph) in graphs {
+        for (name, sdc) in modes {
+            let mode = Mode::bind(name.clone(), netlist, sdc).expect("binds");
+            let analysis = Analysis::run(netlist, graph, &mode);
+            let _ = analysis.endpoint_slacks();
+            scenarios += 1;
+        }
+    }
+    (scenarios, t0.elapsed())
+}
+
+fn main() {
+    let scale = scale_from_env().max(200);
+    println!("Scenario explosion: modes x corners, before and after merging (scale {scale})");
+    println!(
+        "{:<7} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "Design", "Scenarios", "Merged", "STA all [s]", "Merged [s]", "% Reduction"
+    );
+    for d in PaperDesign::ALL {
+        let suite = generate_suite(&paper_suite(d, scale));
+        let inputs: Vec<ModeInput> = suite
+            .modes
+            .iter()
+            .map(|(n, s)| ModeInput::new(n.clone(), s.clone()))
+            .collect();
+        let merged = merge_all(&suite.netlist, &inputs, &MergeOptions::default())
+            .expect("merge")
+            .merged;
+        let merged_modes: Vec<(String, SdcFile)> =
+            merged.into_iter().map(|m| (m.name, m.sdc)).collect();
+
+        // One timing graph per corner (the derated wire-load model).
+        let graphs: Vec<(String, TimingGraph)> = CORNERS
+            .iter()
+            .map(|(name, derate)| {
+                (
+                    (*name).to_owned(),
+                    TimingGraph::build_with_model(
+                        &suite.netlist,
+                        DelayModel::default().derated(*derate),
+                    )
+                    .expect("acyclic"),
+                )
+            })
+            .collect();
+
+        let (n_before, t_before) = sta_all_corners(&suite.netlist, &graphs, &suite.modes);
+        let (n_after, t_after) = sta_all_corners(&suite.netlist, &graphs, &merged_modes);
+        println!(
+            "{:<7} {:>10} {:>10} {:>12} {:>12} {:>12.1}",
+            d.letter(),
+            n_before,
+            n_after,
+            secs(t_before),
+            secs(t_after),
+            100.0 * (1.0 - t_after.as_secs_f64() / t_before.as_secs_f64().max(1e-12))
+        );
+    }
+}

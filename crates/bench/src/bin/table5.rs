@@ -1,0 +1,41 @@
+//! Regenerates Table 5: mode reduction and mode-merging runtime on the
+//! six scaled paper designs.
+//!
+//! ```text
+//! MODEMERGE_SCALE=100 cargo run --release -p modemerge-bench --bin table5
+//! ```
+
+use modemerge_bench::{run_design, scale_from_env, secs};
+use modemerge_core::merge::MergeOptions;
+use modemerge_workload::PaperDesign;
+
+fn main() {
+    let scale = scale_from_env();
+    let options = MergeOptions::default();
+    println!("Table 5: mode reduction and merging runtime (scale divisor {scale})");
+    println!(
+        "{:<7} {:>8} {:>11} {:>7} {:>12} {:>14} {:>12}",
+        "Design", "Cells", "Individual", "Merged", "% Reduction", "Paper % Red.", "Merge [s]"
+    );
+    let mut sum_red = 0.0;
+    let mut sum_paper = 0.0;
+    for d in PaperDesign::ALL {
+        let r = run_design(d, scale, &options).table5;
+        println!(
+            "{:<7} {:>8} {:>11} {:>7} {:>12.1} {:>14.1} {:>12}",
+            r.design,
+            r.cells,
+            r.individual,
+            r.merged,
+            r.reduction_pct,
+            r.paper_reduction_pct,
+            secs(r.merge_runtime)
+        );
+        sum_red += r.reduction_pct;
+        sum_paper += r.paper_reduction_pct;
+    }
+    println!(
+        "{:<7} {:>8} {:>11} {:>7} {:>12.1} {:>14.1}",
+        "Avg", "", "", "", sum_red / 6.0, sum_paper / 6.0
+    );
+}

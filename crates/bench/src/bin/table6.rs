@@ -1,0 +1,47 @@
+//! Regenerates Table 6: overall STA runtime with individual vs merged
+//! modes, and QoR conformity of the merged modes.
+//!
+//! ```text
+//! MODEMERGE_SCALE=100 cargo run --release -p modemerge-bench --bin table6
+//! ```
+
+use modemerge_bench::{run_design, scale_from_env, secs};
+use modemerge_core::merge::MergeOptions;
+use modemerge_workload::PaperDesign;
+
+fn main() {
+    let scale = scale_from_env();
+    let options = MergeOptions::default();
+    println!("Table 6: STA runtime reduction and QoR conformity (scale divisor {scale})");
+    println!(
+        "{:<7} {:>14} {:>11} {:>12} {:>13} {:>12} {:>12}",
+        "Design", "Indiv. STA [s]", "Merged [s]", "% Reduction", "Paper % Red.", "Conformity", "Paper Conf."
+    );
+    let mut sum_red = 0.0;
+    let mut sum_conf = 0.0;
+    for d in PaperDesign::ALL {
+        let r = run_design(d, scale, &options).table6;
+        println!(
+            "{:<7} {:>14} {:>11} {:>12.1} {:>13.1} {:>12.2} {:>12.2}",
+            r.design,
+            secs(r.individual_sta),
+            secs(r.merged_sta),
+            r.reduction_pct,
+            r.paper_reduction_pct,
+            r.conformity_pct,
+            r.paper_conformity_pct
+        );
+        sum_red += r.reduction_pct;
+        sum_conf += r.conformity_pct;
+    }
+    println!(
+        "{:<7} {:>14} {:>11} {:>12.1} {:>13.1} {:>12.2} {:>12.2}",
+        "Avg",
+        "",
+        "",
+        sum_red / 6.0,
+        62.52,
+        sum_conf / 6.0,
+        99.82
+    );
+}

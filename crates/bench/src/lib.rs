@@ -1,0 +1,231 @@
+//! Benchmark harness regenerating the paper's evaluation artifacts.
+//!
+//! * [`run_design`] executes the full flow (generate → plan → merge →
+//!   STA both ways → QoR comparison) for one of the six Table 5 designs
+//!   and returns both tables' rows;
+//! * the `table5` / `table6` binaries print the paper-vs-measured
+//!   tables;
+//! * the Criterion benches (`table5`, `table6`, `ablation_threads`,
+//!   `ablation_uniquify`, `ablation_grouping`) measure the same flows at
+//!   a reduced scale.
+//!
+//! Scale: the paper's designs are 0.2–2.8 million cells; the
+//! `scale_divisor` argument shrinks them (divisor 100 → 2 k–28 k cells).
+//! Mode counts are never scaled. Set the `MODEMERGE_SCALE` environment
+//! variable to override the binaries' default of 100.
+
+use modemerge_core::merge::{merge_all, MergeOptions, ModeInput};
+use modemerge_netlist::PinId;
+use modemerge_sta::analysis::Analysis;
+use modemerge_sta::graph::TimingGraph;
+use modemerge_sta::mode::Mode;
+use modemerge_workload::{generate_suite, paper_suite, PaperDesign};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// One row of Table 5 (mode reduction and merge runtime).
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    /// Design letter.
+    pub design: char,
+    /// Generated cell count.
+    pub cells: usize,
+    /// Individual mode count.
+    pub individual: usize,
+    /// Merged mode count.
+    pub merged: usize,
+    /// Mode-count reduction percentage.
+    pub reduction_pct: f64,
+    /// Wall-clock time of the full merge flow.
+    pub merge_runtime: Duration,
+    /// The paper's reduction percentage for comparison.
+    pub paper_reduction_pct: f64,
+}
+
+/// One row of Table 6 (STA runtime and QoR conformity).
+#[derive(Debug, Clone)]
+pub struct Table6Row {
+    /// Design letter.
+    pub design: char,
+    /// STA wall-clock over all individual modes.
+    pub individual_sta: Duration,
+    /// STA wall-clock over the merged modes.
+    pub merged_sta: Duration,
+    /// Runtime reduction percentage.
+    pub reduction_pct: f64,
+    /// Percentage of endpoints whose merged-mode worst slack deviates
+    /// less than 1 % of the capture clock period from the worst
+    /// individual-mode slack.
+    pub conformity_pct: f64,
+    /// The paper's runtime reduction for comparison.
+    pub paper_reduction_pct: f64,
+    /// The paper's conformity for comparison.
+    pub paper_conformity_pct: f64,
+}
+
+/// Full result for one design.
+#[derive(Debug, Clone)]
+pub struct DesignResult {
+    /// Table 5 row.
+    pub table5: Table5Row,
+    /// Table 6 row.
+    pub table6: Table6Row,
+}
+
+fn paper_sta_reduction(d: PaperDesign) -> f64 {
+    match d {
+        PaperDesign::A => 84.3,
+        PaperDesign::B => 58.7,
+        PaperDesign::C => 51.5,
+        PaperDesign::D => 58.2,
+        PaperDesign::E => 61.1,
+        PaperDesign::F => 61.3,
+    }
+}
+
+fn paper_conformity(d: PaperDesign) -> f64 {
+    match d {
+        PaperDesign::A => 99.89,
+        PaperDesign::B => 100.0,
+        PaperDesign::C => 99.91,
+        PaperDesign::D => 99.18,
+        PaperDesign::E => 99.93,
+        PaperDesign::F => 100.0,
+    }
+}
+
+/// Per-endpoint worst slacks over a set of modes.
+fn worst_slacks(
+    netlist: &modemerge_netlist::Netlist,
+    graph: &TimingGraph,
+    modes: &[(String, modemerge_sdc::SdcFile)],
+) -> (BTreeMap<PinId, (f64, f64)>, Duration) {
+    let mut worst: BTreeMap<PinId, (f64, f64)> = BTreeMap::new();
+    let t0 = Instant::now();
+    for (name, sdc) in modes {
+        let mode = Mode::bind(name.clone(), netlist, sdc).expect("mode binds");
+        let analysis = Analysis::run(netlist, graph, &mode);
+        for s in analysis.endpoint_slacks() {
+            worst
+                .entry(s.endpoint)
+                .and_modify(|(slack, period)| {
+                    if s.slack < *slack {
+                        *slack = s.slack;
+                        *period = s.capture_period;
+                    }
+                })
+                .or_insert((s.slack, s.capture_period));
+        }
+    }
+    (worst, t0.elapsed())
+}
+
+/// Runs the full flow for one design at a scale divisor.
+pub fn run_design(design: PaperDesign, scale_divisor: usize, options: &MergeOptions) -> DesignResult {
+    let spec = paper_suite(design, scale_divisor);
+    let suite = generate_suite(&spec);
+    let inputs: Vec<ModeInput> = suite
+        .modes
+        .iter()
+        .map(|(n, s)| ModeInput::new(n.clone(), s.clone()))
+        .collect();
+
+    let t0 = Instant::now();
+    let outcome = merge_all(&suite.netlist, &inputs, options).expect("merge flow succeeds");
+    let merge_runtime = t0.elapsed();
+
+    let graph = TimingGraph::build(&suite.netlist).expect("acyclic design");
+    let (individual_worst, individual_sta) = worst_slacks(&suite.netlist, &graph, &suite.modes);
+    let merged_modes: Vec<(String, modemerge_sdc::SdcFile)> = outcome
+        .merged
+        .iter()
+        .map(|m| (m.name.clone(), m.sdc.clone()))
+        .collect();
+    let (merged_worst, merged_sta) = worst_slacks(&suite.netlist, &graph, &merged_modes);
+
+    // Table 6 conformity: endpoints timed by the individual modes whose
+    // merged worst slack deviates < 1 % of the capture period.
+    let mut conforming = 0usize;
+    let mut total = 0usize;
+    for (endpoint, (slack, period)) in &individual_worst {
+        total += 1;
+        if let Some((m_slack, _)) = merged_worst.get(endpoint) {
+            if (m_slack - slack).abs() <= 0.01 * period.abs().max(1e-9) {
+                conforming += 1;
+            }
+        }
+    }
+    let conformity_pct = if total == 0 {
+        100.0
+    } else {
+        100.0 * conforming as f64 / total as f64
+    };
+
+    let individual = inputs.len();
+    let merged = outcome.merged.len();
+    DesignResult {
+        table5: Table5Row {
+            design: design.letter(),
+            cells: suite.netlist.instance_count(),
+            individual,
+            merged,
+            reduction_pct: 100.0 * (individual - merged) as f64 / individual as f64,
+            merge_runtime,
+            paper_reduction_pct: 100.0
+                * (design.individual_modes() - design.merged_modes()) as f64
+                / design.individual_modes() as f64,
+        },
+        table6: Table6Row {
+            design: design.letter(),
+            individual_sta,
+            merged_sta,
+            reduction_pct: 100.0
+                * (1.0 - merged_sta.as_secs_f64() / individual_sta.as_secs_f64().max(1e-12)),
+            conformity_pct,
+            paper_reduction_pct: paper_sta_reduction(design),
+            paper_conformity_pct: paper_conformity(design),
+        },
+    }
+}
+
+/// The scale divisor for the table binaries (`MODEMERGE_SCALE`, default
+/// 100 — i.e. 2 k–28 k cells).
+pub fn scale_from_env() -> usize {
+    std::env::var("MODEMERGE_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100)
+}
+
+/// Formats a duration as seconds with millisecond precision.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_b_flow_matches_paper_shape() {
+        let r = run_design(PaperDesign::B, 800, &MergeOptions::default());
+        assert_eq!(r.table5.individual, 3);
+        assert_eq!(r.table5.merged, 1);
+        assert!((r.table5.reduction_pct - 66.6).abs() < 1.0);
+        assert!(
+            r.table6.merged_sta < r.table6.individual_sta,
+            "merged STA must be faster"
+        );
+        assert!(r.table6.conformity_pct > 95.0, "{}", r.table6.conformity_pct);
+    }
+
+    #[test]
+    fn scale_env_default() {
+        assert_eq!(scale_from_env(), 100);
+    }
+
+    #[test]
+    fn secs_format() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.500");
+    }
+}

@@ -1,0 +1,143 @@
+//! Minimal argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positional words plus `--flag [value]` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    positionals: Vec<String>,
+    /// Multi-valued options (`--mode` may repeat).
+    options: BTreeMap<String, Vec<String>>,
+    flags: Vec<String>,
+}
+
+/// Options that take a value; everything else starting with `--` is a
+/// boolean flag.
+const VALUED: &[&str] = &[
+    "netlist", "mode", "sdc", "out", "threads", "limit", "cells", "seed", "families", "scale",
+    "paths", "derate",
+];
+
+impl Args {
+    /// Parses an argument list.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown option syntax or a missing value.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut out = Self::default();
+        let mut iter = argv.iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if VALUED.contains(&name) {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| format!("--{name} requires a value"))?;
+                    out.options
+                        .entry(name.to_owned())
+                        .or_default()
+                        .push(value.clone());
+                } else {
+                    out.flags.push(name.to_owned());
+                }
+            } else {
+                out.positionals.push(arg.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional arguments.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// All values given for a repeatable option.
+    pub fn values(&self, name: &str) -> &[String] {
+        self.options.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// A single-valued option.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the option was given more than once.
+    pub fn value(&self, name: &str) -> Result<Option<&str>, String> {
+        let vs = self.values(name);
+        match vs {
+            [] => Ok(None),
+            [v] => Ok(Some(v)),
+            _ => Err(format!("--{name} given more than once")),
+        }
+    }
+
+    /// A required single-valued option.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when missing or duplicated.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.value(name)?
+            .ok_or_else(|| format!("missing required --{name}"))
+    }
+
+    /// A boolean flag.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// A numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn number<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.value(name)? {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: `{v}` is not a valid number")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        let argv: Vec<String> = s.split_whitespace().map(str::to_owned).collect();
+        Args::parse(&argv).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let a = parse("merge --netlist d.nl --mode A=a.sdc --mode B=b.sdc --strict");
+        assert_eq!(a.positionals(), ["merge"]);
+        assert_eq!(a.require("netlist").unwrap(), "d.nl");
+        assert_eq!(a.values("mode"), ["A=a.sdc", "B=b.sdc"]);
+        assert!(a.flag("strict"));
+        assert!(!a.flag("hold"));
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        let argv = vec!["--netlist".to_owned()];
+        assert!(Args::parse(&argv).is_err());
+    }
+
+    #[test]
+    fn duplicate_single_valued_is_error() {
+        let a = parse("x --netlist a --netlist b");
+        assert!(a.value("netlist").is_err());
+    }
+
+    #[test]
+    fn numbers_with_default() {
+        let a = parse("x --threads 4");
+        assert_eq!(a.number("threads", 1usize).unwrap(), 4);
+        assert_eq!(a.number("limit", 10usize).unwrap(), 10);
+        let bad = parse("x --threads four");
+        assert!(bad.number("threads", 1usize).is_err());
+    }
+}

@@ -1,0 +1,354 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use modemerge_core::equivalence::check_equivalence;
+use modemerge_core::merge::{merge_all, MergeOptions, ModeInput};
+use modemerge_core::mergeability::{greedy_cliques, MergeabilityGraph};
+use modemerge_core::report::summarize;
+use modemerge_netlist::{text, Library, Netlist};
+use modemerge_sdc::SdcFile;
+use modemerge_sta::analysis::Analysis;
+use modemerge_sta::exceptions::CheckKind;
+use modemerge_sta::graph::TimingGraph;
+use modemerge_sta::mode::Mode;
+use modemerge_workload::{generate_suite, DesignSpec, SuiteSpec};
+use std::fmt::Write as _;
+use std::path::Path;
+
+const USAGE: &str = "\
+usage: modemerge <command> [options]
+
+commands (netlists: native text format, or gate-level Verilog .v):
+  merge      --netlist FILE --mode NAME=SDC... [--out DIR] [--threads N]
+             [--strict] [--no-uniquify]
+             Plan and merge timing modes; writes merged SDCs to --out.
+  check      --netlist FILE --sdc A.sdc --sdc B.sdc
+             Check §2 timing-relationship equivalence of two constraint sets.
+  sta        --netlist FILE --sdc MODE.sdc [--hold] [--limit N] [--paths N]
+             [--derate F] [--histogram]
+             Report the worst endpoint slacks, WNS/TNS summary, optional
+             slack histogram and worst-path traces for one mode;
+             --derate scales delays to a PVT corner (slow 1.2, typical
+             1.0, fast 0.8).
+  relations  --netlist FILE --sdc MODE.sdc [--limit N]
+             Dump the timing relationships of one mode.
+  plan       --netlist FILE --mode NAME=SDC... [--out FILE.dot]
+             Build the mergeability graph and clique cover (Figure 2);
+             optionally write it as Graphviz DOT.
+  generate   --cells N [--seed S] [--families 3,2] --out DIR
+             Generate a synthetic design and mode suite.
+";
+
+/// Dispatches a command line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for every failure (bad arguments,
+/// I/O, parse or engine errors).
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    match args.positionals() {
+        [] => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        [cmd, rest @ ..] => {
+            if !rest.is_empty() {
+                return Err(format!("unexpected argument `{}`", rest[0]));
+            }
+            match cmd.as_str() {
+                "merge" => cmd_merge(&args),
+                "check" => cmd_check(&args),
+                "sta" => cmd_sta(&args),
+                "relations" => cmd_relations(&args),
+                "plan" => cmd_plan(&args),
+                "generate" => cmd_generate(&args),
+                "help" | "--help" => {
+                    print!("{USAGE}");
+                    Ok(())
+                }
+                other => Err(format!("unknown command `{other}`\n{USAGE}")),
+            }
+        }
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_netlist(args: &Args) -> Result<Netlist, String> {
+    let path = args.require("netlist")?;
+    let contents = read(path)?;
+    if path.ends_with(".v") || path.ends_with(".sv") {
+        modemerge_netlist::verilog::parse_verilog(&contents, Library::standard())
+            .map_err(|e| format!("{path}: {e}"))
+    } else {
+        text::parse(&contents, Library::standard()).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn load_mode(netlist: &Netlist, name: &str, path: &str) -> Result<Mode, String> {
+    let sdc = SdcFile::parse(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+    Mode::bind(name, netlist, &sdc).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_merge(args: &Args) -> Result<(), String> {
+    let netlist = load_netlist(args)?;
+    let mode_specs = args.values("mode");
+    if mode_specs.len() < 2 {
+        return Err("merge needs at least two --mode NAME=FILE options".into());
+    }
+    let mut inputs = Vec::new();
+    for spec in mode_specs {
+        let (name, path) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--mode expects NAME=FILE, got `{spec}`"))?;
+        let sdc = SdcFile::parse(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+        inputs.push(ModeInput::new(name, sdc));
+    }
+    let options = MergeOptions {
+        threads: args.number("threads", 1usize)?,
+        strict: args.flag("strict"),
+        uniquify_exceptions: !args.flag("no-uniquify"),
+        ..Default::default()
+    };
+    let outcome = merge_all(&netlist, &inputs, &options).map_err(|e| e.to_string())?;
+
+    print!("{}", summarize(&outcome, inputs.len()));
+    for report in &outcome.reports {
+        if report.mode_names.len() > 1 {
+            println!("{report}");
+        }
+    }
+
+    if let Some(dir) = args.value("out")? {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+        for merged in &outcome.merged {
+            let file = Path::new(dir).join(format!("{}.sdc", merged.name.replace('/', "_")));
+            std::fs::write(&file, merged.sdc.to_text())
+                .map_err(|e| format!("{}: {e}", file.display()))?;
+            println!("wrote {}", file.display());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_check(args: &Args) -> Result<(), String> {
+    let netlist = load_netlist(args)?;
+    let sdcs = args.values("sdc");
+    let [a_path, b_path] = sdcs else {
+        return Err("check needs exactly two --sdc options".into());
+    };
+    let graph = TimingGraph::build(&netlist).map_err(|e| e.to_string())?;
+    let a = load_mode(&netlist, "A", a_path)?;
+    let b = load_mode(&netlist, "B", b_path)?;
+    let a_an = Analysis::run(&netlist, &graph, &a);
+    let b_an = Analysis::run(&netlist, &graph, &b);
+    let report = check_equivalence(std::slice::from_ref(&a_an), &b_an);
+    if report.equivalent {
+        println!("EQUIVALENT: the two constraint sets induce identical timing relationships");
+        Ok(())
+    } else {
+        println!(
+            "NOT EQUIVALENT: {} relation(s) only in {}, {} only in {}",
+            report.missing_in_merged.len(),
+            a_path,
+            report.extra_in_merged.len(),
+            b_path
+        );
+        for r in report.missing_in_merged.iter().take(10) {
+            println!("  only in {}: {} [{}]", a_path, netlist.pin_name(r.endpoint), r.state);
+        }
+        for r in report.extra_in_merged.iter().take(10) {
+            println!("  only in {}: {} [{}]", b_path, netlist.pin_name(r.endpoint), r.state);
+        }
+        Err("constraint sets differ".into())
+    }
+}
+
+fn cmd_sta(args: &Args) -> Result<(), String> {
+    let netlist = load_netlist(args)?;
+    let path = args.require("sdc")?;
+    let limit = args.number("limit", 20usize)?;
+    let derate = args.number("derate", 1.0f64)?;
+    let graph = TimingGraph::build_with_model(
+        &netlist,
+        modemerge_sta::graph::DelayModel::default().derated(derate),
+    )
+    .map_err(|e| e.to_string())?;
+    let mode = load_mode(&netlist, "mode", path)?;
+    let analysis = Analysis::run(&netlist, &graph, &mode);
+    let mut slacks = if args.flag("hold") {
+        analysis.endpoint_hold_slacks()
+    } else {
+        analysis.endpoint_slacks()
+    };
+    slacks.sort_by(|a, b| a.slack.total_cmp(&b.slack));
+    println!(
+        "{} {} endpoints (worst {} shown):",
+        slacks.len(),
+        if args.flag("hold") { "hold-checked" } else { "setup-checked" },
+        limit.min(slacks.len())
+    );
+    println!("{:<40} {:>10} {:>10}", "Endpoint", "Slack", "Capture T");
+    for s in slacks.iter().take(limit) {
+        println!(
+            "{:<40} {:>10.3} {:>10.3}",
+            netlist.pin_name(s.endpoint),
+            s.slack,
+            s.capture_period
+        );
+    }
+    let summary = modemerge_sta::SlackSummary::from_slacks(&slacks);
+    println!("{summary}");
+    if args.flag("histogram") {
+        let hist = modemerge_sta::SlackHistogram::from_slacks(&slacks, 12);
+        print!("{}", hist.render(40));
+    }
+    let paths = args.number("paths", 0usize)?;
+    for s in slacks.iter().take(paths) {
+        let Some(path) = analysis.worst_path(s.endpoint) else {
+            continue;
+        };
+        println!(
+            "\nPath to {} (launch {}, slack {:.3}):",
+            netlist.pin_name(s.endpoint),
+            path.launch_clock,
+            s.slack
+        );
+        for p in &path.points {
+            println!("  {:<40} {:>10.3}", netlist.pin_name(p.pin), p.arrival);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_relations(args: &Args) -> Result<(), String> {
+    let netlist = load_netlist(args)?;
+    let path = args.require("sdc")?;
+    let limit = args.number("limit", 50usize)?;
+    let graph = TimingGraph::build(&netlist).map_err(|e| e.to_string())?;
+    let mode = load_mode(&netlist, "mode", path)?;
+    let analysis = Analysis::run(&netlist, &graph, &mode);
+    let relations = analysis.endpoint_relations();
+    let clock_name = |key: &modemerge_sta::ClockKey| -> String {
+        mode.clocks
+            .iter()
+            .find(|c| &c.key() == key)
+            .map(|c| c.name.clone())
+            .unwrap_or_else(|| "?".into())
+    };
+    println!("{} timing relationships (setup domain first {limit}):", relations.len());
+    println!(
+        "{:<36} {:<14} {:<14} {:<8}",
+        "End point", "Launch clock", "Capture clock", "State"
+    );
+    for r in relations
+        .iter()
+        .filter(|r| r.check == CheckKind::Setup)
+        .take(limit)
+    {
+        println!(
+            "{:<36} {:<14} {:<14} {:<8}",
+            netlist.pin_name(r.endpoint),
+            clock_name(&r.launch),
+            clock_name(&r.capture),
+            r.state.to_string()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    let netlist = load_netlist(args)?;
+    let mode_specs = args.values("mode");
+    if mode_specs.len() < 2 {
+        return Err("plan needs at least two --mode NAME=FILE options".into());
+    }
+    let mut names = Vec::new();
+    let mut modes = Vec::new();
+    for spec in mode_specs {
+        let (name, path) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--mode expects NAME=FILE, got `{spec}`"))?;
+        modes.push(load_mode(&netlist, name, path)?);
+        names.push(name.to_owned());
+    }
+    let graph = MergeabilityGraph::build(&netlist, &modes, &MergeOptions::default());
+    let cliques = greedy_cliques(&graph);
+    println!("mergeability graph: {} modes, clique cover:", graph.len());
+    for (k, clique) in cliques.iter().enumerate() {
+        let members: Vec<&str> = clique.iter().map(|&i| names[i].as_str()).collect();
+        println!("  M{}: {}", k + 1, members.join(", "));
+    }
+    for i in 0..graph.len() {
+        for j in (i + 1)..graph.len() {
+            if let Some(first) = graph.conflicts(i, j).first() {
+                println!("  {} x {}: {}", names[i], names[j], first);
+            }
+        }
+    }
+    if let Some(path) = args.value("out")? {
+        std::fs::write(path, graph.to_dot(&names, &cliques))
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let cells = args.number("cells", 2000usize)?;
+    let seed = args.number("seed", 1u64)?;
+    let families: Vec<usize> = match args.value("families")? {
+        None => vec![2, 2],
+        Some(spec) => spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| format!("--families: `{s}` is not a number"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let dir = args.require("out")?;
+    std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+
+    let spec = SuiteSpec {
+        design: DesignSpec::with_target_cells("generated", cells, seed),
+        families,
+        test_clocks: true,
+        cross_false_paths: true,
+    };
+    let suite = generate_suite(&spec);
+    let netlist_path = Path::new(dir).join("design.nl");
+    std::fs::write(&netlist_path, text::write(&suite.netlist))
+        .map_err(|e| format!("{}: {e}", netlist_path.display()))?;
+    let mut manifest = String::new();
+    let _ = writeln!(manifest, "# generated by `modemerge generate --cells {cells} --seed {seed}`");
+    let _ = writeln!(manifest, "netlist design.nl");
+    for (name, sdc) in &suite.modes {
+        let file = Path::new(dir).join(format!("{name}.sdc"));
+        std::fs::write(&file, sdc.to_text()).map_err(|e| format!("{}: {e}", file.display()))?;
+        let _ = writeln!(manifest, "mode {name} {name}.sdc");
+    }
+    let manifest_path = Path::new(dir).join("MANIFEST");
+    std::fs::write(&manifest_path, manifest)
+        .map_err(|e| format!("{}: {e}", manifest_path.display()))?;
+    println!(
+        "wrote {} ({} cells) and {} mode(s) to {dir}",
+        netlist_path.display(),
+        suite.netlist.instance_count(),
+        suite.modes.len()
+    );
+    println!(
+        "try: modemerge merge --netlist {dir}/design.nl {} --out {dir}/merged",
+        suite
+            .modes
+            .iter()
+            .map(|(n, _)| format!("--mode {n}={dir}/{n}.sdc"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Library surface of the `modemerge` CLI (exposed for integration
+//! tests; the binary in `main.rs` is a thin wrapper).
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,25 @@
+//! `modemerge` — command-line driver for timing-mode merging.
+//!
+//! ```text
+//! modemerge merge     --netlist d.nl --mode FUNC=func.sdc --mode SCAN=scan.sdc [--out DIR]
+//! modemerge check     --netlist d.nl --sdc a.sdc --sdc b.sdc
+//! modemerge sta       --netlist d.nl --sdc mode.sdc [--hold] [--limit N]
+//! modemerge relations --netlist d.nl --sdc mode.sdc
+//! modemerge generate  --cells N [--seed S] [--families 3,2] --out DIR
+//! ```
+//!
+//! Netlists use the line-oriented text format of
+//! `modemerge_netlist::text`; constraints are SDC.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match modemerge_cli::commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("modemerge: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

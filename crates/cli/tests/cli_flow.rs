@@ -1,0 +1,136 @@
+//! End-to-end CLI flow: generate → merge → check → sta → relations,
+//! exercising the dispatch layer exactly as the binary does.
+
+use modemerge_cli::commands::dispatch;
+use std::path::PathBuf;
+
+fn args(s: &str) -> Vec<String> {
+    s.split_whitespace().map(str::to_owned).collect()
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("modemerge_cli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_cli_flow() {
+    let dir = tmpdir("flow");
+    let d = dir.display();
+
+    // generate
+    dispatch(&args(&format!(
+        "generate --cells 800 --seed 3 --families 2 --out {d}"
+    )))
+    .expect("generate succeeds");
+    assert!(dir.join("design.nl").exists());
+    assert!(dir.join("MANIFEST").exists());
+    let manifest = std::fs::read_to_string(dir.join("MANIFEST")).unwrap();
+    let modes: Vec<(String, String)> = manifest
+        .lines()
+        .filter_map(|l| l.strip_prefix("mode "))
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            (it.next().unwrap().to_owned(), it.next().unwrap().to_owned())
+        })
+        .collect();
+    assert_eq!(modes.len(), 2);
+
+    // merge
+    let mode_args: String = modes
+        .iter()
+        .map(|(n, f)| format!("--mode {n}={d}/{f}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    dispatch(&args(&format!(
+        "merge --netlist {d}/design.nl {mode_args} --out {d}/merged"
+    )))
+    .expect("merge succeeds");
+    let merged: Vec<_> = std::fs::read_dir(dir.join("merged"))
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(merged.len(), 1, "two modes of one family merge into one");
+
+    // check: a mode against itself is equivalent.
+    let first_sdc = format!("{d}/{}", modes[0].1);
+    dispatch(&args(&format!(
+        "check --netlist {d}/design.nl --sdc {first_sdc} --sdc {first_sdc}"
+    )))
+    .expect("self-check is equivalent");
+
+    // check: two different modes differ.
+    let second_sdc = format!("{d}/{}", modes[1].1);
+    let err = dispatch(&args(&format!(
+        "check --netlist {d}/design.nl --sdc {first_sdc} --sdc {second_sdc}"
+    )))
+    .expect_err("different modes are not equivalent");
+    assert!(err.contains("differ"));
+
+    // sta on the merged mode (both setup and hold).
+    let merged_sdc = merged[0].display();
+    dispatch(&args(&format!(
+        "sta --netlist {d}/design.nl --sdc {merged_sdc} --limit 3"
+    )))
+    .expect("sta succeeds");
+    dispatch(&args(&format!(
+        "sta --netlist {d}/design.nl --sdc {merged_sdc} --hold --limit 3"
+    )))
+    .expect("hold sta succeeds");
+
+    // relations dump.
+    dispatch(&args(&format!(
+        "relations --netlist {d}/design.nl --sdc {first_sdc} --limit 5"
+    )))
+    .expect("relations succeeds");
+
+    // plan with DOT output.
+    dispatch(&args(&format!(
+        "plan --netlist {d}/design.nl {mode_args} --out {d}/plan.dot"
+    )))
+    .expect("plan succeeds");
+    let dot = std::fs::read_to_string(dir.join("plan.dot")).unwrap();
+    assert!(dot.starts_with("graph mergeability"));
+
+    // histogram variant of sta.
+    dispatch(&args(&format!(
+        "sta --netlist {d}/design.nl --sdc {merged_sdc} --limit 1 --histogram"
+    )))
+    .expect("histogram sta succeeds");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn merge_needs_two_modes() {
+    let dir = tmpdir("two");
+    let d = dir.display();
+    dispatch(&args(&format!(
+        "generate --cells 500 --seed 1 --families 1 --out {d}"
+    )))
+    .expect("generate succeeds");
+    let err = dispatch(&args(&format!(
+        "merge --netlist {d}/design.nl --mode only={d}/func_f0_m0.sdc"
+    )))
+    .expect_err("one mode is rejected");
+    assert!(err.contains("at least two"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_command_is_an_error() {
+    assert!(dispatch(&args("frobnicate")).is_err());
+    // No command prints usage and succeeds.
+    dispatch(&[]).expect("usage");
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let err = dispatch(&args(
+        "sta --netlist /nonexistent/x.nl --sdc /nonexistent/y.sdc",
+    ))
+    .expect_err("missing netlist");
+    assert!(err.contains("/nonexistent/x.nl"));
+}

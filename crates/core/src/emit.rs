@@ -1,0 +1,120 @@
+//! Helpers for emitting SDC object references from resolved ids.
+
+use modemerge_netlist::{Netlist, PinId, PinOwner};
+use modemerge_sdc::{ObjectClass, ObjectQuery, ObjectRef};
+
+/// `true` if the pin is a top-level port boundary pin.
+pub fn is_port_pin(netlist: &Netlist, pin: PinId) -> bool {
+    matches!(netlist.pin(pin).owner(), PinOwner::Port(_))
+}
+
+/// Builds the canonical object reference for one pin
+/// (`[get_ports name]` or `[get_pins inst/PIN]`).
+pub fn pin_ref(netlist: &Netlist, pin: PinId) -> ObjectRef {
+    let name = netlist.pin_name(pin);
+    if is_port_pin(netlist, pin) {
+        ObjectRef::Query(ObjectQuery::new(ObjectClass::Port, [name]))
+    } else {
+        ObjectRef::Query(ObjectQuery::new(ObjectClass::Pin, [name]))
+    }
+}
+
+/// Builds a minimal list of object references for a set of pins:
+/// one `get_ports` query for all ports and one `get_pins` query for all
+/// instance pins, names sorted for determinism.
+pub fn pins_refs(netlist: &Netlist, pins: impl IntoIterator<Item = PinId>) -> Vec<ObjectRef> {
+    let mut ports = Vec::new();
+    let mut cells = Vec::new();
+    for pin in pins {
+        let name = netlist.pin_name(pin);
+        if is_port_pin(netlist, pin) {
+            ports.push(name);
+        } else {
+            cells.push(name);
+        }
+    }
+    ports.sort();
+    ports.dedup();
+    cells.sort();
+    cells.dedup();
+    let mut out = Vec::new();
+    if !ports.is_empty() {
+        out.push(ObjectRef::Query(ObjectQuery::new(ObjectClass::Port, ports)));
+    }
+    if !cells.is_empty() {
+        out.push(ObjectRef::Query(ObjectQuery::new(ObjectClass::Pin, cells)));
+    }
+    out
+}
+
+/// Builds a `[get_clocks {…}]` reference for a sorted set of clock names.
+pub fn clocks_ref(names: impl IntoIterator<Item = impl Into<String>>) -> ObjectRef {
+    let mut names: Vec<String> = names.into_iter().map(Into::into).collect();
+    names.sort();
+    names.dedup();
+    ObjectRef::Query(ObjectQuery::new(ObjectClass::Clock, names))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modemerge_netlist::paper::paper_circuit;
+
+    #[test]
+    fn port_vs_pin_refs() {
+        let n = paper_circuit();
+        let clk1 = n.find_pin("clk1").unwrap();
+        let ra_cp = n.find_pin("rA/CP").unwrap();
+        assert!(is_port_pin(&n, clk1));
+        assert!(!is_port_pin(&n, ra_cp));
+        match pin_ref(&n, clk1) {
+            ObjectRef::Query(q) => assert_eq!(q.class, ObjectClass::Port),
+            other => panic!("{other:?}"),
+        }
+        match pin_ref(&n, ra_cp) {
+            ObjectRef::Query(q) => {
+                assert_eq!(q.class, ObjectClass::Pin);
+                assert_eq!(q.patterns, vec!["rA/CP"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pins_refs_groups_and_sorts() {
+        let n = paper_circuit();
+        let pins = [
+            n.find_pin("rB/Q").unwrap(),
+            n.find_pin("and1/Z").unwrap(),
+            n.find_pin("sel1").unwrap(),
+            n.find_pin("rB/Q").unwrap(), // duplicate
+        ];
+        let refs = pins_refs(&n, pins);
+        assert_eq!(refs.len(), 2);
+        match &refs[0] {
+            ObjectRef::Query(q) => {
+                assert_eq!(q.class, ObjectClass::Port);
+                assert_eq!(q.patterns, vec!["sel1"]);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &refs[1] {
+            ObjectRef::Query(q) => {
+                assert_eq!(q.class, ObjectClass::Pin);
+                assert_eq!(q.patterns, vec!["and1/Z", "rB/Q"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn clocks_ref_sorted_dedup() {
+        match clocks_ref(["b", "a", "b"]) {
+            ObjectRef::Query(q) => {
+                assert_eq!(q.class, ObjectClass::Clock);
+                assert_eq!(q.patterns, vec!["a", "b"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Error and conflict types for mode merging.
+
+use std::error::Error;
+use std::fmt;
+
+/// A reason two (or more) modes cannot be merged.
+///
+/// Conflicts are detected during the mock run of preliminary merging
+/// (§3's mergeability determination) and mark mode pairs non-mergeable in
+/// the mergeability graph.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MergeConflict {
+    /// A clock-based constraint (latency, uncertainty, transition)
+    /// differs beyond the tolerance limit.
+    ClockAttribute {
+        /// Merged-mode clock name.
+        clock: String,
+        /// Which attribute conflicts.
+        attribute: &'static str,
+        /// The conflicting values.
+        values: Vec<f64>,
+    },
+    /// One mode propagates a clock the other treats as ideal.
+    PropagatedMismatch {
+        /// Merged-mode clock name.
+        clock: String,
+    },
+    /// A drive/load/input-transition constraint differs beyond tolerance
+    /// (or exists in only some modes).
+    PortAttribute {
+        /// Port or pin name.
+        object: String,
+        /// Which attribute conflicts.
+        attribute: &'static str,
+    },
+    /// A non-false-path exception (multicycle, min/max delay) exists in
+    /// only some modes and cannot be uniquified by clock restriction.
+    UnuniquifiableException {
+        /// Canonical SDC text of the exception.
+        exception: String,
+    },
+    /// Refinement found a timing-relationship mismatch that a false path
+    /// cannot fix (e.g. a multicycle path the merged mode lost).
+    UnfixableMismatch {
+        /// Human-readable description of the mismatching relation.
+        relation: String,
+    },
+}
+
+impl fmt::Display for MergeConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ClockAttribute {
+                clock,
+                attribute,
+                values,
+            } => write!(
+                f,
+                "clock `{clock}`: {attribute} values {values:?} differ beyond tolerance"
+            ),
+            Self::PropagatedMismatch { clock } => {
+                write!(f, "clock `{clock}`: propagated in some modes but not all")
+            }
+            Self::PortAttribute { object, attribute } => {
+                write!(f, "port `{object}`: {attribute} conflicts across modes")
+            }
+            Self::UnuniquifiableException { exception } => {
+                write!(f, "exception cannot be uniquified: {exception}")
+            }
+            Self::UnfixableMismatch { relation } => {
+                write!(f, "relationship mismatch not fixable by a false path: {relation}")
+            }
+        }
+    }
+}
+
+/// Errors from the merging engine.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MergeError {
+    /// The requested mode group is not mergeable.
+    NotMergeable {
+        /// The conflicts found.
+        conflicts: Vec<MergeConflict>,
+    },
+    /// A constraint file failed to bind against the netlist.
+    Bind(modemerge_sta::StaError),
+    /// An SDC file failed to parse.
+    Sdc(modemerge_sdc::SdcError),
+    /// The refinement loop failed to converge.
+    RefinementDiverged {
+        /// Iterations attempted.
+        iterations: usize,
+        /// Outstanding mismatch count.
+        remaining: usize,
+    },
+    /// Post-merge validation failed (should not happen; indicates an
+    /// engine bug or an over-broad refinement constraint).
+    ValidationFailed {
+        /// Relations timed by the merged mode but by no individual mode.
+        extra_in_merged: usize,
+        /// Relations timed by some individual mode but not the merged
+        /// mode.
+        missing_in_merged: usize,
+    },
+    /// No modes were provided.
+    EmptyGroup,
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotMergeable { conflicts } => {
+                write!(f, "modes are not mergeable ({} conflicts", conflicts.len())?;
+                if let Some(first) = conflicts.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                f.write_str(")")
+            }
+            Self::Bind(e) => write!(f, "constraint binding failed: {e}"),
+            Self::Sdc(e) => write!(f, "sdc parse failed: {e}"),
+            Self::RefinementDiverged {
+                iterations,
+                remaining,
+            } => write!(
+                f,
+                "refinement did not converge after {iterations} iterations ({remaining} mismatches left)"
+            ),
+            Self::ValidationFailed {
+                extra_in_merged,
+                missing_in_merged,
+            } => write!(
+                f,
+                "merged mode validation failed: {extra_in_merged} extra, {missing_in_merged} missing relations"
+            ),
+            Self::EmptyGroup => f.write_str("no modes to merge"),
+        }
+    }
+}
+
+impl Error for MergeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Bind(e) => Some(e),
+            Self::Sdc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<modemerge_sta::StaError> for MergeError {
+    fn from(e: modemerge_sta::StaError) -> Self {
+        Self::Bind(e)
+    }
+}
+
+impl From<modemerge_sdc::SdcError> for MergeError {
+    fn from(e: modemerge_sdc::SdcError) -> Self {
+        Self::Sdc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_display() {
+        let c = MergeConflict::ClockAttribute {
+            clock: "clkB".into(),
+            attribute: "latency",
+            values: vec![1.0, 5.0],
+        };
+        assert!(c.to_string().contains("clkB"));
+        assert!(c.to_string().contains("latency"));
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = MergeError::NotMergeable {
+            conflicts: vec![MergeConflict::PropagatedMismatch {
+                clock: "c".into(),
+            }],
+        };
+        assert!(e.to_string().contains("not mergeable"));
+        assert!(e.source().is_none());
+        let e = MergeError::Bind(modemerge_sta::StaError::UnknownClock("x".into()));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MergeError>();
+    }
+}

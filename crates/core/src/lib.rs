@@ -1,0 +1,56 @@
+//! Timing-graph-based mode merging — the contribution of Sripada &
+//! Palla, *"A Timing Graph Based Approach to Mode Merging"*, DAC 2015.
+//!
+//! Given a netlist and N individual timing modes (SDC files), the engine
+//! produces superset modes whose timing relationships are equivalent to
+//! the union of the individual modes:
+//!
+//! 1. [`mergeability`] — mock-merges mode pairs, builds the mergeability
+//!    graph (Figure 2) and covers it with greedy cliques;
+//! 2. [`preliminary`] — §3.1 preliminary mode merging: union of clocks,
+//!    tolerance-merged clock attributes, unioned I/O delays, intersected
+//!    case analysis / disables, derived clock exclusivity and exception
+//!    intersection with [`uniquify`]-style restriction;
+//! 3. [`refine`] — §3.1.8 clock-network refinement plus §3.2 data
+//!    refinement: launch-clock reach comparison and the 3-pass
+//!    relationship comparison ([`three_pass`]) that adds precise false
+//!    paths for every extra path the preliminary merged mode would time;
+//! 4. [`equivalence`] — the §2 equivalence check used as the inbuilt
+//!    validation.
+//!
+//! The one-call entry points are [`merge::merge_group`] (N modes → 1
+//! superset mode) and [`merge::merge_all`] (full flow with clique
+//! planning).
+//!
+//! # Example
+//!
+//! ```
+//! use modemerge_core::merge::{merge_group, MergeOptions, ModeInput};
+//! use modemerge_netlist::paper::paper_circuit;
+//! use modemerge_sdc::SdcFile;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let netlist = paper_circuit();
+//! let mode_a = ModeInput::parse("A", "create_clock -name clkA -period 10 [get_ports clk1]\n")?;
+//! let mode_b = ModeInput::parse("B", "create_clock -name clkB -period 20 [get_ports clk2]\n")?;
+//! let outcome = merge_group(&netlist, &[mode_a, mode_b], &MergeOptions::default())?;
+//! assert!(outcome.report.validated);
+//! println!("{}", outcome.merged.sdc.to_text());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod emit;
+pub mod equivalence;
+pub mod error;
+pub mod merge;
+pub mod mergeability;
+pub mod preliminary;
+pub mod refine;
+pub mod report;
+pub mod three_pass;
+pub mod uniquify;
+
+pub use error::{MergeConflict, MergeError};
+pub use merge::{merge_all, merge_group, MergeOptions, MergeOutcome, MergeReport, ModeInput};
+pub use mergeability::{greedy_cliques, MergeabilityGraph};

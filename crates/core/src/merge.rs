@@ -1,0 +1,441 @@
+//! The mode-merging orchestrator: options, one-group merging and the
+//! full plan-and-merge flow.
+
+use crate::equivalence::check_equivalence;
+use crate::error::MergeError;
+use crate::mergeability::{greedy_cliques, MergeabilityGraph};
+use crate::preliminary::preliminary_merge;
+use crate::refine::{refine, run_analyses};
+use modemerge_netlist::Netlist;
+use modemerge_sdc::{SdcError, SdcFile};
+use modemerge_sta::analysis::Analysis;
+use modemerge_sta::graph::TimingGraph;
+use modemerge_sta::mode::Mode;
+
+/// Tuning knobs for the merging engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeOptions {
+    /// Relative tolerance when comparing clock/port attribute values
+    /// across modes (§3.1.2's "tolerance limit").
+    pub tolerance_rel: f64,
+    /// Absolute tolerance added on top of the relative one.
+    pub tolerance_abs: f64,
+    /// Cap on refinement fixed-point iterations.
+    pub max_refine_iterations: usize,
+    /// Worker threads for per-mode analyses (the paper's engine is
+    /// multithreaded; 1 = serial).
+    pub threads: usize,
+    /// Run the §2 equivalence validation after merging.
+    pub validate: bool,
+    /// Fail merging when the merged mode times *any* extra path class
+    /// (full §2 equivalence). When `false` (the default, matching the
+    /// paper's reported 99.82 % conformity), extra timed paths are
+    /// accepted as pessimism and counted in the report; relations
+    /// *missing* from the merged mode always fail.
+    pub strict: bool,
+    /// Attempt exception uniquification (§3.1.10). Disabling it forces
+    /// partially-present false paths to be dropped and re-derived by
+    /// refinement — the `ablation_uniquify` bench measures the cost.
+    pub uniquify_exceptions: bool,
+    /// Group pass-1 mismatches into clock-pair and endpoint-set false
+    /// paths before escalating to pass 2. Disabling it reproduces a
+    /// naive per-path-class refinement — the `ablation_grouping` bench
+    /// measures the cost.
+    pub group_fixes: bool,
+}
+
+impl Default for MergeOptions {
+    fn default() -> Self {
+        Self {
+            tolerance_rel: 0.1,
+            tolerance_abs: 0.15,
+            max_refine_iterations: 32,
+            threads: 1,
+            validate: true,
+            strict: false,
+            uniquify_exceptions: true,
+            group_fixes: true,
+        }
+    }
+}
+
+/// One input mode: a name and its SDC constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeInput {
+    /// Mode name (used in reports).
+    pub name: String,
+    /// The constraints.
+    pub sdc: SdcFile,
+}
+
+impl ModeInput {
+    /// Creates a mode input from parsed SDC.
+    pub fn new(name: impl Into<String>, sdc: SdcFile) -> Self {
+        Self {
+            name: name.into(),
+            sdc,
+        }
+    }
+
+    /// Parses SDC text into a mode input.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error with its source line.
+    pub fn parse(name: impl Into<String>, text: &str) -> Result<Self, SdcError> {
+        Ok(Self {
+            name: name.into(),
+            sdc: SdcFile::parse(text)?,
+        })
+    }
+}
+
+/// Statistics of one group merge.
+#[derive(Debug, Clone, Default)]
+pub struct MergeReport {
+    /// Names of the merged modes.
+    pub mode_names: Vec<String>,
+    /// Clocks in the merged mode.
+    pub clock_count: usize,
+    /// Case-analysis pins dropped (present in only some modes).
+    pub dropped_cases: usize,
+    /// Case pins replaced by `set_disable_timing`.
+    pub disabled_case_pins: usize,
+    /// False paths dropped during preliminary merging.
+    pub dropped_false_paths: usize,
+    /// Exceptions restricted by uniquification.
+    pub uniquified_exceptions: usize,
+    /// `set_clock_sense -stop_propagation` constraints added (§3.1.8).
+    pub clock_stops: usize,
+    /// Data-network clock-cut false paths added (§3.2 step 1).
+    pub data_cut_false_paths: usize,
+    /// 3-pass false paths added (§3.2 step 2).
+    pub comparison_false_paths: usize,
+    /// Endpoints escalated to pass 2.
+    pub pass2_endpoints: usize,
+    /// Pairs escalated to pass 3.
+    pub pass3_pairs: usize,
+    /// Refinement loop iterations.
+    pub refine_iterations: usize,
+    /// Extra merged path classes accepted as pessimism.
+    pub residual_pessimism: usize,
+    /// Extra timed relations found by the final validation (0 when the
+    /// merged mode is fully §2-equivalent).
+    pub extra_relations: usize,
+    /// `true` when the §2 equivalence validation passed (always `true`
+    /// for trivial single-mode groups; `false` only when validation was
+    /// disabled or failed).
+    pub validated: bool,
+}
+
+/// Result of merging one group of modes.
+#[derive(Debug, Clone)]
+pub struct MergeOutcome {
+    /// The superset mode.
+    pub merged: ModeInput,
+    /// Merge statistics.
+    pub report: MergeReport,
+}
+
+/// Merges a group of modes into one superset mode.
+///
+/// This is the paper's full §3 pipeline for one clique: preliminary
+/// merging, refinement and validation.
+///
+/// # Errors
+///
+/// Returns [`MergeError::NotMergeable`] when the group conflicts,
+/// [`MergeError::ValidationFailed`] when the final equivalence check
+/// finds differences, and propagates binding/refinement errors.
+pub fn merge_group(
+    netlist: &Netlist,
+    inputs: &[ModeInput],
+    options: &MergeOptions,
+) -> Result<MergeOutcome, MergeError> {
+    let graph = TimingGraph::build(netlist)?;
+    merge_group_with_graph(netlist, &graph, inputs, options)
+}
+
+pub(crate) fn merge_group_with_graph(
+    netlist: &Netlist,
+    graph: &TimingGraph,
+    inputs: &[ModeInput],
+    options: &MergeOptions,
+) -> Result<MergeOutcome, MergeError> {
+    let Some(first) = inputs.first() else {
+        return Err(MergeError::EmptyGroup);
+    };
+    if inputs.len() == 1 {
+        return Ok(MergeOutcome {
+            merged: first.clone(),
+            report: MergeReport {
+                mode_names: vec![first.name.clone()],
+                validated: true,
+                ..Default::default()
+            },
+        });
+    }
+    let modes: Vec<Mode> = inputs
+        .iter()
+        .map(|i| Mode::bind(i.name.clone(), netlist, &i.sdc))
+        .collect::<Result<_, _>>()?;
+
+    // §3.1 preliminary merging (also the conflict check).
+    let prelim = preliminary_merge(netlist, &modes, options);
+    if !prelim.conflicts.is_empty() {
+        return Err(MergeError::NotMergeable {
+            conflicts: prelim.conflicts,
+        });
+    }
+
+    // §3.1.8 + §3.2 refinement.
+    let analyses: Vec<Analysis<'_>> = run_analyses(netlist, graph, &modes, options);
+    let refined = refine(netlist, graph, &analyses, prelim.sdc, options)?;
+
+    // §2 equivalence validation. Relations missing from the merged mode
+    // are always fatal (the merged mode would miss violations); extra
+    // relations are fatal only in strict mode (they are pessimistic).
+    let mut validated = false;
+    let mut extra_relations = 0;
+    if options.validate {
+        let merged_mode = Mode::bind("merged", netlist, &refined.sdc)?;
+        let merged_analysis = Analysis::run(netlist, graph, &merged_mode);
+        let report = check_equivalence(&analyses, &merged_analysis);
+        if !report.missing_in_merged.is_empty()
+            || (options.strict && !report.extra_in_merged.is_empty())
+        {
+            return Err(MergeError::ValidationFailed {
+                extra_in_merged: report.extra_in_merged.len(),
+                missing_in_merged: report.missing_in_merged.len(),
+            });
+        }
+        extra_relations = report.extra_in_merged.len();
+        validated = true;
+    }
+
+    let merged_name = inputs
+        .iter()
+        .map(|i| i.name.as_str())
+        .collect::<Vec<_>>()
+        .join("+");
+    Ok(MergeOutcome {
+        merged: ModeInput::new(merged_name, refined.sdc),
+        report: MergeReport {
+            mode_names: inputs.iter().map(|i| i.name.clone()).collect(),
+            clock_count: prelim.clock_table.len(),
+            dropped_cases: prelim.dropped_cases.len(),
+            disabled_case_pins: prelim.disabled_case_pins.len(),
+            dropped_false_paths: prelim.dropped_false_paths,
+            uniquified_exceptions: prelim.uniquified_exceptions,
+            clock_stops: refined.clock_stops,
+            data_cut_false_paths: refined.data_cut_false_paths,
+            comparison_false_paths: refined.comparison_false_paths,
+            pass2_endpoints: refined.pass2_endpoints,
+            pass3_pairs: refined.pass3_pairs,
+            refine_iterations: refined.iterations,
+            residual_pessimism: refined.residual_pessimism,
+            extra_relations,
+            validated,
+        },
+    })
+}
+
+/// Result of the full plan-and-merge flow.
+#[derive(Debug, Clone)]
+pub struct MergeAllOutcome {
+    /// The resulting modes: merged superset modes plus any modes that
+    /// could not be merged (kept as-is).
+    pub merged: Vec<ModeInput>,
+    /// The clique cover (indices into the input mode list).
+    pub groups: Vec<Vec<usize>>,
+    /// Per-group merge reports (parallel to `merged`).
+    pub reports: Vec<MergeReport>,
+}
+
+impl MergeAllOutcome {
+    /// Mode-count reduction percentage (Table 5's "% Reduction").
+    pub fn reduction_percent(&self, input_count: usize) -> f64 {
+        if input_count == 0 {
+            return 0.0;
+        }
+        100.0 * (input_count - self.merged.len()) as f64 / input_count as f64
+    }
+}
+
+/// The full flow: build the mergeability graph, cover it with greedy
+/// cliques and merge every clique.
+///
+/// Cliques that unexpectedly fail deep refinement (the mock merge only
+/// checks preliminary-level conflicts) fall back to keeping their modes
+/// individual, so the flow always produces a usable mode set.
+///
+/// # Errors
+///
+/// Returns [`MergeError::Bind`] when an input SDC fails to bind.
+pub fn merge_all(
+    netlist: &Netlist,
+    inputs: &[ModeInput],
+    options: &MergeOptions,
+) -> Result<MergeAllOutcome, MergeError> {
+    let graph = TimingGraph::build(netlist)?;
+    let modes: Vec<Mode> = inputs
+        .iter()
+        .map(|i| Mode::bind(i.name.clone(), netlist, &i.sdc))
+        .collect::<Result<_, _>>()?;
+    let mgraph = MergeabilityGraph::build(netlist, &modes, options);
+    let groups = greedy_cliques(&mgraph);
+
+    let mut merged = Vec::new();
+    let mut reports = Vec::new();
+    for group in &groups {
+        let group_inputs: Vec<ModeInput> = group.iter().map(|&i| inputs[i].clone()).collect();
+        match merge_group_with_graph(netlist, &graph, &group_inputs, options) {
+            Ok(outcome) => {
+                merged.push(outcome.merged);
+                reports.push(outcome.report);
+            }
+            Err(_) => {
+                // Deep-refinement failure: keep the group's modes as-is.
+                for input in group_inputs {
+                    reports.push(MergeReport {
+                        mode_names: vec![input.name.clone()],
+                        validated: true,
+                        ..Default::default()
+                    });
+                    merged.push(input);
+                }
+            }
+        }
+    }
+    Ok(MergeAllOutcome {
+        merged,
+        groups,
+        reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modemerge_netlist::paper::paper_circuit;
+
+    #[test]
+    fn empty_group_is_an_error() {
+        let netlist = paper_circuit();
+        assert!(matches!(
+            merge_group(&netlist, &[], &MergeOptions::default()),
+            Err(MergeError::EmptyGroup)
+        ));
+    }
+
+    #[test]
+    fn single_mode_passthrough() {
+        let netlist = paper_circuit();
+        let m = ModeInput::parse("A", "create_clock -name c -period 10 [get_ports clk1]\n")
+            .unwrap();
+        let out = merge_group(&netlist, std::slice::from_ref(&m), &MergeOptions::default()).unwrap();
+        assert_eq!(out.merged.sdc, m.sdc);
+        assert!(out.report.validated);
+    }
+
+    /// End-to-end: the paper's Constraint Set 6 flow.
+    #[test]
+    fn constraint_set6_end_to_end() {
+        let netlist = paper_circuit();
+        let mode_a = ModeInput::parse(
+            "A",
+            "create_clock -p 10 -name clkA [get_port clk1]\n\
+             set_false_path -to rX/D\n\
+             set_false_path -to rY/D\n\
+             set_false_path -through inv3/Z\n",
+        )
+        .unwrap();
+        let mode_b = ModeInput::parse(
+            "B",
+            "create_clock -p 10 -name clkA [get_port clk1]\n\
+             set_false_path -from rA/CP\n\
+             set_false_path -to rZ/D\n",
+        )
+        .unwrap();
+        let out = merge_group(&netlist, &[mode_a, mode_b], &MergeOptions::default()).unwrap();
+        assert!(out.report.validated);
+        let text = out.merged.sdc.to_text();
+        assert!(text.contains("set_false_path -to [get_pins rX/D]"), "{text}");
+        assert!(
+            text.contains("set_false_path -from [get_pins rA/CP] -to [get_pins rY/D]"),
+            "{text}"
+        );
+        assert!(
+            text.contains("-through [get_pins inv3/A] -to [get_pins rZ/D]"),
+            "{text}"
+        );
+        assert!(out.report.comparison_false_paths >= 3);
+        assert_eq!(out.merged.name, "A+B");
+    }
+
+    /// End-to-end: Constraint Set 3 (conflicting clock-mux case values).
+    #[test]
+    fn constraint_set3_end_to_end() {
+        let netlist = paper_circuit();
+        let mode_a = ModeInput::parse(
+            "A",
+            "create_clock -period 10 -name clkA [get_port clk1]\n\
+             create_clock -period 20 -name clkB [get_port clk2]\n\
+             set_case_analysis 0 sel1\nset_case_analysis 1 sel2\n",
+        )
+        .unwrap();
+        let mode_b = ModeInput::parse(
+            "B",
+            "create_clock -period 10 -name clkA [get_port clk1]\n\
+             create_clock -period 20 -name clkB [get_port clk2]\n\
+             set_case_analysis 1 sel1\nset_case_analysis 0 sel2\n",
+        )
+        .unwrap();
+        let out = merge_group(&netlist, &[mode_a, mode_b], &MergeOptions::default()).unwrap();
+        assert!(out.report.validated);
+        let text = out.merged.sdc.to_text();
+        assert!(text.contains("set_disable_timing [get_ports sel1]"), "{text}");
+        assert!(text.contains("set_disable_timing [get_ports sel2]"), "{text}");
+        assert!(
+            text.contains(
+                "set_clock_sense -stop_propagation -clocks [get_clocks clkA] [get_pins mux1/Z]"
+            ),
+            "{text}"
+        );
+        assert_eq!(out.report.disabled_case_pins, 2);
+    }
+
+    #[test]
+    fn merge_all_plans_and_merges() {
+        let netlist = paper_circuit();
+        let inputs = vec![
+            ModeInput::parse("F1", "create_clock -name c -period 10 [get_ports clk1]\n").unwrap(),
+            ModeInput::parse("F2", "create_clock -name c -period 10 [get_ports clk1]\n").unwrap(),
+            // Conflicting latency makes this one unmergeable with the others.
+            ModeInput::parse(
+                "T1",
+                "create_clock -name c -period 10 [get_ports clk1]\n\
+                 set_clock_latency 9 [get_clocks c]\n",
+            )
+            .unwrap(),
+        ];
+        let out = merge_all(&netlist, &inputs, &MergeOptions::default()).unwrap();
+        assert_eq!(out.merged.len(), 2, "{:?}", out.groups);
+        assert!((out.reduction_percent(3) - 33.33).abs() < 0.5);
+    }
+
+    #[test]
+    fn not_mergeable_group_reports_conflicts() {
+        let netlist = paper_circuit();
+        let a = ModeInput::parse(
+            "A",
+            "create_clock -name c -period 10 [get_ports clk1]\nset_clock_latency 9 [get_clocks c]\n",
+        )
+        .unwrap();
+        let b = ModeInput::parse("B", "create_clock -name c -period 10 [get_ports clk1]\n").unwrap();
+        match merge_group(&netlist, &[a, b], &MergeOptions::default()) {
+            Err(MergeError::NotMergeable { conflicts }) => assert!(!conflicts.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Mergeability analysis: the mock merge, the mergeability graph
+//! (Figure 2 of the paper) and the greedy clique cover.
+
+use crate::error::MergeConflict;
+use crate::merge::MergeOptions;
+use crate::preliminary::preliminary_merge;
+use modemerge_netlist::Netlist;
+use modemerge_sta::mode::Mode;
+
+/// The mergeability graph: vertices are modes, edges join pairs that the
+/// mock preliminary merge found compatible.
+#[derive(Debug, Clone)]
+pub struct MergeabilityGraph {
+    n: usize,
+    adj: Vec<bool>,
+    conflicts: Vec<Vec<MergeConflict>>,
+}
+
+impl MergeabilityGraph {
+    /// Builds the graph by mock-merging every pair of modes.
+    ///
+    /// The mock run is the same code as the real preliminary merge
+    /// (§3.1); a pair is mergeable iff the run reports no conflicts.
+    pub fn build(netlist: &Netlist, modes: &[Mode], options: &MergeOptions) -> Self {
+        let n = modes.len();
+        let mut adj = vec![false; n * n];
+        let mut conflicts = vec![Vec::new(); n * n];
+        for i in 0..n {
+            adj[i * n + i] = true;
+            for j in (i + 1)..n {
+                let pair = [modes[i].clone(), modes[j].clone()];
+                let mock = preliminary_merge(netlist, &pair, options);
+                if mock.conflicts.is_empty() {
+                    adj[i * n + j] = true;
+                    adj[j * n + i] = true;
+                } else {
+                    conflicts[i * n + j] = mock.conflicts;
+                }
+            }
+        }
+        Self { n, adj, conflicts }
+    }
+
+    /// Number of modes (vertices).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if there are no modes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Are modes `i` and `j` mergeable?
+    pub fn mergeable(&self, i: usize, j: usize) -> bool {
+        self.adj[i * self.n + j]
+    }
+
+    /// The conflicts that made a pair non-mergeable (empty when
+    /// mergeable).
+    pub fn conflicts(&self, i: usize, j: usize) -> &[MergeConflict] {
+        let (a, b) = if i <= j { (i, j) } else { (j, i) };
+        &self.conflicts[a * self.n + b]
+    }
+
+    /// Degree of a vertex (number of mergeable partners).
+    pub fn degree(&self, i: usize) -> usize {
+        (0..self.n).filter(|&j| j != i && self.mergeable(i, j)).count()
+    }
+
+    /// Renders the graph in Graphviz DOT format (Figure 2 of the paper),
+    /// coloring each clique of `cliques` distinctly.
+    pub fn to_dot(&self, names: &[String], cliques: &[Vec<usize>]) -> String {
+        use std::fmt::Write as _;
+        const COLORS: &[&str] = &[
+            "lightblue", "lightgreen", "lightsalmon", "plum", "khaki", "lightcyan", "mistyrose",
+        ];
+        let mut out = String::from("graph mergeability {\n  node [style=filled];\n");
+        let clique_of = |v: usize| cliques.iter().position(|c| c.contains(&v));
+        for i in 0..self.n {
+            let name = names.get(i).map(String::as_str).unwrap_or("?");
+            let color = clique_of(i)
+                .map(|k| COLORS[k % COLORS.len()])
+                .unwrap_or("white");
+            let _ = writeln!(out, "  m{i} [label=\"{name}\", fillcolor={color}];");
+        }
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if self.mergeable(i, j) {
+                    let _ = writeln!(out, "  m{i} -- m{j};");
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Covers the mergeability graph with cliques using the greedy heuristic
+/// the paper describes ("the number of modes is small").
+///
+/// Deterministic: seeds are picked by (max degree, min index); candidates
+/// join in the same order. Every mode lands in exactly one clique;
+/// isolated modes become singleton cliques.
+pub fn greedy_cliques(graph: &MergeabilityGraph) -> Vec<Vec<usize>> {
+    let n = graph.len();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut cliques = Vec::new();
+    while !remaining.is_empty() {
+        // Seed: highest degree within the remaining subgraph.
+        let degree_in = |v: usize, set: &[usize]| -> usize {
+            set.iter()
+                .filter(|&&u| u != v && graph.mergeable(v, u))
+                .count()
+        };
+        let &seed = remaining
+            .iter()
+            .max_by_key(|&&v| (degree_in(v, &remaining), usize::MAX - v))
+            .expect("remaining is non-empty");
+        let mut clique = vec![seed];
+        let mut candidates: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&v| v != seed && graph.mergeable(seed, v))
+            .collect();
+        candidates.sort_by_key(|&v| (usize::MAX - degree_in(v, &remaining), v));
+        for v in candidates {
+            if clique.iter().all(|&u| graph.mergeable(u, v)) {
+                clique.push(v);
+            }
+        }
+        clique.sort_unstable();
+        remaining.retain(|v| !clique.contains(v));
+        cliques.push(clique);
+    }
+    cliques.sort();
+    cliques
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modemerge_netlist::paper::paper_circuit;
+    use modemerge_sdc::SdcFile;
+
+    fn bind(netlist: &Netlist, name: &str, text: &str) -> Mode {
+        Mode::bind(name, netlist, &SdcFile::parse(text).unwrap()).unwrap()
+    }
+
+    /// A synthetic graph for clique-cover tests.
+    fn graph_from_edges(n: usize, edges: &[(usize, usize)]) -> MergeabilityGraph {
+        let mut adj = vec![false; n * n];
+        for i in 0..n {
+            adj[i * n + i] = true;
+        }
+        for &(i, j) in edges {
+            adj[i * n + j] = true;
+            adj[j * n + i] = true;
+        }
+        MergeabilityGraph {
+            n,
+            adj,
+            conflicts: vec![Vec::new(); n * n],
+        }
+    }
+
+    #[test]
+    fn figure2_style_clique_cover() {
+        // Two triangles sharing no edge plus an isolated vertex:
+        // expect cliques {0,1,2}, {3,4,5}, {6}.
+        let g = graph_from_edges(
+            7,
+            &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)],
+        );
+        let cliques = greedy_cliques(&g);
+        assert_eq!(cliques, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6]]);
+    }
+
+    #[test]
+    fn cover_is_a_partition() {
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)]);
+        let cliques = greedy_cliques(&g);
+        let mut all: Vec<usize> = cliques.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+        // Every clique is actually a clique.
+        for c in &cliques {
+            for (ai, &a) in c.iter().enumerate() {
+                for &b in &c[ai + 1..] {
+                    assert!(g.mergeable(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = graph_from_edges(0, &[]);
+        assert!(greedy_cliques(&g).is_empty());
+        assert!(g.is_empty());
+        let g = graph_from_edges(1, &[]);
+        assert_eq!(greedy_cliques(&g), vec![vec![0]]);
+    }
+
+    #[test]
+    fn compatible_modes_are_adjacent() {
+        let netlist = paper_circuit();
+        let modes = vec![
+            bind(&netlist, "A", "create_clock -name clkA -period 10 [get_ports clk1]\n"),
+            bind(&netlist, "B", "create_clock -name clkB -period 20 [get_ports clk2]\n"),
+        ];
+        let g = MergeabilityGraph::build(&netlist, &modes, &MergeOptions::default());
+        assert!(g.mergeable(0, 1));
+        assert_eq!(g.degree(0), 1);
+        assert!(g.conflicts(0, 1).is_empty());
+    }
+
+    #[test]
+    fn dot_output_lists_nodes_and_edges() {
+        let g = graph_from_edges(3, &[(0, 1)]);
+        let names = vec!["x".to_owned(), "y".to_owned(), "z".to_owned()];
+        let dot = g.to_dot(&names, &[vec![0, 1], vec![2]]);
+        assert!(dot.starts_with("graph mergeability {"));
+        assert!(dot.contains("m0 [label=\"x\", fillcolor=lightblue]"));
+        assert!(dot.contains("m2 [label=\"z\", fillcolor=lightgreen]"));
+        assert!(dot.contains("m0 -- m1;"));
+        assert!(!dot.contains("m1 -- m2"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn conflicting_modes_are_not_adjacent() {
+        let netlist = paper_circuit();
+        let modes = vec![
+            bind(
+                &netlist,
+                "A",
+                "create_clock -name c -period 10 [get_ports clk1]\n\
+                 set_clock_latency 5 [get_clocks c]\n",
+            ),
+            bind(
+                &netlist,
+                "B",
+                "create_clock -name c -period 10 [get_ports clk1]\n\
+                 set_clock_latency 1 [get_clocks c]\n",
+            ),
+        ];
+        let g = MergeabilityGraph::build(&netlist, &modes, &MergeOptions::default());
+        assert!(!g.mergeable(0, 1));
+        assert!(!g.conflicts(0, 1).is_empty());
+        assert!(!g.conflicts(1, 0).is_empty(), "conflicts are symmetric");
+        let cliques = greedy_cliques(&g);
+        assert_eq!(cliques.len(), 2);
+    }
+}

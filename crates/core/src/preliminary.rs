@@ -1,0 +1,1110 @@
+//! Preliminary mode merging (§3.1 of the paper).
+//!
+//! Produces the *preliminary merged mode*: a superset mode guaranteed to
+//! time every path any individual mode times. It may temporarily time
+//! extra paths; [`refine`](crate::refine) removes those afterwards.
+//!
+//! Sub-steps implemented here, in paper order: union of clocks (§3.1.1),
+//! merging clock-based constraints within tolerance (§3.1.2), union of
+//! external delays (§3.1.3), intersection of case analysis (§3.1.4),
+//! intersection of disables (§3.1.5), drive/load merging (§3.1.6),
+//! derived clock exclusivity (§3.1.7) and exception intersection with
+//! uniquification (§3.1.9–3.1.10). Clock refinement (§3.1.8) lives in
+//! [`refine`](crate::refine) because it needs the bound merged mode.
+
+use crate::emit::{clocks_ref, pin_ref, pins_refs};
+use crate::error::MergeConflict;
+use crate::merge::MergeOptions;
+use crate::uniquify::{uniquify, CanonException, UniquifyOutcome};
+use modemerge_netlist::{Netlist, PinId, PinOwner};
+use modemerge_sdc::{
+    ClockGroupKind, Command, CreateClock, IoDelay as SdcIoDelay, MinMax, ObjectRef, PathException,
+    PathSpec, SdcFile, SetCaseAnalysis, SetClockGroups, SetClockLatency, SetClockTransition,
+    SetClockUncertainty, SetDisableTiming, SetDrive, SetInputTransition, SetLoad,
+    SetPropagatedClock, SetupHold,
+};
+use modemerge_sta::keys::ClockKey;
+use modemerge_sta::mode::{Mode, MinMaxPair};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One merged-mode clock: identity key, chosen (possibly renamed) name
+/// and the per-mode attribute values to merge.
+#[derive(Debug, Clone)]
+struct ClockEntry {
+    key: ClockKey,
+    name: String,
+    period: f64,
+    waveform: (f64, f64),
+    sources: Vec<PinId>,
+    /// `create_generated_clock` parameters, keyed by the master clock's
+    /// identity (taken from the first mode defining this clock).
+    generated: Option<(ClockKey, Vec<PinId>, u32, u32, bool)>,
+    /// Modes (by index) defining this clock.
+    present_in: Vec<usize>,
+    latencies: Vec<MinMaxPair>,
+    source_latencies: Vec<MinMaxPair>,
+    uncertainties_setup: Vec<f64>,
+    uncertainties_hold: Vec<f64>,
+    transitions: Vec<MinMaxPair>,
+    propagated: Vec<bool>,
+}
+
+/// The union-of-clocks table: maps [`ClockKey`]s to merged-mode clock
+/// names (§3.1.1's two-way map between individual and merged clocks).
+#[derive(Debug, Clone, Default)]
+pub struct ClockTable {
+    names: Vec<String>,
+    keys: Vec<ClockKey>,
+    by_key: BTreeMap<ClockKey, usize>,
+}
+
+impl ClockTable {
+    /// The merged-mode name for a clock identity.
+    pub fn name_of(&self, key: &ClockKey) -> Option<&str> {
+        self.by_key.get(key).map(|&i| self.names[i].as_str())
+    }
+
+    /// Number of merged clocks.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(name, key)` pairs in merged order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ClockKey)> {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.keys.iter())
+    }
+}
+
+/// Result of preliminary merging.
+#[derive(Debug, Clone)]
+pub struct Preliminary {
+    /// The preliminary merged-mode SDC.
+    pub sdc: SdcFile,
+    /// Individual-clock ↔ merged-clock mapping.
+    pub clock_table: ClockTable,
+    /// Conflicts that make the group non-mergeable.
+    pub conflicts: Vec<MergeConflict>,
+    /// Case-analysis pins dropped because only some modes constrain them.
+    pub dropped_cases: Vec<PinId>,
+    /// Case-analysis pins with conflicting values in all modes: dropped
+    /// and replaced by `set_disable_timing` (Constraint Set 3).
+    pub disabled_case_pins: Vec<PinId>,
+    /// False paths dropped because uniquification failed (§3.1.9);
+    /// refinement adds precise replacements.
+    pub dropped_false_paths: usize,
+    /// Exceptions added through uniquification.
+    pub uniquified_exceptions: usize,
+}
+
+fn within_tolerance(values: &[f64], options: &MergeOptions) -> bool {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if values.is_empty() {
+        return true;
+    }
+    (hi - lo) <= options.tolerance_abs + options.tolerance_rel * lo.abs().max(hi.abs())
+}
+
+/// Runs preliminary mode merging over bound modes.
+///
+/// Never fails: incompatibilities are collected into
+/// [`Preliminary::conflicts`] so the same routine doubles as the *mock
+/// run* used for mergeability determination.
+pub fn preliminary_merge(
+    netlist: &Netlist,
+    modes: &[Mode],
+    options: &MergeOptions,
+) -> Preliminary {
+    let mut sdc = SdcFile::new();
+    let mut conflicts = Vec::new();
+
+    // ---- §3.1.1 union of clocks --------------------------------------
+    let mut entries: Vec<ClockEntry> = Vec::new();
+    let mut by_key: BTreeMap<ClockKey, usize> = BTreeMap::new();
+    let mut used_names: BTreeSet<String> = BTreeSet::new();
+    for (mode_idx, mode) in modes.iter().enumerate() {
+        for clock in &mode.clocks {
+            let key = clock.key();
+            let idx = match by_key.get(&key) {
+                Some(&i) => i,
+                None => {
+                    let mut name = clock.name.clone();
+                    let mut suffix = 0;
+                    while used_names.contains(&name) {
+                        suffix += 1;
+                        name = format!("{}_{suffix}", clock.name);
+                    }
+                    used_names.insert(name.clone());
+                    let i = entries.len();
+                    entries.push(ClockEntry {
+                        key: key.clone(),
+                        name,
+                        period: clock.period,
+                        waveform: clock.waveform,
+                        sources: clock.sources.clone(),
+                        generated: clock.generated.as_ref().map(|g| {
+                            (
+                                mode.clock_key(g.master),
+                                g.source_pins.clone(),
+                                g.divide_by,
+                                g.multiply_by,
+                                g.invert,
+                            )
+                        }),
+                        present_in: Vec::new(),
+                        latencies: Vec::new(),
+                        source_latencies: Vec::new(),
+                        uncertainties_setup: Vec::new(),
+                        uncertainties_hold: Vec::new(),
+                        transitions: Vec::new(),
+                        propagated: Vec::new(),
+                    });
+                    by_key.insert(key, i);
+                    i
+                }
+            };
+            let e = &mut entries[idx];
+            e.present_in.push(mode_idx);
+            e.latencies.push(clock.latency);
+            e.source_latencies.push(clock.source_latency);
+            e.uncertainties_setup.push(clock.uncertainty_setup);
+            e.uncertainties_hold.push(clock.uncertainty_hold);
+            e.transitions.push(clock.transition);
+            e.propagated.push(clock.propagated);
+        }
+    }
+
+    // Emission order: regular clocks first, generated clocks after (so
+    // the re-bound merged mode resolves masters). The master's merged
+    // name is looked up through the key map built below.
+    let master_name = |entries: &[ClockEntry], key: &ClockKey| -> Option<String> {
+        entries.iter().find(|e| &e.key == key).map(|e| e.name.clone())
+    };
+    for e in &entries {
+        if e.generated.is_none() {
+            sdc.push(Command::CreateClock(CreateClock {
+                name: Some(e.name.clone()),
+                period: e.period,
+                waveform: Some(e.waveform),
+                sources: e.sources.iter().map(|&p| pin_ref(netlist, p)).collect(),
+                add: true,
+            }));
+        }
+    }
+    for e in &entries {
+        if let Some((master_key, source_pins, divide_by, multiply_by, invert)) = &e.generated {
+            match master_name(&entries, master_key) {
+                Some(master) => {
+                    sdc.push(Command::CreateGeneratedClock(modemerge_sdc::CreateGeneratedClock {
+                        name: Some(e.name.clone()),
+                        source: source_pins.iter().map(|&p| pin_ref(netlist, p)).collect(),
+                        master_clock: Some(clocks_ref([master])),
+                        divide_by: (*divide_by > 1).then_some(*divide_by),
+                        multiply_by: (*multiply_by > 1).then_some(*multiply_by),
+                        invert: *invert,
+                        targets: e.sources.iter().map(|&p| pin_ref(netlist, p)).collect(),
+                        add: true,
+                    }));
+                }
+                None => {
+                    // The master was not part of the union (it belonged
+                    // to a mode whose clock got a different key); fall
+                    // back to a plain clock with the derived waveform.
+                    sdc.push(Command::CreateClock(CreateClock {
+                        name: Some(e.name.clone()),
+                        period: e.period,
+                        waveform: Some(e.waveform),
+                        sources: e.sources.iter().map(|&p| pin_ref(netlist, p)).collect(),
+                        add: true,
+                    }));
+                }
+            }
+        }
+    }
+
+    // ---- §3.1.2 clock-based constraints -------------------------------
+    for e in &entries {
+        let clock_ref = vec![clocks_ref([e.name.clone()])];
+        let mins: Vec<f64> = e.latencies.iter().map(|l| l.min).collect();
+        let maxs: Vec<f64> = e.latencies.iter().map(|l| l.max).collect();
+        if !within_tolerance(&mins, options) || !within_tolerance(&maxs, options) {
+            conflicts.push(MergeConflict::ClockAttribute {
+                clock: e.name.clone(),
+                attribute: "latency",
+                values: maxs.clone(),
+            });
+        } else {
+            emit_min_max(
+                &mut sdc,
+                mins.iter().copied().fold(f64::INFINITY, f64::min),
+                maxs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                |value, min_max| {
+                    Command::SetClockLatency(SetClockLatency {
+                        value,
+                        min_max,
+                        source: false,
+                        clocks: clock_ref.clone(),
+                    })
+                },
+            );
+        }
+        let smins: Vec<f64> = e.source_latencies.iter().map(|l| l.min).collect();
+        let smaxs: Vec<f64> = e.source_latencies.iter().map(|l| l.max).collect();
+        if !within_tolerance(&smins, options) || !within_tolerance(&smaxs, options) {
+            conflicts.push(MergeConflict::ClockAttribute {
+                clock: e.name.clone(),
+                attribute: "source latency",
+                values: smaxs.clone(),
+            });
+        } else {
+            emit_min_max(
+                &mut sdc,
+                smins.iter().copied().fold(f64::INFINITY, f64::min),
+                smaxs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                |value, min_max| {
+                    Command::SetClockLatency(SetClockLatency {
+                        value,
+                        min_max,
+                        source: true,
+                        clocks: clock_ref.clone(),
+                    })
+                },
+            );
+        }
+        for (vals, sh, attr) in [
+            (&e.uncertainties_setup, SetupHold::Setup, "setup uncertainty"),
+            (&e.uncertainties_hold, SetupHold::Hold, "hold uncertainty"),
+        ] {
+            if !within_tolerance(vals, options) {
+                conflicts.push(MergeConflict::ClockAttribute {
+                    clock: e.name.clone(),
+                    attribute: attr,
+                    values: vals.clone(),
+                });
+            } else {
+                // Uncertainty is a pessimism margin: take the maximum.
+                let v = vals.iter().copied().fold(0.0f64, f64::max);
+                if v != 0.0 {
+                    sdc.push(Command::SetClockUncertainty(SetClockUncertainty {
+                        value: v,
+                        setup_hold: sh,
+                        clocks: clock_ref.clone(),
+                        from: Vec::new(),
+                        to: Vec::new(),
+                    }));
+                }
+            }
+        }
+        let tmins: Vec<f64> = e.transitions.iter().map(|t| t.min).collect();
+        let tmaxs: Vec<f64> = e.transitions.iter().map(|t| t.max).collect();
+        if !within_tolerance(&tmins, options) || !within_tolerance(&tmaxs, options) {
+            conflicts.push(MergeConflict::ClockAttribute {
+                clock: e.name.clone(),
+                attribute: "transition",
+                values: tmaxs.clone(),
+            });
+        } else {
+            emit_min_max(
+                &mut sdc,
+                tmins.iter().copied().fold(f64::INFINITY, f64::min),
+                tmaxs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                |value, min_max| {
+                    Command::SetClockTransition(SetClockTransition {
+                        value,
+                        min_max,
+                        clocks: clock_ref.clone(),
+                    })
+                },
+            );
+        }
+        if e.propagated.iter().any(|&p| p) {
+            if e.propagated.iter().all(|&p| p) {
+                sdc.push(Command::SetPropagatedClock(SetPropagatedClock {
+                    clocks: clock_ref.clone(),
+                }));
+            } else {
+                conflicts.push(MergeConflict::PropagatedMismatch {
+                    clock: e.name.clone(),
+                });
+            }
+        }
+    }
+
+    // Inter-clock uncertainties: keyed by (launch, capture) identity;
+    // a mode carrying both clocks but no declaration contributes the
+    // default (0), so a disagreement beyond tolerance is a conflict,
+    // exactly like the other clock attributes.
+    {
+        let mut pair_values: BTreeMap<(ClockKey, ClockKey), (Vec<f64>, Vec<f64>)> =
+            BTreeMap::new();
+        for mode in modes {
+            for u in &mode.inter_uncertainties {
+                pair_values
+                    .entry((mode.clock_key(u.from), mode.clock_key(u.to)))
+                    .or_default();
+            }
+        }
+        let keys: Vec<(ClockKey, ClockKey)> = pair_values.keys().cloned().collect();
+        for key in keys {
+            let (setups, holds) = pair_values.get_mut(&key).expect("present");
+            for mode in modes {
+                let has_from = mode.clocks.iter().any(|c| c.key() == key.0);
+                let has_to = mode.clocks.iter().any(|c| c.key() == key.1);
+                if !(has_from && has_to) {
+                    continue;
+                }
+                let declared = mode.inter_uncertainties.iter().find(|u| {
+                    mode.clock_key(u.from) == key.0 && mode.clock_key(u.to) == key.1
+                });
+                setups.push(declared.map_or(0.0, |u| u.setup));
+                holds.push(declared.map_or(0.0, |u| u.hold));
+            }
+        }
+        for ((from_key, to_key), (setups, holds)) in pair_values {
+            let from_name = by_key
+                .get(&from_key)
+                .map(|&i| entries[i].name.clone())
+                .expect("inter-uncertainty clock in union");
+            let to_name = by_key
+                .get(&to_key)
+                .map(|&i| entries[i].name.clone())
+                .expect("inter-uncertainty clock in union");
+            if !within_tolerance(&setups, options) || !within_tolerance(&holds, options) {
+                conflicts.push(MergeConflict::ClockAttribute {
+                    clock: format!("{from_name}->{to_name}"),
+                    attribute: "inter-clock uncertainty",
+                    values: setups.clone(),
+                });
+                continue;
+            }
+            for (vals, sh) in [(setups, SetupHold::Setup), (holds, SetupHold::Hold)] {
+                let v = vals.iter().copied().fold(0.0f64, f64::max);
+                if v != 0.0 {
+                    sdc.push(Command::SetClockUncertainty(SetClockUncertainty {
+                        value: v,
+                        setup_hold: sh,
+                        clocks: Vec::new(),
+                        from: vec![clocks_ref([from_name.clone()])],
+                        to: vec![clocks_ref([to_name.clone()])],
+                    }));
+                }
+            }
+        }
+    }
+
+    let clock_table = ClockTable {
+        names: entries.iter().map(|e| e.name.clone()).collect(),
+        keys: entries.iter().map(|e| e.key.clone()).collect(),
+        by_key,
+    };
+
+    // ---- §3.1.3 union of external delay constraints -------------------
+    let mut seen_io: BTreeSet<(u8, PinId, String, u64, u8)> = BTreeSet::new();
+    for mode in modes {
+        for d in &mode.io_delays {
+            let clock_name = clock_table
+                .name_of(&mode.clock_key(d.clock))
+                .expect("io-delay clock is in the union table")
+                .to_owned();
+            let kind_tag = match d.kind {
+                modemerge_sdc::IoDelayKind::Input => 0u8,
+                modemerge_sdc::IoDelayKind::Output => 1u8,
+            };
+            let mm_tag = match d.min_max {
+                MinMax::Both => 0u8,
+                MinMax::Min => 1,
+                MinMax::Max => 2,
+            };
+            if seen_io.insert((kind_tag, d.pin, clock_name.clone(), d.value.to_bits(), mm_tag)) {
+                sdc.push(Command::IoDelay(SdcIoDelay {
+                    kind: d.kind,
+                    value: d.value,
+                    clock: Some(clocks_ref([clock_name])),
+                    clock_fall: false,
+                    add_delay: true,
+                    min_max: d.min_max,
+                    ports: vec![pin_ref(netlist, d.pin)],
+                }));
+            }
+        }
+    }
+
+    // ---- §3.1.4 intersection of case analysis -------------------------
+    let mut dropped_cases = Vec::new();
+    let mut disabled_case_pins = Vec::new();
+    let mut all_case_pins: BTreeSet<PinId> = BTreeSet::new();
+    for mode in modes {
+        all_case_pins.extend(mode.case_values.keys().copied());
+    }
+    for pin in all_case_pins {
+        let values: Vec<Option<bool>> = modes
+            .iter()
+            .map(|m| m.case_values.get(&pin).copied())
+            .collect();
+        if values.iter().all(|v| v.is_some()) {
+            let first = values[0];
+            if values.iter().all(|v| *v == first) {
+                sdc.push(Command::SetCaseAnalysis(SetCaseAnalysis {
+                    value: first.expect("all present"),
+                    objects: vec![pin_ref(netlist, pin)],
+                }));
+            } else {
+                // Constant in every mode but with conflicting values: the
+                // pin never toggles anywhere → disable timing through it
+                // (Constraint Set 3's CSTR1/CSTR2).
+                disabled_case_pins.push(pin);
+                sdc.push(Command::SetDisableTiming(SetDisableTiming {
+                    objects: vec![pin_ref(netlist, pin)],
+                    from: None,
+                    to: None,
+                }));
+            }
+        } else {
+            dropped_cases.push(pin);
+        }
+    }
+
+    // ---- §3.1.5 intersection of disable_timing ------------------------
+    let common_disabled: BTreeSet<PinId> = modes
+        .iter()
+        .map(|m| m.disabled_pins.clone())
+        .reduce(|a, b| a.intersection(&b).copied().collect())
+        .unwrap_or_default();
+    for pin in common_disabled {
+        sdc.push(Command::SetDisableTiming(SetDisableTiming {
+            objects: vec![pin_ref(netlist, pin)],
+            from: None,
+            to: None,
+        }));
+    }
+    let common_arcs: BTreeSet<(PinId, PinId)> = modes
+        .iter()
+        .map(|m| m.disabled_arcs.clone())
+        .reduce(|a, b| a.intersection(&b).copied().collect())
+        .unwrap_or_default();
+    for (from, to) in common_arcs {
+        if let (PinOwner::Instance(inst, fidx), PinOwner::Instance(_, tidx)) =
+            (netlist.pin(from).owner(), netlist.pin(to).owner())
+        {
+            let i = netlist.instance(inst);
+            let cell = netlist.library().cell(i.cell());
+            sdc.push(Command::SetDisableTiming(SetDisableTiming {
+                objects: vec![ObjectRef::Query(modemerge_sdc::ObjectQuery::new(
+                    modemerge_sdc::ObjectClass::Cell,
+                    [i.name().to_owned()],
+                ))],
+                from: Some(cell.pins()[fidx].name().to_owned()),
+                to: Some(cell.pins()[tidx].name().to_owned()),
+            }));
+        }
+    }
+
+    // ---- §3.1.6 drive / load / input transition -----------------------
+    merge_port_attribute(
+        netlist,
+        modes,
+        options,
+        &mut sdc,
+        &mut conflicts,
+        |m| &m.drives,
+        "drive",
+        |value, min_max, port| {
+            Command::SetDrive(SetDrive {
+                value,
+                min_max,
+                ports: vec![port],
+            })
+        },
+    );
+    merge_port_attribute(
+        netlist,
+        modes,
+        options,
+        &mut sdc,
+        &mut conflicts,
+        |m| &m.loads,
+        "load",
+        |value, min_max, port| {
+            Command::SetLoad(SetLoad {
+                value,
+                min_max,
+                objects: vec![port],
+            })
+        },
+    );
+    merge_port_attribute(
+        netlist,
+        modes,
+        options,
+        &mut sdc,
+        &mut conflicts,
+        |m| &m.input_transitions,
+        "input transition",
+        |value, min_max, port| {
+            Command::SetInputTransition(SetInputTransition {
+                value,
+                min_max,
+                ports: vec![port],
+            })
+        },
+    );
+
+    // ---- §3.1.7 clock exclusivity --------------------------------------
+    // Collect merged-clock pairs that co-exist in at least one individual
+    // mode; the rest become physically exclusive.
+    let n_clocks = clock_table.len();
+    let mut coexist = vec![false; n_clocks * n_clocks];
+    for e in &entries {
+        let i = clock_table.by_key[&e.key];
+        coexist[i * n_clocks + i] = true;
+    }
+    for (i, a) in entries.iter().enumerate() {
+        for (j, b) in entries.iter().enumerate().skip(i + 1) {
+            if a.present_in.iter().any(|m| b.present_in.contains(m)) {
+                coexist[i * n_clocks + j] = true;
+                coexist[j * n_clocks + i] = true;
+            }
+        }
+    }
+    // A pair is also separated when every individual mode carrying both
+    // clocks declares them in different clock groups — the merged mode
+    // inherits the constraint instead of re-deriving it as false paths
+    // during refinement.
+    let local_id = |mode: &Mode, key: &ClockKey| -> Option<modemerge_sta::mode::ClockId> {
+        mode.clock_ids().find(|&c| &mode.clock_key(c) == key)
+    };
+    for i in 0..n_clocks {
+        for j in (i + 1)..n_clocks {
+            let mut separated = coexist[i * n_clocks + j];
+            if separated {
+                // Coexisting somewhere: check the declared groups of
+                // every mode that has both.
+                let mut found_pair = false;
+                let mut all_separate = true;
+                for mode in modes {
+                    let (Some(a), Some(b)) =
+                        (local_id(mode, &entries[i].key), local_id(mode, &entries[j].key))
+                    else {
+                        continue;
+                    };
+                    found_pair = true;
+                    if !mode.clocks_separated(a, b) {
+                        all_separate = false;
+                        break;
+                    }
+                }
+                separated = found_pair && all_separate;
+                if !separated {
+                    continue;
+                }
+            }
+            sdc.push(Command::SetClockGroups(SetClockGroups {
+                kind: ClockGroupKind::PhysicallyExclusive,
+                name: Some(format!("excl_{}_{}", entries[i].name, entries[j].name)),
+                groups: vec![
+                    vec![clocks_ref([entries[i].name.clone()])],
+                    vec![clocks_ref([entries[j].name.clone()])],
+                ],
+            }));
+        }
+    }
+
+    // ---- §3.1.9 / §3.1.10 exceptions -----------------------------------
+    let mode_clock_keys: Vec<BTreeSet<ClockKey>> = modes
+        .iter()
+        .map(|m| m.clocks.iter().map(|c| c.key()).collect())
+        .collect();
+    let mut canon: BTreeMap<CanonException, Vec<bool>> = BTreeMap::new();
+    for (mode_idx, mode) in modes.iter().enumerate() {
+        for exc in &mode.exceptions {
+            let c = CanonException::from_resolved(mode, exc);
+            canon.entry(c).or_insert_with(|| vec![false; modes.len()])[mode_idx] = true;
+        }
+    }
+    let mut dropped_false_paths = 0;
+    let mut uniquified_exceptions = 0;
+    for (exc, present) in &canon {
+        if present.iter().all(|&p| p) {
+            sdc.push(emit_exception(netlist, &clock_table, exc, None, false));
+            continue;
+        }
+        let outcome = if options.uniquify_exceptions {
+            uniquify(exc, present, &mode_clock_keys)
+        } else {
+            UniquifyOutcome::Failed
+        };
+        match outcome {
+            UniquifyOutcome::AsIs => {
+                sdc.push(emit_exception(netlist, &clock_table, exc, None, false));
+            }
+            UniquifyOutcome::Uniquified(u) => {
+                if !u.lossless && !exc.kind.is_false_path() {
+                    conflicts.push(MergeConflict::UnuniquifiableException {
+                        exception: emit_exception(netlist, &clock_table, exc, None, false)
+                            .to_text(),
+                    });
+                    continue;
+                }
+                uniquified_exceptions += 1;
+                sdc.push(emit_exception(
+                    netlist,
+                    &clock_table,
+                    exc,
+                    Some(&u.from_clocks),
+                    u.move_from_pins_to_through,
+                ));
+            }
+            UniquifyOutcome::Failed => {
+                if exc.kind.is_false_path() {
+                    dropped_false_paths += 1;
+                } else {
+                    conflicts.push(MergeConflict::UnuniquifiableException {
+                        exception: emit_exception(netlist, &clock_table, exc, None, false)
+                            .to_text(),
+                    });
+                }
+            }
+        }
+    }
+
+    Preliminary {
+        sdc,
+        clock_table,
+        conflicts,
+        dropped_cases,
+        disabled_case_pins,
+        dropped_false_paths,
+        uniquified_exceptions,
+    }
+}
+
+fn emit_min_max(sdc: &mut SdcFile, min: f64, max: f64, make: impl Fn(f64, MinMax) -> Command) {
+    if min == 0.0 && max == 0.0 {
+        return;
+    }
+    if (min - max).abs() < 1e-12 {
+        sdc.push(make(max, MinMax::Both));
+    } else {
+        sdc.push(make(min, MinMax::Min));
+        sdc.push(make(max, MinMax::Max));
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn merge_port_attribute(
+    netlist: &Netlist,
+    modes: &[Mode],
+    options: &MergeOptions,
+    sdc: &mut SdcFile,
+    conflicts: &mut Vec<MergeConflict>,
+    get: impl Fn(&Mode) -> &BTreeMap<PinId, MinMaxPair>,
+    attribute: &'static str,
+    make: impl Fn(f64, MinMax, ObjectRef) -> Command,
+) {
+    let mut all_pins: BTreeSet<PinId> = BTreeSet::new();
+    for mode in modes {
+        all_pins.extend(get(mode).keys().copied());
+    }
+    for pin in all_pins {
+        let values: Vec<Option<MinMaxPair>> =
+            modes.iter().map(|m| get(m).get(&pin).copied()).collect();
+        if values.iter().any(|v| v.is_none()) {
+            conflicts.push(MergeConflict::PortAttribute {
+                object: netlist.pin_name(pin),
+                attribute,
+            });
+            continue;
+        }
+        let mins: Vec<f64> = values.iter().map(|v| v.expect("checked").min).collect();
+        let maxs: Vec<f64> = values.iter().map(|v| v.expect("checked").max).collect();
+        if !within_tolerance(&mins, options) || !within_tolerance(&maxs, options) {
+            conflicts.push(MergeConflict::PortAttribute {
+                object: netlist.pin_name(pin),
+                attribute,
+            });
+            continue;
+        }
+        let min = mins.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = maxs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let port = pin_ref(netlist, pin);
+        if (min - max).abs() < 1e-12 {
+            sdc.push(make(max, MinMax::Both, port));
+        } else {
+            sdc.push(make(min, MinMax::Min, port.clone()));
+            sdc.push(make(max, MinMax::Max, port));
+        }
+    }
+}
+
+/// Builds the SDC command for a canonical exception, optionally replacing
+/// the `-from` clocks (uniquification) and moving `-from` pins into a
+/// leading `-through` hop.
+pub(crate) fn emit_exception(
+    netlist: &Netlist,
+    table: &ClockTable,
+    exc: &CanonException,
+    override_from_clocks: Option<&BTreeSet<ClockKey>>,
+    move_from_pins_to_through: bool,
+) -> Command {
+    let clock_names = |keys: &BTreeSet<ClockKey>| -> Vec<String> {
+        keys.iter()
+            .map(|k| {
+                table
+                    .name_of(k)
+                    .expect("exception clock is in the union table")
+                    .to_owned()
+            })
+            .collect()
+    };
+    let mut spec = PathSpec::default();
+    let from_clock_keys = override_from_clocks.unwrap_or(&exc.from_clocks);
+    if !from_clock_keys.is_empty() {
+        spec.from.push(clocks_ref(clock_names(from_clock_keys)));
+    }
+    if !exc.from_pins.is_empty() {
+        if move_from_pins_to_through {
+            spec.through
+                .push(pins_refs(netlist, exc.from_pins.iter().copied()));
+        } else {
+            spec.from
+                .extend(pins_refs(netlist, exc.from_pins.iter().copied()));
+        }
+    }
+    for hop in &exc.through {
+        spec.through.push(pins_refs(netlist, hop.iter().copied()));
+    }
+    if !exc.to_clocks.is_empty() {
+        spec.to.push(clocks_ref(clock_names(&exc.to_clocks)));
+    }
+    if !exc.to_pins.is_empty() {
+        spec.to.extend(pins_refs(netlist, exc.to_pins.iter().copied()));
+    }
+    Command::PathException(PathException {
+        kind: exc.kind.to_sdc(),
+        setup_hold: exc.setup_hold,
+        spec,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modemerge_netlist::paper::paper_circuit;
+
+    fn bind(netlist: &Netlist, name: &str, text: &str) -> Mode {
+        let sdc = SdcFile::parse(text).unwrap();
+        Mode::bind(name, netlist, &sdc).unwrap()
+    }
+
+    fn merge_text(mode_texts: &[&str]) -> (Preliminary, Netlist) {
+        let netlist = paper_circuit();
+        let modes: Vec<Mode> = mode_texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| bind(&netlist, &format!("m{i}"), t))
+            .collect();
+        let p = preliminary_merge(&netlist, &modes, &MergeOptions::default());
+        (p, netlist)
+    }
+
+    /// Constraint Set 2 of the paper (mode A's clkB == mode B's clkC).
+    #[test]
+    fn constraint_set2_clock_union_and_latency() {
+        let (p, _) = merge_text(&[
+            "create_clock -period 10 -name clkA [get_ports clk1]\n\
+             create_clock -period 20 -name clkB [get_ports clk2]\n\
+             set_clock_latency -min 1.2 [get_clocks clkB]\n",
+            "create_clock -period 15 -name clkA [get_ports clk1]\n\
+             create_clock -period 20 -name clkC [get_ports clk2]\n\
+             create_clock -period 20 -name clkB -waveform {5 15} [get_ports clk2]\n\
+             set_clock_latency -min 1.1 [get_clocks clkC]\n",
+        ]);
+        assert!(p.conflicts.is_empty(), "{:?}", p.conflicts);
+        // Four distinct clocks: clkA@10, clkB@20, clkA@15, clkB{5 15}.
+        assert_eq!(p.clock_table.len(), 4);
+        let text = p.sdc.to_text();
+        // Mode B's clkA (different period) gets renamed clkA_1; its clkB
+        // (different waveform) becomes clkB_1.
+        assert!(text.contains("-name clkA_1"), "{text}");
+        assert!(text.contains("-name clkB_1"), "{text}");
+        // Min latency is the minimum of 1.2 and 1.1.
+        assert!(text.contains("set_clock_latency -min 1.1"), "{text}");
+    }
+
+    #[test]
+    fn latency_conflict_beyond_tolerance() {
+        let (p, _) = merge_text(&[
+            "create_clock -period 10 -name c [get_ports clk1]\n\
+             set_clock_latency 5 [get_clocks c]\n",
+            "create_clock -period 10 -name c [get_ports clk1]\n\
+             set_clock_latency 1 [get_clocks c]\n",
+        ]);
+        assert!(matches!(
+            p.conflicts.first(),
+            Some(MergeConflict::ClockAttribute { attribute: "latency", .. })
+        ));
+    }
+
+    #[test]
+    fn io_delays_unioned_with_add_delay() {
+        // Constraint Set 5's CSTR1..CSTR4 shape.
+        let (p, _) = merge_text(&[
+            "create_clock -name ClkA -period 2 [get_ports clk1]\n\
+             set_input_delay 2.0 -clock ClkA [get_ports in1]\n",
+            "create_clock -name ClkB -period 1 [get_ports clk1]\n\
+             set_input_delay 2.0 -clock ClkB [get_ports in1]\n",
+        ]);
+        let text = p.sdc.to_text();
+        assert!(text.contains("set_input_delay 2 -clock [get_clocks ClkA] -add_delay [get_ports in1]"));
+        assert!(text.contains("set_input_delay 2 -clock [get_clocks ClkB] -add_delay [get_ports in1]"));
+        // Exclusivity between the two same-source clocks (CSTR5).
+        assert!(text.contains("set_clock_groups -physically_exclusive"), "{text}");
+    }
+
+    #[test]
+    fn identical_io_delays_deduped() {
+        let (p, _) = merge_text(&[
+            "create_clock -name c -period 2 [get_ports clk1]\n\
+             set_input_delay 2.0 -clock c [get_ports in1]\n",
+            "create_clock -name c -period 2 [get_ports clk1]\n\
+             set_input_delay 2.0 -clock c [get_ports in1]\n",
+        ]);
+        let text = p.sdc.to_text();
+        assert_eq!(text.matches("set_input_delay").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn case_intersection_and_conflict_disable() {
+        // Constraint Set 3: conflicting sel1/sel2 → disables.
+        let (p, netlist) = merge_text(&[
+            "set_case_analysis 0 sel1\nset_case_analysis 1 sel2\n",
+            "set_case_analysis 1 sel1\nset_case_analysis 0 sel2\n",
+        ]);
+        let text = p.sdc.to_text();
+        assert!(text.contains("set_disable_timing [get_ports sel1]"), "{text}");
+        assert!(text.contains("set_disable_timing [get_ports sel2]"), "{text}");
+        assert!(!text.contains("set_case_analysis"), "{text}");
+        assert_eq!(p.disabled_case_pins.len(), 2);
+        assert!(p
+            .disabled_case_pins
+            .contains(&netlist.find_pin("sel1").unwrap()));
+    }
+
+    #[test]
+    fn case_agreement_kept_and_partial_dropped() {
+        let (p, netlist) = merge_text(&[
+            "set_case_analysis 1 sel1\nset_case_analysis 0 sel2\n",
+            "set_case_analysis 1 sel1\n",
+        ]);
+        let text = p.sdc.to_text();
+        assert!(text.contains("set_case_analysis 1 [get_ports sel1]"), "{text}");
+        assert!(!text.contains("sel2"), "{text}");
+        assert_eq!(p.dropped_cases, vec![netlist.find_pin("sel2").unwrap()]);
+    }
+
+    #[test]
+    fn disable_intersection() {
+        let (p, _) = merge_text(&[
+            "set_disable_timing [get_ports sel1]\nset_disable_timing [get_ports sel2]\n",
+            "set_disable_timing [get_ports sel1]\n",
+        ]);
+        let text = p.sdc.to_text();
+        assert!(text.contains("set_disable_timing [get_ports sel1]"));
+        assert!(!text.contains("sel2"), "{text}");
+    }
+
+    #[test]
+    fn drive_merge_and_conflict() {
+        let (p, _) = merge_text(&[
+            "set_drive 0.5 [get_ports in1]\n",
+            "set_drive 0.52 [get_ports in1]\n",
+        ]);
+        assert!(p.conflicts.is_empty(), "{:?}", p.conflicts);
+        let text = p.sdc.to_text();
+        assert!(text.contains("set_drive"), "{text}");
+
+        let (p, _) = merge_text(&[
+            "set_drive 0.5 [get_ports in1]\n",
+            "set_drive 5.0 [get_ports in1]\n",
+        ]);
+        assert!(matches!(
+            p.conflicts.first(),
+            Some(MergeConflict::PortAttribute { attribute: "drive", .. })
+        ));
+
+        // Present in only one mode → conflict.
+        let (p, _) = merge_text(&["set_drive 0.5 [get_ports in1]\n", "# empty\n"]);
+        assert!(!p.conflicts.is_empty());
+    }
+
+    #[test]
+    fn common_exceptions_added_directly() {
+        let (p, _) = merge_text(&[
+            "create_clock -name c -period 10 [get_ports clk1]\n\
+             set_false_path -to [get_pins rX/D]\n",
+            "create_clock -name c -period 10 [get_ports clk1]\n\
+             set_false_path -to [get_pins rX/D]\n",
+        ]);
+        let text = p.sdc.to_text();
+        assert!(text.contains("set_false_path -to [get_pins rX/D]"), "{text}");
+        assert_eq!(p.dropped_false_paths, 0);
+    }
+
+    #[test]
+    fn constraint_set4_mcp_uniquification() {
+        // Mode A: clkA + MCP -from rA/CP; mode B: clkB (different source).
+        let (p, _) = merge_text(&[
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_case_analysis 0 [get_pins mux1/S]\n\
+             set_multicycle_path 2 -from [get_pins rA/CP]\n",
+            "create_clock -name clkB -period 10 [get_ports clk2]\n\
+             set_case_analysis 1 [get_pins mux1/S]\n",
+        ]);
+        assert!(p.conflicts.is_empty(), "{:?}", p.conflicts);
+        assert_eq!(p.uniquified_exceptions, 1);
+        let text = p.sdc.to_text();
+        assert!(
+            text.contains(
+                "set_multicycle_path 2 -from [get_clocks clkA] -through [get_pins rA/CP]"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn ununiquifiable_mcp_is_conflict() {
+        // Both modes share the same single clock: nothing to restrict on.
+        let (p, _) = merge_text(&[
+            "create_clock -name c -period 10 [get_ports clk1]\n\
+             set_multicycle_path 2 -from [get_pins rA/CP]\n",
+            "create_clock -name c -period 10 [get_ports clk1]\n",
+        ]);
+        assert!(matches!(
+            p.conflicts.first(),
+            Some(MergeConflict::UnuniquifiableException { .. })
+        ));
+    }
+
+    #[test]
+    fn ununiquifiable_fp_is_dropped() {
+        let (p, _) = merge_text(&[
+            "create_clock -name c -period 10 [get_ports clk1]\n\
+             set_false_path -to [get_pins rX/D]\n",
+            "create_clock -name c -period 10 [get_ports clk1]\n",
+        ]);
+        assert!(p.conflicts.is_empty());
+        assert_eq!(p.dropped_false_paths, 1);
+        assert!(!p.sdc.to_text().contains("set_false_path"));
+    }
+
+    #[test]
+    fn preliminary_output_is_bindable() {
+        let (p, netlist) = merge_text(&[
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             create_clock -name clkB -period 20 [get_ports clk2]\n\
+             set_clock_uncertainty -setup 0.1 [get_clocks clkA]\n\
+             set_input_delay 1 -clock clkA [get_ports in1]\n",
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_false_path -to [get_pins rX/D]\n",
+        ]);
+        assert!(p.conflicts.is_empty(), "{:?}", p.conflicts);
+        // Round-trip: the emitted SDC parses and binds.
+        let reparsed = SdcFile::parse(&p.sdc.to_text()).unwrap();
+        let merged = Mode::bind("merged", &netlist, &reparsed).unwrap();
+        assert_eq!(merged.clocks.len(), 2);
+    }
+
+    #[test]
+    fn inter_clock_uncertainty_merges_to_max() {
+        let (p, _) = merge_text(&[
+            "create_clock -name a -period 10 [get_ports clk1]\n\
+             create_clock -name b -period 12 [get_ports clk2]\n\
+             set_clock_uncertainty -setup 0.3 -from [get_clocks a] -to [get_clocks b]\n",
+            "create_clock -name a -period 10 [get_ports clk1]\n\
+             create_clock -name b -period 12 [get_ports clk2]\n\
+             set_clock_uncertainty -setup 0.35 -from [get_clocks a] -to [get_clocks b]\n",
+        ]);
+        assert!(p.conflicts.is_empty(), "{:?}", p.conflicts);
+        let text = p.sdc.to_text();
+        assert!(
+            text.contains(
+                "set_clock_uncertainty -setup 0.35 -from [get_clocks a] -to [get_clocks b]"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn inter_clock_uncertainty_conflict() {
+        let (p, _) = merge_text(&[
+            "create_clock -name a -period 10 [get_ports clk1]\n\
+             create_clock -name b -period 12 [get_ports clk2]\n\
+             set_clock_uncertainty -setup 2.0 -from [get_clocks a] -to [get_clocks b]\n",
+            "create_clock -name a -period 10 [get_ports clk1]\n\
+             create_clock -name b -period 12 [get_ports clk2]\n",
+        ]);
+        assert!(matches!(
+            p.conflicts.first(),
+            Some(MergeConflict::ClockAttribute {
+                attribute: "inter-clock uncertainty",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn declared_clock_groups_are_inherited() {
+        // Both modes carry both clocks and declare them asynchronous:
+        // the merged mode inherits the separation.
+        let (p, _) = merge_text(&[
+            "create_clock -name a -period 10 [get_ports clk1]\n\
+             create_clock -name b -period 4 [get_ports clk2]\n\
+             set_clock_groups -asynchronous -group [get_clocks a] -group [get_clocks b]\n",
+            "create_clock -name a -period 10 [get_ports clk1]\n\
+             create_clock -name b -period 4 [get_ports clk2]\n\
+             set_clock_groups -physically_exclusive -group [get_clocks a] -group [get_clocks b]\n",
+        ]);
+        let text = p.sdc.to_text();
+        assert!(text.contains("excl_a_b"), "{text}");
+    }
+
+    #[test]
+    fn partially_declared_groups_are_not_inherited() {
+        // Mode 1 separates the clocks, mode 2 does not: the merged mode
+        // must keep the cross paths (mode 2 times them).
+        let (p, _) = merge_text(&[
+            "create_clock -name a -period 10 [get_ports clk1]\n\
+             create_clock -name b -period 4 [get_ports clk2]\n\
+             set_clock_groups -asynchronous -group [get_clocks a] -group [get_clocks b]\n",
+            "create_clock -name a -period 10 [get_ports clk1]\n\
+             create_clock -name b -period 4 [get_ports clk2]\n",
+        ]);
+        let text = p.sdc.to_text();
+        assert!(!text.contains("excl_a_b"), "{text}");
+    }
+
+    #[test]
+    fn exclusive_clocks_only_when_never_coexisting() {
+        let (p, _) = merge_text(&[
+            "create_clock -name a -period 10 [get_ports clk1]\n\
+             create_clock -name b -period 20 [get_ports clk2]\n",
+            "create_clock -name c -period 5 [get_ports clk2]\n",
+        ]);
+        let text = p.sdc.to_text();
+        // a/b coexist in mode 0 → no exclusivity; c is exclusive with both.
+        assert!(!text.contains("excl_a_b"), "{text}");
+        assert!(text.contains("excl_a_c"), "{text}");
+        assert!(text.contains("excl_b_c"), "{text}");
+    }
+}

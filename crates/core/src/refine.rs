@@ -1,0 +1,443 @@
+//! Refinement of the preliminary merged mode (§3.1.8 and §3.2).
+//!
+//! Three refinement mechanisms run in a fixed point loop:
+//!
+//! 1. **Clock refinement** (§3.1.8) — BFS through the clock network; any
+//!    clock present on a node in the merged mode but on no individual
+//!    mode gets a `set_clock_sense -stop_propagation` at the frontier
+//!    (Constraint Set 3's CSTR3).
+//! 2. **Data refinement, step 1** (§3.2) — launch clocks reaching data
+//!    nodes in the merged mode but in no individual mode are cut with
+//!    `set_false_path -from <clock> -through <frontier pins>`
+//!    (Constraint Set 5's CSTR6).
+//! 3. **Data refinement, step 2** — the [3-pass
+//!    comparison](crate::three_pass) adds precise false paths for every
+//!    remaining extra path class (Constraint Set 6).
+//!
+//! After every batch of added constraints the merged mode is re-bound and
+//! re-analyzed; the loop ends when a full round adds nothing.
+
+use crate::emit::{clocks_ref, pins_refs};
+use crate::error::{MergeConflict, MergeError};
+use crate::merge::MergeOptions;
+use crate::three_pass::compare_and_fix;
+use modemerge_netlist::{Netlist, PinId};
+use modemerge_sdc::{
+    Command, PathException, PathExceptionKind, PathSpec, SdcFile, SetClockSense, SetupHold,
+};
+use modemerge_sta::analysis::Analysis;
+use modemerge_sta::graph::TimingGraph;
+use modemerge_sta::keys::ClockKey;
+use modemerge_sta::mode::Mode;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Statistics and output of the refinement loop.
+#[derive(Debug, Clone)]
+pub struct RefineOutcome {
+    /// The refined merged-mode SDC.
+    pub sdc: SdcFile,
+    /// Number of `set_clock_sense -stop_propagation` constraints added.
+    pub clock_stops: usize,
+    /// Number of data-network clock-cut false paths added.
+    pub data_cut_false_paths: usize,
+    /// Number of 3-pass false paths added.
+    pub comparison_false_paths: usize,
+    /// Pass-2 endpoint count (over all iterations).
+    pub pass2_endpoints: usize,
+    /// Pass-3 pair count (over all iterations).
+    pub pass3_pairs: usize,
+    /// Extra merged path classes accepted as pessimism (inexpressible as
+    /// precise false paths; see [`crate::three_pass`]).
+    pub residual_pessimism: usize,
+    /// Iterations of the fixed-point loop.
+    pub iterations: usize,
+}
+
+/// Per-node clock-key sets for one analysis, in clock-network or
+/// data-network view.
+fn clock_network_keys(a: &Analysis<'_>) -> BTreeMap<PinId, BTreeSet<ClockKey>> {
+    let mut out: BTreeMap<PinId, BTreeSet<ClockKey>> = BTreeMap::new();
+    for node in a.clock_arrivals().reached_nodes() {
+        let keys = out.entry(node).or_default();
+        for c in a.clock_arrivals().clock_ids_at(node) {
+            keys.insert(a.mode().clock_key(c));
+        }
+    }
+    out
+}
+
+/// Launch clocks *crossing* each node (arriving and continuing through
+/// at least one active arc). The crossing view — not mere presence — is
+/// what the paper's Constraint Set 5 cut (`-through [rB/Q and1/Z]`)
+/// compares: a clock may arrive at a pin in some mode yet never pass it
+/// (a desensitized mux input), and it is the passing that creates paths.
+fn data_network_keys(a: &Analysis<'_>) -> BTreeMap<PinId, BTreeSet<ClockKey>> {
+    let mut out: BTreeMap<PinId, BTreeSet<ClockKey>> = BTreeMap::new();
+    for node in a.propagation().reached_nodes() {
+        if !a.has_active_fanout(node) {
+            continue;
+        }
+        let keys = out.entry(node).or_default();
+        for c in a.propagation().data_clocks_at(node) {
+            keys.insert(a.mode().clock_key(c));
+        }
+    }
+    out
+}
+
+fn union_maps(
+    maps: impl Iterator<Item = BTreeMap<PinId, BTreeSet<ClockKey>>>,
+) -> BTreeMap<PinId, BTreeSet<ClockKey>> {
+    let mut out: BTreeMap<PinId, BTreeSet<ClockKey>> = BTreeMap::new();
+    for m in maps {
+        for (pin, keys) in m {
+            out.entry(pin).or_default().extend(keys);
+        }
+    }
+    out
+}
+
+/// Finds, per extra clock, the frontier pins: nodes carrying the clock in
+/// the merged view but in no individual view, whose active fanin does not
+/// already carry the mismatch.
+fn frontier_mismatches(
+    merged: &Analysis<'_>,
+    merged_view: &BTreeMap<PinId, BTreeSet<ClockKey>>,
+    individual_union: &BTreeMap<PinId, BTreeSet<ClockKey>>,
+) -> BTreeMap<ClockKey, BTreeSet<PinId>> {
+    let empty = BTreeSet::new();
+    let is_extra = |pin: PinId, key: &ClockKey| -> bool {
+        merged_view.get(&pin).is_some_and(|k| k.contains(key))
+            && !individual_union.get(&pin).unwrap_or(&empty).contains(key)
+    };
+    let mut out: BTreeMap<ClockKey, BTreeSet<PinId>> = BTreeMap::new();
+    for (&pin, keys) in merged_view {
+        for key in keys {
+            if !is_extra(pin, key) {
+                continue;
+            }
+            let covered_upstream = merged
+                .active_fanin(pin)
+                .into_iter()
+                .any(|p| is_extra(p, key));
+            if !covered_upstream {
+                out.entry(key.clone()).or_default().insert(pin);
+            }
+        }
+    }
+    out
+}
+
+/// Runs the refinement fixed-point loop on a preliminary merged SDC.
+///
+/// # Errors
+///
+/// Returns [`MergeError::NotMergeable`] when a mismatch cannot be fixed
+/// by a false path, [`MergeError::Bind`] if the (engine-generated) SDC
+/// fails to bind, and [`MergeError::RefinementDiverged`] if the loop does
+/// not reach a fixed point within `options.max_refine_iterations`.
+pub fn refine(
+    netlist: &Netlist,
+    graph: &TimingGraph,
+    individual_analyses: &[Analysis<'_>],
+    mut sdc: SdcFile,
+    options: &MergeOptions,
+) -> Result<RefineOutcome, MergeError> {
+    let indiv_clock_union = union_maps(individual_analyses.iter().map(clock_network_keys));
+    let indiv_data_union = union_maps(individual_analyses.iter().map(data_network_keys));
+
+    let mut outcome = RefineOutcome {
+        sdc: SdcFile::new(),
+        clock_stops: 0,
+        data_cut_false_paths: 0,
+        comparison_false_paths: 0,
+        pass2_endpoints: 0,
+        pass3_pairs: 0,
+        residual_pessimism: 0,
+        iterations: 0,
+    };
+    let mut existing: BTreeSet<String> = sdc.commands().iter().map(|c| c.to_text()).collect();
+
+    for _ in 0..options.max_refine_iterations {
+        outcome.iterations += 1;
+        let merged_mode = Mode::bind("merged", netlist, &sdc)?;
+        let merged = Analysis::run(netlist, graph, &merged_mode);
+        let clock_name_of = |key: &ClockKey| -> String {
+            merged_mode
+                .clocks
+                .iter()
+                .find(|c| &c.key() == key)
+                .map(|c| c.name.clone())
+                .expect("merged view clock exists in merged mode")
+        };
+
+        // The stages are applied strictly in order: a clock-network stop
+        // changes capture-clock sets, which changes what the data view and
+        // the 3-pass comparison see, so later stages only run once earlier
+        // stages are at a fixed point.
+        let push_new = |sdc: &mut SdcFile,
+                            existing: &mut BTreeSet<String>,
+                            fixes: Vec<Command>|
+         -> usize {
+            let mut added = 0;
+            for fix in fixes {
+                if existing.insert(fix.to_text()) {
+                    sdc.push(fix);
+                    added += 1;
+                }
+            }
+            added
+        };
+
+        // §3.1.8 clock refinement.
+        let mut fixes: Vec<Command> = Vec::new();
+        let merged_clock_view = clock_network_keys(&merged);
+        for (key, pins) in frontier_mismatches(&merged, &merged_clock_view, &indiv_clock_union) {
+            fixes.push(Command::SetClockSense(SetClockSense {
+                stop_propagation: true,
+                positive: false,
+                negative: false,
+                clocks: vec![clocks_ref([clock_name_of(&key)])],
+                pins: pins_refs(netlist, pins),
+            }));
+        }
+        let added = push_new(&mut sdc, &mut existing, fixes);
+        if added > 0 {
+            outcome.clock_stops += added;
+            continue;
+        }
+
+        // §3.2 step 1: data-network clock cuts.
+        let mut fixes: Vec<Command> = Vec::new();
+        let merged_data_view = data_network_keys(&merged);
+        for (key, pins) in frontier_mismatches(&merged, &merged_data_view, &indiv_data_union) {
+            fixes.push(Command::PathException(PathException {
+                kind: PathExceptionKind::FalsePath,
+                setup_hold: SetupHold::Both,
+                spec: PathSpec {
+                    from: vec![clocks_ref([clock_name_of(&key)])],
+                    through: vec![pins_refs(netlist, pins)],
+                    to: Vec::new(),
+                },
+            }));
+        }
+        let added = push_new(&mut sdc, &mut existing, fixes);
+        if added > 0 {
+            outcome.data_cut_false_paths += added;
+            continue;
+        }
+
+        // §3.2 step 2: the 3-pass comparison.
+        let cmp = compare_and_fix(netlist, graph, individual_analyses, &merged, options.group_fixes);
+        if !cmp.missing.is_empty() {
+            return Err(MergeError::NotMergeable {
+                conflicts: cmp
+                    .missing
+                    .into_iter()
+                    .map(|relation| MergeConflict::UnfixableMismatch { relation })
+                    .collect(),
+            });
+        }
+        outcome.pass2_endpoints += cmp.pass2_endpoints;
+        outcome.pass3_pairs += cmp.pass3_pairs;
+        let added = push_new(&mut sdc, &mut existing, cmp.fixes);
+        if added > 0 {
+            outcome.comparison_false_paths += added;
+            continue;
+        }
+
+        outcome.residual_pessimism = cmp.residual.len();
+        outcome.sdc = sdc;
+        return Ok(outcome);
+    }
+    Err(MergeError::RefinementDiverged {
+        iterations: outcome.iterations,
+        remaining: 1,
+    })
+}
+
+/// Runs the per-mode analyses, in parallel when `options.threads > 1`
+/// (the paper's implementation is a multithreaded C++ engine).
+pub(crate) fn run_analyses<'a>(
+    netlist: &'a Netlist,
+    graph: &'a TimingGraph,
+    modes: &'a [Mode],
+    options: &MergeOptions,
+) -> Vec<Analysis<'a>> {
+    if options.threads <= 1 || modes.len() <= 1 {
+        return modes
+            .iter()
+            .map(|m| Analysis::run(netlist, graph, m))
+            .collect();
+    }
+    let mut out: Vec<Option<Analysis<'a>>> = Vec::new();
+    out.resize_with(modes.len(), || None);
+    let chunk = modes.len().div_ceil(options.threads);
+    std::thread::scope(|scope| {
+        for (modes_chunk, out_chunk) in modes.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (m, slot) in modes_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(Analysis::run(netlist, graph, m));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|a| a.expect("every slot filled by its chunk thread"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modemerge_netlist::paper::paper_circuit;
+
+    fn bind(netlist: &Netlist, name: &str, text: &str) -> Mode {
+        Mode::bind(name, netlist, &SdcFile::parse(text).unwrap()).unwrap()
+    }
+
+    /// Constraint Set 3: conflicting case values on the clock-mux select.
+    /// Refinement must stop clkA behind the mux in the merged mode.
+    #[test]
+    fn constraint_set3_clock_refinement_adds_stop() {
+        let netlist = paper_circuit();
+        let graph = TimingGraph::build(&netlist).unwrap();
+        let mode_a = bind(
+            &netlist,
+            "A",
+            "create_clock -period 10 -name clkA [get_port clk1]\n\
+             create_clock -period 20 -name clkB [get_port clk2]\n\
+             set_case_analysis 0 sel1\nset_case_analysis 1 sel2\n",
+        );
+        let mode_b = bind(
+            &netlist,
+            "B",
+            "create_clock -period 10 -name clkA [get_port clk1]\n\
+             create_clock -period 20 -name clkB [get_port clk2]\n\
+             set_case_analysis 1 sel1\nset_case_analysis 0 sel2\n",
+        );
+        // Preliminary merged mode per the paper: clocks + disables, cases
+        // dropped.
+        let prelim = SdcFile::parse(
+            "create_clock -name clkA -period 10 -add [get_ports clk1]\n\
+             create_clock -name clkB -period 20 -add [get_ports clk2]\n\
+             set_disable_timing [get_ports sel1]\n\
+             set_disable_timing [get_ports sel2]\n",
+        )
+        .unwrap();
+        let modes = [mode_a, mode_b];
+        let analyses = run_analyses(&netlist, &graph, &modes, &MergeOptions::default());
+        let outcome = refine(&netlist, &graph, &analyses, prelim, &MergeOptions::default()).unwrap();
+        let text = outcome.sdc.to_text();
+        assert!(
+            text.contains(
+                "set_clock_sense -stop_propagation -clocks [get_clocks clkA] [get_pins mux1/Z]"
+            ),
+            "{text}"
+        );
+        assert!(outcome.clock_stops >= 1);
+    }
+
+    /// Constraint Set 5: clkB's launches are blocked by the rB/Q constant
+    /// in mode B; the merged mode needs the CSTR6 data cut.
+    #[test]
+    fn constraint_set5_data_refinement_cuts_clock() {
+        let netlist = paper_circuit();
+        let graph = TimingGraph::build(&netlist).unwrap();
+        let mode_a = bind(
+            &netlist,
+            "A",
+            "create_clock -name ClkA -period 2 [get_port clk1]\n\
+             set_input_delay 2.0 -clock ClkA [get_port in1]\n\
+             set_output_delay 2.0 -clock ClkA [get_port out1]\n",
+        );
+        let mode_b = bind(
+            &netlist,
+            "B",
+            "create_clock -name ClkB -period 1 [get_port clk1]\n\
+             set_input_delay 2.0 -clock ClkB [get_port in1]\n\
+             set_output_delay 2.0 -clock ClkB [get_ports out1]\n\
+             set_case_analysis 0 rB/Q\n",
+        );
+        let prelim = SdcFile::parse(
+            "create_clock -name ClkA -period 2 -add [get_ports clk1]\n\
+             create_clock -name ClkB -period 1 -add [get_ports clk1]\n\
+             set_input_delay 2 -clock [get_clocks ClkA] -add_delay [get_ports in1]\n\
+             set_input_delay 2 -clock [get_clocks ClkB] -add_delay [get_ports in1]\n\
+             set_output_delay 2 -clock [get_clocks ClkA] -add_delay [get_ports out1]\n\
+             set_output_delay 2 -clock [get_clocks ClkB] -add_delay [get_ports out1]\n\
+             set_clock_groups -physically_exclusive -name ClkA_1 -group [get_clocks ClkA] -group [get_clocks ClkB]\n",
+        )
+        .unwrap();
+        let modes = [mode_a, mode_b];
+        let analyses = run_analyses(&netlist, &graph, &modes, &MergeOptions::default());
+        let outcome = refine(&netlist, &graph, &analyses, prelim, &MergeOptions::default()).unwrap();
+        let text = outcome.sdc.to_text();
+        // The paper's CSTR6 (`-through [rB/Q and1/Z]`), derived here at
+        // the crossing frontier: rB/Q for the constant register output,
+        // and1/A for the branch the constant kills (every path through
+        // and1/Z passes one of the two, so the effect is identical).
+        assert!(
+            text.contains(
+                "set_false_path -from [get_clocks ClkB] -through [get_pins {and1/A rB/Q}]"
+            ),
+            "{text}"
+        );
+        assert!(outcome.data_cut_false_paths >= 1);
+    }
+
+    #[test]
+    fn identical_modes_need_no_refinement() {
+        let netlist = paper_circuit();
+        let graph = TimingGraph::build(&netlist).unwrap();
+        let text = "create_clock -name clkA -period 10 [get_ports clk1]\n";
+        let a = bind(&netlist, "A", text);
+        let b = bind(&netlist, "B", text);
+        let prelim =
+            SdcFile::parse("create_clock -name clkA -period 10 -waveform {0 5} -add [get_ports clk1]\n")
+                .unwrap();
+        let modes = [a, b];
+        let analyses = run_analyses(&netlist, &graph, &modes, &MergeOptions::default());
+        let outcome = refine(&netlist, &graph, &analyses, prelim, &MergeOptions::default()).unwrap();
+        assert_eq!(outcome.clock_stops, 0);
+        assert_eq!(outcome.data_cut_false_paths, 0);
+        assert_eq!(outcome.comparison_false_paths, 0);
+        assert_eq!(outcome.iterations, 1);
+    }
+
+    #[test]
+    fn parallel_analyses_match_serial() {
+        let netlist = paper_circuit();
+        let graph = TimingGraph::build(&netlist).unwrap();
+        let modes: Vec<Mode> = (0..4)
+            .map(|i| {
+                bind(
+                    &netlist,
+                    &format!("m{i}"),
+                    "create_clock -name clkA -period 10 [get_ports clk1]\n",
+                )
+            })
+            .collect();
+        let serial = run_analyses(
+            &netlist,
+            &graph,
+            &modes,
+            &MergeOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let parallel = run_analyses(
+            &netlist,
+            &graph,
+            &modes,
+            &MergeOptions {
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(s.endpoint_relations(), p.endpoint_relations());
+        }
+    }
+}

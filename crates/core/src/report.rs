@@ -1,0 +1,125 @@
+//! Human-readable rendering of merge reports (used by the CLI and the
+//! examples).
+
+use crate::merge::{MergeAllOutcome, MergeReport};
+use std::fmt;
+
+impl fmt::Display for MergeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.mode_names.len() <= 1 {
+            return write!(
+                f,
+                "mode `{}` kept as-is (no merge partners)",
+                self.mode_names.first().map(String::as_str).unwrap_or("?")
+            );
+        }
+        writeln!(f, "merged {} modes: {}", self.mode_names.len(), self.mode_names.join(", "))?;
+        writeln!(f, "  clocks in union:            {}", self.clock_count)?;
+        writeln!(f, "  case pins dropped:          {}", self.dropped_cases)?;
+        writeln!(f, "  case pins disabled:         {}", self.disabled_case_pins)?;
+        writeln!(f, "  false paths dropped (§3.1): {}", self.dropped_false_paths)?;
+        writeln!(f, "  exceptions uniquified:      {}", self.uniquified_exceptions)?;
+        writeln!(f, "  clock stops added (§3.1.8): {}", self.clock_stops)?;
+        writeln!(f, "  data clock cuts (§3.2):     {}", self.data_cut_false_paths)?;
+        writeln!(f, "  3-pass false paths:         {}", self.comparison_false_paths)?;
+        writeln!(
+            f,
+            "  pass-2 endpoints / pass-3 pairs: {} / {}",
+            self.pass2_endpoints, self.pass3_pairs
+        )?;
+        writeln!(f, "  refinement iterations:      {}", self.refine_iterations)?;
+        if self.residual_pessimism > 0 || self.extra_relations > 0 {
+            writeln!(
+                f,
+                "  accepted pessimism:         {} path classes ({} extra relations)",
+                self.residual_pessimism, self.extra_relations
+            )?;
+        }
+        write!(
+            f,
+            "  validation (§2 equivalence): {}",
+            if self.validated { "PASSED" } else { "SKIPPED/FAILED" }
+        )
+    }
+}
+
+/// Renders a compact summary of a full plan-and-merge outcome.
+pub fn summarize(outcome: &MergeAllOutcome, input_count: usize) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{} modes -> {} modes ({:.1} % reduction), {} merge group(s)",
+        input_count,
+        outcome.merged.len(),
+        outcome.reduction_percent(input_count),
+        outcome.groups.iter().filter(|g| g.len() > 1).count()
+    );
+    for (merged, report) in outcome.merged.iter().zip(&outcome.reports) {
+        let _ = writeln!(
+            s,
+            "  {:<30} <- {} mode(s){}",
+            merged.name,
+            report.mode_names.len(),
+            if report.validated { "" } else { "  [NOT VALIDATED]" }
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::{merge_all, MergeOptions, ModeInput};
+    use modemerge_netlist::paper::paper_circuit;
+
+    #[test]
+    fn report_display_lists_key_numbers() {
+        let r = MergeReport {
+            mode_names: vec!["A".into(), "B".into()],
+            clock_count: 2,
+            comparison_false_paths: 3,
+            validated: true,
+            ..Default::default()
+        };
+        let text = r.to_string();
+        assert!(text.contains("merged 2 modes: A, B"));
+        assert!(text.contains("3-pass false paths:         3"));
+        assert!(text.contains("PASSED"));
+    }
+
+    #[test]
+    fn singleton_report_is_one_line() {
+        let r = MergeReport {
+            mode_names: vec!["solo".into()],
+            validated: true,
+            ..Default::default()
+        };
+        assert!(r.to_string().contains("kept as-is"));
+    }
+
+    #[test]
+    fn pessimism_line_only_when_present() {
+        let mut r = MergeReport {
+            mode_names: vec!["A".into(), "B".into()],
+            validated: true,
+            ..Default::default()
+        };
+        assert!(!r.to_string().contains("accepted pessimism"));
+        r.residual_pessimism = 2;
+        assert!(r.to_string().contains("accepted pessimism"));
+    }
+
+    #[test]
+    fn summarize_full_outcome() {
+        let netlist = paper_circuit();
+        let inputs = vec![
+            ModeInput::parse("A", "create_clock -name c -period 10 [get_ports clk1]\n").unwrap(),
+            ModeInput::parse("B", "create_clock -name c -period 10 [get_ports clk1]\n").unwrap(),
+        ];
+        let out = merge_all(&netlist, &inputs, &MergeOptions::default()).unwrap();
+        let text = summarize(&out, inputs.len());
+        assert!(text.contains("2 modes -> 1 modes"), "{text}");
+        assert!(text.contains("A+B"), "{text}");
+    }
+}

@@ -1,0 +1,678 @@
+//! The 3-pass timing-relationship comparison (§3.2 of the paper).
+//!
+//! Compares the preliminary merged mode against the union of the
+//! individual modes at increasing granularity and produces the false
+//! paths that remove extra path classes:
+//!
+//! * **Pass 1** — endpoint granularity. A mismatch whose endpoint times
+//!   nothing in any individual mode is fixed with `set_false_path -to`;
+//!   bundles with several relationship states are *ambiguous* and go to
+//!   pass 2 (Table 2). A clock pair that mismatches design-wide is fixed
+//!   with a single clock-to-clock false path.
+//! * **Pass 2** — startpoint × endpoint granularity, fixed with
+//!   `set_false_path -from <start> -to <end>` (Table 3), or — when only
+//!   specific launch/capture clock combinations mismatch — with the
+//!   fully-anchored form `-from [get_clocks L] -through <start>
+//!   -through <end> -to [get_clocks C]`.
+//! * **Pass 3** — through-point granularity on the remaining ambiguous
+//!   pairs, fixed with `-from <start> -through <point> -to <end>`
+//!   (Table 4).
+//!
+//! A bundle that still times paths some individual mode times after the
+//! finest comparison cannot be cut without killing valid paths. Such
+//! *residual pessimism* is reported, not "fixed": the merged mode then
+//! times a few extra paths, which is sign-off safe (pessimistic). The
+//! paper's own QoR table shows 99.82 % — not 100 % — slack conformity.
+
+use crate::emit::{clocks_ref, pin_ref};
+use modemerge_netlist::{Netlist, PinId, PinOwner};
+use modemerge_sdc::{Command, PathException, PathExceptionKind, PathSpec, SetupHold};
+use modemerge_sta::analysis::Analysis;
+use modemerge_sta::exceptions::CheckKind;
+use modemerge_sta::graph::TimingGraph;
+use modemerge_sta::keys::ClockKey;
+use modemerge_sta::propagate::Startpoint;
+use modemerge_sta::relations::PathState;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Result of one comparison round.
+#[derive(Debug, Default)]
+pub struct ComparisonOutcome {
+    /// False paths to add to the merged mode.
+    pub fixes: Vec<Command>,
+    /// Relations timed by some individual mode but missing from the
+    /// merged mode — an engine invariant violation, reported as a merge
+    /// failure.
+    pub missing: Vec<String>,
+    /// Extra merged path classes that cannot be cut without killing
+    /// valid paths (accepted pessimism).
+    pub residual: Vec<String>,
+    /// Endpoints that needed pass 2.
+    pub pass2_endpoints: usize,
+    /// Startpoint/endpoint pairs that needed pass 3.
+    pub pass3_pairs: usize,
+}
+
+impl ComparisonOutcome {
+    /// `true` when the merged mode matched with nothing to do.
+    pub fn clean(&self) -> bool {
+        self.fixes.is_empty() && self.missing.is_empty() && self.residual.is_empty()
+    }
+}
+
+type TupleKey = (ClockKey, ClockKey, CheckKind);
+type StateSets = (BTreeSet<PathState>, BTreeSet<PathState>); // (individual, merged)
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cmp {
+    /// Same single relationship on both sides.
+    Match,
+    /// Bundles differ or carry several relationships: refine deeper.
+    Ambiguous,
+    /// Merged times the bundle, no individual mode does: kill it.
+    Fixable,
+}
+
+fn timed(states: &BTreeSet<PathState>) -> BTreeSet<PathState> {
+    states.iter().filter(|s| s.is_timed()).cloned().collect()
+}
+
+fn classify(indiv: &BTreeSet<PathState>, merged: &BTreeSet<PathState>) -> Cmp {
+    let ti = timed(indiv);
+    let tm = timed(merged);
+    if tm.is_subset(&ti) {
+        if indiv.len() <= 1 && merged.len() <= 1 {
+            Cmp::Match
+        } else {
+            // Multiple relationships bundled: the sets of paths behind
+            // equal states may differ (paper: "Ambiguous").
+            Cmp::Ambiguous
+        }
+    } else if ti.is_empty() {
+        Cmp::Fixable
+    } else {
+        // A partial kill is needed: refine at the next granularity.
+        Cmp::Ambiguous
+    }
+}
+
+/// The startpoint handle for a startpoint pin.
+fn startpoint_for(netlist: &Netlist, pin: PinId) -> Startpoint {
+    match netlist.pin(pin).owner() {
+        PinOwner::Port(_) => Startpoint::Port(pin),
+        PinOwner::Instance(..) => Startpoint::Reg(pin),
+    }
+}
+
+fn clock_name_map(merged: &Analysis<'_>) -> BTreeMap<ClockKey, String> {
+    merged
+        .mode()
+        .clocks
+        .iter()
+        .map(|c| (c.key(), c.name.clone()))
+        .collect()
+}
+
+fn fp(spec: PathSpec, setup_hold: SetupHold) -> Command {
+    Command::PathException(PathException {
+        kind: PathExceptionKind::FalsePath,
+        setup_hold,
+        spec,
+    })
+}
+
+fn scope_of(checks: &BTreeSet<CheckKind>) -> SetupHold {
+    if checks.len() == 2 {
+        SetupHold::Both
+    } else if checks.contains(&CheckKind::Setup) {
+        SetupHold::Setup
+    } else {
+        SetupHold::Hold
+    }
+}
+
+/// Runs the full 3-pass comparison, returning fixes for the merged mode.
+///
+/// `group_fixes` enables the clock-pair and endpoint-set groupings in
+/// pass 1 (on in production; the `ablation_grouping` bench turns it off
+/// to measure their value).
+pub fn compare_and_fix(
+    netlist: &Netlist,
+    graph: &TimingGraph,
+    individual: &[Analysis<'_>],
+    merged: &Analysis<'_>,
+    group_fixes: bool,
+) -> ComparisonOutcome {
+    let mut outcome = ComparisonOutcome::default();
+    let clock_names = clock_name_map(merged);
+    let clock_name = |key: &ClockKey| -> String {
+        clock_names
+            .get(key)
+            .expect("relation clock exists in merged mode")
+            .clone()
+    };
+
+    // ---- Pass 1 -------------------------------------------------------
+    let mut by_tuple: BTreeMap<(PinId, TupleKey), StateSets> = BTreeMap::new();
+    for a in individual {
+        for r in &a.endpoint_relations() {
+            by_tuple
+                .entry((r.endpoint, (r.launch.clone(), r.capture.clone(), r.check)))
+                .or_default()
+                .0
+                .insert(r.state.clone());
+        }
+    }
+    for r in &merged.endpoint_relations() {
+        by_tuple
+            .entry((r.endpoint, (r.launch.clone(), r.capture.clone(), r.check)))
+            .or_default()
+            .1
+            .insert(r.state.clone());
+    }
+
+    let mut per_endpoint: BTreeMap<PinId, Vec<(TupleKey, Cmp)>> = BTreeMap::new();
+    for ((endpoint, tuple), (indiv, m)) in &by_tuple {
+        if m.is_empty() {
+            // Timed by some individual mode but absent from the merged
+            // mode: preliminary merging guarantees this cannot happen;
+            // report it if it does.
+            if !timed(indiv).is_empty() {
+                outcome.missing.push(format!(
+                    "relation missing from merged mode at {}",
+                    netlist.pin_name(*endpoint)
+                ));
+            }
+            continue;
+        }
+        per_endpoint
+            .entry(*endpoint)
+            .or_default()
+            .push((tuple.clone(), classify(indiv, m)));
+    }
+
+    // Global clock-pair grouping: when every merged tuple of a
+    // (launch, capture) pair mismatches across the whole design, a single
+    // clock-to-clock false path is the precise fix.
+    let mut pair_status: BTreeMap<(ClockKey, ClockKey), (bool, bool)> = BTreeMap::new();
+    for tuples in per_endpoint.values() {
+        for ((l, c, _), cmp) in tuples {
+            let e = pair_status
+                .entry((l.clone(), c.clone()))
+                .or_insert((true, false));
+            e.0 &= *cmp == Cmp::Fixable;
+            e.1 |= *cmp != Cmp::Match;
+        }
+    }
+    let mut killed_pairs: BTreeSet<(ClockKey, ClockKey)> = BTreeSet::new();
+    for ((l, c), (all_fixable, any_mismatch)) in &pair_status {
+        if group_fixes && *all_fixable && *any_mismatch && l != c {
+            outcome.fixes.push(fp(
+                PathSpec {
+                    from: vec![clocks_ref([clock_name(l)])],
+                    to: vec![clocks_ref([clock_name(c)])],
+                    ..Default::default()
+                },
+                SetupHold::Both,
+            ));
+            killed_pairs.insert((l.clone(), c.clone()));
+        }
+    }
+
+    let mut pass2_queue: BTreeSet<PinId> = BTreeSet::new();
+    // Endpoint-grouped clock-pair kills: endpoints whose (launch,
+    // capture) bundle mismatches completely are collected per clock pair
+    // and killed with one `-from L -through {endpoints} -to C` command
+    // (the endpoint pin doubles as a through hop so the capture clock
+    // can anchor `-to`). This keeps merged constraint counts small even
+    // when a test clock invalidates a whole bank of functional paths.
+    let mut grouped: BTreeMap<(ClockKey, ClockKey, SetupHold), BTreeSet<PinId>> = BTreeMap::new();
+    for (endpoint, tuples) in &per_endpoint {
+        let tuples: Vec<&(TupleKey, Cmp)> = tuples
+            .iter()
+            .filter(|((l, c, _), _)| !killed_pairs.contains(&(l.clone(), c.clone())))
+            .collect();
+        if tuples.iter().all(|(_, c)| *c == Cmp::Match) {
+            continue;
+        }
+        if tuples.iter().all(|(_, c)| *c == Cmp::Fixable) {
+            outcome.fixes.push(fp(
+                PathSpec {
+                    to: vec![pin_ref(netlist, *endpoint)],
+                    ..Default::default()
+                },
+                SetupHold::Both,
+            ));
+            continue;
+        }
+        let mut clock_pairs: BTreeMap<(ClockKey, ClockKey), Vec<(CheckKind, Cmp)>> =
+            BTreeMap::new();
+        for ((l, c, check), cmp) in &tuples {
+            clock_pairs
+                .entry((l.clone(), c.clone()))
+                .or_default()
+                .push((*check, *cmp));
+        }
+        let mut escalate = false;
+        for ((l, c), checks) in clock_pairs {
+            let fixable: BTreeSet<CheckKind> = checks
+                .iter()
+                .filter(|(_, cmp)| *cmp == Cmp::Fixable)
+                .map(|(ck, _)| *ck)
+                .collect();
+            if checks.iter().any(|(_, cmp)| *cmp == Cmp::Ambiguous) {
+                escalate = true;
+            }
+            if !fixable.is_empty() {
+                if group_fixes {
+                    grouped
+                        .entry((l, c, scope_of(&fixable)))
+                        .or_default()
+                        .insert(*endpoint);
+                } else {
+                    escalate = true;
+                }
+            }
+        }
+        if escalate {
+            pass2_queue.insert(*endpoint);
+        }
+    }
+    for ((l, c, scope), endpoints) in grouped {
+        outcome.fixes.push(fp(
+            PathSpec {
+                from: vec![clocks_ref([clock_name(&l)])],
+                through: vec![crate::emit::pins_refs(netlist, endpoints)],
+                to: vec![clocks_ref([clock_name(&c)])],
+            },
+            scope,
+        ));
+    }
+
+    // ---- Pass 2 -------------------------------------------------------
+    outcome.pass2_endpoints = pass2_queue.len();
+    let mut pass3_queue: BTreeSet<(PinId, PinId)> = BTreeSet::new();
+    for &endpoint in &pass2_queue {
+        let mut pairs: BTreeMap<(PinId, TupleKey), StateSets> = BTreeMap::new();
+        for a in individual {
+            for r in a.pair_relations(endpoint) {
+                pairs
+                    .entry((r.start, (r.launch, r.capture, r.check)))
+                    .or_default()
+                    .0
+                    .insert(r.state);
+            }
+        }
+        for r in merged.pair_relations(endpoint) {
+            pairs
+                .entry((r.start, (r.launch, r.capture, r.check)))
+                .or_default()
+                .1
+                .insert(r.state);
+        }
+        let mut per_start: BTreeMap<PinId, Vec<(TupleKey, Cmp)>> = BTreeMap::new();
+        for ((start, tuple), (indiv, m)) in &pairs {
+            if m.is_empty() {
+                continue;
+            }
+            per_start
+                .entry(*start)
+                .or_default()
+                .push((tuple.clone(), classify(indiv, m)));
+        }
+        for (start, tuples) in &per_start {
+            if tuples.iter().all(|(_, c)| *c == Cmp::Match) {
+                continue;
+            }
+            if tuples.iter().all(|(_, c)| *c == Cmp::Fixable) {
+                outcome.fixes.push(fp(
+                    PathSpec {
+                        from: vec![pin_ref(netlist, *start)],
+                        to: vec![pin_ref(netlist, endpoint)],
+                        ..Default::default()
+                    },
+                    SetupHold::Both,
+                ));
+                continue;
+            }
+            // Clock-combination-specific kills: the endpoint pin becomes
+            // a final -through hop so the capture clock can anchor -to.
+            let mut clock_pairs: BTreeMap<(ClockKey, ClockKey), Vec<(CheckKind, Cmp)>> =
+                BTreeMap::new();
+            for ((l, c, check), cmp) in tuples {
+                clock_pairs
+                    .entry((l.clone(), c.clone()))
+                    .or_default()
+                    .push((*check, *cmp));
+            }
+            let mut escalate = false;
+            for ((l, c), checks) in &clock_pairs {
+                let fixable: BTreeSet<CheckKind> = checks
+                    .iter()
+                    .filter(|(_, cmp)| *cmp == Cmp::Fixable)
+                    .map(|(ck, _)| *ck)
+                    .collect();
+                if checks.iter().any(|(_, cmp)| *cmp == Cmp::Ambiguous) {
+                    escalate = true;
+                }
+                if !fixable.is_empty() {
+                    outcome.fixes.push(fp(
+                        PathSpec {
+                            from: vec![clocks_ref([clock_name(l)])],
+                            through: vec![
+                                vec![pin_ref(netlist, *start)],
+                                vec![pin_ref(netlist, endpoint)],
+                            ],
+                            to: vec![clocks_ref([clock_name(c)])],
+                        },
+                        scope_of(&fixable),
+                    ));
+                }
+            }
+            if escalate {
+                pass3_queue.insert((*start, endpoint));
+            }
+        }
+    }
+
+    // ---- Pass 3 -------------------------------------------------------
+    outcome.pass3_pairs = pass3_queue.len();
+    let mut topo_pos = vec![0u32; graph.node_count()];
+    for (i, &n) in graph.topo_order().iter().enumerate() {
+        topo_pos[n.index()] = i as u32;
+    }
+    for (start, endpoint) in pass3_queue {
+        let sp = startpoint_for(netlist, start);
+        let mut nodes: BTreeMap<PinId, BTreeMap<TupleKey, StateSets>> = BTreeMap::new();
+        for a in individual {
+            for r in a.through_relations(sp, endpoint) {
+                nodes
+                    .entry(r.through)
+                    .or_default()
+                    .entry((r.launch, r.capture, r.check))
+                    .or_default()
+                    .0
+                    .insert(r.state);
+            }
+        }
+        for r in merged.through_relations(sp, endpoint) {
+            nodes
+                .entry(r.through)
+                .or_default()
+                .entry((r.launch, r.capture, r.check))
+                .or_default()
+                .1
+                .insert(r.state);
+        }
+
+        /// Fix candidate at a through node.
+        #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+        enum NodeFix {
+            /// Every merged tuple through the node mismatches.
+            All(BTreeSet<CheckKind>),
+            /// Only one launch/capture clock combination mismatches.
+            Pair(ClockKey, ClockKey, BTreeSet<CheckKind>),
+        }
+        let mut fixable_nodes: Vec<(PinId, NodeFix)> = Vec::new();
+        for (node, by_tuple) in &nodes {
+            #[derive(PartialEq, Clone, Copy)]
+            enum T3 {
+                Match,
+                Fix,
+                Residual,
+            }
+            let mut per_tuple: Vec<(TupleKey, T3)> = Vec::new();
+            for (tuple, (indiv, m)) in by_tuple {
+                if m.is_empty() {
+                    continue;
+                }
+                let ti = timed(indiv);
+                let tm = timed(m);
+                let verdict = if tm.is_subset(&ti) {
+                    T3::Match
+                } else if ti.is_empty() {
+                    T3::Fix
+                } else {
+                    T3::Residual
+                };
+                per_tuple.push((tuple.clone(), verdict));
+            }
+            if per_tuple.iter().any(|(_, v)| *v == T3::Residual) {
+                outcome.residual.push(format!(
+                    "{} → {} through {}: merged times extra paths that share a bundle with valid ones",
+                    netlist.pin_name(start),
+                    netlist.pin_name(endpoint),
+                    netlist.pin_name(*node)
+                ));
+                continue;
+            }
+            if per_tuple.iter().all(|(_, v)| *v == T3::Match) || per_tuple.is_empty() {
+                continue;
+            }
+            if per_tuple.iter().all(|(_, v)| *v == T3::Fix) {
+                let checks = per_tuple.iter().map(|((_, _, ck), _)| *ck).collect();
+                fixable_nodes.push((*node, NodeFix::All(checks)));
+                continue;
+            }
+            // Mixed: per clock-combination kills.
+            let mut clock_pairs: BTreeMap<(ClockKey, ClockKey), (BTreeSet<CheckKind>, bool)> =
+                BTreeMap::new();
+            for ((l, c, check), verdict) in &per_tuple {
+                let e = clock_pairs.entry((l.clone(), c.clone())).or_default();
+                match verdict {
+                    T3::Fix => {
+                        e.0.insert(*check);
+                    }
+                    T3::Match => e.1 = true,
+                    T3::Residual => unreachable!("handled above"),
+                }
+            }
+            for ((l, c), (fix_checks, _)) in clock_pairs {
+                if !fix_checks.is_empty() {
+                    fixable_nodes.push((*node, NodeFix::Pair(l, c, fix_checks)));
+                }
+            }
+        }
+
+        // Frontier selection: drop nodes dominated by an earlier node
+        // carrying the same fix (the earlier one structurally reaches
+        // them); the refinement loop re-checks, so over-filtering is
+        // safe.
+        fixable_nodes.sort_by_key(|(n, f)| (topo_pos[n.index()], f.clone()));
+        let mut chosen: Vec<(PinId, NodeFix)> = Vec::new();
+        for (node, fix) in fixable_nodes {
+            let dominated = chosen
+                .iter()
+                .any(|(c, cfix)| *cfix == fix && reaches(graph, *c, node));
+            if !dominated {
+                chosen.push((node, fix));
+            }
+        }
+        for (node, node_fix) in chosen {
+            let cmd = match node_fix {
+                NodeFix::All(checks) => fp(
+                    PathSpec {
+                        from: vec![pin_ref(netlist, start)],
+                        through: vec![vec![pin_ref(netlist, node)]],
+                        to: vec![pin_ref(netlist, endpoint)],
+                    },
+                    scope_of(&checks),
+                ),
+                NodeFix::Pair(l, c, checks) => fp(
+                    PathSpec {
+                        from: vec![clocks_ref([clock_name(&l)])],
+                        through: vec![
+                            vec![pin_ref(netlist, start)],
+                            vec![pin_ref(netlist, node)],
+                            vec![pin_ref(netlist, endpoint)],
+                        ],
+                        to: vec![clocks_ref([clock_name(&c)])],
+                    },
+                    scope_of(&checks),
+                ),
+            };
+            outcome.fixes.push(cmd);
+        }
+    }
+
+    outcome
+}
+
+/// Structural reachability (ignoring per-mode overlays) used only for
+/// frontier filtering.
+fn reaches(graph: &TimingGraph, from: PinId, to: PinId) -> bool {
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![from];
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        for arc in graph.fanout_arcs(n) {
+            if arc.kind != modemerge_sta::graph::ArcKind::Launch && seen.insert(arc.to) {
+                stack.push(arc.to);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modemerge_netlist::paper::paper_circuit;
+    use modemerge_sdc::SdcFile;
+    use modemerge_sta::mode::Mode;
+
+    fn bind(netlist: &Netlist, name: &str, text: &str) -> Mode {
+        Mode::bind(name, netlist, &SdcFile::parse(text).unwrap()).unwrap()
+    }
+
+    /// Constraint Set 6 of the paper: the full 3-pass walkthrough.
+    #[test]
+    fn constraint_set6_produces_the_papers_three_fixes() {
+        let netlist = paper_circuit();
+        let graph = TimingGraph::build(&netlist).unwrap();
+        let mode_a = bind(
+            &netlist,
+            "A",
+            "create_clock -p 10 -name clkA [get_port clk1]\n\
+             set_false_path -to rX/D\n\
+             set_false_path -to rY/D\n\
+             set_false_path -through inv3/Z\n",
+        );
+        let mode_b = bind(
+            &netlist,
+            "B",
+            "create_clock -p 10 -name clkA [get_port clk1]\n\
+             set_false_path -from rA/CP\n\
+             set_false_path -to rZ/D\n",
+        );
+        let merged_mode = bind(
+            &netlist,
+            "A+B",
+            "create_clock -name clkA -period 10 -add [get_ports clk1]\n",
+        );
+        let a_an = Analysis::run(&netlist, &graph, &mode_a);
+        let b_an = Analysis::run(&netlist, &graph, &mode_b);
+        let m_an = Analysis::run(&netlist, &graph, &merged_mode);
+        let outcome = compare_and_fix(&netlist, &graph, &[a_an, b_an], &m_an, true);
+
+        assert!(outcome.missing.is_empty(), "{:?}", outcome.missing);
+        assert!(outcome.residual.is_empty(), "{:?}", outcome.residual);
+        let texts: Vec<String> = outcome.fixes.iter().map(|c| c.to_text()).collect();
+        // CSTR1: all paths to rX/D are false in both modes.
+        assert!(
+            texts.iter().any(|t| t == "set_false_path -to [get_pins rX/D]"),
+            "{texts:?}"
+        );
+        // CSTR2: rA → rY is false in both modes, rB → rY is valid.
+        assert!(
+            texts
+                .iter()
+                .any(|t| t == "set_false_path -from [get_pins rA/CP] -to [get_pins rY/D]"),
+            "{texts:?}"
+        );
+        // CSTR3: rC → rZ through the inv3 branch only.
+        assert!(
+            texts.iter().any(|t| t.contains("-from [get_pins rC/CP]")
+                && t.contains("-through [get_pins inv3/A]")
+                && t.contains("-to [get_pins rZ/D]")),
+            "{texts:?}"
+        );
+        assert!(outcome.pass2_endpoints >= 2);
+        assert!(outcome.pass3_pairs >= 1);
+    }
+
+    #[test]
+    fn matching_modes_need_no_fixes() {
+        let netlist = paper_circuit();
+        let graph = TimingGraph::build(&netlist).unwrap();
+        let text = "create_clock -name clkA -period 10 [get_ports clk1]\n";
+        let a = bind(&netlist, "A", text);
+        let b = bind(&netlist, "B", text);
+        let m = bind(&netlist, "M", text);
+        let a_an = Analysis::run(&netlist, &graph, &a);
+        let b_an = Analysis::run(&netlist, &graph, &b);
+        let m_an = Analysis::run(&netlist, &graph, &m);
+        let outcome = compare_and_fix(&netlist, &graph, &[a_an, b_an], &m_an, true);
+        assert!(outcome.clean(), "{:?}", outcome.fixes);
+        assert_eq!(outcome.pass2_endpoints, 0);
+    }
+
+    #[test]
+    fn common_false_path_matches_without_fixes() {
+        // Both modes and the merged mode share the same FP.
+        let netlist = paper_circuit();
+        let graph = TimingGraph::build(&netlist).unwrap();
+        let text = "create_clock -name clkA -period 10 [get_ports clk1]\n\
+                    set_false_path -to [get_pins rX/D]\n";
+        let a = bind(&netlist, "A", text);
+        let b = bind(&netlist, "B", text);
+        let m = bind(&netlist, "M", text);
+        let a_an = Analysis::run(&netlist, &graph, &a);
+        let b_an = Analysis::run(&netlist, &graph, &b);
+        let m_an = Analysis::run(&netlist, &graph, &m);
+        let outcome = compare_and_fix(&netlist, &graph, &[a_an, b_an], &m_an, true);
+        assert!(outcome.clean());
+    }
+
+    #[test]
+    fn clock_pair_mismatch_fixed_design_wide() {
+        // Individual modes each run one clock; clocks share no source, so
+        // §3.1.7 exclusivity would normally kick in — simulate a merged
+        // mode without it and check the clock-pair false path appears.
+        let netlist = paper_circuit();
+        let graph = TimingGraph::build(&netlist).unwrap();
+        let a = bind(&netlist, "A", "create_clock -name cA -period 10 [get_ports clk1]\n");
+        let b = bind(&netlist, "B", "create_clock -name cB -period 4 [get_ports clk2]\n");
+        let m = bind(
+            &netlist,
+            "M",
+            "create_clock -name cA -period 10 -add [get_ports clk1]\n\
+             create_clock -name cB -period 4 -add [get_ports clk2]\n",
+        );
+        let a_an = Analysis::run(&netlist, &graph, &a);
+        let b_an = Analysis::run(&netlist, &graph, &b);
+        let m_an = Analysis::run(&netlist, &graph, &m);
+        let outcome = compare_and_fix(&netlist, &graph, &[a_an, b_an], &m_an, true);
+        let texts: Vec<String> = outcome.fixes.iter().map(|c| c.to_text()).collect();
+        assert!(
+            texts
+                .iter()
+                .any(|t| t == "set_false_path -from [get_clocks cA] -to [get_clocks cB]"),
+            "{texts:?}"
+        );
+    }
+
+    #[test]
+    fn reaches_is_structural() {
+        let netlist = paper_circuit();
+        let graph = TimingGraph::build(&netlist).unwrap();
+        let inv3_a = netlist.find_pin("inv3/A").unwrap();
+        let inv3_z = netlist.find_pin("inv3/Z").unwrap();
+        let rz_d = netlist.find_pin("rZ/D").unwrap();
+        assert!(reaches(&graph, inv3_a, inv3_z));
+        assert!(reaches(&graph, inv3_a, rz_d));
+        assert!(!reaches(&graph, rz_d, inv3_a));
+    }
+}

@@ -1,0 +1,342 @@
+//! Canonical (mode-independent) exceptions and *exception uniquification*
+//! (§3.1.10 of the paper).
+//!
+//! When an exception exists only in some of the modes being merged, it
+//! cannot be copied into the merged mode verbatim: it would also affect
+//! paths that belong to the other modes. Uniquification restricts the
+//! exception to launch clocks that exist *only* in the modes carrying the
+//! exception — the paper's Constraint Set 4 rewrites
+//! `set_multicycle_path 2 -from [rA/CP]` into
+//! `set_multicycle_path 2 -from [get_clocks clkA] -through [rA/CP]`.
+
+use modemerge_netlist::PinId;
+use modemerge_sta::keys::{ClockKey, F64Key};
+use modemerge_sta::mode::{Exception, Mode};
+use modemerge_sdc::{PathExceptionKind, SetupHold};
+use std::collections::BTreeSet;
+
+/// Mode-independent exception kind (values wrapped for total ordering).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CanonKind {
+    /// `set_false_path`
+    FalsePath,
+    /// `set_multicycle_path`
+    Multicycle {
+        /// Cycle multiplier.
+        multiplier: u32,
+        /// `-start` given.
+        start: bool,
+    },
+    /// `set_min_delay`
+    MinDelay(F64Key),
+    /// `set_max_delay`
+    MaxDelay(F64Key),
+}
+
+impl CanonKind {
+    /// `true` for false paths (droppable; refinement re-adds precise
+    /// ones).
+    pub fn is_false_path(&self) -> bool {
+        matches!(self, CanonKind::FalsePath)
+    }
+
+    /// Converts back to the SDC kind.
+    pub fn to_sdc(&self) -> PathExceptionKind {
+        match *self {
+            CanonKind::FalsePath => PathExceptionKind::FalsePath,
+            CanonKind::Multicycle { multiplier, start } => {
+                PathExceptionKind::Multicycle { multiplier, start }
+            }
+            CanonKind::MinDelay(v) => PathExceptionKind::MinDelay(v.value()),
+            CanonKind::MaxDelay(v) => PathExceptionKind::MaxDelay(v.value()),
+        }
+    }
+}
+
+/// A canonical exception: clocks are identified by [`ClockKey`], so equal
+/// exceptions from different modes compare equal.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CanonException {
+    /// Exception kind.
+    pub kind: CanonKind,
+    /// `-setup`/`-hold` scope.
+    pub setup_hold: SetupHold,
+    /// `-from` startpoint pins.
+    pub from_pins: BTreeSet<PinId>,
+    /// `-from` launch clocks (by identity key).
+    pub from_clocks: BTreeSet<ClockKey>,
+    /// Ordered `-through` hops.
+    pub through: Vec<BTreeSet<PinId>>,
+    /// `-to` endpoint pins.
+    pub to_pins: BTreeSet<PinId>,
+    /// `-to` capture clocks (by identity key).
+    pub to_clocks: BTreeSet<ClockKey>,
+}
+
+impl CanonException {
+    /// Canonicalizes a resolved exception from `mode`.
+    pub fn from_resolved(mode: &Mode, exc: &Exception) -> Self {
+        let kind = match exc.kind {
+            PathExceptionKind::FalsePath => CanonKind::FalsePath,
+            PathExceptionKind::Multicycle { multiplier, start } => {
+                CanonKind::Multicycle { multiplier, start }
+            }
+            PathExceptionKind::MinDelay(v) => CanonKind::MinDelay(v.into()),
+            PathExceptionKind::MaxDelay(v) => CanonKind::MaxDelay(v.into()),
+        };
+        Self {
+            kind,
+            setup_hold: exc.setup_hold,
+            from_pins: exc.from_pins.clone(),
+            from_clocks: exc.from_clocks.iter().map(|&c| mode.clock_key(c)).collect(),
+            through: exc.through.clone(),
+            to_pins: exc.to_pins.clone(),
+            to_clocks: exc.to_clocks.iter().map(|&c| mode.clock_key(c)).collect(),
+        }
+    }
+}
+
+/// A successful uniquification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Uniquified {
+    /// The launch-clock restriction to apply as the new `-from`.
+    pub from_clocks: BTreeSet<ClockKey>,
+    /// Whether the original `-from` pins must move to a leading
+    /// `-through` hop (the Constraint Set 4 transformation).
+    pub move_from_pins_to_through: bool,
+    /// `true` when the transformation provably preserves the exception's
+    /// effect inside the carrying modes. Lossy uniquification is
+    /// acceptable for false paths (refinement re-adds what was lost) but
+    /// not for multicycle/min/max exceptions.
+    pub lossless: bool,
+}
+
+/// Outcome of attempting to uniquify an exception.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UniquifyOutcome {
+    /// The exception is already restricted to clocks unique to its
+    /// carrying modes — add it verbatim.
+    AsIs,
+    /// Add it with the described restriction.
+    Uniquified(Uniquified),
+    /// No clock restriction can isolate the carrying modes.
+    Failed,
+}
+
+/// Attempts to uniquify `exc`, which is present exactly in the modes
+/// flagged by `present` (parallel to `mode_clock_keys`, the per-mode
+/// clock-key sets).
+pub fn uniquify(
+    exc: &CanonException,
+    present: &[bool],
+    mode_clock_keys: &[BTreeSet<ClockKey>],
+) -> UniquifyOutcome {
+    let mut present_keys: BTreeSet<ClockKey> = BTreeSet::new();
+    let mut absent_keys: BTreeSet<ClockKey> = BTreeSet::new();
+    for (i, keys) in mode_clock_keys.iter().enumerate() {
+        if present[i] {
+            present_keys.extend(keys.iter().cloned());
+        } else {
+            absent_keys.extend(keys.iter().cloned());
+        }
+    }
+    let unique: BTreeSet<ClockKey> = present_keys.difference(&absent_keys).cloned().collect();
+
+    match (exc.from_pins.is_empty(), exc.from_clocks.is_empty()) {
+        // `-from` clocks only.
+        (true, false) => {
+            let inter: BTreeSet<ClockKey> =
+                exc.from_clocks.intersection(&unique).cloned().collect();
+            if inter == exc.from_clocks {
+                UniquifyOutcome::AsIs
+            } else if inter.is_empty() {
+                UniquifyOutcome::Failed
+            } else {
+                UniquifyOutcome::Uniquified(Uniquified {
+                    from_clocks: inter,
+                    move_from_pins_to_through: false,
+                    lossless: false,
+                })
+            }
+        }
+        // `-from` pins only: move pins to a -through hop, restrict by
+        // clocks (Constraint Set 4).
+        (false, true) => {
+            if unique.is_empty() {
+                UniquifyOutcome::Failed
+            } else {
+                UniquifyOutcome::Uniquified(Uniquified {
+                    lossless: present_keys == unique,
+                    from_clocks: unique,
+                    move_from_pins_to_through: true,
+                })
+            }
+        }
+        // No `-from` at all: a fully-unique `-to` clock restriction also
+        // isolates the exception; otherwise restrict the launch side.
+        (true, true) => {
+            if !exc.to_clocks.is_empty() && exc.to_clocks.is_subset(&unique) {
+                return UniquifyOutcome::AsIs;
+            }
+            if unique.is_empty() {
+                UniquifyOutcome::Failed
+            } else {
+                UniquifyOutcome::Uniquified(Uniquified {
+                    lossless: present_keys == unique,
+                    from_clocks: unique,
+                    move_from_pins_to_through: false,
+                })
+            }
+        }
+        // Mixed pins + clocks in `-from` (an OR) cannot be transformed
+        // soundly.
+        (false, false) => UniquifyOutcome::Failed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tag: u32) -> ClockKey {
+        ClockKey::new(vec![PinId::new(tag as usize)], 10.0, (0.0, 5.0), "c")
+    }
+
+    fn fp(from_pins: &[usize], from_clocks: &[u32], to_clocks: &[u32]) -> CanonException {
+        CanonException {
+            kind: CanonKind::FalsePath,
+            setup_hold: SetupHold::Both,
+            from_pins: from_pins.iter().map(|&i| PinId::new(i)).collect(),
+            from_clocks: from_clocks.iter().map(|&i| key(i)).collect(),
+            through: Vec::new(),
+            to_pins: BTreeSet::new(),
+            to_clocks: to_clocks.iter().map(|&i| key(i)).collect(),
+        }
+    }
+
+    /// Two modes: mode 0 has clocks {0 (shared), 1}; mode 1 has {0, 2}.
+    fn clock_keys() -> Vec<BTreeSet<ClockKey>> {
+        vec![
+            [key(0), key(1)].into_iter().collect(),
+            [key(0), key(2)].into_iter().collect(),
+        ]
+    }
+
+    #[test]
+    fn paper_constraint_set4_shape() {
+        // Mode A: clkA only; mode B: clkB only. MCP -from [rA/CP] in A.
+        let keys = vec![
+            [key(1)].into_iter().collect(),
+            [key(2)].into_iter().collect(),
+        ];
+        let exc = CanonException {
+            kind: CanonKind::Multicycle {
+                multiplier: 2,
+                start: false,
+            },
+            ..fp(&[7], &[], &[])
+        };
+        match uniquify(&exc, &[true, false], &keys) {
+            UniquifyOutcome::Uniquified(u) => {
+                assert_eq!(u.from_clocks, [key(1)].into_iter().collect());
+                assert!(u.move_from_pins_to_through);
+                assert!(u.lossless, "clkA is unique to mode A");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_clock_makes_pin_uniquification_lossy() {
+        // Exception in mode 0 only; mode 0's clock 0 is shared with mode 1.
+        let exc = fp(&[7], &[], &[]);
+        match uniquify(&exc, &[true, false], &clock_keys()) {
+            UniquifyOutcome::Uniquified(u) => {
+                assert_eq!(u.from_clocks, [key(1)].into_iter().collect());
+                assert!(!u.lossless, "paths launched by the shared clock are lost");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_clocks_already_unique_is_as_is() {
+        let exc = fp(&[], &[1], &[]);
+        assert_eq!(
+            uniquify(&exc, &[true, false], &clock_keys()),
+            UniquifyOutcome::AsIs
+        );
+    }
+
+    #[test]
+    fn from_shared_clock_only_fails() {
+        let exc = fp(&[], &[0], &[]);
+        assert_eq!(
+            uniquify(&exc, &[true, false], &clock_keys()),
+            UniquifyOutcome::Failed
+        );
+    }
+
+    #[test]
+    fn from_mixed_unique_and_shared_narrows() {
+        let exc = fp(&[], &[0, 1], &[]);
+        match uniquify(&exc, &[true, false], &clock_keys()) {
+            UniquifyOutcome::Uniquified(u) => {
+                assert_eq!(u.from_clocks, [key(1)].into_iter().collect());
+                assert!(!u.lossless);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unique_to_clocks_is_as_is() {
+        let exc = fp(&[], &[], &[1]);
+        assert_eq!(
+            uniquify(&exc, &[true, false], &clock_keys()),
+            UniquifyOutcome::AsIs
+        );
+    }
+
+    #[test]
+    fn no_anchors_restricts_launch_side() {
+        let exc = fp(&[], &[], &[0]); // -to a shared clock: not isolating
+        match uniquify(&exc, &[true, false], &clock_keys()) {
+            UniquifyOutcome::Uniquified(u) => {
+                assert_eq!(u.from_clocks, [key(1)].into_iter().collect());
+                assert!(!u.move_from_pins_to_through);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_clocks_shared_fails() {
+        let keys: Vec<BTreeSet<ClockKey>> = vec![
+            [key(0)].into_iter().collect(),
+            [key(0)].into_iter().collect(),
+        ];
+        let exc = fp(&[7], &[], &[]);
+        assert_eq!(uniquify(&exc, &[true, false], &keys), UniquifyOutcome::Failed);
+    }
+
+    #[test]
+    fn mixed_from_fails() {
+        let exc = fp(&[7], &[1], &[]);
+        assert_eq!(
+            uniquify(&exc, &[true, false], &clock_keys()),
+            UniquifyOutcome::Failed
+        );
+    }
+
+    #[test]
+    fn canon_kind_roundtrip() {
+        assert_eq!(CanonKind::FalsePath.to_sdc(), PathExceptionKind::FalsePath);
+        assert_eq!(
+            CanonKind::MaxDelay(2.5.into()).to_sdc(),
+            PathExceptionKind::MaxDelay(2.5)
+        );
+        assert!(CanonKind::FalsePath.is_false_path());
+        assert!(!CanonKind::MinDelay(0.0.into()).is_false_path());
+    }
+}

@@ -1,0 +1,417 @@
+//! Programmatic netlist construction.
+
+use crate::error::NetlistError;
+use crate::ids::{InstId, NetId, PinId, PortId};
+use crate::library::{Library, PinDirection};
+use crate::netlist::{Instance, Net, Netlist, Pin, PinOwner, Port};
+use std::collections::HashMap;
+
+/// Incrementally builds a [`Netlist`].
+///
+/// Pins are created together with their instance/port; nets are created
+/// on demand by the `connect_*` methods or explicitly with
+/// [`NetlistBuilder::net`].
+///
+/// # Example
+///
+/// ```
+/// use modemerge_netlist::prelude::*;
+///
+/// # fn main() -> Result<(), NetlistError> {
+/// let mut b = NetlistBuilder::new("top", Library::standard());
+/// let a = b.input_port("a")?;
+/// let z = b.output_port("z")?;
+/// let u1 = b.instance("u1", "BUF")?;
+/// b.connect_port_to_pin(a, u1, "A")?;
+/// b.connect_pin_to_port(u1, "Z", z)?;
+/// let n = b.finish()?;
+/// assert!(n.lint().is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct NetlistBuilder {
+    name: String,
+    library: Library,
+    instances: Vec<Instance>,
+    pins: Vec<Pin>,
+    nets: Vec<Net>,
+    ports: Vec<Port>,
+    inst_by_name: HashMap<String, InstId>,
+    net_by_name: HashMap<String, NetId>,
+    port_by_name: HashMap<String, PortId>,
+    anon_net_counter: usize,
+}
+
+impl NetlistBuilder {
+    /// Creates a builder for a design named `name` using `library`.
+    pub fn new(name: impl Into<String>, library: Library) -> Self {
+        Self {
+            name: name.into(),
+            library,
+            instances: Vec::new(),
+            pins: Vec::new(),
+            nets: Vec::new(),
+            ports: Vec::new(),
+            inst_by_name: HashMap::new(),
+            net_by_name: HashMap::new(),
+            port_by_name: HashMap::new(),
+            anon_net_counter: 0,
+        }
+    }
+
+    /// The library being built against.
+    pub fn library(&self) -> &Library {
+        &self.library
+    }
+
+    fn add_port(&mut self, name: &str, direction: PinDirection) -> Result<PortId, NetlistError> {
+        if self.port_by_name.contains_key(name) {
+            return Err(NetlistError::DuplicateName(name.to_owned()));
+        }
+        let port_id = PortId::new(self.ports.len());
+        let pin_id = PinId::new(self.pins.len());
+        self.pins.push(Pin {
+            owner: PinOwner::Port(port_id),
+            net: None,
+        });
+        self.ports.push(Port {
+            name: name.to_owned(),
+            direction,
+            pin: pin_id,
+        });
+        self.port_by_name.insert(name.to_owned(), port_id);
+        Ok(port_id)
+    }
+
+    /// Adds an input port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken.
+    pub fn input_port(&mut self, name: &str) -> Result<PortId, NetlistError> {
+        self.add_port(name, PinDirection::Input)
+    }
+
+    /// Adds an output port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken.
+    pub fn output_port(&mut self, name: &str) -> Result<PortId, NetlistError> {
+        self.add_port(name, PinDirection::Output)
+    }
+
+    /// Adds an instance of the library master named `cell`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownCell`] if `cell` is not in the
+    /// library, or [`NetlistError::DuplicateName`] if the instance name is
+    /// taken.
+    pub fn instance(&mut self, name: &str, cell: &str) -> Result<InstId, NetlistError> {
+        let cell_id = self
+            .library
+            .cell_by_name(cell)
+            .ok_or_else(|| NetlistError::UnknownCell(cell.to_owned()))?;
+        if self.inst_by_name.contains_key(name) {
+            return Err(NetlistError::DuplicateName(name.to_owned()));
+        }
+        let inst_id = InstId::new(self.instances.len());
+        let pin_count = self.library.cell(cell_id).pins().len();
+        let mut pin_ids = Vec::with_capacity(pin_count);
+        for idx in 0..pin_count {
+            let pin_id = PinId::new(self.pins.len());
+            self.pins.push(Pin {
+                owner: PinOwner::Instance(inst_id, idx),
+                net: None,
+            });
+            pin_ids.push(pin_id);
+        }
+        self.instances.push(Instance {
+            name: name.to_owned(),
+            cell: cell_id,
+            pins: pin_ids,
+        });
+        self.inst_by_name.insert(name.to_owned(), inst_id);
+        Ok(inst_id)
+    }
+
+    /// Creates (or returns) a named net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name collides with a
+    /// different object kind — nets share a namespace only with nets, so
+    /// this only happens on an internal logic error.
+    pub fn net(&mut self, name: &str) -> Result<NetId, NetlistError> {
+        if let Some(&id) = self.net_by_name.get(name) {
+            return Ok(id);
+        }
+        let id = NetId::new(self.nets.len());
+        self.nets.push(Net {
+            name: name.to_owned(),
+            driver: None,
+            loads: Vec::new(),
+        });
+        self.net_by_name.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    fn fresh_net(&mut self) -> NetId {
+        loop {
+            let name = format!("__n{}", self.anon_net_counter);
+            self.anon_net_counter += 1;
+            if !self.net_by_name.contains_key(&name) {
+                return self.net(&name).expect("fresh net name is unique");
+            }
+        }
+    }
+
+    fn resolve_inst_pin(&self, inst: InstId, pin: &str) -> Result<(PinId, PinDirection), NetlistError> {
+        let i = &self.instances[inst.index()];
+        let cell = self.library.cell(i.cell);
+        let idx = cell.pin_index(pin).ok_or_else(|| NetlistError::UnknownLibPin {
+            cell: cell.name().to_owned(),
+            pin: pin.to_owned(),
+        })?;
+        Ok((i.pins[idx], cell.pins()[idx].direction()))
+    }
+
+    fn attach(&mut self, pin: PinId, net: NetId, drives: bool) -> Result<(), NetlistError> {
+        if self.pins[pin.index()].net.is_some() {
+            return Err(NetlistError::PinAlreadyConnected {
+                pin: self.describe_pin(pin),
+            });
+        }
+        let n = &mut self.nets[net.index()];
+        if drives {
+            if n.driver.is_some() {
+                return Err(NetlistError::MultipleDrivers {
+                    net: n.name.clone(),
+                });
+            }
+            n.driver = Some(pin);
+        } else {
+            n.loads.push(pin);
+        }
+        self.pins[pin.index()].net = Some(net);
+        Ok(())
+    }
+
+    fn describe_pin(&self, pin: PinId) -> String {
+        match self.pins[pin.index()].owner {
+            PinOwner::Instance(inst, idx) => {
+                let i = &self.instances[inst.index()];
+                let cell = self.library.cell(i.cell);
+                format!("{}/{}", i.name, cell.pins()[idx].name())
+            }
+            PinOwner::Port(port) => self.ports[port.index()].name.clone(),
+        }
+    }
+
+    /// Connects an instance pin to a named net (driver or load inferred
+    /// from the pin direction).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pin does not exist, is already connected,
+    /// or would add a second driver to the net.
+    pub fn connect(&mut self, inst: InstId, pin: &str, net: NetId) -> Result<(), NetlistError> {
+        let (pin_id, dir) = self.resolve_inst_pin(inst, pin)?;
+        self.attach(pin_id, net, dir == PinDirection::Output)
+    }
+
+    /// Connects a top-level port to a named net.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NetlistBuilder::connect`].
+    pub fn connect_port(&mut self, port: PortId, net: NetId) -> Result<(), NetlistError> {
+        let p = &self.ports[port.index()];
+        let drives = p.direction == PinDirection::Input;
+        let pin = p.pin;
+        self.attach(pin, net, drives)
+    }
+
+    /// Convenience: wire an input port straight to an instance input pin,
+    /// creating a net named after the port if needed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NetlistBuilder::connect`].
+    pub fn connect_port_to_pin(
+        &mut self,
+        port: PortId,
+        inst: InstId,
+        pin: &str,
+    ) -> Result<(), NetlistError> {
+        let net = match self.pins[self.ports[port.index()].pin.index()].net {
+            Some(net) => net,
+            None => {
+                let name = self.ports[port.index()].name.clone();
+                let net = self.net(&format!("__net_{name}"))?;
+                self.connect_port(port, net)?;
+                net
+            }
+        };
+        self.connect(inst, pin, net)
+    }
+
+    /// Convenience: wire an instance output pin to an output port,
+    /// creating a net if needed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NetlistBuilder::connect`].
+    pub fn connect_pin_to_port(
+        &mut self,
+        inst: InstId,
+        pin: &str,
+        port: PortId,
+    ) -> Result<(), NetlistError> {
+        let (pin_id, _) = self.resolve_inst_pin(inst, pin)?;
+        let net = match self.pins[pin_id.index()].net {
+            Some(net) => net,
+            None => {
+                let net = self.fresh_net();
+                self.attach(pin_id, net, true)?;
+                net
+            }
+        };
+        self.connect_port(port, net)
+    }
+
+    /// Convenience: wire instance output `from/from_pin` to instance input
+    /// `to/to_pin`, reusing the driver's existing net or creating a fresh
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NetlistBuilder::connect`].
+    pub fn connect_pins(
+        &mut self,
+        from: InstId,
+        from_pin: &str,
+        to: InstId,
+        to_pin: &str,
+    ) -> Result<(), NetlistError> {
+        let (from_id, _) = self.resolve_inst_pin(from, from_pin)?;
+        let net = match self.pins[from_id.index()].net {
+            Some(net) => net,
+            None => {
+                let net = self.fresh_net();
+                self.attach(from_id, net, true)?;
+                net
+            }
+        };
+        let (to_id, dir) = self.resolve_inst_pin(to, to_pin)?;
+        self.attach(to_id, net, dir == PinDirection::Output)
+    }
+
+    /// Finalizes the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible beyond what the connect methods already
+    /// checked; returns `Ok` with the built netlist. Structural lint is
+    /// available separately via [`Netlist::lint`].
+    pub fn finish(self) -> Result<Netlist, NetlistError> {
+        Ok(Netlist {
+            name: self.name,
+            library: self.library,
+            instances: self.instances,
+            pins: self.pins,
+            nets: self.nets,
+            ports: self.ports,
+            inst_by_name: self.inst_by_name,
+            net_by_name: self.net_by_name,
+            port_by_name: self.port_by_name,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_instance_name_rejected() {
+        let mut b = NetlistBuilder::new("t", Library::standard());
+        b.instance("u1", "INV").unwrap();
+        assert!(matches!(
+            b.instance("u1", "BUF"),
+            Err(NetlistError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_cell_rejected() {
+        let mut b = NetlistBuilder::new("t", Library::standard());
+        assert!(matches!(
+            b.instance("u1", "FANCY42"),
+            Err(NetlistError::UnknownCell(_))
+        ));
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let mut b = NetlistBuilder::new("t", Library::standard());
+        let u1 = b.instance("u1", "INV").unwrap();
+        let u2 = b.instance("u2", "INV").unwrap();
+        let n = b.net("n1").unwrap();
+        b.connect(u1, "Z", n).unwrap();
+        assert!(matches!(
+            b.connect(u2, "Z", n),
+            Err(NetlistError::MultipleDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn pin_reconnection_rejected() {
+        let mut b = NetlistBuilder::new("t", Library::standard());
+        let u1 = b.instance("u1", "INV").unwrap();
+        let n1 = b.net("n1").unwrap();
+        let n2 = b.net("n2").unwrap();
+        b.connect(u1, "A", n1).unwrap();
+        assert!(matches!(
+            b.connect(u1, "A", n2),
+            Err(NetlistError::PinAlreadyConnected { .. })
+        ));
+    }
+
+    #[test]
+    fn connect_pins_reuses_driver_net() {
+        let mut b = NetlistBuilder::new("t", Library::standard());
+        let u1 = b.instance("u1", "INV").unwrap();
+        let u2 = b.instance("u2", "INV").unwrap();
+        let u3 = b.instance("u3", "INV").unwrap();
+        b.connect_pins(u1, "Z", u2, "A").unwrap();
+        b.connect_pins(u1, "Z", u3, "A").unwrap();
+        let n = b.finish().unwrap();
+        let z = n.find_pin("u1/Z").unwrap();
+        assert_eq!(n.fanout_pins(z).count(), 2);
+        assert_eq!(n.net_count(), 1);
+    }
+
+    #[test]
+    fn net_is_idempotent_by_name() {
+        let mut b = NetlistBuilder::new("t", Library::standard());
+        let a = b.net("x").unwrap();
+        let b2 = b.net("x").unwrap();
+        assert_eq!(a, b2);
+    }
+
+    #[test]
+    fn fresh_nets_avoid_user_names() {
+        let mut b = NetlistBuilder::new("t", Library::standard());
+        b.net("__n0").unwrap();
+        let u1 = b.instance("u1", "INV").unwrap();
+        let u2 = b.instance("u2", "INV").unwrap();
+        b.connect_pins(u1, "Z", u2, "A").unwrap();
+        let n = b.finish().unwrap();
+        // Two nets: the user's __n0 and the fresh one (named __n1).
+        assert_eq!(n.net_count(), 2);
+        assert!(n.net_by_name("__n1").is_some());
+    }
+}

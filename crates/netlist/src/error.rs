@@ -1,0 +1,91 @@
+//! Error type for netlist construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or parsing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A library cell name was not found in the library.
+    UnknownCell(String),
+    /// A pin name was not found on the referenced cell master.
+    UnknownLibPin {
+        /// Cell master name.
+        cell: String,
+        /// Requested pin name.
+        pin: String,
+    },
+    /// An instance, port or net name was used twice.
+    DuplicateName(String),
+    /// A referenced instance does not exist.
+    UnknownInstance(String),
+    /// A referenced port does not exist.
+    UnknownPort(String),
+    /// A referenced net does not exist.
+    UnknownNet(String),
+    /// A net already has a driver and a second one was connected.
+    MultipleDrivers {
+        /// Net name.
+        net: String,
+    },
+    /// A pin was connected to two different nets.
+    PinAlreadyConnected {
+        /// Hierarchical pin name (`inst/PIN` or port name).
+        pin: String,
+    },
+    /// The netlist text format failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable message.
+        message: String,
+    },
+    /// The finished netlist failed a structural check.
+    Invalid(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownCell(name) => write!(f, "unknown library cell `{name}`"),
+            Self::UnknownLibPin { cell, pin } => {
+                write!(f, "cell `{cell}` has no pin named `{pin}`")
+            }
+            Self::DuplicateName(name) => write!(f, "duplicate name `{name}`"),
+            Self::UnknownInstance(name) => write!(f, "unknown instance `{name}`"),
+            Self::UnknownPort(name) => write!(f, "unknown port `{name}`"),
+            Self::UnknownNet(name) => write!(f, "unknown net `{name}`"),
+            Self::MultipleDrivers { net } => write!(f, "net `{net}` has multiple drivers"),
+            Self::PinAlreadyConnected { pin } => {
+                write!(f, "pin `{pin}` is already connected to a net")
+            }
+            Self::Parse { line, message } => write!(f, "netlist parse error at line {line}: {message}"),
+            Self::Invalid(msg) => write!(f, "invalid netlist: {msg}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NetlistError::UnknownCell("NAND9".into());
+        assert_eq!(e.to_string(), "unknown library cell `NAND9`");
+        let e = NetlistError::Parse {
+            line: 12,
+            message: "expected `=`".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

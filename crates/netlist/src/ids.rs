@@ -1,0 +1,112 @@
+//! Index newtypes used across the `modemerge` stack.
+//!
+//! All arenas in this crate (and in the downstream STA crate) are flat
+//! `Vec`s indexed by these `u32` newtypes. The newtypes keep the indices
+//! from being mixed up at compile time while staying `Copy` and
+//! hash-friendly.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index overflows u32"))
+            }
+
+            /// Returns the raw index for arena access.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a cell master in a [`Library`](crate::library::Library).
+    LibCellId,
+    "c"
+);
+id_type!(
+    /// Identifies an [`Instance`](crate::netlist::Instance) in a netlist.
+    InstId,
+    "i"
+);
+id_type!(
+    /// Identifies a [`Pin`](crate::netlist::Pin) in a netlist.
+    ///
+    /// Both instance pins and top-level port pins share this id space;
+    /// downstream timing graphs use `PinId` directly as their node id.
+    PinId,
+    "p"
+);
+id_type!(
+    /// Identifies a [`Net`](crate::netlist::Net) in a netlist.
+    NetId,
+    "n"
+);
+id_type!(
+    /// Identifies a top-level [`Port`](crate::netlist::Port).
+    PortId,
+    "P"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = PinId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn debug_and_display_are_tagged() {
+        assert_eq!(format!("{:?}", NetId::new(7)), "n7");
+        assert_eq!(format!("{}", InstId::new(3)), "i3");
+        assert_eq!(format!("{}", PortId::new(0)), "P0");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(PinId::new(1) < PinId::new(2));
+        assert_eq!(LibCellId::new(5), LibCellId::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "id index overflows u32")]
+    fn new_panics_on_overflow() {
+        let _ = PinId::new(usize::MAX);
+    }
+}

@@ -1,0 +1,64 @@
+//! Gate-level netlist data model for the `modemerge` stack.
+//!
+//! This crate provides the structural substrate that the static-timing
+//! engine ([`modemerge-sta`]) and the mode-merging engine
+//! ([`modemerge-core`]) operate on:
+//!
+//! * a small standard-cell [`Library`] (combinational
+//!   gates, flip-flops, latches, clock-gating cells, tie cells),
+//! * an index-based [`Netlist`] arena (instances, pins,
+//!   nets, top-level ports),
+//! * a [`NetlistBuilder`] for programmatic
+//!   construction,
+//! * a line-oriented [text format](text) and a structural
+//!   [Verilog](verilog) reader/writer,
+//! * the [paper's example circuit](paper::paper_circuit) (Figure 1 of
+//!   Sripada & Palla, DAC 2015) used throughout tests and examples.
+//!
+//! # Example
+//!
+//! ```
+//! use modemerge_netlist::prelude::*;
+//!
+//! # fn main() -> Result<(), NetlistError> {
+//! let lib = Library::standard();
+//! let mut b = NetlistBuilder::new("top", lib);
+//! let clk = b.input_port("clk")?;
+//! let d = b.input_port("d")?;
+//! let q = b.output_port("q")?;
+//! let ff = b.instance("r0", "DFF")?;
+//! b.connect_port_to_pin(clk, ff, "CP")?;
+//! b.connect_port_to_pin(d, ff, "D")?;
+//! b.connect_pin_to_port(ff, "Q", q)?;
+//! let netlist = b.finish()?;
+//! assert_eq!(netlist.instance_count(), 1);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`modemerge-sta`]: https://example.com/modemerge
+//! [`modemerge-core`]: https://example.com/modemerge
+
+pub mod builder;
+pub mod error;
+pub mod ids;
+pub mod library;
+pub mod netlist;
+pub mod paper;
+pub mod text;
+pub mod verilog;
+
+pub use builder::NetlistBuilder;
+pub use error::NetlistError;
+pub use ids::{InstId, LibCellId, NetId, PinId, PortId};
+pub use library::{CellFunction, LibCell, LibPin, Library, PinDirection, PinRole};
+pub use netlist::{Instance, Net, Netlist, Pin, PinOwner, Port};
+
+/// Convenience re-exports for downstream crates and examples.
+pub mod prelude {
+    pub use crate::builder::NetlistBuilder;
+    pub use crate::error::NetlistError;
+    pub use crate::ids::{InstId, LibCellId, NetId, PinId, PortId};
+    pub use crate::library::{CellFunction, Library, PinDirection, PinRole};
+    pub use crate::netlist::{Netlist, PinOwner};
+}

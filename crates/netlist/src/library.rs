@@ -1,0 +1,536 @@
+//! Standard-cell library: cell masters, pin descriptions and logic
+//! functions.
+//!
+//! The library is deliberately small but covers everything the DAC'15
+//! mode-merging paper needs: simple combinational gates, a 2:1 mux (used
+//! as a clock mux in the paper's Figure 1), flip-flops, a level-sensitive
+//! latch, an integrated clock-gating cell and tie cells.
+
+use crate::error::NetlistError;
+use crate::ids::LibCellId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Direction of a library pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PinDirection {
+    /// Signal flows into the cell.
+    Input,
+    /// Signal flows out of the cell.
+    Output,
+}
+
+impl fmt::Display for PinDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Input => f.write_str("input"),
+            Self::Output => f.write_str("output"),
+        }
+    }
+}
+
+/// Functional role of a library pin.
+///
+/// The role drives timing-graph construction in the STA crate: `Clock`
+/// pins terminate the clock network, `Select`/`Enable` pins participate
+/// in case-analysis-driven arc disabling, and `Data` pins of sequential
+/// cells become timing endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PinRole {
+    /// Ordinary data input/output.
+    Data,
+    /// Clock input of a sequential cell or clock-gating cell.
+    Clock,
+    /// Select input of a mux.
+    Select,
+    /// Enable input (latch enable, clock-gate enable).
+    Enable,
+    /// Asynchronous reset input (active low).
+    Reset,
+}
+
+/// Logic function of a cell master.
+///
+/// Multi-input gates store their input count; the evaluation rules use
+/// controlling values so that case-analysis constants propagate exactly
+/// as a designer would expect (e.g. one `0` input forces an AND output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellFunction {
+    /// Non-inverting buffer.
+    Buf,
+    /// Inverter.
+    Inv,
+    /// N-input AND.
+    And,
+    /// N-input OR.
+    Or,
+    /// N-input NAND.
+    Nand,
+    /// N-input NOR.
+    Nor,
+    /// 2-input XOR.
+    Xor,
+    /// 2-input XNOR.
+    Xnor,
+    /// 2:1 multiplexer (`S == 0` selects `A`, `S == 1` selects `B`).
+    Mux2,
+    /// Constant logic 0.
+    Tie0,
+    /// Constant logic 1.
+    Tie1,
+    /// Positive-edge D flip-flop (`D`, `CP`, `Q`).
+    Dff,
+    /// Positive-edge D flip-flop with active-low async reset
+    /// (`D`, `CP`, `RN`, `Q`).
+    DffR,
+    /// Level-sensitive latch (`D`, `EN`, `Q`), transparent when `EN == 1`.
+    Latch,
+    /// Integrated clock-gating cell (`CLK`, `EN`, `GCLK`):
+    /// `GCLK = CLK & EN` with the enable latched (modelled combinationally).
+    ClockGate,
+}
+
+impl CellFunction {
+    /// Returns `true` for cells that hold state (flip-flops and latches).
+    ///
+    /// Sequential cells break the clock network and the data network:
+    /// their data pins are timing endpoints and their clock pins are
+    /// clock-network sinks.
+    pub fn is_sequential(self) -> bool {
+        matches!(self, Self::Dff | Self::DffR | Self::Latch)
+    }
+
+    /// Evaluates the combinational output given input values.
+    ///
+    /// `inputs` are the cell's *data-relevant* input values in library pin
+    /// order (see [`LibCell::input_pin_indices`]). `None` means unknown.
+    /// Returns `None` for sequential cells (their output is state, not a
+    /// function of current inputs) and for unknown results.
+    pub fn eval(self, inputs: &[Option<bool>]) -> Option<bool> {
+        fn all_known(inputs: &[Option<bool>]) -> Option<Vec<bool>> {
+            inputs.iter().copied().collect()
+        }
+        match self {
+            Self::Buf => inputs.first().copied().flatten(),
+            Self::Inv => inputs.first().copied().flatten().map(|v| !v),
+            Self::And => {
+                if inputs.contains(&Some(false)) {
+                    Some(false)
+                } else if inputs.iter().all(|v| *v == Some(true)) {
+                    Some(true)
+                } else {
+                    None
+                }
+            }
+            Self::Or => {
+                if inputs.contains(&Some(true)) {
+                    Some(true)
+                } else if inputs.iter().all(|v| *v == Some(false)) {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            Self::Nand => Self::And.eval(inputs).map(|v| !v),
+            Self::Nor => Self::Or.eval(inputs).map(|v| !v),
+            Self::Xor => all_known(inputs).map(|vs| vs.iter().fold(false, |acc, v| acc ^ v)),
+            Self::Xnor => Self::Xor.eval(inputs).map(|v| !v),
+            Self::Mux2 => {
+                // inputs: [A, B, S]
+                let (a, b, s) = (inputs[0], inputs[1], inputs[2]);
+                match s {
+                    Some(false) => a,
+                    Some(true) => b,
+                    None => {
+                        if a.is_some() && a == b {
+                            a
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+            Self::Tie0 => Some(false),
+            Self::Tie1 => Some(true),
+            // GCLK is low when the enable is 0 regardless of the clock.
+            Self::ClockGate => {
+                let (_clk, en) = (inputs[0], inputs[1]);
+                match en {
+                    Some(false) => Some(false),
+                    _ => None,
+                }
+            }
+            Self::Dff | Self::DffR | Self::Latch => None,
+        }
+    }
+}
+
+/// A pin on a cell master.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LibPin {
+    name: String,
+    direction: PinDirection,
+    role: PinRole,
+}
+
+impl LibPin {
+    /// Pin name as written in netlists (`A`, `Z`, `CP`, …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Pin direction.
+    pub fn direction(&self) -> PinDirection {
+        self.direction
+    }
+
+    /// Functional role of this pin.
+    pub fn role(&self) -> PinRole {
+        self.role
+    }
+}
+
+/// A cell master: name, function, pins and an intrinsic delay used by the
+/// wire-load-model delay calculator in the STA crate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibCell {
+    name: String,
+    function: CellFunction,
+    pins: Vec<LibPin>,
+    intrinsic_delay: f64,
+}
+
+impl LibCell {
+    /// Cell master name (`INV`, `AND2`, `DFF`, …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Logic function.
+    pub fn function(&self) -> CellFunction {
+        self.function
+    }
+
+    /// All pins of the master, in declaration order.
+    pub fn pins(&self) -> &[LibPin] {
+        &self.pins
+    }
+
+    /// Intrinsic (load-independent) delay of the cell's timing arcs.
+    pub fn intrinsic_delay(&self) -> f64 {
+        self.intrinsic_delay
+    }
+
+    /// Looks up a pin index by name.
+    pub fn pin_index(&self, name: &str) -> Option<usize> {
+        self.pins.iter().position(|p| p.name == name)
+    }
+
+    /// Indices of input pins, in declaration order.
+    ///
+    /// The order matches what [`CellFunction::eval`] expects.
+    pub fn input_pin_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.pins
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.direction == PinDirection::Input)
+            .map(|(i, _)| i)
+    }
+
+    /// Indices of output pins, in declaration order.
+    pub fn output_pin_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.pins
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.direction == PinDirection::Output)
+            .map(|(i, _)| i)
+    }
+
+    /// Returns `true` if the cell holds state.
+    pub fn is_sequential(&self) -> bool {
+        self.function.is_sequential()
+    }
+}
+
+/// A collection of cell masters.
+///
+/// Use [`Library::standard`] for the built-in library; additional masters
+/// can be registered with [`Library::add_cell`].
+#[derive(Debug, Clone, Default)]
+pub struct Library {
+    cells: Vec<LibCell>,
+    by_name: HashMap<String, LibCellId>,
+}
+
+impl Library {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the built-in standard library.
+    ///
+    /// Masters: `BUF`, `INV`, `AND2`, `AND3`, `OR2`, `OR3`, `NAND2`,
+    /// `NOR2`, `XOR2`, `XNOR2`, `MUX2`, `TIE0`, `TIE1`, `DFF`, `DFFR`,
+    /// `LATCH`, `CKGATE`.
+    pub fn standard() -> Self {
+        use CellFunction as F;
+        use PinDirection::{Input, Output};
+        use PinRole as R;
+
+        let mut lib = Self::new();
+        let data_in = |n: &str| (n.to_owned(), Input, R::Data);
+        let data_out = |n: &str| (n.to_owned(), Output, R::Data);
+
+        let comb = |lib: &mut Self, name: &str, f: F, inputs: &[&str], delay: f64| {
+            let mut pins: Vec<_> = inputs.iter().map(|n| data_in(n)).collect();
+            pins.push(data_out("Z"));
+            lib.add_cell_internal(name, f, pins, delay);
+        };
+
+        comb(&mut lib, "BUF", F::Buf, &["A"], 0.3);
+        comb(&mut lib, "INV", F::Inv, &["A"], 0.2);
+        comb(&mut lib, "AND2", F::And, &["A", "B"], 0.5);
+        comb(&mut lib, "AND3", F::And, &["A", "B", "C"], 0.6);
+        comb(&mut lib, "OR2", F::Or, &["A", "B"], 0.5);
+        comb(&mut lib, "OR3", F::Or, &["A", "B", "C"], 0.6);
+        comb(&mut lib, "NAND2", F::Nand, &["A", "B"], 0.4);
+        comb(&mut lib, "NOR2", F::Nor, &["A", "B"], 0.4);
+        comb(&mut lib, "XOR2", F::Xor, &["A", "B"], 0.7);
+        comb(&mut lib, "XNOR2", F::Xnor, &["A", "B"], 0.7);
+
+        lib.add_cell_internal(
+            "MUX2",
+            F::Mux2,
+            vec![
+                data_in("A"),
+                data_in("B"),
+                ("S".into(), Input, R::Select),
+                data_out("Z"),
+            ],
+            0.6,
+        );
+        lib.add_cell_internal("TIE0", F::Tie0, vec![data_out("Z")], 0.0);
+        lib.add_cell_internal("TIE1", F::Tie1, vec![data_out("Z")], 0.0);
+        lib.add_cell_internal(
+            "DFF",
+            F::Dff,
+            vec![
+                data_in("D"),
+                ("CP".into(), Input, R::Clock),
+                data_out("Q"),
+            ],
+            0.8,
+        );
+        lib.add_cell_internal(
+            "DFFR",
+            F::DffR,
+            vec![
+                data_in("D"),
+                ("CP".into(), Input, R::Clock),
+                ("RN".into(), Input, R::Reset),
+                data_out("Q"),
+            ],
+            0.8,
+        );
+        lib.add_cell_internal(
+            "LATCH",
+            F::Latch,
+            vec![
+                data_in("D"),
+                ("EN".into(), Input, R::Enable),
+                data_out("Q"),
+            ],
+            0.5,
+        );
+        lib.add_cell_internal(
+            "CKGATE",
+            F::ClockGate,
+            vec![
+                ("CLK".into(), Input, R::Clock),
+                ("EN".into(), Input, R::Enable),
+                data_out("GCLK"),
+            ],
+            0.3,
+        );
+        lib
+    }
+
+    fn add_cell_internal(
+        &mut self,
+        name: &str,
+        function: CellFunction,
+        pins: Vec<(String, PinDirection, PinRole)>,
+        intrinsic_delay: f64,
+    ) -> LibCellId {
+        let id = LibCellId::new(self.cells.len());
+        self.cells.push(LibCell {
+            name: name.to_owned(),
+            function,
+            pins: pins
+                .into_iter()
+                .map(|(name, direction, role)| LibPin {
+                    name,
+                    direction,
+                    role,
+                })
+                .collect(),
+            intrinsic_delay,
+        });
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Registers a custom cell master.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if a master with the same
+    /// name already exists.
+    pub fn add_cell(
+        &mut self,
+        name: &str,
+        function: CellFunction,
+        pins: Vec<(String, PinDirection, PinRole)>,
+        intrinsic_delay: f64,
+    ) -> Result<LibCellId, NetlistError> {
+        if self.by_name.contains_key(name) {
+            return Err(NetlistError::DuplicateName(name.to_owned()));
+        }
+        Ok(self.add_cell_internal(name, function, pins, intrinsic_delay))
+    }
+
+    /// Looks up a cell master by name.
+    pub fn cell_by_name(&self, name: &str) -> Option<LibCellId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the cell master for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this library.
+    pub fn cell(&self, id: LibCellId) -> &LibCell {
+        &self.cells[id.index()]
+    }
+
+    /// Number of cell masters.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Iterates over `(id, master)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (LibCellId, &LibCell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (LibCellId::new(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_has_expected_cells() {
+        let lib = Library::standard();
+        for name in [
+            "BUF", "INV", "AND2", "AND3", "OR2", "OR3", "NAND2", "NOR2", "XOR2", "XNOR2", "MUX2",
+            "TIE0", "TIE1", "DFF", "DFFR", "LATCH", "CKGATE",
+        ] {
+            assert!(lib.cell_by_name(name).is_some(), "missing {name}");
+        }
+        assert_eq!(lib.cell_count(), 17);
+    }
+
+    #[test]
+    fn dff_pins_and_roles() {
+        let lib = Library::standard();
+        let dff = lib.cell(lib.cell_by_name("DFF").unwrap());
+        assert!(dff.is_sequential());
+        assert_eq!(dff.pin_index("D"), Some(0));
+        assert_eq!(dff.pin_index("CP"), Some(1));
+        assert_eq!(dff.pin_index("Q"), Some(2));
+        assert_eq!(dff.pins()[1].role(), PinRole::Clock);
+        assert_eq!(dff.pins()[2].direction(), PinDirection::Output);
+    }
+
+    #[test]
+    fn and_controlling_value() {
+        use CellFunction::And;
+        assert_eq!(And.eval(&[Some(false), None]), Some(false));
+        assert_eq!(And.eval(&[Some(true), Some(true)]), Some(true));
+        assert_eq!(And.eval(&[Some(true), None]), None);
+    }
+
+    #[test]
+    fn or_controlling_value() {
+        use CellFunction::Or;
+        assert_eq!(Or.eval(&[Some(true), None]), Some(true));
+        assert_eq!(Or.eval(&[Some(false), Some(false)]), Some(false));
+        assert_eq!(Or.eval(&[Some(false), None]), None);
+    }
+
+    #[test]
+    fn nand_nor_invert() {
+        assert_eq!(CellFunction::Nand.eval(&[Some(false), None]), Some(true));
+        assert_eq!(CellFunction::Nor.eval(&[Some(true), None]), Some(false));
+    }
+
+    #[test]
+    fn xor_needs_all_inputs() {
+        use CellFunction::Xor;
+        assert_eq!(Xor.eval(&[Some(true), Some(false)]), Some(true));
+        assert_eq!(Xor.eval(&[Some(true), Some(true)]), Some(false));
+        assert_eq!(Xor.eval(&[Some(true), None]), None);
+        assert_eq!(CellFunction::Xnor.eval(&[Some(true), Some(false)]), Some(false));
+    }
+
+    #[test]
+    fn mux_select_known() {
+        use CellFunction::Mux2;
+        // [A, B, S]
+        assert_eq!(Mux2.eval(&[Some(true), Some(false), Some(false)]), Some(true));
+        assert_eq!(Mux2.eval(&[Some(true), Some(false), Some(true)]), Some(false));
+        assert_eq!(Mux2.eval(&[None, Some(false), Some(true)]), Some(false));
+    }
+
+    #[test]
+    fn mux_select_unknown_equal_inputs() {
+        use CellFunction::Mux2;
+        assert_eq!(Mux2.eval(&[Some(true), Some(true), None]), Some(true));
+        assert_eq!(Mux2.eval(&[Some(true), Some(false), None]), None);
+        assert_eq!(Mux2.eval(&[None, None, None]), None);
+    }
+
+    #[test]
+    fn ties_are_constant() {
+        assert_eq!(CellFunction::Tie0.eval(&[]), Some(false));
+        assert_eq!(CellFunction::Tie1.eval(&[]), Some(true));
+    }
+
+    #[test]
+    fn clock_gate_blocks_when_disabled() {
+        use CellFunction::ClockGate;
+        assert_eq!(ClockGate.eval(&[None, Some(false)]), Some(false));
+        assert_eq!(ClockGate.eval(&[None, Some(true)]), None);
+        assert_eq!(ClockGate.eval(&[None, None]), None);
+    }
+
+    #[test]
+    fn sequential_eval_is_unknown() {
+        assert_eq!(CellFunction::Dff.eval(&[Some(true), Some(true)]), None);
+        assert!(CellFunction::Latch.is_sequential());
+        assert!(!CellFunction::ClockGate.is_sequential());
+    }
+
+    #[test]
+    fn custom_cell_rejects_duplicates() {
+        let mut lib = Library::standard();
+        let err = lib
+            .add_cell("INV", CellFunction::Inv, vec![], 0.1)
+            .unwrap_err();
+        assert_eq!(err, NetlistError::DuplicateName("INV".into()));
+    }
+}

@@ -1,0 +1,406 @@
+//! The netlist arena: instances, pins, nets and top-level ports.
+
+use crate::ids::{InstId, LibCellId, NetId, PinId, PortId};
+use crate::library::{LibCell, Library, PinDirection, PinRole};
+use std::collections::HashMap;
+
+/// A placed occurrence of a library cell.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    pub(crate) name: String,
+    pub(crate) cell: LibCellId,
+    /// Pin ids, parallel to the master's pin list.
+    pub(crate) pins: Vec<PinId>,
+}
+
+impl Instance {
+    /// Instance name, unique within the netlist.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Cell master id.
+    pub fn cell(&self) -> LibCellId {
+        self.cell
+    }
+
+    /// Pin ids, parallel to the master's pin list.
+    pub fn pins(&self) -> &[PinId] {
+        &self.pins
+    }
+}
+
+/// Who owns a pin: an instance or a top-level port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PinOwner {
+    /// Instance pin: the owning instance and the index into the master's
+    /// pin list.
+    Instance(InstId, usize),
+    /// The boundary pin of a top-level port.
+    Port(PortId),
+}
+
+/// A connectable point: an instance pin or a port boundary pin.
+#[derive(Debug, Clone)]
+pub struct Pin {
+    pub(crate) owner: PinOwner,
+    pub(crate) net: Option<NetId>,
+}
+
+impl Pin {
+    /// The pin's owner.
+    pub fn owner(&self) -> PinOwner {
+        self.owner
+    }
+
+    /// The net this pin is connected to, if any.
+    pub fn net(&self) -> Option<NetId> {
+        self.net
+    }
+}
+
+/// An electrical net connecting one driver to zero or more loads.
+#[derive(Debug, Clone)]
+pub struct Net {
+    pub(crate) name: String,
+    pub(crate) driver: Option<PinId>,
+    pub(crate) loads: Vec<PinId>,
+}
+
+impl Net {
+    /// Net name, unique within the netlist.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The driving pin (output pin of a cell, or an input port).
+    pub fn driver(&self) -> Option<PinId> {
+        self.driver
+    }
+
+    /// Load pins (cell inputs and output ports).
+    pub fn loads(&self) -> &[PinId] {
+        &self.loads
+    }
+
+    /// Number of loads; used by the wire-load delay model.
+    pub fn fanout(&self) -> usize {
+        self.loads.len()
+    }
+}
+
+/// A top-level port of the design.
+#[derive(Debug, Clone)]
+pub struct Port {
+    pub(crate) name: String,
+    pub(crate) direction: PinDirection,
+    pub(crate) pin: PinId,
+}
+
+impl Port {
+    /// Port name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Port direction (from outside the design: `Input` drives in).
+    pub fn direction(&self) -> PinDirection {
+        self.direction
+    }
+
+    /// The boundary pin representing the port inside the netlist.
+    pub fn pin(&self) -> PinId {
+        self.pin
+    }
+}
+
+/// A flattened gate-level netlist.
+///
+/// Construct with [`NetlistBuilder`](crate::builder::NetlistBuilder) or
+/// parse from the [text format](crate::text). All queries are by id;
+/// name lookups go through the interned maps built at construction time.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) library: Library,
+    pub(crate) instances: Vec<Instance>,
+    pub(crate) pins: Vec<Pin>,
+    pub(crate) nets: Vec<Net>,
+    pub(crate) ports: Vec<Port>,
+    pub(crate) inst_by_name: HashMap<String, InstId>,
+    pub(crate) net_by_name: HashMap<String, NetId>,
+    pub(crate) port_by_name: HashMap<String, PortId>,
+}
+
+impl Netlist {
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The library the netlist was built against.
+    pub fn library(&self) -> &Library {
+        &self.library
+    }
+
+    /// Number of instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of pins (instance pins plus port boundary pins).
+    pub fn pin_count(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of top-level ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Returns an instance by id.
+    pub fn instance(&self, id: InstId) -> &Instance {
+        &self.instances[id.index()]
+    }
+
+    /// Returns a pin by id.
+    pub fn pin(&self, id: PinId) -> &Pin {
+        &self.pins[id.index()]
+    }
+
+    /// Returns a net by id.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Returns a port by id.
+    pub fn port(&self, id: PortId) -> &Port {
+        &self.ports[id.index()]
+    }
+
+    /// Iterates over all instance ids.
+    pub fn instance_ids(&self) -> impl Iterator<Item = InstId> {
+        (0..self.instances.len()).map(InstId::new)
+    }
+
+    /// Iterates over all pin ids.
+    pub fn pin_ids(&self) -> impl Iterator<Item = PinId> {
+        (0..self.pins.len()).map(PinId::new)
+    }
+
+    /// Iterates over all net ids.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> {
+        (0..self.nets.len()).map(NetId::new)
+    }
+
+    /// Iterates over all port ids.
+    pub fn port_ids(&self) -> impl Iterator<Item = PortId> {
+        (0..self.ports.len()).map(PortId::new)
+    }
+
+    /// Looks up an instance by name.
+    pub fn instance_by_name(&self, name: &str) -> Option<InstId> {
+        self.inst_by_name.get(name).copied()
+    }
+
+    /// Looks up a net by name.
+    pub fn net_by_name(&self, name: &str) -> Option<NetId> {
+        self.net_by_name.get(name).copied()
+    }
+
+    /// Looks up a port by name.
+    pub fn port_by_name(&self, name: &str) -> Option<PortId> {
+        self.port_by_name.get(name).copied()
+    }
+
+    /// The library master of a pin's owning cell, if it is an instance pin.
+    pub fn pin_lib_cell(&self, pin: PinId) -> Option<&LibCell> {
+        match self.pins[pin.index()].owner {
+            PinOwner::Instance(inst, _) => {
+                Some(self.library.cell(self.instances[inst.index()].cell))
+            }
+            PinOwner::Port(_) => None,
+        }
+    }
+
+    /// Direction of a pin from the netlist's interior point of view.
+    ///
+    /// An input *port* behaves like an output pin (it drives a net);
+    /// an output port behaves like a load.
+    pub fn pin_direction(&self, pin: PinId) -> PinDirection {
+        match self.pins[pin.index()].owner {
+            PinOwner::Instance(inst, idx) => {
+                let cell = self.library.cell(self.instances[inst.index()].cell);
+                cell.pins()[idx].direction()
+            }
+            PinOwner::Port(port) => match self.ports[port.index()].direction {
+                PinDirection::Input => PinDirection::Output,
+                PinDirection::Output => PinDirection::Input,
+            },
+        }
+    }
+
+    /// Functional role of a pin (`Data` for port pins).
+    pub fn pin_role(&self, pin: PinId) -> PinRole {
+        match self.pins[pin.index()].owner {
+            PinOwner::Instance(inst, idx) => {
+                let cell = self.library.cell(self.instances[inst.index()].cell);
+                cell.pins()[idx].role()
+            }
+            PinOwner::Port(_) => PinRole::Data,
+        }
+    }
+
+    /// Hierarchical name of a pin: `inst/PIN` or the port name.
+    pub fn pin_name(&self, pin: PinId) -> String {
+        match self.pins[pin.index()].owner {
+            PinOwner::Instance(inst, idx) => {
+                let i = &self.instances[inst.index()];
+                let cell = self.library.cell(i.cell);
+                format!("{}/{}", i.name, cell.pins()[idx].name())
+            }
+            PinOwner::Port(port) => self.ports[port.index()].name.clone(),
+        }
+    }
+
+    /// Looks up a pin by hierarchical name (`inst/PIN`) or port name.
+    pub fn find_pin(&self, name: &str) -> Option<PinId> {
+        if let Some((inst_name, pin_name)) = name.rsplit_once('/') {
+            let inst = self.inst_by_name.get(inst_name)?;
+            let i = &self.instances[inst.index()];
+            let cell = self.library.cell(i.cell);
+            let idx = cell.pin_index(pin_name)?;
+            Some(i.pins[idx])
+        } else {
+            let port = self.port_by_name.get(name)?;
+            Some(self.ports[port.index()].pin)
+        }
+    }
+
+    /// Returns the pin of an instance by master pin name.
+    pub fn instance_pin(&self, inst: InstId, pin_name: &str) -> Option<PinId> {
+        let i = &self.instances[inst.index()];
+        let cell = self.library.cell(i.cell);
+        Some(i.pins[cell.pin_index(pin_name)?])
+    }
+
+    /// Iterates over the pins driven (directly, through the connected net)
+    /// by `pin`. Empty if the pin drives no net.
+    pub fn fanout_pins(&self, pin: PinId) -> impl Iterator<Item = PinId> + '_ {
+        let loads: &[PinId] = match self.pins[pin.index()].net {
+            Some(net) if self.nets[net.index()].driver == Some(pin) => {
+                &self.nets[net.index()].loads
+            }
+            _ => &[],
+        };
+        loads.iter().copied()
+    }
+
+    /// The pin driving `pin` through its net, if any.
+    pub fn driver_of(&self, pin: PinId) -> Option<PinId> {
+        let net = self.pins[pin.index()].net?;
+        let drv = self.nets[net.index()].driver?;
+        if drv == pin {
+            None
+        } else {
+            Some(drv)
+        }
+    }
+
+    /// Structural validity checks: every net has a driver, no dangling
+    /// required pins. Returns a list of human-readable issues (empty when
+    /// clean).
+    pub fn lint(&self) -> Vec<String> {
+        let mut issues = Vec::new();
+        for (i, net) in self.nets.iter().enumerate() {
+            if net.driver.is_none() {
+                issues.push(format!("net `{}` ({}) has no driver", net.name, NetId::new(i)));
+            }
+            if net.loads.is_empty() {
+                issues.push(format!("net `{}` ({}) has no loads", net.name, NetId::new(i)));
+            }
+        }
+        for inst in &self.instances {
+            let cell = self.library.cell(inst.cell);
+            for (idx, lp) in cell.pins().iter().enumerate() {
+                if lp.direction() == PinDirection::Input
+                    && self.pins[inst.pins[idx].index()].net.is_none()
+                {
+                    issues.push(format!("input pin `{}/{}` is unconnected", inst.name, lp.name()));
+                }
+            }
+        }
+        issues
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn tiny() -> Netlist {
+        let mut b = NetlistBuilder::new("tiny", Library::standard());
+        let a = b.input_port("a").unwrap();
+        let z = b.output_port("z").unwrap();
+        let inv = b.instance("u1", "INV").unwrap();
+        b.connect_port_to_pin(a, inv, "A").unwrap();
+        b.connect_pin_to_port(inv, "Z", z).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn find_pin_by_hierarchical_name() {
+        let n = tiny();
+        let p = n.find_pin("u1/A").unwrap();
+        assert_eq!(n.pin_name(p), "u1/A");
+        let port_pin = n.find_pin("a").unwrap();
+        assert_eq!(n.pin_name(port_pin), "a");
+        assert!(n.find_pin("u1/X").is_none());
+        assert!(n.find_pin("nope/A").is_none());
+    }
+
+    #[test]
+    fn fanout_and_driver() {
+        let n = tiny();
+        let a = n.find_pin("a").unwrap();
+        let u1_a = n.find_pin("u1/A").unwrap();
+        let u1_z = n.find_pin("u1/Z").unwrap();
+        let z = n.find_pin("z").unwrap();
+        assert_eq!(n.fanout_pins(a).collect::<Vec<_>>(), vec![u1_a]);
+        assert_eq!(n.driver_of(u1_a), Some(a));
+        assert_eq!(n.fanout_pins(u1_z).collect::<Vec<_>>(), vec![z]);
+        assert_eq!(n.driver_of(z), Some(u1_z));
+        assert_eq!(n.driver_of(a), None);
+        // A load pin has no fanout.
+        assert_eq!(n.fanout_pins(u1_a).count(), 0);
+    }
+
+    #[test]
+    fn port_pin_direction_is_flipped() {
+        let n = tiny();
+        let a = n.find_pin("a").unwrap();
+        let z = n.find_pin("z").unwrap();
+        assert_eq!(n.pin_direction(a), PinDirection::Output);
+        assert_eq!(n.pin_direction(z), PinDirection::Input);
+    }
+
+    #[test]
+    fn lint_clean_netlist() {
+        assert!(tiny().lint().is_empty());
+    }
+
+    #[test]
+    fn lint_reports_unconnected_input() {
+        let mut b = NetlistBuilder::new("bad", Library::standard());
+        let _ = b.instance("u1", "INV").unwrap();
+        let n = b.finish().unwrap();
+        let issues = n.lint();
+        assert!(issues.iter().any(|m| m.contains("u1/A")));
+    }
+}

@@ -1,0 +1,138 @@
+//! The example circuit of Figure 1 in Sripada & Palla (DAC 2015).
+//!
+//! The paper never shows the full schematic; this reconstruction is
+//! derived from every path the text enumerates:
+//!
+//! * `rA/Q → inv1/Z → rX/D`
+//! * `rA/Q → inv1/Z → and1/Z → inv2/Z → rY/D`
+//! * `rB/Q → and1/Z → inv2/Z → rY/D`
+//! * `rC/CP → and2/A → rZ/D` and `rC/CP → inv3/A → rZ/D`
+//!   (reconvergence at `and2/Z`, Table 4)
+//! * a clock mux `mux1` whose select is a function of ports `sel1`/`sel2`
+//!   such that the case values of Constraint Set 3 (`sel1=0, sel2=1` and
+//!   `sel1=1, sel2=0`) both force the select to `1` — an XOR.
+//! * ports `clk1`, `clk2` (clock sources), `in1` (input delay target),
+//!   `out1` (output delay target).
+//!
+//! Registers `rA`, `rB`, `rC` are clocked directly by `clk1`; `rX`, `rY`,
+//! `rZ` are clocked by the mux output, so with no case analysis a clock
+//! on `clk1` reaches all six registers, matching Constraint Set 1.
+
+use crate::builder::NetlistBuilder;
+use crate::library::Library;
+use crate::netlist::Netlist;
+
+/// Builds the Figure-1 example circuit.
+///
+/// # Panics
+///
+/// Never panics in practice; the circuit is statically well-formed
+/// against [`Library::standard`].
+pub fn paper_circuit() -> Netlist {
+    let mut b = NetlistBuilder::new("fig1", Library::standard());
+
+    let clk1 = b.input_port("clk1").expect("fresh port");
+    let clk2 = b.input_port("clk2").expect("fresh port");
+    let sel1 = b.input_port("sel1").expect("fresh port");
+    let sel2 = b.input_port("sel2").expect("fresh port");
+    let in1 = b.input_port("in1").expect("fresh port");
+    let out1 = b.output_port("out1").expect("fresh port");
+
+    let xor_s = b.instance("xorS", "XOR2").expect("fresh inst");
+    let mux1 = b.instance("mux1", "MUX2").expect("fresh inst");
+    let regs = ["rA", "rB", "rC", "rX", "rY", "rZ"]
+        .map(|name| b.instance(name, "DFF").expect("fresh inst"));
+    let [r_a, r_b, r_c, r_x, r_y, r_z] = regs;
+    let inv1 = b.instance("inv1", "INV").expect("fresh inst");
+    let inv2 = b.instance("inv2", "INV").expect("fresh inst");
+    let inv3 = b.instance("inv3", "INV").expect("fresh inst");
+    let and1 = b.instance("and1", "AND2").expect("fresh inst");
+    let and2 = b.instance("and2", "AND2").expect("fresh inst");
+
+    // Clock network: clk1 → {rA, rB, rC}.CP and mux1/A; clk2 → mux1/B;
+    // xor(sel1, sel2) → mux1/S; mux1/Z → {rX, rY, rZ}.CP.
+    for r in [r_a, r_b, r_c] {
+        b.connect_port_to_pin(clk1, r, "CP").expect("connect");
+    }
+    b.connect_port_to_pin(clk1, mux1, "A").expect("connect");
+    b.connect_port_to_pin(clk2, mux1, "B").expect("connect");
+    b.connect_port_to_pin(sel1, xor_s, "A").expect("connect");
+    b.connect_port_to_pin(sel2, xor_s, "B").expect("connect");
+    b.connect_pins(xor_s, "Z", mux1, "S").expect("connect");
+    for r in [r_x, r_y, r_z] {
+        b.connect_pins(mux1, "Z", r, "CP").expect("connect");
+    }
+
+    // Data network.
+    for r in [r_a, r_b, r_c] {
+        b.connect_port_to_pin(in1, r, "D").expect("connect");
+    }
+    b.connect_pins(r_a, "Q", inv1, "A").expect("connect");
+    b.connect_pins(inv1, "Z", r_x, "D").expect("connect");
+    b.connect_pins(inv1, "Z", and1, "A").expect("connect");
+    b.connect_pins(r_b, "Q", and1, "B").expect("connect");
+    b.connect_pins(and1, "Z", inv2, "A").expect("connect");
+    b.connect_pins(inv2, "Z", r_y, "D").expect("connect");
+    b.connect_pins(r_c, "Q", and2, "A").expect("connect");
+    b.connect_pins(r_c, "Q", inv3, "A").expect("connect");
+    b.connect_pins(inv3, "Z", and2, "B").expect("connect");
+    b.connect_pins(and2, "Z", r_z, "D").expect("connect");
+    b.connect_pin_to_port(r_z, "Q", out1).expect("connect");
+
+    b.finish().expect("paper circuit is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circuit_is_structurally_clean() {
+        let n = paper_circuit();
+        let issues: Vec<_> = n
+            .lint()
+            .into_iter()
+            // rX/Q and rY/Q intentionally dangle (their nets don't exist).
+            .collect();
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn enumerated_paths_exist() {
+        let n = paper_circuit();
+        // rA/Q → inv1/A
+        let ra_q = n.find_pin("rA/Q").unwrap();
+        let inv1_a = n.find_pin("inv1/A").unwrap();
+        assert!(n.fanout_pins(ra_q).any(|p| p == inv1_a));
+        // inv1/Z fans out to both rX/D and and1/A
+        let inv1_z = n.find_pin("inv1/Z").unwrap();
+        let fanout: Vec<_> = n.fanout_pins(inv1_z).map(|p| n.pin_name(p)).collect();
+        assert!(fanout.contains(&"rX/D".to_owned()));
+        assert!(fanout.contains(&"and1/A".to_owned()));
+        // Reconvergence: rC/Q fans out to and2/A and inv3/A.
+        let rc_q = n.find_pin("rC/Q").unwrap();
+        let fanout: Vec<_> = n.fanout_pins(rc_q).map(|p| n.pin_name(p)).collect();
+        assert!(fanout.contains(&"and2/A".to_owned()));
+        assert!(fanout.contains(&"inv3/A".to_owned()));
+    }
+
+    #[test]
+    fn clock_mux_wiring() {
+        let n = paper_circuit();
+        let mux_z = n.find_pin("mux1/Z").unwrap();
+        let sinks: Vec<_> = n.fanout_pins(mux_z).map(|p| n.pin_name(p)).collect();
+        assert_eq!(sinks.len(), 3);
+        for r in ["rX/CP", "rY/CP", "rZ/CP"] {
+            assert!(sinks.contains(&r.to_owned()));
+        }
+        let mux_s = n.find_pin("mux1/S").unwrap();
+        assert_eq!(n.pin_name(n.driver_of(mux_s).unwrap()), "xorS/Z");
+    }
+
+    #[test]
+    fn counts() {
+        let n = paper_circuit();
+        assert_eq!(n.instance_count(), 13);
+        assert_eq!(n.port_count(), 6);
+    }
+}

@@ -1,0 +1,212 @@
+//! A line-oriented structural netlist text format.
+//!
+//! The format is intentionally simple — it exists so that designs used
+//! in tests, examples and benchmarks can be serialized and inspected:
+//!
+//! ```text
+//! # comment
+//! design top
+//! input clk1            # input port, drives net "clk1"
+//! input d din           # input port "d", drives net "din"
+//! output q qout         # output port "q", loaded from net "qout"
+//! inst r0 DFF D=din CP=clk1 Q=qout
+//! ```
+//!
+//! Nets are created implicitly the first time they are referenced.
+//! A net name of `-` leaves the port unconnected. [`parse`] reads the
+//! format, [`write()`](fn@write) emits it; the two round-trip.
+
+use crate::builder::NetlistBuilder;
+use crate::error::NetlistError;
+use crate::library::{Library, PinDirection};
+use crate::netlist::Netlist;
+use std::fmt::Write as _;
+
+/// Parses the text format into a [`Netlist`] using `library`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with a line number for syntax errors,
+/// and the underlying construction error for semantic ones (unknown
+/// cells, multiple drivers, …).
+pub fn parse(input: &str, library: Library) -> Result<Netlist, NetlistError> {
+    let mut builder: Option<NetlistBuilder> = None;
+    let err = |line: usize, message: &str| NetlistError::Parse {
+        line,
+        message: message.to_owned(),
+    };
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = lineno + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut tokens = content.split_whitespace();
+        let keyword = tokens.next().expect("non-empty line has a token");
+        match keyword {
+            "design" => {
+                if builder.is_some() {
+                    return Err(err(line, "duplicate `design` line"));
+                }
+                let name = tokens.next().ok_or_else(|| err(line, "expected design name"))?;
+                builder = Some(NetlistBuilder::new(name, library.clone()));
+            }
+            "input" | "output" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(line, "`design` line must come first"))?;
+                let port_name = tokens.next().ok_or_else(|| err(line, "expected port name"))?;
+                let net_name = tokens.next().unwrap_or(port_name).to_owned();
+                let port = if keyword == "input" {
+                    b.input_port(port_name)?
+                } else {
+                    b.output_port(port_name)?
+                };
+                if net_name != "-" {
+                    let net = b.net(&net_name)?;
+                    b.connect_port(port, net)?;
+                }
+            }
+            "inst" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(line, "`design` line must come first"))?;
+                let inst_name = tokens.next().ok_or_else(|| err(line, "expected instance name"))?;
+                let cell_name = tokens.next().ok_or_else(|| err(line, "expected cell name"))?;
+                let inst = b.instance(inst_name, cell_name)?;
+                for assign in tokens {
+                    let (pin, net_name) = assign
+                        .split_once('=')
+                        .ok_or_else(|| err(line, "expected PIN=net assignment"))?;
+                    let net = b.net(net_name)?;
+                    b.connect(inst, pin, net)?;
+                }
+            }
+            other => return Err(err(line, &format!("unknown keyword `{other}`"))),
+        }
+    }
+    builder
+        .ok_or_else(|| err(0, "missing `design` line"))?
+        .finish()
+}
+
+/// Serializes a [`Netlist`] to the text format.
+pub fn write(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "design {}", netlist.name());
+    for port_id in netlist.port_ids() {
+        let port = netlist.port(port_id);
+        let keyword = match port.direction() {
+            PinDirection::Input => "input",
+            PinDirection::Output => "output",
+        };
+        match netlist.pin(port.pin()).net() {
+            Some(net) => {
+                let net_name = netlist.net(net).name();
+                if net_name == port.name() {
+                    let _ = writeln!(out, "{keyword} {}", port.name());
+                } else {
+                    let _ = writeln!(out, "{keyword} {} {net_name}", port.name());
+                }
+            }
+            None => {
+                let _ = writeln!(out, "{keyword} {} -", port.name());
+            }
+        }
+    }
+    for inst_id in netlist.instance_ids() {
+        let inst = netlist.instance(inst_id);
+        let cell = netlist.library().cell(inst.cell());
+        let _ = write!(out, "inst {} {}", inst.name(), cell.name());
+        for (idx, &pin) in inst.pins().iter().enumerate() {
+            if let Some(net) = netlist.pin(pin).net() {
+                let _ = write!(out, " {}={}", cell.pins()[idx].name(), netlist.net(net).name());
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a comment
+design top
+input clk1
+input d din
+output q qout
+inst r0 DFF D=din CP=clk1 Q=qout
+";
+
+    #[test]
+    fn parse_sample() {
+        let n = parse(SAMPLE, Library::standard()).unwrap();
+        assert_eq!(n.name(), "top");
+        assert_eq!(n.instance_count(), 1);
+        assert_eq!(n.port_count(), 3);
+        assert!(n.find_pin("r0/D").is_some());
+        assert!(n.lint().is_empty());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let n1 = parse(SAMPLE, Library::standard()).unwrap();
+        let text = write(&n1);
+        let n2 = parse(&text, Library::standard()).unwrap();
+        assert_eq!(write(&n2), text);
+        assert_eq!(n1.instance_count(), n2.instance_count());
+        assert_eq!(n1.net_count(), n2.net_count());
+    }
+
+    #[test]
+    fn missing_design_line_is_error() {
+        let e = parse("input a\n", Library::standard()).unwrap_err();
+        assert!(matches!(e, NetlistError::Parse { .. }));
+    }
+
+    #[test]
+    fn bad_assignment_is_error() {
+        let src = "design t\ninst u1 INV Anet\n";
+        let e = parse(src, Library::standard()).unwrap_err();
+        assert!(matches!(e, NetlistError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn unknown_keyword_is_error() {
+        let e = parse("design t\nwire n1\n", Library::standard()).unwrap_err();
+        assert!(e.to_string().contains("unknown keyword"));
+    }
+
+    #[test]
+    fn duplicate_design_is_error() {
+        let e = parse("design a\ndesign b\n", Library::standard()).unwrap_err();
+        assert!(e.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn semantic_error_propagates() {
+        let src = "design t\ninst u1 NOSUCH\n";
+        let e = parse(src, Library::standard()).unwrap_err();
+        assert!(matches!(e, NetlistError::UnknownCell(_)));
+    }
+
+    #[test]
+    fn unconnected_port_roundtrip() {
+        let src = "design t\ninput unused -\n";
+        let n = parse(src, Library::standard()).unwrap();
+        let pin = n.port(n.port_by_name("unused").unwrap()).pin();
+        assert!(n.pin(pin).net().is_none());
+        assert_eq!(write(&n), src);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "\n# hi\ndesign t\n\n  # indented comment\ninput a\n";
+        let n = parse(src, Library::standard()).unwrap();
+        assert_eq!(n.port_count(), 1);
+    }
+}

@@ -1,0 +1,465 @@
+//! Structural (gate-level) Verilog reader and writer.
+//!
+//! Real designs arrive as flattened gate-level Verilog; this module
+//! supports the structural subset those netlists use:
+//!
+//! ```verilog
+//! // comments and /* block comments */
+//! module top (clk, din, dout);
+//!   input clk;
+//!   input din;
+//!   output dout;
+//!   wire n1, n2;
+//!   INV u1 (.A(din), .Z(n1));
+//!   DFF r0 (.D(n1), .CP(clk), .Q(dout));
+//! endmodule
+//! ```
+//!
+//! Named port connections only (`.PIN(net)`), scalar nets only (no
+//! vectors, no assigns, no parameters, no hierarchy — designs must be
+//! flattened). [`parse_verilog`] reads, [`write_verilog`] emits, and the
+//! two round-trip.
+
+use crate::builder::NetlistBuilder;
+use crate::error::NetlistError;
+use crate::library::{Library, PinDirection};
+use crate::netlist::Netlist;
+use std::fmt::Write as _;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Symbol(char),
+}
+
+fn lex(input: &str) -> Result<Vec<(usize, Tok)>, NetlistError> {
+    let mut toks = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                match chars.peek() {
+                    Some('/') => {
+                        for c in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                                break;
+                            }
+                        }
+                    }
+                    Some('*') => {
+                        chars.next();
+                        let mut prev = ' ';
+                        loop {
+                            match chars.next() {
+                                Some('\n') => {
+                                    line += 1;
+                                    prev = '\n';
+                                }
+                                Some('/') if prev == '*' => break,
+                                Some(c) => prev = c,
+                                None => {
+                                    return Err(NetlistError::Parse {
+                                        line,
+                                        message: "unterminated block comment".into(),
+                                    })
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        return Err(NetlistError::Parse {
+                            line,
+                            message: "stray `/`".into(),
+                        })
+                    }
+                }
+            }
+            '(' | ')' | ',' | ';' | '.' => {
+                toks.push((line, Tok::Symbol(c)));
+                chars.next();
+            }
+            '\\' => {
+                // Escaped identifier: backslash to next whitespace.
+                chars.next();
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() {
+                        break;
+                    }
+                    name.push(c);
+                    chars.next();
+                }
+                toks.push((line, Tok::Ident(name)));
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '$' => {
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '$' || c == '/' {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((line, Tok::Ident(name)));
+            }
+            other => {
+                return Err(NetlistError::Parse {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|(l, _)| *l)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, message: impl Into<String>) -> NetlistError {
+        NetlistError::Parse {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn next(&mut self) -> Option<&Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t);
+        self.pos += 1;
+        t
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, NetlistError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s.clone()),
+            _ => Err(NetlistError::Parse {
+                line: self.line(),
+                message: format!("expected {what}"),
+            }),
+        }
+    }
+
+    fn symbol(&mut self, sym: char) -> Result<(), NetlistError> {
+        match self.next() {
+            Some(Tok::Symbol(c)) if *c == sym => Ok(()),
+            _ => Err(NetlistError::Parse {
+                line: self.line(),
+                message: format!("expected `{sym}`"),
+            }),
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: char) -> bool {
+        if self.peek() == Some(&Tok::Symbol(sym)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Parses structural Verilog into a [`Netlist`] using `library`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for syntax outside the supported
+/// subset, and the underlying construction error for semantic problems
+/// (unknown cell masters, multiple drivers, …).
+pub fn parse_verilog(input: &str, library: Library) -> Result<Netlist, NetlistError> {
+    let mut p = Parser {
+        toks: lex(input)?,
+        pos: 0,
+    };
+
+    // module <name> ( port, port, ... ) ;
+    let kw = p.ident("`module`")?;
+    if kw != "module" {
+        return Err(p.err("expected `module`"));
+    }
+    let name = p.ident("module name")?;
+    let mut port_order: Vec<String> = Vec::new();
+    if p.eat_symbol('(') {
+        loop {
+            if p.eat_symbol(')') {
+                break;
+            }
+            port_order.push(p.ident("port name")?);
+            if !p.eat_symbol(',') {
+                p.symbol(')')?;
+                break;
+            }
+        }
+    }
+    p.symbol(';')?;
+
+    let mut b = NetlistBuilder::new(name, library);
+    // Track declared directions before creating ports (order follows the
+    // declaration statements, which is what the writer emits).
+    loop {
+        match p.peek() {
+            Some(Tok::Ident(kw)) if kw == "endmodule" => {
+                p.next();
+                break;
+            }
+            Some(Tok::Ident(kw)) if kw == "input" || kw == "output" || kw == "wire" => {
+                let kind = kw.clone();
+                p.next();
+                loop {
+                    let n = p.ident("name")?;
+                    match kind.as_str() {
+                        "input" => {
+                            let port = b.input_port(&n)?;
+                            let net = b.net(&n)?;
+                            b.connect_port(port, net)?;
+                        }
+                        "output" => {
+                            let port = b.output_port(&n)?;
+                            let net = b.net(&n)?;
+                            b.connect_port(port, net)?;
+                        }
+                        _ => {
+                            b.net(&n)?;
+                        }
+                    }
+                    if !p.eat_symbol(',') {
+                        break;
+                    }
+                }
+                p.symbol(';')?;
+            }
+            Some(Tok::Ident(_)) => {
+                // CELL inst ( .PIN(net), ... ) ;
+                let cell = p.ident("cell name")?;
+                let inst_name = p.ident("instance name")?;
+                let inst = b.instance(&inst_name, &cell)?;
+                let master_pins: Vec<String> = {
+                    let id = b
+                        .library()
+                        .cell_by_name(&cell)
+                        .expect("instance() validated the master");
+                    b.library()
+                        .cell(id)
+                        .pins()
+                        .iter()
+                        .map(|pin| pin.name().to_owned())
+                        .collect()
+                };
+                p.symbol('(')?;
+                loop {
+                    if p.eat_symbol(')') {
+                        break;
+                    }
+                    p.symbol('.')?;
+                    let pin = p.ident("pin name")?;
+                    if !master_pins.contains(&pin) {
+                        return Err(NetlistError::UnknownLibPin { cell, pin });
+                    }
+                    p.symbol('(')?;
+                    // Empty connection `.PIN()` leaves the pin open.
+                    if !p.eat_symbol(')') {
+                        let net_name = p.ident("net name")?;
+                        p.symbol(')')?;
+                        let net = b.net(&net_name)?;
+                        b.connect(inst, &pin, net)?;
+                    }
+                    if !p.eat_symbol(',') {
+                        p.symbol(')')?;
+                        break;
+                    }
+                }
+                p.symbol(';')?;
+            }
+            _ => return Err(p.err("expected declaration, instance or `endmodule`")),
+        }
+    }
+    let _ = port_order; // header order is not significant for the model
+    b.finish()
+}
+
+/// Serializes a [`Netlist`] as structural Verilog.
+pub fn write_verilog(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let ports: Vec<String> = netlist
+        .port_ids()
+        .map(|p| netlist.port(p).name().to_owned())
+        .collect();
+    let _ = writeln!(out, "module {} ({});", netlist.name(), ports.join(", "));
+    for port_id in netlist.port_ids() {
+        let port = netlist.port(port_id);
+        let kw = match port.direction() {
+            PinDirection::Input => "input",
+            PinDirection::Output => "output",
+        };
+        let _ = writeln!(out, "  {kw} {};", port.name());
+    }
+    // Wires: every net that is not identical to a port name.
+    let mut wires: Vec<&str> = netlist
+        .net_ids()
+        .map(|n| netlist.net(n).name())
+        .filter(|n| netlist.port_by_name(n).is_none())
+        .collect();
+    wires.sort_unstable();
+    for w in wires {
+        let _ = writeln!(out, "  wire {w};");
+    }
+    for inst_id in netlist.instance_ids() {
+        let inst = netlist.instance(inst_id);
+        let cell = netlist.library().cell(inst.cell());
+        let conns: Vec<String> = inst
+            .pins()
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, &pin)| {
+                netlist.pin(pin).net().map(|net| {
+                    format!(".{}({})", cell.pins()[idx].name(), netlist.net(net).name())
+                })
+            })
+            .collect();
+        let _ = writeln!(out, "  {} {} ({});", cell.name(), inst.name(), conns.join(", "));
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+// gate-level sample
+module top (clk, din, dout);
+  input clk;
+  input din;
+  output dout;
+  wire n1;
+  INV u1 (.A(din), .Z(n1));
+  DFF r0 (.D(n1), .CP(clk), .Q(dout));
+endmodule
+";
+
+    #[test]
+    fn parse_sample() {
+        let n = parse_verilog(SAMPLE, Library::standard()).unwrap();
+        assert_eq!(n.name(), "top");
+        assert_eq!(n.instance_count(), 2);
+        assert_eq!(n.port_count(), 3);
+        assert!(n.find_pin("u1/A").is_some());
+        assert!(n.lint().is_empty());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let n1 = parse_verilog(SAMPLE, Library::standard()).unwrap();
+        let text = write_verilog(&n1);
+        let n2 = parse_verilog(&text, Library::standard()).unwrap();
+        assert_eq!(write_verilog(&n2), text);
+        assert_eq!(n1.instance_count(), n2.instance_count());
+        assert_eq!(n1.net_count(), n2.net_count());
+    }
+
+    #[test]
+    fn roundtrip_with_text_format() {
+        // Verilog and the native text format describe the same netlist.
+        let from_v = parse_verilog(SAMPLE, Library::standard()).unwrap();
+        let as_text = crate::text::write(&from_v);
+        let from_text = crate::text::parse(&as_text, Library::standard()).unwrap();
+        assert_eq!(write_verilog(&from_text), write_verilog(&from_v));
+    }
+
+    #[test]
+    fn block_comments_and_multi_decls() {
+        let src = "\
+module m (a, b, z);
+  /* header
+     comment */
+  input a, b;
+  output z;
+  AND2 u0 (.A(a), .B(b), .Z(z));
+endmodule
+";
+        let n = parse_verilog(src, Library::standard()).unwrap();
+        assert_eq!(n.port_count(), 3);
+        assert!(n.lint().is_empty());
+    }
+
+    #[test]
+    fn empty_connection_leaves_pin_open() {
+        let src = "\
+module m (a);
+  input a;
+  wire q;
+  DFF r0 (.D(a), .CP(a), .Q(q), .QN());
+endmodule
+";
+        // DFF has no QN pin — expect an error from the builder.
+        assert!(parse_verilog(src, Library::standard()).is_err());
+        let ok = "\
+module m (a);
+  input a;
+  DFF r0 (.D(a), .CP(a), .Q());
+endmodule
+";
+        let n = parse_verilog(ok, Library::standard()).unwrap();
+        let q = n.find_pin("r0/Q").unwrap();
+        assert!(n.pin(q).net().is_none());
+    }
+
+    #[test]
+    fn unknown_cell_is_semantic_error() {
+        let src = "module m (a);\n input a;\n NOPE u0 (.A(a));\nendmodule\n";
+        assert!(matches!(
+            parse_verilog(src, Library::standard()),
+            Err(NetlistError::UnknownCell(_))
+        ));
+    }
+
+    #[test]
+    fn syntax_errors_carry_lines() {
+        let src = "module m (a)\n input a;\nendmodule\n"; // missing `;`
+        match parse_verilog(src, Library::standard()) {
+            Err(NetlistError::Parse { line, .. }) => assert!(line >= 1),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_verilog("garbage", Library::standard()).is_err());
+        assert!(parse_verilog("module m; /* unterminated", Library::standard()).is_err());
+    }
+
+    #[test]
+    fn escaped_identifiers() {
+        let src = "\
+module m (a, z);
+  input a;
+  output z;
+  INV \\u$1 (.A(a), .Z(z));
+endmodule
+";
+        let n = parse_verilog(src, Library::standard()).unwrap();
+        assert!(n.instance_by_name("u$1").is_some());
+    }
+}

@@ -1,0 +1,504 @@
+//! Typed representation of SDC commands.
+
+use crate::error::SdcError;
+use crate::parser;
+use crate::writer;
+use std::fmt;
+
+/// Which object class an SDC query targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ObjectClass {
+    /// `get_ports`
+    Port,
+    /// `get_pins`
+    Pin,
+    /// `get_clocks`
+    Clock,
+    /// `get_cells`
+    Cell,
+    /// `get_nets`
+    Net,
+}
+
+impl ObjectClass {
+    /// The `get_*` command name for this class.
+    pub fn command(self) -> &'static str {
+        match self {
+            Self::Port => "get_ports",
+            Self::Pin => "get_pins",
+            Self::Clock => "get_clocks",
+            Self::Cell => "get_cells",
+            Self::Net => "get_nets",
+        }
+    }
+}
+
+impl fmt::Display for ObjectClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.command())
+    }
+}
+
+/// An explicit object query: `[get_pins {rA/CP rB/CP}]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectQuery {
+    /// Object class being queried.
+    pub class: ObjectClass,
+    /// Glob patterns (or literal names) listed in the query.
+    pub patterns: Vec<String>,
+}
+
+impl ObjectQuery {
+    /// Convenience constructor.
+    pub fn new(class: ObjectClass, patterns: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        Self {
+            class,
+            patterns: patterns.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+/// A reference to design or clock objects in a command argument.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ObjectRef {
+    /// An explicit `[get_*]` query.
+    Query(ObjectQuery),
+    /// A bare name whose class is inferred from context
+    /// (e.g. `set_case_analysis 0 sel1`).
+    Name(String),
+}
+
+impl ObjectRef {
+    /// Builds a pin query for the given names.
+    pub fn pins(names: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        Self::Query(ObjectQuery::new(ObjectClass::Pin, names))
+    }
+
+    /// Builds a port query for the given names.
+    pub fn ports(names: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        Self::Query(ObjectQuery::new(ObjectClass::Port, names))
+    }
+
+    /// Builds a clock query for the given names.
+    pub fn clocks(names: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        Self::Query(ObjectQuery::new(ObjectClass::Clock, names))
+    }
+}
+
+/// Min/max analysis scope of a constraint value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub enum MinMax {
+    /// Applies to both min and max analyses (neither flag given).
+    #[default]
+    Both,
+    /// `-min`
+    Min,
+    /// `-max`
+    Max,
+}
+
+/// Setup/hold scope of an exception or uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub enum SetupHold {
+    /// Applies to both checks (neither flag given).
+    #[default]
+    Both,
+    /// `-setup`
+    Setup,
+    /// `-hold`
+    Hold,
+}
+
+/// `create_clock`
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateClock {
+    /// `-name`; defaults to the first source name when omitted.
+    pub name: Option<String>,
+    /// `-period`
+    pub period: f64,
+    /// `-waveform {rise fall}`; defaults to `{0 period/2}`.
+    pub waveform: Option<(f64, f64)>,
+    /// Source ports/pins; empty for a virtual clock.
+    pub sources: Vec<ObjectRef>,
+    /// `-add`: do not overwrite existing clocks on the same source.
+    pub add: bool,
+}
+
+/// `create_generated_clock`
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateGeneratedClock {
+    /// `-name`; defaults to the first target name when omitted.
+    pub name: Option<String>,
+    /// `-source`: the master clock's source point.
+    pub source: Vec<ObjectRef>,
+    /// `-master_clock`: explicit master (otherwise inferred from the
+    /// source pin).
+    pub master_clock: Option<ObjectRef>,
+    /// `-divide_by` factor (1 when omitted and no `-multiply_by`).
+    pub divide_by: Option<u32>,
+    /// `-multiply_by` factor.
+    pub multiply_by: Option<u32>,
+    /// `-invert`.
+    pub invert: bool,
+    /// Target pins the generated clock is defined on.
+    pub targets: Vec<ObjectRef>,
+    /// `-add`.
+    pub add: bool,
+}
+
+/// `set_clock_latency`
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetClockLatency {
+    /// Latency value.
+    pub value: f64,
+    /// `-min`/`-max`.
+    pub min_max: MinMax,
+    /// `-source` (source latency vs network latency).
+    pub source: bool,
+    /// Clocks the latency applies to.
+    pub clocks: Vec<ObjectRef>,
+}
+
+/// `set_clock_uncertainty`
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetClockUncertainty {
+    /// Uncertainty value.
+    pub value: f64,
+    /// `-setup`/`-hold`.
+    pub setup_hold: SetupHold,
+    /// Clocks the uncertainty applies to (simple form).
+    pub clocks: Vec<ObjectRef>,
+    /// `-from` launch clocks (inter-clock form).
+    pub from: Vec<ObjectRef>,
+    /// `-to` capture clocks (inter-clock form).
+    pub to: Vec<ObjectRef>,
+}
+
+/// `set_clock_transition`
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetClockTransition {
+    /// Transition value.
+    pub value: f64,
+    /// `-min`/`-max`.
+    pub min_max: MinMax,
+    /// Clocks the transition applies to.
+    pub clocks: Vec<ObjectRef>,
+}
+
+/// `set_propagated_clock`
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetPropagatedClock {
+    /// Clocks switched to propagated (vs ideal) mode.
+    pub clocks: Vec<ObjectRef>,
+}
+
+/// Whether an I/O delay is an input or output delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoDelayKind {
+    /// `set_input_delay`
+    Input,
+    /// `set_output_delay`
+    Output,
+}
+
+/// `set_input_delay` / `set_output_delay`
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoDelay {
+    /// Input or output delay.
+    pub kind: IoDelayKind,
+    /// Delay value.
+    pub value: f64,
+    /// `-clock`: the reference clock.
+    pub clock: Option<ObjectRef>,
+    /// `-clock_fall`.
+    pub clock_fall: bool,
+    /// `-add_delay`: keep previously specified delays.
+    pub add_delay: bool,
+    /// `-min`/`-max`.
+    pub min_max: MinMax,
+    /// Target ports.
+    pub ports: Vec<ObjectRef>,
+}
+
+/// `set_case_analysis`
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetCaseAnalysis {
+    /// Constant value (0 or 1).
+    pub value: bool,
+    /// Target pins/ports.
+    pub objects: Vec<ObjectRef>,
+}
+
+/// `set_disable_timing`
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetDisableTiming {
+    /// Target pins/ports/cells.
+    pub objects: Vec<ObjectRef>,
+    /// `-from` pin name (cell-arc form).
+    pub from: Option<String>,
+    /// `-to` pin name (cell-arc form).
+    pub to: Option<String>,
+}
+
+/// Kind of a path exception.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PathExceptionKind {
+    /// `set_false_path`
+    FalsePath,
+    /// `set_multicycle_path <mult>`; `end` is true for `-end` (default for
+    /// setup).
+    Multicycle {
+        /// Cycle multiplier.
+        multiplier: u32,
+        /// `-start` given (measure in launch-clock cycles).
+        start: bool,
+    },
+    /// `set_min_delay <value>`
+    MinDelay(f64),
+    /// `set_max_delay <value>`
+    MaxDelay(f64),
+}
+
+/// `-from`/`-through`/`-to` path selector shared by all exceptions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PathSpec {
+    /// `-from` objects (clocks, pins, ports).
+    pub from: Vec<ObjectRef>,
+    /// Each `-through` option is one hop (in order).
+    pub through: Vec<Vec<ObjectRef>>,
+    /// `-to` objects (clocks, pins, ports).
+    pub to: Vec<ObjectRef>,
+}
+
+impl PathSpec {
+    /// `true` if no anchor is given (which SDC rejects for exceptions).
+    pub fn is_empty(&self) -> bool {
+        self.from.is_empty() && self.through.is_empty() && self.to.is_empty()
+    }
+}
+
+/// `set_false_path` / `set_multicycle_path` / `set_min_delay` / `set_max_delay`
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathException {
+    /// Exception kind and its parameter.
+    pub kind: PathExceptionKind,
+    /// `-setup`/`-hold`.
+    pub setup_hold: SetupHold,
+    /// Path selector.
+    pub spec: PathSpec,
+}
+
+/// Exclusivity/asynchrony kind for `set_clock_groups`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClockGroupKind {
+    /// `-physically_exclusive`
+    PhysicallyExclusive,
+    /// `-logically_exclusive`
+    LogicallyExclusive,
+    /// `-asynchronous`
+    Asynchronous,
+}
+
+/// `set_clock_groups`
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetClockGroups {
+    /// Exclusivity kind.
+    pub kind: ClockGroupKind,
+    /// `-name`.
+    pub name: Option<String>,
+    /// The `-group` lists, in order.
+    pub groups: Vec<Vec<ObjectRef>>,
+}
+
+/// `set_clock_sense`
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetClockSense {
+    /// `-stop_propagation`.
+    pub stop_propagation: bool,
+    /// `-positive`: only the non-inverted sense propagates beyond.
+    pub positive: bool,
+    /// `-negative`: only the inverted sense propagates beyond.
+    pub negative: bool,
+    /// `-clock`/`-clocks`: which clocks the sense applies to (all when
+    /// empty).
+    pub clocks: Vec<ObjectRef>,
+    /// Pins the sense is asserted on.
+    pub pins: Vec<ObjectRef>,
+}
+
+/// `set_input_transition`
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetInputTransition {
+    /// Transition value.
+    pub value: f64,
+    /// `-min`/`-max`.
+    pub min_max: MinMax,
+    /// Target ports.
+    pub ports: Vec<ObjectRef>,
+}
+
+/// `set_drive`
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetDrive {
+    /// Drive resistance value.
+    pub value: f64,
+    /// `-min`/`-max`.
+    pub min_max: MinMax,
+    /// Target ports.
+    pub ports: Vec<ObjectRef>,
+}
+
+/// `set_load`
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetLoad {
+    /// Capacitive load value.
+    pub value: f64,
+    /// `-min`/`-max`.
+    pub min_max: MinMax,
+    /// Target ports/nets.
+    pub objects: Vec<ObjectRef>,
+}
+
+/// One parsed SDC command.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Command {
+    /// `create_clock`
+    CreateClock(CreateClock),
+    /// `create_generated_clock`
+    CreateGeneratedClock(CreateGeneratedClock),
+    /// `set_clock_latency`
+    SetClockLatency(SetClockLatency),
+    /// `set_clock_uncertainty`
+    SetClockUncertainty(SetClockUncertainty),
+    /// `set_clock_transition`
+    SetClockTransition(SetClockTransition),
+    /// `set_propagated_clock`
+    SetPropagatedClock(SetPropagatedClock),
+    /// `set_input_delay` / `set_output_delay`
+    IoDelay(IoDelay),
+    /// `set_case_analysis`
+    SetCaseAnalysis(SetCaseAnalysis),
+    /// `set_disable_timing`
+    SetDisableTiming(SetDisableTiming),
+    /// `set_false_path` / `set_multicycle_path` / `set_min_delay` /
+    /// `set_max_delay`
+    PathException(PathException),
+    /// `set_clock_groups`
+    SetClockGroups(SetClockGroups),
+    /// `set_clock_sense`
+    SetClockSense(SetClockSense),
+    /// `set_input_transition`
+    SetInputTransition(SetInputTransition),
+    /// `set_drive`
+    SetDrive(SetDrive),
+    /// `set_load`
+    SetLoad(SetLoad),
+}
+
+impl Command {
+    /// Canonical SDC text for this command (no trailing newline).
+    pub fn to_text(&self) -> String {
+        writer::write_command(self)
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+/// A parsed SDC file: an ordered list of commands.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SdcFile {
+    commands: Vec<Command>,
+}
+
+impl SdcFile {
+    /// Creates an empty file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses SDC text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdcError`] with the offending line on any lexical or
+    /// grammatical problem, or for commands outside the supported subset.
+    pub fn parse(input: &str) -> Result<Self, SdcError> {
+        parser::parse(input)
+    }
+
+    /// The commands in file order.
+    pub fn commands(&self) -> &[Command] {
+        &self.commands
+    }
+
+    /// Appends a command.
+    pub fn push(&mut self, command: Command) {
+        self.commands.push(command);
+    }
+
+    /// Writes canonical SDC text (one command per line, trailing newline).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for c in &self.commands {
+            out.push_str(&c.to_text());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl FromIterator<Command> for SdcFile {
+    fn from_iter<T: IntoIterator<Item = Command>>(iter: T) -> Self {
+        Self {
+            commands: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Command> for SdcFile {
+    fn extend<T: IntoIterator<Item = Command>>(&mut self, iter: T) {
+        self.commands.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_ref_constructors() {
+        let r = ObjectRef::pins(["a/CP", "b/CP"]);
+        match r {
+            ObjectRef::Query(q) => {
+                assert_eq!(q.class, ObjectClass::Pin);
+                assert_eq!(q.patterns, vec!["a/CP", "b/CP"]);
+            }
+            ObjectRef::Name(_) => panic!("expected query"),
+        }
+    }
+
+    #[test]
+    fn path_spec_emptiness() {
+        let mut s = PathSpec::default();
+        assert!(s.is_empty());
+        s.through.push(vec![ObjectRef::Name("x".into())]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn sdc_file_collects() {
+        let f: SdcFile = std::iter::empty::<Command>().collect();
+        assert!(f.commands().is_empty());
+    }
+
+    #[test]
+    fn defaults() {
+        assert_eq!(MinMax::default(), MinMax::Both);
+        assert_eq!(SetupHold::default(), SetupHold::Both);
+    }
+}

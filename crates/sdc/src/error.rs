@@ -1,0 +1,58 @@
+//! Error type for SDC parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while lexing or parsing SDC text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SdcError {
+    line: usize,
+    message: String,
+}
+
+impl SdcError {
+    /// Creates an error at a 1-based source line.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based source line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for SdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sdc parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for SdcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_line() {
+        let e = SdcError::new(3, "expected value");
+        assert_eq!(e.to_string(), "sdc parse error at line 3: expected value");
+        assert_eq!(e.line(), 3);
+        assert_eq!(e.message(), "expected value");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SdcError>();
+    }
+}

@@ -1,0 +1,119 @@
+//! Glob matching for SDC object patterns.
+//!
+//! SDC object queries accept shell-style patterns: `*` matches any run of
+//! characters (including `/`, as commercial tools do for flattened
+//! designs), `?` matches exactly one character, everything else matches
+//! literally.
+
+/// Returns `true` if `name` matches the glob `pattern`.
+///
+/// # Example
+///
+/// ```
+/// use modemerge_sdc::glob_match;
+///
+/// assert!(glob_match("r*", "rA"));
+/// assert!(glob_match("r?/CP", "rA/CP"));
+/// assert!(!glob_match("r?/CP", "reg12/CP"));
+/// assert!(glob_match("*", "anything/at/all"));
+/// ```
+pub fn glob_match(pattern: &str, name: &str) -> bool {
+    // Iterative matcher with single-star backtracking (classic wildcard
+    // algorithm, linear in practice).
+    let p: Vec<char> = pattern.chars().collect();
+    let n: Vec<char> = name.chars().collect();
+    let (mut pi, mut ni) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+
+    while ni < n.len() {
+        // The `*` branch must be checked first: a literal `*` in the
+        // name would otherwise consume the pattern's wildcard as an
+        // ordinary character match.
+        if pi < p.len() && p[pi] == '*' {
+            star = Some((pi, ni));
+            pi += 1;
+        } else if pi < p.len() && (p[pi] == '?' || p[pi] == n[ni]) {
+            pi += 1;
+            ni += 1;
+        } else if let Some((sp, sn)) = star {
+            pi = sp + 1;
+            ni = sn + 1;
+            star = Some((sp, sn + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// Returns `true` if the pattern contains glob metacharacters.
+pub fn is_glob(pattern: &str) -> bool {
+    pattern.contains('*') || pattern.contains('?')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_match() {
+        assert!(glob_match("clk1", "clk1"));
+        assert!(!glob_match("clk1", "clk2"));
+        assert!(!glob_match("clk1", "clk10"));
+    }
+
+    #[test]
+    fn star_matches_any_run() {
+        assert!(glob_match("*", ""));
+        assert!(glob_match("*", "abc"));
+        assert!(glob_match("a*c", "abc"));
+        assert!(glob_match("a*c", "ac"));
+        assert!(glob_match("a*c", "axyzc"));
+        assert!(!glob_match("a*c", "abd"));
+    }
+
+    #[test]
+    fn star_crosses_hierarchy_separator() {
+        assert!(glob_match("core*/CP", "core_r1/CP"));
+        assert!(glob_match("*CP", "blk/r0/CP"));
+    }
+
+    #[test]
+    fn question_mark_single_char() {
+        assert!(glob_match("r?", "rA"));
+        assert!(!glob_match("r?", "r"));
+        assert!(!glob_match("r?", "rAB"));
+    }
+
+    #[test]
+    fn multiple_stars_backtrack() {
+        assert!(glob_match("*a*b*", "xxaYYbZZ"));
+        assert!(glob_match("**", "x"));
+        assert!(!glob_match("*a*b*", "bbbaaa"));
+    }
+
+    #[test]
+    fn is_glob_detection() {
+        assert!(is_glob("r*"));
+        assert!(is_glob("r?"));
+        assert!(!is_glob("rA/CP"));
+    }
+
+    #[test]
+    fn star_in_name_is_ordinary_data() {
+        // Regression: a literal `*` in the candidate name must not eat
+        // the pattern's wildcard.
+        assert!(glob_match("*", "*A"));
+        assert!(glob_match("*A", "*A"));
+        assert!(glob_match("?A", "*A"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_only_empty() {
+        assert!(glob_match("", ""));
+        assert!(!glob_match("", "a"));
+    }
+}

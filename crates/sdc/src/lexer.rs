@@ -1,0 +1,227 @@
+//! Tcl-lite lexer for SDC text.
+//!
+//! SDC files are processed as a sequence of *logical lines*: physical
+//! lines joined by trailing `\` continuations. Each logical line is
+//! tokenized into words, `[`/`]` brackets and `{…}` brace lists.
+//! Comment lines (first non-blank character `#`) are skipped, as is
+//! anything after a bare `#` token.
+
+use crate::error::SdcError;
+
+/// One token of a logical SDC line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// A bare or quoted word.
+    Word(String),
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{a b c}` — whitespace-separated items.
+    Brace(Vec<String>),
+}
+
+/// A tokenized logical line with its 1-based starting physical line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicalLine {
+    /// 1-based physical line the logical line starts on.
+    pub line: usize,
+    /// Tokens of the line.
+    pub tokens: Vec<Tok>,
+}
+
+/// Tokenizes SDC text into logical lines.
+///
+/// # Errors
+///
+/// Returns [`SdcError`] on unbalanced braces or unterminated quotes.
+pub fn tokenize(input: &str) -> Result<Vec<LogicalLine>, SdcError> {
+    // First, fold continuations into logical lines.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let (joined_start, mut text) = match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(raw);
+                (start, acc)
+            }
+            None => (lineno, raw.to_owned()),
+        };
+        if let Some(stripped) = text.strip_suffix('\\') {
+            text = stripped.to_owned();
+            pending = Some((joined_start, text));
+        } else {
+            logical.push((joined_start, text));
+        }
+    }
+    if let Some((start, text)) = pending {
+        logical.push((start, text));
+    }
+
+    let mut out = Vec::new();
+    for (line, text) in logical {
+        let trimmed = text.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let tokens = tokenize_line(trimmed, line)?;
+        if !tokens.is_empty() {
+            out.push(LogicalLine { line, tokens });
+        }
+    }
+    Ok(out)
+}
+
+fn tokenize_line(text: &str, line: usize) -> Result<Vec<Tok>, SdcError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '#' => break, // trailing comment
+            ';' => i += 1,
+            '[' => {
+                tokens.push(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Tok::RBracket);
+                i += 1;
+            }
+            '{' => {
+                let mut depth = 1;
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && depth > 0 {
+                    match chars[j] {
+                        '{' => depth += 1,
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if depth != 0 {
+                    return Err(SdcError::new(line, "unbalanced `{`"));
+                }
+                let inner: String = chars[start..j - 1].iter().collect();
+                let items = inner.split_whitespace().map(str::to_owned).collect();
+                tokens.push(Tok::Brace(items));
+                i = j;
+            }
+            '}' => return Err(SdcError::new(line, "unbalanced `}`")),
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '"' {
+                    j += 1;
+                }
+                if j == chars.len() {
+                    return Err(SdcError::new(line, "unterminated string"));
+                }
+                tokens.push(Tok::Word(chars[start..j].iter().collect()));
+                i = j + 1;
+            }
+            _ => {
+                let start = i;
+                while i < chars.len()
+                    && !chars[i].is_whitespace()
+                    && !matches!(chars[i], '[' | ']' | '{' | '}' | ';' | '#')
+                {
+                    i += 1;
+                }
+                tokens.push(Tok::Word(chars[start..i].iter().collect()));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_and_brackets() {
+        let lines = tokenize("create_clock -period 10 [get_ports clk1]").unwrap();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(
+            lines[0].tokens,
+            vec![
+                Tok::Word("create_clock".into()),
+                Tok::Word("-period".into()),
+                Tok::Word("10".into()),
+                Tok::LBracket,
+                Tok::Word("get_ports".into()),
+                Tok::Word("clk1".into()),
+                Tok::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn brace_list() {
+        let lines = tokenize("set_false_path -through [get_pins {a/Z b/Z}]").unwrap();
+        assert!(lines[0].tokens.contains(&Tok::Brace(vec!["a/Z".into(), "b/Z".into()])));
+    }
+
+    #[test]
+    fn nested_braces_flatten() {
+        let lines = tokenize("-waveform {0 {5}}").unwrap();
+        // Nested braces keep their content; items split on whitespace.
+        assert_eq!(lines[0].tokens[1], Tok::Brace(vec!["0".into(), "{5}".into()]));
+    }
+
+    #[test]
+    fn continuation_joins_lines() {
+        let lines = tokenize("create_clock \\\n  -period 10 clk").unwrap();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].line, 1);
+        assert_eq!(lines[0].tokens.len(), 4);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let lines = tokenize("# full line comment\ncreate_clock x # trailing\n").unwrap();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].line, 2);
+        assert_eq!(lines[0].tokens.len(), 2);
+    }
+
+    #[test]
+    fn quoted_strings() {
+        let lines = tokenize("set_x \"hello world\"").unwrap();
+        assert_eq!(lines[0].tokens[1], Tok::Word("hello world".into()));
+    }
+
+    #[test]
+    fn unbalanced_brace_is_error() {
+        assert!(tokenize("foo {a b").is_err());
+        assert!(tokenize("foo a}").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("foo \"bar").is_err());
+    }
+
+    #[test]
+    fn semicolons_are_separators() {
+        let lines = tokenize("a;b").unwrap();
+        // Semicolons act as whitespace in this subset (one command per line).
+        assert_eq!(
+            lines[0].tokens,
+            vec![Tok::Word("a".into()), Tok::Word("b".into())]
+        );
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let lines = tokenize("\n\n  \ncreate_clock x\n\n").unwrap();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].line, 4);
+    }
+}

@@ -1,0 +1,51 @@
+//! SDC (Synopsys Design Constraints) parser, data model and writer.
+//!
+//! Implements the Tcl-flavoured subset of SDC used by the DAC'15
+//! mode-merging paper:
+//!
+//! * clocks: `create_clock`, `set_clock_latency`, `set_clock_uncertainty`,
+//!   `set_clock_transition`, `set_propagated_clock`, `set_clock_groups`,
+//!   `set_clock_sense`
+//! * I/O: `set_input_delay`, `set_output_delay`, `set_input_transition`,
+//!   `set_drive`, `set_load`
+//! * constants and structure: `set_case_analysis`, `set_disable_timing`
+//! * exceptions: `set_false_path`, `set_multicycle_path`, `set_min_delay`,
+//!   `set_max_delay`
+//! * object queries: `get_ports`, `get_pins`, `get_clocks`, `get_cells`,
+//!   `get_nets` with `*`/`?` glob patterns
+//!
+//! Parsing produces an [`SdcFile`] of typed [`Command`]s; [`SdcFile::to_text`]
+//! writes canonical SDC back out, and the two round-trip.
+//!
+//! # Example
+//!
+//! ```
+//! use modemerge_sdc::SdcFile;
+//!
+//! # fn main() -> Result<(), modemerge_sdc::SdcError> {
+//! let sdc = SdcFile::parse(
+//!     "create_clock -name clkA -period 10 [get_ports clk1]\n\
+//!      set_false_path -from [get_pins rA/CP] -to [get_pins rY/D]\n",
+//! )?;
+//! assert_eq!(sdc.commands().len(), 2);
+//! let text = sdc.to_text();
+//! assert_eq!(SdcFile::parse(&text)?.to_text(), text);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod glob;
+pub mod lexer;
+pub mod parser;
+pub mod writer;
+
+pub use ast::{
+    ClockGroupKind, Command, CreateClock, CreateGeneratedClock, IoDelay, IoDelayKind, MinMax, ObjectClass, ObjectQuery,
+    ObjectRef, PathException, PathExceptionKind, PathSpec, SdcFile, SetCaseAnalysis,
+    SetClockGroups, SetClockLatency, SetClockSense, SetClockTransition, SetClockUncertainty,
+    SetDisableTiming, SetDrive, SetInputTransition, SetLoad, SetPropagatedClock, SetupHold,
+};
+pub use error::SdcError;
+pub use glob::glob_match;

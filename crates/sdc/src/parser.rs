@@ -1,0 +1,967 @@
+//! Parser turning tokenized SDC lines into typed [`Command`]s.
+
+use crate::ast::*;
+use crate::error::SdcError;
+use crate::lexer::{tokenize, LogicalLine, Tok};
+
+/// Parses SDC text into an [`SdcFile`].
+///
+/// # Errors
+///
+/// Returns [`SdcError`] for lexical errors, unknown commands, missing
+/// required options or malformed values.
+pub fn parse(input: &str) -> Result<SdcFile, SdcError> {
+    let lines = tokenize(input)?;
+    let mut file = SdcFile::new();
+    for line in lines {
+        file.push(parse_line(&line)?);
+    }
+    Ok(file)
+}
+
+/// One pre-grouped command argument.
+#[derive(Debug, Clone, PartialEq)]
+enum Arg {
+    /// `-flag`
+    Flag(String),
+    /// bare word (also negative numbers)
+    Word(String),
+    /// `{a b}`
+    List(Vec<String>),
+    /// `[get_* …]`
+    Query(ObjectQuery),
+}
+
+fn group_args(line: &LogicalLine) -> Result<(String, Vec<Arg>), SdcError> {
+    let mut iter = line.tokens.iter().peekable();
+    let name = match iter.next() {
+        Some(Tok::Word(w)) => w.clone(),
+        _ => return Err(SdcError::new(line.line, "expected command name")),
+    };
+    let mut args = Vec::new();
+    while let Some(tok) = iter.next() {
+        match tok {
+            Tok::Word(w) => {
+                if let Some(rest) = w.strip_prefix('-') {
+                    // Distinguish flags from negative numbers.
+                    if rest.parse::<f64>().is_ok() {
+                        args.push(Arg::Word(w.clone()));
+                    } else {
+                        args.push(Arg::Flag(rest.to_owned()));
+                    }
+                } else {
+                    args.push(Arg::Word(w.clone()));
+                }
+            }
+            Tok::Brace(items) => args.push(Arg::List(items.clone())),
+            Tok::LBracket => {
+                let cmd = match iter.next() {
+                    Some(Tok::Word(w)) => w.clone(),
+                    _ => return Err(SdcError::new(line.line, "expected command after `[`")),
+                };
+                let class = match cmd.as_str() {
+                    "get_ports" | "get_port" => ObjectClass::Port,
+                    "get_pins" | "get_pin" => ObjectClass::Pin,
+                    "get_clocks" | "get_clock" => ObjectClass::Clock,
+                    "get_cells" | "get_cell" => ObjectClass::Cell,
+                    "get_nets" | "get_net" => ObjectClass::Net,
+                    other => {
+                        return Err(SdcError::new(
+                            line.line,
+                            format!("unsupported bracket command `{other}`"),
+                        ))
+                    }
+                };
+                let mut patterns = Vec::new();
+                loop {
+                    match iter.next() {
+                        Some(Tok::Word(w)) => patterns.push(w.clone()),
+                        Some(Tok::Brace(items)) => patterns.extend(items.iter().cloned()),
+                        Some(Tok::RBracket) => break,
+                        Some(Tok::LBracket) => {
+                            return Err(SdcError::new(line.line, "nested `[` not supported"))
+                        }
+                        None => return Err(SdcError::new(line.line, "unbalanced `[`")),
+                    }
+                }
+                args.push(Arg::Query(ObjectQuery { class, patterns }));
+            }
+            Tok::RBracket => return Err(SdcError::new(line.line, "unbalanced `]`")),
+        }
+    }
+    Ok((name, args))
+}
+
+/// Cursor over grouped args with convenience accessors.
+struct Cursor {
+    args: std::vec::IntoIter<Arg>,
+    peeked: Option<Arg>,
+    line: usize,
+}
+
+impl Cursor {
+    fn new(args: Vec<Arg>, line: usize) -> Self {
+        Self {
+            args: args.into_iter(),
+            peeked: None,
+            line,
+        }
+    }
+
+    fn next(&mut self) -> Option<Arg> {
+        self.peeked.take().or_else(|| self.args.next())
+    }
+
+    #[cfg(test)]
+    fn peek(&mut self) -> Option<&Arg> {
+        if self.peeked.is_none() {
+            self.peeked = self.args.next();
+        }
+        self.peeked.as_ref()
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SdcError {
+        SdcError::new(self.line, msg)
+    }
+
+    /// Next arg as an f64.
+    fn value(&mut self, what: &str) -> Result<f64, SdcError> {
+        match self.next() {
+            Some(Arg::Word(w)) => w
+                .parse::<f64>()
+                .map_err(|_| self.err(format!("expected number for {what}, got `{w}`"))),
+            _ => Err(self.err(format!("expected number for {what}"))),
+        }
+    }
+
+    /// Next arg as a plain word.
+    fn word(&mut self, what: &str) -> Result<String, SdcError> {
+        match self.next() {
+            Some(Arg::Word(w)) => Ok(w),
+            _ => Err(self.err(format!("expected word for {what}"))),
+        }
+    }
+
+    /// Next arg as a list of object refs (query, word or brace list).
+    fn objects(&mut self, what: &str) -> Result<Vec<ObjectRef>, SdcError> {
+        match self.next() {
+            Some(Arg::Query(q)) => Ok(vec![ObjectRef::Query(q)]),
+            Some(Arg::Word(w)) => Ok(vec![ObjectRef::Name(w)]),
+            Some(Arg::List(items)) => Ok(items.into_iter().map(ObjectRef::Name).collect()),
+            _ => Err(self.err(format!("expected object list for {what}"))),
+        }
+    }
+
+    /// Next arg as a waveform pair.
+    fn pair(&mut self, what: &str) -> Result<(f64, f64), SdcError> {
+        match self.next() {
+            Some(Arg::List(items)) if items.len() == 2 => {
+                let a = items[0]
+                    .parse()
+                    .map_err(|_| self.err(format!("bad number in {what}")))?;
+                let b = items[1]
+                    .parse()
+                    .map_err(|_| self.err(format!("bad number in {what}")))?;
+                Ok((a, b))
+            }
+            _ => Err(self.err(format!("expected {{rise fall}} for {what}"))),
+        }
+    }
+}
+
+fn parse_line(line: &LogicalLine) -> Result<Command, SdcError> {
+    let (name, args) = group_args(line)?;
+    let mut c = Cursor::new(args, line.line);
+    match name.as_str() {
+        "create_clock" => parse_create_clock(&mut c),
+        "create_generated_clock" => parse_create_generated_clock(&mut c),
+        "set_clock_latency" => parse_clock_latency(&mut c),
+        "set_clock_uncertainty" => parse_clock_uncertainty(&mut c),
+        "set_clock_transition" => parse_clock_transition(&mut c),
+        "set_propagated_clock" => parse_propagated_clock(&mut c),
+        "set_input_delay" => parse_io_delay(&mut c, IoDelayKind::Input),
+        "set_output_delay" => parse_io_delay(&mut c, IoDelayKind::Output),
+        "set_case_analysis" => parse_case_analysis(&mut c),
+        "set_disable_timing" => parse_disable_timing(&mut c),
+        "set_false_path" => parse_exception(&mut c, None),
+        "set_multicycle_path" => parse_exception(&mut c, Some(ExcKind::Multicycle)),
+        "set_min_delay" => parse_exception(&mut c, Some(ExcKind::MinDelay)),
+        "set_max_delay" => parse_exception(&mut c, Some(ExcKind::MaxDelay)),
+        "set_clock_groups" => parse_clock_groups(&mut c),
+        "set_clock_sense" => parse_clock_sense(&mut c),
+        "set_input_transition" => parse_input_transition(&mut c),
+        "set_drive" | "set_driving_resistance" => parse_drive(&mut c),
+        "set_load" => parse_load(&mut c),
+        other => Err(SdcError::new(
+            line.line,
+            format!("unsupported command `{other}`"),
+        )),
+    }
+}
+
+fn parse_create_clock(c: &mut Cursor) -> Result<Command, SdcError> {
+    let mut cc = CreateClock {
+        name: None,
+        period: f64::NAN,
+        waveform: None,
+        sources: Vec::new(),
+        add: false,
+    };
+    while let Some(arg) = c.next() {
+        match arg {
+            Arg::Flag(f) => match f.as_str() {
+                "name" => cc.name = Some(c.word("-name")?),
+                "period" | "p" => cc.period = c.value("-period")?,
+                "waveform" => cc.waveform = Some(c.pair("-waveform")?),
+                "add" => cc.add = true,
+                other => return Err(c.err(format!("create_clock: unknown option -{other}"))),
+            },
+            Arg::Query(q) => cc.sources.push(ObjectRef::Query(q)),
+            Arg::Word(w) => cc.sources.push(ObjectRef::Name(w)),
+            Arg::List(items) => cc.sources.extend(items.into_iter().map(ObjectRef::Name)),
+        }
+    }
+    if cc.period.is_nan() {
+        return Err(c.err("create_clock: missing -period"));
+    }
+    if cc.name.is_none() && cc.sources.is_empty() {
+        return Err(c.err("create_clock: need -name or a source"));
+    }
+    Ok(Command::CreateClock(cc))
+}
+
+fn parse_create_generated_clock(c: &mut Cursor) -> Result<Command, SdcError> {
+    let mut gc = CreateGeneratedClock {
+        name: None,
+        source: Vec::new(),
+        master_clock: None,
+        divide_by: None,
+        multiply_by: None,
+        invert: false,
+        targets: Vec::new(),
+        add: false,
+    };
+    while let Some(arg) = c.next() {
+        match arg {
+            Arg::Flag(f) => match f.as_str() {
+                "name" => gc.name = Some(c.word("-name")?),
+                "source" => gc.source.extend(c.objects("-source")?),
+                "master_clock" => {
+                    let mut objs = c.objects("-master_clock")?;
+                    if objs.len() != 1 {
+                        return Err(c.err("-master_clock expects exactly one clock"));
+                    }
+                    gc.master_clock = Some(objs.remove(0));
+                }
+                "divide_by" => gc.divide_by = Some(c.value("-divide_by")? as u32),
+                "multiply_by" => gc.multiply_by = Some(c.value("-multiply_by")? as u32),
+                "invert" => gc.invert = true,
+                "add" => gc.add = true,
+                "combinational" | "duty_cycle" | "edges" => {
+                    return Err(c.err(format!(
+                        "create_generated_clock: -{f} is not supported by this subset"
+                    )))
+                }
+                other => {
+                    return Err(c.err(format!("create_generated_clock: unknown option -{other}")))
+                }
+            },
+            Arg::Query(q) => gc.targets.push(ObjectRef::Query(q)),
+            Arg::Word(w) => gc.targets.push(ObjectRef::Name(w)),
+            Arg::List(items) => gc.targets.extend(items.into_iter().map(ObjectRef::Name)),
+        }
+    }
+    if gc.source.is_empty() {
+        return Err(c.err("create_generated_clock: missing -source"));
+    }
+    if gc.targets.is_empty() {
+        return Err(c.err("create_generated_clock: missing target pins"));
+    }
+    if gc.divide_by.is_some() && gc.multiply_by.is_some() {
+        return Err(c.err("create_generated_clock: -divide_by and -multiply_by conflict"));
+    }
+    Ok(Command::CreateGeneratedClock(gc))
+}
+
+/// Parsed tail of a simple `value + objects` command.
+type ValueObjects = (f64, MinMax, SetupHold, Vec<bool>, Vec<ObjectRef>);
+
+/// Shared tail: positional objects plus min/max & misc boolean flags.
+fn simple_value_objects(
+    c: &mut Cursor,
+    cmd: &str,
+    known_bools: &[&str],
+) -> Result<ValueObjects, SdcError> {
+    let mut value: Option<f64> = None;
+    let mut min_max = MinMax::Both;
+    let mut setup_hold = SetupHold::Both;
+    let mut bools = vec![false; known_bools.len()];
+    let mut objects = Vec::new();
+    while let Some(arg) = c.next() {
+        match arg {
+            Arg::Flag(f) => match f.as_str() {
+                "min" => min_max = MinMax::Min,
+                "max" => min_max = MinMax::Max,
+                "setup" => setup_hold = SetupHold::Setup,
+                "hold" => setup_hold = SetupHold::Hold,
+                other => {
+                    if let Some(i) = known_bools.iter().position(|k| *k == other) {
+                        bools[i] = true;
+                    } else {
+                        return Err(c.err(format!("{cmd}: unknown option -{other}")));
+                    }
+                }
+            },
+            Arg::Word(w) => {
+                if value.is_none() {
+                    if let Ok(v) = w.parse::<f64>() {
+                        value = Some(v);
+                        continue;
+                    }
+                }
+                objects.push(ObjectRef::Name(w));
+            }
+            Arg::Query(q) => objects.push(ObjectRef::Query(q)),
+            Arg::List(items) => objects.extend(items.into_iter().map(ObjectRef::Name)),
+        }
+    }
+    let value = value.ok_or_else(|| c.err(format!("{cmd}: missing value")))?;
+    Ok((value, min_max, setup_hold, bools, objects))
+}
+
+fn parse_clock_latency(c: &mut Cursor) -> Result<Command, SdcError> {
+    let (value, min_max, _, bools, clocks) =
+        simple_value_objects(c, "set_clock_latency", &["source", "late", "early"])?;
+    Ok(Command::SetClockLatency(SetClockLatency {
+        value,
+        min_max,
+        source: bools[0],
+        clocks,
+    }))
+}
+
+fn parse_clock_uncertainty(c: &mut Cursor) -> Result<Command, SdcError> {
+    let mut value: Option<f64> = None;
+    let mut setup_hold = SetupHold::Both;
+    let mut clocks = Vec::new();
+    let mut from = Vec::new();
+    let mut to = Vec::new();
+    while let Some(arg) = c.next() {
+        match arg {
+            Arg::Flag(f) => match f.as_str() {
+                "setup" => setup_hold = SetupHold::Setup,
+                "hold" => setup_hold = SetupHold::Hold,
+                "from" | "rise_from" | "fall_from" => from.extend(c.objects("-from")?),
+                "to" | "rise_to" | "fall_to" => to.extend(c.objects("-to")?),
+                other => {
+                    return Err(c.err(format!("set_clock_uncertainty: unknown option -{other}")))
+                }
+            },
+            Arg::Word(w) => {
+                if value.is_none() {
+                    if let Ok(v) = w.parse::<f64>() {
+                        value = Some(v);
+                        continue;
+                    }
+                }
+                clocks.push(ObjectRef::Name(w));
+            }
+            Arg::Query(q) => clocks.push(ObjectRef::Query(q)),
+            Arg::List(items) => clocks.extend(items.into_iter().map(ObjectRef::Name)),
+        }
+    }
+    let value = value.ok_or_else(|| c.err("set_clock_uncertainty: missing value"))?;
+    if from.is_empty() != to.is_empty() {
+        return Err(c.err("set_clock_uncertainty: -from and -to must be given together"));
+    }
+    if clocks.is_empty() && from.is_empty() {
+        return Err(c.err("set_clock_uncertainty: missing clocks"));
+    }
+    Ok(Command::SetClockUncertainty(SetClockUncertainty {
+        value,
+        setup_hold,
+        clocks,
+        from,
+        to,
+    }))
+}
+
+fn parse_clock_transition(c: &mut Cursor) -> Result<Command, SdcError> {
+    let (value, min_max, _, _, clocks) = simple_value_objects(c, "set_clock_transition", &[])?;
+    Ok(Command::SetClockTransition(SetClockTransition {
+        value,
+        min_max,
+        clocks,
+    }))
+}
+
+fn parse_propagated_clock(c: &mut Cursor) -> Result<Command, SdcError> {
+    let mut clocks = Vec::new();
+    while let Some(arg) = c.next() {
+        match arg {
+            Arg::Query(q) => clocks.push(ObjectRef::Query(q)),
+            Arg::Word(w) => clocks.push(ObjectRef::Name(w)),
+            Arg::List(items) => clocks.extend(items.into_iter().map(ObjectRef::Name)),
+            Arg::Flag(f) => return Err(c.err(format!("set_propagated_clock: unknown option -{f}"))),
+        }
+    }
+    if clocks.is_empty() {
+        return Err(c.err("set_propagated_clock: missing clocks"));
+    }
+    Ok(Command::SetPropagatedClock(SetPropagatedClock { clocks }))
+}
+
+fn parse_io_delay(c: &mut Cursor, kind: IoDelayKind) -> Result<Command, SdcError> {
+    let mut value: Option<f64> = None;
+    let mut clock = None;
+    let mut clock_fall = false;
+    let mut add_delay = false;
+    let mut min_max = MinMax::Both;
+    let mut ports = Vec::new();
+    while let Some(arg) = c.next() {
+        match arg {
+            Arg::Flag(f) => match f.as_str() {
+                "clock" => {
+                    let mut objs = c.objects("-clock")?;
+                    if objs.len() != 1 {
+                        return Err(c.err("-clock expects exactly one clock"));
+                    }
+                    clock = Some(objs.remove(0));
+                }
+                "clock_fall" => clock_fall = true,
+                "add_delay" => add_delay = true,
+                "min" => min_max = MinMax::Min,
+                "max" => min_max = MinMax::Max,
+                "network_latency_included" | "source_latency_included" => {}
+                other => return Err(c.err(format!("io delay: unknown option -{other}"))),
+            },
+            Arg::Word(w) => {
+                if value.is_none() {
+                    if let Ok(v) = w.parse::<f64>() {
+                        value = Some(v);
+                        continue;
+                    }
+                }
+                ports.push(ObjectRef::Name(w));
+            }
+            Arg::Query(q) => ports.push(ObjectRef::Query(q)),
+            Arg::List(items) => ports.extend(items.into_iter().map(ObjectRef::Name)),
+        }
+    }
+    let value = value.ok_or_else(|| c.err("io delay: missing value"))?;
+    if ports.is_empty() {
+        return Err(c.err("io delay: missing ports"));
+    }
+    Ok(Command::IoDelay(IoDelay {
+        kind,
+        value,
+        clock,
+        clock_fall,
+        add_delay,
+        min_max,
+        ports,
+    }))
+}
+
+fn parse_case_analysis(c: &mut Cursor) -> Result<Command, SdcError> {
+    let word = c.word("case value")?;
+    let value = match word.as_str() {
+        "0" | "zero" => false,
+        "1" | "one" => true,
+        other => return Err(c.err(format!("set_case_analysis: bad value `{other}`"))),
+    };
+    let mut objects = Vec::new();
+    while let Some(arg) = c.next() {
+        match arg {
+            Arg::Query(q) => objects.push(ObjectRef::Query(q)),
+            Arg::Word(w) => objects.push(ObjectRef::Name(w)),
+            Arg::List(items) => objects.extend(items.into_iter().map(ObjectRef::Name)),
+            Arg::Flag(f) => return Err(c.err(format!("set_case_analysis: unknown option -{f}"))),
+        }
+    }
+    if objects.is_empty() {
+        return Err(c.err("set_case_analysis: missing objects"));
+    }
+    Ok(Command::SetCaseAnalysis(SetCaseAnalysis { value, objects }))
+}
+
+fn parse_disable_timing(c: &mut Cursor) -> Result<Command, SdcError> {
+    let mut objects = Vec::new();
+    let mut from = None;
+    let mut to = None;
+    while let Some(arg) = c.next() {
+        match arg {
+            Arg::Flag(f) => match f.as_str() {
+                "from" => from = Some(c.word("-from")?),
+                "to" => to = Some(c.word("-to")?),
+                other => return Err(c.err(format!("set_disable_timing: unknown option -{other}"))),
+            },
+            Arg::Query(q) => objects.push(ObjectRef::Query(q)),
+            Arg::Word(w) => objects.push(ObjectRef::Name(w)),
+            Arg::List(items) => objects.extend(items.into_iter().map(ObjectRef::Name)),
+        }
+    }
+    if objects.is_empty() {
+        return Err(c.err("set_disable_timing: missing objects"));
+    }
+    Ok(Command::SetDisableTiming(SetDisableTiming { objects, from, to }))
+}
+
+#[derive(Clone, Copy)]
+enum ExcKind {
+    Multicycle,
+    MinDelay,
+    MaxDelay,
+}
+
+fn parse_exception(c: &mut Cursor, kind: Option<ExcKind>) -> Result<Command, SdcError> {
+    let mut value: Option<f64> = None;
+    let mut start = false;
+    let mut setup_hold = SetupHold::Both;
+    let mut spec = PathSpec::default();
+    while let Some(arg) = c.next() {
+        match arg {
+            Arg::Flag(f) => match f.as_str() {
+                "from" | "rise_from" | "fall_from" => spec.from.extend(c.objects("-from")?),
+                "to" | "rise_to" | "fall_to" => spec.to.extend(c.objects("-to")?),
+                "through" | "rise_through" | "fall_through" => {
+                    spec.through.push(c.objects("-through")?)
+                }
+                "setup" => setup_hold = SetupHold::Setup,
+                "hold" => setup_hold = SetupHold::Hold,
+                "start" => start = true,
+                "end" => start = false,
+                other => return Err(c.err(format!("exception: unknown option -{other}"))),
+            },
+            Arg::Word(w) => {
+                if value.is_none() && kind.is_some() {
+                    if let Ok(v) = w.parse::<f64>() {
+                        value = Some(v);
+                        continue;
+                    }
+                }
+                return Err(c.err(format!("exception: unexpected positional `{w}`")));
+            }
+            Arg::Query(_) | Arg::List(_) => {
+                return Err(c.err("exception: object list must follow -from/-through/-to"))
+            }
+        }
+    }
+    let kind = match kind {
+        None => PathExceptionKind::FalsePath,
+        Some(ExcKind::Multicycle) => {
+            let v = value.ok_or_else(|| c.err("set_multicycle_path: missing multiplier"))?;
+            if v.fract() != 0.0 || v < 0.0 {
+                return Err(c.err("set_multicycle_path: multiplier must be a non-negative integer"));
+            }
+            PathExceptionKind::Multicycle {
+                multiplier: v as u32,
+                start,
+            }
+        }
+        Some(ExcKind::MinDelay) => {
+            PathExceptionKind::MinDelay(value.ok_or_else(|| c.err("set_min_delay: missing value"))?)
+        }
+        Some(ExcKind::MaxDelay) => {
+            PathExceptionKind::MaxDelay(value.ok_or_else(|| c.err("set_max_delay: missing value"))?)
+        }
+    };
+    if spec.is_empty() {
+        return Err(c.err("exception: needs at least one of -from/-through/-to"));
+    }
+    Ok(Command::PathException(PathException {
+        kind,
+        setup_hold,
+        spec,
+    }))
+}
+
+fn parse_clock_groups(c: &mut Cursor) -> Result<Command, SdcError> {
+    let mut kind = None;
+    let mut name = None;
+    let mut groups = Vec::new();
+    while let Some(arg) = c.next() {
+        match arg {
+            Arg::Flag(f) => match f.as_str() {
+                "physically_exclusive" => kind = Some(ClockGroupKind::PhysicallyExclusive),
+                "logically_exclusive" => kind = Some(ClockGroupKind::LogicallyExclusive),
+                "asynchronous" => kind = Some(ClockGroupKind::Asynchronous),
+                "name" => name = Some(c.word("-name")?),
+                "group" => groups.push(c.objects("-group")?),
+                other => return Err(c.err(format!("set_clock_groups: unknown option -{other}"))),
+            },
+            _ => return Err(c.err("set_clock_groups: unexpected positional argument")),
+        }
+    }
+    let kind = kind.ok_or_else(|| c.err("set_clock_groups: missing exclusivity kind"))?;
+    if groups.len() < 2 {
+        return Err(c.err("set_clock_groups: need at least two -group options"));
+    }
+    Ok(Command::SetClockGroups(SetClockGroups { kind, name, groups }))
+}
+
+fn parse_clock_sense(c: &mut Cursor) -> Result<Command, SdcError> {
+    let mut stop_propagation = false;
+    let mut positive = false;
+    let mut negative = false;
+    let mut clocks = Vec::new();
+    let mut pins = Vec::new();
+    while let Some(arg) = c.next() {
+        match arg {
+            Arg::Flag(f) => match f.as_str() {
+                "stop_propagation" => stop_propagation = true,
+                "clock" | "clocks" => clocks.extend(c.objects("-clocks")?),
+                "positive" => positive = true,
+                "negative" => negative = true,
+                other => return Err(c.err(format!("set_clock_sense: unknown option -{other}"))),
+            },
+            Arg::Query(q) => pins.push(ObjectRef::Query(q)),
+            Arg::Word(w) => pins.push(ObjectRef::Name(w)),
+            Arg::List(items) => pins.extend(items.into_iter().map(ObjectRef::Name)),
+        }
+    }
+    if pins.is_empty() {
+        return Err(c.err("set_clock_sense: missing pins"));
+    }
+    if u8::from(stop_propagation) + u8::from(positive) + u8::from(negative) != 1 {
+        return Err(c.err(
+            "set_clock_sense: exactly one of -stop_propagation/-positive/-negative required",
+        ));
+    }
+    Ok(Command::SetClockSense(SetClockSense {
+        stop_propagation,
+        positive,
+        negative,
+        clocks,
+        pins,
+    }))
+}
+
+fn parse_input_transition(c: &mut Cursor) -> Result<Command, SdcError> {
+    let (value, min_max, _, _, ports) = simple_value_objects(c, "set_input_transition", &[])?;
+    if ports.is_empty() {
+        return Err(c.err("set_input_transition: missing ports"));
+    }
+    Ok(Command::SetInputTransition(SetInputTransition {
+        value,
+        min_max,
+        ports,
+    }))
+}
+
+fn parse_drive(c: &mut Cursor) -> Result<Command, SdcError> {
+    let (value, min_max, _, _, ports) = simple_value_objects(c, "set_drive", &[])?;
+    if ports.is_empty() {
+        return Err(c.err("set_drive: missing ports"));
+    }
+    Ok(Command::SetDrive(SetDrive {
+        value,
+        min_max,
+        ports,
+    }))
+}
+
+fn parse_load(c: &mut Cursor) -> Result<Command, SdcError> {
+    let (value, min_max, _, _, objects) =
+        simple_value_objects(c, "set_load", &["pin_load", "wire_load"])?;
+    if objects.is_empty() {
+        return Err(c.err("set_load: missing objects"));
+    }
+    Ok(Command::SetLoad(SetLoad {
+        value,
+        min_max,
+        objects,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(input: &str) -> Command {
+        let f = parse(input).unwrap();
+        assert_eq!(f.commands().len(), 1, "{input}");
+        f.commands()[0].clone()
+    }
+
+    #[test]
+    fn create_clock_full() {
+        let c = one("create_clock -name clkA -period 10 -waveform {0 5} -add [get_ports clk1]");
+        match c {
+            Command::CreateClock(cc) => {
+                assert_eq!(cc.name.as_deref(), Some("clkA"));
+                assert_eq!(cc.period, 10.0);
+                assert_eq!(cc.waveform, Some((0.0, 5.0)));
+                assert!(cc.add);
+                assert_eq!(cc.sources.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_clock_short_period_flag() {
+        // The paper's Constraint Set 6 uses `-p 10`.
+        let c = one("create_clock -p 10 -name clkA [get_port clk1]");
+        match c {
+            Command::CreateClock(cc) => assert_eq!(cc.period, 10.0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_clock_missing_period_errors() {
+        assert!(parse("create_clock -name x clk").is_err());
+    }
+
+    #[test]
+    fn virtual_clock_ok() {
+        let c = one("create_clock -name vclk -period 8");
+        match c {
+            Command::CreateClock(cc) => assert!(cc.sources.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn clock_latency_min() {
+        let c = one("set_clock_latency -min 1.2 [get_clocks clkB]");
+        match c {
+            Command::SetClockLatency(l) => {
+                assert_eq!(l.value, 1.2);
+                assert_eq!(l.min_max, MinMax::Min);
+                assert!(!l.source);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn clock_uncertainty_setup() {
+        let c = one("set_clock_uncertainty -setup 0.3 [get_clocks clkA]");
+        match c {
+            Command::SetClockUncertainty(u) => {
+                assert_eq!(u.setup_hold, SetupHold::Setup);
+                assert_eq!(u.value, 0.3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn input_delay() {
+        let c = one("set_input_delay 2.0 -clock ClkA [get_ports in1]");
+        match c {
+            Command::IoDelay(d) => {
+                assert_eq!(d.kind, IoDelayKind::Input);
+                assert_eq!(d.value, 2.0);
+                assert_eq!(d.clock, Some(ObjectRef::Name("ClkA".into())));
+                assert!(!d.add_delay);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn output_delay_add() {
+        let c = one("set_output_delay 2 -clock [get_clocks ClkB] -add_delay [get_ports out1]");
+        match c {
+            Command::IoDelay(d) => {
+                assert_eq!(d.kind, IoDelayKind::Output);
+                assert!(d.add_delay);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_analysis_values() {
+        match one("set_case_analysis 0 sel1") {
+            Command::SetCaseAnalysis(ca) => {
+                assert!(!ca.value);
+                assert_eq!(ca.objects, vec![ObjectRef::Name("sel1".into())]);
+            }
+            other => panic!("{other:?}"),
+        }
+        match one("set_case_analysis 1 [get_pins mux1/S]") {
+            Command::SetCaseAnalysis(ca) => assert!(ca.value),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse("set_case_analysis 2 x").is_err());
+    }
+
+    #[test]
+    fn false_path_through_list() {
+        let c = one("set_false_path -from [get_clocks ClkB] -through [get_pins {rB/Q and1/Z}]");
+        match c {
+            Command::PathException(e) => {
+                assert_eq!(e.kind, PathExceptionKind::FalsePath);
+                assert_eq!(e.spec.from.len(), 1);
+                assert_eq!(e.spec.through.len(), 1);
+                match &e.spec.through[0][0] {
+                    ObjectRef::Query(q) => assert_eq!(q.patterns, vec!["rB/Q", "and1/Z"]),
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_throughs_are_ordered_hops() {
+        let c = one("set_false_path -through u1/Z -through u2/Z");
+        match c {
+            Command::PathException(e) => assert_eq!(e.spec.through.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multicycle_path() {
+        let c = one("set_multicycle_path 2 -setup -from [get_clocks clkA] -through [get_pins rA/CP]");
+        match c {
+            Command::PathException(e) => {
+                assert_eq!(
+                    e.kind,
+                    PathExceptionKind::Multicycle {
+                        multiplier: 2,
+                        start: false
+                    }
+                );
+                assert_eq!(e.setup_hold, SetupHold::Setup);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multicycle_requires_integer() {
+        assert!(parse("set_multicycle_path 1.5 -to x").is_err());
+        assert!(parse("set_multicycle_path -to x").is_err());
+    }
+
+    #[test]
+    fn min_max_delay() {
+        match one("set_max_delay 5.5 -from a -to b") {
+            Command::PathException(e) => assert_eq!(e.kind, PathExceptionKind::MaxDelay(5.5)),
+            other => panic!("{other:?}"),
+        }
+        match one("set_min_delay -1 -to b") {
+            Command::PathException(e) => assert_eq!(e.kind, PathExceptionKind::MinDelay(-1.0)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn exception_needs_anchor() {
+        assert!(parse("set_false_path").is_err());
+    }
+
+    #[test]
+    fn clock_groups() {
+        let c = one(
+            "set_clock_groups -physically_exclusive -name g1 -group [get_clocks ClkA] -group [get_clocks ClkB]",
+        );
+        match c {
+            Command::SetClockGroups(g) => {
+                assert_eq!(g.kind, ClockGroupKind::PhysicallyExclusive);
+                assert_eq!(g.name.as_deref(), Some("g1"));
+                assert_eq!(g.groups.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse("set_clock_groups -asynchronous -group a").is_err());
+    }
+
+    #[test]
+    fn clock_sense() {
+        let c = one("set_clock_sense -stop_propagation -clock [get_clocks clkA] [get_pins mux1/Z]");
+        match c {
+            Command::SetClockSense(s) => {
+                assert!(s.stop_propagation);
+                assert_eq!(s.clocks.len(), 1);
+                assert_eq!(s.pins.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn drive_and_load() {
+        match one("set_drive 0.5 [get_ports in1]") {
+            Command::SetDrive(d) => assert_eq!(d.value, 0.5),
+            other => panic!("{other:?}"),
+        }
+        match one("set_load 0.1 [get_ports out1]") {
+            Command::SetLoad(l) => assert_eq!(l.value, 0.1),
+            other => panic!("{other:?}"),
+        }
+        match one("set_input_transition 0.2 [get_ports in1]") {
+            Command::SetInputTransition(t) => assert_eq!(t.value, 0.2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn disable_timing() {
+        match one("set_disable_timing [get_ports sel1]") {
+            Command::SetDisableTiming(d) => {
+                assert_eq!(d.objects.len(), 1);
+                assert!(d.from.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        match one("set_disable_timing [get_cells u1] -from A -to Z") {
+            Command::SetDisableTiming(d) => {
+                assert_eq!(d.from.as_deref(), Some("A"));
+                assert_eq!(d.to.as_deref(), Some("Z"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn propagated_clock() {
+        match one("set_propagated_clock [get_clocks clkA]") {
+            Command::SetPropagatedClock(p) => assert_eq!(p.clocks.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse("set_propagated_clock").is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_error() {
+        let e = parse("set_wizardry 3 [get_pins x]").unwrap_err();
+        assert!(e.to_string().contains("unsupported command"));
+    }
+
+    #[test]
+    fn negative_number_is_not_a_flag() {
+        let c = one("set_max_delay -2.5 -to b");
+        match c {
+            Command::PathException(e) => assert_eq!(e.kind, PathExceptionKind::MaxDelay(-2.5)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiline_file() {
+        let f = parse(
+            "create_clock -name a -period 10 clk\n\
+             # comment\n\
+             set_case_analysis 1 sel\n",
+        )
+        .unwrap();
+        assert_eq!(f.commands().len(), 2);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        // Exercise Cursor::peek via grouped parsing — a flag followed by
+        // positional objects still parses.
+        let mut c = Cursor::new(vec![Arg::Word("x".into())], 1);
+        assert!(c.peek().is_some());
+        assert_eq!(c.next(), Some(Arg::Word("x".into())));
+        assert!(c.peek().is_none());
+    }
+}

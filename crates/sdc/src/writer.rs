@@ -1,0 +1,323 @@
+//! Canonical SDC emission.
+//!
+//! Every [`Command`] can be written back to a single
+//! SDC line; [`SdcFile::to_text`](crate::ast::SdcFile::to_text) writes a
+//! whole file. The output parses back to an equal command (round-trip),
+//! which the merged-mode generator relies on.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+fn num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn object_ref(out: &mut String, r: &ObjectRef) {
+    match r {
+        ObjectRef::Name(n) => {
+            let _ = write!(out, "{n}");
+        }
+        ObjectRef::Query(q) => {
+            let _ = write!(out, "[{}", q.class.command());
+            if q.patterns.len() == 1 {
+                let _ = write!(out, " {}", q.patterns[0]);
+            } else {
+                let _ = write!(out, " {{{}}}", q.patterns.join(" "));
+            }
+            out.push(']');
+        }
+    }
+}
+
+fn object_list(out: &mut String, refs: &[ObjectRef]) {
+    for r in refs {
+        out.push(' ');
+        object_ref(out, r);
+    }
+}
+
+fn min_max(out: &mut String, mm: MinMax) {
+    match mm {
+        MinMax::Both => {}
+        MinMax::Min => out.push_str(" -min"),
+        MinMax::Max => out.push_str(" -max"),
+    }
+}
+
+fn setup_hold(out: &mut String, sh: SetupHold) {
+    match sh {
+        SetupHold::Both => {}
+        SetupHold::Setup => out.push_str(" -setup"),
+        SetupHold::Hold => out.push_str(" -hold"),
+    }
+}
+
+/// Writes one command as canonical SDC (no trailing newline).
+pub fn write_command(cmd: &Command) -> String {
+    let mut s = String::new();
+    match cmd {
+        Command::CreateClock(c) => {
+            s.push_str("create_clock");
+            if let Some(name) = &c.name {
+                let _ = write!(s, " -name {name}");
+            }
+            let _ = write!(s, " -period {}", num(c.period));
+            if let Some((r, f)) = c.waveform {
+                let _ = write!(s, " -waveform {{{} {}}}", num(r), num(f));
+            }
+            if c.add {
+                s.push_str(" -add");
+            }
+            object_list(&mut s, &c.sources);
+        }
+        Command::CreateGeneratedClock(c) => {
+            s.push_str("create_generated_clock");
+            if let Some(name) = &c.name {
+                let _ = write!(s, " -name {name}");
+            }
+            s.push_str(" -source");
+            object_list(&mut s, &c.source);
+            if let Some(m) = &c.master_clock {
+                s.push_str(" -master_clock ");
+                object_ref(&mut s, m);
+            }
+            if let Some(d) = c.divide_by {
+                let _ = write!(s, " -divide_by {d}");
+            }
+            if let Some(m) = c.multiply_by {
+                let _ = write!(s, " -multiply_by {m}");
+            }
+            if c.invert {
+                s.push_str(" -invert");
+            }
+            if c.add {
+                s.push_str(" -add");
+            }
+            object_list(&mut s, &c.targets);
+        }
+        Command::SetClockLatency(c) => {
+            s.push_str("set_clock_latency");
+            min_max(&mut s, c.min_max);
+            if c.source {
+                s.push_str(" -source");
+            }
+            let _ = write!(s, " {}", num(c.value));
+            object_list(&mut s, &c.clocks);
+        }
+        Command::SetClockUncertainty(c) => {
+            s.push_str("set_clock_uncertainty");
+            setup_hold(&mut s, c.setup_hold);
+            let _ = write!(s, " {}", num(c.value));
+            if !c.from.is_empty() {
+                s.push_str(" -from");
+                object_list(&mut s, &c.from);
+            }
+            if !c.to.is_empty() {
+                s.push_str(" -to");
+                object_list(&mut s, &c.to);
+            }
+            object_list(&mut s, &c.clocks);
+        }
+        Command::SetClockTransition(c) => {
+            s.push_str("set_clock_transition");
+            min_max(&mut s, c.min_max);
+            let _ = write!(s, " {}", num(c.value));
+            object_list(&mut s, &c.clocks);
+        }
+        Command::SetPropagatedClock(c) => {
+            s.push_str("set_propagated_clock");
+            object_list(&mut s, &c.clocks);
+        }
+        Command::IoDelay(c) => {
+            s.push_str(match c.kind {
+                IoDelayKind::Input => "set_input_delay",
+                IoDelayKind::Output => "set_output_delay",
+            });
+            let _ = write!(s, " {}", num(c.value));
+            if let Some(clock) = &c.clock {
+                s.push_str(" -clock ");
+                object_ref(&mut s, clock);
+            }
+            if c.clock_fall {
+                s.push_str(" -clock_fall");
+            }
+            if c.add_delay {
+                s.push_str(" -add_delay");
+            }
+            min_max(&mut s, c.min_max);
+            object_list(&mut s, &c.ports);
+        }
+        Command::SetCaseAnalysis(c) => {
+            let _ = write!(s, "set_case_analysis {}", u8::from(c.value));
+            object_list(&mut s, &c.objects);
+        }
+        Command::SetDisableTiming(c) => {
+            s.push_str("set_disable_timing");
+            object_list(&mut s, &c.objects);
+            if let Some(from) = &c.from {
+                let _ = write!(s, " -from {from}");
+            }
+            if let Some(to) = &c.to {
+                let _ = write!(s, " -to {to}");
+            }
+        }
+        Command::PathException(c) => {
+            match c.kind {
+                PathExceptionKind::FalsePath => s.push_str("set_false_path"),
+                PathExceptionKind::Multicycle { multiplier, start } => {
+                    let _ = write!(s, "set_multicycle_path {multiplier}");
+                    if start {
+                        s.push_str(" -start");
+                    }
+                }
+                PathExceptionKind::MinDelay(v) => {
+                    let _ = write!(s, "set_min_delay {}", num(v));
+                }
+                PathExceptionKind::MaxDelay(v) => {
+                    let _ = write!(s, "set_max_delay {}", num(v));
+                }
+            }
+            setup_hold(&mut s, c.setup_hold);
+            if !c.spec.from.is_empty() {
+                s.push_str(" -from");
+                object_list(&mut s, &c.spec.from);
+            }
+            for hop in &c.spec.through {
+                s.push_str(" -through");
+                object_list(&mut s, hop);
+            }
+            if !c.spec.to.is_empty() {
+                s.push_str(" -to");
+                object_list(&mut s, &c.spec.to);
+            }
+        }
+        Command::SetClockGroups(c) => {
+            s.push_str("set_clock_groups ");
+            s.push_str(match c.kind {
+                ClockGroupKind::PhysicallyExclusive => "-physically_exclusive",
+                ClockGroupKind::LogicallyExclusive => "-logically_exclusive",
+                ClockGroupKind::Asynchronous => "-asynchronous",
+            });
+            if let Some(name) = &c.name {
+                let _ = write!(s, " -name {name}");
+            }
+            for group in &c.groups {
+                s.push_str(" -group");
+                object_list(&mut s, group);
+            }
+        }
+        Command::SetClockSense(c) => {
+            s.push_str("set_clock_sense");
+            if c.stop_propagation {
+                s.push_str(" -stop_propagation");
+            }
+            if c.positive {
+                s.push_str(" -positive");
+            }
+            if c.negative {
+                s.push_str(" -negative");
+            }
+            if !c.clocks.is_empty() {
+                s.push_str(" -clocks");
+                object_list(&mut s, &c.clocks);
+            }
+            object_list(&mut s, &c.pins);
+        }
+        Command::SetInputTransition(c) => {
+            s.push_str("set_input_transition");
+            min_max(&mut s, c.min_max);
+            let _ = write!(s, " {}", num(c.value));
+            object_list(&mut s, &c.ports);
+        }
+        Command::SetDrive(c) => {
+            s.push_str("set_drive");
+            min_max(&mut s, c.min_max);
+            let _ = write!(s, " {}", num(c.value));
+            object_list(&mut s, &c.ports);
+        }
+        Command::SetLoad(c) => {
+            s.push_str("set_load");
+            min_max(&mut s, c.min_max);
+            let _ = write!(s, " {}", num(c.value));
+            object_list(&mut s, &c.objects);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::SdcFile;
+
+    #[track_caller]
+    fn roundtrip(line: &str) {
+        let f1 = SdcFile::parse(line).unwrap();
+        let text = f1.to_text();
+        let f2 = SdcFile::parse(&text).unwrap();
+        assert_eq!(f1, f2, "parse(write(parse(x))) != parse(x) for `{line}`");
+        // Idempotence of canonical form.
+        assert_eq!(f2.to_text(), text);
+    }
+
+    #[test]
+    fn roundtrip_all_commands() {
+        for line in [
+            "create_clock -name clkA -period 10 [get_ports clk1]",
+            "create_clock -name clkB -period 20 -waveform {0 10} -add [get_ports clk2]",
+            "create_clock -name vclk -period 8",
+            "create_generated_clock -name gclk -source [get_ports clk1] -divide_by 2 [get_pins div0/Q]",
+            "create_generated_clock -name gclk2 -source [get_ports clk1] -master_clock [get_clocks clkA] -multiply_by 2 -invert -add [get_pins pll/OUT]",
+            "set_clock_latency -min 1.2 [get_clocks clkB]",
+            "set_clock_latency -max -source 2 [get_clocks {a b}]",
+            "set_clock_uncertainty -setup 0.3 [get_clocks clkA]",
+            "set_clock_uncertainty 0.1 [get_clocks clkA]",
+            "set_clock_uncertainty -setup 0.4 -from [get_clocks clkA] -to [get_clocks clkB]",
+            "set_clock_transition -max 0.25 [get_clocks clkA]",
+            "set_propagated_clock [get_clocks clkA]",
+            "set_input_delay 2 -clock [get_clocks ClkA] [get_ports in1]",
+            "set_input_delay 2 -clock [get_clocks ClkB] -add_delay [get_ports in1]",
+            "set_output_delay 1.5 -clock [get_clocks ClkA] -clock_fall -min [get_ports out1]",
+            "set_case_analysis 0 [get_pins mux1/S]",
+            "set_case_analysis 1 [get_ports {sel1 sel2}]",
+            "set_disable_timing [get_ports sel1]",
+            "set_disable_timing [get_cells u1] -from A -to Z",
+            "set_false_path -to [get_pins rX/D]",
+            "set_false_path -from [get_pins rA/CP] -to [get_pins rY/D]",
+            "set_false_path -from [get_clocks ClkB] -through [get_pins {rB/Q and1/Z}]",
+            "set_false_path -from [get_pins rC/CP] -through [get_pins inv3/A] -to [get_pins rZ/D]",
+            "set_multicycle_path 2 -through [get_pins inv1/Z]",
+            "set_multicycle_path 3 -start -hold -from [get_clocks clkA]",
+            "set_min_delay 0.5 -to [get_pins rX/D]",
+            "set_max_delay 12.25 -from [get_clocks clkA] -to [get_clocks clkB]",
+            "set_clock_groups -physically_exclusive -name ClkA_1 -group [get_clocks ClkA] -group [get_clocks ClkB]",
+            "set_clock_groups -asynchronous -group [get_clocks a] -group [get_clocks b] -group [get_clocks c]",
+            "set_clock_sense -stop_propagation -clocks [get_clocks clkA] [get_pins mux1/Z]",
+            "set_clock_sense -positive -clocks [get_clocks clkA] [get_pins buf1/Z]",
+            "set_clock_sense -negative [get_pins inv1/Z]",
+            "set_input_transition 0.2 [get_ports in1]",
+            "set_drive 0.5 [get_ports in1]",
+            "set_load -max 0.1 [get_ports out1]",
+        ] {
+            roundtrip(line);
+        }
+    }
+
+    #[test]
+    fn numbers_print_compactly() {
+        assert_eq!(num(10.0), "10");
+        assert_eq!(num(0.5), "0.5");
+        assert_eq!(num(-2.0), "-2");
+    }
+
+    #[test]
+    fn display_matches_to_text() {
+        let f = SdcFile::parse("set_false_path -to [get_pins rX/D]").unwrap();
+        let c = &f.commands()[0];
+        assert_eq!(format!("{c}"), c.to_text());
+    }
+}

@@ -1,0 +1,865 @@
+//! The analysis orchestrator: runs every propagation stage for one mode
+//! and exposes timing relationships (all three pass granularities) plus
+//! per-endpoint slacks.
+
+use crate::clock_prop::ClockArrivals;
+use crate::constants::Constants;
+use crate::exceptions::{CheckKind, ExcIndex, Tag};
+use crate::graph::{ArcKind, TimingGraph};
+use crate::mode::{ClockId, Mode};
+use crate::overlay::Overlay;
+use crate::propagate::{Propagation, Propagator, Startpoint};
+use crate::relations::{
+    EndpointRelation, PairRelation, PathState, RelationSet, ThroughRelation,
+};
+use modemerge_netlist::{Netlist, PinId};
+use modemerge_sdc::IoDelayKind;
+use std::collections::{BTreeSet, HashMap};
+
+/// Worst setup slack at one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EndpointSlack {
+    /// The endpoint pin.
+    pub endpoint: PinId,
+    /// Worst (most negative) setup slack over all path classes.
+    pub slack: f64,
+    /// Period of the capture clock of the worst path class — Table 6's
+    /// conformity criterion normalizes slack deviation by this.
+    pub capture_period: f64,
+}
+
+/// One resolved path class at an endpoint (mode-local clocks).
+pub(crate) type Resolved = (ClockId, ClockId, CheckKind, PathState);
+
+/// Full single-mode timing analysis.
+///
+/// Construction runs constant propagation, clock propagation and the
+/// full-design tag propagation; the accessors are then cheap.
+#[derive(Debug)]
+pub struct Analysis<'a> {
+    netlist: &'a Netlist,
+    graph: &'a TimingGraph,
+    mode: &'a Mode,
+    constants: Constants,
+    clock_arrivals: ClockArrivals,
+    exc_index: ExcIndex,
+    prop: Propagation,
+}
+
+impl<'a> Analysis<'a> {
+    /// Runs the full analysis for `mode`.
+    pub fn run(netlist: &'a Netlist, graph: &'a TimingGraph, mode: &'a Mode) -> Self {
+        let constants = Constants::compute(netlist, &mode.case_values);
+        let exc_index = ExcIndex::build(mode);
+        let (clock_arrivals, prop) = {
+            let overlay = Overlay::new(netlist, mode, &constants);
+            let clock_arrivals = ClockArrivals::compute(graph, &overlay, mode);
+            let propagator = Propagator::new(graph, overlay, mode, &clock_arrivals, &exc_index);
+            let prop = propagator.run_full();
+            (clock_arrivals, prop)
+        };
+        Self {
+            netlist,
+            graph,
+            mode,
+            constants,
+            clock_arrivals,
+            exc_index,
+            prop,
+        }
+    }
+
+    /// The analyzed mode.
+    pub fn mode(&self) -> &Mode {
+        self.mode
+    }
+
+    /// The netlist under analysis.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// The timing graph under analysis.
+    pub fn graph(&self) -> &TimingGraph {
+        self.graph
+    }
+
+    /// The exception index (tag advancement and matching).
+    pub fn exc_index(&self) -> &ExcIndex {
+        &self.exc_index
+    }
+
+    /// Case-analysis constants in effect.
+    pub fn constants(&self) -> &Constants {
+        self.constants_ref()
+    }
+
+    fn constants_ref(&self) -> &Constants {
+        &self.constants
+    }
+
+    /// Clock arrivals (clock-network reach).
+    pub fn clock_arrivals(&self) -> &ClockArrivals {
+        &self.clock_arrivals
+    }
+
+    /// The full-design data propagation result.
+    pub fn propagation(&self) -> &Propagation {
+        &self.prop
+    }
+
+    fn overlay(&self) -> Overlay<'_> {
+        Overlay::new(self.netlist, self.mode, &self.constants)
+    }
+
+    fn propagator(&self) -> Propagator<'_> {
+        Propagator::new(
+            self.graph,
+            self.overlay(),
+            self.mode,
+            &self.clock_arrivals,
+            &self.exc_index,
+        )
+    }
+
+    /// All timing startpoints active in this mode.
+    pub fn startpoints(&self) -> Vec<Startpoint> {
+        self.propagator().startpoints()
+    }
+
+    /// All endpoints: sequential data pins plus output ports carrying
+    /// `set_output_delay`.
+    pub fn endpoints(&self) -> Vec<PinId> {
+        let mut out: BTreeSet<PinId> = self.graph.seq_data_pins().iter().copied().collect();
+        for d in &self.mode.io_delays {
+            if d.kind == IoDelayKind::Output {
+                out.insert(d.pin);
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Capture clocks at an endpoint: the clocks reaching the register's
+    /// clock pin, or the reference clocks of the port's output delays.
+    pub fn capture_clocks(&self, endpoint: PinId) -> Vec<ClockId> {
+        if let Some(cp) = self.graph.capture_pin(endpoint) {
+            self.clock_arrivals.clock_ids_at(cp).collect()
+        } else {
+            let mut v: Vec<ClockId> = self
+                .mode
+                .io_delays
+                .iter()
+                .filter(|d| d.kind == IoDelayKind::Output && d.pin == endpoint)
+                .map(|d| d.clock)
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        }
+    }
+
+    /// Capture arrival entries at an endpoint: one per (clock, polarity)
+    /// reaching the register's clock pin, with network insertion delays.
+    /// Output ports get synthetic entries for their output-delay clocks.
+    pub fn capture_arrivals(&self, endpoint: PinId) -> Vec<crate::clock_prop::ClockArrival> {
+        if let Some(cp) = self.graph.capture_pin(endpoint) {
+            self.clock_arrivals.clocks_at(cp).to_vec()
+        } else {
+            self.capture_clocks(endpoint)
+                .into_iter()
+                .map(|clock| crate::clock_prop::ClockArrival {
+                    clock,
+                    inverted: false,
+                    min: 0.0,
+                    max: 0.0,
+                })
+                .collect()
+        }
+    }
+
+    /// Resolves every path class arriving at `endpoint` (from an
+    /// arbitrary propagation result) into `(launch, capture, check,
+    /// state)` tuples with mode-local clock ids.
+    pub(crate) fn resolve_endpoint(&self, prop: &Propagation, endpoint: PinId) -> BTreeSet<Resolved> {
+        let captures = self.capture_clocks(endpoint);
+        let mut out = BTreeSet::new();
+        for (tag, _) in prop.tags_at(endpoint) {
+            for &cap in &captures {
+                if self.mode.clocks_separated(tag.launch, cap) {
+                    continue;
+                }
+                for check in CheckKind::ALL {
+                    let matched =
+                        self.exc_index
+                            .matched(self.mode, tag, endpoint, Some(cap), check);
+                    let state = crate::exceptions::resolve_state(self.mode, &matched, check);
+                    out.insert((tag.launch, cap, check, state));
+                }
+            }
+        }
+        out
+    }
+
+    /// Pass-1 relationships: the full-design endpoint relation set.
+    pub fn endpoint_relations(&self) -> RelationSet {
+        let mut set = RelationSet::new();
+        for endpoint in self.endpoints() {
+            for (launch, cap, check, state) in self.resolve_endpoint(&self.prop, endpoint) {
+                set.insert(EndpointRelation {
+                    endpoint,
+                    launch: self.mode.clock_key(launch),
+                    capture: self.mode.clock_key(cap),
+                    check,
+                    state,
+                });
+            }
+        }
+        set
+    }
+
+    /// Nodes that can reach `endpoint` through active arcs (the fanin
+    /// cone), including the endpoint itself.
+    pub fn fanin_cone(&self, endpoint: PinId) -> Vec<bool> {
+        let overlay = self.overlay();
+        let mut in_cone = vec![false; self.graph.node_count()];
+        let mut stack = vec![endpoint];
+        in_cone[endpoint.index()] = true;
+        while let Some(n) = stack.pop() {
+            for arc in self.graph.fanin_arcs(n) {
+                if arc.kind == ArcKind::Launch {
+                    continue;
+                }
+                if overlay.node_blocked(arc.from) || overlay.arc_blocked(arc) {
+                    continue;
+                }
+                if !in_cone[arc.from.index()] {
+                    in_cone[arc.from.index()] = true;
+                    stack.push(arc.from);
+                }
+            }
+        }
+        in_cone
+    }
+
+    /// `true` if at least one non-launch arc leaves `node` and is active
+    /// (target not blocked, arc sensitized) — i.e. signals *cross* the
+    /// node rather than dying at it.
+    pub fn has_active_fanout(&self, node: PinId) -> bool {
+        let overlay = self.overlay();
+        self.graph.fanout_arcs(node).any(|a| {
+            a.kind != ArcKind::Launch
+                && !overlay.node_blocked(a.to)
+                && !overlay.arc_blocked(a)
+        })
+    }
+
+    /// Active (non-launch, unblocked) fanin pins of `node` in this mode.
+    pub fn active_fanin(&self, node: PinId) -> Vec<PinId> {
+        let overlay = self.overlay();
+        self.graph
+            .fanin_arcs(node)
+            .filter(|a| {
+                a.kind != ArcKind::Launch
+                    && !overlay.node_blocked(a.from)
+                    && !overlay.arc_blocked(a)
+            })
+            .map(|a| a.from)
+            .collect()
+    }
+
+    /// Startpoints whose launches can reach `endpoint`.
+    pub fn startpoints_of(&self, endpoint: PinId) -> Vec<Startpoint> {
+        let cone = self.fanin_cone(endpoint);
+        self.startpoints()
+            .into_iter()
+            .filter(|sp| match sp {
+                Startpoint::Reg(cp) => self
+                    .graph
+                    .fanout_arcs(*cp)
+                    .any(|a| a.kind == ArcKind::Launch && cone[a.to.index()]),
+                Startpoint::Port(p) => cone[p.index()],
+            })
+            .collect()
+    }
+
+    /// Pass-2 relationships for one endpoint: per-startpoint relation
+    /// sets.
+    pub fn pair_relations(&self, endpoint: PinId) -> BTreeSet<PairRelation> {
+        let mut out = BTreeSet::new();
+        for sp in self.startpoints_of(endpoint) {
+            let prop = self.propagator().run_from(sp);
+            for (launch, cap, check, state) in self.resolve_endpoint(&prop, endpoint) {
+                out.insert(PairRelation {
+                    start: sp.pin(),
+                    endpoint,
+                    launch: self.mode.clock_key(launch),
+                    capture: self.mode.clock_key(cap),
+                    check,
+                    state,
+                });
+            }
+        }
+        out
+    }
+
+    /// Pass-3 relationships for one (startpoint, endpoint) pair: for
+    /// every node on a path between them, the states of all paths from
+    /// the startpoint through that node to the endpoint.
+    ///
+    /// The through nodes returned exclude the startpoint pin and the
+    /// endpoint itself.
+    pub fn through_relations(&self, start: Startpoint, endpoint: PinId) -> BTreeSet<ThroughRelation> {
+        let prop = self.propagator().run_from(start);
+        let cone = self.fanin_cone(endpoint);
+
+        // Suffix states, memoized per (node, tag), computed in reverse
+        // topological order so children are always ready.
+        let mut suffix: HashMap<(PinId, Tag), BTreeSet<Resolved>> = HashMap::new();
+        for (tag, _) in prop.tags_at(endpoint) {
+            let resolved: BTreeSet<Resolved> = self
+                .resolve_tag_at_endpoint(tag, endpoint)
+                .into_iter()
+                .collect();
+            suffix.insert((endpoint, tag.clone()), resolved);
+        }
+        let overlay = self.overlay();
+        for &node in self.graph.topo_order().iter().rev() {
+            if node == endpoint || !cone[node.index()] {
+                continue;
+            }
+            let tags = prop.tags_at(node);
+            if tags.is_empty() {
+                continue;
+            }
+            for (tag, _) in tags {
+                let mut states = BTreeSet::new();
+                for arc in self.graph.fanout_arcs(node) {
+                    if arc.kind == ArcKind::Launch {
+                        continue;
+                    }
+                    if !cone[arc.to.index()] {
+                        continue;
+                    }
+                    if overlay.node_blocked(arc.to) || overlay.arc_blocked(arc) {
+                        continue;
+                    }
+                    let next_tag = match self.exc_index.advance(tag, arc.to) {
+                        Some(t) => t,
+                        None => tag.clone(),
+                    };
+                    if let Some(s) = suffix.get(&(arc.to, next_tag)) {
+                        states.extend(s.iter().cloned());
+                    }
+                }
+                suffix.insert((node, tag.clone()), states);
+            }
+        }
+
+        let mut out = BTreeSet::new();
+        for node in prop.reached_nodes() {
+            if node == endpoint || node == start.pin() || !cone[node.index()] {
+                continue;
+            }
+            for (tag, _) in prop.tags_at(node) {
+                if let Some(states) = suffix.get(&(node, tag.clone())) {
+                    for (launch, cap, check, state) in states {
+                        out.insert(ThroughRelation {
+                            start: start.pin(),
+                            through: node,
+                            endpoint,
+                            launch: self.mode.clock_key(*launch),
+                            capture: self.mode.clock_key(*cap),
+                            check: *check,
+                            state: state.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn resolve_tag_at_endpoint(&self, tag: &Tag, endpoint: PinId) -> Vec<Resolved> {
+        let mut out = Vec::new();
+        for cap in self.capture_clocks(endpoint) {
+            if self.mode.clocks_separated(tag.launch, cap) {
+                continue;
+            }
+            for check in CheckKind::ALL {
+                let matched = self
+                    .exc_index
+                    .matched(self.mode, tag, endpoint, Some(cap), check);
+                let state = crate::exceptions::resolve_state(self.mode, &matched, check);
+                out.push((tag.launch, cap, check, state));
+            }
+        }
+        out
+    }
+
+    /// Worst setup slack per endpoint — the quantity Table 6's QoR
+    /// conformity is computed from.
+    pub fn endpoint_slacks(&self) -> Vec<EndpointSlack> {
+        let mut out = Vec::new();
+        let model = self.graph.model();
+        for endpoint in self.endpoints() {
+            let is_port = self.graph.capture_pin(endpoint).is_none();
+            let mut worst: Option<(f64, f64)> = None; // (slack, capture period)
+            let captures = self.capture_arrivals(endpoint);
+            for (tag, arrival) in self.prop.tags_at(endpoint) {
+                for cap_arr in &captures {
+                    let cap = cap_arr.clock;
+                    if self.mode.clocks_separated(tag.launch, cap) {
+                        continue;
+                    }
+                    let matched = self.exc_index.matched(
+                        self.mode,
+                        tag,
+                        endpoint,
+                        Some(cap),
+                        CheckKind::Setup,
+                    );
+                    let state =
+                        crate::exceptions::resolve_state(self.mode, &matched, CheckKind::Setup);
+                    let cap_clock = self.mode.clock(cap);
+                    let mut data_arrival = arrival.max;
+                    if is_port {
+                        // Output delay is external required-time margin.
+                        data_arrival += self
+                            .mode
+                            .io_delays
+                            .iter()
+                            .filter(|d| {
+                                d.kind == IoDelayKind::Output
+                                    && d.pin == endpoint
+                                    && d.clock == cap
+                            })
+                            .map(|d| d.value)
+                            .fold(0.0, f64::max);
+                    }
+                    let slack = match state {
+                        PathState::FalsePath => continue,
+                        PathState::MaxDelay(v) => v.value() - data_arrival,
+                        state => {
+                            let launch_clock = self.mode.clock(tag.launch);
+                            // Active edges: an inverted clock launches or
+                            // captures on the waveform's fall edge — this
+                            // is what makes inverted-clock (half-period)
+                            // paths come out right.
+                            let launch_edge = if tag.launch_inverted {
+                                launch_clock.waveform.1
+                            } else {
+                                launch_clock.waveform.0
+                            };
+                            let cap_edge = if cap_arr.inverted {
+                                cap_clock.waveform.1
+                            } else {
+                                cap_clock.waveform.0
+                            };
+                            let mut relation = setup_relation(
+                                (launch_edge, launch_clock.period),
+                                (cap_edge, cap_clock.period),
+                            );
+                            if let PathState::Multicycle(n) = state {
+                                relation += (n.saturating_sub(1)) as f64 * cap_clock.period;
+                            }
+                            let capture_edge_arrival =
+                                relation + cap_clock.latency.max + cap_arr.max;
+                            let margin = if is_port { 0.0 } else { model.setup_margin };
+                            let (unc_setup, _) = self.mode.uncertainty_for(tag.launch, cap);
+                            capture_edge_arrival - unc_setup - margin - data_arrival
+                        }
+                    };
+                    if worst.is_none_or(|(w, _)| slack < w) {
+                        worst = Some((slack, cap_clock.period));
+                    }
+                }
+            }
+            if let Some((slack, capture_period)) = worst {
+                out.push(EndpointSlack {
+                    endpoint,
+                    slack,
+                    capture_period,
+                });
+            }
+        }
+        out
+    }
+
+    /// Worst hold slack per endpoint.
+    ///
+    /// Hold checks race the earliest (min) data arrival against the same
+    /// capture edge: `slack = min_arrival - capture_edge - hold_margin -
+    /// hold_uncertainty`. Min-delay exceptions override the requirement;
+    /// false paths are skipped.
+    pub fn endpoint_hold_slacks(&self) -> Vec<EndpointSlack> {
+        let mut out = Vec::new();
+        let model = self.graph.model();
+        for endpoint in self.endpoints() {
+            let is_port = self.graph.capture_pin(endpoint).is_none();
+            let mut worst: Option<(f64, f64)> = None;
+            let captures = self.capture_arrivals(endpoint);
+            for (tag, arrival) in self.prop.tags_at(endpoint) {
+                for cap_arr in &captures {
+                    let cap = cap_arr.clock;
+                    if self.mode.clocks_separated(tag.launch, cap) {
+                        continue;
+                    }
+                    let matched = self.exc_index.matched(
+                        self.mode,
+                        tag,
+                        endpoint,
+                        Some(cap),
+                        CheckKind::Hold,
+                    );
+                    let state =
+                        crate::exceptions::resolve_state(self.mode, &matched, CheckKind::Hold);
+                    let cap_clock = self.mode.clock(cap);
+                    let slack = match state {
+                        PathState::FalsePath => continue,
+                        PathState::MinDelay(v) => arrival.min - v.value(),
+                        _ => {
+                            let margin = if is_port { 0.0 } else { model.hold_margin };
+                            let capture_edge = cap_clock.latency.max + cap_arr.max;
+                            let (_, unc_hold) = self.mode.uncertainty_for(tag.launch, cap);
+                            arrival.min - capture_edge - unc_hold - margin
+                        }
+                    };
+                    if worst.is_none_or(|(w, _)| slack < w) {
+                        worst = Some((slack, cap_clock.period));
+                    }
+                }
+            }
+            if let Some((slack, capture_period)) = worst {
+                out.push(EndpointSlack {
+                    endpoint,
+                    slack,
+                    capture_period,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// The setup relation between a launch and a capture clock: the smallest
+/// positive time from the launch active edge to a capture active edge,
+/// scanning a bounded hyperperiod window. Each side is
+/// `(edge offset, period)`.
+pub fn setup_relation(launch: (f64, f64), capture: (f64, f64)) -> f64 {
+    let (wl, pl) = launch;
+    let (wc, pc) = capture;
+    if pl <= 0.0 || pc <= 0.0 {
+        return pl.max(pc).max(0.0);
+    }
+    if (pl - pc).abs() < 1e-12 && (wl - wc).abs() < 1e-12 {
+        return pl;
+    }
+    let window = 16.0 * pl.max(pc);
+    let mut best = f64::INFINITY;
+    let mut t_l = wl;
+    while t_l <= wl + window {
+        // First capture edge strictly after t_l.
+        let k = ((t_l - wc) / pc).floor() + 1.0;
+        let t_c = wc + k * pc;
+        let diff = t_c - t_l;
+        if diff > 1e-12 && diff < best {
+            best = diff;
+        }
+        t_l += pl;
+    }
+    if best.is_finite() {
+        best
+    } else {
+        pl.min(pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modemerge_netlist::paper::paper_circuit;
+    use modemerge_sdc::SdcFile;
+
+    fn fixture(sdc: &str) -> (Netlist, TimingGraph, Mode) {
+        let netlist = paper_circuit();
+        let graph = TimingGraph::build(&netlist).unwrap();
+        let sdc = SdcFile::parse(sdc).unwrap();
+        let mode = Mode::bind("t", &netlist, &sdc).unwrap();
+        (netlist, graph, mode)
+    }
+
+    /// Constraint Set 1 of the paper.
+    const SET1: &str = "\
+create_clock -name clkA -period 10 [get_ports clk1]
+set_multicycle_path 2 -through [get_pins inv1/Z]
+set_false_path -through [get_pins and1/Z]
+";
+
+    #[test]
+    fn table1_timing_relationships() {
+        // Table 1: rX/D → MCP(2); rY/D → FP (FP overrides MCP); rZ/D → valid.
+        let (netlist, graph, mode) = fixture(SET1);
+        let analysis = Analysis::run(&netlist, &graph, &mode);
+        let rels = analysis.endpoint_relations();
+        let state_at = |pin: &str| -> BTreeSet<PathState> {
+            let p = netlist.find_pin(pin).unwrap();
+            rels.iter()
+                .filter(|r| r.endpoint == p && r.check == CheckKind::Setup)
+                .map(|r| r.state.clone())
+                .collect()
+        };
+        assert_eq!(state_at("rX/D"), BTreeSet::from([PathState::Multicycle(2)]));
+        assert_eq!(state_at("rY/D"), BTreeSet::from([PathState::FalsePath]));
+        assert_eq!(state_at("rZ/D"), BTreeSet::from([PathState::Valid]));
+    }
+
+    #[test]
+    fn pass1_states_of_constraint_set6_mode_a() {
+        // Mode A of Constraint Set 6: FP to rX/D, FP to rY/D (partial:
+        // only via and1? no — `-to rY/D` covers all), FP through inv3/Z.
+        let (netlist, graph, mode) = fixture(
+            "create_clock -p 10 -name clkA [get_ports clk1]\n\
+             set_false_path -to rX/D\n\
+             set_false_path -to rY/D\n\
+             set_false_path -through inv3/Z\n",
+        );
+        let analysis = Analysis::run(&netlist, &graph, &mode);
+        let rels = analysis.endpoint_relations();
+        let states = |pin: &str| -> BTreeSet<PathState> {
+            let p = netlist.find_pin(pin).unwrap();
+            rels.iter()
+                .filter(|r| r.endpoint == p && r.check == CheckKind::Setup)
+                .map(|r| r.state.clone())
+                .collect()
+        };
+        assert_eq!(states("rX/D"), BTreeSet::from([PathState::FalsePath]));
+        assert_eq!(states("rY/D"), BTreeSet::from([PathState::FalsePath]));
+        // rZ/D: paths through inv3 are FP, paths through and2/A only are valid.
+        assert_eq!(
+            states("rZ/D"),
+            BTreeSet::from([PathState::Valid, PathState::FalsePath])
+        );
+    }
+
+    #[test]
+    fn pass2_pair_relations_table3() {
+        // Mode B of Constraint Set 6: FP from rA/CP, FP to rZ/D.
+        let (netlist, graph, mode) = fixture(
+            "create_clock -p 10 -name clkA [get_ports clk1]\n\
+             set_false_path -from rA/CP\n\
+             set_false_path -to rZ/D\n",
+        );
+        let analysis = Analysis::run(&netlist, &graph, &mode);
+        let ry_d = netlist.find_pin("rY/D").unwrap();
+        let pairs = analysis.pair_relations(ry_d);
+        let ra_cp = netlist.find_pin("rA/CP").unwrap();
+        let rb_cp = netlist.find_pin("rB/CP").unwrap();
+        let state_of = |start: PinId| -> BTreeSet<PathState> {
+            pairs
+                .iter()
+                .filter(|r| r.start == start && r.check == CheckKind::Setup)
+                .map(|r| r.state.clone())
+                .collect()
+        };
+        // Table 3 shape: rA→rY/D false in mode A+B comparison context;
+        // here in mode B: from rA is FP, from rB is valid.
+        assert_eq!(state_of(ra_cp), BTreeSet::from([PathState::FalsePath]));
+        assert_eq!(state_of(rb_cp), BTreeSet::from([PathState::Valid]));
+    }
+
+    #[test]
+    fn pass3_through_relations_table4() {
+        // Mode A of Constraint Set 6 restricted to rC→rZ: through inv3 is
+        // FP, through and2/A (direct input) is valid.
+        let (netlist, graph, mode) = fixture(
+            "create_clock -p 10 -name clkA [get_ports clk1]\n\
+             set_false_path -through inv3/Z\n",
+        );
+        let analysis = Analysis::run(&netlist, &graph, &mode);
+        let rc_cp = netlist.find_pin("rC/CP").unwrap();
+        let rz_d = netlist.find_pin("rZ/D").unwrap();
+        let throughs = analysis.through_relations(Startpoint::Reg(rc_cp), rz_d);
+        let state_at = |pin: &str| -> BTreeSet<PathState> {
+            let p = netlist.find_pin(pin).unwrap();
+            throughs
+                .iter()
+                .filter(|r| r.through == p && r.check == CheckKind::Setup)
+                .map(|r| r.state.clone())
+                .collect()
+        };
+        // Table 4: through inv3/A → FP (mismatch in the paper's merged
+        // comparison); through and2/A → valid... and2/A carries both path
+        // classes? No: and2/A is fed directly from rC/Q — only the direct
+        // path goes through it.
+        assert_eq!(state_at("inv3/A"), BTreeSet::from([PathState::FalsePath]));
+        assert_eq!(state_at("and2/A"), BTreeSet::from([PathState::Valid]));
+        // and2/Z is the reconvergence: both states.
+        assert_eq!(
+            state_at("and2/Z"),
+            BTreeSet::from([PathState::Valid, PathState::FalsePath])
+        );
+    }
+
+    #[test]
+    fn endpoint_slacks_have_sane_values() {
+        let (netlist, graph, mode) =
+            fixture("create_clock -name clkA -period 10 [get_ports clk1]\n");
+        let analysis = Analysis::run(&netlist, &graph, &mode);
+        let slacks = analysis.endpoint_slacks();
+        // rA/B/C data pins are fed only from the unconstrained in1 port,
+        // so just the three mux-clocked registers have timed paths.
+        assert_eq!(slacks.len(), 3);
+        for s in &slacks {
+            assert_eq!(s.capture_period, 10.0);
+            // Small circuit at period 10: everything meets timing.
+            assert!(s.slack > 0.0 && s.slack < 10.0, "slack {}", s.slack);
+        }
+    }
+
+    #[test]
+    fn false_paths_do_not_contribute_slack() {
+        let (netlist, graph, mode) = fixture(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_false_path -to [get_pins rY/D]\n",
+        );
+        let analysis = Analysis::run(&netlist, &graph, &mode);
+        let ry_d = netlist.find_pin("rY/D").unwrap();
+        assert!(analysis
+            .endpoint_slacks()
+            .iter()
+            .all(|s| s.endpoint != ry_d));
+    }
+
+    #[test]
+    fn mcp_relaxes_slack() {
+        let (netlist, graph, base_mode) =
+            fixture("create_clock -name clkA -period 10 [get_ports clk1]\n");
+        let base = Analysis::run(&netlist, &graph, &base_mode);
+        let rx_d = netlist.find_pin("rX/D").unwrap();
+        let base_slack = base
+            .endpoint_slacks()
+            .iter()
+            .find(|s| s.endpoint == rx_d)
+            .unwrap()
+            .slack;
+
+        let (netlist2, graph2, mcp_mode) = fixture(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_multicycle_path 2 -to [get_pins rX/D]\n",
+        );
+        let mcp = Analysis::run(&netlist2, &graph2, &mcp_mode);
+        let rx_d2 = netlist2.find_pin("rX/D").unwrap();
+        let mcp_slack = mcp
+            .endpoint_slacks()
+            .iter()
+            .find(|s| s.endpoint == rx_d2)
+            .unwrap()
+            .slack;
+        assert!((mcp_slack - (base_slack + 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn output_delay_makes_port_endpoint() {
+        let (netlist, graph, mode) = fixture(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_output_delay 3 -clock clkA [get_ports out1]\n",
+        );
+        let analysis = Analysis::run(&netlist, &graph, &mode);
+        let out1 = netlist.find_pin("out1").unwrap();
+        assert!(analysis.endpoints().contains(&out1));
+        let s = analysis
+            .endpoint_slacks()
+            .into_iter()
+            .find(|s| s.endpoint == out1)
+            .unwrap();
+        assert!(s.slack < 10.0);
+    }
+
+    #[test]
+    fn hold_slacks_have_sane_values() {
+        let (netlist, graph, mode) =
+            fixture("create_clock -name clkA -period 10 [get_ports clk1]\n");
+        let analysis = Analysis::run(&netlist, &graph, &mode);
+        let holds = analysis.endpoint_hold_slacks();
+        assert_eq!(holds.len(), 3);
+        for s in &holds {
+            // Launch insertion + clk-to-q + one gate easily beats the
+            // 0.05 hold margin on this circuit.
+            assert!(s.slack > 0.0, "hold slack {}", s.slack);
+        }
+    }
+
+    #[test]
+    fn hold_false_path_skips_endpoint() {
+        let (netlist, graph, mode) = fixture(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_false_path -hold -to [get_pins rY/D]\n",
+        );
+        let analysis = Analysis::run(&netlist, &graph, &mode);
+        let ry_d = netlist.find_pin("rY/D").unwrap();
+        assert!(analysis
+            .endpoint_hold_slacks()
+            .iter()
+            .all(|s| s.endpoint != ry_d));
+        // Setup side is unaffected by a -hold false path.
+        assert!(analysis
+            .endpoint_slacks()
+            .iter()
+            .any(|s| s.endpoint == ry_d));
+    }
+
+    #[test]
+    fn min_delay_governs_hold_slack() {
+        let (netlist, graph, mode) = fixture(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_min_delay 100 -to [get_pins rX/D]\n",
+        );
+        let analysis = Analysis::run(&netlist, &graph, &mode);
+        let rx_d = netlist.find_pin("rX/D").unwrap();
+        let s = analysis
+            .endpoint_hold_slacks()
+            .into_iter()
+            .find(|s| s.endpoint == rx_d)
+            .unwrap();
+        // Arrival is a few units; requirement of 100 is badly violated.
+        assert!(s.slack < -90.0, "slack {}", s.slack);
+    }
+
+    #[test]
+    fn setup_relation_same_clock() {
+        assert_eq!(setup_relation((0.0, 10.0), (0.0, 10.0)), 10.0);
+    }
+
+    #[test]
+    fn setup_relation_fast_capture() {
+        // Launch P=10, capture P=5 aligned: tightest window is 5.
+        assert!((setup_relation((0.0, 10.0), (0.0, 5.0)) - 5.0).abs() < 1e-9);
+        // Launch P=2, capture P=3: edges at 0,2,4,6.. vs 0,3,6..; min gap 1.
+        assert!((setup_relation((0.0, 2.0), (0.0, 3.0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn setup_relation_with_offset() {
+        // Capture shifted by 2.5: launch 0 → capture 2.5.
+        assert!((setup_relation((0.0, 10.0), (2.5, 10.0)) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_groups_suppress_relations() {
+        let (netlist, graph, mode) = fixture(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             create_clock -name clkB -period 4 [get_ports clk2]\n\
+             set_clock_groups -physically_exclusive -group [get_clocks clkA] -group [get_clocks clkB]\n",
+        );
+        let analysis = Analysis::run(&netlist, &graph, &mode);
+        let rels = analysis.endpoint_relations();
+        // Launch clkA (from rA/B/C) capture clkB would be a cross pair at
+        // rX/Y/Z — must be suppressed.
+        for r in rels.iter() {
+            assert_eq!(
+                r.launch, r.capture,
+                "cross-clock relation should be suppressed by clock groups"
+            );
+        }
+    }
+}

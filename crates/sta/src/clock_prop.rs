@@ -1,0 +1,294 @@
+//! Clock propagation through the clock network.
+//!
+//! Each mode's clocks are propagated from their source pins through net
+//! and combinational arcs until they hit sequential clock pins (sinks),
+//! constants, disabled objects or `set_clock_sense -stop_propagation`
+//! points. The per-node clock sets drive:
+//!
+//! * launch-tag injection (which clocks clock which registers),
+//! * capture-clock determination at endpoints,
+//! * the paper's §3.1.8 *clock refinement* (comparing merged-mode clock
+//!   reach against the union of individual modes).
+
+use crate::graph::{ArcKind, ArcSense, TimingGraph};
+use crate::mode::{ClockId, ClockSenseKind, Mode};
+use crate::overlay::Overlay;
+use modemerge_netlist::PinId;
+use std::collections::HashMap;
+
+/// Clock arrival data at one node for one clock polarity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockArrival {
+    /// The clock.
+    pub clock: ClockId,
+    /// `true` when the clock arrives inverted (an odd number of
+    /// inverting stages on the path): the active edge is the waveform's
+    /// fall edge.
+    pub inverted: bool,
+    /// Earliest network arrival (insertion delay, min).
+    pub min: f64,
+    /// Latest network arrival (insertion delay, max).
+    pub max: f64,
+}
+
+/// Result of clock propagation: for every node, the sorted list of
+/// arriving clocks with min/max insertion delay.
+#[derive(Debug, Clone, Default)]
+pub struct ClockArrivals {
+    reach: Vec<Vec<ClockArrival>>,
+}
+
+impl ClockArrivals {
+    /// Propagates all clocks of `mode` through the graph.
+    pub fn compute(graph: &TimingGraph, overlay: &Overlay<'_>, mode: &Mode) -> Self {
+        let mut reach: Vec<Vec<ClockArrival>> = vec![Vec::new(); graph.node_count()];
+        // Topological positions for ordered relaxation.
+        let mut topo_pos = vec![0u32; graph.node_count()];
+        for (i, &n) in graph.topo_order().iter().enumerate() {
+            topo_pos[n.index()] = i as u32;
+        }
+
+        for clock_id in mode.clock_ids() {
+            let clock = mode.clock(clock_id);
+            // Ideal clocks still accumulate network delay for reporting,
+            // but the paper's algorithm only needs reachability; we track
+            // delay for propagated-clock slack realism. Keys carry the
+            // polarity: inverting stages flip it, non-unate stages fork
+            // both.
+            let mut arrivals: HashMap<(PinId, bool), (f64, f64)> = HashMap::new();
+            let mut queue: std::collections::BinaryHeap<std::cmp::Reverse<(u32, PinId, bool)>> =
+                std::collections::BinaryHeap::new();
+            for &src in &clock.sources {
+                if overlay.node_blocked(src) {
+                    continue;
+                }
+                let init = (clock.source_latency.min, clock.source_latency.max);
+                arrivals.insert((src, false), init);
+                queue.push(std::cmp::Reverse((topo_pos[src.index()], src, false)));
+            }
+            // Relax in topological order; since the graph is a DAG over
+            // Net/Comb arcs, one ordered sweep suffices.
+            while let Some(std::cmp::Reverse((_, node, inverted))) = queue.pop() {
+                let Some(&(min_at, max_at)) = arrivals.get(&(node, inverted)) else {
+                    continue;
+                };
+                // Sense assertions: record arrival at the node but filter
+                // what goes beyond.
+                match mode.clock_sense_at(clock_id, node) {
+                    Some(ClockSenseKind::Stop) => continue,
+                    Some(ClockSenseKind::PositiveOnly) if inverted => continue,
+                    Some(ClockSenseKind::NegativeOnly) if !inverted => continue,
+                    _ => {}
+                }
+                // Sequential clock pins are sinks.
+                if graph.is_clock_sink(node) {
+                    continue;
+                }
+                for arc in graph.fanout_arcs(node) {
+                    if arc.kind == ArcKind::Launch {
+                        continue;
+                    }
+                    if overlay.node_blocked(arc.to) || overlay.arc_blocked(arc) {
+                        continue;
+                    }
+                    let out_polarities: &[bool] = match arc.sense {
+                        ArcSense::Positive => &[inverted],
+                        ArcSense::Negative => &[!inverted],
+                        ArcSense::NonUnate => &[false, true],
+                    };
+                    for &out_inv in out_polarities {
+                        let cand = (min_at + arc.delay, max_at + arc.delay);
+                        let entry = arrivals
+                            .entry((arc.to, out_inv))
+                            .or_insert((f64::INFINITY, f64::NEG_INFINITY));
+                        let mut improved = false;
+                        if cand.0 < entry.0 {
+                            entry.0 = cand.0;
+                            improved = true;
+                        }
+                        if cand.1 > entry.1 {
+                            entry.1 = cand.1;
+                            improved = true;
+                        }
+                        if improved {
+                            queue.push(std::cmp::Reverse((
+                                topo_pos[arc.to.index()],
+                                arc.to,
+                                out_inv,
+                            )));
+                        }
+                    }
+                }
+            }
+            for ((pin, inverted), (min, max)) in arrivals {
+                reach[pin.index()].push(ClockArrival {
+                    clock: clock_id,
+                    inverted,
+                    min,
+                    max,
+                });
+            }
+        }
+        for list in &mut reach {
+            list.sort_by_key(|a| (a.clock, a.inverted));
+        }
+        Self { reach }
+    }
+
+    /// The clocks arriving at `pin`.
+    pub fn clocks_at(&self, pin: PinId) -> &[ClockArrival] {
+        &self.reach[pin.index()]
+    }
+
+    /// Just the (deduplicated) clock ids at `pin`, polarity-blind.
+    pub fn clock_ids_at(&self, pin: PinId) -> impl Iterator<Item = ClockId> + '_ {
+        let list = &self.reach[pin.index()];
+        list.iter()
+            .enumerate()
+            .filter(|(i, a)| *i == 0 || list[i - 1].clock != a.clock)
+            .map(|(_, a)| a.clock)
+    }
+
+    /// `true` if `clock` reaches `pin`.
+    pub fn reaches(&self, clock: ClockId, pin: PinId) -> bool {
+        self.reach[pin.index()].iter().any(|a| a.clock == clock)
+    }
+
+    /// Number of nodes reached by at least one clock.
+    pub fn reached_node_count(&self) -> usize {
+        self.reach.iter().filter(|l| !l.is_empty()).count()
+    }
+
+    /// Nodes reached by at least one clock.
+    pub fn reached_nodes(&self) -> impl Iterator<Item = PinId> + '_ {
+        self.reach
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.is_empty())
+            .map(|(i, _)| PinId::new(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::Constants;
+    use modemerge_netlist::paper::paper_circuit;
+    use modemerge_netlist::Netlist;
+    use modemerge_sdc::SdcFile;
+
+    fn run(sdc: &str) -> (Netlist, Mode, ClockArrivals) {
+        let n = paper_circuit();
+        let sdc = SdcFile::parse(sdc).unwrap();
+        let mode = Mode::bind("t", &n, &sdc).unwrap();
+        let g = TimingGraph::build(&n).unwrap();
+        let constants = Constants::compute(&n, &mode.case_values);
+        let overlay = Overlay::new(&n, &mode, &constants);
+        let arrivals = ClockArrivals::compute(&g, &overlay, &mode);
+        (n, mode, arrivals)
+    }
+
+    #[test]
+    fn unconstrained_mux_passes_both_clocks() {
+        // Constraint Set 1: clkA on clk1 clocks all six registers.
+        let (n, mode, a) = run("create_clock -name clkA -period 10 [get_ports clk1]\n");
+        let clk_a = mode.clock_by_name("clkA").unwrap();
+        for reg in ["rA", "rB", "rC", "rX", "rY", "rZ"] {
+            let cp = n.find_pin(&format!("{reg}/CP")).unwrap();
+            assert!(a.reaches(clk_a, cp), "clkA must reach {reg}/CP");
+        }
+    }
+
+    #[test]
+    fn two_clocks_both_reach_muxed_registers() {
+        let (n, mode, a) = run(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             create_clock -name clkB -period 20 [get_ports clk2]\n",
+        );
+        let clk_a = mode.clock_by_name("clkA").unwrap();
+        let clk_b = mode.clock_by_name("clkB").unwrap();
+        let rx_cp = n.find_pin("rX/CP").unwrap();
+        assert!(a.reaches(clk_a, rx_cp));
+        assert!(a.reaches(clk_b, rx_cp));
+        // clkB cannot reach the directly-clocked registers.
+        let ra_cp = n.find_pin("rA/CP").unwrap();
+        assert!(a.reaches(clk_a, ra_cp));
+        assert!(!a.reaches(clk_b, ra_cp));
+    }
+
+    #[test]
+    fn case_analysis_selects_mux_input() {
+        // S = 1 selects input B: clkA blocked through the mux.
+        let (n, mode, a) = run(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             create_clock -name clkB -period 20 [get_ports clk2]\n\
+             set_case_analysis 0 sel1\nset_case_analysis 1 sel2\n",
+        );
+        let clk_a = mode.clock_by_name("clkA").unwrap();
+        let clk_b = mode.clock_by_name("clkB").unwrap();
+        let rx_cp = n.find_pin("rX/CP").unwrap();
+        assert!(!a.reaches(clk_a, rx_cp), "clkA must be blocked by mux select");
+        assert!(a.reaches(clk_b, rx_cp));
+        // clkA still reaches the mux input pin itself.
+        assert!(a.reaches(clk_a, n.find_pin("mux1/A").unwrap()));
+        assert!(!a.reaches(clk_a, n.find_pin("mux1/Z").unwrap()));
+    }
+
+    #[test]
+    fn stop_propagation_constraint() {
+        // CSTR3 of the merged mode in Constraint Set 3.
+        let (n, mode, a) = run(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             create_clock -name clkB -period 20 [get_ports clk2]\n\
+             set_clock_sense -stop_propagation -clocks [get_clocks clkA] [get_pins mux1/Z]\n",
+        );
+        let clk_a = mode.clock_by_name("clkA").unwrap();
+        let clk_b = mode.clock_by_name("clkB").unwrap();
+        // clkA reaches mux1/Z but not beyond.
+        assert!(a.reaches(clk_a, n.find_pin("mux1/Z").unwrap()));
+        assert!(!a.reaches(clk_a, n.find_pin("rX/CP").unwrap()));
+        // clkB unaffected.
+        assert!(a.reaches(clk_b, n.find_pin("rX/CP").unwrap()));
+    }
+
+    #[test]
+    fn insertion_delay_accumulates() {
+        let (n, mode, a) = run("create_clock -name clkA -period 10 [get_ports clk1]\n");
+        let clk_a = mode.clock_by_name("clkA").unwrap();
+        let ra_cp = n.find_pin("rA/CP").unwrap();
+        let arr = a
+            .clocks_at(ra_cp)
+            .iter()
+            .find(|x| x.clock == clk_a)
+            .unwrap();
+        // One net hop: clk1 net has 4 loads → 0.05 + 4*0.05 = 0.25.
+        assert!((arr.max - 0.25).abs() < 1e-9, "got {}", arr.max);
+        assert_eq!(arr.min, arr.max);
+    }
+
+    #[test]
+    fn source_latency_included() {
+        let (n, mode, a) = run(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_clock_latency -source 1.5 [get_clocks clkA]\n",
+        );
+        let clk_a = mode.clock_by_name("clkA").unwrap();
+        let arr = a
+            .clocks_at(n.find_pin("rA/CP").unwrap())
+            .iter()
+            .find(|x| x.clock == clk_a)
+            .unwrap();
+        assert!((arr.max - 1.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn case_on_clock_port_kills_clock() {
+        let (n, mode, a) = run(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_case_analysis 0 clk1\n",
+        );
+        let clk_a = mode.clock_by_name("clkA").unwrap();
+        assert!(!a.reaches(clk_a, n.find_pin("rA/CP").unwrap()));
+        assert_eq!(a.reached_node_count(), 0);
+    }
+}

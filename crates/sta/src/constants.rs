@@ -1,0 +1,214 @@
+//! Case-analysis constant propagation.
+//!
+//! `set_case_analysis` pins (and tie cells) are propagated through the
+//! combinational network using controlling-value logic. A node with a
+//! known constant does not toggle, so neither clocks nor data tags
+//! propagate through it — this is what makes the paper's Constraint Set 3
+//! (clock mux select fixed by case values) and Constraint Set 5
+//! (`rB/Q` constant blocking `and1`) work.
+
+use modemerge_netlist::{Netlist, PinDirection, PinId, PinOwner};
+use std::collections::BTreeMap;
+
+/// Constant values per pin after case-analysis propagation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constants {
+    values: Vec<Option<bool>>,
+    forced: Vec<bool>,
+}
+
+impl Constants {
+    /// Propagates `case_values` (pin → forced constant) through the
+    /// netlist.
+    pub fn compute(netlist: &Netlist, case_values: &BTreeMap<PinId, bool>) -> Self {
+        let n = netlist.pin_count();
+        let mut values: Vec<Option<bool>> = vec![None; n];
+        let mut forced = vec![false; n];
+        for (&pin, &v) in case_values {
+            values[pin.index()] = Some(v);
+            forced[pin.index()] = true;
+        }
+
+        let mut queue: Vec<PinId> = case_values.keys().copied().collect();
+
+        // Seed: evaluate every combinational instance once (tie cells
+        // produce constants with no inputs).
+        for inst_id in netlist.instance_ids() {
+            let inst = netlist.instance(inst_id);
+            let cell = netlist.library().cell(inst.cell());
+            if cell.is_sequential() {
+                continue;
+            }
+            let inputs: Vec<Option<bool>> = cell
+                .input_pin_indices()
+                .map(|i| values[inst.pins()[i].index()])
+                .collect();
+            if let Some(v) = cell.function().eval(&inputs) {
+                for out_idx in cell.output_pin_indices() {
+                    let out = inst.pins()[out_idx];
+                    if values[out.index()].is_none() {
+                        values[out.index()] = Some(v);
+                        queue.push(out);
+                    }
+                }
+            }
+        }
+
+        let mut head = 0;
+        while head < queue.len() {
+            let pin = queue[head];
+            head += 1;
+            let v = values[pin.index()].expect("queued pins have values");
+
+            // Propagate along the net if this pin drives one.
+            if netlist.pin_direction(pin) == PinDirection::Output {
+                let loads: Vec<PinId> = netlist.fanout_pins(pin).collect();
+                for load in loads {
+                    if !forced[load.index()] && values[load.index()].is_none() {
+                        values[load.index()] = Some(v);
+                        queue.push(load);
+                    }
+                }
+            }
+
+            // Re-evaluate the owning instance if this is a cell input.
+            if let PinOwner::Instance(inst_id, idx) = netlist.pin(pin).owner() {
+                let inst = netlist.instance(inst_id);
+                let cell = netlist.library().cell(inst.cell());
+                if cell.is_sequential()
+                    || cell.pins()[idx].direction() == PinDirection::Output
+                {
+                    continue;
+                }
+                let inputs: Vec<Option<bool>> = cell
+                    .input_pin_indices()
+                    .map(|i| values[inst.pins()[i].index()])
+                    .collect();
+                if let Some(out_v) = cell.function().eval(&inputs) {
+                    for out_idx in cell.output_pin_indices() {
+                        let out = inst.pins()[out_idx];
+                        if !forced[out.index()] && values[out.index()].is_none() {
+                            values[out.index()] = Some(out_v);
+                            queue.push(out);
+                        }
+                    }
+                }
+            }
+        }
+
+        Self { values, forced }
+    }
+
+    /// The constant value of a pin, if any.
+    pub fn value(&self, pin: PinId) -> Option<bool> {
+        self.values[pin.index()]
+    }
+
+    /// `true` if the pin carries a constant and therefore blocks timing
+    /// propagation.
+    pub fn is_constant(&self, pin: PinId) -> bool {
+        self.values[pin.index()].is_some()
+    }
+
+    /// `true` if the constant was set directly by `set_case_analysis`
+    /// (as opposed to derived by propagation).
+    pub fn is_forced(&self, pin: PinId) -> bool {
+        self.forced[pin.index()]
+    }
+
+    /// Number of pins carrying a constant.
+    pub fn constant_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modemerge_netlist::paper::paper_circuit;
+
+    fn consts(cases: &[(&str, bool)]) -> (Netlist, Constants) {
+        let n = paper_circuit();
+        let map: BTreeMap<PinId, bool> = cases
+            .iter()
+            .map(|(name, v)| (n.find_pin(name).unwrap(), *v))
+            .collect();
+        let c = Constants::compute(&n, &map);
+        (n, c)
+    }
+
+    #[test]
+    fn no_cases_no_constants() {
+        let (_, c) = consts(&[]);
+        assert_eq!(c.constant_count(), 0);
+    }
+
+    #[test]
+    fn xor_select_propagates() {
+        // sel1=0, sel2=1 (Constraint Set 3, mode A): xorS/Z = 1 → mux1/S = 1.
+        let (n, c) = consts(&[("sel1", false), ("sel2", true)]);
+        assert_eq!(c.value(n.find_pin("xorS/Z").unwrap()), Some(true));
+        assert_eq!(c.value(n.find_pin("mux1/S").unwrap()), Some(true));
+        // mux1/Z not constant: selected input B (clk2) is not constant.
+        assert!(!c.is_constant(n.find_pin("mux1/Z").unwrap()));
+    }
+
+    #[test]
+    fn both_case_assignments_give_same_select() {
+        // Mode B of Constraint Set 3: sel1=1, sel2=0 → S still 1.
+        let (n, c) = consts(&[("sel1", true), ("sel2", false)]);
+        assert_eq!(c.value(n.find_pin("mux1/S").unwrap()), Some(true));
+    }
+
+    #[test]
+    fn and_gate_blocked_by_zero() {
+        // Constraint Set 5 mode B: rB/Q = 0 → and1/Z = 0 → inv2/Z = 1.
+        let (n, c) = consts(&[("rB/Q", false)]);
+        assert_eq!(c.value(n.find_pin("and1/Z").unwrap()), Some(false));
+        assert_eq!(c.value(n.find_pin("inv2/Z").unwrap()), Some(true));
+        assert_eq!(c.value(n.find_pin("rY/D").unwrap()), Some(true));
+        assert!(c.is_forced(n.find_pin("rB/Q").unwrap()));
+        assert!(!c.is_forced(n.find_pin("and1/Z").unwrap()));
+    }
+
+    #[test]
+    fn non_controlling_value_does_not_block() {
+        // rB/Q = 1: and1 output still depends on the other input.
+        let (n, c) = consts(&[("rB/Q", true)]);
+        assert!(!c.is_constant(n.find_pin("and1/Z").unwrap()));
+    }
+
+    #[test]
+    fn case_on_port_propagates_through_net() {
+        let (n, c) = consts(&[("in1", true)]);
+        // in1 feeds rA/D, rB/D, rC/D directly.
+        assert_eq!(c.value(n.find_pin("rA/D").unwrap()), Some(true));
+        assert_eq!(c.value(n.find_pin("rB/D").unwrap()), Some(true));
+        // Does not cross the flip-flop.
+        assert!(!c.is_constant(n.find_pin("rA/Q").unwrap()));
+    }
+
+    #[test]
+    fn forced_value_wins_over_logic() {
+        // Force and1/Z = 1 even though rB/Q = 0 would make it 0.
+        let n = paper_circuit();
+        let map: BTreeMap<PinId, bool> = [
+            (n.find_pin("rB/Q").unwrap(), false),
+            (n.find_pin("and1/Z").unwrap(), true),
+        ]
+        .into_iter()
+        .collect();
+        let c = Constants::compute(&n, &map);
+        assert_eq!(c.value(n.find_pin("and1/Z").unwrap()), Some(true));
+        // Downstream uses the forced value.
+        assert_eq!(c.value(n.find_pin("inv2/Z").unwrap()), Some(false));
+    }
+
+    #[test]
+    fn reconvergent_inverter_constant() {
+        // rC/Q = 1 → inv3/Z = 0 → and2/Z = 0 regardless of and2/A.
+        let (n, c) = consts(&[("rC/Q", true)]);
+        assert_eq!(c.value(n.find_pin("and2/Z").unwrap()), Some(false));
+        assert_eq!(c.value(n.find_pin("rZ/D").unwrap()), Some(false));
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for timing analysis and SDC binding.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while binding constraints or analyzing timing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StaError {
+    /// An SDC object reference matched nothing and non-empty resolution
+    /// was required (e.g. a clock source).
+    UnresolvedObject {
+        /// The command that referenced the object.
+        command: String,
+        /// The pattern that failed to resolve.
+        pattern: String,
+    },
+    /// A `-clock` reference named a clock that does not exist in the mode.
+    UnknownClock(String),
+    /// Two `create_clock` commands (without `-add`) collide, or a clock
+    /// name is reused with a different definition.
+    ClockRedefined(String),
+    /// `set_case_analysis` gave conflicting values on one pin.
+    ConflictingCase {
+        /// Hierarchical pin name.
+        pin: String,
+    },
+    /// The data network contains a combinational cycle.
+    CombinationalLoop {
+        /// Name of a pin on the cycle.
+        pin: String,
+    },
+    /// Bare object name could not be classified (not a pin, port or
+    /// clock).
+    AmbiguousName(String),
+}
+
+impl fmt::Display for StaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnresolvedObject { command, pattern } => {
+                write!(f, "`{command}`: pattern `{pattern}` matched no objects")
+            }
+            Self::UnknownClock(name) => write!(f, "unknown clock `{name}`"),
+            Self::ClockRedefined(name) => write!(f, "clock `{name}` redefined without -add"),
+            Self::ConflictingCase { pin } => {
+                write!(f, "conflicting case analysis values on pin `{pin}`")
+            }
+            Self::CombinationalLoop { pin } => {
+                write!(f, "combinational loop through pin `{pin}`")
+            }
+            Self::AmbiguousName(name) => {
+                write!(f, "`{name}` is not a known pin, port or clock")
+            }
+        }
+    }
+}
+
+impl Error for StaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = StaError::UnknownClock("clkX".into());
+        assert_eq!(e.to_string(), "unknown clock `clkX`");
+        let e = StaError::CombinationalLoop { pin: "u1/Z".into() };
+        assert!(e.to_string().contains("u1/Z"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StaError>();
+    }
+}

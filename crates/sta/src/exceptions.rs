@@ -1,0 +1,471 @@
+//! Exception matching machinery: tags, `-through` progress tracking and
+//! precedence resolution.
+//!
+//! A [`Tag`] identifies a *class of paths* during forward propagation:
+//! the launch clock, the set of `-from`-anchored exceptions armed at the
+//! startpoint, and the per-exception `-through` hop progress. Two paths
+//! with the same tag are guaranteed to resolve to the same constraint
+//! state at any endpoint, which is what lets the 3-pass algorithm compare
+//! *sets of paths* instead of individual paths.
+
+use crate::mode::{ClockId, ExcId, Mode};
+use modemerge_netlist::PinId;
+use modemerge_sdc::{PathExceptionKind, SetupHold};
+use std::collections::HashMap;
+
+/// Setup or hold analysis domain of a resolved relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CheckKind {
+    /// Max-path / setup analysis.
+    Setup,
+    /// Min-path / hold analysis.
+    Hold,
+}
+
+impl CheckKind {
+    /// Both domains, in canonical order.
+    pub const ALL: [CheckKind; 2] = [CheckKind::Setup, CheckKind::Hold];
+
+    /// Does an exception scoped by `sh` apply in this domain?
+    pub fn in_scope(self, sh: SetupHold) -> bool {
+        matches!(
+            (self, sh),
+            (_, SetupHold::Both)
+                | (CheckKind::Setup, SetupHold::Setup)
+                | (CheckKind::Hold, SetupHold::Hold)
+        )
+    }
+}
+
+/// A path-class tag carried by forward propagation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tag {
+    /// Launch clock.
+    pub launch: ClockId,
+    /// `true` when the launch clock arrived inverted at the startpoint:
+    /// the launching edge is the waveform's fall edge.
+    pub launch_inverted: bool,
+    /// Exceptions with a `-from` restriction that matched at the
+    /// startpoint (sorted exception indices).
+    pub armed: Box<[u32]>,
+    /// `-through` progress: `(exception index, hops crossed)` for every
+    /// exception with at least one hop crossed (sorted by exception).
+    pub progress: Box<[(u32, u16)]>,
+}
+
+impl Tag {
+    /// Hops crossed so far for `exc`.
+    pub fn progress_of(&self, exc: u32) -> u16 {
+        self.progress
+            .binary_search_by_key(&exc, |&(e, _)| e)
+            .map(|i| self.progress[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Is `exc` armed for this tag (its `-from` matched at launch, or it
+    /// has no `-from`)?
+    pub fn is_armed(&self, exc: u32, has_from: bool) -> bool {
+        !has_from || self.armed.binary_search(&exc).is_ok()
+    }
+}
+
+/// Pre-indexed exception data for fast tag advancement and endpoint
+/// resolution.
+///
+/// Merged modes can carry hundreds of refinement exceptions; the
+/// `-from`/`-to` anchor indexes keep launch arming and endpoint
+/// resolution proportional to the exceptions that can actually match,
+/// not the total count.
+#[derive(Debug, Clone, Default)]
+pub struct ExcIndex {
+    /// node → [(exception, hop index)] sorted by hop index descending
+    /// (so one visit cannot cascade through consecutive hops).
+    hop_lookup: HashMap<PinId, Vec<(u32, u16)>>,
+    /// Per exception: total number of `-through` hops.
+    totals: Vec<u16>,
+    /// Per exception: has a `-from` restriction.
+    has_from: Vec<bool>,
+    /// `-from` pin → exceptions anchored there.
+    from_pin_lookup: HashMap<PinId, Vec<u32>>,
+    /// `-from` clock → exceptions anchored there.
+    from_clock_lookup: HashMap<ClockId, Vec<u32>>,
+    /// Exceptions with no `-to` restriction (candidates everywhere).
+    no_to: Vec<u32>,
+    /// `-to` pin → exceptions anchored there.
+    to_pin_lookup: HashMap<PinId, Vec<u32>>,
+    /// `-to` clock → exceptions anchored there.
+    to_clock_lookup: HashMap<ClockId, Vec<u32>>,
+}
+
+impl ExcIndex {
+    /// Builds the index for a mode.
+    pub fn build(mode: &Mode) -> Self {
+        let mut hop_lookup: HashMap<PinId, Vec<(u32, u16)>> = HashMap::new();
+        let mut totals = Vec::with_capacity(mode.exceptions.len());
+        let mut has_from = Vec::with_capacity(mode.exceptions.len());
+        let mut from_pin_lookup: HashMap<PinId, Vec<u32>> = HashMap::new();
+        let mut from_clock_lookup: HashMap<ClockId, Vec<u32>> = HashMap::new();
+        let mut no_to = Vec::new();
+        let mut to_pin_lookup: HashMap<PinId, Vec<u32>> = HashMap::new();
+        let mut to_clock_lookup: HashMap<ClockId, Vec<u32>> = HashMap::new();
+        for (i, exc) in mode.exceptions.iter().enumerate() {
+            let i_u32 = i as u32;
+            totals.push(exc.through.len() as u16);
+            has_from.push(exc.has_from());
+            for (hop, pins) in exc.through.iter().enumerate() {
+                for &pin in pins {
+                    hop_lookup.entry(pin).or_default().push((i_u32, hop as u16));
+                }
+            }
+            for &pin in &exc.from_pins {
+                from_pin_lookup.entry(pin).or_default().push(i_u32);
+            }
+            for &clock in &exc.from_clocks {
+                from_clock_lookup.entry(clock).or_default().push(i_u32);
+            }
+            if !exc.has_to() {
+                no_to.push(i_u32);
+            } else {
+                for &pin in &exc.to_pins {
+                    to_pin_lookup.entry(pin).or_default().push(i_u32);
+                }
+                for &clock in &exc.to_clocks {
+                    to_clock_lookup.entry(clock).or_default().push(i_u32);
+                }
+            }
+        }
+        for entries in hop_lookup.values_mut() {
+            // Descending hop order prevents a single node visit from
+            // advancing the same exception through two hops.
+            entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        }
+        Self {
+            hop_lookup,
+            totals,
+            has_from,
+            from_pin_lookup,
+            from_clock_lookup,
+            no_to,
+            to_pin_lookup,
+            to_clock_lookup,
+        }
+    }
+
+    /// Number of indexed exceptions.
+    pub fn exception_count(&self) -> usize {
+        self.totals.len()
+    }
+
+    /// Builds the armed set for a launch at (`clock`, `start`).
+    pub fn armed_at_launch(&self, _mode: &Mode, clock: ClockId, start: PinId) -> Box<[u32]> {
+        let mut armed: Vec<u32> = Vec::new();
+        if let Some(v) = self.from_pin_lookup.get(&start) {
+            armed.extend_from_slice(v);
+        }
+        if let Some(v) = self.from_clock_lookup.get(&clock) {
+            armed.extend_from_slice(v);
+        }
+        armed.sort_unstable();
+        armed.dedup();
+        armed.into_boxed_slice()
+    }
+
+    /// Advances a tag across `node`. Returns `None` when nothing changed
+    /// (the common case), so callers can avoid cloning.
+    pub fn advance(&self, tag: &Tag, node: PinId) -> Option<Tag> {
+        let entries = self.hop_lookup.get(&node)?;
+        let mut new_progress: Option<Vec<(u32, u16)>> = None;
+        for &(exc, hop) in entries {
+            let cur = match &new_progress {
+                Some(p) => p
+                    .binary_search_by_key(&exc, |&(e, _)| e)
+                    .map(|i| p[i].1)
+                    .unwrap_or(0),
+                None => tag.progress_of(exc),
+            };
+            if cur != hop {
+                continue;
+            }
+            if !tag.is_armed(exc, self.has_from[exc as usize]) {
+                continue;
+            }
+            let p = new_progress.get_or_insert_with(|| tag.progress.to_vec());
+            match p.binary_search_by_key(&exc, |&(e, _)| e) {
+                Ok(i) => p[i].1 = hop + 1,
+                Err(i) => p.insert(i, (exc, hop + 1)),
+            }
+        }
+        new_progress.map(|p| Tag {
+            launch: tag.launch,
+            launch_inverted: tag.launch_inverted,
+            armed: tag.armed.clone(),
+            progress: p.into_boxed_slice(),
+        })
+    }
+
+    /// Is the `-through` chain of `exc` fully crossed in `tag`?
+    pub fn through_complete(&self, tag: &Tag, exc: u32) -> bool {
+        tag.progress_of(exc) == self.totals[exc as usize]
+    }
+
+    /// Exceptions fully matched for a path class arriving at `endpoint`
+    /// captured by `capture` in `domain`.
+    pub fn matched(
+        &self,
+        mode: &Mode,
+        tag: &Tag,
+        endpoint: PinId,
+        capture: Option<ClockId>,
+        domain: CheckKind,
+    ) -> Vec<ExcId> {
+        // Candidate set: exceptions whose `-to` can match here.
+        let mut candidates: Vec<u32> = self.no_to.clone();
+        if let Some(v) = self.to_pin_lookup.get(&endpoint) {
+            candidates.extend_from_slice(v);
+        }
+        if let Some(c) = capture {
+            if let Some(v) = self.to_clock_lookup.get(&c) {
+                candidates.extend_from_slice(v);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        let mut out = Vec::new();
+        for i_u32 in candidates {
+            let exc = &mode.exceptions[i_u32 as usize];
+            if !domain.in_scope(exc.setup_hold) {
+                continue;
+            }
+            if !tag.is_armed(i_u32, self.has_from[i_u32 as usize]) {
+                continue;
+            }
+            if !self.through_complete(tag, i_u32) {
+                continue;
+            }
+            out.push(ExcId(i_u32));
+        }
+        out
+    }
+}
+
+/// Resolves the constraint state of a path class from its matched
+/// exceptions, applying the precedence rules the paper relies on
+/// (false path > min/max delay > multicycle; among multicycles, the most
+/// specific wins, ties broken by the larger multiplier).
+pub fn resolve_state(
+    mode: &Mode,
+    matched: &[ExcId],
+    domain: CheckKind,
+) -> crate::relations::PathState {
+    use crate::relations::PathState;
+    let mut best_mcp: Option<(u32, u32)> = None; // (specificity, multiplier)
+    let mut max_delay: Option<f64> = None;
+    let mut min_delay: Option<f64> = None;
+    for &id in matched {
+        let exc = &mode.exceptions[id.index()];
+        match exc.kind {
+            PathExceptionKind::FalsePath => return PathState::FalsePath,
+            PathExceptionKind::Multicycle { multiplier, .. } => {
+                let cand = (exc.specificity(), multiplier);
+                if best_mcp.is_none_or(|b| cand > b) {
+                    best_mcp = Some(cand);
+                }
+            }
+            PathExceptionKind::MaxDelay(v) => {
+                if max_delay.is_none_or(|m| v < m) {
+                    max_delay = Some(v);
+                }
+            }
+            PathExceptionKind::MinDelay(v) => {
+                if min_delay.is_none_or(|m| v > m) {
+                    min_delay = Some(v);
+                }
+            }
+        }
+    }
+    match domain {
+        CheckKind::Setup => {
+            if let Some(v) = max_delay {
+                return PathState::MaxDelay(v.into());
+            }
+        }
+        CheckKind::Hold => {
+            if let Some(v) = min_delay {
+                return PathState::MinDelay(v.into());
+            }
+        }
+    }
+    // Out-of-domain delay exceptions do not constrain this check; fall
+    // through to multicycle, then valid.
+    if let Some((_, mult)) = best_mcp {
+        return PathState::Multicycle(mult);
+    }
+    crate::relations::PathState::Valid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relations::PathState;
+    use modemerge_netlist::paper::paper_circuit;
+    use modemerge_sdc::SdcFile;
+
+    fn mode_for(sdc: &str) -> (modemerge_netlist::Netlist, Mode) {
+        let n = paper_circuit();
+        let sdc = SdcFile::parse(sdc).unwrap();
+        let mode = Mode::bind("t", &n, &sdc).unwrap();
+        (n, mode)
+    }
+
+    fn tag(launch: u32, armed: &[u32], progress: &[(u32, u16)]) -> Tag {
+        Tag {
+            launch: ClockId(launch),
+            launch_inverted: false,
+            armed: armed.to_vec().into_boxed_slice(),
+            progress: progress.to_vec().into_boxed_slice(),
+        }
+    }
+
+    #[test]
+    fn advance_through_single_hop() {
+        let (n, mode) = mode_for("set_false_path -through [get_pins and1/Z]\n");
+        let idx = ExcIndex::build(&mode);
+        let t0 = tag(0, &[], &[]);
+        let and1_z = n.find_pin("and1/Z").unwrap();
+        let t1 = idx.advance(&t0, and1_z).unwrap();
+        assert_eq!(t1.progress_of(0), 1);
+        assert!(idx.through_complete(&t1, 0));
+        // Unrelated node: no change.
+        assert!(idx.advance(&t0, n.find_pin("inv1/Z").unwrap()).is_none());
+    }
+
+    #[test]
+    fn ordered_hops_must_be_crossed_in_order() {
+        let (n, mode) = mode_for(
+            "set_false_path -through [get_pins inv1/Z] -through [get_pins and1/Z]\n",
+        );
+        let idx = ExcIndex::build(&mode);
+        let inv1_z = n.find_pin("inv1/Z").unwrap();
+        let and1_z = n.find_pin("and1/Z").unwrap();
+        let t0 = tag(0, &[], &[]);
+        // Crossing hop 1 first does nothing.
+        assert!(idx.advance(&t0, and1_z).is_none());
+        let t1 = idx.advance(&t0, inv1_z).unwrap();
+        assert_eq!(t1.progress_of(0), 1);
+        assert!(!idx.through_complete(&t1, 0));
+        let t2 = idx.advance(&t1, and1_z).unwrap();
+        assert!(idx.through_complete(&t2, 0));
+    }
+
+    #[test]
+    fn unarmed_from_exception_does_not_advance() {
+        let (n, mode) = mode_for(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_false_path -from [get_pins rA/CP] -through [get_pins and1/Z]\n",
+        );
+        let idx = ExcIndex::build(&mode);
+        let and1_z = n.find_pin("and1/Z").unwrap();
+        let unarmed = tag(0, &[], &[]);
+        assert!(idx.advance(&unarmed, and1_z).is_none());
+        let armed = tag(0, &[0], &[]);
+        assert!(idx.advance(&armed, and1_z).is_some());
+    }
+
+    #[test]
+    fn armed_at_launch_matches_from_pins_and_clocks() {
+        let (n, mode) = mode_for(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             create_clock -name clkB -period 20 [get_ports clk2]\n\
+             set_false_path -from [get_pins rA/CP]\n\
+             set_false_path -from [get_clocks clkB]\n",
+        );
+        let idx = ExcIndex::build(&mode);
+        let ra_cp = n.find_pin("rA/CP").unwrap();
+        let rb_cp = n.find_pin("rB/CP").unwrap();
+        let clk_a = mode.clock_by_name("clkA").unwrap();
+        let clk_b = mode.clock_by_name("clkB").unwrap();
+        assert_eq!(&*idx.armed_at_launch(&mode, clk_a, ra_cp), &[0]);
+        assert_eq!(&*idx.armed_at_launch(&mode, clk_b, ra_cp), &[0, 1]);
+        assert_eq!(&*idx.armed_at_launch(&mode, clk_a, rb_cp), &[] as &[u32]);
+    }
+
+    #[test]
+    fn matched_requires_to() {
+        let (n, mode) = mode_for(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_false_path -to [get_pins rX/D]\n",
+        );
+        let idx = ExcIndex::build(&mode);
+        let t = tag(0, &[], &[]);
+        let rx_d = n.find_pin("rX/D").unwrap();
+        let ry_d = n.find_pin("rY/D").unwrap();
+        assert_eq!(
+            idx.matched(&mode, &t, rx_d, Some(ClockId(0)), CheckKind::Setup),
+            vec![ExcId(0)]
+        );
+        assert!(idx
+            .matched(&mode, &t, ry_d, Some(ClockId(0)), CheckKind::Setup)
+            .is_empty());
+    }
+
+    #[test]
+    fn setup_hold_scope_respected() {
+        let (n, mode) = mode_for("set_false_path -setup -to [get_pins rX/D]\n");
+        let idx = ExcIndex::build(&mode);
+        let t = tag(0, &[], &[]);
+        let rx_d = n.find_pin("rX/D").unwrap();
+        assert!(!idx.matched(&mode, &t, rx_d, None, CheckKind::Setup).is_empty());
+        assert!(idx.matched(&mode, &t, rx_d, None, CheckKind::Hold).is_empty());
+    }
+
+    #[test]
+    fn precedence_fp_over_mcp() {
+        // Table 1 of the paper: FP overrides MCP at rY/D.
+        let (_, mode) = mode_for(
+            "set_multicycle_path 2 -through [get_pins inv1/Z]\n\
+             set_false_path -through [get_pins and1/Z]\n",
+        );
+        let state = resolve_state(&mode, &[ExcId(0), ExcId(1)], CheckKind::Setup);
+        assert_eq!(state, PathState::FalsePath);
+    }
+
+    #[test]
+    fn precedence_delay_over_mcp() {
+        let (_, mode) = mode_for(
+            "set_multicycle_path 2 -through [get_pins inv1/Z]\n\
+             set_max_delay 5 -through [get_pins inv1/Z]\n",
+        );
+        let state = resolve_state(&mode, &[ExcId(0), ExcId(1)], CheckKind::Setup);
+        assert_eq!(state, PathState::MaxDelay(5.0.into()));
+        // In the hold domain the max-delay is out of scope → MCP applies.
+        let state = resolve_state(&mode, &[ExcId(0), ExcId(1)], CheckKind::Hold);
+        assert_eq!(state, PathState::Multicycle(2));
+    }
+
+    #[test]
+    fn mcp_specificity_tiebreak() {
+        let (_, mode) = mode_for(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_multicycle_path 2 -through [get_pins inv1/Z]\n\
+             set_multicycle_path 3 -from [get_pins rA/CP] -to [get_pins rX/D]\n",
+        );
+        let state = resolve_state(&mode, &[ExcId(0), ExcId(1)], CheckKind::Setup);
+        assert_eq!(state, PathState::Multicycle(3));
+    }
+
+    #[test]
+    fn tightest_max_delay_wins() {
+        let (_, mode) = mode_for(
+            "set_max_delay 5 -to [get_pins rX/D]\nset_max_delay 3 -to [get_pins rX/D]\n",
+        );
+        let state = resolve_state(&mode, &[ExcId(0), ExcId(1)], CheckKind::Setup);
+        assert_eq!(state, PathState::MaxDelay(3.0.into()));
+    }
+
+    #[test]
+    fn no_match_is_valid() {
+        let (_, mode) = mode_for("set_false_path -to [get_pins rX/D]\n");
+        assert_eq!(resolve_state(&mode, &[], CheckKind::Setup), PathState::Valid);
+    }
+}

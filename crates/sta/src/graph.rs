@@ -1,0 +1,569 @@
+//! The timing graph: one node per pin, arcs for nets and cells, a
+//! wire-load-model delay on every arc, and a global topological order.
+
+use crate::error::StaError;
+use modemerge_netlist::{CellFunction, Netlist, PinDirection, PinId, PinRole};
+
+/// Unateness of a timing arc: how an edge at the input translates to an
+/// edge at the output. Clock-polarity tracking uses this to follow
+/// inversions through the clock network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArcSense {
+    /// Output follows the input (buffer, AND, OR, nets).
+    Positive,
+    /// Output inverts the input (inverter, NAND, NOR).
+    Negative,
+    /// Either edge can result (XOR, XNOR, mux data inputs).
+    NonUnate,
+}
+
+/// Kind of a timing arc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArcKind {
+    /// Net arc: driver pin → load pin.
+    Net,
+    /// Combinational cell arc: input pin → output pin.
+    Comb,
+    /// Sequential launch arc: clock pin → data output (CP→Q, EN→Q).
+    ///
+    /// Launch arcs are not traversed by data or clock propagation; they
+    /// carry the clock-to-output delay used when injecting launch tags.
+    Launch,
+}
+
+/// A directed timing arc with a fixed (mode-independent) delay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arc {
+    /// Source node.
+    pub from: PinId,
+    /// Destination node.
+    pub to: PinId,
+    /// Arc kind.
+    pub kind: ArcKind,
+    /// Unateness (edge translation).
+    pub sense: ArcSense,
+    /// Wire-load-model delay.
+    pub delay: f64,
+}
+
+/// Wire-load-model delay parameters.
+///
+/// The paper's experiments used wire-load-model delays; the exact
+/// coefficients are irrelevant to mode merging (which compares
+/// relationships, not delays) but make slack numbers realistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayModel {
+    /// Base net delay.
+    pub net_base: f64,
+    /// Additional net delay per fanout.
+    pub net_per_fanout: f64,
+    /// Additional cell delay per fanout of the driven net.
+    pub cell_per_fanout: f64,
+    /// Library setup requirement at sequential data pins.
+    pub setup_margin: f64,
+    /// Library hold requirement at sequential data pins.
+    pub hold_margin: f64,
+    /// Global delay derating factor — the knob that turns one wire-load
+    /// model into a PVT *corner* (slow ≈ 1.2, typical = 1.0, fast ≈ 0.8).
+    pub derate: f64,
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        Self {
+            net_base: 0.05,
+            net_per_fanout: 0.05,
+            cell_per_fanout: 0.1,
+            setup_margin: 0.1,
+            hold_margin: 0.05,
+            derate: 1.0,
+        }
+    }
+}
+
+impl DelayModel {
+    /// This model with all arc delays scaled by `factor` — a PVT corner.
+    pub fn derated(self, factor: f64) -> Self {
+        Self {
+            derate: self.derate * factor,
+            ..self
+        }
+    }
+}
+
+/// The timing graph over a netlist.
+///
+/// Nodes are pins ([`PinId`] doubles as the node id). The graph is built
+/// once per netlist and shared by every mode; per-mode state (constants,
+/// disabled pins) is applied as an overlay during propagation.
+#[derive(Debug, Clone)]
+pub struct TimingGraph {
+    node_count: usize,
+    arcs: Vec<Arc>,
+    /// CSR fanout: `fanout_idx[fanout_off[n]..fanout_off[n+1]]` are arc
+    /// indices leaving node `n`.
+    fanout_off: Vec<u32>,
+    fanout_idx: Vec<u32>,
+    fanin_off: Vec<u32>,
+    fanin_idx: Vec<u32>,
+    /// Topological order over `Net`/`Comb` arcs.
+    topo: Vec<PinId>,
+    /// For every node: is it the clock pin of a sequential cell?
+    is_clock_sink: Vec<bool>,
+    /// For D-pin endpoints: the clock pin of the same instance.
+    capture_pin: Vec<Option<PinId>>,
+    /// Launch arc index for each sequential output pin.
+    launch_arc: Vec<Option<u32>>,
+    /// Data endpoints: sequential data pins (plus output ports are
+    /// endpoints too, determined per mode from output delays).
+    seq_data_pins: Vec<PinId>,
+    model: DelayModel,
+}
+
+impl TimingGraph {
+    /// Builds the timing graph with the default delay model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::CombinationalLoop`] if the combinational
+    /// network is cyclic.
+    pub fn build(netlist: &Netlist) -> Result<Self, StaError> {
+        Self::build_with_model(netlist, DelayModel::default())
+    }
+
+    /// Builds the timing graph with a custom delay model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::CombinationalLoop`] if the combinational
+    /// network is cyclic.
+    pub fn build_with_model(netlist: &Netlist, model: DelayModel) -> Result<Self, StaError> {
+        let node_count = netlist.pin_count();
+        let mut arcs: Vec<Arc> = Vec::new();
+
+        // Net arcs.
+        for net_id in netlist.net_ids() {
+            let net = netlist.net(net_id);
+            let Some(driver) = net.driver() else { continue };
+            let delay = (model.net_base + model.net_per_fanout * net.fanout() as f64)
+                * model.derate;
+            for &load in net.loads() {
+                arcs.push(Arc {
+                    from: driver,
+                    to: load,
+                    kind: ArcKind::Net,
+                    sense: ArcSense::Positive,
+                    delay,
+                });
+            }
+        }
+
+        // Cell arcs.
+        let mut is_clock_sink = vec![false; node_count];
+        let mut capture_pin: Vec<Option<PinId>> = vec![None; node_count];
+        let mut launch_arc: Vec<Option<u32>> = vec![None; node_count];
+        let mut seq_data_pins = Vec::new();
+
+        for inst_id in netlist.instance_ids() {
+            let inst = netlist.instance(inst_id);
+            let cell = netlist.library().cell(inst.cell());
+            let out_fanout = |pin: PinId| -> f64 {
+                netlist
+                    .pin(pin)
+                    .net()
+                    .map_or(0.0, |n| netlist.net(n).fanout() as f64)
+            };
+            if cell.is_sequential() {
+                // Identify the clocking pin: role Clock (DFF CP) or the
+                // Enable pin of a latch.
+                let clk_idx = cell
+                    .pins()
+                    .iter()
+                    .position(|p| p.role() == PinRole::Clock)
+                    .or_else(|| {
+                        cell.pins()
+                            .iter()
+                            .position(|p| p.role() == PinRole::Enable)
+                    });
+                let Some(clk_idx) = clk_idx else { continue };
+                let clk_pin = inst.pins()[clk_idx];
+                is_clock_sink[clk_pin.index()] = true;
+                for (idx, lp) in cell.pins().iter().enumerate() {
+                    let pin = inst.pins()[idx];
+                    match lp.direction() {
+                        PinDirection::Input => {
+                            if lp.role() == PinRole::Data {
+                                capture_pin[pin.index()] = Some(clk_pin);
+                                seq_data_pins.push(pin);
+                            }
+                        }
+                        PinDirection::Output => {
+                            let arc_idx = arcs.len() as u32;
+                            arcs.push(Arc {
+                                from: clk_pin,
+                                to: pin,
+                                kind: ArcKind::Launch,
+                                sense: ArcSense::Positive,
+                                delay: (cell.intrinsic_delay()
+                                    + model.cell_per_fanout * out_fanout(pin))
+                                    * model.derate,
+                            });
+                            launch_arc[pin.index()] = Some(arc_idx);
+                        }
+                    }
+                }
+            } else {
+                let is_ckgate = cell.function() == CellFunction::ClockGate;
+                for out_idx in cell.output_pin_indices().collect::<Vec<_>>() {
+                    let out_pin = inst.pins()[out_idx];
+                    let delay = (cell.intrinsic_delay()
+                        + model.cell_per_fanout * out_fanout(out_pin))
+                        * model.derate;
+                    for in_idx in cell.input_pin_indices().collect::<Vec<_>>() {
+                        // Clock-gate enable pins gate propagation through
+                        // case analysis only; they have no timing arc.
+                        if is_ckgate && cell.pins()[in_idx].role() == PinRole::Enable {
+                            continue;
+                        }
+                        let sense = match cell.function() {
+                            CellFunction::Buf
+                            | CellFunction::And
+                            | CellFunction::Or
+                            | CellFunction::ClockGate => ArcSense::Positive,
+                            CellFunction::Inv | CellFunction::Nand | CellFunction::Nor => {
+                                ArcSense::Negative
+                            }
+                            // A mux passes the selected data input's edge
+                            // unchanged; only the select input is
+                            // non-unate.
+                            CellFunction::Mux2 => {
+                                if cell.pins()[in_idx].role() == PinRole::Select {
+                                    ArcSense::NonUnate
+                                } else {
+                                    ArcSense::Positive
+                                }
+                            }
+                            _ => ArcSense::NonUnate,
+                        };
+                        arcs.push(Arc {
+                            from: inst.pins()[in_idx],
+                            to: out_pin,
+                            kind: ArcKind::Comb,
+                            sense,
+                            delay,
+                        });
+                    }
+                }
+            }
+        }
+
+        // CSR adjacency.
+        let (fanout_off, fanout_idx) = build_csr(node_count, arcs.iter().map(|a| a.from));
+        let (fanin_off, fanin_idx) = build_csr(node_count, arcs.iter().map(|a| a.to));
+
+        // Topological order over Net/Comb arcs (Launch arcs break cycles
+        // through sequential elements by design, and are excluded).
+        let topo = toposort(netlist, node_count, &arcs, &fanout_off, &fanout_idx)?;
+
+        Ok(Self {
+            node_count,
+            arcs,
+            fanout_off,
+            fanout_idx,
+            fanin_off,
+            fanin_idx,
+            topo,
+            is_clock_sink,
+            capture_pin,
+            launch_arc,
+            seq_data_pins,
+            model,
+        })
+    }
+
+    /// Number of nodes (pins).
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// All arcs.
+    pub fn arcs(&self) -> &[Arc] {
+        &self.arcs
+    }
+
+    /// The delay model in effect.
+    pub fn model(&self) -> &DelayModel {
+        &self.model
+    }
+
+    /// Arcs leaving `node`.
+    pub fn fanout_arcs(&self, node: PinId) -> impl Iterator<Item = &Arc> {
+        let n = node.index();
+        self.fanout_idx[self.fanout_off[n] as usize..self.fanout_off[n + 1] as usize]
+            .iter()
+            .map(|&i| &self.arcs[i as usize])
+    }
+
+    /// Arcs entering `node`.
+    pub fn fanin_arcs(&self, node: PinId) -> impl Iterator<Item = &Arc> {
+        let n = node.index();
+        self.fanin_idx[self.fanin_off[n] as usize..self.fanin_off[n + 1] as usize]
+            .iter()
+            .map(|&i| &self.arcs[i as usize])
+    }
+
+    /// Nodes in topological order (sources first) over Net/Comb arcs.
+    pub fn topo_order(&self) -> &[PinId] {
+        &self.topo
+    }
+
+    /// Is `node` the clocking pin of a sequential cell?
+    pub fn is_clock_sink(&self, node: PinId) -> bool {
+        self.is_clock_sink[node.index()]
+    }
+
+    /// For a sequential data pin, the clocking pin of the same instance.
+    pub fn capture_pin(&self, node: PinId) -> Option<PinId> {
+        self.capture_pin[node.index()]
+    }
+
+    /// The launch arc feeding a sequential output pin, if any.
+    pub fn launch_arc(&self, q_pin: PinId) -> Option<&Arc> {
+        self.launch_arc[q_pin.index()].map(|i| &self.arcs[i as usize])
+    }
+
+    /// All sequential data pins (D pins, latch D pins): the structural
+    /// timing endpoints.
+    pub fn seq_data_pins(&self) -> &[PinId] {
+        &self.seq_data_pins
+    }
+}
+
+fn build_csr(
+    node_count: usize,
+    froms: impl Iterator<Item = PinId> + Clone,
+) -> (Vec<u32>, Vec<u32>) {
+    let mut counts = vec![0u32; node_count + 1];
+    for from in froms.clone() {
+        counts[from.index() + 1] += 1;
+    }
+    for i in 0..node_count {
+        counts[i + 1] += counts[i];
+    }
+    let off = counts.clone();
+    let mut cursor = counts;
+    let mut idx = vec![0u32; off[node_count] as usize];
+    for (arc_i, from) in froms.enumerate() {
+        let slot = cursor[from.index()];
+        idx[slot as usize] = arc_i as u32;
+        cursor[from.index()] += 1;
+    }
+    (off, idx)
+}
+
+fn toposort(
+    netlist: &Netlist,
+    node_count: usize,
+    arcs: &[Arc],
+    fanout_off: &[u32],
+    fanout_idx: &[u32],
+) -> Result<Vec<PinId>, StaError> {
+    let mut indeg = vec![0u32; node_count];
+    for arc in arcs {
+        if arc.kind != ArcKind::Launch {
+            indeg[arc.to.index()] += 1;
+        }
+    }
+    let mut queue: Vec<PinId> = (0..node_count)
+        .filter(|&n| indeg[n] == 0)
+        .map(PinId::new)
+        .collect();
+    let mut topo = Vec::with_capacity(node_count);
+    let mut head = 0;
+    while head < queue.len() {
+        let n = queue[head];
+        head += 1;
+        topo.push(n);
+        for &ai in
+            &fanout_idx[fanout_off[n.index()] as usize..fanout_off[n.index() + 1] as usize]
+        {
+            let arc = &arcs[ai as usize];
+            if arc.kind == ArcKind::Launch {
+                continue;
+            }
+            let d = &mut indeg[arc.to.index()];
+            *d -= 1;
+            if *d == 0 {
+                queue.push(arc.to);
+            }
+        }
+    }
+    if topo.len() != node_count {
+        let culprit = (0..node_count)
+            .find(|&n| indeg[n] > 0)
+            .map(PinId::new)
+            .expect("cycle implies a node with leftover in-degree");
+        return Err(StaError::CombinationalLoop {
+            pin: netlist.pin_name(culprit),
+        });
+    }
+    Ok(topo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modemerge_netlist::paper::paper_circuit;
+    use modemerge_netlist::{Library, NetlistBuilder};
+
+    #[test]
+    fn paper_circuit_builds() {
+        let n = paper_circuit();
+        let g = TimingGraph::build(&n).unwrap();
+        assert_eq!(g.node_count(), n.pin_count());
+        // 6 registers → 6 launch arcs and 6 sequential data pins.
+        assert_eq!(g.seq_data_pins().len(), 6);
+        assert_eq!(
+            g.arcs().iter().filter(|a| a.kind == ArcKind::Launch).count(),
+            6
+        );
+    }
+
+    #[test]
+    fn clock_sinks_and_capture_pins() {
+        let n = paper_circuit();
+        let g = TimingGraph::build(&n).unwrap();
+        let ra_cp = n.find_pin("rA/CP").unwrap();
+        let ra_d = n.find_pin("rA/D").unwrap();
+        assert!(g.is_clock_sink(ra_cp));
+        assert_eq!(g.capture_pin(ra_d), Some(ra_cp));
+        let ra_q = n.find_pin("rA/Q").unwrap();
+        let launch = g.launch_arc(ra_q).unwrap();
+        assert_eq!(launch.from, ra_cp);
+        assert_eq!(launch.kind, ArcKind::Launch);
+    }
+
+    #[test]
+    fn topo_order_respects_arcs() {
+        let n = paper_circuit();
+        let g = TimingGraph::build(&n).unwrap();
+        let pos: std::collections::HashMap<_, _> = g
+            .topo_order()
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i))
+            .collect();
+        for arc in g.arcs() {
+            if arc.kind != ArcKind::Launch {
+                assert!(
+                    pos[&arc.from] < pos[&arc.to],
+                    "arc {} -> {} violates topo order",
+                    n.pin_name(arc.from),
+                    n.pin_name(arc.to)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mux_has_three_comb_arcs() {
+        let n = paper_circuit();
+        let g = TimingGraph::build(&n).unwrap();
+        let mux_z = n.find_pin("mux1/Z").unwrap();
+        let comb_in = g
+            .fanin_arcs(mux_z)
+            .filter(|a| a.kind == ArcKind::Comb)
+            .count();
+        assert_eq!(comb_in, 3);
+    }
+
+    #[test]
+    fn combinational_loop_detected() {
+        let mut b = NetlistBuilder::new("loop", Library::standard());
+        let u1 = b.instance("u1", "INV").unwrap();
+        let u2 = b.instance("u2", "INV").unwrap();
+        b.connect_pins(u1, "Z", u2, "A").unwrap();
+        b.connect_pins(u2, "Z", u1, "A").unwrap();
+        let n = b.finish().unwrap();
+        let err = TimingGraph::build(&n).unwrap_err();
+        assert!(matches!(err, StaError::CombinationalLoop { .. }));
+    }
+
+    #[test]
+    fn sequential_cells_break_cycles() {
+        // FF in a feedback loop: Q -> inv -> D must be fine.
+        let mut b = NetlistBuilder::new("fb", Library::standard());
+        let clk = b.input_port("clk").unwrap();
+        let ff = b.instance("r0", "DFF").unwrap();
+        let inv = b.instance("u1", "INV").unwrap();
+        b.connect_port_to_pin(clk, ff, "CP").unwrap();
+        b.connect_pins(ff, "Q", inv, "A").unwrap();
+        b.connect_pins(inv, "Z", ff, "D").unwrap();
+        let n = b.finish().unwrap();
+        assert!(TimingGraph::build(&n).is_ok());
+    }
+
+    #[test]
+    fn clock_gate_enable_has_no_arc() {
+        let mut b = NetlistBuilder::new("cg", Library::standard());
+        let clk = b.input_port("clk").unwrap();
+        let en = b.input_port("en").unwrap();
+        let q = b.output_port("q").unwrap();
+        let cg = b.instance("cg0", "CKGATE").unwrap();
+        b.connect_port_to_pin(clk, cg, "CLK").unwrap();
+        b.connect_port_to_pin(en, cg, "EN").unwrap();
+        b.connect_pin_to_port(cg, "GCLK", q).unwrap();
+        let n = b.finish().unwrap();
+        let g = TimingGraph::build(&n).unwrap();
+        let gclk = n.find_pin("cg0/GCLK").unwrap();
+        let comb_in: Vec<_> = g
+            .fanin_arcs(gclk)
+            .filter(|a| a.kind == ArcKind::Comb)
+            .map(|a| n.pin_name(a.from))
+            .collect();
+        assert_eq!(comb_in, vec!["cg0/CLK".to_owned()]);
+    }
+
+    #[test]
+    fn arc_senses_follow_cell_functions() {
+        let n = paper_circuit();
+        let g = TimingGraph::build(&n).unwrap();
+        let sense_of = |from: &str, to: &str| -> ArcSense {
+            let f = n.find_pin(from).unwrap();
+            let t = n.find_pin(to).unwrap();
+            g.fanout_arcs(f).find(|a| a.to == t).unwrap().sense
+        };
+        assert_eq!(sense_of("inv1/A", "inv1/Z"), ArcSense::Negative);
+        assert_eq!(sense_of("and1/A", "and1/Z"), ArcSense::Positive);
+        // Mux data inputs pass the selected edge; the select is non-unate.
+        assert_eq!(sense_of("mux1/A", "mux1/Z"), ArcSense::Positive);
+        assert_eq!(sense_of("mux1/S", "mux1/Z"), ArcSense::NonUnate);
+        assert_eq!(sense_of("xorS/A", "xorS/Z"), ArcSense::NonUnate);
+        // Net arcs never invert.
+        assert_eq!(sense_of("clk1", "mux1/A"), ArcSense::Positive);
+    }
+
+    #[test]
+    fn derated_model_scales_all_arcs() {
+        let n = paper_circuit();
+        let typ = TimingGraph::build(&n).unwrap();
+        let slow =
+            TimingGraph::build_with_model(&n, DelayModel::default().derated(1.25)).unwrap();
+        for (a, b) in typ.arcs().iter().zip(slow.arcs().iter()) {
+            assert!((b.delay - a.delay * 1.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn net_delay_scales_with_fanout() {
+        let n = paper_circuit();
+        let g = TimingGraph::build(&n).unwrap();
+        // mux1/Z drives three loads → delay 0.05 + 3*0.05 = 0.2.
+        let mux_z = n.find_pin("mux1/Z").unwrap();
+        let arc = g
+            .fanout_arcs(mux_z)
+            .find(|a| a.kind == ArcKind::Net)
+            .unwrap();
+        assert!((arc.delay - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,178 @@
+//! Order- and hash-friendly keys used in cross-mode comparisons.
+
+use modemerge_netlist::PinId;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A totally ordered, hashable wrapper around `f64`.
+///
+/// Timing relationships and clock keys must live in `BTreeSet`s, so every
+/// numeric component needs `Ord + Eq + Hash`. `F64Key` normalizes `-0.0`
+/// to `+0.0` and orders by IEEE total order of the remaining values.
+/// NaN is not expected in constraint values; it compares greater than
+/// everything so sets stay well-defined.
+#[derive(Clone, Copy)]
+pub struct F64Key(f64);
+
+impl F64Key {
+    /// Wraps a value (normalizing `-0.0`).
+    pub fn new(v: f64) -> Self {
+        Self(if v == 0.0 { 0.0 } else { v })
+    }
+
+    /// The wrapped value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    fn order_bits(self) -> u64 {
+        let bits = self.0.to_bits();
+        // Flip so that the integer order matches the float order.
+        if bits >> 63 == 0 {
+            bits | (1 << 63)
+        } else {
+            !bits
+        }
+    }
+}
+
+impl From<f64> for F64Key {
+    fn from(v: f64) -> Self {
+        Self::new(v)
+    }
+}
+
+impl PartialEq for F64Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.order_bits() == other.order_bits()
+    }
+}
+impl Eq for F64Key {}
+
+impl PartialOrd for F64Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for F64Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.order_bits().cmp(&other.order_bits())
+    }
+}
+
+impl std::hash::Hash for F64Key {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.order_bits().hash(state);
+    }
+}
+
+impl fmt::Debug for F64Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for F64Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identity of a clock independent of the mode it was defined in.
+///
+/// §3.1.1 of the paper treats two clocks as duplicates when they have the
+/// same *sources and waveform*; timing relationships compared across
+/// modes key their launch/capture clocks the same way. Virtual clocks
+/// (no sources) are identified by name instead.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClockKey {
+    /// Sorted source pins; empty for virtual clocks.
+    pub sources: Vec<PinId>,
+    /// Clock period.
+    pub period: F64Key,
+    /// Rise/fall waveform.
+    pub waveform: (F64Key, F64Key),
+    /// Name, used for identity only when `sources` is empty.
+    pub virtual_name: Option<String>,
+}
+
+impl ClockKey {
+    /// Builds a key from resolved clock data.
+    pub fn new(
+        mut sources: Vec<PinId>,
+        period: f64,
+        waveform: (f64, f64),
+        name: &str,
+    ) -> Self {
+        sources.sort_unstable();
+        sources.dedup();
+        let virtual_name = if sources.is_empty() {
+            Some(name.to_owned())
+        } else {
+            None
+        };
+        Self {
+            sources,
+            period: period.into(),
+            waveform: (waveform.0.into(), waveform.1.into()),
+            virtual_name,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64key_total_order() {
+        let mut v = [
+            F64Key::new(1.5),
+            F64Key::new(-3.0),
+            F64Key::new(0.0),
+            F64Key::new(-0.0),
+            F64Key::new(10.0),
+        ];
+        v.sort();
+        let vals: Vec<f64> = v.iter().map(|k| k.value()).collect();
+        assert_eq!(vals, vec![-3.0, 0.0, 0.0, 1.5, 10.0]);
+    }
+
+    #[test]
+    fn negative_zero_normalized() {
+        assert_eq!(F64Key::new(-0.0), F64Key::new(0.0));
+    }
+
+    #[test]
+    fn nan_is_consistent() {
+        let nan = F64Key::new(f64::NAN);
+        assert_eq!(nan, nan);
+        assert!(nan > F64Key::new(f64::INFINITY));
+    }
+
+    #[test]
+    fn clock_key_source_identity() {
+        let a = ClockKey::new(vec![PinId::new(3), PinId::new(1)], 10.0, (0.0, 5.0), "clkA");
+        let b = ClockKey::new(vec![PinId::new(1), PinId::new(3)], 10.0, (0.0, 5.0), "other");
+        // Same sources + waveform: identical regardless of name.
+        assert_eq!(a, b);
+        let c = ClockKey::new(vec![PinId::new(1)], 10.0, (0.0, 5.0), "clkA");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn virtual_clocks_keyed_by_name() {
+        let a = ClockKey::new(vec![], 10.0, (0.0, 5.0), "v1");
+        let b = ClockKey::new(vec![], 10.0, (0.0, 5.0), "v2");
+        assert_ne!(a, b);
+        let a2 = ClockKey::new(vec![], 10.0, (0.0, 5.0), "v1");
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn waveform_differentiates() {
+        let a = ClockKey::new(vec![PinId::new(0)], 10.0, (0.0, 5.0), "x");
+        let b = ClockKey::new(vec![PinId::new(0)], 10.0, (2.0, 7.0), "x");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,58 @@
+//! Static timing analysis engine for the `modemerge` stack.
+//!
+//! This crate implements everything the DAC'15 mode-merging algorithm
+//! needs from an STA tool:
+//!
+//! * [`graph`] — the timing graph: one node per pin, cell/net/launch arcs,
+//!   wire-load-model delays, topological order;
+//! * [`mode`] — binding an SDC file against a netlist into a resolved
+//!   [`mode::Mode`] (clocks, constants, exceptions, I/O delays…);
+//! * [`constants`] — case-analysis constant propagation;
+//! * [`clock_prop`] — clock propagation through the clock network with
+//!   `set_clock_sense -stop_propagation` support;
+//! * [`exceptions`] — resolved `-from/-through/-to` exceptions and the
+//!   precedence rules (false path > min/max delay > multicycle);
+//! * [`propagate`] — tag-based arrival propagation through the data
+//!   network;
+//! * [`relations`] — *timing relationships* as defined in §2 of the paper:
+//!   `(startpoint, endpoint, launch clock, capture clock, state)` bundles
+//!   at endpoint, startpoint×endpoint and through-point granularity;
+//! * [`analysis`] — the [`analysis::Analysis`] orchestrator and
+//!   per-endpoint slack computation used for QoR conformity (Table 6).
+//!
+//! # Simplifications vs a commercial signoff engine
+//!
+//! * Delays use a wire-load model (the paper's results also used WLM).
+//! * Data arrivals are not split by rise/fall, but clock *polarity* is
+//!   tracked through the clock network: inverted clocks launch/capture
+//!   on the waveform's fall edge (half-period paths come out right) and
+//!   `set_clock_sense -positive/-negative` filters polarities.
+//! * Latches are timed like edge-triggered elements on their enable.
+//! * Clock-gate enable pins gate propagation via case analysis but are
+//!   not themselves checked endpoints.
+//!
+//! None of these affect the mode-merging algorithm, which operates on
+//! timing relationships, not absolute delays.
+
+pub mod analysis;
+pub mod clock_prop;
+pub mod constants;
+pub mod error;
+pub mod exceptions;
+pub mod graph;
+pub mod keys;
+pub mod mode;
+pub mod overlay;
+pub mod paths;
+pub mod propagate;
+pub mod relations;
+pub mod report;
+
+pub use analysis::{Analysis, EndpointSlack};
+pub use error::StaError;
+pub use graph::{Arc, ArcKind, ArcSense, TimingGraph};
+pub use keys::{ClockKey, F64Key};
+pub use mode::{Clock, ClockId, ExcId, Mode};
+pub use paths::{PathPoint, TimingPath};
+pub use report::{SlackHistogram, SlackSummary};
+pub use relations::{EndpointRelation, PairRelation, PathState, RelationSet};

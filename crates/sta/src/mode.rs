@@ -1,0 +1,1160 @@
+//! Binding an SDC file against a netlist: the resolved [`Mode`].
+//!
+//! A `Mode` is the analyzed form of one SDC constraint file — clocks with
+//! merged attribute values, case-analysis constants, disabled objects,
+//! resolved I/O delays, resolved path exceptions, clock groups and clock
+//! senses. All object references are resolved to [`PinId`]s /
+//! [`ClockId`]s here so the propagation engines never touch names.
+
+use crate::error::StaError;
+use crate::keys::ClockKey;
+use modemerge_netlist::{Netlist, PinId};
+use modemerge_sdc::{
+    ClockGroupKind, Command, IoDelayKind, MinMax, ObjectClass, ObjectRef, PathExceptionKind,
+    SdcFile, SetupHold,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Mode-local clock identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClockId(pub u32);
+
+impl ClockId {
+    /// Raw index into [`Mode::clocks`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "clk{}", self.0)
+    }
+}
+
+/// Mode-local exception identifier (index into [`Mode::exceptions`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExcId(pub u32);
+
+impl ExcId {
+    /// Raw index into [`Mode::exceptions`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A min/max value pair (used for latency, transition, …).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MinMaxPair {
+    /// Value for min (hold) analysis.
+    pub min: f64,
+    /// Value for max (setup) analysis.
+    pub max: f64,
+}
+
+impl MinMaxPair {
+    /// Applies a value under a [`MinMax`] selector.
+    pub fn set(&mut self, value: f64, mm: MinMax) {
+        match mm {
+            MinMax::Both => {
+                self.min = value;
+                self.max = value;
+            }
+            MinMax::Min => self.min = value,
+            MinMax::Max => self.max = value,
+        }
+    }
+}
+
+/// Generation info for a clock created by `create_generated_clock`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedClock {
+    /// The master clock.
+    pub master: ClockId,
+    /// The `-source` pins (the master's reference points).
+    pub source_pins: Vec<PinId>,
+    /// `-divide_by` factor (1 when not given).
+    pub divide_by: u32,
+    /// `-multiply_by` factor (1 when not given).
+    pub multiply_by: u32,
+    /// `-invert` given.
+    pub invert: bool,
+}
+
+/// A resolved clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clock {
+    /// Clock name (unique within the mode).
+    pub name: String,
+    /// Period.
+    pub period: f64,
+    /// Rise/fall edges.
+    pub waveform: (f64, f64),
+    /// Source pins (empty for a virtual clock).
+    pub sources: Vec<PinId>,
+    /// `set_propagated_clock` given.
+    pub propagated: bool,
+    /// `set_clock_latency` (non-source).
+    pub latency: MinMaxPair,
+    /// `set_clock_latency -source`.
+    pub source_latency: MinMaxPair,
+    /// `set_clock_uncertainty -setup`.
+    pub uncertainty_setup: f64,
+    /// `set_clock_uncertainty -hold`.
+    pub uncertainty_hold: f64,
+    /// `set_clock_transition`.
+    pub transition: MinMaxPair,
+    /// Set when the clock came from `create_generated_clock`; the
+    /// clock's `sources` are then the generation target pins and its
+    /// period/waveform are derived from the master.
+    pub generated: Option<GeneratedClock>,
+}
+
+impl Clock {
+    /// The mode-independent identity key (§3.1.1 duplicate criterion).
+    pub fn key(&self) -> ClockKey {
+        ClockKey::new(self.sources.clone(), self.period, self.waveform, &self.name)
+    }
+}
+
+/// A resolved `set_input_delay`/`set_output_delay`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoDelay {
+    /// Input or output delay.
+    pub kind: IoDelayKind,
+    /// Target port pin.
+    pub pin: PinId,
+    /// Reference clock.
+    pub clock: ClockId,
+    /// Delay value.
+    pub value: f64,
+    /// `-min`/`-max` scope.
+    pub min_max: MinMax,
+    /// `-add_delay` given.
+    pub add_delay: bool,
+}
+
+/// A resolved path exception.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exception {
+    /// Kind (false path, multicycle, min/max delay).
+    pub kind: PathExceptionKind,
+    /// `-setup`/`-hold` scope.
+    pub setup_hold: SetupHold,
+    /// `-from` startpoint pins (clock pins of registers, input ports).
+    pub from_pins: BTreeSet<PinId>,
+    /// `-from` launch clocks.
+    pub from_clocks: BTreeSet<ClockId>,
+    /// Ordered `-through` hops; each hop is a set of pins.
+    pub through: Vec<BTreeSet<PinId>>,
+    /// `-to` endpoint pins.
+    pub to_pins: BTreeSet<PinId>,
+    /// `-to` capture clocks.
+    pub to_clocks: BTreeSet<ClockId>,
+}
+
+impl Exception {
+    /// `true` if the exception has a `-from` restriction.
+    pub fn has_from(&self) -> bool {
+        !self.from_pins.is_empty() || !self.from_clocks.is_empty()
+    }
+
+    /// `true` if the exception has a `-to` restriction.
+    pub fn has_to(&self) -> bool {
+        !self.to_pins.is_empty() || !self.to_clocks.is_empty()
+    }
+
+    /// Does the `-from` side match a path launched by `clock` from
+    /// startpoint `start`?
+    pub fn from_matches(&self, clock: ClockId, start: PinId) -> bool {
+        if !self.has_from() {
+            return true;
+        }
+        self.from_clocks.contains(&clock) || self.from_pins.contains(&start)
+    }
+
+    /// Does the `-to` side match a path captured by `clock` at `endpoint`?
+    pub fn to_matches(&self, clock: Option<ClockId>, endpoint: PinId) -> bool {
+        if !self.has_to() {
+            return true;
+        }
+        clock.is_some_and(|c| self.to_clocks.contains(&c)) || self.to_pins.contains(&endpoint)
+    }
+
+    /// Specificity rank used to order same-kind overlapping exceptions;
+    /// larger is more specific (from/to anchors beat through-only).
+    pub fn specificity(&self) -> u32 {
+        let mut s = 0;
+        if !self.from_pins.is_empty() {
+            s += 4;
+        } else if !self.from_clocks.is_empty() {
+            s += 2;
+        }
+        if !self.to_pins.is_empty() {
+            s += 4;
+        } else if !self.to_clocks.is_empty() {
+            s += 2;
+        }
+        s + self.through.len() as u32
+    }
+}
+
+/// What a `set_clock_sense` assertion does at its pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockSenseKind {
+    /// `-stop_propagation`: nothing propagates beyond.
+    Stop,
+    /// `-positive`: only the non-inverted sense propagates beyond.
+    PositiveOnly,
+    /// `-negative`: only the inverted sense propagates beyond.
+    NegativeOnly,
+}
+
+/// A resolved inter-clock uncertainty
+/// (`set_clock_uncertainty -from -to`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterClockUncertainty {
+    /// Launch clock.
+    pub from: ClockId,
+    /// Capture clock.
+    pub to: ClockId,
+    /// Setup-analysis uncertainty.
+    pub setup: f64,
+    /// Hold-analysis uncertainty.
+    pub hold: f64,
+}
+
+/// A resolved `set_clock_sense` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockStop {
+    /// The assertion kind.
+    pub kind: ClockSenseKind,
+    /// Clocks affected (empty = all clocks).
+    pub clocks: BTreeSet<ClockId>,
+    /// Pins the sense is asserted on.
+    pub pins: BTreeSet<PinId>,
+}
+
+/// A resolved clock group (exclusivity) constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockGroups {
+    /// Exclusivity kind.
+    pub kind: ClockGroupKind,
+    /// The groups; clocks in different groups do not time against each
+    /// other.
+    pub groups: Vec<BTreeSet<ClockId>>,
+}
+
+impl ClockGroups {
+    /// `true` if `a` and `b` are separated by this constraint.
+    pub fn separates(&self, a: ClockId, b: ClockId) -> bool {
+        let ga = self.groups.iter().position(|g| g.contains(&a));
+        let gb = self.groups.iter().position(|g| g.contains(&b));
+        matches!((ga, gb), (Some(x), Some(y)) if x != y)
+    }
+}
+
+/// A fully resolved timing mode.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Mode {
+    /// Mode name (for reports).
+    pub name: String,
+    /// Clocks, indexed by [`ClockId`].
+    pub clocks: Vec<Clock>,
+    /// Case-analysis constants per pin.
+    pub case_values: BTreeMap<PinId, bool>,
+    /// Pins through which all timing is disabled.
+    pub disabled_pins: BTreeSet<PinId>,
+    /// Disabled cell arcs, as (from pin, to pin).
+    pub disabled_arcs: BTreeSet<(PinId, PinId)>,
+    /// Resolved I/O delays.
+    pub io_delays: Vec<IoDelay>,
+    /// Resolved path exceptions, indexed by [`ExcId`].
+    pub exceptions: Vec<Exception>,
+    /// Clock exclusivity groups.
+    pub clock_groups: Vec<ClockGroups>,
+    /// Clock propagation stops.
+    pub clock_stops: Vec<ClockStop>,
+    /// Inter-clock uncertainties (override the per-clock values for
+    /// matching launch/capture pairs).
+    pub inter_uncertainties: Vec<InterClockUncertainty>,
+    /// `set_drive` per port pin.
+    pub drives: BTreeMap<PinId, MinMaxPair>,
+    /// `set_load` per port pin.
+    pub loads: BTreeMap<PinId, MinMaxPair>,
+    /// `set_input_transition` per port pin.
+    pub input_transitions: BTreeMap<PinId, MinMaxPair>,
+    /// Non-fatal binding diagnostics (empty matches, ignored commands).
+    pub warnings: Vec<String>,
+}
+
+impl Mode {
+    /// Binds an SDC file against a netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError`] on clock redefinition, conflicting case
+    /// analysis, or references to undefined clocks. Glob patterns that
+    /// match nothing produce warnings, not errors, matching commercial
+    /// tool behaviour.
+    pub fn bind(name: impl Into<String>, netlist: &Netlist, sdc: &SdcFile) -> Result<Self, StaError> {
+        Binder::new(netlist).bind(name.into(), sdc)
+    }
+
+    /// Looks up a clock by name.
+    pub fn clock_by_name(&self, name: &str) -> Option<ClockId> {
+        self.clocks
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ClockId(i as u32))
+    }
+
+    /// The clock for an id.
+    pub fn clock(&self, id: ClockId) -> &Clock {
+        &self.clocks[id.index()]
+    }
+
+    /// Iterates clock ids.
+    pub fn clock_ids(&self) -> impl Iterator<Item = ClockId> {
+        (0..self.clocks.len() as u32).map(ClockId)
+    }
+
+    /// The cross-mode identity key of a clock.
+    pub fn clock_key(&self, id: ClockId) -> ClockKey {
+        self.clocks[id.index()].key()
+    }
+
+    /// `true` if the two clocks are prevented from timing against each
+    /// other by any clock-group constraint.
+    pub fn clocks_separated(&self, a: ClockId, b: ClockId) -> bool {
+        self.clock_groups.iter().any(|g| g.separates(a, b))
+    }
+
+    /// Setup/hold uncertainty for a launch/capture pair: the inter-clock
+    /// value when one is declared, the capture clock's own value
+    /// otherwise.
+    pub fn uncertainty_for(&self, launch: ClockId, capture: ClockId) -> (f64, f64) {
+        if let Some(u) = self
+            .inter_uncertainties
+            .iter()
+            .find(|u| u.from == launch && u.to == capture)
+        {
+            return (u.setup, u.hold);
+        }
+        let cap = self.clock(capture);
+        (cap.uncertainty_setup, cap.uncertainty_hold)
+    }
+
+    /// `true` if propagation of `clock` must stop at `pin`.
+    pub fn clock_stopped_at(&self, clock: ClockId, pin: PinId) -> bool {
+        self.clock_sense_at(clock, pin) == Some(ClockSenseKind::Stop)
+    }
+
+    /// The strongest `set_clock_sense` assertion affecting `clock` at
+    /// `pin`, if any (`Stop` wins over sense restrictions).
+    pub fn clock_sense_at(&self, clock: ClockId, pin: PinId) -> Option<ClockSenseKind> {
+        let mut found = None;
+        for s in &self.clock_stops {
+            if s.pins.contains(&pin) && (s.clocks.is_empty() || s.clocks.contains(&clock)) {
+                if s.kind == ClockSenseKind::Stop {
+                    return Some(ClockSenseKind::Stop);
+                }
+                found = Some(s.kind);
+            }
+        }
+        found
+    }
+}
+
+struct Binder<'a> {
+    netlist: &'a Netlist,
+    mode: Mode,
+    /// Cached flat pin-name table for glob resolution.
+    pin_names: Vec<(String, PinId)>,
+}
+
+impl<'a> Binder<'a> {
+    fn new(netlist: &'a Netlist) -> Self {
+        Self {
+            netlist,
+            mode: Mode::default(),
+            pin_names: Vec::new(),
+        }
+    }
+
+    fn pin_names(&mut self) -> &[(String, PinId)] {
+        if self.pin_names.is_empty() {
+            let mut v = Vec::with_capacity(self.netlist.pin_count());
+            for pin in self.netlist.pin_ids() {
+                v.push((self.netlist.pin_name(pin), pin));
+            }
+            self.pin_names = v;
+        }
+        &self.pin_names
+    }
+
+    fn bind(mut self, name: String, sdc: &SdcFile) -> Result<Mode, StaError> {
+        self.mode.name = name;
+        // Pass 1: clocks, so later commands can reference them.
+        // Regular clocks first, then generated clocks (whose masters
+        // must already exist).
+        for cmd in sdc.commands() {
+            if let Command::CreateClock(cc) = cmd {
+                self.create_clock(cc)?;
+            }
+        }
+        for cmd in sdc.commands() {
+            if let Command::CreateGeneratedClock(gc) = cmd {
+                self.create_generated_clock(gc)?;
+            }
+        }
+        // Pass 2: everything else, in file order.
+        for cmd in sdc.commands() {
+            #[allow(unreachable_patterns)] // Command is #[non_exhaustive]
+            match cmd {
+                Command::CreateClock(_) | Command::CreateGeneratedClock(_) => {}
+                Command::SetClockLatency(c) => {
+                    for id in self.resolve_clocks(&c.clocks, "set_clock_latency")? {
+                        let clk = &mut self.mode.clocks[id.index()];
+                        if c.source {
+                            clk.source_latency.set(c.value, c.min_max);
+                        } else {
+                            clk.latency.set(c.value, c.min_max);
+                        }
+                    }
+                }
+                Command::SetClockUncertainty(c) => {
+                    if !c.from.is_empty() {
+                        // Inter-clock form.
+                        let froms = self.resolve_clocks(&c.from, "set_clock_uncertainty -from")?;
+                        let tos = self.resolve_clocks(&c.to, "set_clock_uncertainty -to")?;
+                        for &from in &froms {
+                            for &to in &tos {
+                                let entry = match self
+                                    .mode
+                                    .inter_uncertainties
+                                    .iter_mut()
+                                    .find(|u| u.from == from && u.to == to)
+                                {
+                                    Some(u) => u,
+                                    None => {
+                                        self.mode.inter_uncertainties.push(
+                                            InterClockUncertainty {
+                                                from,
+                                                to,
+                                                setup: 0.0,
+                                                hold: 0.0,
+                                            },
+                                        );
+                                        self.mode
+                                            .inter_uncertainties
+                                            .last_mut()
+                                            .expect("just pushed")
+                                    }
+                                };
+                                match c.setup_hold {
+                                    SetupHold::Both => {
+                                        entry.setup = c.value;
+                                        entry.hold = c.value;
+                                    }
+                                    SetupHold::Setup => entry.setup = c.value,
+                                    SetupHold::Hold => entry.hold = c.value,
+                                }
+                            }
+                        }
+                        continue;
+                    }
+                    for id in self.resolve_clocks(&c.clocks, "set_clock_uncertainty")? {
+                        let clk = &mut self.mode.clocks[id.index()];
+                        match c.setup_hold {
+                            SetupHold::Both => {
+                                clk.uncertainty_setup = c.value;
+                                clk.uncertainty_hold = c.value;
+                            }
+                            SetupHold::Setup => clk.uncertainty_setup = c.value,
+                            SetupHold::Hold => clk.uncertainty_hold = c.value,
+                        }
+                    }
+                }
+                Command::SetClockTransition(c) => {
+                    for id in self.resolve_clocks(&c.clocks, "set_clock_transition")? {
+                        self.mode.clocks[id.index()].transition.set(c.value, c.min_max);
+                    }
+                }
+                Command::SetPropagatedClock(c) => {
+                    for id in self.resolve_clocks(&c.clocks, "set_propagated_clock")? {
+                        self.mode.clocks[id.index()].propagated = true;
+                    }
+                }
+                Command::IoDelay(c) => self.io_delay(c)?,
+                Command::SetCaseAnalysis(c) => {
+                    let pins = self.resolve_pins(&c.objects, "set_case_analysis");
+                    for pin in pins {
+                        match self.mode.case_values.insert(pin, c.value) {
+                            Some(prev) if prev != c.value => {
+                                return Err(StaError::ConflictingCase {
+                                    pin: self.netlist.pin_name(pin),
+                                })
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                Command::SetDisableTiming(c) => self.disable_timing(c),
+                Command::PathException(c) => self.exception(c)?,
+                Command::SetClockGroups(c) => {
+                    let mut groups = Vec::new();
+                    for g in &c.groups {
+                        groups.push(self.resolve_clocks(g, "set_clock_groups")?.into_iter().collect());
+                    }
+                    self.mode.clock_groups.push(ClockGroups {
+                        kind: c.kind,
+                        groups,
+                    });
+                }
+                Command::SetClockSense(c) => {
+                    let clocks = self
+                        .resolve_clocks(&c.clocks, "set_clock_sense")?
+                        .into_iter()
+                        .collect();
+                    let pins = self
+                        .resolve_pins(&c.pins, "set_clock_sense")
+                        .into_iter()
+                        .collect();
+                    let kind = if c.stop_propagation {
+                        ClockSenseKind::Stop
+                    } else if c.positive {
+                        ClockSenseKind::PositiveOnly
+                    } else {
+                        ClockSenseKind::NegativeOnly
+                    };
+                    self.mode.clock_stops.push(ClockStop { kind, clocks, pins });
+                }
+                Command::SetInputTransition(c) => {
+                    for pin in self.resolve_pins(&c.ports, "set_input_transition") {
+                        self.mode
+                            .input_transitions
+                            .entry(pin)
+                            .or_default()
+                            .set(c.value, c.min_max);
+                    }
+                }
+                Command::SetDrive(c) => {
+                    for pin in self.resolve_pins(&c.ports, "set_drive") {
+                        self.mode.drives.entry(pin).or_default().set(c.value, c.min_max);
+                    }
+                }
+                Command::SetLoad(c) => {
+                    for pin in self.resolve_pins(&c.objects, "set_load") {
+                        self.mode.loads.entry(pin).or_default().set(c.value, c.min_max);
+                    }
+                }
+                other => {
+                    self.mode
+                        .warnings
+                        .push(format!("unsupported command ignored: {other}"));
+                }
+            }
+        }
+        Ok(self.mode)
+    }
+
+    fn create_clock(&mut self, cc: &modemerge_sdc::CreateClock) -> Result<(), StaError> {
+        let sources = self.resolve_pins(&cc.sources, "create_clock");
+        if sources.is_empty() && !cc.sources.is_empty() {
+            return Err(StaError::UnresolvedObject {
+                command: "create_clock".into(),
+                pattern: format!("{:?}", cc.sources),
+            });
+        }
+        let name = match &cc.name {
+            Some(n) => n.clone(),
+            None => {
+                let pin = *sources.first().ok_or_else(|| StaError::UnresolvedObject {
+                    command: "create_clock".into(),
+                    pattern: "<no -name and no source>".into(),
+                })?;
+                self.netlist.pin_name(pin)
+            }
+        };
+        if self.mode.clock_by_name(&name).is_some() {
+            return Err(StaError::ClockRedefined(name));
+        }
+        let waveform = cc.waveform.unwrap_or((0.0, cc.period / 2.0));
+        self.mode.clocks.push(Clock {
+            name,
+            period: cc.period,
+            waveform,
+            sources,
+            propagated: false,
+            latency: MinMaxPair::default(),
+            source_latency: MinMaxPair::default(),
+            uncertainty_setup: 0.0,
+            uncertainty_hold: 0.0,
+            transition: MinMaxPair::default(),
+            generated: None,
+        });
+        Ok(())
+    }
+
+    fn create_generated_clock(
+        &mut self,
+        gc: &modemerge_sdc::CreateGeneratedClock,
+    ) -> Result<(), StaError> {
+        let source_pins = self.resolve_pins(&gc.source, "create_generated_clock -source");
+        let targets = self.resolve_pins(&gc.targets, "create_generated_clock");
+        if targets.is_empty() {
+            return Err(StaError::UnresolvedObject {
+                command: "create_generated_clock".into(),
+                pattern: format!("{:?}", gc.targets),
+            });
+        }
+        // Master: explicit -master_clock, or the clock defined on the
+        // source pin.
+        let master = match &gc.master_clock {
+            Some(m) => *self
+                .resolve_clocks(std::slice::from_ref(m), "-master_clock")?
+                .first()
+                .ok_or_else(|| StaError::UnknownClock(format!("{m:?}")))?,
+            None => self
+                .mode
+                .clocks
+                .iter()
+                .position(|c| c.sources.iter().any(|s| source_pins.contains(s)))
+                .map(|i| ClockId(i as u32))
+                .ok_or_else(|| {
+                    StaError::UnknownClock(
+                        "create_generated_clock: no master clock on -source pin".into(),
+                    )
+                })?,
+        };
+        let master_clock = &self.mode.clocks[master.index()];
+        let divide_by = gc.divide_by.unwrap_or(1).max(1);
+        let multiply_by = gc.multiply_by.unwrap_or(1).max(1);
+        let period = master_clock.period * divide_by as f64 / multiply_by as f64;
+        let name = match &gc.name {
+            Some(n) => n.clone(),
+            None => self.netlist.pin_name(targets[0]),
+        };
+        if self.mode.clock_by_name(&name).is_some() {
+            return Err(StaError::ClockRedefined(name));
+        }
+        self.mode.clocks.push(Clock {
+            name,
+            period,
+            waveform: (0.0, period / 2.0),
+            sources: targets,
+            propagated: false,
+            latency: MinMaxPair::default(),
+            source_latency: MinMaxPair::default(),
+            uncertainty_setup: 0.0,
+            uncertainty_hold: 0.0,
+            transition: MinMaxPair::default(),
+            generated: Some(GeneratedClock {
+                master,
+                source_pins,
+                divide_by,
+                multiply_by,
+                invert: gc.invert,
+            }),
+        });
+        Ok(())
+    }
+
+    fn io_delay(&mut self, c: &modemerge_sdc::IoDelay) -> Result<(), StaError> {
+        let Some(clock_ref) = &c.clock else {
+            self.mode
+                .warnings
+                .push("io delay without -clock ignored".into());
+            return Ok(());
+        };
+        let clocks = self.resolve_clocks(std::slice::from_ref(clock_ref), "io delay -clock")?;
+        let clock = *clocks.first().ok_or_else(|| {
+            StaError::UnknownClock(format!("{clock_ref:?}"))
+        })?;
+        for pin in self.resolve_pins(&c.ports, "io delay") {
+            self.mode.io_delays.push(IoDelay {
+                kind: c.kind,
+                pin,
+                clock,
+                value: c.value,
+                min_max: c.min_max,
+                add_delay: c.add_delay,
+            });
+        }
+        Ok(())
+    }
+
+    fn disable_timing(&mut self, c: &modemerge_sdc::SetDisableTiming) {
+        // Cell-arc form: get_cells with -from/-to.
+        for r in &c.objects {
+            if let ObjectRef::Query(q) = r {
+                if q.class == ObjectClass::Cell {
+                    for pattern in &q.patterns {
+                        for inst_id in self.netlist.instance_ids() {
+                            let inst = self.netlist.instance(inst_id);
+                            if !modemerge_sdc::glob_match(pattern, inst.name()) {
+                                continue;
+                            }
+                            match (&c.from, &c.to) {
+                                (Some(f), Some(t)) => {
+                                    if let (Some(fp), Some(tp)) = (
+                                        self.netlist.instance_pin(inst_id, f),
+                                        self.netlist.instance_pin(inst_id, t),
+                                    ) {
+                                        self.mode.disabled_arcs.insert((fp, tp));
+                                    }
+                                }
+                                _ => {
+                                    for &pin in inst.pins() {
+                                        self.mode.disabled_pins.insert(pin);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    continue;
+                }
+            }
+            for pin in self.resolve_pins(std::slice::from_ref(r), "set_disable_timing") {
+                self.mode.disabled_pins.insert(pin);
+            }
+        }
+    }
+
+    fn exception(&mut self, c: &modemerge_sdc::PathException) -> Result<(), StaError> {
+        let (from_pins, from_clocks) = self.resolve_mixed(&c.spec.from, "-from")?;
+        let (to_pins, to_clocks) = self.resolve_mixed(&c.spec.to, "-to")?;
+        let mut through = Vec::new();
+        for hop in &c.spec.through {
+            let pins: BTreeSet<PinId> = self.resolve_pins(hop, "-through").into_iter().collect();
+            if pins.is_empty() {
+                self.mode.warnings.push(format!(
+                    "exception -through matched no pins: {hop:?}; exception dropped"
+                ));
+                return Ok(());
+            }
+            through.push(pins);
+        }
+        self.mode.exceptions.push(Exception {
+            kind: c.kind,
+            setup_hold: c.setup_hold,
+            from_pins,
+            from_clocks,
+            through,
+            to_pins,
+            to_clocks,
+        });
+        Ok(())
+    }
+
+    /// Resolves refs that may be clocks, pins or ports (`-from`/`-to`).
+    fn resolve_mixed(
+        &mut self,
+        refs: &[ObjectRef],
+        what: &str,
+    ) -> Result<(BTreeSet<PinId>, BTreeSet<ClockId>), StaError> {
+        let mut pins = BTreeSet::new();
+        let mut clocks = BTreeSet::new();
+        for r in refs {
+            match r {
+                ObjectRef::Query(q) if q.class == ObjectClass::Clock => {
+                    for pattern in &q.patterns {
+                        let mut any = false;
+                        for id in self.mode.clock_ids() {
+                            if modemerge_sdc::glob_match(pattern, &self.mode.clocks[id.index()].name)
+                            {
+                                clocks.insert(id);
+                                any = true;
+                            }
+                        }
+                        if !any {
+                            return Err(StaError::UnknownClock(pattern.clone()));
+                        }
+                    }
+                }
+                ObjectRef::Name(n) => {
+                    if let Some(id) = self.mode.clock_by_name(n) {
+                        clocks.insert(id);
+                    } else if let Some(pin) = self.netlist.find_pin(n) {
+                        pins.insert(pin);
+                    } else {
+                        self.mode
+                            .warnings
+                            .push(format!("{what}: `{n}` is not a clock, pin or port"));
+                    }
+                }
+                _ => {
+                    pins.extend(self.resolve_pins(std::slice::from_ref(r), what));
+                }
+            }
+        }
+        Ok((pins, clocks))
+    }
+
+    fn resolve_clocks(&mut self, refs: &[ObjectRef], what: &str) -> Result<Vec<ClockId>, StaError> {
+        let mut out = Vec::new();
+        for r in refs {
+            match r {
+                ObjectRef::Query(q) => {
+                    for pattern in &q.patterns {
+                        let mut any = false;
+                        for id in self.mode.clock_ids() {
+                            if modemerge_sdc::glob_match(pattern, &self.mode.clocks[id.index()].name)
+                            {
+                                out.push(id);
+                                any = true;
+                            }
+                        }
+                        if !any {
+                            return Err(StaError::UnknownClock(pattern.clone()));
+                        }
+                    }
+                }
+                ObjectRef::Name(n) => match self.mode.clock_by_name(n) {
+                    Some(id) => out.push(id),
+                    None => return Err(StaError::UnknownClock(format!("{what}: {n}"))),
+                },
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Resolves refs to pins (ports resolve to their boundary pin).
+    fn resolve_pins(&mut self, refs: &[ObjectRef], what: &str) -> Vec<PinId> {
+        let mut out = Vec::new();
+        for r in refs {
+            match r {
+                ObjectRef::Query(q) => {
+                    for pattern in &q.patterns {
+                        let before = out.len();
+                        match q.class {
+                            ObjectClass::Port => {
+                                if !modemerge_sdc::glob::is_glob(pattern) {
+                                    if let Some(port) = self.netlist.port_by_name(pattern) {
+                                        out.push(self.netlist.port(port).pin());
+                                    }
+                                } else {
+                                    for port_id in self.netlist.port_ids() {
+                                        let port = self.netlist.port(port_id);
+                                        if modemerge_sdc::glob_match(pattern, port.name()) {
+                                            out.push(port.pin());
+                                        }
+                                    }
+                                }
+                            }
+                            ObjectClass::Pin => {
+                                if !modemerge_sdc::glob::is_glob(pattern) {
+                                    if let Some(pin) = self.netlist.find_pin(pattern) {
+                                        out.push(pin);
+                                    }
+                                } else {
+                                    for (name, pin) in self.pin_names() {
+                                        if modemerge_sdc::glob_match(pattern, name) {
+                                            out.push(*pin);
+                                        }
+                                    }
+                                }
+                            }
+                            ObjectClass::Cell => {
+                                for inst_id in self.netlist.instance_ids() {
+                                    let inst = self.netlist.instance(inst_id);
+                                    if modemerge_sdc::glob_match(pattern, inst.name()) {
+                                        out.extend(inst.pins().iter().copied());
+                                    }
+                                }
+                            }
+                            ObjectClass::Net => {
+                                for net_id in self.netlist.net_ids() {
+                                    let net = self.netlist.net(net_id);
+                                    if modemerge_sdc::glob_match(pattern, net.name()) {
+                                        out.extend(net.driver());
+                                    }
+                                }
+                            }
+                            ObjectClass::Clock => {
+                                self.mode.warnings.push(format!(
+                                    "{what}: clock query where pins expected: {pattern}"
+                                ));
+                            }
+                        }
+                        if out.len() == before {
+                            self.mode
+                                .warnings
+                                .push(format!("{what}: pattern `{pattern}` matched nothing"));
+                        }
+                    }
+                }
+                ObjectRef::Name(n) => match self.netlist.find_pin(n) {
+                    Some(pin) => out.push(pin),
+                    None => self
+                        .mode
+                        .warnings
+                        .push(format!("{what}: `{n}` matched nothing")),
+                },
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modemerge_netlist::paper::paper_circuit;
+
+    fn bind(sdc_text: &str) -> Mode {
+        let netlist = paper_circuit();
+        let sdc = SdcFile::parse(sdc_text).unwrap();
+        Mode::bind("test", &netlist, &sdc).unwrap()
+    }
+
+    #[test]
+    fn create_clock_resolves_sources() {
+        let m = bind("create_clock -name clkA -period 10 [get_ports clk1]");
+        assert_eq!(m.clocks.len(), 1);
+        let c = &m.clocks[0];
+        assert_eq!(c.name, "clkA");
+        assert_eq!(c.period, 10.0);
+        assert_eq!(c.waveform, (0.0, 5.0));
+        assert_eq!(c.sources.len(), 1);
+    }
+
+    #[test]
+    fn clock_name_defaults_to_source() {
+        let m = bind("create_clock -period 10 [get_ports clk1]");
+        assert_eq!(m.clocks[0].name, "clk1");
+    }
+
+    #[test]
+    fn clock_redefinition_rejected() {
+        let netlist = paper_circuit();
+        let sdc = SdcFile::parse(
+            "create_clock -name c -period 10 [get_ports clk1]\n\
+             create_clock -name c -period 20 [get_ports clk2]\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            Mode::bind("t", &netlist, &sdc),
+            Err(StaError::ClockRedefined(_))
+        ));
+    }
+
+    #[test]
+    fn clock_attributes_apply() {
+        let m = bind(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_clock_latency -min 1.1 [get_clocks clkA]\n\
+             set_clock_latency -source 0.4 [get_clocks clkA]\n\
+             set_clock_uncertainty -setup 0.3 [get_clocks clkA]\n\
+             set_clock_transition 0.2 [get_clocks clkA]\n\
+             set_propagated_clock [get_clocks clkA]\n",
+        );
+        let c = &m.clocks[0];
+        assert_eq!(c.latency.min, 1.1);
+        assert_eq!(c.latency.max, 0.0);
+        assert_eq!(c.source_latency.max, 0.4);
+        assert_eq!(c.uncertainty_setup, 0.3);
+        assert_eq!(c.uncertainty_hold, 0.0);
+        assert_eq!(c.transition.max, 0.2);
+        assert!(c.propagated);
+    }
+
+    #[test]
+    fn unknown_clock_is_error() {
+        let netlist = paper_circuit();
+        let sdc = SdcFile::parse("set_clock_latency 1 [get_clocks nope]").unwrap();
+        assert!(matches!(
+            Mode::bind("t", &netlist, &sdc),
+            Err(StaError::UnknownClock(_))
+        ));
+    }
+
+    #[test]
+    fn case_analysis_conflict_rejected() {
+        let netlist = paper_circuit();
+        let sdc = SdcFile::parse(
+            "set_case_analysis 0 [get_ports sel1]\nset_case_analysis 1 [get_ports sel1]\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            Mode::bind("t", &netlist, &sdc),
+            Err(StaError::ConflictingCase { .. })
+        ));
+    }
+
+    #[test]
+    fn case_analysis_idempotent_ok() {
+        let m = bind("set_case_analysis 1 sel1\nset_case_analysis 1 sel1\n");
+        assert_eq!(m.case_values.len(), 1);
+    }
+
+    #[test]
+    fn io_delay_binds_clock_and_port() {
+        let m = bind(
+            "create_clock -name ClkA -period 2 [get_ports clk1]\n\
+             set_input_delay 2.0 -clock ClkA [get_ports in1]\n\
+             set_output_delay 2.0 -clock [get_clocks ClkA] [get_ports out1]\n",
+        );
+        assert_eq!(m.io_delays.len(), 2);
+        assert_eq!(m.io_delays[0].kind, IoDelayKind::Input);
+        assert_eq!(m.io_delays[0].clock, ClockId(0));
+        assert_eq!(m.io_delays[1].kind, IoDelayKind::Output);
+    }
+
+    #[test]
+    fn exception_resolution() {
+        let m = bind(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_false_path -from [get_pins rA/CP] -through [get_pins {inv1/Z and1/Z}] -to [get_pins rY/D]\n",
+        );
+        assert_eq!(m.exceptions.len(), 1);
+        let e = &m.exceptions[0];
+        assert_eq!(e.kind, PathExceptionKind::FalsePath);
+        assert_eq!(e.from_pins.len(), 1);
+        assert_eq!(e.through.len(), 1);
+        assert_eq!(e.through[0].len(), 2);
+        assert_eq!(e.to_pins.len(), 1);
+        assert!(e.has_from() && e.has_to());
+    }
+
+    #[test]
+    fn exception_from_clock() {
+        let m = bind(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_false_path -from [get_clocks clkA] -to [get_pins rX/D]\n",
+        );
+        let e = &m.exceptions[0];
+        assert_eq!(e.from_clocks.len(), 1);
+        assert!(e.from_matches(ClockId(0), PinId::new(0)));
+    }
+
+    #[test]
+    fn exception_bare_name_from_is_contextual() {
+        // Bare `rA/CP` resolves as a pin; bare clock name resolves as a clock.
+        let m = bind(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_false_path -from clkA -to rX/D\n\
+             set_false_path -from rA/CP -to rY/D\n",
+        );
+        assert_eq!(m.exceptions[0].from_clocks.len(), 1);
+        assert_eq!(m.exceptions[1].from_pins.len(), 1);
+    }
+
+    #[test]
+    fn empty_through_drops_exception_with_warning() {
+        let m = bind("set_false_path -through [get_pins nothing/Z]\n");
+        assert!(m.exceptions.is_empty());
+        assert!(!m.warnings.is_empty());
+    }
+
+    #[test]
+    fn disable_timing_pins_and_cells() {
+        let m = bind(
+            "set_disable_timing [get_ports sel1]\n\
+             set_disable_timing [get_cells mux1] -from A -to Z\n",
+        );
+        assert_eq!(m.disabled_pins.len(), 1);
+        assert_eq!(m.disabled_arcs.len(), 1);
+    }
+
+    #[test]
+    fn clock_groups_separate() {
+        let m = bind(
+            "create_clock -name a -period 10 [get_ports clk1]\n\
+             create_clock -name b -period 20 -add [get_ports clk2]\n\
+             set_clock_groups -physically_exclusive -group [get_clocks a] -group [get_clocks b]\n",
+        );
+        let (ca, cb) = (m.clock_by_name("a").unwrap(), m.clock_by_name("b").unwrap());
+        assert!(m.clocks_separated(ca, cb));
+        assert!(!m.clocks_separated(ca, ca));
+    }
+
+    #[test]
+    fn inter_clock_uncertainty_overrides_per_clock() {
+        let m = bind(
+            "create_clock -name a -period 10 [get_ports clk1]\n\
+             create_clock -name b -period 20 -add [get_ports clk2]\n\
+             set_clock_uncertainty -setup 0.2 [get_clocks b]\n\
+             set_clock_uncertainty -setup 0.5 -from [get_clocks a] -to [get_clocks b]\n",
+        );
+        let a = m.clock_by_name("a").unwrap();
+        let b = m.clock_by_name("b").unwrap();
+        // Declared pair: the inter-clock value.
+        assert_eq!(m.uncertainty_for(a, b), (0.5, 0.0));
+        // Undeclared pair: the capture clock's own value.
+        assert_eq!(m.uncertainty_for(b, b), (0.2, 0.0));
+        assert_eq!(m.uncertainty_for(b, a), (0.0, 0.0));
+    }
+
+    #[test]
+    fn inter_clock_uncertainty_requires_both_anchors() {
+        let sdc = modemerge_sdc::SdcFile::parse(
+            "set_clock_uncertainty 0.5 -from [get_clocks a]",
+        );
+        assert!(sdc.is_err(), "-from without -to must be rejected");
+    }
+
+    #[test]
+    fn clock_sense_stop() {
+        let m = bind(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_clock_sense -stop_propagation -clocks [get_clocks clkA] [get_pins mux1/Z]\n",
+        );
+        assert_eq!(m.clock_stops.len(), 1);
+        let netlist = paper_circuit();
+        let mux_z = netlist.find_pin("mux1/Z").unwrap();
+        assert!(m.clock_stopped_at(ClockId(0), mux_z));
+        assert!(!m.clock_stopped_at(ClockId(0), netlist.find_pin("inv1/Z").unwrap()));
+    }
+
+    #[test]
+    fn glob_patterns_resolve_many() {
+        let m = bind("set_case_analysis 1 [get_ports sel*]\n");
+        assert_eq!(m.case_values.len(), 2);
+    }
+
+    #[test]
+    fn nothing_matched_is_warning_not_error() {
+        let m = bind("set_case_analysis 1 [get_ports zz*]\n");
+        assert!(m.case_values.is_empty());
+        assert_eq!(m.warnings.len(), 1);
+    }
+
+    #[test]
+    fn drive_load_transition() {
+        let m = bind(
+            "set_drive 0.5 [get_ports in1]\n\
+             set_load 0.2 [get_ports out1]\n\
+             set_input_transition -max 0.3 [get_ports in1]\n",
+        );
+        assert_eq!(m.drives.len(), 1);
+        assert_eq!(m.loads.len(), 1);
+        let t = m.input_transitions.values().next().unwrap();
+        assert_eq!(t.max, 0.3);
+        assert_eq!(t.min, 0.0);
+    }
+
+    #[test]
+    fn virtual_clock_key_uses_name() {
+        let m = bind("create_clock -name vclk -period 8\n");
+        let key = m.clock_key(ClockId(0));
+        assert!(key.sources.is_empty());
+        assert_eq!(key.virtual_name.as_deref(), Some("vclk"));
+    }
+
+    #[test]
+    fn specificity_ordering() {
+        let m = bind(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_false_path -from [get_pins rA/CP] -to [get_pins rY/D]\n\
+             set_false_path -through [get_pins and1/Z]\n",
+        );
+        assert!(m.exceptions[0].specificity() > m.exceptions[1].specificity());
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-mode graph overlay: which nodes and arcs are active under a
+//! mode's case analysis and disable constraints.
+
+use crate::constants::Constants;
+use crate::graph::Arc;
+use crate::mode::Mode;
+use modemerge_netlist::{CellFunction, Netlist, PinOwner};
+
+/// Read-only view combining the static graph with mode state.
+///
+/// Both clock propagation and data-tag propagation consult the overlay:
+/// constant nodes do not toggle, disabled pins/arcs carry no timing, and
+/// a constant mux select desensitizes the unselected data arc.
+#[derive(Debug, Clone, Copy)]
+pub struct Overlay<'a> {
+    netlist: &'a Netlist,
+    mode: &'a Mode,
+    constants: &'a Constants,
+}
+
+impl<'a> Overlay<'a> {
+    /// Creates an overlay.
+    pub fn new(netlist: &'a Netlist, mode: &'a Mode, constants: &'a Constants) -> Self {
+        Self {
+            netlist,
+            mode,
+            constants,
+        }
+    }
+
+    /// The constants in effect.
+    pub fn constants(&self) -> &Constants {
+        self.constants
+    }
+
+    /// `true` if no timing propagates through `pin` (constant or
+    /// disabled).
+    pub fn node_blocked(&self, pin: modemerge_netlist::PinId) -> bool {
+        self.constants.is_constant(pin) || self.mode.disabled_pins.contains(&pin)
+    }
+
+    /// `true` if the arc is desensitized in this mode.
+    pub fn arc_blocked(&self, arc: &Arc) -> bool {
+        if self.mode.disabled_arcs.contains(&(arc.from, arc.to)) {
+            return true;
+        }
+        // Constant mux select: only the selected data arc is live.
+        if let PinOwner::Instance(inst_id, pin_idx) = self.netlist.pin(arc.from).owner() {
+            let inst = self.netlist.instance(inst_id);
+            let cell = self.netlist.library().cell(inst.cell());
+            if cell.function() == CellFunction::Mux2 && pin_idx <= 1 {
+                let s_pin = inst.pins()[2];
+                if let Some(s) = self.constants.value(s_pin) {
+                    let selected = usize::from(s);
+                    if pin_idx != selected {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TimingGraph;
+    use modemerge_netlist::paper::paper_circuit;
+    use modemerge_sdc::SdcFile;
+
+    fn overlay_for(sdc: &str) -> (Netlist, Mode, Constants) {
+        let n = paper_circuit();
+        let sdc = SdcFile::parse(sdc).unwrap();
+        let mode = Mode::bind("t", &n, &sdc).unwrap();
+        let constants = Constants::compute(&n, &mode.case_values);
+        (n, mode, constants)
+    }
+
+    #[test]
+    fn mux_arc_desensitized_by_select() {
+        let (n, mode, constants) = overlay_for(
+            "set_case_analysis 0 sel1\nset_case_analysis 1 sel2\n", // S = 1
+        );
+        let overlay = Overlay::new(&n, &mode, &constants);
+        let g = TimingGraph::build(&n).unwrap();
+        let mux_z = n.find_pin("mux1/Z").unwrap();
+        let mux_a = n.find_pin("mux1/A").unwrap();
+        let mux_b = n.find_pin("mux1/B").unwrap();
+        let arc_a = g
+            .fanin_arcs(mux_z)
+            .find(|a| a.from == mux_a)
+            .unwrap();
+        let arc_b = g
+            .fanin_arcs(mux_z)
+            .find(|a| a.from == mux_b)
+            .unwrap();
+        assert!(overlay.arc_blocked(arc_a), "unselected arc must block");
+        assert!(!overlay.arc_blocked(arc_b), "selected arc must pass");
+    }
+
+    #[test]
+    fn disabled_pin_blocks_node() {
+        let (n, mode, constants) = overlay_for("set_disable_timing [get_ports sel1]\n");
+        let overlay = Overlay::new(&n, &mode, &constants);
+        assert!(overlay.node_blocked(n.find_pin("sel1").unwrap()));
+        assert!(!overlay.node_blocked(n.find_pin("sel2").unwrap()));
+    }
+
+    #[test]
+    fn disabled_cell_arc_blocks() {
+        let (n, mode, constants) =
+            overlay_for("set_disable_timing [get_cells mux1] -from A -to Z\n");
+        let overlay = Overlay::new(&n, &mode, &constants);
+        let g = TimingGraph::build(&n).unwrap();
+        let mux_z = n.find_pin("mux1/Z").unwrap();
+        let mux_a = n.find_pin("mux1/A").unwrap();
+        let arc = g.fanin_arcs(mux_z).find(|a| a.from == mux_a).unwrap();
+        assert!(overlay.arc_blocked(arc));
+    }
+
+    #[test]
+    fn constant_node_blocks() {
+        let (n, mode, constants) = overlay_for("set_case_analysis 0 rB/Q\n");
+        let overlay = Overlay::new(&n, &mode, &constants);
+        assert!(overlay.node_blocked(n.find_pin("rB/Q").unwrap()));
+        assert!(overlay.node_blocked(n.find_pin("and1/Z").unwrap()));
+    }
+}

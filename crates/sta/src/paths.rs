@@ -1,0 +1,203 @@
+//! Worst-path extraction: a `report_timing`-style trace from a timing
+//! endpoint back to its startpoint.
+//!
+//! The tag propagation stores per-node path classes with min/max
+//! arrivals but no predecessor links (that would bloat the hot path).
+//! Tracing reconstructs the worst path by walking fanin arcs and finding
+//! the predecessor class whose arrival plus arc delay explains the
+//! arrival being traced — the standard recompute-on-demand approach of
+//! production STA engines.
+
+use crate::analysis::Analysis;
+use crate::exceptions::Tag;
+use crate::graph::ArcKind;
+use modemerge_netlist::PinId;
+
+/// One point on a reported path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathPoint {
+    /// The pin.
+    pub pin: PinId,
+    /// Max arrival time at this pin for the traced path class.
+    pub arrival: f64,
+}
+
+/// A reconstructed worst path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingPath {
+    /// Points from startpoint (register output or input port) to
+    /// endpoint, in traversal order.
+    pub points: Vec<PathPoint>,
+    /// The launch clock's name.
+    pub launch_clock: String,
+    /// Data arrival at the endpoint.
+    pub arrival: f64,
+}
+
+const EPS: f64 = 1e-9;
+
+impl<'a> Analysis<'a> {
+    /// Traces the worst (latest-arriving) path to `endpoint`.
+    ///
+    /// Returns `None` when no path class reaches the endpoint. The trace
+    /// ends at the launch point (register output pin or constrained
+    /// input port); the clock network is summarized by the launch
+    /// clock's name.
+    pub fn worst_path(&self, endpoint: PinId) -> Option<TimingPath> {
+        let prop = self.propagation();
+        let (mut tag, mut arrival) = prop
+            .tags_at(endpoint)
+            .iter()
+            .max_by(|a, b| a.1.max.total_cmp(&b.1.max))
+            .map(|(t, a)| (t.clone(), a.max))?;
+        let launch_clock = self.mode().clock(tag.launch).name.clone();
+        let total_arrival = arrival;
+
+        let mut rev_points = vec![PathPoint {
+            pin: endpoint,
+            arrival,
+        }];
+        let mut node = endpoint;
+        // Walk backwards until no fanin arc explains the arrival (we
+        // reached the injection point).
+        loop {
+            let mut stepped = false;
+            for arc in self.graph().fanin_arcs(node) {
+                if arc.kind == ArcKind::Launch {
+                    continue;
+                }
+                let pred_arrival = arrival - arc.delay;
+                if let Some(pred_tag) = self.find_predecessor(arc.from, node, &tag, pred_arrival) {
+                    rev_points.push(PathPoint {
+                        pin: arc.from,
+                        arrival: pred_arrival,
+                    });
+                    node = arc.from;
+                    tag = pred_tag;
+                    arrival = pred_arrival;
+                    stepped = true;
+                    break;
+                }
+            }
+            if !stepped {
+                break;
+            }
+        }
+        rev_points.reverse();
+        Some(TimingPath {
+            points: rev_points,
+            launch_clock,
+            arrival: total_arrival,
+        })
+    }
+
+    /// Finds a path class at `pred` that, advanced across `node`, becomes
+    /// `tag` with the expected arrival.
+    fn find_predecessor(
+        &self,
+        pred: PinId,
+        node: PinId,
+        tag: &Tag,
+        expected_arrival: f64,
+    ) -> Option<Tag> {
+        for (pred_tag, pred_arr) in self.propagation().tags_at(pred) {
+            if (pred_arr.max - expected_arrival).abs() > EPS {
+                continue;
+            }
+            let advanced = self
+                .exc_index()
+                .advance(pred_tag, node)
+                .unwrap_or_else(|| pred_tag.clone());
+            if &advanced == tag {
+                return Some(pred_tag.clone());
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TimingGraph;
+    use crate::mode::Mode;
+    use modemerge_netlist::paper::paper_circuit;
+    use modemerge_sdc::SdcFile;
+
+    fn analysis_fixture(
+        sdc: &str,
+    ) -> (modemerge_netlist::Netlist, TimingGraph, Mode) {
+        let netlist = paper_circuit();
+        let graph = TimingGraph::build(&netlist).unwrap();
+        let mode = Mode::bind("t", &netlist, &SdcFile::parse(sdc).unwrap()).unwrap();
+        (netlist, graph, mode)
+    }
+
+    #[test]
+    fn worst_path_to_ry_goes_through_the_and_cloud() {
+        let (netlist, graph, mode) =
+            analysis_fixture("create_clock -name clkA -period 10 [get_ports clk1]\n");
+        let analysis = Analysis::run(&netlist, &graph, &mode);
+        let ry_d = netlist.find_pin("rY/D").unwrap();
+        let path = analysis.worst_path(ry_d).expect("path exists");
+        let names: Vec<String> = path
+            .points
+            .iter()
+            .map(|p| netlist.pin_name(p.pin))
+            .collect();
+        // The longest path to rY/D is rA/Q → inv1 → and1 → inv2 → rY/D
+        // (one more gate level than the rB branch).
+        assert_eq!(names.first().map(String::as_str), Some("rA/Q"));
+        assert!(names.contains(&"and1/Z".to_owned()), "{names:?}");
+        assert_eq!(names.last().map(String::as_str), Some("rY/D"));
+        assert_eq!(path.launch_clock, "clkA");
+        // Arrivals are monotonically increasing along the path.
+        for w in path.points.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival + 1e-12);
+        }
+    }
+
+    #[test]
+    fn worst_path_arrival_matches_slack_inputs() {
+        let (netlist, graph, mode) =
+            analysis_fixture("create_clock -name clkA -period 10 [get_ports clk1]\n");
+        let analysis = Analysis::run(&netlist, &graph, &mode);
+        let rz_d = netlist.find_pin("rZ/D").unwrap();
+        let path = analysis.worst_path(rz_d).unwrap();
+        // Endpoint arrival is the max over arriving classes.
+        let max_arr = analysis
+            .propagation()
+            .tags_at(rz_d)
+            .iter()
+            .map(|(_, a)| a.max)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((path.arrival - max_arr).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreached_endpoint_has_no_path() {
+        // Without constraints nothing is launched.
+        let netlist = paper_circuit();
+        let graph = TimingGraph::build(&netlist).unwrap();
+        let mode = Mode::bind("t", &netlist, &SdcFile::parse("").unwrap()).unwrap();
+        let analysis = Analysis::run(&netlist, &graph, &mode);
+        let ry_d = netlist.find_pin("rY/D").unwrap();
+        assert!(analysis.worst_path(ry_d).is_none());
+    }
+
+    #[test]
+    fn input_port_path_starts_at_the_port() {
+        let (netlist, graph, mode) = analysis_fixture(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_input_delay 2 -clock clkA [get_ports in1]\n",
+        );
+        let analysis = Analysis::run(&netlist, &graph, &mode);
+        let ra_d = netlist.find_pin("rA/D").unwrap();
+        let path = analysis.worst_path(ra_d).unwrap();
+        assert_eq!(
+            netlist.pin_name(path.points.first().unwrap().pin),
+            "in1"
+        );
+        assert!((path.points.first().unwrap().arrival - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,469 @@
+//! Forward tag propagation through the data network.
+//!
+//! Tags ([`Tag`]) are injected at *startpoints* — register outputs (via
+//! their clock pin and launch arc) and input ports carrying
+//! `set_input_delay` — and swept through the graph in topological order.
+//! Each node ends up with the set of path classes that reach it plus
+//! min/max arrival times, which is everything the relationship extractor
+//! and the slack engine need.
+
+use crate::clock_prop::ClockArrivals;
+use crate::exceptions::{ExcIndex, Tag};
+use crate::graph::{ArcKind, TimingGraph};
+use crate::mode::{ClockId, Mode};
+use crate::overlay::Overlay;
+use modemerge_netlist::PinId;
+use modemerge_sdc::{IoDelayKind, MinMax};
+use std::collections::BTreeSet;
+
+/// Min/max arrival of a path class at a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Earliest arrival (hold analysis).
+    pub min: f64,
+    /// Latest arrival (setup analysis).
+    pub max: f64,
+}
+
+impl Arrival {
+    fn merge(&mut self, other: Arrival) {
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    fn shifted(self, delay: f64) -> Arrival {
+        Arrival {
+            min: self.min + delay,
+            max: self.max + delay,
+        }
+    }
+}
+
+/// A timing startpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Startpoint {
+    /// A register, identified by its clock pin (the paper's startpoint
+    /// notation, e.g. `rA/CP`).
+    Reg(PinId),
+    /// An input port with `set_input_delay`.
+    Port(PinId),
+}
+
+impl Startpoint {
+    /// The pin naming this startpoint.
+    pub fn pin(self) -> PinId {
+        match self {
+            Self::Reg(p) | Self::Port(p) => p,
+        }
+    }
+}
+
+/// Result of a propagation run: per-node path classes and arrivals.
+#[derive(Debug, Clone)]
+pub struct Propagation {
+    states: Vec<Vec<(Tag, Arrival)>>,
+}
+
+impl Propagation {
+    /// Path classes (with arrivals) at `node`.
+    pub fn tags_at(&self, node: PinId) -> &[(Tag, Arrival)] {
+        &self.states[node.index()]
+    }
+
+    /// Launch clocks reaching `node` through the data network — the
+    /// paper's §3.2 data-refinement view.
+    pub fn data_clocks_at(&self, node: PinId) -> BTreeSet<ClockId> {
+        self.states[node.index()]
+            .iter()
+            .map(|(t, _)| t.launch)
+            .collect()
+    }
+
+    /// Nodes with at least one arriving path class.
+    pub fn reached_nodes(&self) -> impl Iterator<Item = PinId> + '_ {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(i, _)| PinId::new(i))
+    }
+
+    fn insert(&mut self, node: PinId, tag: Tag, arrival: Arrival) {
+        let slot = &mut self.states[node.index()];
+        for (t, a) in slot.iter_mut() {
+            if *t == tag {
+                a.merge(arrival);
+                return;
+            }
+        }
+        slot.push((tag, arrival));
+    }
+}
+
+/// The propagation engine for one (graph, mode) pair.
+#[derive(Clone, Copy)]
+pub struct Propagator<'a> {
+    graph: &'a TimingGraph,
+    overlay: Overlay<'a>,
+    mode: &'a Mode,
+    clock_arrivals: &'a ClockArrivals,
+    exc_index: &'a ExcIndex,
+}
+
+impl<'a> Propagator<'a> {
+    /// Creates an engine.
+    pub fn new(
+        graph: &'a TimingGraph,
+        overlay: Overlay<'a>,
+        mode: &'a Mode,
+        clock_arrivals: &'a ClockArrivals,
+        exc_index: &'a ExcIndex,
+    ) -> Self {
+        Self {
+            graph,
+            overlay,
+            mode,
+            clock_arrivals,
+            exc_index,
+        }
+    }
+
+    /// All startpoints that launch at least one path class in this mode.
+    pub fn startpoints(&self) -> Vec<Startpoint> {
+        let mut out = BTreeSet::new();
+        for arc in self.graph.arcs() {
+            if arc.kind == ArcKind::Launch
+                && !self.clock_arrivals.clocks_at(arc.from).is_empty()
+                && !self.overlay.node_blocked(arc.to)
+            {
+                out.insert(Startpoint::Reg(arc.from));
+            }
+        }
+        for d in &self.mode.io_delays {
+            if d.kind == IoDelayKind::Input && !self.overlay.node_blocked(d.pin) {
+                out.insert(Startpoint::Port(d.pin));
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Full-design propagation: inject every startpoint, one topological
+    /// sweep.
+    pub fn run_full(&self) -> Propagation {
+        let startpoints = self.startpoints();
+        self.run(&startpoints)
+    }
+
+    /// Propagation restricted to a single startpoint (pass-2/3 support).
+    pub fn run_from(&self, start: Startpoint) -> Propagation {
+        self.run(std::slice::from_ref(&start))
+    }
+
+    fn run(&self, startpoints: &[Startpoint]) -> Propagation {
+        let mut prop = Propagation {
+            states: vec![Vec::new(); self.graph.node_count()],
+        };
+        for &sp in startpoints {
+            self.inject(&mut prop, sp);
+        }
+        self.sweep(&mut prop);
+        prop
+    }
+
+    fn inject(&self, prop: &mut Propagation, sp: Startpoint) {
+        match sp {
+            Startpoint::Reg(cp) => {
+                let launch_arcs: Vec<_> = self
+                    .graph
+                    .fanout_arcs(cp)
+                    .filter(|a| a.kind == ArcKind::Launch)
+                    .copied()
+                    .collect();
+                for clk_arr in self.clock_arrivals.clocks_at(cp) {
+                    let clock = self.mode.clock(clk_arr.clock);
+                    for arc in &launch_arcs {
+                        if self.overlay.node_blocked(arc.to) {
+                            continue;
+                        }
+                        let mut tag = Tag {
+                            launch: clk_arr.clock,
+                            launch_inverted: clk_arr.inverted,
+                            armed: self.exc_index.armed_at_launch(self.mode, clk_arr.clock, cp),
+                            progress: Box::new([]),
+                        };
+                        for node in [cp, arc.to] {
+                            if let Some(t) = self.exc_index.advance(&tag, node) {
+                                tag = t;
+                            }
+                        }
+                        let arrival = Arrival {
+                            min: clk_arr.min + clock.latency.min + arc.delay,
+                            max: clk_arr.max + clock.latency.max + arc.delay,
+                        };
+                        prop.insert(arc.to, tag, arrival);
+                    }
+                }
+            }
+            Startpoint::Port(pin) => {
+                if self.overlay.node_blocked(pin) {
+                    return;
+                }
+                // Group input delays on this pin by clock.
+                let mut by_clock: Vec<(ClockId, Arrival)> = Vec::new();
+                for d in &self.mode.io_delays {
+                    if d.kind != IoDelayKind::Input || d.pin != pin {
+                        continue;
+                    }
+                    let arr = match d.min_max {
+                        MinMax::Both => Arrival {
+                            min: d.value,
+                            max: d.value,
+                        },
+                        MinMax::Min => Arrival {
+                            min: d.value,
+                            max: f64::NEG_INFINITY,
+                        },
+                        MinMax::Max => Arrival {
+                            min: f64::INFINITY,
+                            max: d.value,
+                        },
+                    };
+                    match by_clock.iter_mut().find(|(c, _)| *c == d.clock) {
+                        Some((_, a)) => a.merge(arr),
+                        None => by_clock.push((d.clock, arr)),
+                    }
+                }
+                // External driver derating from set_drive / set_input_transition.
+                let extra = self.mode.drives.get(&pin).map_or(0.0, |d| d.max) * 0.5
+                    + self
+                        .mode
+                        .input_transitions
+                        .get(&pin)
+                        .map_or(0.0, |t| t.max)
+                        * 0.25;
+                for (clock, mut arrival) in by_clock {
+                    if arrival.min.is_infinite() {
+                        arrival.min = arrival.max;
+                    }
+                    if arrival.max.is_infinite() {
+                        arrival.max = arrival.min;
+                    }
+                    let mut tag = Tag {
+                        launch: clock,
+                        launch_inverted: false,
+                        armed: self.exc_index.armed_at_launch(self.mode, clock, pin),
+                        progress: Box::new([]),
+                    };
+                    if let Some(t) = self.exc_index.advance(&tag, pin) {
+                        tag = t;
+                    }
+                    prop.insert(pin, tag, arrival.shifted(extra));
+                }
+            }
+        }
+    }
+
+    fn sweep(&self, prop: &mut Propagation) {
+        for &node in self.graph.topo_order() {
+            if prop.states[node.index()].is_empty() {
+                continue;
+            }
+            // Take the state out to appease the borrow checker; nothing
+            // propagates back into an already-processed topo node.
+            let state = std::mem::take(&mut prop.states[node.index()]);
+            for arc in self.graph.fanout_arcs(node) {
+                if arc.kind == ArcKind::Launch {
+                    continue;
+                }
+                if self.overlay.node_blocked(arc.to) || self.overlay.arc_blocked(arc) {
+                    continue;
+                }
+                for (tag, arrival) in &state {
+                    let new_tag = match self.exc_index.advance(tag, arc.to) {
+                        Some(t) => t,
+                        None => tag.clone(),
+                    };
+                    prop.insert(arc.to, new_tag, arrival.shifted(arc.delay));
+                }
+            }
+            prop.states[node.index()] = state;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::Constants;
+    use modemerge_netlist::paper::paper_circuit;
+    use modemerge_netlist::Netlist;
+    use modemerge_sdc::SdcFile;
+
+    struct Fixture {
+        netlist: Netlist,
+        graph: TimingGraph,
+        mode: Mode,
+        constants: Constants,
+        clock_arrivals: ClockArrivals,
+        exc_index: ExcIndex,
+    }
+
+    impl Fixture {
+        fn new(sdc: &str) -> Self {
+            let netlist = paper_circuit();
+            let sdc = SdcFile::parse(sdc).unwrap();
+            let mode = Mode::bind("t", &netlist, &sdc).unwrap();
+            let graph = TimingGraph::build(&netlist).unwrap();
+            let constants = Constants::compute(&netlist, &mode.case_values);
+            let clock_arrivals = {
+                let overlay = Overlay::new(&netlist, &mode, &constants);
+                ClockArrivals::compute(&graph, &overlay, &mode)
+            };
+            let exc_index = ExcIndex::build(&mode);
+            Self {
+                netlist,
+                graph,
+                mode,
+                constants,
+                clock_arrivals,
+                exc_index,
+            }
+        }
+
+        fn run(&self) -> Propagation {
+            let overlay = Overlay::new(&self.netlist, &self.mode, &self.constants);
+            let prop = Propagator::new(
+                &self.graph,
+                overlay,
+                &self.mode,
+                &self.clock_arrivals,
+                &self.exc_index,
+            );
+            prop.run_full()
+        }
+
+        fn pin(&self, name: &str) -> PinId {
+            self.netlist.find_pin(name).unwrap()
+        }
+    }
+
+    const CLK: &str = "create_clock -name clkA -period 10 [get_ports clk1]\n";
+
+    #[test]
+    fn tags_reach_all_endpoints() {
+        let f = Fixture::new(CLK);
+        let p = f.run();
+        for ep in ["rX/D", "rY/D", "rZ/D"] {
+            assert!(
+                !p.tags_at(f.pin(ep)).is_empty(),
+                "no tags at {ep}"
+            );
+        }
+    }
+
+    #[test]
+    fn startpoints_enumerated() {
+        let f = Fixture::new(CLK);
+        let overlay = Overlay::new(&f.netlist, &f.mode, &f.constants);
+        let prop = Propagator::new(&f.graph, overlay, &f.mode, &f.clock_arrivals, &f.exc_index);
+        let sps = prop.startpoints();
+        // Six registers, no input delays.
+        assert_eq!(sps.len(), 6);
+        assert!(sps.contains(&Startpoint::Reg(f.pin("rA/CP"))));
+    }
+
+    #[test]
+    fn input_delay_creates_port_startpoint() {
+        let f = Fixture::new(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_input_delay 2 -clock clkA [get_ports in1]\n",
+        );
+        let overlay = Overlay::new(&f.netlist, &f.mode, &f.constants);
+        let prop = Propagator::new(&f.graph, overlay, &f.mode, &f.clock_arrivals, &f.exc_index);
+        assert!(prop
+            .startpoints()
+            .contains(&Startpoint::Port(f.pin("in1"))));
+        let p = prop.run_full();
+        // in1 → rA/D etc.
+        assert!(!p.tags_at(f.pin("rA/D")).is_empty());
+        let (_, arr) = &p.tags_at(f.pin("in1"))[0];
+        assert_eq!(arr.max, 2.0);
+    }
+
+    #[test]
+    fn through_progress_tracked_to_endpoint() {
+        let f = Fixture::new(&format!("{CLK}set_false_path -through [get_pins and1/Z]\n"));
+        let p = f.run();
+        // rY/D is fed through and1: every tag arriving there has either
+        // crossed and1/Z (progress 1) or bypassed it.
+        let ry_tags = p.tags_at(f.pin("rY/D"));
+        assert!(ry_tags.iter().all(|(t, _)| t.progress_of(0) == 1));
+        // rX/D is fed by inv1 only: never crosses and1/Z.
+        let rx_tags = p.tags_at(f.pin("rX/D"));
+        assert!(rx_tags.iter().all(|(t, _)| t.progress_of(0) == 0));
+    }
+
+    #[test]
+    fn distinct_armed_sets_keep_tags_apart() {
+        // -from rA/CP arms only paths launched at rA: rY/D sees two path
+        // classes (from rA armed, from rB unarmed).
+        let f = Fixture::new(&format!("{CLK}set_false_path -from [get_pins rA/CP]\n"));
+        let p = f.run();
+        let tags = p.tags_at(f.pin("rY/D"));
+        assert_eq!(tags.len(), 2);
+        let armed_counts: BTreeSet<usize> =
+            tags.iter().map(|(t, _)| t.armed.len()).collect();
+        assert_eq!(armed_counts, BTreeSet::from([0, 1]));
+    }
+
+    #[test]
+    fn constant_blocks_propagation() {
+        // rB/Q = 0 blocks and1 and everything behind it.
+        let f = Fixture::new(&format!("{CLK}set_case_analysis 0 rB/Q\n"));
+        let p = f.run();
+        assert!(p.tags_at(f.pin("rY/D")).is_empty());
+        // rX/D is still reached (through inv1 only).
+        assert!(!p.tags_at(f.pin("rX/D")).is_empty());
+    }
+
+    #[test]
+    fn arrivals_accumulate_delay() {
+        let f = Fixture::new(CLK);
+        let p = f.run();
+        let (_, at_q) = &p.tags_at(f.pin("rA/Q")).first().unwrap();
+        let (_, at_rx) = &p.tags_at(f.pin("rX/D")).first().unwrap();
+        assert!(at_rx.max > at_q.max, "delay must accumulate");
+        assert!(at_rx.min <= at_rx.max);
+    }
+
+    #[test]
+    fn run_from_restricts_startpoint() {
+        let f = Fixture::new(CLK);
+        let overlay = Overlay::new(&f.netlist, &f.mode, &f.constants);
+        let prop = Propagator::new(&f.graph, overlay, &f.mode, &f.clock_arrivals, &f.exc_index);
+        let p = prop.run_from(Startpoint::Reg(f.pin("rB/CP")));
+        assert!(!p.tags_at(f.pin("rY/D")).is_empty());
+        assert!(p.tags_at(f.pin("rX/D")).is_empty(), "rB does not feed rX");
+    }
+
+    #[test]
+    fn data_clocks_at_reports_launch_clocks() {
+        let f = Fixture::new(CLK);
+        let p = f.run();
+        let clocks = p.data_clocks_at(f.pin("rY/D"));
+        assert_eq!(clocks.len(), 1);
+    }
+
+    #[test]
+    fn two_clocks_two_launch_classes() {
+        // Both clocks reach rX..rZ via the mux; launches from rA carry
+        // only clkA, so rX/D sees one class; but rX is clocked by both.
+        let f = Fixture::new(
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             create_clock -name clkB -period 20 [get_ports clk2]\n",
+        );
+        let p = f.run();
+        // rA is clocked only by clkA → one launch class at rX/D.
+        assert_eq!(p.data_clocks_at(f.pin("rX/D")).len(), 1);
+    }
+}

@@ -1,0 +1,277 @@
+//! *Timing relationships* (§2 of the paper).
+//!
+//! A timing relationship bundles a set of paths by launch clock, capture
+//! clock, endpoint (plus startpoint and through-point at finer
+//! granularities) and records the constraint state governing those paths.
+//! Two constraint sets are **equivalent** iff they induce the same
+//! relationship sets in both directions — the definition the mode-merging
+//! algorithm is built on.
+//!
+//! Relationships use [`ClockKey`]s rather than mode-local clock ids so
+//! they can be compared across modes (the individual modes and the merged
+//! mode give different ids — and possibly different names — to the same
+//! physical clock).
+
+use crate::exceptions::CheckKind;
+use crate::keys::{ClockKey, F64Key};
+use modemerge_netlist::PinId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The constraint state of a class of paths.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PathState {
+    /// Timed normally.
+    Valid,
+    /// `set_false_path`: not timed.
+    FalsePath,
+    /// `set_multicycle_path N`.
+    Multicycle(u32),
+    /// `set_min_delay V` (hold domain).
+    MinDelay(F64Key),
+    /// `set_max_delay V` (setup domain).
+    MaxDelay(F64Key),
+}
+
+impl PathState {
+    /// `true` if paths in this state are actually timed (false paths are
+    /// not).
+    pub fn is_timed(&self) -> bool {
+        !matches!(self, PathState::FalsePath)
+    }
+}
+
+impl fmt::Display for PathState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Valid => f.write_str("V"),
+            Self::FalsePath => f.write_str("FP"),
+            Self::Multicycle(n) => write!(f, "MCP({n})"),
+            Self::MinDelay(v) => write!(f, "MIN({v})"),
+            Self::MaxDelay(v) => write!(f, "MAX({v})"),
+        }
+    }
+}
+
+/// Pass-1 granularity: all paths ending at `endpoint` with the given
+/// launch/capture clocks.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EndpointRelation {
+    /// Timing endpoint (sequential data pin or output port pin).
+    pub endpoint: PinId,
+    /// Launch clock identity.
+    pub launch: ClockKey,
+    /// Capture clock identity.
+    pub capture: ClockKey,
+    /// Setup or hold domain.
+    pub check: CheckKind,
+    /// Constraint state of this path class.
+    pub state: PathState,
+}
+
+/// Pass-2 granularity: adds the startpoint.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PairRelation {
+    /// Timing startpoint (register clock pin or input port pin).
+    pub start: PinId,
+    /// Timing endpoint.
+    pub endpoint: PinId,
+    /// Launch clock identity.
+    pub launch: ClockKey,
+    /// Capture clock identity.
+    pub capture: ClockKey,
+    /// Setup or hold domain.
+    pub check: CheckKind,
+    /// Constraint state of this path class.
+    pub state: PathState,
+}
+
+/// Pass-3 granularity: adds a through point between start and endpoint.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThroughRelation {
+    /// Timing startpoint.
+    pub start: PinId,
+    /// A pin every bundled path passes through.
+    pub through: PinId,
+    /// Timing endpoint.
+    pub endpoint: PinId,
+    /// Launch clock identity.
+    pub launch: ClockKey,
+    /// Capture clock identity.
+    pub capture: ClockKey,
+    /// Setup or hold domain.
+    pub check: CheckKind,
+    /// Constraint state of this path class.
+    pub state: PathState,
+}
+
+/// A canonical set of endpoint relations for a whole design under one
+/// constraint set.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RelationSet {
+    relations: BTreeSet<EndpointRelation>,
+}
+
+impl RelationSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The relations.
+    pub fn iter(&self) -> impl Iterator<Item = &EndpointRelation> {
+        self.relations.iter()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// `true` if there are no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Inserts a relation.
+    pub fn insert(&mut self, r: EndpointRelation) -> bool {
+        self.relations.insert(r)
+    }
+
+    /// `true` if the relation is present.
+    pub fn contains(&self, r: &EndpointRelation) -> bool {
+        self.relations.contains(r)
+    }
+
+    /// Only the *timed* relations (false paths removed). Two constraint
+    /// sets are equivalent iff their timed relation sets are equal: a
+    /// false-path relation has the same effect as the path class not
+    /// existing at all.
+    pub fn timed(&self) -> BTreeSet<EndpointRelation> {
+        self.relations
+            .iter()
+            .filter(|r| r.state.is_timed())
+            .cloned()
+            .collect()
+    }
+
+    /// Relations timed here but not in `other` (by timed comparison).
+    pub fn timed_difference(&self, other: &RelationSet) -> Vec<EndpointRelation> {
+        let other_timed = other.timed();
+        self.timed()
+            .into_iter()
+            .filter(|r| !other_timed.contains(r))
+            .collect()
+    }
+
+    /// Paper §2 equivalence: mutual inclusion of timed relations.
+    pub fn equivalent(&self, other: &RelationSet) -> bool {
+        self.timed() == other.timed()
+    }
+
+    /// Union with another set.
+    pub fn union_with(&mut self, other: &RelationSet) {
+        for r in other.iter() {
+            self.relations.insert(r.clone());
+        }
+    }
+}
+
+impl FromIterator<EndpointRelation> for RelationSet {
+    fn from_iter<T: IntoIterator<Item = EndpointRelation>>(iter: T) -> Self {
+        Self {
+            relations: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<EndpointRelation> for RelationSet {
+    fn extend<T: IntoIterator<Item = EndpointRelation>>(&mut self, iter: T) {
+        self.relations.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a RelationSet {
+    type Item = &'a EndpointRelation;
+    type IntoIter = std::collections::btree_set::Iter<'a, EndpointRelation>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.relations.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(src: u32) -> ClockKey {
+        ClockKey::new(vec![PinId::new(src as usize)], 10.0, (0.0, 5.0), "c")
+    }
+
+    fn rel(endpoint: usize, state: PathState) -> EndpointRelation {
+        EndpointRelation {
+            endpoint: PinId::new(endpoint),
+            launch: key(0),
+            capture: key(0),
+            check: CheckKind::Setup,
+            state,
+        }
+    }
+
+    #[test]
+    fn path_state_display() {
+        assert_eq!(PathState::Valid.to_string(), "V");
+        assert_eq!(PathState::FalsePath.to_string(), "FP");
+        assert_eq!(PathState::Multicycle(2).to_string(), "MCP(2)");
+        assert_eq!(PathState::MaxDelay(1.5.into()).to_string(), "MAX(1.5)");
+    }
+
+    #[test]
+    fn false_path_is_not_timed() {
+        assert!(!PathState::FalsePath.is_timed());
+        assert!(PathState::Valid.is_timed());
+        assert!(PathState::Multicycle(2).is_timed());
+    }
+
+    #[test]
+    fn equivalence_ignores_false_paths() {
+        let mut a = RelationSet::new();
+        a.insert(rel(1, PathState::Valid));
+        a.insert(rel(2, PathState::FalsePath));
+        let mut b = RelationSet::new();
+        b.insert(rel(1, PathState::Valid));
+        assert!(a.equivalent(&b));
+        assert!(b.equivalent(&a));
+    }
+
+    #[test]
+    fn difference_detects_extra_valid_paths() {
+        let mut merged = RelationSet::new();
+        merged.insert(rel(1, PathState::Valid));
+        merged.insert(rel(2, PathState::Valid));
+        let mut indiv = RelationSet::new();
+        indiv.insert(rel(1, PathState::Valid));
+        indiv.insert(rel(2, PathState::FalsePath));
+        let extra = merged.timed_difference(&indiv);
+        assert_eq!(extra.len(), 1);
+        assert_eq!(extra[0].endpoint, PinId::new(2));
+        assert!(indiv.timed_difference(&merged).is_empty());
+    }
+
+    #[test]
+    fn mcp_vs_valid_is_a_difference() {
+        let mut a = RelationSet::new();
+        a.insert(rel(1, PathState::Multicycle(2)));
+        let mut b = RelationSet::new();
+        b.insert(rel(1, PathState::Valid));
+        assert!(!a.equivalent(&b));
+    }
+
+    #[test]
+    fn union_and_collect() {
+        let mut a: RelationSet = vec![rel(1, PathState::Valid)].into_iter().collect();
+        let b: RelationSet = vec![rel(2, PathState::Valid)].into_iter().collect();
+        a.union_with(&b);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+    }
+}

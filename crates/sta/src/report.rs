@@ -1,0 +1,164 @@
+//! Slack reporting utilities: WNS/TNS summaries and slack histograms,
+//! the numbers a sign-off dashboard shows per scenario.
+
+use crate::analysis::EndpointSlack;
+
+/// Summary statistics over a set of endpoint slacks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlackSummary {
+    /// Number of endpoints.
+    pub endpoints: usize,
+    /// Worst negative slack (the minimum slack; may be positive when the
+    /// design meets timing).
+    pub wns: f64,
+    /// Total negative slack (sum of negative slacks; 0 when clean).
+    pub tns: f64,
+    /// Number of violating (negative-slack) endpoints.
+    pub violations: usize,
+}
+
+impl SlackSummary {
+    /// Computes the summary.
+    pub fn from_slacks(slacks: &[EndpointSlack]) -> Self {
+        let mut wns = f64::INFINITY;
+        let mut tns = 0.0;
+        let mut violations = 0;
+        for s in slacks {
+            wns = wns.min(s.slack);
+            if s.slack < 0.0 {
+                tns += s.slack;
+                violations += 1;
+            }
+        }
+        Self {
+            endpoints: slacks.len(),
+            wns: if slacks.is_empty() { 0.0 } else { wns },
+            tns,
+            violations,
+        }
+    }
+
+    /// `true` when no endpoint violates.
+    pub fn clean(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+impl std::fmt::Display for SlackSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "WNS {:.3}  TNS {:.3}  violations {}/{}",
+            self.wns, self.tns, self.violations, self.endpoints
+        )
+    }
+}
+
+/// A slack histogram: `bins` equal-width buckets between the worst and
+/// best slack, plus the bucket boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlackHistogram {
+    /// Lower edge of the first bucket.
+    pub lo: f64,
+    /// Upper edge of the last bucket.
+    pub hi: f64,
+    /// Endpoint counts per bucket.
+    pub counts: Vec<usize>,
+}
+
+impl SlackHistogram {
+    /// Builds a histogram with `bins` buckets (≥ 1).
+    pub fn from_slacks(slacks: &[EndpointSlack], bins: usize) -> Self {
+        let bins = bins.max(1);
+        if slacks.is_empty() {
+            return Self {
+                lo: 0.0,
+                hi: 0.0,
+                counts: vec![0; bins],
+            };
+        }
+        let lo = slacks.iter().map(|s| s.slack).fold(f64::INFINITY, f64::min);
+        let hi = slacks
+            .iter()
+            .map(|s| s.slack)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let width = ((hi - lo) / bins as f64).max(1e-12);
+        let mut counts = vec![0usize; bins];
+        for s in slacks {
+            let idx = (((s.slack - lo) / width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        Self { lo, hi, counts }
+    }
+
+    /// Renders an ASCII bar chart (one line per bucket).
+    pub fn render(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let bucket_width = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut out = String::new();
+        for (i, &count) in self.counts.iter().enumerate() {
+            let left = self.lo + bucket_width * i as f64;
+            let bar = "#".repeat(width * count / max);
+            let _ = writeln!(out, "{left:>9.3} | {bar} {count}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modemerge_netlist::PinId;
+
+    fn slack(v: f64) -> EndpointSlack {
+        EndpointSlack {
+            endpoint: PinId::new(0),
+            slack: v,
+            capture_period: 10.0,
+        }
+    }
+
+    #[test]
+    fn summary_counts_violations() {
+        let s = SlackSummary::from_slacks(&[slack(-2.0), slack(1.0), slack(-0.5)]);
+        assert_eq!(s.endpoints, 3);
+        assert_eq!(s.wns, -2.0);
+        assert!((s.tns - (-2.5)).abs() < 1e-12);
+        assert_eq!(s.violations, 2);
+        assert!(!s.clean());
+        assert!(s.to_string().contains("WNS -2.000"));
+    }
+
+    #[test]
+    fn empty_summary_is_clean() {
+        let s = SlackSummary::from_slacks(&[]);
+        assert!(s.clean());
+        assert_eq!(s.wns, 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_range() {
+        let slacks: Vec<_> = (0..10).map(|i| slack(i as f64)).collect();
+        let h = SlackHistogram::from_slacks(&slacks, 5);
+        assert_eq!(h.lo, 0.0);
+        assert_eq!(h.hi, 9.0);
+        assert_eq!(h.counts.iter().sum::<usize>(), 10);
+        assert_eq!(h.counts.len(), 5);
+        let rendered = h.render(20);
+        assert_eq!(rendered.lines().count(), 5);
+        assert!(rendered.contains('#'));
+    }
+
+    #[test]
+    fn histogram_single_value() {
+        let h = SlackHistogram::from_slacks(&[slack(1.5), slack(1.5)], 3);
+        assert_eq!(h.counts.iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = SlackHistogram::from_slacks(&[], 4);
+        assert_eq!(h.counts, vec![0; 4]);
+    }
+}

@@ -1,0 +1,395 @@
+//! Parameterized synthetic gate-level design generator.
+//!
+//! The generated design has the structural features the mode-merging
+//! algorithm exploits on real SoCs:
+//!
+//! * several clock-domain input ports;
+//! * register banks; the first bank is clocked through a clock mux whose
+//!   select is an XOR of two mode-select ports (the Constraint Set 3
+//!   pattern: different case values in different modes, same selection);
+//!   other selected banks are clocked through muxes driven by dedicated
+//!   `bank_sel*` ports;
+//! * combinational clouds between consecutive banks, with periodic
+//!   reconvergent fanout (the pass-3 pattern of Table 4);
+//! * an optional scan path: a mux in front of every register data pin,
+//!   selected by a global `scan_en` port, chaining registers;
+//! * primary data inputs and outputs for I/O delay constraints.
+
+use modemerge_netlist::{InstId, Library, Netlist, NetlistBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a generated design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignSpec {
+    /// Design name.
+    pub name: String,
+    /// RNG seed (the generator is fully deterministic per seed).
+    pub seed: u64,
+    /// Number of clock-domain input ports (≥ 2).
+    pub domains: usize,
+    /// Number of register banks (≥ 2).
+    pub banks: usize,
+    /// Registers per bank (≥ 2).
+    pub regs_per_bank: usize,
+    /// Combinational gates per cloud path.
+    pub cloud_depth: usize,
+    /// Insert the scan path.
+    pub scan: bool,
+    /// Every n-th bank (beyond the first) is clocked through a mux.
+    pub muxed_bank_stride: usize,
+    /// Add a divide-by-two flip-flop on `clk0` and clock the last bank
+    /// from its output (constrained via `create_generated_clock`).
+    pub dividers: bool,
+    /// Insert an integrated clock-gating cell in front of bank 1,
+    /// enabled by the `cg_en1` port (low-power modes gate it off).
+    pub clock_gates: bool,
+}
+
+impl DesignSpec {
+    /// A spec sized to approximately `cells` instances.
+    ///
+    /// Cell count per register ≈ 1 (DFF) + 1 (scan mux) + `cloud_depth`
+    /// cloud gates.
+    pub fn with_target_cells(name: impl Into<String>, cells: usize, seed: u64) -> Self {
+        let banks = 8;
+        let cloud_depth = 4;
+        let per_reg = 2 + cloud_depth;
+        let regs_per_bank = (cells / (banks * per_reg)).max(2);
+        Self {
+            name: name.into(),
+            seed,
+            domains: 3,
+            banks,
+            regs_per_bank,
+            cloud_depth,
+            scan: true,
+            muxed_bank_stride: 3,
+            dividers: false,
+            clock_gates: false,
+        }
+    }
+
+    /// Number of primary data input/output ports.
+    pub fn io_ports(&self) -> usize {
+        self.regs_per_bank.min(8)
+    }
+}
+
+/// Generates the netlist for a spec.
+///
+/// # Panics
+///
+/// Panics only on internal generator bugs (all connections are
+/// constructed against the standard library).
+pub fn generate_design(spec: &DesignSpec) -> Netlist {
+    assert!(spec.domains >= 2, "need at least two clock domains");
+    assert!(spec.banks >= 2, "need at least two banks");
+    assert!(spec.regs_per_bank >= 2, "need at least two registers per bank");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut b = NetlistBuilder::new(spec.name.clone(), Library::standard());
+
+    // Ports.
+    let clk_ports: Vec<_> = (0..spec.domains)
+        .map(|d| b.input_port(&format!("clk{d}")).expect("fresh port"))
+        .collect();
+    let sel_a = b.input_port("sel_a").expect("fresh port");
+    let sel_b = b.input_port("sel_b").expect("fresh port");
+    let scan_en = spec.scan.then(|| b.input_port("scan_en").expect("fresh port"));
+    let io = spec.io_ports();
+    let din: Vec<_> = (0..io)
+        .map(|i| b.input_port(&format!("din{i}")).expect("fresh port"))
+        .collect();
+    let dout: Vec<_> = (0..io)
+        .map(|i| b.output_port(&format!("dout{i}")).expect("fresh port"))
+        .collect();
+
+    // Bank-0 clock mux: XOR(sel_a, sel_b) selects between clk0 and clk1.
+    let xor_sel = b.instance("xor_sel", "XOR2").expect("fresh inst");
+    b.connect_port_to_pin(sel_a, xor_sel, "A").expect("connect");
+    b.connect_port_to_pin(sel_b, xor_sel, "B").expect("connect");
+    let ckmux0 = b.instance("ckmux0", "MUX2").expect("fresh inst");
+    b.connect_port_to_pin(clk_ports[0], ckmux0, "A").expect("connect");
+    b.connect_port_to_pin(clk_ports[1], ckmux0, "B").expect("connect");
+    b.connect_pins(xor_sel, "Z", ckmux0, "S").expect("connect");
+
+    // Other muxed banks get dedicated select ports.
+    enum BankClock {
+        Mux(InstId),
+        Direct(usize),
+    }
+    let mut bank_clock = Vec::with_capacity(spec.banks);
+    bank_clock.push(BankClock::Mux(ckmux0));
+    for bank in 1..spec.banks {
+        if spec.muxed_bank_stride > 0 && bank % spec.muxed_bank_stride == 0 {
+            let sel = b
+                .input_port(&format!("bank_sel{bank}"))
+                .expect("fresh port");
+            let mux = b
+                .instance(&format!("ckmux{bank}"), "MUX2")
+                .expect("fresh inst");
+            let d1 = bank % spec.domains;
+            let d2 = (bank + 1) % spec.domains;
+            b.connect_port_to_pin(clk_ports[d1], mux, "A").expect("connect");
+            b.connect_port_to_pin(clk_ports[d2], mux, "B").expect("connect");
+            b.connect_port_to_pin(sel, mux, "S").expect("connect");
+            bank_clock.push(BankClock::Mux(mux));
+        } else {
+            bank_clock.push(BankClock::Direct(bank % spec.domains));
+        }
+    }
+
+    // Optional clock gate in front of bank 1.
+    let clock_gate = (spec.clock_gates && spec.banks > 1).then(|| {
+        let en = b.input_port("cg_en1").expect("fresh port");
+        let cg = b.instance("cg1", "CKGATE").expect("fresh inst");
+        let d = 1 % spec.domains;
+        b.connect_port_to_pin(clk_ports[d], cg, "CLK").expect("connect");
+        b.connect_port_to_pin(en, cg, "EN").expect("connect");
+        cg
+    });
+
+    // Optional divide-by-two: a toggle flip-flop on clk0 whose output
+    // clocks the last bank (constrained with create_generated_clock).
+    let divider = spec.dividers.then(|| {
+        let div = b.instance("div0", "DFF").expect("fresh inst");
+        let fb = b.instance("div0_fb", "INV").expect("fresh inst");
+        b.connect_port_to_pin(clk_ports[0], div, "CP").expect("connect");
+        b.connect_pins(div, "Q", fb, "A").expect("connect");
+        b.connect_pins(fb, "Z", div, "D").expect("connect");
+        div
+    });
+
+    // Registers.
+    let mut regs: Vec<Vec<InstId>> = Vec::with_capacity(spec.banks);
+    for (bank, clocking) in bank_clock.iter().enumerate() {
+        let mut bank_regs = Vec::with_capacity(spec.regs_per_bank);
+        for r in 0..spec.regs_per_bank {
+            let reg = b
+                .instance(&format!("reg_{bank}_{r}"), "DFF")
+                .expect("fresh inst");
+            match (divider, bank == spec.banks - 1, clock_gate, bank == 1) {
+                (Some(div), true, _, _) => b.connect_pins(div, "Q", reg, "CP").expect("connect"),
+                (_, _, Some(cg), true) => {
+                    b.connect_pins(cg, "GCLK", reg, "CP").expect("connect")
+                }
+                _ => match *clocking {
+                    BankClock::Mux(mux) => b.connect_pins(mux, "Z", reg, "CP").expect("connect"),
+                    BankClock::Direct(d) => b
+                        .connect_port_to_pin(clk_ports[d], reg, "CP")
+                        .expect("connect"),
+                },
+            }
+            bank_regs.push(reg);
+        }
+        regs.push(bank_regs);
+    }
+
+    // Scan chain order: bank-major, register-minor.
+    let scan_order: Vec<InstId> = regs.iter().flatten().copied().collect();
+
+    // Data-input hookup for every register: a cloud output, optionally
+    // multiplexed with the scan chain.
+    let mut cloud_counter = 0usize;
+    let attach_data = |b: &mut NetlistBuilder,
+                           reg_index: usize,
+                           reg: InstId,
+                           func_src: (InstId, &str)| {
+        if let Some(scan_en) = scan_en {
+            let smux = b
+                .instance(&format!("smux{reg_index}"), "MUX2")
+                .expect("fresh inst");
+            b.connect_pins(func_src.0, func_src.1, smux, "A").expect("connect");
+            if reg_index == 0 {
+                // Head of the chain: tie the scan input to the functional
+                // source as well (no dedicated scan-in port needed).
+                b.connect_pins(func_src.0, func_src.1, smux, "B").expect("connect");
+            } else {
+                b.connect_pins(scan_order[reg_index - 1], "Q", smux, "B")
+                    .expect("connect");
+            }
+            b.connect_port_to_pin(scan_en, smux, "S").expect("connect");
+            b.connect_pins(smux, "Z", reg, "D").expect("connect");
+        } else {
+            b.connect_pins(func_src.0, func_src.1, reg, "D").expect("connect");
+        }
+    };
+
+    // Bank 0: driven from primary inputs through buffers.
+    for (r, &reg) in regs[0].iter().enumerate() {
+        let buf = b
+            .instance(&format!("ibuf{r}"), "BUF")
+            .expect("fresh inst");
+        b.connect_port_to_pin(din[r % io], buf, "A").expect("connect");
+        attach_data(&mut b, r, reg, (buf, "Z"));
+    }
+
+    // Banks 1..: clouds from the previous bank.
+    for bank in 1..spec.banks {
+        for (r, &reg) in regs[bank].clone().iter().enumerate() {
+            let reg_index = bank * spec.regs_per_bank + r;
+            let src_bank = &regs[bank - 1];
+            let tap = |rng: &mut StdRng| src_bank[rng.gen_range(0..src_bank.len())];
+
+            // Periodic reconvergence (the Table 4 pattern): tap → inv and
+            // tap → direct, rejoined by an AND.
+            let (mut cur, mut cur_pin): (InstId, String) = if r % 7 == 0 {
+                let t = tap(&mut rng);
+                let inv = b
+                    .instance(&format!("c{cloud_counter}_i"), "INV")
+                    .expect("fresh inst");
+                let join = b
+                    .instance(&format!("c{cloud_counter}_j"), "AND2")
+                    .expect("fresh inst");
+                cloud_counter += 1;
+                b.connect_pins(t, "Q", inv, "A").expect("connect");
+                b.connect_pins(t, "Q", join, "A").expect("connect");
+                b.connect_pins(inv, "Z", join, "B").expect("connect");
+                (join, "Z".to_owned())
+            } else {
+                let t = tap(&mut rng);
+                let inv = b
+                    .instance(&format!("c{cloud_counter}_i"), "INV")
+                    .expect("fresh inst");
+                cloud_counter += 1;
+                b.connect_pins(t, "Q", inv, "A").expect("connect");
+                (inv, "Z".to_owned())
+            };
+            for depth in 1..spec.cloud_depth {
+                let kind = ["AND2", "OR2", "XOR2", "NAND2"][rng.gen_range(0..4)];
+                let gate = b
+                    .instance(&format!("c{cloud_counter}_{depth}"), kind)
+                    .expect("fresh inst");
+                cloud_counter += 1;
+                b.connect_pins(cur, &cur_pin, gate, "A").expect("connect");
+                let t = tap(&mut rng);
+                b.connect_pins(t, "Q", gate, "B").expect("connect");
+                cur = gate;
+                cur_pin = "Z".to_owned();
+            }
+            attach_data(&mut b, reg_index, reg, (cur, &cur_pin));
+        }
+    }
+
+    // Primary outputs from the last bank.
+    for (i, &port) in dout.iter().enumerate() {
+        let reg = regs[spec.banks - 1][i % spec.regs_per_bank];
+        b.connect_pin_to_port(reg, "Q", port).expect("connect");
+    }
+
+    b.finish().expect("generated design is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modemerge_sta::graph::TimingGraph;
+
+    fn small() -> DesignSpec {
+        DesignSpec {
+            name: "t".into(),
+            seed: 7,
+            domains: 3,
+            banks: 4,
+            regs_per_bank: 6,
+            cloud_depth: 3,
+            scan: true,
+            muxed_bank_stride: 3,
+            dividers: false,
+            clock_gates: false,
+        }
+    }
+
+    #[test]
+    fn generated_design_is_structurally_clean() {
+        let n = generate_design(&small());
+        let issues = n.lint();
+        assert!(issues.is_empty(), "{issues:?}");
+        assert!(n.instance_count() > 0);
+    }
+
+    #[test]
+    fn generated_design_builds_a_timing_graph() {
+        let n = generate_design(&small());
+        let g = TimingGraph::build(&n).expect("acyclic");
+        assert_eq!(g.seq_data_pins().len(), 4 * 6);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = generate_design(&small());
+        let b = generate_design(&small());
+        assert_eq!(
+            modemerge_netlist::text::write(&a),
+            modemerge_netlist::text::write(&b)
+        );
+        let different = generate_design(&DesignSpec {
+            seed: 8,
+            ..small()
+        });
+        assert_ne!(
+            modemerge_netlist::text::write(&a),
+            modemerge_netlist::text::write(&different)
+        );
+    }
+
+    #[test]
+    fn target_cell_count_is_respected() {
+        let spec = DesignSpec::with_target_cells("sized", 5000, 1);
+        let n = generate_design(&spec);
+        let count = n.instance_count();
+        assert!(
+            count > 3500 && count < 7500,
+            "instance count {count} too far from 5000"
+        );
+    }
+
+    #[test]
+    fn no_scan_variant() {
+        let spec = DesignSpec {
+            scan: false,
+            ..small()
+        };
+        let n = generate_design(&spec);
+        assert!(n.port_by_name("scan_en").is_none());
+        assert!(n.lint().is_empty());
+    }
+
+    #[test]
+    fn divider_clocks_last_bank() {
+        let spec = DesignSpec {
+            dividers: true,
+            ..small()
+        };
+        let n = generate_design(&spec);
+        assert!(n.lint().is_empty());
+        assert!(n.find_pin("div0/Q").is_some());
+        // Last bank register clocked from the divider output.
+        let last_cp = n.find_pin("reg_3_0/CP").unwrap();
+        let driver = n.driver_of(last_cp).unwrap();
+        assert_eq!(n.pin_name(driver), "div0/Q");
+    }
+
+    #[test]
+    fn clock_gate_feeds_bank1() {
+        let spec = DesignSpec {
+            clock_gates: true,
+            ..small()
+        };
+        let n = generate_design(&spec);
+        assert!(n.lint().is_empty());
+        let cp = n.find_pin("reg_1_0/CP").unwrap();
+        assert_eq!(n.pin_name(n.driver_of(cp).unwrap()), "cg1/GCLK");
+        assert!(n.port_by_name("cg_en1").is_some());
+    }
+
+    #[test]
+    fn expected_ports_exist() {
+        let n = generate_design(&small());
+        for p in ["clk0", "clk1", "clk2", "sel_a", "sel_b", "scan_en", "din0", "dout0", "bank_sel3"] {
+            assert!(n.port_by_name(p).is_some(), "missing port {p}");
+        }
+        assert!(n.find_pin("ckmux0/S").is_some());
+        assert!(n.find_pin("reg_0_0/CP").is_some());
+    }
+}

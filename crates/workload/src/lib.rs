@@ -1,0 +1,29 @@
+//! Synthetic industrial-design and timing-mode generator.
+//!
+//! The paper evaluates mode merging on proprietary multi-million-gate
+//! designs with up to 95 timing modes (Tables 5–6). Those netlists and
+//! constraints cannot be redistributed, so this crate generates
+//! structurally equivalent workloads:
+//!
+//! * [`design`] — parameterized gate-level designs with clock domains,
+//!   clock muxes driven by mode-select logic (including the paper's
+//!   XOR-select pattern from Constraint Set 3), register banks,
+//!   combinational clouds with reconvergence, and scan chains;
+//! * [`modes`] — mode suites organized into *families*: modes within a
+//!   family are mergeable (shared clocks, uniquifiable exceptions,
+//!   intersectable case analysis), while families conflict through
+//!   clock-attribute values, so the mergeability-graph clique cover
+//!   reproduces a chosen mode-reduction factor;
+//! * [`paper`] — the six suite configurations mimicking designs A–F of
+//!   Table 5 (scaled cell counts, exact mode counts and expected merged
+//!   counts).
+//!
+//! Everything is seeded and deterministic.
+
+pub mod design;
+pub mod modes;
+pub mod paper;
+
+pub use design::{generate_design, DesignSpec};
+pub use modes::{generate_suite, Suite, SuiteSpec};
+pub use paper::{paper_suite, PaperDesign};

@@ -1,0 +1,363 @@
+//! Mode-suite generator: families of mergeable modes with realistic
+//! constraint content.
+//!
+//! A suite consists of *families*. Modes inside one family share the
+//! same clock periods and drive/load values and differ the way real
+//! functional/scan/test modes differ:
+//!
+//! * alternating XOR-select case values (`sel_a`/`sel_b` = 0/1 vs 1/0 —
+//!   Constraint Set 3): the merged mode drops them, disables the ports
+//!   and needs a clock-propagation stop;
+//! * scan vs functional `scan_en` case values;
+//! * per-bank clock-mux selections that differ across modes;
+//! * a mode-specific test clock (unique period on `clk0`), making the
+//!   family's multicycle exceptions uniquifiable (Constraint Set 4);
+//! * a cross-written false-path pair (one mode writes `-to` endpoints,
+//!   the others write `-from` the feeding registers — Constraint Set 6),
+//!   which forces the 3-pass refinement to derive precise replacements;
+//! * per-mode false paths present in only some modes (dropped during
+//!   preliminary merging, harmless by construction).
+//!
+//! Families are made mutually non-mergeable through a family-specific
+//! `set_clock_latency` value on the shared reference clock — the paper's
+//! "incompatible constraint values" criterion.
+
+use crate::design::{generate_design, DesignSpec};
+use modemerge_netlist::Netlist;
+use modemerge_sdc::SdcFile;
+
+/// A generated workload: one netlist plus a set of named modes.
+#[derive(Debug, Clone)]
+pub struct Suite {
+    /// The design under constraint.
+    pub netlist: Netlist,
+    /// `(mode name, constraints)` pairs.
+    pub modes: Vec<(String, SdcFile)>,
+    /// Expected number of modes after merging (= number of families).
+    pub expected_merged: usize,
+}
+
+/// Parameters of a suite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuiteSpec {
+    /// The design to generate.
+    pub design: DesignSpec,
+    /// Modes per family; families are mutually non-mergeable, so the
+    /// clique cover has exactly `families.len()` cliques.
+    pub families: Vec<usize>,
+    /// Give every second mode a test clock (mode-unique period on
+    /// `clk0`) and a multicycle exception from it.
+    pub test_clocks: bool,
+    /// Emit the cross-written false-path pair that exercises the 3-pass
+    /// refinement.
+    pub cross_false_paths: bool,
+}
+
+impl SuiteSpec {
+    /// Total mode count.
+    pub fn mode_count(&self) -> usize {
+        self.families.iter().sum()
+    }
+}
+
+/// Generates a suite (design + modes).
+///
+/// # Panics
+///
+/// Panics on internally inconsistent specs (empty families).
+pub fn generate_suite(spec: &SuiteSpec) -> Suite {
+    assert!(!spec.families.is_empty(), "need at least one family");
+    assert!(spec.families.iter().all(|&f| f > 0), "families must be non-empty");
+    let netlist = generate_design(&spec.design);
+    let d = &spec.design;
+    let io = d.io_ports();
+
+    let mut modes = Vec::new();
+    let mut global_idx = 0usize;
+    for (family, &family_size) in spec.families.iter().enumerate() {
+        for member in 0..family_size {
+            let mut sdc = String::new();
+            let is_scan = d.scan && member == family_size.saturating_sub(1) && family_size > 1;
+            let is_test = spec.test_clocks && member % 2 == 1;
+            // Low-power variant: gate bank 1 off (only meaningful when
+            // the design has the clock gate, and never in scan modes —
+            // the scan chain must shift through every register).
+            let is_lowpower = d.clock_gates && member % 3 == 1 && !is_scan;
+
+            // Clocks: domain clocks with family-independent periods so
+            // clock keys are shared across the whole suite; test modes
+            // replace clk0 with a mode-unique slower clock.
+            if is_test {
+                let period = 40 + 2 * global_idx;
+                sdc += &format!(
+                    "create_clock -name tclk{global_idx} -period {period} [get_ports clk0]\n"
+                );
+            } else {
+                sdc += "create_clock -name mclk0 -period 10 [get_ports clk0]\n";
+            }
+            for dom in 1..d.domains {
+                sdc += &format!(
+                    "create_clock -name mclk{dom} -period {} [get_ports clk{dom}]\n",
+                    10 + 2 * dom
+                );
+            }
+
+            // Divided clock for the last bank (when the design has the
+            // divider): a generated clock off this mode's clk0 clock.
+            if d.dividers {
+                let master = if is_test {
+                    format!("tclk{global_idx}")
+                } else {
+                    "mclk0".to_owned()
+                };
+                sdc += &format!(
+                    "create_generated_clock -name gdiv -source [get_ports clk0] \
+                     -master_clock [get_clocks {master}] -divide_by 2 [get_pins div0/Q]\n"
+                );
+            }
+
+            // Family fingerprint: a latency value on mclk1 that conflicts
+            // across families. Geometric spacing keeps adjacent values
+            // outside the merge tolerance (which is relative) no matter
+            // how many families there are.
+            sdc += &format!(
+                "set_clock_latency {:.4} [get_clocks mclk1]\n",
+                1.4f64.powi(family as i32)
+            );
+            sdc += "set_clock_uncertainty -setup 0.2 [get_clocks mclk1]\n";
+
+            // XOR-select pattern (Constraint Set 3): alternate the case
+            // values; the mux always selects input B (clk1).
+            if member % 2 == 0 {
+                sdc += "set_case_analysis 0 [get_ports sel_a]\nset_case_analysis 1 [get_ports sel_b]\n";
+            } else {
+                sdc += "set_case_analysis 1 [get_ports sel_a]\nset_case_analysis 0 [get_ports sel_b]\n";
+            }
+
+            // Scan enable.
+            if d.scan {
+                sdc += &format!(
+                    "set_case_analysis {} [get_ports scan_en]\n",
+                    u8::from(is_scan)
+                );
+            }
+
+            // Clock-gate enable: low-power modes gate bank 1 off.
+            if d.clock_gates && d.banks > 1 {
+                sdc += &format!(
+                    "set_case_analysis {} [get_ports cg_en1]\n",
+                    u8::from(!is_lowpower)
+                );
+            }
+
+            // Per-bank clock-mux selections: vary across families (modes
+            // within a family agree, as real mode families do — a
+            // per-member variation would make the merged mode time
+            // launch/capture clock crossings on the shared bank-clock
+            // mux that no individual mode times).
+            for bank in 1..d.banks {
+                if d.muxed_bank_stride > 0 && bank % d.muxed_bank_stride == 0 {
+                    sdc += &format!(
+                        "set_case_analysis {} [get_ports bank_sel{bank}]\n",
+                        (family + bank) % 2
+                    );
+                }
+            }
+
+            // I/O delays relative to the domain clocks.
+            let io_clock = if is_test {
+                format!("tclk{global_idx}")
+            } else {
+                "mclk0".to_owned()
+            };
+            for i in 0..io {
+                sdc += &format!(
+                    "set_input_delay 1.5 -clock [get_clocks {io_clock}] [get_ports din{i}]\n"
+                );
+                sdc += &format!(
+                    "set_output_delay 1.0 -clock [get_clocks mclk{}] [get_ports dout{i}]\n",
+                    d.domains - 1
+                );
+            }
+            sdc += "set_drive 0.4 [get_ports din*]\nset_load 0.2 [get_ports dout*]\n";
+
+            // Family-common exceptions: present in every member, added
+            // verbatim by the preliminary merge.
+            sdc += "set_false_path -from [get_clocks mclk2] -to [get_clocks mclk1]\n";
+            sdc += "set_max_delay 30 -from [get_clocks mclk1] -to [get_clocks mclk2]\n";
+
+            // Test-clock multicycle (Constraint Set 4 pattern): the test
+            // clock is unique to this mode, so the exception uniquifies.
+            if is_test {
+                sdc += &format!(
+                    "set_multicycle_path 2 -from [get_clocks tclk{global_idx}] -to [get_clocks mclk1]\n"
+                );
+            }
+
+            // Cross-written false-path pair (Constraint Set 6 pattern)
+            // on a small slice of bank 1.
+            if spec.cross_false_paths && family_size > 1 {
+                if member == 0 {
+                    sdc += "set_false_path -to [get_pins reg_1_0/D]\n";
+                } else {
+                    // Equivalent effect, different form: reg_1_0 is fed
+                    // (directly or through its scan mux) from bank 0 and
+                    // the chain; kill by endpoint anyway but written
+                    // through the feeding cloud's first gate.
+                    sdc += &format!(
+                        "set_false_path -through [get_pins c{}_i/Z] -to [get_pins reg_1_0/D]\n",
+                        0
+                    );
+                    if d.scan {
+                        sdc += &format!(
+                            "set_false_path -through [get_pins smux{}/B] -to [get_pins reg_1_0/D]\n",
+                            d.regs_per_bank
+                        );
+                    }
+                }
+            }
+
+            // Mode-private false path (dropped during preliminary merge).
+            let victim = member % d.regs_per_bank;
+            sdc += &format!(
+                "set_false_path -to [get_pins reg_{}_{victim}/D]\n",
+                d.banks - 1
+            );
+
+            let name = if is_scan {
+                format!("scan_f{family}_m{member}")
+            } else if is_lowpower {
+                format!("lp_f{family}_m{member}")
+            } else if is_test {
+                format!("test_f{family}_m{member}")
+            } else {
+                format!("func_f{family}_m{member}")
+            };
+            modes.push((
+                name,
+                SdcFile::parse(&sdc).expect("generated SDC is well-formed"),
+            ));
+            global_idx += 1;
+        }
+    }
+
+    Suite {
+        netlist,
+        modes,
+        expected_merged: spec.families.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modemerge_sta::mode::Mode;
+
+    fn spec() -> SuiteSpec {
+        SuiteSpec {
+            design: DesignSpec {
+                name: "suite_t".into(),
+                seed: 11,
+                domains: 3,
+                banks: 4,
+                regs_per_bank: 6,
+                cloud_depth: 3,
+                scan: true,
+                muxed_bank_stride: 3,
+                dividers: false,
+                clock_gates: false,
+            },
+            families: vec![2, 3],
+            test_clocks: true,
+            cross_false_paths: true,
+        }
+    }
+
+    #[test]
+    fn suite_has_requested_mode_count() {
+        let s = generate_suite(&spec());
+        assert_eq!(s.modes.len(), 5);
+        assert_eq!(s.expected_merged, 2);
+        assert_eq!(spec().mode_count(), 5);
+    }
+
+    #[test]
+    fn every_mode_binds() {
+        let s = generate_suite(&spec());
+        for (name, sdc) in &s.modes {
+            let mode = Mode::bind(name.clone(), &s.netlist, sdc)
+                .unwrap_or_else(|e| panic!("mode {name} failed to bind: {e}"));
+            assert!(!mode.clocks.is_empty(), "{name} has no clocks");
+            assert!(!mode.io_delays.is_empty(), "{name} has no io delays");
+        }
+    }
+
+    #[test]
+    fn mode_names_encode_roles() {
+        let s = generate_suite(&spec());
+        let names: Vec<&str> = s.modes.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.iter().any(|n| n.starts_with("func_")));
+        assert!(names.iter().any(|n| n.starts_with("test_")));
+        assert!(names.iter().any(|n| n.starts_with("scan_")));
+    }
+
+    #[test]
+    fn test_clock_periods_are_unique() {
+        let s = generate_suite(&spec());
+        let mut periods = Vec::new();
+        for (_, sdc) in &s.modes {
+            for c in sdc.commands() {
+                if let modemerge_sdc::Command::CreateClock(cc) = c {
+                    if cc.name.as_deref().is_some_and(|n| n.starts_with("tclk")) {
+                        periods.push(cc.period as i64);
+                    }
+                }
+            }
+        }
+        let count = periods.len();
+        periods.sort_unstable();
+        periods.dedup();
+        assert!(count >= 2, "expected at least two test clocks");
+        assert_eq!(periods.len(), count, "test clock periods must be unique");
+    }
+
+    #[test]
+    fn divider_suite_binds_with_generated_clocks() {
+        let mut sp = spec();
+        sp.design.dividers = true;
+        let s = generate_suite(&sp);
+        for (name, sdc) in &s.modes {
+            let mode = Mode::bind(name.clone(), &s.netlist, sdc)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let gdiv = mode.clock_by_name("gdiv").expect("generated clock bound");
+            assert!(mode.clock(gdiv).generated.is_some());
+        }
+    }
+
+    #[test]
+    fn lowpower_modes_gate_the_bank() {
+        let mut sp = spec();
+        sp.design.clock_gates = true;
+        let s = generate_suite(&sp);
+        let names: Vec<&str> = s.modes.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.iter().any(|n| n.starts_with("lp_")), "{names:?}");
+        for (name, sdc) in &s.modes {
+            let text = sdc.to_text();
+            let expected = if name.starts_with("lp_") { "0" } else { "1" };
+            assert!(
+                text.contains(&format!("set_case_analysis {expected} [get_ports cg_en1]")),
+                "{name}: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = generate_suite(&spec());
+        let b = generate_suite(&spec());
+        for ((na, sa), (nb, sb)) in a.modes.iter().zip(b.modes.iter()) {
+            assert_eq!(na, nb);
+            assert_eq!(sa.to_text(), sb.to_text());
+        }
+    }
+}

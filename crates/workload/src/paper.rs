@@ -1,0 +1,184 @@
+//! The six suite configurations mimicking designs A–F of Table 5.
+//!
+//! The paper's designs are proprietary; these configurations reproduce
+//! their published *shape*: cell count (scaled down by a configurable
+//! divisor — the paper's sizes are 0.2–2.8 million cells), individual
+//! mode count, and the mode-family structure that yields the published
+//! merged-mode count.
+
+use crate::design::DesignSpec;
+use crate::modes::SuiteSpec;
+
+/// One of the paper's six evaluation designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperDesign {
+    /// 0.2 M cells, 95 modes → 16 merged (83.1 % reduction).
+    A,
+    /// 0.2 M cells, 3 modes → 1 merged (66.6 %).
+    B,
+    /// 0.3 M cells, 12 modes → 3 merged (75.0 % — the paper's
+    /// reduction percentage implies 3; the table's "1" is a typo).
+    C,
+    /// 1.4 M cells, 3 modes → 1 merged (66.6 %).
+    D,
+    /// 1.6 M cells, 5 modes → 1 merged (80.0 %).
+    E,
+    /// 2.8 M cells, 3 modes → 2 merged (33.3 %).
+    F,
+}
+
+impl PaperDesign {
+    /// All six designs in table order.
+    pub const ALL: [PaperDesign; 6] = [
+        PaperDesign::A,
+        PaperDesign::B,
+        PaperDesign::C,
+        PaperDesign::D,
+        PaperDesign::E,
+        PaperDesign::F,
+    ];
+
+    /// Design letter as printed in the paper.
+    pub fn letter(self) -> char {
+        match self {
+            Self::A => 'A',
+            Self::B => 'B',
+            Self::C => 'C',
+            Self::D => 'D',
+            Self::E => 'E',
+            Self::F => 'F',
+        }
+    }
+
+    /// The paper's cell count, in millions.
+    pub fn size_mcells(self) -> f64 {
+        match self {
+            Self::A | Self::B => 0.2,
+            Self::C => 0.3,
+            Self::D => 1.4,
+            Self::E => 1.6,
+            Self::F => 2.8,
+        }
+    }
+
+    /// The paper's individual mode count.
+    pub fn individual_modes(self) -> usize {
+        match self {
+            Self::A => 95,
+            Self::B | Self::D | Self::F => 3,
+            Self::C => 12,
+            Self::E => 5,
+        }
+    }
+
+    /// The paper's merged mode count.
+    pub fn merged_modes(self) -> usize {
+        match self {
+            Self::A => 16,
+            Self::B | Self::D | Self::E => 1,
+            Self::C => 3,
+            Self::F => 2,
+        }
+    }
+
+    /// Mode families: sizes sum to [`Self::individual_modes`], count
+    /// equals [`Self::merged_modes`].
+    pub fn families(self) -> Vec<usize> {
+        match self {
+            // 15 families of 6 plus one of 5 = 95 modes, 16 families.
+            Self::A => {
+                let mut f = vec![6; 15];
+                f.push(5);
+                f
+            }
+            Self::B | Self::D => vec![3],
+            Self::C => vec![4, 4, 4],
+            Self::E => vec![5],
+            Self::F => vec![2, 1],
+        }
+    }
+}
+
+/// Builds the suite spec for one paper design.
+///
+/// `scale_divisor` shrinks the paper's cell counts to laptop scale
+/// (e.g. 100 turns design F's 2.8 M cells into 28 k cells). Mode counts
+/// and family structure are never scaled.
+pub fn paper_suite(design: PaperDesign, scale_divisor: usize) -> SuiteSpec {
+    let cells = (design.size_mcells() * 1e6 / scale_divisor.max(1) as f64) as usize;
+    let mut d = DesignSpec::with_target_cells(
+        format!("design_{}", design.letter()),
+        cells.max(500),
+        0xD0C5 + design.letter() as u64,
+    );
+    // Industrial designs carry clock dividers and gated banks; the
+    // low-power mode variants the generator derives from them are part
+    // of what makes merging worthwhile.
+    d.dividers = true;
+    d.clock_gates = true;
+    SuiteSpec {
+        design: d,
+        families: design.families(),
+        test_clocks: true,
+        cross_false_paths: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_structure_matches_table5() {
+        for d in PaperDesign::ALL {
+            let families = d.families();
+            assert_eq!(
+                families.iter().sum::<usize>(),
+                d.individual_modes(),
+                "design {}",
+                d.letter()
+            );
+            assert_eq!(families.len(), d.merged_modes(), "design {}", d.letter());
+        }
+    }
+
+    #[test]
+    fn reduction_percentages_match_table5() {
+        let expect = [
+            (PaperDesign::A, 83.1),
+            (PaperDesign::B, 66.6),
+            (PaperDesign::C, 75.0),
+            (PaperDesign::D, 66.6),
+            (PaperDesign::E, 80.0),
+            (PaperDesign::F, 33.3),
+        ];
+        for (d, pct) in expect {
+            let got = 100.0 * (d.individual_modes() - d.merged_modes()) as f64
+                / d.individual_modes() as f64;
+            assert!((got - pct).abs() < 0.2, "design {}: {got}", d.letter());
+        }
+    }
+
+    #[test]
+    fn suite_spec_scales_cells() {
+        let s = paper_suite(PaperDesign::F, 100);
+        assert_eq!(s.mode_count(), 3);
+        // 2.8e6 / 100 = 28k cells target.
+        let spec = &s.design;
+        assert!(spec.regs_per_bank * spec.banks * (2 + spec.cloud_depth) > 20_000);
+    }
+
+    #[test]
+    fn average_reduction_matches_paper() {
+        // Table 5's average reduction is 67.5 %.
+        let avg: f64 = PaperDesign::ALL
+            .iter()
+            .map(|d| {
+                100.0 * (d.individual_modes() - d.merged_modes()) as f64
+                    / d.individual_modes() as f64
+            })
+            .sum::<f64>()
+            / 6.0;
+        assert!((avg - 67.5).abs() < 0.3, "average {avg}");
+    }
+}

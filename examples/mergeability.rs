@@ -1,0 +1,74 @@
+//! Mergeability graph and greedy clique cover (Figure 2 of the paper).
+//!
+//! Seven modes on the Figure-1 circuit: two triples of mutually
+//! compatible modes plus one loner (conflicting clock latency). The
+//! mock preliminary merge builds the mergeability graph; the greedy
+//! clique cover recovers the M1/M2/M3 structure of Figure 2.
+//!
+//! ```text
+//! cargo run --example mergeability
+//! ```
+
+use modemerge::merge::merge::{merge_all, MergeOptions, ModeInput};
+use modemerge::merge::mergeability::{greedy_cliques, MergeabilityGraph};
+use modemerge::netlist::paper::paper_circuit;
+use modemerge::sta::mode::Mode;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let netlist = paper_circuit();
+
+    // Three groups distinguished by incompatible latency values on a
+    // shared clock (the paper's "incompatible constraint values").
+    let mut inputs = Vec::new();
+    for (group, latency, count) in [(1, 0.0, 3), (2, 5.0, 3), (3, 20.0, 1)] {
+        for member in 0..count {
+            inputs.push(ModeInput::parse(
+                format!("g{group}_m{member}"),
+                &format!(
+                    "create_clock -name clkA -period 10 [get_ports clk1]\n\
+                     set_clock_latency {latency} [get_clocks clkA]\n\
+                     set_false_path -to [get_pins rX/D]\n"
+                ),
+            )?);
+        }
+    }
+
+    let modes: Vec<Mode> = inputs
+        .iter()
+        .map(|i| Mode::bind(i.name.clone(), &netlist, &i.sdc))
+        .collect::<Result<_, _>>()?;
+    let graph = MergeabilityGraph::build(&netlist, &modes, &MergeOptions::default());
+
+    println!("Mergeability matrix ({} modes):", graph.len());
+    print!("{:>8}", "");
+    for input in inputs.iter().take(graph.len()) {
+        print!("{:>8}", input.name);
+    }
+    println!();
+    for (i, input) in inputs.iter().enumerate().take(graph.len()) {
+        print!("{:>8}", input.name);
+        for j in 0..graph.len() {
+            print!("{:>8}", if graph.mergeable(i, j) { "1" } else { "." });
+        }
+        println!();
+    }
+
+    let cliques = greedy_cliques(&graph);
+    println!("\nGreedy clique cover (the paper's M1/M2/M3):");
+    for (k, clique) in cliques.iter().enumerate() {
+        let names: Vec<&str> = clique.iter().map(|&i| inputs[i].name.as_str()).collect();
+        println!("  M{}: {}", k + 1, names.join(", "));
+    }
+
+    let outcome = merge_all(&netlist, &inputs, &MergeOptions::default())?;
+    println!(
+        "\nFull flow: {} modes -> {} superset modes ({:.1} % reduction)",
+        inputs.len(),
+        outcome.merged.len(),
+        outcome.reduction_percent(inputs.len())
+    );
+    for m in &outcome.merged {
+        println!("  merged mode: {}", m.name);
+    }
+    Ok(())
+}

@@ -1,0 +1,117 @@
+//! A full sign-off flow on a synthetic SoC: generate a multi-domain
+//! design with a family-structured mode suite, plan and merge the
+//! modes, run STA with both mode sets and compare runtime and
+//! endpoint-slack QoR — a miniature of the paper's Tables 5 and 6.
+//!
+//! ```text
+//! cargo run --release --example signoff_flow
+//! ```
+
+use modemerge::merge::merge::{merge_all, MergeOptions, ModeInput};
+use modemerge::sta::analysis::Analysis;
+use modemerge::sta::graph::TimingGraph;
+use modemerge::sta::mode::Mode;
+use modemerge::workload::{generate_suite, DesignSpec, SuiteSpec};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A ~5k-cell SoC block with 3 clock domains, scan, and 8 timing
+    // modes in three families (functional / test / scan variants).
+    let spec = SuiteSpec {
+        design: DesignSpec::with_target_cells("soc_block", 5000, 42),
+        families: vec![3, 3, 2],
+        test_clocks: true,
+        cross_false_paths: true,
+    };
+    let suite = generate_suite(&spec);
+    println!(
+        "Generated {}: {} cells, {} timing modes",
+        suite.netlist.name(),
+        suite.netlist.instance_count(),
+        suite.modes.len()
+    );
+
+    // Plan + merge.
+    let inputs: Vec<ModeInput> = suite
+        .modes
+        .iter()
+        .map(|(n, s)| ModeInput::new(n.clone(), s.clone()))
+        .collect();
+    let t0 = Instant::now();
+    let outcome = merge_all(&suite.netlist, &inputs, &MergeOptions::default())?;
+    println!(
+        "\nMode merging: {} -> {} modes ({:.1} % reduction) in {:.3} s",
+        inputs.len(),
+        outcome.merged.len(),
+        outcome.reduction_percent(inputs.len()),
+        t0.elapsed().as_secs_f64()
+    );
+    for (group, report) in outcome.groups.iter().zip(&outcome.reports) {
+        println!(
+            "  clique {group:?}: {} clocks, {} uniquified exceptions, {} refinement FPs, validated = {}",
+            report.clock_count,
+            report.uniquified_exceptions,
+            report.clock_stops + report.data_cut_false_paths + report.comparison_false_paths,
+            report.validated
+        );
+    }
+
+    // STA both ways.
+    let graph = TimingGraph::build(&suite.netlist)?;
+    let mut worst_individual: BTreeMap<_, (f64, f64)> = BTreeMap::new();
+    let t0 = Instant::now();
+    for (name, sdc) in &suite.modes {
+        let mode = Mode::bind(name.clone(), &suite.netlist, sdc)?;
+        let analysis = Analysis::run(&suite.netlist, &graph, &mode);
+        for s in analysis.endpoint_slacks() {
+            worst_individual
+                .entry(s.endpoint)
+                .and_modify(|(w, p)| {
+                    if s.slack < *w {
+                        *w = s.slack;
+                        *p = s.capture_period;
+                    }
+                })
+                .or_insert((s.slack, s.capture_period));
+        }
+    }
+    let t_individual = t0.elapsed();
+
+    let mut worst_merged: BTreeMap<_, f64> = BTreeMap::new();
+    let t0 = Instant::now();
+    for m in &outcome.merged {
+        let mode = Mode::bind(m.name.clone(), &suite.netlist, &m.sdc)?;
+        let analysis = Analysis::run(&suite.netlist, &graph, &mode);
+        for s in analysis.endpoint_slacks() {
+            worst_merged
+                .entry(s.endpoint)
+                .and_modify(|w| *w = s.slack.min(*w))
+                .or_insert(s.slack);
+        }
+    }
+    let t_merged = t0.elapsed();
+
+    let total = worst_individual.len();
+    let conforming = worst_individual
+        .iter()
+        .filter(|(ep, (w, p))| {
+            worst_merged
+                .get(ep)
+                .is_some_and(|m| (m - w).abs() <= 0.01 * p)
+        })
+        .count();
+
+    println!("\nSTA with individual modes: {:.3} s", t_individual.as_secs_f64());
+    println!("STA with merged modes:     {:.3} s", t_merged.as_secs_f64());
+    println!(
+        "Runtime reduction: {:.1} %",
+        100.0 * (1.0 - t_merged.as_secs_f64() / t_individual.as_secs_f64())
+    );
+    println!(
+        "QoR conformity: {:.2} % of {} endpoints within 1 % of capture period",
+        100.0 * conforming as f64 / total.max(1) as f64,
+        total
+    );
+    Ok(())
+}

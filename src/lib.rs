@@ -1,0 +1,13 @@
+//! Facade crate re-exporting the `modemerge` stack.
+//!
+//! * [`netlist`] — gate-level netlist data model
+//! * [`sdc`] — SDC parser/writer and object queries
+//! * [`sta`] — static timing analysis engine and timing relationships
+//! * [`merge`] — the mode-merging engine (the DAC'15 contribution)
+//! * [`workload`] — synthetic industrial-design and mode-set generator
+
+pub use modemerge_core as merge;
+pub use modemerge_netlist as netlist;
+pub use modemerge_sdc as sdc;
+pub use modemerge_sta as sta;
+pub use modemerge_workload as workload;

@@ -1,0 +1,99 @@
+//! Clock-gating integration: merging a functional mode with a low-power
+//! mode whose clock gate shuts a register bank off.
+
+use modemerge::merge::merge::{merge_group, MergeOptions, ModeInput};
+use modemerge::sta::analysis::Analysis;
+use modemerge::sta::graph::TimingGraph;
+use modemerge::sta::mode::Mode;
+use modemerge::workload::{generate_design, DesignSpec};
+use modemerge::sdc::SdcFile;
+
+fn gated_design() -> modemerge::netlist::Netlist {
+    generate_design(&DesignSpec {
+        name: "gated".into(),
+        seed: 5,
+        domains: 2,
+        banks: 3,
+        regs_per_bank: 4,
+        cloud_depth: 2,
+        scan: false,
+        muxed_bank_stride: 0,
+        dividers: false,
+        clock_gates: true,
+    })
+}
+
+const BASE: &str = "\
+create_clock -name c0 -period 10 [get_ports clk0]
+create_clock -name c1 -period 12 [get_ports clk1]
+set_case_analysis 0 [get_ports sel_a]
+set_case_analysis 1 [get_ports sel_b]
+";
+
+#[test]
+fn gated_off_bank_is_unclocked() {
+    let netlist = gated_design();
+    let graph = TimingGraph::build(&netlist).unwrap();
+    let sdc = format!("{BASE}set_case_analysis 0 [get_ports cg_en1]\n");
+    let mode = Mode::bind("lp", &netlist, &SdcFile::parse(&sdc).unwrap()).unwrap();
+    let analysis = Analysis::run(&netlist, &graph, &mode);
+    let cp = netlist.find_pin("reg_1_0/CP").unwrap();
+    assert!(
+        analysis.clock_arrivals().clocks_at(cp).is_empty(),
+        "gated-off bank must receive no clock"
+    );
+    // The enabled variant clocks it.
+    let sdc = format!("{BASE}set_case_analysis 1 [get_ports cg_en1]\n");
+    let mode = Mode::bind("func", &netlist, &SdcFile::parse(&sdc).unwrap()).unwrap();
+    let analysis = Analysis::run(&netlist, &graph, &mode);
+    assert_eq!(analysis.clock_arrivals().clocks_at(cp).len(), 1);
+}
+
+#[test]
+fn func_plus_lowpower_merge_validates() {
+    let netlist = gated_design();
+    let func = ModeInput::parse(
+        "func",
+        &format!("{BASE}set_case_analysis 1 [get_ports cg_en1]\n"),
+    )
+    .unwrap();
+    let lp = ModeInput::parse(
+        "lp",
+        &format!("{BASE}set_case_analysis 0 [get_ports cg_en1]\n"),
+    )
+    .unwrap();
+    let out = merge_group(&netlist, &[func, lp], &MergeOptions::default()).unwrap();
+    assert!(out.report.validated);
+    // The conflicting gate enable is dropped and the port disabled.
+    let text = out.merged.sdc.to_text();
+    assert!(text.contains("set_disable_timing [get_ports cg_en1]"), "{text}");
+    // The merged mode must still clock bank 1 (the functional mode does).
+    let graph = TimingGraph::build(&netlist).unwrap();
+    let merged = Mode::bind("m", &netlist, &out.merged.sdc).unwrap();
+    let analysis = Analysis::run(&netlist, &graph, &merged);
+    let cp = netlist.find_pin("reg_1_0/CP").unwrap();
+    assert!(!analysis.clock_arrivals().clocks_at(cp).is_empty());
+}
+
+#[test]
+fn gate_enable_agreement_is_kept() {
+    // Both modes enable the gate: the case survives the intersection.
+    let netlist = gated_design();
+    let a = ModeInput::parse(
+        "a",
+        &format!("{BASE}set_case_analysis 1 [get_ports cg_en1]\n"),
+    )
+    .unwrap();
+    let b = ModeInput::parse(
+        "b",
+        &format!(
+            "{BASE}set_case_analysis 1 [get_ports cg_en1]\n\
+             set_false_path -to [get_pins reg_2_0/D]\n"
+        ),
+    )
+    .unwrap();
+    let out = merge_group(&netlist, &[a, b], &MergeOptions::default()).unwrap();
+    let text = out.merged.sdc.to_text();
+    assert!(text.contains("set_case_analysis 1 [get_ports cg_en1]"), "{text}");
+    assert!(out.report.validated);
+}

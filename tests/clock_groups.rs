@@ -1,0 +1,94 @@
+//! Clock-group semantics end to end: declared exclusivity/asynchrony
+//! suppresses cross-clock relations, survives merging, and derived
+//! exclusivity appears when clocks never coexist.
+
+use modemerge::merge::merge::{merge_group, MergeOptions, ModeInput};
+use modemerge::netlist::paper::paper_circuit;
+use modemerge::sdc::SdcFile;
+use modemerge::sta::analysis::Analysis;
+use modemerge::sta::graph::TimingGraph;
+use modemerge::sta::mode::Mode;
+
+const TWO_CLOCKS: &str = "\
+create_clock -name a -period 10 [get_ports clk1]
+create_clock -name b -period 4 [get_ports clk2]
+";
+
+#[test]
+fn async_groups_suppress_cross_relations() {
+    let netlist = paper_circuit();
+    let graph = TimingGraph::build(&netlist).unwrap();
+    let with_groups = Mode::bind(
+        "g",
+        &netlist,
+        &SdcFile::parse(&format!(
+            "{TWO_CLOCKS}set_clock_groups -asynchronous -group [get_clocks a] -group [get_clocks b]\n"
+        ))
+        .unwrap(),
+    )
+    .unwrap();
+    let without = Mode::bind("n", &netlist, &SdcFile::parse(TWO_CLOCKS).unwrap()).unwrap();
+    let with_an = Analysis::run(&netlist, &graph, &with_groups);
+    let without_an = Analysis::run(&netlist, &graph, &without);
+    // Cross pairs (launch a → capture b at the muxed registers) exist
+    // only without the groups.
+    let crosses = |a: &Analysis| {
+        a.endpoint_relations()
+            .iter()
+            .filter(|r| r.launch != r.capture)
+            .count()
+    };
+    assert_eq!(crosses(&with_an), 0);
+    assert!(crosses(&without_an) > 0);
+}
+
+#[test]
+fn inherited_groups_make_merge_trivial() {
+    // Both modes declare the clocks exclusive: the merged mode inherits
+    // the group and refinement has nothing to fix.
+    let netlist = paper_circuit();
+    let declared = format!(
+        "{TWO_CLOCKS}set_clock_groups -physically_exclusive -group [get_clocks a] -group [get_clocks b]\n"
+    );
+    let m1 = ModeInput::parse("m1", &declared).unwrap();
+    let m2 = ModeInput::parse(
+        "m2",
+        &format!("{declared}set_false_path -to [get_pins rX/D]\n"),
+    )
+    .unwrap();
+    let out = merge_group(&netlist, &[m1, m2], &MergeOptions::default()).unwrap();
+    assert!(out.report.validated);
+    let text = out.merged.sdc.to_text();
+    assert!(text.contains("set_clock_groups -physically_exclusive"), "{text}");
+    // No clock-pair false paths were needed: the group covers them.
+    assert!(
+        !text.contains("set_false_path -from [get_clocks a] -to [get_clocks b]"),
+        "{text}"
+    );
+}
+
+#[test]
+fn one_sided_groups_fall_back_to_refinement() {
+    // Only one mode declares the groups; the other times the cross
+    // paths, so the union keeps them and the merged mode must too.
+    let netlist = paper_circuit();
+    let m1 = ModeInput::parse(
+        "m1",
+        &format!(
+            "{TWO_CLOCKS}set_clock_groups -asynchronous -group [get_clocks a] -group [get_clocks b]\n"
+        ),
+    )
+    .unwrap();
+    let m2 = ModeInput::parse("m2", TWO_CLOCKS).unwrap();
+    let out = merge_group(&netlist, &[m1, m2], &MergeOptions::default()).unwrap();
+    assert!(out.report.validated);
+    let graph = TimingGraph::build(&netlist).unwrap();
+    let merged = Mode::bind("m", &netlist, &out.merged.sdc).unwrap();
+    let analysis = Analysis::run(&netlist, &graph, &merged);
+    let crosses = analysis
+        .endpoint_relations()
+        .iter()
+        .filter(|r| r.launch != r.capture && r.state.is_timed())
+        .count();
+    assert!(crosses > 0, "mode m2's cross paths must stay timed");
+}

@@ -1,0 +1,144 @@
+//! Integration tests for `create_generated_clock`: binding, propagation
+//! from the generation target, STA relations, and mode merging.
+
+use modemerge::merge::merge::{merge_group, MergeOptions, ModeInput};
+use modemerge::netlist::{Library, Netlist, NetlistBuilder};
+use modemerge::sdc::SdcFile;
+use modemerge::sta::analysis::Analysis;
+use modemerge::sta::graph::TimingGraph;
+use modemerge::sta::mode::Mode;
+use modemerge::sta::StaError;
+
+/// A divider: clk → divider FF (Q feeds back through an inverter), the
+/// divided clock at div/Q clocks the payload register.
+fn divider_design() -> Netlist {
+    let mut b = NetlistBuilder::new("divider", Library::standard());
+    let clk = b.input_port("clk").unwrap();
+    let din = b.input_port("din").unwrap();
+    let out = b.output_port("out").unwrap();
+    let div = b.instance("div", "DFF").unwrap();
+    let fb = b.instance("fb", "INV").unwrap();
+    let payload = b.instance("payload", "DFF").unwrap();
+    b.connect_port_to_pin(clk, div, "CP").unwrap();
+    b.connect_pins(div, "Q", fb, "A").unwrap();
+    b.connect_pins(fb, "Z", div, "D").unwrap();
+    b.connect_pins(div, "Q", payload, "CP").unwrap();
+    b.connect_port_to_pin(din, payload, "D").unwrap();
+    b.connect_pin_to_port(payload, "Q", out).unwrap();
+    b.finish().unwrap()
+}
+
+const DIV_SDC: &str = "\
+create_clock -name clk -period 10 [get_ports clk]
+create_generated_clock -name clkdiv2 -source [get_ports clk] -divide_by 2 [get_pins div/Q]
+";
+
+#[test]
+fn generated_clock_binds_with_derived_period() {
+    let netlist = divider_design();
+    let mode = Mode::bind("m", &netlist, &SdcFile::parse(DIV_SDC).unwrap()).unwrap();
+    let div2 = mode.clock_by_name("clkdiv2").unwrap();
+    let clock = mode.clock(div2);
+    assert_eq!(clock.period, 20.0);
+    assert_eq!(clock.waveform, (0.0, 10.0));
+    let g = clock.generated.as_ref().unwrap();
+    assert_eq!(g.divide_by, 2);
+    assert_eq!(mode.clock(g.master).name, "clk");
+    // Source pins point at the master's reference, sources at the target.
+    assert_eq!(clock.sources, vec![netlist.find_pin("div/Q").unwrap()]);
+}
+
+#[test]
+fn master_inferred_from_source_pin() {
+    let netlist = divider_design();
+    let sdc = SdcFile::parse(
+        "create_clock -name clk -period 8 [get_ports clk]\n\
+         create_generated_clock -source [get_ports clk] -multiply_by 2 [get_pins div/Q]\n",
+    )
+    .unwrap();
+    let mode = Mode::bind("m", &netlist, &sdc).unwrap();
+    // Name defaults to the target pin; period = 8 / 2.
+    let gen = mode.clock_by_name("div/Q").unwrap();
+    assert_eq!(mode.clock(gen).period, 4.0);
+}
+
+#[test]
+fn missing_master_is_an_error() {
+    let netlist = divider_design();
+    let sdc = SdcFile::parse(
+        "create_generated_clock -name g -source [get_ports clk] -divide_by 2 [get_pins div/Q]\n",
+    )
+    .unwrap();
+    assert!(matches!(
+        Mode::bind("m", &netlist, &sdc),
+        Err(StaError::UnknownClock(_))
+    ));
+}
+
+#[test]
+fn generated_clock_clocks_the_payload() {
+    let netlist = divider_design();
+    let graph = TimingGraph::build(&netlist).unwrap();
+    let sdc = format!(
+        "{DIV_SDC}set_input_delay 1 -clock clkdiv2 [get_ports din]\n"
+    );
+    let mode = Mode::bind("m", &netlist, &SdcFile::parse(&sdc).unwrap()).unwrap();
+    let analysis = Analysis::run(&netlist, &graph, &mode);
+    let div2 = mode.clock_by_name("clkdiv2").unwrap();
+    let payload_cp = netlist.find_pin("payload/CP").unwrap();
+    assert!(analysis.clock_arrivals().reaches(div2, payload_cp));
+    // The payload endpoint captures with the divided clock's period.
+    let payload_d = netlist.find_pin("payload/D").unwrap();
+    let slack = analysis
+        .endpoint_slacks()
+        .into_iter()
+        .find(|s| s.endpoint == payload_d)
+        .expect("payload endpoint timed");
+    assert_eq!(slack.capture_period, 20.0);
+}
+
+#[test]
+fn merged_mode_keeps_the_generated_clock() {
+    let netlist = divider_design();
+    let mode_a = ModeInput::parse("A", DIV_SDC).unwrap();
+    let mode_b = ModeInput::parse(
+        "B",
+        &format!("{DIV_SDC}set_false_path -to [get_pins payload/D]\n"),
+    )
+    .unwrap();
+    let out = merge_group(&netlist, &[mode_a, mode_b], &MergeOptions::default()).unwrap();
+    let text = out.merged.sdc.to_text();
+    assert!(
+        text.contains(
+            "create_generated_clock -name clkdiv2 -source [get_ports clk] -master_clock [get_clocks clk] -divide_by 2 -add [get_pins div/Q]"
+        ),
+        "{text}"
+    );
+    assert!(out.report.validated);
+    // The merged SDC re-binds (the generated clock resolves its master).
+    let merged = Mode::bind("m", &netlist, &out.merged.sdc).unwrap();
+    assert_eq!(merged.clocks.len(), 2);
+    assert_eq!(merged.clock(merged.clock_by_name("clkdiv2").unwrap()).period, 20.0);
+}
+
+#[test]
+fn different_divide_factors_are_distinct_clocks() {
+    let netlist = divider_design();
+    let mode_a = ModeInput::parse("A", DIV_SDC).unwrap();
+    let mode_b = ModeInput::parse(
+        "B",
+        "create_clock -name clk -period 10 [get_ports clk]\n\
+         create_generated_clock -name clkdiv4 -source [get_ports clk] -divide_by 4 [get_pins div/Q]\n",
+    )
+    .unwrap();
+    let out = merge_group(&netlist, &[mode_a, mode_b], &MergeOptions::default()).unwrap();
+    // clk shared; clkdiv2 (period 20) and clkdiv4 (period 40) distinct.
+    assert_eq!(out.report.clock_count, 3);
+    let text = out.merged.sdc.to_text();
+    assert!(text.contains("clkdiv2"), "{text}");
+    assert!(text.contains("clkdiv4"), "{text}");
+    // The two generated clocks share a source pin and never coexist →
+    // physically exclusive.
+    assert!(text.contains("set_clock_groups -physically_exclusive"), "{text}");
+    assert!(out.report.validated);
+}

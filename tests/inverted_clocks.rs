@@ -1,0 +1,158 @@
+//! Clock-polarity tracking: inverted clock networks give half-period
+//! setup relations, and `set_clock_sense -positive/-negative` filters
+//! polarities.
+
+use modemerge::merge::merge::{merge_group, MergeOptions, ModeInput};
+use modemerge::netlist::{Library, Netlist, NetlistBuilder};
+use modemerge::sdc::SdcFile;
+use modemerge::sta::analysis::Analysis;
+use modemerge::sta::graph::TimingGraph;
+use modemerge::sta::mode::Mode;
+
+/// Launch FF on the clock, capture FF on the *inverted* clock — a
+/// classic negative-edge-capture structure.
+fn inverted_capture_design() -> Netlist {
+    let mut b = NetlistBuilder::new("neg_edge", Library::standard());
+    let clk = b.input_port("clk").unwrap();
+    let din = b.input_port("din").unwrap();
+    let out = b.output_port("out").unwrap();
+    let ckinv = b.instance("ckinv", "INV").unwrap();
+    let launch = b.instance("launch", "DFF").unwrap();
+    let capture = b.instance("capture", "DFF").unwrap();
+    let u1 = b.instance("u1", "BUF").unwrap();
+    b.connect_port_to_pin(clk, launch, "CP").unwrap();
+    b.connect_port_to_pin(clk, ckinv, "A").unwrap();
+    b.connect_pins(ckinv, "Z", capture, "CP").unwrap();
+    b.connect_port_to_pin(din, launch, "D").unwrap();
+    b.connect_pins(launch, "Q", u1, "A").unwrap();
+    b.connect_pins(u1, "Z", capture, "D").unwrap();
+    b.connect_pin_to_port(capture, "Q", out).unwrap();
+    b.finish().unwrap()
+}
+
+const CLK: &str = "create_clock -name clk -period 10 [get_ports clk]\n";
+
+#[test]
+fn inverted_capture_arrives_inverted() {
+    let netlist = inverted_capture_design();
+    let graph = TimingGraph::build(&netlist).unwrap();
+    let mode = Mode::bind("m", &netlist, &SdcFile::parse(CLK).unwrap()).unwrap();
+    let analysis = Analysis::run(&netlist, &graph, &mode);
+    let cap_cp = netlist.find_pin("capture/CP").unwrap();
+    let entries = analysis.clock_arrivals().clocks_at(cap_cp);
+    assert_eq!(entries.len(), 1);
+    assert!(entries[0].inverted, "one inverter on the path flips polarity");
+    // The launch FF sees the normal polarity.
+    let launch_cp = netlist.find_pin("launch/CP").unwrap();
+    assert!(!analysis.clock_arrivals().clocks_at(launch_cp)[0].inverted);
+}
+
+#[test]
+fn half_period_setup_relation() {
+    let netlist = inverted_capture_design();
+    let graph = TimingGraph::build(&netlist).unwrap();
+    let mode = Mode::bind("m", &netlist, &SdcFile::parse(CLK).unwrap()).unwrap();
+    let analysis = Analysis::run(&netlist, &graph, &mode);
+    let cap_d = netlist.find_pin("capture/D").unwrap();
+    let slack = analysis
+        .endpoint_slacks()
+        .into_iter()
+        .find(|s| s.endpoint == cap_d)
+        .expect("capture endpoint timed");
+    // Rise launch at 0, fall capture at 5: the path has half a period
+    // (minus margins and network delays) — well below the full period a
+    // polarity-blind engine would report.
+    assert!(
+        slack.slack < 5.0,
+        "half-period path must have < P/2 slack, got {}",
+        slack.slack
+    );
+    assert!(slack.slack > 2.0, "sanity: got {}", slack.slack);
+}
+
+#[test]
+fn positive_sense_assertion_blocks_inverted_arrival() {
+    let netlist = inverted_capture_design();
+    let graph = TimingGraph::build(&netlist).unwrap();
+    let sdc = format!(
+        "{CLK}set_clock_sense -positive -clocks [get_clocks clk] [get_pins ckinv/Z]\n"
+    );
+    let mode = Mode::bind("m", &netlist, &SdcFile::parse(&sdc).unwrap()).unwrap();
+    let analysis = Analysis::run(&netlist, &graph, &mode);
+    let cap_cp = netlist.find_pin("capture/CP").unwrap();
+    // The inverted arrival at ckinv/Z is asserted positive-only, so
+    // nothing propagates onward: the capture FF is unclocked.
+    assert!(analysis.clock_arrivals().clocks_at(cap_cp).is_empty());
+}
+
+#[test]
+fn negative_sense_assertion_keeps_inverted_arrival() {
+    let netlist = inverted_capture_design();
+    let graph = TimingGraph::build(&netlist).unwrap();
+    let sdc = format!(
+        "{CLK}set_clock_sense -negative -clocks [get_clocks clk] [get_pins ckinv/Z]\n"
+    );
+    let mode = Mode::bind("m", &netlist, &SdcFile::parse(&sdc).unwrap()).unwrap();
+    let analysis = Analysis::run(&netlist, &graph, &mode);
+    let cap_cp = netlist.find_pin("capture/CP").unwrap();
+    let entries = analysis.clock_arrivals().clocks_at(cap_cp);
+    assert_eq!(entries.len(), 1);
+    assert!(entries[0].inverted);
+}
+
+#[test]
+fn inverted_clock_modes_merge_and_validate() {
+    let netlist = inverted_capture_design();
+    let a = ModeInput::parse("A", CLK).unwrap();
+    let b = ModeInput::parse(
+        "B",
+        &format!("{CLK}set_false_path -to [get_pins capture/D]\n"),
+    )
+    .unwrap();
+    let out = merge_group(&netlist, &[a, b], &MergeOptions::default()).unwrap();
+    assert!(out.report.validated);
+}
+
+#[test]
+fn xor_clock_path_forks_both_polarities() {
+    // Clock through an XOR (programmable inversion): both polarities
+    // propagate, and the worst (half-period) one governs the slack.
+    let mut b = NetlistBuilder::new("xored", Library::standard());
+    let clk = b.input_port("clk").unwrap();
+    let pol = b.input_port("pol").unwrap();
+    let din = b.input_port("din").unwrap();
+    let out = b.output_port("out").unwrap();
+    let x = b.instance("x0", "XOR2").unwrap();
+    let launch = b.instance("launch", "DFF").unwrap();
+    let capture = b.instance("capture", "DFF").unwrap();
+    b.connect_port_to_pin(clk, launch, "CP").unwrap();
+    b.connect_port_to_pin(clk, x, "A").unwrap();
+    b.connect_port_to_pin(pol, x, "B").unwrap();
+    b.connect_pins(x, "Z", capture, "CP").unwrap();
+    b.connect_port_to_pin(din, launch, "D").unwrap();
+    b.connect_pins(launch, "Q", capture, "D").unwrap();
+    b.connect_pin_to_port(capture, "Q", out).unwrap();
+    let netlist = b.finish().unwrap();
+
+    let graph = TimingGraph::build(&netlist).unwrap();
+    let mode = Mode::bind(
+        "m",
+        &netlist,
+        &SdcFile::parse("create_clock -name clk -period 10 [get_ports clk]\n").unwrap(),
+    )
+    .unwrap();
+    let analysis = Analysis::run(&netlist, &graph, &mode);
+    let cap_cp = netlist.find_pin("capture/CP").unwrap();
+    let entries = analysis.clock_arrivals().clocks_at(cap_cp);
+    assert_eq!(entries.len(), 2, "both polarities through the XOR");
+    // Case analysis on the control pin resolves the polarity count back
+    // to one... the XOR output still forks conservatively because the
+    // arc itself is non-unate; the constant only blocks when it makes
+    // the output constant, which a clock input prevents. Document the
+    // conservatism: both entries stay.
+    let sdc = "create_clock -name clk -period 10 [get_ports clk]\n\
+               set_case_analysis 0 [get_ports pol]\n";
+    let mode = Mode::bind("m", &netlist, &SdcFile::parse(sdc).unwrap()).unwrap();
+    let analysis = Analysis::run(&netlist, &graph, &mode);
+    assert!(!analysis.clock_arrivals().clocks_at(cap_cp).is_empty());
+}

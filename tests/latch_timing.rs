@@ -1,0 +1,88 @@
+//! Level-sensitive latch handling: latches are timed like edge-triggered
+//! elements on their enable (the documented simplification).
+
+use modemerge::merge::merge::{merge_group, MergeOptions, ModeInput};
+use modemerge::netlist::{Library, Netlist, NetlistBuilder};
+use modemerge::sdc::SdcFile;
+use modemerge::sta::analysis::Analysis;
+use modemerge::sta::graph::TimingGraph;
+use modemerge::sta::mode::Mode;
+
+/// FF → cloud → latch, latch enable on its own port.
+fn latch_design() -> Netlist {
+    let mut b = NetlistBuilder::new("latchy", Library::standard());
+    let clk = b.input_port("clk").unwrap();
+    let en = b.input_port("len").unwrap();
+    let din = b.input_port("din").unwrap();
+    let out = b.output_port("out").unwrap();
+    let ff = b.instance("ff0", "DFF").unwrap();
+    let inv = b.instance("u1", "INV").unwrap();
+    let lat = b.instance("lat0", "LATCH").unwrap();
+    b.connect_port_to_pin(clk, ff, "CP").unwrap();
+    b.connect_port_to_pin(din, ff, "D").unwrap();
+    b.connect_pins(ff, "Q", inv, "A").unwrap();
+    b.connect_pins(inv, "Z", lat, "D").unwrap();
+    b.connect_port_to_pin(en, lat, "EN").unwrap();
+    b.connect_pin_to_port(lat, "Q", out).unwrap();
+    b.finish().unwrap()
+}
+
+const SDC: &str = "\
+create_clock -name clk -period 10 [get_ports clk]
+create_clock -name lclk -period 10 [get_ports len]
+";
+
+#[test]
+fn latch_data_pin_is_an_endpoint() {
+    let netlist = latch_design();
+    let graph = TimingGraph::build(&netlist).unwrap();
+    let mode = Mode::bind("m", &netlist, &SdcFile::parse(SDC).unwrap()).unwrap();
+    let analysis = Analysis::run(&netlist, &graph, &mode);
+    let lat_d = netlist.find_pin("lat0/D").unwrap();
+    assert!(analysis.endpoints().contains(&lat_d));
+    let slack = analysis
+        .endpoint_slacks()
+        .into_iter()
+        .find(|s| s.endpoint == lat_d)
+        .expect("latch endpoint timed");
+    assert_eq!(slack.capture_period, 10.0);
+}
+
+#[test]
+fn latch_enable_is_a_clock_sink() {
+    let netlist = latch_design();
+    let graph = TimingGraph::build(&netlist).unwrap();
+    let lat_d = netlist.find_pin("lat0/D").unwrap();
+    let lat_en = netlist.find_pin("lat0/EN").unwrap();
+    assert_eq!(graph.capture_pin(lat_d), Some(lat_en));
+    assert!(graph.is_clock_sink(lat_en));
+}
+
+#[test]
+fn latch_output_launches_paths() {
+    // Latch Q drives the output port: with an output delay, the port is
+    // an endpoint reached from the latch's launch.
+    let netlist = latch_design();
+    let graph = TimingGraph::build(&netlist).unwrap();
+    let sdc = format!("{SDC}set_output_delay 1 -clock lclk [get_ports out]\n");
+    let mode = Mode::bind("m", &netlist, &SdcFile::parse(&sdc).unwrap()).unwrap();
+    let analysis = Analysis::run(&netlist, &graph, &mode);
+    let out_pin = netlist.find_pin("out").unwrap();
+    assert!(analysis
+        .endpoint_slacks()
+        .iter()
+        .any(|s| s.endpoint == out_pin));
+}
+
+#[test]
+fn latch_modes_merge_and_validate() {
+    let netlist = latch_design();
+    let a = ModeInput::parse("A", SDC).unwrap();
+    let b = ModeInput::parse(
+        "B",
+        &format!("{SDC}set_false_path -to [get_pins lat0/D]\n"),
+    )
+    .unwrap();
+    let out = merge_group(&netlist, &[a, b], &MergeOptions::default()).unwrap();
+    assert!(out.report.validated);
+}

@@ -1,0 +1,161 @@
+//! Property-based soundness tests of the merging engine: for randomly
+//! parameterized designs and mode suites, the merged modes must satisfy
+//! the paper's §2 equivalence criterion (no timed relation lost, and —
+//! with the engine's precise refinement — none gained either).
+
+use modemerge::merge::equivalence::check_equivalence;
+use modemerge::merge::merge::{merge_all, merge_group, MergeOptions, ModeInput};
+use modemerge::sta::analysis::Analysis;
+use modemerge::sta::graph::TimingGraph;
+use modemerge::sta::mode::Mode;
+use modemerge::workload::{generate_suite, DesignSpec, SuiteSpec};
+use proptest::prelude::*;
+
+fn small_design(seed: u64, banks: usize, regs: usize) -> DesignSpec {
+    DesignSpec {
+        name: format!("prop_{seed}"),
+        seed,
+        domains: 3,
+        banks,
+        regs_per_bank: regs,
+        cloud_depth: 3,
+        scan: true,
+        muxed_bank_stride: 3,
+        dividers: seed.is_multiple_of(2),
+        clock_gates: seed.is_multiple_of(3),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Every merged group of a generated suite validates: the merged
+    /// relationship set equals the union of the individual modes'.
+    #[test]
+    fn merged_suites_are_equivalent(
+        seed in 0u64..1000,
+        banks in 3usize..6,
+        regs in 3usize..8,
+        fam_a in 2usize..4,
+        fam_b in 1usize..3,
+    ) {
+        let spec = SuiteSpec {
+            design: small_design(seed, banks, regs),
+            families: vec![fam_a, fam_b],
+            test_clocks: true,
+            cross_false_paths: true,
+        };
+        let suite = generate_suite(&spec);
+        let inputs: Vec<ModeInput> = suite
+            .modes
+            .iter()
+            .map(|(n, s)| ModeInput::new(n.clone(), s.clone()))
+            .collect();
+        let out = merge_all(&suite.netlist, &inputs, &MergeOptions::default())
+            .expect("flow completes");
+        prop_assert_eq!(out.merged.len(), suite.expected_merged);
+        for report in &out.reports {
+            prop_assert!(report.validated, "group {:?} failed validation", report.mode_names);
+        }
+    }
+
+    /// Merging a mode with itself is a no-op up to relationship
+    /// equivalence.
+    #[test]
+    fn self_merge_is_identity(seed in 0u64..1000) {
+        let spec = SuiteSpec {
+            design: small_design(seed, 3, 4),
+            families: vec![1],
+            test_clocks: false,
+            cross_false_paths: false,
+        };
+        let suite = generate_suite(&spec);
+        let (name, sdc) = &suite.modes[0];
+        let a = ModeInput::new(format!("{name}_a"), sdc.clone());
+        let b = ModeInput::new(format!("{name}_b"), sdc.clone());
+        let out = merge_group(&suite.netlist, &[a, b], &MergeOptions::default())
+            .expect("identical modes merge");
+
+        let graph = TimingGraph::build(&suite.netlist).expect("acyclic");
+        let orig = Mode::bind(name.clone(), &suite.netlist, sdc).expect("binds");
+        let merged = Mode::bind("merged", &suite.netlist, &out.merged.sdc).expect("binds");
+        let orig_an = Analysis::run(&suite.netlist, &graph, &orig);
+        let merged_an = Analysis::run(&suite.netlist, &graph, &merged);
+        let report = check_equivalence(std::slice::from_ref(&orig_an), &merged_an);
+        prop_assert!(report.equivalent, "{report:?}");
+    }
+
+    /// Merge order does not change the merged mode's timing behaviour.
+    #[test]
+    fn merge_is_order_insensitive(seed in 0u64..500) {
+        let spec = SuiteSpec {
+            design: small_design(seed, 3, 4),
+            families: vec![2],
+            test_clocks: true,
+            cross_false_paths: true,
+        };
+        let suite = generate_suite(&spec);
+        let inputs: Vec<ModeInput> = suite
+            .modes
+            .iter()
+            .map(|(n, s)| ModeInput::new(n.clone(), s.clone()))
+            .collect();
+        let forward = merge_group(&suite.netlist, &inputs, &MergeOptions::default())
+            .expect("merges");
+        let reversed: Vec<ModeInput> = inputs.iter().rev().cloned().collect();
+        let backward = merge_group(&suite.netlist, &reversed, &MergeOptions::default())
+            .expect("merges");
+
+        let graph = TimingGraph::build(&suite.netlist).expect("acyclic");
+        let f_mode = Mode::bind("f", &suite.netlist, &forward.merged.sdc).expect("binds");
+        let b_mode = Mode::bind("b", &suite.netlist, &backward.merged.sdc).expect("binds");
+        let f_an = Analysis::run(&suite.netlist, &graph, &f_mode);
+        let b_an = Analysis::run(&suite.netlist, &graph, &b_mode);
+        prop_assert!(
+            f_an.endpoint_relations().equivalent(&b_an.endpoint_relations()),
+            "merge order changed timing behaviour"
+        );
+    }
+
+    /// The merged mode never loses an endpoint slack: every endpoint some
+    /// individual mode times is timed (at least as pessimistically — not
+    /// verified numerically here, just presence) by some merged mode.
+    #[test]
+    fn merged_modes_cover_all_endpoints(seed in 0u64..500) {
+        let spec = SuiteSpec {
+            design: small_design(seed, 4, 4),
+            families: vec![3],
+            test_clocks: true,
+            cross_false_paths: true,
+        };
+        let suite = generate_suite(&spec);
+        let inputs: Vec<ModeInput> = suite
+            .modes
+            .iter()
+            .map(|(n, s)| ModeInput::new(n.clone(), s.clone()))
+            .collect();
+        let out = merge_all(&suite.netlist, &inputs, &MergeOptions::default())
+            .expect("flow completes");
+        let graph = TimingGraph::build(&suite.netlist).expect("acyclic");
+
+        let mut individual_eps = std::collections::BTreeSet::new();
+        for (n, s) in &suite.modes {
+            let mode = Mode::bind(n.clone(), &suite.netlist, s).expect("binds");
+            let an = Analysis::run(&suite.netlist, &graph, &mode);
+            individual_eps.extend(an.endpoint_slacks().into_iter().map(|s| s.endpoint));
+        }
+        let mut merged_eps = std::collections::BTreeSet::new();
+        for m in &out.merged {
+            let mode = Mode::bind(m.name.clone(), &suite.netlist, &m.sdc).expect("binds");
+            let an = Analysis::run(&suite.netlist, &graph, &mode);
+            merged_eps.extend(an.endpoint_slacks().into_iter().map(|s| s.endpoint));
+        }
+        for ep in &individual_eps {
+            prop_assert!(
+                merged_eps.contains(ep),
+                "endpoint {} lost by merging",
+                suite.netlist.pin_name(*ep)
+            );
+        }
+    }
+}

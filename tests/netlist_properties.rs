@@ -1,0 +1,136 @@
+//! Property-based tests for the netlist substrate: generated designs are
+//! structurally sound, serialize losslessly and build valid timing
+//! graphs.
+
+use modemerge::netlist::text;
+use modemerge::netlist::Library;
+use modemerge::sta::graph::{ArcKind, TimingGraph};
+use modemerge::workload::{generate_design, DesignSpec};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn spec_strategy() -> impl Strategy<Value = DesignSpec> {
+    (
+        0u64..10_000,
+        2usize..6,
+        2usize..5,
+        2usize..12,
+        1usize..5,
+        prop::bool::ANY,
+        0usize..4,
+        prop::bool::ANY,
+        prop::bool::ANY,
+    )
+        .prop_map(
+            |(seed, domains, banks, regs, depth, scan, stride, dividers, gates)| DesignSpec {
+                name: format!("p{seed}"),
+                seed,
+                domains,
+                banks,
+                regs_per_bank: regs,
+                cloud_depth: depth,
+                scan,
+                muxed_bank_stride: stride,
+                dividers,
+                clock_gates: gates,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Generated designs pass structural lint.
+    #[test]
+    fn generated_designs_are_clean(spec in spec_strategy()) {
+        let n = generate_design(&spec);
+        let issues = n.lint();
+        prop_assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    /// The netlist text format round-trips generated designs.
+    #[test]
+    fn text_format_roundtrip(spec in spec_strategy()) {
+        let n = generate_design(&spec);
+        let serialized = text::write(&n);
+        let parsed = text::parse(&serialized, Library::standard()).expect("parses");
+        prop_assert_eq!(text::write(&parsed), serialized);
+        prop_assert_eq!(parsed.instance_count(), n.instance_count());
+        prop_assert_eq!(parsed.net_count(), n.net_count());
+        prop_assert_eq!(parsed.port_count(), n.port_count());
+    }
+
+    /// The timing graph is acyclic and its topological order is valid.
+    #[test]
+    fn timing_graph_topology(spec in spec_strategy()) {
+        let n = generate_design(&spec);
+        let g = TimingGraph::build(&n).expect("generated designs are acyclic");
+        let pos: HashMap<_, usize> = g
+            .topo_order()
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i))
+            .collect();
+        prop_assert_eq!(pos.len(), g.node_count());
+        for arc in g.arcs() {
+            if arc.kind != ArcKind::Launch {
+                prop_assert!(pos[&arc.from] < pos[&arc.to]);
+            }
+            prop_assert!(arc.delay >= 0.0, "negative arc delay");
+        }
+        // One sequential data pin per register (plus the divider FF).
+        prop_assert_eq!(
+            g.seq_data_pins().len(),
+            spec.banks * spec.regs_per_bank + usize::from(spec.dividers)
+        );
+        let _ = spec.clock_gates; // gating cells are not sequential
+    }
+
+    /// Generation is deterministic in the seed and sensitive to it.
+    #[test]
+    fn generation_is_deterministic(spec in spec_strategy()) {
+        let a = generate_design(&spec);
+        let b = generate_design(&spec);
+        prop_assert_eq!(text::write(&a), text::write(&b));
+    }
+
+    /// Every register's clock pin is reachable from some clock port,
+    /// so every register can be clocked by at least one mode.
+    #[test]
+    fn registers_are_clockable(spec in spec_strategy()) {
+        let n = generate_design(&spec);
+        let g = TimingGraph::build(&n).expect("acyclic");
+        // Walk forward from all clock ports.
+        let mut reach = vec![false; n.pin_count()];
+        let mut stack: Vec<_> = (0..spec.domains)
+            .map(|d| {
+                let port = n.port_by_name(&format!("clk{d}")).expect("clock port");
+                n.port(port).pin()
+            })
+            .collect();
+        // The divider output is a generated-clock root: constrained with
+        // create_generated_clock, not reached combinationally from ports.
+        if spec.dividers {
+            stack.push(n.find_pin("div0/Q").expect("divider output"));
+        }
+        for &p in &stack {
+            reach[p.index()] = true;
+        }
+        while let Some(p) = stack.pop() {
+            for arc in g.fanout_arcs(p) {
+                if arc.kind != ArcKind::Launch && !reach[arc.to.index()] {
+                    reach[arc.to.index()] = true;
+                    stack.push(arc.to);
+                }
+            }
+        }
+        for &d_pin in g.seq_data_pins() {
+            let cp = g.capture_pin(d_pin).expect("registers have clock pins");
+            prop_assert!(
+                reach[cp.index()],
+                "register clock pin {} unreachable from clock ports",
+                n.pin_name(cp)
+            );
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! Integration tests reproducing every worked example of the paper:
+//! Constraint Sets 1–6, Tables 1–4 and the Figure-2 clique cover, all on
+//! the reconstructed Figure-1 circuit.
+
+use modemerge::merge::merge::{merge_group, MergeOptions, ModeInput};
+use modemerge::merge::mergeability::{greedy_cliques, MergeabilityGraph};
+use modemerge::netlist::paper::paper_circuit;
+use modemerge::netlist::Netlist;
+use modemerge::sdc::SdcFile;
+use modemerge::sta::analysis::Analysis;
+use modemerge::sta::exceptions::CheckKind;
+use modemerge::sta::graph::TimingGraph;
+use modemerge::sta::mode::Mode;
+use modemerge::sta::propagate::Startpoint;
+use modemerge::sta::relations::PathState;
+use std::collections::BTreeSet;
+
+fn bind(netlist: &Netlist, name: &str, text: &str) -> Mode {
+    Mode::bind(name, netlist, &SdcFile::parse(text).unwrap()).unwrap()
+}
+
+fn setup_states(
+    netlist: &Netlist,
+    analysis: &Analysis<'_>,
+    endpoint: &str,
+) -> BTreeSet<PathState> {
+    let pin = netlist.find_pin(endpoint).unwrap();
+    analysis
+        .endpoint_relations()
+        .iter()
+        .filter(|r| r.endpoint == pin && r.check == CheckKind::Setup)
+        .map(|r| r.state.clone())
+        .collect()
+}
+
+/// Constraint Set 1 → Table 1.
+#[test]
+fn table1_relationships_for_constraint_set1() {
+    let netlist = paper_circuit();
+    let graph = TimingGraph::build(&netlist).unwrap();
+    let mode = bind(
+        &netlist,
+        "set1",
+        "create_clock -name clkA -period 10 [get_ports clk1]\n\
+         set_multicycle_path 2 -through [get_pins inv1/Z]\n\
+         set_false_path -through [get_pins and1/Z]\n",
+    );
+    let analysis = Analysis::run(&netlist, &graph, &mode);
+    // Row 1: rX/D → MCP(2).
+    assert_eq!(
+        setup_states(&netlist, &analysis, "rX/D"),
+        BTreeSet::from([PathState::Multicycle(2)])
+    );
+    // Row 2: rY/D → FP (the false path overrides the multicycle path).
+    assert_eq!(
+        setup_states(&netlist, &analysis, "rY/D"),
+        BTreeSet::from([PathState::FalsePath])
+    );
+    // Row 3: rZ/D → no constraint (valid).
+    assert_eq!(
+        setup_states(&netlist, &analysis, "rZ/D"),
+        BTreeSet::from([PathState::Valid])
+    );
+}
+
+/// Constraint Set 2 → §3.1.1/§3.1.2: clock union with dedup, rename and
+/// min-latency merging.
+#[test]
+fn constraint_set2_clock_union() {
+    let netlist = paper_circuit();
+    // Mode A: clkA@10 on clk1, clkB@20 on clk2 (latency 1.2).
+    // Mode B: clkA@10 on clk1, clkC@20 on clk2 (latency 1.1 — same key
+    // as mode A's clkB), clkB with a different waveform.
+    let mode_a = ModeInput::parse(
+        "A",
+        "create_clock -period 10 -name clkA [get_ports clk1]\n\
+         create_clock -period 20 -name clkB [get_ports clk2]\n\
+         set_clock_latency -min 1.2 [get_clocks clkB]\n",
+    )
+    .unwrap();
+    let mode_b = ModeInput::parse(
+        "B",
+        "create_clock -period 10 -name clkA [get_ports clk1]\n\
+         create_clock -period 20 -name clkC [get_ports clk2]\n\
+         create_clock -period 20 -name clkB -waveform {5 15} -add [get_ports clk2]\n\
+         set_clock_latency -min 1.1 [get_clocks clkC]\n",
+    )
+    .unwrap();
+    let out = merge_group(&netlist, &[mode_a, mode_b], &MergeOptions::default()).unwrap();
+    let text = out.merged.sdc.to_text();
+    // clkA deduplicated; clkB == clkC (one clock); mode B's other clkB
+    // renamed with a unique suffix. Union = 3 clocks.
+    assert_eq!(out.report.clock_count, 3, "{text}");
+    assert!(text.contains("-name clkB_1"), "{text}");
+    // Min of min latencies.
+    assert!(text.contains("set_clock_latency -min 1.1"), "{text}");
+    assert!(out.report.validated);
+}
+
+/// Constraint Set 3: conflicting case values → disables + clock stop.
+#[test]
+fn constraint_set3_merged_mode() {
+    let netlist = paper_circuit();
+    let mode_a = ModeInput::parse(
+        "A",
+        "create_clock -period 10 -name clkA [get_port clk1]\n\
+         create_clock -period 20 -name clkB [get_port clk2]\n\
+         set_case_analysis 0 sel1\nset_case_analysis 1 sel2\n",
+    )
+    .unwrap();
+    let mode_b = ModeInput::parse(
+        "B",
+        "create_clock -period 10 -name clkA [get_port clk1]\n\
+         create_clock -period 20 -name clkB [get_port clk2]\n\
+         set_case_analysis 1 sel1\nset_case_analysis 0 sel2\n",
+    )
+    .unwrap();
+    let out = merge_group(&netlist, &[mode_a, mode_b], &MergeOptions::default()).unwrap();
+    let text = out.merged.sdc.to_text();
+    // CSTR1/CSTR2 of the paper's mode A+B.
+    assert!(text.contains("set_disable_timing [get_ports sel1]"), "{text}");
+    assert!(text.contains("set_disable_timing [get_ports sel2]"), "{text}");
+    // CSTR3: stop clkA at the mux output.
+    assert!(
+        text.contains(
+            "set_clock_sense -stop_propagation -clocks [get_clocks clkA] [get_pins mux1/Z]"
+        ),
+        "{text}"
+    );
+    assert!(text.contains("create_clock -name clkA -period 10 -waveform {0 5} -add"));
+    assert!(out.report.validated);
+}
+
+/// Constraint Set 4: exception uniquification of the MCP.
+#[test]
+fn constraint_set4_uniquification() {
+    let netlist = paper_circuit();
+    let mode_a = ModeInput::parse(
+        "A",
+        "create_clock -name clkA -period 10 [get_ports clk1]\n\
+         set_case_analysis 0 [get_pins mux1/S]\n\
+         set_multicycle_path 2 -from [get_pins rA/CP]\n",
+    )
+    .unwrap();
+    let mode_b = ModeInput::parse(
+        "B",
+        "create_clock -name clkB -period 10 [get_ports clk2]\n\
+         set_case_analysis 1 [get_pins mux1/S]\n",
+    )
+    .unwrap();
+    let out = merge_group(&netlist, &[mode_a, mode_b], &MergeOptions::default()).unwrap();
+    let text = out.merged.sdc.to_text();
+    // The paper's mode A'+B: the MCP restricted to clkA and moved to a
+    // -through on the original -from pin.
+    assert!(
+        text.contains("set_multicycle_path 2 -from [get_clocks clkA] -through [get_pins rA/CP]"),
+        "{text}"
+    );
+    assert_eq!(out.report.uniquified_exceptions, 1);
+    assert!(out.report.validated);
+}
+
+/// Constraint Set 5: data refinement stops clkB behind the constant.
+#[test]
+fn constraint_set5_data_refinement() {
+    let netlist = paper_circuit();
+    let mode_a = ModeInput::parse(
+        "A",
+        "create_clock -name ClkA -period 2 [get_port clk1]\n\
+         set_input_delay 2.0 -clock ClkA [get_port in1]\n\
+         set_output_delay 2.0 -clock ClkA [get_port out1]\n",
+    )
+    .unwrap();
+    let mode_b = ModeInput::parse(
+        "B",
+        "create_clock -name ClkB -period 1 [get_port clk1]\n\
+         set_input_delay 2.0 -clock ClkB [get_port in1]\n\
+         set_output_delay 2.0 -clock ClkB [get_ports out1]\n\
+         set_case_analysis 0 rB/Q\n",
+    )
+    .unwrap();
+    let out = merge_group(&netlist, &[mode_a, mode_b], &MergeOptions::default()).unwrap();
+    let text = out.merged.sdc.to_text();
+    // CSTR1–CSTR4: unioned I/O delays with -add_delay.
+    assert!(text.contains("set_input_delay 2 -clock [get_clocks ClkA] -add_delay"), "{text}");
+    assert!(text.contains("set_input_delay 2 -clock [get_clocks ClkB] -add_delay"), "{text}");
+    assert!(text.contains("set_output_delay 2 -clock [get_clocks ClkA] -add_delay"), "{text}");
+    assert!(text.contains("set_output_delay 2 -clock [get_clocks ClkB] -add_delay"), "{text}");
+    // CSTR5: the two same-source clocks never coexist → physically
+    // exclusive.
+    assert!(text.contains("set_clock_groups -physically_exclusive"), "{text}");
+    // CSTR6 (equivalent form): ClkB cut where the rB/Q constant blocks it.
+    assert!(
+        text.contains("set_false_path -from [get_clocks ClkB] -through [get_pins {and1/A rB/Q}]"),
+        "{text}"
+    );
+    assert!(out.report.validated);
+}
+
+/// Constraint Set 6 → Tables 2–4: the full 3-pass refinement.
+#[test]
+fn constraint_set6_merged_mode() {
+    let netlist = paper_circuit();
+    let mode_a = ModeInput::parse(
+        "A",
+        "create_clock -p 10 -name clkA [get_port clk1]\n\
+         set_false_path -to rX/D\n\
+         set_false_path -to rY/D\n\
+         set_false_path -through inv3/Z\n",
+    )
+    .unwrap();
+    let mode_b = ModeInput::parse(
+        "B",
+        "create_clock -p 10 -name clkA [get_port clk1]\n\
+         set_false_path -from rA/CP\n\
+         set_false_path -to rZ/D\n",
+    )
+    .unwrap();
+    let out = merge_group(&netlist, &[mode_a, mode_b], &MergeOptions::default()).unwrap();
+    let text = out.merged.sdc.to_text();
+    // The paper's CSTR1, CSTR2, CSTR3.
+    assert!(text.contains("set_false_path -to [get_pins rX/D]"), "{text}");
+    assert!(
+        text.contains("set_false_path -from [get_pins rA/CP] -to [get_pins rY/D]"),
+        "{text}"
+    );
+    assert!(
+        text.contains(
+            "set_false_path -from [get_pins rC/CP] -through [get_pins inv3/A] -to [get_pins rZ/D]"
+        ),
+        "{text}"
+    );
+    assert!(out.report.pass2_endpoints >= 2, "Table 2 ambiguity escalates");
+    assert!(out.report.pass3_pairs >= 1, "Table 3 ambiguity escalates");
+    assert!(out.report.validated);
+}
+
+/// Table 2's pass-1 verdicts, checked directly on the relation sets.
+#[test]
+fn table2_pass1_verdicts() {
+    let netlist = paper_circuit();
+    let graph = TimingGraph::build(&netlist).unwrap();
+    let mode_a = bind(
+        &netlist,
+        "A",
+        "create_clock -p 10 -name clkA [get_port clk1]\n\
+         set_false_path -to rX/D\nset_false_path -to rY/D\n\
+         set_false_path -through inv3/Z\n",
+    );
+    let mode_b = bind(
+        &netlist,
+        "B",
+        "create_clock -p 10 -name clkA [get_port clk1]\n\
+         set_false_path -from rA/CP\nset_false_path -to rZ/D\n",
+    );
+    let merged = bind(
+        &netlist,
+        "M",
+        "create_clock -name clkA -period 10 -add [get_ports clk1]\n",
+    );
+    let a_an = Analysis::run(&netlist, &graph, &mode_a);
+    let b_an = Analysis::run(&netlist, &graph, &mode_b);
+    let m_an = Analysis::run(&netlist, &graph, &merged);
+
+    let union = |ep: &str| -> BTreeSet<PathState> {
+        let mut s = setup_states(&netlist, &a_an, ep);
+        s.extend(setup_states(&netlist, &b_an, ep));
+        s
+    };
+    // Row 1 (rX/D): individual FP, merged V → mismatch (X).
+    assert_eq!(union("rX/D"), BTreeSet::from([PathState::FalsePath]));
+    assert_eq!(
+        setup_states(&netlist, &m_an, "rX/D"),
+        BTreeSet::from([PathState::Valid])
+    );
+    // Rows 2–3 (rY/D, rZ/D): individual {FP, V} → ambiguous (A).
+    assert_eq!(
+        union("rY/D"),
+        BTreeSet::from([PathState::FalsePath, PathState::Valid])
+    );
+    assert_eq!(
+        union("rZ/D"),
+        BTreeSet::from([PathState::FalsePath, PathState::Valid])
+    );
+}
+
+/// Table 3's pass-2 verdicts (startpoint × endpoint).
+#[test]
+fn table3_pass2_verdicts() {
+    let netlist = paper_circuit();
+    let graph = TimingGraph::build(&netlist).unwrap();
+    let mode_b = bind(
+        &netlist,
+        "B",
+        "create_clock -p 10 -name clkA [get_port clk1]\n\
+         set_false_path -from rA/CP\nset_false_path -to rZ/D\n",
+    );
+    let analysis = Analysis::run(&netlist, &graph, &mode_b);
+    let ry_d = netlist.find_pin("rY/D").unwrap();
+    let pairs = analysis.pair_relations(ry_d);
+    let state_of = |start: &str| -> BTreeSet<PathState> {
+        let pin = netlist.find_pin(start).unwrap();
+        pairs
+            .iter()
+            .filter(|r| r.start == pin && r.check == CheckKind::Setup)
+            .map(|r| r.state.clone())
+            .collect()
+    };
+    // Row 1: rA/CP → rY/D false in mode B.
+    assert_eq!(state_of("rA/CP"), BTreeSet::from([PathState::FalsePath]));
+    // Row 2: rB/CP → rY/D valid.
+    assert_eq!(state_of("rB/CP"), BTreeSet::from([PathState::Valid]));
+}
+
+/// Table 4's pass-3 verdicts (through points between rC/CP and rZ/D).
+#[test]
+fn table4_pass3_verdicts() {
+    let netlist = paper_circuit();
+    let graph = TimingGraph::build(&netlist).unwrap();
+    let mode_a = bind(
+        &netlist,
+        "A",
+        "create_clock -p 10 -name clkA [get_port clk1]\n\
+         set_false_path -through inv3/Z\n",
+    );
+    let analysis = Analysis::run(&netlist, &graph, &mode_a);
+    let rc_cp = netlist.find_pin("rC/CP").unwrap();
+    let rz_d = netlist.find_pin("rZ/D").unwrap();
+    let throughs = analysis.through_relations(Startpoint::Reg(rc_cp), rz_d);
+    let state_at = |through: &str| -> BTreeSet<PathState> {
+        let pin = netlist.find_pin(through).unwrap();
+        throughs
+            .iter()
+            .filter(|r| r.through == pin && r.check == CheckKind::Setup)
+            .map(|r| r.state.clone())
+            .collect()
+    };
+    // Row 1: through and2/A → valid (match in the merged comparison).
+    assert_eq!(state_at("and2/A"), BTreeSet::from([PathState::Valid]));
+    // Row 2: through inv3/A → false (the mismatch CSTR3 fixes).
+    assert_eq!(state_at("inv3/A"), BTreeSet::from([PathState::FalsePath]));
+}
+
+/// Figure 2: the mergeability graph's greedy clique cover.
+#[test]
+fn figure2_clique_cover() {
+    let netlist = paper_circuit();
+    let mk = |name: &str, latency: f64| {
+        bind(
+            &netlist,
+            name,
+            &format!(
+                "create_clock -name clkA -period 10 [get_ports clk1]\n\
+                 set_clock_latency {latency} [get_clocks clkA]\n"
+            ),
+        )
+    };
+    // Two compatible triples and one isolated mode.
+    let modes = vec![
+        mk("m1", 0.0),
+        mk("m2", 0.05),
+        mk("m3", 0.1),
+        mk("m4", 5.0),
+        mk("m5", 5.1),
+        mk("m6", 5.05),
+        mk("m7", 50.0),
+    ];
+    let graph = MergeabilityGraph::build(&netlist, &modes, &MergeOptions::default());
+    let cliques = greedy_cliques(&graph);
+    assert_eq!(cliques, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6]]);
+}
+
+/// §2's equivalence definition: endpoint-form vs startpoint-form of the
+/// same exception compare equal through timing relationships.
+#[test]
+fn section2_equivalence_of_rewritten_constraints() {
+    let netlist = paper_circuit();
+    let graph = TimingGraph::build(&netlist).unwrap();
+    // All paths to rX/D start at rA/CP, so these are the same constraint
+    // written on the endpoint vs the startpoint side.
+    let by_to = bind(
+        &netlist,
+        "to",
+        "create_clock -name clkA -period 10 [get_ports clk1]\n\
+         set_multicycle_path 2 -to [get_pins rX/D]\n",
+    );
+    let by_from = bind(
+        &netlist,
+        "from",
+        "create_clock -name clkA -period 10 [get_ports clk1]\n\
+         set_multicycle_path 2 -from [get_pins rA/CP] -to [get_pins rX/D]\n",
+    );
+    let a = Analysis::run(&netlist, &graph, &by_to);
+    let b = Analysis::run(&netlist, &graph, &by_from);
+    assert!(a.endpoint_relations().equivalent(&b.endpoint_relations()));
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the SDC layer: writer/parser round-trip over
+//! randomly generated command sequences, and glob-matching laws.
+
+use modemerge::sdc::{glob_match, SdcFile};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_]{0,10}"
+}
+
+fn hier_pin() -> impl Strategy<Value = String> {
+    (ident(), ident()).prop_map(|(a, b)| format!("{a}/{b}"))
+}
+
+fn value() -> impl Strategy<Value = f64> {
+    // Values that print exactly (integers and quarters) so the textual
+    // round-trip is bit-exact.
+    (0i32..4000).prop_map(|q| q as f64 / 4.0)
+}
+
+/// One random supported SDC command as text.
+fn command_text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (ident(), value()).prop_map(|(n, p)| format!(
+            "create_clock -name {n} -period {} [get_ports clk]",
+            p + 0.25
+        )),
+        (ident(), value()).prop_map(|(n, v)| format!(
+            "set_clock_latency {v} [get_clocks {n}]"
+        )),
+        (ident(), value(), prop::bool::ANY).prop_map(|(n, v, setup)| format!(
+            "set_clock_uncertainty {} {v} [get_clocks {n}]",
+            if setup { "-setup" } else { "-hold" }
+        )),
+        (ident(), value()).prop_map(|(p, v)| format!(
+            "set_input_delay {v} -clock [get_clocks c] [get_ports {p}]"
+        )),
+        (hier_pin(), prop::bool::ANY).prop_map(|(p, v)| format!(
+            "set_case_analysis {} [get_pins {p}]",
+            u8::from(v)
+        )),
+        hier_pin().prop_map(|p| format!("set_false_path -through [get_pins {p}]")),
+        (hier_pin(), hier_pin()).prop_map(|(a, b)| format!(
+            "set_false_path -from [get_pins {a}] -to [get_pins {b}]"
+        )),
+        (1u32..5, hier_pin()).prop_map(|(m, p)| format!(
+            "set_multicycle_path {m} -to [get_pins {p}]"
+        )),
+        (value(), hier_pin()).prop_map(|(v, p)| format!(
+            "set_max_delay {v} -to [get_pins {p}]"
+        )),
+        (ident(), ident()).prop_map(|(a, b)| format!(
+            "set_clock_groups -physically_exclusive -group [get_clocks {a}] -group [get_clocks {b}]"
+        )),
+        (ident(), hier_pin()).prop_map(|(c, p)| format!(
+            "set_clock_sense -stop_propagation -clocks [get_clocks {c}] [get_pins {p}]"
+        )),
+        (value(), ident()).prop_map(|(v, p)| format!("set_drive {v} [get_ports {p}]")),
+        (value(), ident()).prop_map(|(v, p)| format!("set_load {v} [get_ports {p}]")),
+        ident().prop_map(|p| format!("set_disable_timing [get_ports {p}]")),
+    ]
+}
+
+proptest! {
+    /// parse(write(parse(x))) == parse(x) and canonical text is a fixed
+    /// point.
+    #[test]
+    fn sdc_roundtrip(cmds in prop::collection::vec(command_text(), 1..20)) {
+        let text = cmds.join("\n");
+        let parsed = SdcFile::parse(&text).expect("generated SDC parses");
+        let canonical = parsed.to_text();
+        let reparsed = SdcFile::parse(&canonical).expect("canonical SDC parses");
+        prop_assert_eq!(&parsed, &reparsed);
+        prop_assert_eq!(reparsed.to_text(), canonical);
+    }
+
+    /// A literal name (no metacharacters) matches only itself.
+    #[test]
+    fn glob_literal_self_match(name in "[a-zA-Z0-9_/]{1,20}") {
+        prop_assert!(glob_match(&name, &name));
+    }
+
+    /// `prefix*` matches anything starting with the prefix.
+    #[test]
+    fn glob_prefix_star(prefix in "[a-z]{0,8}", rest in "[a-z0-9/]{0,12}") {
+        let pattern = format!("{prefix}*");
+        let name = format!("{prefix}{rest}");
+        prop_assert!(glob_match(&pattern, &name));
+    }
+
+    /// `*suffix` matches anything ending with the suffix.
+    #[test]
+    fn glob_suffix_star(prefix in "[a-z0-9/]{0,12}", suffix in "[a-z]{0,8}") {
+        let pattern = format!("*{suffix}");
+        let name = format!("{prefix}{suffix}");
+        prop_assert!(glob_match(&pattern, &name));
+    }
+
+    /// `?` consumes exactly one character.
+    #[test]
+    fn glob_question_single(a in "[a-z]{1,5}", c in "[a-z]", b in "[a-z]{0,5}") {
+        let pattern = format!("{a}?{b}");
+        let name = format!("{a}{c}{b}");
+        prop_assert!(glob_match(&pattern, &name));
+        // Removing the character breaks the match unless the fixed parts
+        // happen to overlap; check only the common non-degenerate case.
+        if b.is_empty() {
+            prop_assert!(!glob_match(&pattern, &a));
+        }
+    }
+
+    /// `*` matches everything.
+    #[test]
+    fn glob_star_matches_all(name in ".{0,30}") {
+        prop_assert!(glob_match("*", &name));
+    }
+
+    /// Comments and blank lines never change the parse.
+    #[test]
+    fn comments_are_transparent(cmds in prop::collection::vec(command_text(), 1..8)) {
+        let plain = cmds.join("\n");
+        let noisy = cmds
+            .iter()
+            .flat_map(|c| ["# comment".to_owned(), String::new(), c.clone()])
+            .collect::<Vec<_>>()
+            .join("\n");
+        let a = SdcFile::parse(&plain).expect("parses");
+        let b = SdcFile::parse(&noisy).expect("parses");
+        prop_assert_eq!(a, b);
+    }
+}

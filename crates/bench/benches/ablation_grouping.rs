@@ -1,7 +1,8 @@
 //! Ablation: grouped pass-1 fixes (clock-pair and endpoint-set false
 //! paths) vs naive per-path-class refinement.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use modemerge_bench::harness::Criterion;
+use modemerge_bench::{criterion_group, criterion_main};
 use modemerge_core::merge::{merge_all, MergeOptions, ModeInput};
 use modemerge_workload::{generate_suite, paper_suite, PaperDesign};
 

@@ -1,7 +1,8 @@
 //! Ablation: per-mode analyses on 1 vs 2 vs 4 scoped threads (the
 //! paper's engine is multithreaded; the gain depends on core count).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use modemerge_bench::harness::Criterion;
+use modemerge_bench::{criterion_group, criterion_main};
 use modemerge_core::merge::{merge_all, MergeOptions, ModeInput};
 use modemerge_workload::{generate_suite, paper_suite, PaperDesign};
 

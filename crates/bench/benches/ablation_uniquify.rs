@@ -2,7 +2,8 @@
 //! families carrying mode-specific multicycle exceptions are
 //! non-mergeable and the flow degrades to singleton cliques.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use modemerge_bench::harness::Criterion;
+use modemerge_bench::{criterion_group, criterion_main};
 use modemerge_core::merge::{merge_all, MergeOptions, ModeInput};
 use modemerge_workload::{generate_suite, paper_suite, PaperDesign};
 

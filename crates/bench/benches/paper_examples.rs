@@ -1,7 +1,8 @@
 //! Micro-benches on the paper's Figure-1 circuit: the worked examples
 //! (Constraint Sets 3 and 6) end-to-end, plus single-mode analysis.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use modemerge_bench::harness::Criterion;
+use modemerge_bench::{criterion_group, criterion_main};
 use modemerge_core::merge::{merge_group, MergeOptions, ModeInput};
 use modemerge_netlist::paper::paper_circuit;
 use modemerge_sta::analysis::Analysis;

@@ -1,6 +1,7 @@
 //! STA engine scaling: full-analysis runtime vs design size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use modemerge_bench::harness::{BenchmarkId, Criterion, Throughput};
+use modemerge_bench::{criterion_group, criterion_main};
 use modemerge_sdc::SdcFile;
 use modemerge_sta::analysis::Analysis;
 use modemerge_sta::graph::TimingGraph;

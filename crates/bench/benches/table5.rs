@@ -1,7 +1,8 @@
-//! Criterion bench for Table 5: the full merge flow (plan + merge) per
+//! Bench for Table 5: the full merge flow (plan + merge) per
 //! paper design, at a reduced scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use modemerge_bench::harness::Criterion;
+use modemerge_bench::{criterion_group, criterion_main};
 use modemerge_core::merge::{merge_all, MergeOptions, ModeInput};
 use modemerge_workload::{generate_suite, paper_suite, PaperDesign};
 

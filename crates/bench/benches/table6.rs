@@ -1,7 +1,8 @@
-//! Criterion bench for Table 6: STA over the individual mode set vs the
+//! Bench for Table 6: STA over the individual mode set vs the
 //! merged mode set, per paper design.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use modemerge_bench::harness::Criterion;
+use modemerge_bench::{criterion_group, criterion_main};
 use modemerge_core::merge::{merge_all, MergeOptions, ModeInput};
 use modemerge_sdc::SdcFile;
 use modemerge_sta::analysis::Analysis;

@@ -1,0 +1,261 @@
+//! Minimal in-tree benchmark harness.
+//!
+//! The workspace must build **offline** (no registry access), so the
+//! benches cannot depend on the `criterion` crate. This module provides
+//! the small slice of Criterion's API the benches use — `Criterion`,
+//! benchmark groups, `bench_function`/`bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput` and the `criterion_group!`/
+//! `criterion_main!` macros — backed by a simple measure-and-report
+//! loop:
+//!
+//! * every benchmark is warmed up once, then timed over `sample_size`
+//!   samples of an adaptively chosen iteration count (targeting
+//!   ~[`SAMPLE_TARGET`] per sample, clamped so even slow benches finish);
+//! * the median, minimum and maximum per-iteration times are printed in
+//!   a stable single-line format, machine-grepable as
+//!   `bench <name> median_ns=<n> min_ns=<n> max_ns=<n> iters=<n>`;
+//! * `MODEMERGE_BENCH_SAMPLES` overrides the sample count (useful to
+//!   smoke-test every bench quickly: set it to 1).
+//!
+//! The harness intentionally performs no statistics beyond the median —
+//! it exists so the paper-table and ablation measurements keep running
+//! hermetically, not to replace a rigorous benchmarking framework.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Per-sample time budget the adaptive iteration count aims for.
+pub const SAMPLE_TARGET: Duration = Duration::from_millis(200);
+
+/// Prevents the optimizer from discarding a benchmark's result.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A named benchmark id (Criterion-compatible constructor subset).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendering as the parameter value only.
+    pub fn from_parameter(p: impl fmt::Display) -> Self {
+        Self(p.to_string())
+    }
+
+    /// An id rendering as `function/parameter`.
+    pub fn new(function: impl Into<String>, p: impl fmt::Display) -> Self {
+        Self(format!("{}/{p}", function.into()))
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Throughput annotation (recorded, printed with the result line).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median/min/max per-iteration nanoseconds plus the iteration
+    /// count, filled in by [`Bencher::iter`].
+    result: Option<(u128, u128, u128, u64)>,
+}
+
+impl Bencher {
+    /// Times `f`, storing per-iteration statistics.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warm-up + calibration run.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let mut per_iter: Vec<u128> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(t0.elapsed().as_nanos() / u128::from(iters));
+        }
+        per_iter.sort_unstable();
+        let median = per_iter[per_iter.len() / 2];
+        self.result = Some((
+            median,
+            per_iter[0],
+            *per_iter.last().expect("samples >= 1"),
+            iters,
+        ));
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    match b.result {
+        Some((median, min, max, iters)) => {
+            let tp = match throughput {
+                Some(Throughput::Elements(n)) if median > 0 => {
+                    format!(" elements_per_s={:.0}", n as f64 * 1e9 / median as f64)
+                }
+                Some(Throughput::Bytes(n)) if median > 0 => {
+                    format!(" bytes_per_s={:.0}", n as f64 * 1e9 / median as f64)
+                }
+                _ => String::new(),
+            };
+            println!("bench {name} median_ns={median} min_ns={min} max_ns={max} iters={iters}{tp}");
+        }
+        None => println!("bench {name} (no measurement: closure never called iter)"),
+    }
+}
+
+fn env_samples(default: usize) -> usize {
+    std::env::var("MODEMERGE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for subsequent benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = env_samples(n);
+        self
+    }
+
+    /// Annotates subsequent benches with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run(&id.to_string(), f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input reference.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.samples,
+            result: None,
+        };
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &b, self.throughput);
+    }
+
+    /// Ends the group (printing happens eagerly; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Creates a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: env_samples(10),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            samples: env_samples(10),
+            result: None,
+        };
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+}
+
+/// Declares a bench entry point (Criterion-compatible shape).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_result() {
+        let mut b = Bencher {
+            samples: 3,
+            result: None,
+        };
+        b.iter(|| std::hint::black_box(2 + 2));
+        let (median, min, max, iters) = b.result.expect("measured");
+        assert!(min <= median && median <= max);
+        assert!(iters >= 1);
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("x", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, n| {
+            b.iter(|| n + 1)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+        assert_eq!(BenchmarkId::new("f", 42).to_string(), "f/42");
+    }
+}

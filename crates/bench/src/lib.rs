@@ -5,7 +5,7 @@
 //!   and returns both tables' rows;
 //! * the `table5` / `table6` binaries print the paper-vs-measured
 //!   tables;
-//! * the Criterion benches (`table5`, `table6`, `ablation_threads`,
+//! * the benches (in-tree harness: `table5`, `table6`, `ablation_threads`,
 //!   `ablation_uniquify`, `ablation_grouping`) measure the same flows at
 //!   a reduced scale.
 //!
@@ -14,7 +14,10 @@
 //! Mode counts are never scaled. Set the `MODEMERGE_SCALE` environment
 //! variable to override the binaries' default of 100.
 
-use modemerge_core::merge::{merge_all, MergeOptions, ModeInput};
+pub mod harness;
+
+use modemerge_core::merge::{MergeOptions, ModeInput};
+use modemerge_core::session::{MergeSession, SessionInputs};
 use modemerge_netlist::PinId;
 use modemerge_sta::analysis::Analysis;
 use modemerge_sta::graph::TimingGraph;
@@ -131,7 +134,10 @@ pub fn run_design(design: PaperDesign, scale_divisor: usize, options: &MergeOpti
         .collect();
 
     let t0 = Instant::now();
-    let outcome = merge_all(&suite.netlist, &inputs, options).expect("merge flow succeeds");
+    let bound = SessionInputs::bind(&suite.netlist, &inputs).expect("suite binds");
+    let session = MergeSession::new(&suite.netlist, &bound, options);
+    session.warm_up();
+    let outcome = session.merge_all().expect("merge flow succeeds");
     let merge_runtime = t0.elapsed();
 
     let graph = TimingGraph::build(&suite.netlist).expect("acyclic design");

@@ -2,9 +2,10 @@
 
 use crate::args::Args;
 use modemerge_core::equivalence::check_equivalence;
-use modemerge_core::merge::{merge_all, MergeOptions, ModeInput};
-use modemerge_core::mergeability::{greedy_cliques, MergeabilityGraph};
+use modemerge_core::merge::{MergeOptions, ModeInput};
+use modemerge_core::mergeability::greedy_cliques;
 use modemerge_core::report::summarize;
+use modemerge_core::session::{MergeSession, SessionInputs};
 use modemerge_netlist::{text, Library, Netlist};
 use modemerge_sdc::SdcFile;
 use modemerge_sta::analysis::Analysis;
@@ -32,7 +33,7 @@ commands (netlists: native text format, or gate-level Verilog .v):
              1.0, fast 0.8).
   relations  --netlist FILE --sdc MODE.sdc [--limit N]
              Dump the timing relationships of one mode.
-  plan       --netlist FILE --mode NAME=SDC... [--out FILE.dot]
+  plan       --netlist FILE --mode NAME=SDC... [--out FILE.dot] [--threads N]
              Build the mergeability graph and clique cover (Figure 2);
              optionally write it as Graphviz DOT.
   generate   --cells N [--seed S] [--families 3,2] --out DIR
@@ -113,9 +114,19 @@ fn cmd_merge(args: &Args) -> Result<(), String> {
         uniquify_exceptions: !args.flag("no-uniquify"),
         ..Default::default()
     };
-    let outcome = merge_all(&netlist, &inputs, &options).map_err(|e| e.to_string())?;
+    // One session per invocation: every stage (planning, refinement,
+    // validation) shares the per-mode analysis cache.
+    let bound = SessionInputs::bind(&netlist, &inputs).map_err(|e| e.to_string())?;
+    let session = MergeSession::new(&netlist, &bound, &options);
+    session.warm_up();
+    let outcome = session.merge_all().map_err(|e| e.to_string())?;
 
     print!("{}", summarize(&outcome, inputs.len()));
+    println!(
+        "analyses run: {} ({} modes; cached across planning, refinement and validation)",
+        session.analyses_run(),
+        session.mode_count()
+    );
     for report in &outcome.reports {
         if report.mode_names.len() > 1 {
             println!("{report}");
@@ -145,7 +156,7 @@ fn cmd_check(args: &Args) -> Result<(), String> {
     let b = load_mode(&netlist, "B", b_path)?;
     let a_an = Analysis::run(&netlist, &graph, &a);
     let b_an = Analysis::run(&netlist, &graph, &b);
-    let report = check_equivalence(std::slice::from_ref(&a_an), &b_an);
+    let report = check_equivalence(&[&a_an], &b_an);
     if report.equivalent {
         println!("EQUIVALENT: the two constraint sets induce identical timing relationships");
         Ok(())
@@ -267,15 +278,22 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
         return Err("plan needs at least two --mode NAME=FILE options".into());
     }
     let mut names = Vec::new();
-    let mut modes = Vec::new();
+    let mut inputs = Vec::new();
     for spec in mode_specs {
         let (name, path) = spec
             .split_once('=')
             .ok_or_else(|| format!("--mode expects NAME=FILE, got `{spec}`"))?;
-        modes.push(load_mode(&netlist, name, path)?);
+        let sdc = SdcFile::parse(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+        inputs.push(ModeInput::new(name, sdc));
         names.push(name.to_owned());
     }
-    let graph = MergeabilityGraph::build(&netlist, &modes, &MergeOptions::default());
+    let options = MergeOptions {
+        threads: args.number("threads", 1usize)?,
+        ..Default::default()
+    };
+    let bound = SessionInputs::bind(&netlist, &inputs).map_err(|e| e.to_string())?;
+    let session = MergeSession::new(&netlist, &bound, &options);
+    let graph = session.mergeability();
     let cliques = greedy_cliques(&graph);
     println!("mergeability graph: {} modes, clique cover:", graph.len());
     for (k, clique) in cliques.iter().enumerate() {

@@ -24,10 +24,10 @@ pub struct EquivalenceReport {
 }
 
 /// The union of endpoint relationship sets across analyses.
-pub fn union_relations(analyses: &[Analysis<'_>]) -> RelationSet {
+pub fn union_relations(analyses: &[&Analysis<'_>]) -> RelationSet {
     let mut out = RelationSet::new();
     for a in analyses {
-        out.union_with(&a.endpoint_relations());
+        out.union_with(a.relations());
     }
     out
 }
@@ -37,11 +37,11 @@ pub fn union_relations(analyses: &[Analysis<'_>]) -> RelationSet {
 ///
 /// False-path relations are treated as absent on both sides: a path
 /// class that is not timed has no observable effect on sign-off.
-pub fn check_equivalence(individual: &[Analysis<'_>], merged: &Analysis<'_>) -> EquivalenceReport {
+pub fn check_equivalence(individual: &[&Analysis<'_>], merged: &Analysis<'_>) -> EquivalenceReport {
     let union = union_relations(individual);
-    let merged_set = merged.endpoint_relations();
+    let merged_set = merged.relations();
     let extra_in_merged = merged_set.timed_difference(&union);
-    let missing_in_merged = union.timed_difference(&merged_set);
+    let missing_in_merged = union.timed_difference(merged_set);
     EquivalenceReport {
         equivalent: extra_in_merged.is_empty() && missing_in_merged.is_empty(),
         extra_in_merged,
@@ -70,7 +70,7 @@ mod tests {
         let m = bind(&netlist, text);
         let a_an = Analysis::run(&netlist, &graph, &a);
         let m_an = Analysis::run(&netlist, &graph, &m);
-        let report = check_equivalence(std::slice::from_ref(&a_an), &m_an);
+        let report = check_equivalence(&[&a_an], &m_an);
         assert!(report.equivalent, "{report:?}");
     }
 
@@ -93,7 +93,7 @@ mod tests {
         );
         let a = Analysis::run(&netlist, &graph, &by_endpoint);
         let b = Analysis::run(&netlist, &graph, &by_through);
-        let report = check_equivalence(std::slice::from_ref(&a), &b);
+        let report = check_equivalence(&[&a], &b);
         assert!(report.equivalent, "{report:?}");
     }
 
@@ -109,7 +109,7 @@ mod tests {
         let merged = bind(&netlist, "create_clock -name clkA -period 10 [get_ports clk1]\n");
         let a = Analysis::run(&netlist, &graph, &indiv);
         let m = Analysis::run(&netlist, &graph, &merged);
-        let report = check_equivalence(std::slice::from_ref(&a), &m);
+        let report = check_equivalence(&[&a], &m);
         assert!(!report.equivalent);
         assert_eq!(report.extra_in_merged.len(), 2, "setup + hold relation");
         assert!(report.missing_in_merged.is_empty());
@@ -127,7 +127,7 @@ mod tests {
         );
         let a = Analysis::run(&netlist, &graph, &indiv);
         let m = Analysis::run(&netlist, &graph, &merged);
-        let report = check_equivalence(std::slice::from_ref(&a), &m);
+        let report = check_equivalence(&[&a], &m);
         assert!(!report.equivalent);
         assert!(report.extra_in_merged.is_empty());
         assert!(!report.missing_in_merged.is_empty());
@@ -141,7 +141,7 @@ mod tests {
         let b = bind(&netlist, "create_clock -name clkB -period 20 [get_ports clk1]\n");
         let a_an = Analysis::run(&netlist, &graph, &a);
         let b_an = Analysis::run(&netlist, &graph, &b);
-        let union = union_relations(&[a_an, b_an]);
+        let union = union_relations(&[&a_an, &b_an]);
         let a_an2 = Analysis::run(&netlist, &graph, &a);
         assert!(union.len() > a_an2.endpoint_relations().len());
     }

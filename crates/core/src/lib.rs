@@ -20,7 +20,13 @@
 //!
 //! The one-call entry points are [`merge::merge_group`] (N modes → 1
 //! superset mode) and [`merge::merge_all`] (full flow with clique
-//! planning).
+//! planning). Both are thin wrappers over a [`session::MergeSession`],
+//! the shared analysis-cache layer: one session per merging run owns
+//! the timing graph and the bound modes, memoizes one [`Analysis`] per
+//! mode, and runs warm-up and pair mock merges on the deterministic
+//! scoped-thread [`pool`] when `MergeOptions::threads > 1`.
+//!
+//! [`Analysis`]: modemerge_sta::analysis::Analysis
 //!
 //! # Example
 //!
@@ -45,12 +51,15 @@ pub mod equivalence;
 pub mod error;
 pub mod merge;
 pub mod mergeability;
+pub mod pool;
 pub mod preliminary;
 pub mod refine;
 pub mod report;
+pub mod session;
 pub mod three_pass;
 pub mod uniquify;
 
 pub use error::{MergeConflict, MergeError};
 pub use merge::{merge_all, merge_group, MergeOptions, MergeOutcome, MergeReport, ModeInput};
 pub use mergeability::{greedy_cliques, MergeabilityGraph};
+pub use session::{MergeSession, SessionInputs};

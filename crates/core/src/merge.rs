@@ -1,16 +1,10 @@
 //! The mode-merging orchestrator: options, one-group merging and the
 //! full plan-and-merge flow.
 
-use crate::equivalence::check_equivalence;
 use crate::error::MergeError;
-use crate::mergeability::{greedy_cliques, MergeabilityGraph};
-use crate::preliminary::preliminary_merge;
-use crate::refine::{refine, run_analyses};
+use crate::session::{MergeSession, SessionInputs};
 use modemerge_netlist::Netlist;
 use modemerge_sdc::{SdcError, SdcFile};
-use modemerge_sta::analysis::Analysis;
-use modemerge_sta::graph::TimingGraph;
-use modemerge_sta::mode::Mode;
 
 /// Tuning knobs for the merging engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -140,7 +134,9 @@ pub struct MergeOutcome {
 /// Merges a group of modes into one superset mode.
 ///
 /// This is the paper's full §3 pipeline for one clique: preliminary
-/// merging, refinement and validation.
+/// merging, refinement and validation. One [`MergeSession`] is built for
+/// the call; callers merging several groups over the same inputs should
+/// hold a session themselves so the per-mode analysis cache is shared.
 ///
 /// # Errors
 ///
@@ -152,92 +148,10 @@ pub fn merge_group(
     inputs: &[ModeInput],
     options: &MergeOptions,
 ) -> Result<MergeOutcome, MergeError> {
-    let graph = TimingGraph::build(netlist)?;
-    merge_group_with_graph(netlist, &graph, inputs, options)
-}
-
-pub(crate) fn merge_group_with_graph(
-    netlist: &Netlist,
-    graph: &TimingGraph,
-    inputs: &[ModeInput],
-    options: &MergeOptions,
-) -> Result<MergeOutcome, MergeError> {
-    let Some(first) = inputs.first() else {
-        return Err(MergeError::EmptyGroup);
-    };
-    if inputs.len() == 1 {
-        return Ok(MergeOutcome {
-            merged: first.clone(),
-            report: MergeReport {
-                mode_names: vec![first.name.clone()],
-                validated: true,
-                ..Default::default()
-            },
-        });
-    }
-    let modes: Vec<Mode> = inputs
-        .iter()
-        .map(|i| Mode::bind(i.name.clone(), netlist, &i.sdc))
-        .collect::<Result<_, _>>()?;
-
-    // §3.1 preliminary merging (also the conflict check).
-    let prelim = preliminary_merge(netlist, &modes, options);
-    if !prelim.conflicts.is_empty() {
-        return Err(MergeError::NotMergeable {
-            conflicts: prelim.conflicts,
-        });
-    }
-
-    // §3.1.8 + §3.2 refinement.
-    let analyses: Vec<Analysis<'_>> = run_analyses(netlist, graph, &modes, options);
-    let refined = refine(netlist, graph, &analyses, prelim.sdc, options)?;
-
-    // §2 equivalence validation. Relations missing from the merged mode
-    // are always fatal (the merged mode would miss violations); extra
-    // relations are fatal only in strict mode (they are pessimistic).
-    let mut validated = false;
-    let mut extra_relations = 0;
-    if options.validate {
-        let merged_mode = Mode::bind("merged", netlist, &refined.sdc)?;
-        let merged_analysis = Analysis::run(netlist, graph, &merged_mode);
-        let report = check_equivalence(&analyses, &merged_analysis);
-        if !report.missing_in_merged.is_empty()
-            || (options.strict && !report.extra_in_merged.is_empty())
-        {
-            return Err(MergeError::ValidationFailed {
-                extra_in_merged: report.extra_in_merged.len(),
-                missing_in_merged: report.missing_in_merged.len(),
-            });
-        }
-        extra_relations = report.extra_in_merged.len();
-        validated = true;
-    }
-
-    let merged_name = inputs
-        .iter()
-        .map(|i| i.name.as_str())
-        .collect::<Vec<_>>()
-        .join("+");
-    Ok(MergeOutcome {
-        merged: ModeInput::new(merged_name, refined.sdc),
-        report: MergeReport {
-            mode_names: inputs.iter().map(|i| i.name.clone()).collect(),
-            clock_count: prelim.clock_table.len(),
-            dropped_cases: prelim.dropped_cases.len(),
-            disabled_case_pins: prelim.disabled_case_pins.len(),
-            dropped_false_paths: prelim.dropped_false_paths,
-            uniquified_exceptions: prelim.uniquified_exceptions,
-            clock_stops: refined.clock_stops,
-            data_cut_false_paths: refined.data_cut_false_paths,
-            comparison_false_paths: refined.comparison_false_paths,
-            pass2_endpoints: refined.pass2_endpoints,
-            pass3_pairs: refined.pass3_pairs,
-            refine_iterations: refined.iterations,
-            residual_pessimism: refined.residual_pessimism,
-            extra_relations,
-            validated,
-        },
-    })
+    let bound = SessionInputs::bind(netlist, inputs)?;
+    let session = MergeSession::new(netlist, &bound, options);
+    let group: Vec<usize> = (0..inputs.len()).collect();
+    session.merge_indices(&group)
 }
 
 /// Result of the full plan-and-merge flow.
@@ -265,6 +179,10 @@ impl MergeAllOutcome {
 /// The full flow: build the mergeability graph, cover it with greedy
 /// cliques and merge every clique.
 ///
+/// One [`MergeSession`] serves the whole flow, so each mode is analyzed
+/// at most once across planning, refinement and validation; the warm-up
+/// and the pair mock merges run in parallel when `options.threads > 1`.
+///
 /// Cliques that unexpectedly fail deep refinement (the mock merge only
 /// checks preliminary-level conflicts) fall back to keeping their modes
 /// individual, so the flow always produces a usable mode set.
@@ -277,41 +195,10 @@ pub fn merge_all(
     inputs: &[ModeInput],
     options: &MergeOptions,
 ) -> Result<MergeAllOutcome, MergeError> {
-    let graph = TimingGraph::build(netlist)?;
-    let modes: Vec<Mode> = inputs
-        .iter()
-        .map(|i| Mode::bind(i.name.clone(), netlist, &i.sdc))
-        .collect::<Result<_, _>>()?;
-    let mgraph = MergeabilityGraph::build(netlist, &modes, options);
-    let groups = greedy_cliques(&mgraph);
-
-    let mut merged = Vec::new();
-    let mut reports = Vec::new();
-    for group in &groups {
-        let group_inputs: Vec<ModeInput> = group.iter().map(|&i| inputs[i].clone()).collect();
-        match merge_group_with_graph(netlist, &graph, &group_inputs, options) {
-            Ok(outcome) => {
-                merged.push(outcome.merged);
-                reports.push(outcome.report);
-            }
-            Err(_) => {
-                // Deep-refinement failure: keep the group's modes as-is.
-                for input in group_inputs {
-                    reports.push(MergeReport {
-                        mode_names: vec![input.name.clone()],
-                        validated: true,
-                        ..Default::default()
-                    });
-                    merged.push(input);
-                }
-            }
-        }
-    }
-    Ok(MergeAllOutcome {
-        merged,
-        groups,
-        reports,
-    })
+    let bound = SessionInputs::bind(netlist, inputs)?;
+    let session = MergeSession::new(netlist, &bound, options);
+    session.warm_up();
+    session.merge_all()
 }
 
 #[cfg(test)]

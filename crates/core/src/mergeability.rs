@@ -3,6 +3,7 @@
 
 use crate::error::MergeConflict;
 use crate::merge::MergeOptions;
+use crate::pool;
 use crate::preliminary::preliminary_merge;
 use modemerge_netlist::Netlist;
 use modemerge_sta::mode::Mode;
@@ -21,21 +22,50 @@ impl MergeabilityGraph {
     ///
     /// The mock run is the same code as the real preliminary merge
     /// (§3.1); a pair is mergeable iff the run reports no conflicts.
-    pub fn build(netlist: &Netlist, modes: &[Mode], options: &MergeOptions) -> Self {
+    /// Modes are passed by reference — the N·(N−1)/2 pair visits never
+    /// clone a `Mode`. When `options.threads > 1` the pair mock merges
+    /// run on a scoped-thread pool with index-ordered results, so the
+    /// graph is bit-identical regardless of thread count.
+    pub fn build(netlist: &Netlist, modes: &[&Mode], options: &MergeOptions) -> Self {
+        Self::build_filtered(netlist, modes, options, |_, _| false)
+    }
+
+    /// [`MergeabilityGraph::build`] with a pre-screen: pairs for which
+    /// `known_mergeable(i, j)` returns `true` are marked mergeable (empty
+    /// conflict list) without running the mock merge.
+    ///
+    /// The caller is responsible for soundness of the pre-screen; the
+    /// merge session uses byte-identical input SDC, for which the mock
+    /// merge provably reports no conflicts (self-merge is an identity).
+    pub fn build_filtered(
+        netlist: &Netlist,
+        modes: &[&Mode],
+        options: &MergeOptions,
+        known_mergeable: impl Fn(usize, usize) -> bool + Sync,
+    ) -> Self {
         let n = modes.len();
         let mut adj = vec![false; n * n];
         let mut conflicts = vec![Vec::new(); n * n];
         for i in 0..n {
             adj[i * n + i] = true;
-            for j in (i + 1)..n {
-                let pair = [modes[i].clone(), modes[j].clone()];
-                let mock = preliminary_merge(netlist, &pair, options);
-                if mock.conflicts.is_empty() {
-                    adj[i * n + j] = true;
-                    adj[j * n + i] = true;
-                } else {
-                    conflicts[i * n + j] = mock.conflicts;
+        }
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .collect();
+        let results: Vec<Vec<MergeConflict>> =
+            pool::run_indexed(options.threads, pairs.len(), |k| {
+                let (i, j) = pairs[k];
+                if known_mergeable(i, j) {
+                    return Vec::new();
                 }
+                preliminary_merge(netlist, &[modes[i], modes[j]], options).conflicts
+            });
+        for (&(i, j), pair_conflicts) in pairs.iter().zip(results) {
+            if pair_conflicts.is_empty() {
+                adj[i * n + j] = true;
+                adj[j * n + i] = true;
+            } else {
+                conflicts[i * n + j] = pair_conflicts;
             }
         }
         Self { n, adj, conflicts }
@@ -205,11 +235,12 @@ mod tests {
     #[test]
     fn compatible_modes_are_adjacent() {
         let netlist = paper_circuit();
-        let modes = vec![
+        let modes = [
             bind(&netlist, "A", "create_clock -name clkA -period 10 [get_ports clk1]\n"),
             bind(&netlist, "B", "create_clock -name clkB -period 20 [get_ports clk2]\n"),
         ];
-        let g = MergeabilityGraph::build(&netlist, &modes, &MergeOptions::default());
+        let mode_refs: Vec<&Mode> = modes.iter().collect();
+        let g = MergeabilityGraph::build(&netlist, &mode_refs, &MergeOptions::default());
         assert!(g.mergeable(0, 1));
         assert_eq!(g.degree(0), 1);
         assert!(g.conflicts(0, 1).is_empty());
@@ -231,7 +262,7 @@ mod tests {
     #[test]
     fn conflicting_modes_are_not_adjacent() {
         let netlist = paper_circuit();
-        let modes = vec![
+        let modes = [
             bind(
                 &netlist,
                 "A",
@@ -245,7 +276,8 @@ mod tests {
                  set_clock_latency 1 [get_clocks c]\n",
             ),
         ];
-        let g = MergeabilityGraph::build(&netlist, &modes, &MergeOptions::default());
+        let mode_refs: Vec<&Mode> = modes.iter().collect();
+        let g = MergeabilityGraph::build(&netlist, &mode_refs, &MergeOptions::default());
         assert!(!g.mergeable(0, 1));
         assert!(!g.conflicts(0, 1).is_empty());
         assert!(!g.conflicts(1, 0).is_empty(), "conflicts are symmetric");

@@ -1,0 +1,91 @@
+//! A minimal scoped-thread worker pool.
+//!
+//! The workspace builds offline, so instead of `rayon` this module
+//! provides the one primitive the merging engine needs: run `jobs`
+//! independent, index-addressed tasks on up to `threads` OS threads and
+//! collect the results **in index order**. Work is distributed through an
+//! atomic next-index counter (work stealing by index), and every result
+//! lands in its own pre-allocated slot — so the output is bit-identical
+//! regardless of thread count or scheduling, which the determinism tests
+//! (`--threads 1` vs `--threads 4`) rely on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Runs `f(0..jobs)` on up to `threads` scoped threads, returning the
+/// results in index order.
+///
+/// `threads <= 1` (or `jobs <= 1`) runs inline on the caller's thread —
+/// the serial path is byte-for-byte the parallel path with one worker.
+pub fn run_indexed<T, F>(threads: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || jobs <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs) {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let v = f(i);
+                if tx.send((i, v)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    for (i, v) in rx {
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job index was claimed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = run_indexed(1, 17, |i| i * i);
+        let parallel = run_indexed(4, 17, |i| i * i);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[16], 256);
+    }
+
+    #[test]
+    fn zero_jobs() {
+        let out: Vec<usize> = run_indexed(4, 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_jobs() {
+        let out = run_indexed(8, 3, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn results_are_in_index_order() {
+        // Jobs finish out of order (reverse sleep); results must not.
+        let out = run_indexed(4, 8, |i| {
+            std::thread::sleep(std::time::Duration::from_millis((8 - i) as u64));
+            i
+        });
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+}

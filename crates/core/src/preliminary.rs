@@ -118,12 +118,15 @@ fn within_tolerance(values: &[f64], options: &MergeOptions) -> bool {
 
 /// Runs preliminary mode merging over bound modes.
 ///
+/// Takes mode *references* so callers (the mergeability mock run in
+/// particular, which visits N·(N−1)/2 pairs) never clone a `Mode`.
+///
 /// Never fails: incompatibilities are collected into
 /// [`Preliminary::conflicts`] so the same routine doubles as the *mock
 /// run* used for mergeability determination.
 pub fn preliminary_merge(
     netlist: &Netlist,
-    modes: &[Mode],
+    modes: &[&Mode],
     options: &MergeOptions,
 ) -> Preliminary {
     let mut sdc = SdcFile::new();
@@ -592,7 +595,7 @@ pub fn preliminary_merge(
                 // every mode that has both.
                 let mut found_pair = false;
                 let mut all_separate = true;
-                for mode in modes {
+                for &mode in modes {
                     let (Some(a), Some(b)) =
                         (local_id(mode, &entries[i].key), local_id(mode, &entries[j].key))
                     else {
@@ -626,7 +629,7 @@ pub fn preliminary_merge(
         .map(|m| m.clocks.iter().map(|c| c.key()).collect())
         .collect();
     let mut canon: BTreeMap<CanonException, Vec<bool>> = BTreeMap::new();
-    for (mode_idx, mode) in modes.iter().enumerate() {
+    for (mode_idx, &mode) in modes.iter().enumerate() {
         for exc in &mode.exceptions {
             let c = CanonException::from_resolved(mode, exc);
             canon.entry(c).or_insert_with(|| vec![false; modes.len()])[mode_idx] = true;
@@ -704,7 +707,7 @@ fn emit_min_max(sdc: &mut SdcFile, min: f64, max: f64, make: impl Fn(f64, MinMax
 #[allow(clippy::too_many_arguments)]
 fn merge_port_attribute(
     netlist: &Netlist,
-    modes: &[Mode],
+    modes: &[&Mode],
     options: &MergeOptions,
     sdc: &mut SdcFile,
     conflicts: &mut Vec<MergeConflict>,
@@ -713,12 +716,12 @@ fn merge_port_attribute(
     make: impl Fn(f64, MinMax, ObjectRef) -> Command,
 ) {
     let mut all_pins: BTreeSet<PinId> = BTreeSet::new();
-    for mode in modes {
+    for &mode in modes {
         all_pins.extend(get(mode).keys().copied());
     }
     for pin in all_pins {
         let values: Vec<Option<MinMaxPair>> =
-            modes.iter().map(|m| get(m).get(&pin).copied()).collect();
+            modes.iter().map(|&m| get(m).get(&pin).copied()).collect();
         if values.iter().any(|v| v.is_none()) {
             conflicts.push(MergeConflict::PortAttribute {
                 object: netlist.pin_name(pin),
@@ -814,7 +817,8 @@ mod tests {
             .enumerate()
             .map(|(i, t)| bind(&netlist, &format!("m{i}"), t))
             .collect();
-        let p = preliminary_merge(&netlist, &modes, &MergeOptions::default());
+        let mode_refs: Vec<&Mode> = modes.iter().collect();
+        let p = preliminary_merge(&netlist, &mode_refs, &MergeOptions::default());
         (p, netlist)
     }
 

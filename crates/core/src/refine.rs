@@ -139,12 +139,12 @@ fn frontier_mismatches(
 pub fn refine(
     netlist: &Netlist,
     graph: &TimingGraph,
-    individual_analyses: &[Analysis<'_>],
+    individual_analyses: &[&Analysis<'_>],
     mut sdc: SdcFile,
     options: &MergeOptions,
 ) -> Result<RefineOutcome, MergeError> {
-    let indiv_clock_union = union_maps(individual_analyses.iter().map(clock_network_keys));
-    let indiv_data_union = union_maps(individual_analyses.iter().map(data_network_keys));
+    let indiv_clock_union = union_maps(individual_analyses.iter().map(|&a| clock_network_keys(a)));
+    let indiv_data_union = union_maps(individual_analyses.iter().map(|&a| data_network_keys(a)));
 
     let mut outcome = RefineOutcome {
         sdc: SdcFile::new(),
@@ -256,37 +256,6 @@ pub fn refine(
     })
 }
 
-/// Runs the per-mode analyses, in parallel when `options.threads > 1`
-/// (the paper's implementation is a multithreaded C++ engine).
-pub(crate) fn run_analyses<'a>(
-    netlist: &'a Netlist,
-    graph: &'a TimingGraph,
-    modes: &'a [Mode],
-    options: &MergeOptions,
-) -> Vec<Analysis<'a>> {
-    if options.threads <= 1 || modes.len() <= 1 {
-        return modes
-            .iter()
-            .map(|m| Analysis::run(netlist, graph, m))
-            .collect();
-    }
-    let mut out: Vec<Option<Analysis<'a>>> = Vec::new();
-    out.resize_with(modes.len(), || None);
-    let chunk = modes.len().div_ceil(options.threads);
-    std::thread::scope(|scope| {
-        for (modes_chunk, out_chunk) in modes.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move || {
-                for (m, slot) in modes_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = Some(Analysis::run(netlist, graph, m));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|a| a.expect("every slot filled by its chunk thread"))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,9 +294,10 @@ mod tests {
              set_disable_timing [get_ports sel2]\n",
         )
         .unwrap();
-        let modes = [mode_a, mode_b];
-        let analyses = run_analyses(&netlist, &graph, &modes, &MergeOptions::default());
-        let outcome = refine(&netlist, &graph, &analyses, prelim, &MergeOptions::default()).unwrap();
+        let a_an = Analysis::run(&netlist, &graph, &mode_a);
+        let b_an = Analysis::run(&netlist, &graph, &mode_b);
+        let outcome =
+            refine(&netlist, &graph, &[&a_an, &b_an], prelim, &MergeOptions::default()).unwrap();
         let text = outcome.sdc.to_text();
         assert!(
             text.contains(
@@ -369,9 +339,10 @@ mod tests {
              set_clock_groups -physically_exclusive -name ClkA_1 -group [get_clocks ClkA] -group [get_clocks ClkB]\n",
         )
         .unwrap();
-        let modes = [mode_a, mode_b];
-        let analyses = run_analyses(&netlist, &graph, &modes, &MergeOptions::default());
-        let outcome = refine(&netlist, &graph, &analyses, prelim, &MergeOptions::default()).unwrap();
+        let a_an = Analysis::run(&netlist, &graph, &mode_a);
+        let b_an = Analysis::run(&netlist, &graph, &mode_b);
+        let outcome =
+            refine(&netlist, &graph, &[&a_an, &b_an], prelim, &MergeOptions::default()).unwrap();
         let text = outcome.sdc.to_text();
         // The paper's CSTR6 (`-through [rB/Q and1/Z]`), derived here at
         // the crossing frontier: rB/Q for the constant register output,
@@ -396,48 +367,13 @@ mod tests {
         let prelim =
             SdcFile::parse("create_clock -name clkA -period 10 -waveform {0 5} -add [get_ports clk1]\n")
                 .unwrap();
-        let modes = [a, b];
-        let analyses = run_analyses(&netlist, &graph, &modes, &MergeOptions::default());
-        let outcome = refine(&netlist, &graph, &analyses, prelim, &MergeOptions::default()).unwrap();
+        let a_an = Analysis::run(&netlist, &graph, &a);
+        let b_an = Analysis::run(&netlist, &graph, &b);
+        let outcome =
+            refine(&netlist, &graph, &[&a_an, &b_an], prelim, &MergeOptions::default()).unwrap();
         assert_eq!(outcome.clock_stops, 0);
         assert_eq!(outcome.data_cut_false_paths, 0);
         assert_eq!(outcome.comparison_false_paths, 0);
         assert_eq!(outcome.iterations, 1);
-    }
-
-    #[test]
-    fn parallel_analyses_match_serial() {
-        let netlist = paper_circuit();
-        let graph = TimingGraph::build(&netlist).unwrap();
-        let modes: Vec<Mode> = (0..4)
-            .map(|i| {
-                bind(
-                    &netlist,
-                    &format!("m{i}"),
-                    "create_clock -name clkA -period 10 [get_ports clk1]\n",
-                )
-            })
-            .collect();
-        let serial = run_analyses(
-            &netlist,
-            &graph,
-            &modes,
-            &MergeOptions {
-                threads: 1,
-                ..Default::default()
-            },
-        );
-        let parallel = run_analyses(
-            &netlist,
-            &graph,
-            &modes,
-            &MergeOptions {
-                threads: 4,
-                ..Default::default()
-            },
-        );
-        for (s, p) in serial.iter().zip(parallel.iter()) {
-            assert_eq!(s.endpoint_relations(), p.endpoint_relations());
-        }
     }
 }

@@ -1,0 +1,467 @@
+//! The merge session: a shared analysis-cache layer.
+//!
+//! Every stage of the paper's pipeline — the mock merges behind the
+//! mergeability graph (§3), the refinement fixed point (§3.1.8/§3.2) and
+//! the final §2 validation — needs per-mode [`Analysis`] results, and
+//! before this layer existed each stage re-ran them from scratch. A
+//! [`MergeSession`] owns the netlist view for one merging run and
+//! memoizes exactly one analysis per input mode, so the expensive STA
+//! propagation happens once per mode per session no matter how many
+//! stages (or how many cliques sharing a mode boundary) consume it.
+//!
+//! Lifetimes force a two-phase construction: [`Analysis`] borrows the
+//! timing graph and the bound [`Mode`]s, so those live in a
+//! [`SessionInputs`] value the caller keeps alive, and the session
+//! borrows it:
+//!
+//! ```
+//! use modemerge_core::{MergeOptions, ModeInput, MergeSession, SessionInputs};
+//! use modemerge_netlist::paper::paper_circuit;
+//!
+//! let netlist = paper_circuit();
+//! let inputs = vec![
+//!     ModeInput::parse("A", "create_clock -name c -period 10 [get_ports clk1]\n").unwrap(),
+//!     ModeInput::parse("B", "create_clock -name c -period 10 [get_ports clk1]\n").unwrap(),
+//! ];
+//! let bound = SessionInputs::bind(&netlist, &inputs).unwrap();
+//! let session = MergeSession::new(&netlist, &bound, &MergeOptions::default());
+//! let outcome = session.merge_all().unwrap();
+//! assert_eq!(outcome.merged.len(), 1);
+//! assert_eq!(session.analyses_run(), 2, "one analysis per mode, ever");
+//! ```
+//!
+//! When `options.threads > 1` the warm-up and the pair mock merges run
+//! on the scoped-thread pool ([`crate::pool`]); results are assembled in
+//! index order, so output is bit-identical for any thread count.
+
+use crate::equivalence::check_equivalence;
+use crate::error::MergeError;
+use crate::merge::{MergeAllOutcome, MergeOptions, MergeOutcome, MergeReport, ModeInput};
+use crate::mergeability::{greedy_cliques, MergeabilityGraph};
+use crate::pool;
+use crate::preliminary::preliminary_merge;
+use crate::refine::refine;
+use modemerge_netlist::Netlist;
+use modemerge_sta::analysis::Analysis;
+use modemerge_sta::graph::TimingGraph;
+use modemerge_sta::mode::Mode;
+use modemerge_sta::relations::RelationSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// The borrow-owning half of a merge session: the timing graph and the
+/// bound modes that [`Analysis`] values reference.
+///
+/// Built once per merging run with [`SessionInputs::bind`]; the
+/// [`MergeSession`] then borrows it.
+#[derive(Debug)]
+pub struct SessionInputs {
+    graph: TimingGraph,
+    modes: Vec<Mode>,
+    inputs: Vec<ModeInput>,
+}
+
+impl SessionInputs {
+    /// Builds the timing graph and binds every input SDC against the
+    /// netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MergeError::Bind`] when an input SDC fails to bind and
+    /// propagates timing-graph construction errors.
+    pub fn bind(netlist: &Netlist, inputs: &[ModeInput]) -> Result<Self, MergeError> {
+        let graph = TimingGraph::build(netlist)?;
+        let modes: Vec<Mode> = inputs
+            .iter()
+            .map(|i| Mode::bind(i.name.clone(), netlist, &i.sdc))
+            .collect::<Result<_, _>>()?;
+        Ok(Self {
+            graph,
+            modes,
+            inputs: inputs.to_vec(),
+        })
+    }
+
+    /// The design's timing graph (mode-independent, built once).
+    pub fn graph(&self) -> &TimingGraph {
+        &self.graph
+    }
+
+    /// The bound modes, in input order.
+    pub fn modes(&self) -> &[Mode] {
+        &self.modes
+    }
+
+    /// The raw inputs, in input order.
+    pub fn inputs(&self) -> &[ModeInput] {
+        &self.inputs
+    }
+}
+
+/// One merging run over a fixed set of modes, with a memoized
+/// per-mode [`Analysis`] cache shared by every pipeline stage.
+#[derive(Debug)]
+pub struct MergeSession<'a> {
+    netlist: &'a Netlist,
+    inputs: &'a SessionInputs,
+    options: MergeOptions,
+    slots: Vec<OnceLock<Analysis<'a>>>,
+    misses: AtomicUsize,
+}
+
+impl<'a> MergeSession<'a> {
+    /// Creates a session over bound inputs. No analysis runs yet.
+    pub fn new(netlist: &'a Netlist, inputs: &'a SessionInputs, options: &MergeOptions) -> Self {
+        let slots = (0..inputs.modes.len()).map(|_| OnceLock::new()).collect();
+        Self {
+            netlist,
+            inputs,
+            options: options.clone(),
+            slots,
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The session's options.
+    pub fn options(&self) -> &MergeOptions {
+        &self.options
+    }
+
+    /// Number of input modes.
+    pub fn mode_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The design's timing graph.
+    pub fn graph(&self) -> &'a TimingGraph {
+        &self.inputs.graph
+    }
+
+    /// The `i`-th bound mode.
+    pub fn mode(&self, i: usize) -> &'a Mode {
+        &self.inputs.modes[i]
+    }
+
+    /// The `i`-th raw input.
+    pub fn input(&self, i: usize) -> &'a ModeInput {
+        &self.inputs.inputs[i]
+    }
+
+    /// The memoized analysis of mode `i`, running it on first use.
+    ///
+    /// [`OnceLock::get_or_init`] guarantees the closure runs exactly
+    /// once even under concurrent warm-up, so the session performs at
+    /// most one [`Analysis::run`] per mode for its whole lifetime.
+    pub fn analysis(&self, i: usize) -> &Analysis<'a> {
+        self.slots[i].get_or_init(|| {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            Analysis::run(self.netlist, &self.inputs.graph, &self.inputs.modes[i])
+        })
+    }
+
+    /// The memoized §2 endpoint-relation set of mode `i` (borrowed from
+    /// the cached analysis — no clone).
+    pub fn relations(&self, i: usize) -> &RelationSet {
+        self.analysis(i).relations()
+    }
+
+    /// How many analyses this session has actually run (cache misses).
+    /// After any sequence of calls this is at most [`Self::mode_count`].
+    pub fn analyses_run(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Runs every per-mode analysis that is not yet cached, in parallel
+    /// when `options.threads > 1`.
+    pub fn warm_up(&self) {
+        self.warm_indices(&(0..self.mode_count()).collect::<Vec<_>>());
+    }
+
+    /// Warms the cache for a subset of modes.
+    fn warm_indices(&self, indices: &[usize]) {
+        pool::run_indexed(self.options.threads, indices.len(), |k| {
+            self.analysis(indices[k]);
+        });
+    }
+
+    /// Builds the mergeability graph (Figure 2) over the session's
+    /// modes.
+    ///
+    /// Pairs with byte-identical input SDC are pre-screened as mergeable
+    /// without running the mock merge (self-merge is an identity); all
+    /// other pairs run the full mock preliminary merge, so the conflict
+    /// matrix is unchanged by the pre-screen.
+    pub fn mergeability(&self) -> MergeabilityGraph {
+        let mode_refs: Vec<&Mode> = self.inputs.modes.iter().collect();
+        MergeabilityGraph::build_filtered(self.netlist, &mode_refs, &self.options, |i, j| {
+            self.inputs.inputs[i].sdc == self.inputs.inputs[j].sdc
+        })
+    }
+
+    /// Merges one group of modes, identified by indices into the input
+    /// list, through the full §3 pipeline: preliminary merge, refinement
+    /// against the *cached* individual analyses, and §2 validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MergeError::EmptyGroup`] for an empty group,
+    /// [`MergeError::NotMergeable`] when the group conflicts,
+    /// [`MergeError::ValidationFailed`] when the final equivalence check
+    /// finds differences, and propagates binding/refinement errors.
+    pub fn merge_indices(&self, group: &[usize]) -> Result<MergeOutcome, MergeError> {
+        let Some(&first) = group.first() else {
+            return Err(MergeError::EmptyGroup);
+        };
+        if group.len() == 1 {
+            let input = self.input(first);
+            return Ok(MergeOutcome {
+                merged: input.clone(),
+                report: MergeReport {
+                    mode_names: vec![input.name.clone()],
+                    validated: true,
+                    ..Default::default()
+                },
+            });
+        }
+        let modes: Vec<&Mode> = group.iter().map(|&i| self.mode(i)).collect();
+
+        // §3.1 preliminary merging (also the conflict check).
+        let prelim = preliminary_merge(self.netlist, &modes, &self.options);
+        if !prelim.conflicts.is_empty() {
+            return Err(MergeError::NotMergeable {
+                conflicts: prelim.conflicts,
+            });
+        }
+
+        // §3.1.8 + §3.2 refinement against the cached analyses.
+        self.warm_indices(group);
+        let analyses: Vec<&Analysis<'a>> = group.iter().map(|&i| self.analysis(i)).collect();
+        let refined = refine(self.netlist, self.graph(), &analyses, prelim.sdc, &self.options)?;
+
+        // §2 equivalence validation. Relations missing from the merged
+        // mode are always fatal (the merged mode would miss violations);
+        // extra relations are fatal only in strict mode (pessimism).
+        let mut validated = false;
+        let mut extra_relations = 0;
+        if self.options.validate {
+            let merged_mode = Mode::bind("merged", self.netlist, &refined.sdc)?;
+            let merged_analysis = Analysis::run(self.netlist, self.graph(), &merged_mode);
+            let report = check_equivalence(&analyses, &merged_analysis);
+            if !report.missing_in_merged.is_empty()
+                || (self.options.strict && !report.extra_in_merged.is_empty())
+            {
+                return Err(MergeError::ValidationFailed {
+                    extra_in_merged: report.extra_in_merged.len(),
+                    missing_in_merged: report.missing_in_merged.len(),
+                });
+            }
+            extra_relations = report.extra_in_merged.len();
+            validated = true;
+        }
+
+        let merged_name = group
+            .iter()
+            .map(|&i| self.input(i).name.as_str())
+            .collect::<Vec<_>>()
+            .join("+");
+        Ok(MergeOutcome {
+            merged: ModeInput::new(merged_name, refined.sdc),
+            report: MergeReport {
+                mode_names: group.iter().map(|&i| self.input(i).name.clone()).collect(),
+                clock_count: prelim.clock_table.len(),
+                dropped_cases: prelim.dropped_cases.len(),
+                disabled_case_pins: prelim.disabled_case_pins.len(),
+                dropped_false_paths: prelim.dropped_false_paths,
+                uniquified_exceptions: prelim.uniquified_exceptions,
+                clock_stops: refined.clock_stops,
+                data_cut_false_paths: refined.data_cut_false_paths,
+                comparison_false_paths: refined.comparison_false_paths,
+                pass2_endpoints: refined.pass2_endpoints,
+                pass3_pairs: refined.pass3_pairs,
+                refine_iterations: refined.iterations,
+                residual_pessimism: refined.residual_pessimism,
+                extra_relations,
+                validated,
+            },
+        })
+    }
+
+    /// The full plan-and-merge flow over the session's modes: build the
+    /// mergeability graph, cover it with greedy cliques and merge every
+    /// clique — all against the shared analysis cache.
+    ///
+    /// Cliques that unexpectedly fail deep refinement (the mock merge
+    /// only checks preliminary-level conflicts) fall back to keeping
+    /// their modes individual, so the flow always produces a usable mode
+    /// set.
+    ///
+    /// # Errors
+    ///
+    /// Infallible per group (failures fall back), but kept fallible for
+    /// forward compatibility with strict planning policies.
+    pub fn merge_all(&self) -> Result<MergeAllOutcome, MergeError> {
+        let mgraph = self.mergeability();
+        let groups = greedy_cliques(&mgraph);
+
+        let mut merged = Vec::new();
+        let mut reports = Vec::new();
+        for group in &groups {
+            match self.merge_indices(group) {
+                Ok(outcome) => {
+                    merged.push(outcome.merged);
+                    reports.push(outcome.report);
+                }
+                Err(_) => {
+                    // Deep-refinement failure: keep the group's modes
+                    // as-is.
+                    for &i in group {
+                        let input = self.input(i).clone();
+                        reports.push(MergeReport {
+                            mode_names: vec![input.name.clone()],
+                            validated: true,
+                            ..Default::default()
+                        });
+                        merged.push(input);
+                    }
+                }
+            }
+        }
+        Ok(MergeAllOutcome {
+            merged,
+            groups,
+            reports,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modemerge_netlist::paper::paper_circuit;
+
+    fn inputs_from(texts: &[(&str, &str)]) -> Vec<ModeInput> {
+        texts
+            .iter()
+            .map(|(name, text)| ModeInput::parse(*name, text).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn analyses_run_exactly_once_per_mode() {
+        let netlist = paper_circuit();
+        let inputs = inputs_from(&[
+            ("A", "create_clock -name c -period 10 [get_ports clk1]\n"),
+            ("B", "create_clock -name c -period 10 [get_ports clk1]\n"),
+            (
+                "C",
+                "create_clock -name c -period 10 [get_ports clk1]\n\
+                 set_clock_latency 9 [get_clocks c]\n",
+            ),
+        ]);
+        let bound = SessionInputs::bind(&netlist, &inputs).unwrap();
+        let session = MergeSession::new(&netlist, &bound, &MergeOptions::default());
+        assert_eq!(session.analyses_run(), 0, "construction is lazy");
+        // Drive the whole pipeline: mergeability + cliques + merge.
+        let outcome = session.merge_all().unwrap();
+        assert_eq!(outcome.merged.len(), 2);
+        // Repeated consumption hits the cache only.
+        session.warm_up();
+        for i in 0..session.mode_count() {
+            let _ = session.relations(i);
+            let _ = session.analysis(i);
+        }
+        assert!(
+            session.analyses_run() <= session.mode_count(),
+            "ran {} analyses for {} modes",
+            session.analyses_run(),
+            session.mode_count()
+        );
+    }
+
+    #[test]
+    fn cached_relations_match_fresh_analysis() {
+        let netlist = paper_circuit();
+        let inputs = inputs_from(&[
+            ("A", "create_clock -name clkA -period 10 [get_ports clk1]\n"),
+            ("B", "create_clock -name clkB -period 4 [get_ports clk2]\n"),
+        ]);
+        let bound = SessionInputs::bind(&netlist, &inputs).unwrap();
+        let session = MergeSession::new(&netlist, &bound, &MergeOptions::default());
+        for i in 0..session.mode_count() {
+            let fresh = Analysis::run(&netlist, bound.graph(), &bound.modes()[i]);
+            assert_eq!(session.relations(i), fresh.relations());
+        }
+    }
+
+    #[test]
+    fn identical_sdc_pairs_are_prescreened() {
+        let netlist = paper_circuit();
+        let text = "create_clock -name c -period 10 [get_ports clk1]\n";
+        let inputs = inputs_from(&[("A", text), ("B", text), ("C", text)]);
+        let bound = SessionInputs::bind(&netlist, &inputs).unwrap();
+        let session = MergeSession::new(&netlist, &bound, &MergeOptions::default());
+        let g = session.mergeability();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(g.mergeable(i, j));
+            }
+        }
+        let cliques = greedy_cliques(&g);
+        assert_eq!(cliques, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn merge_indices_empty_group_errors() {
+        let netlist = paper_circuit();
+        let inputs =
+            inputs_from(&[("A", "create_clock -name c -period 10 [get_ports clk1]\n")]);
+        let bound = SessionInputs::bind(&netlist, &inputs).unwrap();
+        let session = MergeSession::new(&netlist, &bound, &MergeOptions::default());
+        assert!(matches!(
+            session.merge_indices(&[]),
+            Err(MergeError::EmptyGroup)
+        ));
+        // Singleton passthrough runs no analysis.
+        let out = session.merge_indices(&[0]).unwrap();
+        assert_eq!(out.merged.sdc, inputs[0].sdc);
+        assert_eq!(session.analyses_run(), 0);
+    }
+
+    #[test]
+    fn parallel_session_matches_serial() {
+        let netlist = paper_circuit();
+        let inputs = inputs_from(&[
+            ("F1", "create_clock -name c -period 10 [get_ports clk1]\n"),
+            ("F2", "create_clock -name c -period 10 [get_ports clk1]\n"),
+            (
+                "T1",
+                "create_clock -name c -period 10 [get_ports clk1]\n\
+                 set_clock_latency 9 [get_clocks c]\n",
+            ),
+            ("S1", "create_clock -name s -period 4 [get_ports clk2]\n"),
+        ]);
+        let bound = SessionInputs::bind(&netlist, &inputs).unwrap();
+        let run = |threads: usize| {
+            let session = MergeSession::new(
+                &netlist,
+                &bound,
+                &MergeOptions {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            session.warm_up();
+            session.merge_all().unwrap()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.groups, parallel.groups);
+        let texts = |o: &MergeAllOutcome| -> Vec<(String, String)> {
+            o.merged
+                .iter()
+                .map(|m| (m.name.clone(), m.sdc.to_text()))
+                .collect()
+        };
+        assert_eq!(texts(&serial), texts(&parallel));
+    }
+}

@@ -139,7 +139,7 @@ fn scope_of(checks: &BTreeSet<CheckKind>) -> SetupHold {
 pub fn compare_and_fix(
     netlist: &Netlist,
     graph: &TimingGraph,
-    individual: &[Analysis<'_>],
+    individual: &[&Analysis<'_>],
     merged: &Analysis<'_>,
     group_fixes: bool,
 ) -> ComparisonOutcome {
@@ -155,7 +155,7 @@ pub fn compare_and_fix(
     // ---- Pass 1 -------------------------------------------------------
     let mut by_tuple: BTreeMap<(PinId, TupleKey), StateSets> = BTreeMap::new();
     for a in individual {
-        for r in &a.endpoint_relations() {
+        for r in a.relations() {
             by_tuple
                 .entry((r.endpoint, (r.launch.clone(), r.capture.clone(), r.check)))
                 .or_default()
@@ -163,7 +163,7 @@ pub fn compare_and_fix(
                 .insert(r.state.clone());
         }
     }
-    for r in &merged.endpoint_relations() {
+    for r in merged.relations() {
         by_tuple
             .entry((r.endpoint, (r.launch.clone(), r.capture.clone(), r.check)))
             .or_default()
@@ -575,7 +575,7 @@ mod tests {
         let a_an = Analysis::run(&netlist, &graph, &mode_a);
         let b_an = Analysis::run(&netlist, &graph, &mode_b);
         let m_an = Analysis::run(&netlist, &graph, &merged_mode);
-        let outcome = compare_and_fix(&netlist, &graph, &[a_an, b_an], &m_an, true);
+        let outcome = compare_and_fix(&netlist, &graph, &[&a_an, &b_an], &m_an, true);
 
         assert!(outcome.missing.is_empty(), "{:?}", outcome.missing);
         assert!(outcome.residual.is_empty(), "{:?}", outcome.residual);
@@ -614,7 +614,7 @@ mod tests {
         let a_an = Analysis::run(&netlist, &graph, &a);
         let b_an = Analysis::run(&netlist, &graph, &b);
         let m_an = Analysis::run(&netlist, &graph, &m);
-        let outcome = compare_and_fix(&netlist, &graph, &[a_an, b_an], &m_an, true);
+        let outcome = compare_and_fix(&netlist, &graph, &[&a_an, &b_an], &m_an, true);
         assert!(outcome.clean(), "{:?}", outcome.fixes);
         assert_eq!(outcome.pass2_endpoints, 0);
     }
@@ -632,7 +632,7 @@ mod tests {
         let a_an = Analysis::run(&netlist, &graph, &a);
         let b_an = Analysis::run(&netlist, &graph, &b);
         let m_an = Analysis::run(&netlist, &graph, &m);
-        let outcome = compare_and_fix(&netlist, &graph, &[a_an, b_an], &m_an, true);
+        let outcome = compare_and_fix(&netlist, &graph, &[&a_an, &b_an], &m_an, true);
         assert!(outcome.clean());
     }
 
@@ -654,7 +654,7 @@ mod tests {
         let a_an = Analysis::run(&netlist, &graph, &a);
         let b_an = Analysis::run(&netlist, &graph, &b);
         let m_an = Analysis::run(&netlist, &graph, &m);
-        let outcome = compare_and_fix(&netlist, &graph, &[a_an, b_an], &m_an, true);
+        let outcome = compare_and_fix(&netlist, &graph, &[&a_an, &b_an], &m_an, true);
         let texts: Vec<String> = outcome.fixes.iter().map(|c| c.to_text()).collect();
         assert!(
             texts

@@ -15,6 +15,21 @@ use crate::relations::{
 use modemerge_netlist::{Netlist, PinId};
 use modemerge_sdc::IoDelayKind;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Process-wide count of [`Analysis::run`] invocations.
+///
+/// Exists so integration tests can assert the *exactly-once* analysis
+/// guarantee of the merge session: each individual mode must be analyzed
+/// a single time per merge invocation, with every later consumer served
+/// from the cache.
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Number of full analyses run by this process so far.
+pub fn analyses_performed() -> u64 {
+    RUN_COUNTER.load(Ordering::Relaxed)
+}
 
 /// Worst setup slack at one endpoint.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,7 +49,11 @@ pub(crate) type Resolved = (ClockId, ClockId, CheckKind, PathState);
 /// Full single-mode timing analysis.
 ///
 /// Construction runs constant propagation, clock propagation and the
-/// full-design tag propagation; the accessors are then cheap.
+/// full-design tag propagation; the accessors are then cheap. Derived
+/// relation queries ([`Analysis::relations`], [`Analysis::pair_relations`],
+/// [`Analysis::through_relations`]) are memoized internally, so repeated
+/// queries — e.g. from the refinement fixed-point loop or the 3-pass
+/// comparison — cost one computation each.
 #[derive(Debug)]
 pub struct Analysis<'a> {
     netlist: &'a Netlist,
@@ -44,11 +63,18 @@ pub struct Analysis<'a> {
     clock_arrivals: ClockArrivals,
     exc_index: ExcIndex,
     prop: Propagation,
+    /// Memoized pass-1 relation set (computed once, borrowed thereafter).
+    relations_cache: OnceLock<RelationSet>,
+    /// Memoized pass-2 relation sets, keyed by endpoint.
+    pair_cache: Mutex<HashMap<PinId, BTreeSet<PairRelation>>>,
+    /// Memoized pass-3 relation sets, keyed by (startpoint, endpoint).
+    through_cache: Mutex<HashMap<(Startpoint, PinId), BTreeSet<ThroughRelation>>>,
 }
 
 impl<'a> Analysis<'a> {
     /// Runs the full analysis for `mode`.
     pub fn run(netlist: &'a Netlist, graph: &'a TimingGraph, mode: &'a Mode) -> Self {
+        RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
         let constants = Constants::compute(netlist, &mode.case_values);
         let exc_index = ExcIndex::build(mode);
         let (clock_arrivals, prop) = {
@@ -66,6 +92,9 @@ impl<'a> Analysis<'a> {
             clock_arrivals,
             exc_index,
             prop,
+            relations_cache: OnceLock::new(),
+            pair_cache: Mutex::new(HashMap::new()),
+            through_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -200,21 +229,33 @@ impl<'a> Analysis<'a> {
         out
     }
 
-    /// Pass-1 relationships: the full-design endpoint relation set.
-    pub fn endpoint_relations(&self) -> RelationSet {
-        let mut set = RelationSet::new();
-        for endpoint in self.endpoints() {
-            for (launch, cap, check, state) in self.resolve_endpoint(&self.prop, endpoint) {
-                set.insert(EndpointRelation {
-                    endpoint,
-                    launch: self.mode.clock_key(launch),
-                    capture: self.mode.clock_key(cap),
-                    check,
-                    state,
-                });
+    /// Pass-1 relationships: the full-design endpoint relation set,
+    /// computed on first use and borrowed thereafter.
+    ///
+    /// This is the borrow-friendly accessor the merge session and the
+    /// 3-pass comparison use; [`Analysis::endpoint_relations`] clones it
+    /// for callers that need ownership.
+    pub fn relations(&self) -> &RelationSet {
+        self.relations_cache.get_or_init(|| {
+            let mut set = RelationSet::new();
+            for endpoint in self.endpoints() {
+                for (launch, cap, check, state) in self.resolve_endpoint(&self.prop, endpoint) {
+                    set.insert(EndpointRelation {
+                        endpoint,
+                        launch: self.mode.clock_key(launch),
+                        capture: self.mode.clock_key(cap),
+                        check,
+                        state,
+                    });
+                }
             }
-        }
-        set
+            set
+        })
+    }
+
+    /// Pass-1 relationships by value (clone of the memoized set).
+    pub fn endpoint_relations(&self) -> RelationSet {
+        self.relations().clone()
     }
 
     /// Nodes that can reach `endpoint` through active arcs (the fanin
@@ -283,8 +324,17 @@ impl<'a> Analysis<'a> {
     }
 
     /// Pass-2 relationships for one endpoint: per-startpoint relation
-    /// sets.
+    /// sets. Memoized per endpoint — the per-startpoint propagations are
+    /// the dominant cost of pass 2 and refinement re-queries them.
     pub fn pair_relations(&self, endpoint: PinId) -> BTreeSet<PairRelation> {
+        if let Some(cached) = self
+            .pair_cache
+            .lock()
+            .expect("pair cache poisoned")
+            .get(&endpoint)
+        {
+            return cached.clone();
+        }
         let mut out = BTreeSet::new();
         for sp in self.startpoints_of(endpoint) {
             let prop = self.propagator().run_from(sp);
@@ -299,6 +349,10 @@ impl<'a> Analysis<'a> {
                 });
             }
         }
+        self.pair_cache
+            .lock()
+            .expect("pair cache poisoned")
+            .insert(endpoint, out.clone());
         out
     }
 
@@ -307,8 +361,29 @@ impl<'a> Analysis<'a> {
     /// the startpoint through that node to the endpoint.
     ///
     /// The through nodes returned exclude the startpoint pin and the
-    /// endpoint itself.
+    /// endpoint itself. Memoized per (startpoint, endpoint) pair.
     pub fn through_relations(&self, start: Startpoint, endpoint: PinId) -> BTreeSet<ThroughRelation> {
+        if let Some(cached) = self
+            .through_cache
+            .lock()
+            .expect("through cache poisoned")
+            .get(&(start, endpoint))
+        {
+            return cached.clone();
+        }
+        let out = self.through_relations_uncached(start, endpoint);
+        self.through_cache
+            .lock()
+            .expect("through cache poisoned")
+            .insert((start, endpoint), out.clone());
+        out
+    }
+
+    fn through_relations_uncached(
+        &self,
+        start: Startpoint,
+        endpoint: PinId,
+    ) -> BTreeSet<ThroughRelation> {
         let prop = self.propagator().run_from(start);
         let cone = self.fanin_cone(endpoint);
 

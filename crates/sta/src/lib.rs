@@ -48,7 +48,7 @@ pub mod propagate;
 pub mod relations;
 pub mod report;
 
-pub use analysis::{Analysis, EndpointSlack};
+pub use analysis::{analyses_performed, Analysis, EndpointSlack};
 pub use error::StaError;
 pub use graph::{Arc, ArcKind, ArcSense, TimingGraph};
 pub use keys::{ClockKey, F64Key};

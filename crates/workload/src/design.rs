@@ -15,9 +15,8 @@
 //!   selected by a global `scan_en` port, chaining registers;
 //! * primary data inputs and outputs for I/O delay constraints.
 
+use crate::rng::XorShift;
 use modemerge_netlist::{InstId, Library, Netlist, NetlistBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of a generated design.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,7 +85,7 @@ pub fn generate_design(spec: &DesignSpec) -> Netlist {
     assert!(spec.domains >= 2, "need at least two clock domains");
     assert!(spec.banks >= 2, "need at least two banks");
     assert!(spec.regs_per_bank >= 2, "need at least two registers per bank");
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = XorShift::seed_from_u64(spec.seed);
     let mut b = NetlistBuilder::new(spec.name.clone(), Library::standard());
 
     // Ports.
@@ -229,7 +228,7 @@ pub fn generate_design(spec: &DesignSpec) -> Netlist {
         for (r, &reg) in regs[bank].clone().iter().enumerate() {
             let reg_index = bank * spec.regs_per_bank + r;
             let src_bank = &regs[bank - 1];
-            let tap = |rng: &mut StdRng| src_bank[rng.gen_range(0..src_bank.len())];
+            let tap = |rng: &mut XorShift| src_bank[rng.gen_range(0..src_bank.len())];
 
             // Periodic reconvergence (the Table 4 pattern): tap → inv and
             // tap → direct, rejoined by an AND.

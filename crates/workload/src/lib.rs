@@ -23,6 +23,7 @@
 pub mod design;
 pub mod modes;
 pub mod paper;
+pub mod rng;
 
 pub use design::{generate_design, DesignSpec};
 pub use modes::{generate_suite, Suite, SuiteSpec};

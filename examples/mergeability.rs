@@ -9,10 +9,10 @@
 //! cargo run --example mergeability
 //! ```
 
-use modemerge::merge::merge::{merge_all, MergeOptions, ModeInput};
-use modemerge::merge::mergeability::{greedy_cliques, MergeabilityGraph};
+use modemerge::merge::merge::{MergeOptions, ModeInput};
+use modemerge::merge::mergeability::greedy_cliques;
+use modemerge::merge::session::{MergeSession, SessionInputs};
 use modemerge::netlist::paper::paper_circuit;
-use modemerge::sta::mode::Mode;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let netlist = paper_circuit();
@@ -33,11 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let modes: Vec<Mode> = inputs
-        .iter()
-        .map(|i| Mode::bind(i.name.clone(), &netlist, &i.sdc))
-        .collect::<Result<_, _>>()?;
-    let graph = MergeabilityGraph::build(&netlist, &modes, &MergeOptions::default());
+    // One session serves the whole example: the mergeability graph, the
+    // clique cover and the final merge share its analysis cache.
+    let bound = SessionInputs::bind(&netlist, &inputs)?;
+    let session = MergeSession::new(&netlist, &bound, &MergeOptions::default());
+    let graph = session.mergeability();
 
     println!("Mergeability matrix ({} modes):", graph.len());
     print!("{:>8}", "");
@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  M{}: {}", k + 1, names.join(", "));
     }
 
-    let outcome = merge_all(&netlist, &inputs, &MergeOptions::default())?;
+    let outcome = session.merge_all()?;
     println!(
         "\nFull flow: {} modes -> {} superset modes ({:.1} % reduction)",
         inputs.len(),
@@ -70,5 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for m in &outcome.merged {
         println!("  merged mode: {}", m.name);
     }
+    println!(
+        "analyses run: {} for {} modes (session cache)",
+        session.analyses_run(),
+        session.mode_count()
+    );
     Ok(())
 }

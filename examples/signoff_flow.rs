@@ -4,10 +4,14 @@
 //! endpoint-slack QoR — a miniature of the paper's Tables 5 and 6.
 //!
 //! ```text
-//! cargo run --release --example signoff_flow
+//! cargo run --release --example signoff_flow [THREADS]
 //! ```
+//!
+//! The optional positional argument sets the merge session's worker
+//! thread count (default 1); the output is bit-identical either way.
 
-use modemerge::merge::merge::{merge_all, MergeOptions, ModeInput};
+use modemerge::merge::merge::{MergeOptions, ModeInput};
+use modemerge::merge::session::{MergeSession, SessionInputs};
 use modemerge::sta::analysis::Analysis;
 use modemerge::sta::graph::TimingGraph;
 use modemerge::sta::mode::Mode;
@@ -16,6 +20,11 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let threads: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(1);
     // A ~5k-cell SoC block with 3 clock domains, scan, and 8 timing
     // modes in three families (functional / test / scan variants).
     let spec = SuiteSpec {
@@ -38,14 +47,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|(n, s)| ModeInput::new(n.clone(), s.clone()))
         .collect();
+    let options = MergeOptions {
+        threads,
+        ..Default::default()
+    };
     let t0 = Instant::now();
-    let outcome = merge_all(&suite.netlist, &inputs, &MergeOptions::default())?;
+    let bound = SessionInputs::bind(&suite.netlist, &inputs)?;
+    let session = MergeSession::new(&suite.netlist, &bound, &options);
+    session.warm_up();
+    let outcome = session.merge_all()?;
     println!(
-        "\nMode merging: {} -> {} modes ({:.1} % reduction) in {:.3} s",
+        "\nMode merging ({} thread{}): {} -> {} modes ({:.1} % reduction) in {:.3} s, {} analyses",
+        threads,
+        if threads == 1 { "" } else { "s" },
         inputs.len(),
         outcome.merged.len(),
         outcome.reduction_percent(inputs.len()),
-        t0.elapsed().as_secs_f64()
+        t0.elapsed().as_secs_f64(),
+        session.analyses_run()
     );
     for (group, report) in outcome.groups.iter().zip(&outcome.reports) {
         println!(

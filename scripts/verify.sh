@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Offline verification: tier-1 build + tests, clippy at -D warnings, and a
+# thread-count determinism smoke run of the signoff_flow example.
+#
+#   scripts/verify.sh
+#
+# Everything runs with CARGO_NET_OFFLINE=true — the workspace has no
+# registry dependencies, so a failure here means a hermeticity regression.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> clippy -D warnings (all touched crates)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> smoke: signoff_flow at 1 and 4 threads must be bit-identical"
+# Wall-clock lines (elapsed seconds and the runtime-reduction percentage
+# derived from them) legitimately vary run to run; everything else —
+# merged mode names, SDC text, slacks, analysis counts — must match.
+filter() { grep -vE '[0-9] s(,|$| )|Runtime reduction'; }
+one="$(cargo run --release --example signoff_flow 1 2>/dev/null | filter)"
+four="$(cargo run --release --example signoff_flow 4 2>/dev/null | filter)"
+if [ "$one" != "$four" ]; then
+    echo "FAIL: signoff_flow output differs between 1 and 4 threads" >&2
+    diff <(printf '%s\n' "$one") <(printf '%s\n' "$four") >&2 || true
+    exit 1
+fi
+echo "    identical output across thread counts"
+
+echo "==> verify.sh: all checks passed"

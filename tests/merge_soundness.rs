@@ -2,14 +2,22 @@
 //! parameterized designs and mode suites, the merged modes must satisfy
 //! the paper's §2 equivalence criterion (no timed relation lost, and —
 //! with the engine's precise refinement — none gained either).
+//!
+//! The suite is randomized but hermetic: instead of the `proptest` crate
+//! (which would require registry access) it drives the checks with the
+//! in-tree deterministic PRNG. Enable with `--features proptest`.
+#![cfg(feature = "proptest")]
 
 use modemerge::merge::equivalence::check_equivalence;
 use modemerge::merge::merge::{merge_all, merge_group, MergeOptions, ModeInput};
 use modemerge::sta::analysis::Analysis;
 use modemerge::sta::graph::TimingGraph;
 use modemerge::sta::mode::Mode;
+use modemerge::workload::rng::XorShift;
 use modemerge::workload::{generate_suite, DesignSpec, SuiteSpec};
-use proptest::prelude::*;
+
+/// Cases per property (mirrors the original proptest config).
+const CASES: usize = 12;
 
 fn small_design(seed: u64, banks: usize, regs: usize) -> DesignSpec {
     DesignSpec {
@@ -26,19 +34,17 @@ fn small_design(seed: u64, banks: usize, regs: usize) -> DesignSpec {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
-
-    /// Every merged group of a generated suite validates: the merged
-    /// relationship set equals the union of the individual modes'.
-    #[test]
-    fn merged_suites_are_equivalent(
-        seed in 0u64..1000,
-        banks in 3usize..6,
-        regs in 3usize..8,
-        fam_a in 2usize..4,
-        fam_b in 1usize..3,
-    ) {
+/// Every merged group of a generated suite validates: the merged
+/// relationship set equals the union of the individual modes'.
+#[test]
+fn merged_suites_are_equivalent() {
+    let mut rng = XorShift::seed_from_u64(0x6d65_7267_6501);
+    for _ in 0..CASES {
+        let seed = rng.gen_range_u64(0..1000);
+        let banks = rng.gen_range(3..6);
+        let regs = rng.gen_range(3..8);
+        let fam_a = rng.gen_range(2..4);
+        let fam_b = rng.gen_range(1..3);
         let spec = SuiteSpec {
             design: small_design(seed, banks, regs),
             families: vec![fam_a, fam_b],
@@ -53,16 +59,24 @@ proptest! {
             .collect();
         let out = merge_all(&suite.netlist, &inputs, &MergeOptions::default())
             .expect("flow completes");
-        prop_assert_eq!(out.merged.len(), suite.expected_merged);
+        assert_eq!(out.merged.len(), suite.expected_merged, "seed {seed}");
         for report in &out.reports {
-            prop_assert!(report.validated, "group {:?} failed validation", report.mode_names);
+            assert!(
+                report.validated,
+                "group {:?} failed validation (seed {seed})",
+                report.mode_names
+            );
         }
     }
+}
 
-    /// Merging a mode with itself is a no-op up to relationship
-    /// equivalence.
-    #[test]
-    fn self_merge_is_identity(seed in 0u64..1000) {
+/// Merging a mode with itself is a no-op up to relationship
+/// equivalence.
+#[test]
+fn self_merge_is_identity() {
+    let mut rng = XorShift::seed_from_u64(0x6d65_7267_6502);
+    for _ in 0..CASES {
+        let seed = rng.gen_range_u64(0..1000);
         let spec = SuiteSpec {
             design: small_design(seed, 3, 4),
             families: vec![1],
@@ -81,13 +95,17 @@ proptest! {
         let merged = Mode::bind("merged", &suite.netlist, &out.merged.sdc).expect("binds");
         let orig_an = Analysis::run(&suite.netlist, &graph, &orig);
         let merged_an = Analysis::run(&suite.netlist, &graph, &merged);
-        let report = check_equivalence(std::slice::from_ref(&orig_an), &merged_an);
-        prop_assert!(report.equivalent, "{report:?}");
+        let report = check_equivalence(&[&orig_an], &merged_an);
+        assert!(report.equivalent, "seed {seed}: {report:?}");
     }
+}
 
-    /// Merge order does not change the merged mode's timing behaviour.
-    #[test]
-    fn merge_is_order_insensitive(seed in 0u64..500) {
+/// Merge order does not change the merged mode's timing behaviour.
+#[test]
+fn merge_is_order_insensitive() {
+    let mut rng = XorShift::seed_from_u64(0x6d65_7267_6503);
+    for _ in 0..CASES {
+        let seed = rng.gen_range_u64(0..500);
         let spec = SuiteSpec {
             design: small_design(seed, 3, 4),
             families: vec![2],
@@ -100,28 +118,32 @@ proptest! {
             .iter()
             .map(|(n, s)| ModeInput::new(n.clone(), s.clone()))
             .collect();
-        let forward = merge_group(&suite.netlist, &inputs, &MergeOptions::default())
-            .expect("merges");
+        let forward =
+            merge_group(&suite.netlist, &inputs, &MergeOptions::default()).expect("merges");
         let reversed: Vec<ModeInput> = inputs.iter().rev().cloned().collect();
-        let backward = merge_group(&suite.netlist, &reversed, &MergeOptions::default())
-            .expect("merges");
+        let backward =
+            merge_group(&suite.netlist, &reversed, &MergeOptions::default()).expect("merges");
 
         let graph = TimingGraph::build(&suite.netlist).expect("acyclic");
         let f_mode = Mode::bind("f", &suite.netlist, &forward.merged.sdc).expect("binds");
         let b_mode = Mode::bind("b", &suite.netlist, &backward.merged.sdc).expect("binds");
         let f_an = Analysis::run(&suite.netlist, &graph, &f_mode);
         let b_an = Analysis::run(&suite.netlist, &graph, &b_mode);
-        prop_assert!(
+        assert!(
             f_an.endpoint_relations().equivalent(&b_an.endpoint_relations()),
-            "merge order changed timing behaviour"
+            "seed {seed}: merge order changed timing behaviour"
         );
     }
+}
 
-    /// The merged mode never loses an endpoint slack: every endpoint some
-    /// individual mode times is timed (at least as pessimistically — not
-    /// verified numerically here, just presence) by some merged mode.
-    #[test]
-    fn merged_modes_cover_all_endpoints(seed in 0u64..500) {
+/// The merged mode never loses an endpoint slack: every endpoint some
+/// individual mode times is timed (at least as pessimistically — not
+/// verified numerically here, just presence) by some merged mode.
+#[test]
+fn merged_modes_cover_all_endpoints() {
+    let mut rng = XorShift::seed_from_u64(0x6d65_7267_6504);
+    for _ in 0..CASES {
+        let seed = rng.gen_range_u64(0..500);
         let spec = SuiteSpec {
             design: small_design(seed, 4, 4),
             families: vec![3],
@@ -151,9 +173,9 @@ proptest! {
             merged_eps.extend(an.endpoint_slacks().into_iter().map(|s| s.endpoint));
         }
         for ep in &individual_eps {
-            prop_assert!(
+            assert!(
                 merged_eps.contains(ep),
-                "endpoint {} lost by merging",
+                "seed {seed}: endpoint {} lost by merging",
                 suite.netlist.pin_name(*ep)
             );
         }

@@ -1,69 +1,79 @@
 //! Property-based tests for the netlist substrate: generated designs are
 //! structurally sound, serialize losslessly and build valid timing
 //! graphs.
+//!
+//! The suite is randomized but hermetic: instead of the `proptest` crate
+//! (which would require registry access) it drives the checks with the
+//! in-tree deterministic PRNG. Enable with `--features proptest`.
+#![cfg(feature = "proptest")]
 
 use modemerge::netlist::text;
 use modemerge::netlist::Library;
 use modemerge::sta::graph::{ArcKind, TimingGraph};
+use modemerge::workload::rng::XorShift;
 use modemerge::workload::{generate_design, DesignSpec};
-use proptest::prelude::*;
 use std::collections::HashMap;
 
-fn spec_strategy() -> impl Strategy<Value = DesignSpec> {
-    (
-        0u64..10_000,
-        2usize..6,
-        2usize..5,
-        2usize..12,
-        1usize..5,
-        prop::bool::ANY,
-        0usize..4,
-        prop::bool::ANY,
-        prop::bool::ANY,
-    )
-        .prop_map(
-            |(seed, domains, banks, regs, depth, scan, stride, dividers, gates)| DesignSpec {
-                name: format!("p{seed}"),
-                seed,
-                domains,
-                banks,
-                regs_per_bank: regs,
-                cloud_depth: depth,
-                scan,
-                muxed_bank_stride: stride,
-                dividers,
-                clock_gates: gates,
-            },
-        )
+/// Cases per property (mirrors the original proptest config).
+const CASES: usize = 24;
+
+/// A random spec from the same distribution as the old strategy:
+/// seed 0..10_000, domains 2..6, banks 2..5, regs 2..12, depth 1..5,
+/// scan/dividers/gates uniform bools, stride 0..4.
+fn random_spec(rng: &mut XorShift) -> DesignSpec {
+    let seed = rng.gen_range_u64(0..10_000);
+    DesignSpec {
+        name: format!("p{seed}"),
+        seed,
+        domains: rng.gen_range(2..6),
+        banks: rng.gen_range(2..5),
+        regs_per_bank: rng.gen_range(2..12),
+        cloud_depth: rng.gen_range(1..5),
+        scan: rng.gen_bool(),
+        muxed_bank_stride: rng.gen_range(0..4),
+        dividers: rng.gen_bool(),
+        clock_gates: rng.gen_bool(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// Generated designs pass structural lint.
-    #[test]
-    fn generated_designs_are_clean(spec in spec_strategy()) {
-        let n = generate_design(&spec);
-        let issues = n.lint();
-        prop_assert!(issues.is_empty(), "{issues:?}");
+/// Runs `check` over [`CASES`] random specs with a per-test stream.
+fn for_random_specs(stream: u64, check: impl Fn(&DesignSpec)) {
+    let mut rng = XorShift::seed_from_u64(0x6e65_746c_6973_7400 ^ stream);
+    for _ in 0..CASES {
+        let spec = random_spec(&mut rng);
+        check(&spec);
     }
+}
 
-    /// The netlist text format round-trips generated designs.
-    #[test]
-    fn text_format_roundtrip(spec in spec_strategy()) {
-        let n = generate_design(&spec);
+/// Generated designs pass structural lint.
+#[test]
+fn generated_designs_are_clean() {
+    for_random_specs(1, |spec| {
+        let n = generate_design(spec);
+        let issues = n.lint();
+        assert!(issues.is_empty(), "{spec:?}: {issues:?}");
+    });
+}
+
+/// The netlist text format round-trips generated designs.
+#[test]
+fn text_format_roundtrip() {
+    for_random_specs(2, |spec| {
+        let n = generate_design(spec);
         let serialized = text::write(&n);
         let parsed = text::parse(&serialized, Library::standard()).expect("parses");
-        prop_assert_eq!(text::write(&parsed), serialized);
-        prop_assert_eq!(parsed.instance_count(), n.instance_count());
-        prop_assert_eq!(parsed.net_count(), n.net_count());
-        prop_assert_eq!(parsed.port_count(), n.port_count());
-    }
+        assert_eq!(text::write(&parsed), serialized, "{spec:?}");
+        assert_eq!(parsed.instance_count(), n.instance_count());
+        assert_eq!(parsed.net_count(), n.net_count());
+        assert_eq!(parsed.port_count(), n.port_count());
+    });
+}
 
-    /// The timing graph is acyclic and its topological order is valid.
-    #[test]
-    fn timing_graph_topology(spec in spec_strategy()) {
-        let n = generate_design(&spec);
+/// The timing graph is acyclic and its topological order is valid.
+#[test]
+fn timing_graph_topology() {
+    for_random_specs(3, |spec| {
+        let n = generate_design(spec);
         let g = TimingGraph::build(&n).expect("generated designs are acyclic");
         let pos: HashMap<_, usize> = g
             .topo_order()
@@ -71,34 +81,38 @@ proptest! {
             .enumerate()
             .map(|(i, &p)| (p, i))
             .collect();
-        prop_assert_eq!(pos.len(), g.node_count());
+        assert_eq!(pos.len(), g.node_count());
         for arc in g.arcs() {
             if arc.kind != ArcKind::Launch {
-                prop_assert!(pos[&arc.from] < pos[&arc.to]);
+                assert!(pos[&arc.from] < pos[&arc.to], "{spec:?}");
             }
-            prop_assert!(arc.delay >= 0.0, "negative arc delay");
+            assert!(arc.delay >= 0.0, "negative arc delay");
         }
         // One sequential data pin per register (plus the divider FF).
-        prop_assert_eq!(
+        assert_eq!(
             g.seq_data_pins().len(),
             spec.banks * spec.regs_per_bank + usize::from(spec.dividers)
         );
         let _ = spec.clock_gates; // gating cells are not sequential
-    }
+    });
+}
 
-    /// Generation is deterministic in the seed and sensitive to it.
-    #[test]
-    fn generation_is_deterministic(spec in spec_strategy()) {
-        let a = generate_design(&spec);
-        let b = generate_design(&spec);
-        prop_assert_eq!(text::write(&a), text::write(&b));
-    }
+/// Generation is deterministic in the seed.
+#[test]
+fn generation_is_deterministic() {
+    for_random_specs(4, |spec| {
+        let a = generate_design(spec);
+        let b = generate_design(spec);
+        assert_eq!(text::write(&a), text::write(&b));
+    });
+}
 
-    /// Every register's clock pin is reachable from some clock port,
-    /// so every register can be clocked by at least one mode.
-    #[test]
-    fn registers_are_clockable(spec in spec_strategy()) {
-        let n = generate_design(&spec);
+/// Every register's clock pin is reachable from some clock port,
+/// so every register can be clocked by at least one mode.
+#[test]
+fn registers_are_clockable() {
+    for_random_specs(5, |spec| {
+        let n = generate_design(spec);
         let g = TimingGraph::build(&n).expect("acyclic");
         // Walk forward from all clock ports.
         let mut reach = vec![false; n.pin_count()];
@@ -126,11 +140,11 @@ proptest! {
         }
         for &d_pin in g.seq_data_pins() {
             let cp = g.capture_pin(d_pin).expect("registers have clock pins");
-            prop_assert!(
+            assert!(
                 reach[cp.index()],
                 "register clock pin {} unreachable from clock ports",
                 n.pin_name(cp)
             );
         }
-    }
+    });
 }

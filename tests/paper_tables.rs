@@ -356,7 +356,7 @@ fn figure2_clique_cover() {
         )
     };
     // Two compatible triples and one isolated mode.
-    let modes = vec![
+    let modes = [
         mk("m1", 0.0),
         mk("m2", 0.05),
         mk("m3", 0.1),
@@ -365,7 +365,8 @@ fn figure2_clique_cover() {
         mk("m6", 5.05),
         mk("m7", 50.0),
     ];
-    let graph = MergeabilityGraph::build(&netlist, &modes, &MergeOptions::default());
+    let mode_refs: Vec<&_> = modes.iter().collect();
+    let graph = MergeabilityGraph::build(&netlist, &mode_refs, &MergeOptions::default());
     let cliques = greedy_cliques(&graph);
     assert_eq!(cliques, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6]]);
 }

@@ -1,123 +1,213 @@
 //! Property-based tests for the SDC layer: writer/parser round-trip over
 //! randomly generated command sequences, and glob-matching laws.
+//!
+//! The suite is randomized but hermetic: instead of the `proptest` crate
+//! (which would require registry access) it drives the checks with the
+//! in-tree deterministic PRNG. Enable with `--features proptest`.
+#![cfg(feature = "proptest")]
 
 use modemerge::sdc::{glob_match, SdcFile};
-use proptest::prelude::*;
+use modemerge::workload::rng::XorShift;
 
-fn ident() -> impl Strategy<Value = String> {
-    "[a-zA-Z][a-zA-Z0-9_]{0,10}"
+/// Cases per property.
+const CASES: usize = 128;
+
+fn pick(rng: &mut XorShift, alphabet: &str) -> char {
+    let chars: Vec<char> = alphabet.chars().collect();
+    *rng.choose(&chars)
 }
 
-fn hier_pin() -> impl Strategy<Value = String> {
-    (ident(), ident()).prop_map(|(a, b)| format!("{a}/{b}"))
+/// Random string of `len` chars drawn from `alphabet`.
+fn chars_from(rng: &mut XorShift, alphabet: &str, len: usize) -> String {
+    (0..len).map(|_| pick(rng, alphabet)).collect()
 }
 
-fn value() -> impl Strategy<Value = f64> {
-    // Values that print exactly (integers and quarters) so the textual
-    // round-trip is bit-exact.
-    (0i32..4000).prop_map(|q| q as f64 / 4.0)
+const ALPHA: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+const ALNUM_: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+const LOWER: &str = "abcdefghijklmnopqrstuvwxyz";
+const LOWER_NUM_SLASH: &str = "abcdefghijklmnopqrstuvwxyz0123456789/";
+
+/// `[a-zA-Z][a-zA-Z0-9_]{0,10}` (same shape as the old strategy).
+fn ident(rng: &mut XorShift) -> String {
+    let mut s = String::new();
+    s.push(pick(rng, ALPHA));
+    let tail = rng.gen_range(0..11);
+    s.push_str(&chars_from(rng, ALNUM_, tail));
+    s
+}
+
+fn hier_pin(rng: &mut XorShift) -> String {
+    format!("{}/{}", ident(rng), ident(rng))
+}
+
+/// Values that print exactly (integers and quarters) so the textual
+/// round-trip is bit-exact.
+fn value(rng: &mut XorShift) -> f64 {
+    rng.gen_range(0..4000) as f64 / 4.0
 }
 
 /// One random supported SDC command as text.
-fn command_text() -> impl Strategy<Value = String> {
-    prop_oneof![
-        (ident(), value()).prop_map(|(n, p)| format!(
-            "create_clock -name {n} -period {} [get_ports clk]",
-            p + 0.25
-        )),
-        (ident(), value()).prop_map(|(n, v)| format!(
-            "set_clock_latency {v} [get_clocks {n}]"
-        )),
-        (ident(), value(), prop::bool::ANY).prop_map(|(n, v, setup)| format!(
-            "set_clock_uncertainty {} {v} [get_clocks {n}]",
-            if setup { "-setup" } else { "-hold" }
-        )),
-        (ident(), value()).prop_map(|(p, v)| format!(
-            "set_input_delay {v} -clock [get_clocks c] [get_ports {p}]"
-        )),
-        (hier_pin(), prop::bool::ANY).prop_map(|(p, v)| format!(
-            "set_case_analysis {} [get_pins {p}]",
-            u8::from(v)
-        )),
-        hier_pin().prop_map(|p| format!("set_false_path -through [get_pins {p}]")),
-        (hier_pin(), hier_pin()).prop_map(|(a, b)| format!(
-            "set_false_path -from [get_pins {a}] -to [get_pins {b}]"
-        )),
-        (1u32..5, hier_pin()).prop_map(|(m, p)| format!(
-            "set_multicycle_path {m} -to [get_pins {p}]"
-        )),
-        (value(), hier_pin()).prop_map(|(v, p)| format!(
-            "set_max_delay {v} -to [get_pins {p}]"
-        )),
-        (ident(), ident()).prop_map(|(a, b)| format!(
-            "set_clock_groups -physically_exclusive -group [get_clocks {a}] -group [get_clocks {b}]"
-        )),
-        (ident(), hier_pin()).prop_map(|(c, p)| format!(
-            "set_clock_sense -stop_propagation -clocks [get_clocks {c}] [get_pins {p}]"
-        )),
-        (value(), ident()).prop_map(|(v, p)| format!("set_drive {v} [get_ports {p}]")),
-        (value(), ident()).prop_map(|(v, p)| format!("set_load {v} [get_ports {p}]")),
-        ident().prop_map(|p| format!("set_disable_timing [get_ports {p}]")),
-    ]
+fn command_text(rng: &mut XorShift) -> String {
+    match rng.gen_range(0..14) {
+        0 => format!(
+            "create_clock -name {} -period {} [get_ports clk]",
+            ident(rng),
+            value(rng) + 0.25
+        ),
+        1 => format!(
+            "set_clock_latency {} [get_clocks {}]",
+            value(rng),
+            ident(rng)
+        ),
+        2 => format!(
+            "set_clock_uncertainty {} {} [get_clocks {}]",
+            if rng.gen_bool() { "-setup" } else { "-hold" },
+            value(rng),
+            ident(rng)
+        ),
+        3 => format!(
+            "set_input_delay {} -clock [get_clocks c] [get_ports {}]",
+            value(rng),
+            ident(rng)
+        ),
+        4 => format!(
+            "set_case_analysis {} [get_pins {}]",
+            u8::from(rng.gen_bool()),
+            hier_pin(rng)
+        ),
+        5 => format!("set_false_path -through [get_pins {}]", hier_pin(rng)),
+        6 => format!(
+            "set_false_path -from [get_pins {}] -to [get_pins {}]",
+            hier_pin(rng),
+            hier_pin(rng)
+        ),
+        7 => format!(
+            "set_multicycle_path {} -to [get_pins {}]",
+            rng.gen_range(1..5),
+            hier_pin(rng)
+        ),
+        8 => format!(
+            "set_max_delay {} -to [get_pins {}]",
+            value(rng),
+            hier_pin(rng)
+        ),
+        9 => format!(
+            "set_clock_groups -physically_exclusive -group [get_clocks {}] -group [get_clocks {}]",
+            ident(rng),
+            ident(rng)
+        ),
+        10 => format!(
+            "set_clock_sense -stop_propagation -clocks [get_clocks {}] [get_pins {}]",
+            ident(rng),
+            hier_pin(rng)
+        ),
+        11 => format!("set_drive {} [get_ports {}]", value(rng), ident(rng)),
+        12 => format!("set_load {} [get_ports {}]", value(rng), ident(rng)),
+        _ => format!("set_disable_timing [get_ports {}]", ident(rng)),
+    }
 }
 
-proptest! {
-    /// parse(write(parse(x))) == parse(x) and canonical text is a fixed
-    /// point.
-    #[test]
-    fn sdc_roundtrip(cmds in prop::collection::vec(command_text(), 1..20)) {
+fn command_vec(rng: &mut XorShift, len_range: std::ops::Range<usize>) -> Vec<String> {
+    let len = rng.gen_range(len_range);
+    (0..len).map(|_| command_text(rng)).collect()
+}
+
+/// parse(write(parse(x))) == parse(x) and canonical text is a fixed
+/// point.
+#[test]
+fn sdc_roundtrip() {
+    let mut rng = XorShift::seed_from_u64(0x7364_6301);
+    for _ in 0..CASES {
+        let cmds = command_vec(&mut rng, 1..20);
         let text = cmds.join("\n");
         let parsed = SdcFile::parse(&text).expect("generated SDC parses");
         let canonical = parsed.to_text();
         let reparsed = SdcFile::parse(&canonical).expect("canonical SDC parses");
-        prop_assert_eq!(&parsed, &reparsed);
-        prop_assert_eq!(reparsed.to_text(), canonical);
+        assert_eq!(parsed, reparsed, "input:\n{text}");
+        assert_eq!(reparsed.to_text(), canonical);
     }
+}
 
-    /// A literal name (no metacharacters) matches only itself.
-    #[test]
-    fn glob_literal_self_match(name in "[a-zA-Z0-9_/]{1,20}") {
-        prop_assert!(glob_match(&name, &name));
+/// A literal name (no metacharacters) matches only itself.
+#[test]
+fn glob_literal_self_match() {
+    let mut rng = XorShift::seed_from_u64(0x7364_6302);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1..21);
+        let name = chars_from(&mut rng, "abcdefghijklmnopqrstuvwxyz0123456789_/", len);
+        assert!(glob_match(&name, &name), "{name}");
     }
+}
 
-    /// `prefix*` matches anything starting with the prefix.
-    #[test]
-    fn glob_prefix_star(prefix in "[a-z]{0,8}", rest in "[a-z0-9/]{0,12}") {
+/// `prefix*` matches anything starting with the prefix.
+#[test]
+fn glob_prefix_star() {
+    let mut rng = XorShift::seed_from_u64(0x7364_6303);
+    for _ in 0..CASES {
+        let plen = rng.gen_range(0..9);
+        let rlen = rng.gen_range(0..13);
+        let prefix = chars_from(&mut rng, LOWER, plen);
+        let rest = chars_from(&mut rng, LOWER_NUM_SLASH, rlen);
         let pattern = format!("{prefix}*");
         let name = format!("{prefix}{rest}");
-        prop_assert!(glob_match(&pattern, &name));
+        assert!(glob_match(&pattern, &name), "{pattern} vs {name}");
     }
+}
 
-    /// `*suffix` matches anything ending with the suffix.
-    #[test]
-    fn glob_suffix_star(prefix in "[a-z0-9/]{0,12}", suffix in "[a-z]{0,8}") {
+/// `*suffix` matches anything ending with the suffix.
+#[test]
+fn glob_suffix_star() {
+    let mut rng = XorShift::seed_from_u64(0x7364_6304);
+    for _ in 0..CASES {
+        let plen = rng.gen_range(0..13);
+        let slen = rng.gen_range(0..9);
+        let prefix = chars_from(&mut rng, LOWER_NUM_SLASH, plen);
+        let suffix = chars_from(&mut rng, LOWER, slen);
         let pattern = format!("*{suffix}");
         let name = format!("{prefix}{suffix}");
-        prop_assert!(glob_match(&pattern, &name));
+        assert!(glob_match(&pattern, &name), "{pattern} vs {name}");
     }
+}
 
-    /// `?` consumes exactly one character.
-    #[test]
-    fn glob_question_single(a in "[a-z]{1,5}", c in "[a-z]", b in "[a-z]{0,5}") {
+/// `?` consumes exactly one character.
+#[test]
+fn glob_question_single() {
+    let mut rng = XorShift::seed_from_u64(0x7364_6305);
+    for _ in 0..CASES {
+        let alen = rng.gen_range(1..6);
+        let blen = rng.gen_range(0..6);
+        let a = chars_from(&mut rng, LOWER, alen);
+        let c = chars_from(&mut rng, LOWER, 1);
+        let b = chars_from(&mut rng, LOWER, blen);
         let pattern = format!("{a}?{b}");
         let name = format!("{a}{c}{b}");
-        prop_assert!(glob_match(&pattern, &name));
+        assert!(glob_match(&pattern, &name), "{pattern} vs {name}");
         // Removing the character breaks the match unless the fixed parts
         // happen to overlap; check only the common non-degenerate case.
         if b.is_empty() {
-            prop_assert!(!glob_match(&pattern, &a));
+            assert!(!glob_match(&pattern, &a), "{pattern} vs {a}");
         }
     }
+}
 
-    /// `*` matches everything.
-    #[test]
-    fn glob_star_matches_all(name in ".{0,30}") {
-        prop_assert!(glob_match("*", &name));
+/// `*` matches everything.
+#[test]
+fn glob_star_matches_all() {
+    let mut rng = XorShift::seed_from_u64(0x7364_6306);
+    const ANY: &str = "abcXYZ0189 _-/.[]{}?*\\$#\"'";
+    for _ in 0..CASES {
+        let len = rng.gen_range(0..31);
+        let name = chars_from(&mut rng, ANY, len);
+        assert!(glob_match("*", &name), "{name:?}");
     }
+}
 
-    /// Comments and blank lines never change the parse.
-    #[test]
-    fn comments_are_transparent(cmds in prop::collection::vec(command_text(), 1..8)) {
+/// Comments and blank lines never change the parse.
+#[test]
+fn comments_are_transparent() {
+    let mut rng = XorShift::seed_from_u64(0x7364_6307);
+    for _ in 0..CASES {
+        let cmds = command_vec(&mut rng, 1..8);
         let plain = cmds.join("\n");
         let noisy = cmds
             .iter()
@@ -126,6 +216,6 @@ proptest! {
             .join("\n");
         let a = SdcFile::parse(&plain).expect("parses");
         let b = SdcFile::parse(&noisy).expect("parses");
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

@@ -1,0 +1,143 @@
+//! Throughput of the persistent merge service: jobs/sec at 1/4/8
+//! workers, cold cache (every submission content-unique) vs. warm cache
+//! (every submission a content-addressed hit).
+//!
+//! Each configuration starts an in-process daemon on an ephemeral
+//! loopback port, fans 8 client connections out against it, and divides
+//! completed jobs by wall-clock time. Output lines follow the in-tree
+//! harness format:
+//!
+//! ```text
+//! bench service_throughput/workers_4/warm jobs=160 wall_ms=12 jobs_per_s=13333
+//! ```
+//!
+//! `MODEMERGE_BENCH_SAMPLES` scales the per-thread job count (set it to
+//! 1 for a smoke run).
+
+use modemerge_core::merge::MergeOptions;
+use modemerge_netlist::{paper::paper_circuit, text};
+use modemerge_service::client::Client;
+use modemerge_service::proto::{compute_request, simple_request, JobSpec, NetlistFormat};
+use modemerge_service::server::{Server, ServiceConfig};
+use std::time::Instant;
+
+const CLIENT_THREADS: usize = 8;
+
+/// The paper's 3-mode workload (two mergeable FUNC modes + one TEST
+/// mode with conflicting latency), exactly as the loopback test uses.
+fn paper_spec(tag: &str) -> JobSpec {
+    let netlist = text::write(&paper_circuit());
+    let modes = vec![
+        (
+            format!("F1{tag}"),
+            "create_clock -name c -period 10 [get_ports clk1]\n".to_owned(),
+        ),
+        (
+            format!("F2{tag}"),
+            "create_clock -name c -period 10 [get_ports clk1]\n\
+             set_false_path -to rX/D\n"
+                .to_owned(),
+        ),
+        (
+            format!("T1{tag}"),
+            "create_clock -name c -period 10 [get_ports clk1]\n\
+             set_clock_latency 9 [get_clocks c]\n"
+                .to_owned(),
+        ),
+    ];
+    JobSpec {
+        netlist,
+        format: NetlistFormat::Text,
+        modes,
+        options: MergeOptions::default(),
+    }
+}
+
+fn env_rounds(default: usize) -> usize {
+    std::env::var("MODEMERGE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+/// Runs `rounds` jobs per client thread; `unique` gives every job
+/// content-unique modes (cold cache), otherwise all jobs share one
+/// pre-warmed payload (warm cache). Returns (jobs, wall seconds).
+fn drive(addr: std::net::SocketAddr, rounds: usize, unique: bool) -> (usize, f64) {
+    let t0 = Instant::now();
+    let done: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENT_THREADS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut ok = 0usize;
+                    for r in 0..rounds {
+                        let spec = if unique {
+                            paper_spec(&format!("_cold_{t}_{r}"))
+                        } else {
+                            paper_spec("")
+                        };
+                        let resp = client
+                            .request(&compute_request("merge", &spec))
+                            .expect("roundtrip");
+                        assert!(resp.ok, "{:?}", resp.error);
+                        if !unique {
+                            assert_eq!(resp.cached, Some(true), "warm run must hit the cache");
+                        }
+                        ok += 1;
+                    }
+                    ok
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).sum()
+    });
+    (done, t0.elapsed().as_secs_f64())
+}
+
+fn bench_workers(workers: usize, rounds: usize) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers,
+            // Big enough that the cold run never evicts mid-measure.
+            cache_entries: 2 * CLIENT_THREADS * rounds + 8,
+            queue_capacity: 1024,
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let daemon = std::thread::spawn(move || server.run());
+
+    for (label, unique) in [("cold", true), ("warm", false)] {
+        if !unique {
+            // Populate the cache once so every measured job is a hit.
+            let mut client = Client::connect(addr).expect("connect");
+            let resp = client
+                .request(&compute_request("merge", &paper_spec("")))
+                .expect("warm-up");
+            assert!(resp.ok, "{:?}", resp.error);
+        }
+        let (jobs, wall) = drive(addr, rounds, unique);
+        println!(
+            "bench service_throughput/workers_{workers}/{label} jobs={jobs} wall_ms={} jobs_per_s={:.0}",
+            (wall * 1e3) as u64,
+            jobs as f64 / wall.max(1e-9)
+        );
+    }
+
+    let mut client = Client::connect(addr).expect("connect");
+    let stats = client.request(&simple_request("stats")).expect("stats");
+    assert!(stats.ok);
+    let shutdown = client.request(&simple_request("shutdown")).expect("shutdown");
+    assert!(shutdown.ok);
+    daemon.join().expect("daemon thread").expect("daemon io");
+}
+
+fn main() {
+    let rounds = env_rounds(5);
+    for workers in [1usize, 4, 8] {
+        bench_workers(workers, rounds);
+    }
+}

@@ -15,7 +15,7 @@ pub struct Args {
 /// boolean flag.
 const VALUED: &[&str] = &[
     "netlist", "mode", "sdc", "out", "threads", "limit", "cells", "seed", "families", "scale",
-    "paths", "derate",
+    "paths", "derate", "addr", "cache-entries", "queue",
 ];
 
 impl Args {
@@ -99,6 +99,28 @@ impl Args {
                 .map_err(|_| format!("--{name}: `{v}` is not a valid number")),
         }
     }
+
+    /// A **positive** integer option with a default — `0`, negative and
+    /// non-numeric values are rejected with a one-line error. Used for
+    /// counts where zero is meaningless (`--threads 0` would deadlock a
+    /// worker pool before this guard existed).
+    ///
+    /// # Errors
+    ///
+    /// Returns `--NAME: \`VALUE\` is not a positive integer` for `0`,
+    /// negative or non-numeric values, and the duplicate-option error
+    /// from [`Self::value`].
+    pub fn positive_number(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.value(name)? {
+            None => Ok(default),
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(n),
+                _ => Err(format!(
+                    "--{name}: `{v}` is not a positive integer (expected 1, 2, ...)"
+                )),
+            },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -139,5 +161,38 @@ mod tests {
         assert_eq!(a.number("limit", 10usize).unwrap(), 10);
         let bad = parse("x --threads four");
         assert!(bad.number("threads", 1usize).is_err());
+    }
+
+    #[test]
+    fn positive_number_accepts_positive_and_defaults() {
+        let a = parse("x --threads 4");
+        assert_eq!(a.positive_number("threads", 1).unwrap(), 4);
+        assert_eq!(a.positive_number("queue", 256).unwrap(), 256);
+    }
+
+    #[test]
+    fn positive_number_rejects_zero_with_a_clear_error() {
+        let a = parse("x --threads 0");
+        let err = a.positive_number("threads", 1).unwrap_err();
+        assert_eq!(
+            err,
+            "--threads: `0` is not a positive integer (expected 1, 2, ...)"
+        );
+        assert!(!err.contains('\n'), "one-line error: {err:?}");
+    }
+
+    #[test]
+    fn positive_number_rejects_non_numeric_and_negative() {
+        for bad in ["four", "-2", "1.5", ""] {
+            let argv = vec![
+                "x".to_owned(),
+                "--threads".to_owned(),
+                bad.to_owned(),
+            ];
+            let a = Args::parse(&argv).unwrap();
+            let err = a.positive_number("threads", 1).unwrap_err();
+            assert!(err.contains("is not a positive integer"), "{bad}: {err}");
+            assert!(err.contains(bad), "error names the offending value: {err}");
+        }
     }
 }

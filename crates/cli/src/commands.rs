@@ -2,18 +2,23 @@
 
 use crate::args::Args;
 use modemerge_core::equivalence::check_equivalence;
+use modemerge_core::json::Json;
 use modemerge_core::merge::{MergeOptions, ModeInput};
 use modemerge_core::mergeability::greedy_cliques;
-use modemerge_core::report::summarize;
+use modemerge_core::report::{outcome_to_json, plan_to_json, summarize};
 use modemerge_core::session::{MergeSession, SessionInputs};
 use modemerge_netlist::{text, Library, Netlist};
 use modemerge_sdc::SdcFile;
+use modemerge_service::client::Client;
+use modemerge_service::proto::{simple_request, JobSpec, NetlistFormat};
+use modemerge_service::server::{Server, ServiceConfig};
 use modemerge_sta::analysis::Analysis;
 use modemerge_sta::exceptions::CheckKind;
 use modemerge_sta::graph::TimingGraph;
 use modemerge_sta::mode::Mode;
 use modemerge_workload::{generate_suite, DesignSpec, SuiteSpec};
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::path::Path;
 
 const USAGE: &str = "\
@@ -21,8 +26,10 @@ usage: modemerge <command> [options]
 
 commands (netlists: native text format, or gate-level Verilog .v):
   merge      --netlist FILE --mode NAME=SDC... [--out DIR] [--threads N]
-             [--strict] [--no-uniquify]
+             [--strict] [--no-uniquify] [--json]
              Plan and merge timing modes; writes merged SDCs to --out.
+             --json emits the machine-readable summary object (same
+             format as the service protocol).
   check      --netlist FILE --sdc A.sdc --sdc B.sdc
              Check §2 timing-relationship equivalence of two constraint sets.
   sta        --netlist FILE --sdc MODE.sdc [--hold] [--limit N] [--paths N]
@@ -34,10 +41,25 @@ commands (netlists: native text format, or gate-level Verilog .v):
   relations  --netlist FILE --sdc MODE.sdc [--limit N]
              Dump the timing relationships of one mode.
   plan       --netlist FILE --mode NAME=SDC... [--out FILE.dot] [--threads N]
+             [--json]
              Build the mergeability graph and clique cover (Figure 2);
              optionally write it as Graphviz DOT.
   generate   --cells N [--seed S] [--families 3,2] --out DIR
              Generate a synthetic design and mode suite.
+  serve      [--addr HOST:PORT] [--threads N] [--cache-entries K]
+             [--queue N]
+             Run the persistent merge server (JSONL over TCP): a
+             bounded job queue feeds N workers; a content-addressed
+             LRU cache (K entries) answers repeat submissions in
+             O(hash). --addr defaults to 127.0.0.1:0 (ephemeral; the
+             bound address is printed on startup).
+  submit     --addr HOST:PORT --netlist FILE --mode NAME=SDC...
+             [--plan] [--json] [--out DIR] [--threads N] [--strict]
+             [--no-uniquify]
+             Submit one merge (or, with --plan, planning) job to a
+             running server and print the reply; or, with --status /
+             --stats / --shutdown instead of a netlist, issue the
+             matching control request.
 ";
 
 /// Dispatches a command line.
@@ -64,6 +86,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
                 "relations" => cmd_relations(&args),
                 "plan" => cmd_plan(&args),
                 "generate" => cmd_generate(&args),
+                "serve" => cmd_serve(&args),
+                "submit" => cmd_submit(&args),
                 "help" | "--help" => {
                     print!("{USAGE}");
                     Ok(())
@@ -109,7 +133,7 @@ fn cmd_merge(args: &Args) -> Result<(), String> {
         inputs.push(ModeInput::new(name, sdc));
     }
     let options = MergeOptions {
-        threads: args.number("threads", 1usize)?,
+        threads: args.positive_number("threads", 1)?,
         strict: args.flag("strict"),
         uniquify_exceptions: !args.flag("no-uniquify"),
         ..Default::default()
@@ -121,15 +145,20 @@ fn cmd_merge(args: &Args) -> Result<(), String> {
     session.warm_up();
     let outcome = session.merge_all().map_err(|e| e.to_string())?;
 
-    print!("{}", summarize(&outcome, inputs.len()));
-    println!(
-        "analyses run: {} ({} modes; cached across planning, refinement and validation)",
-        session.analyses_run(),
-        session.mode_count()
-    );
-    for report in &outcome.reports {
-        if report.mode_names.len() > 1 {
-            println!("{report}");
+    if args.flag("json") {
+        // The exact summary object the service protocol replies with.
+        println!("{}", outcome_to_json(&outcome, inputs.len()));
+    } else {
+        print!("{}", summarize(&outcome, inputs.len()));
+        println!(
+            "analyses run: {} ({} modes; cached across planning, refinement and validation)",
+            session.analyses_run(),
+            session.mode_count()
+        );
+        for report in &outcome.reports {
+            if report.mode_names.len() > 1 {
+                println!("{report}");
+            }
         }
     }
 
@@ -139,7 +168,9 @@ fn cmd_merge(args: &Args) -> Result<(), String> {
             let file = Path::new(dir).join(format!("{}.sdc", merged.name.replace('/', "_")));
             std::fs::write(&file, merged.sdc.to_text())
                 .map_err(|e| format!("{}: {e}", file.display()))?;
-            println!("wrote {}", file.display());
+            if !args.flag("json") {
+                println!("wrote {}", file.display());
+            }
         }
     }
     Ok(())
@@ -288,29 +319,164 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
         names.push(name.to_owned());
     }
     let options = MergeOptions {
-        threads: args.number("threads", 1usize)?,
+        threads: args.positive_number("threads", 1)?,
         ..Default::default()
     };
     let bound = SessionInputs::bind(&netlist, &inputs).map_err(|e| e.to_string())?;
     let session = MergeSession::new(&netlist, &bound, &options);
     let graph = session.mergeability();
     let cliques = greedy_cliques(&graph);
-    println!("mergeability graph: {} modes, clique cover:", graph.len());
-    for (k, clique) in cliques.iter().enumerate() {
-        let members: Vec<&str> = clique.iter().map(|&i| names[i].as_str()).collect();
-        println!("  M{}: {}", k + 1, members.join(", "));
-    }
-    for i in 0..graph.len() {
-        for j in (i + 1)..graph.len() {
-            if let Some(first) = graph.conflicts(i, j).first() {
-                println!("  {} x {}: {}", names[i], names[j], first);
+    if args.flag("json") {
+        // The exact planning object the service protocol replies with.
+        println!("{}", plan_to_json(&names, &graph, &cliques));
+    } else {
+        println!("mergeability graph: {} modes, clique cover:", graph.len());
+        for (k, clique) in cliques.iter().enumerate() {
+            let members: Vec<&str> = clique.iter().map(|&i| names[i].as_str()).collect();
+            println!("  M{}: {}", k + 1, members.join(", "));
+        }
+        for i in 0..graph.len() {
+            for j in (i + 1)..graph.len() {
+                if let Some(first) = graph.conflicts(i, j).first() {
+                    println!("  {} x {}: {}", names[i], names[j], first);
+                }
             }
         }
     }
     if let Some(path) = args.value("out")? {
         std::fs::write(path, graph.to_dot(&names, &cliques))
             .map_err(|e| format!("{path}: {e}"))?;
-        println!("wrote {path}");
+        if !args.flag("json") {
+            println!("wrote {path}");
+        }
+    }
+    Ok(())
+}
+
+/// `modemerge serve`: run the persistent merge server until a client
+/// sends `{"type":"shutdown"}`.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let addr = args.value("addr")?.unwrap_or("127.0.0.1:0");
+    let config = ServiceConfig {
+        workers: args.positive_number("threads", 1)?,
+        cache_entries: args.number("cache-entries", 128usize)?,
+        queue_capacity: args.positive_number("queue", 256)?,
+    };
+    let workers = config.workers;
+    let cache_entries = config.cache_entries;
+    let server = Server::bind(addr, config).map_err(|e| format!("{addr}: {e}"))?;
+    println!(
+        "modemerge-service listening on {} ({} worker(s), cache {} entries)",
+        server.local_addr(),
+        workers,
+        cache_entries
+    );
+    // The line above is the machine-readable startup handshake (the
+    // smoke test greps it from a log file), so it must not sit in a
+    // block-buffered pipe while the server runs.
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    server.run().map_err(|e| e.to_string())?;
+    println!("modemerge-service drained and stopped");
+    Ok(())
+}
+
+/// `modemerge submit`: one job (or control request) against a server.
+fn cmd_submit(args: &Args) -> Result<(), String> {
+    let addr = args.require("addr")?;
+    for kind in ["status", "stats", "shutdown"] {
+        if args.flag(kind) {
+            let resp = Client::roundtrip(addr, &simple_request(kind))?;
+            println!("{}", resp.raw);
+            return if resp.ok {
+                Ok(())
+            } else {
+                Err(resp.error.unwrap_or_else(|| "server error".into()))
+            };
+        }
+    }
+
+    let netlist_path = args.require("netlist")?;
+    let netlist = read(netlist_path)?;
+    let format = if netlist_path.ends_with(".v") || netlist_path.ends_with(".sv") {
+        NetlistFormat::Verilog
+    } else {
+        NetlistFormat::Text
+    };
+    let mode_specs = args.values("mode");
+    if mode_specs.is_empty() {
+        return Err("submit needs at least one --mode NAME=FILE option".into());
+    }
+    let mut modes = Vec::new();
+    for spec in mode_specs {
+        let (name, path) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--mode expects NAME=FILE, got `{spec}`"))?;
+        modes.push((name.to_owned(), read(path)?));
+    }
+    let options = MergeOptions {
+        threads: args.positive_number("threads", 1)?,
+        strict: args.flag("strict"),
+        uniquify_exceptions: !args.flag("no-uniquify"),
+        ..Default::default()
+    };
+    let kind = if args.flag("plan") { "plan" } else { "merge" };
+    let spec = JobSpec {
+        netlist,
+        format,
+        modes,
+        options,
+    };
+
+    let mut client = Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let resp = client.compute(kind, &spec)?;
+    if !resp.ok {
+        return Err(format!(
+            "server refused the {kind}: {}",
+            resp.error.unwrap_or_else(|| "unknown error".into())
+        ));
+    }
+    let result = resp.json.get("result").ok_or("response lacks a result")?;
+    if args.flag("json") {
+        println!("{}", resp.raw);
+    } else {
+        let cached = resp.cached == Some(true);
+        if kind == "merge" {
+            let inputs = result.get("input_modes").and_then(Json::as_u64).unwrap_or(0);
+            let merged = result.get("merged_modes").and_then(Json::as_u64).unwrap_or(0);
+            println!(
+                "{inputs} modes -> {merged} modes{}",
+                if cached { "  [cache hit]" } else { "" }
+            );
+        } else {
+            let cliques = result.get("cliques").and_then(Json::as_array).unwrap_or(&[]);
+            println!(
+                "clique cover: {} group(s){}",
+                cliques.len(),
+                if cached { "  [cache hit]" } else { "" }
+            );
+        }
+    }
+    if let Some(dir) = args.value("out")? {
+        let merged = result
+            .get("merged")
+            .and_then(Json::as_array)
+            .ok_or("result lacks merged artifacts (did you mean a merge, not a plan?)")?;
+        std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+        for artifact in merged {
+            let name = artifact
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("artifact lacks a name")?;
+            let sdc = artifact
+                .get("sdc")
+                .and_then(Json::as_str)
+                .ok_or("artifact lacks sdc text")?;
+            let file = Path::new(dir).join(format!("{}.sdc", name.replace('/', "_")));
+            std::fs::write(&file, sdc).map_err(|e| format!("{}: {e}", file.display()))?;
+            if !args.flag("json") {
+                println!("wrote {}", file.display());
+            }
+        }
     }
     Ok(())
 }

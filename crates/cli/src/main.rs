@@ -6,6 +6,8 @@
 //! modemerge sta       --netlist d.nl --sdc mode.sdc [--hold] [--limit N]
 //! modemerge relations --netlist d.nl --sdc mode.sdc
 //! modemerge generate  --cells N [--seed S] [--families 3,2] --out DIR
+//! modemerge serve     [--addr HOST:PORT] [--threads N] [--cache-entries K]
+//! modemerge submit    --addr HOST:PORT --netlist d.nl --mode FUNC=func.sdc ...
 //! ```
 //!
 //! Netlists use the line-oriented text format of

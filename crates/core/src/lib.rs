@@ -49,6 +49,7 @@
 pub mod emit;
 pub mod equivalence;
 pub mod error;
+pub mod json;
 pub mod merge;
 pub mod mergeability;
 pub mod pool;
@@ -60,6 +61,7 @@ pub mod three_pass;
 pub mod uniquify;
 
 pub use error::{MergeConflict, MergeError};
+pub use json::Json;
 pub use merge::{merge_all, merge_group, MergeOptions, MergeOutcome, MergeReport, ModeInput};
 pub use mergeability::{greedy_cliques, MergeabilityGraph};
-pub use session::{MergeSession, SessionInputs};
+pub use session::{MergeSession, SessionInputs, StageTimings};

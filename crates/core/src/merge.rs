@@ -2,6 +2,7 @@
 //! full plan-and-merge flow.
 
 use crate::error::MergeError;
+use crate::json::Json;
 use crate::session::{MergeSession, SessionInputs};
 use modemerge_netlist::Netlist;
 use modemerge_sdc::{SdcError, SdcFile};
@@ -50,6 +51,104 @@ impl Default for MergeOptions {
             uniquify_exceptions: true,
             group_fixes: true,
         }
+    }
+}
+
+impl MergeOptions {
+    /// Serializes every option to the in-tree JSON value (used by the
+    /// service wire protocol and `--json` CLI output).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("tolerance_rel".into(), Json::num(self.tolerance_rel)),
+            ("tolerance_abs".into(), Json::num(self.tolerance_abs)),
+            (
+                "max_refine_iterations".into(),
+                Json::count(self.max_refine_iterations),
+            ),
+            ("threads".into(), Json::count(self.threads)),
+            ("validate".into(), Json::Bool(self.validate)),
+            ("strict".into(), Json::Bool(self.strict)),
+            (
+                "uniquify_exceptions".into(),
+                Json::Bool(self.uniquify_exceptions),
+            ),
+            ("group_fixes".into(), Json::Bool(self.group_fixes)),
+        ])
+    }
+
+    /// Deserializes options from JSON. Missing fields keep their
+    /// defaults, so clients may send only the knobs they care about;
+    /// `null` is treated like an absent object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first field with the wrong type.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let mut out = Self::default();
+        let Json::Obj(pairs) = v else {
+            if *v == Json::Null {
+                return Ok(out);
+            }
+            return Err("options must be a JSON object".into());
+        };
+        for (key, value) in pairs {
+            match key.as_str() {
+                "tolerance_rel" => {
+                    out.tolerance_rel =
+                        value.as_f64().ok_or("options.tolerance_rel: not a number")?;
+                }
+                "tolerance_abs" => {
+                    out.tolerance_abs =
+                        value.as_f64().ok_or("options.tolerance_abs: not a number")?;
+                }
+                "max_refine_iterations" => {
+                    out.max_refine_iterations = value
+                        .as_u64()
+                        .ok_or("options.max_refine_iterations: not a non-negative integer")?
+                        as usize;
+                }
+                "threads" => {
+                    let n = value
+                        .as_u64()
+                        .ok_or("options.threads: not a non-negative integer")?;
+                    if n == 0 {
+                        return Err("options.threads must be a positive integer".into());
+                    }
+                    out.threads = n as usize;
+                }
+                "validate" => {
+                    out.validate = value.as_bool().ok_or("options.validate: not a boolean")?;
+                }
+                "strict" => {
+                    out.strict = value.as_bool().ok_or("options.strict: not a boolean")?;
+                }
+                "uniquify_exceptions" => {
+                    out.uniquify_exceptions = value
+                        .as_bool()
+                        .ok_or("options.uniquify_exceptions: not a boolean")?;
+                }
+                "group_fixes" => {
+                    out.group_fixes =
+                        value.as_bool().ok_or("options.group_fixes: not a boolean")?;
+                }
+                other => return Err(format!("options.{other}: unknown option")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// A canonical fingerprint of every **result-affecting** option.
+    ///
+    /// `threads` is deliberately excluded: the deterministic pool
+    /// guarantees bit-identical output for any thread count (see
+    /// `crate::pool`), so two requests differing only in thread count
+    /// must share a content-addressed cache entry.
+    pub fn result_fingerprint(&self) -> String {
+        let mut v = self.to_json();
+        if let Json::Obj(pairs) = &mut v {
+            pairs.retain(|(k, _)| k != "threads");
+        }
+        v.to_string()
     }
 }
 
@@ -309,6 +408,47 @@ mod tests {
         let out = merge_all(&netlist, &inputs, &MergeOptions::default()).unwrap();
         assert_eq!(out.merged.len(), 2, "{:?}", out.groups);
         assert!((out.reduction_percent(3) - 33.33).abs() < 0.5);
+    }
+
+    #[test]
+    fn options_json_roundtrip() {
+        let opts = MergeOptions {
+            threads: 4,
+            strict: true,
+            tolerance_rel: 0.25,
+            ..Default::default()
+        };
+        let v = opts.to_json();
+        assert_eq!(MergeOptions::from_json(&v).unwrap(), opts);
+        // Partial objects keep defaults for absent fields.
+        let partial = crate::json::Json::parse("{\"strict\":true}").unwrap();
+        let from = MergeOptions::from_json(&partial).unwrap();
+        assert!(from.strict);
+        assert_eq!(from.threads, 1);
+        assert_eq!(
+            MergeOptions::from_json(&crate::json::Json::Null).unwrap(),
+            MergeOptions::default()
+        );
+        // Bad fields are named.
+        let bad = crate::json::Json::parse("{\"threads\":0}").unwrap();
+        assert!(MergeOptions::from_json(&bad).unwrap_err().contains("threads"));
+        let unknown = crate::json::Json::parse("{\"bogus\":1}").unwrap();
+        assert!(MergeOptions::from_json(&unknown).is_err());
+    }
+
+    #[test]
+    fn fingerprint_ignores_threads_only() {
+        let base = MergeOptions::default();
+        let threaded = MergeOptions {
+            threads: 8,
+            ..Default::default()
+        };
+        let strict = MergeOptions {
+            strict: true,
+            ..Default::default()
+        };
+        assert_eq!(base.result_fingerprint(), threaded.result_fingerprint());
+        assert_ne!(base.result_fingerprint(), strict.result_fingerprint());
     }
 
     #[test]

@@ -1,7 +1,11 @@
-//! Human-readable rendering of merge reports (used by the CLI and the
-//! examples).
+//! Rendering of merge reports: human-readable text (used by the CLI and
+//! the examples) and the machine-readable JSON summary shared by the
+//! CLI `--json` flag and the `modemerge-service` wire protocol — batch
+//! scripts and the daemon speak one format.
 
+use crate::json::Json;
 use crate::merge::{MergeAllOutcome, MergeReport};
+use crate::mergeability::MergeabilityGraph;
 use std::fmt;
 
 impl fmt::Display for MergeReport {
@@ -67,10 +71,129 @@ pub fn summarize(outcome: &MergeAllOutcome, input_count: usize) -> String {
     s
 }
 
+/// Serializes one group report to the shared JSON shape.
+pub fn report_to_json(r: &MergeReport) -> Json {
+    Json::Obj(vec![
+        (
+            "mode_names".into(),
+            Json::Arr(r.mode_names.iter().map(Json::str).collect()),
+        ),
+        ("clock_count".into(), Json::count(r.clock_count)),
+        ("dropped_cases".into(), Json::count(r.dropped_cases)),
+        (
+            "disabled_case_pins".into(),
+            Json::count(r.disabled_case_pins),
+        ),
+        (
+            "dropped_false_paths".into(),
+            Json::count(r.dropped_false_paths),
+        ),
+        (
+            "uniquified_exceptions".into(),
+            Json::count(r.uniquified_exceptions),
+        ),
+        ("clock_stops".into(), Json::count(r.clock_stops)),
+        (
+            "data_cut_false_paths".into(),
+            Json::count(r.data_cut_false_paths),
+        ),
+        (
+            "comparison_false_paths".into(),
+            Json::count(r.comparison_false_paths),
+        ),
+        ("pass2_endpoints".into(), Json::count(r.pass2_endpoints)),
+        ("pass3_pairs".into(), Json::count(r.pass3_pairs)),
+        ("refine_iterations".into(), Json::count(r.refine_iterations)),
+        (
+            "residual_pessimism".into(),
+            Json::count(r.residual_pessimism),
+        ),
+        ("extra_relations".into(), Json::count(r.extra_relations)),
+        ("validated".into(), Json::Bool(r.validated)),
+    ])
+}
+
+/// Serializes a full plan-and-merge outcome to the machine-readable
+/// summary object used by both `modemerge merge --json` and the service
+/// `merge` reply: summary counters, the clique cover, per-group reports
+/// and the merged SDC artifacts.
+pub fn outcome_to_json(outcome: &MergeAllOutcome, input_count: usize) -> Json {
+    Json::Obj(vec![
+        ("input_modes".into(), Json::count(input_count)),
+        ("merged_modes".into(), Json::count(outcome.merged.len())),
+        (
+            "reduction_percent".into(),
+            Json::num(outcome.reduction_percent(input_count)),
+        ),
+        (
+            "groups".into(),
+            Json::Arr(
+                outcome
+                    .groups
+                    .iter()
+                    .map(|g| Json::Arr(g.iter().map(|&i| Json::count(i)).collect()))
+                    .collect(),
+            ),
+        ),
+        (
+            "reports".into(),
+            Json::Arr(outcome.reports.iter().map(report_to_json).collect()),
+        ),
+        (
+            "merged".into(),
+            Json::Arr(
+                outcome
+                    .merged
+                    .iter()
+                    .map(|m| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::str(&m.name)),
+                            ("sdc".into(), Json::str(m.sdc.to_text())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Serializes a planning result (mergeability graph + clique cover) to
+/// the shared JSON shape used by `modemerge plan --json` and the service
+/// `plan` reply. Conflicts list the first blocking reason per pair.
+pub fn plan_to_json(names: &[String], graph: &MergeabilityGraph, cliques: &[Vec<usize>]) -> Json {
+    let mut conflicts = Vec::new();
+    for i in 0..graph.len() {
+        for j in (i + 1)..graph.len() {
+            if let Some(first) = graph.conflicts(i, j).first() {
+                conflicts.push(Json::Obj(vec![
+                    ("a".into(), Json::str(&names[i])),
+                    ("b".into(), Json::str(&names[j])),
+                    ("reason".into(), Json::str(first.to_string())),
+                ]));
+            }
+        }
+    }
+    Json::Obj(vec![
+        ("modes".into(), Json::Arr(names.iter().map(Json::str).collect())),
+        (
+            "cliques".into(),
+            Json::Arr(
+                cliques
+                    .iter()
+                    .map(|c| Json::Arr(c.iter().map(|&i| Json::str(&names[i])).collect()))
+                    .collect(),
+            ),
+        ),
+        ("conflicts".into(), Json::Arr(conflicts)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::merge::{merge_all, MergeOptions, ModeInput};
+    use crate::mergeability::greedy_cliques;
+    use crate::session::{MergeSession, SessionInputs};
     use modemerge_netlist::paper::paper_circuit;
 
     #[test]
@@ -108,6 +231,57 @@ mod tests {
         assert!(!r.to_string().contains("accepted pessimism"));
         r.residual_pessimism = 2;
         assert!(r.to_string().contains("accepted pessimism"));
+    }
+
+    #[test]
+    fn outcome_json_has_summary_reports_and_artifacts() {
+        let netlist = paper_circuit();
+        let inputs = vec![
+            ModeInput::parse("A", "create_clock -name c -period 10 [get_ports clk1]\n").unwrap(),
+            ModeInput::parse("B", "create_clock -name c -period 10 [get_ports clk1]\n").unwrap(),
+        ];
+        let out = merge_all(&netlist, &inputs, &MergeOptions::default()).unwrap();
+        let v = outcome_to_json(&out, inputs.len());
+        assert_eq!(v.get("input_modes").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("merged_modes").unwrap().as_u64(), Some(1));
+        let merged = v.get("merged").unwrap().as_array().unwrap();
+        assert_eq!(merged[0].get("name").unwrap().as_str(), Some("A+B"));
+        assert!(merged[0]
+            .get("sdc")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("create_clock"));
+        let reports = v.get("reports").unwrap().as_array().unwrap();
+        assert_eq!(reports[0].get("validated").unwrap().as_bool(), Some(true));
+        // The wire format round-trips through the in-tree parser.
+        let text = v.to_string();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn plan_json_lists_cliques_and_conflicts() {
+        let netlist = paper_circuit();
+        let inputs = vec![
+            ModeInput::parse("A", "create_clock -name c -period 10 [get_ports clk1]\n").unwrap(),
+            ModeInput::parse(
+                "B",
+                "create_clock -name c -period 10 [get_ports clk1]\n\
+                 set_clock_latency 9 [get_clocks c]\n",
+            )
+            .unwrap(),
+        ];
+        let bound = SessionInputs::bind(&netlist, &inputs).unwrap();
+        let session = MergeSession::new(&netlist, &bound, &MergeOptions::default());
+        let graph = session.mergeability();
+        let cliques = greedy_cliques(&graph);
+        let names: Vec<String> = inputs.iter().map(|i| i.name.clone()).collect();
+        let v = plan_to_json(&names, &graph, &cliques);
+        assert_eq!(v.get("modes").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(v.get("cliques").unwrap().as_array().unwrap().len(), 2);
+        let conflicts = v.get("conflicts").unwrap().as_array().unwrap();
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].get("a").unwrap().as_str(), Some("A"));
     }
 
     #[test]

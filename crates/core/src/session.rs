@@ -36,6 +36,7 @@
 
 use crate::equivalence::check_equivalence;
 use crate::error::MergeError;
+use crate::json::Json;
 use crate::merge::{MergeAllOutcome, MergeOptions, MergeOutcome, MergeReport, ModeInput};
 use crate::mergeability::{greedy_cliques, MergeabilityGraph};
 use crate::pool;
@@ -46,8 +47,96 @@ use modemerge_sta::analysis::Analysis;
 use modemerge_sta::graph::TimingGraph;
 use modemerge_sta::mode::Mode;
 use modemerge_sta::relations::RelationSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Cumulative per-stage wall-clock totals of one session, in
+/// nanoseconds. Snapshot type returned by
+/// [`MergeSession::stage_timings`]; the service aggregates these across
+/// requests for its `stats` reply.
+///
+/// `analysis_ns` sums the time spent *inside* [`Analysis::run`] across
+/// all worker threads (CPU-parallel work counts once per thread), while
+/// the other stages are timed on the calling thread.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Per-mode STA analyses ([`Analysis::run`], cache misses only).
+    pub analysis_ns: u64,
+    /// Mergeability-graph construction (mock pair merges, §3).
+    pub mergeability_ns: u64,
+    /// Preliminary merging (§3.1) of accepted groups.
+    pub preliminary_ns: u64,
+    /// Refinement fixed point (§3.1.8 + §3.2, includes the 3-pass).
+    pub refine_ns: u64,
+    /// Final §2 equivalence validation.
+    pub validate_ns: u64,
+}
+
+impl StageTimings {
+    /// Sum over all stages.
+    pub fn total_ns(&self) -> u64 {
+        self.analysis_ns
+            + self.mergeability_ns
+            + self.preliminary_ns
+            + self.refine_ns
+            + self.validate_ns
+    }
+
+    /// Accumulates another snapshot into this one.
+    pub fn accumulate(&mut self, other: &StageTimings) {
+        self.analysis_ns += other.analysis_ns;
+        self.mergeability_ns += other.mergeability_ns;
+        self.preliminary_ns += other.preliminary_ns;
+        self.refine_ns += other.refine_ns;
+        self.validate_ns += other.validate_ns;
+    }
+
+    /// Serializes to the in-tree JSON value (stage name → nanoseconds).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("analysis_ns".into(), Json::num(self.analysis_ns as f64)),
+            (
+                "mergeability_ns".into(),
+                Json::num(self.mergeability_ns as f64),
+            ),
+            (
+                "preliminary_ns".into(),
+                Json::num(self.preliminary_ns as f64),
+            ),
+            ("refine_ns".into(), Json::num(self.refine_ns as f64)),
+            ("validate_ns".into(), Json::num(self.validate_ns as f64)),
+            ("total_ns".into(), Json::num(self.total_ns() as f64)),
+        ])
+    }
+}
+
+/// Thread-safe accumulator behind [`StageTimings`].
+#[derive(Debug, Default)]
+struct StageClock {
+    analysis_ns: AtomicU64,
+    mergeability_ns: AtomicU64,
+    preliminary_ns: AtomicU64,
+    refine_ns: AtomicU64,
+    validate_ns: AtomicU64,
+}
+
+impl StageClock {
+    fn charge(counter: &AtomicU64, t0: Instant) {
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        counter.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> StageTimings {
+        StageTimings {
+            analysis_ns: self.analysis_ns.load(Ordering::Relaxed),
+            mergeability_ns: self.mergeability_ns.load(Ordering::Relaxed),
+            preliminary_ns: self.preliminary_ns.load(Ordering::Relaxed),
+            refine_ns: self.refine_ns.load(Ordering::Relaxed),
+            validate_ns: self.validate_ns.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// The borrow-owning half of a merge session: the timing graph and the
 /// bound modes that [`Analysis`] values reference.
@@ -107,6 +196,7 @@ pub struct MergeSession<'a> {
     options: MergeOptions,
     slots: Vec<OnceLock<Analysis<'a>>>,
     misses: AtomicUsize,
+    clock: StageClock,
 }
 
 impl<'a> MergeSession<'a> {
@@ -119,6 +209,7 @@ impl<'a> MergeSession<'a> {
             options: options.clone(),
             slots,
             misses: AtomicUsize::new(0),
+            clock: StageClock::default(),
         }
     }
 
@@ -155,8 +246,19 @@ impl<'a> MergeSession<'a> {
     pub fn analysis(&self, i: usize) -> &Analysis<'a> {
         self.slots[i].get_or_init(|| {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            Analysis::run(self.netlist, &self.inputs.graph, &self.inputs.modes[i])
+            let t0 = Instant::now();
+            let analysis = Analysis::run(self.netlist, &self.inputs.graph, &self.inputs.modes[i]);
+            StageClock::charge(&self.clock.analysis_ns, t0);
+            analysis
         })
+    }
+
+    /// Cumulative wall-clock time spent in each pipeline stage so far.
+    ///
+    /// Purely observational (reads relaxed atomics); stage totals keep
+    /// growing as more work runs through the session.
+    pub fn stage_timings(&self) -> StageTimings {
+        self.clock.snapshot()
     }
 
     /// The memoized §2 endpoint-relation set of mode `i` (borrowed from
@@ -192,10 +294,14 @@ impl<'a> MergeSession<'a> {
     /// other pairs run the full mock preliminary merge, so the conflict
     /// matrix is unchanged by the pre-screen.
     pub fn mergeability(&self) -> MergeabilityGraph {
+        let t0 = Instant::now();
         let mode_refs: Vec<&Mode> = self.inputs.modes.iter().collect();
-        MergeabilityGraph::build_filtered(self.netlist, &mode_refs, &self.options, |i, j| {
-            self.inputs.inputs[i].sdc == self.inputs.inputs[j].sdc
-        })
+        let graph =
+            MergeabilityGraph::build_filtered(self.netlist, &mode_refs, &self.options, |i, j| {
+                self.inputs.inputs[i].sdc == self.inputs.inputs[j].sdc
+            });
+        StageClock::charge(&self.clock.mergeability_ns, t0);
+        graph
     }
 
     /// Merges one group of modes, identified by indices into the input
@@ -226,7 +332,9 @@ impl<'a> MergeSession<'a> {
         let modes: Vec<&Mode> = group.iter().map(|&i| self.mode(i)).collect();
 
         // §3.1 preliminary merging (also the conflict check).
+        let t0 = Instant::now();
         let prelim = preliminary_merge(self.netlist, &modes, &self.options);
+        StageClock::charge(&self.clock.preliminary_ns, t0);
         if !prelim.conflicts.is_empty() {
             return Err(MergeError::NotMergeable {
                 conflicts: prelim.conflicts,
@@ -236,7 +344,10 @@ impl<'a> MergeSession<'a> {
         // §3.1.8 + §3.2 refinement against the cached analyses.
         self.warm_indices(group);
         let analyses: Vec<&Analysis<'a>> = group.iter().map(|&i| self.analysis(i)).collect();
-        let refined = refine(self.netlist, self.graph(), &analyses, prelim.sdc, &self.options)?;
+        let t0 = Instant::now();
+        let refined = refine(self.netlist, self.graph(), &analyses, prelim.sdc, &self.options);
+        StageClock::charge(&self.clock.refine_ns, t0);
+        let refined = refined?;
 
         // §2 equivalence validation. Relations missing from the merged
         // mode are always fatal (the merged mode would miss violations);
@@ -244,9 +355,11 @@ impl<'a> MergeSession<'a> {
         let mut validated = false;
         let mut extra_relations = 0;
         if self.options.validate {
+            let t0 = Instant::now();
             let merged_mode = Mode::bind("merged", self.netlist, &refined.sdc)?;
             let merged_analysis = Analysis::run(self.netlist, self.graph(), &merged_mode);
             let report = check_equivalence(&analyses, &merged_analysis);
+            StageClock::charge(&self.clock.validate_ns, t0);
             if !report.missing_in_merged.is_empty()
                 || (self.options.strict && !report.extra_in_merged.is_empty())
             {
@@ -425,6 +538,43 @@ mod tests {
         let out = session.merge_indices(&[0]).unwrap();
         assert_eq!(out.merged.sdc, inputs[0].sdc);
         assert_eq!(session.analyses_run(), 0);
+    }
+
+    #[test]
+    fn stage_timings_accumulate_across_the_pipeline() {
+        let netlist = paper_circuit();
+        let inputs = inputs_from(&[
+            ("A", "create_clock -name c -period 10 [get_ports clk1]\n"),
+            (
+                "B",
+                "create_clock -name c -period 10 [get_ports clk1]\n\
+                 set_false_path -to rX/D\n",
+            ),
+        ]);
+        let bound = SessionInputs::bind(&netlist, &inputs).unwrap();
+        let session = MergeSession::new(&netlist, &bound, &MergeOptions::default());
+        assert_eq!(session.stage_timings(), StageTimings::default());
+        session.merge_all().unwrap();
+        let t = session.stage_timings();
+        assert!(t.mergeability_ns > 0, "{t:?}");
+        assert!(t.analysis_ns > 0, "{t:?}");
+        assert!(t.preliminary_ns > 0, "{t:?}");
+        assert!(t.refine_ns > 0, "{t:?}");
+        assert!(t.validate_ns > 0, "{t:?}");
+        assert_eq!(
+            t.total_ns(),
+            t.analysis_ns + t.mergeability_ns + t.preliminary_ns + t.refine_ns + t.validate_ns
+        );
+        let mut acc = StageTimings::default();
+        acc.accumulate(&t);
+        acc.accumulate(&t);
+        assert_eq!(acc.total_ns(), 2 * t.total_ns());
+        let json = t.to_json();
+        assert_eq!(
+            json.get("total_ns").unwrap().as_u64(),
+            Some(t.total_ns()),
+            "{json}"
+        );
     }
 
     #[test]

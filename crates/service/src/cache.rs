@@ -1,0 +1,230 @@
+//! The content-addressed result cache.
+//!
+//! Keyed by [`job_key`]: an FNV-1a 64-bit hash over the request kind,
+//! the netlist bytes, the **sorted** set of `(mode name, SDC bytes)`
+//! pairs and the result-affecting merge options
+//! ([`MergeOptions::result_fingerprint`] — thread count is excluded
+//! because the deterministic pool makes output bit-identical for any
+//! thread count). Submitting the same mode set twice — in any `--mode`
+//! order, at any thread count — therefore returns the stored result in
+//! O(hash of the input bytes) instead of O(STA).
+//!
+//! Eviction is LRU over a fixed entry budget; `get` refreshes recency,
+//! `insert` of a full cache evicts the least-recently-used entry.
+//! Hit/miss/eviction counters feed the service `stats` reply and the
+//! loopback tests.
+
+use crate::hash::Fnv64;
+use modemerge_core::json::Json;
+use modemerge_core::merge::MergeOptions;
+use std::collections::{HashMap, VecDeque};
+
+/// Computes the content-addressed key of one compute request.
+///
+/// `kind` distinguishes request types (`"merge"` vs `"plan"`) that
+/// share inputs but not results; `modes` are `(name, sdc_text)` pairs,
+/// sorted internally so submission order cannot split cache entries.
+pub fn job_key(kind: &str, netlist: &str, modes: &[(String, String)], options: &MergeOptions) -> u64 {
+    let mut sorted: Vec<&(String, String)> = modes.iter().collect();
+    sorted.sort();
+    let mut h = Fnv64::new();
+    h.write_field(kind.as_bytes());
+    h.write_field(netlist.as_bytes());
+    h.write_field(&(sorted.len() as u64).to_le_bytes());
+    for (name, sdc) in sorted {
+        h.write_field(name.as_bytes());
+        h.write_field(sdc.as_bytes());
+    }
+    h.write_field(options.result_fingerprint().as_bytes());
+    h.finish()
+}
+
+/// Monotonic counters of one cache's lifetime.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+    /// Maximum entries (0 = caching disabled).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Serializes to the `stats` wire shape.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("hits".into(), Json::num(self.hits as f64)),
+            ("misses".into(), Json::num(self.misses as f64)),
+            ("evictions".into(), Json::num(self.evictions as f64)),
+            ("entries".into(), Json::count(self.entries)),
+            ("capacity".into(), Json::count(self.capacity)),
+        ])
+    }
+}
+
+/// An LRU map from content key to the serialized result JSON.
+///
+/// Recency is a [`VecDeque`] of keys (front = least recently used);
+/// touch is O(entries), which is fine for the configured budgets
+/// (hundreds of entries, values that each represent seconds of STA).
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    map: HashMap<u64, String>,
+    order: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn touch(&mut self, key: u64) {
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(key);
+    }
+
+    /// Looks up a result, refreshing its recency and counting the
+    /// hit/miss.
+    pub fn get(&mut self, key: u64) -> Option<String> {
+        match self.map.get(&key).cloned() {
+            Some(v) => {
+                self.hits += 1;
+                self.touch(key);
+                Some(v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a result, evicting the least-recently-used entries while
+    /// over budget. Re-inserting an existing key refreshes value and
+    /// recency without counting an eviction.
+    pub fn insert(&mut self, key: u64, value: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.map.insert(key, value);
+        self.touch(key);
+        while self.map.len() > self.capacity {
+            let Some(victim) = self.order.pop_front() else {
+                break;
+            };
+            self.map.remove(&victim);
+            self.evictions += 1;
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> u64 {
+        n
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(1), "one".into());
+        c.insert(key(2), "two".into());
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(c.get(key(1)).as_deref(), Some("one"));
+        c.insert(key(3), "three".into());
+        assert_eq!(c.get(key(2)), None, "2 was evicted");
+        assert_eq!(c.get(key(1)).as_deref(), Some("one"));
+        assert_eq!(c.get(key(3)).as_deref(), Some("three"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.entries), (3, 1, 1, 2));
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(1), "a".into());
+        c.insert(key(2), "b".into());
+        c.insert(key(1), "a2".into());
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.stats().entries, 2);
+        // 2 is now LRU.
+        c.insert(key(3), "c".into());
+        assert_eq!(c.get(key(2)), None);
+        assert_eq!(c.get(key(1)).as_deref(), Some("a2"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.insert(key(1), "x".into());
+        assert_eq!(c.get(key(1)), None);
+        assert_eq!(c.stats().entries, 0);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn job_key_is_stable_and_order_insensitive() {
+        let opts = MergeOptions::default();
+        let ab = vec![
+            ("A".to_owned(), "sdc a\n".to_owned()),
+            ("B".to_owned(), "sdc b\n".to_owned()),
+        ];
+        let ba: Vec<(String, String)> = ab.iter().rev().cloned().collect();
+        let k1 = job_key("merge", "net\n", &ab, &opts);
+        // Same inputs → same key, every time (stability).
+        assert_eq!(k1, job_key("merge", "net\n", &ab, &opts));
+        // Mode submission order must not matter.
+        assert_eq!(k1, job_key("merge", "net\n", &ba, &opts));
+        // Thread count must not matter (bit-identical results).
+        let threaded = MergeOptions {
+            threads: 8,
+            ..Default::default()
+        };
+        assert_eq!(k1, job_key("merge", "net\n", &ab, &threaded));
+        // Anything content-bearing must matter.
+        assert_ne!(k1, job_key("plan", "net\n", &ab, &opts));
+        assert_ne!(k1, job_key("merge", "net2\n", &ab, &opts));
+        let renamed = vec![
+            ("A2".to_owned(), "sdc a\n".to_owned()),
+            ("B".to_owned(), "sdc b\n".to_owned()),
+        ];
+        assert_ne!(k1, job_key("merge", "net\n", &renamed, &opts));
+        let strict = MergeOptions {
+            strict: true,
+            ..Default::default()
+        };
+        assert_ne!(k1, job_key("merge", "net\n", &ab, &strict));
+    }
+}

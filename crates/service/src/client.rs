@@ -1,0 +1,184 @@
+//! A blocking JSONL client for the merge server.
+//!
+//! One [`Client`] holds one TCP connection and can issue any number of
+//! requests over it (the protocol is strictly request → response per
+//! line). [`Client::roundtrip`] is the one-shot convenience used by
+//! `modemerge submit`.
+
+use crate::proto::{compute_request, simple_request, JobSpec};
+use modemerge_core::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected protocol client.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// A decoded response envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// `ok` field.
+    pub ok: bool,
+    /// `error` message when `ok` is false.
+    pub error: Option<String>,
+    /// `cached` field of merge/plan replies.
+    pub cached: Option<bool>,
+    /// The raw response line (byte-exact, for comparisons/logging).
+    pub raw: String,
+    /// The parsed JSON value.
+    pub json: Json,
+}
+
+impl Response {
+    /// Decodes one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the line is not a JSON object with a
+    /// boolean `ok` field.
+    pub fn decode(line: &str) -> Result<Response, String> {
+        let json = Json::parse(line).map_err(|e| format!("malformed response: {e}"))?;
+        let ok = json
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or("response lacks a boolean `ok`")?;
+        Ok(Response {
+            ok,
+            error: json.get("error").and_then(Json::as_str).map(str::to_owned),
+            cached: json.get("cached").and_then(Json::as_bool),
+            raw: line.to_owned(),
+            json,
+        })
+    }
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution/connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Request/response over one line each: Nagle + delayed ACK would
+        // add ~40ms per roundtrip on loopback, dwarfing the merge itself.
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Like [`Client::connect`] with a connect timeout (per resolved
+    /// address, first success wins).
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution failures and the last connection error.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Client> {
+        let mut last = None;
+        for candidate in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&candidate, timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    let reader = BufReader::new(stream.try_clone()?);
+                    return Ok(Client {
+                        writer: stream,
+                        reader,
+                    });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "no addresses resolved")
+        }))
+    }
+
+    /// Sends one raw request line and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures; an empty read (server closed the
+    /// connection) maps to [`std::io::ErrorKind::UnexpectedEof`].
+    pub fn request_raw(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+
+    /// Sends one request line and decodes the response envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport failures and envelope-decoding problems as a
+    /// message; a response with `"ok":false` is **not** an error here —
+    /// callers inspect [`Response::ok`].
+    pub fn request(&mut self, line: &str) -> Result<Response, String> {
+        let raw = self.request_raw(line).map_err(|e| e.to_string())?;
+        Response::decode(&raw)
+    }
+
+    /// Submits a `merge` (or `plan`) job.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn compute(&mut self, kind: &str, spec: &JobSpec) -> Result<Response, String> {
+        self.request(&compute_request(kind, spec))
+    }
+
+    /// Issues a payload-free request (`status`, `stats`, `shutdown`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn simple(&mut self, kind: &str) -> Result<Response, String> {
+        self.request(&simple_request(kind))
+    }
+
+    /// One-shot: connect, send one request line, decode, disconnect.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn roundtrip(addr: impl ToSocketAddrs, line: &str) -> Result<Response, String> {
+        let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+        client.request(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_ok_and_error_envelopes() {
+        let ok = Response::decode("{\"ok\":true,\"type\":\"merge\",\"cached\":true}").unwrap();
+        assert!(ok.ok);
+        assert_eq!(ok.cached, Some(true));
+        assert_eq!(ok.error, None);
+        let err = Response::decode("{\"ok\":false,\"error\":\"queue full\"}").unwrap();
+        assert!(!err.ok);
+        assert_eq!(err.error.as_deref(), Some("queue full"));
+        assert!(Response::decode("{\"type\":\"x\"}").is_err());
+        assert!(Response::decode("garbage").is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! FNV-1a 64-bit hashing for content addressing.
+//!
+//! The result cache keys requests by the *bytes* of their inputs, not
+//! by parsed structure — two submissions whose netlist and SDC files
+//! are byte-identical share a key, while any textual change (even a
+//! comment) produces a new one. FNV-1a is used because it is tiny,
+//! dependency-free and **stable across platforms and releases**: keys
+//! may be logged, compared across daemon restarts, or checked in tests
+//! against fixed vectors.
+//!
+//! Multi-field keys must frame every field (see [`Fnv64::write_field`])
+//! so that `("ab", "c")` and `("a", "bc")` cannot collide by
+//! concatenation.
+
+/// FNV-1a 64-bit offset basis.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self(OFFSET)
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Feeds one length-framed field: an 8-byte little-endian length
+    /// prefix followed by the bytes. Framing makes multi-field keys
+    /// unambiguous.
+    pub fn write_field(&mut self, bytes: &[u8]) {
+        self.write(&(bytes.len() as u64).to_le_bytes());
+        self.write(bytes);
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a 64 of a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published FNV-1a 64 test vectors — the key definition is part of
+    /// the wire contract and must never drift.
+    #[test]
+    fn known_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn framing_disambiguates_field_boundaries() {
+        let mut ab_c = Fnv64::new();
+        ab_c.write_field(b"ab");
+        ab_c.write_field(b"c");
+        let mut a_bc = Fnv64::new();
+        a_bc.write_field(b"a");
+        a_bc.write_field(b"bc");
+        assert_ne!(ab_c.finish(), a_bc.finish());
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+}

@@ -1,0 +1,49 @@
+//! `modemerge-service` — a persistent mode-merging server.
+//!
+//! The CLI pipeline rebuilds the world per invocation: parse the
+//! netlist, bind every mode, run one STA analysis per mode, merge,
+//! exit. Sign-off teams re-run exactly that workload constantly with
+//! mostly-unchanged inputs, so this crate amortizes it behind a
+//! long-running daemon:
+//!
+//! * [`proto`] — a newline-delimited-JSON protocol over TCP with
+//!   request types `merge`, `plan`, `status`, `stats` and `shutdown`;
+//! * [`queue`] — a bounded job queue feeding a worker pool, one
+//!   [`MergeSession`](modemerge_core::MergeSession) per request;
+//! * [`cache`] — a content-addressed result cache ([`hash`]: FNV-1a 64
+//!   over netlist bytes + sorted mode SDC bytes + result-affecting
+//!   options) with LRU eviction and hit/miss/eviction counters, so
+//!   repeated submissions of unchanged mode sets return in O(hash)
+//!   instead of O(STA);
+//! * [`server`] / [`client`] — the daemon (`modemerge serve`) and the
+//!   blocking submitter (`modemerge submit`).
+//!
+//! Everything is `std`-only (`std::net::TcpListener` + scoped OS
+//! threads): the workspace builds hermetically offline, so there is no
+//! tokio, no serde — the wire format rides on the deterministic
+//! in-tree JSON writer ([`modemerge_core::json`]), which is also what
+//! makes cached replies byte-identical to the replies that populated
+//! them.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use modemerge_service::server::{Server, ServiceConfig};
+//! let server = Server::bind("127.0.0.1:7171", ServiceConfig::default())?;
+//! println!("listening on {}", server.local_addr());
+//! server.run()?; // blocks until a shutdown request drains the queue
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod hash;
+pub mod proto;
+pub mod queue;
+pub mod server;
+
+pub use cache::{job_key, CacheStats, ResultCache};
+pub use client::{Client, Response};
+pub use proto::{JobSpec, NetlistFormat, Request};
+pub use queue::{JobQueue, PushError};
+pub use server::{Server, ServerHandle, ServiceConfig};

@@ -1,0 +1,278 @@
+//! The JSONL wire protocol.
+//!
+//! One request per line, one response line per request, over a plain
+//! TCP stream. Every line is a single compact JSON object; the request
+//! carries a `type` discriminator:
+//!
+//! ```text
+//! request  := merge | plan | status | stats | shutdown
+//! merge    := {"type":"merge","netlist":STR,["format":"text"|"verilog",]
+//!              "modes":[{"name":STR,"sdc":STR}...],["options":OBJ]}
+//! plan     := like merge, with "type":"plan"
+//! status   := {"type":"status"}
+//! stats    := {"type":"stats"}
+//! shutdown := {"type":"shutdown"}
+//!
+//! response := {"ok":true,"type":STR,["cached":BOOL,]["result":OBJ,]...}
+//!           | {"ok":false,["type":STR,]"error":STR}
+//! ```
+//!
+//! `merge`/`plan` results reuse the exact summary objects the CLI's
+//! `--json` flag prints ([`modemerge_core::report::outcome_to_json`] /
+//! [`plan_to_json`](modemerge_core::report::plan_to_json)); the
+//! response merely wraps them in an `ok`/`cached` envelope. The
+//! serializer is deterministic (insertion-ordered objects), so a cached
+//! reply's `result` is byte-identical to the reply that populated it.
+
+use modemerge_core::json::Json;
+use modemerge_core::merge::MergeOptions;
+
+/// How the netlist text should be parsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetlistFormat {
+    /// The native line-oriented text format (`modemerge_netlist::text`).
+    #[default]
+    Text,
+    /// Gate-level structural Verilog.
+    Verilog,
+}
+
+/// A compute payload shared by `merge` and `plan` requests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Netlist source text.
+    pub netlist: String,
+    /// Netlist flavor.
+    pub format: NetlistFormat,
+    /// `(mode name, SDC text)` pairs, in submission order.
+    pub modes: Vec<(String, String)>,
+    /// Merge options (defaults filled for absent fields).
+    pub options: MergeOptions,
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Full plan-and-merge pipeline; replies with the merged artifacts.
+    Merge(JobSpec),
+    /// Mergeability graph + clique cover only.
+    Plan(JobSpec),
+    /// Queue/worker snapshot (cheap, answered inline).
+    Status,
+    /// Cache counters, job totals and per-stage timing totals.
+    Stats,
+    /// Graceful shutdown: refuse new work, drain, then stop.
+    Shutdown,
+}
+
+impl Request {
+    /// The wire name of the request type.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Merge(_) => "merge",
+            Request::Plan(_) => "plan",
+            Request::Status => "status",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message for malformed JSON, a missing or
+    /// unknown `type`, or an invalid payload.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+        let kind = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("request needs a string `type` field")?;
+        match kind {
+            "merge" => Ok(Request::Merge(parse_spec(&v)?)),
+            "plan" => Ok(Request::Plan(parse_spec(&v)?)),
+            "status" => Ok(Request::Status),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!(
+                "unknown request type `{other}` (expected merge|plan|status|stats|shutdown)"
+            )),
+        }
+    }
+}
+
+fn parse_spec(v: &Json) -> Result<JobSpec, String> {
+    let netlist = v
+        .get("netlist")
+        .and_then(Json::as_str)
+        .ok_or("request needs a string `netlist` field")?
+        .to_owned();
+    let format = match v.get("format").and_then(Json::as_str) {
+        None | Some("text") => NetlistFormat::Text,
+        Some("verilog") => NetlistFormat::Verilog,
+        Some(other) => return Err(format!("format: `{other}` is not text|verilog")),
+    };
+    let modes_json = v
+        .get("modes")
+        .and_then(Json::as_array)
+        .ok_or("request needs a `modes` array")?;
+    let mut modes = Vec::with_capacity(modes_json.len());
+    for (i, m) in modes_json.iter().enumerate() {
+        let name = m
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("modes[{i}] needs a string `name`"))?;
+        let sdc = m
+            .get("sdc")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("modes[{i}] needs a string `sdc`"))?;
+        modes.push((name.to_owned(), sdc.to_owned()));
+    }
+    if modes.is_empty() {
+        return Err("request needs at least one mode".into());
+    }
+    let options = match v.get("options") {
+        None => MergeOptions::default(),
+        Some(o) => MergeOptions::from_json(o)?,
+    };
+    Ok(JobSpec {
+        netlist,
+        format,
+        modes,
+        options,
+    })
+}
+
+/// Builds a `merge` (or, with `kind = "plan"`, a `plan`) request line —
+/// **without** the trailing newline; the transport adds framing.
+pub fn compute_request(kind: &str, spec: &JobSpec) -> String {
+    let format = match spec.format {
+        NetlistFormat::Text => "text",
+        NetlistFormat::Verilog => "verilog",
+    };
+    Json::Obj(vec![
+        ("type".into(), Json::str(kind)),
+        ("netlist".into(), Json::str(&spec.netlist)),
+        ("format".into(), Json::str(format)),
+        (
+            "modes".into(),
+            Json::Arr(
+                spec.modes
+                    .iter()
+                    .map(|(name, sdc)| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::str(name)),
+                            ("sdc".into(), Json::str(sdc)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("options".into(), spec.options.to_json()),
+    ])
+    .to_string()
+}
+
+/// Builds a payload-free request line (`status`, `stats`, `shutdown`).
+pub fn simple_request(kind: &str) -> String {
+    Json::Obj(vec![("type".into(), Json::str(kind))]).to_string()
+}
+
+/// Wraps a successful result in the response envelope. `extra` pairs
+/// land after `ok`/`type` (e.g. `cached`, `result`).
+pub fn ok_response(kind: &str, extra: Vec<(String, Json)>) -> String {
+    let mut pairs = vec![
+        ("ok".into(), Json::Bool(true)),
+        ("type".into(), Json::str(kind)),
+    ];
+    pairs.extend(extra);
+    Json::Obj(pairs).to_string()
+}
+
+/// An error response envelope.
+pub fn error_response(kind: Option<&str>, message: &str) -> String {
+    let mut pairs = vec![("ok".into(), Json::Bool(false))];
+    if let Some(kind) = kind {
+        pairs.push(("type".into(), Json::str(kind)));
+    }
+    pairs.push(("error".into(), Json::str(message)));
+    Json::Obj(pairs).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            netlist: "# net\n".into(),
+            format: NetlistFormat::Text,
+            modes: vec![
+                ("A".into(), "create_clock ...\n".into()),
+                ("B".into(), "create_clock ...\n".into()),
+            ],
+            options: MergeOptions {
+                threads: 2,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn compute_request_roundtrips() {
+        let line = compute_request("merge", &spec());
+        assert!(!line.contains('\n'), "JSONL framing: {line}");
+        match Request::parse(&line).unwrap() {
+            Request::Merge(parsed) => assert_eq!(parsed, spec()),
+            other => panic!("{other:?}"),
+        }
+        let plan = compute_request("plan", &spec());
+        assert!(matches!(Request::parse(&plan).unwrap(), Request::Plan(_)));
+    }
+
+    #[test]
+    fn simple_requests_parse() {
+        for (kind, want) in [
+            ("status", Request::Status),
+            ("stats", Request::Stats),
+            ("shutdown", Request::Shutdown),
+        ] {
+            assert_eq!(Request::parse(&simple_request(kind)).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn options_default_when_absent() {
+        let line = "{\"type\":\"merge\",\"netlist\":\"n\",\"modes\":[{\"name\":\"A\",\"sdc\":\"s\"}]}";
+        match Request::parse(line).unwrap() {
+            Request::Merge(s) => assert_eq!(s.options, MergeOptions::default()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_requests_get_clear_errors() {
+        assert!(Request::parse("not json").unwrap_err().contains("malformed"));
+        assert!(Request::parse("{}").unwrap_err().contains("type"));
+        assert!(Request::parse("{\"type\":\"nope\"}")
+            .unwrap_err()
+            .contains("unknown request type"));
+        let no_modes = "{\"type\":\"merge\",\"netlist\":\"n\",\"modes\":[]}";
+        assert!(Request::parse(no_modes).unwrap_err().contains("at least one mode"));
+        let bad_format = "{\"type\":\"plan\",\"netlist\":\"n\",\"format\":\"edif\",\"modes\":[{\"name\":\"A\",\"sdc\":\"s\"}]}";
+        assert!(Request::parse(bad_format).unwrap_err().contains("edif"));
+    }
+
+    #[test]
+    fn envelopes_are_single_lines() {
+        let ok = ok_response("merge", vec![("cached".into(), Json::Bool(true))]);
+        assert_eq!(ok, "{\"ok\":true,\"type\":\"merge\",\"cached\":true}");
+        let err = error_response(Some("merge"), "queue full");
+        assert_eq!(err, "{\"ok\":false,\"type\":\"merge\",\"error\":\"queue full\"}");
+        assert_eq!(
+            error_response(None, "bad"),
+            "{\"ok\":false,\"error\":\"bad\"}"
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! A bounded multi-producer multi-consumer job queue.
+//!
+//! Connection threads `try_push` (never block — a full queue is
+//! back-pressure the client should see immediately), worker threads
+//! `pop` (block until work arrives or the queue is closed *and*
+//! drained). Closing the queue is the graceful-shutdown primitive:
+//! producers are refused from then on, consumers keep popping until the
+//! backlog is empty and only then observe `None`, so no accepted job is
+//! ever dropped.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; retry later.
+    Full,
+    /// The queue was closed (shutdown in progress).
+    Closed,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    available: Condvar,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue holding at most `capacity` pending jobs.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Closed`] after [`Self::close`], [`PushError::Full`]
+    /// at capacity; the job is returned alongside so the caller can
+    /// report back to its client.
+    pub fn try_push(&self, item: T) -> Result<(), (PushError, T)> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        if s.closed {
+            return Err((PushError::Closed, item));
+        }
+        if s.items.len() >= self.capacity {
+            return Err((PushError::Full, item));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next job, blocking while the queue is open and
+    /// empty. Returns `None` only when the queue is closed **and**
+    /// fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.available.wait(s).expect("queue poisoned");
+        }
+    }
+
+    /// Pending (not yet popped) jobs.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether no jobs are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Refuses new jobs and wakes every blocked consumer; already
+    /// queued jobs will still be popped.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Whether [`Self::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue poisoned").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_push_and_fifo_pop() {
+        let q = JobQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err((PushError::Full, 3)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_yields_none() {
+        let q = JobQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.try_push(2), Err((PushError::Closed, 2)));
+        assert_eq!(q.pop(), Some(1), "backlog survives close");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_push_and_close() {
+        let q = Arc::new(JobQueue::<u32>::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || (q.pop(), q.pop()))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.try_push(7).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), (Some(7), None));
+    }
+}

@@ -1,0 +1,442 @@
+//! The persistent merge server.
+//!
+//! Architecture (one process, std-only):
+//!
+//! ```text
+//! accept loop ── one handler thread per connection
+//!                  │  status/stats/shutdown: answered inline
+//!                  │  merge/plan: content-addressed cache probe
+//!                  │     hit  → reply O(hash), "cached":true
+//!                  │     miss → bounded JobQueue ──► worker pool (N threads)
+//!                  │                                   one MergeSession/job
+//!                  └──◄── per-job mpsc reply channel ──┘
+//! ```
+//!
+//! Graceful shutdown (`{"type":"shutdown"}`): the server stops
+//! accepting new `merge`/`plan` work, closes the queue (workers drain
+//! the backlog — no accepted job is dropped), waits until nothing is
+//! in flight, replies with the drain count and only then stops the
+//! accept loop.
+//!
+//! Determinism: job computation is a plain [`MergeSession`] run, whose
+//! output is bit-identical for any worker/thread count, so concurrent
+//! submissions — cached or not — always observe the same bytes.
+
+use crate::cache::{job_key, CacheStats, ResultCache};
+use crate::proto::{error_response, ok_response, JobSpec, NetlistFormat, Request};
+use crate::queue::{JobQueue, PushError};
+use modemerge_core::json::Json;
+use modemerge_core::mergeability::greedy_cliques;
+use modemerge_core::report::{outcome_to_json, plan_to_json};
+use modemerge_core::session::{MergeSession, SessionInputs, StageTimings};
+use modemerge_core::ModeInput;
+use modemerge_netlist::{text, verilog, Library, Netlist};
+use modemerge_sdc::SdcFile;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads computing merge/plan jobs.
+    pub workers: usize,
+    /// Content-addressed result-cache budget, in entries (0 disables).
+    pub cache_entries: usize,
+    /// Bounded job-queue capacity; pushes beyond it are refused with a
+    /// `queue full` error rather than blocking the connection.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            cache_entries: 128,
+            queue_capacity: 256,
+        }
+    }
+}
+
+/// What kind of computation a queued job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobKind {
+    Merge,
+    Plan,
+}
+
+impl JobKind {
+    fn name(self) -> &'static str {
+        match self {
+            JobKind::Merge => "merge",
+            JobKind::Plan => "plan",
+        }
+    }
+}
+
+struct Job {
+    kind: JobKind,
+    key: u64,
+    spec: JobSpec,
+    reply: mpsc::Sender<String>,
+}
+
+struct ServerState {
+    config: ServiceConfig,
+    addr: SocketAddr,
+    queue: JobQueue<Job>,
+    cache: Mutex<ResultCache>,
+    /// `false` once shutdown was requested: new merge/plan work is
+    /// refused (status/stats stay available while draining).
+    accepting: AtomicBool,
+    /// `true` once the drain finished and the accept loop must exit.
+    stopping: AtomicBool,
+    in_flight: AtomicUsize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    stage_totals: Mutex<StageTimings>,
+}
+
+impl ServerState {
+    fn status_fields(&self) -> Vec<(String, Json)> {
+        vec![
+            ("queue_depth".into(), Json::count(self.queue.len())),
+            (
+                "in_flight".into(),
+                Json::count(self.in_flight.load(Ordering::SeqCst)),
+            ),
+            ("workers".into(), Json::count(self.config.workers)),
+            (
+                "accepting".into(),
+                Json::Bool(self.accepting.load(Ordering::SeqCst)),
+            ),
+        ]
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache poisoned").stats()
+    }
+
+    fn stats_fields(&self) -> Vec<(String, Json)> {
+        let mut fields = self.status_fields();
+        fields.push((
+            "submitted".into(),
+            Json::num(self.submitted.load(Ordering::SeqCst) as f64),
+        ));
+        fields.push((
+            "completed".into(),
+            Json::num(self.completed.load(Ordering::SeqCst) as f64),
+        ));
+        fields.push((
+            "failed".into(),
+            Json::num(self.failed.load(Ordering::SeqCst) as f64),
+        ));
+        fields.push(("cache".into(), self.cache_stats().to_json()));
+        let totals = self.stage_totals.lock().expect("timings poisoned");
+        fields.push(("stage_totals".into(), totals.to_json()));
+        fields
+    }
+}
+
+/// A running (not yet serving) merge server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+/// A handle for observing a served instance from another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Whether the server has fully stopped accepting connections.
+    pub fn stopped(&self) -> bool {
+        self.state.stopping.load(Ordering::SeqCst)
+    }
+}
+
+impl Server {
+    /// Binds the listener.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address-resolution and bind failures.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServiceConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            cache: Mutex::new(ResultCache::new(config.cache_entries)),
+            queue: JobQueue::new(config.queue_capacity),
+            accepting: AtomicBool::new(true),
+            stopping: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            stage_totals: Mutex::new(StageTimings::default()),
+            addr,
+            config,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (useful when binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// An observation handle that outlives [`Server::run`].
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Serves until a `shutdown` request drains the queue. Blocks the
+    /// calling thread; spawn it if you need to keep working.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors (individual connection errors
+    /// are swallowed — one bad client must not kill the daemon).
+    pub fn run(self) -> std::io::Result<()> {
+        let state = self.state;
+        let workers: Vec<_> = (0..state.config.workers.max(1))
+            .map(|_| {
+                let state = Arc::clone(&state);
+                thread::spawn(move || worker_loop(&state))
+            })
+            .collect();
+
+        for stream in self.listener.incoming() {
+            if state.stopping.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let state = Arc::clone(&state);
+            thread::spawn(move || {
+                let _ = handle_connection(stream, &state);
+            });
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// One worker: pop → compute → cache → reply, until closed and drained.
+fn worker_loop(state: &ServerState) {
+    while let Some(job) = state.queue.pop() {
+        state.in_flight.fetch_add(1, Ordering::SeqCst);
+        let response = match compute(state, job.kind, &job.spec) {
+            Ok(result_text) => {
+                state
+                    .cache
+                    .lock()
+                    .expect("cache poisoned")
+                    .insert(job.key, result_text.clone());
+                state.completed.fetch_add(1, Ordering::SeqCst);
+                let result = Json::parse(&result_text).expect("serializer emits valid JSON");
+                ok_response(
+                    job.kind.name(),
+                    vec![
+                        ("cached".into(), Json::Bool(false)),
+                        ("key".into(), Json::str(format!("{:016x}", job.key))),
+                        ("result".into(), result),
+                    ],
+                )
+            }
+            Err(message) => {
+                state.failed.fetch_add(1, Ordering::SeqCst);
+                error_response(Some(job.kind.name()), &message)
+            }
+        };
+        // A vanished client (dropped receiver) is not a server error.
+        let _ = job.reply.send(response);
+        state.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn parse_netlist(spec: &JobSpec) -> Result<Netlist, String> {
+    match spec.format {
+        NetlistFormat::Text => text::parse(&spec.netlist, Library::standard())
+            .map_err(|e| format!("netlist: {e}")),
+        NetlistFormat::Verilog => verilog::parse_verilog(&spec.netlist, Library::standard())
+            .map_err(|e| format!("netlist: {e}")),
+    }
+}
+
+/// Runs one job on a fresh [`MergeSession`] and serializes the shared
+/// summary object (the same bytes `modemerge merge --json` prints).
+fn compute(state: &ServerState, kind: JobKind, spec: &JobSpec) -> Result<String, String> {
+    let netlist = parse_netlist(spec)?;
+    let mut inputs = Vec::with_capacity(spec.modes.len());
+    for (name, sdc_text) in &spec.modes {
+        let sdc = SdcFile::parse(sdc_text).map_err(|e| format!("mode {name}: {e}"))?;
+        inputs.push(ModeInput::new(name.clone(), sdc));
+    }
+    let bound = SessionInputs::bind(&netlist, &inputs).map_err(|e| e.to_string())?;
+    let session = MergeSession::new(&netlist, &bound, &spec.options);
+    let result = match kind {
+        JobKind::Merge => {
+            session.warm_up();
+            let outcome = session.merge_all().map_err(|e| e.to_string())?;
+            outcome_to_json(&outcome, inputs.len())
+        }
+        JobKind::Plan => {
+            let graph = session.mergeability();
+            let cliques = greedy_cliques(&graph);
+            let names: Vec<String> = inputs.iter().map(|i| i.name.clone()).collect();
+            plan_to_json(&names, &graph, &cliques)
+        }
+    };
+    state
+        .stage_totals
+        .lock()
+        .expect("timings poisoned")
+        .accumulate(&session.stage_timings());
+    Ok(result.to_string())
+}
+
+/// Serves one client connection: JSONL request/response until EOF.
+fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<()> {
+    // One-line responses must leave immediately; Nagle would hold them
+    // back waiting for an ACK of the (already consumed) request.
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = dispatch_line(&line, state);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if state.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn dispatch_line(line: &str, state: &ServerState) -> String {
+    let request = match Request::parse(line) {
+        Ok(r) => r,
+        Err(e) => return error_response(None, &e),
+    };
+    match request {
+        Request::Status => ok_response("status", state.status_fields()),
+        Request::Stats => ok_response("stats", state.stats_fields()),
+        Request::Shutdown => shutdown(state),
+        Request::Merge(spec) => submit_job(state, JobKind::Merge, spec),
+        Request::Plan(spec) => submit_job(state, JobKind::Plan, spec),
+    }
+}
+
+fn submit_job(state: &ServerState, kind: JobKind, spec: JobSpec) -> String {
+    if !state.accepting.load(Ordering::SeqCst) {
+        return error_response(Some(kind.name()), "server is shutting down");
+    }
+    state.submitted.fetch_add(1, Ordering::SeqCst);
+    let key = job_key(kind.name(), &spec.netlist, &spec.modes, &spec.options);
+
+    // Content-addressed fast path: O(hash of the input bytes).
+    let hit = state.cache.lock().expect("cache poisoned").get(key);
+    if let Some(result_text) = hit {
+        let result = Json::parse(&result_text).expect("cache holds valid JSON");
+        return ok_response(
+            kind.name(),
+            vec![
+                ("cached".into(), Json::Bool(true)),
+                ("key".into(), Json::str(format!("{key:016x}"))),
+                ("result".into(), result),
+            ],
+        );
+    }
+
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        kind,
+        key,
+        spec,
+        reply: tx,
+    };
+    match state.queue.try_push(job) {
+        Ok(()) => match rx.recv() {
+            Ok(response) => response,
+            Err(_) => error_response(Some(kind.name()), "worker dropped the job"),
+        },
+        Err((PushError::Full, _)) => error_response(
+            Some(kind.name()),
+            &format!(
+                "queue full ({} pending); retry later",
+                state.config.queue_capacity
+            ),
+        ),
+        Err((PushError::Closed, _)) => {
+            error_response(Some(kind.name()), "server is shutting down")
+        }
+    }
+}
+
+/// Graceful shutdown: refuse new work, drain, report, stop accepting.
+fn shutdown(state: &ServerState) -> String {
+    state.accepting.store(false, Ordering::SeqCst);
+    state.queue.close();
+    // Drain: every queued job is popped and every popped job replied to
+    // before we report success.
+    while !(state.queue.is_empty() && state.in_flight.load(Ordering::SeqCst) == 0) {
+        thread::sleep(Duration::from_millis(1));
+    }
+    let response = ok_response(
+        "shutdown",
+        vec![
+            (
+                "drained".into(),
+                Json::num(state.completed.load(Ordering::SeqCst) as f64),
+            ),
+            (
+                "failed".into(),
+                Json::num(state.failed.load(Ordering::SeqCst) as f64),
+            ),
+        ],
+    );
+    state.stopping.store(true, Ordering::SeqCst);
+    // Wake the accept loop so `run` can return.
+    let _ = TcpStream::connect(state.addr);
+    response
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ServiceConfig::default();
+        assert_eq!(c.workers, 1);
+        assert!(c.cache_entries > 0);
+        assert!(c.queue_capacity > 0);
+    }
+
+    #[test]
+    fn bind_reports_ephemeral_port() {
+        let server = Server::bind("127.0.0.1:0", ServiceConfig::default()).unwrap();
+        assert_ne!(server.local_addr().port(), 0);
+        assert!(!server.handle().stopped());
+    }
+}

@@ -34,4 +34,66 @@ if [ "$one" != "$four" ]; then
 fi
 echo "    identical output across thread counts"
 
+echo "==> smoke: persistent merge service (serve / submit / cache hit / shutdown)"
+# The tier-1 build above covers the root facade package only; the CLI
+# binary lives in its own crate.
+cargo build --release -p modemerge-cli
+MM=target/release/modemerge
+SMOKE_DIR="$(mktemp -d)"
+SERVE_LOG="$SMOKE_DIR/serve.log"
+cleanup() {
+    if [ -n "${SERVE_PID:-}" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+        kill "$SERVE_PID" 2>/dev/null || true
+    fi
+    rm -rf "$SMOKE_DIR"
+}
+trap cleanup EXIT
+
+# Fixtures: a small generated suite (netlist + per-mode SDCs on disk).
+"$MM" generate --cells 200 --seed 7 --out "$SMOKE_DIR/suite" >/dev/null
+
+# Background daemon on an ephemeral port; parse the bound address from
+# the startup line (stdout is flushed eagerly for exactly this reason).
+"$MM" serve --addr 127.0.0.1:0 --threads 2 >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's/^modemerge-service listening on \([0-9.:]*\) .*/\1/p' "$SERVE_LOG")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "FAIL: service did not report its listening address" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+fi
+
+mode_args=()
+while read -r word name file; do
+    [ "$word" = mode ] && mode_args+=(--mode "$name=$SMOKE_DIR/suite/$file")
+done <"$SMOKE_DIR/suite/MANIFEST"
+
+# Cold submit must compute; the identical re-submit must be a cache hit;
+# both must return the same result bytes.
+cold="$("$MM" submit --addr "$ADDR" --netlist "$SMOKE_DIR/suite/design.nl" "${mode_args[@]}" --json)"
+warm="$("$MM" submit --addr "$ADDR" --netlist "$SMOKE_DIR/suite/design.nl" "${mode_args[@]}" --json)"
+echo "$cold" | grep -q '"cached":false' || { echo "FAIL: cold submit was not computed: $cold" >&2; exit 1; }
+echo "$warm" | grep -q '"cached":true' || { echo "FAIL: re-submit missed the cache: $warm" >&2; exit 1; }
+cold_result="${cold#*'"result":'}"
+warm_result="${warm#*'"result":'}"
+if [ "$cold_result" != "$warm_result" ]; then
+    echo "FAIL: cached result differs from computed result" >&2
+    exit 1
+fi
+"$MM" submit --addr "$ADDR" --stats | grep -q '"hits":' \
+    || { echo "FAIL: stats lacks cache counters" >&2; exit 1; }
+
+# Graceful shutdown: the daemon drains and the serve process exits 0.
+"$MM" submit --addr "$ADDR" --shutdown >/dev/null
+wait "$SERVE_PID"
+grep -q "drained and stopped" "$SERVE_LOG" \
+    || { echo "FAIL: serve did not report a clean drain" >&2; cat "$SERVE_LOG" >&2; exit 1; }
+SERVE_PID=""
+echo "    serve/submit/cache-hit/shutdown round trip OK"
+
 echo "==> verify.sh: all checks passed"

@@ -5,9 +5,12 @@
 //! * [`sta`] — static timing analysis engine and timing relationships
 //! * [`merge`] — the mode-merging engine (the DAC'15 contribution)
 //! * [`workload`] — synthetic industrial-design and mode-set generator
+//! * [`service`] — persistent merge server (JSONL protocol, job queue,
+//!   content-addressed result cache)
 
 pub use modemerge_core as merge;
 pub use modemerge_netlist as netlist;
 pub use modemerge_sdc as sdc;
+pub use modemerge_service as service;
 pub use modemerge_sta as sta;
 pub use modemerge_workload as workload;

@@ -1,0 +1,256 @@
+//! Loopback integration test of the persistent merge service.
+//!
+//! Proves the ISSUE-2 acceptance criteria end to end:
+//!
+//! * concurrent submissions return **byte-identical** results to a
+//!   direct single-threaded [`MergeSession`] run;
+//! * repeat submissions are answered from the content-addressed cache
+//!   (verified through the `stats` counters and the `cached` flag),
+//!   independent of mode submission order and thread count;
+//! * `shutdown` drains in-flight jobs without dropping responses and
+//!   stops the daemon.
+
+use modemerge::merge::json::Json;
+use modemerge::merge::mergeability::greedy_cliques;
+use modemerge::merge::report::{outcome_to_json, plan_to_json};
+use modemerge::merge::{MergeOptions, MergeSession, ModeInput, SessionInputs};
+use modemerge::netlist::{paper::paper_circuit, text};
+use modemerge::service::client::Client;
+use modemerge::service::proto::{compute_request, simple_request, JobSpec, NetlistFormat};
+use modemerge::service::server::{Server, ServiceConfig};
+use std::net::SocketAddr;
+
+/// The paper's 3-mode workload: two mergeable FUNC modes and one TEST
+/// mode whose clock latency conflicts (merges to 2 modes).
+fn paper_modes() -> Vec<(String, String)> {
+    vec![
+        (
+            "F1".to_owned(),
+            "create_clock -name c -period 10 [get_ports clk1]\n".to_owned(),
+        ),
+        (
+            "F2".to_owned(),
+            "create_clock -name c -period 10 [get_ports clk1]\n\
+             set_false_path -to rX/D\n"
+                .to_owned(),
+        ),
+        (
+            "T1".to_owned(),
+            "create_clock -name c -period 10 [get_ports clk1]\n\
+             set_clock_latency 9 [get_clocks c]\n"
+                .to_owned(),
+        ),
+    ]
+}
+
+fn paper_spec() -> JobSpec {
+    JobSpec {
+        netlist: text::write(&paper_circuit()),
+        format: NetlistFormat::Text,
+        modes: paper_modes(),
+        options: MergeOptions::default(),
+    }
+}
+
+/// The reference bytes: a direct, in-process, single-threaded session
+/// over the same inputs, serialized by the same writer.
+fn direct_merge_result() -> String {
+    let netlist = paper_circuit();
+    let inputs: Vec<ModeInput> = paper_modes()
+        .iter()
+        .map(|(n, s)| ModeInput::parse(n.clone(), s).expect("parse sdc"))
+        .collect();
+    let bound = SessionInputs::bind(&netlist, &inputs).expect("bind");
+    let session = MergeSession::new(&netlist, &bound, &MergeOptions::default());
+    let outcome = session.merge_all().expect("merge");
+    assert_eq!(outcome.merged.len(), 2, "F1+F2 merge, T1 stays");
+    outcome_to_json(&outcome, inputs.len()).to_string()
+}
+
+fn start_server(workers: usize) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers,
+            cache_entries: 32,
+            queue_capacity: 64,
+        },
+    )
+    .expect("bind ephemeral loopback port");
+    let addr = server.local_addr();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn cache_counters(addr: SocketAddr) -> (u64, u64) {
+    let mut client = Client::connect(addr).expect("connect");
+    let stats = client.request(&simple_request("stats")).expect("stats");
+    assert!(stats.ok, "{:?}", stats.error);
+    let cache = stats.json.get("cache").expect("cache block");
+    (
+        cache.get("hits").and_then(Json::as_u64).expect("hits"),
+        cache.get("misses").and_then(Json::as_u64).expect("misses"),
+    )
+}
+
+/// Submits `spec` from `clients` concurrent connections; returns the
+/// `(cached, result-bytes)` pairs in client order.
+fn submit_concurrently(addr: SocketAddr, spec: &JobSpec, clients: usize) -> Vec<(bool, String)> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let spec = spec.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let resp = client
+                        .request(&compute_request("merge", &spec))
+                        .expect("roundtrip");
+                    assert!(resp.ok, "{:?}", resp.error);
+                    let result = resp.json.get("result").expect("result").to_string();
+                    (resp.cached.expect("cached flag"), result)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).collect()
+    })
+}
+
+#[test]
+fn concurrent_submissions_match_direct_session_and_hit_the_cache() {
+    let expected = direct_merge_result();
+    let (addr, daemon) = start_server(4);
+
+    // Round 1: 4 concurrent clients, cold cache.
+    let spec = paper_spec();
+    for (_, result) in submit_concurrently(addr, &spec, 4) {
+        assert_eq!(result, expected, "round 1: byte-identical to direct run");
+    }
+    let (_, misses_after_round1) = cache_counters(addr);
+    assert!(misses_after_round1 >= 1, "cold round must miss");
+
+    // Round 2: same workload again — all answered by the cache.
+    for (cached, result) in submit_concurrently(addr, &spec, 4) {
+        assert!(cached, "round 2 must be served from the cache");
+        assert_eq!(result, expected, "round 2: byte-identical to direct run");
+    }
+    let (hits, misses_after_round2) = cache_counters(addr);
+    assert!(hits >= 4, "round 2 produced {hits} hits");
+    assert_eq!(
+        misses_after_round2, misses_after_round1,
+        "round 2 must not add misses"
+    );
+
+    // Mode submission order and thread count must not split the key.
+    let mut reordered = paper_spec();
+    reordered.modes.reverse();
+    reordered.options.threads = 3;
+    let round3 = submit_concurrently(addr, &reordered, 1);
+    assert!(round3[0].0, "reordered modes still hit the cache");
+    assert_eq!(round3[0].1, expected);
+
+    // Shutdown drains cleanly and reports completed work.
+    let mut client = Client::connect(addr).expect("connect");
+    let resp = client.request(&simple_request("shutdown")).expect("shutdown");
+    assert!(resp.ok, "{:?}", resp.error);
+    let drained = resp.json.get("drained").and_then(Json::as_u64).expect("drained");
+    assert!(drained >= 1, "at least the cold job completed: {drained}");
+    assert_eq!(resp.json.get("failed").and_then(Json::as_u64), Some(0));
+    daemon.join().expect("daemon thread").expect("daemon io");
+}
+
+#[test]
+fn shutdown_drains_in_flight_jobs_without_dropping_responses() {
+    // One worker + several distinct queued jobs, then an immediate
+    // shutdown: every accepted job must still receive its response.
+    let (addr, daemon) = start_server(1);
+    let n_jobs = 3;
+    let results = std::thread::scope(|scope| {
+        let submitters: Vec<_> = (0..n_jobs)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut spec = paper_spec();
+                    // Distinct names → distinct cache keys → real work.
+                    for (name, _) in &mut spec.modes {
+                        name.push_str(&format!("_{i}"));
+                    }
+                    let mut client = Client::connect(addr).expect("connect");
+                    client
+                        .request(&compute_request("merge", &spec))
+                        .expect("roundtrip")
+                })
+            })
+            .collect();
+        // Give the submissions a head start, then ask for shutdown
+        // while work is (likely) still queued or in flight.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let mut control = Client::connect(addr).expect("connect");
+        let shutdown = control
+            .request(&simple_request("shutdown"))
+            .expect("shutdown");
+        assert!(shutdown.ok, "{:?}", shutdown.error);
+        submitters
+            .into_iter()
+            .map(|h| h.join().expect("submitter"))
+            .collect::<Vec<_>>()
+    });
+    // Every accepted job got a definitive response: either its result
+    // (drained) or an explicit shutting-down refusal (raced the close),
+    // never a dropped connection.
+    let mut completed = 0;
+    for resp in &results {
+        if resp.ok {
+            assert_eq!(resp.cached, Some(false));
+            assert!(resp.json.get("result").is_some());
+            completed += 1;
+        } else {
+            let msg = resp.error.as_deref().unwrap_or_default();
+            assert!(msg.contains("shutting down"), "unexpected error: {msg}");
+        }
+    }
+    assert!(completed >= 1, "the in-flight job must complete");
+    daemon.join().expect("daemon thread").expect("daemon io");
+}
+
+#[test]
+fn plan_requests_share_the_cli_json_shape() {
+    let (addr, daemon) = start_server(2);
+    let spec = paper_spec();
+
+    // Direct reference.
+    let netlist = paper_circuit();
+    let inputs: Vec<ModeInput> = paper_modes()
+        .iter()
+        .map(|(n, s)| ModeInput::parse(n.clone(), s).expect("parse"))
+        .collect();
+    let bound = SessionInputs::bind(&netlist, &inputs).expect("bind");
+    let session = MergeSession::new(&netlist, &bound, &MergeOptions::default());
+    let graph = session.mergeability();
+    let cliques = greedy_cliques(&graph);
+    let names: Vec<String> = inputs.iter().map(|i| i.name.clone()).collect();
+    let expected = plan_to_json(&names, &graph, &cliques).to_string();
+
+    let mut client = Client::connect(addr).expect("connect");
+    let resp = client
+        .request(&compute_request("plan", &spec))
+        .expect("roundtrip");
+    assert!(resp.ok, "{:?}", resp.error);
+    assert_eq!(resp.json.get("result").expect("result").to_string(), expected);
+
+    // A merge of the same inputs is a *different* cache entry.
+    let merge = client
+        .request(&compute_request("merge", &spec))
+        .expect("roundtrip");
+    assert!(merge.ok);
+    assert_eq!(merge.cached, Some(false), "plan and merge must not collide");
+
+    let status = client.request(&simple_request("status")).expect("status");
+    assert!(status.ok);
+    assert_eq!(status.json.get("workers").and_then(Json::as_u64), Some(2));
+    assert_eq!(
+        status.json.get("accepting").and_then(Json::as_bool),
+        Some(true)
+    );
+
+    let bye = client.request(&simple_request("shutdown")).expect("shutdown");
+    assert!(bye.ok);
+    daemon.join().expect("daemon thread").expect("daemon io");
+}

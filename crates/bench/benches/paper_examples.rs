@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
     c.bench_function("fig1_analysis_constraint_set1", |b| {
         b.iter(|| {
             Analysis::run(&netlist, &graph, &mode)
-                .endpoint_relations()
+                .endpoint_table()
                 .len()
         })
     });

@@ -1,0 +1,157 @@
+//! Wall-time of the 3-pass comparison (§3.2) on the workload stress
+//! suite, at 1/4/8 threads, with per-pass counters.
+//!
+//! The suite is one mergeable family whose members cross-write false
+//! paths (Constraint Set 6 pattern) *and* carry mode-private false paths
+//! that the preliminary merge drops — so pass 2 and pass 3 both see real
+//! work: ambiguous bundles that must be refined per startpoint and per
+//! through-point.
+//!
+//! Each sample binds fresh analyses (cold relation caches) and times one
+//! `compare_and_fix` call — exactly the work one refinement iteration
+//! performs. Output lines follow the in-tree harness format:
+//!
+//! ```text
+//! bench three_pass/threads_4 wall_ms=123 pass2=5 pass3=40 fixes=12
+//! ```
+//!
+//! A machine-readable report is written to `BENCH_three_pass.json`
+//! (override with `MODEMERGE_BENCH_OUT`); `MODEMERGE_BENCH_SAMPLES`
+//! scales the sample count (set it to 1 for a smoke run).
+
+use modemerge_core::json::Json;
+use modemerge_core::merge::MergeOptions;
+use modemerge_core::preliminary::preliminary_merge;
+use modemerge_core::three_pass::{compare_and_fix, ComparisonOutcome};
+use modemerge_sta::analysis::Analysis;
+use modemerge_sta::graph::TimingGraph;
+use modemerge_sta::mode::Mode;
+use modemerge_workload::{generate_suite, DesignSpec, SuiteSpec};
+use std::time::Instant;
+
+fn env_samples(default: usize) -> usize {
+    std::env::var("MODEMERGE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+/// The stress suite: one 3-member family with cross-written false paths.
+fn stress_spec() -> SuiteSpec {
+    SuiteSpec {
+        design: DesignSpec {
+            name: "three_pass_stress".into(),
+            seed: 23,
+            domains: 3,
+            banks: 8,
+            regs_per_bank: 14,
+            cloud_depth: 4,
+            scan: true,
+            muxed_bank_stride: 3,
+            dividers: false,
+            clock_gates: false,
+        },
+        families: vec![8],
+        test_clocks: false,
+        cross_false_paths: true,
+    }
+}
+
+struct Sample {
+    wall: f64,
+    outcome: ComparisonOutcome,
+}
+
+fn main() {
+    let samples = env_samples(5);
+    let suite = generate_suite(&stress_spec());
+    let netlist = &suite.netlist;
+    let graph = TimingGraph::build(netlist).expect("acyclic");
+    let modes: Vec<Mode> = suite
+        .modes
+        .iter()
+        .map(|(name, sdc)| Mode::bind(name.clone(), netlist, sdc).expect("binds"))
+        .collect();
+    let mode_refs: Vec<&Mode> = modes.iter().collect();
+    let options = MergeOptions::default();
+    let prelim = preliminary_merge(netlist, &mode_refs, &options);
+    assert!(prelim.conflicts.is_empty(), "{:?}", prelim.conflicts);
+    let merged_mode = Mode::bind("merged", netlist, &prelim.sdc).expect("merged binds");
+
+    let mut configs: Vec<Json> = Vec::new();
+    let mut last: Option<ComparisonOutcome> = None;
+    for threads in [1usize, 4, 8] {
+        let mut walls: Vec<f64> = Vec::new();
+        let mut outcome = None;
+        for _ in 0..samples {
+            // Fresh analyses: cold relation caches, the state one
+            // refinement iteration starts from.
+            let indiv: Vec<Analysis<'_>> = modes
+                .iter()
+                .map(|m| Analysis::run(netlist, &graph, m))
+                .collect();
+            let indiv_refs: Vec<&Analysis<'_>> = indiv.iter().collect();
+            let merged = Analysis::run(netlist, &graph, &merged_mode);
+            let t0 = Instant::now();
+            let out = compare_and_fix(netlist, &graph, &indiv_refs, &merged, true, threads);
+            walls.push(t0.elapsed().as_secs_f64());
+            outcome = Some(Sample {
+                wall: *walls.last().expect("pushed"),
+                outcome: out,
+            });
+        }
+        let sample = outcome.expect("at least one sample");
+        walls.sort_by(f64::total_cmp);
+        let median = walls[walls.len() / 2];
+        let o = &sample.outcome;
+        println!(
+            "bench three_pass/threads_{threads} wall_ms={:.1} pass2={} pass3={} fixes={} residual={} \
+             p1_ms={:.1} p2_ms={:.1} p3_ms={:.1} props={} prop_hits={} last_ms={:.1}",
+            median * 1e3,
+            o.pass2_endpoints,
+            o.pass3_pairs,
+            o.fixes.len(),
+            o.residual.len(),
+            o.pass1_ns as f64 / 1e6,
+            o.pass2_ns as f64 / 1e6,
+            o.pass3_ns as f64 / 1e6,
+            o.propagations,
+            o.propagation_cache_hits,
+            sample.wall * 1e3,
+        );
+        configs.push(Json::Obj(vec![
+            ("threads".into(), Json::count(threads)),
+            ("wall_ms".into(), Json::num(median * 1e3)),
+            ("samples".into(), Json::count(samples)),
+            ("pass2_endpoints".into(), Json::count(o.pass2_endpoints)),
+            ("pass3_pairs".into(), Json::count(o.pass3_pairs)),
+            ("fixes".into(), Json::count(o.fixes.len())),
+        ]));
+        if let Some(prev) = &last {
+            assert_eq!(
+                prev.fixes, o.fixes,
+                "fixes must be identical across thread counts"
+            );
+            assert_eq!(prev.residual, o.residual);
+            assert_eq!(prev.pass2_endpoints, o.pass2_endpoints);
+            assert_eq!(prev.pass3_pairs, o.pass3_pairs);
+        }
+        last = Some(sample.outcome);
+    }
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::str("three_pass")),
+        ("design".into(), Json::str("three_pass_stress")),
+        ("cells".into(), Json::count(netlist.instance_count())),
+        ("modes".into(), Json::count(modes.len())),
+        ("configs".into(), Json::Arr(configs)),
+    ]);
+    // Default next to the workspace root (cargo runs benches with the
+    // package directory as CWD).
+    let out_path = std::env::var("MODEMERGE_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_three_pass.json").to_owned()
+    });
+    std::fs::write(&out_path, format!("{report}\n")).expect("write bench report");
+    println!("bench three_pass report written to {out_path}");
+}

@@ -146,14 +146,36 @@ fn cmd_merge(args: &Args) -> Result<(), String> {
     let outcome = session.merge_all().map_err(|e| e.to_string())?;
 
     if args.flag("json") {
-        // The exact summary object the service protocol replies with.
-        println!("{}", outcome_to_json(&outcome, inputs.len()));
+        // The service-protocol summary object, extended with this
+        // invocation's stage timings. The timings ride outside
+        // `outcome_to_json` on purpose: the service caches and replays
+        // that object byte-for-byte, and wall-clock noise must never
+        // break replay identity.
+        let summary = outcome_to_json(&outcome, inputs.len());
+        let json = match summary {
+            Json::Obj(mut fields) => {
+                fields.push(("timings".into(), session.stage_timings().to_json()));
+                Json::Obj(fields)
+            }
+            other => other,
+        };
+        println!("{json}");
     } else {
         print!("{}", summarize(&outcome, inputs.len()));
         println!(
             "analyses run: {} ({} modes; cached across planning, refinement and validation)",
             session.analyses_run(),
             session.mode_count()
+        );
+        let t = session.stage_timings();
+        println!(
+            "three-pass: pass1 {:.1}ms pass2 {:.1}ms pass3 {:.1}ms \
+             ({} propagations, {} memo hits)",
+            t.pass1_ns as f64 / 1e6,
+            t.pass2_ns as f64 / 1e6,
+            t.pass3_ns as f64 / 1e6,
+            t.propagations,
+            t.propagation_cache_hits
         );
         for report in &outcome.reports {
             if report.mode_names.len() > 1 {
@@ -273,7 +295,7 @@ fn cmd_relations(args: &Args) -> Result<(), String> {
     let graph = TimingGraph::build(&netlist).map_err(|e| e.to_string())?;
     let mode = load_mode(&netlist, "mode", path)?;
     let analysis = Analysis::run(&netlist, &graph, &mode);
-    let relations = analysis.endpoint_relations();
+    let relations = analysis.relations();
     let clock_name = |key: &modemerge_sta::ClockKey| -> String {
         mode.clocks
             .iter()

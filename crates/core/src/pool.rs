@@ -15,9 +15,28 @@ use std::sync::mpsc;
 /// Runs `f(0..jobs)` on up to `threads` scoped threads, returning the
 /// results in index order.
 ///
-/// `threads <= 1` (or `jobs <= 1`) runs inline on the caller's thread —
-/// the serial path is byte-for-byte the parallel path with one worker.
+/// `threads` is an upper bound, not a demand: the pool never spawns more
+/// workers than the host has hardware threads, because oversubscribing
+/// one core only adds spawn cost and futex ping-pong on shared caches
+/// without any extra parallelism. `threads <= 1` (or `jobs <= 1`, or a
+/// single-core host) runs inline on the caller's thread — the serial
+/// path is byte-for-byte the parallel path with one worker.
 pub fn run_indexed<T, F>(threads: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    run_with_workers(threads.min(hw), jobs, f)
+}
+
+/// The worker-count-explicit core of [`run_indexed`]. Exposed to the
+/// unit tests so the work-stealing and index-ordered stitch paths stay
+/// exercised with real concurrency even on single-core hosts (where the
+/// public entry point correctly degrades to the serial path).
+fn run_with_workers<T, F>(threads: usize, jobs: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -25,24 +44,29 @@ where
     if threads <= 1 || jobs <= 1 {
         return (0..jobs).map(f).collect();
     }
+    let workers = threads.min(jobs);
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, T)>();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(jobs) {
-            let tx = tx.clone();
-            let next = &next;
-            let f = &f;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs {
-                    break;
-                }
-                let v = f(i);
-                if tx.send((i, v)).is_err() {
-                    break;
-                }
-            });
+    // The caller participates as worker zero: only `workers - 1` threads
+    // are spawned, which halves spawn overhead and keeps this thread
+    // doing useful work instead of blocking on the join.
+    let work = |tx: mpsc::Sender<(usize, T)>| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= jobs {
+            break;
         }
+        let v = f(i);
+        if tx.send((i, v)).is_err() {
+            break;
+        }
+    };
+    std::thread::scope(|scope| {
+        for _ in 1..workers {
+            let tx = tx.clone();
+            let work = &work;
+            scope.spawn(move || work(tx));
+        }
+        work(tx.clone());
     });
     drop(tx);
     let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
@@ -61,9 +85,12 @@ mod tests {
 
     #[test]
     fn serial_and_parallel_agree() {
+        // `run_with_workers` forces real concurrency regardless of the
+        // host's core count; `run_indexed` must agree with it.
         let serial = run_indexed(1, 17, |i| i * i);
-        let parallel = run_indexed(4, 17, |i| i * i);
+        let parallel = run_with_workers(4, 17, |i| i * i);
         assert_eq!(serial, parallel);
+        assert_eq!(serial, run_indexed(4, 17, |i| i * i));
         assert_eq!(serial[16], 256);
     }
 
@@ -75,14 +102,14 @@ mod tests {
 
     #[test]
     fn more_threads_than_jobs() {
-        let out = run_indexed(8, 3, |i| i + 1);
+        let out = run_with_workers(8, 3, |i| i + 1);
         assert_eq!(out, vec![1, 2, 3]);
     }
 
     #[test]
     fn results_are_in_index_order() {
         // Jobs finish out of order (reverse sleep); results must not.
-        let out = run_indexed(4, 8, |i| {
+        let out = run_with_workers(4, 8, |i| {
             std::thread::sleep(std::time::Duration::from_millis((8 - i) as u64));
             i
         });

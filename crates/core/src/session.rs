@@ -71,6 +71,18 @@ pub struct StageTimings {
     pub refine_ns: u64,
     /// Final §2 equivalence validation.
     pub validate_ns: u64,
+    /// 3-pass breakdown: endpoint comparison (pass 1). Part of
+    /// `refine_ns`, not additive into [`Self::total_ns`].
+    pub pass1_ns: u64,
+    /// 3-pass breakdown: per-startpoint refinement (pass 2).
+    pub pass2_ns: u64,
+    /// 3-pass breakdown: per-through-point refinement (pass 3).
+    pub pass3_ns: u64,
+    /// Single-startpoint propagations actually run by the 3-pass
+    /// (memo misses across all analyses involved).
+    pub propagations: u64,
+    /// Propagation queries served from the per-startpoint memo.
+    pub propagation_cache_hits: u64,
 }
 
 impl StageTimings {
@@ -90,6 +102,11 @@ impl StageTimings {
         self.preliminary_ns += other.preliminary_ns;
         self.refine_ns += other.refine_ns;
         self.validate_ns += other.validate_ns;
+        self.pass1_ns += other.pass1_ns;
+        self.pass2_ns += other.pass2_ns;
+        self.pass3_ns += other.pass3_ns;
+        self.propagations += other.propagations;
+        self.propagation_cache_hits += other.propagation_cache_hits;
     }
 
     /// Serializes to the in-tree JSON value (stage name → nanoseconds).
@@ -107,6 +124,22 @@ impl StageTimings {
             ("refine_ns".into(), Json::num(self.refine_ns as f64)),
             ("validate_ns".into(), Json::num(self.validate_ns as f64)),
             ("total_ns".into(), Json::num(self.total_ns() as f64)),
+            (
+                "three_pass".into(),
+                Json::Obj(vec![
+                    ("pass1_ns".into(), Json::num(self.pass1_ns as f64)),
+                    ("pass2_ns".into(), Json::num(self.pass2_ns as f64)),
+                    ("pass3_ns".into(), Json::num(self.pass3_ns as f64)),
+                    (
+                        "propagations".into(),
+                        Json::num(self.propagations as f64),
+                    ),
+                    (
+                        "propagation_cache_hits".into(),
+                        Json::num(self.propagation_cache_hits as f64),
+                    ),
+                ]),
+            ),
         ])
     }
 }
@@ -119,6 +152,11 @@ struct StageClock {
     preliminary_ns: AtomicU64,
     refine_ns: AtomicU64,
     validate_ns: AtomicU64,
+    pass1_ns: AtomicU64,
+    pass2_ns: AtomicU64,
+    pass3_ns: AtomicU64,
+    propagations: AtomicU64,
+    propagation_cache_hits: AtomicU64,
 }
 
 impl StageClock {
@@ -134,6 +172,11 @@ impl StageClock {
             preliminary_ns: self.preliminary_ns.load(Ordering::Relaxed),
             refine_ns: self.refine_ns.load(Ordering::Relaxed),
             validate_ns: self.validate_ns.load(Ordering::Relaxed),
+            pass1_ns: self.pass1_ns.load(Ordering::Relaxed),
+            pass2_ns: self.pass2_ns.load(Ordering::Relaxed),
+            pass3_ns: self.pass3_ns.load(Ordering::Relaxed),
+            propagations: self.propagations.load(Ordering::Relaxed),
+            propagation_cache_hits: self.propagation_cache_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -164,6 +207,15 @@ impl SessionInputs {
             .iter()
             .map(|i| Mode::bind(i.name.clone(), netlist, &i.sdc))
             .collect::<Result<_, _>>()?;
+        // Seed the key interner serially, in input order, before any
+        // (possibly parallel) analysis touches it: dense id assignment —
+        // and with it every id-ordered grouping downstream — must never
+        // depend on which worker thread analyzes a mode first.
+        for mode in &modes {
+            for clock in &mode.clocks {
+                graph.interner().intern_clock(&clock.key());
+            }
+        }
         Ok(Self {
             graph,
             modes,
@@ -348,6 +400,15 @@ impl<'a> MergeSession<'a> {
         let refined = refine(self.netlist, self.graph(), &analyses, prelim.sdc, &self.options);
         StageClock::charge(&self.clock.refine_ns, t0);
         let refined = refined?;
+        // Per-pass breakdown of the 3-pass comparison inside refine.
+        let c = &self.clock;
+        c.pass1_ns.fetch_add(refined.pass1_ns, Ordering::Relaxed);
+        c.pass2_ns.fetch_add(refined.pass2_ns, Ordering::Relaxed);
+        c.pass3_ns.fetch_add(refined.pass3_ns, Ordering::Relaxed);
+        c.propagations
+            .fetch_add(refined.propagations, Ordering::Relaxed);
+        c.propagation_cache_hits
+            .fetch_add(refined.propagation_cache_hits, Ordering::Relaxed);
 
         // §2 equivalence validation. Relations missing from the merged
         // mode are always fatal (the merged mode would miss violations);
@@ -565,14 +626,30 @@ mod tests {
             t.total_ns(),
             t.analysis_ns + t.mergeability_ns + t.preliminary_ns + t.refine_ns + t.validate_ns
         );
+        // The 3-pass breakdown nests inside the refine stage: it never
+        // inflates the total, and its sum is bounded by the refine wall.
+        assert!(t.pass1_ns > 0, "{t:?}");
+        assert!(
+            t.pass1_ns + t.pass2_ns + t.pass3_ns <= t.refine_ns,
+            "{t:?}"
+        );
         let mut acc = StageTimings::default();
         acc.accumulate(&t);
         acc.accumulate(&t);
         assert_eq!(acc.total_ns(), 2 * t.total_ns());
+        assert_eq!(acc.pass1_ns, 2 * t.pass1_ns);
+        assert_eq!(acc.propagations, 2 * t.propagations);
         let json = t.to_json();
         assert_eq!(
             json.get("total_ns").unwrap().as_u64(),
             Some(t.total_ns()),
+            "{json}"
+        );
+        let tp = json.get("three_pass").expect("three_pass breakdown");
+        assert_eq!(tp.get("pass1_ns").unwrap().as_u64(), Some(t.pass1_ns));
+        assert_eq!(
+            tp.get("propagation_cache_hits").unwrap().as_u64(),
+            Some(t.propagation_cache_hits),
             "{json}"
         );
     }

@@ -23,17 +23,31 @@
 //! *residual pessimism* is reported, not "fixed": the merged mode then
 //! times a few extra paths, which is sign-off safe (pessimistic). The
 //! paper's own QoR table shows 99.82 % — not 100 % — slack conformity.
+//!
+//! # Hot-loop representation and parallelism
+//!
+//! All three passes operate on the interned flat tables from
+//! [`modemerge_sta::analysis`]: rows are small `Copy` structs whose
+//! clocks are dense [`ClockKeyId`]s, so grouping keys are `Copy` tuples
+//! and the loops neither clone `ClockKey`s nor compare strings.
+//! Pass 1 is one serial sweep over the CSR tables (it also seeds every
+//! clock id and the work queues deterministically); pass 2 then fans out
+//! per endpoint and pass 3 per (startpoint, endpoint) pair across the
+//! deterministic [`crate::pool`], with results stitched back in index
+//! order — so the outcome is byte-identical at any `--threads` count.
 
 use crate::emit::{clocks_ref, pin_ref};
+use crate::pool;
 use modemerge_netlist::{Netlist, PinId, PinOwner};
 use modemerge_sdc::{Command, PathException, PathExceptionKind, PathSpec, SetupHold};
 use modemerge_sta::analysis::Analysis;
 use modemerge_sta::exceptions::CheckKind;
 use modemerge_sta::graph::TimingGraph;
-use modemerge_sta::keys::ClockKey;
+use modemerge_sta::keys::ClockKeyId;
 use modemerge_sta::propagate::Startpoint;
 use modemerge_sta::relations::PathState;
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
 
 /// Result of one comparison round.
 #[derive(Debug, Default)]
@@ -51,6 +65,16 @@ pub struct ComparisonOutcome {
     pub pass2_endpoints: usize,
     /// Startpoint/endpoint pairs that needed pass 3.
     pub pass3_pairs: usize,
+    /// Wall time of the endpoint-granularity pass.
+    pub pass1_ns: u64,
+    /// Wall time of the startpoint × endpoint pass.
+    pub pass2_ns: u64,
+    /// Wall time of the through-point pass.
+    pub pass3_ns: u64,
+    /// Startpoint propagations run by this comparison (all analyses).
+    pub propagations: u64,
+    /// Memoized-propagation hits during this comparison (all analyses).
+    pub propagation_cache_hits: u64,
 }
 
 impl ComparisonOutcome {
@@ -60,7 +84,8 @@ impl ComparisonOutcome {
     }
 }
 
-type TupleKey = (ClockKey, ClockKey, CheckKind);
+/// Interned grouping key: launch clock, capture clock, check kind.
+type RowKey = (ClockKeyId, ClockKeyId, CheckKind);
 type StateSets = (BTreeSet<PathState>, BTreeSet<PathState>); // (individual, merged)
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,7 +99,7 @@ enum Cmp {
 }
 
 fn timed(states: &BTreeSet<PathState>) -> BTreeSet<PathState> {
-    states.iter().filter(|s| s.is_timed()).cloned().collect()
+    states.iter().filter(|s| s.is_timed()).copied().collect()
 }
 
 fn classify(indiv: &BTreeSet<PathState>, merged: &BTreeSet<PathState>) -> Cmp {
@@ -104,13 +129,23 @@ fn startpoint_for(netlist: &Netlist, pin: PinId) -> Startpoint {
     }
 }
 
-fn clock_name_map(merged: &Analysis<'_>) -> BTreeMap<ClockKey, String> {
+/// Merged-mode clock names by interned id (relation clocks are
+/// guaranteed to exist in the merged mode).
+fn clock_name_map(merged: &Analysis<'_>) -> BTreeMap<ClockKeyId, String> {
+    let interner = merged.graph().interner();
     merged
         .mode()
         .clocks
         .iter()
-        .map(|c| (c.key(), c.name.clone()))
+        .map(|c| (interner.intern_clock(&c.key()), c.name.clone()))
         .collect()
+}
+
+fn name_of(names: &BTreeMap<ClockKeyId, String>, id: ClockKeyId) -> String {
+    names
+        .get(&id)
+        .expect("relation clock exists in merged mode")
+        .clone()
 }
 
 fn fp(spec: PathSpec, setup_hold: SetupHold) -> Command {
@@ -131,47 +166,74 @@ fn scope_of(checks: &BTreeSet<CheckKind>) -> SetupHold {
     }
 }
 
+fn propagation_totals(individual: &[&Analysis<'_>], merged: &Analysis<'_>) -> (u64, u64) {
+    let mut runs = 0;
+    let mut hits = 0;
+    for a in individual.iter().copied().chain(std::iter::once(merged)) {
+        runs += a.propagations_run();
+        hits += a.propagation_cache_hits();
+    }
+    (runs, hits)
+}
+
+/// Per-endpoint pass-2 result, stitched back in endpoint order.
+struct Pass2Out {
+    fixes: Vec<Command>,
+    escalate: Vec<(PinId, PinId)>,
+}
+
+/// Per-pair pass-3 result, stitched back in pair order.
+struct Pass3Out {
+    fixes: Vec<Command>,
+    residual: Vec<String>,
+}
+
 /// Runs the full 3-pass comparison, returning fixes for the merged mode.
 ///
 /// `group_fixes` enables the clock-pair and endpoint-set groupings in
 /// pass 1 (on in production; the `ablation_grouping` bench turns it off
-/// to measure their value).
+/// to measure their value). `threads` sizes the deterministic worker
+/// pool for passes 2 and 3; the outcome is byte-identical at any count.
 pub fn compare_and_fix(
     netlist: &Netlist,
     graph: &TimingGraph,
     individual: &[&Analysis<'_>],
     merged: &Analysis<'_>,
     group_fixes: bool,
+    threads: usize,
 ) -> ComparisonOutcome {
     let mut outcome = ComparisonOutcome::default();
+    let (runs_before, hits_before) = propagation_totals(individual, merged);
     let clock_names = clock_name_map(merged);
-    let clock_name = |key: &ClockKey| -> String {
-        clock_names
-            .get(key)
-            .expect("relation clock exists in merged mode")
-            .clone()
-    };
 
     // ---- Pass 1 -------------------------------------------------------
-    let mut by_tuple: BTreeMap<(PinId, TupleKey), StateSets> = BTreeMap::new();
+    // Serial by design: this sweep touches every relation row once and
+    // seeds the interner plus both work queues in a deterministic order
+    // before any worker thread runs.
+    let t_pass1 = Instant::now();
+    let mut by_tuple: BTreeMap<(PinId, RowKey), StateSets> = BTreeMap::new();
     for a in individual {
-        for r in a.relations() {
-            by_tuple
-                .entry((r.endpoint, (r.launch.clone(), r.capture.clone(), r.check)))
-                .or_default()
-                .0
-                .insert(r.state.clone());
+        for (endpoint, rows) in a.endpoint_table().iter() {
+            for r in rows {
+                by_tuple
+                    .entry((endpoint, (r.launch, r.capture, r.check)))
+                    .or_default()
+                    .0
+                    .insert(r.state);
+            }
         }
     }
-    for r in merged.relations() {
-        by_tuple
-            .entry((r.endpoint, (r.launch.clone(), r.capture.clone(), r.check)))
-            .or_default()
-            .1
-            .insert(r.state.clone());
+    for (endpoint, rows) in merged.endpoint_table().iter() {
+        for r in rows {
+            by_tuple
+                .entry((endpoint, (r.launch, r.capture, r.check)))
+                .or_default()
+                .1
+                .insert(r.state);
+        }
     }
 
-    let mut per_endpoint: BTreeMap<PinId, Vec<(TupleKey, Cmp)>> = BTreeMap::new();
+    let mut per_endpoint: BTreeMap<PinId, Vec<(RowKey, Cmp)>> = BTreeMap::new();
     for ((endpoint, tuple), (indiv, m)) in &by_tuple {
         if m.is_empty() {
             // Timed by some individual mode but absent from the merged
@@ -188,34 +250,32 @@ pub fn compare_and_fix(
         per_endpoint
             .entry(*endpoint)
             .or_default()
-            .push((tuple.clone(), classify(indiv, m)));
+            .push((*tuple, classify(indiv, m)));
     }
 
     // Global clock-pair grouping: when every merged tuple of a
     // (launch, capture) pair mismatches across the whole design, a single
     // clock-to-clock false path is the precise fix.
-    let mut pair_status: BTreeMap<(ClockKey, ClockKey), (bool, bool)> = BTreeMap::new();
+    let mut pair_status: BTreeMap<(ClockKeyId, ClockKeyId), (bool, bool)> = BTreeMap::new();
     for tuples in per_endpoint.values() {
         for ((l, c, _), cmp) in tuples {
-            let e = pair_status
-                .entry((l.clone(), c.clone()))
-                .or_insert((true, false));
+            let e = pair_status.entry((*l, *c)).or_insert((true, false));
             e.0 &= *cmp == Cmp::Fixable;
             e.1 |= *cmp != Cmp::Match;
         }
     }
-    let mut killed_pairs: BTreeSet<(ClockKey, ClockKey)> = BTreeSet::new();
-    for ((l, c), (all_fixable, any_mismatch)) in &pair_status {
-        if group_fixes && *all_fixable && *any_mismatch && l != c {
+    let mut killed_pairs: BTreeSet<(ClockKeyId, ClockKeyId)> = BTreeSet::new();
+    for (&(l, c), &(all_fixable, any_mismatch)) in &pair_status {
+        if group_fixes && all_fixable && any_mismatch && l != c {
             outcome.fixes.push(fp(
                 PathSpec {
-                    from: vec![clocks_ref([clock_name(l)])],
-                    to: vec![clocks_ref([clock_name(c)])],
+                    from: vec![clocks_ref([name_of(&clock_names, l)])],
+                    to: vec![clocks_ref([name_of(&clock_names, c)])],
                     ..Default::default()
                 },
                 SetupHold::Both,
             ));
-            killed_pairs.insert((l.clone(), c.clone()));
+            killed_pairs.insert((l, c));
         }
     }
 
@@ -226,11 +286,12 @@ pub fn compare_and_fix(
     // (the endpoint pin doubles as a through hop so the capture clock
     // can anchor `-to`). This keeps merged constraint counts small even
     // when a test clock invalidates a whole bank of functional paths.
-    let mut grouped: BTreeMap<(ClockKey, ClockKey, SetupHold), BTreeSet<PinId>> = BTreeMap::new();
+    let mut grouped: BTreeMap<(ClockKeyId, ClockKeyId, SetupHold), BTreeSet<PinId>> =
+        BTreeMap::new();
     for (endpoint, tuples) in &per_endpoint {
-        let tuples: Vec<&(TupleKey, Cmp)> = tuples
+        let tuples: Vec<&(RowKey, Cmp)> = tuples
             .iter()
-            .filter(|((l, c, _), _)| !killed_pairs.contains(&(l.clone(), c.clone())))
+            .filter(|((l, c, _), _)| !killed_pairs.contains(&(*l, *c)))
             .collect();
         if tuples.iter().all(|(_, c)| *c == Cmp::Match) {
             continue;
@@ -245,13 +306,10 @@ pub fn compare_and_fix(
             ));
             continue;
         }
-        let mut clock_pairs: BTreeMap<(ClockKey, ClockKey), Vec<(CheckKind, Cmp)>> =
+        let mut clock_pairs: BTreeMap<(ClockKeyId, ClockKeyId), Vec<(CheckKind, Cmp)>> =
             BTreeMap::new();
         for ((l, c, check), cmp) in &tuples {
-            clock_pairs
-                .entry((l.clone(), c.clone()))
-                .or_default()
-                .push((*check, *cmp));
+            clock_pairs.entry((*l, *c)).or_default().push((*check, *cmp));
         }
         let mut escalate = false;
         for ((l, c), checks) in clock_pairs {
@@ -281,241 +339,327 @@ pub fn compare_and_fix(
     for ((l, c, scope), endpoints) in grouped {
         outcome.fixes.push(fp(
             PathSpec {
-                from: vec![clocks_ref([clock_name(&l)])],
+                from: vec![clocks_ref([name_of(&clock_names, l)])],
                 through: vec![crate::emit::pins_refs(netlist, endpoints)],
-                to: vec![clocks_ref([clock_name(&c)])],
+                to: vec![clocks_ref([name_of(&clock_names, c)])],
             },
             scope,
         ));
     }
+    outcome.pass1_ns = t_pass1.elapsed().as_nanos() as u64;
 
     // ---- Pass 2 -------------------------------------------------------
     outcome.pass2_endpoints = pass2_queue.len();
+    let t_pass2 = Instant::now();
+    let pass2_items: Vec<PinId> = pass2_queue.iter().copied().collect();
+    let pass2_results = pool::run_indexed(threads, pass2_items.len(), |i| {
+        pass2_endpoint(netlist, individual, merged, &clock_names, pass2_items[i])
+    });
     let mut pass3_queue: BTreeSet<(PinId, PinId)> = BTreeSet::new();
-    for &endpoint in &pass2_queue {
-        let mut pairs: BTreeMap<(PinId, TupleKey), StateSets> = BTreeMap::new();
-        for a in individual {
-            for r in a.pair_relations(endpoint) {
-                pairs
-                    .entry((r.start, (r.launch, r.capture, r.check)))
-                    .or_default()
-                    .0
-                    .insert(r.state);
-            }
-        }
-        for r in merged.pair_relations(endpoint) {
-            pairs
-                .entry((r.start, (r.launch, r.capture, r.check)))
-                .or_default()
-                .1
-                .insert(r.state);
-        }
-        let mut per_start: BTreeMap<PinId, Vec<(TupleKey, Cmp)>> = BTreeMap::new();
-        for ((start, tuple), (indiv, m)) in &pairs {
-            if m.is_empty() {
-                continue;
-            }
-            per_start
-                .entry(*start)
-                .or_default()
-                .push((tuple.clone(), classify(indiv, m)));
-        }
-        for (start, tuples) in &per_start {
-            if tuples.iter().all(|(_, c)| *c == Cmp::Match) {
-                continue;
-            }
-            if tuples.iter().all(|(_, c)| *c == Cmp::Fixable) {
-                outcome.fixes.push(fp(
-                    PathSpec {
-                        from: vec![pin_ref(netlist, *start)],
-                        to: vec![pin_ref(netlist, endpoint)],
-                        ..Default::default()
-                    },
-                    SetupHold::Both,
-                ));
-                continue;
-            }
-            // Clock-combination-specific kills: the endpoint pin becomes
-            // a final -through hop so the capture clock can anchor -to.
-            let mut clock_pairs: BTreeMap<(ClockKey, ClockKey), Vec<(CheckKind, Cmp)>> =
-                BTreeMap::new();
-            for ((l, c, check), cmp) in tuples {
-                clock_pairs
-                    .entry((l.clone(), c.clone()))
-                    .or_default()
-                    .push((*check, *cmp));
-            }
-            let mut escalate = false;
-            for ((l, c), checks) in &clock_pairs {
-                let fixable: BTreeSet<CheckKind> = checks
-                    .iter()
-                    .filter(|(_, cmp)| *cmp == Cmp::Fixable)
-                    .map(|(ck, _)| *ck)
-                    .collect();
-                if checks.iter().any(|(_, cmp)| *cmp == Cmp::Ambiguous) {
-                    escalate = true;
-                }
-                if !fixable.is_empty() {
-                    outcome.fixes.push(fp(
-                        PathSpec {
-                            from: vec![clocks_ref([clock_name(l)])],
-                            through: vec![
-                                vec![pin_ref(netlist, *start)],
-                                vec![pin_ref(netlist, endpoint)],
-                            ],
-                            to: vec![clocks_ref([clock_name(c)])],
-                        },
-                        scope_of(&fixable),
-                    ));
-                }
-            }
-            if escalate {
-                pass3_queue.insert((*start, endpoint));
-            }
-        }
+    for r in pass2_results {
+        outcome.fixes.extend(r.fixes);
+        pass3_queue.extend(r.escalate);
     }
+    outcome.pass2_ns = t_pass2.elapsed().as_nanos() as u64;
 
     // ---- Pass 3 -------------------------------------------------------
     outcome.pass3_pairs = pass3_queue.len();
+    let t_pass3 = Instant::now();
     let mut topo_pos = vec![0u32; graph.node_count()];
     for (i, &n) in graph.topo_order().iter().enumerate() {
         topo_pos[n.index()] = i as u32;
     }
-    for (start, endpoint) in pass3_queue {
-        let sp = startpoint_for(netlist, start);
-        let mut nodes: BTreeMap<PinId, BTreeMap<TupleKey, StateSets>> = BTreeMap::new();
-        for a in individual {
-            for r in a.through_relations(sp, endpoint) {
-                nodes
-                    .entry(r.through)
-                    .or_default()
-                    .entry((r.launch, r.capture, r.check))
-                    .or_default()
-                    .0
-                    .insert(r.state);
+    let pass3_items: Vec<(PinId, PinId)> = pass3_queue.iter().copied().collect();
+    let pass3_results = pool::run_indexed(threads, pass3_items.len(), |i| {
+        let (start, endpoint) = pass3_items[i];
+        pass3_pair(
+            netlist,
+            graph,
+            individual,
+            merged,
+            &clock_names,
+            &topo_pos,
+            start,
+            endpoint,
+        )
+    });
+    for r in pass3_results {
+        outcome.fixes.extend(r.fixes);
+        outcome.residual.extend(r.residual);
+    }
+    outcome.pass3_ns = t_pass3.elapsed().as_nanos() as u64;
+
+    let (runs_after, hits_after) = propagation_totals(individual, merged);
+    outcome.propagations = runs_after - runs_before;
+    outcome.propagation_cache_hits = hits_after - hits_before;
+    outcome
+}
+
+/// Pass 2 for one endpoint: startpoint × endpoint granularity.
+fn pass2_endpoint(
+    netlist: &Netlist,
+    individual: &[&Analysis<'_>],
+    merged: &Analysis<'_>,
+    clock_names: &BTreeMap<ClockKeyId, String>,
+    endpoint: PinId,
+) -> Pass2Out {
+    let mut out = Pass2Out {
+        fixes: Vec::new(),
+        escalate: Vec::new(),
+    };
+    let mut pairs: BTreeMap<(PinId, RowKey), StateSets> = BTreeMap::new();
+    for a in individual {
+        for r in a.pair_relations(endpoint) {
+            pairs
+                .entry((r.start, (r.row.launch, r.row.capture, r.row.check)))
+                .or_default()
+                .0
+                .insert(r.row.state);
+        }
+    }
+    for r in merged.pair_relations(endpoint) {
+        pairs
+            .entry((r.start, (r.row.launch, r.row.capture, r.row.check)))
+            .or_default()
+            .1
+            .insert(r.row.state);
+    }
+    let mut per_start: BTreeMap<PinId, Vec<(RowKey, Cmp)>> = BTreeMap::new();
+    for ((start, tuple), (indiv, m)) in &pairs {
+        if m.is_empty() {
+            continue;
+        }
+        per_start
+            .entry(*start)
+            .or_default()
+            .push((*tuple, classify(indiv, m)));
+    }
+    for (start, tuples) in &per_start {
+        if tuples.iter().all(|(_, c)| *c == Cmp::Match) {
+            continue;
+        }
+        if tuples.iter().all(|(_, c)| *c == Cmp::Fixable) {
+            out.fixes.push(fp(
+                PathSpec {
+                    from: vec![pin_ref(netlist, *start)],
+                    to: vec![pin_ref(netlist, endpoint)],
+                    ..Default::default()
+                },
+                SetupHold::Both,
+            ));
+            continue;
+        }
+        // Clock-combination-specific kills: the endpoint pin becomes
+        // a final -through hop so the capture clock can anchor -to.
+        let mut clock_pairs: BTreeMap<(ClockKeyId, ClockKeyId), Vec<(CheckKind, Cmp)>> =
+            BTreeMap::new();
+        for ((l, c, check), cmp) in tuples {
+            clock_pairs.entry((*l, *c)).or_default().push((*check, *cmp));
+        }
+        let mut escalate = false;
+        for (&(l, c), checks) in &clock_pairs {
+            let fixable: BTreeSet<CheckKind> = checks
+                .iter()
+                .filter(|(_, cmp)| *cmp == Cmp::Fixable)
+                .map(|(ck, _)| *ck)
+                .collect();
+            if checks.iter().any(|(_, cmp)| *cmp == Cmp::Ambiguous) {
+                escalate = true;
+            }
+            if !fixable.is_empty() {
+                out.fixes.push(fp(
+                    PathSpec {
+                        from: vec![clocks_ref([name_of(clock_names, l)])],
+                        through: vec![
+                            vec![pin_ref(netlist, *start)],
+                            vec![pin_ref(netlist, endpoint)],
+                        ],
+                        to: vec![clocks_ref([name_of(clock_names, c)])],
+                    },
+                    scope_of(&fixable),
+                ));
             }
         }
-        for r in merged.through_relations(sp, endpoint) {
+        if escalate {
+            out.escalate.push((*start, endpoint));
+        }
+    }
+    out
+}
+
+/// Pass 3 for one (startpoint, endpoint) pair: through-point granularity.
+#[allow(clippy::too_many_arguments)]
+fn pass3_pair(
+    netlist: &Netlist,
+    graph: &TimingGraph,
+    individual: &[&Analysis<'_>],
+    merged: &Analysis<'_>,
+    clock_names: &BTreeMap<ClockKeyId, String>,
+    topo_pos: &[u32],
+    start: PinId,
+    endpoint: PinId,
+) -> Pass3Out {
+    let mut out = Pass3Out {
+        fixes: Vec::new(),
+        residual: Vec::new(),
+    };
+    let sp = startpoint_for(netlist, start);
+    let mut nodes: BTreeMap<PinId, BTreeMap<RowKey, StateSets>> = BTreeMap::new();
+    for a in individual {
+        for r in a.through_relations(sp, endpoint).iter() {
             nodes
                 .entry(r.through)
                 .or_default()
-                .entry((r.launch, r.capture, r.check))
+                .entry((r.row.launch, r.row.capture, r.row.check))
                 .or_default()
-                .1
-                .insert(r.state);
+                .0
+                .insert(r.row.state);
         }
+    }
+    for r in merged.through_relations(sp, endpoint).iter() {
+        nodes
+            .entry(r.through)
+            .or_default()
+            .entry((r.row.launch, r.row.capture, r.row.check))
+            .or_default()
+            .1
+            .insert(r.row.state);
+    }
 
-        /// Fix candidate at a through node.
-        #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-        enum NodeFix {
-            /// Every merged tuple through the node mismatches.
-            All(BTreeSet<CheckKind>),
-            /// Only one launch/capture clock combination mismatches.
-            Pair(ClockKey, ClockKey, BTreeSet<CheckKind>),
-        }
-        let mut fixable_nodes: Vec<(PinId, NodeFix)> = Vec::new();
-        for (node, by_tuple) in &nodes {
-            #[derive(PartialEq, Clone, Copy)]
-            enum T3 {
-                Match,
-                Fix,
-                Residual,
-            }
-            let mut per_tuple: Vec<(TupleKey, T3)> = Vec::new();
-            for (tuple, (indiv, m)) in by_tuple {
-                if m.is_empty() {
-                    continue;
-                }
-                let ti = timed(indiv);
-                let tm = timed(m);
-                let verdict = if tm.is_subset(&ti) {
-                    T3::Match
-                } else if ti.is_empty() {
-                    T3::Fix
-                } else {
-                    T3::Residual
-                };
-                per_tuple.push((tuple.clone(), verdict));
-            }
-            if per_tuple.iter().any(|(_, v)| *v == T3::Residual) {
-                outcome.residual.push(format!(
-                    "{} → {} through {}: merged times extra paths that share a bundle with valid ones",
-                    netlist.pin_name(start),
-                    netlist.pin_name(endpoint),
-                    netlist.pin_name(*node)
-                ));
-                continue;
-            }
-            if per_tuple.iter().all(|(_, v)| *v == T3::Match) || per_tuple.is_empty() {
-                continue;
-            }
-            if per_tuple.iter().all(|(_, v)| *v == T3::Fix) {
-                let checks = per_tuple.iter().map(|((_, _, ck), _)| *ck).collect();
-                fixable_nodes.push((*node, NodeFix::All(checks)));
-                continue;
-            }
-            // Mixed: per clock-combination kills.
-            let mut clock_pairs: BTreeMap<(ClockKey, ClockKey), (BTreeSet<CheckKind>, bool)> =
-                BTreeMap::new();
-            for ((l, c, check), verdict) in &per_tuple {
-                let e = clock_pairs.entry((l.clone(), c.clone())).or_default();
-                match verdict {
-                    T3::Fix => {
-                        e.0.insert(*check);
-                    }
-                    T3::Match => e.1 = true,
-                    T3::Residual => unreachable!("handled above"),
-                }
-            }
-            for ((l, c), (fix_checks, _)) in clock_pairs {
-                if !fix_checks.is_empty() {
-                    fixable_nodes.push((*node, NodeFix::Pair(l, c, fix_checks)));
-                }
+    /// Fix candidate at a through node.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    enum NodeFix {
+        /// Every merged tuple through the node mismatches.
+        All(CheckScope),
+        /// Only one launch/capture clock combination mismatches.
+        Pair(ClockKeyId, ClockKeyId, CheckScope),
+    }
+    /// Which checks a fix covers, as a `Copy` pair of flags.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+    struct CheckScope {
+        setup: bool,
+        hold: bool,
+    }
+    impl CheckScope {
+        fn insert(&mut self, check: CheckKind) {
+            match check {
+                CheckKind::Setup => self.setup = true,
+                CheckKind::Hold => self.hold = true,
             }
         }
-
-        // Frontier selection: drop nodes dominated by an earlier node
-        // carrying the same fix (the earlier one structurally reaches
-        // them); the refinement loop re-checks, so over-filtering is
-        // safe.
-        fixable_nodes.sort_by_key(|(n, f)| (topo_pos[n.index()], f.clone()));
-        let mut chosen: Vec<(PinId, NodeFix)> = Vec::new();
-        for (node, fix) in fixable_nodes {
-            let dominated = chosen
-                .iter()
-                .any(|(c, cfix)| *cfix == fix && reaches(graph, *c, node));
-            if !dominated {
-                chosen.push((node, fix));
+        fn is_empty(self) -> bool {
+            !self.setup && !self.hold
+        }
+        fn setup_hold(self) -> SetupHold {
+            match (self.setup, self.hold) {
+                (true, true) => SetupHold::Both,
+                (true, false) => SetupHold::Setup,
+                _ => SetupHold::Hold,
             }
         }
-        for (node, node_fix) in chosen {
-            let cmd = match node_fix {
-                NodeFix::All(checks) => fp(
-                    PathSpec {
-                        from: vec![pin_ref(netlist, start)],
-                        through: vec![vec![pin_ref(netlist, node)]],
-                        to: vec![pin_ref(netlist, endpoint)],
-                    },
-                    scope_of(&checks),
-                ),
-                NodeFix::Pair(l, c, checks) => fp(
-                    PathSpec {
-                        from: vec![clocks_ref([clock_name(&l)])],
-                        through: vec![
-                            vec![pin_ref(netlist, start)],
-                            vec![pin_ref(netlist, node)],
-                            vec![pin_ref(netlist, endpoint)],
-                        ],
-                        to: vec![clocks_ref([clock_name(&c)])],
-                    },
-                    scope_of(&checks),
-                ),
+    }
+    let mut fixable_nodes: Vec<(PinId, NodeFix)> = Vec::new();
+    for (node, by_tuple) in &nodes {
+        #[derive(PartialEq, Clone, Copy)]
+        enum T3 {
+            Match,
+            Fix,
+            Residual,
+        }
+        let mut per_tuple: Vec<(RowKey, T3)> = Vec::new();
+        for (tuple, (indiv, m)) in by_tuple {
+            if m.is_empty() {
+                continue;
+            }
+            let ti = timed(indiv);
+            let tm = timed(m);
+            let verdict = if tm.is_subset(&ti) {
+                T3::Match
+            } else if ti.is_empty() {
+                T3::Fix
+            } else {
+                T3::Residual
             };
-            outcome.fixes.push(cmd);
+            per_tuple.push((*tuple, verdict));
+        }
+        if per_tuple.iter().any(|(_, v)| *v == T3::Residual) {
+            out.residual.push(format!(
+                "{} → {} through {}: merged times extra paths that share a bundle with valid ones",
+                netlist.pin_name(start),
+                netlist.pin_name(endpoint),
+                netlist.pin_name(*node)
+            ));
+            continue;
+        }
+        if per_tuple.iter().all(|(_, v)| *v == T3::Match) || per_tuple.is_empty() {
+            continue;
+        }
+        if per_tuple.iter().all(|(_, v)| *v == T3::Fix) {
+            let mut checks = CheckScope::default();
+            for ((_, _, ck), _) in &per_tuple {
+                checks.insert(*ck);
+            }
+            fixable_nodes.push((*node, NodeFix::All(checks)));
+            continue;
+        }
+        // Mixed: per clock-combination kills.
+        let mut clock_pairs: BTreeMap<(ClockKeyId, ClockKeyId), (CheckScope, bool)> =
+            BTreeMap::new();
+        for ((l, c, check), verdict) in &per_tuple {
+            let e = clock_pairs.entry((*l, *c)).or_default();
+            match verdict {
+                T3::Fix => e.0.insert(*check),
+                T3::Match => e.1 = true,
+                T3::Residual => unreachable!("handled above"),
+            }
+        }
+        for ((l, c), (fix_checks, _)) in clock_pairs {
+            if !fix_checks.is_empty() {
+                fixable_nodes.push((*node, NodeFix::Pair(l, c, fix_checks)));
+            }
         }
     }
 
-    outcome
+    // Frontier selection: drop nodes dominated by an earlier node
+    // carrying the same fix (the earlier one structurally reaches
+    // them); the refinement loop re-checks, so over-filtering is
+    // safe.
+    fixable_nodes.sort_by_key(|&(n, f)| (topo_pos[n.index()], f));
+    let mut chosen: Vec<(PinId, NodeFix)> = Vec::new();
+    for (node, fix) in fixable_nodes {
+        let dominated = chosen
+            .iter()
+            .any(|&(c, cfix)| cfix == fix && reaches(graph, c, node));
+        if !dominated {
+            chosen.push((node, fix));
+        }
+    }
+    for (node, node_fix) in chosen {
+        let cmd = match node_fix {
+            NodeFix::All(checks) => fp(
+                PathSpec {
+                    from: vec![pin_ref(netlist, start)],
+                    through: vec![vec![pin_ref(netlist, node)]],
+                    to: vec![pin_ref(netlist, endpoint)],
+                },
+                checks.setup_hold(),
+            ),
+            NodeFix::Pair(l, c, checks) => fp(
+                PathSpec {
+                    from: vec![clocks_ref([name_of(clock_names, l)])],
+                    through: vec![
+                        vec![pin_ref(netlist, start)],
+                        vec![pin_ref(netlist, node)],
+                        vec![pin_ref(netlist, endpoint)],
+                    ],
+                    to: vec![clocks_ref([name_of(clock_names, c)])],
+                },
+                checks.setup_hold(),
+            ),
+        };
+        out.fixes.push(cmd);
+    }
+    out
 }
 
 /// Structural reachability (ignoring per-mode overlays) used only for
@@ -575,7 +719,7 @@ mod tests {
         let a_an = Analysis::run(&netlist, &graph, &mode_a);
         let b_an = Analysis::run(&netlist, &graph, &mode_b);
         let m_an = Analysis::run(&netlist, &graph, &merged_mode);
-        let outcome = compare_and_fix(&netlist, &graph, &[&a_an, &b_an], &m_an, true);
+        let outcome = compare_and_fix(&netlist, &graph, &[&a_an, &b_an], &m_an, true, 1);
 
         assert!(outcome.missing.is_empty(), "{:?}", outcome.missing);
         assert!(outcome.residual.is_empty(), "{:?}", outcome.residual);
@@ -601,6 +745,55 @@ mod tests {
         );
         assert!(outcome.pass2_endpoints >= 2);
         assert!(outcome.pass3_pairs >= 1);
+        // The memoized propagation layer ran real work and reused it.
+        assert!(outcome.propagations > 0);
+    }
+
+    /// The comparison must produce identical fixes at any thread count.
+    #[test]
+    fn outcome_is_identical_across_thread_counts() {
+        let netlist = paper_circuit();
+        let graph = TimingGraph::build(&netlist).unwrap();
+        let mode_a = bind(
+            &netlist,
+            "A",
+            "create_clock -p 10 -name clkA [get_port clk1]\n\
+             set_false_path -to rX/D\n\
+             set_false_path -through inv3/Z\n",
+        );
+        let mode_b = bind(
+            &netlist,
+            "B",
+            "create_clock -p 10 -name clkA [get_port clk1]\n\
+             set_false_path -from rA/CP\n\
+             set_false_path -to rZ/D\n",
+        );
+        let merged_mode = bind(
+            &netlist,
+            "A+B",
+            "create_clock -name clkA -period 10 -add [get_ports clk1]\n",
+        );
+        let mut reference: Option<(Vec<String>, Vec<String>, usize, usize)> = None;
+        for threads in [1usize, 2, 8] {
+            let a_an = Analysis::run(&netlist, &graph, &mode_a);
+            let b_an = Analysis::run(&netlist, &graph, &mode_b);
+            let m_an = Analysis::run(&netlist, &graph, &merged_mode);
+            let outcome = compare_and_fix(&netlist, &graph, &[&a_an, &b_an], &m_an, true, threads);
+            let snapshot = (
+                outcome
+                    .fixes
+                    .iter()
+                    .map(|c| c.to_text())
+                    .collect::<Vec<_>>(),
+                outcome.residual.clone(),
+                outcome.pass2_endpoints,
+                outcome.pass3_pairs,
+            );
+            match &reference {
+                None => reference = Some(snapshot),
+                Some(r) => assert_eq!(*r, snapshot, "threads={threads}"),
+            }
+        }
     }
 
     #[test]
@@ -614,7 +807,7 @@ mod tests {
         let a_an = Analysis::run(&netlist, &graph, &a);
         let b_an = Analysis::run(&netlist, &graph, &b);
         let m_an = Analysis::run(&netlist, &graph, &m);
-        let outcome = compare_and_fix(&netlist, &graph, &[&a_an, &b_an], &m_an, true);
+        let outcome = compare_and_fix(&netlist, &graph, &[&a_an, &b_an], &m_an, true, 1);
         assert!(outcome.clean(), "{:?}", outcome.fixes);
         assert_eq!(outcome.pass2_endpoints, 0);
     }
@@ -632,7 +825,7 @@ mod tests {
         let a_an = Analysis::run(&netlist, &graph, &a);
         let b_an = Analysis::run(&netlist, &graph, &b);
         let m_an = Analysis::run(&netlist, &graph, &m);
-        let outcome = compare_and_fix(&netlist, &graph, &[&a_an, &b_an], &m_an, true);
+        let outcome = compare_and_fix(&netlist, &graph, &[&a_an, &b_an], &m_an, true, 1);
         assert!(outcome.clean());
     }
 
@@ -654,7 +847,7 @@ mod tests {
         let a_an = Analysis::run(&netlist, &graph, &a);
         let b_an = Analysis::run(&netlist, &graph, &b);
         let m_an = Analysis::run(&netlist, &graph, &m);
-        let outcome = compare_and_fix(&netlist, &graph, &[&a_an, &b_an], &m_an, true);
+        let outcome = compare_and_fix(&netlist, &graph, &[&a_an, &b_an], &m_an, true, 1);
         let texts: Vec<String> = outcome.fixes.iter().map(|c| c.to_text()).collect();
         assert!(
             texts

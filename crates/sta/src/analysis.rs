@@ -6,17 +6,18 @@ use crate::clock_prop::ClockArrivals;
 use crate::constants::Constants;
 use crate::exceptions::{CheckKind, ExcIndex, Tag};
 use crate::graph::{ArcKind, TimingGraph};
+use crate::keys::ClockKeyId;
 use crate::mode::{ClockId, Mode};
 use crate::overlay::Overlay;
 use crate::propagate::{Propagation, Propagator, Startpoint};
 use crate::relations::{
-    EndpointRelation, PairRelation, PathState, RelationSet, ThroughRelation,
+    EndpointRelation, EndpointTable, PairRow, PathState, RelRow, RelationSet, ThroughRow,
 };
 use modemerge_netlist::{Netlist, PinId};
 use modemerge_sdc::IoDelayKind;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Process-wide count of [`Analysis::run`] invocations.
 ///
@@ -46,6 +47,68 @@ pub struct EndpointSlack {
 /// One resolved path class at an endpoint (mode-local clocks).
 pub(crate) type Resolved = (ClockId, ClockId, CheckKind, PathState);
 
+/// Memoized pass-3 through tables, keyed by (startpoint id, endpoint).
+type ThroughCache = HashMap<(crate::keys::StartId, PinId), Arc<[ThroughRow]>>;
+
+/// A set over a small, fixed universe of [`Resolved`] states — `u128`
+/// inline for the overwhelmingly common case (≤ 128 distinct states at
+/// one endpoint), heap words beyond that. Unions are integer ORs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum StateMask {
+    Small(u128),
+    Big(Vec<u64>),
+}
+
+impl StateMask {
+    fn empty(universe: usize) -> Self {
+        if universe <= 128 {
+            StateMask::Small(0)
+        } else {
+            StateMask::Big(vec![0; universe.div_ceil(64)])
+        }
+    }
+
+    fn set(&mut self, bit: usize) {
+        match self {
+            StateMask::Small(m) => *m |= 1u128 << bit,
+            StateMask::Big(words) => words[bit / 64] |= 1u64 << (bit % 64),
+        }
+    }
+
+    fn union_with(&mut self, other: &StateMask) {
+        match (self, other) {
+            (StateMask::Small(a), StateMask::Small(b)) => *a |= b,
+            (StateMask::Big(a), StateMask::Big(b)) => {
+                for (w, v) in a.iter_mut().zip(b) {
+                    *w |= v;
+                }
+            }
+            _ => unreachable!("masks in one walk share a universe"),
+        }
+    }
+
+    fn for_each_one(&self, mut f: impl FnMut(usize)) {
+        match self {
+            StateMask::Small(m) => {
+                let mut b = *m;
+                while b != 0 {
+                    f(b.trailing_zeros() as usize);
+                    b &= b - 1;
+                }
+            }
+            StateMask::Big(words) => {
+                for (w, &word) in words.iter().enumerate() {
+                    let mut b = word;
+                    while b != 0 {
+                        f(w * 64 + b.trailing_zeros() as usize);
+                        b &= b - 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Full single-mode timing analysis.
 ///
 /// Construction runs constant propagation, clock propagation and the
@@ -63,12 +126,31 @@ pub struct Analysis<'a> {
     clock_arrivals: ClockArrivals,
     exc_index: ExcIndex,
     prop: Propagation,
-    /// Memoized pass-1 relation set (computed once, borrowed thereafter).
+    /// Interned clock id per mode-local [`ClockId`] (dense, computed at
+    /// [`Analysis::run`] so hot loops never touch `ClockKey`).
+    clock_ids: Vec<ClockKeyId>,
+    /// Memoized pass-1 flat relation table (CSR by endpoint).
+    table_cache: OnceLock<EndpointTable>,
+    /// Derived `ClockKey`-based view of the table, for §2 equivalence
+    /// and reporting paths (not the 3-pass hot loop).
     relations_cache: OnceLock<RelationSet>,
-    /// Memoized pass-2 relation sets, keyed by endpoint.
-    pair_cache: Mutex<HashMap<PinId, BTreeSet<PairRelation>>>,
-    /// Memoized pass-3 relation sets, keyed by (startpoint, endpoint).
-    through_cache: Mutex<HashMap<(Startpoint, PinId), BTreeSet<ThroughRelation>>>,
+    /// Memoized pass-2 row tables, one lock-free slot per endpoint pin.
+    pair_slots: Box<[OnceLock<Box<[PairRow]>>]>,
+    /// Memoized pass-3 row tables, keyed by (startpoint id, endpoint).
+    through_cache: RwLock<ThroughCache>,
+    /// Memoized single-startpoint propagations, one slot per startpoint
+    /// pin — pair- and through-queries share one `run_from` each.
+    prop_slots: Box<[OnceLock<Box<Propagation>>]>,
+    /// Memoized active fanin cones, one slot per endpoint pin — pass-2
+    /// startpoint filters and every pass-3 pair on the same endpoint
+    /// share one cone walk.
+    cone_slots: Box<[OnceLock<Box<[bool]>>]>,
+    /// Memoized startpoint list (scanned once, not per endpoint).
+    startpoints_cache: OnceLock<Vec<Startpoint>>,
+    /// Single-startpoint propagations actually run (slot fills).
+    propagations: AtomicU64,
+    /// Single-startpoint propagation queries served from a filled slot.
+    prop_hits: AtomicU64,
 }
 
 impl<'a> Analysis<'a> {
@@ -84,6 +166,17 @@ impl<'a> Analysis<'a> {
             let prop = propagator.run_full();
             (clock_arrivals, prop)
         };
+        // Intern this mode's clocks up front: relation extraction then
+        // maps mode-local ids to dense interned ids by indexing. The
+        // merge session pre-seeds the interner serially at bind time, so
+        // id assignment stays deterministic under parallel warm-up.
+        let interner = graph.interner();
+        let clock_ids = mode
+            .clocks
+            .iter()
+            .map(|c| interner.intern_clock(&c.key()))
+            .collect();
+        let node_count = graph.node_count();
         Self {
             netlist,
             graph,
@@ -92,9 +185,16 @@ impl<'a> Analysis<'a> {
             clock_arrivals,
             exc_index,
             prop,
+            clock_ids,
+            table_cache: OnceLock::new(),
             relations_cache: OnceLock::new(),
-            pair_cache: Mutex::new(HashMap::new()),
-            through_cache: Mutex::new(HashMap::new()),
+            pair_slots: (0..node_count).map(|_| OnceLock::new()).collect(),
+            through_cache: RwLock::new(HashMap::new()),
+            prop_slots: (0..node_count).map(|_| OnceLock::new()).collect(),
+            cone_slots: (0..node_count).map(|_| OnceLock::new()).collect(),
+            startpoints_cache: OnceLock::new(),
+            propagations: AtomicU64::new(0),
+            prop_hits: AtomicU64::new(0),
         }
     }
 
@@ -151,9 +251,10 @@ impl<'a> Analysis<'a> {
         )
     }
 
-    /// All timing startpoints active in this mode.
-    pub fn startpoints(&self) -> Vec<Startpoint> {
-        self.propagator().startpoints()
+    /// All timing startpoints active in this mode (memoized).
+    pub fn startpoints(&self) -> &[Startpoint] {
+        self.startpoints_cache
+            .get_or_init(|| self.propagator().startpoints())
     }
 
     /// All endpoints: sequential data pins plus output ports carrying
@@ -229,33 +330,62 @@ impl<'a> Analysis<'a> {
         out
     }
 
-    /// Pass-1 relationships: the full-design endpoint relation set,
-    /// computed on first use and borrowed thereafter.
-    ///
-    /// This is the borrow-friendly accessor the merge session and the
-    /// 3-pass comparison use; [`Analysis::endpoint_relations`] clones it
-    /// for callers that need ownership.
+    /// The dense interned id of a mode-local clock.
+    pub fn clock_key_id(&self, id: ClockId) -> ClockKeyId {
+        self.clock_ids[id.index()]
+    }
+
+    fn to_row(&self, resolved: Resolved) -> RelRow {
+        let (launch, cap, check, state) = resolved;
+        RelRow {
+            launch: self.clock_ids[launch.index()],
+            capture: self.clock_ids[cap.index()],
+            check,
+            state,
+        }
+    }
+
+    /// Pass-1 relationships as the flat CSR table, computed on first use
+    /// and borrowed thereafter. This is what the 3-pass comparison
+    /// iterates; [`Analysis::relations`] derives the `ClockKey`-based
+    /// view for equivalence checking and reporting.
+    pub fn endpoint_table(&self) -> &EndpointTable {
+        self.table_cache.get_or_init(|| {
+            let groups = self
+                .endpoints()
+                .into_iter()
+                .map(|endpoint| {
+                    let rows: Vec<RelRow> = self
+                        .resolve_endpoint(&self.prop, endpoint)
+                        .into_iter()
+                        .map(|r| self.to_row(r))
+                        .collect();
+                    (endpoint, rows)
+                })
+                .collect();
+            EndpointTable::build(groups)
+        })
+    }
+
+    /// Pass-1 relationships in cross-mode `ClockKey` form, derived from
+    /// the flat table on first use and borrowed thereafter.
     pub fn relations(&self) -> &RelationSet {
         self.relations_cache.get_or_init(|| {
+            let interner = self.graph.interner();
             let mut set = RelationSet::new();
-            for endpoint in self.endpoints() {
-                for (launch, cap, check, state) in self.resolve_endpoint(&self.prop, endpoint) {
+            for (endpoint, rows) in self.endpoint_table().iter() {
+                for row in rows {
                     set.insert(EndpointRelation {
                         endpoint,
-                        launch: self.mode.clock_key(launch),
-                        capture: self.mode.clock_key(cap),
-                        check,
-                        state,
+                        launch: interner.clock_key(row.launch),
+                        capture: interner.clock_key(row.capture),
+                        check: row.check,
+                        state: row.state,
                     });
                 }
             }
             set
         })
-    }
-
-    /// Pass-1 relationships by value (clone of the memoized set).
-    pub fn endpoint_relations(&self) -> RelationSet {
-        self.relations().clone()
     }
 
     /// Nodes that can reach `endpoint` through active arcs (the fanin
@@ -308,11 +438,20 @@ impl<'a> Analysis<'a> {
             .collect()
     }
 
+    /// The memoized fanin cone of `endpoint` (one walk per endpoint per
+    /// analysis, shared by pass-2 startpoint filtering and every pass-3
+    /// pair landing on the endpoint).
+    fn fanin_cone_cached(&self, endpoint: PinId) -> &[bool] {
+        self.cone_slots[endpoint.index()]
+            .get_or_init(|| self.fanin_cone(endpoint).into_boxed_slice())
+    }
+
     /// Startpoints whose launches can reach `endpoint`.
     pub fn startpoints_of(&self, endpoint: PinId) -> Vec<Startpoint> {
-        let cone = self.fanin_cone(endpoint);
+        let cone = self.fanin_cone_cached(endpoint);
         self.startpoints()
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|sp| match sp {
                 Startpoint::Reg(cp) => self
                     .graph
@@ -323,37 +462,59 @@ impl<'a> Analysis<'a> {
             .collect()
     }
 
-    /// Pass-2 relationships for one endpoint: per-startpoint relation
-    /// sets. Memoized per endpoint — the per-startpoint propagations are
-    /// the dominant cost of pass 2 and refinement re-queries them.
-    pub fn pair_relations(&self, endpoint: PinId) -> BTreeSet<PairRelation> {
-        if let Some(cached) = self
-            .pair_cache
-            .lock()
-            .expect("pair cache poisoned")
-            .get(&endpoint)
-        {
-            return cached.clone();
+    /// The memoized single-startpoint propagation for `sp`, shared by
+    /// pass-2 pair queries and pass-3 through queries — each startpoint
+    /// is propagated at most once per analysis, no matter how many
+    /// (endpoint, startpoint) combinations ask for it.
+    ///
+    /// Thread-safe: slots are `OnceLock`s indexed by the startpoint pin
+    /// (register clock pins and input ports are disjoint pin sets, so
+    /// the pin is a unique handle).
+    pub fn propagation_from(&self, sp: Startpoint) -> &Propagation {
+        self.graph.interner().intern_start(sp);
+        let slot = &self.prop_slots[sp.pin().index()];
+        if let Some(p) = slot.get() {
+            self.prop_hits.fetch_add(1, Ordering::Relaxed);
+            return p;
         }
-        let mut out = BTreeSet::new();
-        for sp in self.startpoints_of(endpoint) {
-            let prop = self.propagator().run_from(sp);
-            for (launch, cap, check, state) in self.resolve_endpoint(&prop, endpoint) {
-                out.insert(PairRelation {
-                    start: sp.pin(),
-                    endpoint,
-                    launch: self.mode.clock_key(launch),
-                    capture: self.mode.clock_key(cap),
-                    check,
-                    state,
-                });
+        slot.get_or_init(|| {
+            self.propagations.fetch_add(1, Ordering::Relaxed);
+            Box::new(self.propagator().run_from(sp))
+        })
+    }
+
+    /// Number of single-startpoint propagations this analysis has run
+    /// (memo misses).
+    pub fn propagations_run(&self) -> u64 {
+        self.propagations.load(Ordering::Relaxed)
+    }
+
+    /// Number of single-startpoint propagation queries served from the
+    /// memo (cache hits).
+    pub fn propagation_cache_hits(&self) -> u64 {
+        self.prop_hits.load(Ordering::Relaxed)
+    }
+
+    /// Pass-2 relationships for one endpoint: per-startpoint rows,
+    /// sorted, memoized per endpoint and returned as a borrowed slice —
+    /// repeated queries (the refinement loop, every pass-3 pair) cost a
+    /// slot load, not a set clone.
+    pub fn pair_relations(&self, endpoint: PinId) -> &[PairRow] {
+        self.pair_slots[endpoint.index()].get_or_init(|| {
+            let mut rows: Vec<PairRow> = Vec::new();
+            for sp in self.startpoints_of(endpoint) {
+                let prop = self.propagation_from(sp);
+                for resolved in self.resolve_endpoint(prop, endpoint) {
+                    rows.push(PairRow {
+                        start: sp.pin(),
+                        row: self.to_row(resolved),
+                    });
+                }
             }
-        }
-        self.pair_cache
-            .lock()
-            .expect("pair cache poisoned")
-            .insert(endpoint, out.clone());
-        out
+            rows.sort_unstable();
+            rows.dedup();
+            rows.into_boxed_slice()
+        })
     }
 
     /// Pass-3 relationships for one (startpoint, endpoint) pair: for
@@ -361,41 +522,76 @@ impl<'a> Analysis<'a> {
     /// the startpoint through that node to the endpoint.
     ///
     /// The through nodes returned exclude the startpoint pin and the
-    /// endpoint itself. Memoized per (startpoint, endpoint) pair.
-    pub fn through_relations(&self, start: Startpoint, endpoint: PinId) -> BTreeSet<ThroughRelation> {
+    /// endpoint itself. Memoized per (startpoint, endpoint) pair behind
+    /// an `Arc` — cache hits hand out a reference-counted table, not a
+    /// deep clone.
+    pub fn through_relations(&self, start: Startpoint, endpoint: PinId) -> Arc<[ThroughRow]> {
+        let sid = self.graph.interner().intern_start(start);
         if let Some(cached) = self
             .through_cache
-            .lock()
+            .read()
             .expect("through cache poisoned")
-            .get(&(start, endpoint))
+            .get(&(sid, endpoint))
         {
-            return cached.clone();
+            return Arc::clone(cached);
         }
-        let out = self.through_relations_uncached(start, endpoint);
-        self.through_cache
-            .lock()
-            .expect("through cache poisoned")
-            .insert((start, endpoint), out.clone());
-        out
+        let out = self.through_rows_uncached(start, endpoint);
+        Arc::clone(
+            self.through_cache
+                .write()
+                .expect("through cache poisoned")
+                .entry((sid, endpoint))
+                .or_insert(out),
+        )
     }
 
-    fn through_relations_uncached(
-        &self,
-        start: Startpoint,
-        endpoint: PinId,
-    ) -> BTreeSet<ThroughRelation> {
-        let prop = self.propagator().run_from(start);
-        let cone = self.fanin_cone(endpoint);
+    fn through_rows_uncached(&self, start: Startpoint, endpoint: PinId) -> Arc<[ThroughRow]> {
+        let prop = self.propagation_from(start);
+        let cone = self.fanin_cone_cached(endpoint);
 
-        // Suffix states, memoized per (node, tag), computed in reverse
-        // topological order so children are always ready.
-        let mut suffix: HashMap<(PinId, Tag), BTreeSet<Resolved>> = HashMap::new();
+        // Every suffix state is a subset of the endpoint's resolved
+        // universe (the walk only unions states seeded at the endpoint,
+        // it never invents new ones), so per-(node, tag) sets are
+        // bitmasks over that small universe and the walk is integer ORs
+        // — no tree sets in the hot loop.
+        let mut universe: Vec<Resolved> = Vec::new();
+        let mut seeds: Vec<(Tag, Vec<Resolved>)> = Vec::new();
         for (tag, _) in prop.tags_at(endpoint) {
-            let resolved: BTreeSet<Resolved> = self
-                .resolve_tag_at_endpoint(tag, endpoint)
-                .into_iter()
-                .collect();
-            suffix.insert((endpoint, tag.clone()), resolved);
+            let resolved = self.resolve_tag_at_endpoint(tag, endpoint);
+            universe.extend(resolved.iter().copied());
+            seeds.push((tag.clone(), resolved));
+        }
+        universe.sort_unstable();
+        universe.dedup();
+
+        // Suffix masks, memoized per (node, tag), computed in reverse
+        // topological order so children are always ready. The table is
+        // pin-indexed (no hashing on the arc-walk fast path) and tags
+        // live in small per-node vectors so lookups compare borrowed
+        // tags.
+        fn mask_of<'s>(
+            suffix: &'s [Vec<(Tag, StateMask)>],
+            node: PinId,
+            tag: &Tag,
+        ) -> Option<&'s StateMask> {
+            suffix[node.index()]
+                .iter()
+                .find(|(t, _)| t == tag)
+                .map(|(_, m)| m)
+        }
+        let mut suffix: Vec<Vec<(Tag, StateMask)>> = vec![Vec::new(); self.graph.node_count()];
+        {
+            let entry = &mut suffix[endpoint.index()];
+            for (tag, resolved) in seeds {
+                let mut mask = StateMask::empty(universe.len());
+                for r in &resolved {
+                    let bit = universe
+                        .binary_search(r)
+                        .expect("resolved state is in the endpoint universe");
+                    mask.set(bit);
+                }
+                entry.push((tag, mask));
+            }
         }
         let overlay = self.overlay();
         for &node in self.graph.topo_order().iter().rev() {
@@ -406,8 +602,9 @@ impl<'a> Analysis<'a> {
             if tags.is_empty() {
                 continue;
             }
+            let mut node_states: Vec<(Tag, StateMask)> = Vec::with_capacity(tags.len());
             for (tag, _) in tags {
-                let mut states = BTreeSet::new();
+                let mut states = StateMask::empty(universe.len());
                 for arc in self.graph.fanout_arcs(node) {
                     if arc.kind == ArcKind::Launch {
                         continue;
@@ -418,40 +615,37 @@ impl<'a> Analysis<'a> {
                     if overlay.node_blocked(arc.to) || overlay.arc_blocked(arc) {
                         continue;
                     }
-                    let next_tag = match self.exc_index.advance(tag, arc.to) {
-                        Some(t) => t,
-                        None => tag.clone(),
-                    };
-                    if let Some(s) = suffix.get(&(arc.to, next_tag)) {
-                        states.extend(s.iter().cloned());
+                    // Borrow the unadvanced tag; clone only on advance.
+                    let advanced = self.exc_index.advance(tag, arc.to);
+                    let next_tag: &Tag = advanced.as_ref().unwrap_or(tag);
+                    if let Some(m) = mask_of(&suffix, arc.to, next_tag) {
+                        states.union_with(m);
                     }
                 }
-                suffix.insert((node, tag.clone()), states);
+                node_states.push((tag.clone(), states));
             }
+            suffix[node.index()] = node_states;
         }
 
-        let mut out = BTreeSet::new();
+        let mut out: Vec<ThroughRow> = Vec::new();
         for node in prop.reached_nodes() {
             if node == endpoint || node == start.pin() || !cone[node.index()] {
                 continue;
             }
             for (tag, _) in prop.tags_at(node) {
-                if let Some(states) = suffix.get(&(node, tag.clone())) {
-                    for (launch, cap, check, state) in states {
-                        out.insert(ThroughRelation {
-                            start: start.pin(),
+                if let Some(states) = mask_of(&suffix, node, tag) {
+                    states.for_each_one(|i| {
+                        out.push(ThroughRow {
                             through: node,
-                            endpoint,
-                            launch: self.mode.clock_key(*launch),
-                            capture: self.mode.clock_key(*cap),
-                            check: *check,
-                            state: state.clone(),
+                            row: self.to_row(universe[i]),
                         });
-                    }
+                    });
                 }
             }
         }
-        out
+        out.sort_unstable();
+        out.dedup();
+        out.into()
     }
 
     fn resolve_tag_at_endpoint(&self, tag: &Tag, endpoint: PinId) -> Vec<Resolved> {
@@ -675,12 +869,14 @@ set_false_path -through [get_pins and1/Z]
         // Table 1: rX/D → MCP(2); rY/D → FP (FP overrides MCP); rZ/D → valid.
         let (netlist, graph, mode) = fixture(SET1);
         let analysis = Analysis::run(&netlist, &graph, &mode);
-        let rels = analysis.endpoint_relations();
+        let table = analysis.endpoint_table();
         let state_at = |pin: &str| -> BTreeSet<PathState> {
             let p = netlist.find_pin(pin).unwrap();
-            rels.iter()
-                .filter(|r| r.endpoint == p && r.check == CheckKind::Setup)
-                .map(|r| r.state.clone())
+            table
+                .rows_for(p)
+                .iter()
+                .filter(|r| r.check == CheckKind::Setup)
+                .map(|r| r.state)
                 .collect()
         };
         assert_eq!(state_at("rX/D"), BTreeSet::from([PathState::Multicycle(2)]));
@@ -699,12 +895,14 @@ set_false_path -through [get_pins and1/Z]
              set_false_path -through inv3/Z\n",
         );
         let analysis = Analysis::run(&netlist, &graph, &mode);
-        let rels = analysis.endpoint_relations();
+        let table = analysis.endpoint_table();
         let states = |pin: &str| -> BTreeSet<PathState> {
             let p = netlist.find_pin(pin).unwrap();
-            rels.iter()
-                .filter(|r| r.endpoint == p && r.check == CheckKind::Setup)
-                .map(|r| r.state.clone())
+            table
+                .rows_for(p)
+                .iter()
+                .filter(|r| r.check == CheckKind::Setup)
+                .map(|r| r.state)
                 .collect()
         };
         assert_eq!(states("rX/D"), BTreeSet::from([PathState::FalsePath]));
@@ -732,8 +930,8 @@ set_false_path -through [get_pins and1/Z]
         let state_of = |start: PinId| -> BTreeSet<PathState> {
             pairs
                 .iter()
-                .filter(|r| r.start == start && r.check == CheckKind::Setup)
-                .map(|r| r.state.clone())
+                .filter(|r| r.start == start && r.row.check == CheckKind::Setup)
+                .map(|r| r.row.state)
                 .collect()
         };
         // Table 3 shape: rA→rY/D false in mode A+B comparison context;
@@ -758,8 +956,8 @@ set_false_path -through [get_pins and1/Z]
             let p = netlist.find_pin(pin).unwrap();
             throughs
                 .iter()
-                .filter(|r| r.through == p && r.check == CheckKind::Setup)
-                .map(|r| r.state.clone())
+                .filter(|r| r.through == p && r.row.check == CheckKind::Setup)
+                .map(|r| r.row.state)
                 .collect()
         };
         // Table 4: through inv3/A → FP (mismatch in the paper's merged
@@ -927,14 +1125,16 @@ set_false_path -through [get_pins and1/Z]
              set_clock_groups -physically_exclusive -group [get_clocks clkA] -group [get_clocks clkB]\n",
         );
         let analysis = Analysis::run(&netlist, &graph, &mode);
-        let rels = analysis.endpoint_relations();
+        let table = analysis.endpoint_table();
         // Launch clkA (from rA/B/C) capture clkB would be a cross pair at
         // rX/Y/Z — must be suppressed.
-        for r in rels.iter() {
-            assert_eq!(
-                r.launch, r.capture,
-                "cross-clock relation should be suppressed by clock groups"
-            );
+        for (_, rows) in table.iter() {
+            for r in rows {
+                assert_eq!(
+                    r.launch, r.capture,
+                    "cross-clock relation should be suppressed by clock groups"
+                );
+            }
         }
     }
 }

@@ -118,6 +118,9 @@ pub struct TimingGraph {
     /// endpoints too, determined per mode from output delays).
     seq_data_pins: Vec<PinId>,
     model: DelayModel,
+    /// Session-scoped key interner shared by every analysis run against
+    /// this graph (`Arc` so the graph stays cheaply cloneable).
+    interner: std::sync::Arc<crate::keys::KeyInterner>,
 }
 
 impl TimingGraph {
@@ -278,6 +281,7 @@ impl TimingGraph {
             launch_arc,
             seq_data_pins,
             model,
+            interner: std::sync::Arc::new(crate::keys::KeyInterner::new()),
         })
     }
 
@@ -294,6 +298,12 @@ impl TimingGraph {
     /// The delay model in effect.
     pub fn model(&self) -> &DelayModel {
         &self.model
+    }
+
+    /// The session-scoped key interner shared by every analysis that
+    /// borrows this graph. Clones of the graph share the same interner.
+    pub fn interner(&self) -> &crate::keys::KeyInterner {
+        &self.interner
     }
 
     /// Arcs leaving `node`.

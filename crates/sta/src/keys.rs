@@ -1,8 +1,12 @@
-//! Order- and hash-friendly keys used in cross-mode comparisons.
+//! Order- and hash-friendly keys used in cross-mode comparisons, and the
+//! session-scoped interner that maps them to dense integer ids.
 
+use crate::propagate::Startpoint;
 use modemerge_netlist::PinId;
 use std::cmp::Ordering;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::RwLock;
 
 /// A totally ordered, hashable wrapper around `f64`.
 ///
@@ -120,6 +124,152 @@ impl ClockKey {
     }
 }
 
+/// Dense id of an interned [`ClockKey`].
+///
+/// Relation rows store these instead of full `ClockKey` values, so the
+/// 3-pass hot loops compare and group clocks by a single `u32` — no
+/// `Vec<PinId>` source-list compares, no `String` compares, no clones.
+///
+/// Ordering follows interning order. The merge session interns every
+/// input mode's clocks serially at bind time, so id assignment — and
+/// therefore every id-ordered grouping — is deterministic regardless of
+/// how many threads later race on the warm caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClockKeyId(pub u32);
+
+impl ClockKeyId {
+    /// Raw index into the interner's key table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Dense id of an interned [`Startpoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StartId(pub u32);
+
+impl StartId {
+    /// Raw index into the interner's startpoint table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Default)]
+struct InternerState {
+    clock_ids: HashMap<ClockKey, u32>,
+    clock_keys: Vec<ClockKey>,
+    start_ids: HashMap<Startpoint, u32>,
+    starts: Vec<Startpoint>,
+}
+
+/// A session-scoped interner mapping [`ClockKey`]s and [`Startpoint`]s
+/// to dense `u32` ids.
+///
+/// One interner lives on each [`crate::graph::TimingGraph`] (behind an
+/// `Arc`), so every [`crate::analysis::Analysis`] sharing a graph —
+/// the individual modes and the merged mode of one merge run — agrees
+/// on ids and relation rows can be compared across modes with integer
+/// equality.
+///
+/// Interning is thread-safe (`RwLock`; reads are the common case once
+/// seeded). Id *assignment order* is first-come: callers that need
+/// deterministic ids must intern serially before fanning out, which is
+/// what `SessionInputs::bind` in the core crate does for all mode
+/// clocks.
+#[derive(Default)]
+pub struct KeyInterner {
+    state: RwLock<InternerState>,
+}
+
+impl KeyInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a clock key, returning its dense id (existing id on a
+    /// repeat, cloning the key only on first sight).
+    pub fn intern_clock(&self, key: &ClockKey) -> ClockKeyId {
+        if let Some(&id) = self
+            .state
+            .read()
+            .expect("interner poisoned")
+            .clock_ids
+            .get(key)
+        {
+            return ClockKeyId(id);
+        }
+        let mut st = self.state.write().expect("interner poisoned");
+        if let Some(&id) = st.clock_ids.get(key) {
+            return ClockKeyId(id);
+        }
+        let id = st.clock_keys.len() as u32;
+        st.clock_keys.push(key.clone());
+        st.clock_ids.insert(key.clone(), id);
+        ClockKeyId(id)
+    }
+
+    /// The key behind an id (clones; emission paths only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not produced by this interner.
+    pub fn clock_key(&self, id: ClockKeyId) -> ClockKey {
+        self.state.read().expect("interner poisoned").clock_keys[id.index()].clone()
+    }
+
+    /// Number of distinct clock keys interned so far.
+    pub fn clock_count(&self) -> usize {
+        self.state.read().expect("interner poisoned").clock_keys.len()
+    }
+
+    /// Interns a startpoint, returning its dense id.
+    pub fn intern_start(&self, sp: Startpoint) -> StartId {
+        if let Some(&id) = self
+            .state
+            .read()
+            .expect("interner poisoned")
+            .start_ids
+            .get(&sp)
+        {
+            return StartId(id);
+        }
+        let mut st = self.state.write().expect("interner poisoned");
+        if let Some(&id) = st.start_ids.get(&sp) {
+            return StartId(id);
+        }
+        let id = st.starts.len() as u32;
+        st.starts.push(sp);
+        st.start_ids.insert(sp, id);
+        StartId(id)
+    }
+
+    /// The startpoint behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not produced by this interner.
+    pub fn startpoint(&self, id: StartId) -> Startpoint {
+        self.state.read().expect("interner poisoned").starts[id.index()]
+    }
+
+    /// Number of distinct startpoints interned so far.
+    pub fn start_count(&self) -> usize {
+        self.state.read().expect("interner poisoned").starts.len()
+    }
+}
+
+impl fmt::Debug for KeyInterner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.read().expect("interner poisoned");
+        f.debug_struct("KeyInterner")
+            .field("clocks", &st.clock_keys.len())
+            .field("starts", &st.starts.len())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +317,57 @@ mod tests {
         assert_ne!(a, b);
         let a2 = ClockKey::new(vec![], 10.0, (0.0, 5.0), "v1");
         assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn interner_assigns_dense_stable_ids() {
+        let interner = KeyInterner::new();
+        let a = ClockKey::new(vec![PinId::new(1)], 10.0, (0.0, 5.0), "a");
+        let b = ClockKey::new(vec![PinId::new(2)], 12.0, (0.0, 6.0), "b");
+        let ia = interner.intern_clock(&a);
+        let ib = interner.intern_clock(&b);
+        assert_eq!(ia, ClockKeyId(0));
+        assert_eq!(ib, ClockKeyId(1));
+        // Repeats return the same id; equal keys unify.
+        assert_eq!(interner.intern_clock(&a), ia);
+        let a2 = ClockKey::new(vec![PinId::new(1)], 10.0, (0.0, 5.0), "renamed");
+        assert_eq!(interner.intern_clock(&a2), ia);
+        assert_eq!(interner.clock_count(), 2);
+        assert_eq!(interner.clock_key(ia), a);
+    }
+
+    #[test]
+    fn interner_startpoints_round_trip() {
+        let interner = KeyInterner::new();
+        let r = Startpoint::Reg(PinId::new(7));
+        let p = Startpoint::Port(PinId::new(7));
+        let ir = interner.intern_start(r);
+        let ip = interner.intern_start(p);
+        assert_ne!(ir, ip, "Reg and Port on the same pin are distinct");
+        assert_eq!(interner.intern_start(r), ir);
+        assert_eq!(interner.startpoint(ip), p);
+        assert_eq!(interner.start_count(), 2);
+        assert_eq!(ir.index(), 0);
+    }
+
+    #[test]
+    fn interner_is_thread_safe() {
+        let interner = KeyInterner::new();
+        let keys: Vec<ClockKey> = (0..8)
+            .map(|i| ClockKey::new(vec![PinId::new(i)], 10.0, (0.0, 5.0), "c"))
+            .collect();
+        // Seed serially (the determinism contract), then hammer.
+        let ids: Vec<ClockKeyId> = keys.iter().map(|k| interner.intern_clock(k)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for (k, &id) in keys.iter().zip(&ids) {
+                        assert_eq!(interner.intern_clock(k), id);
+                    }
+                });
+            }
+        });
+        assert_eq!(interner.clock_count(), 8);
     }
 
     #[test]

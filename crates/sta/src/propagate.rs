@@ -98,6 +98,22 @@ impl Propagation {
         }
         slot.push((tag, arrival));
     }
+
+    /// Like [`Self::insert`] but borrows the tag, cloning only when a
+    /// new slot must be pushed. The sweep's fanout loop re-inserts the
+    /// same unadvanced tag for almost every arc, and `Tag::clone`
+    /// allocates two boxed slices — merging into an existing slot must
+    /// not pay that.
+    fn insert_ref(&mut self, node: PinId, tag: &Tag, arrival: Arrival) {
+        let slot = &mut self.states[node.index()];
+        for (t, a) in slot.iter_mut() {
+            if t == tag {
+                a.merge(arrival);
+                return;
+            }
+        }
+        slot.push((tag.clone(), arrival));
+    }
 }
 
 /// The propagation engine for one (graph, mode) pair.
@@ -279,11 +295,13 @@ impl<'a> Propagator<'a> {
                     continue;
                 }
                 for (tag, arrival) in &state {
-                    let new_tag = match self.exc_index.advance(tag, arc.to) {
-                        Some(t) => t,
-                        None => tag.clone(),
-                    };
-                    prop.insert(arc.to, new_tag, arrival.shifted(arc.delay));
+                    // Advance returns an owned tag only when progress
+                    // actually changed; otherwise borrow the existing
+                    // one — no per-arc `Tag` clone.
+                    match self.exc_index.advance(tag, arc.to) {
+                        Some(t) => prop.insert(arc.to, t, arrival.shifted(arc.delay)),
+                        None => prop.insert_ref(arc.to, tag, arrival.shifted(arc.delay)),
+                    }
                 }
             }
             prop.states[node.index()] = state;

@@ -13,13 +13,13 @@
 //! physical clock).
 
 use crate::exceptions::CheckKind;
-use crate::keys::{ClockKey, F64Key};
+use crate::keys::{ClockKey, ClockKeyId, F64Key};
 use modemerge_netlist::PinId;
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// The constraint state of a class of paths.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PathState {
     /// Timed normally.
     Valid,
@@ -103,6 +103,119 @@ pub struct ThroughRelation {
     pub check: CheckKind,
     /// Constraint state of this path class.
     pub state: PathState,
+}
+
+/// One interned pass-1 relation row: `(launch, capture, check, state)`
+/// at some endpoint. A small `Copy` struct — the unit of the flat
+/// tables the 3-pass comparison iterates; comparing two rows is integer
+/// work, with no `String` or source-list traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelRow {
+    /// Interned launch clock.
+    pub launch: ClockKeyId,
+    /// Interned capture clock.
+    pub capture: ClockKeyId,
+    /// Setup or hold domain.
+    pub check: CheckKind,
+    /// Constraint state of this path class.
+    pub state: PathState,
+}
+
+/// One interned pass-2 relation row: a [`RelRow`] plus the startpoint
+/// pin. Stored per endpoint, so the endpoint is implicit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PairRow {
+    /// Startpoint pin (register clock pin or input port).
+    pub start: PinId,
+    /// The clock/check/state tuple.
+    pub row: RelRow,
+}
+
+/// One interned pass-3 relation row: a [`RelRow`] plus the through pin.
+/// Stored per (startpoint, endpoint) pair, so both are implicit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThroughRow {
+    /// A pin every bundled path passes through.
+    pub through: PinId,
+    /// The clock/check/state tuple.
+    pub row: RelRow,
+}
+
+/// The pass-1 relation table of one analysis: all `(endpoint, row)`
+/// tuples in a CSR-style layout — a sorted endpoint directory plus one
+/// contiguous sorted row segment per endpoint.
+///
+/// Queries return borrowed slices; nothing is cloned. This is the flat
+/// replacement for the old `BTreeSet<EndpointRelation>` storage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EndpointTable {
+    endpoints: Vec<PinId>,
+    /// `rows[offsets[i]..offsets[i+1]]` belong to `endpoints[i]`.
+    offsets: Vec<u32>,
+    rows: Vec<RelRow>,
+}
+
+impl EndpointTable {
+    /// Builds a table from per-endpoint row groups. Groups must arrive
+    /// sorted by endpoint with no duplicates; rows are sorted and
+    /// deduplicated here.
+    pub fn build(groups: Vec<(PinId, Vec<RelRow>)>) -> Self {
+        let mut endpoints = Vec::with_capacity(groups.len());
+        let mut offsets = Vec::with_capacity(groups.len() + 1);
+        let mut rows = Vec::new();
+        offsets.push(0u32);
+        for (endpoint, mut group) in groups {
+            if let Some(&last) = endpoints.last() {
+                debug_assert!(endpoint > last, "groups must be sorted by endpoint");
+            }
+            group.sort_unstable();
+            group.dedup();
+            if group.is_empty() {
+                continue;
+            }
+            endpoints.push(endpoint);
+            rows.extend_from_slice(&group);
+            offsets.push(rows.len() as u32);
+        }
+        Self {
+            endpoints,
+            offsets,
+            rows,
+        }
+    }
+
+    /// The rows at one endpoint (empty slice if the endpoint has none).
+    pub fn rows_for(&self, endpoint: PinId) -> &[RelRow] {
+        match self.endpoints.binary_search(&endpoint) {
+            Ok(i) => &self.rows[self.offsets[i] as usize..self.offsets[i + 1] as usize],
+            Err(_) => &[],
+        }
+    }
+
+    /// Iterates `(endpoint, rows)` in endpoint order.
+    pub fn iter(&self) -> impl Iterator<Item = (PinId, &[RelRow])> {
+        self.endpoints.iter().enumerate().map(move |(i, &ep)| {
+            (
+                ep,
+                &self.rows[self.offsets[i] as usize..self.offsets[i + 1] as usize],
+            )
+        })
+    }
+
+    /// Endpoints with at least one row.
+    pub fn endpoints(&self) -> &[PinId] {
+        &self.endpoints
+    }
+
+    /// Total number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
 }
 
 /// A canonical set of endpoint relations for a whole design under one
@@ -264,6 +377,39 @@ mod tests {
         let mut b = RelationSet::new();
         b.insert(rel(1, PathState::Valid));
         assert!(!a.equivalent(&b));
+    }
+
+    #[test]
+    fn endpoint_table_csr_lookup() {
+        let row = |l: u32, s: PathState| RelRow {
+            launch: ClockKeyId(l),
+            capture: ClockKeyId(0),
+            check: CheckKind::Setup,
+            state: s,
+        };
+        let table = EndpointTable::build(vec![
+            (
+                PinId::new(2),
+                vec![row(1, PathState::Valid), row(0, PathState::Valid), row(0, PathState::Valid)],
+            ),
+            (PinId::new(4), vec![]),
+            (PinId::new(7), vec![row(0, PathState::FalsePath)]),
+        ]);
+        // Segment sorted + deduped.
+        assert_eq!(
+            table.rows_for(PinId::new(2)),
+            &[row(0, PathState::Valid), row(1, PathState::Valid)]
+        );
+        // Empty groups vanish; unknown endpoints give empty slices.
+        assert!(table.rows_for(PinId::new(4)).is_empty());
+        assert!(table.rows_for(PinId::new(3)).is_empty());
+        assert_eq!(table.rows_for(PinId::new(7)).len(), 1);
+        assert_eq!(table.endpoints(), &[PinId::new(2), PinId::new(7)]);
+        assert_eq!(table.len(), 3);
+        assert!(!table.is_empty());
+        let collected: Vec<(PinId, usize)> =
+            table.iter().map(|(ep, rows)| (ep, rows.len())).collect();
+        assert_eq!(collected, vec![(PinId::new(2), 2), (PinId::new(7), 1)]);
     }
 
     #[test]

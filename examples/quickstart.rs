@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Run the timing analysis and extract the §2 timing relationships.
     let graph = TimingGraph::build(&netlist)?;
     let analysis = Analysis::run(&netlist, &graph, &mode);
-    let relations = analysis.endpoint_relations();
+    let relations = analysis.relations();
 
     println!("\nTable 1: timing relationships (setup domain)");
     println!(

@@ -96,4 +96,27 @@ grep -q "drained and stopped" "$SERVE_LOG" \
 SERVE_PID=""
 echo "    serve/submit/cache-hit/shutdown round trip OK"
 
+echo "==> smoke: three_pass bench (1 sample) produces a well-formed report"
+BENCH_OUT="$SMOKE_DIR/BENCH_three_pass.json"
+MODEMERGE_BENCH_SAMPLES=1 MODEMERGE_BENCH_OUT="$BENCH_OUT" \
+    cargo bench -q -p modemerge-bench --bench three_pass >"$SMOKE_DIR/bench.log" 2>&1 \
+    || { echo "FAIL: three_pass bench run failed" >&2; cat "$SMOKE_DIR/bench.log" >&2; exit 1; }
+[ -s "$BENCH_OUT" ] || { echo "FAIL: $BENCH_OUT missing or empty" >&2; exit 1; }
+grep -q '"bench":"three_pass"' "$BENCH_OUT" \
+    || { echo "FAIL: bench report lacks its identity field" >&2; cat "$BENCH_OUT" >&2; exit 1; }
+# The stress suite must exercise both deep passes and the propagation
+# memo — zero counters would mean the hot loop silently stopped running.
+for field in pass2_endpoints pass3_pairs fixes; do
+    if grep -Eq "\"$field\":0([,}])" "$BENCH_OUT"; then
+        echo "FAIL: bench report has $field = 0" >&2
+        cat "$BENCH_OUT" >&2
+        exit 1
+    fi
+    grep -q "\"$field\":" "$BENCH_OUT" \
+        || { echo "FAIL: bench report lacks $field" >&2; cat "$BENCH_OUT" >&2; exit 1; }
+done
+grep -Eq 'props=[1-9][0-9]*' "$SMOKE_DIR/bench.log" \
+    || { echo "FAIL: bench ran zero startpoint propagations" >&2; cat "$SMOKE_DIR/bench.log" >&2; exit 1; }
+echo "    three_pass report OK ($(grep -c 'wall_ms' "$SMOKE_DIR/bench.log") configs)"
+
 echo "==> verify.sh: all checks passed"

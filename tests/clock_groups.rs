@@ -33,7 +33,7 @@ fn async_groups_suppress_cross_relations() {
     // Cross pairs (launch a → capture b at the muxed registers) exist
     // only without the groups.
     let crosses = |a: &Analysis| {
-        a.endpoint_relations()
+        a.relations()
             .iter()
             .filter(|r| r.launch != r.capture)
             .count()
@@ -86,7 +86,7 @@ fn one_sided_groups_fall_back_to_refinement() {
     let merged = Mode::bind("m", &netlist, &out.merged.sdc).unwrap();
     let analysis = Analysis::run(&netlist, &graph, &merged);
     let crosses = analysis
-        .endpoint_relations()
+        .relations()
         .iter()
         .filter(|r| r.launch != r.capture && r.state.is_timed())
         .count();

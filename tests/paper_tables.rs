@@ -26,10 +26,10 @@ fn setup_states(
 ) -> BTreeSet<PathState> {
     let pin = netlist.find_pin(endpoint).unwrap();
     analysis
-        .endpoint_relations()
+        .relations()
         .iter()
         .filter(|r| r.endpoint == pin && r.check == CheckKind::Setup)
-        .map(|r| r.state.clone())
+        .map(|r| r.state)
         .collect()
 }
 
@@ -302,8 +302,8 @@ fn table3_pass2_verdicts() {
         let pin = netlist.find_pin(start).unwrap();
         pairs
             .iter()
-            .filter(|r| r.start == pin && r.check == CheckKind::Setup)
-            .map(|r| r.state.clone())
+            .filter(|r| r.start == pin && r.row.check == CheckKind::Setup)
+            .map(|r| r.row.state)
             .collect()
     };
     // Row 1: rA/CP → rY/D false in mode B.
@@ -331,8 +331,8 @@ fn table4_pass3_verdicts() {
         let pin = netlist.find_pin(through).unwrap();
         throughs
             .iter()
-            .filter(|r| r.through == pin && r.check == CheckKind::Setup)
-            .map(|r| r.state.clone())
+            .filter(|r| r.through == pin && r.row.check == CheckKind::Setup)
+            .map(|r| r.row.state)
             .collect()
     };
     // Row 1: through and2/A → valid (match in the merged comparison).
@@ -393,5 +393,5 @@ fn section2_equivalence_of_rewritten_constraints() {
     );
     let a = Analysis::run(&netlist, &graph, &by_to);
     let b = Analysis::run(&netlist, &graph, &by_from);
-    assert!(a.endpoint_relations().equivalent(&b.endpoint_relations()));
+    assert!(a.relations().equivalent(b.relations()));
 }

@@ -1,0 +1,155 @@
+//! Integration tests for the parallel 3-pass comparison: the outcome —
+//! and the merged SDC the refinement loop builds from it — must be
+//! byte-identical at any `--threads N`, and the per-startpoint
+//! propagation memo must be shared between pass-2 pair queries and
+//! pass-3 through queries (one `run_from` per startpoint, total).
+
+use modemerge::merge::merge::{MergeOptions, ModeInput};
+use modemerge::merge::preliminary::preliminary_merge;
+use modemerge::merge::session::{MergeSession, SessionInputs};
+use modemerge::merge::three_pass::compare_and_fix;
+use modemerge::netlist::Netlist;
+use modemerge::sdc::SdcFile;
+use modemerge::sta::analysis::Analysis;
+use modemerge::sta::graph::TimingGraph;
+use modemerge::sta::mode::Mode;
+use modemerge::workload::{generate_suite, DesignSpec, SuiteSpec};
+use std::collections::BTreeSet;
+
+/// A mergeable family whose members cross-write false paths (the
+/// Constraint Set 6 pattern), so passes 2 and 3 both see real work.
+fn stress() -> (Netlist, Vec<(String, SdcFile)>) {
+    let spec = SuiteSpec {
+        design: DesignSpec::with_target_cells("three_pass_parallel", 500, 11),
+        families: vec![4],
+        test_clocks: false,
+        cross_false_paths: true,
+    };
+    let s = generate_suite(&spec);
+    (s.netlist, s.modes)
+}
+
+#[test]
+fn comparison_outcome_is_identical_at_any_thread_count() {
+    let (netlist, mode_sdcs) = stress();
+    let graph = TimingGraph::build(&netlist).expect("acyclic");
+    let modes: Vec<Mode> = mode_sdcs
+        .iter()
+        .map(|(n, sdc)| Mode::bind(n.clone(), &netlist, sdc).expect("binds"))
+        .collect();
+    let mode_refs: Vec<&Mode> = modes.iter().collect();
+    let options = MergeOptions::default();
+    let prelim = preliminary_merge(&netlist, &mode_refs, &options);
+    assert!(prelim.conflicts.is_empty(), "{:?}", prelim.conflicts);
+    let merged_mode = Mode::bind("merged", &netlist, &prelim.sdc).expect("merged binds");
+
+    let run = |threads: usize| {
+        // Fresh analyses per thread count: cold memo caches, so the
+        // parallel fan-out itself computes everything it compares.
+        let indiv: Vec<Analysis<'_>> = modes
+            .iter()
+            .map(|m| Analysis::run(&netlist, &graph, m))
+            .collect();
+        let indiv_refs: Vec<&Analysis<'_>> = indiv.iter().collect();
+        let merged = Analysis::run(&netlist, &graph, &merged_mode);
+        compare_and_fix(&netlist, &graph, &indiv_refs, &merged, true, threads)
+    };
+
+    let serial = run(1);
+    // The suite must actually exercise the deep passes, or this test
+    // proves nothing about the parallel paths.
+    assert!(serial.pass2_endpoints > 0, "no pass-2 work in the suite");
+    assert!(serial.pass3_pairs > 0, "no pass-3 work in the suite");
+    assert!(!serial.fixes.is_empty(), "no fixes emitted by the suite");
+    for threads in [2usize, 8] {
+        let parallel = run(threads);
+        assert_eq!(serial.fixes, parallel.fixes, "fixes differ at --threads {threads}");
+        assert_eq!(serial.missing, parallel.missing);
+        assert_eq!(serial.residual, parallel.residual);
+        assert_eq!(serial.pass2_endpoints, parallel.pass2_endpoints);
+        assert_eq!(serial.pass3_pairs, parallel.pass3_pairs);
+        // The propagation work is identical too — the fan-out must not
+        // duplicate or skip startpoint propagations.
+        assert_eq!(serial.propagations, parallel.propagations);
+    }
+}
+
+#[test]
+fn merged_sdc_is_byte_identical_at_any_thread_count() {
+    let (netlist, mode_sdcs) = stress();
+    let inputs: Vec<ModeInput> = mode_sdcs
+        .iter()
+        .map(|(n, sdc)| ModeInput::new(n.clone(), sdc.clone()))
+        .collect();
+    let run = |threads: usize| {
+        let bound = SessionInputs::bind(&netlist, &inputs).unwrap();
+        let session = MergeSession::new(
+            &netlist,
+            &bound,
+            &MergeOptions {
+                threads,
+                ..Default::default()
+            },
+        );
+        session.warm_up();
+        let outcome = session.merge_all().unwrap();
+        let texts: Vec<(String, String)> = outcome
+            .merged
+            .iter()
+            .map(|m| (m.name.clone(), m.sdc.to_text()))
+            .collect();
+        (outcome.groups, texts)
+    };
+    let serial = run(1);
+    assert_eq!(serial, run(2), "1 vs 2 threads");
+    assert_eq!(serial, run(8), "1 vs 8 threads");
+}
+
+#[test]
+fn pair_and_through_queries_share_one_propagation_per_startpoint() {
+    let (netlist, mode_sdcs) = stress();
+    let graph = TimingGraph::build(&netlist).expect("acyclic");
+    let (name, sdc) = &mode_sdcs[0];
+    let mode = Mode::bind(name.clone(), &netlist, sdc).expect("binds");
+    let analysis = Analysis::run(&netlist, &graph, &mode);
+    assert_eq!(analysis.propagations_run(), 0, "full run is not a memo miss");
+
+    // Pass-2-style queries: pair relations at every endpoint. Each
+    // distinct startpoint pin is propagated exactly once, no matter how
+    // many endpoints its cone reaches.
+    let endpoints = analysis.endpoints();
+    let mut distinct: BTreeSet<_> = BTreeSet::new();
+    for &e in &endpoints {
+        for sp in analysis.startpoints_of(e) {
+            distinct.insert(sp.pin());
+        }
+    }
+    assert!(!distinct.is_empty());
+    for &e in &endpoints {
+        let _ = analysis.pair_relations(e);
+    }
+    let after_pairs = analysis.propagations_run();
+    assert_eq!(
+        after_pairs as usize,
+        distinct.len(),
+        "pair queries must run exactly one propagation per distinct startpoint"
+    );
+
+    // Pass-3-style queries: through relations for every (startpoint,
+    // endpoint) combination. All of them hit the memo — zero new
+    // propagations.
+    for &e in &endpoints {
+        for sp in analysis.startpoints_of(e) {
+            let _ = analysis.through_relations(sp, e);
+        }
+    }
+    assert_eq!(
+        analysis.propagations_run(),
+        after_pairs,
+        "through queries re-ran a propagation instead of sharing the memo"
+    );
+    assert!(
+        analysis.propagation_cache_hits() > 0,
+        "through queries never hit the shared memo"
+    );
+}

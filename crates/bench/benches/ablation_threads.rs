@@ -21,7 +21,12 @@ fn bench(c: &mut Criterion) {
             ..Default::default()
         };
         group.bench_function(format!("threads_{threads}"), |b| {
-            b.iter(|| merge_all(&suite.netlist, &inputs, &options).expect("merge").merged.len())
+            b.iter(|| {
+                merge_all(&suite.netlist, &inputs, &options)
+                    .expect("merge")
+                    .merged
+                    .len()
+            })
         });
     }
     group.finish();

@@ -5,10 +5,10 @@ use modemerge_bench::harness::Criterion;
 use modemerge_bench::{criterion_group, criterion_main};
 use modemerge_core::merge::{merge_group, MergeOptions, ModeInput};
 use modemerge_netlist::paper::paper_circuit;
+use modemerge_sdc::SdcFile;
 use modemerge_sta::analysis::Analysis;
 use modemerge_sta::graph::TimingGraph;
 use modemerge_sta::mode::Mode;
-use modemerge_sdc::SdcFile;
 
 fn bench(c: &mut Criterion) {
     let netlist = paper_circuit();
@@ -45,7 +45,12 @@ fn bench(c: &mut Criterion) {
     let inputs = [mode_a, mode_b];
     let options = MergeOptions::default();
     c.bench_function("fig1_merge_constraint_set6", |b| {
-        b.iter(|| merge_group(&netlist, &inputs, &options).expect("merges").report.comparison_false_paths)
+        b.iter(|| {
+            merge_group(&netlist, &inputs, &options)
+                .expect("merges")
+                .report
+                .comparison_false_paths
+        })
     });
 }
 

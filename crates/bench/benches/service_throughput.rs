@@ -130,7 +130,9 @@ fn bench_workers(workers: usize, rounds: usize) {
     let mut client = Client::connect(addr).expect("connect");
     let stats = client.request(&simple_request("stats")).expect("stats");
     assert!(stats.ok);
-    let shutdown = client.request(&simple_request("shutdown")).expect("shutdown");
+    let shutdown = client
+        .request(&simple_request("shutdown"))
+        .expect("shutdown");
     assert!(shutdown.ok);
     daemon.join().expect("daemon thread").expect("daemon io");
 }

@@ -39,10 +39,8 @@ fn bench_table6(c: &mut Criterion) {
         let merged = merge_all(&suite.netlist, &inputs, &MergeOptions::default())
             .expect("merge")
             .merged;
-        let merged_modes: Vec<(String, SdcFile)> = merged
-            .into_iter()
-            .map(|m| (m.name, m.sdc))
-            .collect();
+        let merged_modes: Vec<(String, SdcFile)> =
+            merged.into_iter().map(|m| (m.name, m.sdc)).collect();
         let graph = TimingGraph::build(&suite.netlist).expect("acyclic");
 
         group.bench_function(format!("individual_{}", design.letter()), |b| {

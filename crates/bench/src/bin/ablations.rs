@@ -57,11 +57,7 @@ fn main() {
         };
         let t0 = Instant::now();
         let out = merge_all(&netlist, &inputs, &options).expect("flow completes");
-        let fps: usize = out
-            .reports
-            .iter()
-            .map(|r| r.comparison_false_paths)
-            .sum();
+        let fps: usize = out.reports.iter().map(|r| r.comparison_false_paths).sum();
         println!(
             "  {label:<22} {} refinement false paths in {} s",
             fps,

@@ -36,6 +36,11 @@ fn main() {
     }
     println!(
         "{:<7} {:>8} {:>11} {:>7} {:>12.1} {:>14.1}",
-        "Avg", "", "", "", sum_red / 6.0, sum_paper / 6.0
+        "Avg",
+        "",
+        "",
+        "",
+        sum_red / 6.0,
+        sum_paper / 6.0
     );
 }

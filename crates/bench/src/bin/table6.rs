@@ -15,7 +15,13 @@ fn main() {
     println!("Table 6: STA runtime reduction and QoR conformity (scale divisor {scale})");
     println!(
         "{:<7} {:>14} {:>11} {:>12} {:>13} {:>12} {:>12}",
-        "Design", "Indiv. STA [s]", "Merged [s]", "% Reduction", "Paper % Red.", "Conformity", "Paper Conf."
+        "Design",
+        "Indiv. STA [s]",
+        "Merged [s]",
+        "% Reduction",
+        "Paper % Red.",
+        "Conformity",
+        "Paper Conf."
     );
     let mut sum_red = 0.0;
     let mut sum_conf = 0.0;

@@ -147,7 +147,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark.
-    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         self.run(&id.to_string(), f);
         self
     }

@@ -124,7 +124,11 @@ fn worst_slacks(
 }
 
 /// Runs the full flow for one design at a scale divisor.
-pub fn run_design(design: PaperDesign, scale_divisor: usize, options: &MergeOptions) -> DesignResult {
+pub fn run_design(
+    design: PaperDesign,
+    scale_divisor: usize,
+    options: &MergeOptions,
+) -> DesignResult {
     let spec = paper_suite(design, scale_divisor);
     let suite = generate_suite(&spec);
     let inputs: Vec<ModeInput> = suite
@@ -177,8 +181,7 @@ pub fn run_design(design: PaperDesign, scale_divisor: usize, options: &MergeOpti
             merged,
             reduction_pct: 100.0 * (individual - merged) as f64 / individual as f64,
             merge_runtime,
-            paper_reduction_pct: 100.0
-                * (design.individual_modes() - design.merged_modes()) as f64
+            paper_reduction_pct: 100.0 * (design.individual_modes() - design.merged_modes()) as f64
                 / design.individual_modes() as f64,
         },
         table6: Table6Row {
@@ -222,7 +225,11 @@ mod tests {
             r.table6.merged_sta < r.table6.individual_sta,
             "merged STA must be faster"
         );
-        assert!(r.table6.conformity_pct > 95.0, "{}", r.table6.conformity_pct);
+        assert!(
+            r.table6.conformity_pct > 95.0,
+            "{}",
+            r.table6.conformity_pct
+        );
     }
 
     #[test]

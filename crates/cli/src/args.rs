@@ -14,8 +14,21 @@ pub struct Args {
 /// Options that take a value; everything else starting with `--` is a
 /// boolean flag.
 const VALUED: &[&str] = &[
-    "netlist", "mode", "sdc", "out", "threads", "limit", "cells", "seed", "families", "scale",
-    "paths", "derate", "addr", "cache-entries", "queue",
+    "netlist",
+    "mode",
+    "sdc",
+    "out",
+    "threads",
+    "limit",
+    "cells",
+    "seed",
+    "families",
+    "scale",
+    "paths",
+    "derate",
+    "addr",
+    "cache-entries",
+    "queue",
 ];
 
 impl Args {
@@ -184,11 +197,7 @@ mod tests {
     #[test]
     fn positive_number_rejects_non_numeric_and_negative() {
         for bad in ["four", "-2", "1.5", ""] {
-            let argv = vec![
-                "x".to_owned(),
-                "--threads".to_owned(),
-                bad.to_owned(),
-            ];
+            let argv = vec!["x".to_owned(), "--threads".to_owned(), bad.to_owned()];
             let a = Args::parse(&argv).unwrap();
             let err = a.positive_number("threads", 1).unwrap_err();
             assert!(err.contains("is not a positive integer"), "{bad}: {err}");

@@ -26,10 +26,19 @@ usage: modemerge <command> [options]
 
 commands (netlists: native text format, or gate-level Verilog .v):
   merge      --netlist FILE --mode NAME=SDC... [--out DIR] [--threads N]
-             [--strict] [--no-uniquify] [--json]
+             [--strict] [--no-uniquify] [--json] [--annotate]
              Plan and merge timing modes; writes merged SDCs to --out.
              --json emits the machine-readable summary object (same
-             format as the service protocol).
+             format as the service protocol). --annotate writes each
+             merged constraint with a `# mm: <rule> from <mode>:<line>`
+             provenance comment (the default output is byte-identical
+             to the unannotated merge).
+  explain    QUERY --netlist FILE --mode NAME=SDC... [--threads N]
+             [--strict] [--no-uniquify]
+             Re-run the merge and explain every merged constraint,
+             clock or diagnostic whose text mentions QUERY (a
+             constraint fragment, clock name or endpoint pin): which
+             MM-* rule produced it, from which source modes and lines.
   check      --netlist FILE --sdc A.sdc --sdc B.sdc
              Check §2 timing-relationship equivalence of two constraint sets.
   sta        --netlist FILE --sdc MODE.sdc [--hold] [--limit N] [--paths N]
@@ -76,6 +85,14 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
             Ok(())
         }
         [cmd, rest @ ..] => {
+            if cmd == "explain" {
+                // `explain` takes the query as its one positional word.
+                return match rest {
+                    [query] => cmd_explain(&args, query),
+                    [] => Err("explain needs a QUERY (constraint fragment, clock or pin)".into()),
+                    [_, extra, ..] => Err(format!("unexpected argument `{extra}`")),
+                };
+            }
             if !rest.is_empty() {
                 return Err(format!("unexpected argument `{}`", rest[0]));
             }
@@ -118,11 +135,15 @@ fn load_mode(netlist: &Netlist, name: &str, path: &str) -> Result<Mode, String> 
     Mode::bind(name, netlist, &sdc).map_err(|e| format!("{path}: {e}"))
 }
 
-fn cmd_merge(args: &Args) -> Result<(), String> {
-    let netlist = load_netlist(args)?;
+/// Parses every `--mode NAME=FILE` option into mode inputs, requiring at
+/// least `min` of them (the merge pipeline needs 2+ to do anything).
+fn parse_mode_inputs(args: &Args, command: &str, min: usize) -> Result<Vec<ModeInput>, String> {
     let mode_specs = args.values("mode");
-    if mode_specs.len() < 2 {
-        return Err("merge needs at least two --mode NAME=FILE options".into());
+    if mode_specs.len() < min {
+        let min = if min == 2 { "two" } else { "one" };
+        return Err(format!(
+            "{command} needs at least {min} --mode NAME=FILE options"
+        ));
     }
     let mut inputs = Vec::new();
     for spec in mode_specs {
@@ -132,12 +153,23 @@ fn cmd_merge(args: &Args) -> Result<(), String> {
         let sdc = SdcFile::parse(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
         inputs.push(ModeInput::new(name, sdc));
     }
-    let options = MergeOptions {
+    Ok(inputs)
+}
+
+/// The merge-pipeline options shared by `merge`, `explain` and `submit`.
+fn merge_options(args: &Args) -> Result<MergeOptions, String> {
+    Ok(MergeOptions {
         threads: args.positive_number("threads", 1)?,
         strict: args.flag("strict"),
         uniquify_exceptions: !args.flag("no-uniquify"),
         ..Default::default()
-    };
+    })
+}
+
+fn cmd_merge(args: &Args) -> Result<(), String> {
+    let netlist = load_netlist(args)?;
+    let inputs = parse_mode_inputs(args, "merge", 2)?;
+    let options = merge_options(args)?;
     // One session per invocation: every stage (planning, refinement,
     // validation) shares the per-mode analysis cache.
     let bound = SessionInputs::bind(&netlist, &inputs).map_err(|e| e.to_string())?;
@@ -186,14 +218,86 @@ fn cmd_merge(args: &Args) -> Result<(), String> {
 
     if let Some(dir) = args.value("out")? {
         std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
-        for merged in &outcome.merged {
+        for (merged, report) in outcome.merged.iter().zip(&outcome.reports) {
             let file = Path::new(dir).join(format!("{}.sdc", merged.name.replace('/', "_")));
-            std::fs::write(&file, merged.sdc.to_text())
-                .map_err(|e| format!("{}: {e}", file.display()))?;
+            // `--annotate` decorates a clone at write time only: the
+            // merge result itself (and hence the cache fingerprint and
+            // default output) stays byte-identical to an unannotated run.
+            let text = if args.flag("annotate") {
+                let mut sdc = merged.sdc.clone();
+                report.provenance.annotate(&mut sdc);
+                sdc.to_annotated_text()
+            } else {
+                merged.sdc.to_text()
+            };
+            std::fs::write(&file, text).map_err(|e| format!("{}: {e}", file.display()))?;
             if !args.flag("json") {
                 println!("wrote {}", file.display());
             }
         }
+    }
+    Ok(())
+}
+
+/// `modemerge explain QUERY`: re-run the merge in-process and print the
+/// provenance chain of every merged constraint, clock or diagnostic
+/// whose text mentions the query.
+fn cmd_explain(args: &Args, query: &str) -> Result<(), String> {
+    let netlist = load_netlist(args)?;
+    let inputs = parse_mode_inputs(args, "explain", 2)?;
+    let options = merge_options(args)?;
+    let bound = SessionInputs::bind(&netlist, &inputs).map_err(|e| e.to_string())?;
+    let session = MergeSession::new(&netlist, &bound, &options);
+    session.warm_up();
+    let outcome = session.merge_all().map_err(|e| e.to_string())?;
+
+    let mut matches = 0usize;
+    for (merged, report) in outcome.merged.iter().zip(&outcome.reports) {
+        if report.mode_names.len() < 2 {
+            continue; // kept as-is: every constraint is its own provenance
+        }
+        let mut lines = Vec::new();
+        for (idx, cmd) in merged.sdc.commands().iter().enumerate() {
+            let text = cmd.to_text();
+            if !text.contains(query) {
+                continue;
+            }
+            matches += 1;
+            lines.push(format!("  [{idx}] {text}"));
+            match report.provenance.for_command(idx) {
+                Some(rec) => lines.push(format!("      {}", report.provenance.describe(rec))),
+                None => lines.push("      (no provenance record)".into()),
+            }
+        }
+        let diag_hits: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.message.contains(query))
+            .collect();
+        if lines.is_empty() && diag_hits.is_empty() {
+            continue;
+        }
+        println!(
+            "{} (merged from {}):",
+            merged.name,
+            report.mode_names.join(", ")
+        );
+        for line in lines {
+            println!("{line}");
+        }
+        if !diag_hits.is_empty() {
+            println!("  diagnostics:");
+            for d in diag_hits {
+                matches += 1;
+                println!("    {}: {}", d.code.code(), d.message);
+            }
+        }
+    }
+    if matches == 0 {
+        return Err(format!(
+            "`{query}` matches no merged constraint, clock or diagnostic \
+             (try a constraint fragment, clock name or pin name)"
+        ));
     }
     Ok(())
 }
@@ -222,10 +326,20 @@ fn cmd_check(args: &Args) -> Result<(), String> {
             b_path
         );
         for r in report.missing_in_merged.iter().take(10) {
-            println!("  only in {}: {} [{}]", a_path, netlist.pin_name(r.endpoint), r.state);
+            println!(
+                "  only in {}: {} [{}]",
+                a_path,
+                netlist.pin_name(r.endpoint),
+                r.state
+            );
         }
         for r in report.extra_in_merged.iter().take(10) {
-            println!("  only in {}: {} [{}]", b_path, netlist.pin_name(r.endpoint), r.state);
+            println!(
+                "  only in {}: {} [{}]",
+                b_path,
+                netlist.pin_name(r.endpoint),
+                r.state
+            );
         }
         Err("constraint sets differ".into())
     }
@@ -252,7 +366,11 @@ fn cmd_sta(args: &Args) -> Result<(), String> {
     println!(
         "{} {} endpoints (worst {} shown):",
         slacks.len(),
-        if args.flag("hold") { "hold-checked" } else { "setup-checked" },
+        if args.flag("hold") {
+            "hold-checked"
+        } else {
+            "setup-checked"
+        },
         limit.min(slacks.len())
     );
     println!("{:<40} {:>10} {:>10}", "Endpoint", "Slack", "Capture T");
@@ -303,7 +421,10 @@ fn cmd_relations(args: &Args) -> Result<(), String> {
             .map(|c| c.name.clone())
             .unwrap_or_else(|| "?".into())
     };
-    println!("{} timing relationships (setup domain first {limit}):", relations.len());
+    println!(
+        "{} timing relationships (setup domain first {limit}):",
+        relations.len()
+    );
     println!(
         "{:<36} {:<14} {:<14} {:<8}",
         "End point", "Launch clock", "Capture clock", "State"
@@ -326,20 +447,8 @@ fn cmd_relations(args: &Args) -> Result<(), String> {
 
 fn cmd_plan(args: &Args) -> Result<(), String> {
     let netlist = load_netlist(args)?;
-    let mode_specs = args.values("mode");
-    if mode_specs.len() < 2 {
-        return Err("plan needs at least two --mode NAME=FILE options".into());
-    }
-    let mut names = Vec::new();
-    let mut inputs = Vec::new();
-    for spec in mode_specs {
-        let (name, path) = spec
-            .split_once('=')
-            .ok_or_else(|| format!("--mode expects NAME=FILE, got `{spec}`"))?;
-        let sdc = SdcFile::parse(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
-        inputs.push(ModeInput::new(name, sdc));
-        names.push(name.to_owned());
-    }
+    let inputs = parse_mode_inputs(args, "plan", 2)?;
+    let names: Vec<String> = inputs.iter().map(|i| i.name.clone()).collect();
     let options = MergeOptions {
         threads: args.positive_number("threads", 1)?,
         ..Default::default()
@@ -366,8 +475,7 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
         }
     }
     if let Some(path) = args.value("out")? {
-        std::fs::write(path, graph.to_dot(&names, &cliques))
-            .map_err(|e| format!("{path}: {e}"))?;
+        std::fs::write(path, graph.to_dot(&names, &cliques)).map_err(|e| format!("{path}: {e}"))?;
         if !args.flag("json") {
             println!("wrote {path}");
         }
@@ -463,14 +571,23 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
     } else {
         let cached = resp.cached == Some(true);
         if kind == "merge" {
-            let inputs = result.get("input_modes").and_then(Json::as_u64).unwrap_or(0);
-            let merged = result.get("merged_modes").and_then(Json::as_u64).unwrap_or(0);
+            let inputs = result
+                .get("input_modes")
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+            let merged = result
+                .get("merged_modes")
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
             println!(
                 "{inputs} modes -> {merged} modes{}",
                 if cached { "  [cache hit]" } else { "" }
             );
         } else {
-            let cliques = result.get("cliques").and_then(Json::as_array).unwrap_or(&[]);
+            let cliques = result
+                .get("cliques")
+                .and_then(Json::as_array)
+                .unwrap_or(&[]);
             println!(
                 "clique cover: {} group(s){}",
                 cliques.len(),
@@ -531,7 +648,10 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     std::fs::write(&netlist_path, text::write(&suite.netlist))
         .map_err(|e| format!("{}: {e}", netlist_path.display()))?;
     let mut manifest = String::new();
-    let _ = writeln!(manifest, "# generated by `modemerge generate --cells {cells} --seed {seed}`");
+    let _ = writeln!(
+        manifest,
+        "# generated by `modemerge generate --cells {cells} --seed {seed}`"
+    );
     let _ = writeln!(manifest, "netlist design.nl");
     for (name, sdc) in &suite.modes {
         let file = Path::new(dir).join(format!("{name}.sdc"));

@@ -106,7 +106,10 @@ mod tests {
             "create_clock -name clkA -period 10 [get_ports clk1]\n\
              set_false_path -to [get_pins rX/D]\n",
         );
-        let merged = bind(&netlist, "create_clock -name clkA -period 10 [get_ports clk1]\n");
+        let merged = bind(
+            &netlist,
+            "create_clock -name clkA -period 10 [get_ports clk1]\n",
+        );
         let a = Analysis::run(&netlist, &graph, &indiv);
         let m = Analysis::run(&netlist, &graph, &merged);
         let report = check_equivalence(&[&a], &m);
@@ -119,7 +122,10 @@ mod tests {
     fn missing_paths_in_merged_detected() {
         let netlist = paper_circuit();
         let graph = TimingGraph::build(&netlist).unwrap();
-        let indiv = bind(&netlist, "create_clock -name clkA -period 10 [get_ports clk1]\n");
+        let indiv = bind(
+            &netlist,
+            "create_clock -name clkA -period 10 [get_ports clk1]\n",
+        );
         let merged = bind(
             &netlist,
             "create_clock -name clkA -period 10 [get_ports clk1]\n\
@@ -137,8 +143,14 @@ mod tests {
     fn union_accumulates_modes() {
         let netlist = paper_circuit();
         let graph = TimingGraph::build(&netlist).unwrap();
-        let a = bind(&netlist, "create_clock -name clkA -period 10 [get_ports clk1]\n");
-        let b = bind(&netlist, "create_clock -name clkB -period 20 [get_ports clk1]\n");
+        let a = bind(
+            &netlist,
+            "create_clock -name clkA -period 10 [get_ports clk1]\n",
+        );
+        let b = bind(
+            &netlist,
+            "create_clock -name clkB -period 20 [get_ports clk1]\n",
+        );
         let a_an = Analysis::run(&netlist, &graph, &a);
         let b_an = Analysis::run(&netlist, &graph, &b);
         let union = union_relations(&[&a_an, &b_an]);

@@ -69,7 +69,10 @@ impl fmt::Display for MergeConflict {
                 write!(f, "exception cannot be uniquified: {exception}")
             }
             Self::UnfixableMismatch { relation } => {
-                write!(f, "relationship mismatch not fixable by a false path: {relation}")
+                write!(
+                    f,
+                    "relationship mismatch not fixable by a false path: {relation}"
+                )
             }
         }
     }
@@ -179,9 +182,7 @@ mod tests {
     #[test]
     fn error_display_and_source() {
         let e = MergeError::NotMergeable {
-            conflicts: vec![MergeConflict::PropagatedMismatch {
-                clock: "c".into(),
-            }],
+            conflicts: vec![MergeConflict::PropagatedMismatch { clock: "c".into() }],
         };
         assert!(e.to_string().contains("not mergeable"));
         assert!(e.source().is_none());

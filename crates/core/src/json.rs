@@ -80,9 +80,7 @@ impl Json {
     /// The numeric payload as a non-negative integer.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
-                Some(*n as u64)
-            }
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
             _ => None,
         }
     }
@@ -289,9 +287,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
 /// entry and at the last hex digit on exit.
 fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
     let start = *pos + 1;
-    let hex = bytes
-        .get(start..start + 4)
-        .ok_or("truncated \\u escape")?;
+    let hex = bytes.get(start..start + 4).ok_or("truncated \\u escape")?;
     let text = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
     let v = u32::from_str_radix(text, 16).map_err(|_| format!("invalid \\u escape `{text}`"))?;
     *pos += 4;
@@ -392,11 +388,17 @@ mod tests {
 
     #[test]
     fn parses_standard_json() {
-        let v = Json::parse(" { \"a\" : [ 1 , -2.5e1 , \"\\u00e9\\u0041\" ] , \"b\" : { } } ")
-            .unwrap();
+        let v =
+            Json::parse(" { \"a\" : [ 1 , -2.5e1 , \"\\u00e9\\u0041\" ] , \"b\" : { } } ").unwrap();
         assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
-        assert_eq!(v.get("a").unwrap().as_array().unwrap()[2].as_str(), Some("éA"));
-        assert_eq!(v.get("a").unwrap().as_array().unwrap()[1].as_f64(), Some(-25.0));
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].as_str(),
+            Some("éA")
+        );
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[1].as_f64(),
+            Some(-25.0)
+        );
         assert_eq!(v.get("b"), Some(&Json::Obj(vec![])));
     }
 

@@ -54,9 +54,11 @@ pub mod merge;
 pub mod mergeability;
 pub mod pool;
 pub mod preliminary;
+pub mod provenance;
 pub mod refine;
 pub mod report;
 pub mod session;
+pub(crate) mod stages;
 pub mod three_pass;
 pub mod uniquify;
 
@@ -64,4 +66,5 @@ pub use error::{MergeConflict, MergeError};
 pub use json::Json;
 pub use merge::{merge_all, merge_group, MergeOptions, MergeOutcome, MergeReport, ModeInput};
 pub use mergeability::{greedy_cliques, MergeabilityGraph};
+pub use provenance::{Diagnostic, DiagnosticSink, ProvId, ProvenanceStore, RuleCode};
 pub use session::{MergeSession, SessionInputs, StageTimings};

@@ -94,12 +94,14 @@ impl MergeOptions {
         for (key, value) in pairs {
             match key.as_str() {
                 "tolerance_rel" => {
-                    out.tolerance_rel =
-                        value.as_f64().ok_or("options.tolerance_rel: not a number")?;
+                    out.tolerance_rel = value
+                        .as_f64()
+                        .ok_or("options.tolerance_rel: not a number")?;
                 }
                 "tolerance_abs" => {
-                    out.tolerance_abs =
-                        value.as_f64().ok_or("options.tolerance_abs: not a number")?;
+                    out.tolerance_abs = value
+                        .as_f64()
+                        .ok_or("options.tolerance_abs: not a number")?;
                 }
                 "max_refine_iterations" => {
                     out.max_refine_iterations = value
@@ -128,8 +130,9 @@ impl MergeOptions {
                         .ok_or("options.uniquify_exceptions: not a boolean")?;
                 }
                 "group_fixes" => {
-                    out.group_fixes =
-                        value.as_bool().ok_or("options.group_fixes: not a boolean")?;
+                    out.group_fixes = value
+                        .as_bool()
+                        .ok_or("options.group_fixes: not a boolean")?;
                 }
                 other => return Err(format!("options.{other}: unknown option")),
             }
@@ -219,6 +222,11 @@ pub struct MergeReport {
     /// for trivial single-mode groups; `false` only when validation was
     /// disabled or failed).
     pub validated: bool,
+    /// Judgement-call diagnostics from the staged pipeline, with stable
+    /// `MM-*` codes (renames, tolerance snaps, drops, derived fixes).
+    pub diagnostics: Vec<crate::provenance::Diagnostic>,
+    /// Per-command derivation records for the merged SDC.
+    pub provenance: crate::provenance::ProvenanceStore,
 }
 
 /// Result of merging one group of modes.
@@ -317,9 +325,10 @@ mod tests {
     #[test]
     fn single_mode_passthrough() {
         let netlist = paper_circuit();
-        let m = ModeInput::parse("A", "create_clock -name c -period 10 [get_ports clk1]\n")
-            .unwrap();
-        let out = merge_group(&netlist, std::slice::from_ref(&m), &MergeOptions::default()).unwrap();
+        let m =
+            ModeInput::parse("A", "create_clock -name c -period 10 [get_ports clk1]\n").unwrap();
+        let out =
+            merge_group(&netlist, std::slice::from_ref(&m), &MergeOptions::default()).unwrap();
         assert_eq!(out.merged.sdc, m.sdc);
         assert!(out.report.validated);
     }
@@ -346,7 +355,10 @@ mod tests {
         let out = merge_group(&netlist, &[mode_a, mode_b], &MergeOptions::default()).unwrap();
         assert!(out.report.validated);
         let text = out.merged.sdc.to_text();
-        assert!(text.contains("set_false_path -to [get_pins rX/D]"), "{text}");
+        assert!(
+            text.contains("set_false_path -to [get_pins rX/D]"),
+            "{text}"
+        );
         assert!(
             text.contains("set_false_path -from [get_pins rA/CP] -to [get_pins rY/D]"),
             "{text}"
@@ -380,8 +392,14 @@ mod tests {
         let out = merge_group(&netlist, &[mode_a, mode_b], &MergeOptions::default()).unwrap();
         assert!(out.report.validated);
         let text = out.merged.sdc.to_text();
-        assert!(text.contains("set_disable_timing [get_ports sel1]"), "{text}");
-        assert!(text.contains("set_disable_timing [get_ports sel2]"), "{text}");
+        assert!(
+            text.contains("set_disable_timing [get_ports sel1]"),
+            "{text}"
+        );
+        assert!(
+            text.contains("set_disable_timing [get_ports sel2]"),
+            "{text}"
+        );
         assert!(
             text.contains(
                 "set_clock_sense -stop_propagation -clocks [get_clocks clkA] [get_pins mux1/Z]"
@@ -431,7 +449,9 @@ mod tests {
         );
         // Bad fields are named.
         let bad = crate::json::Json::parse("{\"threads\":0}").unwrap();
-        assert!(MergeOptions::from_json(&bad).unwrap_err().contains("threads"));
+        assert!(MergeOptions::from_json(&bad)
+            .unwrap_err()
+            .contains("threads"));
         let unknown = crate::json::Json::parse("{\"bogus\":1}").unwrap();
         assert!(MergeOptions::from_json(&unknown).is_err());
     }
@@ -459,7 +479,8 @@ mod tests {
             "create_clock -name c -period 10 [get_ports clk1]\nset_clock_latency 9 [get_clocks c]\n",
         )
         .unwrap();
-        let b = ModeInput::parse("B", "create_clock -name c -period 10 [get_ports clk1]\n").unwrap();
+        let b =
+            ModeInput::parse("B", "create_clock -name c -period 10 [get_ports clk1]\n").unwrap();
         match merge_group(&netlist, &[a, b], &MergeOptions::default()) {
             Err(MergeError::NotMergeable { conflicts }) => assert!(!conflicts.is_empty()),
             other => panic!("{other:?}"),

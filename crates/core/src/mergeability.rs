@@ -95,7 +95,9 @@ impl MergeabilityGraph {
 
     /// Degree of a vertex (number of mergeable partners).
     pub fn degree(&self, i: usize) -> usize {
-        (0..self.n).filter(|&j| j != i && self.mergeable(i, j)).count()
+        (0..self.n)
+            .filter(|&j| j != i && self.mergeable(i, j))
+            .count()
     }
 
     /// Renders the graph in Graphviz DOT format (Figure 2 of the paper),
@@ -103,7 +105,13 @@ impl MergeabilityGraph {
     pub fn to_dot(&self, names: &[String], cliques: &[Vec<usize>]) -> String {
         use std::fmt::Write as _;
         const COLORS: &[&str] = &[
-            "lightblue", "lightgreen", "lightsalmon", "plum", "khaki", "lightcyan", "mistyrose",
+            "lightblue",
+            "lightgreen",
+            "lightsalmon",
+            "plum",
+            "khaki",
+            "lightcyan",
+            "mistyrose",
         ];
         let mut out = String::from("graph mergeability {\n  node [style=filled];\n");
         let clique_of = |v: usize| cliques.iter().position(|c| c.contains(&v));
@@ -198,10 +206,7 @@ mod tests {
     fn figure2_style_clique_cover() {
         // Two triangles sharing no edge plus an isolated vertex:
         // expect cliques {0,1,2}, {3,4,5}, {6}.
-        let g = graph_from_edges(
-            7,
-            &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)],
-        );
+        let g = graph_from_edges(7, &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)]);
         let cliques = greedy_cliques(&g);
         assert_eq!(cliques, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6]]);
     }
@@ -236,8 +241,16 @@ mod tests {
     fn compatible_modes_are_adjacent() {
         let netlist = paper_circuit();
         let modes = [
-            bind(&netlist, "A", "create_clock -name clkA -period 10 [get_ports clk1]\n"),
-            bind(&netlist, "B", "create_clock -name clkB -period 20 [get_ports clk2]\n"),
+            bind(
+                &netlist,
+                "A",
+                "create_clock -name clkA -period 10 [get_ports clk1]\n",
+            ),
+            bind(
+                &netlist,
+                "B",
+                "create_clock -name clkB -period 20 [get_ports clk2]\n",
+            ),
         ];
         let mode_refs: Vec<&Mode> = modes.iter().collect();
         let g = MergeabilityGraph::build(&netlist, &mode_refs, &MergeOptions::default());

@@ -4,50 +4,29 @@
 //! time every path any individual mode times. It may temporarily time
 //! extra paths; [`refine`](crate::refine) removes those afterwards.
 //!
-//! Sub-steps implemented here, in paper order: union of clocks (§3.1.1),
-//! merging clock-based constraints within tolerance (§3.1.2), union of
-//! external delays (§3.1.3), intersection of case analysis (§3.1.4),
-//! intersection of disables (§3.1.5), drive/load merging (§3.1.6),
-//! derived clock exclusivity (§3.1.7) and exception intersection with
-//! uniquification (§3.1.9–3.1.10). Clock refinement (§3.1.8) lives in
+//! The work happens in the [`stages`](crate::stages) pipeline, run here
+//! in paper order: union of clocks (§3.1.1), merging clock-based
+//! constraints within tolerance (§3.1.2), union of external delays
+//! (§3.1.3), intersection of case analysis (§3.1.4), intersection of
+//! disables (§3.1.5), drive/load merging (§3.1.6), derived clock
+//! exclusivity (§3.1.7) and exception intersection with uniquification
+//! (§3.1.9–3.1.10). Clock refinement (§3.1.8) lives in
 //! [`refine`](crate::refine) because it needs the bound merged mode.
+//!
+//! Every stage records *why* it emitted each constraint into a
+//! [`ProvenanceStore`] and surfaces its judgement calls (renames,
+//! tolerance snaps, drops, conflicts) on a [`DiagnosticSink`]; both ride
+//! along in the returned [`Preliminary`].
 
-use crate::emit::{clocks_ref, pin_ref, pins_refs};
 use crate::error::MergeConflict;
 use crate::merge::MergeOptions;
-use crate::uniquify::{uniquify, CanonException, UniquifyOutcome};
-use modemerge_netlist::{Netlist, PinId, PinOwner};
-use modemerge_sdc::{
-    ClockGroupKind, Command, CreateClock, IoDelay as SdcIoDelay, MinMax, ObjectRef, PathException,
-    PathSpec, SdcFile, SetCaseAnalysis, SetClockGroups, SetClockLatency, SetClockTransition,
-    SetClockUncertainty, SetDisableTiming, SetDrive, SetInputTransition, SetLoad,
-    SetPropagatedClock, SetupHold,
-};
+use crate::provenance::{Diagnostic, DiagnosticSink, ProvenanceStore};
+use crate::stages::{self, StageCtx};
+use modemerge_netlist::{Netlist, PinId};
+use modemerge_sdc::SdcFile;
 use modemerge_sta::keys::ClockKey;
-use modemerge_sta::mode::{Mode, MinMaxPair};
-use std::collections::{BTreeMap, BTreeSet};
-
-/// One merged-mode clock: identity key, chosen (possibly renamed) name
-/// and the per-mode attribute values to merge.
-#[derive(Debug, Clone)]
-struct ClockEntry {
-    key: ClockKey,
-    name: String,
-    period: f64,
-    waveform: (f64, f64),
-    sources: Vec<PinId>,
-    /// `create_generated_clock` parameters, keyed by the master clock's
-    /// identity (taken from the first mode defining this clock).
-    generated: Option<(ClockKey, Vec<PinId>, u32, u32, bool)>,
-    /// Modes (by index) defining this clock.
-    present_in: Vec<usize>,
-    latencies: Vec<MinMaxPair>,
-    source_latencies: Vec<MinMaxPair>,
-    uncertainties_setup: Vec<f64>,
-    uncertainties_hold: Vec<f64>,
-    transitions: Vec<MinMaxPair>,
-    propagated: Vec<bool>,
-}
+use modemerge_sta::mode::Mode;
+use std::collections::BTreeMap;
 
 /// The union-of-clocks table: maps [`ClockKey`]s to merged-mode clock
 /// names (§3.1.1's two-way map between individual and merged clocks).
@@ -76,10 +55,7 @@ impl ClockTable {
 
     /// Iterates `(name, key)` pairs in merged order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &ClockKey)> {
-        self.names
-            .iter()
-            .map(String::as_str)
-            .zip(self.keys.iter())
+        self.names.iter().map(String::as_str).zip(self.keys.iter())
     }
 }
 
@@ -102,18 +78,10 @@ pub struct Preliminary {
     pub dropped_false_paths: usize,
     /// Exceptions added through uniquification.
     pub uniquified_exceptions: usize,
-}
-
-fn within_tolerance(values: &[f64], options: &MergeOptions) -> bool {
-    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-    for &v in values {
-        lo = lo.min(v);
-        hi = hi.max(v);
-    }
-    if values.is_empty() {
-        return true;
-    }
-    (hi - lo) <= options.tolerance_abs + options.tolerance_rel * lo.abs().max(hi.abs())
+    /// Per-command derivation records for the emitted SDC.
+    pub provenance: ProvenanceStore,
+    /// Judgement-call diagnostics with stable `MM-*` codes.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 /// Runs preliminary mode merging over bound modes.
@@ -131,678 +99,60 @@ pub fn preliminary_merge(
 ) -> Preliminary {
     let mut sdc = SdcFile::new();
     let mut conflicts = Vec::new();
+    let mut prov = ProvenanceStore::new(modes.iter().map(|m| m.name.clone()));
+    let mut diags = DiagnosticSink::new();
 
-    // ---- §3.1.1 union of clocks --------------------------------------
-    let mut entries: Vec<ClockEntry> = Vec::new();
-    let mut by_key: BTreeMap<ClockKey, usize> = BTreeMap::new();
-    let mut used_names: BTreeSet<String> = BTreeSet::new();
-    for (mode_idx, mode) in modes.iter().enumerate() {
-        for clock in &mode.clocks {
-            let key = clock.key();
-            let idx = match by_key.get(&key) {
-                Some(&i) => i,
-                None => {
-                    let mut name = clock.name.clone();
-                    let mut suffix = 0;
-                    while used_names.contains(&name) {
-                        suffix += 1;
-                        name = format!("{}_{suffix}", clock.name);
-                    }
-                    used_names.insert(name.clone());
-                    let i = entries.len();
-                    entries.push(ClockEntry {
-                        key: key.clone(),
-                        name,
-                        period: clock.period,
-                        waveform: clock.waveform,
-                        sources: clock.sources.clone(),
-                        generated: clock.generated.as_ref().map(|g| {
-                            (
-                                mode.clock_key(g.master),
-                                g.source_pins.clone(),
-                                g.divide_by,
-                                g.multiply_by,
-                                g.invert,
-                            )
-                        }),
-                        present_in: Vec::new(),
-                        latencies: Vec::new(),
-                        source_latencies: Vec::new(),
-                        uncertainties_setup: Vec::new(),
-                        uncertainties_hold: Vec::new(),
-                        transitions: Vec::new(),
-                        propagated: Vec::new(),
-                    });
-                    by_key.insert(key, i);
-                    i
-                }
-            };
-            let e = &mut entries[idx];
-            e.present_in.push(mode_idx);
-            e.latencies.push(clock.latency);
-            e.source_latencies.push(clock.source_latency);
-            e.uncertainties_setup.push(clock.uncertainty_setup);
-            e.uncertainties_hold.push(clock.uncertainty_hold);
-            e.transitions.push(clock.transition);
-            e.propagated.push(clock.propagated);
-        }
-    }
-
-    // Emission order: regular clocks first, generated clocks after (so
-    // the re-bound merged mode resolves masters). The master's merged
-    // name is looked up through the key map built below.
-    let master_name = |entries: &[ClockEntry], key: &ClockKey| -> Option<String> {
-        entries.iter().find(|e| &e.key == key).map(|e| e.name.clone())
+    let mut ctx = StageCtx {
+        netlist,
+        modes,
+        options,
+        sdc: &mut sdc,
+        conflicts: &mut conflicts,
+        prov: &mut prov,
+        diags: &mut diags,
     };
-    for e in &entries {
-        if e.generated.is_none() {
-            sdc.push(Command::CreateClock(CreateClock {
-                name: Some(e.name.clone()),
-                period: e.period,
-                waveform: Some(e.waveform),
-                sources: e.sources.iter().map(|&p| pin_ref(netlist, p)).collect(),
-                add: true,
-            }));
-        }
-    }
-    for e in &entries {
-        if let Some((master_key, source_pins, divide_by, multiply_by, invert)) = &e.generated {
-            match master_name(&entries, master_key) {
-                Some(master) => {
-                    sdc.push(Command::CreateGeneratedClock(modemerge_sdc::CreateGeneratedClock {
-                        name: Some(e.name.clone()),
-                        source: source_pins.iter().map(|&p| pin_ref(netlist, p)).collect(),
-                        master_clock: Some(clocks_ref([master])),
-                        divide_by: (*divide_by > 1).then_some(*divide_by),
-                        multiply_by: (*multiply_by > 1).then_some(*multiply_by),
-                        invert: *invert,
-                        targets: e.sources.iter().map(|&p| pin_ref(netlist, p)).collect(),
-                        add: true,
-                    }));
-                }
-                None => {
-                    // The master was not part of the union (it belonged
-                    // to a mode whose clock got a different key); fall
-                    // back to a plain clock with the derived waveform.
-                    sdc.push(Command::CreateClock(CreateClock {
-                        name: Some(e.name.clone()),
-                        period: e.period,
-                        waveform: Some(e.waveform),
-                        sources: e.sources.iter().map(|&p| pin_ref(netlist, p)).collect(),
-                        add: true,
-                    }));
-                }
-            }
-        }
-    }
 
-    // ---- §3.1.2 clock-based constraints -------------------------------
-    for e in &entries {
-        let clock_ref = vec![clocks_ref([e.name.clone()])];
-        let mins: Vec<f64> = e.latencies.iter().map(|l| l.min).collect();
-        let maxs: Vec<f64> = e.latencies.iter().map(|l| l.max).collect();
-        if !within_tolerance(&mins, options) || !within_tolerance(&maxs, options) {
-            conflicts.push(MergeConflict::ClockAttribute {
-                clock: e.name.clone(),
-                attribute: "latency",
-                values: maxs.clone(),
-            });
-        } else {
-            emit_min_max(
-                &mut sdc,
-                mins.iter().copied().fold(f64::INFINITY, f64::min),
-                maxs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-                |value, min_max| {
-                    Command::SetClockLatency(SetClockLatency {
-                        value,
-                        min_max,
-                        source: false,
-                        clocks: clock_ref.clone(),
-                    })
-                },
-            );
-        }
-        let smins: Vec<f64> = e.source_latencies.iter().map(|l| l.min).collect();
-        let smaxs: Vec<f64> = e.source_latencies.iter().map(|l| l.max).collect();
-        if !within_tolerance(&smins, options) || !within_tolerance(&smaxs, options) {
-            conflicts.push(MergeConflict::ClockAttribute {
-                clock: e.name.clone(),
-                attribute: "source latency",
-                values: smaxs.clone(),
-            });
-        } else {
-            emit_min_max(
-                &mut sdc,
-                smins.iter().copied().fold(f64::INFINITY, f64::min),
-                smaxs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-                |value, min_max| {
-                    Command::SetClockLatency(SetClockLatency {
-                        value,
-                        min_max,
-                        source: true,
-                        clocks: clock_ref.clone(),
-                    })
-                },
-            );
-        }
-        for (vals, sh, attr) in [
-            (&e.uncertainties_setup, SetupHold::Setup, "setup uncertainty"),
-            (&e.uncertainties_hold, SetupHold::Hold, "hold uncertainty"),
-        ] {
-            if !within_tolerance(vals, options) {
-                conflicts.push(MergeConflict::ClockAttribute {
-                    clock: e.name.clone(),
-                    attribute: attr,
-                    values: vals.clone(),
-                });
-            } else {
-                // Uncertainty is a pessimism margin: take the maximum.
-                let v = vals.iter().copied().fold(0.0f64, f64::max);
-                if v != 0.0 {
-                    sdc.push(Command::SetClockUncertainty(SetClockUncertainty {
-                        value: v,
-                        setup_hold: sh,
-                        clocks: clock_ref.clone(),
-                        from: Vec::new(),
-                        to: Vec::new(),
-                    }));
-                }
-            }
-        }
-        let tmins: Vec<f64> = e.transitions.iter().map(|t| t.min).collect();
-        let tmaxs: Vec<f64> = e.transitions.iter().map(|t| t.max).collect();
-        if !within_tolerance(&tmins, options) || !within_tolerance(&tmaxs, options) {
-            conflicts.push(MergeConflict::ClockAttribute {
-                clock: e.name.clone(),
-                attribute: "transition",
-                values: tmaxs.clone(),
-            });
-        } else {
-            emit_min_max(
-                &mut sdc,
-                tmins.iter().copied().fold(f64::INFINITY, f64::min),
-                tmaxs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-                |value, min_max| {
-                    Command::SetClockTransition(SetClockTransition {
-                        value,
-                        min_max,
-                        clocks: clock_ref.clone(),
-                    })
-                },
-            );
-        }
-        if e.propagated.iter().any(|&p| p) {
-            if e.propagated.iter().all(|&p| p) {
-                sdc.push(Command::SetPropagatedClock(SetPropagatedClock {
-                    clocks: clock_ref.clone(),
-                }));
-            } else {
-                conflicts.push(MergeConflict::PropagatedMismatch {
-                    clock: e.name.clone(),
-                });
-            }
-        }
-    }
-
-    // Inter-clock uncertainties: keyed by (launch, capture) identity;
-    // a mode carrying both clocks but no declaration contributes the
-    // default (0), so a disagreement beyond tolerance is a conflict,
-    // exactly like the other clock attributes.
-    {
-        let mut pair_values: BTreeMap<(ClockKey, ClockKey), (Vec<f64>, Vec<f64>)> =
-            BTreeMap::new();
-        for mode in modes {
-            for u in &mode.inter_uncertainties {
-                pair_values
-                    .entry((mode.clock_key(u.from), mode.clock_key(u.to)))
-                    .or_default();
-            }
-        }
-        let keys: Vec<(ClockKey, ClockKey)> = pair_values.keys().cloned().collect();
-        for key in keys {
-            let (setups, holds) = pair_values.get_mut(&key).expect("present");
-            for mode in modes {
-                let has_from = mode.clocks.iter().any(|c| c.key() == key.0);
-                let has_to = mode.clocks.iter().any(|c| c.key() == key.1);
-                if !(has_from && has_to) {
-                    continue;
-                }
-                let declared = mode.inter_uncertainties.iter().find(|u| {
-                    mode.clock_key(u.from) == key.0 && mode.clock_key(u.to) == key.1
-                });
-                setups.push(declared.map_or(0.0, |u| u.setup));
-                holds.push(declared.map_or(0.0, |u| u.hold));
-            }
-        }
-        for ((from_key, to_key), (setups, holds)) in pair_values {
-            let from_name = by_key
-                .get(&from_key)
-                .map(|&i| entries[i].name.clone())
-                .expect("inter-uncertainty clock in union");
-            let to_name = by_key
-                .get(&to_key)
-                .map(|&i| entries[i].name.clone())
-                .expect("inter-uncertainty clock in union");
-            if !within_tolerance(&setups, options) || !within_tolerance(&holds, options) {
-                conflicts.push(MergeConflict::ClockAttribute {
-                    clock: format!("{from_name}->{to_name}"),
-                    attribute: "inter-clock uncertainty",
-                    values: setups.clone(),
-                });
-                continue;
-            }
-            for (vals, sh) in [(setups, SetupHold::Setup), (holds, SetupHold::Hold)] {
-                let v = vals.iter().copied().fold(0.0f64, f64::max);
-                if v != 0.0 {
-                    sdc.push(Command::SetClockUncertainty(SetClockUncertainty {
-                        value: v,
-                        setup_hold: sh,
-                        clocks: Vec::new(),
-                        from: vec![clocks_ref([from_name.clone()])],
-                        to: vec![clocks_ref([to_name.clone()])],
-                    }));
-                }
-            }
-        }
-    }
+    // §3.1.1 union of clocks.
+    let union = stages::clock_union::run(&mut ctx);
+    // §3.1.2 clock-based constraints (incl. inter-clock uncertainty).
+    stages::clock_attrs::run(&mut ctx, &union);
 
     let clock_table = ClockTable {
-        names: entries.iter().map(|e| e.name.clone()).collect(),
-        keys: entries.iter().map(|e| e.key.clone()).collect(),
-        by_key,
+        names: union.entries.iter().map(|e| e.name.clone()).collect(),
+        keys: union.entries.iter().map(|e| e.key.clone()).collect(),
+        by_key: union.by_key.clone(),
     };
 
-    // ---- §3.1.3 union of external delay constraints -------------------
-    let mut seen_io: BTreeSet<(u8, PinId, String, u64, u8)> = BTreeSet::new();
-    for mode in modes {
-        for d in &mode.io_delays {
-            let clock_name = clock_table
-                .name_of(&mode.clock_key(d.clock))
-                .expect("io-delay clock is in the union table")
-                .to_owned();
-            let kind_tag = match d.kind {
-                modemerge_sdc::IoDelayKind::Input => 0u8,
-                modemerge_sdc::IoDelayKind::Output => 1u8,
-            };
-            let mm_tag = match d.min_max {
-                MinMax::Both => 0u8,
-                MinMax::Min => 1,
-                MinMax::Max => 2,
-            };
-            if seen_io.insert((kind_tag, d.pin, clock_name.clone(), d.value.to_bits(), mm_tag)) {
-                sdc.push(Command::IoDelay(SdcIoDelay {
-                    kind: d.kind,
-                    value: d.value,
-                    clock: Some(clocks_ref([clock_name])),
-                    clock_fall: false,
-                    add_delay: true,
-                    min_max: d.min_max,
-                    ports: vec![pin_ref(netlist, d.pin)],
-                }));
-            }
-        }
-    }
-
-    // ---- §3.1.4 intersection of case analysis -------------------------
-    let mut dropped_cases = Vec::new();
-    let mut disabled_case_pins = Vec::new();
-    let mut all_case_pins: BTreeSet<PinId> = BTreeSet::new();
-    for mode in modes {
-        all_case_pins.extend(mode.case_values.keys().copied());
-    }
-    for pin in all_case_pins {
-        let values: Vec<Option<bool>> = modes
-            .iter()
-            .map(|m| m.case_values.get(&pin).copied())
-            .collect();
-        if values.iter().all(|v| v.is_some()) {
-            let first = values[0];
-            if values.iter().all(|v| *v == first) {
-                sdc.push(Command::SetCaseAnalysis(SetCaseAnalysis {
-                    value: first.expect("all present"),
-                    objects: vec![pin_ref(netlist, pin)],
-                }));
-            } else {
-                // Constant in every mode but with conflicting values: the
-                // pin never toggles anywhere → disable timing through it
-                // (Constraint Set 3's CSTR1/CSTR2).
-                disabled_case_pins.push(pin);
-                sdc.push(Command::SetDisableTiming(SetDisableTiming {
-                    objects: vec![pin_ref(netlist, pin)],
-                    from: None,
-                    to: None,
-                }));
-            }
-        } else {
-            dropped_cases.push(pin);
-        }
-    }
-
-    // ---- §3.1.5 intersection of disable_timing ------------------------
-    let common_disabled: BTreeSet<PinId> = modes
-        .iter()
-        .map(|m| m.disabled_pins.clone())
-        .reduce(|a, b| a.intersection(&b).copied().collect())
-        .unwrap_or_default();
-    for pin in common_disabled {
-        sdc.push(Command::SetDisableTiming(SetDisableTiming {
-            objects: vec![pin_ref(netlist, pin)],
-            from: None,
-            to: None,
-        }));
-    }
-    let common_arcs: BTreeSet<(PinId, PinId)> = modes
-        .iter()
-        .map(|m| m.disabled_arcs.clone())
-        .reduce(|a, b| a.intersection(&b).copied().collect())
-        .unwrap_or_default();
-    for (from, to) in common_arcs {
-        if let (PinOwner::Instance(inst, fidx), PinOwner::Instance(_, tidx)) =
-            (netlist.pin(from).owner(), netlist.pin(to).owner())
-        {
-            let i = netlist.instance(inst);
-            let cell = netlist.library().cell(i.cell());
-            sdc.push(Command::SetDisableTiming(SetDisableTiming {
-                objects: vec![ObjectRef::Query(modemerge_sdc::ObjectQuery::new(
-                    modemerge_sdc::ObjectClass::Cell,
-                    [i.name().to_owned()],
-                ))],
-                from: Some(cell.pins()[fidx].name().to_owned()),
-                to: Some(cell.pins()[tidx].name().to_owned()),
-            }));
-        }
-    }
-
-    // ---- §3.1.6 drive / load / input transition -----------------------
-    merge_port_attribute(
-        netlist,
-        modes,
-        options,
-        &mut sdc,
-        &mut conflicts,
-        |m| &m.drives,
-        "drive",
-        |value, min_max, port| {
-            Command::SetDrive(SetDrive {
-                value,
-                min_max,
-                ports: vec![port],
-            })
-        },
-    );
-    merge_port_attribute(
-        netlist,
-        modes,
-        options,
-        &mut sdc,
-        &mut conflicts,
-        |m| &m.loads,
-        "load",
-        |value, min_max, port| {
-            Command::SetLoad(SetLoad {
-                value,
-                min_max,
-                objects: vec![port],
-            })
-        },
-    );
-    merge_port_attribute(
-        netlist,
-        modes,
-        options,
-        &mut sdc,
-        &mut conflicts,
-        |m| &m.input_transitions,
-        "input transition",
-        |value, min_max, port| {
-            Command::SetInputTransition(SetInputTransition {
-                value,
-                min_max,
-                ports: vec![port],
-            })
-        },
-    );
-
-    // ---- §3.1.7 clock exclusivity --------------------------------------
-    // Collect merged-clock pairs that co-exist in at least one individual
-    // mode; the rest become physically exclusive.
-    let n_clocks = clock_table.len();
-    let mut coexist = vec![false; n_clocks * n_clocks];
-    for e in &entries {
-        let i = clock_table.by_key[&e.key];
-        coexist[i * n_clocks + i] = true;
-    }
-    for (i, a) in entries.iter().enumerate() {
-        for (j, b) in entries.iter().enumerate().skip(i + 1) {
-            if a.present_in.iter().any(|m| b.present_in.contains(m)) {
-                coexist[i * n_clocks + j] = true;
-                coexist[j * n_clocks + i] = true;
-            }
-        }
-    }
-    // A pair is also separated when every individual mode carrying both
-    // clocks declares them in different clock groups — the merged mode
-    // inherits the constraint instead of re-deriving it as false paths
-    // during refinement.
-    let local_id = |mode: &Mode, key: &ClockKey| -> Option<modemerge_sta::mode::ClockId> {
-        mode.clock_ids().find(|&c| &mode.clock_key(c) == key)
-    };
-    for i in 0..n_clocks {
-        for j in (i + 1)..n_clocks {
-            let mut separated = coexist[i * n_clocks + j];
-            if separated {
-                // Coexisting somewhere: check the declared groups of
-                // every mode that has both.
-                let mut found_pair = false;
-                let mut all_separate = true;
-                for &mode in modes {
-                    let (Some(a), Some(b)) =
-                        (local_id(mode, &entries[i].key), local_id(mode, &entries[j].key))
-                    else {
-                        continue;
-                    };
-                    found_pair = true;
-                    if !mode.clocks_separated(a, b) {
-                        all_separate = false;
-                        break;
-                    }
-                }
-                separated = found_pair && all_separate;
-                if !separated {
-                    continue;
-                }
-            }
-            sdc.push(Command::SetClockGroups(SetClockGroups {
-                kind: ClockGroupKind::PhysicallyExclusive,
-                name: Some(format!("excl_{}_{}", entries[i].name, entries[j].name)),
-                groups: vec![
-                    vec![clocks_ref([entries[i].name.clone()])],
-                    vec![clocks_ref([entries[j].name.clone()])],
-                ],
-            }));
-        }
-    }
-
-    // ---- §3.1.9 / §3.1.10 exceptions -----------------------------------
-    let mode_clock_keys: Vec<BTreeSet<ClockKey>> = modes
-        .iter()
-        .map(|m| m.clocks.iter().map(|c| c.key()).collect())
-        .collect();
-    let mut canon: BTreeMap<CanonException, Vec<bool>> = BTreeMap::new();
-    for (mode_idx, &mode) in modes.iter().enumerate() {
-        for exc in &mode.exceptions {
-            let c = CanonException::from_resolved(mode, exc);
-            canon.entry(c).or_insert_with(|| vec![false; modes.len()])[mode_idx] = true;
-        }
-    }
-    let mut dropped_false_paths = 0;
-    let mut uniquified_exceptions = 0;
-    for (exc, present) in &canon {
-        if present.iter().all(|&p| p) {
-            sdc.push(emit_exception(netlist, &clock_table, exc, None, false));
-            continue;
-        }
-        let outcome = if options.uniquify_exceptions {
-            uniquify(exc, present, &mode_clock_keys)
-        } else {
-            UniquifyOutcome::Failed
-        };
-        match outcome {
-            UniquifyOutcome::AsIs => {
-                sdc.push(emit_exception(netlist, &clock_table, exc, None, false));
-            }
-            UniquifyOutcome::Uniquified(u) => {
-                if !u.lossless && !exc.kind.is_false_path() {
-                    conflicts.push(MergeConflict::UnuniquifiableException {
-                        exception: emit_exception(netlist, &clock_table, exc, None, false)
-                            .to_text(),
-                    });
-                    continue;
-                }
-                uniquified_exceptions += 1;
-                sdc.push(emit_exception(
-                    netlist,
-                    &clock_table,
-                    exc,
-                    Some(&u.from_clocks),
-                    u.move_from_pins_to_through,
-                ));
-            }
-            UniquifyOutcome::Failed => {
-                if exc.kind.is_false_path() {
-                    dropped_false_paths += 1;
-                } else {
-                    conflicts.push(MergeConflict::UnuniquifiableException {
-                        exception: emit_exception(netlist, &clock_table, exc, None, false)
-                            .to_text(),
-                    });
-                }
-            }
-        }
-    }
+    // §3.1.3 union of external delay constraints.
+    stages::io_delays::run(&mut ctx, &clock_table);
+    // §3.1.4 intersection of case analysis.
+    let cases = stages::case_analysis::run(&mut ctx);
+    // §3.1.5 intersection of disable_timing.
+    stages::disables::run(&mut ctx);
+    // §3.1.6 drive / load / input transition.
+    stages::port_attrs::run(&mut ctx);
+    // §3.1.7 clock exclusivity.
+    stages::exclusivity::run(&mut ctx, &union);
+    // §3.1.9 / §3.1.10 exceptions.
+    let excs = stages::exceptions::run(&mut ctx, &clock_table);
 
     Preliminary {
         sdc,
         clock_table,
         conflicts,
-        dropped_cases,
-        disabled_case_pins,
-        dropped_false_paths,
-        uniquified_exceptions,
+        dropped_cases: cases.dropped_cases,
+        disabled_case_pins: cases.disabled_case_pins,
+        dropped_false_paths: excs.dropped_false_paths,
+        uniquified_exceptions: excs.uniquified_exceptions,
+        provenance: prov,
+        diagnostics: diags.into_vec(),
     }
-}
-
-fn emit_min_max(sdc: &mut SdcFile, min: f64, max: f64, make: impl Fn(f64, MinMax) -> Command) {
-    if min == 0.0 && max == 0.0 {
-        return;
-    }
-    if (min - max).abs() < 1e-12 {
-        sdc.push(make(max, MinMax::Both));
-    } else {
-        sdc.push(make(min, MinMax::Min));
-        sdc.push(make(max, MinMax::Max));
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn merge_port_attribute(
-    netlist: &Netlist,
-    modes: &[&Mode],
-    options: &MergeOptions,
-    sdc: &mut SdcFile,
-    conflicts: &mut Vec<MergeConflict>,
-    get: impl Fn(&Mode) -> &BTreeMap<PinId, MinMaxPair>,
-    attribute: &'static str,
-    make: impl Fn(f64, MinMax, ObjectRef) -> Command,
-) {
-    let mut all_pins: BTreeSet<PinId> = BTreeSet::new();
-    for &mode in modes {
-        all_pins.extend(get(mode).keys().copied());
-    }
-    for pin in all_pins {
-        let values: Vec<Option<MinMaxPair>> =
-            modes.iter().map(|&m| get(m).get(&pin).copied()).collect();
-        if values.iter().any(|v| v.is_none()) {
-            conflicts.push(MergeConflict::PortAttribute {
-                object: netlist.pin_name(pin),
-                attribute,
-            });
-            continue;
-        }
-        let mins: Vec<f64> = values.iter().map(|v| v.expect("checked").min).collect();
-        let maxs: Vec<f64> = values.iter().map(|v| v.expect("checked").max).collect();
-        if !within_tolerance(&mins, options) || !within_tolerance(&maxs, options) {
-            conflicts.push(MergeConflict::PortAttribute {
-                object: netlist.pin_name(pin),
-                attribute,
-            });
-            continue;
-        }
-        let min = mins.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = maxs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let port = pin_ref(netlist, pin);
-        if (min - max).abs() < 1e-12 {
-            sdc.push(make(max, MinMax::Both, port));
-        } else {
-            sdc.push(make(min, MinMax::Min, port.clone()));
-            sdc.push(make(max, MinMax::Max, port));
-        }
-    }
-}
-
-/// Builds the SDC command for a canonical exception, optionally replacing
-/// the `-from` clocks (uniquification) and moving `-from` pins into a
-/// leading `-through` hop.
-pub(crate) fn emit_exception(
-    netlist: &Netlist,
-    table: &ClockTable,
-    exc: &CanonException,
-    override_from_clocks: Option<&BTreeSet<ClockKey>>,
-    move_from_pins_to_through: bool,
-) -> Command {
-    let clock_names = |keys: &BTreeSet<ClockKey>| -> Vec<String> {
-        keys.iter()
-            .map(|k| {
-                table
-                    .name_of(k)
-                    .expect("exception clock is in the union table")
-                    .to_owned()
-            })
-            .collect()
-    };
-    let mut spec = PathSpec::default();
-    let from_clock_keys = override_from_clocks.unwrap_or(&exc.from_clocks);
-    if !from_clock_keys.is_empty() {
-        spec.from.push(clocks_ref(clock_names(from_clock_keys)));
-    }
-    if !exc.from_pins.is_empty() {
-        if move_from_pins_to_through {
-            spec.through
-                .push(pins_refs(netlist, exc.from_pins.iter().copied()));
-        } else {
-            spec.from
-                .extend(pins_refs(netlist, exc.from_pins.iter().copied()));
-        }
-    }
-    for hop in &exc.through {
-        spec.through.push(pins_refs(netlist, hop.iter().copied()));
-    }
-    if !exc.to_clocks.is_empty() {
-        spec.to.push(clocks_ref(clock_names(&exc.to_clocks)));
-    }
-    if !exc.to_pins.is_empty() {
-        spec.to.extend(pins_refs(netlist, exc.to_pins.iter().copied()));
-    }
-    Command::PathException(PathException {
-        kind: exc.kind.to_sdc(),
-        setup_hold: exc.setup_hold,
-        spec,
-    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::provenance::RuleCode;
     use modemerge_netlist::paper::paper_circuit;
 
     fn bind(netlist: &Netlist, name: &str, text: &str) -> Mode {
@@ -844,6 +194,14 @@ mod tests {
         assert!(text.contains("-name clkB_1"), "{text}");
         // Min latency is the minimum of 1.2 and 1.1.
         assert!(text.contains("set_clock_latency -min 1.1"), "{text}");
+        // Both renames surface as MM-CLK-RENAME diagnostics.
+        let renames: Vec<_> = p
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == RuleCode::ClkRename)
+            .collect();
+        assert_eq!(renames.len(), 2, "{:?}", p.diagnostics);
+        assert!(renames[0].message.contains("clkA_1"), "{renames:?}");
     }
 
     #[test]
@@ -856,8 +214,18 @@ mod tests {
         ]);
         assert!(matches!(
             p.conflicts.first(),
-            Some(MergeConflict::ClockAttribute { attribute: "latency", .. })
+            Some(MergeConflict::ClockAttribute {
+                attribute: "latency",
+                ..
+            })
         ));
+        assert!(
+            p.diagnostics
+                .iter()
+                .any(|d| d.code == RuleCode::ClkConflict),
+            "{:?}",
+            p.diagnostics
+        );
     }
 
     #[test]
@@ -870,10 +238,17 @@ mod tests {
              set_input_delay 2.0 -clock ClkB [get_ports in1]\n",
         ]);
         let text = p.sdc.to_text();
-        assert!(text.contains("set_input_delay 2 -clock [get_clocks ClkA] -add_delay [get_ports in1]"));
-        assert!(text.contains("set_input_delay 2 -clock [get_clocks ClkB] -add_delay [get_ports in1]"));
+        assert!(
+            text.contains("set_input_delay 2 -clock [get_clocks ClkA] -add_delay [get_ports in1]")
+        );
+        assert!(
+            text.contains("set_input_delay 2 -clock [get_clocks ClkB] -add_delay [get_ports in1]")
+        );
         // Exclusivity between the two same-source clocks (CSTR5).
-        assert!(text.contains("set_clock_groups -physically_exclusive"), "{text}");
+        assert!(
+            text.contains("set_clock_groups -physically_exclusive"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -896,13 +271,28 @@ mod tests {
             "set_case_analysis 1 sel1\nset_case_analysis 0 sel2\n",
         ]);
         let text = p.sdc.to_text();
-        assert!(text.contains("set_disable_timing [get_ports sel1]"), "{text}");
-        assert!(text.contains("set_disable_timing [get_ports sel2]"), "{text}");
+        assert!(
+            text.contains("set_disable_timing [get_ports sel1]"),
+            "{text}"
+        );
+        assert!(
+            text.contains("set_disable_timing [get_ports sel2]"),
+            "{text}"
+        );
         assert!(!text.contains("set_case_analysis"), "{text}");
         assert_eq!(p.disabled_case_pins.len(), 2);
         assert!(p
             .disabled_case_pins
             .contains(&netlist.find_pin("sel1").unwrap()));
+        assert_eq!(
+            p.diagnostics
+                .iter()
+                .filter(|d| d.code == RuleCode::CaseDisable)
+                .count(),
+            2,
+            "{:?}",
+            p.diagnostics
+        );
     }
 
     #[test]
@@ -912,9 +302,19 @@ mod tests {
             "set_case_analysis 1 sel1\n",
         ]);
         let text = p.sdc.to_text();
-        assert!(text.contains("set_case_analysis 1 [get_ports sel1]"), "{text}");
+        assert!(
+            text.contains("set_case_analysis 1 [get_ports sel1]"),
+            "{text}"
+        );
         assert!(!text.contains("sel2"), "{text}");
         assert_eq!(p.dropped_cases, vec![netlist.find_pin("sel2").unwrap()]);
+        assert!(
+            p.diagnostics
+                .iter()
+                .any(|d| d.code == RuleCode::CaseDrop && d.message.contains("sel2")),
+            "{:?}",
+            p.diagnostics
+        );
     }
 
     #[test]
@@ -937,6 +337,12 @@ mod tests {
         assert!(p.conflicts.is_empty(), "{:?}", p.conflicts);
         let text = p.sdc.to_text();
         assert!(text.contains("set_drive"), "{text}");
+        // The envelope snap is diagnosed.
+        assert!(
+            p.diagnostics.iter().any(|d| d.code == RuleCode::TolSnap),
+            "{:?}",
+            p.diagnostics
+        );
 
         let (p, _) = merge_text(&[
             "set_drive 0.5 [get_ports in1]\n",
@@ -944,12 +350,22 @@ mod tests {
         ]);
         assert!(matches!(
             p.conflicts.first(),
-            Some(MergeConflict::PortAttribute { attribute: "drive", .. })
+            Some(MergeConflict::PortAttribute {
+                attribute: "drive",
+                ..
+            })
         ));
 
         // Present in only one mode → conflict.
         let (p, _) = merge_text(&["set_drive 0.5 [get_ports in1]\n", "# empty\n"]);
         assert!(!p.conflicts.is_empty());
+        assert!(
+            p.diagnostics
+                .iter()
+                .any(|d| d.code == RuleCode::PortConflict),
+            "{:?}",
+            p.diagnostics
+        );
     }
 
     #[test]
@@ -961,7 +377,10 @@ mod tests {
              set_false_path -to [get_pins rX/D]\n",
         ]);
         let text = p.sdc.to_text();
-        assert!(text.contains("set_false_path -to [get_pins rX/D]"), "{text}");
+        assert!(
+            text.contains("set_false_path -to [get_pins rX/D]"),
+            "{text}"
+        );
         assert_eq!(p.dropped_false_paths, 0);
     }
 
@@ -1010,6 +429,11 @@ mod tests {
         assert!(p.conflicts.is_empty());
         assert_eq!(p.dropped_false_paths, 1);
         assert!(!p.sdc.to_text().contains("set_false_path"));
+        assert!(
+            p.diagnostics.iter().any(|d| d.code == RuleCode::ExcDrop),
+            "{:?}",
+            p.diagnostics
+        );
     }
 
     #[test]
@@ -1110,5 +534,42 @@ mod tests {
         assert!(!text.contains("excl_a_b"), "{text}");
         assert!(text.contains("excl_a_c"), "{text}");
         assert!(text.contains("excl_b_c"), "{text}");
+    }
+
+    #[test]
+    fn provenance_covers_every_emitted_command() {
+        let (p, _) = merge_text(&[
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_clock_uncertainty -setup 0.1 [get_clocks clkA]\n\
+             set_input_delay 1 -clock clkA [get_ports in1]\n\
+             set_case_analysis 0 sel1\n\
+             set_false_path -to [get_pins rX/D]\n",
+            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_case_analysis 0 sel1\n\
+             set_false_path -to [get_pins rX/D]\n",
+        ]);
+        assert!(p.conflicts.is_empty(), "{:?}", p.conflicts);
+        for (idx, cmd) in p.sdc.commands().iter().enumerate() {
+            assert!(
+                p.provenance.for_command(idx).is_some(),
+                "command {idx} has no provenance: {}",
+                cmd.to_text()
+            );
+        }
+        // The common false path traces to both modes with source lines.
+        let fp_idx = p
+            .sdc
+            .commands()
+            .iter()
+            .position(|c| c.to_text().starts_with("set_false_path"))
+            .expect("false path emitted");
+        let rec = p.provenance.for_command(fp_idx).unwrap();
+        assert_eq!(rec.rule, RuleCode::ExcCommon);
+        assert_eq!(rec.contribs, vec![(0, 5), (1, 3)]);
+        let described = p.provenance.describe(rec);
+        assert!(
+            described.contains("MM-EXC-COMMON from m0:5 m1:3"),
+            "{described}"
+        );
     }
 }

@@ -1,0 +1,486 @@
+//! Provenance arena and diagnostics bus for the merge pipeline.
+//!
+//! Every constraint the staged pipeline emits can carry a
+//! [`ProvRecord`]: the §3.1/§3.2 rule that produced it (a stable
+//! [`RuleCode`]), the contributing modes (dense indices into an
+//! interned mode-name table — same dense-id style as
+//! `modemerge_sta::keys`) with their 1-based SDC source lines, and a
+//! free-form deterministic detail string. Judgement calls that do *not*
+//! map 1:1 onto an emitted command (a dropped case pin, a clock rename,
+//! a tolerance snap) surface as [`Diagnostic`]s on the
+//! [`DiagnosticSink`].
+//!
+//! Both structures are strictly append-only and written only by the
+//! serial stage drivers (parallel pass results are stitched in index
+//! order first), so their contents are byte-deterministic at any
+//! `--threads` count — a hard requirement for the service result cache,
+//! which replays serialized outcomes.
+
+use crate::json::Json;
+use modemerge_sdc::SdcFile;
+use std::fmt;
+
+/// Stable diagnostic / provenance rule codes (the `MM-*` registry).
+///
+/// The wire strings returned by [`RuleCode::code`] are a public,
+/// append-only contract: codes are never renamed or reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum RuleCode {
+    /// §3.1.1 — clock admitted to the union table.
+    ClkUnion,
+    /// §3.1.1 — clock renamed on a name collision (same name, different
+    /// identity key).
+    ClkRename,
+    /// §3.1.2 — clock attribute merged (identical across modes).
+    ClkAttr,
+    /// §3.1.2 — clock/port attribute values differed within tolerance
+    /// and were snapped to the envelope.
+    TolSnap,
+    /// §3.1.2 — clock attribute conflict beyond tolerance.
+    ClkConflict,
+    /// §3.1.3 — external delay admitted to the `-add_delay` union.
+    IoUnion,
+    /// §3.1.4 — case-analysis value kept (all modes agree).
+    CaseKeep,
+    /// §3.1.4 — case-analysis pin dropped (present in only some modes).
+    CaseDrop,
+    /// §3.1.4 — conflicting case values replaced by a disable.
+    CaseDisable,
+    /// §3.1.5 — disable present in every mode (intersection).
+    DisInt,
+    /// §3.1.6 — port attribute (drive/load/transition) merged.
+    PortAttr,
+    /// §3.1.6 — port attribute conflict (partial or beyond tolerance).
+    PortConflict,
+    /// §3.1.7 — clocks declared physically exclusive.
+    Excl,
+    /// §3.1.9 — exception common to every mode.
+    ExcCommon,
+    /// §3.1.10 — exception restricted by uniquification.
+    ExcUniq,
+    /// §3.1.9 — false path dropped (re-derived by refinement).
+    ExcDrop,
+    /// §3.1.8 — clock stopped at a network frontier.
+    NetStop,
+    /// §3.2 step 1 — launch clock cut from a data-network frontier.
+    NetDisable,
+    /// §3.2 pass 1 — endpoint/clock-pair granularity false path.
+    FpPass1,
+    /// §3.2 pass 2 — startpoint × endpoint granularity false path.
+    FpPass2,
+    /// §3.2 pass 3 — through-point granularity false path.
+    FpPass3,
+}
+
+impl RuleCode {
+    /// The stable wire code.
+    pub fn code(self) -> &'static str {
+        match self {
+            Self::ClkUnion => "MM-CLK-UNION",
+            Self::ClkRename => "MM-CLK-RENAME",
+            Self::ClkAttr => "MM-CLK-ATTR",
+            Self::TolSnap => "MM-TOL-SNAP",
+            Self::ClkConflict => "MM-CLK-CONFLICT",
+            Self::IoUnion => "MM-IO-UNION",
+            Self::CaseKeep => "MM-CASE-KEEP",
+            Self::CaseDrop => "MM-CASE-DROP",
+            Self::CaseDisable => "MM-CASE-DISABLE",
+            Self::DisInt => "MM-DIS-INT",
+            Self::PortAttr => "MM-PORT-ATTR",
+            Self::PortConflict => "MM-PORT-CONFLICT",
+            Self::Excl => "MM-EXCL",
+            Self::ExcCommon => "MM-EXC-COMMON",
+            Self::ExcUniq => "MM-EXC-UNIQ",
+            Self::ExcDrop => "MM-EXC-DROP",
+            Self::NetStop => "MM-NET-STOP",
+            Self::NetDisable => "MM-NET-DISABLE",
+            Self::FpPass1 => "MM-FP-PASS1",
+            Self::FpPass2 => "MM-FP-PASS2",
+            Self::FpPass3 => "MM-FP-PASS3",
+        }
+    }
+
+    /// Every registered code, in registry order.
+    pub fn all() -> &'static [RuleCode] {
+        &[
+            Self::ClkUnion,
+            Self::ClkRename,
+            Self::ClkAttr,
+            Self::TolSnap,
+            Self::ClkConflict,
+            Self::IoUnion,
+            Self::CaseKeep,
+            Self::CaseDrop,
+            Self::CaseDisable,
+            Self::DisInt,
+            Self::PortAttr,
+            Self::PortConflict,
+            Self::Excl,
+            Self::ExcCommon,
+            Self::ExcUniq,
+            Self::ExcDrop,
+            Self::NetStop,
+            Self::NetDisable,
+            Self::FpPass1,
+            Self::FpPass2,
+            Self::FpPass3,
+        ]
+    }
+}
+
+impl fmt::Display for RuleCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Dense id of a [`ProvRecord`] within a [`ProvenanceStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ProvId(u32);
+
+/// One contributing mode: dense mode index + 1-based source line in
+/// that mode's SDC (`0` when unknown/synthesized).
+pub type Contrib = (u32, u32);
+
+/// Why one merged-mode constraint exists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvRecord {
+    /// The merge rule that produced the constraint.
+    pub rule: RuleCode,
+    /// Contributing `(mode index, source line)` pairs; indices resolve
+    /// through [`ProvenanceStore::mode_name`].
+    pub contribs: Vec<Contrib>,
+    /// Deterministic human-readable detail.
+    pub detail: String,
+}
+
+/// Append-only provenance arena for one merged group.
+///
+/// Mode names are interned once (dense index = position in the merge
+/// group); records map merged-SDC command indices to their derivation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProvenanceStore {
+    mode_names: Vec<String>,
+    records: Vec<ProvRecord>,
+    /// `(command index, record id)` pairs, sorted by construction
+    /// (commands are recorded as they are pushed).
+    by_command: Vec<(u32, ProvId)>,
+}
+
+impl ProvenanceStore {
+    /// Creates a store interning the group's mode names in order.
+    pub fn new(mode_names: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        Self {
+            mode_names: mode_names.into_iter().map(Into::into).collect(),
+            records: Vec::new(),
+            by_command: Vec::new(),
+        }
+    }
+
+    /// The interned name of mode `idx`, or `"?"` out of range.
+    pub fn mode_name(&self, idx: u32) -> &str {
+        self.mode_names
+            .get(idx as usize)
+            .map_or("?", String::as_str)
+    }
+
+    /// All interned mode names, in group order.
+    pub fn mode_names(&self) -> &[String] {
+        &self.mode_names
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no record has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Appends a record without attaching it to a command.
+    pub fn record(
+        &mut self,
+        rule: RuleCode,
+        contribs: Vec<Contrib>,
+        detail: impl Into<String>,
+    ) -> ProvId {
+        let id = ProvId(self.records.len() as u32);
+        self.records.push(ProvRecord {
+            rule,
+            contribs,
+            detail: detail.into(),
+        });
+        id
+    }
+
+    /// Attaches an existing record to merged-SDC command `cmd_idx`.
+    pub fn attach(&mut self, cmd_idx: usize, id: ProvId) {
+        self.by_command.push((cmd_idx as u32, id));
+    }
+
+    /// Records and attaches in one step.
+    pub fn record_for(
+        &mut self,
+        cmd_idx: usize,
+        rule: RuleCode,
+        contribs: Vec<Contrib>,
+        detail: impl Into<String>,
+    ) -> ProvId {
+        let id = self.record(rule, contribs, detail);
+        self.attach(cmd_idx, id);
+        id
+    }
+
+    /// The record attached to merged-SDC command `cmd_idx`, if any.
+    pub fn for_command(&self, cmd_idx: usize) -> Option<&ProvRecord> {
+        self.by_command
+            .iter()
+            .find(|&&(c, _)| c as usize == cmd_idx)
+            .map(|&(_, ProvId(r))| &self.records[r as usize])
+    }
+
+    /// Iterates `(command index, record)` pairs in recording order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &ProvRecord)> {
+        self.by_command
+            .iter()
+            .map(|&(c, ProvId(r))| (c as usize, &self.records[r as usize]))
+    }
+
+    /// Renders one record as the `mm:` annotation / explain line:
+    /// `<code> from <mode>:<line> <mode>:<line> — <detail>`.
+    pub fn describe(&self, record: &ProvRecord) -> String {
+        let mut out = record.rule.code().to_owned();
+        if !record.contribs.is_empty() {
+            out.push_str(" from");
+            for &(mode, line) in &record.contribs {
+                out.push(' ');
+                out.push_str(self.mode_name(mode));
+                if line != 0 {
+                    out.push(':');
+                    out.push_str(&line.to_string());
+                }
+            }
+        }
+        if !record.detail.is_empty() {
+            out.push_str(" -- ");
+            out.push_str(&record.detail);
+        }
+        out
+    }
+
+    /// Attaches `# mm: …` comments to every command with a record.
+    /// Existing comments on those commands are replaced; commands
+    /// without provenance keep theirs.
+    pub fn annotate(&self, sdc: &mut SdcFile) {
+        for (cmd_idx, record) in self.iter() {
+            if cmd_idx < sdc.commands().len() {
+                sdc.set_comments(cmd_idx, vec![format!("mm: {}", self.describe(record))]);
+            }
+        }
+    }
+
+    /// Serializes the store: `{"modes":[...],"records":[{...}]}`.
+    /// Records carry their merged-SDC command index (`-1` when
+    /// unattached), the rule code, contributing `{mode,line}` pairs and
+    /// the detail string.
+    pub fn to_json(&self) -> Json {
+        let modes = Json::Arr(
+            self.mode_names
+                .iter()
+                .map(|n| Json::Str(n.clone()))
+                .collect(),
+        );
+        let mut attached: Vec<(i64, &ProvRecord)> = self
+            .by_command
+            .iter()
+            .map(|&(c, ProvId(r))| (i64::from(c), &self.records[r as usize]))
+            .collect();
+        // Unattached records (diag-only derivations) come last.
+        let attached_ids: std::collections::BTreeSet<u32> =
+            self.by_command.iter().map(|&(_, ProvId(r))| r).collect();
+        for (i, r) in self.records.iter().enumerate() {
+            if !attached_ids.contains(&(i as u32)) {
+                attached.push((-1, r));
+            }
+        }
+        let records = Json::Arr(
+            attached
+                .into_iter()
+                .map(|(cmd, r)| {
+                    Json::Obj(vec![
+                        ("command".into(), Json::num(cmd as f64)),
+                        ("rule".into(), Json::Str(r.rule.code().into())),
+                        (
+                            "modes".into(),
+                            Json::Arr(
+                                r.contribs
+                                    .iter()
+                                    .map(|&(m, line)| {
+                                        Json::Obj(vec![
+                                            ("mode".into(), Json::Str(self.mode_name(m).into())),
+                                            ("line".into(), Json::count(line as usize)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                        ("detail".into(), Json::Str(r.detail.clone())),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Obj(vec![("modes".into(), modes), ("records".into(), records)])
+    }
+}
+
+/// One machine-readable judgement call of the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code (see [`RuleCode::code`]).
+    pub code: RuleCode,
+    /// Deterministic human-readable message.
+    pub message: String,
+}
+
+/// Append-only diagnostics bus shared by the pipeline stages.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiagnosticSink {
+    diags: Vec<Diagnostic>,
+}
+
+impl DiagnosticSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emits one diagnostic.
+    pub fn emit(&mut self, code: RuleCode, message: impl Into<String>) {
+        self.diags.push(Diagnostic {
+            code,
+            message: message.into(),
+        });
+    }
+
+    /// All diagnostics, in emission order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Number of diagnostics emitted.
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// `true` when nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Consumes the sink, returning the diagnostics.
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.diags
+    }
+}
+
+/// Serializes diagnostics as `[{"code":…,"message":…}]`.
+pub fn diagnostics_to_json(diags: &[Diagnostic]) -> Json {
+    Json::Arr(
+        diags
+            .iter()
+            .map(|d| {
+                Json::Obj(vec![
+                    ("code".into(), Json::Str(d.code.code().into())),
+                    ("message".into(), Json::Str(d.message.clone())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for &c in RuleCode::all() {
+            assert!(c.code().starts_with("MM-"), "{c}");
+            assert!(seen.insert(c.code()), "duplicate code {c}");
+        }
+        assert_eq!(RuleCode::ClkRename.code(), "MM-CLK-RENAME");
+        assert_eq!(RuleCode::TolSnap.code(), "MM-TOL-SNAP");
+        assert_eq!(RuleCode::ExcDrop.code(), "MM-EXC-DROP");
+        assert_eq!(RuleCode::NetDisable.code(), "MM-NET-DISABLE");
+        assert_eq!(RuleCode::FpPass3.code(), "MM-FP-PASS3");
+    }
+
+    #[test]
+    fn records_attach_to_commands() {
+        let mut store = ProvenanceStore::new(["A", "B"]);
+        let id = store.record(RuleCode::ClkUnion, vec![(0, 2), (1, 3)], "clock c");
+        store.attach(0, id);
+        store.record_for(3, RuleCode::ExcCommon, vec![(0, 5), (1, 7)], "fp");
+        assert_eq!(store.len(), 2);
+        let r = store.for_command(0).unwrap();
+        assert_eq!(r.rule, RuleCode::ClkUnion);
+        assert_eq!(store.describe(r), "MM-CLK-UNION from A:2 B:3 -- clock c");
+        assert!(store.for_command(1).is_none());
+        assert_eq!(store.for_command(3).unwrap().rule, RuleCode::ExcCommon);
+    }
+
+    #[test]
+    fn describe_omits_zero_lines() {
+        let store = {
+            let mut s = ProvenanceStore::new(["A"]);
+            s.record(RuleCode::DisInt, vec![(0, 0)], "");
+            s
+        };
+        let r = &store.iter().next().map(|(_, r)| r.clone());
+        assert!(r.is_none(), "unattached record never iterates by command");
+        let rec = ProvRecord {
+            rule: RuleCode::DisInt,
+            contribs: vec![(0, 0)],
+            detail: String::new(),
+        };
+        assert_eq!(store.describe(&rec), "MM-DIS-INT from A");
+    }
+
+    #[test]
+    fn annotate_sets_mm_comments() {
+        let mut sdc = SdcFile::parse(
+            "create_clock -name c -period 10 [get_ports clk1]\n\
+             set_false_path -to [get_pins rX/D]\n",
+        )
+        .unwrap();
+        let mut store = ProvenanceStore::new(["A", "B"]);
+        store.record_for(1, RuleCode::ExcCommon, vec![(0, 2), (1, 2)], "common");
+        store.annotate(&mut sdc);
+        let text = sdc.to_annotated_text();
+        assert!(
+            text.contains("# mm: MM-EXC-COMMON from A:2 B:2 -- common\nset_false_path"),
+            "{text}"
+        );
+        // Plain output is untouched.
+        assert!(!sdc.to_text().contains('#'));
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut store = ProvenanceStore::new(["A"]);
+        store.record_for(4, RuleCode::FpPass2, vec![(0, 9)], "rA -> rY");
+        let v = store.to_json();
+        let text = v.to_string();
+        assert!(text.contains("\"rule\":\"MM-FP-PASS2\""), "{text}");
+        assert!(text.contains("\"command\":4"), "{text}");
+        assert!(text.contains("\"mode\":\"A\""), "{text}");
+        let mut sink = DiagnosticSink::new();
+        sink.emit(RuleCode::CaseDrop, "pin sel2 dropped");
+        let d = diagnostics_to_json(sink.diagnostics()).to_string();
+        assert!(d.contains("\"code\":\"MM-CASE-DROP\""), "{d}");
+    }
+}

@@ -20,6 +20,7 @@
 use crate::emit::{clocks_ref, pins_refs};
 use crate::error::{MergeConflict, MergeError};
 use crate::merge::MergeOptions;
+use crate::provenance::{Contrib, DiagnosticSink, ProvenanceStore, RuleCode};
 use crate::three_pass::compare_and_fix;
 use modemerge_netlist::{Netlist, PinId};
 use modemerge_sdc::{
@@ -61,6 +62,16 @@ pub struct RefineOutcome {
     pub propagations: u64,
     /// Memoized-propagation hits in the 3-pass (all iterations).
     pub propagation_cache_hits: u64,
+}
+
+/// One candidate fix plus its derivation, kept together so the
+/// text-level dedup in the fixed-point loop cannot separate a command
+/// from its provenance.
+struct Derived {
+    cmd: Command,
+    rule: RuleCode,
+    contribs: Vec<Contrib>,
+    detail: String,
 }
 
 /// Per-node clock-key sets for one analysis, in clock-network or
@@ -152,6 +163,8 @@ pub fn refine(
     individual_analyses: &[&Analysis<'_>],
     mut sdc: SdcFile,
     options: &MergeOptions,
+    prov: &mut ProvenanceStore,
+    diags: &mut DiagnosticSink,
 ) -> Result<RefineOutcome, MergeError> {
     let indiv_clock_union = union_maps(individual_analyses.iter().map(|&a| clock_network_keys(a)));
     let indiv_data_union = union_maps(individual_analyses.iter().map(|&a| data_network_keys(a)));
@@ -190,53 +203,100 @@ pub fn refine(
         // changes capture-clock sets, which changes what the data view and
         // the 3-pass comparison see, so later stages only run once earlier
         // stages are at a fixed point.
+        //
+        // Each candidate fix travels with its derivation (rule code,
+        // contributing modes, relation detail) so dedup keeps provenance
+        // aligned with the constraints that actually land in the SDC.
         let push_new = |sdc: &mut SdcFile,
-                            existing: &mut BTreeSet<String>,
-                            fixes: Vec<Command>|
+                        existing: &mut BTreeSet<String>,
+                        prov: &mut ProvenanceStore,
+                        diags: &mut DiagnosticSink,
+                        fixes: Vec<Derived>|
          -> usize {
             let mut added = 0;
             for fix in fixes {
-                if existing.insert(fix.to_text()) {
-                    sdc.push(fix);
+                let text = fix.cmd.to_text();
+                if existing.insert(text.clone()) {
+                    let idx = sdc.commands().len();
+                    sdc.push(fix.cmd);
+                    prov.record_for(idx, fix.rule, fix.contribs, fix.detail.clone());
+                    diags.emit(fix.rule, format!("{text} ({})", fix.detail));
                     added += 1;
                 }
             }
             added
         };
+        // Clocks carrying a mode's declaration (contributing modes for
+        // the frontier fixes: every mode whose view lacks the clock at
+        // the frontier is a witness; we attribute to the modes that
+        // *define* the clock, which is what explain wants to surface).
+        let modes_with_clock = |key: &ClockKey| -> Vec<Contrib> {
+            individual_analyses
+                .iter()
+                .enumerate()
+                .filter_map(|(i, a)| {
+                    a.mode()
+                        .clocks
+                        .iter()
+                        .find(|c| &c.key() == key)
+                        .map(|c| (i as u32, c.line))
+                })
+                .collect()
+        };
 
         // §3.1.8 clock refinement.
-        let mut fixes: Vec<Command> = Vec::new();
+        let mut fixes: Vec<Derived> = Vec::new();
         let merged_clock_view = clock_network_keys(&merged);
         for (key, pins) in frontier_mismatches(&merged, &merged_clock_view, &indiv_clock_union) {
-            fixes.push(Command::SetClockSense(SetClockSense {
-                stop_propagation: true,
-                positive: false,
-                negative: false,
-                clocks: vec![clocks_ref([clock_name_of(&key)])],
-                pins: pins_refs(netlist, pins),
-            }));
+            let name = clock_name_of(&key);
+            let frontier: Vec<String> = pins.iter().map(|&p| netlist.pin_name(p)).collect();
+            fixes.push(Derived {
+                cmd: Command::SetClockSense(SetClockSense {
+                    stop_propagation: true,
+                    positive: false,
+                    negative: false,
+                    clocks: vec![clocks_ref([name.clone()])],
+                    pins: pins_refs(netlist, pins),
+                }),
+                rule: RuleCode::NetStop,
+                contribs: modes_with_clock(&key),
+                detail: format!(
+                    "clock '{name}' reaches {} in the merged mode only",
+                    frontier.join(" ")
+                ),
+            });
         }
-        let added = push_new(&mut sdc, &mut existing, fixes);
+        let added = push_new(&mut sdc, &mut existing, prov, diags, fixes);
         if added > 0 {
             outcome.clock_stops += added;
             continue;
         }
 
         // §3.2 step 1: data-network clock cuts.
-        let mut fixes: Vec<Command> = Vec::new();
+        let mut fixes: Vec<Derived> = Vec::new();
         let merged_data_view = data_network_keys(&merged);
         for (key, pins) in frontier_mismatches(&merged, &merged_data_view, &indiv_data_union) {
-            fixes.push(Command::PathException(PathException {
-                kind: PathExceptionKind::FalsePath,
-                setup_hold: SetupHold::Both,
-                spec: PathSpec {
-                    from: vec![clocks_ref([clock_name_of(&key)])],
-                    through: vec![pins_refs(netlist, pins)],
-                    to: Vec::new(),
-                },
-            }));
+            let name = clock_name_of(&key);
+            let frontier: Vec<String> = pins.iter().map(|&p| netlist.pin_name(p)).collect();
+            fixes.push(Derived {
+                cmd: Command::PathException(PathException {
+                    kind: PathExceptionKind::FalsePath,
+                    setup_hold: SetupHold::Both,
+                    spec: PathSpec {
+                        from: vec![clocks_ref([name.clone()])],
+                        through: vec![pins_refs(netlist, pins)],
+                        to: Vec::new(),
+                    },
+                }),
+                rule: RuleCode::NetDisable,
+                contribs: modes_with_clock(&key),
+                detail: format!(
+                    "launch clock '{name}' crosses {} in the merged mode only",
+                    frontier.join(" ")
+                ),
+            });
         }
-        let added = push_new(&mut sdc, &mut existing, fixes);
+        let added = push_new(&mut sdc, &mut existing, prov, diags, fixes);
         if added > 0 {
             outcome.data_cut_false_paths += added;
             continue;
@@ -267,7 +327,22 @@ pub fn refine(
         }
         outcome.pass2_endpoints += cmp.pass2_endpoints;
         outcome.pass3_pairs += cmp.pass3_pairs;
-        let added = push_new(&mut sdc, &mut existing, cmp.fixes);
+        let derived: Vec<Derived> = cmp
+            .fixes
+            .into_iter()
+            .zip(cmp.fix_notes)
+            .map(|(cmd, note)| Derived {
+                cmd,
+                rule: match note.pass {
+                    1 => RuleCode::FpPass1,
+                    2 => RuleCode::FpPass2,
+                    _ => RuleCode::FpPass3,
+                },
+                contribs: note.modes.iter().map(|&m| (m, 0)).collect(),
+                detail: note.relation,
+            })
+            .collect();
+        let added = push_new(&mut sdc, &mut existing, prov, diags, derived);
         if added > 0 {
             outcome.comparison_false_paths += added;
             continue;
@@ -323,8 +398,18 @@ mod tests {
         .unwrap();
         let a_an = Analysis::run(&netlist, &graph, &mode_a);
         let b_an = Analysis::run(&netlist, &graph, &mode_b);
-        let outcome =
-            refine(&netlist, &graph, &[&a_an, &b_an], prelim, &MergeOptions::default()).unwrap();
+        let mut prov = ProvenanceStore::new(["A", "B"]);
+        let mut diags = DiagnosticSink::new();
+        let outcome = refine(
+            &netlist,
+            &graph,
+            &[&a_an, &b_an],
+            prelim,
+            &MergeOptions::default(),
+            &mut prov,
+            &mut diags,
+        )
+        .unwrap();
         let text = outcome.sdc.to_text();
         assert!(
             text.contains(
@@ -333,6 +418,25 @@ mod tests {
             "{text}"
         );
         assert!(outcome.clock_stops >= 1);
+        // The stop is diagnosed and carries provenance on the exact
+        // command it produced.
+        assert!(
+            diags
+                .diagnostics()
+                .iter()
+                .any(|d| d.code == RuleCode::NetStop && d.message.contains("mux1/Z")),
+            "{:?}",
+            diags.diagnostics()
+        );
+        let stop_idx = outcome
+            .sdc
+            .commands()
+            .iter()
+            .position(|c| c.to_text().starts_with("set_clock_sense"))
+            .unwrap();
+        let rec = prov.for_command(stop_idx).expect("stop has provenance");
+        assert_eq!(rec.rule, RuleCode::NetStop);
+        assert!(!rec.contribs.is_empty());
     }
 
     /// Constraint Set 5: clkB's launches are blocked by the rB/Q constant
@@ -368,8 +472,18 @@ mod tests {
         .unwrap();
         let a_an = Analysis::run(&netlist, &graph, &mode_a);
         let b_an = Analysis::run(&netlist, &graph, &mode_b);
-        let outcome =
-            refine(&netlist, &graph, &[&a_an, &b_an], prelim, &MergeOptions::default()).unwrap();
+        let mut prov = ProvenanceStore::new(["A", "B"]);
+        let mut diags = DiagnosticSink::new();
+        let outcome = refine(
+            &netlist,
+            &graph,
+            &[&a_an, &b_an],
+            prelim,
+            &MergeOptions::default(),
+            &mut prov,
+            &mut diags,
+        )
+        .unwrap();
         let text = outcome.sdc.to_text();
         // The paper's CSTR6 (`-through [rB/Q and1/Z]`), derived here at
         // the crossing frontier: rB/Q for the constant register output,
@@ -382,6 +496,14 @@ mod tests {
             "{text}"
         );
         assert!(outcome.data_cut_false_paths >= 1);
+        assert!(
+            diags
+                .diagnostics()
+                .iter()
+                .any(|d| d.code == RuleCode::NetDisable),
+            "{:?}",
+            diags.diagnostics()
+        );
     }
 
     #[test]
@@ -391,16 +513,29 @@ mod tests {
         let text = "create_clock -name clkA -period 10 [get_ports clk1]\n";
         let a = bind(&netlist, "A", text);
         let b = bind(&netlist, "B", text);
-        let prelim =
-            SdcFile::parse("create_clock -name clkA -period 10 -waveform {0 5} -add [get_ports clk1]\n")
-                .unwrap();
+        let prelim = SdcFile::parse(
+            "create_clock -name clkA -period 10 -waveform {0 5} -add [get_ports clk1]\n",
+        )
+        .unwrap();
         let a_an = Analysis::run(&netlist, &graph, &a);
         let b_an = Analysis::run(&netlist, &graph, &b);
-        let outcome =
-            refine(&netlist, &graph, &[&a_an, &b_an], prelim, &MergeOptions::default()).unwrap();
+        let mut prov = ProvenanceStore::new(["A", "B"]);
+        let mut diags = DiagnosticSink::new();
+        let outcome = refine(
+            &netlist,
+            &graph,
+            &[&a_an, &b_an],
+            prelim,
+            &MergeOptions::default(),
+            &mut prov,
+            &mut diags,
+        )
+        .unwrap();
         assert_eq!(outcome.clock_stops, 0);
         assert_eq!(outcome.data_cut_false_paths, 0);
         assert_eq!(outcome.comparison_false_paths, 0);
         assert_eq!(outcome.iterations, 1);
+        assert!(prov.is_empty());
+        assert!(diags.is_empty());
     }
 }

@@ -17,21 +17,57 @@ impl fmt::Display for MergeReport {
                 self.mode_names.first().map(String::as_str).unwrap_or("?")
             );
         }
-        writeln!(f, "merged {} modes: {}", self.mode_names.len(), self.mode_names.join(", "))?;
+        writeln!(
+            f,
+            "merged {} modes: {}",
+            self.mode_names.len(),
+            self.mode_names.join(", ")
+        )?;
         writeln!(f, "  clocks in union:            {}", self.clock_count)?;
         writeln!(f, "  case pins dropped:          {}", self.dropped_cases)?;
-        writeln!(f, "  case pins disabled:         {}", self.disabled_case_pins)?;
-        writeln!(f, "  false paths dropped (§3.1): {}", self.dropped_false_paths)?;
-        writeln!(f, "  exceptions uniquified:      {}", self.uniquified_exceptions)?;
+        writeln!(
+            f,
+            "  case pins disabled:         {}",
+            self.disabled_case_pins
+        )?;
+        writeln!(
+            f,
+            "  false paths dropped (§3.1): {}",
+            self.dropped_false_paths
+        )?;
+        writeln!(
+            f,
+            "  exceptions uniquified:      {}",
+            self.uniquified_exceptions
+        )?;
         writeln!(f, "  clock stops added (§3.1.8): {}", self.clock_stops)?;
-        writeln!(f, "  data clock cuts (§3.2):     {}", self.data_cut_false_paths)?;
-        writeln!(f, "  3-pass false paths:         {}", self.comparison_false_paths)?;
+        writeln!(
+            f,
+            "  data clock cuts (§3.2):     {}",
+            self.data_cut_false_paths
+        )?;
+        writeln!(
+            f,
+            "  3-pass false paths:         {}",
+            self.comparison_false_paths
+        )?;
         writeln!(
             f,
             "  pass-2 endpoints / pass-3 pairs: {} / {}",
             self.pass2_endpoints, self.pass3_pairs
         )?;
-        writeln!(f, "  refinement iterations:      {}", self.refine_iterations)?;
+        writeln!(
+            f,
+            "  refinement iterations:      {}",
+            self.refine_iterations
+        )?;
+        if !self.diagnostics.is_empty() {
+            writeln!(
+                f,
+                "  diagnostics:                {} (see --json or `modemerge explain`)",
+                self.diagnostics.len()
+            )?;
+        }
         if self.residual_pessimism > 0 || self.extra_relations > 0 {
             writeln!(
                 f,
@@ -42,7 +78,11 @@ impl fmt::Display for MergeReport {
         write!(
             f,
             "  validation (§2 equivalence): {}",
-            if self.validated { "PASSED" } else { "SKIPPED/FAILED" }
+            if self.validated {
+                "PASSED"
+            } else {
+                "SKIPPED/FAILED"
+            }
         )
     }
 }
@@ -65,7 +105,11 @@ pub fn summarize(outcome: &MergeAllOutcome, input_count: usize) -> String {
             "  {:<30} <- {} mode(s){}",
             merged.name,
             report.mode_names.len(),
-            if report.validated { "" } else { "  [NOT VALIDATED]" }
+            if report.validated {
+                ""
+            } else {
+                "  [NOT VALIDATED]"
+            }
         );
     }
     s
@@ -110,6 +154,11 @@ pub fn report_to_json(r: &MergeReport) -> Json {
         ),
         ("extra_relations".into(), Json::count(r.extra_relations)),
         ("validated".into(), Json::Bool(r.validated)),
+        (
+            "diagnostics".into(),
+            crate::provenance::diagnostics_to_json(&r.diagnostics),
+        ),
+        ("provenance".into(), r.provenance.to_json()),
     ])
 }
 
@@ -174,7 +223,10 @@ pub fn plan_to_json(names: &[String], graph: &MergeabilityGraph, cliques: &[Vec<
         }
     }
     Json::Obj(vec![
-        ("modes".into(), Json::Arr(names.iter().map(Json::str).collect())),
+        (
+            "modes".into(),
+            Json::Arr(names.iter().map(Json::str).collect()),
+        ),
         (
             "cliques".into(),
             Json::Arr(

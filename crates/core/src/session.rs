@@ -41,6 +41,7 @@ use crate::merge::{MergeAllOutcome, MergeOptions, MergeOutcome, MergeReport, Mod
 use crate::mergeability::{greedy_cliques, MergeabilityGraph};
 use crate::pool;
 use crate::preliminary::preliminary_merge;
+use crate::provenance::DiagnosticSink;
 use crate::refine::refine;
 use modemerge_netlist::Netlist;
 use modemerge_sta::analysis::Analysis;
@@ -130,10 +131,7 @@ impl StageTimings {
                     ("pass1_ns".into(), Json::num(self.pass1_ns as f64)),
                     ("pass2_ns".into(), Json::num(self.pass2_ns as f64)),
                     ("pass3_ns".into(), Json::num(self.pass3_ns as f64)),
-                    (
-                        "propagations".into(),
-                        Json::num(self.propagations as f64),
-                    ),
+                    ("propagations".into(), Json::num(self.propagations as f64)),
                     (
                         "propagation_cache_hits".into(),
                         Json::num(self.propagation_cache_hits as f64),
@@ -393,11 +391,27 @@ impl<'a> MergeSession<'a> {
             });
         }
 
-        // §3.1.8 + §3.2 refinement against the cached analyses.
+        // §3.1.8 + §3.2 refinement against the cached analyses. The
+        // provenance store and diagnostics bus seeded by the preliminary
+        // stages keep accumulating: refine appends to the same SDC, so
+        // command indices line up.
         self.warm_indices(group);
         let analyses: Vec<&Analysis<'a>> = group.iter().map(|&i| self.analysis(i)).collect();
+        let mut provenance = prelim.provenance;
+        let mut diags = DiagnosticSink::new();
+        for d in &prelim.diagnostics {
+            diags.emit(d.code, d.message.clone());
+        }
         let t0 = Instant::now();
-        let refined = refine(self.netlist, self.graph(), &analyses, prelim.sdc, &self.options);
+        let refined = refine(
+            self.netlist,
+            self.graph(),
+            &analyses,
+            prelim.sdc,
+            &self.options,
+            &mut provenance,
+            &mut diags,
+        );
         StageClock::charge(&self.clock.refine_ns, t0);
         let refined = refined?;
         // Per-pass breakdown of the 3-pass comparison inside refine.
@@ -456,6 +470,8 @@ impl<'a> MergeSession<'a> {
                 residual_pessimism: refined.residual_pessimism,
                 extra_relations,
                 validated,
+                diagnostics: diags.into_vec(),
+                provenance,
             },
         })
     }
@@ -587,8 +603,7 @@ mod tests {
     #[test]
     fn merge_indices_empty_group_errors() {
         let netlist = paper_circuit();
-        let inputs =
-            inputs_from(&[("A", "create_clock -name c -period 10 [get_ports clk1]\n")]);
+        let inputs = inputs_from(&[("A", "create_clock -name c -period 10 [get_ports clk1]\n")]);
         let bound = SessionInputs::bind(&netlist, &inputs).unwrap();
         let session = MergeSession::new(&netlist, &bound, &MergeOptions::default());
         assert!(matches!(
@@ -629,10 +644,7 @@ mod tests {
         // The 3-pass breakdown nests inside the refine stage: it never
         // inflates the total, and its sum is bounded by the refine wall.
         assert!(t.pass1_ns > 0, "{t:?}");
-        assert!(
-            t.pass1_ns + t.pass2_ns + t.pass3_ns <= t.refine_ns,
-            "{t:?}"
-        );
+        assert!(t.pass1_ns + t.pass2_ns + t.pass3_ns <= t.refine_ns, "{t:?}");
         let mut acc = StageTimings::default();
         acc.accumulate(&t);
         acc.accumulate(&t);

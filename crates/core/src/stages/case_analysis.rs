@@ -1,0 +1,89 @@
+//! §3.1.4 — intersection of case analysis.
+//!
+//! A constant pin survives only when *every* mode constrains it: with
+//! agreeing values it is kept (`MM-CASE-KEEP`); with conflicting values
+//! the pin never toggles anywhere, so timing through it is disabled
+//! instead (Constraint Set 3, `MM-CASE-DISABLE`). Pins constrained in
+//! only some modes are dropped (`MM-CASE-DROP`) — the merged mode must
+//! time the paths the unconstrained modes time.
+
+use super::StageCtx;
+use crate::emit::pin_ref;
+use crate::provenance::RuleCode;
+use modemerge_netlist::PinId;
+use modemerge_sdc::{Command, SetCaseAnalysis, SetDisableTiming};
+use std::collections::BTreeSet;
+
+/// The §3.1.4 result: pins dropped and pins converted to disables.
+pub(crate) struct CaseOutcome {
+    pub dropped_cases: Vec<PinId>,
+    pub disabled_case_pins: Vec<PinId>,
+}
+
+/// Intersects case-analysis constants across modes.
+pub(crate) fn run(ctx: &mut StageCtx<'_>) -> CaseOutcome {
+    let mut dropped_cases = Vec::new();
+    let mut disabled_case_pins = Vec::new();
+    let mut all_case_pins: BTreeSet<PinId> = BTreeSet::new();
+    for mode in ctx.modes {
+        all_case_pins.extend(mode.case_values.keys().copied());
+    }
+    for pin in all_case_pins {
+        let values: Vec<Option<bool>> = ctx
+            .modes
+            .iter()
+            .map(|m| m.case_values.get(&pin).copied())
+            .collect();
+        let contribs: Vec<(u32, u32)> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_some())
+            .map(|(i, _)| (i as u32, 0))
+            .collect();
+        if values.iter().all(|v| v.is_some()) {
+            let first = values[0];
+            if values.iter().all(|v| *v == first) {
+                ctx.push_with_prov(
+                    Command::SetCaseAnalysis(SetCaseAnalysis {
+                        value: first.expect("all present"),
+                        objects: vec![pin_ref(ctx.netlist, pin)],
+                    }),
+                    RuleCode::CaseKeep,
+                    contribs,
+                    "",
+                );
+            } else {
+                // Constant in every mode but with conflicting values: the
+                // pin never toggles anywhere → disable timing through it
+                // (Constraint Set 3's CSTR1/CSTR2).
+                let name = ctx.netlist.pin_name(pin);
+                ctx.diags.emit(
+                    RuleCode::CaseDisable,
+                    format!("pin '{name}': constant in every mode with conflicting values; case dropped, timing disabled"),
+                );
+                disabled_case_pins.push(pin);
+                ctx.push_with_prov(
+                    Command::SetDisableTiming(SetDisableTiming {
+                        objects: vec![pin_ref(ctx.netlist, pin)],
+                        from: None,
+                        to: None,
+                    }),
+                    RuleCode::CaseDisable,
+                    contribs,
+                    "conflicting case values",
+                );
+            }
+        } else {
+            let name = ctx.netlist.pin_name(pin);
+            ctx.diags.emit(
+                RuleCode::CaseDrop,
+                format!("pin '{name}': case analysis present in only some modes; dropped"),
+            );
+            dropped_cases.push(pin);
+        }
+    }
+    CaseOutcome {
+        dropped_cases,
+        disabled_case_pins,
+    }
+}

@@ -1,0 +1,255 @@
+//! §3.1.2 — merging clock-based constraints within tolerance.
+//!
+//! For every merged clock: latency, source latency, setup/hold
+//! uncertainty, transition and `set_propagated_clock` are merged to the
+//! per-mode envelope when the values agree within tolerance, otherwise
+//! the clock attribute becomes a [`MergeConflict`]. Inter-clock
+//! uncertainties are merged per `(launch, capture)` identity pair with
+//! the same tolerance rule (a mode carrying both clocks but declaring
+//! nothing contributes the default 0).
+//!
+//! [`MergeConflict`]: crate::error::MergeConflict
+
+use super::clock_union::ClockUnion;
+use super::{snapped, spread, within_tolerance, StageCtx};
+use crate::emit::clocks_ref;
+use crate::error::MergeConflict;
+use crate::provenance::RuleCode;
+use modemerge_sdc::{
+    Command, SetClockLatency, SetClockTransition, SetClockUncertainty, SetPropagatedClock,
+    SetupHold,
+};
+use modemerge_sta::keys::ClockKey;
+use std::collections::BTreeMap;
+
+/// Merges the per-clock attributes and inter-clock uncertainties.
+pub(crate) fn run(ctx: &mut StageCtx<'_>, union: &ClockUnion) {
+    for e in &union.entries {
+        let clock_ref = vec![clocks_ref([e.name.clone()])];
+        let contribs = e.contribs();
+        let mins: Vec<f64> = e.latencies.iter().map(|l| l.min).collect();
+        let maxs: Vec<f64> = e.latencies.iter().map(|l| l.max).collect();
+        if !within_tolerance(&mins, ctx.options) || !within_tolerance(&maxs, ctx.options) {
+            conflict(ctx, &e.name, "latency", maxs.clone());
+        } else {
+            snap_check(ctx, &e.name, "latency", &mins, &maxs);
+            ctx.emit_min_max(
+                spread(&mins).0,
+                spread(&maxs).1,
+                |value, min_max| {
+                    Command::SetClockLatency(SetClockLatency {
+                        value,
+                        min_max,
+                        source: false,
+                        clocks: clock_ref.clone(),
+                    })
+                },
+                RuleCode::ClkAttr,
+                contribs.clone(),
+                "latency",
+            );
+        }
+        let smins: Vec<f64> = e.source_latencies.iter().map(|l| l.min).collect();
+        let smaxs: Vec<f64> = e.source_latencies.iter().map(|l| l.max).collect();
+        if !within_tolerance(&smins, ctx.options) || !within_tolerance(&smaxs, ctx.options) {
+            conflict(ctx, &e.name, "source latency", smaxs.clone());
+        } else {
+            snap_check(ctx, &e.name, "source latency", &smins, &smaxs);
+            ctx.emit_min_max(
+                spread(&smins).0,
+                spread(&smaxs).1,
+                |value, min_max| {
+                    Command::SetClockLatency(SetClockLatency {
+                        value,
+                        min_max,
+                        source: true,
+                        clocks: clock_ref.clone(),
+                    })
+                },
+                RuleCode::ClkAttr,
+                contribs.clone(),
+                "source latency",
+            );
+        }
+        for (vals, sh, attr) in [
+            (
+                &e.uncertainties_setup,
+                SetupHold::Setup,
+                "setup uncertainty",
+            ),
+            (&e.uncertainties_hold, SetupHold::Hold, "hold uncertainty"),
+        ] {
+            if !within_tolerance(vals, ctx.options) {
+                conflict(ctx, &e.name, attr, vals.clone());
+            } else {
+                // Uncertainty is a pessimism margin: take the maximum.
+                snap_check(ctx, &e.name, attr, vals, &[]);
+                let v = vals.iter().copied().fold(0.0f64, f64::max);
+                if v != 0.0 {
+                    ctx.push_with_prov(
+                        Command::SetClockUncertainty(SetClockUncertainty {
+                            value: v,
+                            setup_hold: sh,
+                            clocks: clock_ref.clone(),
+                            from: Vec::new(),
+                            to: Vec::new(),
+                        }),
+                        RuleCode::ClkAttr,
+                        contribs.clone(),
+                        attr,
+                    );
+                }
+            }
+        }
+        let tmins: Vec<f64> = e.transitions.iter().map(|t| t.min).collect();
+        let tmaxs: Vec<f64> = e.transitions.iter().map(|t| t.max).collect();
+        if !within_tolerance(&tmins, ctx.options) || !within_tolerance(&tmaxs, ctx.options) {
+            conflict(ctx, &e.name, "transition", tmaxs.clone());
+        } else {
+            snap_check(ctx, &e.name, "transition", &tmins, &tmaxs);
+            ctx.emit_min_max(
+                spread(&tmins).0,
+                spread(&tmaxs).1,
+                |value, min_max| {
+                    Command::SetClockTransition(SetClockTransition {
+                        value,
+                        min_max,
+                        clocks: clock_ref.clone(),
+                    })
+                },
+                RuleCode::ClkAttr,
+                contribs.clone(),
+                "transition",
+            );
+        }
+        if e.propagated.iter().any(|&p| p) {
+            if e.propagated.iter().all(|&p| p) {
+                ctx.push_with_prov(
+                    Command::SetPropagatedClock(SetPropagatedClock {
+                        clocks: clock_ref.clone(),
+                    }),
+                    RuleCode::ClkAttr,
+                    contribs.clone(),
+                    "propagated",
+                );
+            } else {
+                ctx.conflicts.push(MergeConflict::PropagatedMismatch {
+                    clock: e.name.clone(),
+                });
+                ctx.diags.emit(
+                    RuleCode::ClkConflict,
+                    format!("clock '{}': propagated in some modes only", e.name),
+                );
+            }
+        }
+    }
+
+    inter_clock_uncertainties(ctx, union);
+}
+
+/// Inter-clock uncertainties: keyed by (launch, capture) identity; a
+/// mode carrying both clocks but no declaration contributes the default
+/// (0), so a disagreement beyond tolerance is a conflict, exactly like
+/// the other clock attributes.
+fn inter_clock_uncertainties(ctx: &mut StageCtx<'_>, union: &ClockUnion) {
+    let mut pair_values: BTreeMap<(ClockKey, ClockKey), (Vec<f64>, Vec<f64>)> = BTreeMap::new();
+    for mode in ctx.modes {
+        for u in &mode.inter_uncertainties {
+            pair_values
+                .entry((mode.clock_key(u.from), mode.clock_key(u.to)))
+                .or_default();
+        }
+    }
+    let keys: Vec<(ClockKey, ClockKey)> = pair_values.keys().cloned().collect();
+    let mut pair_contribs: BTreeMap<(ClockKey, ClockKey), Vec<(u32, u32)>> = BTreeMap::new();
+    for key in keys {
+        let (setups, holds) = pair_values.get_mut(&key).expect("present");
+        let contribs = pair_contribs.entry(key.clone()).or_default();
+        for (mode_idx, mode) in ctx.modes.iter().enumerate() {
+            let has_from = mode.clocks.iter().any(|c| c.key() == key.0);
+            let has_to = mode.clocks.iter().any(|c| c.key() == key.1);
+            if !(has_from && has_to) {
+                continue;
+            }
+            let declared = mode
+                .inter_uncertainties
+                .iter()
+                .find(|u| mode.clock_key(u.from) == key.0 && mode.clock_key(u.to) == key.1);
+            setups.push(declared.map_or(0.0, |u| u.setup));
+            holds.push(declared.map_or(0.0, |u| u.hold));
+            contribs.push((mode_idx as u32, 0));
+        }
+    }
+    for ((from_key, to_key), (setups, holds)) in pair_values {
+        let from_name = union
+            .by_key
+            .get(&from_key)
+            .map(|&i| union.entries[i].name.clone())
+            .expect("inter-uncertainty clock in union");
+        let to_name = union
+            .by_key
+            .get(&to_key)
+            .map(|&i| union.entries[i].name.clone())
+            .expect("inter-uncertainty clock in union");
+        let contribs = pair_contribs
+            .remove(&(from_key, to_key))
+            .unwrap_or_default();
+        if !within_tolerance(&setups, ctx.options) || !within_tolerance(&holds, ctx.options) {
+            conflict(
+                ctx,
+                &format!("{from_name}->{to_name}"),
+                "inter-clock uncertainty",
+                setups.clone(),
+            );
+            continue;
+        }
+        snap_check(
+            ctx,
+            &format!("{from_name}->{to_name}"),
+            "inter-clock uncertainty",
+            &setups,
+            &holds,
+        );
+        for (vals, sh) in [(setups, SetupHold::Setup), (holds, SetupHold::Hold)] {
+            let v = vals.iter().copied().fold(0.0f64, f64::max);
+            if v != 0.0 {
+                ctx.push_with_prov(
+                    Command::SetClockUncertainty(SetClockUncertainty {
+                        value: v,
+                        setup_hold: sh,
+                        clocks: Vec::new(),
+                        from: vec![clocks_ref([from_name.clone()])],
+                        to: vec![clocks_ref([to_name.clone()])],
+                    }),
+                    RuleCode::ClkAttr,
+                    contribs.clone(),
+                    "inter-clock uncertainty",
+                );
+            }
+        }
+    }
+}
+
+/// Pushes the attribute conflict and mirrors it on the diagnostics bus.
+fn conflict(ctx: &mut StageCtx<'_>, clock: &str, attribute: &'static str, values: Vec<f64>) {
+    ctx.diags.emit(
+        RuleCode::ClkConflict,
+        format!("clock '{clock}': {attribute} values {values:?} exceed tolerance"),
+    );
+    ctx.conflicts.push(MergeConflict::ClockAttribute {
+        clock: clock.to_owned(),
+        attribute,
+        values,
+    });
+}
+
+/// Emits an `MM-TOL-SNAP` diagnostic when either value vector disagrees
+/// (but stayed within tolerance, or we would have conflicted instead).
+fn snap_check(ctx: &mut StageCtx<'_>, clock: &str, attribute: &str, a: &[f64], b: &[f64]) {
+    if snapped(a) || snapped(b) {
+        ctx.diags.emit(
+            RuleCode::TolSnap,
+            format!("clock '{clock}': {attribute} differs across modes; snapped to envelope"),
+        );
+    }
+}

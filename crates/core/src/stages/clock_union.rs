@@ -1,0 +1,218 @@
+//! §3.1.1 — union of clocks.
+//!
+//! Builds the merged clock set: one entry per distinct clock *identity*
+//! ([`ClockKey`]), renaming on name collisions (same name, different
+//! identity), then emits `create_clock` / `create_generated_clock` for
+//! every entry. Regular clocks are emitted before generated ones so the
+//! re-bound merged mode resolves masters.
+
+use super::StageCtx;
+use crate::emit::{clocks_ref, pin_ref};
+use crate::provenance::RuleCode;
+use modemerge_netlist::PinId;
+use modemerge_sdc::{Command, CreateClock};
+use modemerge_sta::keys::ClockKey;
+use modemerge_sta::mode::MinMaxPair;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One merged-mode clock: identity key, chosen (possibly renamed) name
+/// and the per-mode attribute values to merge in [`super::clock_attrs`].
+#[derive(Debug, Clone)]
+pub(crate) struct ClockEntry {
+    pub key: ClockKey,
+    pub name: String,
+    /// The original (pre-rename) name; differs from `name` only on a
+    /// collision.
+    pub original_name: String,
+    pub period: f64,
+    pub waveform: (f64, f64),
+    pub sources: Vec<PinId>,
+    /// `create_generated_clock` parameters, keyed by the master clock's
+    /// identity (taken from the first mode defining this clock).
+    pub generated: Option<(ClockKey, Vec<PinId>, u32, u32, bool)>,
+    /// Modes (by index) defining this clock.
+    pub present_in: Vec<usize>,
+    /// 1-based SDC source line of the defining command per mode in
+    /// `present_in` (0 when synthesized).
+    pub lines: Vec<u32>,
+    pub latencies: Vec<MinMaxPair>,
+    pub source_latencies: Vec<MinMaxPair>,
+    pub uncertainties_setup: Vec<f64>,
+    pub uncertainties_hold: Vec<f64>,
+    pub transitions: Vec<MinMaxPair>,
+    pub propagated: Vec<bool>,
+}
+
+impl ClockEntry {
+    /// `(mode, line)` provenance contributions for this clock.
+    pub fn contribs(&self) -> Vec<(u32, u32)> {
+        self.present_in
+            .iter()
+            .zip(&self.lines)
+            .map(|(&m, &l)| (m as u32, l))
+            .collect()
+    }
+}
+
+/// The §3.1.1 result: merged clock entries in first-seen order plus the
+/// identity → entry index map.
+pub(crate) struct ClockUnion {
+    pub entries: Vec<ClockEntry>,
+    pub by_key: BTreeMap<ClockKey, usize>,
+}
+
+/// Collects the union and emits the clock-creation commands.
+pub(crate) fn run(ctx: &mut StageCtx<'_>) -> ClockUnion {
+    let mut entries: Vec<ClockEntry> = Vec::new();
+    let mut by_key: BTreeMap<ClockKey, usize> = BTreeMap::new();
+    let mut used_names: BTreeSet<String> = BTreeSet::new();
+    for (mode_idx, mode) in ctx.modes.iter().enumerate() {
+        for clock in &mode.clocks {
+            let key = clock.key();
+            let idx = match by_key.get(&key) {
+                Some(&i) => i,
+                None => {
+                    let mut name = clock.name.clone();
+                    let mut suffix = 0;
+                    while used_names.contains(&name) {
+                        suffix += 1;
+                        name = format!("{}_{suffix}", clock.name);
+                    }
+                    if name != clock.name {
+                        ctx.diags.emit(
+                            RuleCode::ClkRename,
+                            format!(
+                                "clock '{}' from mode '{}' renamed to '{}' \
+                                 (name collision, different identity)",
+                                clock.name,
+                                ctx.prov.mode_name(mode_idx as u32),
+                                name
+                            ),
+                        );
+                    }
+                    used_names.insert(name.clone());
+                    let i = entries.len();
+                    entries.push(ClockEntry {
+                        key: key.clone(),
+                        name,
+                        original_name: clock.name.clone(),
+                        period: clock.period,
+                        waveform: clock.waveform,
+                        sources: clock.sources.clone(),
+                        generated: clock.generated.as_ref().map(|g| {
+                            (
+                                mode.clock_key(g.master),
+                                g.source_pins.clone(),
+                                g.divide_by,
+                                g.multiply_by,
+                                g.invert,
+                            )
+                        }),
+                        present_in: Vec::new(),
+                        lines: Vec::new(),
+                        latencies: Vec::new(),
+                        source_latencies: Vec::new(),
+                        uncertainties_setup: Vec::new(),
+                        uncertainties_hold: Vec::new(),
+                        transitions: Vec::new(),
+                        propagated: Vec::new(),
+                    });
+                    by_key.insert(key, i);
+                    i
+                }
+            };
+            let e = &mut entries[idx];
+            e.present_in.push(mode_idx);
+            e.lines.push(clock.line);
+            e.latencies.push(clock.latency);
+            e.source_latencies.push(clock.source_latency);
+            e.uncertainties_setup.push(clock.uncertainty_setup);
+            e.uncertainties_hold.push(clock.uncertainty_hold);
+            e.transitions.push(clock.transition);
+            e.propagated.push(clock.propagated);
+        }
+    }
+
+    // Emission order: regular clocks first, generated clocks after (so
+    // the re-bound merged mode resolves masters).
+    let master_name = |entries: &[ClockEntry], key: &ClockKey| -> Option<String> {
+        entries
+            .iter()
+            .find(|e| &e.key == key)
+            .map(|e| e.name.clone())
+    };
+    for e in &entries {
+        if e.generated.is_none() {
+            let (rule, detail) = rule_for(e);
+            ctx.push_with_prov(
+                Command::CreateClock(CreateClock {
+                    name: Some(e.name.clone()),
+                    period: e.period,
+                    waveform: Some(e.waveform),
+                    sources: e.sources.iter().map(|&p| pin_ref(ctx.netlist, p)).collect(),
+                    add: true,
+                }),
+                rule,
+                e.contribs(),
+                detail,
+            );
+        }
+    }
+    for e in &entries {
+        let Some((master_key, source_pins, divide_by, multiply_by, invert)) = &e.generated else {
+            continue;
+        };
+        let (rule, detail) = rule_for(e);
+        match master_name(&entries, master_key) {
+            Some(master) => {
+                ctx.push_with_prov(
+                    Command::CreateGeneratedClock(modemerge_sdc::CreateGeneratedClock {
+                        name: Some(e.name.clone()),
+                        source: source_pins
+                            .iter()
+                            .map(|&p| pin_ref(ctx.netlist, p))
+                            .collect(),
+                        master_clock: Some(clocks_ref([master])),
+                        divide_by: (*divide_by > 1).then_some(*divide_by),
+                        multiply_by: (*multiply_by > 1).then_some(*multiply_by),
+                        invert: *invert,
+                        targets: e.sources.iter().map(|&p| pin_ref(ctx.netlist, p)).collect(),
+                        add: true,
+                    }),
+                    rule,
+                    e.contribs(),
+                    detail,
+                );
+            }
+            None => {
+                // The master was not part of the union (it belonged to a
+                // mode whose clock got a different key); fall back to a
+                // plain clock with the derived waveform.
+                ctx.push_with_prov(
+                    Command::CreateClock(CreateClock {
+                        name: Some(e.name.clone()),
+                        period: e.period,
+                        waveform: Some(e.waveform),
+                        sources: e.sources.iter().map(|&p| pin_ref(ctx.netlist, p)).collect(),
+                        add: true,
+                    }),
+                    rule,
+                    e.contribs(),
+                    detail,
+                );
+            }
+        }
+    }
+    ClockUnion { entries, by_key }
+}
+
+fn rule_for(e: &ClockEntry) -> (RuleCode, String) {
+    if e.name != e.original_name {
+        (
+            RuleCode::ClkRename,
+            format!("renamed from '{}'", e.original_name),
+        )
+    } else {
+        (RuleCode::ClkUnion, String::new())
+    }
+}

@@ -1,0 +1,62 @@
+//! §3.1.5 — intersection of `set_disable_timing`.
+//!
+//! A disable survives only when every mode declares it: timing a
+//! disabled arc in one mode but not another means the merged mode has to
+//! keep it enabled. Both pin-level and cell-arc disables intersect.
+
+use super::StageCtx;
+use crate::emit::pin_ref;
+use crate::provenance::RuleCode;
+use modemerge_netlist::{PinId, PinOwner};
+use modemerge_sdc::{Command, ObjectRef, SetDisableTiming};
+use std::collections::BTreeSet;
+
+/// Intersects pin and arc disables across modes.
+pub(crate) fn run(ctx: &mut StageCtx<'_>) {
+    let all_modes: Vec<(u32, u32)> = (0..ctx.modes.len()).map(|i| (i as u32, 0)).collect();
+    let common_disabled: BTreeSet<PinId> = ctx
+        .modes
+        .iter()
+        .map(|m| m.disabled_pins.clone())
+        .reduce(|a, b| a.intersection(&b).copied().collect())
+        .unwrap_or_default();
+    for pin in common_disabled {
+        ctx.push_with_prov(
+            Command::SetDisableTiming(SetDisableTiming {
+                objects: vec![pin_ref(ctx.netlist, pin)],
+                from: None,
+                to: None,
+            }),
+            RuleCode::DisInt,
+            all_modes.clone(),
+            "disabled in every mode",
+        );
+    }
+    let common_arcs: BTreeSet<(PinId, PinId)> = ctx
+        .modes
+        .iter()
+        .map(|m| m.disabled_arcs.clone())
+        .reduce(|a, b| a.intersection(&b).copied().collect())
+        .unwrap_or_default();
+    for (from, to) in common_arcs {
+        if let (PinOwner::Instance(inst, fidx), PinOwner::Instance(_, tidx)) =
+            (ctx.netlist.pin(from).owner(), ctx.netlist.pin(to).owner())
+        {
+            let i = ctx.netlist.instance(inst);
+            let cell = ctx.netlist.library().cell(i.cell());
+            ctx.push_with_prov(
+                Command::SetDisableTiming(SetDisableTiming {
+                    objects: vec![ObjectRef::Query(modemerge_sdc::ObjectQuery::new(
+                        modemerge_sdc::ObjectClass::Cell,
+                        [i.name().to_owned()],
+                    ))],
+                    from: Some(cell.pins()[fidx].name().to_owned()),
+                    to: Some(cell.pins()[tidx].name().to_owned()),
+                }),
+                RuleCode::DisInt,
+                all_modes.clone(),
+                "arc disabled in every mode",
+            );
+        }
+    }
+}

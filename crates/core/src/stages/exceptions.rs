@@ -1,0 +1,177 @@
+//! §3.1.9 / §3.1.10 — exception intersection and uniquification.
+//!
+//! Exceptions common to every mode pass through (`MM-EXC-COMMON`).
+//! Mode-specific exceptions are *uniquified*: restricted by the
+//! defining modes' clocks so they only apply where the individual modes
+//! applied them (`MM-EXC-UNIQ`). False paths that cannot be uniquified
+//! are dropped (`MM-EXC-DROP`) — refinement re-derives precise
+//! replacements; other un-uniquifiable exceptions are conflicts.
+
+use super::StageCtx;
+use crate::emit::{clocks_ref, pins_refs};
+use crate::error::MergeConflict;
+use crate::preliminary::ClockTable;
+use crate::provenance::RuleCode;
+use crate::uniquify::{uniquify, CanonException, UniquifyOutcome};
+use modemerge_netlist::Netlist;
+use modemerge_sdc::{Command, PathException, PathSpec};
+use modemerge_sta::keys::ClockKey;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The §3.1.9/§3.1.10 result.
+pub(crate) struct ExceptionOutcome {
+    /// False paths dropped because uniquification failed; refinement
+    /// adds precise replacements.
+    pub dropped_false_paths: usize,
+    /// Exceptions added through uniquification.
+    pub uniquified_exceptions: usize,
+}
+
+/// Intersects and uniquifies the exceptions of every mode.
+pub(crate) fn run(ctx: &mut StageCtx<'_>, clock_table: &ClockTable) -> ExceptionOutcome {
+    let mode_clock_keys: Vec<BTreeSet<ClockKey>> = ctx
+        .modes
+        .iter()
+        .map(|m| m.clocks.iter().map(|c| c.key()).collect())
+        .collect();
+    // Presence map: per canonical exception, the defining source line in
+    // each mode (`None` = not declared there).
+    let mut canon: BTreeMap<CanonException, Vec<Option<u32>>> = BTreeMap::new();
+    for (mode_idx, &mode) in ctx.modes.iter().enumerate() {
+        for exc in &mode.exceptions {
+            let c = CanonException::from_resolved(mode, exc);
+            canon
+                .entry(c)
+                .or_insert_with(|| vec![None; ctx.modes.len()])[mode_idx] = Some(exc.line);
+        }
+    }
+    let mut dropped_false_paths = 0;
+    let mut uniquified_exceptions = 0;
+    for (exc, lines) in &canon {
+        let present: Vec<bool> = lines.iter().map(Option::is_some).collect();
+        let contribs: Vec<(u32, u32)> = lines
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.map(|line| (i as u32, line)))
+            .collect();
+        if present.iter().all(|&p| p) {
+            ctx.push_with_prov(
+                emit_exception(ctx.netlist, clock_table, exc, None, false),
+                RuleCode::ExcCommon,
+                contribs,
+                "declared by every mode",
+            );
+            continue;
+        }
+        let outcome = if ctx.options.uniquify_exceptions {
+            uniquify(exc, &present, &mode_clock_keys)
+        } else {
+            UniquifyOutcome::Failed
+        };
+        match outcome {
+            UniquifyOutcome::AsIs => {
+                ctx.push_with_prov(
+                    emit_exception(ctx.netlist, clock_table, exc, None, false),
+                    RuleCode::ExcUniq,
+                    contribs,
+                    "already restricted to the defining modes' clocks",
+                );
+            }
+            UniquifyOutcome::Uniquified(u) => {
+                if !u.lossless && !exc.kind.is_false_path() {
+                    unmergeable(ctx, clock_table, exc);
+                    continue;
+                }
+                uniquified_exceptions += 1;
+                let cmd = emit_exception(
+                    ctx.netlist,
+                    clock_table,
+                    exc,
+                    Some(&u.from_clocks),
+                    u.move_from_pins_to_through,
+                );
+                ctx.diags
+                    .emit(RuleCode::ExcUniq, format!("uniquified: {}", cmd.to_text()));
+                ctx.push_with_prov(
+                    cmd,
+                    RuleCode::ExcUniq,
+                    contribs,
+                    "restricted by the defining modes' clocks",
+                );
+            }
+            UniquifyOutcome::Failed => {
+                if exc.kind.is_false_path() {
+                    dropped_false_paths += 1;
+                    let text = emit_exception(ctx.netlist, clock_table, exc, None, false).to_text();
+                    ctx.diags.emit(
+                        RuleCode::ExcDrop,
+                        format!("dropped (refinement re-derives): {text}"),
+                    );
+                } else {
+                    unmergeable(ctx, clock_table, exc);
+                }
+            }
+        }
+    }
+    ExceptionOutcome {
+        dropped_false_paths,
+        uniquified_exceptions,
+    }
+}
+
+fn unmergeable(ctx: &mut StageCtx<'_>, clock_table: &ClockTable, exc: &CanonException) {
+    ctx.conflicts.push(MergeConflict::UnuniquifiableException {
+        exception: emit_exception(ctx.netlist, clock_table, exc, None, false).to_text(),
+    });
+}
+
+/// Builds the SDC command for a canonical exception, optionally replacing
+/// the `-from` clocks (uniquification) and moving `-from` pins into a
+/// leading `-through` hop.
+pub(crate) fn emit_exception(
+    netlist: &Netlist,
+    table: &ClockTable,
+    exc: &CanonException,
+    override_from_clocks: Option<&BTreeSet<ClockKey>>,
+    move_from_pins_to_through: bool,
+) -> Command {
+    let clock_names = |keys: &BTreeSet<ClockKey>| -> Vec<String> {
+        keys.iter()
+            .map(|k| {
+                table
+                    .name_of(k)
+                    .expect("exception clock is in the union table")
+                    .to_owned()
+            })
+            .collect()
+    };
+    let mut spec = PathSpec::default();
+    let from_clock_keys = override_from_clocks.unwrap_or(&exc.from_clocks);
+    if !from_clock_keys.is_empty() {
+        spec.from.push(clocks_ref(clock_names(from_clock_keys)));
+    }
+    if !exc.from_pins.is_empty() {
+        if move_from_pins_to_through {
+            spec.through
+                .push(pins_refs(netlist, exc.from_pins.iter().copied()));
+        } else {
+            spec.from
+                .extend(pins_refs(netlist, exc.from_pins.iter().copied()));
+        }
+    }
+    for hop in &exc.through {
+        spec.through.push(pins_refs(netlist, hop.iter().copied()));
+    }
+    if !exc.to_clocks.is_empty() {
+        spec.to.push(clocks_ref(clock_names(&exc.to_clocks)));
+    }
+    if !exc.to_pins.is_empty() {
+        spec.to
+            .extend(pins_refs(netlist, exc.to_pins.iter().copied()));
+    }
+    Command::PathException(PathException {
+        kind: exc.kind.to_sdc(),
+        setup_hold: exc.setup_hold,
+        spec,
+    })
+}

@@ -1,0 +1,91 @@
+//! §3.1.7 — derived clock exclusivity.
+//!
+//! Merged-clock pairs that never coexist in any individual mode become
+//! `set_clock_groups -physically_exclusive`; pairs that do coexist are
+//! still separated when *every* mode carrying both declares them in
+//! different clock groups (the merged mode inherits the constraint
+//! instead of re-deriving it as false paths during refinement).
+
+use super::clock_union::ClockUnion;
+use super::StageCtx;
+use crate::emit::clocks_ref;
+use crate::provenance::RuleCode;
+use modemerge_sdc::{ClockGroupKind, Command, SetClockGroups};
+use modemerge_sta::keys::ClockKey;
+use modemerge_sta::mode::Mode;
+
+/// Derives and emits pairwise physically-exclusive clock groups.
+pub(crate) fn run(ctx: &mut StageCtx<'_>, union: &ClockUnion) {
+    let entries = &union.entries;
+    let n_clocks = entries.len();
+    let mut coexist = vec![false; n_clocks * n_clocks];
+    for e in entries {
+        let i = union.by_key[&e.key];
+        coexist[i * n_clocks + i] = true;
+    }
+    for (i, a) in entries.iter().enumerate() {
+        for (j, b) in entries.iter().enumerate().skip(i + 1) {
+            if a.present_in.iter().any(|m| b.present_in.contains(m)) {
+                coexist[i * n_clocks + j] = true;
+                coexist[j * n_clocks + i] = true;
+            }
+        }
+    }
+    let local_id = |mode: &Mode, key: &ClockKey| -> Option<modemerge_sta::mode::ClockId> {
+        mode.clock_ids().find(|&c| &mode.clock_key(c) == key)
+    };
+    for i in 0..n_clocks {
+        for j in (i + 1)..n_clocks {
+            let coexisting = coexist[i * n_clocks + j];
+            let mut separated = coexisting;
+            if separated {
+                // Coexisting somewhere: check the declared groups of
+                // every mode that has both.
+                let mut found_pair = false;
+                let mut all_separate = true;
+                for &mode in ctx.modes {
+                    let (Some(a), Some(b)) = (
+                        local_id(mode, &entries[i].key),
+                        local_id(mode, &entries[j].key),
+                    ) else {
+                        continue;
+                    };
+                    found_pair = true;
+                    if !mode.clocks_separated(a, b) {
+                        all_separate = false;
+                        break;
+                    }
+                }
+                separated = found_pair && all_separate;
+                if !separated {
+                    continue;
+                }
+            }
+            let mut contribs = entries[i].contribs();
+            for c in entries[j].contribs() {
+                if !contribs.contains(&c) {
+                    contribs.push(c);
+                }
+            }
+            contribs.sort_unstable();
+            let detail = if coexisting {
+                "declared in separate clock groups by every mode carrying both"
+            } else {
+                "clocks never coexist in any individual mode"
+            };
+            ctx.push_with_prov(
+                Command::SetClockGroups(SetClockGroups {
+                    kind: ClockGroupKind::PhysicallyExclusive,
+                    name: Some(format!("excl_{}_{}", entries[i].name, entries[j].name)),
+                    groups: vec![
+                        vec![clocks_ref([entries[i].name.clone()])],
+                        vec![clocks_ref([entries[j].name.clone()])],
+                    ],
+                }),
+                RuleCode::Excl,
+                contribs,
+                detail,
+            );
+        }
+    }
+}

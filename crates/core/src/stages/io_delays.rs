@@ -1,0 +1,58 @@
+//! §3.1.3 — union of external delay constraints.
+//!
+//! Every individual `set_input_delay` / `set_output_delay` is re-emitted
+//! against the merged clock name with `-add_delay`, deduplicating exact
+//! repeats across modes.
+
+use super::StageCtx;
+use crate::emit::{clocks_ref, pin_ref};
+use crate::preliminary::ClockTable;
+use crate::provenance::RuleCode;
+use modemerge_netlist::PinId;
+use modemerge_sdc::{Command, IoDelay as SdcIoDelay, MinMax};
+use std::collections::BTreeSet;
+
+/// Unions the I/O delays of every mode into the merged SDC.
+pub(crate) fn run(ctx: &mut StageCtx<'_>, clock_table: &ClockTable) {
+    let mut seen_io: BTreeSet<(u8, PinId, String, u64, u8)> = BTreeSet::new();
+    for (mode_idx, mode) in ctx.modes.iter().enumerate() {
+        for d in &mode.io_delays {
+            let clock_name = clock_table
+                .name_of(&mode.clock_key(d.clock))
+                .expect("io-delay clock is in the union table")
+                .to_owned();
+            let kind_tag = match d.kind {
+                modemerge_sdc::IoDelayKind::Input => 0u8,
+                modemerge_sdc::IoDelayKind::Output => 1u8,
+            };
+            let mm_tag = match d.min_max {
+                MinMax::Both => 0u8,
+                MinMax::Min => 1,
+                MinMax::Max => 2,
+            };
+            if seen_io.insert((
+                kind_tag,
+                d.pin,
+                clock_name.clone(),
+                d.value.to_bits(),
+                mm_tag,
+            )) {
+                let detail = format!("relative to clock '{clock_name}'");
+                ctx.push_with_prov(
+                    Command::IoDelay(SdcIoDelay {
+                        kind: d.kind,
+                        value: d.value,
+                        clock: Some(clocks_ref([clock_name])),
+                        clock_fall: false,
+                        add_delay: true,
+                        min_max: d.min_max,
+                        ports: vec![pin_ref(ctx.netlist, d.pin)],
+                    }),
+                    RuleCode::IoUnion,
+                    vec![(mode_idx as u32, 0)],
+                    detail,
+                );
+            }
+        }
+    }
+}

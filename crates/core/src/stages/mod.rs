@@ -1,0 +1,123 @@
+//! The staged preliminary-merge pipeline (§3.1 of the paper).
+//!
+//! [`preliminary_merge`](crate::preliminary::preliminary_merge) used to
+//! be one monolithic function; it is now a thin driver over the
+//! sub-stages in this module, run in paper order:
+//!
+//! 1. [`clock_union`] — §3.1.1 union of clocks (+ collision renames);
+//! 2. [`clock_attrs`] — §3.1.2 clock-based constraints within tolerance;
+//! 3. [`io_delays`] — §3.1.3 union of external delays;
+//! 4. [`case_analysis`] — §3.1.4 intersection of case analysis;
+//! 5. [`disables`] — §3.1.5 intersection of `set_disable_timing`;
+//! 6. [`port_attrs`] — §3.1.6 drive / load / input-transition merging;
+//! 7. [`exclusivity`] — §3.1.7 derived clock exclusivity;
+//! 8. [`exceptions`] — §3.1.9–3.1.10 exception intersection +
+//!    uniquification.
+//!
+//! (§3.1.8 clock-network refinement needs the *bound* merged mode and
+//! therefore lives in [`refine`](crate::refine).)
+//!
+//! Every stage receives one [`StageCtx`]: the shared output SDC, the
+//! conflict list, the [`ProvenanceStore`] and the [`DiagnosticSink`].
+//! Stages run serially, so provenance ids and diagnostic order are
+//! deterministic regardless of `MergeOptions::threads`.
+
+pub(crate) mod case_analysis;
+pub(crate) mod clock_attrs;
+pub(crate) mod clock_union;
+pub(crate) mod disables;
+pub(crate) mod exceptions;
+pub(crate) mod exclusivity;
+pub(crate) mod io_delays;
+pub(crate) mod port_attrs;
+
+use crate::error::MergeConflict;
+use crate::merge::MergeOptions;
+use crate::provenance::{Contrib, DiagnosticSink, ProvenanceStore, RuleCode};
+use modemerge_netlist::Netlist;
+use modemerge_sdc::{Command, MinMax, SdcFile};
+use modemerge_sta::mode::Mode;
+
+/// Shared mutable state threaded through every preliminary stage.
+pub(crate) struct StageCtx<'a> {
+    pub netlist: &'a Netlist,
+    pub modes: &'a [&'a Mode],
+    pub options: &'a MergeOptions,
+    /// The merged-mode SDC under construction.
+    pub sdc: &'a mut SdcFile,
+    /// Conflicts that make the group non-mergeable.
+    pub conflicts: &'a mut Vec<MergeConflict>,
+    /// Derivation records, keyed by merged-SDC command index.
+    pub prov: &'a mut ProvenanceStore,
+    /// Judgement-call diagnostics (renames, snaps, drops, conflicts).
+    pub diags: &'a mut DiagnosticSink,
+}
+
+impl StageCtx<'_> {
+    /// Pushes a command and attaches a provenance record to it.
+    pub fn push_with_prov(
+        &mut self,
+        cmd: Command,
+        rule: RuleCode,
+        contribs: Vec<Contrib>,
+        detail: impl Into<String>,
+    ) {
+        let idx = self.sdc.commands().len();
+        self.sdc.push(cmd);
+        self.prov.record_for(idx, rule, contribs, detail);
+    }
+
+    /// Emits the min/max envelope of a value pair as one `-min`/`-max`
+    /// command pair (or one plain command when they agree), attaching
+    /// the same provenance record to every emitted command.
+    pub fn emit_min_max(
+        &mut self,
+        min: f64,
+        max: f64,
+        make: impl Fn(f64, MinMax) -> Command,
+        rule: RuleCode,
+        contribs: Vec<Contrib>,
+        detail: impl Into<String>,
+    ) {
+        if min == 0.0 && max == 0.0 {
+            return;
+        }
+        let id = self.prov.record(rule, contribs, detail);
+        if (min - max).abs() < 1e-12 {
+            self.prov.attach(self.sdc.commands().len(), id);
+            self.sdc.push(make(max, MinMax::Both));
+        } else {
+            self.prov.attach(self.sdc.commands().len(), id);
+            self.sdc.push(make(min, MinMax::Min));
+            self.prov.attach(self.sdc.commands().len(), id);
+            self.sdc.push(make(max, MinMax::Max));
+        }
+    }
+}
+
+/// `true` when the value spread fits the configured merge tolerance.
+pub(crate) fn within_tolerance(values: &[f64], options: &MergeOptions) -> bool {
+    if values.is_empty() {
+        return true;
+    }
+    let (lo, hi) = spread(values);
+    (hi - lo) <= options.tolerance_abs + options.tolerance_rel * lo.abs().max(hi.abs())
+}
+
+/// `(min, max)` of a non-empty slice (`(inf, -inf)` when empty).
+pub(crate) fn spread(values: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+/// `true` when the values disagree (a tolerance *snap* happened even
+/// though they fit the envelope).
+pub(crate) fn snapped(values: &[f64]) -> bool {
+    let (lo, hi) = spread(values);
+    values.len() > 1 && hi > lo
+}

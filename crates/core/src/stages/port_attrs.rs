@@ -1,0 +1,120 @@
+//! §3.1.6 — drive / load / input-transition merging.
+//!
+//! A port attribute merges to the min/max envelope when every mode
+//! declares it and the values agree within tolerance; otherwise the
+//! attribute is a [`MergeConflict::PortAttribute`].
+//!
+//! [`MergeConflict::PortAttribute`]: crate::error::MergeConflict
+
+use super::{snapped, spread, within_tolerance, StageCtx};
+use crate::emit::pin_ref;
+use crate::error::MergeConflict;
+use crate::provenance::RuleCode;
+use modemerge_netlist::PinId;
+use modemerge_sdc::{Command, MinMax, ObjectRef, SetDrive, SetInputTransition, SetLoad};
+use modemerge_sta::mode::{MinMaxPair, Mode};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Merges drive, load and input-transition port attributes.
+pub(crate) fn run(ctx: &mut StageCtx<'_>) {
+    merge_port_attribute(
+        ctx,
+        |m| &m.drives,
+        "drive",
+        |value, min_max, port| {
+            Command::SetDrive(SetDrive {
+                value,
+                min_max,
+                ports: vec![port],
+            })
+        },
+    );
+    merge_port_attribute(
+        ctx,
+        |m| &m.loads,
+        "load",
+        |value, min_max, port| {
+            Command::SetLoad(SetLoad {
+                value,
+                min_max,
+                objects: vec![port],
+            })
+        },
+    );
+    merge_port_attribute(
+        ctx,
+        |m| &m.input_transitions,
+        "input transition",
+        |value, min_max, port| {
+            Command::SetInputTransition(SetInputTransition {
+                value,
+                min_max,
+                ports: vec![port],
+            })
+        },
+    );
+}
+
+fn merge_port_attribute(
+    ctx: &mut StageCtx<'_>,
+    get: impl Fn(&Mode) -> &BTreeMap<PinId, MinMaxPair>,
+    attribute: &'static str,
+    make: impl Fn(f64, MinMax, ObjectRef) -> Command,
+) {
+    let mut all_pins: BTreeSet<PinId> = BTreeSet::new();
+    for &mode in ctx.modes {
+        all_pins.extend(get(mode).keys().copied());
+    }
+    let all_modes: Vec<(u32, u32)> = (0..ctx.modes.len()).map(|i| (i as u32, 0)).collect();
+    for pin in all_pins {
+        let values: Vec<Option<MinMaxPair>> = ctx
+            .modes
+            .iter()
+            .map(|&m| get(m).get(&pin).copied())
+            .collect();
+        if values.iter().any(|v| v.is_none()) {
+            port_conflict(ctx, pin, attribute, "declared in only some modes");
+            continue;
+        }
+        let mins: Vec<f64> = values.iter().map(|v| v.expect("checked").min).collect();
+        let maxs: Vec<f64> = values.iter().map(|v| v.expect("checked").max).collect();
+        if !within_tolerance(&mins, ctx.options) || !within_tolerance(&maxs, ctx.options) {
+            port_conflict(ctx, pin, attribute, "values exceed tolerance");
+            continue;
+        }
+        if snapped(&mins) || snapped(&maxs) {
+            ctx.diags.emit(
+                RuleCode::TolSnap,
+                format!(
+                    "port '{}': {attribute} differs across modes; snapped to envelope",
+                    ctx.netlist.pin_name(pin)
+                ),
+            );
+        }
+        let min = spread(&mins).0;
+        let max = spread(&maxs).1;
+        let port = pin_ref(ctx.netlist, pin);
+        let id = ctx
+            .prov
+            .record(RuleCode::PortAttr, all_modes.clone(), attribute);
+        if (min - max).abs() < 1e-12 {
+            ctx.prov.attach(ctx.sdc.commands().len(), id);
+            ctx.sdc.push(make(max, MinMax::Both, port));
+        } else {
+            ctx.prov.attach(ctx.sdc.commands().len(), id);
+            ctx.sdc.push(make(min, MinMax::Min, port.clone()));
+            ctx.prov.attach(ctx.sdc.commands().len(), id);
+            ctx.sdc.push(make(max, MinMax::Max, port));
+        }
+    }
+}
+
+fn port_conflict(ctx: &mut StageCtx<'_>, pin: PinId, attribute: &'static str, why: &str) {
+    let object = ctx.netlist.pin_name(pin);
+    ctx.diags.emit(
+        RuleCode::PortConflict,
+        format!("port '{object}': {attribute} {why}"),
+    );
+    ctx.conflicts
+        .push(MergeConflict::PortAttribute { object, attribute });
+}

@@ -49,11 +49,26 @@ use modemerge_sta::relations::PathState;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
+/// Provenance note for one produced fix: which pass derived it, the
+/// mismatched relation it kills and the individual modes whose relation
+/// tables witnessed the mismatch (dense indices into the merge group).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixNote {
+    /// The pass that produced the fix (1, 2 or 3).
+    pub pass: u8,
+    /// Human-readable description of the mismatched relation.
+    pub relation: String,
+    /// Contributing individual modes, by dense index.
+    pub modes: Vec<u32>,
+}
+
 /// Result of one comparison round.
 #[derive(Debug, Default)]
 pub struct ComparisonOutcome {
     /// False paths to add to the merged mode.
     pub fixes: Vec<Command>,
+    /// One [`FixNote`] per entry of `fixes`, in the same order.
+    pub fix_notes: Vec<FixNote>,
     /// Relations timed by some individual mode but missing from the
     /// merged mode — an engine invariant violation, reported as a merge
     /// failure.
@@ -179,13 +194,30 @@ fn propagation_totals(individual: &[&Analysis<'_>], merged: &Analysis<'_>) -> (u
 /// Per-endpoint pass-2 result, stitched back in endpoint order.
 struct Pass2Out {
     fixes: Vec<Command>,
+    notes: Vec<FixNote>,
     escalate: Vec<(PinId, PinId)>,
 }
 
 /// Per-pair pass-3 result, stitched back in pair order.
 struct Pass3Out {
     fixes: Vec<Command>,
+    notes: Vec<FixNote>,
     residual: Vec<String>,
+}
+
+/// Modes carrying a given clock pair (by interned id), used to attribute
+/// clock-pair fixes to the individual modes that define both clocks.
+fn modes_with_pair(
+    mode_clock_ids: &[BTreeSet<ClockKeyId>],
+    l: ClockKeyId,
+    c: ClockKeyId,
+) -> Vec<u32> {
+    mode_clock_ids
+        .iter()
+        .enumerate()
+        .filter(|(_, ids)| ids.contains(&l) && ids.contains(&c))
+        .map(|(i, _)| i as u32)
+        .collect()
 }
 
 /// Runs the full 3-pass comparison, returning fixes for the merged mode.
@@ -205,6 +237,18 @@ pub fn compare_and_fix(
     let mut outcome = ComparisonOutcome::default();
     let (runs_before, hits_before) = propagation_totals(individual, merged);
     let clock_names = clock_name_map(merged);
+    // Interned clock-id sets per individual mode (for fix attribution).
+    let interner = graph.interner();
+    let mode_clock_ids: Vec<BTreeSet<ClockKeyId>> = individual
+        .iter()
+        .map(|a| {
+            a.mode()
+                .clocks
+                .iter()
+                .map(|c| interner.intern_clock(&c.key()))
+                .collect()
+        })
+        .collect();
 
     // ---- Pass 1 -------------------------------------------------------
     // Serial by design: this sweep touches every relation row once and
@@ -212,8 +256,16 @@ pub fn compare_and_fix(
     // before any worker thread runs.
     let t_pass1 = Instant::now();
     let mut by_tuple: BTreeMap<(PinId, RowKey), StateSets> = BTreeMap::new();
-    for a in individual {
+    // Individual modes with any relation row at an endpoint.
+    let mut endpoint_modes: BTreeMap<PinId, BTreeSet<u32>> = BTreeMap::new();
+    for (mode_idx, a) in individual.iter().enumerate() {
         for (endpoint, rows) in a.endpoint_table().iter() {
+            if !rows.is_empty() {
+                endpoint_modes
+                    .entry(endpoint)
+                    .or_default()
+                    .insert(mode_idx as u32);
+            }
             for r in rows {
                 by_tuple
                     .entry((endpoint, (r.launch, r.capture, r.check)))
@@ -275,6 +327,15 @@ pub fn compare_and_fix(
                 },
                 SetupHold::Both,
             ));
+            outcome.fix_notes.push(FixNote {
+                pass: 1,
+                relation: format!(
+                    "clock pair {} -> {} mismatches design-wide",
+                    name_of(&clock_names, l),
+                    name_of(&clock_names, c)
+                ),
+                modes: modes_with_pair(&mode_clock_ids, l, c),
+            });
             killed_pairs.insert((l, c));
         }
     }
@@ -304,12 +365,26 @@ pub fn compare_and_fix(
                 },
                 SetupHold::Both,
             ));
+            outcome.fix_notes.push(FixNote {
+                pass: 1,
+                relation: format!(
+                    "no individual mode times any path to {}",
+                    netlist.pin_name(*endpoint)
+                ),
+                modes: endpoint_modes
+                    .get(endpoint)
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default(),
+            });
             continue;
         }
         let mut clock_pairs: BTreeMap<(ClockKeyId, ClockKeyId), Vec<(CheckKind, Cmp)>> =
             BTreeMap::new();
         for ((l, c, check), cmp) in &tuples {
-            clock_pairs.entry((*l, *c)).or_default().push((*check, *cmp));
+            clock_pairs
+                .entry((*l, *c))
+                .or_default()
+                .push((*check, *cmp));
         }
         let mut escalate = false;
         for ((l, c), checks) in clock_pairs {
@@ -337,6 +412,16 @@ pub fn compare_and_fix(
         }
     }
     for ((l, c, scope), endpoints) in grouped {
+        let note = FixNote {
+            pass: 1,
+            relation: format!(
+                "{} -> {} mismatches at {} endpoint(s)",
+                name_of(&clock_names, l),
+                name_of(&clock_names, c),
+                endpoints.len()
+            ),
+            modes: modes_with_pair(&mode_clock_ids, l, c),
+        };
         outcome.fixes.push(fp(
             PathSpec {
                 from: vec![clocks_ref([name_of(&clock_names, l)])],
@@ -345,6 +430,7 @@ pub fn compare_and_fix(
             },
             scope,
         ));
+        outcome.fix_notes.push(note);
     }
     outcome.pass1_ns = t_pass1.elapsed().as_nanos() as u64;
 
@@ -353,11 +439,19 @@ pub fn compare_and_fix(
     let t_pass2 = Instant::now();
     let pass2_items: Vec<PinId> = pass2_queue.iter().copied().collect();
     let pass2_results = pool::run_indexed(threads, pass2_items.len(), |i| {
-        pass2_endpoint(netlist, individual, merged, &clock_names, pass2_items[i])
+        pass2_endpoint(
+            netlist,
+            individual,
+            merged,
+            &clock_names,
+            &mode_clock_ids,
+            pass2_items[i],
+        )
     });
     let mut pass3_queue: BTreeSet<(PinId, PinId)> = BTreeSet::new();
     for r in pass2_results {
         outcome.fixes.extend(r.fixes);
+        outcome.fix_notes.extend(r.notes);
         pass3_queue.extend(r.escalate);
     }
     outcome.pass2_ns = t_pass2.elapsed().as_nanos() as u64;
@@ -378,6 +472,7 @@ pub fn compare_and_fix(
             individual,
             merged,
             &clock_names,
+            &mode_clock_ids,
             &topo_pos,
             start,
             endpoint,
@@ -385,6 +480,7 @@ pub fn compare_and_fix(
     });
     for r in pass3_results {
         outcome.fixes.extend(r.fixes);
+        outcome.fix_notes.extend(r.notes);
         outcome.residual.extend(r.residual);
     }
     outcome.pass3_ns = t_pass3.elapsed().as_nanos() as u64;
@@ -392,6 +488,11 @@ pub fn compare_and_fix(
     let (runs_after, hits_after) = propagation_totals(individual, merged);
     outcome.propagations = runs_after - runs_before;
     outcome.propagation_cache_hits = hits_after - hits_before;
+    debug_assert_eq!(
+        outcome.fixes.len(),
+        outcome.fix_notes.len(),
+        "every fix carries a note"
+    );
     outcome
 }
 
@@ -401,15 +502,23 @@ fn pass2_endpoint(
     individual: &[&Analysis<'_>],
     merged: &Analysis<'_>,
     clock_names: &BTreeMap<ClockKeyId, String>,
+    mode_clock_ids: &[BTreeSet<ClockKeyId>],
     endpoint: PinId,
 ) -> Pass2Out {
     let mut out = Pass2Out {
         fixes: Vec::new(),
+        notes: Vec::new(),
         escalate: Vec::new(),
     };
     let mut pairs: BTreeMap<(PinId, RowKey), StateSets> = BTreeMap::new();
-    for a in individual {
+    // Individual modes with any pair relation per startpoint.
+    let mut start_modes: BTreeMap<PinId, BTreeSet<u32>> = BTreeMap::new();
+    for (mode_idx, a) in individual.iter().enumerate() {
         for r in a.pair_relations(endpoint) {
+            start_modes
+                .entry(r.start)
+                .or_default()
+                .insert(mode_idx as u32);
             pairs
                 .entry((r.start, (r.row.launch, r.row.capture, r.row.check)))
                 .or_default()
@@ -447,6 +556,18 @@ fn pass2_endpoint(
                 },
                 SetupHold::Both,
             ));
+            out.notes.push(FixNote {
+                pass: 2,
+                relation: format!(
+                    "no individual mode times {} -> {}",
+                    netlist.pin_name(*start),
+                    netlist.pin_name(endpoint)
+                ),
+                modes: start_modes
+                    .get(start)
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default(),
+            });
             continue;
         }
         // Clock-combination-specific kills: the endpoint pin becomes
@@ -454,7 +575,10 @@ fn pass2_endpoint(
         let mut clock_pairs: BTreeMap<(ClockKeyId, ClockKeyId), Vec<(CheckKind, Cmp)>> =
             BTreeMap::new();
         for ((l, c, check), cmp) in tuples {
-            clock_pairs.entry((*l, *c)).or_default().push((*check, *cmp));
+            clock_pairs
+                .entry((*l, *c))
+                .or_default()
+                .push((*check, *cmp));
         }
         let mut escalate = false;
         for (&(l, c), checks) in &clock_pairs {
@@ -478,6 +602,17 @@ fn pass2_endpoint(
                     },
                     scope_of(&fixable),
                 ));
+                out.notes.push(FixNote {
+                    pass: 2,
+                    relation: format!(
+                        "{} -> {} only mismatches for {} -> {}",
+                        netlist.pin_name(*start),
+                        netlist.pin_name(endpoint),
+                        name_of(clock_names, l),
+                        name_of(clock_names, c)
+                    ),
+                    modes: modes_with_pair(mode_clock_ids, l, c),
+                });
             }
         }
         if escalate {
@@ -495,18 +630,26 @@ fn pass3_pair(
     individual: &[&Analysis<'_>],
     merged: &Analysis<'_>,
     clock_names: &BTreeMap<ClockKeyId, String>,
+    mode_clock_ids: &[BTreeSet<ClockKeyId>],
     topo_pos: &[u32],
     start: PinId,
     endpoint: PinId,
 ) -> Pass3Out {
     let mut out = Pass3Out {
         fixes: Vec::new(),
+        notes: Vec::new(),
         residual: Vec::new(),
     };
     let sp = startpoint_for(netlist, start);
     let mut nodes: BTreeMap<PinId, BTreeMap<RowKey, StateSets>> = BTreeMap::new();
-    for a in individual {
+    // Individual modes with any through relation per node.
+    let mut node_modes: BTreeMap<PinId, BTreeSet<u32>> = BTreeMap::new();
+    for (mode_idx, a) in individual.iter().enumerate() {
         for r in a.through_relations(sp, endpoint).iter() {
+            node_modes
+                .entry(r.through)
+                .or_default()
+                .insert(mode_idx as u32);
             nodes
                 .entry(r.through)
                 .or_default()
@@ -635,29 +778,62 @@ fn pass3_pair(
         }
     }
     for (node, node_fix) in chosen {
-        let cmd = match node_fix {
-            NodeFix::All(checks) => fp(
-                PathSpec {
-                    from: vec![pin_ref(netlist, start)],
-                    through: vec![vec![pin_ref(netlist, node)]],
-                    to: vec![pin_ref(netlist, endpoint)],
+        let witnesses = |node: PinId| -> Vec<u32> {
+            node_modes
+                .get(&node)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default()
+        };
+        let (cmd, note) = match node_fix {
+            NodeFix::All(checks) => (
+                fp(
+                    PathSpec {
+                        from: vec![pin_ref(netlist, start)],
+                        through: vec![vec![pin_ref(netlist, node)]],
+                        to: vec![pin_ref(netlist, endpoint)],
+                    },
+                    checks.setup_hold(),
+                ),
+                FixNote {
+                    pass: 3,
+                    relation: format!(
+                        "no individual mode times {} -> {} through {}",
+                        netlist.pin_name(start),
+                        netlist.pin_name(endpoint),
+                        netlist.pin_name(node)
+                    ),
+                    modes: witnesses(node),
                 },
-                checks.setup_hold(),
             ),
-            NodeFix::Pair(l, c, checks) => fp(
-                PathSpec {
-                    from: vec![clocks_ref([name_of(clock_names, l)])],
-                    through: vec![
-                        vec![pin_ref(netlist, start)],
-                        vec![pin_ref(netlist, node)],
-                        vec![pin_ref(netlist, endpoint)],
-                    ],
-                    to: vec![clocks_ref([name_of(clock_names, c)])],
+            NodeFix::Pair(l, c, checks) => (
+                fp(
+                    PathSpec {
+                        from: vec![clocks_ref([name_of(clock_names, l)])],
+                        through: vec![
+                            vec![pin_ref(netlist, start)],
+                            vec![pin_ref(netlist, node)],
+                            vec![pin_ref(netlist, endpoint)],
+                        ],
+                        to: vec![clocks_ref([name_of(clock_names, c)])],
+                    },
+                    checks.setup_hold(),
+                ),
+                FixNote {
+                    pass: 3,
+                    relation: format!(
+                        "{} -> {} through {} only mismatches for {} -> {}",
+                        netlist.pin_name(start),
+                        netlist.pin_name(endpoint),
+                        netlist.pin_name(node),
+                        name_of(clock_names, l),
+                        name_of(clock_names, c)
+                    ),
+                    modes: modes_with_pair(mode_clock_ids, l, c),
                 },
-                checks.setup_hold(),
             ),
         };
         out.fixes.push(cmd);
+        out.notes.push(note);
     }
     out
 }
@@ -726,7 +902,9 @@ mod tests {
         let texts: Vec<String> = outcome.fixes.iter().map(|c| c.to_text()).collect();
         // CSTR1: all paths to rX/D are false in both modes.
         assert!(
-            texts.iter().any(|t| t == "set_false_path -to [get_pins rX/D]"),
+            texts
+                .iter()
+                .any(|t| t == "set_false_path -to [get_pins rX/D]"),
             "{texts:?}"
         );
         // CSTR2: rA → rY is false in both modes, rB → rY is valid.
@@ -836,8 +1014,16 @@ mod tests {
         // mode without it and check the clock-pair false path appears.
         let netlist = paper_circuit();
         let graph = TimingGraph::build(&netlist).unwrap();
-        let a = bind(&netlist, "A", "create_clock -name cA -period 10 [get_ports clk1]\n");
-        let b = bind(&netlist, "B", "create_clock -name cB -period 4 [get_ports clk2]\n");
+        let a = bind(
+            &netlist,
+            "A",
+            "create_clock -name cA -period 10 [get_ports clk1]\n",
+        );
+        let b = bind(
+            &netlist,
+            "B",
+            "create_clock -name cB -period 4 [get_ports clk2]\n",
+        );
         let m = bind(
             &netlist,
             "M",

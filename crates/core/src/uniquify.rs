@@ -10,9 +10,9 @@
 //! `set_multicycle_path 2 -from [get_clocks clkA] -through [rA/CP]`.
 
 use modemerge_netlist::PinId;
+use modemerge_sdc::{PathExceptionKind, SetupHold};
 use modemerge_sta::keys::{ClockKey, F64Key};
 use modemerge_sta::mode::{Exception, Mode};
-use modemerge_sdc::{PathExceptionKind, SetupHold};
 use std::collections::BTreeSet;
 
 /// Mode-independent exception kind (values wrapped for total ordering).
@@ -317,7 +317,10 @@ mod tests {
             [key(0)].into_iter().collect(),
         ];
         let exc = fp(&[7], &[], &[]);
-        assert_eq!(uniquify(&exc, &[true, false], &keys), UniquifyOutcome::Failed);
+        assert_eq!(
+            uniquify(&exc, &[true, false], &keys),
+            UniquifyOutcome::Failed
+        );
     }
 
     #[test]

@@ -168,13 +168,19 @@ impl NetlistBuilder {
         }
     }
 
-    fn resolve_inst_pin(&self, inst: InstId, pin: &str) -> Result<(PinId, PinDirection), NetlistError> {
+    fn resolve_inst_pin(
+        &self,
+        inst: InstId,
+        pin: &str,
+    ) -> Result<(PinId, PinDirection), NetlistError> {
         let i = &self.instances[inst.index()];
         let cell = self.library.cell(i.cell);
-        let idx = cell.pin_index(pin).ok_or_else(|| NetlistError::UnknownLibPin {
-            cell: cell.name().to_owned(),
-            pin: pin.to_owned(),
-        })?;
+        let idx = cell
+            .pin_index(pin)
+            .ok_or_else(|| NetlistError::UnknownLibPin {
+                cell: cell.name().to_owned(),
+                pin: pin.to_owned(),
+            })?;
         Ok((i.pins[idx], cell.pins()[idx].direction()))
     }
 

@@ -60,7 +60,9 @@ impl fmt::Display for NetlistError {
             Self::PinAlreadyConnected { pin } => {
                 write!(f, "pin `{pin}` is already connected to a net")
             }
-            Self::Parse { line, message } => write!(f, "netlist parse error at line {line}: {message}"),
+            Self::Parse { line, message } => {
+                write!(f, "netlist parse error at line {line}: {message}")
+            }
             Self::Invalid(msg) => write!(f, "invalid netlist: {msg}"),
         }
     }

@@ -315,11 +315,7 @@ impl Library {
         lib.add_cell_internal(
             "DFF",
             F::Dff,
-            vec![
-                data_in("D"),
-                ("CP".into(), Input, R::Clock),
-                data_out("Q"),
-            ],
+            vec![data_in("D"), ("CP".into(), Input, R::Clock), data_out("Q")],
             0.8,
         );
         lib.add_cell_internal(
@@ -336,11 +332,7 @@ impl Library {
         lib.add_cell_internal(
             "LATCH",
             F::Latch,
-            vec![
-                data_in("D"),
-                ("EN".into(), Input, R::Enable),
-                data_out("Q"),
-            ],
+            vec![data_in("D"), ("EN".into(), Input, R::Enable), data_out("Q")],
             0.5,
         );
         lib.add_cell_internal(
@@ -484,15 +476,24 @@ mod tests {
         assert_eq!(Xor.eval(&[Some(true), Some(false)]), Some(true));
         assert_eq!(Xor.eval(&[Some(true), Some(true)]), Some(false));
         assert_eq!(Xor.eval(&[Some(true), None]), None);
-        assert_eq!(CellFunction::Xnor.eval(&[Some(true), Some(false)]), Some(false));
+        assert_eq!(
+            CellFunction::Xnor.eval(&[Some(true), Some(false)]),
+            Some(false)
+        );
     }
 
     #[test]
     fn mux_select_known() {
         use CellFunction::Mux2;
         // [A, B, S]
-        assert_eq!(Mux2.eval(&[Some(true), Some(false), Some(false)]), Some(true));
-        assert_eq!(Mux2.eval(&[Some(true), Some(false), Some(true)]), Some(false));
+        assert_eq!(
+            Mux2.eval(&[Some(true), Some(false), Some(false)]),
+            Some(true)
+        );
+        assert_eq!(
+            Mux2.eval(&[Some(true), Some(false), Some(true)]),
+            Some(false)
+        );
         assert_eq!(Mux2.eval(&[None, Some(false), Some(true)]), Some(false));
     }
 

@@ -319,10 +319,18 @@ impl Netlist {
         let mut issues = Vec::new();
         for (i, net) in self.nets.iter().enumerate() {
             if net.driver.is_none() {
-                issues.push(format!("net `{}` ({}) has no driver", net.name, NetId::new(i)));
+                issues.push(format!(
+                    "net `{}` ({}) has no driver",
+                    net.name,
+                    NetId::new(i)
+                ));
             }
             if net.loads.is_empty() {
-                issues.push(format!("net `{}` ({}) has no loads", net.name, NetId::new(i)));
+                issues.push(format!(
+                    "net `{}` ({}) has no loads",
+                    net.name,
+                    NetId::new(i)
+                ));
             }
         }
         for inst in &self.instances {
@@ -331,7 +339,11 @@ impl Netlist {
                 if lp.direction() == PinDirection::Input
                     && self.pins[inst.pins[idx].index()].net.is_none()
                 {
-                    issues.push(format!("input pin `{}/{}` is unconnected", inst.name, lp.name()));
+                    issues.push(format!(
+                        "input pin `{}/{}` is unconnected",
+                        inst.name,
+                        lp.name()
+                    ));
                 }
             }
         }

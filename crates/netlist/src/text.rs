@@ -49,14 +49,18 @@ pub fn parse(input: &str, library: Library) -> Result<Netlist, NetlistError> {
                 if builder.is_some() {
                     return Err(err(line, "duplicate `design` line"));
                 }
-                let name = tokens.next().ok_or_else(|| err(line, "expected design name"))?;
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| err(line, "expected design name"))?;
                 builder = Some(NetlistBuilder::new(name, library.clone()));
             }
             "input" | "output" => {
                 let b = builder
                     .as_mut()
                     .ok_or_else(|| err(line, "`design` line must come first"))?;
-                let port_name = tokens.next().ok_or_else(|| err(line, "expected port name"))?;
+                let port_name = tokens
+                    .next()
+                    .ok_or_else(|| err(line, "expected port name"))?;
                 let net_name = tokens.next().unwrap_or(port_name).to_owned();
                 let port = if keyword == "input" {
                     b.input_port(port_name)?
@@ -72,8 +76,12 @@ pub fn parse(input: &str, library: Library) -> Result<Netlist, NetlistError> {
                 let b = builder
                     .as_mut()
                     .ok_or_else(|| err(line, "`design` line must come first"))?;
-                let inst_name = tokens.next().ok_or_else(|| err(line, "expected instance name"))?;
-                let cell_name = tokens.next().ok_or_else(|| err(line, "expected cell name"))?;
+                let inst_name = tokens
+                    .next()
+                    .ok_or_else(|| err(line, "expected instance name"))?;
+                let cell_name = tokens
+                    .next()
+                    .ok_or_else(|| err(line, "expected cell name"))?;
                 let inst = b.instance(inst_name, cell_name)?;
                 for assign in tokens {
                     let (pin, net_name) = assign
@@ -121,7 +129,12 @@ pub fn write(netlist: &Netlist) -> String {
         let _ = write!(out, "inst {} {}", inst.name(), cell.name());
         for (idx, &pin) in inst.pins().iter().enumerate() {
             if let Some(net) = netlist.pin(pin).net() {
-                let _ = write!(out, " {}={}", cell.pins()[idx].name(), netlist.net(net).name());
+                let _ = write!(
+                    out,
+                    " {}={}",
+                    cell.pins()[idx].name(),
+                    netlist.net(net).name()
+                );
             }
         }
         out.push('\n');

@@ -331,17 +331,23 @@ pub fn write_verilog(netlist: &Netlist) -> String {
     for inst_id in netlist.instance_ids() {
         let inst = netlist.instance(inst_id);
         let cell = netlist.library().cell(inst.cell());
-        let conns: Vec<String> = inst
-            .pins()
-            .iter()
-            .enumerate()
-            .filter_map(|(idx, &pin)| {
-                netlist.pin(pin).net().map(|net| {
-                    format!(".{}({})", cell.pins()[idx].name(), netlist.net(net).name())
+        let conns: Vec<String> =
+            inst.pins()
+                .iter()
+                .enumerate()
+                .filter_map(|(idx, &pin)| {
+                    netlist.pin(pin).net().map(|net| {
+                        format!(".{}({})", cell.pins()[idx].name(), netlist.net(net).name())
+                    })
                 })
-            })
-            .collect();
-        let _ = writeln!(out, "  {} {} ({});", cell.name(), inst.name(), conns.join(", "));
+                .collect();
+        let _ = writeln!(
+            out,
+            "  {} {} ({});",
+            cell.name(),
+            inst.name(),
+            conns.join(", ")
+        );
     }
     out.push_str("endmodule\n");
     out

@@ -410,9 +410,32 @@ impl fmt::Display for Command {
 }
 
 /// A parsed SDC file: an ordered list of commands.
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// Alongside the commands the file keeps two *metadata* vectors, kept
+/// parallel to `commands` at all times:
+///
+/// * `lines` — the 1-based source line each command was parsed from
+///   (`0` for synthesized commands that never had a source line);
+/// * `comments` — full-line `#` comments that immediately preceded the
+///   command in the source text (leading `#` stripped).
+///
+/// Metadata is carried for provenance/annotation purposes only: two
+/// files with equal commands compare equal regardless of line numbers
+/// or comments, and [`SdcFile::to_text`] never emits metadata, so the
+/// canonical byte-identity invariant of merged output is unaffected.
+#[derive(Debug, Clone, Default)]
 pub struct SdcFile {
     commands: Vec<Command>,
+    lines: Vec<u32>,
+    comments: Vec<Vec<String>>,
+}
+
+/// Equality is over commands only; line numbers and comments are
+/// annotation metadata and deliberately ignored.
+impl PartialEq for SdcFile {
+    fn eq(&self, other: &Self) -> bool {
+        self.commands == other.commands
+    }
 }
 
 impl SdcFile {
@@ -436,12 +459,44 @@ impl SdcFile {
         &self.commands
     }
 
-    /// Appends a command.
+    /// Appends a command with no source line (`0`) and no comments.
     pub fn push(&mut self, command: Command) {
         self.commands.push(command);
+        self.lines.push(0);
+        self.comments.push(Vec::new());
+    }
+
+    /// Appends a command recording its 1-based source line and any
+    /// preceding full-line comments.
+    pub fn push_with_meta(&mut self, command: Command, line: u32, comments: Vec<String>) {
+        self.commands.push(command);
+        self.lines.push(line);
+        self.comments.push(comments);
+    }
+
+    /// The 1-based source line of command `idx`, or `0` when the
+    /// command was synthesized rather than parsed.
+    pub fn line_of(&self, idx: usize) -> u32 {
+        self.lines.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Full-line comments attached to command `idx` (possibly empty).
+    pub fn comments_of(&self, idx: usize) -> &[String] {
+        self.comments.get(idx).map_or(&[], Vec::as_slice)
+    }
+
+    /// Replaces the comments attached to command `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn set_comments(&mut self, idx: usize, comments: Vec<String>) {
+        self.comments[idx] = comments;
     }
 
     /// Writes canonical SDC text (one command per line, trailing newline).
+    ///
+    /// Comments are *not* emitted; see [`SdcFile::to_annotated_text`].
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         for c in &self.commands {
@@ -450,19 +505,33 @@ impl SdcFile {
         }
         out
     }
+
+    /// Writes SDC text with each command preceded by its attached
+    /// comments as `# …` lines. Files without comments render exactly
+    /// as [`SdcFile::to_text`]. The output re-parses to an equal file
+    /// with the same comments re-attached.
+    pub fn to_annotated_text(&self) -> String {
+        writer::write_annotated(self)
+    }
 }
 
 impl FromIterator<Command> for SdcFile {
     fn from_iter<T: IntoIterator<Item = Command>>(iter: T) -> Self {
+        let commands: Vec<Command> = iter.into_iter().collect();
+        let n = commands.len();
         Self {
-            commands: iter.into_iter().collect(),
+            commands,
+            lines: vec![0; n],
+            comments: vec![Vec::new(); n],
         }
     }
 }
 
 impl Extend<Command> for SdcFile {
     fn extend<T: IntoIterator<Item = Command>>(&mut self, iter: T) {
-        self.commands.extend(iter);
+        for c in iter {
+            self.push(c);
+        }
     }
 }
 

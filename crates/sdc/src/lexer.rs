@@ -3,8 +3,10 @@
 //! SDC files are processed as a sequence of *logical lines*: physical
 //! lines joined by trailing `\` continuations. Each logical line is
 //! tokenized into words, `[`/`]` brackets and `{…}` brace lists.
-//! Comment lines (first non-blank character `#`) are skipped, as is
-//! anything after a bare `#` token.
+//! Full-line comments (first non-blank character `#`) are captured and
+//! attached to the *next* logical line so callers can preserve
+//! constraint-level annotations; anything after a bare `#` token inside
+//! a line is dropped.
 
 use crate::error::SdcError;
 
@@ -28,6 +30,9 @@ pub struct LogicalLine {
     pub line: usize,
     /// Tokens of the line.
     pub tokens: Vec<Tok>,
+    /// Full-line `#` comments immediately preceding this line, with the
+    /// leading `#` and surrounding whitespace stripped.
+    pub comments: Vec<String>,
 }
 
 /// Tokenizes SDC text into logical lines.
@@ -61,14 +66,23 @@ pub fn tokenize(input: &str) -> Result<Vec<LogicalLine>, SdcError> {
     }
 
     let mut out = Vec::new();
+    let mut comments: Vec<String> = Vec::new();
     for (line, text) in logical {
         let trimmed = text.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(body) = trimmed.strip_prefix('#') {
+            comments.push(body.trim().to_owned());
             continue;
         }
         let tokens = tokenize_line(trimmed, line)?;
         if !tokens.is_empty() {
-            out.push(LogicalLine { line, tokens });
+            out.push(LogicalLine {
+                line,
+                tokens,
+                comments: std::mem::take(&mut comments),
+            });
         }
     }
     Ok(out)
@@ -165,14 +179,19 @@ mod tests {
     #[test]
     fn brace_list() {
         let lines = tokenize("set_false_path -through [get_pins {a/Z b/Z}]").unwrap();
-        assert!(lines[0].tokens.contains(&Tok::Brace(vec!["a/Z".into(), "b/Z".into()])));
+        assert!(lines[0]
+            .tokens
+            .contains(&Tok::Brace(vec!["a/Z".into(), "b/Z".into()])));
     }
 
     #[test]
     fn nested_braces_flatten() {
         let lines = tokenize("-waveform {0 {5}}").unwrap();
         // Nested braces keep their content; items split on whitespace.
-        assert_eq!(lines[0].tokens[1], Tok::Brace(vec!["0".into(), "{5}".into()]));
+        assert_eq!(
+            lines[0].tokens[1],
+            Tok::Brace(vec!["0".into(), "{5}".into()])
+        );
     }
 
     #[test]
@@ -189,6 +208,22 @@ mod tests {
         assert_eq!(lines.len(), 1);
         assert_eq!(lines[0].line, 2);
         assert_eq!(lines[0].tokens.len(), 2);
+    }
+
+    #[test]
+    fn full_line_comments_attach_to_next_line() {
+        let lines = tokenize("# one\n#  two \ncreate_clock x\ncreate_clock y\n").unwrap();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].comments, vec!["one".to_owned(), "two".to_owned()]);
+        assert!(lines[1].comments.is_empty());
+    }
+
+    #[test]
+    fn trailing_comment_without_line_is_dropped() {
+        // A dangling comment at EOF has no following command; it vanishes.
+        let lines = tokenize("create_clock x\n# orphan\n").unwrap();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].comments.is_empty());
     }
 
     #[test]

@@ -42,10 +42,11 @@ pub mod parser;
 pub mod writer;
 
 pub use ast::{
-    ClockGroupKind, Command, CreateClock, CreateGeneratedClock, IoDelay, IoDelayKind, MinMax, ObjectClass, ObjectQuery,
-    ObjectRef, PathException, PathExceptionKind, PathSpec, SdcFile, SetCaseAnalysis,
-    SetClockGroups, SetClockLatency, SetClockSense, SetClockTransition, SetClockUncertainty,
-    SetDisableTiming, SetDrive, SetInputTransition, SetLoad, SetPropagatedClock, SetupHold,
+    ClockGroupKind, Command, CreateClock, CreateGeneratedClock, IoDelay, IoDelayKind, MinMax,
+    ObjectClass, ObjectQuery, ObjectRef, PathException, PathExceptionKind, PathSpec, SdcFile,
+    SetCaseAnalysis, SetClockGroups, SetClockLatency, SetClockSense, SetClockTransition,
+    SetClockUncertainty, SetDisableTiming, SetDrive, SetInputTransition, SetLoad,
+    SetPropagatedClock, SetupHold,
 };
 pub use error::SdcError;
 pub use glob::glob_match;

@@ -13,8 +13,11 @@ use crate::lexer::{tokenize, LogicalLine, Tok};
 pub fn parse(input: &str) -> Result<SdcFile, SdcError> {
     let lines = tokenize(input)?;
     let mut file = SdcFile::new();
-    for line in lines {
-        file.push(parse_line(&line)?);
+    for mut line in lines {
+        let comments = std::mem::take(&mut line.comments);
+        let command = parse_line(&line)?;
+        let lineno = u32::try_from(line.line).unwrap_or(u32::MAX);
+        file.push_with_meta(command, lineno, comments);
     }
     Ok(file)
 }
@@ -504,7 +507,11 @@ fn parse_disable_timing(c: &mut Cursor) -> Result<Command, SdcError> {
     if objects.is_empty() {
         return Err(c.err("set_disable_timing: missing objects"));
     }
-    Ok(Command::SetDisableTiming(SetDisableTiming { objects, from, to }))
+    Ok(Command::SetDisableTiming(SetDisableTiming {
+        objects,
+        from,
+        to,
+    }))
 }
 
 #[derive(Clone, Copy)]
@@ -597,7 +604,11 @@ fn parse_clock_groups(c: &mut Cursor) -> Result<Command, SdcError> {
     if groups.len() < 2 {
         return Err(c.err("set_clock_groups: need at least two -group options"));
     }
-    Ok(Command::SetClockGroups(SetClockGroups { kind, name, groups }))
+    Ok(Command::SetClockGroups(SetClockGroups {
+        kind,
+        name,
+        groups,
+    }))
 }
 
 fn parse_clock_sense(c: &mut Cursor) -> Result<Command, SdcError> {
@@ -818,7 +829,8 @@ mod tests {
 
     #[test]
     fn multicycle_path() {
-        let c = one("set_multicycle_path 2 -setup -from [get_clocks clkA] -through [get_pins rA/CP]");
+        let c =
+            one("set_multicycle_path 2 -setup -from [get_clocks clkA] -through [get_pins rA/CP]");
         match c {
             Command::PathException(e) => {
                 assert_eq!(

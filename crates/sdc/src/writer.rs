@@ -8,6 +8,27 @@
 use crate::ast::*;
 use std::fmt::Write as _;
 
+/// Writes SDC text with each command preceded by its attached comments
+/// as `# …` lines.
+///
+/// Files without comments render byte-identically to
+/// [`SdcFile::to_text`]; the commented output re-parses to an equal
+/// [`SdcFile`] with the same comments re-attached (see the round-trip
+/// test below).
+pub fn write_annotated(file: &SdcFile) -> String {
+    let mut out = String::new();
+    for (idx, c) in file.commands().iter().enumerate() {
+        for comment in file.comments_of(idx) {
+            out.push_str("# ");
+            out.push_str(comment);
+            out.push('\n');
+        }
+        out.push_str(&c.to_text());
+        out.push('\n');
+    }
+    out
+}
+
 fn num(v: f64) -> String {
     if v.fract() == 0.0 && v.abs() < 1e15 {
         format!("{}", v as i64)
@@ -305,6 +326,42 @@ mod tests {
         ] {
             roundtrip(line);
         }
+    }
+
+    #[test]
+    fn annotated_roundtrip_preserves_commands_and_comments() {
+        let src = "# mode clkA: base clock\n\
+                   create_clock -name clkA -period 10 [get_ports clk1]\n\
+                   # derived from funcA:12\n\
+                   # and funcB:9\n\
+                   set_false_path -from [get_pins rA/CP] -to [get_pins rY/D]\n\
+                   set_load -max 0.1 [get_ports out1]\n";
+        let f1 = SdcFile::parse(src).unwrap();
+        assert_eq!(f1.comments_of(0), ["mode clkA: base clock".to_owned()]);
+        assert_eq!(
+            f1.comments_of(1),
+            ["derived from funcA:12".to_owned(), "and funcB:9".to_owned()]
+        );
+        assert!(f1.comments_of(2).is_empty());
+
+        let annotated = write_annotated(&f1);
+        // The annotated text re-parses to the identical SdcFile:
+        // command-equal (PartialEq) *and* metadata-equal.
+        let f2 = SdcFile::parse(&annotated).unwrap();
+        assert_eq!(f1, f2);
+        for idx in 0..f1.commands().len() {
+            assert_eq!(f1.comments_of(idx), f2.comments_of(idx), "comments[{idx}]");
+        }
+        // Annotated emission is idempotent.
+        assert_eq!(write_annotated(&f2), annotated);
+        // Plain emission never shows the comments.
+        assert!(!f1.to_text().contains('#'));
+    }
+
+    #[test]
+    fn annotated_matches_plain_without_comments() {
+        let f = SdcFile::parse("set_false_path -to [get_pins rX/D]\n").unwrap();
+        assert_eq!(write_annotated(&f), f.to_text());
     }
 
     #[test]

@@ -24,7 +24,12 @@ use std::collections::{HashMap, VecDeque};
 /// `kind` distinguishes request types (`"merge"` vs `"plan"`) that
 /// share inputs but not results; `modes` are `(name, sdc_text)` pairs,
 /// sorted internally so submission order cannot split cache entries.
-pub fn job_key(kind: &str, netlist: &str, modes: &[(String, String)], options: &MergeOptions) -> u64 {
+pub fn job_key(
+    kind: &str,
+    netlist: &str,
+    modes: &[(String, String)],
+    options: &MergeOptions,
+) -> u64 {
     let mut sorted: Vec<&(String, String)> = modes.iter().collect();
     sorted.sort();
     let mut h = Fnv64::new();

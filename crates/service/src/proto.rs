@@ -244,7 +244,8 @@ mod tests {
 
     #[test]
     fn options_default_when_absent() {
-        let line = "{\"type\":\"merge\",\"netlist\":\"n\",\"modes\":[{\"name\":\"A\",\"sdc\":\"s\"}]}";
+        let line =
+            "{\"type\":\"merge\",\"netlist\":\"n\",\"modes\":[{\"name\":\"A\",\"sdc\":\"s\"}]}";
         match Request::parse(line).unwrap() {
             Request::Merge(s) => assert_eq!(s.options, MergeOptions::default()),
             other => panic!("{other:?}"),
@@ -253,13 +254,17 @@ mod tests {
 
     #[test]
     fn bad_requests_get_clear_errors() {
-        assert!(Request::parse("not json").unwrap_err().contains("malformed"));
+        assert!(Request::parse("not json")
+            .unwrap_err()
+            .contains("malformed"));
         assert!(Request::parse("{}").unwrap_err().contains("type"));
         assert!(Request::parse("{\"type\":\"nope\"}")
             .unwrap_err()
             .contains("unknown request type"));
         let no_modes = "{\"type\":\"merge\",\"netlist\":\"n\",\"modes\":[]}";
-        assert!(Request::parse(no_modes).unwrap_err().contains("at least one mode"));
+        assert!(Request::parse(no_modes)
+            .unwrap_err()
+            .contains("at least one mode"));
         let bad_format = "{\"type\":\"plan\",\"netlist\":\"n\",\"format\":\"edif\",\"modes\":[{\"name\":\"A\",\"sdc\":\"s\"}]}";
         assert!(Request::parse(bad_format).unwrap_err().contains("edif"));
     }
@@ -269,7 +274,10 @@ mod tests {
         let ok = ok_response("merge", vec![("cached".into(), Json::Bool(true))]);
         assert_eq!(ok, "{\"ok\":true,\"type\":\"merge\",\"cached\":true}");
         let err = error_response(Some("merge"), "queue full");
-        assert_eq!(err, "{\"ok\":false,\"type\":\"merge\",\"error\":\"queue full\"}");
+        assert_eq!(
+            err,
+            "{\"ok\":false,\"type\":\"merge\",\"error\":\"queue full\"}"
+        );
         assert_eq!(
             error_response(None, "bad"),
             "{\"ok\":false,\"error\":\"bad\"}"

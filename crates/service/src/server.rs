@@ -98,6 +98,10 @@ struct ServerState {
     submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    /// Total `MM-*` diagnostics emitted by computed (non-cached) merge
+    /// jobs — a cheap server-side signal of how much judgement the
+    /// pipeline had to exercise.
+    diagnostics_emitted: AtomicU64,
     stage_totals: Mutex<StageTimings>,
 }
 
@@ -134,6 +138,10 @@ impl ServerState {
         fields.push((
             "failed".into(),
             Json::num(self.failed.load(Ordering::SeqCst) as f64),
+        ));
+        fields.push((
+            "diagnostics_emitted".into(),
+            Json::num(self.diagnostics_emitted.load(Ordering::SeqCst) as f64),
         ));
         fields.push(("cache".into(), self.cache_stats().to_json()));
         let totals = self.stage_totals.lock().expect("timings poisoned");
@@ -184,6 +192,7 @@ impl Server {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            diagnostics_emitted: AtomicU64::new(0),
             stage_totals: Mutex::new(StageTimings::default()),
             addr,
             config,
@@ -271,8 +280,9 @@ fn worker_loop(state: &ServerState) {
 
 fn parse_netlist(spec: &JobSpec) -> Result<Netlist, String> {
     match spec.format {
-        NetlistFormat::Text => text::parse(&spec.netlist, Library::standard())
-            .map_err(|e| format!("netlist: {e}")),
+        NetlistFormat::Text => {
+            text::parse(&spec.netlist, Library::standard()).map_err(|e| format!("netlist: {e}"))
+        }
         NetlistFormat::Verilog => verilog::parse_verilog(&spec.netlist, Library::standard())
             .map_err(|e| format!("netlist: {e}")),
     }
@@ -293,6 +303,10 @@ fn compute(state: &ServerState, kind: JobKind, spec: &JobSpec) -> Result<String,
         JobKind::Merge => {
             session.warm_up();
             let outcome = session.merge_all().map_err(|e| e.to_string())?;
+            let emitted: usize = outcome.reports.iter().map(|r| r.diagnostics.len()).sum();
+            state
+                .diagnostics_emitted
+                .fetch_add(emitted as u64, Ordering::SeqCst);
             outcome_to_json(&outcome, inputs.len())
         }
         JobKind::Plan => {
@@ -387,9 +401,7 @@ fn submit_job(state: &ServerState, kind: JobKind, spec: JobSpec) -> String {
                 state.config.queue_capacity
             ),
         ),
-        Err((PushError::Closed, _)) => {
-            error_response(Some(kind.name()), "server is shutting down")
-        }
+        Err((PushError::Closed, _)) => error_response(Some(kind.name()), "server is shutting down"),
     }
 }
 

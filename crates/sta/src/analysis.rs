@@ -310,7 +310,11 @@ impl<'a> Analysis<'a> {
     /// Resolves every path class arriving at `endpoint` (from an
     /// arbitrary propagation result) into `(launch, capture, check,
     /// state)` tuples with mode-local clock ids.
-    pub(crate) fn resolve_endpoint(&self, prop: &Propagation, endpoint: PinId) -> BTreeSet<Resolved> {
+    pub(crate) fn resolve_endpoint(
+        &self,
+        prop: &Propagation,
+        endpoint: PinId,
+    ) -> BTreeSet<Resolved> {
         let captures = self.capture_clocks(endpoint);
         let mut out = BTreeSet::new();
         for (tag, _) in prop.tags_at(endpoint) {
@@ -418,9 +422,7 @@ impl<'a> Analysis<'a> {
     pub fn has_active_fanout(&self, node: PinId) -> bool {
         let overlay = self.overlay();
         self.graph.fanout_arcs(node).any(|a| {
-            a.kind != ArcKind::Launch
-                && !overlay.node_blocked(a.to)
-                && !overlay.arc_blocked(a)
+            a.kind != ArcKind::Launch && !overlay.node_blocked(a.to) && !overlay.arc_blocked(a)
         })
     }
 
@@ -698,9 +700,7 @@ impl<'a> Analysis<'a> {
                             .io_delays
                             .iter()
                             .filter(|d| {
-                                d.kind == IoDelayKind::Output
-                                    && d.pin == endpoint
-                                    && d.clock == cap
+                                d.kind == IoDelayKind::Output && d.pin == endpoint && d.clock == cap
                             })
                             .map(|d| d.value)
                             .fold(0.0, f64::max);

@@ -201,10 +201,8 @@ mod tests {
 
     #[test]
     fn two_clocks_both_reach_muxed_registers() {
-        let (n, mode, a) = run(
-            "create_clock -name clkA -period 10 [get_ports clk1]\n\
-             create_clock -name clkB -period 20 [get_ports clk2]\n",
-        );
+        let (n, mode, a) = run("create_clock -name clkA -period 10 [get_ports clk1]\n\
+             create_clock -name clkB -period 20 [get_ports clk2]\n");
         let clk_a = mode.clock_by_name("clkA").unwrap();
         let clk_b = mode.clock_by_name("clkB").unwrap();
         let rx_cp = n.find_pin("rX/CP").unwrap();
@@ -219,15 +217,16 @@ mod tests {
     #[test]
     fn case_analysis_selects_mux_input() {
         // S = 1 selects input B: clkA blocked through the mux.
-        let (n, mode, a) = run(
-            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+        let (n, mode, a) = run("create_clock -name clkA -period 10 [get_ports clk1]\n\
              create_clock -name clkB -period 20 [get_ports clk2]\n\
-             set_case_analysis 0 sel1\nset_case_analysis 1 sel2\n",
-        );
+             set_case_analysis 0 sel1\nset_case_analysis 1 sel2\n");
         let clk_a = mode.clock_by_name("clkA").unwrap();
         let clk_b = mode.clock_by_name("clkB").unwrap();
         let rx_cp = n.find_pin("rX/CP").unwrap();
-        assert!(!a.reaches(clk_a, rx_cp), "clkA must be blocked by mux select");
+        assert!(
+            !a.reaches(clk_a, rx_cp),
+            "clkA must be blocked by mux select"
+        );
         assert!(a.reaches(clk_b, rx_cp));
         // clkA still reaches the mux input pin itself.
         assert!(a.reaches(clk_a, n.find_pin("mux1/A").unwrap()));
@@ -237,11 +236,9 @@ mod tests {
     #[test]
     fn stop_propagation_constraint() {
         // CSTR3 of the merged mode in Constraint Set 3.
-        let (n, mode, a) = run(
-            "create_clock -name clkA -period 10 [get_ports clk1]\n\
+        let (n, mode, a) = run("create_clock -name clkA -period 10 [get_ports clk1]\n\
              create_clock -name clkB -period 20 [get_ports clk2]\n\
-             set_clock_sense -stop_propagation -clocks [get_clocks clkA] [get_pins mux1/Z]\n",
-        );
+             set_clock_sense -stop_propagation -clocks [get_clocks clkA] [get_pins mux1/Z]\n");
         let clk_a = mode.clock_by_name("clkA").unwrap();
         let clk_b = mode.clock_by_name("clkB").unwrap();
         // clkA reaches mux1/Z but not beyond.
@@ -268,10 +265,8 @@ mod tests {
 
     #[test]
     fn source_latency_included() {
-        let (n, mode, a) = run(
-            "create_clock -name clkA -period 10 [get_ports clk1]\n\
-             set_clock_latency -source 1.5 [get_clocks clkA]\n",
-        );
+        let (n, mode, a) = run("create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_clock_latency -source 1.5 [get_clocks clkA]\n");
         let clk_a = mode.clock_by_name("clkA").unwrap();
         let arr = a
             .clocks_at(n.find_pin("rA/CP").unwrap())
@@ -283,10 +278,8 @@ mod tests {
 
     #[test]
     fn case_on_clock_port_kills_clock() {
-        let (n, mode, a) = run(
-            "create_clock -name clkA -period 10 [get_ports clk1]\n\
-             set_case_analysis 0 clk1\n",
-        );
+        let (n, mode, a) = run("create_clock -name clkA -period 10 [get_ports clk1]\n\
+             set_case_analysis 0 clk1\n");
         let clk_a = mode.clock_by_name("clkA").unwrap();
         assert!(!a.reaches(clk_a, n.find_pin("rA/CP").unwrap()));
         assert_eq!(a.reached_node_count(), 0);

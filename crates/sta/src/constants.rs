@@ -75,9 +75,7 @@ impl Constants {
             if let PinOwner::Instance(inst_id, idx) = netlist.pin(pin).owner() {
                 let inst = netlist.instance(inst_id);
                 let cell = netlist.library().cell(inst.cell());
-                if cell.is_sequential()
-                    || cell.pins()[idx].direction() == PinDirection::Output
-                {
+                if cell.is_sequential() || cell.pins()[idx].direction() == PinDirection::Output {
                     continue;
                 }
                 let inputs: Vec<Option<bool>> = cell

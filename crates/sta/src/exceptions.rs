@@ -342,9 +342,8 @@ mod tests {
 
     #[test]
     fn ordered_hops_must_be_crossed_in_order() {
-        let (n, mode) = mode_for(
-            "set_false_path -through [get_pins inv1/Z] -through [get_pins and1/Z]\n",
-        );
+        let (n, mode) =
+            mode_for("set_false_path -through [get_pins inv1/Z] -through [get_pins and1/Z]\n");
         let idx = ExcIndex::build(&mode);
         let inv1_z = n.find_pin("inv1/Z").unwrap();
         let and1_z = n.find_pin("and1/Z").unwrap();
@@ -415,8 +414,12 @@ mod tests {
         let idx = ExcIndex::build(&mode);
         let t = tag(0, &[], &[]);
         let rx_d = n.find_pin("rX/D").unwrap();
-        assert!(!idx.matched(&mode, &t, rx_d, None, CheckKind::Setup).is_empty());
-        assert!(idx.matched(&mode, &t, rx_d, None, CheckKind::Hold).is_empty());
+        assert!(!idx
+            .matched(&mode, &t, rx_d, None, CheckKind::Setup)
+            .is_empty());
+        assert!(idx
+            .matched(&mode, &t, rx_d, None, CheckKind::Hold)
+            .is_empty());
     }
 
     #[test]
@@ -456,9 +459,8 @@ mod tests {
 
     #[test]
     fn tightest_max_delay_wins() {
-        let (_, mode) = mode_for(
-            "set_max_delay 5 -to [get_pins rX/D]\nset_max_delay 3 -to [get_pins rX/D]\n",
-        );
+        let (_, mode) =
+            mode_for("set_max_delay 5 -to [get_pins rX/D]\nset_max_delay 3 -to [get_pins rX/D]\n");
         let state = resolve_state(&mode, &[ExcId(0), ExcId(1)], CheckKind::Setup);
         assert_eq!(state, PathState::MaxDelay(3.0.into()));
     }
@@ -466,6 +468,9 @@ mod tests {
     #[test]
     fn no_match_is_valid() {
         let (_, mode) = mode_for("set_false_path -to [get_pins rX/D]\n");
-        assert_eq!(resolve_state(&mode, &[], CheckKind::Setup), PathState::Valid);
+        assert_eq!(
+            resolve_state(&mode, &[], CheckKind::Setup),
+            PathState::Valid
+        );
     }
 }

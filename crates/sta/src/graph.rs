@@ -148,8 +148,8 @@ impl TimingGraph {
         for net_id in netlist.net_ids() {
             let net = netlist.net(net_id);
             let Some(driver) = net.driver() else { continue };
-            let delay = (model.net_base + model.net_per_fanout * net.fanout() as f64)
-                * model.derate;
+            let delay =
+                (model.net_base + model.net_per_fanout * net.fanout() as f64) * model.derate;
             for &load in net.loads() {
                 arcs.push(Arc {
                     from: driver,
@@ -183,11 +183,7 @@ impl TimingGraph {
                     .pins()
                     .iter()
                     .position(|p| p.role() == PinRole::Clock)
-                    .or_else(|| {
-                        cell.pins()
-                            .iter()
-                            .position(|p| p.role() == PinRole::Enable)
-                    });
+                    .or_else(|| cell.pins().iter().position(|p| p.role() == PinRole::Enable));
                 let Some(clk_idx) = clk_idx else { continue };
                 let clk_pin = inst.pins()[clk_idx];
                 is_clock_sink[clk_pin.index()] = true;
@@ -394,9 +390,7 @@ fn toposort(
         let n = queue[head];
         head += 1;
         topo.push(n);
-        for &ai in
-            &fanout_idx[fanout_off[n.index()] as usize..fanout_off[n.index() + 1] as usize]
-        {
+        for &ai in &fanout_idx[fanout_off[n.index()] as usize..fanout_off[n.index() + 1] as usize] {
             let arc = &arcs[ai as usize];
             if arc.kind == ArcKind::Launch {
                 continue;
@@ -434,7 +428,10 @@ mod tests {
         // 6 registers → 6 launch arcs and 6 sequential data pins.
         assert_eq!(g.seq_data_pins().len(), 6);
         assert_eq!(
-            g.arcs().iter().filter(|a| a.kind == ArcKind::Launch).count(),
+            g.arcs()
+                .iter()
+                .filter(|a| a.kind == ArcKind::Launch)
+                .count(),
             6
         );
     }
@@ -557,8 +554,7 @@ mod tests {
     fn derated_model_scales_all_arcs() {
         let n = paper_circuit();
         let typ = TimingGraph::build(&n).unwrap();
-        let slow =
-            TimingGraph::build_with_model(&n, DelayModel::default().derated(1.25)).unwrap();
+        let slow = TimingGraph::build_with_model(&n, DelayModel::default().derated(1.25)).unwrap();
         for (a, b) in typ.arcs().iter().zip(slow.arcs().iter()) {
             assert!((b.delay - a.delay * 1.25).abs() < 1e-12);
         }

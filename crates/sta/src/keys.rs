@@ -102,12 +102,7 @@ pub struct ClockKey {
 
 impl ClockKey {
     /// Builds a key from resolved clock data.
-    pub fn new(
-        mut sources: Vec<PinId>,
-        period: f64,
-        waveform: (f64, f64),
-        name: &str,
-    ) -> Self {
+    pub fn new(mut sources: Vec<PinId>, period: f64, waveform: (f64, f64), name: &str) -> Self {
         sources.sort_unstable();
         sources.dedup();
         let virtual_name = if sources.is_empty() {
@@ -221,7 +216,11 @@ impl KeyInterner {
 
     /// Number of distinct clock keys interned so far.
     pub fn clock_count(&self) -> usize {
-        self.state.read().expect("interner poisoned").clock_keys.len()
+        self.state
+            .read()
+            .expect("interner poisoned")
+            .clock_keys
+            .len()
     }
 
     /// Interns a startpoint, returning its dense id.
@@ -303,7 +302,12 @@ mod tests {
     #[test]
     fn clock_key_source_identity() {
         let a = ClockKey::new(vec![PinId::new(3), PinId::new(1)], 10.0, (0.0, 5.0), "clkA");
-        let b = ClockKey::new(vec![PinId::new(1), PinId::new(3)], 10.0, (0.0, 5.0), "other");
+        let b = ClockKey::new(
+            vec![PinId::new(1), PinId::new(3)],
+            10.0,
+            (0.0, 5.0),
+            "other",
+        );
         // Same sources + waveform: identical regardless of name.
         assert_eq!(a, b);
         let c = ClockKey::new(vec![PinId::new(1)], 10.0, (0.0, 5.0), "clkA");

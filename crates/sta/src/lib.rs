@@ -54,5 +54,5 @@ pub use graph::{Arc, ArcKind, ArcSense, TimingGraph};
 pub use keys::{ClockKey, F64Key};
 pub use mode::{Clock, ClockId, ExcId, Mode};
 pub use paths::{PathPoint, TimingPath};
-pub use report::{SlackHistogram, SlackSummary};
 pub use relations::{EndpointRelation, PairRelation, PathState, RelationSet};
+pub use report::{SlackHistogram, SlackSummary};

@@ -109,6 +109,9 @@ pub struct Clock {
     /// clock's `sources` are then the generation target pins and its
     /// period/waveform are derived from the master.
     pub generated: Option<GeneratedClock>,
+    /// 1-based source line of the defining `create_clock`/
+    /// `create_generated_clock` in the mode's SDC (`0` when synthesized).
+    pub line: u32,
 }
 
 impl Clock {
@@ -152,6 +155,9 @@ pub struct Exception {
     pub to_pins: BTreeSet<PinId>,
     /// `-to` capture clocks.
     pub to_clocks: BTreeSet<ClockId>,
+    /// 1-based source line of the exception command in the mode's SDC
+    /// (`0` when synthesized).
+    pub line: u32,
 }
 
 impl Exception {
@@ -298,7 +304,11 @@ impl Mode {
     /// analysis, or references to undefined clocks. Glob patterns that
     /// match nothing produce warnings, not errors, matching commercial
     /// tool behaviour.
-    pub fn bind(name: impl Into<String>, netlist: &Netlist, sdc: &SdcFile) -> Result<Self, StaError> {
+    pub fn bind(
+        name: impl Into<String>,
+        netlist: &Netlist,
+        sdc: &SdcFile,
+    ) -> Result<Self, StaError> {
         Binder::new(netlist).bind(name.into(), sdc)
     }
 
@@ -399,18 +409,18 @@ impl<'a> Binder<'a> {
         // Pass 1: clocks, so later commands can reference them.
         // Regular clocks first, then generated clocks (whose masters
         // must already exist).
-        for cmd in sdc.commands() {
+        for (idx, cmd) in sdc.commands().iter().enumerate() {
             if let Command::CreateClock(cc) = cmd {
-                self.create_clock(cc)?;
+                self.create_clock(cc, sdc.line_of(idx))?;
             }
         }
-        for cmd in sdc.commands() {
+        for (idx, cmd) in sdc.commands().iter().enumerate() {
             if let Command::CreateGeneratedClock(gc) = cmd {
-                self.create_generated_clock(gc)?;
+                self.create_generated_clock(gc, sdc.line_of(idx))?;
             }
         }
         // Pass 2: everything else, in file order.
-        for cmd in sdc.commands() {
+        for (idx, cmd) in sdc.commands().iter().enumerate() {
             #[allow(unreachable_patterns)] // Command is #[non_exhaustive]
             match cmd {
                 Command::CreateClock(_) | Command::CreateGeneratedClock(_) => {}
@@ -439,14 +449,12 @@ impl<'a> Binder<'a> {
                                 {
                                     Some(u) => u,
                                     None => {
-                                        self.mode.inter_uncertainties.push(
-                                            InterClockUncertainty {
-                                                from,
-                                                to,
-                                                setup: 0.0,
-                                                hold: 0.0,
-                                            },
-                                        );
+                                        self.mode.inter_uncertainties.push(InterClockUncertainty {
+                                            from,
+                                            to,
+                                            setup: 0.0,
+                                            hold: 0.0,
+                                        });
                                         self.mode
                                             .inter_uncertainties
                                             .last_mut()
@@ -479,7 +487,9 @@ impl<'a> Binder<'a> {
                 }
                 Command::SetClockTransition(c) => {
                     for id in self.resolve_clocks(&c.clocks, "set_clock_transition")? {
-                        self.mode.clocks[id.index()].transition.set(c.value, c.min_max);
+                        self.mode.clocks[id.index()]
+                            .transition
+                            .set(c.value, c.min_max);
                     }
                 }
                 Command::SetPropagatedClock(c) => {
@@ -502,11 +512,15 @@ impl<'a> Binder<'a> {
                     }
                 }
                 Command::SetDisableTiming(c) => self.disable_timing(c),
-                Command::PathException(c) => self.exception(c)?,
+                Command::PathException(c) => self.exception(c, sdc.line_of(idx))?,
                 Command::SetClockGroups(c) => {
                     let mut groups = Vec::new();
                     for g in &c.groups {
-                        groups.push(self.resolve_clocks(g, "set_clock_groups")?.into_iter().collect());
+                        groups.push(
+                            self.resolve_clocks(g, "set_clock_groups")?
+                                .into_iter()
+                                .collect(),
+                        );
                     }
                     self.mode.clock_groups.push(ClockGroups {
                         kind: c.kind,
@@ -542,12 +556,20 @@ impl<'a> Binder<'a> {
                 }
                 Command::SetDrive(c) => {
                     for pin in self.resolve_pins(&c.ports, "set_drive") {
-                        self.mode.drives.entry(pin).or_default().set(c.value, c.min_max);
+                        self.mode
+                            .drives
+                            .entry(pin)
+                            .or_default()
+                            .set(c.value, c.min_max);
                     }
                 }
                 Command::SetLoad(c) => {
                     for pin in self.resolve_pins(&c.objects, "set_load") {
-                        self.mode.loads.entry(pin).or_default().set(c.value, c.min_max);
+                        self.mode
+                            .loads
+                            .entry(pin)
+                            .or_default()
+                            .set(c.value, c.min_max);
                     }
                 }
                 other => {
@@ -560,7 +582,7 @@ impl<'a> Binder<'a> {
         Ok(self.mode)
     }
 
-    fn create_clock(&mut self, cc: &modemerge_sdc::CreateClock) -> Result<(), StaError> {
+    fn create_clock(&mut self, cc: &modemerge_sdc::CreateClock, line: u32) -> Result<(), StaError> {
         let sources = self.resolve_pins(&cc.sources, "create_clock");
         if sources.is_empty() && !cc.sources.is_empty() {
             return Err(StaError::UnresolvedObject {
@@ -594,6 +616,7 @@ impl<'a> Binder<'a> {
             uncertainty_hold: 0.0,
             transition: MinMaxPair::default(),
             generated: None,
+            line,
         });
         Ok(())
     }
@@ -601,6 +624,7 @@ impl<'a> Binder<'a> {
     fn create_generated_clock(
         &mut self,
         gc: &modemerge_sdc::CreateGeneratedClock,
+        line: u32,
     ) -> Result<(), StaError> {
         let source_pins = self.resolve_pins(&gc.source, "create_generated_clock -source");
         let targets = self.resolve_pins(&gc.targets, "create_generated_clock");
@@ -658,6 +682,7 @@ impl<'a> Binder<'a> {
                 multiply_by,
                 invert: gc.invert,
             }),
+            line,
         });
         Ok(())
     }
@@ -670,9 +695,9 @@ impl<'a> Binder<'a> {
             return Ok(());
         };
         let clocks = self.resolve_clocks(std::slice::from_ref(clock_ref), "io delay -clock")?;
-        let clock = *clocks.first().ok_or_else(|| {
-            StaError::UnknownClock(format!("{clock_ref:?}"))
-        })?;
+        let clock = *clocks
+            .first()
+            .ok_or_else(|| StaError::UnknownClock(format!("{clock_ref:?}")))?;
         for pin in self.resolve_pins(&c.ports, "io delay") {
             self.mode.io_delays.push(IoDelay {
                 kind: c.kind,
@@ -723,7 +748,7 @@ impl<'a> Binder<'a> {
         }
     }
 
-    fn exception(&mut self, c: &modemerge_sdc::PathException) -> Result<(), StaError> {
+    fn exception(&mut self, c: &modemerge_sdc::PathException, line: u32) -> Result<(), StaError> {
         let (from_pins, from_clocks) = self.resolve_mixed(&c.spec.from, "-from")?;
         let (to_pins, to_clocks) = self.resolve_mixed(&c.spec.to, "-to")?;
         let mut through = Vec::new();
@@ -745,6 +770,7 @@ impl<'a> Binder<'a> {
             through,
             to_pins,
             to_clocks,
+            line,
         });
         Ok(())
     }
@@ -763,8 +789,10 @@ impl<'a> Binder<'a> {
                     for pattern in &q.patterns {
                         let mut any = false;
                         for id in self.mode.clock_ids() {
-                            if modemerge_sdc::glob_match(pattern, &self.mode.clocks[id.index()].name)
-                            {
+                            if modemerge_sdc::glob_match(
+                                pattern,
+                                &self.mode.clocks[id.index()].name,
+                            ) {
                                 clocks.insert(id);
                                 any = true;
                             }
@@ -801,8 +829,10 @@ impl<'a> Binder<'a> {
                     for pattern in &q.patterns {
                         let mut any = false;
                         for id in self.mode.clock_ids() {
-                            if modemerge_sdc::glob_match(pattern, &self.mode.clocks[id.index()].name)
-                            {
+                            if modemerge_sdc::glob_match(
+                                pattern,
+                                &self.mode.clocks[id.index()].name,
+                            ) {
                                 out.push(id);
                                 any = true;
                             }
@@ -923,6 +953,18 @@ mod tests {
         assert_eq!(c.period, 10.0);
         assert_eq!(c.waveform, (0.0, 5.0));
         assert_eq!(c.sources.len(), 1);
+    }
+
+    #[test]
+    fn source_lines_carried_into_mode() {
+        let m = bind(
+            "# comment before the clock\n\
+             create_clock -name clkA -period 10 [get_ports clk1]\n\
+             \n\
+             set_false_path -from [get_clocks clkA] -to [get_pins rY/D]\n",
+        );
+        assert_eq!(m.clocks[0].line, 2);
+        assert_eq!(m.exceptions[0].line, 4);
     }
 
     #[test]
@@ -1094,9 +1136,7 @@ mod tests {
 
     #[test]
     fn inter_clock_uncertainty_requires_both_anchors() {
-        let sdc = modemerge_sdc::SdcFile::parse(
-            "set_clock_uncertainty 0.5 -from [get_clocks a]",
-        );
+        let sdc = modemerge_sdc::SdcFile::parse("set_clock_uncertainty 0.5 -from [get_clocks a]");
         assert!(sdc.is_err(), "-from without -to must be rejected");
     }
 

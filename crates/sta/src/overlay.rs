@@ -87,14 +87,8 @@ mod tests {
         let mux_z = n.find_pin("mux1/Z").unwrap();
         let mux_a = n.find_pin("mux1/A").unwrap();
         let mux_b = n.find_pin("mux1/B").unwrap();
-        let arc_a = g
-            .fanin_arcs(mux_z)
-            .find(|a| a.from == mux_a)
-            .unwrap();
-        let arc_b = g
-            .fanin_arcs(mux_z)
-            .find(|a| a.from == mux_b)
-            .unwrap();
+        let arc_a = g.fanin_arcs(mux_z).find(|a| a.from == mux_a).unwrap();
+        let arc_b = g.fanin_arcs(mux_z).find(|a| a.from == mux_b).unwrap();
         assert!(overlay.arc_blocked(arc_a), "unselected arc must block");
         assert!(!overlay.arc_blocked(arc_b), "selected arc must pass");
     }

@@ -124,9 +124,7 @@ mod tests {
     use modemerge_netlist::paper::paper_circuit;
     use modemerge_sdc::SdcFile;
 
-    fn analysis_fixture(
-        sdc: &str,
-    ) -> (modemerge_netlist::Netlist, TimingGraph, Mode) {
+    fn analysis_fixture(sdc: &str) -> (modemerge_netlist::Netlist, TimingGraph, Mode) {
         let netlist = paper_circuit();
         let graph = TimingGraph::build(&netlist).unwrap();
         let mode = Mode::bind("t", &netlist, &SdcFile::parse(sdc).unwrap()).unwrap();
@@ -194,10 +192,7 @@ mod tests {
         let analysis = Analysis::run(&netlist, &graph, &mode);
         let ra_d = netlist.find_pin("rA/D").unwrap();
         let path = analysis.worst_path(ra_d).unwrap();
-        assert_eq!(
-            netlist.pin_name(path.points.first().unwrap().pin),
-            "in1"
-        );
+        assert_eq!(netlist.pin_name(path.points.first().unwrap().pin), "in1");
         assert!((path.points.first().unwrap().arrival - 2.0).abs() < 1e-12);
     }
 }

@@ -251,12 +251,7 @@ impl<'a> Propagator<'a> {
                 }
                 // External driver derating from set_drive / set_input_transition.
                 let extra = self.mode.drives.get(&pin).map_or(0.0, |d| d.max) * 0.5
-                    + self
-                        .mode
-                        .input_transitions
-                        .get(&pin)
-                        .map_or(0.0, |t| t.max)
-                        * 0.25;
+                    + self.mode.input_transitions.get(&pin).map_or(0.0, |t| t.max) * 0.25;
                 for (clock, mut arrival) in by_clock {
                     if arrival.min.is_infinite() {
                         arrival.min = arrival.max;
@@ -372,10 +367,7 @@ mod tests {
         let f = Fixture::new(CLK);
         let p = f.run();
         for ep in ["rX/D", "rY/D", "rZ/D"] {
-            assert!(
-                !p.tags_at(f.pin(ep)).is_empty(),
-                "no tags at {ep}"
-            );
+            assert!(!p.tags_at(f.pin(ep)).is_empty(), "no tags at {ep}");
         }
     }
 
@@ -398,9 +390,7 @@ mod tests {
         );
         let overlay = Overlay::new(&f.netlist, &f.mode, &f.constants);
         let prop = Propagator::new(&f.graph, overlay, &f.mode, &f.clock_arrivals, &f.exc_index);
-        assert!(prop
-            .startpoints()
-            .contains(&Startpoint::Port(f.pin("in1"))));
+        assert!(prop.startpoints().contains(&Startpoint::Port(f.pin("in1"))));
         let p = prop.run_full();
         // in1 → rA/D etc.
         assert!(!p.tags_at(f.pin("rA/D")).is_empty());
@@ -429,8 +419,7 @@ mod tests {
         let p = f.run();
         let tags = p.tags_at(f.pin("rY/D"));
         assert_eq!(tags.len(), 2);
-        let armed_counts: BTreeSet<usize> =
-            tags.iter().map(|(t, _)| t.armed.len()).collect();
+        let armed_counts: BTreeSet<usize> = tags.iter().map(|(t, _)| t.armed.len()).collect();
         assert_eq!(armed_counts, BTreeSet::from([0, 1]));
     }
 

@@ -390,7 +390,11 @@ mod tests {
         let table = EndpointTable::build(vec![
             (
                 PinId::new(2),
-                vec![row(1, PathState::Valid), row(0, PathState::Valid), row(0, PathState::Valid)],
+                vec![
+                    row(1, PathState::Valid),
+                    row(0, PathState::Valid),
+                    row(0, PathState::Valid),
+                ],
             ),
             (PinId::new(4), vec![]),
             (PinId::new(7), vec![row(0, PathState::FalsePath)]),

@@ -84,7 +84,10 @@ impl DesignSpec {
 pub fn generate_design(spec: &DesignSpec) -> Netlist {
     assert!(spec.domains >= 2, "need at least two clock domains");
     assert!(spec.banks >= 2, "need at least two banks");
-    assert!(spec.regs_per_bank >= 2, "need at least two registers per bank");
+    assert!(
+        spec.regs_per_bank >= 2,
+        "need at least two registers per bank"
+    );
     let mut rng = XorShift::seed_from_u64(spec.seed);
     let mut b = NetlistBuilder::new(spec.name.clone(), Library::standard());
 
@@ -94,7 +97,9 @@ pub fn generate_design(spec: &DesignSpec) -> Netlist {
         .collect();
     let sel_a = b.input_port("sel_a").expect("fresh port");
     let sel_b = b.input_port("sel_b").expect("fresh port");
-    let scan_en = spec.scan.then(|| b.input_port("scan_en").expect("fresh port"));
+    let scan_en = spec
+        .scan
+        .then(|| b.input_port("scan_en").expect("fresh port"));
     let io = spec.io_ports();
     let din: Vec<_> = (0..io)
         .map(|i| b.input_port(&format!("din{i}")).expect("fresh port"))
@@ -108,8 +113,10 @@ pub fn generate_design(spec: &DesignSpec) -> Netlist {
     b.connect_port_to_pin(sel_a, xor_sel, "A").expect("connect");
     b.connect_port_to_pin(sel_b, xor_sel, "B").expect("connect");
     let ckmux0 = b.instance("ckmux0", "MUX2").expect("fresh inst");
-    b.connect_port_to_pin(clk_ports[0], ckmux0, "A").expect("connect");
-    b.connect_port_to_pin(clk_ports[1], ckmux0, "B").expect("connect");
+    b.connect_port_to_pin(clk_ports[0], ckmux0, "A")
+        .expect("connect");
+    b.connect_port_to_pin(clk_ports[1], ckmux0, "B")
+        .expect("connect");
     b.connect_pins(xor_sel, "Z", ckmux0, "S").expect("connect");
 
     // Other muxed banks get dedicated select ports.
@@ -129,8 +136,10 @@ pub fn generate_design(spec: &DesignSpec) -> Netlist {
                 .expect("fresh inst");
             let d1 = bank % spec.domains;
             let d2 = (bank + 1) % spec.domains;
-            b.connect_port_to_pin(clk_ports[d1], mux, "A").expect("connect");
-            b.connect_port_to_pin(clk_ports[d2], mux, "B").expect("connect");
+            b.connect_port_to_pin(clk_ports[d1], mux, "A")
+                .expect("connect");
+            b.connect_port_to_pin(clk_ports[d2], mux, "B")
+                .expect("connect");
             b.connect_port_to_pin(sel, mux, "S").expect("connect");
             bank_clock.push(BankClock::Mux(mux));
         } else {
@@ -143,7 +152,8 @@ pub fn generate_design(spec: &DesignSpec) -> Netlist {
         let en = b.input_port("cg_en1").expect("fresh port");
         let cg = b.instance("cg1", "CKGATE").expect("fresh inst");
         let d = 1 % spec.domains;
-        b.connect_port_to_pin(clk_ports[d], cg, "CLK").expect("connect");
+        b.connect_port_to_pin(clk_ports[d], cg, "CLK")
+            .expect("connect");
         b.connect_port_to_pin(en, cg, "EN").expect("connect");
         cg
     });
@@ -153,7 +163,8 @@ pub fn generate_design(spec: &DesignSpec) -> Netlist {
     let divider = spec.dividers.then(|| {
         let div = b.instance("div0", "DFF").expect("fresh inst");
         let fb = b.instance("div0_fb", "INV").expect("fresh inst");
-        b.connect_port_to_pin(clk_ports[0], div, "CP").expect("connect");
+        b.connect_port_to_pin(clk_ports[0], div, "CP")
+            .expect("connect");
         b.connect_pins(div, "Q", fb, "A").expect("connect");
         b.connect_pins(fb, "Z", div, "D").expect("connect");
         div
@@ -169,9 +180,7 @@ pub fn generate_design(spec: &DesignSpec) -> Netlist {
                 .expect("fresh inst");
             match (divider, bank == spec.banks - 1, clock_gate, bank == 1) {
                 (Some(div), true, _, _) => b.connect_pins(div, "Q", reg, "CP").expect("connect"),
-                (_, _, Some(cg), true) => {
-                    b.connect_pins(cg, "GCLK", reg, "CP").expect("connect")
-                }
+                (_, _, Some(cg), true) => b.connect_pins(cg, "GCLK", reg, "CP").expect("connect"),
                 _ => match *clocking {
                     BankClock::Mux(mux) => b.connect_pins(mux, "Z", reg, "CP").expect("connect"),
                     BankClock::Direct(d) => b
@@ -190,36 +199,36 @@ pub fn generate_design(spec: &DesignSpec) -> Netlist {
     // Data-input hookup for every register: a cloud output, optionally
     // multiplexed with the scan chain.
     let mut cloud_counter = 0usize;
-    let attach_data = |b: &mut NetlistBuilder,
-                           reg_index: usize,
-                           reg: InstId,
-                           func_src: (InstId, &str)| {
-        if let Some(scan_en) = scan_en {
-            let smux = b
-                .instance(&format!("smux{reg_index}"), "MUX2")
-                .expect("fresh inst");
-            b.connect_pins(func_src.0, func_src.1, smux, "A").expect("connect");
-            if reg_index == 0 {
-                // Head of the chain: tie the scan input to the functional
-                // source as well (no dedicated scan-in port needed).
-                b.connect_pins(func_src.0, func_src.1, smux, "B").expect("connect");
+    let attach_data =
+        |b: &mut NetlistBuilder, reg_index: usize, reg: InstId, func_src: (InstId, &str)| {
+            if let Some(scan_en) = scan_en {
+                let smux = b
+                    .instance(&format!("smux{reg_index}"), "MUX2")
+                    .expect("fresh inst");
+                b.connect_pins(func_src.0, func_src.1, smux, "A")
+                    .expect("connect");
+                if reg_index == 0 {
+                    // Head of the chain: tie the scan input to the functional
+                    // source as well (no dedicated scan-in port needed).
+                    b.connect_pins(func_src.0, func_src.1, smux, "B")
+                        .expect("connect");
+                } else {
+                    b.connect_pins(scan_order[reg_index - 1], "Q", smux, "B")
+                        .expect("connect");
+                }
+                b.connect_port_to_pin(scan_en, smux, "S").expect("connect");
+                b.connect_pins(smux, "Z", reg, "D").expect("connect");
             } else {
-                b.connect_pins(scan_order[reg_index - 1], "Q", smux, "B")
+                b.connect_pins(func_src.0, func_src.1, reg, "D")
                     .expect("connect");
             }
-            b.connect_port_to_pin(scan_en, smux, "S").expect("connect");
-            b.connect_pins(smux, "Z", reg, "D").expect("connect");
-        } else {
-            b.connect_pins(func_src.0, func_src.1, reg, "D").expect("connect");
-        }
-    };
+        };
 
     // Bank 0: driven from primary inputs through buffers.
     for (r, &reg) in regs[0].iter().enumerate() {
-        let buf = b
-            .instance(&format!("ibuf{r}"), "BUF")
-            .expect("fresh inst");
-        b.connect_port_to_pin(din[r % io], buf, "A").expect("connect");
+        let buf = b.instance(&format!("ibuf{r}"), "BUF").expect("fresh inst");
+        b.connect_port_to_pin(din[r % io], buf, "A")
+            .expect("connect");
         attach_data(&mut b, r, reg, (buf, "Z"));
     }
 
@@ -322,10 +331,7 @@ mod tests {
             modemerge_netlist::text::write(&a),
             modemerge_netlist::text::write(&b)
         );
-        let different = generate_design(&DesignSpec {
-            seed: 8,
-            ..small()
-        });
+        let different = generate_design(&DesignSpec { seed: 8, ..small() });
         assert_ne!(
             modemerge_netlist::text::write(&a),
             modemerge_netlist::text::write(&different)
@@ -385,7 +391,17 @@ mod tests {
     #[test]
     fn expected_ports_exist() {
         let n = generate_design(&small());
-        for p in ["clk0", "clk1", "clk2", "sel_a", "sel_b", "scan_en", "din0", "dout0", "bank_sel3"] {
+        for p in [
+            "clk0",
+            "clk1",
+            "clk2",
+            "sel_a",
+            "sel_b",
+            "scan_en",
+            "din0",
+            "dout0",
+            "bank_sel3",
+        ] {
             assert!(n.port_by_name(p).is_some(), "missing port {p}");
         }
         assert!(n.find_pin("ckmux0/S").is_some());

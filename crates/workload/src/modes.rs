@@ -67,7 +67,10 @@ impl SuiteSpec {
 /// Panics on internally inconsistent specs (empty families).
 pub fn generate_suite(spec: &SuiteSpec) -> Suite {
     assert!(!spec.families.is_empty(), "need at least one family");
-    assert!(spec.families.iter().all(|&f| f > 0), "families must be non-empty");
+    assert!(
+        spec.families.iter().all(|&f| f > 0),
+        "families must be non-empty"
+    );
     let netlist = generate_design(&spec.design);
     let d = &spec.design;
     let io = d.io_ports();
@@ -327,8 +330,8 @@ mod tests {
         sp.design.dividers = true;
         let s = generate_suite(&sp);
         for (name, sdc) in &s.modes {
-            let mode = Mode::bind(name.clone(), &s.netlist, sdc)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let mode =
+                Mode::bind(name.clone(), &s.netlist, sdc).unwrap_or_else(|e| panic!("{name}: {e}"));
             let gdiv = mode.clock_by_name("gdiv").expect("generated clock bound");
             assert!(mode.clock(gdiv).generated.is_some());
         }

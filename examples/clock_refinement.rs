@@ -36,12 +36,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let outcome = merge_group(&netlist, &[mode_a, mode_b], &MergeOptions::default())?;
 
-    println!("Merged mode {}:\n{}", outcome.merged.name, outcome.merged.sdc.to_text());
+    println!(
+        "Merged mode {}:\n{}",
+        outcome.merged.name,
+        outcome.merged.sdc.to_text()
+    );
     println!(
         "Report: {} conflicting case pins disabled, {} clock stop(s), validated = {}",
-        outcome.report.disabled_case_pins,
-        outcome.report.clock_stops,
-        outcome.report.validated
+        outcome.report.disabled_case_pins, outcome.report.clock_stops, outcome.report.validated
     );
     println!(
         "\nThe set_clock_sense -stop_propagation on mux1/Z is the paper's CSTR3:\n\

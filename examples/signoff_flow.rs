@@ -121,7 +121,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .count();
 
-    println!("\nSTA with individual modes: {:.3} s", t_individual.as_secs_f64());
+    println!(
+        "\nSTA with individual modes: {:.3} s",
+        t_individual.as_secs_f64()
+    );
     println!("STA with merged modes:     {:.3} s", t_merged.as_secs_f64());
     println!(
         "Runtime reduction: {:.1} %",

@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let outcome = merge_group(&netlist, &[mode_a, mode_b], &MergeOptions::default())?;
 
-    println!("Merged mode {}:\n{}", outcome.merged.name, outcome.merged.sdc.to_text());
+    println!(
+        "Merged mode {}:\n{}",
+        outcome.merged.name,
+        outcome.merged.sdc.to_text()
+    );
     println!(
         "Refinement: {} false path(s) derived, {} endpoint(s) needed pass 2, \
          {} pair(s) needed pass 3, {} iteration(s).",
@@ -42,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.report.pass3_pairs,
         outcome.report.refine_iterations
     );
-    println!("Validation (mutual §2 relationship inclusion): {}", outcome.report.validated);
+    println!(
+        "Validation (mutual §2 relationship inclusion): {}",
+        outcome.report.validated
+    );
     println!(
         "\nCompare with the paper's merged mode A+B:\n\
          CSTR1: set_false_path -to [get_pins rX/D]            (pass 1, Table 2)\n\

@@ -2,11 +2,11 @@
 //! mode whose clock gate shuts a register bank off.
 
 use modemerge::merge::merge::{merge_group, MergeOptions, ModeInput};
+use modemerge::sdc::SdcFile;
 use modemerge::sta::analysis::Analysis;
 use modemerge::sta::graph::TimingGraph;
 use modemerge::sta::mode::Mode;
 use modemerge::workload::{generate_design, DesignSpec};
-use modemerge::sdc::SdcFile;
 
 fn gated_design() -> modemerge::netlist::Netlist {
     generate_design(&DesignSpec {
@@ -66,7 +66,10 @@ fn func_plus_lowpower_merge_validates() {
     assert!(out.report.validated);
     // The conflicting gate enable is dropped and the port disabled.
     let text = out.merged.sdc.to_text();
-    assert!(text.contains("set_disable_timing [get_ports cg_en1]"), "{text}");
+    assert!(
+        text.contains("set_disable_timing [get_ports cg_en1]"),
+        "{text}"
+    );
     // The merged mode must still clock bank 1 (the functional mode does).
     let graph = TimingGraph::build(&netlist).unwrap();
     let merged = Mode::bind("m", &netlist, &out.merged.sdc).unwrap();
@@ -94,6 +97,9 @@ fn gate_enable_agreement_is_kept() {
     .unwrap();
     let out = merge_group(&netlist, &[a, b], &MergeOptions::default()).unwrap();
     let text = out.merged.sdc.to_text();
-    assert!(text.contains("set_case_analysis 1 [get_ports cg_en1]"), "{text}");
+    assert!(
+        text.contains("set_case_analysis 1 [get_ports cg_en1]"),
+        "{text}"
+    );
     assert!(out.report.validated);
 }

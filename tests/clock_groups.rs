@@ -59,7 +59,10 @@ fn inherited_groups_make_merge_trivial() {
     let out = merge_group(&netlist, &[m1, m2], &MergeOptions::default()).unwrap();
     assert!(out.report.validated);
     let text = out.merged.sdc.to_text();
-    assert!(text.contains("set_clock_groups -physically_exclusive"), "{text}");
+    assert!(
+        text.contains("set_clock_groups -physically_exclusive"),
+        "{text}"
+    );
     // No clock-pair false paths were needed: the group covers them.
     assert!(
         !text.contains("set_false_path -from [get_clocks a] -to [get_clocks b]"),

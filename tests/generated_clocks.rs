@@ -79,9 +79,7 @@ fn missing_master_is_an_error() {
 fn generated_clock_clocks_the_payload() {
     let netlist = divider_design();
     let graph = TimingGraph::build(&netlist).unwrap();
-    let sdc = format!(
-        "{DIV_SDC}set_input_delay 1 -clock clkdiv2 [get_ports din]\n"
-    );
+    let sdc = format!("{DIV_SDC}set_input_delay 1 -clock clkdiv2 [get_ports din]\n");
     let mode = Mode::bind("m", &netlist, &SdcFile::parse(&sdc).unwrap()).unwrap();
     let analysis = Analysis::run(&netlist, &graph, &mode);
     let div2 = mode.clock_by_name("clkdiv2").unwrap();
@@ -118,7 +116,12 @@ fn merged_mode_keeps_the_generated_clock() {
     // The merged SDC re-binds (the generated clock resolves its master).
     let merged = Mode::bind("m", &netlist, &out.merged.sdc).unwrap();
     assert_eq!(merged.clocks.len(), 2);
-    assert_eq!(merged.clock(merged.clock_by_name("clkdiv2").unwrap()).period, 20.0);
+    assert_eq!(
+        merged
+            .clock(merged.clock_by_name("clkdiv2").unwrap())
+            .period,
+        20.0
+    );
 }
 
 #[test]
@@ -139,6 +142,9 @@ fn different_divide_factors_are_distinct_clocks() {
     assert!(text.contains("clkdiv4"), "{text}");
     // The two generated clocks share a source pin and never coexist →
     // physically exclusive.
-    assert!(text.contains("set_clock_groups -physically_exclusive"), "{text}");
+    assert!(
+        text.contains("set_clock_groups -physically_exclusive"),
+        "{text}"
+    );
     assert!(out.report.validated);
 }

@@ -41,7 +41,10 @@ fn inverted_capture_arrives_inverted() {
     let cap_cp = netlist.find_pin("capture/CP").unwrap();
     let entries = analysis.clock_arrivals().clocks_at(cap_cp);
     assert_eq!(entries.len(), 1);
-    assert!(entries[0].inverted, "one inverter on the path flips polarity");
+    assert!(
+        entries[0].inverted,
+        "one inverter on the path flips polarity"
+    );
     // The launch FF sees the normal polarity.
     let launch_cp = netlist.find_pin("launch/CP").unwrap();
     assert!(!analysis.clock_arrivals().clocks_at(launch_cp)[0].inverted);
@@ -74,9 +77,8 @@ fn half_period_setup_relation() {
 fn positive_sense_assertion_blocks_inverted_arrival() {
     let netlist = inverted_capture_design();
     let graph = TimingGraph::build(&netlist).unwrap();
-    let sdc = format!(
-        "{CLK}set_clock_sense -positive -clocks [get_clocks clk] [get_pins ckinv/Z]\n"
-    );
+    let sdc =
+        format!("{CLK}set_clock_sense -positive -clocks [get_clocks clk] [get_pins ckinv/Z]\n");
     let mode = Mode::bind("m", &netlist, &SdcFile::parse(&sdc).unwrap()).unwrap();
     let analysis = Analysis::run(&netlist, &graph, &mode);
     let cap_cp = netlist.find_pin("capture/CP").unwrap();
@@ -89,9 +91,8 @@ fn positive_sense_assertion_blocks_inverted_arrival() {
 fn negative_sense_assertion_keeps_inverted_arrival() {
     let netlist = inverted_capture_design();
     let graph = TimingGraph::build(&netlist).unwrap();
-    let sdc = format!(
-        "{CLK}set_clock_sense -negative -clocks [get_clocks clk] [get_pins ckinv/Z]\n"
-    );
+    let sdc =
+        format!("{CLK}set_clock_sense -negative -clocks [get_clocks clk] [get_pins ckinv/Z]\n");
     let mode = Mode::bind("m", &netlist, &SdcFile::parse(&sdc).unwrap()).unwrap();
     let analysis = Analysis::run(&netlist, &graph, &mode);
     let cap_cp = netlist.find_pin("capture/CP").unwrap();

@@ -78,11 +78,7 @@ fn latch_output_launches_paths() {
 fn latch_modes_merge_and_validate() {
     let netlist = latch_design();
     let a = ModeInput::parse("A", SDC).unwrap();
-    let b = ModeInput::parse(
-        "B",
-        &format!("{SDC}set_false_path -to [get_pins lat0/D]\n"),
-    )
-    .unwrap();
+    let b = ModeInput::parse("B", &format!("{SDC}set_false_path -to [get_pins lat0/D]\n")).unwrap();
     let out = merge_group(&netlist, &[a, b], &MergeOptions::default()).unwrap();
     assert!(out.report.validated);
 }

@@ -57,8 +57,8 @@ fn merged_suites_are_equivalent() {
             .iter()
             .map(|(n, s)| ModeInput::new(n.clone(), s.clone()))
             .collect();
-        let out = merge_all(&suite.netlist, &inputs, &MergeOptions::default())
-            .expect("flow completes");
+        let out =
+            merge_all(&suite.netlist, &inputs, &MergeOptions::default()).expect("flow completes");
         assert_eq!(out.merged.len(), suite.expected_merged, "seed {seed}");
         for report in &out.reports {
             assert!(
@@ -130,7 +130,8 @@ fn merge_is_order_insensitive() {
         let f_an = Analysis::run(&suite.netlist, &graph, &f_mode);
         let b_an = Analysis::run(&suite.netlist, &graph, &b_mode);
         assert!(
-            f_an.endpoint_relations().equivalent(&b_an.endpoint_relations()),
+            f_an.endpoint_relations()
+                .equivalent(&b_an.endpoint_relations()),
             "seed {seed}: merge order changed timing behaviour"
         );
     }
@@ -156,8 +157,8 @@ fn merged_modes_cover_all_endpoints() {
             .iter()
             .map(|(n, s)| ModeInput::new(n.clone(), s.clone()))
             .collect();
-        let out = merge_all(&suite.netlist, &inputs, &MergeOptions::default())
-            .expect("flow completes");
+        let out =
+            merge_all(&suite.netlist, &inputs, &MergeOptions::default()).expect("flow completes");
         let graph = TimingGraph::build(&suite.netlist).expect("acyclic");
 
         let mut individual_eps = std::collections::BTreeSet::new();

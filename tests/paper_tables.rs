@@ -19,11 +19,7 @@ fn bind(netlist: &Netlist, name: &str, text: &str) -> Mode {
     Mode::bind(name, netlist, &SdcFile::parse(text).unwrap()).unwrap()
 }
 
-fn setup_states(
-    netlist: &Netlist,
-    analysis: &Analysis<'_>,
-    endpoint: &str,
-) -> BTreeSet<PathState> {
+fn setup_states(netlist: &Netlist, analysis: &Analysis<'_>, endpoint: &str) -> BTreeSet<PathState> {
     let pin = netlist.find_pin(endpoint).unwrap();
     analysis
         .relations()
@@ -118,8 +114,14 @@ fn constraint_set3_merged_mode() {
     let out = merge_group(&netlist, &[mode_a, mode_b], &MergeOptions::default()).unwrap();
     let text = out.merged.sdc.to_text();
     // CSTR1/CSTR2 of the paper's mode A+B.
-    assert!(text.contains("set_disable_timing [get_ports sel1]"), "{text}");
-    assert!(text.contains("set_disable_timing [get_ports sel2]"), "{text}");
+    assert!(
+        text.contains("set_disable_timing [get_ports sel1]"),
+        "{text}"
+    );
+    assert!(
+        text.contains("set_disable_timing [get_ports sel2]"),
+        "{text}"
+    );
     // CSTR3: stop clkA at the mux output.
     assert!(
         text.contains(
@@ -182,13 +184,28 @@ fn constraint_set5_data_refinement() {
     let out = merge_group(&netlist, &[mode_a, mode_b], &MergeOptions::default()).unwrap();
     let text = out.merged.sdc.to_text();
     // CSTR1–CSTR4: unioned I/O delays with -add_delay.
-    assert!(text.contains("set_input_delay 2 -clock [get_clocks ClkA] -add_delay"), "{text}");
-    assert!(text.contains("set_input_delay 2 -clock [get_clocks ClkB] -add_delay"), "{text}");
-    assert!(text.contains("set_output_delay 2 -clock [get_clocks ClkA] -add_delay"), "{text}");
-    assert!(text.contains("set_output_delay 2 -clock [get_clocks ClkB] -add_delay"), "{text}");
+    assert!(
+        text.contains("set_input_delay 2 -clock [get_clocks ClkA] -add_delay"),
+        "{text}"
+    );
+    assert!(
+        text.contains("set_input_delay 2 -clock [get_clocks ClkB] -add_delay"),
+        "{text}"
+    );
+    assert!(
+        text.contains("set_output_delay 2 -clock [get_clocks ClkA] -add_delay"),
+        "{text}"
+    );
+    assert!(
+        text.contains("set_output_delay 2 -clock [get_clocks ClkB] -add_delay"),
+        "{text}"
+    );
     // CSTR5: the two same-source clocks never coexist → physically
     // exclusive.
-    assert!(text.contains("set_clock_groups -physically_exclusive"), "{text}");
+    assert!(
+        text.contains("set_clock_groups -physically_exclusive"),
+        "{text}"
+    );
     // CSTR6 (equivalent form): ClkB cut where the rB/Q constant blocks it.
     assert!(
         text.contains("set_false_path -from [get_clocks ClkB] -through [get_pins {and1/A rB/Q}]"),
@@ -219,7 +236,10 @@ fn constraint_set6_merged_mode() {
     let out = merge_group(&netlist, &[mode_a, mode_b], &MergeOptions::default()).unwrap();
     let text = out.merged.sdc.to_text();
     // The paper's CSTR1, CSTR2, CSTR3.
-    assert!(text.contains("set_false_path -to [get_pins rX/D]"), "{text}");
+    assert!(
+        text.contains("set_false_path -to [get_pins rX/D]"),
+        "{text}"
+    );
     assert!(
         text.contains("set_false_path -from [get_pins rA/CP] -to [get_pins rY/D]"),
         "{text}"
@@ -230,7 +250,10 @@ fn constraint_set6_merged_mode() {
         ),
         "{text}"
     );
-    assert!(out.report.pass2_endpoints >= 2, "Table 2 ambiguity escalates");
+    assert!(
+        out.report.pass2_endpoints >= 2,
+        "Table 2 ambiguity escalates"
+    );
     assert!(out.report.pass3_pairs >= 1, "Table 3 ambiguity escalates");
     assert!(out.report.validated);
 }

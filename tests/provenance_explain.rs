@@ -1,0 +1,252 @@
+//! Integration tests for the provenance-carrying pipeline: every merged
+//! constraint is traceable to a named `MM-*` rule with contributing
+//! modes/lines, diagnostics ride the JSON summary, clock-name collisions
+//! rename deterministically at any thread count, and annotated emission
+//! round-trips to the identical constraint set.
+
+use modemerge::merge::merge::{merge_all, merge_group, MergeOptions, ModeInput};
+use modemerge::merge::report::outcome_to_json;
+use modemerge::merge::RuleCode;
+use modemerge::netlist::paper::paper_circuit;
+use modemerge::sdc::SdcFile;
+use modemerge::workload::{generate_suite, DesignSpec, SuiteSpec};
+
+fn options(threads: usize) -> MergeOptions {
+    MergeOptions {
+        threads,
+        ..Default::default()
+    }
+}
+
+/// Two modes declaring the *same clock name* with *different identities*
+/// (different source ports and periods): the union stage must keep both
+/// clocks, rename the second deterministically and emit `MM-CLK-RENAME`
+/// — with byte-identical output at `--threads 1` and `--threads 8`.
+#[test]
+fn clock_name_collision_renames_deterministically() {
+    let netlist = paper_circuit();
+    let mode_a =
+        ModeInput::parse("A", "create_clock -name clk -period 10 [get_ports clk1]\n").unwrap();
+    let mode_b =
+        ModeInput::parse("B", "create_clock -name clk -period 20 [get_ports clk2]\n").unwrap();
+
+    let serial = merge_group(&netlist, &[mode_a.clone(), mode_b.clone()], &options(1)).unwrap();
+    let threaded = merge_group(&netlist, &[mode_a, mode_b], &options(8)).unwrap();
+
+    // Determinism: same bytes, same diagnostics, at any thread count.
+    assert_eq!(serial.merged.sdc.to_text(), threaded.merged.sdc.to_text());
+    assert_eq!(serial.report.diagnostics, threaded.report.diagnostics);
+
+    let text = serial.merged.sdc.to_text();
+    assert!(text.contains("-name clk "), "{text}");
+    assert!(
+        text.contains("-name clk_1 "),
+        "renamed clock missing: {text}"
+    );
+
+    // Exactly one rename diagnostic, naming the loser and the new name.
+    let renames: Vec<_> = serial
+        .report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == RuleCode::ClkRename)
+        .collect();
+    assert_eq!(renames.len(), 1, "{:?}", serial.report.diagnostics);
+    assert!(
+        renames[0].message.contains("'clk'"),
+        "{}",
+        renames[0].message
+    );
+    assert!(
+        renames[0].message.contains("'clk_1'"),
+        "{}",
+        renames[0].message
+    );
+    assert!(
+        renames[0].message.contains("mode 'B'"),
+        "{}",
+        renames[0].message
+    );
+
+    // The renamed create_clock carries an MM-CLK-RENAME provenance
+    // record pointing at mode B line 1.
+    let prov = &serial.report.provenance;
+    let (idx, _) = serial
+        .merged
+        .sdc
+        .commands()
+        .iter()
+        .enumerate()
+        .find(|(_, c)| c.to_text().contains("-name clk_1 "))
+        .expect("renamed clock command");
+    let rec = prov.for_command(idx).expect("provenance for renamed clock");
+    assert_eq!(rec.rule, RuleCode::ClkRename);
+    let described = prov.describe(rec);
+    assert!(described.contains("MM-CLK-RENAME"), "{described}");
+    assert!(described.contains("B:1"), "{described}");
+    assert!(described.contains("renamed from 'clk'"), "{described}");
+}
+
+/// Acceptance criterion: every `set_false_path` in the merged SDC of the
+/// paper example is traceable to a named rule — exception intersection /
+/// uniquification or a 3-pass derivation with its mismatched relation.
+#[test]
+fn paper_example_false_paths_are_traceable() {
+    let netlist = paper_circuit();
+    let mode_a = ModeInput::parse(
+        "A",
+        "create_clock -p 10 -name clkA [get_port clk1]\n\
+         set_false_path -to rX/D\n\
+         set_false_path -to rY/D\n\
+         set_false_path -through inv3/Z\n",
+    )
+    .unwrap();
+    let mode_b = ModeInput::parse(
+        "B",
+        "create_clock -p 10 -name clkA [get_port clk1]\n\
+         set_false_path -from rA/CP\n\
+         set_false_path -to rZ/D\n",
+    )
+    .unwrap();
+    let out = merge_group(&netlist, &[mode_a, mode_b], &options(1)).unwrap();
+    assert!(out.report.comparison_false_paths >= 3);
+
+    let prov = &out.report.provenance;
+    let mut three_pass_fps = 0usize;
+    for (idx, cmd) in out.merged.sdc.commands().iter().enumerate() {
+        let text = cmd.to_text();
+        if !text.starts_with("set_false_path") {
+            continue;
+        }
+        let rec = prov
+            .for_command(idx)
+            .unwrap_or_else(|| panic!("untraceable false path: {text}"));
+        let described = prov.describe(rec);
+        assert!(described.starts_with("MM-"), "{text}: {described}");
+        if matches!(
+            rec.rule,
+            RuleCode::FpPass1 | RuleCode::FpPass2 | RuleCode::FpPass3
+        ) {
+            three_pass_fps += 1;
+            // 3-pass derivations describe the mismatched relation (a
+            // clock pair, or the endpoint no individual mode times) and
+            // list the modes whose union the fix restores.
+            assert!(
+                rec.detail.contains("->") || rec.detail.contains("mode"),
+                "{text}: {described}"
+            );
+            assert!(!rec.contribs.is_empty(), "{text}: {described}");
+        }
+    }
+    assert!(
+        three_pass_fps >= 3,
+        "expected 3-pass provenance records, saw {three_pass_fps}"
+    );
+}
+
+/// Acceptance criterion at workload scale: every constraint the merged
+/// modes of a generated suite carry has a provenance record, and the
+/// derived false paths name their pass.
+#[test]
+fn workload_suite_commands_are_traceable() {
+    let spec = SuiteSpec {
+        design: DesignSpec::with_target_cells("provenance", 300, 7),
+        families: vec![2, 2],
+        test_clocks: true,
+        cross_false_paths: true,
+    };
+    let suite = generate_suite(&spec);
+    let inputs: Vec<ModeInput> = suite
+        .modes
+        .iter()
+        .map(|(name, sdc)| ModeInput::new(name.clone(), sdc.clone()))
+        .collect();
+    let out = merge_all(&suite.netlist, &inputs, &options(2)).unwrap();
+    assert!(out.merged.len() < inputs.len(), "suite should merge");
+
+    for (merged, report) in out.merged.iter().zip(&out.reports) {
+        if report.mode_names.len() < 2 {
+            continue; // kept as-is: no merge, no derivations
+        }
+        let prov = &report.provenance;
+        assert_eq!(prov.mode_names().len(), report.mode_names.len());
+        for (idx, cmd) in merged.sdc.commands().iter().enumerate() {
+            let rec = prov
+                .for_command(idx)
+                .unwrap_or_else(|| panic!("{}: untraceable: {}", merged.name, cmd.to_text()));
+            assert!(prov.describe(rec).starts_with("MM-"));
+        }
+    }
+}
+
+/// `merge --json` / service replies: per-group reports carry the
+/// diagnostics array (code + message) and the provenance block, and the
+/// whole object still round-trips through the in-tree JSON parser.
+#[test]
+fn json_summary_carries_diagnostics_and_provenance() {
+    let netlist = paper_circuit();
+    let inputs = vec![
+        ModeInput::parse("A", "create_clock -name clk -period 10 [get_ports clk1]\n").unwrap(),
+        ModeInput::parse("B", "create_clock -name clk -period 20 [get_ports clk2]\n").unwrap(),
+    ];
+    let out = merge_all(&netlist, &inputs, &options(1)).unwrap();
+    let v = outcome_to_json(&out, inputs.len());
+
+    let reports = v.get("reports").unwrap().as_array().unwrap();
+    let report = &reports[0];
+    let diags = report.get("diagnostics").unwrap().as_array().unwrap();
+    assert!(
+        diags.iter().any(|d| {
+            d.get("code").and_then(|c| c.as_str()) == Some("MM-CLK-RENAME")
+                && d.get("message")
+                    .and_then(|m| m.as_str())
+                    .is_some_and(|m| m.contains("clk_1"))
+        }),
+        "{diags:?}"
+    );
+    let prov = report.get("provenance").unwrap();
+    let modes = prov.get("modes").unwrap().as_array().unwrap();
+    assert_eq!(modes.len(), 2);
+    let records = prov.get("records").unwrap().as_array().unwrap();
+    assert!(!records.is_empty());
+    // Stable wire format: parse(to_string) is the identity.
+    assert_eq!(modemerge::merge::Json::parse(&v.to_string()).unwrap(), v);
+}
+
+/// Annotated emission (`--annotate`): the `# mm:` comment lines re-parse
+/// to the identical constraint set, and the *default* output carries no
+/// comments at all (byte-identity with pre-provenance output).
+#[test]
+fn annotated_emission_roundtrips_default_stays_clean() {
+    let netlist = paper_circuit();
+    let mode_a = ModeInput::parse(
+        "A",
+        "create_clock -p 10 -name clkA [get_port clk1]\n\
+         set_false_path -to rX/D\n",
+    )
+    .unwrap();
+    let mode_b = ModeInput::parse(
+        "B",
+        "create_clock -p 10 -name clkA [get_port clk1]\n\
+         set_false_path -to rX/D\n\
+         set_false_path -from rA/CP\n",
+    )
+    .unwrap();
+    let out = merge_group(&netlist, &[mode_a, mode_b], &options(1)).unwrap();
+
+    let plain = out.merged.sdc.to_text();
+    assert!(!plain.contains('#'), "default output must be comment-free");
+
+    let mut annotated = out.merged.sdc.clone();
+    out.report.provenance.annotate(&mut annotated);
+    let text = annotated.to_annotated_text();
+    assert!(text.contains("# mm: MM-"), "{text}");
+    // Comments name mode and line for source-backed constraints.
+    assert!(text.contains("A:1") || text.contains("B:1"), "{text}");
+
+    let reparsed = SdcFile::parse(&text).expect("annotated output re-parses");
+    assert_eq!(
+        reparsed, out.merged.sdc,
+        "comments must not change semantics"
+    );
+}

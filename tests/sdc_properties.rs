@@ -202,6 +202,41 @@ fn glob_star_matches_all() {
     }
 }
 
+/// Every parsed command records its 1-based source line, surviving
+/// interleaved blank lines and full-line comments.
+#[test]
+fn source_lines_recorded() {
+    let mut rng = XorShift::seed_from_u64(0x7364_6308);
+    for _ in 0..CASES {
+        let cmds = command_vec(&mut rng, 1..12);
+        // Build a noisy file, remembering which physical line each
+        // command lands on.
+        let mut text = String::new();
+        let mut lineno: u32 = 0;
+        let mut expected: Vec<u32> = Vec::new();
+        for c in &cmds {
+            while rng.gen_range(0..3) == 0 {
+                let filler = if rng.gen_bool() { "# noise\n" } else { "\n" };
+                text.push_str(filler);
+                lineno += 1;
+            }
+            text.push_str(c);
+            text.push('\n');
+            lineno += 1;
+            expected.push(lineno);
+        }
+        let parsed = SdcFile::parse(&text).expect("generated SDC parses");
+        assert_eq!(parsed.commands().len(), expected.len());
+        for (idx, want) in expected.iter().enumerate() {
+            assert_eq!(parsed.line_of(idx), *want, "command {idx} line in:\n{text}");
+        }
+        // Synthesized commands have no source line.
+        let mut synth = SdcFile::new();
+        synth.push(parsed.commands()[0].clone());
+        assert_eq!(synth.line_of(0), 0);
+    }
+}
+
 /// Comments and blank lines never change the parse.
 #[test]
 fn comments_are_transparent() {

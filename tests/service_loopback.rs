@@ -110,7 +110,10 @@ fn submit_concurrently(addr: SocketAddr, spec: &JobSpec, clients: usize) -> Vec<
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("client")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
     })
 }
 
@@ -149,9 +152,15 @@ fn concurrent_submissions_match_direct_session_and_hit_the_cache() {
 
     // Shutdown drains cleanly and reports completed work.
     let mut client = Client::connect(addr).expect("connect");
-    let resp = client.request(&simple_request("shutdown")).expect("shutdown");
+    let resp = client
+        .request(&simple_request("shutdown"))
+        .expect("shutdown");
     assert!(resp.ok, "{:?}", resp.error);
-    let drained = resp.json.get("drained").and_then(Json::as_u64).expect("drained");
+    let drained = resp
+        .json
+        .get("drained")
+        .and_then(Json::as_u64)
+        .expect("drained");
     assert!(drained >= 1, "at least the cold job completed: {drained}");
     assert_eq!(resp.json.get("failed").and_then(Json::as_u64), Some(0));
     daemon.join().expect("daemon thread").expect("daemon io");
@@ -233,7 +242,10 @@ fn plan_requests_share_the_cli_json_shape() {
         .request(&compute_request("plan", &spec))
         .expect("roundtrip");
     assert!(resp.ok, "{:?}", resp.error);
-    assert_eq!(resp.json.get("result").expect("result").to_string(), expected);
+    assert_eq!(
+        resp.json.get("result").expect("result").to_string(),
+        expected
+    );
 
     // A merge of the same inputs is a *different* cache entry.
     let merge = client
@@ -250,7 +262,9 @@ fn plan_requests_share_the_cli_json_shape() {
         Some(true)
     );
 
-    let bye = client.request(&simple_request("shutdown")).expect("shutdown");
+    let bye = client
+        .request(&simple_request("shutdown"))
+        .expect("shutdown");
     assert!(bye.ok);
     daemon.join().expect("daemon thread").expect("daemon io");
 }

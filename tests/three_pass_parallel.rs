@@ -63,7 +63,10 @@ fn comparison_outcome_is_identical_at_any_thread_count() {
     assert!(!serial.fixes.is_empty(), "no fixes emitted by the suite");
     for threads in [2usize, 8] {
         let parallel = run(threads);
-        assert_eq!(serial.fixes, parallel.fixes, "fixes differ at --threads {threads}");
+        assert_eq!(
+            serial.fixes, parallel.fixes,
+            "fixes differ at --threads {threads}"
+        );
         assert_eq!(serial.missing, parallel.missing);
         assert_eq!(serial.residual, parallel.residual);
         assert_eq!(serial.pass2_endpoints, parallel.pass2_endpoints);
@@ -112,7 +115,11 @@ fn pair_and_through_queries_share_one_propagation_per_startpoint() {
     let (name, sdc) = &mode_sdcs[0];
     let mode = Mode::bind(name.clone(), &netlist, sdc).expect("binds");
     let analysis = Analysis::run(&netlist, &graph, &mode);
-    assert_eq!(analysis.propagations_run(), 0, "full run is not a memo miss");
+    assert_eq!(
+        analysis.propagations_run(),
+        0,
+        "full run is not a memo miss"
+    );
 
     // Pass-2-style queries: pair relations at every endpoint. Each
     // distinct startpoint pin is propagated exactly once, no matter how

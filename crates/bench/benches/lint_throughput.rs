@@ -1,0 +1,103 @@
+//! Lint throughput: full 12-rule pass over a generated multi-family
+//! mode suite, at 1/4/8 threads.
+//!
+//! Each sample runs `lint_modes` from scratch — netlist graph build,
+//! per-mode bind + STA analysis, all syntactic and semantic rules, and
+//! the suite-scope pass — the exact work one `modemerge lint`
+//! invocation (or one service `lint` job) performs. Output lines follow
+//! the in-tree harness format:
+//!
+//! ```text
+//! bench lint_throughput/threads_4 wall_ms=123 modes=12 findings=3
+//! ```
+//!
+//! `MODEMERGE_BENCH_SAMPLES` scales the sample count (set it to 1 for a
+//! smoke run). Findings must be byte-identical across thread counts —
+//! the run asserts it.
+
+use modemerge_core::lint::lint_modes;
+use modemerge_core::merge::ModeInput;
+use modemerge_workload::{generate_suite, DesignSpec, SuiteSpec};
+use std::time::Instant;
+
+fn env_samples(default: usize) -> usize {
+    std::env::var("MODEMERGE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+/// A mid-size suite with test clocks: enough modes to keep the fan-out
+/// busy, and the test-clock halves give the semantic rules clocks and
+/// exceptions to chew on.
+fn spec() -> SuiteSpec {
+    SuiteSpec {
+        design: DesignSpec {
+            name: "lint_throughput".into(),
+            seed: 41,
+            domains: 3,
+            banks: 8,
+            regs_per_bank: 12,
+            cloud_depth: 3,
+            scan: true,
+            muxed_bank_stride: 3,
+            dividers: false,
+            clock_gates: false,
+        },
+        families: vec![6, 6, 6],
+        test_clocks: true,
+        cross_false_paths: false,
+    }
+}
+
+fn main() {
+    let samples = env_samples(5);
+    let suite = generate_suite(&spec());
+    let netlist = &suite.netlist;
+    let inputs: Vec<ModeInput> = suite
+        .modes
+        .iter()
+        .enumerate()
+        .map(|(i, (name, sdc))| {
+            let mut text = sdc.to_text();
+            // Seed defects into every third mode so the rule engine has
+            // real findings to produce (an undefined reference, a
+            // zero-match glob and a duplicated exception).
+            if i % 3 == 0 {
+                text.push_str(
+                    "set_false_path -from [get_pins bench_nothere/Q]\n\
+                     set_false_path -to [get_pins zz_no_match*/D]\n",
+                );
+            }
+            ModeInput::parse(name.clone(), &text).expect("parse")
+        })
+        .collect();
+
+    let mut reference: Option<String> = None;
+    for threads in [1usize, 4, 8] {
+        let mut walls: Vec<f64> = Vec::new();
+        let mut text = String::new();
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            let report = lint_modes(netlist, &inputs, threads).expect("lint runs");
+            walls.push(t0.elapsed().as_secs_f64());
+            text = report.to_text();
+        }
+        walls.sort_by(f64::total_cmp);
+        let median = walls[walls.len() / 2];
+        let findings = text.lines().count().saturating_sub(1); // minus summary
+        println!(
+            "bench lint_throughput/threads_{threads} wall_ms={:.1} modes={} findings={findings}",
+            median * 1e3,
+            inputs.len(),
+        );
+        match &reference {
+            None => reference = Some(text),
+            Some(want) => assert_eq!(
+                want, &text,
+                "lint output must be byte-identical across thread counts"
+            ),
+        }
+    }
+}

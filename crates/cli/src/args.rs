@@ -29,6 +29,9 @@ const VALUED: &[&str] = &[
     "addr",
     "cache-entries",
     "queue",
+    "lint",
+    "deny",
+    "job",
 ];
 
 impl Args {
@@ -42,7 +45,16 @@ impl Args {
         let mut iter = argv.iter().peekable();
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                if VALUED.contains(&name) {
+                // `--name=value` syntax: split on the first `=`.
+                if let Some((n, value)) = name.split_once('=') {
+                    if !VALUED.contains(&n) {
+                        return Err(format!("--{n} does not take a value"));
+                    }
+                    out.options
+                        .entry(n.to_owned())
+                        .or_default()
+                        .push(value.to_owned());
+                } else if VALUED.contains(&name) {
                     let value = iter
                         .next()
                         .ok_or_else(|| format!("--{name} requires a value"))?;
@@ -153,6 +165,18 @@ mod tests {
         assert_eq!(a.values("mode"), ["A=a.sdc", "B=b.sdc"]);
         assert!(a.flag("strict"));
         assert!(!a.flag("hold"));
+    }
+
+    #[test]
+    fn equals_syntax_for_valued_options() {
+        let a = parse("merge --lint=deny --mode A=a.sdc --threads=4");
+        assert_eq!(a.value("lint").unwrap(), Some("deny"));
+        // Only the first `=` splits: mode specs keep theirs.
+        assert_eq!(a.values("mode"), ["A=a.sdc"]);
+        assert_eq!(a.positive_number("threads", 1).unwrap(), 4);
+        // `=` on a non-valued option is an error, not a silent flag.
+        let argv = vec!["--strict=yes".to_owned()];
+        assert!(Args::parse(&argv).is_err());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::args::Args;
 use modemerge_core::equivalence::check_equivalence;
 use modemerge_core::json::Json;
+use modemerge_core::lint;
 use modemerge_core::merge::{MergeOptions, ModeInput};
 use modemerge_core::mergeability::greedy_cliques;
 use modemerge_core::report::{outcome_to_json, plan_to_json, summarize};
@@ -27,12 +28,26 @@ usage: modemerge <command> [options]
 commands (netlists: native text format, or gate-level Verilog .v):
   merge      --netlist FILE --mode NAME=SDC... [--out DIR] [--threads N]
              [--strict] [--no-uniquify] [--json] [--annotate]
+             [--lint deny|warn|off]
              Plan and merge timing modes; writes merged SDCs to --out.
              --json emits the machine-readable summary object (same
              format as the service protocol). --annotate writes each
              merged constraint with a `# mm: <rule> from <mode>:<line>`
              provenance comment (the default output is byte-identical
-             to the unannotated merge).
+             to the unannotated merge). --lint gates the merge on the
+             ML-* static checks: `warn` (default) prints findings to
+             stderr and records them as diagnostics, `deny` refuses a
+             defective mode set, `off` skips linting.
+  lint       --netlist FILE --mode NAME=SDC... [--threads N]
+             [--json|--sarif] [--deny warnings] [--list-rules]
+             Statically check constraint modes against the ML-* rule
+             registry: dangling object references, zero-match globs,
+             duplicate/dead clocks, contradictory case analysis,
+             shadowed exceptions, unconstrained endpoints. Exit is
+             nonzero on any error finding (and on warnings under
+             --deny warnings). Output is byte-identical for any
+             --threads N. --sarif emits SARIF 2.1.0 for CI annotation;
+             --list-rules prints the rule registry and exits.
   explain    QUERY --netlist FILE --mode NAME=SDC... [--threads N]
              [--strict] [--no-uniquify]
              Re-run the merge and explain every merged constraint,
@@ -63,10 +78,10 @@ commands (netlists: native text format, or gate-level Verilog .v):
              O(hash). --addr defaults to 127.0.0.1:0 (ephemeral; the
              bound address is printed on startup).
   submit     --addr HOST:PORT --netlist FILE --mode NAME=SDC...
-             [--plan] [--json] [--out DIR] [--threads N] [--strict]
-             [--no-uniquify]
-             Submit one merge (or, with --plan, planning) job to a
-             running server and print the reply; or, with --status /
+             [--job merge|plan|lint] [--json] [--out DIR] [--threads N]
+             [--strict] [--no-uniquify]
+             Submit one job to a running server and print the reply
+             (--plan is shorthand for --job plan); or, with --status /
              --stats / --shutdown instead of a netlist, issue the
              matching control request.
 ";
@@ -98,6 +113,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
             }
             match cmd.as_str() {
                 "merge" => cmd_merge(&args),
+                "lint" => cmd_lint(&args),
                 "check" => cmd_check(&args),
                 "sta" => cmd_sta(&args),
                 "relations" => cmd_relations(&args),
@@ -166,16 +182,133 @@ fn merge_options(args: &Args) -> Result<MergeOptions, String> {
     })
 }
 
+/// The pre-merge lint gate mode (`--lint deny|warn|off`, default warn).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LintGate {
+    Deny,
+    Warn,
+    Off,
+}
+
+fn lint_gate(args: &Args) -> Result<LintGate, String> {
+    match args.value("lint")? {
+        None | Some("warn") => Ok(LintGate::Warn),
+        Some("deny") => Ok(LintGate::Deny),
+        Some("off") => Ok(LintGate::Off),
+        Some(other) => Err(format!("--lint: expected deny|warn|off, got `{other}`")),
+    }
+}
+
+/// `(mode name, SDC path)` pairs from the `--mode NAME=FILE` options —
+/// the artifact map for SARIF locations.
+fn mode_artifacts(args: &Args) -> Vec<(String, String)> {
+    args.values("mode")
+        .iter()
+        .filter_map(|spec| {
+            spec.split_once('=')
+                .map(|(n, p)| (n.to_owned(), p.to_owned()))
+        })
+        .collect()
+}
+
+/// One-line gate-failure message for a lint report.
+fn lint_failure(report: &lint::LintReport) -> String {
+    format!(
+        "lint gate failed: {} error(s), {} warning(s), {} mode(s) failed to bind",
+        report.count(lint::Severity::Error),
+        report.count(lint::Severity::Warning),
+        report.bind_errors.len()
+    )
+}
+
+/// `modemerge lint`: run the static-analysis rules standalone.
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    if args.flag("list-rules") {
+        println!(
+            "{:<18} {:<8} {:<6} description",
+            "code", "severity", "scope"
+        );
+        for rule in lint::registry() {
+            let scope = match rule.scope {
+                lint::Scope::Mode => "mode",
+                lint::Scope::Suite => "suite",
+            };
+            println!(
+                "{:<18} {:<8} {:<6} {}",
+                rule.code.code(),
+                rule.severity.as_str(),
+                scope,
+                rule.doc
+            );
+        }
+        return Ok(());
+    }
+    let deny_warnings = match args.value("deny")? {
+        None => false,
+        Some("warnings") => true,
+        Some(other) => return Err(format!("--deny: expected `warnings`, got `{other}`")),
+    };
+    let netlist = load_netlist(args)?;
+    let inputs = parse_mode_inputs(args, "lint", 1)?;
+    let threads = args.positive_number("threads", 1)?;
+    let report = lint::lint_modes(&netlist, &inputs, threads).map_err(|e| e.to_string())?;
+    if args.flag("sarif") {
+        println!("{}", lint::sarif::to_sarif(&report, &mode_artifacts(args)));
+    } else if args.flag("json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    if report.gate(deny_warnings) {
+        return Err(lint_failure(&report));
+    }
+    Ok(())
+}
+
 fn cmd_merge(args: &Args) -> Result<(), String> {
     let netlist = load_netlist(args)?;
     let inputs = parse_mode_inputs(args, "merge", 2)?;
     let options = merge_options(args)?;
-    // One session per invocation: every stage (planning, refinement,
-    // validation) shares the per-mode analysis cache.
-    let bound = SessionInputs::bind(&netlist, &inputs).map_err(|e| e.to_string())?;
+    let gate = lint_gate(args)?;
+    // One session per invocation: every stage (linting, planning,
+    // refinement, validation) shares the per-mode analysis cache.
+    let bound = match SessionInputs::bind(&netlist, &inputs) {
+        Ok(bound) => bound,
+        Err(err) => {
+            // Binding failed outright; when the gate is on, the lint
+            // report (which binds per mode, tolerating defects) usually
+            // pinpoints the offending constraint.
+            if gate != LintGate::Off {
+                if let Ok(report) = lint::lint_modes(&netlist, &inputs, options.threads) {
+                    eprint!("{}", report.to_text());
+                }
+            }
+            return Err(err.to_string());
+        }
+    };
     let session = MergeSession::new(&netlist, &bound, &options);
+    let lint_report = if gate == LintGate::Off {
+        None
+    } else {
+        // Reuses the session's analysis cache: the merge needs every
+        // per-mode analysis anyway, so the gate costs no extra STA.
+        Some(lint::lint_session(&session))
+    };
+    if let Some(report) = &lint_report {
+        if !report.findings.is_empty() || !report.bind_errors.is_empty() {
+            eprint!("{}", report.to_text());
+        }
+        if gate == LintGate::Deny && report.gate(true) {
+            return Err(lint_failure(report));
+        }
+    }
     session.warm_up();
-    let outcome = session.merge_all().map_err(|e| e.to_string())?;
+    let mut outcome = session.merge_all().map_err(|e| e.to_string())?;
+    if let Some(report) = &lint_report {
+        // Findings ride the per-group diagnostics so `explain` can
+        // trace them alongside the MM-* pipeline diagnostics.
+        lint::attach_to_reports(&report.findings, &mut outcome.reports);
+    }
 
     if args.flag("json") {
         // The service-protocol summary object, extended with this
@@ -246,27 +379,38 @@ fn cmd_explain(args: &Args, query: &str) -> Result<(), String> {
     let netlist = load_netlist(args)?;
     let inputs = parse_mode_inputs(args, "explain", 2)?;
     let options = merge_options(args)?;
+    let gate = lint_gate(args)?;
     let bound = SessionInputs::bind(&netlist, &inputs).map_err(|e| e.to_string())?;
     let session = MergeSession::new(&netlist, &bound, &options);
+    let lint_report = if gate == LintGate::Off {
+        None
+    } else {
+        Some(lint::lint_session(&session))
+    };
     session.warm_up();
-    let outcome = session.merge_all().map_err(|e| e.to_string())?;
+    let mut outcome = session.merge_all().map_err(|e| e.to_string())?;
+    if let Some(report) = &lint_report {
+        lint::attach_to_reports(&report.findings, &mut outcome.reports);
+    }
 
     let mut matches = 0usize;
     for (merged, report) in outcome.merged.iter().zip(&outcome.reports) {
-        if report.mode_names.len() < 2 {
-            continue; // kept as-is: every constraint is its own provenance
-        }
         let mut lines = Vec::new();
-        for (idx, cmd) in merged.sdc.commands().iter().enumerate() {
-            let text = cmd.to_text();
-            if !text.contains(query) {
-                continue;
-            }
-            matches += 1;
-            lines.push(format!("  [{idx}] {text}"));
-            match report.provenance.for_command(idx) {
-                Some(rec) => lines.push(format!("      {}", report.provenance.describe(rec))),
-                None => lines.push("      (no provenance record)".into()),
+        // Single-mode groups are kept as-is (every constraint is its
+        // own provenance), but their diagnostics — e.g. lint findings —
+        // are still searchable.
+        if report.mode_names.len() >= 2 {
+            for (idx, cmd) in merged.sdc.commands().iter().enumerate() {
+                let text = cmd.to_text();
+                if !text.contains(query) {
+                    continue;
+                }
+                matches += 1;
+                lines.push(format!("  [{idx}] {text}"));
+                match report.provenance.for_command(idx) {
+                    Some(rec) => lines.push(format!("      {}", report.provenance.describe(rec))),
+                    None => lines.push("      (no provenance record)".into()),
+                }
             }
         }
         let diag_hits: Vec<_> = report
@@ -549,7 +693,15 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
         uniquify_exceptions: !args.flag("no-uniquify"),
         ..Default::default()
     };
-    let kind = if args.flag("plan") { "plan" } else { "merge" };
+    let kind = match args.value("job")? {
+        Some(job @ ("merge" | "plan" | "lint")) => job.to_owned(),
+        Some(other) => {
+            return Err(format!("--job: expected merge|plan|lint, got `{other}`"));
+        }
+        None if args.flag("plan") => "plan".to_owned(),
+        None => "merge".to_owned(),
+    };
+    let kind = kind.as_str();
     let spec = JobSpec {
         netlist,
         format,
@@ -581,6 +733,15 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
                 .unwrap_or(0);
             println!(
                 "{inputs} modes -> {merged} modes{}",
+                if cached { "  [cache hit]" } else { "" }
+            );
+        } else if kind == "lint" {
+            let n = |key: &str| result.get(key).and_then(Json::as_u64).unwrap_or(0);
+            println!(
+                "lint: {} error(s), {} warning(s), {} info(s){}",
+                n("errors"),
+                n("warnings"),
+                n("infos"),
                 if cached { "  [cache hit]" } else { "" }
             );
         } else {

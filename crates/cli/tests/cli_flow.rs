@@ -119,6 +119,133 @@ fn merge_needs_two_modes() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `--mode NAME=FILE` options for every mode in a generated MANIFEST.
+fn manifest_modes(dir: &std::path::Path) -> String {
+    let manifest = std::fs::read_to_string(dir.join("MANIFEST")).unwrap();
+    manifest
+        .lines()
+        .filter_map(|l| l.strip_prefix("mode "))
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            let (name, file) = (it.next().unwrap(), it.next().unwrap());
+            format!("--mode {name}={}/{file}", dir.display())
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[test]
+fn lint_flow_gates_on_seeded_defects_and_passes_clean_suites() {
+    let dir = tmpdir("lint");
+    let d = dir.display();
+    dispatch(&args(&format!(
+        "generate --cells 400 --seed 5 --families 2 --out {d}"
+    )))
+    .expect("generate succeeds");
+    let modes = manifest_modes(&dir);
+
+    // The generated suite is lint-clean, even under --deny warnings.
+    dispatch(&args(&format!(
+        "lint --netlist {d}/design.nl {modes} --deny warnings"
+    )))
+    .expect("clean suite lints clean");
+
+    // Seed a defect: an exception from a pin that does not exist.
+    let bad = dir.join("bad.sdc");
+    let mut text = std::fs::read_to_string(dir.join("func_f0_m0.sdc")).unwrap();
+    text.push_str("set_false_path -from [get_pins nothere_xyz/Q]\n");
+    std::fs::write(&bad, text).unwrap();
+
+    // Plain lint (no deny) still fails: ML-REF-UNDEF is an error.
+    let err = dispatch(&args(&format!(
+        "lint --netlist {d}/design.nl --mode A={d}/func_f0_m0.sdc --mode BAD={d}/bad.sdc"
+    )))
+    .expect_err("seeded error fails the gate");
+    assert!(err.contains("lint gate failed"), "{err}");
+
+    // JSON and SARIF variants fail the same way (output still printed).
+    for flavor in ["--json", "--sarif"] {
+        let err = dispatch(&args(&format!(
+            "lint --netlist {d}/design.nl --mode A={d}/func_f0_m0.sdc \
+             --mode BAD={d}/bad.sdc {flavor}"
+        )))
+        .expect_err("seeded error fails the gate");
+        assert!(err.contains("lint gate failed"), "{err}");
+    }
+
+    // --list-rules needs no inputs.
+    dispatch(&args("lint --list-rules")).expect("rule table prints");
+
+    // merge --lint deny refuses the defective suite with an error …
+    let err = dispatch(&args(&format!(
+        "merge --netlist {d}/design.nl --mode A={d}/func_f0_m0.sdc \
+         --mode BAD={d}/bad.sdc --lint deny --out {d}/denied"
+    )))
+    .expect_err("merge --lint deny refuses the defective suite");
+    assert!(err.contains("lint gate failed"), "{err}");
+    assert!(!dir.join("denied").exists(), "no output on refusal");
+
+    // … the default (warn) merges anyway, and off skips linting.
+    for extra in ["", "--lint off"] {
+        let out = format!("{d}/merged_{}", extra.len());
+        dispatch(&args(&format!(
+            "merge --netlist {d}/design.nl --mode A={d}/func_f0_m0.sdc \
+             --mode BAD={d}/bad.sdc {extra} --out {out}"
+        )))
+        .expect("non-deny merge proceeds");
+    }
+
+    // Bad --lint and --deny values are clean one-line errors.
+    let err = dispatch(&args(&format!(
+        "merge --netlist {d}/design.nl --mode A={d}/func_f0_m0.sdc \
+         --mode BAD={d}/bad.sdc --lint=sometimes"
+    )))
+    .expect_err("bad gate value");
+    assert!(err.contains("deny|warn|off"), "{err}");
+    let err = dispatch(&args(&format!(
+        "lint --netlist {d}/design.nl --mode A={d}/func_f0_m0.sdc --deny errors"
+    )))
+    .expect_err("bad deny value");
+    assert!(err.contains("warnings"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn explain_traces_lint_findings_by_rule_code() {
+    let dir = tmpdir("explain_lint");
+    let d = dir.display();
+    dispatch(&args(&format!(
+        "generate --cells 300 --seed 5 --families 1 --out {d}"
+    )))
+    .expect("generate succeeds");
+    let bad = dir.join("bad.sdc");
+    let mut text = std::fs::read_to_string(dir.join("func_f0_m0.sdc")).unwrap();
+    text.push_str("set_false_path -from [get_pins nothere_xyz/Q]\n");
+    std::fs::write(&bad, text).unwrap();
+
+    // The finding is searchable by rule code, by pin name fragment, and
+    // is attributed to its mode — all through the diagnostics channel.
+    for query in ["ML-REF-UNDEF", "nothere_xyz", "BAD:"] {
+        dispatch(&args(&format!(
+            "explain {query} --netlist {d}/design.nl --mode A={d}/func_f0_m0.sdc \
+             --mode BAD={d}/bad.sdc"
+        )))
+        .unwrap_or_else(|e| panic!("explain {query} finds the lint diagnostic: {e}"));
+    }
+
+    // With the gate off the finding is not attached, so the code no
+    // longer matches anything.
+    let err = dispatch(&args(&format!(
+        "explain ML-REF-UNDEF --netlist {d}/design.nl --mode A={d}/func_f0_m0.sdc \
+         --mode BAD={d}/bad.sdc --lint off"
+    )))
+    .expect_err("no lint diagnostics with the gate off");
+    assert!(err.contains("matches no"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn unknown_command_is_an_error() {
     assert!(dispatch(&args("frobnicate")).is_err());

@@ -50,6 +50,7 @@ pub mod emit;
 pub mod equivalence;
 pub mod error;
 pub mod json;
+pub mod lint;
 pub mod merge;
 pub mod mergeability;
 pub mod pool;
@@ -64,6 +65,7 @@ pub mod uniquify;
 
 pub use error::{MergeConflict, MergeError};
 pub use json::Json;
+pub use lint::{lint_modes, lint_session, Finding, LintReport, Severity};
 pub use merge::{merge_all, merge_group, MergeOptions, MergeOutcome, MergeReport, ModeInput};
 pub use mergeability::{greedy_cliques, MergeabilityGraph};
 pub use provenance::{Diagnostic, DiagnosticSink, ProvId, ProvenanceStore, RuleCode};

@@ -1,0 +1,684 @@
+//! Constraint/timing-graph static analysis (`modemerge lint`).
+//!
+//! The merged mode produced by the paper's flow is only provably
+//! equivalent to the union of its input modes when those inputs are
+//! well-formed: a dangling object reference, a clock that reaches no
+//! endpoint or a contradictory `set_case_analysis` silently corrupts
+//! the mergeability graph (§2) and the 3-pass comparison (§3.2). This
+//! module checks every input mode *before* a [`MergeSession`] is spent
+//! on it.
+//!
+//! The subsystem is a rule registry of `ML-*` coded [`Rule`]s in two
+//! layers:
+//!
+//! * **syntactic/reference rules** ([`syntactic`]) need only the parsed
+//!   SDC plus the netlist — they run even when a mode fails to bind;
+//! * **semantic/graph rules** ([`semantic`]) reuse the per-mode
+//!   [`Analysis`] (cached in a session when linting gates a merge).
+//!
+//! Rule codes live in the same append-only [`RuleCode`] registry as the
+//! merge pipeline's `MM-*` diagnostics, so findings flow through the
+//! existing [`Diagnostic`] plumbing and `modemerge explain` can trace
+//! them.
+//!
+//! Determinism: per-mode rules fan out over [`pool::run_indexed`] and
+//! are stitched back in input order; suite rules run serially
+//! afterwards. Output is byte-identical for any `--threads N`.
+//!
+//! [`Diagnostic`]: crate::provenance::Diagnostic
+
+pub mod sarif;
+mod semantic;
+mod syntactic;
+
+use crate::error::MergeError;
+use crate::json::Json;
+use crate::merge::{MergeReport, ModeInput};
+use crate::pool;
+use crate::provenance::{Diagnostic, RuleCode};
+use crate::session::MergeSession;
+use modemerge_netlist::{Netlist, PinId};
+use modemerge_sta::analysis::Analysis;
+use modemerge_sta::graph::TimingGraph;
+use modemerge_sta::mode::Mode;
+
+/// Mode name used for findings from suite-scope rules (which look
+/// across all modes at once and belong to no single SDC file).
+pub const SUITE_MODE: &str = "<suite>";
+
+/// How bad a finding is. Ordering is by decreasing severity
+/// (`Error < Warning < Info`), so `min()` picks the worst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The mode is broken; merging it would be unsound.
+    Error,
+    /// Suspicious; gates a merge only under `--deny warnings` / `deny`.
+    Warning,
+    /// Informational; never gates.
+    Info,
+}
+
+impl Severity {
+    /// Lowercase human name (`error` / `warning` / `info`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+
+    /// SARIF 2.1.0 `level` value.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "note",
+        }
+    }
+}
+
+/// Whether a rule looks at one mode or across the whole mode suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Runs once per input mode (parallel fan-out).
+    Mode,
+    /// Runs once over all per-mode summaries (serial, after fan-out).
+    Suite,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Stable rule code (`ML-*`).
+    pub rule: RuleCode,
+    /// Severity of the rule that fired.
+    pub severity: Severity,
+    /// Mode name, or [`SUITE_MODE`] for suite-scope findings.
+    pub mode: String,
+    /// 1-based SDC line, 0 when no single line applies.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// One text line: `error[ML-REF-UNDEF] func:3: message`.
+    pub fn to_text(&self) -> String {
+        if self.line > 0 {
+            format!(
+                "{}[{}] {}:{}: {}",
+                self.severity.as_str(),
+                self.rule.code(),
+                self.mode,
+                self.line,
+                self.message
+            )
+        } else {
+            format!(
+                "{}[{}] {}: {}",
+                self.severity.as_str(),
+                self.rule.code(),
+                self.mode,
+                self.message
+            )
+        }
+    }
+
+    /// Serializes to the in-tree JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("rule".into(), Json::str(self.rule.code())),
+            ("severity".into(), Json::str(self.severity.as_str())),
+            ("mode".into(), Json::str(self.mode.clone())),
+            ("line".into(), Json::count(self.line as usize)),
+            ("message".into(), Json::str(self.message.clone())),
+        ])
+    }
+
+    /// Converts to a pipeline [`Diagnostic`] so lint findings ride the
+    /// existing provenance/explain plumbing.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        Diagnostic {
+            code: self.rule,
+            message: format!("lint {}", self.to_text()),
+        }
+    }
+}
+
+/// Per-mode rule inputs. `mode`/`analysis` are `None` when the mode
+/// failed to bind — syntactic rules still run, semantic rules skip.
+pub struct LintCtx<'a> {
+    /// The design.
+    pub netlist: &'a Netlist,
+    /// The parsed (pre-bind) mode input.
+    pub input: &'a ModeInput,
+    /// The bound mode, when binding succeeded.
+    pub mode: Option<&'a Mode>,
+    /// The STA analysis for the bound mode.
+    pub analysis: Option<&'a Analysis<'a>>,
+    /// The shared timing graph.
+    pub graph: Option<&'a TimingGraph>,
+}
+
+/// What suite-scope rules need to know about one mode, extracted during
+/// the per-mode fan-out so cross-mode rules need no re-analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeSummary {
+    /// Mode name.
+    pub name: String,
+    /// Whether the mode bound (summaries of unbound modes are empty).
+    pub bound: bool,
+    /// Sorted timing endpoints of the mode's analysis.
+    pub endpoints: Vec<PinId>,
+    /// Sorted endpoints captured by at least one clock in this mode.
+    pub constrained: Vec<PinId>,
+    /// `(clock name, identity string)` per clock; the identity folds
+    /// sorted source pins, period and waveform, so the same name with
+    /// two identities across modes is a cross-mode redefinition.
+    pub clock_idents: Vec<(String, String)>,
+}
+
+/// Suite-scope rule inputs.
+pub struct SuiteCtx<'a> {
+    /// The design.
+    pub netlist: &'a Netlist,
+    /// One summary per input mode, in input order.
+    pub summaries: &'a [ModeSummary],
+}
+
+/// A rule's checking function.
+pub enum Check {
+    /// Runs per mode.
+    PerMode(fn(&LintCtx<'_>, &mut Vec<Finding>)),
+    /// Runs once over the suite.
+    Suite(fn(&SuiteCtx<'_>, &mut Vec<Finding>)),
+}
+
+/// One registered lint rule.
+pub struct Rule {
+    /// Stable code (`ML-*`), also the SARIF rule id.
+    pub code: RuleCode,
+    /// Default severity.
+    pub severity: Severity,
+    /// Per-mode or suite scope.
+    pub scope: Scope,
+    /// One-paragraph documentation (shown by `lint --list-rules` and
+    /// embedded in SARIF rule metadata).
+    pub doc: &'static str,
+    /// The check itself.
+    pub check: Check,
+}
+
+static RULES: [Rule; 12] = [
+    Rule {
+        code: RuleCode::LintRefUndef,
+        severity: Severity::Error,
+        scope: Scope::Mode,
+        doc: "A non-glob object reference (port, pin, net, cell or clock) \
+              resolves to nothing in the design or the constraint file.",
+        check: Check::PerMode(syntactic::ref_undef),
+    },
+    Rule {
+        code: RuleCode::LintGlobZero,
+        severity: Severity::Warning,
+        scope: Scope::Mode,
+        doc: "A glob pattern in an object query matches zero objects of \
+              its class; the command silently constrains nothing.",
+        check: Check::PerMode(syntactic::glob_zero),
+    },
+    Rule {
+        code: RuleCode::LintClkDupSrc,
+        severity: Severity::Warning,
+        scope: Scope::Mode,
+        doc: "A second create_clock without -add targets a source that \
+              already carries a clock, or reuses an existing clock name; \
+              the earlier definition is silently overwritten or rejected.",
+        check: Check::PerMode(syntactic::clk_dup_src),
+    },
+    Rule {
+        code: RuleCode::LintIoBadClock,
+        severity: Severity::Error,
+        scope: Scope::Mode,
+        doc: "A set_input_delay/set_output_delay names a clock that is \
+              not defined in the mode, or omits -clock entirely; the \
+              delay cannot anchor to a launch/capture edge.",
+        check: Check::PerMode(syntactic::io_bad_clock),
+    },
+    Rule {
+        code: RuleCode::LintExcEmpty,
+        severity: Severity::Warning,
+        scope: Scope::Mode,
+        doc: "A path exception's -from/-through/-to list is non-empty in \
+              the text but resolves to zero objects; the exception \
+              silently applies to nothing (or to everything).",
+        check: Check::PerMode(syntactic::exc_empty),
+    },
+    Rule {
+        code: RuleCode::LintExcDup,
+        severity: Severity::Info,
+        scope: Scope::Mode,
+        doc: "A path exception is repeated byte-identically in one file; \
+              the duplicate is redundant.",
+        check: Check::PerMode(syntactic::exc_dup),
+    },
+    Rule {
+        code: RuleCode::LintClkNoEndpoint,
+        severity: Severity::Warning,
+        scope: Scope::Mode,
+        doc: "A non-virtual clock captures no sequential endpoint and \
+              anchors no I/O delay; it constrains nothing in this mode.",
+        check: Check::PerMode(semantic::clk_no_endpoint),
+    },
+    Rule {
+        code: RuleCode::LintCaseContra,
+        severity: Severity::Error,
+        scope: Scope::Mode,
+        doc: "Contradictory set_case_analysis: one pin forced to both \
+              values, or a forced pin whose driver propagates the \
+              opposite constant through the case-analysis cone.",
+        check: Check::PerMode(semantic::case_contra),
+    },
+    Rule {
+        code: RuleCode::LintExcShadow,
+        severity: Severity::Info,
+        scope: Scope::Mode,
+        doc: "A path exception is fully shadowed by a broader false path \
+              (superset scope, covering setup/hold); it can never select \
+              a path the broader exception does not already kill.",
+        check: Check::PerMode(semantic::exc_shadow),
+    },
+    Rule {
+        code: RuleCode::LintDisClkCut,
+        severity: Severity::Warning,
+        scope: Scope::Mode,
+        doc: "set_disable_timing disconnects a clock network: a clock \
+              that captures no endpoint would capture at least one with \
+              the mode's disables removed.",
+        check: Check::PerMode(semantic::dis_clk_cut),
+    },
+    Rule {
+        code: RuleCode::LintEndUnconst,
+        severity: Severity::Warning,
+        scope: Scope::Suite,
+        doc: "A timing endpoint is captured by no clock in any mode of \
+              the suite; no mode constrains it and merging cannot \
+              recover the coverage.",
+        check: Check::Suite(semantic::end_unconst),
+    },
+    Rule {
+        code: RuleCode::LintClkXmode,
+        severity: Severity::Info,
+        scope: Scope::Suite,
+        doc: "The same clock name has different definitions (sources, \
+              period or waveform) across modes; the merged mode will \
+              rename one side (MM-CLK-RENAME).",
+        check: Check::Suite(semantic::clk_xmode),
+    },
+];
+
+/// The rule registry, in fixed execution order.
+pub fn registry() -> &'static [Rule] {
+    &RULES
+}
+
+/// Looks up a rule by its `ML-*` code string.
+pub fn rule_by_code(code: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.code.code() == code)
+}
+
+/// The result of linting a mode suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintReport {
+    /// All findings: per-mode findings in (mode index, registry) order,
+    /// then suite findings in registry order.
+    pub findings: Vec<Finding>,
+    /// Input mode names, in input order.
+    pub modes: Vec<String>,
+    /// How many modes bound successfully (semantic rules ran on these).
+    pub modes_bound: usize,
+    /// Bind failures as `(mode, error)` — the syntactic layer still ran
+    /// on these modes and usually explains the failure.
+    pub bind_errors: Vec<(String, String)>,
+}
+
+impl LintReport {
+    /// Number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
+    }
+
+    /// `true` when the report should fail a gate: any error, or any
+    /// warning when `deny_warnings` is set. Info never gates. A mode
+    /// that failed to bind always gates (it cannot be merged anyway).
+    pub fn gate(&self, deny_warnings: bool) -> bool {
+        self.count(Severity::Error) > 0
+            || !self.bind_errors.is_empty()
+            || (deny_warnings && self.count(Severity::Warning) > 0)
+    }
+
+    /// Serializes to the in-tree JSON value (deterministic key order).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "modes".into(),
+                Json::Arr(self.modes.iter().map(Json::str).collect()),
+            ),
+            ("modes_bound".into(), Json::count(self.modes_bound)),
+            ("errors".into(), Json::count(self.count(Severity::Error))),
+            (
+                "warnings".into(),
+                Json::count(self.count(Severity::Warning)),
+            ),
+            ("infos".into(), Json::count(self.count(Severity::Info))),
+            (
+                "bind_errors".into(),
+                Json::Arr(
+                    self.bind_errors
+                        .iter()
+                        .map(|(m, e)| {
+                            Json::Obj(vec![
+                                ("mode".into(), Json::str(m.clone())),
+                                ("error".into(), Json::str(e.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "findings".into(),
+                Json::Arr(self.findings.iter().map(Finding::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Human-readable multi-line text (one line per finding plus a
+    /// summary line), byte-identical for any thread count.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (mode, err) in &self.bind_errors {
+            out.push_str(&format!("error[bind] {mode}: {err}\n"));
+        }
+        for f in &self.findings {
+            out.push_str(&f.to_text());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "lint: {} modes, {} bound, {} errors, {} warnings, {} infos\n",
+            self.modes.len(),
+            self.modes_bound,
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        ));
+        out
+    }
+}
+
+/// Runs every per-mode rule, in registry order, over one context.
+fn run_mode_rules(ctx: &LintCtx<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rule in registry() {
+        if let Check::PerMode(check) = rule.check {
+            check(ctx, &mut findings);
+        }
+    }
+    findings
+}
+
+/// Runs every suite rule, in registry order.
+fn run_suite_rules(suite: &SuiteCtx<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rule in registry() {
+        if let Check::Suite(check) = rule.check {
+            check(suite, &mut findings);
+        }
+    }
+    findings
+}
+
+/// Builds the suite summary for one bound (or unbound) mode.
+fn summarize(
+    input: &ModeInput,
+    mode: Option<&Mode>,
+    analysis: Option<&Analysis<'_>>,
+) -> ModeSummary {
+    let mut summary = ModeSummary {
+        name: input.name.clone(),
+        bound: mode.is_some(),
+        endpoints: Vec::new(),
+        constrained: Vec::new(),
+        clock_idents: Vec::new(),
+    };
+    let (Some(mode), Some(analysis)) = (mode, analysis) else {
+        return summary;
+    };
+    let mut endpoints = analysis.endpoints();
+    endpoints.sort();
+    summary.constrained = endpoints
+        .iter()
+        .copied()
+        .filter(|&e| !analysis.capture_clocks(e).is_empty())
+        .collect();
+    summary.endpoints = endpoints;
+    summary.clock_idents = mode
+        .clocks
+        .iter()
+        .map(|c| {
+            (
+                c.name.clone(),
+                semantic::clock_identity(analysis.netlist(), c),
+            )
+        })
+        .collect();
+    summary.clock_idents.sort();
+    summary
+}
+
+/// Lints a mode suite standalone (no merge session): binds each mode
+/// *individually* — one defective mode does not block linting the
+/// others — runs one analysis per bound mode, fans the per-mode rules
+/// out over the deterministic pool, then runs suite rules.
+pub fn lint_modes(
+    netlist: &Netlist,
+    inputs: &[ModeInput],
+    threads: usize,
+) -> Result<LintReport, MergeError> {
+    let graph = TimingGraph::build(netlist).map_err(MergeError::Bind)?;
+    let per_mode: Vec<(Vec<Finding>, ModeSummary, Option<String>)> =
+        pool::run_indexed(threads.max(1), inputs.len(), |i| {
+            let input = &inputs[i];
+            match Mode::bind(input.name.clone(), netlist, &input.sdc) {
+                Ok(mode) => {
+                    let analysis = Analysis::run(netlist, &graph, &mode);
+                    let ctx = LintCtx {
+                        netlist,
+                        input,
+                        mode: Some(&mode),
+                        analysis: Some(&analysis),
+                        graph: Some(&graph),
+                    };
+                    let findings = run_mode_rules(&ctx);
+                    let summary = summarize(input, Some(&mode), Some(&analysis));
+                    (findings, summary, None)
+                }
+                Err(err) => {
+                    let ctx = LintCtx {
+                        netlist,
+                        input,
+                        mode: None,
+                        analysis: None,
+                        graph: Some(&graph),
+                    };
+                    let findings = run_mode_rules(&ctx);
+                    (
+                        findings,
+                        summarize(input, None, None),
+                        Some(err.to_string()),
+                    )
+                }
+            }
+        });
+
+    let mut report = LintReport {
+        findings: Vec::new(),
+        modes: inputs.iter().map(|m| m.name.clone()).collect(),
+        modes_bound: 0,
+        bind_errors: Vec::new(),
+    };
+    let mut summaries = Vec::with_capacity(per_mode.len());
+    for (findings, summary, bind_error) in per_mode {
+        if summary.bound {
+            report.modes_bound += 1;
+        }
+        if let Some(err) = bind_error {
+            report.bind_errors.push((summary.name.clone(), err));
+        }
+        report.findings.extend(findings);
+        summaries.push(summary);
+    }
+    let suite = SuiteCtx {
+        netlist,
+        summaries: &summaries,
+    };
+    report.findings.extend(run_suite_rules(&suite));
+    Ok(report)
+}
+
+/// Lints the modes of an existing [`MergeSession`], reusing its cached
+/// per-mode analyses — this is the pre-merge gate path, which costs no
+/// extra STA beyond the warm-up the merge needs anyway.
+pub fn lint_session(session: &MergeSession<'_>) -> LintReport {
+    if session.mode_count() == 0 {
+        return LintReport {
+            findings: Vec::new(),
+            modes: Vec::new(),
+            modes_bound: 0,
+            bind_errors: Vec::new(),
+        };
+    }
+    session.warm_up();
+    let mut report = LintReport {
+        findings: Vec::new(),
+        modes: (0..session.mode_count())
+            .map(|i| session.input(i).name.clone())
+            .collect(),
+        modes_bound: session.mode_count(),
+        bind_errors: Vec::new(),
+    };
+    let mut summaries = Vec::with_capacity(session.mode_count());
+    for i in 0..session.mode_count() {
+        let ctx = LintCtx {
+            netlist: session.analysis(i).netlist(),
+            input: session.input(i),
+            mode: Some(session.mode(i)),
+            analysis: Some(session.analysis(i)),
+            graph: Some(session.graph()),
+        };
+        report.findings.extend(run_mode_rules(&ctx));
+        summaries.push(summarize(
+            session.input(i),
+            Some(session.mode(i)),
+            Some(session.analysis(i)),
+        ));
+    }
+    let suite = SuiteCtx {
+        netlist: session.analysis(0).netlist(),
+        summaries: &summaries,
+    };
+    report.findings.extend(run_suite_rules(&suite));
+    report
+}
+
+/// Attaches lint findings to merge reports as [`Diagnostic`]s, so
+/// `modemerge explain` can trace them alongside pipeline diagnostics.
+/// A per-mode finding lands on every report whose group contains the
+/// mode; suite findings land on the first report.
+pub fn attach_to_reports(findings: &[Finding], reports: &mut [MergeReport]) {
+    for finding in findings {
+        let diag = finding.to_diagnostic();
+        if finding.mode == SUITE_MODE {
+            if let Some(first) = reports.first_mut() {
+                first.diagnostics.push(diag);
+            }
+            continue;
+        }
+        let mut placed = false;
+        for report in reports.iter_mut() {
+            if report.mode_names.contains(&finding.mode) {
+                report.diagnostics.push(diag.clone());
+                placed = true;
+            }
+        }
+        if !placed {
+            if let Some(first) = reports.first_mut() {
+                first.diagnostics.push(diag);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_well_formed() {
+        let rules = registry();
+        assert_eq!(rules.len(), 12);
+        // Codes are unique, all ML-*, and docs are non-empty.
+        let mut codes: Vec<&str> = rules.iter().map(|r| r.code.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), rules.len(), "duplicate rule code");
+        for rule in rules {
+            assert!(rule.code.code().starts_with("ML-"), "{}", rule.code.code());
+            assert!(!rule.doc.is_empty());
+            match (rule.scope, &rule.check) {
+                (Scope::Mode, Check::PerMode(_)) | (Scope::Suite, Check::Suite(_)) => {}
+                _ => panic!("scope/check mismatch for {}", rule.code.code()),
+            }
+        }
+    }
+
+    #[test]
+    fn rule_lookup_by_code() {
+        assert!(rule_by_code("ML-REF-UNDEF").is_some());
+        assert!(rule_by_code("ML-NOPE").is_none());
+    }
+
+    #[test]
+    fn severity_order_and_names() {
+        assert!(Severity::Error < Severity::Warning);
+        assert!(Severity::Warning < Severity::Info);
+        assert_eq!(Severity::Info.sarif_level(), "note");
+    }
+
+    #[test]
+    fn gate_semantics() {
+        let finding = |severity| Finding {
+            rule: RuleCode::LintGlobZero,
+            severity,
+            mode: "m".into(),
+            line: 1,
+            message: "x".into(),
+        };
+        let report = |sev: Severity| LintReport {
+            findings: vec![finding(sev)],
+            modes: vec!["m".into()],
+            modes_bound: 1,
+            bind_errors: Vec::new(),
+        };
+        assert!(report(Severity::Error).gate(false));
+        assert!(!report(Severity::Warning).gate(false));
+        assert!(report(Severity::Warning).gate(true));
+        assert!(!report(Severity::Info).gate(true));
+        // Bind failures always gate.
+        let mut r = report(Severity::Info);
+        r.bind_errors.push(("m".into(), "boom".into()));
+        assert!(r.gate(false));
+    }
+}

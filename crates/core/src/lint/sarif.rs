@@ -1,0 +1,185 @@
+//! SARIF 2.1.0 emission for lint reports.
+//!
+//! SARIF (Static Analysis Results Interchange Format) is the exchange
+//! format CI systems (GitHub code scanning, Azure DevOps, ...) consume
+//! for inline annotations. One run, one driver (`modemerge-lint`), one
+//! reporting descriptor per registered rule, one result per finding.
+//!
+//! Built on the in-tree [`Json`] value, so output printing is
+//! deterministic (insertion-ordered objects, compact float formatting)
+//! and byte-identical across thread counts.
+
+use super::{registry, Finding, LintReport, SUITE_MODE};
+use crate::json::Json;
+
+/// The SARIF schema URI embedded in every report.
+pub const SARIF_SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// The SARIF format version emitted.
+pub const SARIF_VERSION: &str = "2.1.0";
+
+/// Maps a finding's mode name to an artifact URI. `artifacts` pairs
+/// mode names with the SDC paths they were loaded from (as the CLI
+/// knows them); unmapped modes fall back to `<mode>.sdc`.
+fn uri_for(mode: &str, artifacts: &[(String, String)]) -> String {
+    artifacts
+        .iter()
+        .find(|(m, _)| m == mode)
+        .map(|(_, uri)| uri.clone())
+        .unwrap_or_else(|| format!("{mode}.sdc"))
+}
+
+fn rule_descriptor(rule: &super::Rule) -> Json {
+    Json::Obj(vec![
+        ("id".into(), Json::str(rule.code.code())),
+        (
+            "shortDescription".into(),
+            Json::Obj(vec![("text".into(), Json::str(rule.doc))]),
+        ),
+        (
+            "defaultConfiguration".into(),
+            Json::Obj(vec![(
+                "level".into(),
+                Json::str(rule.severity.sarif_level()),
+            )]),
+        ),
+    ])
+}
+
+fn result_for(finding: &Finding, artifacts: &[(String, String)]) -> Json {
+    let mut fields = vec![
+        ("ruleId".into(), Json::str(finding.rule.code())),
+        ("level".into(), Json::str(finding.severity.sarif_level())),
+        (
+            "message".into(),
+            Json::Obj(vec![("text".into(), Json::str(finding.message.clone()))]),
+        ),
+    ];
+    if finding.mode != SUITE_MODE {
+        let mut physical = vec![(
+            "artifactLocation".into(),
+            Json::Obj(vec![(
+                "uri".into(),
+                Json::str(uri_for(&finding.mode, artifacts)),
+            )]),
+        )];
+        if finding.line > 0 {
+            physical.push((
+                "region".into(),
+                Json::Obj(vec![(
+                    "startLine".into(),
+                    Json::count(finding.line as usize),
+                )]),
+            ));
+        }
+        fields.push((
+            "locations".into(),
+            Json::Arr(vec![Json::Obj(vec![(
+                "physicalLocation".into(),
+                Json::Obj(physical),
+            )])]),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+/// Serializes a lint report as a SARIF 2.1.0 log.
+pub fn to_sarif(report: &LintReport, artifacts: &[(String, String)]) -> Json {
+    let driver = Json::Obj(vec![
+        ("name".into(), Json::str("modemerge-lint")),
+        ("version".into(), Json::str(env!("CARGO_PKG_VERSION"))),
+        (
+            "rules".into(),
+            Json::Arr(registry().iter().map(rule_descriptor).collect()),
+        ),
+    ]);
+    let run = Json::Obj(vec![
+        ("tool".into(), Json::Obj(vec![("driver".into(), driver)])),
+        (
+            "results".into(),
+            Json::Arr(
+                report
+                    .findings
+                    .iter()
+                    .map(|f| result_for(f, artifacts))
+                    .collect(),
+            ),
+        ),
+    ]);
+    Json::Obj(vec![
+        ("$schema".into(), Json::str(SARIF_SCHEMA)),
+        ("version".into(), Json::str(SARIF_VERSION)),
+        ("runs".into(), Json::Arr(vec![run])),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::Severity;
+    use crate::provenance::RuleCode;
+
+    fn sample_report() -> LintReport {
+        LintReport {
+            findings: vec![
+                Finding {
+                    rule: RuleCode::LintGlobZero,
+                    severity: Severity::Warning,
+                    mode: "func".into(),
+                    line: 3,
+                    message: "pattern matches nothing".into(),
+                },
+                Finding {
+                    rule: RuleCode::LintClkXmode,
+                    severity: Severity::Info,
+                    mode: SUITE_MODE.into(),
+                    line: 0,
+                    message: "clock differs across modes".into(),
+                },
+            ],
+            modes: vec!["func".into()],
+            modes_bound: 1,
+            bind_errors: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn sarif_roundtrips_through_in_tree_json() {
+        let sarif = to_sarif(
+            &sample_report(),
+            &[("func".into(), "modes/func.sdc".into())],
+        );
+        let text = sarif.to_string();
+        let parsed = Json::parse(&text).expect("emitted SARIF parses");
+        assert_eq!(parsed.get("version").and_then(Json::as_str), Some("2.1.0"));
+        let runs = parsed.get("runs").and_then(Json::as_array).unwrap();
+        assert_eq!(runs.len(), 1);
+        let results = runs[0].get("results").and_then(Json::as_array).unwrap();
+        assert_eq!(results.len(), 2);
+        // Per-mode finding carries a location with the mapped uri.
+        let loc = results[0]
+            .get("locations")
+            .and_then(Json::as_array)
+            .unwrap();
+        let uri = loc[0]
+            .get("physicalLocation")
+            .and_then(|p| p.get("artifactLocation"))
+            .and_then(|a| a.get("uri"))
+            .and_then(Json::as_str);
+        assert_eq!(uri, Some("modes/func.sdc"));
+        // Suite finding has no location.
+        assert!(results[1].get("locations").is_none());
+        // Every registered rule appears with a stable id.
+        let rules = runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(rules.len(), registry().len());
+        assert_eq!(
+            rules[0].get("id").and_then(Json::as_str),
+            Some("ML-REF-UNDEF")
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! Semantic/graph lint rules.
+//!
+//! These rules reuse the per-mode STA [`Analysis`] — the same cached
+//! object the merge pipeline consumes, so gating a merge on them costs
+//! no extra propagation. When a mode failed to bind, the rules that
+//! need a bound [`Mode`] quietly skip; `ML-CASE-CONTRA` keeps a purely
+//! syntactic first stage so it still fires on the very contradiction
+//! that made binding fail.
+//!
+//! [`Analysis`]: modemerge_sta::analysis::Analysis
+
+use super::syntactic::{RefKind, Resolver};
+use super::{Finding, LintCtx, Severity, SuiteCtx, SUITE_MODE};
+use crate::provenance::RuleCode;
+use modemerge_netlist::{Netlist, PinId};
+use modemerge_sdc::ast::{Command, PathExceptionKind, SetupHold};
+use modemerge_sta::analysis::Analysis;
+use modemerge_sta::mode::{Clock, ClockId, Exception};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Stable identity of a clock definition: sorted source pins, period
+/// and waveform. Two modes defining the same clock *name* with
+/// different identities is a cross-mode redefinition (`ML-CLK-XMODE`).
+pub(super) fn clock_identity(netlist: &Netlist, clock: &Clock) -> String {
+    let mut sources: Vec<String> = clock.sources.iter().map(|&p| netlist.pin_name(p)).collect();
+    sources.sort();
+    format!(
+        "sources=[{}] period={} waveform=({},{})",
+        sources.join(","),
+        clock.period,
+        clock.waveform.0,
+        clock.waveform.1
+    )
+}
+
+/// Union of clocks that capture at least one endpoint.
+fn capturing_clocks(analysis: &Analysis<'_>) -> BTreeSet<ClockId> {
+    let mut captured = BTreeSet::new();
+    for endpoint in analysis.endpoints() {
+        captured.extend(analysis.capture_clocks(endpoint));
+    }
+    captured
+}
+
+/// `ML-CLK-NO-ENDPOINT` — a non-virtual clock that captures no
+/// sequential endpoint and anchors no I/O delay constrains nothing.
+pub(super) fn clk_no_endpoint(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
+    let (Some(mode), Some(analysis)) = (ctx.mode, ctx.analysis) else {
+        return;
+    };
+    let captured = capturing_clocks(analysis);
+    for id in mode.clock_ids() {
+        let clock = mode.clock(id);
+        if clock.sources.is_empty() {
+            // Virtual clocks exist to anchor I/O delays; skip.
+            continue;
+        }
+        if captured.contains(&id) {
+            continue;
+        }
+        if mode.io_delays.iter().any(|d| d.clock == id) {
+            continue;
+        }
+        out.push(Finding {
+            rule: RuleCode::LintClkNoEndpoint,
+            severity: Severity::Warning,
+            mode: ctx.input.name.clone(),
+            line: clock.line,
+            message: format!(
+                "clock `{}` captures no endpoint and anchors no I/O delay in this mode",
+                clock.name
+            ),
+        });
+    }
+}
+
+/// `ML-CASE-CONTRA` — contradictory `set_case_analysis`.
+///
+/// Stage 1 (syntactic, runs even when binding failed): the same pin
+/// forced to both values across the file's commands. Stage 2 (needs
+/// the analysis): a forced pin whose driver propagates the opposite
+/// constant through the case-analysis cone — the forced value wins in
+/// the engine, but the constraint contradicts the logic.
+pub(super) fn case_contra(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
+    let resolver = Resolver::new(ctx.netlist, &ctx.input.sdc);
+    let mut forced: BTreeMap<PinId, (bool, u32)> = BTreeMap::new();
+    for (idx, cmd) in ctx.input.sdc.commands().iter().enumerate() {
+        let Command::SetCaseAnalysis(c) = cmd else {
+            continue;
+        };
+        let line = ctx.input.sdc.line_of(idx);
+        for pin in resolver.resolve_pins(&c.objects, RefKind::Pins) {
+            match forced.get(&pin) {
+                Some(&(value, first_line)) if value != c.value => {
+                    out.push(Finding {
+                        rule: RuleCode::LintCaseContra,
+                        severity: Severity::Error,
+                        mode: ctx.input.name.clone(),
+                        line,
+                        message: format!(
+                            "pin `{}` forced to {} here but to {} at line {first_line}",
+                            ctx.netlist.pin_name(pin),
+                            u8::from(c.value),
+                            u8::from(value),
+                        ),
+                    });
+                }
+                Some(_) => {}
+                None => {
+                    forced.insert(pin, (c.value, line));
+                }
+            }
+        }
+    }
+
+    let (Some(mode), Some(analysis)) = (ctx.mode, ctx.analysis) else {
+        return;
+    };
+    let constants = analysis.constants();
+    for (&pin, &value) in &mode.case_values {
+        let Some(driver) = ctx.netlist.driver_of(pin) else {
+            continue;
+        };
+        if constants.value(driver) == Some(!value) {
+            let line = forced.get(&pin).map_or(0, |&(_, l)| l);
+            out.push(Finding {
+                rule: RuleCode::LintCaseContra,
+                severity: Severity::Error,
+                mode: ctx.input.name.clone(),
+                line,
+                message: format!(
+                    "pin `{}` forced to {} but its driver `{}` propagates constant {}",
+                    ctx.netlist.pin_name(pin),
+                    u8::from(value),
+                    ctx.netlist.pin_name(driver),
+                    u8::from(!value),
+                ),
+            });
+        }
+    }
+}
+
+/// Does false path `b` cover everything exception `a` selects?
+fn shadows(b: &Exception, a: &Exception) -> bool {
+    if !matches!(b.kind, PathExceptionKind::FalsePath) {
+        return false;
+    }
+    // A false path that binds to nothing at all (every object list
+    // dropped, typically because its patterns matched no design
+    // objects — ML-EXC-EMPTY's territory) is degenerate; calling it a
+    // "broader" shadower of every other exception would be noise.
+    if !b.has_from() && !b.has_to() && b.through.is_empty() {
+        return false;
+    }
+    if !(b.setup_hold == SetupHold::Both || b.setup_hold == a.setup_hold) {
+        return false;
+    }
+    // -from: b universal, or a's selector a subset of b's.
+    let from_covered = !b.has_from()
+        || (a.has_from()
+            && a.from_pins.is_subset(&b.from_pins)
+            && a.from_clocks.is_subset(&b.from_clocks));
+    if !from_covered {
+        return false;
+    }
+    let to_covered = !b.has_to()
+        || (a.has_to() && a.to_pins.is_subset(&b.to_pins) && a.to_clocks.is_subset(&b.to_clocks));
+    if !to_covered {
+        return false;
+    }
+    // -through: b universal, or hop-for-hop identical.
+    b.through.is_empty() || b.through == a.through
+}
+
+/// `ML-EXC-SHADOW` — an exception fully shadowed by a broader false
+/// path can never select a path the false path does not already kill.
+pub(super) fn exc_shadow(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
+    let Some(mode) = ctx.mode else { return };
+    for (ai, a) in mode.exceptions.iter().enumerate() {
+        for (bi, b) in mode.exceptions.iter().enumerate() {
+            if ai == bi || !shadows(b, a) {
+                continue;
+            }
+            // Mutually identical false paths: flag only the later one
+            // (ML-EXC-DUP reports the textual duplicate separately).
+            if shadows(a, b) && ai < bi {
+                continue;
+            }
+            out.push(Finding {
+                rule: RuleCode::LintExcShadow,
+                severity: Severity::Info,
+                mode: ctx.input.name.clone(),
+                line: a.line,
+                message: format!(
+                    "exception at line {} is fully shadowed by the broader false path at line {}",
+                    a.line, b.line
+                ),
+            });
+            break;
+        }
+    }
+}
+
+/// `ML-DIS-CLK-CUT` — `set_disable_timing` disconnects a clock network:
+/// a clock that captures nothing would capture at least one endpoint
+/// with the mode's disables removed. Costs one extra analysis, and only
+/// when a mode has both disables and a capture-less clock.
+pub(super) fn dis_clk_cut(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
+    let (Some(mode), Some(analysis), Some(graph)) = (ctx.mode, ctx.analysis, ctx.graph) else {
+        return;
+    };
+    if mode.disabled_pins.is_empty() && mode.disabled_arcs.is_empty() {
+        return;
+    }
+    let captured = capturing_clocks(analysis);
+    let candidates: Vec<ClockId> = mode
+        .clock_ids()
+        .filter(|&id| !mode.clock(id).sources.is_empty() && !captured.contains(&id))
+        .collect();
+    if candidates.is_empty() {
+        return;
+    }
+    let mut relaxed = mode.clone();
+    relaxed.disabled_pins.clear();
+    relaxed.disabled_arcs.clear();
+    let relaxed_analysis = Analysis::run(ctx.netlist, graph, &relaxed);
+    let captured_relaxed = capturing_clocks(&relaxed_analysis);
+    for id in candidates {
+        if captured_relaxed.contains(&id) {
+            let clock = mode.clock(id);
+            out.push(Finding {
+                rule: RuleCode::LintDisClkCut,
+                severity: Severity::Warning,
+                mode: ctx.input.name.clone(),
+                line: clock.line,
+                message: format!(
+                    "set_disable_timing disconnects clock `{}` from every endpoint it would otherwise capture",
+                    clock.name
+                ),
+            });
+        }
+    }
+}
+
+/// `ML-END-UNCONST` — an endpoint captured by no clock in any mode of
+/// the suite. Merging unions constraints, so no merged mode can recover
+/// the missing coverage.
+pub(super) fn end_unconst(suite: &SuiteCtx<'_>, out: &mut Vec<Finding>) {
+    if !suite.summaries.iter().any(|s| s.bound) {
+        return;
+    }
+    let mut all_endpoints: BTreeSet<PinId> = BTreeSet::new();
+    let mut constrained: BTreeSet<PinId> = BTreeSet::new();
+    for summary in suite.summaries.iter().filter(|s| s.bound) {
+        all_endpoints.extend(summary.endpoints.iter().copied());
+        constrained.extend(summary.constrained.iter().copied());
+    }
+    for &endpoint in all_endpoints.difference(&constrained) {
+        out.push(Finding {
+            rule: RuleCode::LintEndUnconst,
+            severity: Severity::Warning,
+            mode: SUITE_MODE.into(),
+            line: 0,
+            message: format!(
+                "endpoint `{}` is captured by no clock in any mode",
+                suite.netlist.pin_name(endpoint)
+            ),
+        });
+    }
+}
+
+/// `ML-CLK-XMODE` — the same clock name with different definitions
+/// across modes; preliminary merging will have to rename one side.
+pub(super) fn clk_xmode(suite: &SuiteCtx<'_>, out: &mut Vec<Finding>) {
+    let mut idents: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for summary in suite.summaries.iter().filter(|s| s.bound) {
+        for (name, ident) in &summary.clock_idents {
+            idents.entry(name).or_default().insert(ident);
+        }
+    }
+    for (name, variants) in idents {
+        if variants.len() > 1 {
+            out.push(Finding {
+                rule: RuleCode::LintClkXmode,
+                severity: Severity::Info,
+                mode: SUITE_MODE.into(),
+                line: 0,
+                message: format!(
+                    "clock `{name}` has {} different definitions across modes; the merge will rename",
+                    variants.len()
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,552 @@
+//! Syntactic/reference lint rules.
+//!
+//! These rules need only the parsed [`SdcFile`] plus the bound netlist
+//! — no STA — so they run even when a mode fails to bind and usually
+//! explain *why* it failed: dangling object references, duplicate clock
+//! definitions, I/O delays naming nonexistent clocks, exceptions whose
+//! selector lists resolve to nothing.
+//!
+//! All resolution here mirrors the binder's semantics (including
+//! [`literal_text`] unescaping, so `bus\[3\]` looks up the literal
+//! object `bus[3]`) but never mutates anything and never errors.
+
+use super::{Finding, LintCtx, Severity};
+use crate::provenance::RuleCode;
+use modemerge_netlist::{Netlist, PinId};
+use modemerge_sdc::ast::{
+    Command, IoDelayKind, ObjectClass, ObjectRef, PathExceptionKind, SdcFile,
+};
+use modemerge_sdc::glob::{glob_match, is_glob, literal_text};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What namespace a reference resolves against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RefKind {
+    /// Top-level ports only (`get_ports`).
+    Ports,
+    /// Pins — hierarchical `inst/PIN` names and port names.
+    Pins,
+    /// Nets (`get_nets`).
+    Nets,
+    /// Cell instances (`get_cells`).
+    Cells,
+    /// Clocks defined in this SDC file.
+    Clocks,
+    /// Clock, pin or port (exception `-from`/`-to` lists).
+    Mixed,
+    /// Pin, port or cell (`set_disable_timing` objects).
+    PinsOrCells,
+}
+
+impl RefKind {
+    fn noun(self) -> &'static str {
+        match self {
+            RefKind::Ports => "port",
+            RefKind::Pins => "pin or port",
+            RefKind::Nets => "net",
+            RefKind::Cells => "cell",
+            RefKind::Clocks => "clock",
+            RefKind::Mixed => "clock, pin or port",
+            RefKind::PinsOrCells => "pin, port or cell",
+        }
+    }
+
+    fn of_class(class: ObjectClass) -> RefKind {
+        match class {
+            ObjectClass::Port => RefKind::Ports,
+            ObjectClass::Pin => RefKind::Pins,
+            ObjectClass::Net => RefKind::Nets,
+            ObjectClass::Cell => RefKind::Cells,
+            ObjectClass::Clock => RefKind::Clocks,
+        }
+    }
+}
+
+/// One pattern occurrence inside a command.
+struct RefSite<'a> {
+    /// SDC command name, for messages.
+    cmd: &'static str,
+    /// 1-based source line.
+    line: u32,
+    /// Resolution namespace.
+    kind: RefKind,
+    /// The raw pattern text (possibly a glob, possibly escaped).
+    pattern: &'a str,
+}
+
+/// Name resolution shared by the syntactic rules. Mirrors binder
+/// lookups; glob counting walks the full namespace.
+pub(crate) struct Resolver<'a> {
+    netlist: &'a Netlist,
+    clock_names: BTreeSet<String>,
+    pin_names: Vec<String>,
+}
+
+impl<'a> Resolver<'a> {
+    pub(crate) fn new(netlist: &'a Netlist, sdc: &SdcFile) -> Self {
+        let pin_names = netlist
+            .pin_ids()
+            .map(|p| netlist.pin_name(p))
+            .collect::<Vec<_>>();
+        Resolver {
+            netlist,
+            clock_names: defined_clock_names(sdc),
+            pin_names,
+        }
+    }
+
+    /// Does the (unescaped) literal name exist in the namespace?
+    fn exists(&self, kind: RefKind, literal: &str) -> bool {
+        let n = self.netlist;
+        match kind {
+            RefKind::Ports => n.port_by_name(literal).is_some(),
+            RefKind::Pins => n.find_pin(literal).is_some(),
+            RefKind::Nets => n.net_by_name(literal).is_some(),
+            RefKind::Cells => n.instance_by_name(literal).is_some(),
+            RefKind::Clocks => self.clock_names.contains(literal),
+            RefKind::Mixed => self.clock_names.contains(literal) || n.find_pin(literal).is_some(),
+            RefKind::PinsOrCells => {
+                n.find_pin(literal).is_some() || n.instance_by_name(literal).is_some()
+            }
+        }
+    }
+
+    /// How many namespace members a glob pattern matches.
+    fn glob_count(&self, kind: RefKind, pattern: &str) -> usize {
+        let n = self.netlist;
+        let count_ports = || {
+            n.port_ids()
+                .filter(|&p| glob_match(pattern, n.port(p).name()))
+                .count()
+        };
+        let count_pins = || {
+            self.pin_names
+                .iter()
+                .filter(|name| glob_match(pattern, name))
+                .count()
+        };
+        let count_clocks = || {
+            self.clock_names
+                .iter()
+                .filter(|name| glob_match(pattern, name))
+                .count()
+        };
+        let count_cells = || {
+            n.instance_ids()
+                .filter(|&i| glob_match(pattern, n.instance(i).name()))
+                .count()
+        };
+        match kind {
+            RefKind::Ports => count_ports(),
+            RefKind::Pins => count_pins(),
+            RefKind::Nets => n
+                .net_ids()
+                .filter(|&id| glob_match(pattern, n.net(id).name()))
+                .count(),
+            RefKind::Cells => count_cells(),
+            RefKind::Clocks => count_clocks(),
+            RefKind::Mixed => count_clocks() + count_pins(),
+            RefKind::PinsOrCells => count_pins() + count_cells(),
+        }
+    }
+
+    /// How many objects a whole reference list resolves to (globs
+    /// expand, literals count 0 or 1).
+    fn list_count(&self, kind: RefKind, refs: &[ObjectRef]) -> usize {
+        let mut total = 0;
+        for_patterns(refs, kind, |k, pattern| {
+            total += if is_glob(pattern) {
+                self.glob_count(k, pattern)
+            } else {
+                usize::from(self.exists(k, &literal_text(pattern)))
+            };
+        });
+        total
+    }
+
+    /// Resolves a reference list to concrete pins (globs expand over
+    /// the pin namespace), mirroring binder pin resolution.
+    pub(crate) fn resolve_pins(&self, refs: &[ObjectRef], default_kind: RefKind) -> Vec<PinId> {
+        let mut pins = Vec::new();
+        for_patterns(refs, default_kind, |_, pattern| {
+            if is_glob(pattern) {
+                for name in &self.pin_names {
+                    if glob_match(pattern, name) {
+                        if let Some(p) = self.netlist.find_pin(name) {
+                            pins.push(p);
+                        }
+                    }
+                }
+            } else if let Some(p) = self.netlist.find_pin(&literal_text(pattern)) {
+                pins.push(p);
+            }
+        });
+        pins.sort();
+        pins.dedup();
+        pins
+    }
+}
+
+/// Visits every pattern of a reference list with its effective kind
+/// (explicit `[get_*]` queries override the context default).
+fn for_patterns<'a>(
+    refs: &'a [ObjectRef],
+    default_kind: RefKind,
+    mut f: impl FnMut(RefKind, &'a str),
+) {
+    for r in refs {
+        match r {
+            ObjectRef::Name(n) => f(default_kind, n),
+            ObjectRef::Query(q) => {
+                let kind = RefKind::of_class(q.class);
+                for p in &q.patterns {
+                    f(kind, p);
+                }
+            }
+        }
+    }
+}
+
+/// Clock names this SDC file defines (explicit `-name` or the binder's
+/// default: the first source/target name).
+pub(crate) fn defined_clock_names(sdc: &SdcFile) -> BTreeSet<String> {
+    fn first_ref_name(refs: &[ObjectRef]) -> Option<String> {
+        refs.first().map(|r| match r {
+            ObjectRef::Name(n) => literal_text(n),
+            ObjectRef::Query(q) => q
+                .patterns
+                .first()
+                .map(|p| literal_text(p))
+                .unwrap_or_default(),
+        })
+    }
+    let mut names = BTreeSet::new();
+    for cmd in sdc.commands() {
+        match cmd {
+            Command::CreateClock(cc) => {
+                if let Some(n) = cc.name.clone().or_else(|| first_ref_name(&cc.sources)) {
+                    names.insert(n);
+                }
+            }
+            Command::CreateGeneratedClock(gc) => {
+                if let Some(n) = gc.name.clone().or_else(|| first_ref_name(&gc.targets)) {
+                    names.insert(n);
+                }
+            }
+            _ => {}
+        }
+    }
+    names
+}
+
+/// Walks every object reference of the file (excluding I/O-delay
+/// `-clock` anchors, which `ML-IO-BAD-CLOCK` owns).
+fn for_each_ref<'a>(sdc: &'a SdcFile, mut f: impl FnMut(RefSite<'a>)) {
+    for (idx, cmd) in sdc.commands().iter().enumerate() {
+        let line = sdc.line_of(idx);
+        let mut visit = |cmd: &'static str, kind: RefKind, refs: &'a [ObjectRef]| {
+            for_patterns(refs, kind, |k, pattern| {
+                f(RefSite {
+                    cmd,
+                    line,
+                    kind: k,
+                    pattern,
+                })
+            });
+        };
+        #[allow(unreachable_patterns)] // Command is #[non_exhaustive]
+        match cmd {
+            Command::CreateClock(c) => visit("create_clock", RefKind::Pins, &c.sources),
+            Command::CreateGeneratedClock(c) => {
+                visit("create_generated_clock -source", RefKind::Pins, &c.source);
+                visit("create_generated_clock", RefKind::Pins, &c.targets);
+                if let Some(master) = &c.master_clock {
+                    visit(
+                        "create_generated_clock -master_clock",
+                        RefKind::Clocks,
+                        std::slice::from_ref(master),
+                    );
+                }
+            }
+            Command::SetClockLatency(c) => visit("set_clock_latency", RefKind::Clocks, &c.clocks),
+            Command::SetClockUncertainty(c) => {
+                visit("set_clock_uncertainty", RefKind::Clocks, &c.clocks);
+                visit("set_clock_uncertainty -from", RefKind::Clocks, &c.from);
+                visit("set_clock_uncertainty -to", RefKind::Clocks, &c.to);
+            }
+            Command::SetClockTransition(c) => {
+                visit("set_clock_transition", RefKind::Clocks, &c.clocks)
+            }
+            Command::SetPropagatedClock(c) => {
+                visit("set_propagated_clock", RefKind::Clocks, &c.clocks)
+            }
+            Command::IoDelay(c) => {
+                let name = match c.kind {
+                    IoDelayKind::Input => "set_input_delay",
+                    IoDelayKind::Output => "set_output_delay",
+                };
+                visit(name, RefKind::Pins, &c.ports);
+            }
+            Command::SetCaseAnalysis(c) => visit("set_case_analysis", RefKind::Pins, &c.objects),
+            Command::SetDisableTiming(c) => {
+                visit("set_disable_timing", RefKind::PinsOrCells, &c.objects)
+            }
+            Command::PathException(c) => {
+                let name = exception_name(&c.kind);
+                visit(name, RefKind::Mixed, &c.spec.from);
+                for hop in &c.spec.through {
+                    visit(name, RefKind::Pins, hop);
+                }
+                visit(name, RefKind::Mixed, &c.spec.to);
+            }
+            Command::SetClockGroups(c) => {
+                for group in &c.groups {
+                    visit("set_clock_groups", RefKind::Clocks, group);
+                }
+            }
+            Command::SetClockSense(c) => {
+                visit("set_clock_sense", RefKind::Clocks, &c.clocks);
+                visit("set_clock_sense", RefKind::Pins, &c.pins);
+            }
+            Command::SetInputTransition(c) => {
+                visit("set_input_transition", RefKind::Ports, &c.ports)
+            }
+            Command::SetDrive(c) => visit("set_drive", RefKind::Ports, &c.ports),
+            Command::SetLoad(c) => visit("set_load", RefKind::Pins, &c.objects),
+            _ => {}
+        }
+    }
+}
+
+/// SDC command name of a path-exception kind.
+pub(crate) fn exception_name(kind: &PathExceptionKind) -> &'static str {
+    match kind {
+        PathExceptionKind::FalsePath => "set_false_path",
+        PathExceptionKind::Multicycle { .. } => "set_multicycle_path",
+        PathExceptionKind::MinDelay(_) => "set_min_delay",
+        PathExceptionKind::MaxDelay(_) => "set_max_delay",
+    }
+}
+
+/// `ML-REF-UNDEF` — a non-glob reference resolves to nothing.
+pub(super) fn ref_undef(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
+    let resolver = Resolver::new(ctx.netlist, &ctx.input.sdc);
+    for_each_ref(&ctx.input.sdc, |site| {
+        if is_glob(site.pattern) {
+            return;
+        }
+        let literal = literal_text(site.pattern);
+        if !resolver.exists(site.kind, &literal) {
+            out.push(Finding {
+                rule: RuleCode::LintRefUndef,
+                severity: Severity::Error,
+                mode: ctx.input.name.clone(),
+                line: site.line,
+                message: format!(
+                    "`{literal}` does not name a known {} (referenced by {})",
+                    site.kind.noun(),
+                    site.cmd
+                ),
+            });
+        }
+    });
+}
+
+/// `ML-GLOB-ZERO` — a glob pattern matches zero objects of its class.
+pub(super) fn glob_zero(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
+    let resolver = Resolver::new(ctx.netlist, &ctx.input.sdc);
+    for_each_ref(&ctx.input.sdc, |site| {
+        if !is_glob(site.pattern) {
+            return;
+        }
+        if resolver.glob_count(site.kind, site.pattern) == 0 {
+            out.push(Finding {
+                rule: RuleCode::LintGlobZero,
+                severity: Severity::Warning,
+                mode: ctx.input.name.clone(),
+                line: site.line,
+                message: format!(
+                    "pattern `{}` matches no {} (in {})",
+                    site.pattern,
+                    site.kind.noun(),
+                    site.cmd
+                ),
+            });
+        }
+    });
+}
+
+/// `ML-CLK-DUP-SRC` — duplicate clock names, or a second `create_clock`
+/// without `-add` on an already-clocked source.
+pub(super) fn clk_dup_src(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
+    let resolver = Resolver::new(ctx.netlist, &ctx.input.sdc);
+    let mut names_seen: BTreeMap<String, u32> = BTreeMap::new();
+    let mut source_clock: BTreeMap<PinId, String> = BTreeMap::new();
+    for (idx, cmd) in ctx.input.sdc.commands().iter().enumerate() {
+        let line = ctx.input.sdc.line_of(idx);
+        let (name, sources, add) = match cmd {
+            Command::CreateClock(c) => {
+                let name = c
+                    .name
+                    .clone()
+                    .or_else(|| match c.sources.first() {
+                        Some(ObjectRef::Name(n)) => Some(literal_text(n)),
+                        Some(ObjectRef::Query(q)) => q.patterns.first().map(|p| literal_text(p)),
+                        None => None,
+                    })
+                    .unwrap_or_default();
+                (name, Some(&c.sources), c.add)
+            }
+            Command::CreateGeneratedClock(c) => {
+                let name = c
+                    .name
+                    .clone()
+                    .or_else(|| match c.targets.first() {
+                        Some(ObjectRef::Name(n)) => Some(literal_text(n)),
+                        Some(ObjectRef::Query(q)) => q.patterns.first().map(|p| literal_text(p)),
+                        None => None,
+                    })
+                    .unwrap_or_default();
+                // Generated clocks live on target pins, not sources;
+                // only the name-collision half of the rule applies.
+                (name, None, c.add)
+            }
+            _ => continue,
+        };
+        if let Some(first_line) = names_seen.get(&name) {
+            out.push(Finding {
+                rule: RuleCode::LintClkDupSrc,
+                severity: Severity::Warning,
+                mode: ctx.input.name.clone(),
+                line,
+                message: format!(
+                    "clock `{name}` is defined more than once (first definition at line {first_line})"
+                ),
+            });
+        } else if !name.is_empty() {
+            names_seen.insert(name.clone(), line);
+        }
+        let Some(sources) = sources else { continue };
+        for pin in resolver.resolve_pins(sources, RefKind::Pins) {
+            match source_clock.get(&pin) {
+                Some(first) if !add && *first != name => {
+                    out.push(Finding {
+                        rule: RuleCode::LintClkDupSrc,
+                        severity: Severity::Warning,
+                        mode: ctx.input.name.clone(),
+                        line,
+                        message: format!(
+                            "source `{}` already carries clock `{first}`; `{name}` overwrites it (missing -add?)",
+                            ctx.netlist.pin_name(pin)
+                        ),
+                    });
+                }
+                Some(_) => {}
+                None => {
+                    source_clock.insert(pin, name.clone());
+                }
+            }
+        }
+    }
+}
+
+/// `ML-IO-BAD-CLOCK` — an I/O delay without `-clock`, or naming a clock
+/// that is not defined in the mode.
+pub(super) fn io_bad_clock(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
+    let clocks = defined_clock_names(&ctx.input.sdc);
+    for (idx, cmd) in ctx.input.sdc.commands().iter().enumerate() {
+        let Command::IoDelay(c) = cmd else { continue };
+        let line = ctx.input.sdc.line_of(idx);
+        let name = match c.kind {
+            IoDelayKind::Input => "set_input_delay",
+            IoDelayKind::Output => "set_output_delay",
+        };
+        let mut fire = |message: String| {
+            out.push(Finding {
+                rule: RuleCode::LintIoBadClock,
+                severity: Severity::Error,
+                mode: ctx.input.name.clone(),
+                line,
+                message,
+            });
+        };
+        match &c.clock {
+            None => fire(format!(
+                "{name} without -clock cannot anchor to a launch/capture edge"
+            )),
+            Some(r) => for_patterns(std::slice::from_ref(r), RefKind::Clocks, |_, pattern| {
+                if is_glob(pattern) {
+                    if !clocks.iter().any(|n| glob_match(pattern, n)) {
+                        fire(format!(
+                            "{name} -clock pattern `{pattern}` matches no clock"
+                        ));
+                    }
+                } else {
+                    let literal = literal_text(pattern);
+                    if !clocks.contains(&literal) {
+                        fire(format!("{name} references undefined clock `{literal}`"));
+                    }
+                }
+            }),
+        }
+    }
+}
+
+/// `ML-EXC-EMPTY` — an exception selector list that is non-empty in the
+/// text but resolves to zero objects.
+pub(super) fn exc_empty(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
+    let resolver = Resolver::new(ctx.netlist, &ctx.input.sdc);
+    for (idx, cmd) in ctx.input.sdc.commands().iter().enumerate() {
+        let Command::PathException(c) = cmd else {
+            continue;
+        };
+        let line = ctx.input.sdc.line_of(idx);
+        let name = exception_name(&c.kind);
+        let mut fire = |list: &str| {
+            out.push(Finding {
+                rule: RuleCode::LintExcEmpty,
+                severity: Severity::Warning,
+                mode: ctx.input.name.clone(),
+                line,
+                message: format!(
+                    "{name}: {list} list resolves to no objects; the exception is dropped"
+                ),
+            });
+        };
+        if !c.spec.from.is_empty() && resolver.list_count(RefKind::Mixed, &c.spec.from) == 0 {
+            fire("-from");
+        }
+        for hop in &c.spec.through {
+            if !hop.is_empty() && resolver.list_count(RefKind::Pins, hop) == 0 {
+                fire("-through");
+            }
+        }
+        if !c.spec.to.is_empty() && resolver.list_count(RefKind::Mixed, &c.spec.to) == 0 {
+            fire("-to");
+        }
+    }
+}
+
+/// `ML-EXC-DUP` — a byte-identical exception repeated in one file.
+pub(super) fn exc_dup(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
+    let mut seen: BTreeMap<String, u32> = BTreeMap::new();
+    for (idx, cmd) in ctx.input.sdc.commands().iter().enumerate() {
+        let Command::PathException(_) = cmd else {
+            continue;
+        };
+        let line = ctx.input.sdc.line_of(idx);
+        let text = cmd.to_text();
+        match seen.get(&text) {
+            Some(first) => out.push(Finding {
+                rule: RuleCode::LintExcDup,
+                severity: Severity::Info,
+                mode: ctx.input.name.clone(),
+                line,
+                message: format!("duplicate exception (first at line {first}): {text}"),
+            }),
+            None => {
+                seen.insert(text, line);
+            }
+        }
+    }
+}

@@ -20,7 +20,9 @@ use crate::json::Json;
 use modemerge_sdc::SdcFile;
 use std::fmt;
 
-/// Stable diagnostic / provenance rule codes (the `MM-*` registry).
+/// Stable diagnostic / provenance rule codes: the `MM-*` registry of
+/// merge-pipeline rules plus the `ML-*` registry of static-analysis
+/// (lint) rules (see [`crate::lint`]).
 ///
 /// The wire strings returned by [`RuleCode::code`] are a public,
 /// append-only contract: codes are never renamed or reused.
@@ -71,6 +73,34 @@ pub enum RuleCode {
     FpPass2,
     /// §3.2 pass 3 — through-point granularity false path.
     FpPass3,
+    /// Lint — explicit (non-glob) object reference resolves to nothing.
+    LintRefUndef,
+    /// Lint — glob pattern matches zero objects of its class.
+    LintGlobZero,
+    /// Lint — second clock on an already-clocked source without `-add`.
+    LintClkDupSrc,
+    /// Lint — I/O delay naming a nonexistent clock (or missing `-clock`).
+    LintIoBadClock,
+    /// Lint — exception whose `-from`/`-through`/`-to` list is empty
+    /// after resolution (the constraint is vacuous or dropped).
+    LintExcEmpty,
+    /// Lint — byte-identical exception command repeated in one file.
+    LintExcDup,
+    /// Lint — clock captures zero sequential endpoints.
+    LintClkNoEndpoint,
+    /// Lint — `set_case_analysis` value contradicting the
+    /// constant-propagation cone (the forced value silently wins).
+    LintCaseContra,
+    /// Lint — exception fully shadowed by an equal-or-stricter one.
+    LintExcShadow,
+    /// Lint — `set_disable_timing` disconnects a clock network (the
+    /// clock would reach sequential endpoints without the disables).
+    LintDisClkCut,
+    /// Lint (suite scope) — endpoint unconstrained in every mode.
+    LintEndUnconst,
+    /// Lint (suite scope) — same clock name with different identities
+    /// across modes (forces an `MM-CLK-RENAME` at merge time).
+    LintClkXmode,
 }
 
 impl RuleCode {
@@ -98,6 +128,18 @@ impl RuleCode {
             Self::FpPass1 => "MM-FP-PASS1",
             Self::FpPass2 => "MM-FP-PASS2",
             Self::FpPass3 => "MM-FP-PASS3",
+            Self::LintRefUndef => "ML-REF-UNDEF",
+            Self::LintGlobZero => "ML-GLOB-ZERO",
+            Self::LintClkDupSrc => "ML-CLK-DUP-SRC",
+            Self::LintIoBadClock => "ML-IO-BAD-CLOCK",
+            Self::LintExcEmpty => "ML-EXC-EMPTY",
+            Self::LintExcDup => "ML-EXC-DUP",
+            Self::LintClkNoEndpoint => "ML-CLK-NO-ENDPOINT",
+            Self::LintCaseContra => "ML-CASE-CONTRA",
+            Self::LintExcShadow => "ML-EXC-SHADOW",
+            Self::LintDisClkCut => "ML-DIS-CLK-CUT",
+            Self::LintEndUnconst => "ML-END-UNCONST",
+            Self::LintClkXmode => "ML-CLK-XMODE",
         }
     }
 
@@ -125,6 +167,18 @@ impl RuleCode {
             Self::FpPass1,
             Self::FpPass2,
             Self::FpPass3,
+            Self::LintRefUndef,
+            Self::LintGlobZero,
+            Self::LintClkDupSrc,
+            Self::LintIoBadClock,
+            Self::LintExcEmpty,
+            Self::LintExcDup,
+            Self::LintClkNoEndpoint,
+            Self::LintCaseContra,
+            Self::LintExcShadow,
+            Self::LintDisClkCut,
+            Self::LintEndUnconst,
+            Self::LintClkXmode,
         ]
     }
 }
@@ -409,7 +463,10 @@ mod tests {
     fn codes_are_unique_and_stable() {
         let mut seen = std::collections::BTreeSet::new();
         for &c in RuleCode::all() {
-            assert!(c.code().starts_with("MM-"), "{c}");
+            assert!(
+                c.code().starts_with("MM-") || c.code().starts_with("ML-"),
+                "{c}"
+            );
             assert!(seen.insert(c.code()), "duplicate code {c}");
         }
         assert_eq!(RuleCode::ClkRename.code(), "MM-CLK-RENAME");
@@ -417,6 +474,9 @@ mod tests {
         assert_eq!(RuleCode::ExcDrop.code(), "MM-EXC-DROP");
         assert_eq!(RuleCode::NetDisable.code(), "MM-NET-DISABLE");
         assert_eq!(RuleCode::FpPass3.code(), "MM-FP-PASS3");
+        assert_eq!(RuleCode::LintRefUndef.code(), "ML-REF-UNDEF");
+        assert_eq!(RuleCode::LintCaseContra.code(), "ML-CASE-CONTRA");
+        assert_eq!(RuleCode::LintClkXmode.code(), "ML-CLK-XMODE");
     }
 
     #[test]

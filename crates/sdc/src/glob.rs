@@ -2,8 +2,134 @@
 //!
 //! SDC object queries accept shell-style patterns: `*` matches any run of
 //! characters (including `/`, as commercial tools do for flattened
-//! designs), `?` matches exactly one character, everything else matches
-//! literally.
+//! designs), `?` matches exactly one character, `[abc]` / `[a-z]` /
+//! `[!abc]` match one character against a class, `\*` / `\?` / `\[` /
+//! `\\` escape a metacharacter to its literal, and everything else
+//! matches literally.
+//!
+//! A `[` that never closes is not a class — it matches a literal `[`,
+//! so malformed patterns degrade to literal text instead of erroring.
+
+/// One compiled pattern element.
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    /// `*` — any run of characters (possibly empty).
+    Star,
+    /// `?` — exactly one character.
+    AnyOne,
+    /// A literal character (including escaped metacharacters).
+    Lit(char),
+    /// `[...]` — one character matching (or, when negated, missing)
+    /// every listed `lo..=hi` range. Single characters are `(c, c)`.
+    Class {
+        negated: bool,
+        ranges: Vec<(char, char)>,
+    },
+}
+
+impl Tok {
+    fn matches(&self, c: char) -> bool {
+        match self {
+            Tok::Star => unreachable!("star handled by the backtracking loop"),
+            Tok::AnyOne => true,
+            Tok::Lit(l) => *l == c,
+            Tok::Class { negated, ranges } => {
+                let hit = ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+                hit != *negated
+            }
+        }
+    }
+}
+
+/// Parses a `[...]` class starting *after* the `[` at `chars[start]`.
+/// Returns the token and the index just past the closing `]`, or `None`
+/// when the class never closes (the `[` is then literal).
+fn parse_class(chars: &[char], start: usize) -> Option<(Tok, usize)> {
+    let mut i = start;
+    let negated = matches!(chars.get(i), Some('!' | '^'));
+    if negated {
+        i += 1;
+    }
+    let mut ranges = Vec::new();
+    let mut first = true;
+    while let Some(&c) = chars.get(i) {
+        if c == ']' && !first {
+            return Some((Tok::Class { negated, ranges }, i + 1));
+        }
+        first = false;
+        let lo = if c == '\\' {
+            i += 1;
+            *chars.get(i)?
+        } else {
+            c
+        };
+        // `a-z` range (a trailing `-` before `]` is a literal dash).
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&n| n != ']') {
+            let mut j = i + 2;
+            let hi = if chars[j] == '\\' {
+                j += 1;
+                *chars.get(j)?
+            } else {
+                chars[j]
+            };
+            ranges.push((lo.min(hi), lo.max(hi)));
+            i = j + 1;
+        } else {
+            ranges.push((lo, lo));
+            i += 1;
+        }
+    }
+    None
+}
+
+/// Compiles a pattern into tokens. Never fails: malformed constructs
+/// (unclosed `[`, trailing `\`) fall back to literal characters.
+fn compile(pattern: &str) -> Vec<Tok> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut toks = Vec::with_capacity(chars.len());
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '*' => {
+                // Collapse runs of stars: `**` ≡ `*`.
+                if toks.last() != Some(&Tok::Star) {
+                    toks.push(Tok::Star);
+                }
+                i += 1;
+            }
+            '?' => {
+                toks.push(Tok::AnyOne);
+                i += 1;
+            }
+            '\\' => match chars.get(i + 1) {
+                Some(&next) => {
+                    toks.push(Tok::Lit(next));
+                    i += 2;
+                }
+                None => {
+                    // Trailing backslash: literal.
+                    toks.push(Tok::Lit('\\'));
+                    i += 1;
+                }
+            },
+            '[' => match parse_class(&chars, i + 1) {
+                Some((tok, next)) => {
+                    toks.push(tok);
+                    i = next;
+                }
+                None => {
+                    toks.push(Tok::Lit('['));
+                    i += 1;
+                }
+            },
+            c => {
+                toks.push(Tok::Lit(c));
+                i += 1;
+            }
+        }
+    }
+    toks
+}
 
 /// Returns `true` if `name` matches the glob `pattern`.
 ///
@@ -16,11 +142,13 @@
 /// assert!(glob_match("r?/CP", "rA/CP"));
 /// assert!(!glob_match("r?/CP", "reg12/CP"));
 /// assert!(glob_match("*", "anything/at/all"));
+/// assert!(glob_match("r[A-C]/Q", "rB/Q"));
+/// assert!(glob_match(r"bus\[3\]", "bus[3]"));
 /// ```
 pub fn glob_match(pattern: &str, name: &str) -> bool {
     // Iterative matcher with single-star backtracking (classic wildcard
-    // algorithm, linear in practice).
-    let p: Vec<char> = pattern.chars().collect();
+    // algorithm, linear in practice) over compiled tokens.
+    let p = compile(pattern);
     let n: Vec<char> = name.chars().collect();
     let (mut pi, mut ni) = (0usize, 0usize);
     let mut star: Option<(usize, usize)> = None;
@@ -29,10 +157,10 @@ pub fn glob_match(pattern: &str, name: &str) -> bool {
         // The `*` branch must be checked first: a literal `*` in the
         // name would otherwise consume the pattern's wildcard as an
         // ordinary character match.
-        if pi < p.len() && p[pi] == '*' {
+        if p.get(pi) == Some(&Tok::Star) {
             star = Some((pi, ni));
             pi += 1;
-        } else if pi < p.len() && (p[pi] == '?' || p[pi] == n[ni]) {
+        } else if pi < p.len() && p[pi].matches(n[ni]) {
             pi += 1;
             ni += 1;
         } else if let Some((sp, sn)) = star {
@@ -43,15 +171,36 @@ pub fn glob_match(pattern: &str, name: &str) -> bool {
             return false;
         }
     }
-    while pi < p.len() && p[pi] == '*' {
+    while p.get(pi) == Some(&Tok::Star) {
         pi += 1;
     }
     pi == p.len()
 }
 
-/// Returns `true` if the pattern contains glob metacharacters.
+/// Returns `true` if the pattern contains glob metacharacters —
+/// unescaped `*` / `?`, or a well-formed `[...]` character class.
+/// Escaped metacharacters (`\*`, `\?`, `\[`) are literal text.
 pub fn is_glob(pattern: &str) -> bool {
-    pattern.contains('*') || pattern.contains('?')
+    compile(pattern).iter().any(|t| !matches!(t, Tok::Lit(_)))
+}
+
+/// The literal text of a non-glob pattern: escapes removed, so
+/// `bus\[3\]` looks up the object literally named `bus[3]`. Callers
+/// resolving non-glob patterns by direct name lookup must go through
+/// this, or escaped names can never resolve.
+pub fn literal_text(pattern: &str) -> String {
+    compile(pattern)
+        .iter()
+        .map(|t| match t {
+            Tok::Lit(c) => *c,
+            // Non-literal tokens only occur when the caller didn't
+            // check `is_glob`; render metacharacters back faithfully
+            // enough for error messages.
+            Tok::Star => '*',
+            Tok::AnyOne => '?',
+            Tok::Class { .. } => '[',
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -115,5 +264,81 @@ mod tests {
     fn empty_pattern_matches_only_empty() {
         assert!(glob_match("", ""));
         assert!(!glob_match("", "a"));
+    }
+
+    #[test]
+    fn escaped_metacharacters_are_literal() {
+        // `\*` matches a literal star only.
+        assert!(glob_match(r"r\*", "r*"));
+        assert!(!glob_match(r"r\*", "rA"));
+        assert!(!glob_match(r"r\*", "r"));
+        // `\?` matches a literal question mark only.
+        assert!(glob_match(r"r\?", "r?"));
+        assert!(!glob_match(r"r\?", "rA"));
+        // `\[` matches a literal bracket; bus-bit names are the
+        // motivating case.
+        assert!(glob_match(r"bus\[3\]", "bus[3]"));
+        assert!(!glob_match(r"bus\[3\]", "bus3"));
+        // `\\` matches a literal backslash.
+        assert!(glob_match(r"a\\b", r"a\b"));
+        // Escapes coexist with live metacharacters.
+        assert!(glob_match(r"bus\[?\]/*", "bus[3]/D"));
+        assert!(!glob_match(r"bus\[?\]/*", "bus[12]/D"));
+        // A trailing backslash is a literal backslash.
+        assert!(glob_match("a\\", "a\\"));
+    }
+
+    #[test]
+    fn char_classes_match_one_char() {
+        assert!(glob_match("r[ABC]/Q", "rA/Q"));
+        assert!(glob_match("r[ABC]/Q", "rC/Q"));
+        assert!(!glob_match("r[ABC]/Q", "rD/Q"));
+        assert!(!glob_match("r[ABC]/Q", "r/Q"));
+        assert!(!glob_match("r[ABC]/Q", "rAB/Q"));
+        // Ranges.
+        assert!(glob_match("r[A-C]/Q", "rB/Q"));
+        assert!(!glob_match("r[A-C]/Q", "rX/Q"));
+        assert!(glob_match("bank[0-9]", "bank7"));
+        assert!(!glob_match("bank[0-9]", "bank"));
+        // Negation, both spellings.
+        assert!(glob_match("r[!XY]/Q", "rA/Q"));
+        assert!(!glob_match("r[!XY]/Q", "rX/Q"));
+        assert!(glob_match("r[^XY]/Q", "rA/Q"));
+        assert!(!glob_match("r[^XY]/Q", "rY/Q"));
+        // `]` first in the class is a literal member.
+        assert!(glob_match("a[]x]b", "a]b"));
+        assert!(glob_match("a[]x]b", "axb"));
+        // Trailing `-` is a literal dash.
+        assert!(glob_match("a[x-]b", "a-b"));
+        assert!(glob_match("a[x-]b", "axb"));
+        // Classes compose with stars.
+        assert!(glob_match("r[A-C]*", "rB/anything"));
+    }
+
+    #[test]
+    fn unclosed_class_is_literal() {
+        assert!(glob_match("a[b", "a[b"));
+        assert!(!glob_match("a[b", "ab"));
+        assert!(glob_match("a[", "a["));
+        // And is therefore not a glob by itself.
+        assert!(!is_glob("a[b"));
+        assert!(!is_glob("bus[3"));
+    }
+
+    #[test]
+    fn is_glob_sees_classes_but_not_escapes() {
+        assert!(is_glob("r[ABC]"));
+        assert!(is_glob("r[A-C]/Q"));
+        assert!(!is_glob(r"r\*"));
+        assert!(!is_glob(r"bus\[3\]"));
+        assert!(is_glob(r"bus\[?\]"));
+    }
+
+    #[test]
+    fn literal_text_unescapes() {
+        assert_eq!(literal_text(r"bus\[3\]"), "bus[3]");
+        assert_eq!(literal_text(r"r\*"), "r*");
+        assert_eq!(literal_text("plain/CP"), "plain/CP");
+        assert_eq!(literal_text("a[b"), "a[b");
     }
 }

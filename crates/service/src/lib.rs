@@ -7,7 +7,8 @@
 //! long-running daemon:
 //!
 //! * [`proto`] — a newline-delimited-JSON protocol over TCP with
-//!   request types `merge`, `plan`, `status`, `stats` and `shutdown`;
+//!   request types `merge`, `plan`, `lint`, `status`, `stats` and
+//!   `shutdown`;
 //! * [`queue`] — a bounded job queue feeding a worker pool, one
 //!   [`MergeSession`](modemerge_core::MergeSession) per request;
 //! * [`cache`] — a content-addressed result cache ([`hash`]: FNV-1a 64

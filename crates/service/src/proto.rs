@@ -5,10 +5,11 @@
 //! carries a `type` discriminator:
 //!
 //! ```text
-//! request  := merge | plan | status | stats | shutdown
+//! request  := merge | plan | lint | status | stats | shutdown
 //! merge    := {"type":"merge","netlist":STR,["format":"text"|"verilog",]
 //!              "modes":[{"name":STR,"sdc":STR}...],["options":OBJ]}
 //! plan     := like merge, with "type":"plan"
+//! lint     := like merge, with "type":"lint" (static analysis only)
 //! status   := {"type":"status"}
 //! stats    := {"type":"stats"}
 //! shutdown := {"type":"shutdown"}
@@ -57,6 +58,8 @@ pub enum Request {
     Merge(JobSpec),
     /// Mergeability graph + clique cover only.
     Plan(JobSpec),
+    /// Static-analysis lint over the mode suite (no merging).
+    Lint(JobSpec),
     /// Queue/worker snapshot (cheap, answered inline).
     Status,
     /// Cache counters, job totals and per-stage timing totals.
@@ -71,6 +74,7 @@ impl Request {
         match self {
             Request::Merge(_) => "merge",
             Request::Plan(_) => "plan",
+            Request::Lint(_) => "lint",
             Request::Status => "status",
             Request::Stats => "stats",
             Request::Shutdown => "shutdown",
@@ -92,11 +96,12 @@ impl Request {
         match kind {
             "merge" => Ok(Request::Merge(parse_spec(&v)?)),
             "plan" => Ok(Request::Plan(parse_spec(&v)?)),
+            "lint" => Ok(Request::Lint(parse_spec(&v)?)),
             "status" => Ok(Request::Status),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown request type `{other}` (expected merge|plan|status|stats|shutdown)"
+                "unknown request type `{other}` (expected merge|plan|lint|status|stats|shutdown)"
             )),
         }
     }
@@ -229,6 +234,11 @@ mod tests {
         }
         let plan = compute_request("plan", &spec());
         assert!(matches!(Request::parse(&plan).unwrap(), Request::Plan(_)));
+        let lint = compute_request("lint", &spec());
+        match Request::parse(&lint).unwrap() {
+            Request::Lint(parsed) => assert_eq!(parsed, spec()),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -66,6 +66,7 @@ impl Default for ServiceConfig {
 enum JobKind {
     Merge,
     Plan,
+    Lint,
 }
 
 impl JobKind {
@@ -73,6 +74,7 @@ impl JobKind {
         match self {
             JobKind::Merge => "merge",
             JobKind::Plan => "plan",
+            JobKind::Lint => "lint",
         }
     }
 }
@@ -102,6 +104,8 @@ struct ServerState {
     /// jobs — a cheap server-side signal of how much judgement the
     /// pipeline had to exercise.
     diagnostics_emitted: AtomicU64,
+    /// Total lint findings produced by computed (non-cached) lint jobs.
+    lint_findings: AtomicU64,
     stage_totals: Mutex<StageTimings>,
 }
 
@@ -142,6 +146,10 @@ impl ServerState {
         fields.push((
             "diagnostics_emitted".into(),
             Json::num(self.diagnostics_emitted.load(Ordering::SeqCst) as f64),
+        ));
+        fields.push((
+            "lint_findings".into(),
+            Json::num(self.lint_findings.load(Ordering::SeqCst) as f64),
         ));
         fields.push(("cache".into(), self.cache_stats().to_json()));
         let totals = self.stage_totals.lock().expect("timings poisoned");
@@ -193,6 +201,7 @@ impl Server {
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             diagnostics_emitted: AtomicU64::new(0),
+            lint_findings: AtomicU64::new(0),
             stage_totals: Mutex::new(StageTimings::default()),
             addr,
             config,
@@ -297,6 +306,17 @@ fn compute(state: &ServerState, kind: JobKind, spec: &JobSpec) -> Result<String,
         let sdc = SdcFile::parse(sdc_text).map_err(|e| format!("mode {name}: {e}"))?;
         inputs.push(ModeInput::new(name.clone(), sdc));
     }
+    if kind == JobKind::Lint {
+        // Lint must succeed on defective suites (that is its job), so it
+        // binds per mode itself instead of going through the all-or-
+        // nothing `SessionInputs::bind`.
+        let report = modemerge_core::lint::lint_modes(&netlist, &inputs, spec.options.threads)
+            .map_err(|e| e.to_string())?;
+        state
+            .lint_findings
+            .fetch_add(report.findings.len() as u64, Ordering::SeqCst);
+        return Ok(report.to_json().to_string());
+    }
     let bound = SessionInputs::bind(&netlist, &inputs).map_err(|e| e.to_string())?;
     let session = MergeSession::new(&netlist, &bound, &spec.options);
     let result = match kind {
@@ -315,6 +335,7 @@ fn compute(state: &ServerState, kind: JobKind, spec: &JobSpec) -> Result<String,
             let names: Vec<String> = inputs.iter().map(|i| i.name.clone()).collect();
             plan_to_json(&names, &graph, &cliques)
         }
+        JobKind::Lint => unreachable!("lint handled above"),
     };
     state
         .stage_totals
@@ -358,6 +379,7 @@ fn dispatch_line(line: &str, state: &ServerState) -> String {
         Request::Shutdown => shutdown(state),
         Request::Merge(spec) => submit_job(state, JobKind::Merge, spec),
         Request::Plan(spec) => submit_job(state, JobKind::Plan, spec),
+        Request::Lint(spec) => submit_job(state, JobKind::Lint, spec),
     }
 }
 

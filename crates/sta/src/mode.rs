@@ -864,7 +864,11 @@ impl<'a> Binder<'a> {
                         match q.class {
                             ObjectClass::Port => {
                                 if !modemerge_sdc::glob::is_glob(pattern) {
-                                    if let Some(port) = self.netlist.port_by_name(pattern) {
+                                    // Non-glob lookup goes through the
+                                    // unescaped literal, so `bus\[3\]`
+                                    // finds the port named `bus[3]`.
+                                    let name = modemerge_sdc::glob::literal_text(pattern);
+                                    if let Some(port) = self.netlist.port_by_name(&name) {
                                         out.push(self.netlist.port(port).pin());
                                     }
                                 } else {
@@ -878,7 +882,8 @@ impl<'a> Binder<'a> {
                             }
                             ObjectClass::Pin => {
                                 if !modemerge_sdc::glob::is_glob(pattern) {
-                                    if let Some(pin) = self.netlist.find_pin(pattern) {
+                                    let name = modemerge_sdc::glob::literal_text(pattern);
+                                    if let Some(pin) = self.netlist.find_pin(&name) {
                                         out.push(pin);
                                     }
                                 } else {

@@ -99,6 +99,29 @@ grep -q "drained and stopped" "$SERVE_LOG" \
 SERVE_PID=""
 echo "    serve/submit/cache-hit/shutdown round trip OK"
 
+echo "==> smoke: lint gate (clean suite exits 0, seeded defect exits 1)"
+# The generated suite must lint clean even under --deny warnings …
+"$MM" lint --netlist "$SMOKE_DIR/suite/design.nl" "${mode_args[@]}" --deny warnings \
+    >/dev/null \
+    || { echo "FAIL: clean generated suite did not lint clean" >&2; exit 1; }
+# … and a seeded defect (an exception from a nonexistent pin) must be
+# refused with a nonzero exit, by lint and by the merge gate alike.
+BAD_SDC="$SMOKE_DIR/bad.sdc"
+first_sdc="$(awk '$1 == "mode" { print $3; exit }' "$SMOKE_DIR/suite/MANIFEST")"
+cp "$SMOKE_DIR/suite/$first_sdc" "$BAD_SDC"
+echo 'set_false_path -from [get_pins verify_nothere/Q]' >>"$BAD_SDC"
+if "$MM" lint --netlist "$SMOKE_DIR/suite/design.nl" "${mode_args[@]}" \
+    --mode "bad=$BAD_SDC" --deny warnings >/dev/null 2>&1; then
+    echo "FAIL: seeded defect passed the lint gate" >&2
+    exit 1
+fi
+if "$MM" merge --netlist "$SMOKE_DIR/suite/design.nl" "${mode_args[@]}" \
+    --mode "bad=$BAD_SDC" --lint deny --out "$SMOKE_DIR/denied" >/dev/null 2>&1; then
+    echo "FAIL: merge --lint deny did not refuse the defective suite" >&2
+    exit 1
+fi
+echo "    lint gate OK (clean passes, seeded defect refused)"
+
 echo "==> smoke: three_pass bench produces a well-formed report"
 BENCH_OUT="$SMOKE_DIR/BENCH_three_pass.json"
 # Default sample count (median of 5): the same run feeds the regression

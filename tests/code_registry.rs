@@ -1,0 +1,92 @@
+//! Registry consistency: the stable `MM-*` / `ML-*` rule codes.
+//!
+//! The codes are an external contract — sign-off scripts grep merge
+//! logs and SARIF files for them — so CHANGELOG.md carries the
+//! canonical registry. This test keeps code and changelog from
+//! drifting: every [`RuleCode`] must be documented **exactly once** in
+//! CHANGELOG.md, and the changelog must not advertise codes the
+//! binary no longer emits.
+
+use modemerge::merge::RuleCode;
+use std::collections::BTreeMap;
+
+/// Extracts every `MM-*` / `ML-*` token from `text`, counting
+/// occurrences. A token is a maximal run of uppercase ASCII letters,
+/// digits and `-` starting with `MM-` or `ML-` (no regex crate; the
+/// scan is a hand-rolled splitter).
+fn code_tokens(text: &str) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    let bytes = text.as_bytes();
+    let is_code_byte = |b: u8| b.is_ascii_uppercase() || b.is_ascii_digit() || b == b'-';
+    let mut i = 0;
+    while i < bytes.len() {
+        if !is_code_byte(bytes[i]) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && is_code_byte(bytes[i]) {
+            i += 1;
+        }
+        let token = &text[start..i];
+        if token.starts_with("MM-") || token.starts_with("ML-") {
+            *counts.entry(token.to_owned()).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+fn changelog() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/CHANGELOG.md");
+    std::fs::read_to_string(path).expect("read CHANGELOG.md")
+}
+
+#[test]
+fn every_rule_code_is_documented_exactly_once_in_the_changelog() {
+    let counts = code_tokens(&changelog());
+    for code in RuleCode::all() {
+        let n = counts.get(code.code()).copied().unwrap_or(0);
+        assert_eq!(
+            n,
+            1,
+            "`{}` must appear exactly once in CHANGELOG.md (found {n} times)",
+            code.code()
+        );
+    }
+}
+
+#[test]
+fn the_changelog_documents_no_unknown_codes() {
+    let known: Vec<&str> = RuleCode::all().iter().map(|c| c.code()).collect();
+    for (token, _) in code_tokens(&changelog()) {
+        assert!(
+            known.contains(&token.as_str()),
+            "CHANGELOG.md mentions `{token}`, which is not a RuleCode"
+        );
+    }
+}
+
+#[test]
+fn lint_registry_covers_every_ml_code_and_nothing_else() {
+    // The lint rule registry and the provenance code registry must
+    // agree on the ML-* namespace: a RuleCode without a rule would be
+    // unreachable, a rule without a RuleCode could not be explained.
+    let rule_codes: Vec<&str> = modemerge::merge::lint::registry()
+        .iter()
+        .map(|r| r.code.code())
+        .collect();
+    let ml_codes: Vec<&str> = RuleCode::all()
+        .iter()
+        .map(|c| c.code())
+        .filter(|c| c.starts_with("ML-"))
+        .collect();
+    assert_eq!(rule_codes, ml_codes);
+}
+
+#[test]
+fn token_scanner_counts_occurrences() {
+    let counts = code_tokens("x `MM-EXCL` and MM-EXCL, plus ML-REF-UNDEF.");
+    assert_eq!(counts.get("MM-EXCL"), Some(&2));
+    assert_eq!(counts.get("ML-REF-UNDEF"), Some(&1));
+    assert_eq!(counts.len(), 2);
+}

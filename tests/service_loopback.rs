@@ -167,6 +167,88 @@ fn concurrent_submissions_match_direct_session_and_hit_the_cache() {
 }
 
 #[test]
+fn lint_requests_run_without_merging_and_count_findings_in_stats() {
+    let (addr, daemon) = start_server(2);
+
+    // A suite with one defective mode: lint must still answer (the
+    // all-or-nothing merge bind would have refused it) and must report
+    // the seeded ML-REF-UNDEF error.
+    let mut spec = paper_spec();
+    spec.modes.push((
+        "BAD".to_owned(),
+        "create_clock -name c -period 10 [get_ports clk1]\n\
+         set_false_path -from [get_pins nope_xyz/Q]\n"
+            .to_owned(),
+    ));
+
+    let mut client = Client::connect(addr).expect("connect");
+    let resp = client
+        .request(&compute_request("lint", &spec))
+        .expect("roundtrip");
+    assert!(resp.ok, "{:?}", resp.error);
+    assert_eq!(resp.cached, Some(false), "cold lint is computed");
+    let result = resp.json.get("result").expect("result");
+    let modes = result.get("modes").and_then(Json::as_array).expect("modes");
+    assert_eq!(modes.len(), 4);
+    assert_eq!(result.get("modes_bound").and_then(Json::as_u64), Some(4));
+    let errors = result.get("errors").and_then(Json::as_u64).expect("errors");
+    assert!(errors >= 1, "seeded defect must be found: {result}");
+    let findings = result
+        .get("findings")
+        .and_then(Json::as_array)
+        .expect("findings");
+    assert!(
+        findings.iter().any(|f| {
+            f.get("rule").and_then(Json::as_str) == Some("ML-REF-UNDEF")
+                && f.get("mode").and_then(Json::as_str) == Some("BAD")
+        }),
+        "ML-REF-UNDEF in mode BAD expected: {result}"
+    );
+
+    // Bytes match a direct in-process lint run of the same inputs.
+    let netlist = paper_circuit();
+    let inputs: Vec<ModeInput> = spec
+        .modes
+        .iter()
+        .map(|(n, s)| ModeInput::parse(n.clone(), s).expect("parse"))
+        .collect();
+    let direct = modemerge::merge::lint_modes(&netlist, &inputs, 1).expect("lint");
+    assert_eq!(result.to_string(), direct.to_json().to_string());
+
+    // Identical re-submit is a cache hit with identical bytes; the
+    // findings counter only counts computed jobs.
+    let warm = client
+        .request(&compute_request("lint", &spec))
+        .expect("roundtrip");
+    assert!(warm.ok, "{:?}", warm.error);
+    assert_eq!(warm.cached, Some(true), "re-submit must hit the cache");
+    assert_eq!(
+        warm.json.get("result").expect("result").to_string(),
+        result.to_string()
+    );
+    let stats = client.request(&simple_request("stats")).expect("stats");
+    assert!(stats.ok);
+    assert_eq!(
+        stats.json.get("lint_findings").and_then(Json::as_u64),
+        Some(direct.findings.len() as u64),
+        "cached replay must not double-count findings"
+    );
+
+    // A lint of the same inputs must not collide with merge/plan keys.
+    let merge = client
+        .request(&compute_request("merge", &paper_spec()))
+        .expect("roundtrip");
+    assert!(merge.ok);
+    assert_eq!(merge.cached, Some(false), "lint and merge must not collide");
+
+    let bye = client
+        .request(&simple_request("shutdown"))
+        .expect("shutdown");
+    assert!(bye.ok);
+    daemon.join().expect("daemon thread").expect("daemon io");
+}
+
+#[test]
 fn shutdown_drains_in_flight_jobs_without_dropping_responses() {
     // One worker + several distinct queued jobs, then an immediate
     // shutdown: every accepted job must still receive its response.

@@ -1,0 +1,209 @@
+//! Scale sweep: the full merge flow (generate → bind → plan → merge →
+//! validate) over a cells × modes grid, from 1k cells / 8 modes up to
+//! 100k+ cells / 32 modes, recording wall time and peak RSS per point.
+//!
+//! Memory is the point of this bench — the arena/SoA timing data and the
+//! bounded memo stores exist so the 100k-cell row fits — so every grid
+//! point runs in a **fresh child process** (re-exec of this binary with
+//! `MODEMERGE_SCALE_POINT` set): `VmHWM` in `/proc/self/status` is a
+//! process-lifetime high-water mark and would otherwise carry the
+//! largest earlier point. The child prints its row as a prefixed JSON
+//! line; the parent collects the rows into `BENCH_scale.json`
+//! (override the path with `MODEMERGE_BENCH_OUT`).
+//!
+//! Grid override: `MODEMERGE_SCALE_GRID="1000x8,5000x8"` (commas
+//! separate points, `<cells>x<modes>` each). Points at or below the
+//! byte-identity check threshold also merge at 1 thread and assert the
+//! merged SDC matches the multi-threaded run byte for byte.
+//!
+//! Output lines follow the in-tree harness format:
+//!
+//! ```text
+//! bench scale/100000x32 wall_ms=... merge_ms=... peak_rss_kb=...
+//! ```
+
+use modemerge_core::json::Json;
+use modemerge_core::merge::{MergeAllOutcome, MergeOptions, ModeInput};
+use modemerge_core::session::{MergeSession, SessionInputs};
+use modemerge_workload::{generate_suite, SuiteSpec};
+use std::time::Instant;
+
+/// Marker prefix for the child's machine-readable row line.
+const ROW_PREFIX: &str = "SCALE_ROW ";
+
+/// Points `<= this many cells` also run single-threaded and assert
+/// byte-identical merged output.
+const IDENTITY_CHECK_MAX_CELLS: usize = 5_000;
+
+const DEFAULT_GRID: &[(usize, usize)] = &[
+    (1_000, 8),
+    (5_000, 8),
+    (20_000, 16),
+    (50_000, 24),
+    (100_000, 32),
+];
+
+const SEED: u64 = 42;
+
+fn grid() -> Vec<(usize, usize)> {
+    match std::env::var("MODEMERGE_SCALE_GRID") {
+        Err(_) => DEFAULT_GRID.to_vec(),
+        Ok(spec) => spec
+            .split(',')
+            .map(|point| {
+                let (c, m) = point.trim().split_once('x').unwrap_or_else(|| {
+                    panic!("MODEMERGE_SCALE_GRID: `{point}` is not CELLSxMODES")
+                });
+                (
+                    c.parse().expect("cells is a number"),
+                    m.parse().expect("modes is a number"),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Peak resident set size of this process in KiB (`VmHWM`), Linux only.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn merged_texts(outcome: &MergeAllOutcome) -> Vec<(String, String)> {
+    outcome
+        .merged
+        .iter()
+        .map(|m| (m.name.clone(), m.sdc.to_text()))
+        .collect()
+}
+
+/// Runs one grid point in this process and returns its report row.
+fn run_point(cells: usize, modes: usize) -> Json {
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let spec = SuiteSpec::scale(cells, modes, SEED);
+    let t0 = Instant::now();
+    let suite = generate_suite(&spec);
+    let generate_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let inputs: Vec<ModeInput> = suite
+        .modes
+        .iter()
+        .map(|(name, sdc)| ModeInput::new(name.clone(), sdc.clone()))
+        .collect();
+
+    let t0 = Instant::now();
+    let bound = SessionInputs::bind(&suite.netlist, &inputs).expect("suite binds");
+    let bind_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let options = MergeOptions {
+        threads,
+        ..Default::default()
+    };
+    let session = MergeSession::new(&suite.netlist, &bound, &options);
+    let t0 = Instant::now();
+    session.warm_up();
+    let outcome = session.merge_all().expect("merge_all succeeds");
+    let merge_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let timings = session.stage_timings();
+
+    if cells <= IDENTITY_CHECK_MAX_CELLS && threads > 1 {
+        let serial_options = MergeOptions {
+            threads: 1,
+            ..Default::default()
+        };
+        let serial = MergeSession::new(&suite.netlist, &bound, &serial_options);
+        serial.warm_up();
+        let serial_outcome = serial.merge_all().expect("serial merge_all succeeds");
+        assert_eq!(
+            merged_texts(&outcome),
+            merged_texts(&serial_outcome),
+            "merged SDC must be byte-identical at 1 and {threads} threads"
+        );
+    }
+
+    Json::Obj(vec![
+        ("cells".into(), Json::count(suite.netlist.instance_count())),
+        ("target_cells".into(), Json::count(cells)),
+        ("modes".into(), Json::count(modes)),
+        ("domains".into(), Json::count(spec.design.domains)),
+        ("banks".into(), Json::count(spec.design.banks)),
+        ("merged_modes".into(), Json::count(outcome.merged.len())),
+        ("threads".into(), Json::count(threads)),
+        ("generate_ms".into(), Json::num(generate_ms)),
+        ("bind_ms".into(), Json::num(bind_ms)),
+        ("wall_ms".into(), Json::num(merge_ms)),
+        (
+            "analysis_ms".into(),
+            Json::num(timings.analysis_ns as f64 / 1e6),
+        ),
+        (
+            "memo_evictions".into(),
+            Json::num(timings.memo_evictions as f64),
+        ),
+        (
+            "peak_rss_kb".into(),
+            peak_rss_kb().map_or(Json::Null, |kb| Json::num(kb as f64)),
+        ),
+    ])
+}
+
+fn main() {
+    // Child mode: run exactly one point, print its row, exit.
+    if let Ok(point) = std::env::var("MODEMERGE_SCALE_POINT") {
+        let (c, m) = point.split_once('x').expect("POINT is CELLSxMODES");
+        let row = run_point(
+            c.parse().expect("cells is a number"),
+            m.parse().expect("modes is a number"),
+        );
+        println!("{ROW_PREFIX}{row}");
+        return;
+    }
+
+    let exe = std::env::current_exe().expect("own path");
+    let mut rows: Vec<Json> = Vec::new();
+    for (cells, modes) in grid() {
+        let out = std::process::Command::new(&exe)
+            .env("MODEMERGE_SCALE_POINT", format!("{cells}x{modes}"))
+            .output()
+            .expect("spawn child point");
+        assert!(
+            out.status.success(),
+            "point {cells}x{modes} failed:\n{}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let line = stdout
+            .lines()
+            .find_map(|l| l.strip_prefix(ROW_PREFIX))
+            .expect("child printed a row");
+        let row = Json::parse(line).expect("child row parses");
+        let num = |key: &str| row.get(key).and_then(Json::as_f64).unwrap_or(-1.0);
+        println!(
+            "bench scale/{cells}x{modes} wall_ms={:.1} generate_ms={:.1} bind_ms={:.1} \
+             analysis_ms={:.1} peak_rss_kb={:.0} merged={} evictions={:.0}",
+            num("wall_ms"),
+            num("generate_ms"),
+            num("bind_ms"),
+            num("analysis_ms"),
+            num("peak_rss_kb"),
+            row.get("merged_modes").and_then(Json::as_u64).unwrap_or(0),
+            num("memo_evictions"),
+        );
+        rows.push(row);
+    }
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::str("scale")),
+        ("seed".into(), Json::count(SEED as usize)),
+        ("rows".into(), Json::Arr(rows)),
+    ]);
+    let out_path = std::env::var("MODEMERGE_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json").to_owned()
+    });
+    std::fs::write(&out_path, format!("{report}\n")).expect("write bench report");
+    println!("bench scale report written to {out_path}");
+}

@@ -19,8 +19,10 @@ const VALUED: &[&str] = &[
     "sdc",
     "out",
     "threads",
+    "memo-budget-kb",
     "limit",
     "cells",
+    "modes",
     "seed",
     "families",
     "scale",

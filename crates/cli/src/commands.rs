@@ -28,8 +28,11 @@ usage: modemerge <command> [options]
 commands (netlists: native text format, or gate-level Verilog .v):
   merge      --netlist FILE --mode NAME=SDC... [--out DIR] [--threads N]
              [--strict] [--no-uniquify] [--json] [--annotate]
-             [--lint deny|warn|off]
+             [--lint deny|warn|off] [--memo-budget-kb K]
              Plan and merge timing modes; writes merged SDCs to --out.
+             --memo-budget-kb caps the per-analysis memo stores (KiB;
+             default 256 MiB) — output is byte-identical at any budget,
+             only speed and the eviction counters change.
              --json emits the machine-readable summary object (same
              format as the service protocol). --annotate writes each
              merged constraint with a `# mm: <rule> from <mode>:<line>`
@@ -70,6 +73,12 @@ commands (netlists: native text format, or gate-level Verilog .v):
              optionally write it as Graphviz DOT.
   generate   --cells N [--seed S] [--families 3,2] --out DIR
              Generate a synthetic design and mode suite.
+  workload   --cells N --modes M [--seed S] --out DIR
+             Generate one point of the scale grid: an SoC-shaped design
+             of ~N cells (clock domains and register banks grow with N)
+             with exactly M timing modes in families of up to four
+             mergeable modes. Writes design.nl, one SDC per mode and a
+             MANIFEST; deterministic per (N, M, seed).
   serve      [--addr HOST:PORT] [--threads N] [--cache-entries K]
              [--queue N]
              Run the persistent merge server (JSONL over TCP): a
@@ -119,6 +128,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
                 "relations" => cmd_relations(&args),
                 "plan" => cmd_plan(&args),
                 "generate" => cmd_generate(&args),
+                "workload" => cmd_workload(&args),
                 "serve" => cmd_serve(&args),
                 "submit" => cmd_submit(&args),
                 "help" | "--help" => {
@@ -174,10 +184,18 @@ fn parse_mode_inputs(args: &Args, command: &str, min: usize) -> Result<Vec<ModeI
 
 /// The merge-pipeline options shared by `merge`, `explain` and `submit`.
 fn merge_options(args: &Args) -> Result<MergeOptions, String> {
+    let memo_budget_kb = match args.value("memo-budget-kb")? {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("--memo-budget-kb: `{v}` is not a non-negative integer"))?,
+        ),
+    };
     Ok(MergeOptions {
         threads: args.positive_number("threads", 1)?,
         strict: args.flag("strict"),
         uniquify_exceptions: !args.flag("no-uniquify"),
+        memo_budget_kb,
         ..Default::default()
     })
 }
@@ -335,12 +353,13 @@ fn cmd_merge(args: &Args) -> Result<(), String> {
         let t = session.stage_timings();
         println!(
             "three-pass: pass1 {:.1}ms pass2 {:.1}ms pass3 {:.1}ms \
-             ({} propagations, {} memo hits)",
+             ({} propagations, {} memo hits, {} memo evictions)",
             t.pass1_ns as f64 / 1e6,
             t.pass2_ns as f64 / 1e6,
             t.pass3_ns as f64 / 1e6,
             t.propagations,
-            t.propagation_cache_hits
+            t.propagation_cache_hits,
+            t.memo_evictions
         );
         for report in &outcome.reports {
             if report.mode_names.len() > 1 {
@@ -805,14 +824,40 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
         cross_false_paths: true,
     };
     let suite = generate_suite(&spec);
+    write_suite(
+        dir,
+        &suite,
+        &format!("# generated by `modemerge generate --cells {cells} --seed {seed}`"),
+    )
+}
+
+/// `modemerge workload`: one point of the scale grid on disk — the
+/// SoC-shaped design plus its per-mode SDCs, exactly as the `scale`
+/// bench analyzes them.
+fn cmd_workload(args: &Args) -> Result<(), String> {
+    let cells = args.number("cells", 5000usize)?;
+    let modes = args.positive_number("modes", 8)?;
+    let seed = args.number("seed", 1u64)?;
+    let dir = args.require("out")?;
+    std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    let suite = generate_suite(&SuiteSpec::scale(cells, modes, seed));
+    write_suite(
+        dir,
+        &suite,
+        &format!(
+            "# generated by `modemerge workload --cells {cells} --modes {modes} --seed {seed}`"
+        ),
+    )
+}
+
+/// Writes a generated suite (netlist, per-mode SDCs, MANIFEST) to a
+/// directory and prints a ready-to-run merge command line.
+fn write_suite(dir: &str, suite: &modemerge_workload::Suite, header: &str) -> Result<(), String> {
     let netlist_path = Path::new(dir).join("design.nl");
     std::fs::write(&netlist_path, text::write(&suite.netlist))
         .map_err(|e| format!("{}: {e}", netlist_path.display()))?;
     let mut manifest = String::new();
-    let _ = writeln!(
-        manifest,
-        "# generated by `modemerge generate --cells {cells} --seed {seed}`"
-    );
+    let _ = writeln!(manifest, "{header}");
     let _ = writeln!(manifest, "netlist design.nl");
     for (name, sdc) in &suite.modes {
         let file = Path::new(dir).join(format!("{name}.sdc"));

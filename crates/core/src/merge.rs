@@ -37,6 +37,13 @@ pub struct MergeOptions {
     /// naive per-path-class refinement — the `ablation_grouping` bench
     /// measures the cost.
     pub group_fixes: bool,
+    /// Byte budget (in KiB) for each analysis' derived-table memo
+    /// stores. `None` uses the engine default (overridable via the
+    /// `MODEMERGE_MEMO_BUDGET_KB` environment variable). Any budget
+    /// yields byte-identical merge output; a tiny budget trades
+    /// recomputation for memory and surfaces as `memo_evictions` in the
+    /// stage timings.
+    pub memo_budget_kb: Option<u64>,
 }
 
 impl Default for MergeOptions {
@@ -50,6 +57,7 @@ impl Default for MergeOptions {
             strict: false,
             uniquify_exceptions: true,
             group_fixes: true,
+            memo_budget_kb: None,
         }
     }
 }
@@ -73,6 +81,13 @@ impl MergeOptions {
                 Json::Bool(self.uniquify_exceptions),
             ),
             ("group_fixes".into(), Json::Bool(self.group_fixes)),
+            (
+                "memo_budget_kb".into(),
+                match self.memo_budget_kb {
+                    Some(kb) => Json::count(kb as usize),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -134,6 +149,17 @@ impl MergeOptions {
                         .as_bool()
                         .ok_or("options.group_fixes: not a boolean")?;
                 }
+                "memo_budget_kb" => {
+                    out.memo_budget_kb = if *value == Json::Null {
+                        None
+                    } else {
+                        Some(
+                            value
+                                .as_u64()
+                                .ok_or("options.memo_budget_kb: not a non-negative integer")?,
+                        )
+                    };
+                }
                 other => return Err(format!("options.{other}: unknown option")),
             }
         }
@@ -149,7 +175,10 @@ impl MergeOptions {
     pub fn result_fingerprint(&self) -> String {
         let mut v = self.to_json();
         if let Json::Obj(pairs) = &mut v {
-            pairs.retain(|(k, _)| k != "threads");
+            // `memo_budget_kb` is excluded for the same reason: eviction
+            // only trades recomputation for memory, never changing the
+            // merged output.
+            pairs.retain(|(k, _)| k != "threads" && k != "memo_budget_kb");
         }
         v.to_string()
     }

@@ -29,6 +29,7 @@ use modemerge_sdc::{
 use modemerge_sta::analysis::Analysis;
 use modemerge_sta::graph::TimingGraph;
 use modemerge_sta::keys::ClockKey;
+use modemerge_sta::memo::MemoBudget;
 use modemerge_sta::mode::Mode;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -62,6 +63,9 @@ pub struct RefineOutcome {
     pub propagations: u64,
     /// Memoized-propagation hits in the 3-pass (all iterations).
     pub propagation_cache_hits: u64,
+    /// Bounded-memo evictions in the per-iteration merged analyses
+    /// (harvested before each one is dropped).
+    pub memo_evictions: u64,
 }
 
 /// One candidate fix plus its derivation, kept together so the
@@ -183,13 +187,19 @@ pub fn refine(
         pass3_ns: 0,
         propagations: 0,
         propagation_cache_hits: 0,
+        memo_evictions: 0,
     };
     let mut existing: BTreeSet<String> = sdc.commands().iter().map(|c| c.to_text()).collect();
 
     for _ in 0..options.max_refine_iterations {
         outcome.iterations += 1;
         let merged_mode = Mode::bind("merged", netlist, &sdc)?;
-        let merged = Analysis::run(netlist, graph, &merged_mode);
+        let merged = Analysis::run_budgeted(
+            netlist,
+            graph,
+            &merged_mode,
+            MemoBudget::resolve(options.memo_budget_kb),
+        );
         let clock_name_of = |key: &ClockKey| -> String {
             merged_mode
                 .clocks
@@ -269,6 +279,7 @@ pub fn refine(
         let added = push_new(&mut sdc, &mut existing, prov, diags, fixes);
         if added > 0 {
             outcome.clock_stops += added;
+            outcome.memo_evictions += merged.memo_evictions();
             continue;
         }
 
@@ -299,6 +310,7 @@ pub fn refine(
         let added = push_new(&mut sdc, &mut existing, prov, diags, fixes);
         if added > 0 {
             outcome.data_cut_false_paths += added;
+            outcome.memo_evictions += merged.memo_evictions();
             continue;
         }
 
@@ -343,6 +355,7 @@ pub fn refine(
             })
             .collect();
         let added = push_new(&mut sdc, &mut existing, prov, diags, derived);
+        outcome.memo_evictions += merged.memo_evictions();
         if added > 0 {
             outcome.comparison_false_paths += added;
             continue;

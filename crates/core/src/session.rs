@@ -46,6 +46,7 @@ use crate::refine::refine;
 use modemerge_netlist::Netlist;
 use modemerge_sta::analysis::Analysis;
 use modemerge_sta::graph::TimingGraph;
+use modemerge_sta::memo::MemoBudget;
 use modemerge_sta::mode::Mode;
 use modemerge_sta::relations::RelationSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -84,6 +85,11 @@ pub struct StageTimings {
     pub propagations: u64,
     /// Propagation queries served from the per-startpoint memo.
     pub propagation_cache_hits: u64,
+    /// Bounded-memo evictions across every analysis the session has
+    /// touched: the live per-mode caches plus the merged analyses
+    /// created (and dropped) inside refinement and validation. Zero
+    /// unless the memo budget is small enough to force recomputation.
+    pub memo_evictions: u64,
 }
 
 impl StageTimings {
@@ -108,6 +114,7 @@ impl StageTimings {
         self.pass3_ns += other.pass3_ns;
         self.propagations += other.propagations;
         self.propagation_cache_hits += other.propagation_cache_hits;
+        self.memo_evictions += other.memo_evictions;
     }
 
     /// Serializes to the in-tree JSON value (stage name → nanoseconds).
@@ -136,6 +143,10 @@ impl StageTimings {
                         "propagation_cache_hits".into(),
                         Json::num(self.propagation_cache_hits as f64),
                     ),
+                    (
+                        "memo_evictions".into(),
+                        Json::num(self.memo_evictions as f64),
+                    ),
                 ]),
             ),
         ])
@@ -155,6 +166,10 @@ struct StageClock {
     pass3_ns: AtomicU64,
     propagations: AtomicU64,
     propagation_cache_hits: AtomicU64,
+    /// Evictions harvested from merged analyses that have been dropped
+    /// (refinement iterations and validation); live per-mode analyses
+    /// are read directly at snapshot time.
+    memo_evictions: AtomicU64,
 }
 
 impl StageClock {
@@ -175,6 +190,7 @@ impl StageClock {
             pass3_ns: self.pass3_ns.load(Ordering::Relaxed),
             propagations: self.propagations.load(Ordering::Relaxed),
             propagation_cache_hits: self.propagation_cache_hits.load(Ordering::Relaxed),
+            memo_evictions: self.memo_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -297,7 +313,12 @@ impl<'a> MergeSession<'a> {
         self.slots[i].get_or_init(|| {
             self.misses.fetch_add(1, Ordering::Relaxed);
             let t0 = Instant::now();
-            let analysis = Analysis::run(self.netlist, &self.inputs.graph, &self.inputs.modes[i]);
+            let analysis = Analysis::run_budgeted(
+                self.netlist,
+                &self.inputs.graph,
+                &self.inputs.modes[i],
+                MemoBudget::resolve(self.options.memo_budget_kb),
+            );
             StageClock::charge(&self.clock.analysis_ns, t0);
             analysis
         })
@@ -307,8 +328,19 @@ impl<'a> MergeSession<'a> {
     ///
     /// Purely observational (reads relaxed atomics); stage totals keep
     /// growing as more work runs through the session.
+    ///
+    /// `memo_evictions` combines the harvested counters of dropped
+    /// merged analyses with the current counters of the live per-mode
+    /// caches, so it reflects every analysis the session has touched.
     pub fn stage_timings(&self) -> StageTimings {
-        self.clock.snapshot()
+        let mut t = self.clock.snapshot();
+        t.memo_evictions += self
+            .slots
+            .iter()
+            .filter_map(|s| s.get())
+            .map(Analysis::memo_evictions)
+            .sum::<u64>();
+        t
     }
 
     /// The memoized §2 endpoint-relation set of mode `i` (borrowed from
@@ -423,6 +455,8 @@ impl<'a> MergeSession<'a> {
             .fetch_add(refined.propagations, Ordering::Relaxed);
         c.propagation_cache_hits
             .fetch_add(refined.propagation_cache_hits, Ordering::Relaxed);
+        c.memo_evictions
+            .fetch_add(refined.memo_evictions, Ordering::Relaxed);
 
         // §2 equivalence validation. Relations missing from the merged
         // mode are always fatal (the merged mode would miss violations);
@@ -432,9 +466,17 @@ impl<'a> MergeSession<'a> {
         if self.options.validate {
             let t0 = Instant::now();
             let merged_mode = Mode::bind("merged", self.netlist, &refined.sdc)?;
-            let merged_analysis = Analysis::run(self.netlist, self.graph(), &merged_mode);
+            let merged_analysis = Analysis::run_budgeted(
+                self.netlist,
+                self.graph(),
+                &merged_mode,
+                MemoBudget::resolve(self.options.memo_budget_kb),
+            );
             let report = check_equivalence(&analyses, &merged_analysis);
             StageClock::charge(&self.clock.validate_ns, t0);
+            self.clock
+                .memo_evictions
+                .fetch_add(merged_analysis.memo_evictions(), Ordering::Relaxed);
             if !report.missing_in_merged.is_empty()
                 || (self.options.strict && !report.extra_in_merged.is_empty())
             {

@@ -514,7 +514,7 @@ fn pass2_endpoint(
     // Individual modes with any pair relation per startpoint.
     let mut start_modes: BTreeMap<PinId, BTreeSet<u32>> = BTreeMap::new();
     for (mode_idx, a) in individual.iter().enumerate() {
-        for r in a.pair_relations(endpoint) {
+        for r in a.pair_relations(endpoint).iter() {
             start_modes
                 .entry(r.start)
                 .or_default()
@@ -526,7 +526,7 @@ fn pass2_endpoint(
                 .insert(r.row.state);
         }
     }
-    for r in merged.pair_relations(endpoint) {
+    for r in merged.pair_relations(endpoint).iter() {
         pairs
             .entry((r.start, (r.row.launch, r.row.capture, r.row.check)))
             .or_default()

@@ -6,18 +6,20 @@ use crate::clock_prop::ClockArrivals;
 use crate::constants::Constants;
 use crate::exceptions::{CheckKind, ExcIndex, Tag};
 use crate::graph::{ArcKind, TimingGraph};
-use crate::keys::ClockKeyId;
+use crate::keys::{ClockKeyId, StartId};
+use crate::memo::{BoundedMemo, MemoBudget};
 use crate::mode::{ClockId, Mode};
 use crate::overlay::Overlay;
 use crate::propagate::{Propagation, Propagator, Startpoint};
 use crate::relations::{
     EndpointRelation, EndpointTable, PairRow, PathState, RelRow, RelationSet, ThroughRow,
 };
+use crate::tags::TagId;
 use modemerge_netlist::{Netlist, PinId};
 use modemerge_sdc::IoDelayKind;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock};
 
 /// Process-wide count of [`Analysis::run`] invocations.
 ///
@@ -46,9 +48,6 @@ pub struct EndpointSlack {
 
 /// One resolved path class at an endpoint (mode-local clocks).
 pub(crate) type Resolved = (ClockId, ClockId, CheckKind, PathState);
-
-/// Memoized pass-3 through tables, keyed by (startpoint id, endpoint).
-type ThroughCache = HashMap<(crate::keys::StartId, PinId), Arc<[ThroughRow]>>;
 
 /// A set over a small, fixed universe of [`Resolved`] states — `u128`
 /// inline for the overwhelmingly common case (≤ 128 distinct states at
@@ -134,28 +133,45 @@ pub struct Analysis<'a> {
     /// Derived `ClockKey`-based view of the table, for §2 equivalence
     /// and reporting paths (not the 3-pass hot loop).
     relations_cache: OnceLock<RelationSet>,
-    /// Memoized pass-2 row tables, one lock-free slot per endpoint pin.
-    pair_slots: Box<[OnceLock<Box<[PairRow]>>]>,
+    /// Memoized pass-2 row tables, keyed by endpoint pin — sparse and
+    /// byte-budgeted (only queried endpoints are resident).
+    pair_memo: BoundedMemo<PinId, Arc<[PairRow]>>,
     /// Memoized pass-3 row tables, keyed by (startpoint id, endpoint).
-    through_cache: RwLock<ThroughCache>,
-    /// Memoized single-startpoint propagations, one slot per startpoint
-    /// pin — pair- and through-queries share one `run_from` each.
-    prop_slots: Box<[OnceLock<Box<Propagation>>]>,
-    /// Memoized active fanin cones, one slot per endpoint pin — pass-2
-    /// startpoint filters and every pass-3 pair on the same endpoint
-    /// share one cone walk.
-    cone_slots: Box<[OnceLock<Box<[bool]>>]>,
+    through_memo: BoundedMemo<(StartId, PinId), Arc<[ThroughRow]>>,
+    /// Memoized single-startpoint propagations, keyed by startpoint pin
+    /// — pair- and through-queries share one `run_from` each while the
+    /// entry is resident.
+    prop_memo: BoundedMemo<PinId, Arc<Propagation>>,
+    /// Memoized active fanin cones as node bitsets, keyed by endpoint
+    /// pin — pass-2 startpoint filters and every pass-3 pair on the
+    /// same endpoint share one cone walk.
+    cone_memo: BoundedMemo<PinId, Arc<[u64]>>,
     /// Memoized startpoint list (scanned once, not per endpoint).
     startpoints_cache: OnceLock<Vec<Startpoint>>,
-    /// Single-startpoint propagations actually run (slot fills).
-    propagations: AtomicU64,
-    /// Single-startpoint propagation queries served from a filled slot.
-    prop_hits: AtomicU64,
+}
+
+/// Tests a node bitset produced by [`Analysis::fanin_cone_cached`].
+fn in_node_set(words: &[u64], index: usize) -> bool {
+    words[index / 64] & (1u64 << (index % 64)) != 0
 }
 
 impl<'a> Analysis<'a> {
-    /// Runs the full analysis for `mode`.
+    /// Runs the full analysis for `mode` with the default memo budget
+    /// (overridable via `MODEMERGE_MEMO_BUDGET_KB`).
     pub fn run(netlist: &'a Netlist, graph: &'a TimingGraph, mode: &'a Mode) -> Self {
+        Self::run_budgeted(netlist, graph, mode, MemoBudget::from_env())
+    }
+
+    /// Runs the full analysis for `mode` with an explicit byte budget
+    /// for the derived-table memo stores. Any budget produces identical
+    /// analysis results — a tiny budget only trades recomputation (and
+    /// eviction-counter noise) for memory.
+    pub fn run_budgeted(
+        netlist: &'a Netlist,
+        graph: &'a TimingGraph,
+        mode: &'a Mode,
+        budget: MemoBudget,
+    ) -> Self {
         RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
         let constants = Constants::compute(netlist, &mode.case_values);
         let exc_index = ExcIndex::build(mode);
@@ -176,7 +192,9 @@ impl<'a> Analysis<'a> {
             .iter()
             .map(|c| interner.intern_clock(&c.key()))
             .collect();
-        let node_count = graph.node_count();
+        // Budget split by observed weight: per-startpoint propagations
+        // dominate, through tables come second.
+        let bytes = usize::try_from(budget.bytes).unwrap_or(usize::MAX);
         Self {
             netlist,
             graph,
@@ -188,13 +206,11 @@ impl<'a> Analysis<'a> {
             clock_ids,
             table_cache: OnceLock::new(),
             relations_cache: OnceLock::new(),
-            pair_slots: (0..node_count).map(|_| OnceLock::new()).collect(),
-            through_cache: RwLock::new(HashMap::new()),
-            prop_slots: (0..node_count).map(|_| OnceLock::new()).collect(),
-            cone_slots: (0..node_count).map(|_| OnceLock::new()).collect(),
+            pair_memo: BoundedMemo::new(bytes / 8),
+            through_memo: BoundedMemo::new(bytes / 4),
+            prop_memo: BoundedMemo::new(bytes / 2),
+            cone_memo: BoundedMemo::new(bytes / 8),
             startpoints_cache: OnceLock::new(),
-            propagations: AtomicU64::new(0),
-            prop_hits: AtomicU64::new(0),
         }
     }
 
@@ -317,7 +333,8 @@ impl<'a> Analysis<'a> {
     ) -> BTreeSet<Resolved> {
         let captures = self.capture_clocks(endpoint);
         let mut out = BTreeSet::new();
-        for (tag, _) in prop.tags_at(endpoint) {
+        for &(tid, _) in prop.tags_at(endpoint) {
+            let tag = prop.tag(tid);
             for &cap in &captures {
                 if self.mode.clocks_separated(tag.launch, cap) {
                     continue;
@@ -440,12 +457,24 @@ impl<'a> Analysis<'a> {
             .collect()
     }
 
-    /// The memoized fanin cone of `endpoint` (one walk per endpoint per
-    /// analysis, shared by pass-2 startpoint filtering and every pass-3
-    /// pair landing on the endpoint).
-    fn fanin_cone_cached(&self, endpoint: PinId) -> &[bool] {
-        self.cone_slots[endpoint.index()]
-            .get_or_init(|| self.fanin_cone(endpoint).into_boxed_slice())
+    /// The memoized fanin cone of `endpoint` as a node bitset (one walk
+    /// per endpoint while resident, shared by pass-2 startpoint
+    /// filtering and every pass-3 pair landing on the endpoint).
+    fn fanin_cone_cached(&self, endpoint: PinId) -> Arc<[u64]> {
+        self.cone_memo.get_or_compute(
+            endpoint,
+            || {
+                let cone = self.fanin_cone(endpoint);
+                let mut words = vec![0u64; cone.len().div_ceil(64)];
+                for (i, &reached) in cone.iter().enumerate() {
+                    if reached {
+                        words[i / 64] |= 1u64 << (i % 64);
+                    }
+                }
+                words.into()
+            },
+            |w| std::mem::size_of_val::<[u64]>(w),
+        )
     }
 
     /// Startpoints whose launches can reach `endpoint`.
@@ -458,65 +487,72 @@ impl<'a> Analysis<'a> {
                 Startpoint::Reg(cp) => self
                     .graph
                     .fanout_arcs(*cp)
-                    .any(|a| a.kind == ArcKind::Launch && cone[a.to.index()]),
-                Startpoint::Port(p) => cone[p.index()],
+                    .any(|a| a.kind == ArcKind::Launch && in_node_set(&cone, a.to.index())),
+                Startpoint::Port(p) => in_node_set(&cone, p.index()),
             })
             .collect()
     }
 
     /// The memoized single-startpoint propagation for `sp`, shared by
     /// pass-2 pair queries and pass-3 through queries — each startpoint
-    /// is propagated at most once per analysis, no matter how many
-    /// (endpoint, startpoint) combinations ask for it.
-    ///
-    /// Thread-safe: slots are `OnceLock`s indexed by the startpoint pin
-    /// (register clock pins and input ports are disjoint pin sets, so
-    /// the pin is a unique handle).
-    pub fn propagation_from(&self, sp: Startpoint) -> &Propagation {
+    /// is propagated at most once per analysis while the entry is
+    /// resident, no matter how many (endpoint, startpoint) combinations
+    /// ask for it. Under memo-budget pressure an evicted propagation is
+    /// recomputed on the next query — identical by construction.
+    pub fn propagation_from(&self, sp: Startpoint) -> Arc<Propagation> {
         self.graph.interner().intern_start(sp);
-        let slot = &self.prop_slots[sp.pin().index()];
-        if let Some(p) = slot.get() {
-            self.prop_hits.fetch_add(1, Ordering::Relaxed);
-            return p;
-        }
-        slot.get_or_init(|| {
-            self.propagations.fetch_add(1, Ordering::Relaxed);
-            Box::new(self.propagator().run_from(sp))
-        })
+        self.prop_memo.get_or_compute(
+            sp.pin(),
+            || Arc::new(self.propagator().run_from(sp)),
+            |p| p.approx_bytes(),
+        )
     }
 
     /// Number of single-startpoint propagations this analysis has run
-    /// (memo misses).
+    /// (memo misses, including post-eviction recomputes).
     pub fn propagations_run(&self) -> u64 {
-        self.propagations.load(Ordering::Relaxed)
+        self.prop_memo.misses()
     }
 
     /// Number of single-startpoint propagation queries served from the
     /// memo (cache hits).
     pub fn propagation_cache_hits(&self) -> u64 {
-        self.prop_hits.load(Ordering::Relaxed)
+        self.prop_memo.hits()
+    }
+
+    /// Total entries evicted from the bounded memo stores to stay
+    /// within the analysis' byte budget.
+    pub fn memo_evictions(&self) -> u64 {
+        self.prop_memo.evictions()
+            + self.through_memo.evictions()
+            + self.pair_memo.evictions()
+            + self.cone_memo.evictions()
     }
 
     /// Pass-2 relationships for one endpoint: per-startpoint rows,
-    /// sorted, memoized per endpoint and returned as a borrowed slice —
-    /// repeated queries (the refinement loop, every pass-3 pair) cost a
-    /// slot load, not a set clone.
-    pub fn pair_relations(&self, endpoint: PinId) -> &[PairRow] {
-        self.pair_slots[endpoint.index()].get_or_init(|| {
-            let mut rows: Vec<PairRow> = Vec::new();
-            for sp in self.startpoints_of(endpoint) {
-                let prop = self.propagation_from(sp);
-                for resolved in self.resolve_endpoint(prop, endpoint) {
-                    rows.push(PairRow {
-                        start: sp.pin(),
-                        row: self.to_row(resolved),
-                    });
+    /// sorted, memoized per endpoint behind an `Arc` — repeated queries
+    /// (the refinement loop, every pass-3 pair) cost a map probe, not a
+    /// recompute.
+    pub fn pair_relations(&self, endpoint: PinId) -> Arc<[PairRow]> {
+        self.pair_memo.get_or_compute(
+            endpoint,
+            || {
+                let mut rows: Vec<PairRow> = Vec::new();
+                for sp in self.startpoints_of(endpoint) {
+                    let prop = self.propagation_from(sp);
+                    for resolved in self.resolve_endpoint(&prop, endpoint) {
+                        rows.push(PairRow {
+                            start: sp.pin(),
+                            row: self.to_row(resolved),
+                        });
+                    }
                 }
-            }
-            rows.sort_unstable();
-            rows.dedup();
-            rows.into_boxed_slice()
-        })
+                rows.sort_unstable();
+                rows.dedup();
+                rows.into()
+            },
+            |r| std::mem::size_of_val::<[PairRow]>(r),
+        )
     }
 
     /// Pass-3 relationships for one (startpoint, endpoint) pair: for
@@ -529,21 +565,10 @@ impl<'a> Analysis<'a> {
     /// deep clone.
     pub fn through_relations(&self, start: Startpoint, endpoint: PinId) -> Arc<[ThroughRow]> {
         let sid = self.graph.interner().intern_start(start);
-        if let Some(cached) = self
-            .through_cache
-            .read()
-            .expect("through cache poisoned")
-            .get(&(sid, endpoint))
-        {
-            return Arc::clone(cached);
-        }
-        let out = self.through_rows_uncached(start, endpoint);
-        Arc::clone(
-            self.through_cache
-                .write()
-                .expect("through cache poisoned")
-                .entry((sid, endpoint))
-                .or_insert(out),
+        self.through_memo.get_or_compute(
+            (sid, endpoint),
+            || self.through_rows_uncached(start, endpoint),
+            |r| std::mem::size_of_val::<[ThroughRow]>(r),
         )
     }
 
@@ -557,34 +582,34 @@ impl<'a> Analysis<'a> {
         // bitmasks over that small universe and the walk is integer ORs
         // — no tree sets in the hot loop.
         let mut universe: Vec<Resolved> = Vec::new();
-        let mut seeds: Vec<(Tag, Vec<Resolved>)> = Vec::new();
-        for (tag, _) in prop.tags_at(endpoint) {
-            let resolved = self.resolve_tag_at_endpoint(tag, endpoint);
+        let mut seeds: Vec<(TagId, Vec<Resolved>)> = Vec::new();
+        for &(tid, _) in prop.tags_at(endpoint) {
+            let resolved = self.resolve_tag_at_endpoint(prop.tag(tid), endpoint);
             universe.extend(resolved.iter().copied());
-            seeds.push((tag.clone(), resolved));
+            seeds.push((tid, resolved));
         }
         universe.sort_unstable();
         universe.dedup();
 
-        // Suffix masks, memoized per (node, tag), computed in reverse
+        // Suffix masks, memoized per (node, tag id), computed in reverse
         // topological order so children are always ready. The table is
-        // pin-indexed (no hashing on the arc-walk fast path) and tags
-        // live in small per-node vectors so lookups compare borrowed
-        // tags.
-        fn mask_of<'s>(
-            suffix: &'s [Vec<(Tag, StateMask)>],
+        // pin-indexed (no hashing on the arc-walk fast path) and tag
+        // identity is the propagation's interned id, so lookups are
+        // integer compares.
+        fn mask_of(
+            suffix: &[Vec<(TagId, StateMask)>],
             node: PinId,
-            tag: &Tag,
-        ) -> Option<&'s StateMask> {
+            tid: TagId,
+        ) -> Option<&StateMask> {
             suffix[node.index()]
                 .iter()
-                .find(|(t, _)| t == tag)
+                .find(|&&(t, _)| t == tid)
                 .map(|(_, m)| m)
         }
-        let mut suffix: Vec<Vec<(Tag, StateMask)>> = vec![Vec::new(); self.graph.node_count()];
+        let mut suffix: Vec<Vec<(TagId, StateMask)>> = vec![Vec::new(); self.graph.node_count()];
         {
             let entry = &mut suffix[endpoint.index()];
-            for (tag, resolved) in seeds {
+            for (tid, resolved) in seeds {
                 let mut mask = StateMask::empty(universe.len());
                 for r in &resolved {
                     let bit = universe
@@ -592,50 +617,58 @@ impl<'a> Analysis<'a> {
                         .expect("resolved state is in the endpoint universe");
                     mask.set(bit);
                 }
-                entry.push((tag, mask));
+                entry.push((tid, mask));
             }
         }
         let overlay = self.overlay();
         for &node in self.graph.topo_order().iter().rev() {
-            if node == endpoint || !cone[node.index()] {
+            if node == endpoint || !in_node_set(&cone, node.index()) {
                 continue;
             }
             let tags = prop.tags_at(node);
             if tags.is_empty() {
                 continue;
             }
-            let mut node_states: Vec<(Tag, StateMask)> = Vec::with_capacity(tags.len());
-            for (tag, _) in tags {
+            let mut node_states: Vec<(TagId, StateMask)> = Vec::with_capacity(tags.len());
+            for &(tid, _) in tags {
                 let mut states = StateMask::empty(universe.len());
                 for arc in self.graph.fanout_arcs(node) {
                     if arc.kind == ArcKind::Launch {
                         continue;
                     }
-                    if !cone[arc.to.index()] {
+                    if !in_node_set(&cone, arc.to.index()) {
                         continue;
                     }
                     if overlay.node_blocked(arc.to) || overlay.arc_blocked(arc) {
                         continue;
                     }
-                    // Borrow the unadvanced tag; clone only on advance.
-                    let advanced = self.exc_index.advance(tag, arc.to);
-                    let next_tag: &Tag = advanced.as_ref().unwrap_or(tag);
-                    if let Some(m) = mask_of(&suffix, arc.to, next_tag) {
+                    // The advanced tag is already in the arena (the
+                    // forward sweep crossed the same arc), so the
+                    // suffix lookup stays an id compare; an unknown
+                    // advance means no path continues there.
+                    let next_tid = match self.exc_index.advance(prop.tag(tid), arc.to) {
+                        Some(t) => match prop.tag_id_of(&t) {
+                            Some(id) => id,
+                            None => continue,
+                        },
+                        None => tid,
+                    };
+                    if let Some(m) = mask_of(&suffix, arc.to, next_tid) {
                         states.union_with(m);
                     }
                 }
-                node_states.push((tag.clone(), states));
+                node_states.push((tid, states));
             }
             suffix[node.index()] = node_states;
         }
 
         let mut out: Vec<ThroughRow> = Vec::new();
         for node in prop.reached_nodes() {
-            if node == endpoint || node == start.pin() || !cone[node.index()] {
+            if node == endpoint || node == start.pin() || !in_node_set(&cone, node.index()) {
                 continue;
             }
-            for (tag, _) in prop.tags_at(node) {
-                if let Some(states) = mask_of(&suffix, node, tag) {
+            for &(tid, _) in prop.tags_at(node) {
+                if let Some(states) = mask_of(&suffix, node, tid) {
                     states.for_each_one(|i| {
                         out.push(ThroughRow {
                             through: node,
@@ -676,7 +709,8 @@ impl<'a> Analysis<'a> {
             let is_port = self.graph.capture_pin(endpoint).is_none();
             let mut worst: Option<(f64, f64)> = None; // (slack, capture period)
             let captures = self.capture_arrivals(endpoint);
-            for (tag, arrival) in self.prop.tags_at(endpoint) {
+            for &(tid, arrival) in self.prop.tags_at(endpoint) {
+                let tag = self.prop.tag(tid);
                 for cap_arr in &captures {
                     let cap = cap_arr.clock;
                     if self.mode.clocks_separated(tag.launch, cap) {
@@ -767,7 +801,8 @@ impl<'a> Analysis<'a> {
             let is_port = self.graph.capture_pin(endpoint).is_none();
             let mut worst: Option<(f64, f64)> = None;
             let captures = self.capture_arrivals(endpoint);
-            for (tag, arrival) in self.prop.tags_at(endpoint) {
+            for &(tid, arrival) in self.prop.tags_at(endpoint) {
+                let tag = self.prop.tag(tid);
                 for cap_arr in &captures {
                     let cap = cap_arr.clock;
                     if self.mode.clocks_separated(tag.launch, cap) {

@@ -9,6 +9,7 @@
 //! *sets of paths* instead of individual paths.
 
 use crate::mode::{ClockId, ExcId, Mode};
+use crate::tags::ExcSet;
 use modemerge_netlist::PinId;
 use modemerge_sdc::{PathExceptionKind, SetupHold};
 use std::collections::HashMap;
@@ -46,8 +47,8 @@ pub struct Tag {
     /// the launching edge is the waveform's fall edge.
     pub launch_inverted: bool,
     /// Exceptions with a `-from` restriction that matched at the
-    /// startpoint (sorted exception indices).
-    pub armed: Box<[u32]>,
+    /// startpoint, as a dense bitset over exception indices.
+    pub armed: ExcSet,
     /// `-through` progress: `(exception index, hops crossed)` for every
     /// exception with at least one hop crossed (sorted by exception).
     pub progress: Box<[(u32, u16)]>,
@@ -65,7 +66,14 @@ impl Tag {
     /// Is `exc` armed for this tag (its `-from` matched at launch, or it
     /// has no `-from`)?
     pub fn is_armed(&self, exc: u32, has_from: bool) -> bool {
-        !has_from || self.armed.binary_search(&exc).is_ok()
+        !has_from || self.armed.contains(exc)
+    }
+
+    /// Approximate resident bytes (inline struct plus heap slices).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.armed.heap_bytes()
+            + std::mem::size_of_val::<[(u32, u16)]>(&self.progress)
     }
 }
 
@@ -157,7 +165,7 @@ impl ExcIndex {
     }
 
     /// Builds the armed set for a launch at (`clock`, `start`).
-    pub fn armed_at_launch(&self, _mode: &Mode, clock: ClockId, start: PinId) -> Box<[u32]> {
+    pub fn armed_at_launch(&self, _mode: &Mode, clock: ClockId, start: PinId) -> ExcSet {
         let mut armed: Vec<u32> = Vec::new();
         if let Some(v) = self.from_pin_lookup.get(&start) {
             armed.extend_from_slice(v);
@@ -165,9 +173,7 @@ impl ExcIndex {
         if let Some(v) = self.from_clock_lookup.get(&clock) {
             armed.extend_from_slice(v);
         }
-        armed.sort_unstable();
-        armed.dedup();
-        armed.into_boxed_slice()
+        ExcSet::from_ids(&armed)
     }
 
     /// Advances a tag across `node`. Returns `None` when nothing changed
@@ -322,7 +328,7 @@ mod tests {
         Tag {
             launch: ClockId(launch),
             launch_inverted: false,
-            armed: armed.to_vec().into_boxed_slice(),
+            armed: ExcSet::from_ids(armed),
             progress: progress.to_vec().into_boxed_slice(),
         }
     }
@@ -384,9 +390,15 @@ mod tests {
         let rb_cp = n.find_pin("rB/CP").unwrap();
         let clk_a = mode.clock_by_name("clkA").unwrap();
         let clk_b = mode.clock_by_name("clkB").unwrap();
-        assert_eq!(&*idx.armed_at_launch(&mode, clk_a, ra_cp), &[0]);
-        assert_eq!(&*idx.armed_at_launch(&mode, clk_b, ra_cp), &[0, 1]);
-        assert_eq!(&*idx.armed_at_launch(&mode, clk_a, rb_cp), &[] as &[u32]);
+        assert_eq!(
+            idx.armed_at_launch(&mode, clk_a, ra_cp),
+            ExcSet::from_ids(&[0])
+        );
+        assert_eq!(
+            idx.armed_at_launch(&mode, clk_b, ra_cp),
+            ExcSet::from_ids(&[0, 1])
+        );
+        assert_eq!(idx.armed_at_launch(&mode, clk_a, rb_cp), ExcSet::empty());
     }
 
     #[test]

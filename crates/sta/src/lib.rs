@@ -41,18 +41,22 @@ pub mod error;
 pub mod exceptions;
 pub mod graph;
 pub mod keys;
+pub mod memo;
 pub mod mode;
 pub mod overlay;
 pub mod paths;
 pub mod propagate;
 pub mod relations;
 pub mod report;
+pub mod tags;
 
 pub use analysis::{analyses_performed, Analysis, EndpointSlack};
 pub use error::StaError;
 pub use graph::{Arc, ArcKind, ArcSense, TimingGraph};
 pub use keys::{ClockKey, F64Key};
+pub use memo::{BoundedMemo, MemoBudget};
 pub use mode::{Clock, ClockId, ExcId, Mode};
 pub use paths::{PathPoint, TimingPath};
 pub use relations::{EndpointRelation, PairRelation, PathState, RelationSet};
 pub use report::{SlackHistogram, SlackSummary};
+pub use tags::{ExcSet, TagId, TagInterner};

@@ -1,0 +1,294 @@
+//! Sparse, memory-bounded memo stores for derived analysis tables.
+//!
+//! The analysis used to memoize per-startpoint propagations, pass-2 row
+//! tables and fanin cones in `Box<[OnceLock<…>]>` slot arrays — O(nodes)
+//! slots *per analysis per mode*, and every filled slot retained for the
+//! analysis' lifetime. At 100k cells × 32 modes that is the memory
+//! cliff. [`BoundedMemo`] replaces them: a hash map that only holds the
+//! keys actually queried, charges each filled entry an approximate byte
+//! cost, and evicts in FIFO order once a byte budget is exceeded.
+//!
+//! Guarantees:
+//!
+//! * **Exactly-once while resident** — concurrent queries for one key
+//!   share a single `OnceLock`, so a value is computed once unless it
+//!   has been evicted in between. Under a budget large enough for the
+//!   working set (the default), this degenerates to the old slot-array
+//!   behavior.
+//! * **Output-invariant eviction** — every memoized value is a pure
+//!   function of (analysis, key); recomputing after eviction yields an
+//!   identical value, so merge output stays byte-identical at *any*
+//!   budget. Only the eviction/hit counters vary.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Byte budget for one analysis' memo stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoBudget {
+    /// Total budget in bytes, split across the per-kind stores.
+    pub bytes: u64,
+}
+
+impl MemoBudget {
+    /// Default total budget: generous enough that eviction never fires
+    /// on the in-tree suites (the exactly-once guarantee holds), while
+    /// still bounding a 100k-cell × 32-mode run.
+    pub const DEFAULT_BYTES: u64 = 256 * 1024 * 1024;
+
+    /// A budget of `kb` kibibytes.
+    pub fn from_kb(kb: u64) -> Self {
+        Self { bytes: kb * 1024 }
+    }
+
+    /// Resolves an explicit per-run override (in KiB) against the
+    /// environment/default fallback: `Some(kb)` wins, `None` defers to
+    /// [`Self::from_env`].
+    pub fn resolve(kb_override: Option<u64>) -> Self {
+        match kb_override {
+            Some(kb) => Self::from_kb(kb),
+            None => Self::from_env(),
+        }
+    }
+
+    /// The default budget, overridable via the
+    /// `MODEMERGE_MEMO_BUDGET_KB` environment variable.
+    pub fn from_env() -> Self {
+        match std::env::var("MODEMERGE_MEMO_BUDGET_KB")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            Some(kb) => Self::from_kb(kb),
+            None => Self {
+                bytes: Self::DEFAULT_BYTES,
+            },
+        }
+    }
+}
+
+impl Default for MemoBudget {
+    fn default() -> Self {
+        Self {
+            bytes: Self::DEFAULT_BYTES,
+        }
+    }
+}
+
+/// A filled entry: the value plus the byte cost it was charged.
+type Entry<V> = Arc<OnceLock<(V, usize)>>;
+
+#[derive(Debug)]
+struct MemoState<K, V> {
+    map: HashMap<K, Entry<V>>,
+    /// Keys in insertion order — the FIFO eviction queue.
+    queue: VecDeque<K>,
+    /// Total cost of filled entries.
+    cost: usize,
+}
+
+/// A capacity-limited memo map with exactly-once fill semantics.
+///
+/// Values are handed out by clone, so `V` should be a cheap handle
+/// (`Arc<…>`); the stored value may be evicted at any time after fill.
+#[derive(Debug)]
+pub struct BoundedMemo<K, V> {
+    state: RwLock<MemoState<K, V>>,
+    budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> BoundedMemo<K, V> {
+    /// Creates a store with a byte budget.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            state: RwLock::new(MemoState {
+                map: HashMap::new(),
+                queue: VecDeque::new(),
+                cost: 0,
+            }),
+            budget: budget_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the memoized value for `key`, computing (and charging
+    /// `cost`) on a miss. Concurrent callers for the same resident key
+    /// compute at most once.
+    pub fn get_or_compute(
+        &self,
+        key: K,
+        compute: impl FnOnce() -> V,
+        cost: impl FnOnce(&V) -> usize,
+    ) -> V {
+        // Fast path: resident and filled.
+        if let Some(entry) = self.read().map.get(&key).map(Arc::clone) {
+            if let Some((v, _)) = entry.get() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return v.clone();
+            }
+            // In-flight elsewhere: block on the shared lock below.
+            return self.fill(&key, entry, compute, cost);
+        }
+        let entry = {
+            let mut st = self.write();
+            match st.map.get(&key) {
+                Some(e) => Arc::clone(e),
+                None => {
+                    let e: Entry<V> = Arc::new(OnceLock::new());
+                    st.map.insert(key.clone(), Arc::clone(&e));
+                    st.queue.push_back(key.clone());
+                    e
+                }
+            }
+        };
+        self.fill(&key, entry, compute, cost)
+    }
+
+    fn fill(
+        &self,
+        key: &K,
+        entry: Entry<V>,
+        compute: impl FnOnce() -> V,
+        cost: impl FnOnce(&V) -> usize,
+    ) -> V {
+        let mut filled_here = false;
+        let (v, c) = entry.get_or_init(|| {
+            filled_here = true;
+            let v = compute();
+            let c = cost(&v);
+            (v, c)
+        });
+        let (v, c) = (v.clone(), *c);
+        if filled_here {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let mut st = self.write();
+            st.cost += c;
+            // FIFO eviction of *filled* entries, never the key we just
+            // inserted (evicting it immediately would defeat sharing
+            // between the queries racing on it right now).
+            let mut i = 0;
+            while st.cost > self.budget && i < st.queue.len() {
+                let victim = st.queue[i].clone();
+                if victim == *key {
+                    i += 1;
+                    continue;
+                }
+                let victim_cost = st.map.get(&victim).and_then(|e| e.get()).map(|(_, vc)| *vc);
+                match victim_cost {
+                    Some(vc) => {
+                        st.map.remove(&victim);
+                        st.queue.remove(i);
+                        st.cost -= vc;
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => i += 1,
+                }
+            }
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        v
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, MemoState<K, V>> {
+        self.state.read().expect("memo store poisoned")
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, MemoState<K, V>> {
+        self.state.write().expect("memo store poisoned")
+    }
+
+    /// Queries served from a filled entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Queries that computed the value (first fill or post-eviction
+    /// recompute).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped to stay within budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.read().map.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.read().map.is_empty()
+    }
+
+    /// Current charged cost in bytes.
+    pub fn cost_bytes(&self) -> usize {
+        self.read().cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memo(budget: usize) -> BoundedMemo<u32, Arc<Vec<u8>>> {
+        BoundedMemo::new(budget)
+    }
+
+    #[test]
+    fn fills_once_and_hits_after() {
+        let m = memo(1 << 20);
+        let a = m.get_or_compute(1, || Arc::new(vec![1; 100]), |v| v.len());
+        let b = m.get_or_compute(1, || panic!("must not recompute"), |v| v.len());
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((m.misses(), m.hits(), m.evictions()), (1, 1, 0));
+        assert_eq!(m.cost_bytes(), 100);
+    }
+
+    #[test]
+    fn evicts_fifo_when_over_budget() {
+        let m = memo(250);
+        for k in 0..3 {
+            m.get_or_compute(k, || Arc::new(vec![0; 100]), |v| v.len());
+        }
+        // 300 bytes charged against 250: the oldest key was evicted.
+        assert_eq!(m.evictions(), 1);
+        assert_eq!(m.len(), 2);
+        assert!(m.cost_bytes() <= 250);
+        // Key 0 recomputes (a miss), keys 1/2 still hit.
+        m.get_or_compute(2, || panic!("resident"), |v| v.len());
+        let before = m.misses();
+        m.get_or_compute(0, || Arc::new(vec![0; 100]), |v| v.len());
+        assert_eq!(m.misses(), before + 1);
+    }
+
+    #[test]
+    fn never_evicts_the_key_just_filled() {
+        let m = memo(10);
+        // Entry alone exceeds budget; it must still be resident (evicting
+        // it would break sharing with racers), and nothing else exists to
+        // evict.
+        m.get_or_compute(7, || Arc::new(vec![0; 100]), |v| v.len());
+        assert_eq!(m.evictions(), 0);
+        m.get_or_compute(7, || panic!("resident"), |v| v.len());
+        assert_eq!(m.hits(), 1);
+        // The next insert evicts it.
+        m.get_or_compute(8, || Arc::new(vec![0; 100]), |v| v.len());
+        assert_eq!(m.evictions(), 1);
+    }
+
+    #[test]
+    fn budget_from_kb() {
+        assert_eq!(MemoBudget::from_kb(4).bytes, 4096);
+        assert_eq!(MemoBudget::default().bytes, MemoBudget::DEFAULT_BYTES);
+    }
+}

@@ -49,7 +49,7 @@ impl<'a> Analysis<'a> {
             .tags_at(endpoint)
             .iter()
             .max_by(|a, b| a.1.max.total_cmp(&b.1.max))
-            .map(|(t, a)| (t.clone(), a.max))?;
+            .map(|&(t, a)| (prop.tag(t).clone(), a.max))?;
         let launch_clock = self.mode().clock(tag.launch).name.clone();
         let total_arrival = arrival;
 
@@ -100,10 +100,12 @@ impl<'a> Analysis<'a> {
         tag: &Tag,
         expected_arrival: f64,
     ) -> Option<Tag> {
-        for (pred_tag, pred_arr) in self.propagation().tags_at(pred) {
+        let prop = self.propagation();
+        for &(pred_tid, pred_arr) in prop.tags_at(pred) {
             if (pred_arr.max - expected_arrival).abs() > EPS {
                 continue;
             }
+            let pred_tag = prop.tag(pred_tid);
             let advanced = self
                 .exc_index()
                 .advance(pred_tag, node)

@@ -6,12 +6,19 @@
 //! Each node ends up with the set of path classes that reach it plus
 //! min/max arrival times, which is everything the relationship extractor
 //! and the slack engine need.
+//!
+//! Storage is arena/struct-of-arrays: tags are interned once into a
+//! propagation-owned [`TagInterner`] and per-node states are flat
+//! `(TagId, Arrival)` rows behind a CSR offset table, so the sweep's
+//! inner loop moves 12-byte rows and compares `u32` ids instead of
+//! cloning boxed slices and deep-comparing tags.
 
 use crate::clock_prop::ClockArrivals;
 use crate::exceptions::{ExcIndex, Tag};
 use crate::graph::{ArcKind, TimingGraph};
 use crate::mode::{ClockId, Mode};
 use crate::overlay::Overlay;
+use crate::tags::{TagId, TagInterner};
 use modemerge_netlist::PinId;
 use modemerge_sdc::{IoDelayKind, MinMax};
 use std::collections::BTreeSet;
@@ -58,62 +65,99 @@ impl Startpoint {
     }
 }
 
-/// Result of a propagation run: per-node path classes and arrivals.
+/// Result of a propagation run: per-node path classes and arrivals in
+/// frozen CSR form, plus the tag arena the row ids point into.
 #[derive(Debug, Clone)]
 pub struct Propagation {
-    states: Vec<Vec<(Tag, Arrival)>>,
+    interner: TagInterner,
+    /// CSR offsets into `rows`, one entry per node plus a sentinel.
+    offsets: Box<[u32]>,
+    /// Flat `(tag id, arrival)` rows, grouped by node.
+    rows: Box<[(TagId, Arrival)]>,
 }
 
 impl Propagation {
-    /// Path classes (with arrivals) at `node`.
-    pub fn tags_at(&self, node: PinId) -> &[(Tag, Arrival)] {
-        &self.states[node.index()]
+    /// Freezes the sweep's dense working state into CSR form.
+    fn freeze(interner: TagInterner, states: Vec<Vec<(TagId, Arrival)>>) -> Self {
+        let total: usize = states.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(states.len() + 1);
+        let mut rows = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for s in &states {
+            rows.extend_from_slice(s);
+            offsets.push(u32::try_from(rows.len()).expect("row table overflow"));
+        }
+        Self {
+            interner,
+            offsets: offsets.into_boxed_slice(),
+            rows: rows.into_boxed_slice(),
+        }
+    }
+
+    /// Path classes (with arrivals) at `node`, as interned-id rows.
+    pub fn tags_at(&self, node: PinId) -> &[(TagId, Arrival)] {
+        let i = node.index();
+        &self.rows[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The tag behind an interned id of *this* propagation.
+    pub fn tag(&self, id: TagId) -> &Tag {
+        self.interner.get(id)
+    }
+
+    /// The interned id of `tag` within this propagation, if any.
+    pub fn tag_id_of(&self, tag: &Tag) -> Option<TagId> {
+        self.interner.lookup(tag)
+    }
+
+    /// Number of distinct path-class tags in this propagation.
+    pub fn tag_count(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Approximate resident bytes — the memo stores charge this against
+    /// their byte budget.
+    pub fn approx_bytes(&self) -> usize {
+        self.interner.approx_bytes()
+            + std::mem::size_of_val::<[u32]>(&self.offsets)
+            + std::mem::size_of_val::<[(TagId, Arrival)]>(&self.rows)
     }
 
     /// Launch clocks reaching `node` through the data network — the
-    /// paper's §3.2 data-refinement view.
-    pub fn data_clocks_at(&self, node: PinId) -> BTreeSet<ClockId> {
-        self.states[node.index()]
-            .iter()
-            .map(|(t, _)| t.launch)
-            .collect()
+    /// paper's §3.2 data-refinement view. Allocation-free: yields each
+    /// clock once, in first-row order (row counts per node are small).
+    pub fn data_clocks_at(&self, node: PinId) -> impl Iterator<Item = ClockId> + '_ {
+        let rows = self.tags_at(node);
+        rows.iter().enumerate().filter_map(move |(i, &(tid, _))| {
+            let clock = self.tag(tid).launch;
+            if rows[..i].iter().any(|&(t, _)| self.tag(t).launch == clock) {
+                None
+            } else {
+                Some(clock)
+            }
+        })
     }
 
     /// Nodes with at least one arriving path class.
     pub fn reached_nodes(&self) -> impl Iterator<Item = PinId> + '_ {
-        self.states
-            .iter()
+        self.offsets
+            .windows(2)
             .enumerate()
-            .filter(|(_, s)| !s.is_empty())
+            .filter(|(_, w)| w[0] < w[1])
             .map(|(i, _)| PinId::new(i))
     }
+}
 
-    fn insert(&mut self, node: PinId, tag: Tag, arrival: Arrival) {
-        let slot = &mut self.states[node.index()];
-        for (t, a) in slot.iter_mut() {
-            if *t == tag {
-                a.merge(arrival);
-                return;
-            }
+/// Merges a row into a node's working state, keyed by interned tag id.
+fn insert_row(states: &mut [Vec<(TagId, Arrival)>], node: PinId, tid: TagId, arrival: Arrival) {
+    let slot = &mut states[node.index()];
+    for (t, a) in slot.iter_mut() {
+        if *t == tid {
+            a.merge(arrival);
+            return;
         }
-        slot.push((tag, arrival));
     }
-
-    /// Like [`Self::insert`] but borrows the tag, cloning only when a
-    /// new slot must be pushed. The sweep's fanout loop re-inserts the
-    /// same unadvanced tag for almost every arc, and `Tag::clone`
-    /// allocates two boxed slices — merging into an existing slot must
-    /// not pay that.
-    fn insert_ref(&mut self, node: PinId, tag: &Tag, arrival: Arrival) {
-        let slot = &mut self.states[node.index()];
-        for (t, a) in slot.iter_mut() {
-            if t == tag {
-                a.merge(arrival);
-                return;
-            }
-        }
-        slot.push((tag.clone(), arrival));
-    }
+    slot.push((tid, arrival));
 }
 
 /// The propagation engine for one (graph, mode) pair.
@@ -176,17 +220,21 @@ impl<'a> Propagator<'a> {
     }
 
     fn run(&self, startpoints: &[Startpoint]) -> Propagation {
-        let mut prop = Propagation {
-            states: vec![Vec::new(); self.graph.node_count()],
-        };
+        let mut interner = TagInterner::new();
+        let mut states: Vec<Vec<(TagId, Arrival)>> = vec![Vec::new(); self.graph.node_count()];
         for &sp in startpoints {
-            self.inject(&mut prop, sp);
+            self.inject(&mut interner, &mut states, sp);
         }
-        self.sweep(&mut prop);
-        prop
+        self.sweep(&mut interner, &mut states);
+        Propagation::freeze(interner, states)
     }
 
-    fn inject(&self, prop: &mut Propagation, sp: Startpoint) {
+    fn inject(
+        &self,
+        interner: &mut TagInterner,
+        states: &mut [Vec<(TagId, Arrival)>],
+        sp: Startpoint,
+    ) {
         match sp {
             Startpoint::Reg(cp) => {
                 let launch_arcs: Vec<_> = self
@@ -216,7 +264,7 @@ impl<'a> Propagator<'a> {
                             min: clk_arr.min + clock.latency.min + arc.delay,
                             max: clk_arr.max + clock.latency.max + arc.delay,
                         };
-                        prop.insert(arc.to, tag, arrival);
+                        insert_row(states, arc.to, interner.intern(tag), arrival);
                     }
                 }
             }
@@ -268,20 +316,20 @@ impl<'a> Propagator<'a> {
                     if let Some(t) = self.exc_index.advance(&tag, pin) {
                         tag = t;
                     }
-                    prop.insert(pin, tag, arrival.shifted(extra));
+                    insert_row(states, pin, interner.intern(tag), arrival.shifted(extra));
                 }
             }
         }
     }
 
-    fn sweep(&self, prop: &mut Propagation) {
+    fn sweep(&self, interner: &mut TagInterner, states: &mut [Vec<(TagId, Arrival)>]) {
         for &node in self.graph.topo_order() {
-            if prop.states[node.index()].is_empty() {
+            if states[node.index()].is_empty() {
                 continue;
             }
             // Take the state out to appease the borrow checker; nothing
             // propagates back into an already-processed topo node.
-            let state = std::mem::take(&mut prop.states[node.index()]);
+            let state = std::mem::take(&mut states[node.index()]);
             for arc in self.graph.fanout_arcs(node) {
                 if arc.kind == ArcKind::Launch {
                     continue;
@@ -289,17 +337,18 @@ impl<'a> Propagator<'a> {
                 if self.overlay.node_blocked(arc.to) || self.overlay.arc_blocked(arc) {
                     continue;
                 }
-                for (tag, arrival) in &state {
+                for &(tid, arrival) in &state {
                     // Advance returns an owned tag only when progress
-                    // actually changed; otherwise borrow the existing
-                    // one — no per-arc `Tag` clone.
-                    match self.exc_index.advance(tag, arc.to) {
-                        Some(t) => prop.insert(arc.to, t, arrival.shifted(arc.delay)),
-                        None => prop.insert_ref(arc.to, tag, arrival.shifted(arc.delay)),
-                    }
+                    // actually changed; the common unchanged case
+                    // forwards the interned id — no clone, no hash.
+                    let next = match self.exc_index.advance(interner.get(tid), arc.to) {
+                        Some(t) => interner.intern(t),
+                        None => tid,
+                    };
+                    insert_row(states, arc.to, next, arrival.shifted(arc.delay));
                 }
             }
-            prop.states[node.index()] = state;
+            states[node.index()] = state;
         }
     }
 }
@@ -405,10 +454,10 @@ mod tests {
         // rY/D is fed through and1: every tag arriving there has either
         // crossed and1/Z (progress 1) or bypassed it.
         let ry_tags = p.tags_at(f.pin("rY/D"));
-        assert!(ry_tags.iter().all(|(t, _)| t.progress_of(0) == 1));
+        assert!(ry_tags.iter().all(|&(t, _)| p.tag(t).progress_of(0) == 1));
         // rX/D is fed by inv1 only: never crosses and1/Z.
         let rx_tags = p.tags_at(f.pin("rX/D"));
-        assert!(rx_tags.iter().all(|(t, _)| t.progress_of(0) == 0));
+        assert!(rx_tags.iter().all(|&(t, _)| p.tag(t).progress_of(0) == 0));
     }
 
     #[test]
@@ -419,7 +468,8 @@ mod tests {
         let p = f.run();
         let tags = p.tags_at(f.pin("rY/D"));
         assert_eq!(tags.len(), 2);
-        let armed_counts: BTreeSet<usize> = tags.iter().map(|(t, _)| t.armed.len()).collect();
+        let armed_counts: BTreeSet<usize> =
+            tags.iter().map(|&(t, _)| p.tag(t).armed.len()).collect();
         assert_eq!(armed_counts, BTreeSet::from([0, 1]));
     }
 
@@ -457,8 +507,7 @@ mod tests {
     fn data_clocks_at_reports_launch_clocks() {
         let f = Fixture::new(CLK);
         let p = f.run();
-        let clocks = p.data_clocks_at(f.pin("rY/D"));
-        assert_eq!(clocks.len(), 1);
+        assert_eq!(p.data_clocks_at(f.pin("rY/D")).count(), 1);
     }
 
     #[test]
@@ -471,6 +520,6 @@ mod tests {
         );
         let p = f.run();
         // rA is clocked only by clkA → one launch class at rX/D.
-        assert_eq!(p.data_clocks_at(f.pin("rX/D")).len(), 1);
+        assert_eq!(p.data_clocks_at(f.pin("rX/D")).count(), 1);
     }
 }

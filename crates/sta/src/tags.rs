@@ -1,0 +1,216 @@
+//! Arena storage for path-class tags: dense exception bitsets, interned
+//! tag ids and the per-propagation tag interner.
+//!
+//! The forward sweep used to carry every [`Tag`] by value — two boxed
+//! slices cloned per distinct (node, class) pair — and per-node states
+//! were `Vec<(Tag, f64)>` compared by deep equality. At SoC scale
+//! (100k+ cells × dozens of clock domains) that is the dominant
+//! allocation source. This module replaces it with the `KeyInterner`
+//! pattern from [`crate::keys`]:
+//!
+//! * [`ExcSet`] — the armed-exception set as a dense `u64` bitset keyed
+//!   by exception index, canonically trimmed so equality and hashing
+//!   stay structural;
+//! * [`TagId`] — a dense `u32` handle; per-node arrival state becomes
+//!   flat `(TagId, Arrival)` rows and tag comparison a single integer
+//!   compare;
+//! * [`TagInterner`] — the arena mapping tags to ids.
+//!
+//! Unlike `KeyInterner` (graph-scoped, shared across modes), the tag
+//! interner is *propagation-scoped*: tags embed mode-local clock and
+//! exception indices, so sharing one arena across modes would equate
+//! tags that mean different things. Each [`crate::propagate::Propagation`]
+//! owns its arena; ids are only meaningful within it. This keeps the
+//! interner lock-free — a sweep is single-threaded — while parallelism
+//! stays at the per-startpoint/per-mode level.
+
+use crate::exceptions::Tag;
+use std::collections::HashMap;
+
+/// A set of exception indices as a dense bitset.
+///
+/// The word vector is trimmed of trailing zero words, so two sets with
+/// the same members are representation-identical: derived equality,
+/// ordering and hashing are structural. The empty set holds no heap
+/// allocation at all.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExcSet {
+    words: Box<[u64]>,
+}
+
+impl ExcSet {
+    /// The empty set (no allocation).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from exception indices (any order, duplicates ok).
+    pub fn from_ids(ids: &[u32]) -> Self {
+        let Some(max) = ids.iter().max() else {
+            return Self::empty();
+        };
+        let mut words = vec![0u64; (*max as usize) / 64 + 1];
+        for &id in ids {
+            words[id as usize / 64] |= 1u64 << (id % 64);
+        }
+        Self {
+            words: words.into_boxed_slice(),
+        }
+    }
+
+    /// Is `id` a member?
+    pub fn contains(&self, id: u32) -> bool {
+        self.words
+            .get(id as usize / 64)
+            .is_some_and(|w| w & (1u64 << (id % 64)) != 0)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        // Trimmed representation: empty ⇔ no words at all.
+        self.words.is_empty()
+    }
+
+    /// Heap bytes held by the word vector.
+    pub fn heap_bytes(&self) -> usize {
+        std::mem::size_of_val::<[u64]>(&self.words)
+    }
+
+    /// Members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut b = word;
+            std::iter::from_fn(move || {
+                if b == 0 {
+                    return None;
+                }
+                let bit = b.trailing_zeros();
+                b &= b - 1;
+                Some(wi as u32 * 64 + bit)
+            })
+        })
+    }
+}
+
+/// Dense handle of an interned [`Tag`] within one propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TagId(pub u32);
+
+impl TagId {
+    /// The id as a dense array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Arena interner for path-class tags.
+///
+/// Ids are assigned in first-intern order, which is deterministic for a
+/// deterministic sweep — the frozen row order of a propagation is
+/// byte-for-byte reproducible at any thread count because each sweep is
+/// single-threaded and startpoints are injected in sorted order.
+#[derive(Debug, Clone, Default)]
+pub struct TagInterner {
+    tags: Vec<Tag>,
+    map: HashMap<Tag, u32>,
+}
+
+impl TagInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an owned tag, returning its dense id.
+    pub fn intern(&mut self, tag: Tag) -> TagId {
+        if let Some(&id) = self.map.get(&tag) {
+            return TagId(id);
+        }
+        let id = u32::try_from(self.tags.len()).expect("tag arena overflow");
+        self.tags.push(tag.clone());
+        self.map.insert(tag, id);
+        TagId(id)
+    }
+
+    /// The tag behind `id`.
+    pub fn get(&self, id: TagId) -> &Tag {
+        &self.tags[id.index()]
+    }
+
+    /// The id of `tag`, if it has been interned.
+    pub fn lookup(&self, tag: &Tag) -> Option<TagId> {
+        self.map.get(tag).copied().map(TagId)
+    }
+
+    /// Number of distinct tags interned.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Is the arena empty?
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Approximate resident bytes (arena plus lookup map).
+    pub fn approx_bytes(&self) -> usize {
+        // Each tag is stored twice (arena + map key); the map adds a
+        // hash-bucket word per entry on top.
+        self.tags
+            .iter()
+            .map(|t| 2 * t.approx_bytes() + std::mem::size_of::<u64>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::ClockId;
+
+    #[test]
+    fn excset_roundtrip_and_canonical_empty() {
+        let s = ExcSet::from_ids(&[3, 70, 3, 0]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(0) && s.contains(3) && s.contains(70));
+        assert!(!s.contains(1) && !s.contains(64) && !s.contains(1000));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3, 70]);
+        assert_eq!(ExcSet::from_ids(&[]), ExcSet::empty());
+        assert!(ExcSet::empty().is_empty());
+        assert_eq!(ExcSet::empty().len(), 0);
+    }
+
+    #[test]
+    fn excset_equality_is_structural() {
+        assert_eq!(ExcSet::from_ids(&[1, 65]), ExcSet::from_ids(&[65, 1, 1]));
+        assert_ne!(ExcSet::from_ids(&[1]), ExcSet::from_ids(&[65]));
+    }
+
+    fn tag(launch: u32, armed: &[u32]) -> Tag {
+        Tag {
+            launch: ClockId(launch),
+            launch_inverted: false,
+            armed: ExcSet::from_ids(armed),
+            progress: Box::new([]),
+        }
+    }
+
+    #[test]
+    fn interner_dedups_and_preserves_first_intern_order() {
+        let mut it = TagInterner::new();
+        let a = it.intern(tag(0, &[]));
+        let b = it.intern(tag(1, &[2]));
+        assert_eq!(it.intern(tag(0, &[])), a);
+        assert_eq!(it.len(), 2);
+        assert_eq!(a, TagId(0));
+        assert_eq!(b, TagId(1));
+        assert_eq!(it.get(b).launch, ClockId(1));
+        assert_eq!(it.lookup(&tag(1, &[2])), Some(b));
+        assert_eq!(it.lookup(&tag(2, &[])), None);
+    }
+}

@@ -69,6 +69,37 @@ impl DesignSpec {
         }
     }
 
+    /// A spec shaped like a flat SoC floorplan: clock-domain and bank
+    /// counts *grow with the cell target* instead of staying fixed, so a
+    /// 100k-cell design gets dozens of clock domains and tens of
+    /// register banks the way a real multi-IP chip does, while a
+    /// 1k-cell design degenerates to [`Self::with_target_cells`]
+    /// proportions. Dividers and clock gates are on: scale workloads
+    /// should exercise the whole constraint surface.
+    pub fn soc_scale(name: impl Into<String>, cells: usize, seed: u64) -> Self {
+        // One clock domain per ~4k cells, between 3 and 36 — "dozens"
+        // at the 100k point. Two banks per domain keeps every clock
+        // port referenced (bank d and bank d+domains both hit domain
+        // d) and bounds bank size.
+        let domains = (cells / 4_000).clamp(3, 36);
+        let banks = (2 * domains).max(8);
+        let cloud_depth = 4;
+        let per_reg = 2 + cloud_depth;
+        let regs_per_bank = (cells / (banks * per_reg)).max(2);
+        Self {
+            name: name.into(),
+            seed,
+            domains,
+            banks,
+            regs_per_bank,
+            cloud_depth,
+            scan: true,
+            muxed_bank_stride: 3,
+            dividers: true,
+            clock_gates: true,
+        }
+    }
+
     /// Number of primary data input/output ports.
     pub fn io_ports(&self) -> usize {
         self.regs_per_bank.min(8)
@@ -347,6 +378,40 @@ mod tests {
             count > 3500 && count < 7500,
             "instance count {count} too far from 5000"
         );
+    }
+
+    #[test]
+    fn soc_scale_grows_domains_with_cells() {
+        let small = DesignSpec::soc_scale("s", 1_000, 3);
+        assert_eq!(small.domains, 3, "floor at three domains");
+        let big = DesignSpec::soc_scale("b", 100_000, 3);
+        assert!(
+            big.domains >= 24,
+            "100k cells should get dozens of domains, got {}",
+            big.domains
+        );
+        assert_eq!(big.banks, 2 * big.domains);
+        assert!(big.dividers && big.clock_gates && big.scan);
+        // The sizing formula holds the cell target.
+        let n = generate_design(&DesignSpec::soc_scale("sized", 20_000, 5));
+        let count = n.instance_count();
+        assert!(
+            count > 14_000 && count < 30_000,
+            "instance count {count} too far from 20000"
+        );
+    }
+
+    #[test]
+    fn soc_scale_design_is_deterministic_and_clean() {
+        let spec = DesignSpec::soc_scale("det", 5_000, 9);
+        let a = generate_design(&spec);
+        let b = generate_design(&spec);
+        assert_eq!(
+            modemerge_netlist::text::write(&a),
+            modemerge_netlist::text::write(&b)
+        );
+        assert!(a.lint().is_empty());
+        TimingGraph::build(&a).expect("acyclic");
     }
 
     #[test]

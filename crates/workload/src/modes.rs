@@ -58,6 +58,29 @@ impl SuiteSpec {
     pub fn mode_count(&self) -> usize {
         self.families.iter().sum()
     }
+
+    /// One point of the scale grid: a [`DesignSpec::soc_scale`] design
+    /// of approximately `cells` instances with exactly `modes` timing
+    /// modes, split into families of up to four mergeable modes each
+    /// (so the expected clique cover is `ceil(modes / 4)`). Fully
+    /// deterministic per `(cells, modes, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `modes` is zero.
+    pub fn scale(cells: usize, modes: usize, seed: u64) -> Self {
+        assert!(modes > 0, "need at least one mode");
+        let mut families = vec![4usize; modes / 4];
+        if !modes.is_multiple_of(4) {
+            families.push(modes % 4);
+        }
+        Self {
+            design: DesignSpec::soc_scale(format!("soc_{cells}c_{modes}m"), cells, seed),
+            families,
+            test_clocks: true,
+            cross_false_paths: true,
+        }
+    }
 }
 
 /// Generates a suite (design + modes).
@@ -352,6 +375,40 @@ mod tests {
                 "{name}: {text}"
             );
         }
+    }
+
+    #[test]
+    fn scale_spec_hits_the_requested_grid_point() {
+        let sp = SuiteSpec::scale(2_000, 10, 3);
+        assert_eq!(sp.mode_count(), 10);
+        assert_eq!(sp.families, vec![4, 4, 2]);
+        let s = generate_suite(&sp);
+        assert_eq!(s.modes.len(), 10);
+        assert_eq!(s.expected_merged, 3);
+        for (name, sdc) in &s.modes {
+            Mode::bind(name.clone(), &s.netlist, sdc)
+                .unwrap_or_else(|e| panic!("mode {name} failed to bind: {e}"));
+        }
+    }
+
+    #[test]
+    fn scale_suite_is_deterministic() {
+        let a = generate_suite(&SuiteSpec::scale(2_000, 8, 5));
+        let b = generate_suite(&SuiteSpec::scale(2_000, 8, 5));
+        assert_eq!(
+            modemerge_netlist::text::write(&a.netlist),
+            modemerge_netlist::text::write(&b.netlist)
+        );
+        for ((na, sa), (nb, sb)) in a.modes.iter().zip(b.modes.iter()) {
+            assert_eq!(na, nb);
+            assert_eq!(sa.to_text(), sb.to_text());
+        }
+        // A different seed moves the netlist (cloud taps re-roll).
+        let c = generate_suite(&SuiteSpec::scale(2_000, 8, 6));
+        assert_ne!(
+            modemerge_netlist::text::write(&a.netlist),
+            modemerge_netlist::text::write(&c.netlist)
+        );
     }
 
     #[test]

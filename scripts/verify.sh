@@ -178,4 +178,48 @@ if [ -z "$guard_ok" ]; then
 fi
 echo "    min wall ${new_ms}ms vs baseline ${base_ms}ms (within 5%)"
 
+echo "==> smoke: scale bench 5k-cell/8-mode point with wall guard"
+# One small grid point of the scale sweep: the full merge flow on an
+# SoC-shaped 5k-cell design with 8 modes, run in a child process so the
+# reported peak RSS is per-point. Guarded against the matching row of
+# the checked-in BENCH_scale.json. Unlike the three_pass guard (a
+# min-of-medians over 7 samples, stable to ~5%), each scale point is a
+# single-shot wall of the whole pipeline, which jitters ~10% on this
+# container — so this guard is a gross-regression tripwire at 25%.
+SCALE_OUT="$SMOKE_DIR/BENCH_scale.json"
+run_scale_point() {
+    MODEMERGE_SCALE_GRID="5000x8" MODEMERGE_BENCH_OUT="$SCALE_OUT" \
+        cargo bench -q -p modemerge-bench --bench scale >"$SMOKE_DIR/scale.log" 2>&1
+}
+run_scale_point \
+    || { echo "FAIL: scale bench run failed" >&2; cat "$SMOKE_DIR/scale.log" >&2; exit 1; }
+grep -q '"bench":"scale"' "$SCALE_OUT" \
+    || { echo "FAIL: scale report lacks its identity field" >&2; cat "$SCALE_OUT" >&2; exit 1; }
+for field in wall_ms peak_rss_kb merged_modes; do
+    grep -q "\"$field\":" "$SCALE_OUT" \
+        || { echo "FAIL: scale report lacks $field" >&2; cat "$SCALE_OUT" >&2; exit 1; }
+done
+# The point's wall_ms, from the row whose target_cells is 5000 (the
+# fresh run has only that row; the checked-in baseline has the grid).
+scale_wall() { grep -o '"target_cells":5000,[^}]*' "$1" | grep -o '"wall_ms":[0-9.]*' | head -1 | cut -d: -f2; }
+scale_base="$(scale_wall BENCH_scale.json)"
+[ -n "$scale_base" ] || { echo "FAIL: no 5000-cell row in BENCH_scale.json" >&2; exit 1; }
+scale_ok=""
+for attempt in 1 2 3; do
+    scale_new="$(scale_wall "$SCALE_OUT")"
+    [ -n "$scale_new" ] || { echo "FAIL: no 5000-cell row in fresh scale report" >&2; exit 1; }
+    if awk -v base="$scale_base" -v cur="$scale_new" 'BEGIN { exit !(cur <= base * 1.25) }'; then
+        scale_ok=yes
+        break
+    fi
+    echo "    attempt $attempt: ${scale_new}ms > ${scale_base}ms +25%; re-measuring"
+    run_scale_point \
+        || { echo "FAIL: scale bench re-run failed" >&2; cat "$SMOKE_DIR/scale.log" >&2; exit 1; }
+done
+if [ -z "$scale_ok" ]; then
+    echo "FAIL: scale 5k-point wall ${scale_new}ms exceeds baseline ${scale_base}ms by more than 25%" >&2
+    exit 1
+fi
+echo "    5k-point wall ${scale_new}ms vs baseline ${scale_base}ms (within 25%)"
+
 echo "==> verify.sh: all checks passed"

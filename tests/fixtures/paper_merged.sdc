@@ -1,0 +1,5 @@
+=== A+B ===
+create_clock -name clkA -period 10 -waveform {0 5} -add [get_ports clk1]
+set_false_path -to [get_pins rX/D]
+set_false_path -from [get_pins rA/CP] -to [get_pins rY/D]
+set_false_path -from [get_pins rC/CP] -through [get_pins inv3/A] -to [get_pins rZ/D]

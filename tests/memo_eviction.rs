@@ -1,0 +1,116 @@
+//! The bounded-memo contract, end to end: squeezing the memo budget
+//! forces evictions (visible in the stage-timing counters) but never
+//! changes a single output byte — every memoized value is a pure
+//! function of (analysis, key), so a recompute after eviction is
+//! indistinguishable from a hit.
+
+use modemerge::merge::merge::{MergeOptions, ModeInput};
+use modemerge::merge::session::{MergeSession, SessionInputs};
+use modemerge::netlist::Netlist;
+use modemerge::workload::{generate_suite, DesignSpec, SuiteSpec};
+
+/// The 648-cell / 8-mode stress suite (same spec as the golden test —
+/// large enough that a kilobyte-scale budget cannot hold the working
+/// set).
+fn stress_suite() -> (Netlist, Vec<ModeInput>) {
+    let spec = SuiteSpec {
+        design: DesignSpec {
+            name: "three_pass_stress".into(),
+            seed: 23,
+            domains: 3,
+            banks: 8,
+            regs_per_bank: 14,
+            cloud_depth: 4,
+            scan: true,
+            muxed_bank_stride: 3,
+            dividers: false,
+            clock_gates: false,
+        },
+        families: vec![8],
+        test_clocks: false,
+        cross_false_paths: true,
+    };
+    let s = generate_suite(&spec);
+    let inputs = s
+        .modes
+        .iter()
+        .map(|(n, sdc)| ModeInput::new(n.clone(), sdc.clone()))
+        .collect();
+    (s.netlist, inputs)
+}
+
+/// Merges with the given options; returns (merged text, evictions).
+fn merge_with(netlist: &Netlist, inputs: &[ModeInput], options: &MergeOptions) -> (String, u64) {
+    let bound = SessionInputs::bind(netlist, inputs).expect("inputs bind");
+    let session = MergeSession::new(netlist, &bound, options);
+    session.warm_up();
+    let outcome = session.merge_all().expect("merge completes");
+    let mut out = String::new();
+    for m in &outcome.merged {
+        out.push_str(&format!("=== {} ===\n{}", m.name, m.sdc.to_text()));
+    }
+    (out, session.stage_timings().memo_evictions)
+}
+
+#[test]
+fn tiny_memo_budget_evicts_but_output_is_byte_identical() {
+    let (netlist, inputs) = stress_suite();
+    let (unbounded, baseline_evictions) = merge_with(
+        &netlist,
+        &inputs,
+        &MergeOptions {
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    assert_eq!(
+        baseline_evictions, 0,
+        "default budget must hold the stress working set"
+    );
+    // 8 KiB total: a fraction of one propagation table, so the memo
+    // stores thrash constantly.
+    let (bounded, evictions) = merge_with(
+        &netlist,
+        &inputs,
+        &MergeOptions {
+            threads: 2,
+            memo_budget_kb: Some(8),
+            ..Default::default()
+        },
+    );
+    assert!(
+        evictions > 0,
+        "an 8 KiB budget must evict on the 648-cell suite"
+    );
+    assert_eq!(
+        unbounded, bounded,
+        "memo eviction must never change the merged SDC"
+    );
+}
+
+#[test]
+fn eviction_counter_rides_the_json_timings() {
+    let (netlist, inputs) = stress_suite();
+    let bound = SessionInputs::bind(&netlist, &inputs).expect("inputs bind");
+    let session = MergeSession::new(
+        &netlist,
+        &bound,
+        &MergeOptions {
+            memo_budget_kb: Some(8),
+            ..Default::default()
+        },
+    );
+    session.warm_up();
+    session.merge_all().expect("merge completes");
+    let timings = session.stage_timings();
+    assert!(timings.memo_evictions > 0);
+    // The `merge --json` / service `stats` surface: nested under the
+    // three_pass breakdown object.
+    let json = timings.to_json();
+    let tp = json.get("three_pass").expect("three_pass breakdown");
+    assert_eq!(
+        tp.get("memo_evictions").and_then(|j| j.as_u64()),
+        Some(timings.memo_evictions),
+        "{json}"
+    );
+}

@@ -22,7 +22,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
 /// Byte budget for one analysis' memo stores.
@@ -76,8 +76,30 @@ impl Default for MemoBudget {
     }
 }
 
-/// A filled entry: the value plus the byte cost it was charged.
-type Entry<V> = Arc<OnceLock<(V, usize)>>;
+/// A memo slot shared between all queries racing on one key.
+///
+/// `charged` records whether this slot's cost has been added to
+/// `MemoState::cost`; it is written and read only under the state write
+/// lock (the atomic is for interior mutability through the `Arc`, not
+/// for lock-free synchronization). Filling the `OnceLock` and charging
+/// the cost are separate steps, so eviction must only debit slots whose
+/// credit has actually landed — see [`BoundedMemo::fill`].
+#[derive(Debug)]
+struct Slot<V> {
+    value: OnceLock<(V, usize)>,
+    charged: AtomicBool,
+}
+
+impl<V> Slot<V> {
+    fn new() -> Self {
+        Self {
+            value: OnceLock::new(),
+            charged: AtomicBool::new(false),
+        }
+    }
+}
+
+type Entry<V> = Arc<Slot<V>>;
 
 #[derive(Debug)]
 struct MemoState<K, V> {
@@ -126,13 +148,20 @@ impl<K: Eq + Hash + Clone, V: Clone> BoundedMemo<K, V> {
         compute: impl FnOnce() -> V,
         cost: impl FnOnce(&V) -> usize,
     ) -> V {
-        // Fast path: resident and filled.
-        if let Some(entry) = self.read().map.get(&key).map(Arc::clone) {
-            if let Some((v, _)) = entry.get() {
+        // Fast path: resident and filled. The guard must be dropped
+        // before `fill` runs — in edition 2021 an `if let` scrutinee
+        // temporary lives to the end of the block, and `fill` may take
+        // the write lock on this same RwLock (self-deadlock).
+        let resident = {
+            let st = self.read();
+            st.map.get(&key).map(Arc::clone)
+        };
+        if let Some(entry) = resident {
+            if let Some((v, _)) = entry.value.get() {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return v.clone();
             }
-            // In-flight elsewhere: block on the shared lock below.
+            // In-flight elsewhere: block on the shared slot below.
             return self.fill(&key, entry, compute, cost);
         }
         let entry = {
@@ -140,7 +169,7 @@ impl<K: Eq + Hash + Clone, V: Clone> BoundedMemo<K, V> {
             match st.map.get(&key) {
                 Some(e) => Arc::clone(e),
                 None => {
-                    let e: Entry<V> = Arc::new(OnceLock::new());
+                    let e: Entry<V> = Arc::new(Slot::new());
                     st.map.insert(key.clone(), Arc::clone(&e));
                     st.queue.push_back(key.clone());
                     e
@@ -158,7 +187,7 @@ impl<K: Eq + Hash + Clone, V: Clone> BoundedMemo<K, V> {
         cost: impl FnOnce(&V) -> usize,
     ) -> V {
         let mut filled_here = false;
-        let (v, c) = entry.get_or_init(|| {
+        let (v, c) = entry.value.get_or_init(|| {
             filled_here = true;
             let v = compute();
             let c = cost(&v);
@@ -168,26 +197,45 @@ impl<K: Eq + Hash + Clone, V: Clone> BoundedMemo<K, V> {
         if filled_here {
             self.misses.fetch_add(1, Ordering::Relaxed);
             let mut st = self.write();
-            st.cost += c;
-            // FIFO eviction of *filled* entries, never the key we just
-            // inserted (evicting it immediately would defeat sharing
-            // between the queries racing on it right now).
-            let mut i = 0;
-            while st.cost > self.budget && i < st.queue.len() {
-                let victim = st.queue[i].clone();
-                if victim == *key {
-                    i += 1;
-                    continue;
-                }
-                let victim_cost = st.map.get(&victim).and_then(|e| e.get()).map(|(_, vc)| *vc);
-                match victim_cost {
-                    Some(vc) => {
-                        st.map.remove(&victim);
-                        st.queue.remove(i);
-                        st.cost -= vc;
-                        self.evictions.fetch_add(1, Ordering::Relaxed);
+            // Charge only if this slot is still the resident one for
+            // `key`. A concurrent fill's eviction pass may have dropped
+            // it between our `get_or_init` and taking the write lock;
+            // charging a detached slot would leak budget forever.
+            let still_resident = st.map.get(key).is_some_and(|e| Arc::ptr_eq(e, &entry));
+            if still_resident {
+                entry.charged.store(true, Ordering::Relaxed);
+                st.cost += c;
+                // FIFO eviction of *charged* entries, never the key we
+                // just inserted (evicting it immediately would defeat
+                // sharing between the queries racing on it right now).
+                let mut i = 0;
+                while st.cost > self.budget && i < st.queue.len() {
+                    let victim = st.queue[i].clone();
+                    if victim == *key {
+                        i += 1;
+                        continue;
                     }
-                    None => i += 1,
+                    // Only slots whose cost has landed are debited and
+                    // dropped: an unfilled slot has no cost, and a
+                    // filled-but-uncharged slot's filler is about to
+                    // take this lock — debiting it here would underflow
+                    // `st.cost`.
+                    let victim_cost = st.map.get(&victim).and_then(|e| {
+                        if e.charged.load(Ordering::Relaxed) {
+                            e.value.get().map(|(_, vc)| *vc)
+                        } else {
+                            None
+                        }
+                    });
+                    match victim_cost {
+                        Some(vc) => {
+                            st.map.remove(&victim);
+                            st.queue.remove(i);
+                            st.cost -= vc;
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => i += 1,
+                    }
                 }
             }
         } else {
@@ -284,6 +332,41 @@ mod tests {
         // The next insert evicts it.
         m.get_or_compute(8, || Arc::new(vec![0; 100]), |v| v.len());
         assert_eq!(m.evictions(), 1);
+    }
+
+    #[test]
+    fn refills_resident_unfilled_slot_without_deadlock() {
+        // A panicking compute leaves the slot resident but unfilled.
+        // The retry then takes the fast path's in-flight branch into
+        // `fill`, which needs the write lock — this hung when the read
+        // guard was still live across that call.
+        let m = memo(1 << 20);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.get_or_compute(1, || panic!("compute failed"), |v| v.len());
+        }));
+        assert!(r.is_err());
+        let v = m.get_or_compute(1, || Arc::new(vec![9; 50]), |v| v.len());
+        assert_eq!(v.len(), 50);
+        assert_eq!(m.cost_bytes(), 50);
+    }
+
+    #[test]
+    fn eviction_skips_unfilled_slots() {
+        let m = memo(250);
+        // Leave an unfilled slot at the head of the FIFO queue.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.get_or_compute(0, || panic!("compute failed"), |v| v.len());
+        }));
+        assert!(r.is_err());
+        for k in 1..4 {
+            m.get_or_compute(k, || Arc::new(vec![0; 100]), |v| v.len());
+        }
+        // The unfilled slot is never debited or dropped; the oldest
+        // charged entry (key 1) is the victim instead.
+        assert_eq!(m.evictions(), 1);
+        assert!(m.cost_bytes() <= 250);
+        m.get_or_compute(2, || panic!("resident"), |v| v.len());
+        m.get_or_compute(3, || panic!("resident"), |v| v.len());
     }
 
     #[test]

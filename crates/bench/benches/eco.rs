@@ -1,0 +1,310 @@
+//! Incremental re-merge (ECO) A/B grid: edit kind × suite size.
+//!
+//! For each suite the baseline is merged cold into an [`EcoEngine`];
+//! then each edit kind (a one-constraint change to the first mode) is
+//! re-merged twice per sample — cold (fresh session, `warm_up` +
+//! `merge_all`, the pre-ECO service path) and warm (through the engine
+//! holding the baseline) — and the medians are compared. The warm
+//! result is asserted byte-identical to the cold merge of the edited
+//! suite before any number is reported.
+//!
+//! Edit kinds:
+//!
+//! * `noop`          — byte-identical resubmit (tier 0: whole-suite replay)
+//! * `clock_attr`    — `set_clock_latency` value nudged within tolerance
+//! * `io_delay`      — `set_input_delay` value changed
+//! * `exception_add` — one extra `set_false_path`
+//! * `exception_rm`  — the mode-private `set_false_path` removed
+//!
+//! Rows go to `BENCH_eco.json` (override with `MODEMERGE_BENCH_OUT`);
+//! `MODEMERGE_BENCH_SAMPLES` sets the sample count (default 3, median
+//! reported) and `MODEMERGE_ECO_SUITES` restricts the grid to a
+//! comma-separated list of suite names (verify.sh runs only the stress
+//! point). The headline row is the 648-cell / 8-mode three-pass
+//! stress suite, where a value-only edit skips STA entirely.
+
+use modemerge_core::eco::fingerprint;
+use modemerge_core::json::Json;
+use modemerge_core::merge::{MergeAllOutcome, MergeOptions, ModeInput};
+use modemerge_core::session::{MergeSession, SessionInputs};
+use modemerge_core::{EcoEngine, EcoRunReport};
+use modemerge_netlist::Netlist;
+use modemerge_workload::{generate_suite, DesignSpec, SuiteSpec};
+use std::time::Instant;
+
+const EDIT_KINDS: &[&str] = &[
+    "noop",
+    "clock_attr",
+    "io_delay",
+    "exception_add",
+    "exception_rm",
+];
+
+fn stress_spec() -> SuiteSpec {
+    SuiteSpec {
+        design: DesignSpec {
+            name: "three_pass_stress".into(),
+            seed: 23,
+            domains: 3,
+            banks: 8,
+            regs_per_bank: 14,
+            cloud_depth: 4,
+            scan: true,
+            muxed_bank_stride: 3,
+            dividers: false,
+            clock_gates: false,
+        },
+        families: vec![8],
+        test_clocks: false,
+        cross_false_paths: true,
+    }
+}
+
+fn suites() -> Vec<(&'static str, SuiteSpec)> {
+    vec![
+        ("stress_648x8", stress_spec()),
+        ("scale_2000x8", SuiteSpec::scale(2_000, 8, 42)),
+        ("scale_8000x16", SuiteSpec::scale(8_000, 16, 42)),
+    ]
+}
+
+/// Scales the first number argument of the first line starting with
+/// `cmd` (the generated suites put the value right after the command
+/// word for both `set_clock_latency` and `set_input_delay`).
+fn scale_value(texts: &mut [(String, String)], cmd: &str, factor: f64) {
+    let text = &mut texts[0].1;
+    let mut out = String::with_capacity(text.len());
+    let mut done = false;
+    for line in text.lines() {
+        if !done && line.starts_with(cmd) {
+            let mut words: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
+            let value: f64 = words[1]
+                .parse()
+                .unwrap_or_else(|_| panic!("`{cmd}` line has no numeric value: {line}"));
+            words[1] = format!("{:.4}", value * factor);
+            out.push_str(&words.join(" "));
+            done = true;
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    assert!(done, "suite mode 0 lacks a `{cmd}` line");
+    *text = out;
+}
+
+/// Applies one edit kind to a copy of the baseline texts.
+fn apply_edit(kind: &str, base: &[(String, String)], design: &DesignSpec) -> Vec<(String, String)> {
+    let mut texts = base.to_vec();
+    match kind {
+        "noop" => {}
+        // Within the relative merge tolerance: the group's structure is
+        // unchanged, so the engine replays the refinement tail.
+        "clock_attr" => scale_value(&mut texts, "set_clock_latency", 1.001),
+        "io_delay" => scale_value(&mut texts, "set_input_delay", 1.1),
+        "exception_add" => {
+            let pin = format!("reg_{}_1/D", design.banks - 1);
+            texts[0]
+                .1
+                .push_str(&format!("set_false_path -to [get_pins {pin}]\n"));
+        }
+        "exception_rm" => {
+            let text = &texts[0].1;
+            let lines: Vec<&str> = text.lines().collect();
+            let last = lines
+                .iter()
+                .rposition(|l| l.starts_with("set_false_path"))
+                .expect("suite mode 0 has a set_false_path line");
+            texts[0].1 = text
+                .lines()
+                .enumerate()
+                .filter(|(i, _)| *i != last)
+                .map(|(_, l)| format!("{l}\n"))
+                .collect();
+        }
+        other => panic!("unknown edit kind {other}"),
+    }
+    texts
+}
+
+fn parse_inputs(texts: &[(String, String)]) -> Vec<ModeInput> {
+    texts
+        .iter()
+        .map(|(name, text)| ModeInput::parse(name.clone(), text).expect("mode parses"))
+        .collect()
+}
+
+fn merged_texts(outcome: &MergeAllOutcome) -> Vec<(String, String)> {
+    outcome
+        .merged
+        .iter()
+        .map(|m| (m.name.clone(), m.sdc.to_text()))
+        .collect()
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn row(
+    suite: &str,
+    kind: &str,
+    cells: usize,
+    modes: usize,
+    threads: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    report: &EcoRunReport,
+) -> Json {
+    Json::Obj(vec![
+        ("suite".into(), Json::str(suite)),
+        ("edit".into(), Json::str(kind)),
+        ("cells".into(), Json::count(cells)),
+        ("modes".into(), Json::count(modes)),
+        ("threads".into(), Json::count(threads)),
+        ("cold_ms".into(), Json::num(cold_ms)),
+        ("warm_ms".into(), Json::num(warm_ms)),
+        ("speedup".into(), Json::num(cold_ms / warm_ms.max(1e-9))),
+        ("tier".into(), Json::str(report.tier)),
+        ("counters".into(), report.counters.to_json()),
+    ])
+}
+
+/// One (suite, edit) cell: median cold vs median warm, byte-identity
+/// asserted against the cold merge of the edited suite.
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    netlist: &Netlist,
+    base_bound: &SessionInputs,
+    base_texts: &[(String, String)],
+    design: &DesignSpec,
+    kind: &str,
+    options: &MergeOptions,
+    fp: u64,
+    samples: usize,
+) -> (f64, f64, EcoRunReport) {
+    let edited_texts = apply_edit(kind, base_texts, design);
+    let edited_inputs = parse_inputs(&edited_texts);
+    let edited_bound = SessionInputs::bind(netlist, &edited_inputs).expect("edited suite binds");
+
+    // Cold: the pre-ECO service path (fresh session per submission).
+    let mut cold_times = Vec::with_capacity(samples);
+    let mut cold_outcome = None;
+    for _ in 0..samples {
+        let session = MergeSession::new(netlist, &edited_bound, options);
+        let t0 = Instant::now();
+        session.warm_up();
+        let outcome = session.merge_all().expect("cold merge succeeds");
+        cold_times.push(t0.elapsed().as_secs_f64() * 1e3);
+        cold_outcome = Some(outcome);
+    }
+    let cold_outcome = cold_outcome.expect("at least one sample");
+
+    // Warm: install the baseline once, then re-merge the edit through
+    // the engine; between samples the baseline is restored by a warm
+    // remerge back (untimed), so every sample measures the same delta.
+    let mut engine = EcoEngine::new();
+    let install = MergeSession::new(netlist, base_bound, options);
+    install.warm_up();
+    install
+        .rebind_delta(&mut engine, fp, false)
+        .expect("baseline install succeeds");
+
+    let mut warm_times = Vec::with_capacity(samples);
+    let mut warm_result = None;
+    for _ in 0..samples {
+        let session = MergeSession::new(netlist, &edited_bound, options);
+        let t0 = Instant::now();
+        let (outcome, report) = session
+            .rebind_delta(&mut engine, fp, false)
+            .expect("warm remerge succeeds");
+        warm_times.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert!(report.warm, "edit {kind}: remerge must be warm");
+        warm_result = Some((outcome, report));
+        let restore = MergeSession::new(netlist, base_bound, options);
+        restore
+            .rebind_delta(&mut engine, fp, false)
+            .expect("baseline restore succeeds");
+    }
+    let (warm_outcome, report) = warm_result.expect("at least one sample");
+
+    assert_eq!(
+        merged_texts(&warm_outcome),
+        merged_texts(&cold_outcome),
+        "edit {kind}: warm result must be byte-identical to a cold merge"
+    );
+
+    (median(&mut cold_times), median(&mut warm_times), report)
+}
+
+fn main() {
+    let samples: usize = std::env::var("MODEMERGE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let options = MergeOptions {
+        threads,
+        ..Default::default()
+    };
+
+    let suite_filter = std::env::var("MODEMERGE_ECO_SUITES").ok();
+
+    let mut rows: Vec<Json> = Vec::new();
+    for (suite_name, spec) in suites() {
+        if let Some(filter) = &suite_filter {
+            if !filter.split(',').any(|s| s.trim() == suite_name) {
+                continue;
+            }
+        }
+        let suite = generate_suite(&spec);
+        let cells = suite.netlist.instance_count();
+        let modes = suite.modes.len();
+        let base_texts: Vec<(String, String)> = suite
+            .modes
+            .iter()
+            .map(|(name, sdc)| (name.clone(), sdc.to_text()))
+            .collect();
+        let base_inputs = parse_inputs(&base_texts);
+        let base_bound =
+            SessionInputs::bind(&suite.netlist, &base_inputs).expect("baseline suite binds");
+        let fp = fingerprint(suite_name);
+
+        for kind in EDIT_KINDS {
+            let (cold_ms, warm_ms, report) = run_cell(
+                &suite.netlist,
+                &base_bound,
+                &base_texts,
+                &spec.design,
+                kind,
+                &options,
+                fp,
+                samples,
+            );
+            println!(
+                "bench eco/{suite_name}/{kind} cold_ms={cold_ms:.2} warm_ms={warm_ms:.2} \
+                 speedup={:.1} tier={}",
+                cold_ms / warm_ms.max(1e-9),
+                report.tier,
+            );
+            rows.push(row(
+                suite_name, kind, cells, modes, threads, cold_ms, warm_ms, &report,
+            ));
+        }
+    }
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::str("eco")),
+        ("samples".into(), Json::count(samples)),
+        ("rows".into(), Json::Arr(rows)),
+    ]);
+    let out_path = std::env::var("MODEMERGE_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eco.json").to_owned()
+    });
+    std::fs::write(&out_path, format!("{report}\n")).expect("write bench report");
+    println!("bench eco report written to {out_path}");
+}

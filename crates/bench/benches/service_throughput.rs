@@ -104,6 +104,7 @@ fn bench_workers(workers: usize, rounds: usize) {
             // Big enough that the cold run never evicts mid-measure.
             cache_entries: 2 * CLIENT_THREADS * rounds + 8,
             queue_capacity: 1024,
+            eco_engines: 8,
         },
     )
     .expect("bind");

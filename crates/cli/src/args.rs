@@ -31,6 +31,8 @@ const VALUED: &[&str] = &[
     "addr",
     "cache-entries",
     "queue",
+    "eco-engines",
+    "baseline",
     "lint",
     "deny",
     "job",

@@ -8,6 +8,7 @@ use modemerge_core::merge::{MergeOptions, ModeInput};
 use modemerge_core::mergeability::greedy_cliques;
 use modemerge_core::report::{outcome_to_json, plan_to_json, summarize};
 use modemerge_core::session::{MergeSession, SessionInputs};
+use modemerge_core::EcoEngine;
 use modemerge_netlist::{text, Library, Netlist};
 use modemerge_sdc::SdcFile;
 use modemerge_service::client::Client;
@@ -29,7 +30,15 @@ commands (netlists: native text format, or gate-level Verilog .v):
   merge      --netlist FILE --mode NAME=SDC... [--out DIR] [--threads N]
              [--strict] [--no-uniquify] [--json] [--annotate]
              [--lint deny|warn|off] [--memo-budget-kb K]
+             [--baseline DIR]
              Plan and merge timing modes; writes merged SDCs to --out.
+             --baseline runs the incremental (ECO) A/B flow: DIR holds
+             the previous suite (a MANIFEST directory as written by
+             `generate`/`workload`, same design bytes); the baseline
+             is merged cold, then the edited --mode suite is re-merged
+             warm through the ECO engine, and both timings plus the
+             reuse counters are printed. Output is byte-identical to a
+             cold merge; MODEMERGE_ECO_CHECK=1 re-verifies that.
              --memo-budget-kb caps the per-analysis memo stores (KiB;
              default 256 MiB) — output is byte-identical at any budget,
              only speed and the eviction counters change.
@@ -80,19 +89,23 @@ commands (netlists: native text format, or gate-level Verilog .v):
              mergeable modes. Writes design.nl, one SDC per mode and a
              MANIFEST; deterministic per (N, M, seed).
   serve      [--addr HOST:PORT] [--threads N] [--cache-entries K]
-             [--queue N]
+             [--queue N] [--eco-engines E]
              Run the persistent merge server (JSONL over TCP): a
              bounded job queue feeds N workers; a content-addressed
-             LRU cache (K entries) answers repeat submissions in
-             O(hash). --addr defaults to 127.0.0.1:0 (ephemeral; the
-             bound address is printed on startup).
+             LRU cache (K entries, byte budget via
+             MODEMERGE_RESULT_CACHE_KB) answers identical repeat
+             submissions in O(hash), and a pool of E warm ECO engines
+             (default 8, 0 disables) re-merges *edited* resubmissions
+             incrementally. --addr defaults to 127.0.0.1:0 (ephemeral;
+             the bound address is printed on startup).
   submit     --addr HOST:PORT --netlist FILE --mode NAME=SDC...
              [--job merge|plan|lint] [--json] [--out DIR] [--threads N]
              [--strict] [--no-uniquify]
              Submit one job to a running server and print the reply
              (--plan is shorthand for --job plan); or, with --status /
              --stats / --shutdown instead of a netlist, issue the
-             matching control request.
+             matching control request. --stats pretty-prints the
+             result-cache and ECO counters (--json for the raw reply).
 ";
 
 /// Dispatches a command line.
@@ -284,6 +297,9 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_merge(args: &Args) -> Result<(), String> {
+    if let Some(dir) = args.value("baseline")? {
+        return cmd_merge_baseline(args, dir);
+    }
     let netlist = load_netlist(args)?;
     let inputs = parse_mode_inputs(args, "merge", 2)?;
     let options = merge_options(args)?;
@@ -378,6 +394,163 @@ fn cmd_merge(args: &Args) -> Result<(), String> {
             let text = if args.flag("annotate") {
                 let mut sdc = merged.sdc.clone();
                 report.provenance.annotate(&mut sdc);
+                sdc.to_annotated_text()
+            } else {
+                merged.sdc.to_text()
+            };
+            std::fs::write(&file, text).map_err(|e| format!("{}: {e}", file.display()))?;
+            if !args.flag("json") {
+                println!("wrote {}", file.display());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a suite directory (`MANIFEST` + design + per-mode SDCs, as
+/// written by `generate`/`workload`/[`write_suite`]) back into the raw
+/// texts the incremental flow fingerprints.
+fn read_suite_dir(dir: &str) -> Result<(String, Vec<(String, String)>), String> {
+    let manifest_path = Path::new(dir).join("MANIFEST");
+    let manifest = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("{}: {e}", manifest_path.display()))?;
+    let file_text = |file: &str| -> Result<String, String> {
+        let path = Path::new(dir).join(file);
+        std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let mut netlist_text = None;
+    let mut modes = Vec::new();
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words.as_slice() {
+            ["netlist", file] => netlist_text = Some(file_text(file)?),
+            ["mode", name, file] => modes.push(((*name).to_owned(), file_text(file)?)),
+            _ => {
+                return Err(format!(
+                    "{}: unrecognized line `{line}`",
+                    manifest_path.display()
+                ))
+            }
+        }
+    }
+    let netlist_text =
+        netlist_text.ok_or_else(|| format!("{}: no netlist line", manifest_path.display()))?;
+    if modes.len() < 2 {
+        return Err(format!(
+            "{}: a baseline suite needs at least two modes",
+            manifest_path.display()
+        ));
+    }
+    Ok((netlist_text, modes))
+}
+
+/// `modemerge merge --baseline DIR`: the offline incremental (ECO) A/B
+/// flow. The baseline suite in DIR (same design bytes as `--netlist`)
+/// is merged cold into a fresh [`EcoEngine`]; the `--mode` suite is
+/// then re-merged *warm* through that engine, and both timings plus
+/// the delta and reuse counters are printed. The merged artifacts come
+/// from the warm run — byte-identical to a cold merge by the engine's
+/// invariant, re-verified in-process when `MODEMERGE_ECO_CHECK=1`.
+fn cmd_merge_baseline(args: &Args, dir: &str) -> Result<(), String> {
+    let netlist_path = args.require("netlist")?;
+    let netlist_text = read(netlist_path)?;
+    let netlist = load_netlist(args)?;
+    let inputs = parse_mode_inputs(args, "merge", 2)?;
+    let options = merge_options(args)?;
+
+    let (base_netlist_text, base_modes) = read_suite_dir(dir)?;
+    if base_netlist_text != netlist_text {
+        return Err(format!(
+            "--baseline {dir}: its design differs from {netlist_path}; \
+             the incremental flow requires identical design bytes \
+             (an edited netlist invalidates every timing artifact)"
+        ));
+    }
+    let check = std::env::var("MODEMERGE_ECO_CHECK").as_deref() == Ok("1");
+    let input_fp = modemerge_core::eco::input_fingerprint(&netlist_text);
+    let mut engine = EcoEngine::new();
+
+    // A: cold-merge the baseline suite, installing it into the engine.
+    let mut base_inputs = Vec::new();
+    for (name, text) in &base_modes {
+        base_inputs.push(ModeInput::parse(name.clone(), text).map_err(|e| format!("{name}: {e}"))?);
+    }
+    let bound = SessionInputs::bind(&netlist, &base_inputs).map_err(|e| e.to_string())?;
+    let session = MergeSession::new(&netlist, &bound, &options);
+    session.warm_up();
+    let t0 = std::time::Instant::now();
+    session
+        .rebind_delta(&mut engine, input_fp, false)
+        .map_err(|e| e.to_string())?;
+    let cold = t0.elapsed();
+
+    // B: warm incremental re-merge of the edited suite. No warm-up on
+    // purpose — skipping unneeded STA is the point of the warm path.
+    let bound = SessionInputs::bind(&netlist, &inputs).map_err(|e| e.to_string())?;
+    let session = MergeSession::new(&netlist, &bound, &options);
+    let t1 = std::time::Instant::now();
+    let (outcome, report) = session
+        .rebind_delta(&mut engine, input_fp, check)
+        .map_err(|e| e.to_string())?;
+    let warm = t1.elapsed();
+
+    let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+    if args.flag("json") {
+        let json = Json::Obj(vec![
+            ("baseline_ms".into(), Json::num(cold.as_secs_f64() * 1e3)),
+            ("incremental_ms".into(), Json::num(warm.as_secs_f64() * 1e3)),
+            ("speedup".into(), Json::num(speedup)),
+            ("eco".into(), report.to_json()),
+            ("result".into(), outcome_to_json(&outcome, inputs.len())),
+        ]);
+        println!("{json}");
+    } else {
+        print!("{}", summarize(&outcome, inputs.len()));
+        let d = &report.delta;
+        println!(
+            "delta vs {dir}: +{}/-{}/~{} command(s); {} mode(s) added, {} removed{}",
+            d.commands_added,
+            d.commands_removed,
+            d.commands_changed,
+            d.modes_added,
+            d.modes_removed,
+            if d.reordered { ", reordered" } else { "" }
+        );
+        let c = &report.counters;
+        println!(
+            "tier {}: {} suite / {} group / {} tail replay(s), {} group(s) recomputed; \
+             stages {} reused / {} recomputed, pairs {} reused / {} recomputed",
+            report.tier,
+            c.suite_replays,
+            c.group_replays,
+            c.tail_replays,
+            c.groups_recomputed,
+            c.stages_reused,
+            c.stages_recomputed,
+            c.pairs_reused,
+            c.pairs_recomputed
+        );
+        println!(
+            "baseline (cold) merge {:.1} ms, incremental re-merge {:.1} ms ({speedup:.1}x)",
+            cold.as_secs_f64() * 1e3,
+            warm.as_secs_f64() * 1e3
+        );
+        if check {
+            println!("cross-check against a cold merge: passed");
+        }
+    }
+
+    if let Some(out) = args.value("out")? {
+        std::fs::create_dir_all(out).map_err(|e| format!("{out}: {e}"))?;
+        for (merged, group_report) in outcome.merged.iter().zip(&outcome.reports) {
+            let file = Path::new(out).join(format!("{}.sdc", merged.name.replace('/', "_")));
+            let text = if args.flag("annotate") {
+                let mut sdc = merged.sdc.clone();
+                group_report.provenance.annotate(&mut sdc);
                 sdc.to_annotated_text()
             } else {
                 merged.sdc.to_text()
@@ -654,15 +827,18 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         workers: args.positive_number("threads", 1)?,
         cache_entries: args.number("cache-entries", 128usize)?,
         queue_capacity: args.positive_number("queue", 256)?,
+        eco_engines: args.number("eco-engines", 8usize)?,
     };
     let workers = config.workers;
     let cache_entries = config.cache_entries;
+    let eco_engines = config.eco_engines;
     let server = Server::bind(addr, config).map_err(|e| format!("{addr}: {e}"))?;
     println!(
-        "modemerge-service listening on {} ({} worker(s), cache {} entries)",
+        "modemerge-service listening on {} ({} worker(s), cache {} entries, {} eco engine(s))",
         server.local_addr(),
         workers,
-        cache_entries
+        cache_entries,
+        eco_engines
     );
     // The line above is the machine-readable startup handshake (the
     // smoke test greps it from a log file), so it must not sit in a
@@ -673,13 +849,73 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Pretty-prints the server `stats` reply: job counters, the
+/// structured cache object (result cache + ECO engine pool) and stage
+/// totals live in the raw JSON; this surfaces the lines operators ask
+/// for (`--json` keeps the machine-readable reply).
+fn print_stats(stats: &Json) {
+    let top = |key: &str| stats.get(key).and_then(Json::as_u64).unwrap_or(0);
+    println!(
+        "jobs: {} submitted, {} completed, {} failed ({} in flight, queue depth {})",
+        top("submitted"),
+        top("completed"),
+        top("failed"),
+        top("in_flight"),
+        top("queue_depth"),
+    );
+    let Some(cache) = stats.get("cache") else {
+        return;
+    };
+    if let Some(results) = cache.get("results") {
+        let n = |key: &str| results.get(key).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "result cache: {} hit(s), {} miss(es), {} eviction(s); {}/{} entries, {} KiB of {} KiB",
+            n("hits"),
+            n("misses"),
+            n("evictions"),
+            n("entries"),
+            n("capacity"),
+            n("bytes") / 1024,
+            n("budget_bytes") / 1024,
+        );
+    }
+    if let Some(eco) = cache.get("eco") {
+        let n = |key: &str| eco.get(key).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "eco: {} warm engine(s); {} warm remerge(s), {} cold run(s)",
+            n("engines"),
+            n("eco_hits"),
+            n("cold_runs"),
+        );
+        println!(
+            "     replays: {} suite, {} group, {} tail; {} group(s) recomputed",
+            n("suite_replays"),
+            n("group_replays"),
+            n("tail_replays"),
+            n("groups_recomputed"),
+        );
+        println!(
+            "     stages {} reused / {} recomputed; pairs {} reused / {} recomputed; {} check(s)",
+            n("stages_reused"),
+            n("stages_recomputed"),
+            n("pairs_reused"),
+            n("pairs_recomputed"),
+            n("checks_run"),
+        );
+    }
+}
+
 /// `modemerge submit`: one job (or control request) against a server.
 fn cmd_submit(args: &Args) -> Result<(), String> {
     let addr = args.require("addr")?;
     for kind in ["status", "stats", "shutdown"] {
         if args.flag(kind) {
             let resp = Client::roundtrip(addr, &simple_request(kind))?;
-            println!("{}", resp.raw);
+            if kind == "stats" && resp.ok && !args.flag("json") {
+                print_stats(&resp.json);
+            } else {
+                println!("{}", resp.raw);
+            }
             return if resp.ok {
                 Ok(())
             } else {

@@ -1,0 +1,401 @@
+//! Per-command content addressing and suite delta classification.
+//!
+//! Every parsed SDC command is hashed individually — `H(source line,
+//! canonical text)` — rather than hashing whole files, so a
+//! resubmitted suite diffs into *command-level* added / removed /
+//! changed sets per mode. Two fingerprints are kept per command:
+//!
+//! * the **full** hash over the exact canonical text;
+//! * the **structural** hash over the text with the numeric value of
+//!   value-only command kinds (latency, uncertainty, transition,
+//!   drive, load, input transition, I/O delay) masked to zero.
+//!
+//! A mode whose command sequence is structural-hash-equal but not
+//! full-hash-equal changed *only* values that never enter relation
+//! structure — the [`engine`](super::engine) replays the whole
+//! refinement tail for such edits instead of re-running STA.
+//!
+//! The source line participates in both hashes because provenance
+//! contributions embed 1-based lines; an edit that shifts lines must
+//! recompute so the replayed provenance stays byte-identical to a cold
+//! merge.
+
+use modemerge_sdc::{Command, SdcFile};
+
+/// Number of preliminary pipeline stages (see [`crate::stages`]).
+pub(crate) const STAGE_COUNT: usize = 8;
+
+/// Streaming FNV-1a 64-bit hasher (same construction as the service's
+/// result-cache keys; duplicated here because the service depends on
+/// this crate, not the other way round).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// Offset-basis start state.
+    pub fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Feeds one u64 (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The digest.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a digest of a text blob; the conventional way callers derive
+/// the `input_fp` (netlist identity) handed to
+/// [`EcoEngine::remerge`](super::EcoEngine::remerge).
+pub fn fingerprint(text: &str) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(text.as_bytes());
+    h.finish()
+}
+
+/// Bitmask of the preliminary stages whose output can depend on this
+/// command (via the bound `Mode` fields the stage reads). Stage bits
+/// follow pipeline order: clock_union, clock_attrs, io_delays,
+/// case_analysis, disables, port_attrs, exclusivity, exceptions.
+fn stage_mask(cmd: &Command) -> u32 {
+    const CLOCK_UNION: u32 = 1;
+    const CLOCK_ATTRS: u32 = 1 << 1;
+    const IO_DELAYS: u32 = 1 << 2;
+    const CASE: u32 = 1 << 3;
+    const DISABLES: u32 = 1 << 4;
+    const PORT_ATTRS: u32 = 1 << 5;
+    const EXCLUSIVITY: u32 = 1 << 6;
+    const EXCEPTIONS: u32 = 1 << 7;
+    match cmd {
+        // Clock definitions feed the union, its attr merge, the I/O
+        // delay clock table, exclusivity and exception uniquification.
+        Command::CreateClock(_) | Command::CreateGeneratedClock(_) => {
+            CLOCK_UNION | CLOCK_ATTRS | IO_DELAYS | EXCLUSIVITY | EXCEPTIONS
+        }
+        // Clock attributes ride the union entries consumed by §3.1.2.
+        Command::SetClockLatency(_)
+        | Command::SetClockUncertainty(_)
+        | Command::SetClockTransition(_)
+        | Command::SetPropagatedClock(_) => CLOCK_UNION | CLOCK_ATTRS,
+        Command::IoDelay(_) => IO_DELAYS,
+        Command::SetCaseAnalysis(_) => CASE,
+        Command::SetDisableTiming(_) => DISABLES,
+        Command::SetDrive(_) | Command::SetLoad(_) | Command::SetInputTransition(_) => PORT_ATTRS,
+        Command::SetClockGroups(_) => EXCLUSIVITY,
+        Command::PathException(_) => EXCEPTIONS,
+        // Clock sense shapes STA propagation (refinement), not any
+        // preliminary stage. `Command` is non-exhaustive: unknown
+        // future kinds conservatively invalidate every stage.
+        Command::SetClockSense(_) => 0,
+        _ => u32::MAX,
+    }
+}
+
+/// The command with its numeric value masked to zero when the kind is
+/// *value-only* (the value never enters relation structure); `None`
+/// for kinds where every field is structural.
+fn value_masked(cmd: &Command) -> Option<Command> {
+    use modemerge_sdc as sdc;
+    Some(match cmd {
+        Command::SetClockLatency(c) => Command::SetClockLatency(sdc::SetClockLatency {
+            value: 0.0,
+            ..c.clone()
+        }),
+        Command::SetClockUncertainty(c) => Command::SetClockUncertainty(sdc::SetClockUncertainty {
+            value: 0.0,
+            ..c.clone()
+        }),
+        Command::SetClockTransition(c) => Command::SetClockTransition(sdc::SetClockTransition {
+            value: 0.0,
+            ..c.clone()
+        }),
+        Command::SetInputTransition(c) => Command::SetInputTransition(sdc::SetInputTransition {
+            value: 0.0,
+            ..c.clone()
+        }),
+        Command::SetDrive(c) => Command::SetDrive(sdc::SetDrive {
+            value: 0.0,
+            ..c.clone()
+        }),
+        Command::SetLoad(c) => Command::SetLoad(sdc::SetLoad {
+            value: 0.0,
+            ..c.clone()
+        }),
+        Command::IoDelay(c) => Command::IoDelay(sdc::IoDelay {
+            value: 0.0,
+            ..c.clone()
+        }),
+        _ => return None,
+    })
+}
+
+fn command_hash(line: u32, text: &str) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(u64::from(line));
+    h.write(text.as_bytes());
+    h.finish()
+}
+
+/// Content fingerprint of one mode's SDC: per-command full and
+/// structural hashes, their rollups, and the per-stage input-slice
+/// hashes that key the [`StageReuse`](super::stage_reuse) cache.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ModeFp {
+    pub name: String,
+    /// Per-command `H(line, text)`, file order.
+    pub full_cmds: Vec<u64>,
+    /// Per-command `H(line, value-masked text)`, file order.
+    pub structural_cmds: Vec<u64>,
+    /// 1-based source line per command (0 when synthesized).
+    pub lines: Vec<u32>,
+    /// Rollup of `full_cmds`.
+    pub full: u64,
+    /// Rollup of `structural_cmds`.
+    pub structural: u64,
+    /// Per-stage hash over the ordered sub-sequence of commands that
+    /// stage's output can depend on.
+    pub slices: [u64; STAGE_COUNT],
+}
+
+impl ModeFp {
+    /// Fingerprints one mode.
+    pub fn of(name: &str, sdc: &SdcFile) -> Self {
+        let n = sdc.commands().len();
+        let mut full_cmds = Vec::with_capacity(n);
+        let mut structural_cmds = Vec::with_capacity(n);
+        let mut lines = Vec::with_capacity(n);
+        let mut full = Fnv64::new();
+        let mut structural = Fnv64::new();
+        let mut slices = [Fnv64::new(); STAGE_COUNT];
+        for (idx, cmd) in sdc.commands().iter().enumerate() {
+            let line = sdc.line_of(idx);
+            let fh = command_hash(line, &cmd.to_text());
+            let sh = match value_masked(cmd) {
+                Some(masked) => command_hash(line, &masked.to_text()),
+                None => fh,
+            };
+            full_cmds.push(fh);
+            structural_cmds.push(sh);
+            lines.push(line);
+            full.write_u64(fh);
+            structural.write_u64(sh);
+            let mask = stage_mask(cmd);
+            for (s, slice) in slices.iter_mut().enumerate() {
+                if mask & (1 << s) != 0 {
+                    slice.write_u64(fh);
+                }
+            }
+        }
+        Self {
+            name: name.to_owned(),
+            full_cmds,
+            structural_cmds,
+            lines,
+            full: full.finish(),
+            structural: structural.finish(),
+            slices: slices.map(Fnv64::finish),
+        }
+    }
+
+    /// 1-based lines of commands edited in place relative to
+    /// `baseline` (position-wise full-hash mismatch). Only meaningful
+    /// when the two fingerprints are structural-equal (same command
+    /// count and structure).
+    pub fn edited_lines(&self, baseline: &Self) -> Vec<u32> {
+        self.full_cmds
+            .iter()
+            .zip(&baseline.full_cmds)
+            .zip(&self.lines)
+            .filter(|((a, b), _)| a != b)
+            .map(|(_, &line)| line)
+            .collect()
+    }
+}
+
+/// Command-level diff of one resubmitted suite against the cached
+/// baseline, aggregated across modes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaSummary {
+    /// Modes present now but not in the baseline.
+    pub modes_added: usize,
+    /// Modes present in the baseline but not now.
+    pub modes_removed: usize,
+    /// Modes whose command content differs from the baseline.
+    pub modes_changed: usize,
+    /// Same mode set in a different submission order.
+    pub reordered: bool,
+    /// Commands present now but not in the baseline (by content hash).
+    pub commands_added: usize,
+    /// Commands present in the baseline but not now.
+    pub commands_removed: usize,
+    /// Commands edited in place: structurally the same command (same
+    /// line, same shape) with only its value changed.
+    pub commands_changed: usize,
+}
+
+impl DeltaSummary {
+    /// Diffs `new` against `old` by mode name.
+    pub(crate) fn diff(old: &[ModeFp], new: &[ModeFp]) -> Self {
+        let mut d = DeltaSummary::default();
+        let old_names: Vec<&str> = old.iter().map(|m| m.name.as_str()).collect();
+        let new_names: Vec<&str> = new.iter().map(|m| m.name.as_str()).collect();
+        d.reordered = old_names != new_names && {
+            let mut a = old_names.clone();
+            let mut b = new_names.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            a == b
+        };
+        for m in new {
+            let Some(base) = old.iter().find(|o| o.name == m.name) else {
+                d.modes_added += 1;
+                d.commands_added += m.full_cmds.len();
+                continue;
+            };
+            if base.full_cmds == m.full_cmds {
+                continue;
+            }
+            d.modes_changed += 1;
+            if base.structural_cmds == m.structural_cmds {
+                // Pure value edits: position-wise pairing.
+                d.commands_changed += m
+                    .full_cmds
+                    .iter()
+                    .zip(&base.full_cmds)
+                    .filter(|(a, b)| a != b)
+                    .count();
+            } else {
+                // Structural delta: multiset difference of full hashes.
+                let mut old_set: Vec<u64> = base.full_cmds.clone();
+                for h in &m.full_cmds {
+                    if let Some(pos) = old_set.iter().position(|o| o == h) {
+                        old_set.swap_remove(pos);
+                    } else {
+                        d.commands_added += 1;
+                    }
+                }
+                d.commands_removed += old_set.len();
+            }
+        }
+        for o in old {
+            if !new.iter().any(|m| m.name == o.name) {
+                d.modes_removed += 1;
+                d.commands_removed += o.full_cmds.len();
+            }
+        }
+        d
+    }
+
+    /// Serializes to the in-tree JSON value.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::Obj(vec![
+            ("modes_added".into(), Json::count(self.modes_added)),
+            ("modes_removed".into(), Json::count(self.modes_removed)),
+            ("modes_changed".into(), Json::count(self.modes_changed)),
+            ("reordered".into(), Json::Bool(self.reordered)),
+            ("commands_added".into(), Json::count(self.commands_added)),
+            (
+                "commands_removed".into(),
+                Json::count(self.commands_removed),
+            ),
+            (
+                "commands_changed".into(),
+                Json::count(self.commands_changed),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(name: &str, text: &str) -> ModeFp {
+        ModeFp::of(name, &SdcFile::parse(text).unwrap())
+    }
+
+    #[test]
+    fn value_edit_is_structural_noop() {
+        let a = fp(
+            "m",
+            "create_clock -name c -period 10 [get_ports clk1]\n\
+             set_clock_latency 1.5 [get_clocks c]\n",
+        );
+        let b = fp(
+            "m",
+            "create_clock -name c -period 10 [get_ports clk1]\n\
+             set_clock_latency 2.5 [get_clocks c]\n",
+        );
+        assert_ne!(a.full, b.full);
+        assert_eq!(a.structural, b.structural);
+        assert_eq!(b.edited_lines(&a), vec![2]);
+        // The clock-union/attr slices change; the rest replay.
+        assert_ne!(a.slices[0], b.slices[0]);
+        assert_ne!(a.slices[1], b.slices[1]);
+        for s in 2..STAGE_COUNT {
+            assert_eq!(a.slices[s], b.slices[s], "slice {s}");
+        }
+    }
+
+    #[test]
+    fn period_edit_is_structural() {
+        let a = fp("m", "create_clock -name c -period 10 [get_ports clk1]\n");
+        let b = fp("m", "create_clock -name c -period 12 [get_ports clk1]\n");
+        assert_ne!(a.structural, b.structural);
+    }
+
+    #[test]
+    fn line_shift_changes_hashes() {
+        let a = fp("m", "set_case_analysis 1 sel1\n");
+        let b = fp("m", "\nset_case_analysis 1 sel1\n");
+        assert_ne!(a.full, b.full, "line number participates in the hash");
+    }
+
+    #[test]
+    fn delta_summary_classifies() {
+        let old = vec![
+            fp("a", "create_clock -name c -period 10 [get_ports clk1]\n"),
+            fp("b", "set_case_analysis 1 sel1\n"),
+        ];
+        // a: value edit via a latency line appended? No — append is structural.
+        let new = vec![
+            fp(
+                "a",
+                "create_clock -name c -period 10 [get_ports clk1]\n\
+                 set_false_path -to [get_pins rX/D]\n",
+            ),
+            fp("c", "set_case_analysis 0 sel1\n"),
+        ];
+        let d = DeltaSummary::diff(&old, &new);
+        assert_eq!(d.modes_changed, 1);
+        assert_eq!(d.modes_added, 1);
+        assert_eq!(d.modes_removed, 1);
+        assert_eq!(d.commands_added, 2); // the false path + mode c's command
+        assert_eq!(d.commands_removed, 1); // mode b's command
+        assert!(!d.reordered);
+
+        let swapped = vec![old[1].clone(), old[0].clone()];
+        let d = DeltaSummary::diff(&old, &swapped);
+        assert!(d.reordered);
+        assert_eq!(d.modes_changed, 0);
+    }
+}

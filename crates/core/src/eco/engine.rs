@@ -1,0 +1,660 @@
+//! The incremental re-merge engine.
+//!
+//! [`EcoEngine::remerge`] merges a session's suite like
+//! [`MergeSession::merge_all`] but diffs the suite against the cached
+//! baseline of the previous run first and reuses every artifact the
+//! delta leaves valid, in four tiers:
+//!
+//! * **suite replay** — the resubmitted suite is content-identical:
+//!   the whole previous [`MergeAllOutcome`] is returned, zero stages
+//!   run;
+//! * **group replay** — a clique's modes are all content-identical to
+//!   a baseline group: its recorded [`MergeOutcome`] replays (failed
+//!   groups replay their keep-individual fallback);
+//! * **tail replay** — a clique changed only *values* (structural
+//!   hashes match) and no baseline fix note touches an edited line:
+//!   the preliminary pipeline re-runs (with stage-level reuse) and the
+//!   baseline's refinement tail — derived commands, provenance,
+//!   diagnostics, report counters — replays on top, skipping STA
+//!   entirely;
+//! * **group recompute** — everything else runs the full
+//!   [`merge_indices`](MergeSession::merge_indices) path, still
+//!   reusing unchanged preliminary stages and cached pair verdicts.
+//!
+//! The invariant throughout: the incremental result is byte-identical
+//! to a cold merge of the edited suite, at any thread count. `check =
+//! true` (the `MODEMERGE_ECO_CHECK=1` debug mode) recomputes cold and
+//! panics on any divergence.
+
+use super::delta::{fingerprint, DeltaSummary, Fnv64, ModeFp};
+use super::stage_reuse::{GroupCapture, StageRecord, StageReuse};
+use crate::error::{MergeConflict, MergeError};
+use crate::json::Json;
+use crate::merge::{MergeAllOutcome, MergeOutcome, MergeReport, ModeInput};
+use crate::mergeability::greedy_cliques;
+use crate::provenance::{Diagnostic, DiagnosticSink, ProvRecord};
+use crate::session::MergeSession;
+use modemerge_sdc::Command;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Keep at most this many stage records before garbage-collecting the
+/// ones the latest run did not touch.
+const STAGE_CACHE_CAP: usize = 512;
+
+/// Cumulative reuse counters of one engine (monotonic; the service
+/// reports them through `stats` and tests assert on their deltas).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EcoCounters {
+    /// Warm remerges that reused at least one cached artifact.
+    pub eco_hits: u64,
+    /// Remerges that ran fully cold (no baseline, or design/options
+    /// changed).
+    pub cold_runs: u64,
+    /// Tier-0 whole-suite replays (content-identical resubmission).
+    pub suite_replays: u64,
+    /// Groups replayed verbatim (all modes content-identical).
+    pub group_replays: u64,
+    /// Groups that replayed their refinement tail over a fresh
+    /// preliminary run (value-only edits).
+    pub tail_replays: u64,
+    /// Groups recomputed through the full merge path.
+    pub groups_recomputed: u64,
+    /// Preliminary stages replayed from the stage cache.
+    pub stages_reused: u64,
+    /// Preliminary stages recomputed (cache miss).
+    pub stages_recomputed: u64,
+    /// Mergeability pair verdicts answered from the pair cache.
+    pub pairs_reused: u64,
+    /// Mergeability pairs mock-merged afresh.
+    pub pairs_recomputed: u64,
+    /// Pass-2 endpoint budget avoided by tail replays (baseline
+    /// endpoints whose re-verification was skipped).
+    pub endpoints_reused: u64,
+    /// Pass-2 endpoints actually re-verified by recomputed groups.
+    pub endpoints_rerun: u64,
+    /// Cold/warm cross-check runs performed (`MODEMERGE_ECO_CHECK`).
+    pub checks_run: u64,
+}
+
+impl EcoCounters {
+    /// Component-wise `self - earlier` (both monotonic snapshots).
+    fn since(&self, earlier: &EcoCounters) -> EcoCounters {
+        EcoCounters {
+            eco_hits: self.eco_hits - earlier.eco_hits,
+            cold_runs: self.cold_runs - earlier.cold_runs,
+            suite_replays: self.suite_replays - earlier.suite_replays,
+            group_replays: self.group_replays - earlier.group_replays,
+            tail_replays: self.tail_replays - earlier.tail_replays,
+            groups_recomputed: self.groups_recomputed - earlier.groups_recomputed,
+            stages_reused: self.stages_reused - earlier.stages_reused,
+            stages_recomputed: self.stages_recomputed - earlier.stages_recomputed,
+            pairs_reused: self.pairs_reused - earlier.pairs_reused,
+            pairs_recomputed: self.pairs_recomputed - earlier.pairs_recomputed,
+            endpoints_reused: self.endpoints_reused - earlier.endpoints_reused,
+            endpoints_rerun: self.endpoints_rerun - earlier.endpoints_rerun,
+            checks_run: self.checks_run - earlier.checks_run,
+        }
+    }
+
+    /// Component-wise accumulation (the service sums across engines).
+    pub fn accumulate(&mut self, other: &EcoCounters) {
+        self.eco_hits += other.eco_hits;
+        self.cold_runs += other.cold_runs;
+        self.suite_replays += other.suite_replays;
+        self.group_replays += other.group_replays;
+        self.tail_replays += other.tail_replays;
+        self.groups_recomputed += other.groups_recomputed;
+        self.stages_reused += other.stages_reused;
+        self.stages_recomputed += other.stages_recomputed;
+        self.pairs_reused += other.pairs_reused;
+        self.pairs_recomputed += other.pairs_recomputed;
+        self.endpoints_reused += other.endpoints_reused;
+        self.endpoints_rerun += other.endpoints_rerun;
+        self.checks_run += other.checks_run;
+    }
+
+    /// Serializes to the in-tree JSON value.
+    pub fn to_json(&self) -> Json {
+        let n = |v: u64| Json::num(v as f64);
+        Json::Obj(vec![
+            ("eco_hits".into(), n(self.eco_hits)),
+            ("cold_runs".into(), n(self.cold_runs)),
+            ("suite_replays".into(), n(self.suite_replays)),
+            ("group_replays".into(), n(self.group_replays)),
+            ("tail_replays".into(), n(self.tail_replays)),
+            ("groups_recomputed".into(), n(self.groups_recomputed)),
+            ("stages_reused".into(), n(self.stages_reused)),
+            ("stages_recomputed".into(), n(self.stages_recomputed)),
+            ("pairs_reused".into(), n(self.pairs_reused)),
+            ("pairs_recomputed".into(), n(self.pairs_recomputed)),
+            ("endpoints_reused".into(), n(self.endpoints_reused)),
+            ("endpoints_rerun".into(), n(self.endpoints_rerun)),
+            ("checks_run".into(), n(self.checks_run)),
+        ])
+    }
+}
+
+/// What one [`EcoEngine::remerge`] call did: warm/cold, the command
+/// delta it classified, and the counter deltas of just this run.
+#[derive(Debug, Clone)]
+pub struct EcoRunReport {
+    /// `false` when the run fell back to a cold merge (no baseline, or
+    /// the design/options changed).
+    pub warm: bool,
+    /// `"cold"`, `"replay"` (whole-suite) or `"incremental"`.
+    pub tier: &'static str,
+    /// The command-level diff against the baseline (all-zero on cold
+    /// runs and suite replays).
+    pub delta: DeltaSummary,
+    /// Counter deltas attributable to this run.
+    pub counters: EcoCounters,
+}
+
+impl EcoRunReport {
+    /// Serializes to the in-tree JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("warm".into(), Json::Bool(self.warm)),
+            ("tier".into(), Json::str(self.tier)),
+            ("delta".into(), self.delta.to_json()),
+            ("counters".into(), self.counters.to_json()),
+        ])
+    }
+}
+
+/// The recorded refinement/validation tail of a merged group, rebased
+/// to its preliminary boundary (see [`GroupCapture`]). A tail replays
+/// onto any fresh preliminary run of the same structural shape.
+#[derive(Debug, Clone)]
+struct GroupTail {
+    commands: Vec<Command>,
+    records: Vec<ProvRecord>,
+    /// `(command offset, record offset)` pairs past the boundary.
+    attachments: Vec<(usize, usize)>,
+    diags: Vec<Diagnostic>,
+}
+
+/// One baseline group: its content keys and replayable artifacts.
+#[derive(Debug, Clone)]
+struct GroupRecord {
+    /// `H(ordered (name, full command hash rollup))` of the group.
+    full_key: u64,
+    /// Same with value-masked (structural) rollups.
+    structural_key: u64,
+    /// `true` when the group failed deep merging and fell back to
+    /// keeping its modes individual.
+    failed: bool,
+    outcome: Option<MergeOutcome>,
+    tail: Option<GroupTail>,
+}
+
+/// The previous run this engine can diff against.
+#[derive(Debug, Clone)]
+struct Baseline {
+    input_fp: u64,
+    options_fp: String,
+    modes: Vec<ModeFp>,
+    outcome: MergeAllOutcome,
+    /// Parallel to `outcome.groups`.
+    groups: Vec<GroupRecord>,
+}
+
+/// Incremental re-merge state: the last run's baseline plus the stage
+/// and pair caches that survive across runs.
+#[derive(Debug, Default)]
+pub struct EcoEngine {
+    baseline: Option<Baseline>,
+    stage_cache: HashMap<u64, StageRecord>,
+    /// Mergeability verdicts keyed by the position-ordered pair of
+    /// full mode-content hashes.
+    pair_cache: HashMap<(u64, u64), Vec<MergeConflict>>,
+    counters: EcoCounters,
+}
+
+/// Content key of a group: ordered `(name, rollup)` pairs.
+fn group_key(fps: &[&ModeFp], structural: bool) -> u64 {
+    let mut h = Fnv64::new();
+    for fp in fps {
+        h.write(fp.name.as_bytes());
+        h.write(&[0xff]);
+        h.write_u64(if structural { fp.structural } else { fp.full });
+    }
+    h.finish()
+}
+
+impl EcoEngine {
+    /// A fresh engine with no baseline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cumulative reuse counters.
+    pub fn counters(&self) -> &EcoCounters {
+        &self.counters
+    }
+
+    /// `true` once a baseline is installed.
+    pub fn has_baseline(&self) -> bool {
+        self.baseline.is_some()
+    }
+
+    /// Merges the session's suite, reusing whatever the delta against
+    /// the cached baseline leaves valid, and installs the result as the
+    /// new baseline. See the module docs for the tier structure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MergeSession::merge_all`] errors (per-group
+    /// failures fall back to keeping modes individual, exactly like
+    /// the cold path).
+    ///
+    /// # Panics
+    ///
+    /// With `check = true`, panics when the incremental result diverges
+    /// from a cold merge of the same suite.
+    pub fn remerge(
+        &mut self,
+        session: &MergeSession<'_>,
+        input_fp: u64,
+        check: bool,
+    ) -> Result<(MergeAllOutcome, EcoRunReport), MergeError> {
+        let before = self.counters;
+        let options_fp = session.options().result_fingerprint();
+        let fps: Vec<ModeFp> = (0..session.mode_count())
+            .map(|i| {
+                let input = session.input(i);
+                ModeFp::of(&input.name, &input.sdc)
+            })
+            .collect();
+
+        let base = self
+            .baseline
+            .take()
+            .filter(|b| b.input_fp == input_fp && b.options_fp == options_fp);
+        let warm = base.is_some();
+        if !warm {
+            // Foreign design/options: nothing cached applies.
+            self.stage_cache.clear();
+            self.pair_cache.clear();
+        }
+
+        // Tier 0: content-identical resubmission replays wholesale.
+        if let Some(b) = &base {
+            let identical = b.modes.len() == fps.len()
+                && b.modes
+                    .iter()
+                    .zip(&fps)
+                    .all(|(old, new)| old.name == new.name && old.full_cmds == new.full_cmds);
+            if identical {
+                let outcome = b.outcome.clone();
+                self.counters.suite_replays += 1;
+                self.counters.eco_hits += 1;
+                self.baseline = base;
+                if check {
+                    self.cross_check(session, &outcome);
+                }
+                let report = EcoRunReport {
+                    warm: true,
+                    tier: "replay",
+                    delta: DeltaSummary::default(),
+                    counters: self.counters.since(&before),
+                };
+                return Ok((outcome, report));
+            }
+        }
+
+        let delta = base
+            .as_ref()
+            .map(|b| DeltaSummary::diff(&b.modes, &fps))
+            .unwrap_or_default();
+
+        // Mergeability with the pair cache answering unchanged pairs.
+        // (The resolver runs on pool threads, hence the atomics.)
+        let pair_cache = std::mem::take(&mut self.pair_cache);
+        let pairs_reused = AtomicU64::new(0);
+        let pairs_recomputed = AtomicU64::new(0);
+        let graph =
+            session.mergeability_with(|i, j| match pair_cache.get(&(fps[i].full, fps[j].full)) {
+                Some(known) => {
+                    pairs_reused.fetch_add(1, Ordering::Relaxed);
+                    Some(known.clone())
+                }
+                None => {
+                    pairs_recomputed.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            });
+        self.counters.pairs_reused += pairs_reused.into_inner();
+        self.counters.pairs_recomputed += pairs_recomputed.into_inner();
+        // Re-harvest: the new cache holds exactly this run's verdicts
+        // (including pre-screened identical pairs, whose empty conflict
+        // list is what the mock merge would report).
+        let n = fps.len();
+        self.pair_cache = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .map(|(i, j)| ((fps[i].full, fps[j].full), graph.conflicts(i, j).to_vec()))
+            .collect();
+
+        let groups = greedy_cliques(&graph);
+
+        let mut merged = Vec::new();
+        let mut reports = Vec::new();
+        let mut grecords = Vec::new();
+        let mut touched_stages = Vec::new();
+        for group in &groups {
+            let gfps: Vec<&ModeFp> = group.iter().map(|&i| &fps[i]).collect();
+            let full_key = group_key(&gfps, false);
+            let structural_key = group_key(&gfps, true);
+
+            // Group replay: every mode content-identical to a baseline
+            // group with the same mode list.
+            if let Some(rec) = base
+                .as_ref()
+                .and_then(|b| b.groups.iter().find(|g| g.full_key == full_key))
+            {
+                self.counters.group_replays += 1;
+                if rec.failed {
+                    push_individuals(session, group, &mut merged, &mut reports);
+                } else if let Some(out) = &rec.outcome {
+                    merged.push(out.merged.clone());
+                    reports.push(out.report.clone());
+                } else {
+                    push_individuals(session, group, &mut merged, &mut reports);
+                }
+                grecords.push(rec.clone());
+                continue;
+            }
+
+            // Tail replay: value-only edits, no fix note touching an
+            // edited line.
+            if group.len() > 1 {
+                let candidate = base.as_ref().and_then(|b| {
+                    b.groups
+                        .iter()
+                        .find(|g| g.structural_key == structural_key && !g.failed)
+                        .filter(|g| g.outcome.is_some() && g.tail.is_some())
+                        .map(|g| (g, &b.modes))
+                });
+                if let Some((rec, base_modes)) = candidate {
+                    if !tail_touched(rec, base_modes, &gfps) {
+                        let mut reuse = StageReuse::new(&mut self.stage_cache, &options_fp, &gfps);
+                        let prelim = session.preliminary_for(group, Some(&mut reuse));
+                        self.counters.stages_reused += reuse.stages_reused;
+                        self.counters.stages_recomputed += reuse.stages_recomputed;
+                        touched_stages.append(&mut reuse.touched);
+                        drop(reuse);
+                        if prelim.conflicts.is_empty() {
+                            let tail = rec.tail.as_ref().expect("filtered Some");
+                            let base_report = &rec.outcome.as_ref().expect("filtered Some").report;
+                            let names: Vec<String> =
+                                gfps.iter().map(|fp| fp.name.clone()).collect();
+                            let (outcome, capture) = replay_tail(prelim, tail, base_report, &names);
+                            self.counters.tail_replays += 1;
+                            self.counters.endpoints_reused += base_report.pass2_endpoints as u64;
+                            grecords.push(GroupRecord {
+                                full_key,
+                                structural_key,
+                                failed: false,
+                                tail: capture_tail(&outcome, &capture),
+                                outcome: Some(outcome.clone()),
+                            });
+                            merged.push(outcome.merged);
+                            reports.push(outcome.report);
+                            continue;
+                        }
+                        // Value edits pushed a three-way envelope past
+                        // tolerance: the cold path would refuse the
+                        // group and keep its modes individual.
+                        self.counters.groups_recomputed += 1;
+                        push_individuals(session, group, &mut merged, &mut reports);
+                        grecords.push(GroupRecord {
+                            full_key,
+                            structural_key,
+                            failed: true,
+                            outcome: None,
+                            tail: None,
+                        });
+                        continue;
+                    }
+                }
+            }
+
+            // Full recompute, still reusing unchanged stages.
+            self.counters.groups_recomputed += 1;
+            let mut capture = GroupCapture::default();
+            let result = if group.len() > 1 {
+                let mut reuse = StageReuse::new(&mut self.stage_cache, &options_fp, &gfps);
+                let result =
+                    session.merge_indices_captured(group, Some(&mut reuse), Some(&mut capture));
+                self.counters.stages_reused += reuse.stages_reused;
+                self.counters.stages_recomputed += reuse.stages_recomputed;
+                touched_stages.append(&mut reuse.touched);
+                result
+            } else {
+                session.merge_indices(group)
+            };
+            match result {
+                Ok(outcome) => {
+                    self.counters.endpoints_rerun += outcome.report.pass2_endpoints as u64;
+                    grecords.push(GroupRecord {
+                        full_key,
+                        structural_key,
+                        failed: false,
+                        tail: if group.len() > 1 {
+                            capture_tail(&outcome, &capture)
+                        } else {
+                            None
+                        },
+                        outcome: Some(outcome.clone()),
+                    });
+                    merged.push(outcome.merged);
+                    reports.push(outcome.report);
+                }
+                Err(_) => {
+                    push_individuals(session, group, &mut merged, &mut reports);
+                    grecords.push(GroupRecord {
+                        full_key,
+                        structural_key,
+                        failed: true,
+                        outcome: None,
+                        tail: None,
+                    });
+                }
+            }
+        }
+
+        let outcome = MergeAllOutcome {
+            merged,
+            groups,
+            reports,
+        };
+
+        if self.stage_cache.len() > STAGE_CACHE_CAP {
+            self.stage_cache.retain(|k, _| touched_stages.contains(k));
+        }
+
+        if warm {
+            self.counters.eco_hits += 1;
+        } else {
+            self.counters.cold_runs += 1;
+        }
+        self.baseline = Some(Baseline {
+            input_fp,
+            options_fp,
+            modes: fps,
+            outcome: outcome.clone(),
+            groups: grecords,
+        });
+        if check {
+            self.cross_check(session, &outcome);
+        }
+        let report = EcoRunReport {
+            warm,
+            tier: if warm { "incremental" } else { "cold" },
+            delta,
+            counters: self.counters.since(&before),
+        };
+        Ok((outcome, report))
+    }
+
+    /// Recomputes the suite cold and panics on any divergence from the
+    /// incremental `outcome` (debug mode `MODEMERGE_ECO_CHECK=1`).
+    fn cross_check(&mut self, session: &MergeSession<'_>, outcome: &MergeAllOutcome) {
+        self.counters.checks_run += 1;
+        let cold = session
+            .merge_all()
+            .expect("cold cross-check merge must succeed");
+        assert_eq!(
+            cold.groups, outcome.groups,
+            "eco check: incremental grouping diverges from cold merge"
+        );
+        assert_eq!(
+            cold.merged.len(),
+            outcome.merged.len(),
+            "eco check: incremental mode count diverges from cold merge"
+        );
+        for (c, w) in cold.merged.iter().zip(&outcome.merged) {
+            assert_eq!(
+                c.name, w.name,
+                "eco check: merged mode name diverges from cold merge"
+            );
+            assert_eq!(
+                c.sdc.to_text(),
+                w.sdc.to_text(),
+                "eco check: merged SDC for `{}` diverges from cold merge",
+                c.name
+            );
+        }
+    }
+}
+
+/// The cold path's keep-individual fallback for a failed group.
+fn push_individuals(
+    session: &MergeSession<'_>,
+    group: &[usize],
+    merged: &mut Vec<ModeInput>,
+    reports: &mut Vec<MergeReport>,
+) {
+    for &i in group {
+        let input = session.input(i).clone();
+        reports.push(MergeReport {
+            mode_names: vec![input.name.clone()],
+            validated: true,
+            ..Default::default()
+        });
+        merged.push(input);
+    }
+}
+
+/// `true` when any baseline fix note (refinement-tail provenance)
+/// references an edited line of the corresponding group mode — the
+/// selective re-verification guard: such groups re-run the 3-pass.
+fn tail_touched(rec: &GroupRecord, base_modes: &[ModeFp], gfps: &[&ModeFp]) -> bool {
+    let Some(tail) = &rec.tail else {
+        return true;
+    };
+    let edited: Vec<Vec<u32>> = gfps
+        .iter()
+        .map(|fp| {
+            base_modes
+                .iter()
+                .find(|b| b.name == fp.name)
+                .map(|b| fp.edited_lines(b))
+                .unwrap_or_default()
+        })
+        .collect();
+    tail.records.iter().any(|r| {
+        r.contribs.iter().any(|&(mode, line)| {
+            line != 0
+                && edited
+                    .get(mode as usize)
+                    .is_some_and(|lines| lines.contains(&line))
+        })
+    })
+}
+
+/// Slices a merge outcome at its preliminary boundary into a replayable
+/// tail. `None` — tail replay unavailable — when a tail provenance
+/// attachment reaches back across the boundary.
+fn capture_tail(outcome: &MergeOutcome, cap: &GroupCapture) -> Option<GroupTail> {
+    let prov = &outcome.report.provenance;
+    let mut attachments = Vec::new();
+    for (c, r) in prov.attachments().skip(cap.prelim_attachments) {
+        if c < cap.prelim_commands || r < cap.prelim_records {
+            return None;
+        }
+        attachments.push((c - cap.prelim_commands, r - cap.prelim_records));
+    }
+    Some(GroupTail {
+        commands: outcome.merged.sdc.commands()[cap.prelim_commands..].to_vec(),
+        records: prov.records()[cap.prelim_records..].to_vec(),
+        attachments,
+        diags: outcome.report.diagnostics[cap.prelim_diags..].to_vec(),
+    })
+}
+
+/// Replays a recorded refinement tail onto a fresh preliminary run,
+/// producing the merged outcome without any STA. Returns the outcome
+/// plus the fresh preliminary boundary (for re-recording the tail).
+fn replay_tail(
+    prelim: crate::preliminary::Preliminary,
+    tail: &GroupTail,
+    base_report: &MergeReport,
+    names: &[String],
+) -> (MergeOutcome, GroupCapture) {
+    let mut sdc = prelim.sdc;
+    let mut prov = prelim.provenance;
+    let capture = GroupCapture {
+        prelim_commands: sdc.commands().len(),
+        prelim_records: prov.records().len(),
+        prelim_attachments: prov.attachments().count(),
+        prelim_diags: prelim.diagnostics.len(),
+    };
+    let c_base = capture.prelim_commands;
+    let r_base = capture.prelim_records;
+    for cmd in &tail.commands {
+        sdc.push(cmd.clone());
+    }
+    for rec in &tail.records {
+        prov.record(rec.rule, rec.contribs.clone(), rec.detail.clone());
+    }
+    for &(c, r) in &tail.attachments {
+        prov.attach_index(c_base + c, r_base + r);
+    }
+    let mut diags = DiagnosticSink::new();
+    for d in prelim.diagnostics.iter().chain(&tail.diags) {
+        diags.emit(d.code, d.message.clone());
+    }
+    let merged_name = names.join("+");
+    let outcome = MergeOutcome {
+        merged: ModeInput::new(merged_name, sdc),
+        report: MergeReport {
+            mode_names: names.to_vec(),
+            clock_count: prelim.clock_table.len(),
+            dropped_cases: prelim.dropped_cases.len(),
+            disabled_case_pins: prelim.disabled_case_pins.len(),
+            dropped_false_paths: prelim.dropped_false_paths,
+            uniquified_exceptions: prelim.uniquified_exceptions,
+            clock_stops: base_report.clock_stops,
+            data_cut_false_paths: base_report.data_cut_false_paths,
+            comparison_false_paths: base_report.comparison_false_paths,
+            pass2_endpoints: base_report.pass2_endpoints,
+            pass3_pairs: base_report.pass3_pairs,
+            refine_iterations: base_report.refine_iterations,
+            residual_pessimism: base_report.residual_pessimism,
+            extra_relations: base_report.extra_relations,
+            validated: base_report.validated,
+            diagnostics: diags.into_vec(),
+            provenance: prov,
+        },
+    };
+    (outcome, capture)
+}
+
+/// The conventional suite-independent design identity: callers hash
+/// the netlist's canonical text once and pass it to every
+/// [`EcoEngine::remerge`] against that design.
+pub fn input_fingerprint(netlist_text: &str) -> u64 {
+    fingerprint(netlist_text)
+}

@@ -1,0 +1,26 @@
+//! Incremental re-merge (ECO) engine.
+//!
+//! Engineering-change-order flows resubmit a constraint suite that
+//! differs from the previous run by a handful of edited commands. A
+//! cold [`merge_all`](crate::MergeSession::merge_all) re-derives
+//! everything; this subsystem instead content-addresses every parsed
+//! SDC command ([`delta`]), keys each preliminary pipeline stage by
+//! the hash of its input command slice ([`stage_reuse`]) and replays
+//! every artifact of the previous run that the command-level delta
+//! leaves valid ([`engine`]) — up to and including whole refinement
+//! tails, which lets value-only edits skip STA entirely.
+//!
+//! Entry points: [`EcoEngine::remerge`] (or the
+//! [`MergeSession::rebind_delta`](crate::MergeSession::rebind_delta)
+//! convenience wrapper) and [`fingerprint`] for deriving design
+//! identities. The invariant: an incremental result is byte-identical
+//! to a cold merge of the edited suite at any thread count;
+//! `MODEMERGE_ECO_CHECK=1` (plumbed as `check = true`) verifies that
+//! on every run.
+
+pub mod delta;
+mod engine;
+pub(crate) mod stage_reuse;
+
+pub use delta::{fingerprint, DeltaSummary, Fnv64};
+pub use engine::{input_fingerprint, EcoCounters, EcoEngine, EcoRunReport};

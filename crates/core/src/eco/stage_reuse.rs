@@ -1,0 +1,201 @@
+//! Stage-level reuse for the preliminary pipeline.
+//!
+//! Each of the eight preliminary stages reads a well-defined subset of
+//! the group's SDC commands (see `stage_mask` in [`super::delta`]). A
+//! stage's cache key is therefore `H(options fingerprint, ordered mode
+//! names, stage index, per-mode input-slice hashes)`: when a
+//! resubmitted suite leaves a stage's input slice untouched in every
+//! mode of the group, the stage's recorded output — emitted commands,
+//! conflicts, provenance records and attachments, diagnostics, and its
+//! auxiliary value — replays verbatim instead of recomputing.
+//!
+//! Replay is exact by construction: stages run serially and append to
+//! the shared [`StageCtx`] state, so a stage's output is the slice of
+//! each sink between its entry and exit boundaries. Records and
+//! attachments are stored *rebased* to the stage-entry boundary and
+//! re-based again on replay, which keeps provenance ids dense and
+//! byte-identical to a cold run even when earlier stages emitted a
+//! different number of commands than in the baseline run.
+
+use super::delta::{Fnv64, ModeFp, STAGE_COUNT};
+use crate::error::MergeConflict;
+use crate::provenance::Diagnostic;
+use crate::provenance::ProvRecord;
+use crate::stages::case_analysis::CaseOutcome;
+use crate::stages::clock_union::ClockUnion;
+use crate::stages::exceptions::ExceptionOutcome;
+use crate::stages::StageCtx;
+use modemerge_sdc::Command;
+use std::collections::HashMap;
+
+/// Auxiliary stage output that later pipeline steps consume in-process
+/// (not part of the emitted SDC).
+#[derive(Debug, Clone)]
+pub(crate) enum StageAux {
+    None,
+    Union(ClockUnion),
+    Cases(CaseOutcome),
+    Excs(ExceptionOutcome),
+}
+
+/// One stage's recorded output, rebased to the stage-entry boundary.
+#[derive(Debug, Clone)]
+pub(crate) struct StageRecord {
+    commands: Vec<Command>,
+    conflicts: Vec<MergeConflict>,
+    records: Vec<ProvRecord>,
+    /// `(command offset, record offset)` pairs relative to stage entry.
+    attachments: Vec<(usize, usize)>,
+    diags: Vec<Diagnostic>,
+    aux: StageAux,
+}
+
+/// Per-run view over the engine's stage cache: the eight stage keys for
+/// the group being merged plus reuse counters.
+pub(crate) struct StageReuse<'a> {
+    cache: &'a mut HashMap<u64, StageRecord>,
+    keys: [u64; STAGE_COUNT],
+    /// Keys consulted or installed this run (cache GC retains these).
+    pub touched: Vec<u64>,
+    pub stages_reused: u64,
+    pub stages_recomputed: u64,
+}
+
+impl<'a> StageReuse<'a> {
+    /// Binds the cache to one merge group: `options_fp` is
+    /// [`MergeOptions::result_fingerprint`](crate::merge::MergeOptions::result_fingerprint)
+    /// and `fps` the group's mode fingerprints in group order.
+    pub fn new(
+        cache: &'a mut HashMap<u64, StageRecord>,
+        options_fp: &str,
+        fps: &[&ModeFp],
+    ) -> Self {
+        let mut base = Fnv64::new();
+        base.write(options_fp.as_bytes());
+        for fp in fps {
+            base.write(fp.name.as_bytes());
+            base.write(&[0xff]);
+        }
+        let mut keys = [0u64; STAGE_COUNT];
+        for (s, key) in keys.iter_mut().enumerate() {
+            let mut h = base;
+            h.write_u64(s as u64);
+            for fp in fps {
+                h.write_u64(fp.slices[s]);
+            }
+            *key = h.finish();
+        }
+        Self {
+            cache,
+            keys,
+            touched: Vec::new(),
+            stages_reused: 0,
+            stages_recomputed: 0,
+        }
+    }
+
+    /// The cached record for stage `stage`, if its input slice is
+    /// unchanged since it was recorded.
+    pub fn lookup(&mut self, stage: usize) -> Option<StageRecord> {
+        let key = self.keys[stage];
+        self.touched.push(key);
+        let hit = self.cache.get(&key).cloned();
+        if hit.is_some() {
+            self.stages_reused += 1;
+        } else {
+            self.stages_recomputed += 1;
+        }
+        hit
+    }
+
+    /// Installs a freshly captured record for stage `stage`.
+    pub fn install(&mut self, stage: usize, record: StageRecord) {
+        self.cache.insert(self.keys[stage], record);
+    }
+}
+
+/// Sink boundaries at stage entry; pairs with [`StageRecord::capture`].
+pub(crate) struct StageMark {
+    commands: usize,
+    conflicts: usize,
+    records: usize,
+    attachments: usize,
+    diags: usize,
+}
+
+impl StageMark {
+    /// Snapshots the sink lengths before a stage runs.
+    pub fn before(ctx: &StageCtx<'_>) -> Self {
+        Self {
+            commands: ctx.sdc.commands().len(),
+            conflicts: ctx.conflicts.len(),
+            records: ctx.prov.records().len(),
+            attachments: ctx.prov.attachments().count(),
+            diags: ctx.diags.len(),
+        }
+    }
+}
+
+impl StageRecord {
+    /// Captures everything the stage appended since `mark`, rebased to
+    /// the stage-entry boundary. Returns `None` — do not cache — when
+    /// the stage attached provenance across the boundary (to an earlier
+    /// stage's command or record), which replay could not rebase.
+    pub fn capture(ctx: &StageCtx<'_>, mark: &StageMark, aux: StageAux) -> Option<Self> {
+        let mut attachments = Vec::new();
+        for (c, r) in ctx.prov.attachments().skip(mark.attachments) {
+            if c < mark.commands || r < mark.records {
+                return None;
+            }
+            attachments.push((c - mark.commands, r - mark.records));
+        }
+        Some(Self {
+            commands: ctx.sdc.commands()[mark.commands..].to_vec(),
+            conflicts: ctx.conflicts[mark.conflicts..].to_vec(),
+            records: ctx.prov.records()[mark.records..].to_vec(),
+            attachments,
+            diags: ctx.diags.diagnostics()[mark.diags..].to_vec(),
+            aux,
+        })
+    }
+
+    /// Replays the recorded output onto a fresh run's sinks, re-basing
+    /// command and record indices to the current boundaries. Returns
+    /// the stage's auxiliary value.
+    pub fn replay(&self, ctx: &mut StageCtx<'_>) -> StageAux {
+        let c_base = ctx.sdc.commands().len();
+        let r_base = ctx.prov.records().len();
+        for cmd in &self.commands {
+            ctx.sdc.push(cmd.clone());
+        }
+        ctx.conflicts.extend(self.conflicts.iter().cloned());
+        for rec in &self.records {
+            ctx.prov
+                .record(rec.rule, rec.contribs.clone(), rec.detail.clone());
+        }
+        for &(c, r) in &self.attachments {
+            ctx.prov.attach_index(c_base + c, r_base + r);
+        }
+        for d in &self.diags {
+            ctx.diags.emit(d.code, d.message.clone());
+        }
+        self.aux.clone()
+    }
+}
+
+/// Boundary counts separating a merge's preliminary output from its
+/// refinement/validation tail. [`merge_indices_captured`]
+/// (crate::session::MergeSession::merge_indices_captured) fills one in
+/// right after the preliminary pipeline; the eco engine slices the
+/// final report at these boundaries to record a replayable tail.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GroupCapture {
+    /// Commands in the preliminary SDC.
+    pub prelim_commands: usize,
+    /// Provenance records at the end of the preliminary pipeline.
+    pub prelim_records: usize,
+    /// Provenance attachments at the end of the preliminary pipeline.
+    pub prelim_attachments: usize,
+    /// Diagnostics at the end of the preliminary pipeline.
+    pub prelim_diags: usize,
+}

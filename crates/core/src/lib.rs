@@ -46,6 +46,7 @@
 //! # }
 //! ```
 
+pub mod eco;
 pub mod emit;
 pub mod equivalence;
 pub mod error;
@@ -63,6 +64,7 @@ pub(crate) mod stages;
 pub mod three_pass;
 pub mod uniquify;
 
+pub use eco::{DeltaSummary, EcoCounters, EcoEngine, EcoRunReport};
 pub use error::{MergeConflict, MergeError};
 pub use json::Json;
 pub use lint::{lint_modes, lint_session, Finding, LintReport, Severity};

@@ -43,6 +43,26 @@ impl MergeabilityGraph {
         options: &MergeOptions,
         known_mergeable: impl Fn(usize, usize) -> bool + Sync,
     ) -> Self {
+        Self::build_with(netlist, modes, options, |i, j| {
+            known_mergeable(i, j).then(Vec::new)
+        })
+    }
+
+    /// [`MergeabilityGraph::build`] with a resolver hook: when
+    /// `resolve(i, j)` returns `Some(conflicts)` that pair's mock merge
+    /// is skipped and the supplied conflict list used verbatim (the eco
+    /// engine's pair cache answers from a previous run); `None` runs the
+    /// mock merge as usual.
+    ///
+    /// The caller is responsible for supplying exactly what the mock
+    /// merge would have produced — the graph's adjacency is derived from
+    /// conflict-list emptiness either way.
+    pub fn build_with(
+        netlist: &Netlist,
+        modes: &[&Mode],
+        options: &MergeOptions,
+        resolve: impl Fn(usize, usize) -> Option<Vec<MergeConflict>> + Sync,
+    ) -> Self {
         let n = modes.len();
         let mut adj = vec![false; n * n];
         let mut conflicts = vec![Vec::new(); n * n];
@@ -55,8 +75,8 @@ impl MergeabilityGraph {
         let results: Vec<Vec<MergeConflict>> =
             pool::run_indexed(options.threads, pairs.len(), |k| {
                 let (i, j) = pairs[k];
-                if known_mergeable(i, j) {
-                    return Vec::new();
+                if let Some(known) = resolve(i, j) {
+                    return known;
                 }
                 preliminary_merge(netlist, &[modes[i], modes[j]], options).conflicts
             });

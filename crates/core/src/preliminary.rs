@@ -18,6 +18,7 @@
 //! tolerance snaps, drops, conflicts) on a [`DiagnosticSink`]; both ride
 //! along in the returned [`Preliminary`].
 
+use crate::eco::stage_reuse::{StageAux, StageMark, StageRecord, StageReuse};
 use crate::error::MergeConflict;
 use crate::merge::MergeOptions;
 use crate::provenance::{Diagnostic, DiagnosticSink, ProvenanceStore};
@@ -97,25 +98,92 @@ pub fn preliminary_merge(
     modes: &[&Mode],
     options: &MergeOptions,
 ) -> Preliminary {
+    preliminary_merge_reused(netlist, modes, options, None)
+}
+
+/// Runs one pipeline stage, replaying a cached [`StageRecord`] when
+/// `reuse` holds one for the stage's input slice and capturing a fresh
+/// record otherwise. Builds a fresh [`StageCtx`] per stage so the
+/// capture boundaries are explicit.
+#[allow(clippy::too_many_arguments)]
+fn run_stage<'s>(
+    stage: usize,
+    reuse: &mut Option<&mut StageReuse<'_>>,
+    netlist: &Netlist,
+    modes: &[&Mode],
+    options: &MergeOptions,
+    sdc: &'s mut SdcFile,
+    conflicts: &'s mut Vec<MergeConflict>,
+    prov: &'s mut ProvenanceStore,
+    diags: &'s mut DiagnosticSink,
+    f: impl FnOnce(&mut StageCtx<'_>) -> StageAux,
+) -> StageAux {
+    let mut ctx = StageCtx {
+        netlist,
+        modes,
+        options,
+        sdc,
+        conflicts,
+        prov,
+        diags,
+    };
+    match reuse.as_deref_mut() {
+        Some(r) => {
+            if let Some(rec) = r.lookup(stage) {
+                return rec.replay(&mut ctx);
+            }
+            let mark = StageMark::before(&ctx);
+            let aux = f(&mut ctx);
+            if let Some(rec) = StageRecord::capture(&ctx, &mark, aux.clone()) {
+                r.install(stage, rec);
+            }
+            aux
+        }
+        None => f(&mut ctx),
+    }
+}
+
+/// [`preliminary_merge`] with an optional stage-reuse cache (the eco
+/// engine's warm path). With `reuse = None` this *is* the cold path —
+/// identical staging, no capture overhead.
+pub(crate) fn preliminary_merge_reused(
+    netlist: &Netlist,
+    modes: &[&Mode],
+    options: &MergeOptions,
+    mut reuse: Option<&mut StageReuse<'_>>,
+) -> Preliminary {
     let mut sdc = SdcFile::new();
     let mut conflicts = Vec::new();
     let mut prov = ProvenanceStore::new(modes.iter().map(|m| m.name.clone()));
     let mut diags = DiagnosticSink::new();
 
-    let mut ctx = StageCtx {
-        netlist,
-        modes,
-        options,
-        sdc: &mut sdc,
-        conflicts: &mut conflicts,
-        prov: &mut prov,
-        diags: &mut diags,
-    };
+    macro_rules! stage {
+        ($idx:expr, $f:expr) => {
+            run_stage(
+                $idx,
+                &mut reuse,
+                netlist,
+                modes,
+                options,
+                &mut sdc,
+                &mut conflicts,
+                &mut prov,
+                &mut diags,
+                $f,
+            )
+        };
+    }
 
     // §3.1.1 union of clocks.
-    let union = stages::clock_union::run(&mut ctx);
+    let StageAux::Union(union) = stage!(0, |ctx| StageAux::Union(stages::clock_union::run(ctx)))
+    else {
+        unreachable!("stage 0 yields the clock union")
+    };
     // §3.1.2 clock-based constraints (incl. inter-clock uncertainty).
-    stages::clock_attrs::run(&mut ctx, &union);
+    stage!(1, |ctx| {
+        stages::clock_attrs::run(ctx, &union);
+        StageAux::None
+    });
 
     let clock_table = ClockTable {
         names: union.entries.iter().map(|e| e.name.clone()).collect(),
@@ -124,17 +192,37 @@ pub fn preliminary_merge(
     };
 
     // §3.1.3 union of external delay constraints.
-    stages::io_delays::run(&mut ctx, &clock_table);
+    stage!(2, |ctx| {
+        stages::io_delays::run(ctx, &clock_table);
+        StageAux::None
+    });
     // §3.1.4 intersection of case analysis.
-    let cases = stages::case_analysis::run(&mut ctx);
+    let StageAux::Cases(cases) = stage!(3, |ctx| StageAux::Cases(stages::case_analysis::run(ctx)))
+    else {
+        unreachable!("stage 3 yields the case outcome")
+    };
     // §3.1.5 intersection of disable_timing.
-    stages::disables::run(&mut ctx);
+    stage!(4, |ctx| {
+        stages::disables::run(ctx);
+        StageAux::None
+    });
     // §3.1.6 drive / load / input transition.
-    stages::port_attrs::run(&mut ctx);
+    stage!(5, |ctx| {
+        stages::port_attrs::run(ctx);
+        StageAux::None
+    });
     // §3.1.7 clock exclusivity.
-    stages::exclusivity::run(&mut ctx, &union);
+    stage!(6, |ctx| {
+        stages::exclusivity::run(ctx, &union);
+        StageAux::None
+    });
     // §3.1.9 / §3.1.10 exceptions.
-    let excs = stages::exceptions::run(&mut ctx, &clock_table);
+    let StageAux::Excs(excs) = stage!(7, |ctx| StageAux::Excs(stages::exceptions::run(
+        ctx,
+        &clock_table
+    ))) else {
+        unreachable!("stage 7 yields the exception outcome")
+    };
 
     Preliminary {
         sdc,

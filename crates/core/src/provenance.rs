@@ -288,6 +288,28 @@ impl ProvenanceStore {
         id
     }
 
+    /// All records in arena order (index = dense id).
+    pub fn records(&self) -> &[ProvRecord] {
+        &self.records
+    }
+
+    /// `(command index, record arena index)` attachment pairs in
+    /// recording order — the raw view the eco engine captures so a
+    /// replay can rebuild attachments against a rebased arena.
+    pub fn attachments(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.by_command
+            .iter()
+            .map(|&(c, ProvId(r))| (c as usize, r as usize))
+    }
+
+    /// Attaches record `record_idx` (arena index) to command
+    /// `cmd_idx`. Replay-side counterpart of [`Self::attachments`].
+    pub fn attach_index(&mut self, cmd_idx: usize, record_idx: usize) {
+        debug_assert!(record_idx < self.records.len(), "dangling record index");
+        self.by_command
+            .push((cmd_idx as u32, ProvId(record_idx as u32)));
+    }
+
     /// The record attached to merged-SDC command `cmd_idx`, if any.
     pub fn for_command(&self, cmd_idx: usize) -> Option<&ProvRecord> {
         self.by_command

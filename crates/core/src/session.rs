@@ -34,13 +34,15 @@
 //! on the scoped-thread pool ([`crate::pool`]); results are assembled in
 //! index order, so output is bit-identical for any thread count.
 
+use crate::eco::stage_reuse::{GroupCapture, StageReuse};
+use crate::eco::{EcoEngine, EcoRunReport};
 use crate::equivalence::check_equivalence;
-use crate::error::MergeError;
+use crate::error::{MergeConflict, MergeError};
 use crate::json::Json;
 use crate::merge::{MergeAllOutcome, MergeOptions, MergeOutcome, MergeReport, ModeInput};
 use crate::mergeability::{greedy_cliques, MergeabilityGraph};
 use crate::pool;
-use crate::preliminary::preliminary_merge;
+use crate::preliminary::preliminary_merge_reused;
 use crate::provenance::DiagnosticSink;
 use crate::refine::refine;
 use modemerge_netlist::Netlist;
@@ -376,11 +378,25 @@ impl<'a> MergeSession<'a> {
     /// other pairs run the full mock preliminary merge, so the conflict
     /// matrix is unchanged by the pre-screen.
     pub fn mergeability(&self) -> MergeabilityGraph {
+        self.mergeability_with(|_, _| None)
+    }
+
+    /// [`Self::mergeability`] with a resolver hook (the eco engine's
+    /// pair cache): `resolve(i, j) = Some(conflicts)` answers a pair
+    /// without running its mock merge. The identical-SDC pre-screen
+    /// still applies first, exactly as in the cold path.
+    pub(crate) fn mergeability_with(
+        &self,
+        resolve: impl Fn(usize, usize) -> Option<Vec<MergeConflict>> + Sync,
+    ) -> MergeabilityGraph {
         let t0 = Instant::now();
         let mode_refs: Vec<&Mode> = self.inputs.modes.iter().collect();
         let graph =
-            MergeabilityGraph::build_filtered(self.netlist, &mode_refs, &self.options, |i, j| {
-                self.inputs.inputs[i].sdc == self.inputs.inputs[j].sdc
+            MergeabilityGraph::build_with(self.netlist, &mode_refs, &self.options, |i, j| {
+                if self.inputs.inputs[i].sdc == self.inputs.inputs[j].sdc {
+                    return Some(Vec::new());
+                }
+                resolve(i, j)
             });
         StageClock::charge(&self.clock.mergeability_ns, t0);
         graph
@@ -397,6 +413,20 @@ impl<'a> MergeSession<'a> {
     /// [`MergeError::ValidationFailed`] when the final equivalence check
     /// finds differences, and propagates binding/refinement errors.
     pub fn merge_indices(&self, group: &[usize]) -> Result<MergeOutcome, MergeError> {
+        self.merge_indices_captured(group, None, None)
+    }
+
+    /// [`Self::merge_indices`] with the eco engine's hooks: `reuse`
+    /// replays unchanged preliminary stages from a previous run, and
+    /// `capture` (when provided) is filled with the boundary counts
+    /// separating the preliminary output from the refinement tail so
+    /// the engine can record a replayable [`GroupCapture`] tail.
+    pub(crate) fn merge_indices_captured(
+        &self,
+        group: &[usize],
+        reuse: Option<&mut StageReuse<'_>>,
+        capture: Option<&mut GroupCapture>,
+    ) -> Result<MergeOutcome, MergeError> {
         let Some(&first) = group.first() else {
             return Err(MergeError::EmptyGroup);
         };
@@ -415,8 +445,16 @@ impl<'a> MergeSession<'a> {
 
         // §3.1 preliminary merging (also the conflict check).
         let t0 = Instant::now();
-        let prelim = preliminary_merge(self.netlist, &modes, &self.options);
+        let prelim = preliminary_merge_reused(self.netlist, &modes, &self.options, reuse);
         StageClock::charge(&self.clock.preliminary_ns, t0);
+        if let Some(cap) = capture {
+            *cap = GroupCapture {
+                prelim_commands: prelim.sdc.commands().len(),
+                prelim_records: prelim.provenance.records().len(),
+                prelim_attachments: prelim.provenance.attachments().count(),
+                prelim_diags: prelim.diagnostics.len(),
+            };
+        }
         if !prelim.conflicts.is_empty() {
             return Err(MergeError::NotMergeable {
                 conflicts: prelim.conflicts,
@@ -563,6 +601,43 @@ impl<'a> MergeSession<'a> {
             groups,
             reports,
         })
+    }
+
+    /// Runs just the §3.1 preliminary pipeline for a group (the eco
+    /// engine's value-edit tier, which replays the refinement tail
+    /// instead of re-running STA). Charges `preliminary_ns` like the
+    /// full path.
+    pub(crate) fn preliminary_for(
+        &self,
+        group: &[usize],
+        reuse: Option<&mut StageReuse<'_>>,
+    ) -> crate::preliminary::Preliminary {
+        let modes: Vec<&Mode> = group.iter().map(|&i| self.mode(i)).collect();
+        let t0 = Instant::now();
+        let prelim = preliminary_merge_reused(self.netlist, &modes, &self.options, reuse);
+        StageClock::charge(&self.clock.preliminary_ns, t0);
+        prelim
+    }
+
+    /// Incremental re-merge (ECO flow): delegates to
+    /// [`EcoEngine::remerge`], which diffs this session's inputs against
+    /// the engine's cached baseline and reuses every artifact the delta
+    /// leaves valid. `input_fp` identifies the design (conventionally
+    /// [`crate::eco::fingerprint`] of the netlist text) — a changed
+    /// design invalidates the baseline wholesale. With `check = true`
+    /// the engine also runs the cold path and panics on any divergence
+    /// (the `MODEMERGE_ECO_CHECK=1` debug mode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::merge_all`] errors from recomputed portions.
+    pub fn rebind_delta(
+        &self,
+        engine: &mut EcoEngine,
+        input_fp: u64,
+        check: bool,
+    ) -> Result<(MergeAllOutcome, EcoRunReport), MergeError> {
+        engine.remerge(self, input_fp, check)
     }
 }
 

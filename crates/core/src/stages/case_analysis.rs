@@ -15,6 +15,7 @@ use modemerge_sdc::{Command, SetCaseAnalysis, SetDisableTiming};
 use std::collections::BTreeSet;
 
 /// The §3.1.4 result: pins dropped and pins converted to disables.
+#[derive(Debug, Clone)]
 pub(crate) struct CaseOutcome {
     pub dropped_cases: Vec<PinId>,
     pub disabled_case_pins: Vec<PinId>,

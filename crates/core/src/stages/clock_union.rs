@@ -56,6 +56,7 @@ impl ClockEntry {
 
 /// The §3.1.1 result: merged clock entries in first-seen order plus the
 /// identity → entry index map.
+#[derive(Debug, Clone)]
 pub(crate) struct ClockUnion {
     pub entries: Vec<ClockEntry>,
     pub by_key: BTreeMap<ClockKey, usize>,

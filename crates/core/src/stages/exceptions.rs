@@ -19,6 +19,7 @@ use modemerge_sta::keys::ClockKey;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The §3.1.9/§3.1.10 result.
+#[derive(Debug, Clone)]
 pub(crate) struct ExceptionOutcome {
     /// False paths dropped because uniquification failed; refinement
     /// adds precise replacements.

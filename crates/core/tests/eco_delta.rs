@@ -1,0 +1,277 @@
+//! Delta-correctness tests for the incremental re-merge (ECO) engine:
+//! for every edit kind — value edit, structural edit, mode add, mode
+//! remove, reorder, no-op — the warm result must be byte-identical to
+//! a cold merge of the edited suite, at 1, 2 and 8 threads; and the
+//! engine's counters must prove the reuse actually happened (a no-op
+//! resubmission recomputes zero stages).
+
+use modemerge_core::eco::fingerprint;
+use modemerge_core::merge::MergeAllOutcome;
+use modemerge_core::{
+    EcoEngine, EcoRunReport, MergeOptions, MergeSession, ModeInput, SessionInputs,
+};
+use modemerge_netlist::paper::paper_circuit;
+use modemerge_netlist::Netlist;
+
+fn inputs_from(texts: &[(&str, &str)]) -> Vec<ModeInput> {
+    texts
+        .iter()
+        .map(|(name, text)| ModeInput::parse(*name, text).unwrap())
+        .collect()
+}
+
+/// A 4-mode suite on the paper circuit: one mergeable pair (same
+/// clock, nearby latencies), one mode with exceptions, one singleton
+/// on the other clock domain.
+fn suite() -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "func1",
+            "create_clock -name c -period 10 [get_ports clk1]\n\
+             set_clock_latency 1.0 [get_clocks c]\n\
+             set_clock_uncertainty -setup 0.1 [get_clocks c]\n\
+             set_input_delay 1.5 -clock c [get_ports in1]\n\
+             set_false_path -to [get_pins rX/D]\n"
+                .to_owned(),
+        ),
+        (
+            "func2",
+            "create_clock -name c -period 10 [get_ports clk1]\n\
+             set_clock_latency 1.02 [get_clocks c]\n\
+             set_clock_uncertainty -setup 0.1 [get_clocks c]\n\
+             set_input_delay 1.5 -clock c [get_ports in1]\n\
+             set_false_path -to [get_pins rX/D]\n"
+                .to_owned(),
+        ),
+        (
+            "test",
+            "create_clock -name c -period 10 [get_ports clk1]\n\
+             set_clock_latency 9 [get_clocks c]\n"
+                .to_owned(),
+        ),
+        (
+            "scan",
+            "create_clock -name s -period 4 [get_ports clk2]\n\
+             set_case_analysis 1 sel1\n"
+                .to_owned(),
+        ),
+    ]
+}
+
+fn options(threads: usize) -> MergeOptions {
+    MergeOptions {
+        threads,
+        ..Default::default()
+    }
+}
+
+fn cold_merge(netlist: &Netlist, inputs: &[ModeInput], threads: usize) -> MergeAllOutcome {
+    let bound = SessionInputs::bind(netlist, inputs).unwrap();
+    let session = MergeSession::new(netlist, &bound, &options(threads));
+    session.merge_all().unwrap()
+}
+
+fn texts(o: &MergeAllOutcome) -> Vec<(String, String)> {
+    o.merged
+        .iter()
+        .map(|m| (m.name.clone(), m.sdc.to_text()))
+        .collect()
+}
+
+/// Warm-merges `edited` against a baseline of `suite()` and asserts
+/// byte identity with a cold merge; returns the run report.
+fn warm_vs_cold(edited: &[(&str, String)], threads: usize) -> EcoRunReport {
+    let netlist = paper_circuit();
+    let fp = fingerprint("paper_circuit");
+    let mut engine = EcoEngine::new();
+
+    let base = suite();
+    let base_pairs: Vec<(&str, &str)> = base.iter().map(|(n, t)| (*n, t.as_str())).collect();
+    let base_inputs = inputs_from(&base_pairs);
+    let bound = SessionInputs::bind(&netlist, &base_inputs).unwrap();
+    let session = MergeSession::new(&netlist, &bound, &options(threads));
+    let (_, cold_report) = session.rebind_delta(&mut engine, fp, false).unwrap();
+    assert!(!cold_report.warm, "first run must be cold");
+
+    let edited_pairs: Vec<(&str, &str)> = edited.iter().map(|(n, t)| (*n, t.as_str())).collect();
+    let edited_inputs = inputs_from(&edited_pairs);
+    let bound2 = SessionInputs::bind(&netlist, &edited_inputs).unwrap();
+    let session2 = MergeSession::new(&netlist, &bound2, &options(threads));
+    let (warm, report) = session2.rebind_delta(&mut engine, fp, false).unwrap();
+    assert!(report.warm, "second run must be warm");
+
+    let cold = cold_merge(&netlist, &edited_inputs, threads);
+    assert_eq!(warm.groups, cold.groups, "grouping diverged");
+    assert_eq!(texts(&warm), texts(&cold), "merged SDC diverged");
+    assert_eq!(warm.reports.len(), cold.reports.len());
+    for (w, c) in warm.reports.iter().zip(&cold.reports) {
+        assert_eq!(w.mode_names, c.mode_names);
+        assert_eq!(w.clock_count, c.clock_count);
+        assert_eq!(w.pass2_endpoints, c.pass2_endpoints);
+        assert_eq!(w.validated, c.validated);
+        assert_eq!(w.provenance, c.provenance, "provenance diverged");
+        assert_eq!(w.diagnostics, c.diagnostics, "diagnostics diverged");
+    }
+    report
+}
+
+#[test]
+fn noop_resubmit_replays_wholesale() {
+    for threads in [1, 2, 8] {
+        let report = warm_vs_cold(&suite(), threads);
+        assert_eq!(report.tier, "replay");
+        assert_eq!(report.counters.suite_replays, 1);
+        assert_eq!(report.counters.eco_hits, 1);
+        // Zero recomputation of any kind.
+        assert_eq!(report.counters.stages_recomputed, 0, "threads={threads}");
+        assert_eq!(report.counters.pairs_recomputed, 0);
+        assert_eq!(report.counters.groups_recomputed, 0);
+        assert_eq!(report.delta.commands_changed, 0);
+    }
+}
+
+#[test]
+fn value_edit_replays_the_tail() {
+    let mut edited = suite();
+    // func1's latency 1.0 → 1.01: still within tolerance of func2.
+    edited[0].1 = edited[0]
+        .1
+        .replace("set_clock_latency 1.0 ", "set_clock_latency 1.01 ");
+    for threads in [1, 2, 8] {
+        let report = warm_vs_cold(&edited, threads);
+        assert_eq!(report.tier, "incremental", "threads={threads}");
+        assert_eq!(report.delta.modes_changed, 1);
+        assert_eq!(report.delta.commands_changed, 1);
+        assert!(
+            report.counters.tail_replays >= 1,
+            "value edit should replay the refinement tail: {:?}",
+            report.counters
+        );
+        assert!(report.counters.stages_reused > 0);
+        assert_eq!(report.counters.eco_hits, 1);
+    }
+}
+
+#[test]
+fn structural_edit_recomputes_the_group() {
+    let mut edited = suite();
+    // Adding an exception to func1 is a structural edit.
+    edited[0].1.push_str("set_false_path -to [get_pins rY/D]\n");
+    for threads in [1, 2, 8] {
+        let report = warm_vs_cold(&edited, threads);
+        assert_eq!(report.delta.commands_added, 1);
+        assert!(report.counters.groups_recomputed >= 1);
+        // Untouched groups still replay.
+        assert!(
+            report.counters.group_replays >= 1,
+            "unrelated groups must replay: {:?}",
+            report.counters
+        );
+        assert!(report.counters.pairs_reused > 0);
+    }
+}
+
+#[test]
+fn exception_remove_matches_cold() {
+    let mut edited = suite();
+    edited[1].1 = edited[1]
+        .1
+        .replace("set_false_path -to [get_pins rX/D]\n", "");
+    for threads in [1, 2, 8] {
+        let report = warm_vs_cold(&edited, threads);
+        assert_eq!(report.delta.commands_removed, 1);
+        assert!(report.counters.groups_recomputed >= 1);
+    }
+}
+
+#[test]
+fn mode_added_and_removed_match_cold() {
+    let mut edited = suite();
+    edited.push((
+        "bist",
+        "create_clock -name s -period 4 [get_ports clk2]\n".to_owned(),
+    ));
+    let report = warm_vs_cold(&edited, 2);
+    assert_eq!(report.delta.modes_added, 1);
+
+    let mut edited = suite();
+    edited.remove(2);
+    let report = warm_vs_cold(&edited, 2);
+    assert_eq!(report.delta.modes_removed, 1);
+    assert!(report.counters.group_replays >= 1);
+}
+
+#[test]
+fn reordered_but_equal_suite_matches_cold() {
+    // Move the singleton-clique mode `test` to the front: relative
+    // order inside the {func1, func2, scan} clique is preserved, so
+    // every group key still matches and the whole suite replays
+    // group-by-group.
+    let mut edited = suite();
+    let test = edited.remove(2);
+    edited.insert(0, test);
+    let report = warm_vs_cold(&edited, 2);
+    assert!(report.delta.reordered);
+    assert_eq!(
+        report.counters.groups_recomputed, 0,
+        "{:?}",
+        report.counters
+    );
+    assert!(report.counters.group_replays >= 2);
+
+    // A swap that reverses order *inside* a clique changes the merged
+    // mode's name and provenance order, so it must recompute — and
+    // still match cold byte-for-byte (checked inside warm_vs_cold).
+    let mut edited = suite();
+    edited.swap(0, 1);
+    let report = warm_vs_cold(&edited, 2);
+    assert!(report.delta.reordered);
+    assert!(report.counters.groups_recomputed >= 1);
+}
+
+#[test]
+fn check_mode_passes_on_every_tier() {
+    let netlist = paper_circuit();
+    let fp = fingerprint("paper_circuit");
+    let mut engine = EcoEngine::new();
+    let run = |engine: &mut EcoEngine, texts: &[(&str, String)]| {
+        let pairs: Vec<(&str, &str)> = texts.iter().map(|(n, t)| (*n, t.as_str())).collect();
+        let inputs = inputs_from(&pairs);
+        let bound = SessionInputs::bind(&netlist, &inputs).unwrap();
+        let session = MergeSession::new(&netlist, &bound, &options(2));
+        let (_, report) = session.rebind_delta(engine, fp, true).unwrap();
+        report
+    };
+    let r = run(&mut engine, &suite());
+    assert_eq!(r.counters.checks_run, 1);
+    // No-op resubmit (tier 0) under check.
+    run(&mut engine, &suite());
+    // Value edit (tail replay) under check.
+    let mut edited = suite();
+    edited[0].1 = edited[0]
+        .1
+        .replace("set_clock_latency 1.0 ", "set_clock_latency 1.01 ");
+    let r = run(&mut engine, &edited);
+    assert!(r.warm);
+    // Structural edit (recompute) under check.
+    let mut edited = suite();
+    edited[0].1.push_str("set_false_path -to [get_pins rY/D]\n");
+    let r = run(&mut engine, &edited);
+    assert!(r.warm);
+    assert_eq!(engine.counters().checks_run, 4);
+}
+
+#[test]
+fn changed_design_fingerprint_forces_cold() {
+    let netlist = paper_circuit();
+    let mut engine = EcoEngine::new();
+    let base = suite();
+    let pairs: Vec<(&str, &str)> = base.iter().map(|(n, t)| (*n, t.as_str())).collect();
+    let inputs = inputs_from(&pairs);
+    let bound = SessionInputs::bind(&netlist, &inputs).unwrap();
+    let session = MergeSession::new(&netlist, &bound, &options(1));
+    session.rebind_delta(&mut engine, 1, false).unwrap();
+    let (_, report) = session.rebind_delta(&mut engine, 2, false).unwrap();
+    assert!(!report.warm, "different design identity must run cold");
+    assert_eq!(report.tier, "cold");
+}

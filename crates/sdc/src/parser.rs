@@ -115,7 +115,6 @@ impl Cursor {
         self.peeked.take().or_else(|| self.args.next())
     }
 
-    #[cfg(test)]
     fn peek(&mut self) -> Option<&Arg> {
         if self.peeked.is_none() {
             self.peeked = self.args.next();
@@ -153,6 +152,33 @@ impl Cursor {
             Some(Arg::List(items)) => Ok(items.into_iter().map(ObjectRef::Name).collect()),
             _ => Err(self.err(format!("expected object list for {what}"))),
         }
+    }
+
+    /// The whole run of consecutive object args following a flag that
+    /// takes an object list (`-from pinA [get_pins b] {c d}`), so
+    /// multi-object lists written by the canonical writer re-parse to
+    /// the same command. A bare word that parses as a number is left in
+    /// place when `stop_at_number` is set: it is the command's
+    /// positional value, not an object name.
+    fn objects_greedy(
+        &mut self,
+        what: &str,
+        stop_at_number: bool,
+    ) -> Result<Vec<ObjectRef>, SdcError> {
+        let mut refs = self.objects(what)?;
+        loop {
+            match self.peek() {
+                Some(Arg::Query(_) | Arg::List(_)) => {}
+                Some(Arg::Word(w)) => {
+                    if stop_at_number && w.parse::<f64>().is_ok() {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+            refs.extend(self.objects(what)?);
+        }
+        Ok(refs)
     }
 
     /// Next arg as a waveform pair.
@@ -354,8 +380,12 @@ fn parse_clock_uncertainty(c: &mut Cursor) -> Result<Command, SdcError> {
             Arg::Flag(f) => match f.as_str() {
                 "setup" => setup_hold = SetupHold::Setup,
                 "hold" => setup_hold = SetupHold::Hold,
-                "from" | "rise_from" | "fall_from" => from.extend(c.objects("-from")?),
-                "to" | "rise_to" | "fall_to" => to.extend(c.objects("-to")?),
+                "from" | "rise_from" | "fall_from" => {
+                    from.extend(c.objects_greedy("-from", value.is_none())?);
+                }
+                "to" | "rise_to" | "fall_to" => {
+                    to.extend(c.objects_greedy("-to", value.is_none())?);
+                }
                 other => {
                     return Err(c.err(format!("set_clock_uncertainty: unknown option -{other}")))
                 }
@@ -529,10 +559,17 @@ fn parse_exception(c: &mut Cursor, kind: Option<ExcKind>) -> Result<Command, Sdc
     while let Some(arg) = c.next() {
         match arg {
             Arg::Flag(f) => match f.as_str() {
-                "from" | "rise_from" | "fall_from" => spec.from.extend(c.objects("-from")?),
-                "to" | "rise_to" | "fall_to" => spec.to.extend(c.objects("-to")?),
+                "from" | "rise_from" | "fall_from" => {
+                    let stop = kind.is_some() && value.is_none();
+                    spec.from.extend(c.objects_greedy("-from", stop)?);
+                }
+                "to" | "rise_to" | "fall_to" => {
+                    let stop = kind.is_some() && value.is_none();
+                    spec.to.extend(c.objects_greedy("-to", stop)?);
+                }
                 "through" | "rise_through" | "fall_through" => {
-                    spec.through.push(c.objects("-through")?)
+                    let stop = kind.is_some() && value.is_none();
+                    spec.through.push(c.objects_greedy("-through", stop)?);
                 }
                 "setup" => setup_hold = SetupHold::Setup,
                 "hold" => setup_hold = SetupHold::Hold,
@@ -594,7 +631,7 @@ fn parse_clock_groups(c: &mut Cursor) -> Result<Command, SdcError> {
                 "logically_exclusive" => kind = Some(ClockGroupKind::LogicallyExclusive),
                 "asynchronous" => kind = Some(ClockGroupKind::Asynchronous),
                 "name" => name = Some(c.word("-name")?),
-                "group" => groups.push(c.objects("-group")?),
+                "group" => groups.push(c.objects_greedy("-group", false)?),
                 other => return Err(c.err(format!("set_clock_groups: unknown option -{other}"))),
             },
             _ => return Err(c.err("set_clock_groups: unexpected positional argument")),

@@ -61,6 +61,25 @@ fn object_list(out: &mut String, refs: &[ObjectRef]) {
     }
 }
 
+/// Writes an object list carried by a flag whose grammar consumes a
+/// single argument (`-source`, `-clocks`): a multi-name list is braced
+/// so it re-parses as one argument back into the same refs.
+fn object_arg(out: &mut String, refs: &[ObjectRef]) {
+    let all_names = refs.len() > 1 && refs.iter().all(|r| matches!(r, ObjectRef::Name(_)));
+    if all_names {
+        let names: Vec<&str> = refs
+            .iter()
+            .filter_map(|r| match r {
+                ObjectRef::Name(n) => Some(n.as_str()),
+                ObjectRef::Query(_) => None,
+            })
+            .collect();
+        let _ = write!(out, " {{{}}}", names.join(" "));
+    } else {
+        object_list(out, refs);
+    }
+}
+
 fn min_max(out: &mut String, mm: MinMax) {
     match mm {
         MinMax::Both => {}
@@ -101,7 +120,7 @@ pub fn write_command(cmd: &Command) -> String {
                 let _ = write!(s, " -name {name}");
             }
             s.push_str(" -source");
-            object_list(&mut s, &c.source);
+            object_arg(&mut s, &c.source);
             if let Some(m) = &c.master_clock {
                 s.push_str(" -master_clock ");
                 object_ref(&mut s, m);
@@ -244,7 +263,7 @@ pub fn write_command(cmd: &Command) -> String {
             }
             if !c.clocks.is_empty() {
                 s.push_str(" -clocks");
-                object_list(&mut s, &c.clocks);
+                object_arg(&mut s, &c.clocks);
             }
             object_list(&mut s, &c.pins);
         }

@@ -1,0 +1,275 @@
+//! Constructor round-trip sweep: for every [`Command`] variant built
+//! programmatically (not parsed from text), `to_text` → parse →
+//! `to_text` must be a fixed point and the re-parsed command must equal
+//! the original. Per-command content hashes in the eco engine key on
+//! canonical text, so any variant that failed this sweep would hash
+//! unstably across a write/read cycle.
+
+use modemerge_sdc::ast::*;
+
+fn port(name: &str) -> ObjectRef {
+    ObjectRef::Query(ObjectQuery {
+        class: ObjectClass::Port,
+        patterns: vec![name.to_owned()],
+    })
+}
+
+fn pin(name: &str) -> ObjectRef {
+    ObjectRef::Query(ObjectQuery {
+        class: ObjectClass::Pin,
+        patterns: vec![name.to_owned()],
+    })
+}
+
+fn pins(names: &[&str]) -> ObjectRef {
+    ObjectRef::Query(ObjectQuery {
+        class: ObjectClass::Pin,
+        patterns: names.iter().map(|s| (*s).to_owned()).collect(),
+    })
+}
+
+fn clock(name: &str) -> ObjectRef {
+    ObjectRef::Query(ObjectQuery {
+        class: ObjectClass::Clock,
+        patterns: vec![name.to_owned()],
+    })
+}
+
+fn name(n: &str) -> ObjectRef {
+    ObjectRef::Name(n.to_owned())
+}
+
+/// Every command variant, exercising multi-object flag lists (the
+/// greedy `-from`/`-to`/`-through`/`-group` grammar), braced single-arg
+/// flag lists (`-source`/`-clocks`), optional fields present and
+/// absent, and negative / fractional values.
+fn sweep() -> Vec<Command> {
+    vec![
+        Command::CreateClock(CreateClock {
+            name: Some("clkA".into()),
+            period: 10.0,
+            waveform: Some((0.0, 5.0)),
+            sources: vec![port("clk1"), name("clk1b")],
+            add: true,
+        }),
+        Command::CreateClock(CreateClock {
+            name: Some("vclk".into()),
+            period: 8.5,
+            waveform: None,
+            sources: vec![],
+            add: false,
+        }),
+        Command::CreateGeneratedClock(CreateGeneratedClock {
+            name: Some("gclk".into()),
+            source: vec![port("clk1")],
+            master_clock: Some(clock("clkA")),
+            divide_by: Some(2),
+            multiply_by: None,
+            invert: true,
+            targets: vec![pin("div0/Q"), name("div1/Q")],
+            add: true,
+        }),
+        Command::CreateGeneratedClock(CreateGeneratedClock {
+            name: None,
+            source: vec![name("pll/IN"), name("pll/REF")],
+            master_clock: None,
+            divide_by: None,
+            multiply_by: Some(4),
+            invert: false,
+            targets: vec![pin("pll/OUT")],
+            add: false,
+        }),
+        Command::SetClockLatency(SetClockLatency {
+            value: -1.25,
+            min_max: MinMax::Min,
+            source: true,
+            clocks: vec![clock("clkA"), name("clkB")],
+        }),
+        Command::SetClockUncertainty(SetClockUncertainty {
+            value: 0.3,
+            setup_hold: SetupHold::Setup,
+            clocks: vec![],
+            from: vec![clock("clkA"), name("clkX")],
+            to: vec![clock("clkB"), name("clkY")],
+        }),
+        Command::SetClockUncertainty(SetClockUncertainty {
+            value: 0.1,
+            setup_hold: SetupHold::Both,
+            clocks: vec![clock("clkA")],
+            from: vec![],
+            to: vec![],
+        }),
+        Command::SetClockTransition(SetClockTransition {
+            value: 0.25,
+            min_max: MinMax::Max,
+            clocks: vec![clock("clkA")],
+        }),
+        Command::SetPropagatedClock(SetPropagatedClock {
+            clocks: vec![clock("clkA"), name("clkB")],
+        }),
+        Command::IoDelay(IoDelay {
+            kind: IoDelayKind::Input,
+            value: 2.0,
+            clock: Some(clock("clkA")),
+            clock_fall: true,
+            add_delay: true,
+            min_max: MinMax::Min,
+            ports: vec![port("in1"), name("in2")],
+        }),
+        Command::IoDelay(IoDelay {
+            kind: IoDelayKind::Output,
+            value: -0.5,
+            clock: None,
+            clock_fall: false,
+            add_delay: false,
+            min_max: MinMax::Both,
+            ports: vec![port("out1")],
+        }),
+        Command::SetCaseAnalysis(SetCaseAnalysis {
+            value: true,
+            objects: vec![pin("mux1/S"), name("sel2")],
+        }),
+        Command::SetDisableTiming(SetDisableTiming {
+            objects: vec![ObjectRef::Query(ObjectQuery {
+                class: ObjectClass::Cell,
+                patterns: vec!["u1".into()],
+            })],
+            from: Some("A".into()),
+            to: Some("Z".into()),
+        }),
+        Command::PathException(PathException {
+            kind: PathExceptionKind::FalsePath,
+            setup_hold: SetupHold::Both,
+            spec: PathSpec {
+                from: vec![clock("clkB"), pin("rA/CP"), name("rB/CP")],
+                through: vec![
+                    vec![pins(&["rB/Q", "and1/Z"]), name("or1/Z")],
+                    vec![pin("inv3/A")],
+                ],
+                to: vec![pin("rY/D"), name("rZ/D")],
+            },
+        }),
+        Command::PathException(PathException {
+            kind: PathExceptionKind::Multicycle {
+                multiplier: 3,
+                start: true,
+            },
+            setup_hold: SetupHold::Hold,
+            spec: PathSpec {
+                from: vec![clock("clkA")],
+                through: vec![],
+                to: vec![],
+            },
+        }),
+        Command::PathException(PathException {
+            kind: PathExceptionKind::MinDelay(-1.5),
+            setup_hold: SetupHold::Both,
+            spec: PathSpec {
+                from: vec![],
+                through: vec![],
+                to: vec![pin("rX/D"), name("rW/D")],
+            },
+        }),
+        Command::PathException(PathException {
+            kind: PathExceptionKind::MaxDelay(12.25),
+            setup_hold: SetupHold::Setup,
+            spec: PathSpec {
+                from: vec![clock("clkA"), name("clkC")],
+                through: vec![vec![pin("and1/Z")]],
+                to: vec![clock("clkB")],
+            },
+        }),
+        Command::SetClockGroups(SetClockGroups {
+            kind: ClockGroupKind::PhysicallyExclusive,
+            name: Some("g1".into()),
+            groups: vec![
+                vec![clock("clkA"), name("clkA_div")],
+                vec![clock("clkB"), name("clkB_div")],
+            ],
+        }),
+        Command::SetClockGroups(SetClockGroups {
+            kind: ClockGroupKind::Asynchronous,
+            name: None,
+            groups: vec![vec![name("a")], vec![name("b")], vec![name("c")]],
+        }),
+        Command::SetClockSense(SetClockSense {
+            stop_propagation: true,
+            positive: false,
+            negative: false,
+            clocks: vec![name("clkA"), name("clkB")],
+            pins: vec![pin("mux1/Z")],
+        }),
+        Command::SetClockSense(SetClockSense {
+            stop_propagation: false,
+            positive: true,
+            negative: false,
+            clocks: vec![clock("clkA")],
+            pins: vec![pin("buf1/Z"), name("buf2/Z")],
+        }),
+        Command::SetInputTransition(SetInputTransition {
+            value: 0.2,
+            min_max: MinMax::Min,
+            ports: vec![port("in1"), name("in2")],
+        }),
+        Command::SetDrive(SetDrive {
+            value: 0.5,
+            min_max: MinMax::Both,
+            ports: vec![port("in1")],
+        }),
+        Command::SetLoad(SetLoad {
+            value: 0.1,
+            min_max: MinMax::Max,
+            objects: vec![port("out1"), name("out2")],
+        }),
+    ]
+}
+
+#[test]
+fn every_constructor_roundtrips_through_text() {
+    for cmd in sweep() {
+        let text = cmd.to_text();
+        let parsed =
+            SdcFile::parse(&text).unwrap_or_else(|e| panic!("`{text}` does not re-parse: {e}"));
+        assert_eq!(
+            parsed.commands().len(),
+            1,
+            "`{text}` split into {} commands",
+            parsed.commands().len()
+        );
+        assert_eq!(
+            parsed.commands()[0],
+            cmd,
+            "parse(to_text) altered the command for `{text}`"
+        );
+        assert_eq!(
+            parsed.commands()[0].to_text(),
+            text,
+            "to_text is not a fixed point for `{text}`"
+        );
+    }
+}
+
+#[test]
+fn sweep_covers_every_variant() {
+    let mut seen = Vec::new();
+    for cmd in sweep() {
+        let d = std::mem::discriminant(&cmd);
+        if !seen.contains(&d) {
+            seen.push(d);
+        }
+    }
+    // All 15 Command variants are represented at least once.
+    assert_eq!(seen.len(), 15, "sweep misses a Command variant");
+}
+
+#[test]
+fn whole_sweep_file_roundtrips() {
+    let mut file = SdcFile::new();
+    for cmd in sweep() {
+        file.push(cmd);
+    }
+    let text = file.to_text();
+    let reparsed = SdcFile::parse(&text).unwrap();
+    assert_eq!(reparsed, file);
+    assert_eq!(reparsed.to_text(), text);
+}

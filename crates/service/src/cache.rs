@@ -9,8 +9,12 @@
 //! order, at any thread count — therefore returns the stored result in
 //! O(hash of the input bytes) instead of O(STA).
 //!
-//! Eviction is LRU over a fixed entry budget; `get` refreshes recency,
-//! `insert` of a full cache evicts the least-recently-used entry.
+//! Eviction is LRU over a fixed entry budget **and** a byte budget
+//! ([`CacheBudget`], default 64 MiB, overridable via
+//! `MODEMERGE_RESULT_CACHE_KB` — the same resolve-override-else-env
+//! convention as the STA layer's `MODEMERGE_MEMO_BUDGET_KB`); `get`
+//! refreshes recency, `insert` of an over-budget cache evicts
+//! least-recently-used entries, but never the entry just inserted.
 //! Hit/miss/eviction counters feed the service `stats` reply and the
 //! loopback tests.
 
@@ -44,6 +48,62 @@ pub fn job_key(
     h.finish()
 }
 
+/// The byte budget of a [`ResultCache`]'s stored values.
+///
+/// Resolution follows the workspace convention set by the STA memo
+/// layer: an explicit per-instance override wins, otherwise the
+/// `MODEMERGE_RESULT_CACHE_KB` environment variable, otherwise
+/// [`CacheBudget::DEFAULT_BYTES`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheBudget {
+    /// Total bytes of stored result text the cache may retain.
+    pub bytes: u64,
+}
+
+impl CacheBudget {
+    /// Default byte budget: comfortably above the in-tree suites (no
+    /// eviction in the loopback tests) while bounding a long-running
+    /// daemon fed large merged-suite JSON.
+    pub const DEFAULT_BYTES: u64 = 64 * 1024 * 1024;
+
+    /// A budget of `kb` kibibytes.
+    pub fn from_kb(kb: u64) -> Self {
+        Self { bytes: kb * 1024 }
+    }
+
+    /// Resolves an explicit override (in KiB) against the
+    /// environment/default fallback: `Some(kb)` wins, `None` defers to
+    /// [`Self::from_env`].
+    pub fn resolve(kb_override: Option<u64>) -> Self {
+        match kb_override {
+            Some(kb) => Self::from_kb(kb),
+            None => Self::from_env(),
+        }
+    }
+
+    /// The default budget, overridable via the
+    /// `MODEMERGE_RESULT_CACHE_KB` environment variable.
+    pub fn from_env() -> Self {
+        match std::env::var("MODEMERGE_RESULT_CACHE_KB")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            Some(kb) => Self::from_kb(kb),
+            None => Self {
+                bytes: Self::DEFAULT_BYTES,
+            },
+        }
+    }
+}
+
+impl Default for CacheBudget {
+    fn default() -> Self {
+        Self {
+            bytes: Self::DEFAULT_BYTES,
+        }
+    }
+}
+
 /// Monotonic counters of one cache's lifetime.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
@@ -57,6 +117,10 @@ pub struct CacheStats {
     pub entries: usize,
     /// Maximum entries (0 = caching disabled).
     pub capacity: usize,
+    /// Bytes of result text currently stored.
+    pub bytes: u64,
+    /// Byte budget eviction keeps [`Self::bytes`] under.
+    pub budget_bytes: u64,
 }
 
 impl CacheStats {
@@ -68,6 +132,8 @@ impl CacheStats {
             ("evictions".into(), Json::num(self.evictions as f64)),
             ("entries".into(), Json::count(self.entries)),
             ("capacity".into(), Json::count(self.capacity)),
+            ("bytes".into(), Json::num(self.bytes as f64)),
+            ("budget_bytes".into(), Json::num(self.budget_bytes as f64)),
         ])
     }
 }
@@ -80,20 +146,30 @@ impl CacheStats {
 #[derive(Debug)]
 pub struct ResultCache {
     capacity: usize,
+    budget: CacheBudget,
     map: HashMap<u64, String>,
     order: VecDeque<u64>,
+    bytes: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
 }
 
 impl ResultCache {
-    /// A cache holding at most `capacity` results (0 disables caching).
+    /// A cache holding at most `capacity` results (0 disables caching)
+    /// under the environment-resolved byte budget.
     pub fn new(capacity: usize) -> Self {
+        Self::with_budget(capacity, CacheBudget::from_env())
+    }
+
+    /// A cache with an explicit byte budget (tests, embedders).
+    pub fn with_budget(capacity: usize, budget: CacheBudget) -> Self {
         Self {
             capacity,
+            budget,
             map: HashMap::new(),
             order: VecDeque::new(),
+            bytes: 0,
             hits: 0,
             misses: 0,
             evictions: 0,
@@ -124,19 +200,29 @@ impl ResultCache {
     }
 
     /// Stores a result, evicting the least-recently-used entries while
-    /// over budget. Re-inserting an existing key refreshes value and
+    /// over the entry capacity or the byte budget — but never the entry
+    /// just inserted, so a single oversized result still caches (the
+    /// same never-evict-the-newest convention as the STA layer's
+    /// `BoundedMemo`). Re-inserting an existing key refreshes value and
     /// recency without counting an eviction.
     pub fn insert(&mut self, key: u64, value: String) {
         if self.capacity == 0 {
             return;
         }
-        self.map.insert(key, value);
+        self.bytes += value.len() as u64;
+        if let Some(old) = self.map.insert(key, value) {
+            self.bytes -= old.len() as u64;
+        }
         self.touch(key);
-        while self.map.len() > self.capacity {
+        while (self.map.len() > self.capacity || self.bytes > self.budget.bytes)
+            && self.map.len() > 1
+        {
             let Some(victim) = self.order.pop_front() else {
                 break;
             };
-            self.map.remove(&victim);
+            if let Some(old) = self.map.remove(&victim) {
+                self.bytes -= old.len() as u64;
+            }
             self.evictions += 1;
         }
     }
@@ -149,6 +235,8 @@ impl ResultCache {
             evictions: self.evictions,
             entries: self.map.len(),
             capacity: self.capacity,
+            bytes: self.bytes,
+            budget_bytes: self.budget.bytes,
         }
     }
 }
@@ -197,6 +285,57 @@ mod tests {
         assert_eq!(c.get(key(1)), None);
         assert_eq!(c.stats().entries, 0);
         assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_but_never_the_newest() {
+        // 10-byte budget, roomy entry capacity: bytes drive eviction.
+        let mut c = ResultCache::with_budget(16, CacheBudget { bytes: 10 });
+        c.insert(key(1), "aaaa".into()); // 4 bytes
+        c.insert(key(2), "bbbb".into()); // 8 bytes total
+        c.insert(key(3), "cccc".into()); // 12 > 10 → evict 1
+        let s = c.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.bytes, 8);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(c.get(key(1)), None, "LRU entry evicted");
+        assert_eq!(c.get(key(2)).as_deref(), Some("bbbb"));
+
+        // A single result larger than the whole budget still caches:
+        // the just-inserted entry is never its own victim.
+        let mut c = ResultCache::with_budget(16, CacheBudget { bytes: 10 });
+        c.insert(key(1), "x".repeat(64));
+        assert_eq!(c.stats().entries, 1);
+        assert_eq!(c.stats().bytes, 64);
+        assert_eq!(c.get(key(1)).map(|v| v.len()), Some(64));
+        // The next insert evicts it immediately.
+        c.insert(key(2), "y".into());
+        assert_eq!(c.get(key(1)), None);
+        assert_eq!(c.stats().bytes, 1);
+    }
+
+    #[test]
+    fn reinsert_accounts_bytes_exactly_once() {
+        let mut c = ResultCache::with_budget(4, CacheBudget { bytes: 1024 });
+        c.insert(key(1), "aaaa".into());
+        c.insert(key(1), "bb".into());
+        assert_eq!(c.stats().bytes, 2, "replaced value must not leak bytes");
+        c.insert(key(1), "cccccc".into());
+        assert_eq!(c.stats().bytes, 6);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn budget_resolution_prefers_explicit_override() {
+        assert_eq!(CacheBudget::from_kb(4).bytes, 4096);
+        assert_eq!(CacheBudget::resolve(Some(2)).bytes, 2048);
+        assert_eq!(CacheBudget::default().bytes, CacheBudget::DEFAULT_BYTES);
+        // `resolve(None)` defers to the environment; without the
+        // variable set it lands on the default. (Setting env vars in
+        // tests races other threads, so only the unset path is pinned.)
+        if std::env::var("MODEMERGE_RESULT_CACHE_KB").is_err() {
+            assert_eq!(CacheBudget::resolve(None).bytes, CacheBudget::DEFAULT_BYTES);
+        }
     }
 
     #[test]

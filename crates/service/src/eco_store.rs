@@ -1,0 +1,187 @@
+//! The suite-keyed store of warm incremental re-merge engines.
+//!
+//! Each [`EcoEngine`](modemerge_core::EcoEngine) carries the baseline
+//! of one constraint *suite*: the previous merge outcome, per-command
+//! content hashes and the stage/pair caches that make an edited
+//! resubmission replay instead of recompute. The daemon keeps one
+//! engine per suite identity ([`suite_key`]: design bytes + sorted
+//! mode **names** + result-affecting options — deliberately *not* the
+//! SDC contents, so an edited suite maps onto its warm engine), under
+//! a small LRU cap: engines hold clones of whole merge outcomes, so
+//! the budget is engines, not entries.
+//!
+//! Concurrency: an engine is checked out (removed) for the duration of
+//! one remerge and re-inserted afterwards — two racing submissions of
+//! the same suite simply run one cold, which the byte-identity
+//! invariant makes harmless. Counters of evicted engines roll into a
+//! retired accumulator so the service `stats` stay monotonic.
+
+use crate::hash::Fnv64;
+use modemerge_core::json::Json;
+use modemerge_core::merge::MergeOptions;
+use modemerge_core::{EcoCounters, EcoEngine};
+use std::sync::Mutex;
+
+/// Content key of one suite identity.
+///
+/// Mode *names* participate (sorted, so submission order cannot split
+/// suites); mode SDC *contents* do not — editing a constraint must land
+/// on the warm engine that holds the pre-edit baseline.
+pub fn suite_key(netlist: &str, modes: &[(String, String)], options: &MergeOptions) -> u64 {
+    let mut names: Vec<&str> = modes.iter().map(|(n, _)| n.as_str()).collect();
+    names.sort_unstable();
+    let mut h = Fnv64::new();
+    h.write_field(netlist.as_bytes());
+    h.write_field(&(names.len() as u64).to_le_bytes());
+    for name in names {
+        h.write_field(name.as_bytes());
+    }
+    h.write_field(options.result_fingerprint().as_bytes());
+    h.finish()
+}
+
+/// An LRU pool of at most `cap` warm engines, keyed by [`suite_key`].
+pub struct EcoStore {
+    cap: usize,
+    /// Checked-in engines in recency order (back = most recent). Linear
+    /// scans are fine: the cap is single-digit.
+    engines: Mutex<Vec<(u64, EcoEngine)>>,
+    /// Counters of engines evicted (or never re-inserted) so the
+    /// aggregate reported by [`EcoStore::counters`] never goes
+    /// backwards.
+    retired: Mutex<EcoCounters>,
+}
+
+impl EcoStore {
+    /// A store keeping at most `cap` engines (0 disables reuse: every
+    /// checkout is a fresh, cold engine).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            engines: Mutex::new(Vec::new()),
+            retired: Mutex::new(EcoCounters::default()),
+        }
+    }
+
+    /// Checks out the engine for `key`, or a fresh one. The caller owns
+    /// it for the duration of one remerge and must [`EcoStore::put`] it
+    /// back to preserve warmth and counters.
+    pub fn take(&self, key: u64) -> EcoEngine {
+        let mut engines = self.engines.lock().expect("eco store poisoned");
+        match engines.iter().position(|(k, _)| *k == key) {
+            Some(pos) => engines.remove(pos).1,
+            None => EcoEngine::new(),
+        }
+    }
+
+    /// Returns a checked-out engine, evicting the least-recently-used
+    /// engines while over the cap (their counters are retired, their
+    /// baselines dropped).
+    pub fn put(&self, key: u64, engine: EcoEngine) {
+        let mut engines = self.engines.lock().expect("eco store poisoned");
+        if self.cap == 0 {
+            self.retire(engine.counters());
+            return;
+        }
+        engines.retain(|(k, _)| *k != key);
+        engines.push((key, engine));
+        while engines.len() > self.cap {
+            let (_, evicted) = engines.remove(0);
+            self.retire(evicted.counters());
+        }
+    }
+
+    fn retire(&self, counters: &EcoCounters) {
+        self.retired
+            .lock()
+            .expect("eco store poisoned")
+            .accumulate(counters);
+    }
+
+    /// The aggregate counters across retired and resident engines, plus
+    /// the resident engine count.
+    pub fn counters(&self) -> (EcoCounters, usize) {
+        let engines = self.engines.lock().expect("eco store poisoned");
+        let mut total = *self.retired.lock().expect("eco store poisoned");
+        for (_, engine) in engines.iter() {
+            total.accumulate(engine.counters());
+        }
+        (total, engines.len())
+    }
+
+    /// Serializes the aggregate to the `stats` wire shape: every
+    /// [`EcoCounters`] field plus `engines`, the resident count.
+    pub fn to_json(&self) -> Json {
+        let (counters, engines) = self.counters();
+        match counters.to_json() {
+            Json::Obj(mut fields) => {
+                fields.push(("engines".into(), Json::count(engines)));
+                Json::Obj(fields)
+            }
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn modes(names: &[&str]) -> Vec<(String, String)> {
+        names
+            .iter()
+            .map(|n| ((*n).to_owned(), format!("sdc for {n}\n")))
+            .collect()
+    }
+
+    #[test]
+    fn suite_key_ignores_sdc_contents_and_mode_order() {
+        let opts = MergeOptions::default();
+        let a = suite_key("net\n", &modes(&["F1", "F2"]), &opts);
+        // Editing a constraint keeps the suite identity.
+        let mut edited = modes(&["F1", "F2"]);
+        edited[0].1.push_str("set_clock_latency 1 [get_clocks c]\n");
+        assert_eq!(a, suite_key("net\n", &edited, &opts));
+        // Submission order cannot split suites.
+        let mut reversed = modes(&["F1", "F2"]);
+        reversed.reverse();
+        assert_eq!(a, suite_key("net\n", &reversed, &opts));
+        // Design, mode set and options all participate.
+        assert_ne!(a, suite_key("net2\n", &modes(&["F1", "F2"]), &opts));
+        assert_ne!(a, suite_key("net\n", &modes(&["F1", "F3"]), &opts));
+        assert_ne!(a, suite_key("net\n", &modes(&["F1", "F2", "F3"]), &opts));
+        let strict = MergeOptions {
+            strict: true,
+            ..Default::default()
+        };
+        assert_ne!(a, suite_key("net\n", &modes(&["F1", "F2"]), &strict));
+    }
+
+    #[test]
+    fn store_round_trips_and_evicts_lru() {
+        let store = EcoStore::new(2);
+        // Fresh checkout, nothing resident yet.
+        let e1 = store.take(1);
+        assert!(!e1.has_baseline());
+        store.put(1, e1);
+        store.put(2, EcoEngine::new());
+        assert_eq!(store.counters().1, 2);
+        // Third suite evicts the LRU engine (key 1).
+        store.put(3, EcoEngine::new());
+        assert_eq!(store.counters().1, 2);
+        // Re-taking key 1 yields a fresh engine; 2 and 3 are resident.
+        let engines = store.engines.lock().unwrap();
+        assert!(engines.iter().all(|(k, _)| *k != 1));
+        assert!(engines.iter().any(|(k, _)| *k == 2));
+        assert!(engines.iter().any(|(k, _)| *k == 3));
+    }
+
+    #[test]
+    fn zero_cap_disables_residency_but_keeps_counters() {
+        let store = EcoStore::new(0);
+        store.put(7, EcoEngine::new());
+        let (counters, engines) = store.counters();
+        assert_eq!(engines, 0);
+        assert_eq!(counters, EcoCounters::default());
+    }
+}

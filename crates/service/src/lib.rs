@@ -13,9 +13,17 @@
 //!   [`MergeSession`](modemerge_core::MergeSession) per request;
 //! * [`cache`] — a content-addressed result cache ([`hash`]: FNV-1a 64
 //!   over netlist bytes + sorted mode SDC bytes + result-affecting
-//!   options) with LRU eviction and hit/miss/eviction counters, so
+//!   options) with entry- and byte-budgeted LRU eviction
+//!   (`MODEMERGE_RESULT_CACHE_KB`) and hit/miss/eviction counters, so
 //!   repeated submissions of unchanged mode sets return in O(hash)
 //!   instead of O(STA);
+//! * [`eco_store`] — a suite-keyed pool of warm
+//!   [`EcoEngine`](modemerge_core::EcoEngine)s: an *edited*
+//!   resubmission misses the result cache but lands on the engine
+//!   holding its previous baseline, which replays everything the
+//!   command-level delta leaves valid instead of re-merging cold
+//!   (`MODEMERGE_ECO_CHECK=1` cross-checks every warm result against a
+//!   cold merge);
 //! * [`server`] / [`client`] — the daemon (`modemerge serve`) and the
 //!   blocking submitter (`modemerge submit`).
 //!
@@ -38,13 +46,15 @@
 
 pub mod cache;
 pub mod client;
+pub mod eco_store;
 pub mod hash;
 pub mod proto;
 pub mod queue;
 pub mod server;
 
-pub use cache::{job_key, CacheStats, ResultCache};
+pub use cache::{job_key, CacheBudget, CacheStats, ResultCache};
 pub use client::{Client, Response};
+pub use eco_store::{suite_key, EcoStore};
 pub use proto::{JobSpec, NetlistFormat, Request};
 pub use queue::{JobQueue, PushError};
 pub use server::{Server, ServerHandle, ServiceConfig};

@@ -23,6 +23,7 @@
 //! submissions — cached or not — always observe the same bytes.
 
 use crate::cache::{job_key, CacheStats, ResultCache};
+use crate::eco_store::{suite_key, EcoStore};
 use crate::proto::{error_response, ok_response, JobSpec, NetlistFormat, Request};
 use crate::queue::{JobQueue, PushError};
 use modemerge_core::json::Json;
@@ -49,6 +50,9 @@ pub struct ServiceConfig {
     /// Bounded job-queue capacity; pushes beyond it are refused with a
     /// `queue full` error rather than blocking the connection.
     pub queue_capacity: usize,
+    /// Warm incremental re-merge engines kept resident, one per suite
+    /// identity (0 disables incremental reuse — every merge runs cold).
+    pub eco_engines: usize,
 }
 
 impl Default for ServiceConfig {
@@ -57,6 +61,7 @@ impl Default for ServiceConfig {
             workers: 1,
             cache_entries: 128,
             queue_capacity: 256,
+            eco_engines: 8,
         }
     }
 }
@@ -91,6 +96,7 @@ struct ServerState {
     addr: SocketAddr,
     queue: JobQueue<Job>,
     cache: Mutex<ResultCache>,
+    eco: EcoStore,
     /// `false` once shutdown was requested: new merge/plan work is
     /// refused (status/stats stay available while draining).
     accepting: AtomicBool,
@@ -151,7 +157,13 @@ impl ServerState {
             "lint_findings".into(),
             Json::num(self.lint_findings.load(Ordering::SeqCst) as f64),
         ));
-        fields.push(("cache".into(), self.cache_stats().to_json()));
+        fields.push((
+            "cache".into(),
+            Json::Obj(vec![
+                ("results".into(), self.cache_stats().to_json()),
+                ("eco".into(), self.eco.to_json()),
+            ]),
+        ));
         let totals = self.stage_totals.lock().expect("timings poisoned");
         fields.push(("stage_totals".into(), totals.to_json()));
         fields
@@ -193,6 +205,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let state = Arc::new(ServerState {
             cache: Mutex::new(ResultCache::new(config.cache_entries)),
+            eco: EcoStore::new(config.eco_engines),
             queue: JobQueue::new(config.queue_capacity),
             accepting: AtomicBool::new(true),
             stopping: AtomicBool::new(false),
@@ -321,8 +334,21 @@ fn compute(state: &ServerState, kind: JobKind, spec: &JobSpec) -> Result<String,
     let session = MergeSession::new(&netlist, &bound, &spec.options);
     let result = match kind {
         JobKind::Merge => {
-            session.warm_up();
-            let outcome = session.merge_all().map_err(|e| e.to_string())?;
+            // Incremental path: check out the warm engine of this suite
+            // identity (fresh and cold on first contact). Only a cold
+            // run benefits from warming every mode analysis up front —
+            // a warm remerge may skip STA entirely, so warming eagerly
+            // would pay the cost the engine exists to avoid.
+            let skey = suite_key(&spec.netlist, &spec.modes, &spec.options);
+            let mut engine = state.eco.take(skey);
+            if !engine.has_baseline() {
+                session.warm_up();
+            }
+            let check = std::env::var("MODEMERGE_ECO_CHECK").as_deref() == Ok("1");
+            let input_fp = modemerge_core::eco::input_fingerprint(&spec.netlist);
+            let remerged = session.rebind_delta(&mut engine, input_fp, check);
+            state.eco.put(skey, engine);
+            let (outcome, _report) = remerged.map_err(|e| e.to_string())?;
             let emitted: usize = outcome.reports.iter().map(|r| r.diagnostics.len()).sum();
             state
                 .diagnostics_emitted
@@ -357,10 +383,25 @@ fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<
         if line.trim().is_empty() {
             continue;
         }
-        let response = dispatch_line(&line, state);
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        let (response, finish_shutdown) = dispatch_line(&line, state);
+        let written = writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+        // Shutdown is finalized only AFTER the response is flushed:
+        // signalling `stopping` first would let the accept loop break
+        // and the process exit before the reply bytes leave this
+        // thread, so the shutting-down client would see a bare EOF.
+        // It is signalled even when the write fails (client vanished) —
+        // a drained daemon must still exit.
+        if finish_shutdown {
+            state.stopping.store(true, Ordering::SeqCst);
+            // Wake the accept loop so `run` can return.
+            let _ = TcpStream::connect(state.addr);
+            written?;
+            break;
+        }
+        written?;
         if state.stopping.load(Ordering::SeqCst) {
             break;
         }
@@ -368,18 +409,21 @@ fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<
     Ok(())
 }
 
-fn dispatch_line(line: &str, state: &ServerState) -> String {
+/// Dispatches one request line; the `bool` is `true` when this was a
+/// `shutdown` whose drain finished and the caller must, after writing
+/// the response, signal the accept loop to exit.
+fn dispatch_line(line: &str, state: &ServerState) -> (String, bool) {
     let request = match Request::parse(line) {
         Ok(r) => r,
-        Err(e) => return error_response(None, &e),
+        Err(e) => return (error_response(None, &e), false),
     };
     match request {
-        Request::Status => ok_response("status", state.status_fields()),
-        Request::Stats => ok_response("stats", state.stats_fields()),
-        Request::Shutdown => shutdown(state),
-        Request::Merge(spec) => submit_job(state, JobKind::Merge, spec),
-        Request::Plan(spec) => submit_job(state, JobKind::Plan, spec),
-        Request::Lint(spec) => submit_job(state, JobKind::Lint, spec),
+        Request::Status => (ok_response("status", state.status_fields()), false),
+        Request::Stats => (ok_response("stats", state.stats_fields()), false),
+        Request::Shutdown => (shutdown(state), true),
+        Request::Merge(spec) => (submit_job(state, JobKind::Merge, spec), false),
+        Request::Plan(spec) => (submit_job(state, JobKind::Plan, spec), false),
+        Request::Lint(spec) => (submit_job(state, JobKind::Lint, spec), false),
     }
 }
 
@@ -427,7 +471,9 @@ fn submit_job(state: &ServerState, kind: JobKind, spec: JobSpec) -> String {
     }
 }
 
-/// Graceful shutdown: refuse new work, drain, report, stop accepting.
+/// Graceful shutdown: refuse new work, drain, report. The caller
+/// ([`handle_connection`]) signals the accept loop only after the
+/// response below has been flushed to the client.
 fn shutdown(state: &ServerState) -> String {
     state.accepting.store(false, Ordering::SeqCst);
     state.queue.close();
@@ -436,7 +482,7 @@ fn shutdown(state: &ServerState) -> String {
     while !(state.queue.is_empty() && state.in_flight.load(Ordering::SeqCst) == 0) {
         thread::sleep(Duration::from_millis(1));
     }
-    let response = ok_response(
+    ok_response(
         "shutdown",
         vec![
             (
@@ -448,11 +494,7 @@ fn shutdown(state: &ServerState) -> String {
                 Json::num(state.failed.load(Ordering::SeqCst) as f64),
             ),
         ],
-    );
-    state.stopping.store(true, Ordering::SeqCst);
-    // Wake the accept loop so `run` can return.
-    let _ = TcpStream::connect(state.addr);
-    response
+    )
 }
 
 #[cfg(test)]

@@ -17,6 +17,12 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> workspace tests: cargo test --workspace -q"
+# The tier-1 run above covers the root facade package; this one runs
+# every member crate's unit and integration suites (core, sdc, sta,
+# service, eco deltas, ...).
+cargo test --workspace -q
+
 echo "==> clippy -D warnings (all touched crates)"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -57,7 +63,9 @@ trap cleanup EXIT
 
 # Background daemon on an ephemeral port; parse the bound address from
 # the startup line (stdout is flushed eagerly for exactly this reason).
-"$MM" serve --addr 127.0.0.1:0 --threads 2 >"$SERVE_LOG" 2>&1 &
+# MODEMERGE_ECO_CHECK=1 makes every warm ECO re-merge cross-check its
+# result against a cold merge and fail the job on any byte difference.
+MODEMERGE_ECO_CHECK=1 "$MM" serve --addr 127.0.0.1:0 --threads 2 >"$SERVE_LOG" 2>&1 &
 SERVE_PID=$!
 ADDR=""
 for _ in $(seq 1 50); do
@@ -88,8 +96,51 @@ if [ "$cold_result" != "$warm_result" ]; then
     echo "FAIL: cached result differs from computed result" >&2
     exit 1
 fi
-"$MM" submit --addr "$ADDR" --stats | grep -q '"hits":' \
+# ECO warm path: nudge one constraint value in the first mode and
+# resubmit. The edited suite must miss the result cache but land on
+# the engine left warm by the cold submit (eco_hits advances), and the
+# MODEMERGE_ECO_CHECK=1 cross-check above must have actually run —
+# byte-identity of warm vs. cold is asserted inside the daemon, so a
+# divergence fails the submission (and with it this script).
+first_mode_name="$(awk '$1 == "mode" { print $2; exit }' "$SMOKE_DIR/suite/MANIFEST")"
+first_mode_file="$(awk '$1 == "mode" { print $3; exit }' "$SMOKE_DIR/suite/MANIFEST")"
+ECO_SDC="$SMOKE_DIR/eco_edit.sdc"
+sed '0,/^set_clock_latency /s/^set_clock_latency [0-9.]*/set_clock_latency 7.7777/' \
+    "$SMOKE_DIR/suite/$first_mode_file" >"$ECO_SDC"
+if cmp -s "$SMOKE_DIR/suite/$first_mode_file" "$ECO_SDC"; then
+    echo "FAIL: eco edit did not change the first mode's SDC" >&2
+    exit 1
+fi
+eco_mode_args=()
+while read -r word name file; do
+    if [ "$word" = mode ]; then
+        if [ "$name" = "$first_mode_name" ]; then
+            eco_mode_args+=(--mode "$name=$ECO_SDC")
+        else
+            eco_mode_args+=(--mode "$name=$SMOKE_DIR/suite/$file")
+        fi
+    fi
+done <"$SMOKE_DIR/suite/MANIFEST"
+eco_resp="$("$MM" submit --addr "$ADDR" --netlist "$SMOKE_DIR/suite/design.nl" \
+    "${eco_mode_args[@]}" --json)"
+echo "$eco_resp" | grep -q '"cached":false' \
+    || { echo "FAIL: edited suite hit the result cache: $eco_resp" >&2; exit 1; }
+
+STATS="$("$MM" submit --addr "$ADDR" --stats --json)"
+echo "$STATS" | grep -q '"hits":' \
     || { echo "FAIL: stats lacks cache counters" >&2; exit 1; }
+eco_hits="$(echo "$STATS" | grep -o '"eco_hits":[0-9]*' | cut -d: -f2)"
+eco_checks="$(echo "$STATS" | grep -o '"checks_run":[0-9]*' | cut -d: -f2)"
+if [ "${eco_hits:-0}" -lt 1 ]; then
+    echo "FAIL: eco_hits is ${eco_hits:-absent} after an edited resubmit: $STATS" >&2
+    exit 1
+fi
+if [ "${eco_checks:-0}" -lt 1 ]; then
+    echo "FAIL: MODEMERGE_ECO_CHECK=1 ran no byte-identity checks: $STATS" >&2
+    exit 1
+fi
+"$MM" submit --addr "$ADDR" --stats | grep -q '^eco:' \
+    || { echo "FAIL: submit --stats does not pretty-print eco counters" >&2; exit 1; }
 
 # Graceful shutdown: the daemon drains and the serve process exits 0.
 "$MM" submit --addr "$ADDR" --shutdown >/dev/null
@@ -97,7 +148,7 @@ wait "$SERVE_PID"
 grep -q "drained and stopped" "$SERVE_LOG" \
     || { echo "FAIL: serve did not report a clean drain" >&2; cat "$SERVE_LOG" >&2; exit 1; }
 SERVE_PID=""
-echo "    serve/submit/cache-hit/shutdown round trip OK"
+echo "    serve/submit/cache-hit/eco-warm/shutdown round trip OK"
 
 echo "==> smoke: lint gate (clean suite exits 0, seeded defect exits 1)"
 # The generated suite must lint clean even under --deny warnings …
@@ -221,5 +272,38 @@ if [ -z "$scale_ok" ]; then
     exit 1
 fi
 echo "    5k-point wall ${scale_new}ms vs baseline ${scale_base}ms (within 25%)"
+
+echo "==> smoke: eco bench stress point with warm-speedup tripwire"
+# The incremental re-merge path must actually pay off: re-run the
+# 648-cell stress point of the eco A/B grid fresh (the full grid's
+# 8000-cell suite is too slow for a smoke run) and require warm >= 5x
+# cold on the two value-edit rows — in the fresh run and the
+# checked-in BENCH_eco.json alike. The headline claim is >= 10x; 5x is
+# the tripwire so container noise cannot flake the build while a
+# broken warm path still fails loudly. The bench itself asserts the
+# warm result is byte-identical to a cold merge before reporting.
+ECO_OUT="$SMOKE_DIR/BENCH_eco.json"
+MODEMERGE_ECO_SUITES=stress_648x8 MODEMERGE_BENCH_OUT="$ECO_OUT" \
+    cargo bench -q -p modemerge-bench --bench eco >"$SMOKE_DIR/eco.log" 2>&1 \
+    || { echo "FAIL: eco bench run failed" >&2; cat "$SMOKE_DIR/eco.log" >&2; exit 1; }
+grep -q '"bench":"eco"' "$ECO_OUT" \
+    || { echo "FAIL: eco report lacks its identity field" >&2; cat "$ECO_OUT" >&2; exit 1; }
+# All speedup values for one edit kind (one per suite row; `speedup`
+# precedes the nested counters object, so [^}]* cannot overrun it).
+eco_speedups() { grep -o "\"edit\":\"$2\"[^}]*" "$1" | grep -o '"speedup":[0-9.]*' | cut -d: -f2; }
+for report in "$ECO_OUT" BENCH_eco.json; do
+    for edit in clock_attr io_delay; do
+        found=""
+        for s in $(eco_speedups "$report" "$edit"); do
+            found=yes
+            awk -v s="$s" 'BEGIN { exit !(s >= 5) }' || {
+                echo "FAIL: $report: $edit warm speedup ${s}x is below the 5x tripwire" >&2
+                exit 1
+            }
+        done
+        [ -n "$found" ] || { echo "FAIL: $report has no $edit row" >&2; exit 1; }
+    done
+done
+echo "    warm >= 5x cold on value edits (fresh stress run and checked-in report)"
 
 echo "==> verify.sh: all checks passed"

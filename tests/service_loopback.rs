@@ -74,6 +74,7 @@ fn start_server(workers: usize) -> (SocketAddr, std::thread::JoinHandle<std::io:
             workers,
             cache_entries: 32,
             queue_capacity: 64,
+            eco_engines: 8,
         },
     )
     .expect("bind ephemeral loopback port");
@@ -86,10 +87,27 @@ fn cache_counters(addr: SocketAddr) -> (u64, u64) {
     let stats = client.request(&simple_request("stats")).expect("stats");
     assert!(stats.ok, "{:?}", stats.error);
     let cache = stats.json.get("cache").expect("cache block");
+    let results = cache.get("results").expect("results block");
     (
-        cache.get("hits").and_then(Json::as_u64).expect("hits"),
-        cache.get("misses").and_then(Json::as_u64).expect("misses"),
+        results.get("hits").and_then(Json::as_u64).expect("hits"),
+        results
+            .get("misses")
+            .and_then(Json::as_u64)
+            .expect("misses"),
     )
+}
+
+fn eco_counter(addr: SocketAddr, field: &str) -> u64 {
+    let mut client = Client::connect(addr).expect("connect");
+    let stats = client.request(&simple_request("stats")).expect("stats");
+    assert!(stats.ok, "{:?}", stats.error);
+    stats
+        .json
+        .get("cache")
+        .and_then(|c| c.get("eco"))
+        .and_then(|e| e.get(field))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("eco counter {field} missing"))
 }
 
 /// Submits `spec` from `clients` concurrent connections; returns the
@@ -163,6 +181,53 @@ fn concurrent_submissions_match_direct_session_and_hit_the_cache() {
         .expect("drained");
     assert!(drained >= 1, "at least the cold job completed: {drained}");
     assert_eq!(resp.json.get("failed").and_then(Json::as_u64), Some(0));
+    daemon.join().expect("daemon thread").expect("daemon io");
+}
+
+#[test]
+fn edited_resubmission_lands_on_the_warm_eco_engine() {
+    let (addr, daemon) = start_server(2);
+
+    // Cold submission installs the suite's baseline engine.
+    let spec = paper_spec();
+    let first = submit_concurrently(addr, &spec, 1);
+    assert!(!first[0].0, "first submission computes");
+    assert_eq!(eco_counter(addr, "cold_runs"), 1);
+    assert_eq!(eco_counter(addr, "engines"), 1);
+
+    // Edit one constraint: misses the result cache (different bytes)
+    // but lands on the warm engine — the stats prove artifacts of the
+    // baseline run were replayed, and the bytes must still equal a
+    // direct cold merge of the *edited* suite.
+    let mut edited = paper_spec();
+    edited.modes[2].1 = edited.modes[2]
+        .1
+        .replace("set_clock_latency 9", "set_clock_latency 9.5");
+    let warm = submit_concurrently(addr, &edited, 1);
+    assert!(!warm[0].0, "edited suite is not a result-cache hit");
+    assert_eq!(eco_counter(addr, "eco_hits"), 1, "edit must remerge warm");
+    assert!(eco_counter(addr, "group_replays") + eco_counter(addr, "tail_replays") >= 1);
+
+    let netlist = paper_circuit();
+    let inputs: Vec<ModeInput> = edited
+        .modes
+        .iter()
+        .map(|(n, s)| ModeInput::parse(n.clone(), s).expect("parse sdc"))
+        .collect();
+    let bound = SessionInputs::bind(&netlist, &inputs).expect("bind");
+    let session = MergeSession::new(&netlist, &bound, &MergeOptions::default());
+    let cold = session.merge_all().expect("merge");
+    assert_eq!(
+        warm[0].1,
+        outcome_to_json(&cold, inputs.len()).to_string(),
+        "warm remerge must be byte-identical to a cold merge"
+    );
+
+    let bye = Client::connect(addr)
+        .expect("connect")
+        .request(&simple_request("shutdown"))
+        .expect("shutdown");
+    assert!(bye.ok);
     daemon.join().expect("daemon thread").expect("daemon io");
 }
 

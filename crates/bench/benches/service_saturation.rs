@@ -1,0 +1,357 @@
+//! Service saturation grid: N pipelining clients × M registered suites
+//! against 1/4/8 workers, cold and warm, with per-job latency
+//! percentiles and a full-payload vs. hash-referenced warm A/B.
+//!
+//! Three rows per worker count (C clients × R rounds × M suites jobs
+//! each):
+//!
+//! * `cold` — content-unique full-payload merges: the compute-bound
+//!   ceiling, scales with workers;
+//! * `payload_warm` — the legacy path: every request re-sends the full
+//!   netlist + SDC payload and re-hashes it, even though the result
+//!   cache answers;
+//! * `registered_warm` — the fleet path: suites registered once, each
+//!   round pipelines M hash-referenced requests over one connection.
+//!
+//! The warm A/B isolates exactly the cost the suite registry removes:
+//! parsing and hashing ~100 KiB request lines per job. Before any
+//! number is reported every warm reply is asserted **byte-identical**
+//! to a direct single-threaded [`MergeSession`] run of the same suite
+//! — at every worker count.
+//!
+//! Output rows go to `BENCH_service.json` (`MODEMERGE_BENCH_OUT`
+//! overrides). `MODEMERGE_BENCH_SAMPLES` sets rounds per client
+//! (default 3), `MODEMERGE_SERVICE_GRID` the comma-separated worker
+//! counts (default `1,4,8`), `MODEMERGE_SERVICE_CLIENTS` the client
+//! count (default 8). The headline number is
+//! `warm_jobs_per_s_ratio`: registered ÷ payload warm throughput at
+//! the highest worker count (the ISSUE-8 acceptance wants ≥ 2).
+
+use modemerge_core::json::Json;
+use modemerge_core::merge::{MergeOptions, ModeInput};
+use modemerge_core::report::outcome_to_json;
+use modemerge_core::session::{MergeSession, SessionInputs};
+use modemerge_netlist::text;
+use modemerge_service::client::Client;
+use modemerge_service::proto::{
+    compute_request, simple_request, suite_request, tag_request, JobSpec, NetlistFormat,
+};
+use modemerge_service::server::{Server, ServiceConfig};
+use modemerge_workload::{generate_suite, SuiteSpec};
+use std::net::SocketAddr;
+use std::time::Instant;
+
+/// One registered suite: the full-payload spec plus the reference
+/// bytes of a direct in-process merge.
+struct Case {
+    spec: JobSpec,
+    direct: String,
+}
+
+fn make_cases() -> Vec<Case> {
+    [5u64, 9u64]
+        .iter()
+        .map(|&seed| {
+            let suite = generate_suite(&SuiteSpec::scale(1200, 4, seed));
+            let modes: Vec<(String, String)> = suite
+                .modes
+                .iter()
+                .map(|(n, s)| (n.clone(), s.to_text()))
+                .collect();
+            let inputs: Vec<ModeInput> = modes
+                .iter()
+                .map(|(n, s)| ModeInput::parse(n.clone(), s).expect("parse sdc"))
+                .collect();
+            let bound = SessionInputs::bind(&suite.netlist, &inputs).expect("bind");
+            let session = MergeSession::new(&suite.netlist, &bound, &MergeOptions::default());
+            let outcome = session.merge_all().expect("merge");
+            Case {
+                spec: JobSpec {
+                    netlist: text::write(&suite.netlist),
+                    format: NetlistFormat::Text,
+                    modes,
+                    options: MergeOptions::default(),
+                },
+                direct: outcome_to_json(&outcome, inputs.len()).to_string(),
+            }
+        })
+        .collect()
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+struct Row {
+    label: &'static str,
+    jobs: usize,
+    wall_s: f64,
+    lat_ms: Vec<f64>,
+}
+
+impl Row {
+    fn jobs_per_s(&self) -> f64 {
+        self.jobs as f64 / self.wall_s.max(1e-9)
+    }
+
+    fn to_json(&self, workers: usize, clients: usize, suites: usize) -> Json {
+        let mut lat = self.lat_ms.clone();
+        lat.sort_by(f64::total_cmp);
+        Json::Obj(vec![
+            ("row".into(), Json::str(self.label)),
+            ("workers".into(), Json::count(workers)),
+            ("clients".into(), Json::count(clients)),
+            ("suites".into(), Json::count(suites)),
+            ("jobs".into(), Json::count(self.jobs)),
+            ("wall_ms".into(), Json::num(self.wall_s * 1e3)),
+            ("jobs_per_s".into(), Json::num(self.jobs_per_s())),
+            ("p50_ms".into(), Json::num(percentile(&lat, 50.0))),
+            ("p99_ms".into(), Json::num(percentile(&lat, 99.0))),
+        ])
+    }
+}
+
+/// Full-payload requests, one blocking roundtrip per job. `unique_tag`
+/// makes every job content-unique (cold row); `None` expects warm
+/// cache hits byte-identical to the direct run.
+fn drive_payload(
+    label: &'static str,
+    addr: SocketAddr,
+    cases: &[Case],
+    clients: usize,
+    rounds: usize,
+    unique_tag: Option<&str>,
+) -> Row {
+    let t0 = Instant::now();
+    let lat_ms: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut lats = Vec::with_capacity(rounds * cases.len());
+                    for r in 0..rounds {
+                        for (s, case) in cases.iter().enumerate() {
+                            let spec = match unique_tag {
+                                None => case.spec.clone(),
+                                Some(tag) => {
+                                    let mut spec = case.spec.clone();
+                                    for (name, _) in &mut spec.modes {
+                                        name.push_str(&format!("_{tag}_{c}_{r}_{s}"));
+                                    }
+                                    spec
+                                }
+                            };
+                            let t = Instant::now();
+                            let resp = client
+                                .request(&compute_request("merge", &spec))
+                                .expect("roundtrip");
+                            lats.push(t.elapsed().as_secs_f64() * 1e3);
+                            assert!(resp.ok, "{:?}", resp.error);
+                            if unique_tag.is_none() {
+                                assert_eq!(
+                                    resp.json.get("result").expect("result").to_string(),
+                                    case.direct,
+                                    "warm payload reply must match the direct session"
+                                );
+                            }
+                        }
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client"))
+            .collect()
+    });
+    Row {
+        label,
+        jobs: lat_ms.len(),
+        wall_s: t0.elapsed().as_secs_f64(),
+        lat_ms,
+    }
+}
+
+/// Hash-referenced requests: each round pipelines one request per
+/// suite over the client's single connection, replies tagged with the
+/// suite index so completion-order arrival still maps back to its
+/// reference bytes.
+fn drive_registered(
+    addr: SocketAddr,
+    cases: &[Case],
+    hashes: &[String],
+    clients: usize,
+    rounds: usize,
+) -> Row {
+    let lines: Vec<String> = hashes
+        .iter()
+        .enumerate()
+        .map(|(s, hex)| {
+            tag_request(
+                &suite_request("merge", hex, &MergeOptions::default()),
+                &Json::count(s),
+            )
+        })
+        .collect();
+    let t0 = Instant::now();
+    let lat_ms: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let lines = &lines;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut lats = Vec::with_capacity(rounds * lines.len());
+                    for _ in 0..rounds {
+                        let t = Instant::now();
+                        let replies = client.pipeline(lines).expect("pipeline");
+                        let batch_ms = t.elapsed().as_secs_f64() * 1e3;
+                        for reply in &replies {
+                            assert!(reply.ok, "{:?}", reply.error);
+                            let s = reply.id.as_ref().and_then(Json::as_u64).expect("suite tag")
+                                as usize;
+                            assert_eq!(
+                                reply.json.get("result").expect("result").to_string(),
+                                cases[s].direct,
+                                "registered reply must match the direct session"
+                            );
+                            lats.push(batch_ms);
+                        }
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client"))
+            .collect()
+    });
+    Row {
+        label: "registered_warm",
+        jobs: lat_ms.len(),
+        wall_s: t0.elapsed().as_secs_f64(),
+        lat_ms,
+    }
+}
+
+fn bench_workers(workers: usize, cases: &[Case], clients: usize, rounds: usize) -> Vec<Json> {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers,
+            cache_entries: 4 * clients * rounds * cases.len() + 64,
+            queue_capacity: 1024,
+            eco_engines: 8,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let daemon = std::thread::spawn(move || server.run());
+
+    // Register every suite and warm the result cache once, so both
+    // warm rows measure pure request-path cost over identical entries.
+    let mut control = Client::connect(addr).expect("connect");
+    let mut hashes = Vec::new();
+    for case in cases {
+        let reg = control.register(&case.spec).expect("register");
+        assert!(reg.ok, "{:?}", reg.error);
+        hashes.push(reg.suite().expect("suite hash").to_owned());
+        let warm = control
+            .request(&compute_request("merge", &case.spec))
+            .expect("warm-up");
+        assert!(warm.ok, "{:?}", warm.error);
+        assert_eq!(
+            warm.json.get("result").expect("result").to_string(),
+            case.direct,
+            "warm-up reply must match the direct session"
+        );
+    }
+
+    let rows = vec![
+        drive_payload("cold", addr, cases, clients, rounds, Some("cold")),
+        drive_payload("payload_warm", addr, cases, clients, rounds, None),
+        drive_registered(addr, cases, &hashes, clients, rounds),
+    ];
+    for row in &rows {
+        println!(
+            "bench service_saturation/workers_{workers}/{} jobs={} wall_ms={} jobs_per_s={:.0}",
+            row.label,
+            row.jobs,
+            (row.wall_s * 1e3) as u64,
+            row.jobs_per_s(),
+        );
+    }
+    let json: Vec<Json> = rows
+        .iter()
+        .map(|r| r.to_json(workers, clients, cases.len()))
+        .collect();
+
+    let bye = control
+        .request(&simple_request("shutdown"))
+        .expect("shutdown");
+    assert!(bye.ok);
+    daemon.join().expect("daemon thread").expect("daemon io");
+    json
+}
+
+fn main() {
+    let rounds = env_usize("MODEMERGE_BENCH_SAMPLES", 3);
+    let clients = env_usize("MODEMERGE_SERVICE_CLIENTS", 8);
+    let grid: Vec<usize> = std::env::var("MODEMERGE_SERVICE_GRID")
+        .unwrap_or_else(|_| "1,4,8".to_owned())
+        .split(',')
+        .filter_map(|w| w.trim().parse().ok())
+        .filter(|&w| w > 0)
+        .collect();
+    assert!(!grid.is_empty(), "MODEMERGE_SERVICE_GRID has no workers");
+
+    let cases = make_cases();
+    let mut rows = Vec::new();
+    for &workers in &grid {
+        rows.extend(bench_workers(workers, &cases, clients, rounds));
+    }
+
+    // Headline: registered ÷ payload warm throughput at the highest
+    // worker count of the grid.
+    let max_workers = *grid.iter().max().expect("non-empty grid");
+    let warm_rate = |label: &str| {
+        rows.iter()
+            .find(|r| {
+                r.get("row").and_then(Json::as_str) == Some(label)
+                    && r.get("workers").and_then(Json::as_u64) == Some(max_workers as u64)
+            })
+            .and_then(|r| r.get("jobs_per_s"))
+            .and_then(Json::as_f64)
+            .expect("row present")
+    };
+    let ratio = warm_rate("registered_warm") / warm_rate("payload_warm").max(1e-9);
+    println!("bench service_saturation/workers_{max_workers}/warm_ratio ratio={ratio:.2}");
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::str("service_saturation")),
+        ("samples".into(), Json::count(rounds)),
+        ("clients".into(), Json::count(clients)),
+        ("max_workers".into(), Json::count(max_workers)),
+        ("warm_jobs_per_s_ratio".into(), Json::num(ratio)),
+        ("rows".into(), Json::Arr(rows)),
+    ]);
+    let out_path = std::env::var("MODEMERGE_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json").to_owned()
+    });
+    std::fs::write(&out_path, format!("{report}\n")).expect("write bench report");
+    println!("bench service_saturation report written to {out_path}");
+}

@@ -1,6 +1,13 @@
 //! Throughput of the persistent merge service: jobs/sec at 1/4/8
-//! workers, cold cache (every submission content-unique) vs. warm cache
-//! (every submission a content-addressed hit).
+//! workers over three request paths:
+//!
+//! * `cold` — content-unique full-payload submissions (every job
+//!   computes);
+//! * `warm` — the legacy full-payload path, every job a
+//!   content-addressed cache hit (the A/B reference row);
+//! * `warm_registered` — the fleet path: the suite registered once,
+//!   each round pipelining a batch of hash-referenced requests per
+//!   connection.
 //!
 //! Each configuration starts an in-process daemon on an ephemeral
 //! loopback port, fans 8 client connections out against it, and divides
@@ -12,12 +19,15 @@
 //! ```
 //!
 //! `MODEMERGE_BENCH_SAMPLES` scales the per-thread job count (set it to
-//! 1 for a smoke run).
+//! 1 for a smoke run). The saturation grid with latency percentiles
+//! and the checked-in report lives in `service_saturation.rs`.
 
 use modemerge_core::merge::MergeOptions;
 use modemerge_netlist::{paper::paper_circuit, text};
 use modemerge_service::client::Client;
-use modemerge_service::proto::{compute_request, simple_request, JobSpec, NetlistFormat};
+use modemerge_service::proto::{
+    compute_request, simple_request, suite_request, JobSpec, NetlistFormat,
+};
 use modemerge_service::server::{Server, ServiceConfig};
 use std::time::Instant;
 
@@ -96,6 +106,41 @@ fn drive(addr: std::net::SocketAddr, rounds: usize, unique: bool) -> (usize, f64
     (done, t0.elapsed().as_secs_f64())
 }
 
+/// Pipelines `rounds` batches of `batch` hash-referenced requests per
+/// client connection. Returns (jobs, wall seconds).
+fn drive_registered(
+    addr: std::net::SocketAddr,
+    suite_hex: &str,
+    rounds: usize,
+    batch: usize,
+) -> (usize, f64) {
+    let lines: Vec<String> = (0..batch)
+        .map(|_| suite_request("merge", suite_hex, &MergeOptions::default()))
+        .collect();
+    let t0 = Instant::now();
+    let done: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENT_THREADS)
+            .map(|_| {
+                let lines = &lines;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut ok = 0usize;
+                    for _ in 0..rounds {
+                        for resp in client.pipeline(lines).expect("pipeline") {
+                            assert!(resp.ok, "{:?}", resp.error);
+                            assert_eq!(resp.cached, Some(true), "warm run must hit the cache");
+                            ok += 1;
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).sum()
+    });
+    (done, t0.elapsed().as_secs_f64())
+}
+
 fn bench_workers(workers: usize, rounds: usize) {
     let server = Server::bind(
         "127.0.0.1:0",
@@ -105,6 +150,7 @@ fn bench_workers(workers: usize, rounds: usize) {
             cache_entries: 2 * CLIENT_THREADS * rounds + 8,
             queue_capacity: 1024,
             eco_engines: 8,
+            ..ServiceConfig::default()
         },
     )
     .expect("bind");
@@ -127,6 +173,20 @@ fn bench_workers(workers: usize, rounds: usize) {
             jobs as f64 / wall.max(1e-9)
         );
     }
+
+    // Fleet path: register the suite once, then pipeline batches of
+    // hash-referenced requests (same cache entries as the warm row, so
+    // the delta is pure request-path cost).
+    let mut reg_client = Client::connect(addr).expect("connect");
+    let reg = reg_client.register(&paper_spec("")).expect("register");
+    assert!(reg.ok, "{:?}", reg.error);
+    let suite_hex = reg.suite().expect("suite hash").to_owned();
+    let (jobs, wall) = drive_registered(addr, &suite_hex, rounds, 8);
+    println!(
+        "bench service_throughput/workers_{workers}/warm_registered jobs={jobs} wall_ms={} jobs_per_s={:.0}",
+        (wall * 1e3) as u64,
+        jobs as f64 / wall.max(1e-9)
+    );
 
     let mut client = Client::connect(addr).expect("connect");
     let stats = client.request(&simple_request("stats")).expect("stats");

@@ -31,7 +31,10 @@ const VALUED: &[&str] = &[
     "addr",
     "cache-entries",
     "queue",
+    "shards",
     "eco-engines",
+    "suite-cache-kb",
+    "suite",
     "baseline",
     "lint",
     "deny",

@@ -89,23 +89,37 @@ commands (netlists: native text format, or gate-level Verilog .v):
              mergeable modes. Writes design.nl, one SDC per mode and a
              MANIFEST; deterministic per (N, M, seed).
   serve      [--addr HOST:PORT] [--threads N] [--cache-entries K]
-             [--queue N] [--eco-engines E]
+             [--queue N] [--shards S] [--eco-engines E]
+             [--suite-cache-kb KB]
              Run the persistent merge server (JSONL over TCP): a
-             bounded job queue feeds N workers; a content-addressed
-             LRU cache (K entries, byte budget via
-             MODEMERGE_RESULT_CACHE_KB) answers identical repeat
-             submissions in O(hash), and a pool of E warm ECO engines
-             (default 8, 0 disables) re-merges *edited* resubmissions
-             incrementally. --addr defaults to 127.0.0.1:0 (ephemeral;
-             the bound address is printed on startup).
-  submit     --addr HOST:PORT --netlist FILE --mode NAME=SDC...
+             bounded sharded job queue (S shards, default one per
+             worker; jobs shard by suite, workers steal) feeds N
+             workers; a content-addressed LRU cache (K entries, byte
+             budget via MODEMERGE_RESULT_CACHE_KB) answers identical
+             repeat submissions in O(hash); registered suites live in
+             a byte-budgeted registry (--suite-cache-kb /
+             MODEMERGE_SUITE_CACHE_KB) sharing parsed+bound inputs
+             across jobs; and a pool of E warm ECO engines (default 8,
+             0 disables) re-merges *edited* resubmissions
+             incrementally. A full queue refuses jobs with a
+             structured `overloaded` reply. --addr defaults to
+             127.0.0.1:0 (ephemeral; the bound address is printed on
+             startup).
+  submit     --addr HOST:PORT (--netlist FILE --mode NAME=SDC... |
+             --suite HASH | --register | --pipe)
              [--job merge|plan|lint] [--json] [--out DIR] [--threads N]
              [--strict] [--no-uniquify]
              Submit one job to a running server and print the reply
-             (--plan is shorthand for --job plan); or, with --status /
-             --stats / --shutdown instead of a netlist, issue the
-             matching control request. --stats pretty-prints the
-             result-cache and ECO counters (--json for the raw reply).
+             (--plan is shorthand for --job plan). --register uploads
+             the suite once and prints its hash; --suite HASH then
+             references it without re-sending the payload. --pipe
+             reads JSONL request lines from stdin, pipelines them over
+             one connection and prints one reply line per request
+             (completion order; tag requests with `id` to correlate).
+             With --status / --stats / --shutdown instead of a
+             netlist, issue the matching control request. --stats
+             pretty-prints the queue, cache, suite-registry and ECO
+             counters (--json for the raw reply).
 ";
 
 /// Dispatches a command line.
@@ -823,20 +837,35 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
 /// sends `{"type":"shutdown"}`.
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let addr = args.value("addr")?.unwrap_or("127.0.0.1:0");
+    let suite_cache_kb = match args.value("suite-cache-kb")? {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("--suite-cache-kb: `{v}` is not a valid number of KiB"))?,
+        ),
+    };
     let config = ServiceConfig {
         workers: args.positive_number("threads", 1)?,
         cache_entries: args.number("cache-entries", 128usize)?,
         queue_capacity: args.positive_number("queue", 256)?,
+        shards: args.number("shards", 0usize)?,
         eco_engines: args.number("eco-engines", 8usize)?,
+        suite_cache_kb,
     };
     let workers = config.workers;
+    let shards = if config.shards == 0 {
+        workers
+    } else {
+        config.shards
+    };
     let cache_entries = config.cache_entries;
     let eco_engines = config.eco_engines;
     let server = Server::bind(addr, config).map_err(|e| format!("{addr}: {e}"))?;
     println!(
-        "modemerge-service listening on {} ({} worker(s), cache {} entries, {} eco engine(s))",
+        "modemerge-service listening on {} ({} worker(s), {} shard(s), cache {} entries, {} eco engine(s))",
         server.local_addr(),
         workers,
+        shards,
         cache_entries,
         eco_engines
     );
@@ -863,6 +892,27 @@ fn print_stats(stats: &Json) {
         top("in_flight"),
         top("queue_depth"),
     );
+    if let Some(queue) = stats.get("queue") {
+        let f = |key: &str| queue.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+        let n = |key: &str| queue.get(key).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "queue: high water {} of {} capacity; waits total {:.1} ms, max {:.1} ms",
+            n("high_water"),
+            n("capacity"),
+            f("wait_ms_total"),
+            f("wait_ms_max"),
+        );
+        if let Some(shards) = queue.get("shards").and_then(Json::as_array) {
+            let per_shard: Vec<String> = shards
+                .iter()
+                .map(|s| {
+                    let n = |key: &str| s.get(key).and_then(Json::as_u64).unwrap_or(0);
+                    format!("{}/{}/{}", n("pushed"), n("popped"), n("stolen"))
+                })
+                .collect();
+            println!("shards (pushed/popped/stolen): {}", per_shard.join("  "));
+        }
+    }
     let Some(cache) = stats.get("cache") else {
         return;
     };
@@ -877,6 +927,24 @@ fn print_stats(stats: &Json) {
             n("capacity"),
             n("bytes") / 1024,
             n("budget_bytes") / 1024,
+        );
+    }
+    if let Some(suites) = cache.get("suites") {
+        let n = |key: &str| suites.get(key).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "suites: {} registered, {} hit(s), {} miss(es), {} eviction(s); {} resident, {} KiB of {} KiB",
+            n("registered"),
+            n("hits"),
+            n("misses"),
+            n("evictions"),
+            n("entries"),
+            n("bytes") / 1024,
+            n("budget_bytes") / 1024,
+        );
+        println!(
+            "        bound inputs: {} bind(s) run, {} job(s) reused a shared bind",
+            n("binds"),
+            n("bind_reuses"),
         );
     }
     if let Some(eco) = cache.get("eco") {
@@ -905,6 +973,68 @@ fn print_stats(stats: &Json) {
     }
 }
 
+/// Builds a full [`JobSpec`] payload from `--netlist`/`--mode` options.
+fn read_submit_spec(args: &Args, options: MergeOptions) -> Result<JobSpec, String> {
+    let netlist_path = args.require("netlist")?;
+    let netlist = read(netlist_path)?;
+    let format = if netlist_path.ends_with(".v") || netlist_path.ends_with(".sv") {
+        NetlistFormat::Verilog
+    } else {
+        NetlistFormat::Text
+    };
+    let mode_specs = args.values("mode");
+    if mode_specs.is_empty() {
+        return Err("submit needs at least one --mode NAME=FILE option".into());
+    }
+    let mut modes = Vec::new();
+    for spec in mode_specs {
+        let (name, path) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--mode expects NAME=FILE, got `{spec}`"))?;
+        modes.push((name.to_owned(), read(path)?));
+    }
+    Ok(JobSpec {
+        netlist,
+        format,
+        modes,
+        options,
+    })
+}
+
+/// `submit --pipe`: pipeline raw JSONL request lines from stdin over
+/// one connection and print one reply line per request, in completion
+/// order (tag requests with `"id"` to correlate them).
+fn submit_pipe(addr: &str) -> Result<(), String> {
+    use std::io::BufRead as _;
+    let mut lines = Vec::new();
+    for line in std::io::stdin().lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        if !line.trim().is_empty() {
+            lines.push(line);
+        }
+    }
+    if lines.is_empty() {
+        return Err("--pipe: no request lines on stdin".into());
+    }
+    let mut client = Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let replies = client.pipeline(&lines)?;
+    let mut failed = 0usize;
+    for reply in &replies {
+        println!("{}", reply.raw);
+        if !reply.ok {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        Err(format!(
+            "{failed} of {} pipelined request(s) failed",
+            replies.len()
+        ))
+    } else {
+        Ok(())
+    }
+}
+
 /// `modemerge submit`: one job (or control request) against a server.
 fn cmd_submit(args: &Args) -> Result<(), String> {
     let addr = args.require("addr")?;
@@ -924,23 +1054,31 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
         }
     }
 
-    let netlist_path = args.require("netlist")?;
-    let netlist = read(netlist_path)?;
-    let format = if netlist_path.ends_with(".v") || netlist_path.ends_with(".sv") {
-        NetlistFormat::Verilog
-    } else {
-        NetlistFormat::Text
-    };
-    let mode_specs = args.values("mode");
-    if mode_specs.is_empty() {
-        return Err("submit needs at least one --mode NAME=FILE option".into());
+    if args.flag("pipe") {
+        return submit_pipe(addr);
     }
-    let mut modes = Vec::new();
-    for spec in mode_specs {
-        let (name, path) = spec
-            .split_once('=')
-            .ok_or_else(|| format!("--mode expects NAME=FILE, got `{spec}`"))?;
-        modes.push((name.to_owned(), read(path)?));
+    if args.flag("register") {
+        let spec = read_submit_spec(args, MergeOptions::default())?;
+        let mut client = Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+        let resp = client.register(&spec)?;
+        if !resp.ok {
+            return Err(format!(
+                "server refused the registration: {}",
+                resp.error.unwrap_or_else(|| "unknown error".into())
+            ));
+        }
+        if args.flag("json") {
+            println!("{}", resp.raw);
+        } else {
+            let n = |key: &str| resp.json.get(key).and_then(Json::as_u64).unwrap_or(0);
+            println!(
+                "registered suite {} ({} mode(s), {} bytes)",
+                resp.suite().unwrap_or("?"),
+                n("modes"),
+                n("bytes"),
+            );
+        }
+        return Ok(());
     }
     let options = MergeOptions {
         threads: args.positive_number("threads", 1)?,
@@ -957,15 +1095,16 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
         None => "merge".to_owned(),
     };
     let kind = kind.as_str();
-    let spec = JobSpec {
-        netlist,
-        format,
-        modes,
-        options,
-    };
 
     let mut client = Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
-    let resp = client.compute(kind, &spec)?;
+    let resp = match args.value("suite")? {
+        // Hash-referenced hot path: one short line, no payload bytes.
+        Some(hash) => client.compute_registered(kind, hash, &options)?,
+        None => {
+            let spec = read_submit_spec(args, options)?;
+            client.compute(kind, &spec)?
+        }
+    };
     if !resp.ok {
         return Err(format!(
             "server refused the {kind}: {}",

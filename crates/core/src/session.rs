@@ -202,6 +202,19 @@ impl StageClock {
 ///
 /// Built once per merging run with [`SessionInputs::bind`]; the
 /// [`MergeSession`] then borrows it.
+///
+/// Owning no lifetimes, a bound `SessionInputs` is also a shareable
+/// artifact: the service's suite registry wraps one in an `Arc` and
+/// runs many concurrent [`MergeSession`]s against it, paying the graph
+/// build + bind once per suite instead of once per job. Sharing is
+/// sound because `bind` seeds the clock-key interner serially in input
+/// order before returning, and sessions sharing one value have (by the
+/// registry's keying) identical result-affecting options, so any
+/// merged-mode clocks they intern later form identical sequences —
+/// get-or-insert id assignment then yields the canonical serial order
+/// under every interleaving. Per-mode analyses live in each session's
+/// own slots, never here, so sessions cannot observe each other's
+/// memo state.
 #[derive(Debug)]
 pub struct SessionInputs {
     graph: TimingGraph,
@@ -252,6 +265,12 @@ impl SessionInputs {
     /// The raw inputs, in input order.
     pub fn inputs(&self) -> &[ModeInput] {
         &self.inputs
+    }
+
+    /// The mode names, in input order (a convenience for report
+    /// builders that only need labels, not whole inputs).
+    pub fn mode_names(&self) -> Vec<String> {
+        self.inputs.iter().map(|i| i.name.clone()).collect()
     }
 }
 
@@ -819,5 +838,55 @@ mod tests {
                 .collect()
         };
         assert_eq!(texts(&serial), texts(&parallel));
+    }
+
+    #[test]
+    fn arc_shared_inputs_match_serial_across_concurrent_sessions() {
+        // The service's shared-bound path: one Arc<SessionInputs>, many
+        // concurrent sessions with identical result-affecting options.
+        // Every session must emit the bytes a private serial bind would.
+        use std::sync::Arc;
+        let netlist = Arc::new(paper_circuit());
+        let inputs = inputs_from(&[
+            ("F1", "create_clock -name c -period 10 [get_ports clk1]\n"),
+            ("F2", "create_clock -name c -period 10 [get_ports clk1]\n"),
+            (
+                "T1",
+                "create_clock -name c -period 10 [get_ports clk1]\n\
+                 set_clock_latency 9 [get_clocks c]\n",
+            ),
+            ("S1", "create_clock -name s -period 4 [get_ports clk2]\n"),
+        ]);
+        let texts = |o: &MergeAllOutcome| -> Vec<(String, String)> {
+            o.merged
+                .iter()
+                .map(|m| (m.name.clone(), m.sdc.to_text()))
+                .collect()
+        };
+        // Reference: a private bind, serial run.
+        let reference = {
+            let bound = SessionInputs::bind(&netlist, &inputs).unwrap();
+            let session = MergeSession::new(&netlist, &bound, &MergeOptions::default());
+            texts(&session.merge_all().unwrap())
+        };
+        let shared = Arc::new(SessionInputs::bind(&netlist, &inputs).unwrap());
+        assert_eq!(shared.mode_names(), ["F1", "F2", "T1", "S1"]);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let netlist = Arc::clone(&netlist);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let session = MergeSession::new(&netlist, &shared, &MergeOptions::default());
+                    let o = session.merge_all().unwrap();
+                    o.merged
+                        .iter()
+                        .map(|m| (m.name.clone(), m.sdc.to_text()))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.join().unwrap(), reference);
+        }
     }
 }

@@ -23,29 +23,50 @@ use modemerge_core::json::Json;
 use modemerge_core::merge::MergeOptions;
 use std::collections::{HashMap, VecDeque};
 
-/// Computes the content-addressed key of one compute request.
-///
-/// `kind` distinguishes request types (`"merge"` vs `"plan"`) that
-/// share inputs but not results; `modes` are `(name, sdc_text)` pairs,
-/// sorted internally so submission order cannot split cache entries.
-pub fn job_key(
-    kind: &str,
-    netlist: &str,
-    modes: &[(String, String)],
-    options: &MergeOptions,
-) -> u64 {
+/// The content-addressed key of one suite's raw bytes: the netlist
+/// text plus every `(mode name, SDC text)` pair, sorted internally so
+/// submission order cannot split keys. This is also the **suite hash**
+/// the `register` request answers with — job keys for both the inline
+/// (full-payload) and the registered (hash-referenced) path derive from
+/// it via [`job_key_for`], so the two paths share cache entries.
+pub fn suite_content_key(netlist: &str, modes: &[(String, String)]) -> u64 {
     let mut sorted: Vec<&(String, String)> = modes.iter().collect();
     sorted.sort();
     let mut h = Fnv64::new();
-    h.write_field(kind.as_bytes());
     h.write_field(netlist.as_bytes());
     h.write_field(&(sorted.len() as u64).to_le_bytes());
     for (name, sdc) in sorted {
         h.write_field(name.as_bytes());
         h.write_field(sdc.as_bytes());
     }
+    h.finish()
+}
+
+/// The result-cache key of one compute request over an already
+/// content-addressed suite ([`suite_content_key`]).
+///
+/// `kind` distinguishes request types (`"merge"` vs `"plan"`) that
+/// share inputs but not results. Registered suites precompute their
+/// content key once, so the warm path hashes only the kind, 8 key
+/// bytes and the options fingerprint — O(1) instead of O(suite bytes).
+pub fn job_key_for(kind: &str, content_key: u64, options: &MergeOptions) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_field(kind.as_bytes());
+    h.write_field(&content_key.to_le_bytes());
     h.write_field(options.result_fingerprint().as_bytes());
     h.finish()
+}
+
+/// Computes the content-addressed key of one full-payload compute
+/// request: [`suite_content_key`] of the raw bytes folded through
+/// [`job_key_for`].
+pub fn job_key(
+    kind: &str,
+    netlist: &str,
+    modes: &[(String, String)],
+    options: &MergeOptions,
+) -> u64 {
+    job_key_for(kind, suite_content_key(netlist, modes), options)
 }
 
 /// The byte budget of a [`ResultCache`]'s stored values.
@@ -84,14 +105,27 @@ impl CacheBudget {
     /// The default budget, overridable via the
     /// `MODEMERGE_RESULT_CACHE_KB` environment variable.
     pub fn from_env() -> Self {
-        match std::env::var("MODEMERGE_RESULT_CACHE_KB")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-        {
+        Self::from_env_var("MODEMERGE_RESULT_CACHE_KB", Self::DEFAULT_BYTES)
+    }
+
+    /// A budget read from an arbitrary `*_KB` environment variable,
+    /// falling back to `default_bytes`. The generic form behind
+    /// [`Self::from_env`]; the suite registry uses it with
+    /// `MODEMERGE_SUITE_CACHE_KB`.
+    pub fn from_env_var(name: &str, default_bytes: u64) -> Self {
+        match std::env::var(name).ok().and_then(|v| v.parse::<u64>().ok()) {
             Some(kb) => Self::from_kb(kb),
             None => Self {
-                bytes: Self::DEFAULT_BYTES,
+                bytes: default_bytes,
             },
+        }
+    }
+
+    /// Resolves an explicit KiB override against `from_env_var`.
+    pub fn resolve_var(kb_override: Option<u64>, name: &str, default_bytes: u64) -> Self {
+        match kb_override {
+            Some(kb) => Self::from_kb(kb),
+            None => Self::from_env_var(name, default_bytes),
         }
     }
 }

@@ -1,12 +1,20 @@
 //! A blocking JSONL client for the merge server.
 //!
 //! One [`Client`] holds one TCP connection and can issue any number of
-//! requests over it (the protocol is strictly request → response per
-//! line). [`Client::roundtrip`] is the one-shot convenience used by
+//! requests over it. Besides the classic request → response lockstep
+//! ([`Client::request`]), the connection can be **pipelined**:
+//! [`Client::send`] writes request lines without waiting,
+//! [`Client::recv`] reads replies as they complete (in completion
+//! order — tag requests with an `id` to attribute them), and
+//! [`Client::pipeline`] does both for a batch. Keeping one socket alive
+//! across a session amortizes connect/TLS-less handshake and lets the
+//! server overlap jobs from the same client across its worker shards.
+//! [`Client::roundtrip`] is the one-shot convenience used by
 //! `modemerge submit`.
 
-use crate::proto::{compute_request, simple_request, JobSpec};
+use crate::proto::{compute_request, register_request, simple_request, suite_request, JobSpec};
 use modemerge_core::json::Json;
+use modemerge_core::merge::MergeOptions;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -27,6 +35,10 @@ pub struct Response {
     pub error: Option<String>,
     /// `cached` field of merge/plan replies.
     pub cached: Option<bool>,
+    /// `overloaded` marker of a bounded-admission refusal (retryable).
+    pub overloaded: bool,
+    /// The echoed request `id` tag, verbatim, when one was sent.
+    pub id: Option<Json>,
     /// The raw response line (byte-exact, for comparisons/logging).
     pub raw: String,
     /// The parsed JSON value.
@@ -50,9 +62,16 @@ impl Response {
             ok,
             error: json.get("error").and_then(Json::as_str).map(str::to_owned),
             cached: json.get("cached").and_then(Json::as_bool),
+            overloaded: json.get("overloaded").and_then(Json::as_bool) == Some(true),
+            id: json.get("id").cloned(),
             raw: line.to_owned(),
             json,
         })
+    }
+
+    /// The `suite` hash string of a `register` reply.
+    pub fn suite(&self) -> Option<&str> {
+        self.json.get("suite").and_then(Json::as_str)
     }
 }
 
@@ -100,16 +119,26 @@ impl Client {
         }))
     }
 
-    /// Sends one raw request line and reads one response line.
+    /// Writes one request line without waiting for the reply — the
+    /// pipelined half of [`Client::request_raw`]. Pair each call with a
+    /// later [`Client::recv`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads one raw response line (blocking).
     ///
     /// # Errors
     ///
     /// Propagates transport failures; an empty read (server closed the
     /// connection) maps to [`std::io::ErrorKind::UnexpectedEof`].
-    pub fn request_raw(&mut self, line: &str) -> std::io::Result<String> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
+    pub fn recv_raw(&mut self) -> std::io::Result<String> {
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;
         if n == 0 {
@@ -124,6 +153,27 @@ impl Client {
         Ok(response)
     }
 
+    /// Reads and decodes one response line (blocking).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and envelope-decoding problems as a message.
+    pub fn recv(&mut self) -> Result<Response, String> {
+        let raw = self.recv_raw().map_err(|e| e.to_string())?;
+        Response::decode(&raw)
+    }
+
+    /// Sends one raw request line and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures; an empty read (server closed the
+    /// connection) maps to [`std::io::ErrorKind::UnexpectedEof`].
+    pub fn request_raw(&mut self, line: &str) -> std::io::Result<String> {
+        self.send(line)?;
+        self.recv_raw()
+    }
+
     /// Sends one request line and decodes the response envelope.
     ///
     /// # Errors
@@ -136,13 +186,56 @@ impl Client {
         Response::decode(&raw)
     }
 
-    /// Submits a `merge` (or `plan`) job.
+    /// Pipelines a batch: writes every line, then reads exactly one
+    /// reply per line. Replies are returned in **arrival** (completion)
+    /// order — tag the requests with `id`s to attribute them.
+    ///
+    /// # Errors
+    ///
+    /// The first transport or decode failure; earlier replies are lost
+    /// with it (the batch shares one socket).
+    pub fn pipeline(&mut self, lines: &[String]) -> Result<Vec<Response>, String> {
+        for line in lines {
+            self.send(line).map_err(|e| e.to_string())?;
+        }
+        let mut replies = Vec::with_capacity(lines.len());
+        for _ in lines {
+            replies.push(self.recv()?);
+        }
+        Ok(replies)
+    }
+
+    /// Submits a full-payload `merge` (or `plan`/`lint`) job.
     ///
     /// # Errors
     ///
     /// See [`Client::request`].
     pub fn compute(&mut self, kind: &str, spec: &JobSpec) -> Result<Response, String> {
         self.request(&compute_request(kind, spec))
+    }
+
+    /// Registers a suite, returning the decoded reply (the hash is
+    /// [`Response::suite`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn register(&mut self, spec: &JobSpec) -> Result<Response, String> {
+        self.request(&register_request(spec))
+    }
+
+    /// Submits a hash-referenced job against a registered suite.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn compute_registered(
+        &mut self,
+        kind: &str,
+        suite_hex: &str,
+        options: &MergeOptions,
+    ) -> Result<Response, String> {
+        self.request(&suite_request(kind, suite_hex, options))
     }
 
     /// Issues a payload-free request (`status`, `stats`, `shutdown`).
@@ -175,10 +268,28 @@ mod tests {
         assert!(ok.ok);
         assert_eq!(ok.cached, Some(true));
         assert_eq!(ok.error, None);
+        assert!(!ok.overloaded);
+        assert_eq!(ok.id, None);
         let err = Response::decode("{\"ok\":false,\"error\":\"queue full\"}").unwrap();
         assert!(!err.ok);
         assert_eq!(err.error.as_deref(), Some("queue full"));
         assert!(Response::decode("{\"type\":\"x\"}").is_err());
         assert!(Response::decode("garbage").is_err());
+    }
+
+    #[test]
+    fn decode_overloaded_id_and_suite_fields() {
+        let over = Response::decode(
+            "{\"ok\":false,\"type\":\"merge\",\"overloaded\":true,\
+             \"error\":\"queue full (3 pending, capacity 3); retry later\",\
+             \"queue_depth\":3,\"id\":\"j2\"}",
+        )
+        .unwrap();
+        assert!(over.overloaded);
+        assert_eq!(over.id, Some(Json::str("j2")));
+        let reg =
+            Response::decode("{\"ok\":true,\"type\":\"register\",\"suite\":\"00ff00ff00ff00ff\"}")
+                .unwrap();
+        assert_eq!(reg.suite(), Some("00ff00ff00ff00ff"));
     }
 }

@@ -22,12 +22,13 @@ use modemerge_core::merge::MergeOptions;
 use modemerge_core::{EcoCounters, EcoEngine};
 use std::sync::Mutex;
 
-/// Content key of one suite identity.
-///
-/// Mode *names* participate (sorted, so submission order cannot split
-/// suites); mode SDC *contents* do not — editing a constraint must land
-/// on the warm engine that holds the pre-edit baseline.
-pub fn suite_key(netlist: &str, modes: &[(String, String)], options: &MergeOptions) -> u64 {
+/// The options-independent half of a suite's engine identity: the
+/// design bytes plus the **sorted mode names**. Mode SDC *contents* do
+/// not participate — editing a constraint (or re-registering an edited
+/// suite) must land on the warm engine that holds the pre-edit
+/// baseline. Registered suites precompute this seed once so the warm
+/// path never re-hashes the netlist.
+pub fn suite_seed(netlist: &str, modes: &[(String, String)]) -> u64 {
     let mut names: Vec<&str> = modes.iter().map(|(n, _)| n.as_str()).collect();
     names.sort_unstable();
     let mut h = Fnv64::new();
@@ -36,8 +37,23 @@ pub fn suite_key(netlist: &str, modes: &[(String, String)], options: &MergeOptio
     for name in names {
         h.write_field(name.as_bytes());
     }
+    h.finish()
+}
+
+/// Folds the result-affecting options into a [`suite_seed`] — the full
+/// engine identity. Engines replay baselines, so two option sets that
+/// could produce different merges must never share one.
+pub fn suite_key_from_seed(seed: u64, options: &MergeOptions) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_field(&seed.to_le_bytes());
     h.write_field(options.result_fingerprint().as_bytes());
     h.finish()
+}
+
+/// Content key of one suite identity: [`suite_seed`] of the raw bytes
+/// folded through [`suite_key_from_seed`].
+pub fn suite_key(netlist: &str, modes: &[(String, String)], options: &MergeOptions) -> u64 {
+    suite_key_from_seed(suite_seed(netlist, modes), options)
 }
 
 /// An LRU pool of at most `cap` warm engines, keyed by [`suite_key`].

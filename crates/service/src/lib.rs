@@ -7,10 +7,22 @@
 //! long-running daemon:
 //!
 //! * [`proto`] — a newline-delimited-JSON protocol over TCP with
-//!   request types `merge`, `plan`, `lint`, `status`, `stats` and
-//!   `shutdown`;
-//! * [`queue`] — a bounded job queue feeding a worker pool, one
-//!   [`MergeSession`](modemerge_core::MergeSession) per request;
+//!   request types `register`, `merge`, `plan`, `lint`, `status`,
+//!   `stats` and `shutdown`; requests may be pipelined (N lines in, N
+//!   tagged replies out, completion order) and lines are capped at
+//!   `MODEMERGE_MAX_REQUEST_KB`;
+//! * [`registry`] — the content-addressed suite registry: `register`
+//!   uploads netlist + per-mode SDCs once and returns a hash; later
+//!   requests reference the suite by hash and share its parsed netlist
+//!   **and** bound inputs
+//!   ([`SessionInputs`](modemerge_core::SessionInputs)) as immutable
+//!   `Arc`s across concurrent jobs, byte-budgeted under
+//!   `MODEMERGE_SUITE_CACHE_KB`;
+//! * [`queue`] — a bounded **sharded** job queue with work stealing:
+//!   jobs shard by suite identity (per-suite FIFO affinity, no
+//!   head-of-line blocking across suites), workers prefer their own
+//!   shard and steal otherwise; a full queue refuses admission with a
+//!   structured `overloaded` reply;
 //! * [`cache`] — a content-addressed result cache ([`hash`]: FNV-1a 64
 //!   over netlist bytes + sorted mode SDC bytes + result-affecting
 //!   options) with entry- and byte-budgeted LRU eviction
@@ -25,14 +37,15 @@
 //!   (`MODEMERGE_ECO_CHECK=1` cross-checks every warm result against a
 //!   cold merge);
 //! * [`server`] / [`client`] — the daemon (`modemerge serve`) and the
-//!   blocking submitter (`modemerge submit`).
+//!   blocking/pipelining submitter (`modemerge submit`).
 //!
 //! Everything is `std`-only (`std::net::TcpListener` + scoped OS
 //! threads): the workspace builds hermetically offline, so there is no
 //! tokio, no serde — the wire format rides on the deterministic
 //! in-tree JSON writer ([`modemerge_core::json`]), which is also what
 //! makes cached replies byte-identical to the replies that populated
-//! them.
+//! them, and hash-referenced replies byte-identical to their
+//! full-payload twins.
 //!
 //! # Quickstart
 //!
@@ -50,11 +63,13 @@ pub mod eco_store;
 pub mod hash;
 pub mod proto;
 pub mod queue;
+pub mod registry;
 pub mod server;
 
-pub use cache::{job_key, CacheBudget, CacheStats, ResultCache};
+pub use cache::{job_key, suite_content_key, CacheBudget, CacheStats, ResultCache};
 pub use client::{Client, Response};
 pub use eco_store::{suite_key, EcoStore};
-pub use proto::{JobSpec, NetlistFormat, Request};
-pub use queue::{JobQueue, PushError};
+pub use proto::{JobRef, JobSpec, NetlistFormat, Request};
+pub use queue::{PushError, ShardCounters, ShardedQueue};
+pub use registry::{RegisteredSuite, SuiteRegistry};
 pub use server::{Server, ServerHandle, ServiceConfig};

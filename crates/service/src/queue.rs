@@ -1,12 +1,25 @@
-//! A bounded multi-producer multi-consumer job queue.
+//! A bounded, sharded multi-producer multi-consumer job queue with
+//! work stealing.
+//!
+//! Jobs are routed to a shard by a caller-supplied hint (the service
+//! uses the suite identity, so every suite's jobs line up behind each
+//! other); each worker prefers its own shard and **steals** from the
+//! others when it runs dry. The effect is per-suite FIFO affinity
+//! without head-of-line blocking: a cold 100k-cell merge parked on one
+//! shard cannot starve warm ECO resubmits queued on another, yet no
+//! worker ever idles while any shard holds work.
 //!
 //! Connection threads `try_push` (never block — a full queue is
-//! back-pressure the client should see immediately), worker threads
-//! `pop` (block until work arrives or the queue is closed *and*
-//! drained). Closing the queue is the graceful-shutdown primitive:
-//! producers are refused from then on, consumers keep popping until the
-//! backlog is empty and only then observe `None`, so no accepted job is
-//! ever dropped.
+//! back-pressure the client must see immediately as a structured
+//! `overloaded` reply), worker threads `pop` (block until work arrives
+//! or the queue is closed *and* drained). The capacity bound is
+//! **global** across shards: admission control is about protecting the
+//! process, not any one shard.
+//!
+//! `pop` marks the job *active* under the same lock that removes it, and
+//! the worker calls [`ShardedQueue::task_done`] after replying; the
+//! shutdown drain can therefore wait on `is_idle()` without the
+//! popped-but-not-yet-counted race a separate atomic would reopen.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -14,68 +27,119 @@ use std::sync::{Condvar, Mutex};
 /// Why a push was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PushError {
-    /// The queue is at capacity; retry later.
+    /// The queue is at (global) capacity; retry later.
     Full,
     /// The queue was closed (shutdown in progress).
     Closed,
 }
 
+/// Monotonic per-shard counters, surfaced through the service `stats`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Jobs routed to this shard.
+    pub pushed: u64,
+    /// Jobs popped from this shard (by any worker).
+    pub popped: u64,
+    /// Jobs popped from this shard by a worker whose preferred shard it
+    /// was not — the work-stealing traffic.
+    pub stolen: u64,
+}
+
 #[derive(Debug)]
 struct State<T> {
-    items: VecDeque<T>,
+    shards: Vec<VecDeque<T>>,
+    counters: Vec<ShardCounters>,
+    /// Total queued jobs across all shards.
+    len: usize,
+    /// Popped but not yet [`ShardedQueue::task_done`].
+    active: usize,
+    /// Highest `len` ever observed (admission-pressure telemetry).
+    high_water: usize,
     closed: bool,
 }
 
-/// The bounded queue.
+/// The bounded sharded queue.
 #[derive(Debug)]
-pub struct JobQueue<T> {
+pub struct ShardedQueue<T> {
     capacity: usize,
     state: Mutex<State<T>>,
     available: Condvar,
 }
 
-impl<T> JobQueue<T> {
-    /// A queue holding at most `capacity` pending jobs.
-    pub fn new(capacity: usize) -> Self {
+impl<T> ShardedQueue<T> {
+    /// A queue of `shards` shards holding at most `capacity` pending
+    /// jobs in total (both clamped to at least 1).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
         Self {
             capacity: capacity.max(1),
             state: Mutex::new(State {
-                items: VecDeque::new(),
+                shards: (0..shards).map(|_| VecDeque::new()).collect(),
+                counters: vec![ShardCounters::default(); shards],
+                len: 0,
+                active: 0,
+                high_water: 0,
                 closed: false,
             }),
             available: Condvar::new(),
         }
     }
 
-    /// Enqueues a job without blocking.
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.state.lock().expect("queue poisoned").shards.len()
+    }
+
+    /// Enqueues a job on the shard selected by `hint % shards`, without
+    /// blocking.
     ///
     /// # Errors
     ///
     /// [`PushError::Closed`] after [`Self::close`], [`PushError::Full`]
-    /// at capacity; the job is returned alongside so the caller can
-    /// report back to its client.
-    pub fn try_push(&self, item: T) -> Result<(), (PushError, T)> {
+    /// at the global capacity; the job is returned alongside so the
+    /// caller can report back to its client.
+    pub fn try_push(&self, hint: u64, item: T) -> Result<(), (PushError, T)> {
         let mut s = self.state.lock().expect("queue poisoned");
         if s.closed {
             return Err((PushError::Closed, item));
         }
-        if s.items.len() >= self.capacity {
+        if s.len >= self.capacity {
             return Err((PushError::Full, item));
         }
-        s.items.push_back(item);
+        let shard = (hint % s.shards.len() as u64) as usize;
+        s.shards[shard].push_back(item);
+        s.counters[shard].pushed += 1;
+        s.len += 1;
+        s.high_water = s.high_water.max(s.len);
         drop(s);
         self.available.notify_one();
         Ok(())
     }
 
-    /// Dequeues the next job, blocking while the queue is open and
-    /// empty. Returns `None` only when the queue is closed **and**
-    /// fully drained.
-    pub fn pop(&self) -> Option<T> {
+    /// Dequeues the next job for `worker`, blocking while the queue is
+    /// open and empty. The worker's preferred shard (`worker % shards`)
+    /// is tried first; otherwise the other shards are scanned round-
+    /// robin from the preferred one and the pop counts as *stolen*.
+    /// Returns `None` only when the queue is closed **and** fully
+    /// drained.
+    ///
+    /// The popped job is counted *active* until [`Self::task_done`].
+    pub fn pop(&self, worker: usize) -> Option<T> {
         let mut s = self.state.lock().expect("queue poisoned");
         loop {
-            if let Some(item) = s.items.pop_front() {
-                return Some(item);
+            let n = s.shards.len();
+            let preferred = worker % n;
+            for k in 0..n {
+                let shard = (preferred + k) % n;
+                if let Some(item) = s.shards[shard].pop_front() {
+                    s.counters[shard].popped += 1;
+                    if k > 0 {
+                        s.counters[shard].stolen += 1;
+                    }
+                    s.len -= 1;
+                    s.active += 1;
+                    return Some(item);
+                }
             }
             if s.closed {
                 return None;
@@ -84,14 +148,44 @@ impl<T> JobQueue<T> {
         }
     }
 
-    /// Pending (not yet popped) jobs.
+    /// Marks one previously popped job finished (reply written). Must be
+    /// called exactly once per successful [`Self::pop`].
+    pub fn task_done(&self) {
+        let mut s = self.state.lock().expect("queue poisoned");
+        s.active = s.active.saturating_sub(1);
+    }
+
+    /// Pending (not yet popped) jobs across all shards.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue poisoned").items.len()
+        self.state.lock().expect("queue poisoned").len
     }
 
     /// Whether no jobs are pending.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Popped-but-unfinished jobs.
+    pub fn active(&self) -> usize {
+        self.state.lock().expect("queue poisoned").active
+    }
+
+    /// Whether nothing is pending **or** in flight — the shutdown-drain
+    /// condition, race-free because pop marks jobs active under the
+    /// queue lock.
+    pub fn is_idle(&self) -> bool {
+        let s = self.state.lock().expect("queue poisoned");
+        s.len == 0 && s.active == 0
+    }
+
+    /// Highest total backlog ever observed.
+    pub fn high_water(&self) -> usize {
+        self.state.lock().expect("queue poisoned").high_water
+    }
+
+    /// A snapshot of the per-shard counters.
+    pub fn shard_counters(&self) -> Vec<ShardCounters> {
+        self.state.lock().expect("queue poisoned").counters.clone()
     }
 
     /// Refuses new jobs and wakes every blocked consumer; already
@@ -113,37 +207,67 @@ mod tests {
     use std::sync::Arc;
 
     #[test]
-    fn bounded_push_and_fifo_pop() {
-        let q = JobQueue::new(2);
-        q.try_push(1).unwrap();
-        q.try_push(2).unwrap();
-        assert_eq!(q.try_push(3), Err((PushError::Full, 3)));
+    fn bounded_push_and_fifo_pop_within_a_shard() {
+        let q = ShardedQueue::new(2, 1);
+        q.try_push(0, 1).unwrap();
+        q.try_push(0, 2).unwrap();
+        assert_eq!(q.try_push(0, 3), Err((PushError::Full, 3)));
         assert_eq!(q.len(), 2);
-        assert_eq!(q.pop(), Some(1));
-        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.high_water(), 2);
+        assert_eq!(q.pop(0), Some(1));
+        assert_eq!(q.pop(0), Some(2));
         assert!(q.is_empty());
+        assert_eq!(q.active(), 2, "popped jobs stay active until done");
+        q.task_done();
+        q.task_done();
+        assert!(q.is_idle());
+    }
+
+    #[test]
+    fn capacity_is_global_across_shards() {
+        let q = ShardedQueue::new(2, 4);
+        q.try_push(0, 10).unwrap();
+        q.try_push(1, 11).unwrap();
+        assert_eq!(q.try_push(2, 12), Err((PushError::Full, 12)));
+    }
+
+    #[test]
+    fn workers_prefer_their_shard_and_steal_otherwise() {
+        let q = ShardedQueue::new(8, 2);
+        // Shard 0 gets two jobs, shard 1 one.
+        q.try_push(0, 100).unwrap();
+        q.try_push(2, 101).unwrap();
+        q.try_push(1, 200).unwrap();
+        // Worker 1 prefers shard 1.
+        assert_eq!(q.pop(1), Some(200));
+        // Shard 1 is dry: worker 1 steals from shard 0 (FIFO order).
+        assert_eq!(q.pop(1), Some(100));
+        assert_eq!(q.pop(0), Some(101));
+        let c = q.shard_counters();
+        assert_eq!((c[0].pushed, c[0].popped, c[0].stolen), (2, 2, 1));
+        assert_eq!((c[1].pushed, c[1].popped, c[1].stolen), (1, 1, 0));
     }
 
     #[test]
     fn close_drains_then_yields_none() {
-        let q = JobQueue::new(4);
-        q.try_push(1).unwrap();
+        let q = ShardedQueue::new(4, 2);
+        q.try_push(7, 1).unwrap();
         q.close();
         assert!(q.is_closed());
-        assert_eq!(q.try_push(2), Err((PushError::Closed, 2)));
-        assert_eq!(q.pop(), Some(1), "backlog survives close");
-        assert_eq!(q.pop(), None);
+        assert_eq!(q.try_push(7, 2), Err((PushError::Closed, 2)));
+        assert_eq!(q.pop(0), Some(1), "backlog survives close");
+        assert_eq!(q.pop(0), None);
     }
 
     #[test]
     fn blocked_consumers_wake_on_push_and_close() {
-        let q = Arc::new(JobQueue::<u32>::new(4));
+        let q = Arc::new(ShardedQueue::<u32>::new(4, 2));
         let consumer = {
             let q = Arc::clone(&q);
-            std::thread::spawn(move || (q.pop(), q.pop()))
+            std::thread::spawn(move || (q.pop(0), q.pop(0)))
         };
         std::thread::sleep(std::time::Duration::from_millis(10));
-        q.try_push(7).unwrap();
+        q.try_push(1, 7).unwrap();
         std::thread::sleep(std::time::Duration::from_millis(10));
         q.close();
         assert_eq!(consumer.join().unwrap(), (Some(7), None));

@@ -1,0 +1,479 @@
+//! The content-addressed suite registry: upload once, reference by
+//! hash, share the bound inputs.
+//!
+//! A `register` request carries a full suite payload (netlist + per-
+//! mode SDCs); the server parses it **eagerly** (a malformed suite is
+//! refused at registration, not on first use), precomputes every key
+//! the hot path needs, and answers with the suite's content hash
+//! ([`suite_content_key`], printed as 16 hex digits). Subsequent
+//! `merge`/`plan`/`lint` requests reference the suite by hash, so the
+//! per-request cost drops from O(suite bytes) transferred + hashed +
+//! parsed + bound to O(one short line).
+//!
+//! Each [`RegisteredSuite`] also memoizes its **bound inputs**
+//! ([`SessionInputs`]: the timing graph plus every bound mode) as
+//! immutable `Arc`s shared across concurrent jobs, one per
+//! result-affecting options fingerprint. At the 100k-cell point of
+//! `BENCH_scale.json` the generate/parse cost is ~114 ms and the bind
+//! ~38 ms — paid once per suite here, not once per job.
+//!
+//! **Why sharing is sound.** `SessionInputs::bind` seeds the clock-key
+//! interner serially in input order, and every later intern (merged-
+//! mode clocks during refinement/validation) happens at serial points
+//! within a job. Jobs that share a bound entry have, by construction,
+//! identical suite content *and* identical result-affecting options, so
+//! they intern identical key sequences; get-or-insert id assignment
+//! over identical sequences yields the canonical serial order under any
+//! interleaving (each job interns key *k+1* only after key *k*, so
+//! first-arrival ids are assigned in sequence-prefix order). Jobs with
+//! *different* options get their own bound entry — their merged modes
+//! may differ, and cross-options interleaving could otherwise perturb
+//! dense-id order. The service's byte-identity tests and
+//! `MODEMERGE_ECO_CHECK=1` re-verify the invariant end to end.
+//!
+//! Eviction is LRU under a byte budget (`MODEMERGE_SUITE_CACHE_KB`,
+//! default 256 MiB) charged by **raw suite bytes** — the natural proxy
+//! for the bound artifacts, which scale with the design. A job
+//! referencing an evicted hash gets a structured `unknown suite` error
+//! and re-registers; eviction never invalidates in-flight jobs, which
+//! hold their own `Arc`.
+
+use crate::cache::{suite_content_key, CacheBudget};
+use crate::eco_store::suite_seed;
+use crate::proto::NetlistFormat;
+use modemerge_core::json::Json;
+use modemerge_core::merge::MergeOptions;
+use modemerge_core::session::SessionInputs;
+use modemerge_core::ModeInput;
+use modemerge_netlist::{text, verilog, Library, Netlist};
+use modemerge_sdc::SdcFile;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Parses a netlist payload in the requested format.
+///
+/// # Errors
+///
+/// Returns a one-line `netlist: ...` message on parse failure.
+pub fn parse_netlist(format: NetlistFormat, netlist: &str) -> Result<Netlist, String> {
+    match format {
+        NetlistFormat::Text => {
+            text::parse(netlist, Library::standard()).map_err(|e| format!("netlist: {e}"))
+        }
+        NetlistFormat::Verilog => verilog::parse_verilog(netlist, Library::standard())
+            .map_err(|e| format!("netlist: {e}")),
+    }
+}
+
+/// Parses every `(name, sdc_text)` pair into [`ModeInput`]s.
+///
+/// # Errors
+///
+/// Returns a one-line `mode NAME: ...` message on the first failure.
+pub fn parse_mode_inputs(modes: &[(String, String)]) -> Result<Vec<ModeInput>, String> {
+    let mut inputs = Vec::with_capacity(modes.len());
+    for (name, sdc_text) in modes {
+        let sdc = SdcFile::parse(sdc_text).map_err(|e| format!("mode {name}: {e}"))?;
+        inputs.push(ModeInput::new(name.clone(), sdc));
+    }
+    Ok(inputs)
+}
+
+type BoundSlot = Arc<OnceLock<Result<Arc<SessionInputs>, String>>>;
+
+/// One registered suite: parsed payload, precomputed keys and the
+/// per-options-fingerprint bound-inputs memo.
+#[derive(Debug)]
+pub struct RegisteredSuite {
+    /// Content hash — the wire identity ([`suite_content_key`]).
+    hash: u64,
+    /// ECO engine seed ([`suite_seed`]: design + sorted mode names).
+    eco_seed: u64,
+    /// Design fingerprint for `rebind_delta`.
+    input_fp: u64,
+    /// Raw payload bytes charged against the registry budget.
+    bytes: u64,
+    netlist: Netlist,
+    mode_inputs: Vec<ModeInput>,
+    /// One bound-inputs slot per result-affecting options fingerprint;
+    /// `OnceLock` makes concurrent first binds collapse to one.
+    bound: Mutex<HashMap<String, BoundSlot>>,
+    /// Bound-input constructions (the expensive binds actually run).
+    binds: AtomicU64,
+    /// Jobs served by an already bound entry.
+    bind_reuses: AtomicU64,
+}
+
+impl RegisteredSuite {
+    /// The content hash (see [`Self::hash_hex`] for the wire form).
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The 16-hex-digit wire form of the hash.
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", self.hash)
+    }
+
+    /// The ECO engine seed (options folded in by the caller).
+    pub fn eco_seed(&self) -> u64 {
+        self.eco_seed
+    }
+
+    /// The design fingerprint (`eco::input_fingerprint` of the netlist
+    /// text, precomputed at registration).
+    pub fn input_fp(&self) -> u64 {
+        self.input_fp
+    }
+
+    /// Raw payload bytes (netlist + SDC texts).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The parsed design.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The parsed modes, in registration order.
+    pub fn mode_inputs(&self) -> &[ModeInput] {
+        &self.mode_inputs
+    }
+
+    /// The bound inputs for one options fingerprint, binding on first
+    /// use and sharing the `Arc` with every later job.
+    ///
+    /// # Errors
+    ///
+    /// Returns the (memoized) bind failure message.
+    pub fn bound_for(&self, options: &MergeOptions) -> Result<Arc<SessionInputs>, String> {
+        let fp = options.result_fingerprint();
+        let slot = {
+            let mut map = self.bound.lock().expect("suite poisoned");
+            Arc::clone(map.entry(fp).or_insert_with(|| Arc::new(OnceLock::new())))
+        };
+        let mut fresh = false;
+        let result = slot.get_or_init(|| {
+            fresh = true;
+            SessionInputs::bind(&self.netlist, &self.mode_inputs)
+                .map(Arc::new)
+                .map_err(|e| e.to_string())
+        });
+        if fresh {
+            self.binds.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.bind_reuses.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// `(binds run, jobs that reused a bound entry)`.
+    pub fn bind_counters(&self) -> (u64, u64) {
+        (
+            self.binds.load(Ordering::Relaxed),
+            self.bind_reuses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<u64, Arc<RegisteredSuite>>,
+    /// Recency order, front = least recently used.
+    order: VecDeque<u64>,
+    bytes: u64,
+    registered: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    /// Bind counters of evicted suites, kept so totals stay monotonic.
+    retired_binds: u64,
+    retired_reuses: u64,
+}
+
+impl Inner {
+    fn touch(&mut self, hash: u64) {
+        if let Some(pos) = self.order.iter().position(|&k| k == hash) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(hash);
+    }
+}
+
+/// The byte-budgeted LRU registry of [`RegisteredSuite`]s.
+#[derive(Debug)]
+pub struct SuiteRegistry {
+    budget: CacheBudget,
+    inner: Mutex<Inner>,
+}
+
+impl SuiteRegistry {
+    /// Default byte budget of **raw suite bytes**: generous for
+    /// register-once/iterate workloads while bounding a daemon fed
+    /// many large designs.
+    pub const DEFAULT_BYTES: u64 = 256 * 1024 * 1024;
+
+    /// A registry under an explicit KiB override, else the
+    /// `MODEMERGE_SUITE_CACHE_KB` environment variable, else
+    /// [`Self::DEFAULT_BYTES`].
+    pub fn new(kb_override: Option<u64>) -> Self {
+        Self::with_budget(CacheBudget::resolve_var(
+            kb_override,
+            "MODEMERGE_SUITE_CACHE_KB",
+            Self::DEFAULT_BYTES,
+        ))
+    }
+
+    /// A registry with an explicit byte budget (tests, embedders).
+    pub fn with_budget(budget: CacheBudget) -> Self {
+        Self {
+            budget,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Registers (or refreshes) a suite: parses the payload, computes
+    /// its keys and inserts it under the LRU budget. Registering
+    /// content that is already resident reuses the existing entry —
+    /// including its bound-inputs memo.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first netlist/SDC parse failure; nothing is inserted.
+    pub fn register(
+        &self,
+        format: NetlistFormat,
+        netlist_text: &str,
+        modes: &[(String, String)],
+    ) -> Result<Arc<RegisteredSuite>, String> {
+        let hash = suite_content_key(netlist_text, modes);
+        // Fast path: identical content already resident.
+        {
+            let mut inner = self.inner.lock().expect("registry poisoned");
+            if let Some(existing) = inner.map.get(&hash).cloned() {
+                inner.registered += 1;
+                inner.touch(hash);
+                return Ok(existing);
+            }
+        }
+        // Parse outside the lock — registration is the cold path.
+        let netlist = parse_netlist(format, netlist_text)?;
+        let mode_inputs = parse_mode_inputs(modes)?;
+        let bytes = netlist_text.len() as u64
+            + modes
+                .iter()
+                .map(|(n, s)| (n.len() + s.len()) as u64)
+                .sum::<u64>();
+        let suite = Arc::new(RegisteredSuite {
+            hash,
+            eco_seed: suite_seed(netlist_text, modes),
+            input_fp: modemerge_core::eco::input_fingerprint(netlist_text),
+            bytes,
+            netlist,
+            mode_inputs,
+            bound: Mutex::new(HashMap::new()),
+            binds: AtomicU64::new(0),
+            bind_reuses: AtomicU64::new(0),
+        });
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.registered += 1;
+        if let Some(prev) = inner.map.insert(hash, Arc::clone(&suite)) {
+            // A racing identical registration: keep ours, refund theirs.
+            inner.bytes -= prev.bytes;
+            let (b, r) = prev.bind_counters();
+            inner.retired_binds += b;
+            inner.retired_reuses += r;
+        }
+        inner.bytes += bytes;
+        inner.touch(hash);
+        // Evict LRU suites while over budget — but never the suite just
+        // registered (the same never-evict-the-newest convention as
+        // `ResultCache`), so one oversized suite still registers.
+        while inner.bytes > self.budget.bytes && inner.map.len() > 1 {
+            let Some(victim) = inner.order.pop_front() else {
+                break;
+            };
+            if let Some(evicted) = inner.map.remove(&victim) {
+                inner.bytes -= evicted.bytes;
+                let (b, r) = evicted.bind_counters();
+                inner.retired_binds += b;
+                inner.retired_reuses += r;
+                inner.evictions += 1;
+            }
+        }
+        Ok(suite)
+    }
+
+    /// Looks a suite up by hash, refreshing recency. `None` means the
+    /// hash was never registered **or was evicted** — the caller
+    /// answers with a structured `unknown suite` error so the client
+    /// re-registers.
+    pub fn get(&self, hash: u64) -> Option<Arc<RegisteredSuite>> {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        match inner.map.get(&hash).cloned() {
+            Some(suite) => {
+                inner.hits += 1;
+                inner.touch(hash);
+                Some(suite)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Serializes the registry counters to the `stats` wire shape.
+    /// `binds`/`bind_reuses` aggregate resident **and** evicted suites,
+    /// so they never go backwards.
+    pub fn to_json(&self) -> Json {
+        let inner = self.inner.lock().expect("registry poisoned");
+        let mut binds = inner.retired_binds;
+        let mut reuses = inner.retired_reuses;
+        for suite in inner.map.values() {
+            let (b, r) = suite.bind_counters();
+            binds += b;
+            reuses += r;
+        }
+        Json::Obj(vec![
+            ("registered".into(), Json::num(inner.registered as f64)),
+            ("hits".into(), Json::num(inner.hits as f64)),
+            ("misses".into(), Json::num(inner.misses as f64)),
+            ("evictions".into(), Json::num(inner.evictions as f64)),
+            ("entries".into(), Json::count(inner.map.len())),
+            ("bytes".into(), Json::num(inner.bytes as f64)),
+            ("budget_bytes".into(), Json::num(self.budget.bytes as f64)),
+            ("binds".into(), Json::num(binds as f64)),
+            ("bind_reuses".into(), Json::num(reuses as f64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modemerge_netlist::paper::paper_circuit;
+
+    fn paper_suite() -> (String, Vec<(String, String)>) {
+        (
+            text::write(&paper_circuit()),
+            vec![
+                (
+                    "F1".to_owned(),
+                    "create_clock -name c -period 10 [get_ports clk1]\n".to_owned(),
+                ),
+                (
+                    "F2".to_owned(),
+                    "create_clock -name c -period 10 [get_ports clk1]\n\
+                     set_false_path -to rX/D\n"
+                        .to_owned(),
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn register_parses_eagerly_and_returns_the_content_hash() {
+        let registry = SuiteRegistry::with_budget(CacheBudget::default());
+        let (netlist, modes) = paper_suite();
+        let suite = registry
+            .register(NetlistFormat::Text, &netlist, &modes)
+            .unwrap();
+        assert_eq!(suite.hash(), suite_content_key(&netlist, &modes));
+        assert_eq!(suite.hash_hex().len(), 16);
+        assert_eq!(suite.mode_inputs().len(), 2);
+        assert_eq!(registry.get(suite.hash()).unwrap().hash(), suite.hash());
+        assert!(registry.get(0xdead_beef).is_none());
+        // A malformed payload is refused at registration.
+        let err = registry
+            .register(NetlistFormat::Text, "instance bad never_a_cell\n", &modes)
+            .unwrap_err();
+        assert!(err.starts_with("netlist:"), "{err}");
+        let bad_sdc = vec![("M".to_owned(), "create_clock\n".to_owned())];
+        let err = registry
+            .register(NetlistFormat::Text, &netlist, &bad_sdc)
+            .unwrap_err();
+        assert!(err.starts_with("mode M:"), "{err}");
+    }
+
+    #[test]
+    fn bound_inputs_are_shared_per_options_fingerprint() {
+        let registry = SuiteRegistry::with_budget(CacheBudget::default());
+        let (netlist, modes) = paper_suite();
+        let suite = registry
+            .register(NetlistFormat::Text, &netlist, &modes)
+            .unwrap();
+        let opts = MergeOptions::default();
+        let a = suite.bound_for(&opts).unwrap();
+        let b = suite.bound_for(&opts).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same fingerprint shares the bind");
+        // Thread count is not result-affecting: still the same entry.
+        let threaded = MergeOptions {
+            threads: 8,
+            ..Default::default()
+        };
+        let c = suite.bound_for(&threaded).unwrap();
+        assert!(Arc::ptr_eq(&a, &c));
+        // Strictness is: its jobs get their own interner universe.
+        let strict = MergeOptions {
+            strict: true,
+            ..Default::default()
+        };
+        let d = suite.bound_for(&strict).unwrap();
+        assert!(!Arc::ptr_eq(&a, &d));
+        assert_eq!(suite.bind_counters(), (2, 2));
+    }
+
+    #[test]
+    fn lru_eviction_under_a_tiny_budget_never_evicts_the_newest() {
+        let (netlist, modes) = paper_suite();
+        let one_suite_bytes = netlist.len() as u64
+            + modes
+                .iter()
+                .map(|(n, s)| (n.len() + s.len()) as u64)
+                .sum::<u64>();
+        // Budget fits exactly one suite.
+        let registry = SuiteRegistry::with_budget(CacheBudget {
+            bytes: one_suite_bytes,
+        });
+        let a = registry
+            .register(NetlistFormat::Text, &netlist, &modes)
+            .unwrap();
+        // A second, different suite evicts the first.
+        let mut modes_b = modes.clone();
+        modes_b[0].0 = "G1".to_owned();
+        let b = registry
+            .register(NetlistFormat::Text, &netlist, &modes_b)
+            .unwrap();
+        assert_ne!(a.hash(), b.hash());
+        assert!(registry.get(a.hash()).is_none(), "A was evicted");
+        assert!(registry.get(b.hash()).is_some(), "newest survives");
+        let stats = registry.to_json();
+        assert_eq!(stats.get("evictions").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("entries").and_then(Json::as_u64), Some(1));
+        // Re-registering A restores it (and evicts B in turn).
+        let a2 = registry
+            .register(NetlistFormat::Text, &netlist, &modes)
+            .unwrap();
+        assert_eq!(a2.hash(), a.hash());
+        assert!(registry.get(a.hash()).is_some());
+    }
+
+    #[test]
+    fn reregistering_identical_content_reuses_the_entry() {
+        let registry = SuiteRegistry::with_budget(CacheBudget::default());
+        let (netlist, modes) = paper_suite();
+        let a = registry
+            .register(NetlistFormat::Text, &netlist, &modes)
+            .unwrap();
+        let b = registry
+            .register(NetlistFormat::Text, &netlist, &modes)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "identical content, same entry");
+        let stats = registry.to_json();
+        assert_eq!(stats.get("registered").and_then(Json::as_u64), Some(2));
+        assert_eq!(stats.get("entries").and_then(Json::as_u64), Some(1));
+    }
+}

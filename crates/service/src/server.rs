@@ -3,56 +3,79 @@
 //! Architecture (one process, std-only):
 //!
 //! ```text
-//! accept loop ── one handler thread per connection
-//!                  │  status/stats/shutdown: answered inline
-//!                  │  merge/plan: content-addressed cache probe
+//! accept loop ── one handler thread per connection (pipelined JSONL)
+//!                  │  status/stats/shutdown/register: answered inline
+//!                  │  merge/plan/lint: resolve suite (inline payload or
+//!                  │     registry hash) → content-addressed cache probe
 //!                  │     hit  → reply O(hash), "cached":true
-//!                  │     miss → bounded JobQueue ──► worker pool (N threads)
-//!                  │                                   one MergeSession/job
-//!                  └──◄── per-job mpsc reply channel ──┘
+//!                  │     full → structured "overloaded" refusal
+//!                  │     miss → sharded queue (shard = suite identity)
+//!                  │              └──► worker pool, own-shard-first with
+//!                  │                   work stealing; each worker writes
+//!                  │                   its tagged reply straight to the
+//!                  └───────◄──────────  connection (completion order)
 //! ```
 //!
+//! A connection may write many requests before reading: replies carry
+//! the request's echoed `id` and arrive as jobs finish, so one socket
+//! saturates the whole worker pool. Shards are keyed by suite content,
+//! giving per-suite FIFO affinity — a cold 100k-cell merge queued on
+//! one shard cannot head-of-line-block warm resubmits of another suite
+//! — while stealing keeps every worker busy whenever any shard has
+//! work.
+//!
 //! Graceful shutdown (`{"type":"shutdown"}`): the server stops
-//! accepting new `merge`/`plan` work, closes the queue (workers drain
-//! the backlog — no accepted job is dropped), waits until nothing is
-//! in flight, replies with the drain count and only then stops the
+//! accepting new work, closes the queue (workers drain the backlog —
+//! no accepted job is dropped), waits until nothing is queued **or in
+//! flight**, replies with the drain count and only then stops the
 //! accept loop.
 //!
 //! Determinism: job computation is a plain [`MergeSession`] run, whose
 //! output is bit-identical for any worker/thread count, so concurrent
-//! submissions — cached or not — always observe the same bytes.
+//! submissions — cached or not, inline or hash-referenced, shared
+//! bound inputs or fresh — always observe the same `result` bytes.
 
-use crate::cache::{job_key, CacheStats, ResultCache};
-use crate::eco_store::{suite_key, EcoStore};
-use crate::proto::{error_response, ok_response, JobSpec, NetlistFormat, Request};
-use crate::queue::{JobQueue, PushError};
+use crate::cache::{job_key_for, suite_content_key, CacheStats, ResultCache};
+use crate::eco_store::{suite_key_from_seed, suite_seed, EcoStore};
+use crate::proto::{
+    error_response, error_response_tagged, max_request_bytes, ok_response, overloaded_response,
+    JobRef, JobSpec, Request,
+};
+use crate::queue::{PushError, ShardedQueue};
+use crate::registry::{parse_mode_inputs, parse_netlist, RegisteredSuite, SuiteRegistry};
 use modemerge_core::json::Json;
+use modemerge_core::merge::MergeOptions;
 use modemerge_core::mergeability::greedy_cliques;
 use modemerge_core::report::{outcome_to_json, plan_to_json};
 use modemerge_core::session::{MergeSession, SessionInputs, StageTimings};
-use modemerge_core::ModeInput;
-use modemerge_netlist::{text, verilog, Library, Netlist};
-use modemerge_sdc::SdcFile;
+use modemerge_netlist::Netlist;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceConfig {
-    /// Worker threads computing merge/plan jobs.
+    /// Worker threads computing merge/plan/lint jobs.
     pub workers: usize,
     /// Content-addressed result-cache budget, in entries (0 disables).
     pub cache_entries: usize,
-    /// Bounded job-queue capacity; pushes beyond it are refused with a
-    /// `queue full` error rather than blocking the connection.
+    /// Bounded job-queue capacity (global across shards); pushes beyond
+    /// it are refused with a structured `overloaded` reply rather than
+    /// blocking the connection or buffering unboundedly.
     pub queue_capacity: usize,
+    /// Queue shards (0 = one per worker). Jobs are routed by suite
+    /// identity; workers prefer their own shard and steal otherwise.
+    pub shards: usize,
     /// Warm incremental re-merge engines kept resident, one per suite
     /// identity (0 disables incremental reuse — every merge runs cold).
     pub eco_engines: usize,
+    /// Suite-registry byte budget in KiB (`None` = the
+    /// `MODEMERGE_SUITE_CACHE_KB` environment variable, else 256 MiB).
+    pub suite_cache_kb: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -61,7 +84,9 @@ impl Default for ServiceConfig {
             workers: 1,
             cache_entries: 128,
             queue_capacity: 256,
+            shards: 0,
             eco_engines: 8,
+            suite_cache_kb: None,
         }
     }
 }
@@ -84,25 +109,50 @@ impl JobKind {
     }
 }
 
+/// The per-connection reply channel: workers serialize their tagged
+/// reply lines through this mutex, interleaving with the connection
+/// thread's inline answers at line granularity.
+type ConnWriter = Arc<Mutex<TcpStream>>;
+
+fn write_line(writer: &ConnWriter, line: &str) -> std::io::Result<()> {
+    let mut stream = writer.lock().expect("connection writer poisoned");
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+/// What a queued job computes over: a self-contained payload (legacy
+/// path, parsed and bound per job) or a registered suite whose parsed
+/// netlist and bound inputs are shared `Arc`s.
+enum Payload {
+    Inline(JobSpec),
+    Shared {
+        suite: Arc<RegisteredSuite>,
+        options: MergeOptions,
+    },
+}
+
 struct Job {
     kind: JobKind,
     key: u64,
-    spec: JobSpec,
-    reply: mpsc::Sender<String>,
+    id: Option<Json>,
+    payload: Payload,
+    writer: ConnWriter,
+    queued_at: Instant,
 }
 
 struct ServerState {
     config: ServiceConfig,
     addr: SocketAddr,
-    queue: JobQueue<Job>,
+    queue: ShardedQueue<Job>,
     cache: Mutex<ResultCache>,
     eco: EcoStore,
-    /// `false` once shutdown was requested: new merge/plan work is
-    /// refused (status/stats stay available while draining).
+    registry: SuiteRegistry,
+    /// `false` once shutdown was requested: new compute work is refused
+    /// (status/stats stay available while draining).
     accepting: AtomicBool,
     /// `true` once the drain finished and the accept loop must exit.
     stopping: AtomicBool,
-    in_flight: AtomicUsize,
     submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
@@ -112,6 +162,10 @@ struct ServerState {
     diagnostics_emitted: AtomicU64,
     /// Total lint findings produced by computed (non-cached) lint jobs.
     lint_findings: AtomicU64,
+    /// Aggregate time jobs spent queued, in microseconds (reported as
+    /// fractional ms — the saturation bench's backlog explanation).
+    queue_wait_us_total: AtomicU64,
+    queue_wait_us_max: AtomicU64,
     stage_totals: Mutex<StageTimings>,
 }
 
@@ -119,11 +173,9 @@ impl ServerState {
     fn status_fields(&self) -> Vec<(String, Json)> {
         vec![
             ("queue_depth".into(), Json::count(self.queue.len())),
-            (
-                "in_flight".into(),
-                Json::count(self.in_flight.load(Ordering::SeqCst)),
-            ),
+            ("in_flight".into(), Json::count(self.queue.active())),
             ("workers".into(), Json::count(self.config.workers)),
+            ("shards".into(), Json::count(self.queue.shards())),
             (
                 "accepting".into(),
                 Json::Bool(self.accepting.load(Ordering::SeqCst)),
@@ -158,15 +210,53 @@ impl ServerState {
             Json::num(self.lint_findings.load(Ordering::SeqCst) as f64),
         ));
         fields.push((
+            "queue".into(),
+            Json::Obj(vec![
+                ("capacity".into(), Json::count(self.config.queue_capacity)),
+                ("high_water".into(), Json::count(self.queue.high_water())),
+                (
+                    "wait_ms_total".into(),
+                    Json::num(self.queue_wait_us_total.load(Ordering::SeqCst) as f64 / 1000.0),
+                ),
+                (
+                    "wait_ms_max".into(),
+                    Json::num(self.queue_wait_us_max.load(Ordering::SeqCst) as f64 / 1000.0),
+                ),
+                (
+                    "shards".into(),
+                    Json::Arr(
+                        self.queue
+                            .shard_counters()
+                            .iter()
+                            .map(|c| {
+                                Json::Obj(vec![
+                                    ("pushed".into(), Json::num(c.pushed as f64)),
+                                    ("popped".into(), Json::num(c.popped as f64)),
+                                    ("stolen".into(), Json::num(c.stolen as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+        fields.push((
             "cache".into(),
             Json::Obj(vec![
                 ("results".into(), self.cache_stats().to_json()),
+                ("suites".into(), self.registry.to_json()),
                 ("eco".into(), self.eco.to_json()),
             ]),
         ));
         let totals = self.stage_totals.lock().expect("timings poisoned");
         fields.push(("stage_totals".into(), totals.to_json()));
         fields
+    }
+
+    fn record_queue_wait(&self, waited: Duration) {
+        let us = waited.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.queue_wait_us_total.fetch_add(us, Ordering::SeqCst);
+        self.queue_wait_us_max.fetch_max(us, Ordering::SeqCst);
     }
 }
 
@@ -203,18 +293,26 @@ impl Server {
     pub fn bind(addr: impl ToSocketAddrs, config: ServiceConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shards = if config.shards == 0 {
+            workers
+        } else {
+            config.shards
+        };
         let state = Arc::new(ServerState {
             cache: Mutex::new(ResultCache::new(config.cache_entries)),
             eco: EcoStore::new(config.eco_engines),
-            queue: JobQueue::new(config.queue_capacity),
+            registry: SuiteRegistry::new(config.suite_cache_kb),
+            queue: ShardedQueue::new(config.queue_capacity, shards),
             accepting: AtomicBool::new(true),
             stopping: AtomicBool::new(false),
-            in_flight: AtomicUsize::new(0),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             diagnostics_emitted: AtomicU64::new(0),
             lint_findings: AtomicU64::new(0),
+            queue_wait_us_total: AtomicU64::new(0),
+            queue_wait_us_max: AtomicU64::new(0),
             stage_totals: Mutex::new(StageTimings::default()),
             addr,
             config,
@@ -244,9 +342,9 @@ impl Server {
     pub fn run(self) -> std::io::Result<()> {
         let state = self.state;
         let workers: Vec<_> = (0..state.config.workers.max(1))
-            .map(|_| {
+            .map(|idx| {
                 let state = Arc::clone(&state);
-                thread::spawn(move || worker_loop(&state))
+                thread::spawn(move || worker_loop(&state, idx))
             })
             .collect();
 
@@ -267,11 +365,14 @@ impl Server {
     }
 }
 
-/// One worker: pop → compute → cache → reply, until closed and drained.
-fn worker_loop(state: &ServerState) {
-    while let Some(job) = state.queue.pop() {
-        state.in_flight.fetch_add(1, Ordering::SeqCst);
-        let response = match compute(state, job.kind, &job.spec) {
+/// One worker: pop (own shard first, steal otherwise) → compute →
+/// cache → write the tagged reply straight to the job's connection,
+/// until the queue is closed and drained.
+fn worker_loop(state: &ServerState, worker: usize) {
+    while let Some(job) = state.queue.pop(worker) {
+        let waited = job.queued_at.elapsed();
+        state.record_queue_wait(waited);
+        let response = match compute(state, &job) {
             Ok(result_text) => {
                 state
                     .cache
@@ -280,58 +381,102 @@ fn worker_loop(state: &ServerState) {
                     .insert(job.key, result_text.clone());
                 state.completed.fetch_add(1, Ordering::SeqCst);
                 let result = Json::parse(&result_text).expect("serializer emits valid JSON");
-                ok_response(
-                    job.kind.name(),
-                    vec![
-                        ("cached".into(), Json::Bool(false)),
-                        ("key".into(), Json::str(format!("{:016x}", job.key))),
-                        ("result".into(), result),
-                    ],
-                )
+                let mut extra = vec![
+                    ("cached".into(), Json::Bool(false)),
+                    ("key".into(), Json::str(format!("{:016x}", job.key))),
+                    (
+                        "queue_wait_ms".into(),
+                        Json::num(waited.as_micros() as f64 / 1000.0),
+                    ),
+                    ("result".into(), result),
+                ];
+                if let Some(id) = &job.id {
+                    extra.push(("id".into(), id.clone()));
+                }
+                ok_response(job.kind.name(), extra)
             }
             Err(message) => {
                 state.failed.fetch_add(1, Ordering::SeqCst);
-                error_response(Some(job.kind.name()), &message)
+                error_response_tagged(Some(job.kind.name()), &message, job.id.as_ref())
             }
         };
-        // A vanished client (dropped receiver) is not a server error.
-        let _ = job.reply.send(response);
-        state.in_flight.fetch_sub(1, Ordering::SeqCst);
+        // A vanished client (reset connection) is not a server error.
+        let _ = write_line(&job.writer, &response);
+        state.queue.task_done();
     }
 }
 
-fn parse_netlist(spec: &JobSpec) -> Result<Netlist, String> {
-    match spec.format {
-        NetlistFormat::Text => {
-            text::parse(&spec.netlist, Library::standard()).map_err(|e| format!("netlist: {e}"))
+/// Runs one job and serializes the shared summary object (the same
+/// bytes `modemerge merge --json` prints) — from a fresh parse+bind for
+/// inline payloads, or the registry's shared artifacts for
+/// hash-referenced ones. Both paths end in the same [`MergeSession`]
+/// code, so their `result` bytes are identical.
+fn compute(state: &ServerState, job: &Job) -> Result<String, String> {
+    match &job.payload {
+        Payload::Inline(spec) => {
+            let netlist = parse_netlist(spec.format, &spec.netlist)?;
+            let inputs = parse_mode_inputs(&spec.modes)?;
+            if job.kind == JobKind::Lint {
+                return lint(state, &netlist, &inputs, &spec.options);
+            }
+            let bound = SessionInputs::bind(&netlist, &inputs).map_err(|e| e.to_string())?;
+            let eco_seed = suite_seed(&spec.netlist, &spec.modes);
+            let input_fp = modemerge_core::eco::input_fingerprint(&spec.netlist);
+            run_session(
+                state,
+                job.kind,
+                &netlist,
+                &bound,
+                &spec.options,
+                eco_seed,
+                input_fp,
+            )
         }
-        NetlistFormat::Verilog => verilog::parse_verilog(&spec.netlist, Library::standard())
-            .map_err(|e| format!("netlist: {e}")),
+        Payload::Shared { suite, options } => {
+            if job.kind == JobKind::Lint {
+                return lint(state, suite.netlist(), suite.mode_inputs(), options);
+            }
+            let bound = suite.bound_for(options)?;
+            run_session(
+                state,
+                job.kind,
+                suite.netlist(),
+                &bound,
+                options,
+                suite.eco_seed(),
+                suite.input_fp(),
+            )
+        }
     }
 }
 
-/// Runs one job on a fresh [`MergeSession`] and serializes the shared
-/// summary object (the same bytes `modemerge merge --json` prints).
-fn compute(state: &ServerState, kind: JobKind, spec: &JobSpec) -> Result<String, String> {
-    let netlist = parse_netlist(spec)?;
-    let mut inputs = Vec::with_capacity(spec.modes.len());
-    for (name, sdc_text) in &spec.modes {
-        let sdc = SdcFile::parse(sdc_text).map_err(|e| format!("mode {name}: {e}"))?;
-        inputs.push(ModeInput::new(name.clone(), sdc));
-    }
-    if kind == JobKind::Lint {
-        // Lint must succeed on defective suites (that is its job), so it
-        // binds per mode itself instead of going through the all-or-
-        // nothing `SessionInputs::bind`.
-        let report = modemerge_core::lint::lint_modes(&netlist, &inputs, spec.options.threads)
-            .map_err(|e| e.to_string())?;
-        state
-            .lint_findings
-            .fetch_add(report.findings.len() as u64, Ordering::SeqCst);
-        return Ok(report.to_json().to_string());
-    }
-    let bound = SessionInputs::bind(&netlist, &inputs).map_err(|e| e.to_string())?;
-    let session = MergeSession::new(&netlist, &bound, &spec.options);
+/// Lint must succeed on defective suites (that is its job), so it binds
+/// per mode itself instead of going through the all-or-nothing
+/// [`SessionInputs::bind`].
+fn lint(
+    state: &ServerState,
+    netlist: &Netlist,
+    inputs: &[modemerge_core::ModeInput],
+    options: &MergeOptions,
+) -> Result<String, String> {
+    let report = modemerge_core::lint::lint_modes(netlist, inputs, options.threads)
+        .map_err(|e| e.to_string())?;
+    state
+        .lint_findings
+        .fetch_add(report.findings.len() as u64, Ordering::SeqCst);
+    Ok(report.to_json().to_string())
+}
+
+fn run_session(
+    state: &ServerState,
+    kind: JobKind,
+    netlist: &Netlist,
+    bound: &SessionInputs,
+    options: &MergeOptions,
+    eco_seed: u64,
+    input_fp: u64,
+) -> Result<String, String> {
+    let session = MergeSession::new(netlist, bound, options);
     let result = match kind {
         JobKind::Merge => {
             // Incremental path: check out the warm engine of this suite
@@ -339,13 +484,12 @@ fn compute(state: &ServerState, kind: JobKind, spec: &JobSpec) -> Result<String,
             // run benefits from warming every mode analysis up front —
             // a warm remerge may skip STA entirely, so warming eagerly
             // would pay the cost the engine exists to avoid.
-            let skey = suite_key(&spec.netlist, &spec.modes, &spec.options);
+            let skey = suite_key_from_seed(eco_seed, options);
             let mut engine = state.eco.take(skey);
             if !engine.has_baseline() {
                 session.warm_up();
             }
             let check = std::env::var("MODEMERGE_ECO_CHECK").as_deref() == Ok("1");
-            let input_fp = modemerge_core::eco::input_fingerprint(&spec.netlist);
             let remerged = session.rebind_delta(&mut engine, input_fp, check);
             state.eco.put(skey, engine);
             let (outcome, _report) = remerged.map_err(|e| e.to_string())?;
@@ -353,15 +497,15 @@ fn compute(state: &ServerState, kind: JobKind, spec: &JobSpec) -> Result<String,
             state
                 .diagnostics_emitted
                 .fetch_add(emitted as u64, Ordering::SeqCst);
-            outcome_to_json(&outcome, inputs.len())
+            outcome_to_json(&outcome, bound.inputs().len())
         }
         JobKind::Plan => {
             let graph = session.mergeability();
             let cliques = greedy_cliques(&graph);
-            let names: Vec<String> = inputs.iter().map(|i| i.name.clone()).collect();
+            let names: Vec<String> = bound.inputs().iter().map(|i| i.name.clone()).collect();
             plan_to_json(&names, &graph, &cliques)
         }
-        JobKind::Lint => unreachable!("lint handled above"),
+        JobKind::Lint => unreachable!("lint handled before binding"),
     };
     state
         .stage_totals
@@ -371,23 +515,102 @@ fn compute(state: &ServerState, kind: JobKind, spec: &JobSpec) -> Result<String,
     Ok(result.to_string())
 }
 
-/// Serves one client connection: JSONL request/response until EOF.
+/// One bounded read: a line, a structured refusal, or end-of-stream.
+enum ReadLine {
+    /// A complete request line within the cap (`\r\n` stripped).
+    Line(String),
+    /// The line exceeded the cap; its bytes were discarded up to the
+    /// newline so the connection can continue.
+    Oversize,
+    /// EOF arrived mid-line — the request was truncated.
+    Truncated,
+    /// Clean EOF at a line boundary.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line, holding at most `max` bytes: the
+/// oversize-line defense the stdlib's unbounded `read_line` lacks. An
+/// over-cap line is consumed (not buffered) to the newline, so one
+/// abusive request costs O(cap) memory and the connection survives.
+fn read_request_line(reader: &mut BufReader<TcpStream>, max: usize) -> std::io::Result<ReadLine> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut overflowed = false;
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(if line.is_empty() && !overflowed {
+                ReadLine::Eof
+            } else {
+                ReadLine::Truncated
+            });
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if overflowed || line.len() + pos > max {
+                    reader.consume(pos + 1);
+                    return Ok(ReadLine::Oversize);
+                }
+                line.extend_from_slice(&buf[..pos]);
+                reader.consume(pos + 1);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(ReadLine::Line(String::from_utf8_lossy(&line).into_owned()));
+            }
+            None => {
+                let n = buf.len();
+                if !overflowed && line.len() + n <= max {
+                    line.extend_from_slice(buf);
+                } else {
+                    overflowed = true;
+                    line = Vec::new();
+                }
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+/// Serves one client connection: pipelined JSONL until EOF. Inline
+/// answers (status, cache hits, admission refusals…) are written here;
+/// queued jobs are answered by whichever worker finishes them, through
+/// the shared per-connection writer.
 fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<()> {
     // One-line responses must leave immediately; Nagle would hold them
     // back waiting for an ACK of the (already consumed) request.
     stream.set_nodelay(true)?;
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    let writer: ConnWriter = Arc::new(Mutex::new(stream.try_clone()?));
+    let mut reader = BufReader::new(stream);
+    let max_line = max_request_bytes();
+    loop {
+        let line = match read_request_line(&mut reader, max_line)? {
+            ReadLine::Line(line) => line,
+            ReadLine::Oversize => {
+                let message = format!(
+                    "request line exceeds {max_line} bytes \
+                     (MODEMERGE_MAX_REQUEST_KB); request dropped"
+                );
+                write_line(&writer, &error_response(None, &message))?;
+                continue;
+            }
+            ReadLine::Truncated => {
+                // Best effort: the peer may have already vanished.
+                let _ = write_line(
+                    &writer,
+                    &error_response(None, "truncated request (connection closed mid-line)"),
+                );
+                break;
+            }
+            ReadLine::Eof => break,
+        };
         if line.trim().is_empty() {
             continue;
         }
-        let (response, finish_shutdown) = dispatch_line(&line, state);
-        let written = writer
-            .write_all(response.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush());
+        let (response, finish_shutdown) = dispatch_line(&line, state, &writer);
+        let written = match response {
+            Some(response) => write_line(&writer, &response),
+            None => Ok(()), // queued — a worker writes the reply
+        };
         // Shutdown is finalized only AFTER the response is flushed:
         // signalling `stopping` first would let the accept loop break
         // and the process exit before the reply bytes leave this
@@ -409,65 +632,141 @@ fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<
     Ok(())
 }
 
-/// Dispatches one request line; the `bool` is `true` when this was a
-/// `shutdown` whose drain finished and the caller must, after writing
-/// the response, signal the accept loop to exit.
-fn dispatch_line(line: &str, state: &ServerState) -> (String, bool) {
-    let request = match Request::parse(line) {
-        Ok(r) => r,
-        Err(e) => return (error_response(None, &e), false),
+/// Dispatches one request line. `Some(response)` must be written by the
+/// caller; `None` means the job was queued and a worker owns the reply.
+/// The `bool` is `true` when this was a `shutdown` whose drain finished
+/// and the caller must, after writing the response, signal the accept
+/// loop to exit.
+fn dispatch_line(line: &str, state: &ServerState, writer: &ConnWriter) -> (Option<String>, bool) {
+    let (request, id) = match Request::parse_tagged(line) {
+        Ok(parsed) => parsed,
+        Err(e) => return (Some(error_response(None, &e)), false),
     };
     match request {
-        Request::Status => (ok_response("status", state.status_fields()), false),
-        Request::Stats => (ok_response("stats", state.stats_fields()), false),
-        Request::Shutdown => (shutdown(state), true),
-        Request::Merge(spec) => (submit_job(state, JobKind::Merge, spec), false),
-        Request::Plan(spec) => (submit_job(state, JobKind::Plan, spec), false),
-        Request::Lint(spec) => (submit_job(state, JobKind::Lint, spec), false),
+        Request::Status => (Some(ok_response("status", state.status_fields())), false),
+        Request::Stats => (Some(ok_response("stats", state.stats_fields())), false),
+        Request::Shutdown => (Some(shutdown(state)), true),
+        Request::Register(spec) => (Some(register_suite(state, &spec, id.as_ref())), false),
+        Request::Merge(job) => (submit_job(state, JobKind::Merge, job, id, writer), false),
+        Request::Plan(job) => (submit_job(state, JobKind::Plan, job, id, writer), false),
+        Request::Lint(job) => (submit_job(state, JobKind::Lint, job, id, writer), false),
     }
 }
 
-fn submit_job(state: &ServerState, kind: JobKind, spec: JobSpec) -> String {
+/// Handles a `register` request inline (uploads are the cold path; the
+/// eager parse keeps malformed suites out of the registry entirely).
+fn register_suite(state: &ServerState, spec: &JobSpec, id: Option<&Json>) -> String {
     if !state.accepting.load(Ordering::SeqCst) {
-        return error_response(Some(kind.name()), "server is shutting down");
+        return error_response_tagged(Some("register"), "server is shutting down", id);
     }
-    state.submitted.fetch_add(1, Ordering::SeqCst);
-    let key = job_key(kind.name(), &spec.netlist, &spec.modes, &spec.options);
+    match state
+        .registry
+        .register(spec.format, &spec.netlist, &spec.modes)
+    {
+        Ok(suite) => {
+            let mut extra = vec![
+                ("suite".into(), Json::str(suite.hash_hex())),
+                ("modes".into(), Json::count(suite.mode_inputs().len())),
+                ("bytes".into(), Json::num(suite.bytes() as f64)),
+            ];
+            if let Some(id) = id {
+                extra.push(("id".into(), id.clone()));
+            }
+            ok_response("register", extra)
+        }
+        Err(message) => error_response_tagged(Some("register"), &message, id),
+    }
+}
 
-    // Content-addressed fast path: O(hash of the input bytes).
+fn submit_job(
+    state: &ServerState,
+    kind: JobKind,
+    job_ref: JobRef,
+    id: Option<Json>,
+    writer: &ConnWriter,
+) -> Option<String> {
+    if !state.accepting.load(Ordering::SeqCst) {
+        return Some(error_response_tagged(
+            Some(kind.name()),
+            "server is shutting down",
+            id.as_ref(),
+        ));
+    }
+    // Resolve the suite reference to a content key + payload.
+    let (content_key, payload) = match job_ref {
+        JobRef::Inline(spec) => (
+            suite_content_key(&spec.netlist, &spec.modes),
+            Payload::Inline(spec),
+        ),
+        JobRef::Registered { suite, options } => match state.registry.get(suite) {
+            Some(registered) => (
+                registered.hash(),
+                Payload::Shared {
+                    suite: registered,
+                    options,
+                },
+            ),
+            None => {
+                return Some(error_response_tagged(
+                    Some(kind.name()),
+                    &format!(
+                        "unknown suite {suite:016x}: not registered or evicted; \
+                         re-register and retry"
+                    ),
+                    id.as_ref(),
+                ))
+            }
+        },
+    };
+    state.submitted.fetch_add(1, Ordering::SeqCst);
+    let key = job_key_for(kind.name(), content_key, payload_options(&payload));
+
+    // Content-addressed fast path: O(hash of the input bytes) for
+    // inline payloads, O(1) for registered suites.
     let hit = state.cache.lock().expect("cache poisoned").get(key);
     if let Some(result_text) = hit {
         let result = Json::parse(&result_text).expect("cache holds valid JSON");
-        return ok_response(
-            kind.name(),
-            vec![
-                ("cached".into(), Json::Bool(true)),
-                ("key".into(), Json::str(format!("{key:016x}"))),
-                ("result".into(), result),
-            ],
-        );
+        let mut extra = vec![
+            ("cached".into(), Json::Bool(true)),
+            ("key".into(), Json::str(format!("{key:016x}"))),
+            ("result".into(), result),
+        ];
+        if let Some(id) = &id {
+            extra.push(("id".into(), id.clone()));
+        }
+        return Some(ok_response(kind.name(), extra));
     }
 
-    let (tx, rx) = mpsc::channel();
     let job = Job {
         kind,
         key,
-        spec,
-        reply: tx,
+        id,
+        payload,
+        writer: Arc::clone(writer),
+        queued_at: Instant::now(),
     };
-    match state.queue.try_push(job) {
-        Ok(()) => match rx.recv() {
-            Ok(response) => response,
-            Err(_) => error_response(Some(kind.name()), "worker dropped the job"),
-        },
-        Err((PushError::Full, _)) => error_response(
+    // Shard by suite content: every job of one suite shares a shard
+    // (FIFO affinity), different suites spread across shards.
+    match state.queue.try_push(content_key, job) {
+        Ok(()) => None,
+        Err((PushError::Full, job)) => Some(overloaded_response(
+            kind.name(),
+            state.queue.len(),
+            state.config.queue_capacity,
+            job.id.as_ref(),
+        )),
+        Err((PushError::Closed, job)) => Some(error_response_tagged(
             Some(kind.name()),
-            &format!(
-                "queue full ({} pending); retry later",
-                state.config.queue_capacity
-            ),
-        ),
-        Err((PushError::Closed, _)) => error_response(Some(kind.name()), "server is shutting down"),
+            "server is shutting down",
+            job.id.as_ref(),
+        )),
+    }
+}
+
+fn payload_options(payload: &Payload) -> &MergeOptions {
+    match payload {
+        Payload::Inline(spec) => &spec.options,
+        Payload::Shared { options, .. } => options,
     }
 }
 
@@ -478,8 +777,9 @@ fn shutdown(state: &ServerState) -> String {
     state.accepting.store(false, Ordering::SeqCst);
     state.queue.close();
     // Drain: every queued job is popped and every popped job replied to
-    // before we report success.
-    while !(state.queue.is_empty() && state.in_flight.load(Ordering::SeqCst) == 0) {
+    // before we report success (`is_idle` counts popped-but-unfinished
+    // jobs under the queue lock, so no job can fall through the gap).
+    while !state.queue.is_idle() {
         thread::sleep(Duration::from_millis(1));
     }
     ok_response(
@@ -507,6 +807,8 @@ mod tests {
         assert_eq!(c.workers, 1);
         assert!(c.cache_entries > 0);
         assert!(c.queue_capacity > 0);
+        assert_eq!(c.shards, 0, "0 = one shard per worker");
+        assert_eq!(c.suite_cache_kb, None, "None = env/default budget");
     }
 
     #[test]
@@ -514,5 +816,28 @@ mod tests {
         let server = Server::bind("127.0.0.1:0", ServiceConfig::default()).unwrap();
         assert_ne!(server.local_addr().port(), 0);
         assert!(!server.handle().stopped());
+    }
+
+    #[test]
+    fn shards_default_to_worker_count() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServiceConfig {
+                workers: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(server.state.queue.shards(), 3);
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServiceConfig {
+                workers: 4,
+                shards: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(server.state.queue.shards(), 2);
     }
 }

@@ -150,6 +150,84 @@ grep -q "drained and stopped" "$SERVE_LOG" \
 SERVE_PID=""
 echo "    serve/submit/cache-hit/eco-warm/shutdown round trip OK"
 
+echo "==> smoke: suite registration + pipelined saturation (2 suites, 16 mixed jobs)"
+# Fleet path end to end: register two suites once, pipeline 16 mixed
+# merge/lint jobs referencing them by content hash over ONE connection,
+# and require (a) every job answered ok, (b) the suite registry served
+# hits, (c) the hash-referenced merge writes byte-identical artifacts
+# to a direct in-process `merge` of the same inputs.
+"$MM" generate --cells 200 --seed 8 --out "$SMOKE_DIR/suite2" >/dev/null
+mode2_args=()
+while read -r word name file; do
+    [ "$word" = mode ] && mode2_args+=(--mode "$name=$SMOKE_DIR/suite2/$file")
+done <"$SMOKE_DIR/suite2/MANIFEST"
+
+SAT_LOG="$SMOKE_DIR/serve_sat.log"
+"$MM" serve --addr 127.0.0.1:0 --threads 2 >"$SAT_LOG" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's/^modemerge-service listening on \([0-9.:]*\) .*/\1/p' "$SAT_LOG")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "FAIL: saturation daemon did not report its address" >&2; cat "$SAT_LOG" >&2; exit 1; }
+
+reg_hash() { sed -n 's/^registered suite \([0-9a-f]\{16\}\) .*/\1/p'; }
+HASH1="$("$MM" submit --addr "$ADDR" --netlist "$SMOKE_DIR/suite/design.nl" "${mode_args[@]}" --register | reg_hash)"
+HASH2="$("$MM" submit --addr "$ADDR" --netlist "$SMOKE_DIR/suite2/design.nl" "${mode2_args[@]}" --register | reg_hash)"
+[ -n "$HASH1" ] && [ -n "$HASH2" ] || { echo "FAIL: register did not return suite hashes" >&2; exit 1; }
+[ "$HASH1" != "$HASH2" ] || { echo "FAIL: distinct suites got the same hash" >&2; exit 1; }
+# Content addressing: re-registering identical bytes yields the same hash.
+HASH1_AGAIN="$("$MM" submit --addr "$ADDR" --netlist "$SMOKE_DIR/suite/design.nl" "${mode_args[@]}" --register | reg_hash)"
+[ "$HASH1" = "$HASH1_AGAIN" ] || { echo "FAIL: re-registration changed the hash: $HASH1 vs $HASH1_AGAIN" >&2; exit 1; }
+
+PIPE_IN="$SMOKE_DIR/pipe.jsonl"
+: >"$PIPE_IN"
+i=0
+for _round in 1 2 3 4; do
+    for kind in merge lint; do
+        for hash in "$HASH1" "$HASH2"; do
+            printf '{"type":"%s","suite":"%s","id":%d}\n' "$kind" "$hash" "$i" >>"$PIPE_IN"
+            i=$((i + 1))
+        done
+    done
+done
+pipe_out="$("$MM" submit --addr "$ADDR" --pipe <"$PIPE_IN")"
+reply_count="$(printf '%s\n' "$pipe_out" | grep -c '"ok":')"
+[ "$reply_count" -eq 16 ] || { echo "FAIL: expected 16 pipelined replies, got $reply_count" >&2; exit 1; }
+if printf '%s\n' "$pipe_out" | grep -q '"ok":false'; then
+    echo "FAIL: a pipelined job failed:" >&2
+    printf '%s\n' "$pipe_out" | grep '"ok":false' >&2
+    exit 1
+fi
+
+SAT_STATS="$("$MM" submit --addr "$ADDR" --stats --json)"
+suite_hits="$(echo "$SAT_STATS" | grep -o '"suites":{[^}]*' | grep -o '"hits":[0-9]*' | cut -d: -f2)"
+if [ "${suite_hits:-0}" -lt 1 ]; then
+    echo "FAIL: suite registry served ${suite_hits:-no} hits after 16 hash-referenced jobs: $SAT_STATS" >&2
+    exit 1
+fi
+# Capture before grepping: `grep -q` exits on first match and a closed
+# pipe would kill the pretty-printer mid-output (EPIPE).
+SAT_PRETTY="$("$MM" submit --addr "$ADDR" --stats)"
+echo "$SAT_PRETTY" | grep -q '^suites:' \
+    || { echo "FAIL: submit --stats does not pretty-print suite-registry counters" >&2; exit 1; }
+echo "$SAT_PRETTY" | grep -q '^queue: high water' \
+    || { echo "FAIL: submit --stats does not pretty-print queue counters" >&2; exit 1; }
+
+# Byte-identity of the fleet path: hash-referenced merge artifacts must
+# equal a direct in-process merge of the same inputs, file for file.
+"$MM" submit --addr "$ADDR" --suite "$HASH1" --out "$SMOKE_DIR/svc_merged" >/dev/null
+"$MM" merge --netlist "$SMOKE_DIR/suite/design.nl" "${mode_args[@]}" --out "$SMOKE_DIR/direct_merged" >/dev/null
+diff -r "$SMOKE_DIR/svc_merged" "$SMOKE_DIR/direct_merged" \
+    || { echo "FAIL: hash-referenced merge artifacts differ from a direct merge" >&2; exit 1; }
+
+"$MM" submit --addr "$ADDR" --shutdown >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "    register/pipeline/suite-hits/byte-identity round trip OK (16 jobs, 2 suites)"
+
 echo "==> smoke: lint gate (clean suite exits 0, seeded defect exits 1)"
 # The generated suite must lint clean even under --deny warnings …
 "$MM" lint --netlist "$SMOKE_DIR/suite/design.nl" "${mode_args[@]}" --deny warnings \
@@ -305,5 +383,44 @@ for report in "$ECO_OUT" BENCH_eco.json; do
     done
 done
 echo "    warm >= 5x cold on value edits (fresh stress run and checked-in report)"
+
+echo "==> smoke: service saturation bench with warm-ratio tripwire"
+# The suite registry must actually pay off: hash-referenced warm
+# throughput >= 2x the full-payload warm path (the ISSUE-8 acceptance
+# floor), in a fresh reduced run (8 workers only, 1 round) and in the
+# checked-in BENCH_service.json alike. The bench itself asserts every
+# warm reply byte-identical to a direct MergeSession run before
+# reporting, so passing this gate also re-proves the invariant.
+SAT_OUT="$SMOKE_DIR/BENCH_service.json"
+run_saturation() {
+    MODEMERGE_SERVICE_GRID=8 MODEMERGE_BENCH_SAMPLES=1 MODEMERGE_BENCH_OUT="$SAT_OUT" \
+        cargo bench -q -p modemerge-bench --bench service_saturation >"$SMOKE_DIR/sat.log" 2>&1
+}
+run_saturation \
+    || { echo "FAIL: service_saturation bench run failed" >&2; cat "$SMOKE_DIR/sat.log" >&2; exit 1; }
+grep -q '"bench":"service_saturation"' "$SAT_OUT" \
+    || { echo "FAIL: saturation report lacks its identity field" >&2; cat "$SAT_OUT" >&2; exit 1; }
+sat_ratio() { grep -o '"warm_jobs_per_s_ratio":[0-9.]*' "$1" | cut -d: -f2; }
+base_ratio="$(sat_ratio BENCH_service.json)"
+[ -n "$base_ratio" ] || { echo "FAIL: no warm ratio in BENCH_service.json" >&2; exit 1; }
+awk -v r="$base_ratio" 'BEGIN { exit !(r >= 2) }' \
+    || { echo "FAIL: checked-in BENCH_service.json warm ratio ${base_ratio}x is below 2x" >&2; exit 1; }
+sat_ok=""
+for attempt in 1 2 3; do
+    fresh_ratio="$(sat_ratio "$SAT_OUT")"
+    [ -n "$fresh_ratio" ] || { echo "FAIL: no warm ratio in fresh saturation report" >&2; exit 1; }
+    if awk -v r="$fresh_ratio" 'BEGIN { exit !(r >= 2) }'; then
+        sat_ok=yes
+        break
+    fi
+    echo "    attempt $attempt: warm ratio ${fresh_ratio}x below 2x; re-measuring"
+    run_saturation \
+        || { echo "FAIL: service_saturation bench re-run failed" >&2; cat "$SMOKE_DIR/sat.log" >&2; exit 1; }
+done
+if [ -z "$sat_ok" ]; then
+    echo "FAIL: registered warm throughput ${fresh_ratio}x payload warm is below the 2x tripwire" >&2
+    exit 1
+fi
+echo "    registered warm >= 2x payload warm (fresh ${fresh_ratio}x, checked-in ${base_ratio}x)"
 
 echo "==> verify.sh: all checks passed"

@@ -16,8 +16,11 @@ use modemerge::merge::report::{outcome_to_json, plan_to_json};
 use modemerge::merge::{MergeOptions, MergeSession, ModeInput, SessionInputs};
 use modemerge::netlist::{paper::paper_circuit, text};
 use modemerge::service::client::Client;
-use modemerge::service::proto::{compute_request, simple_request, JobSpec, NetlistFormat};
+use modemerge::service::proto::{
+    compute_request, simple_request, tag_request, JobSpec, NetlistFormat,
+};
 use modemerge::service::server::{Server, ServiceConfig};
+use modemerge::workload::{generate_suite, SuiteSpec};
 use std::net::SocketAddr;
 
 /// The paper's 3-mode workload: two mergeable FUNC modes and one TEST
@@ -67,19 +70,39 @@ fn direct_merge_result() -> String {
     outcome_to_json(&outcome, inputs.len()).to_string()
 }
 
-fn start_server(workers: usize) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
-    let server = Server::bind(
-        "127.0.0.1:0",
-        ServiceConfig {
-            workers,
-            cache_entries: 32,
-            queue_capacity: 64,
-            eco_engines: 8,
-        },
-    )
-    .expect("bind ephemeral loopback port");
+fn start_server_with(
+    config: ServiceConfig,
+) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral loopback port");
     let addr = server.local_addr();
     (addr, std::thread::spawn(move || server.run()))
+}
+
+fn start_server(workers: usize) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+    start_server_with(ServiceConfig {
+        workers,
+        cache_entries: 32,
+        queue_capacity: 64,
+        eco_engines: 8,
+        ..ServiceConfig::default()
+    })
+}
+
+/// A generated ~`cells`-instance suite as a full-payload [`JobSpec`];
+/// large enough that a single merge dominates a paper-suite lint by
+/// orders of magnitude (used to pin jobs on workers deterministically).
+fn scale_spec(cells: usize, seed: u64, tag: &str) -> JobSpec {
+    let suite = generate_suite(&SuiteSpec::scale(cells, 4, seed));
+    JobSpec {
+        netlist: text::write(&suite.netlist),
+        format: NetlistFormat::Text,
+        modes: suite
+            .modes
+            .iter()
+            .map(|(n, s)| (format!("{n}{tag}"), s.to_text()))
+            .collect(),
+        options: MergeOptions::default(),
+    }
 }
 
 fn cache_counters(addr: SocketAddr) -> (u64, u64) {
@@ -305,6 +328,187 @@ fn lint_requests_run_without_merging_and_count_findings_in_stats() {
         .expect("roundtrip");
     assert!(merge.ok);
     assert_eq!(merge.cached, Some(false), "lint and merge must not collide");
+
+    let bye = client
+        .request(&simple_request("shutdown"))
+        .expect("shutdown");
+    assert!(bye.ok);
+    daemon.join().expect("daemon thread").expect("daemon io");
+}
+
+#[test]
+fn full_queue_refuses_admission_with_a_structured_overloaded_reply() {
+    // One worker, one queue slot: the first slow job occupies the
+    // worker, the second fills the queue, the rest must be refused
+    // *immediately* with a structured reply instead of blocking the
+    // connection or dropping it.
+    let (addr, daemon) = start_server_with(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        shards: 1,
+        ..ServiceConfig::default()
+    });
+
+    let lines: Vec<String> = (0..4)
+        .map(|i| {
+            let spec = scale_spec(1000, 11, &format!("_{i}"));
+            tag_request(&compute_request("merge", &spec), &Json::count(i))
+        })
+        .collect();
+    let mut client = Client::connect(addr).expect("connect");
+    let replies = client.pipeline(&lines).expect("pipeline");
+    assert_eq!(replies.len(), 4, "every request gets exactly one reply");
+
+    let overloaded: Vec<_> = replies.iter().filter(|r| r.overloaded).collect();
+    let succeeded = replies.iter().filter(|r| r.ok).count();
+    assert!(
+        !overloaded.is_empty(),
+        "queue of 1 must refuse some of 4 pipelined jobs"
+    );
+    assert!(succeeded >= 1, "admitted jobs still complete");
+    assert_eq!(succeeded + overloaded.len(), replies.len());
+    for r in &overloaded {
+        assert!(!r.ok, "overloaded is a structured failure");
+        let msg = r.error.as_deref().unwrap_or_default();
+        assert!(msg.contains("queue full"), "actionable message: {msg}");
+        assert!(msg.contains("retry"), "tells the client to retry: {msg}");
+        assert!(
+            r.json.get("queue_depth").and_then(Json::as_u64).is_some(),
+            "overloaded reply reports the depth: {}",
+            r.raw
+        );
+        assert!(r.id.is_some(), "refusal keeps the request tag: {}", r.raw);
+    }
+
+    let bye = Client::connect(addr)
+        .expect("connect")
+        .request(&simple_request("shutdown"))
+        .expect("shutdown");
+    assert!(bye.ok);
+    daemon.join().expect("daemon thread").expect("daemon io");
+}
+
+#[test]
+fn suite_registry_evicts_under_budget_and_reregistration_restores_bytes() {
+    // A 1 KiB suite budget that neither padded suite fits under: the
+    // newest registration always survives (never evict what was just
+    // inserted), so registering B evicts A.
+    let (addr, daemon) = start_server_with(ServiceConfig {
+        workers: 2,
+        suite_cache_kb: Some(1),
+        ..ServiceConfig::default()
+    });
+    let pad: String = "set_false_path -to rX/D\n".repeat(60); // ~1.4 KiB
+    let mut spec_a = paper_spec();
+    spec_a.modes[1].1.push_str(&pad);
+    let mut spec_b = paper_spec();
+    spec_b.modes[0].1.push_str(&pad);
+
+    let mut client = Client::connect(addr).expect("connect");
+    let reg_a = client.register(&spec_a).expect("register A");
+    assert!(reg_a.ok, "{:?}", reg_a.error);
+    let hash_a = reg_a.suite().expect("suite hash").to_owned();
+    let warm = client
+        .compute_registered("merge", &hash_a, &MergeOptions::default())
+        .expect("merge by hash");
+    assert!(warm.ok, "{:?}", warm.error);
+    let bytes_a = warm.json.get("result").expect("result").to_string();
+
+    // Direct in-process reference over the same padded inputs.
+    let netlist = paper_circuit();
+    let inputs: Vec<ModeInput> = spec_a
+        .modes
+        .iter()
+        .map(|(n, s)| ModeInput::parse(n.clone(), s).expect("parse sdc"))
+        .collect();
+    let bound = SessionInputs::bind(&netlist, &inputs).expect("bind");
+    let session = MergeSession::new(&netlist, &bound, &MergeOptions::default());
+    let outcome = session.merge_all().expect("merge");
+    assert_eq!(bytes_a, outcome_to_json(&outcome, inputs.len()).to_string());
+
+    // Registering B blows the budget and evicts A.
+    let reg_b = client.register(&spec_b).expect("register B");
+    assert!(reg_b.ok, "{:?}", reg_b.error);
+    assert_ne!(reg_b.suite(), Some(hash_a.as_str()));
+    let miss = client
+        .compute_registered("merge", &hash_a, &MergeOptions::default())
+        .expect("merge evicted hash");
+    assert!(!miss.ok, "evicted suite must be refused: {}", miss.raw);
+    let msg = miss.error.as_deref().unwrap_or_default();
+    assert!(msg.contains("unknown suite"), "names the failure: {msg}");
+    assert!(msg.contains("re-register"), "actionable remedy: {msg}");
+
+    let stats = client.request(&simple_request("stats")).expect("stats");
+    assert!(stats.ok);
+    let suites = stats
+        .json
+        .get("cache")
+        .and_then(|c| c.get("suites"))
+        .expect("cache.suites block");
+    assert!(
+        suites.get("evictions").and_then(Json::as_u64).unwrap_or(0) >= 1,
+        "stats must count the eviction: {suites}"
+    );
+
+    // Re-registration restores the same content hash and the merge
+    // result is byte-identical to the pre-eviction reply.
+    let reg_a2 = client.register(&spec_a).expect("re-register A");
+    assert!(reg_a2.ok, "{:?}", reg_a2.error);
+    assert_eq!(
+        reg_a2.suite(),
+        Some(hash_a.as_str()),
+        "content addressing: same bytes, same hash"
+    );
+    let again = client
+        .compute_registered("merge", &hash_a, &MergeOptions::default())
+        .expect("merge re-registered hash");
+    assert!(again.ok, "{:?}", again.error);
+    assert_eq!(
+        again.json.get("result").expect("result").to_string(),
+        bytes_a,
+        "re-registered suite must reproduce the bytes exactly"
+    );
+
+    let bye = client
+        .request(&simple_request("shutdown"))
+        .expect("shutdown");
+    assert!(bye.ok);
+    daemon.join().expect("daemon thread").expect("daemon io");
+}
+
+#[test]
+fn pipelined_replies_arrive_in_completion_order_with_request_tags() {
+    // Two workers, two pipelined jobs on ONE connection: a slow
+    // 1500-cell merge tagged "slow" first, a fast paper-suite lint
+    // tagged "fast" second. Completion-order replies mean the lint
+    // overtakes the merge; the id tags are what lets the client
+    // reassociate them.
+    let (addr, daemon) = start_server_with(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let lines = vec![
+        tag_request(
+            &compute_request("merge", &scale_spec(1500, 3, "")),
+            &Json::str("slow"),
+        ),
+        tag_request(&compute_request("lint", &paper_spec()), &Json::str("fast")),
+    ];
+    let mut client = Client::connect(addr).expect("connect");
+    let replies = client.pipeline(&lines).expect("pipeline");
+    assert_eq!(replies.len(), 2);
+    for r in &replies {
+        assert!(r.ok, "{:?}", r.error);
+    }
+    let ids: Vec<&str> = replies
+        .iter()
+        .map(|r| r.id.as_ref().and_then(Json::as_str).expect("id echoed"))
+        .collect();
+    assert_eq!(
+        ids,
+        ["fast", "slow"],
+        "fast lint must overtake the slow merge on the same connection"
+    );
 
     let bye = client
         .request(&simple_request("shutdown"))

@@ -28,8 +28,8 @@ usage: modemerge <command> [options]
 
 commands (netlists: native text format, or gate-level Verilog .v):
   merge      --netlist FILE --mode NAME=SDC... [--out DIR] [--threads N]
-             [--strict] [--no-uniquify] [--json] [--annotate]
-             [--lint deny|warn|off] [--memo-budget-kb K]
+             [--strict] [--strict-parse] [--no-uniquify] [--json]
+             [--annotate] [--lint deny|warn|off] [--memo-budget-kb K]
              [--baseline DIR]
              Plan and merge timing modes; writes merged SDCs to --out.
              --baseline runs the incremental (ECO) A/B flow: DIR holds
@@ -49,7 +49,11 @@ commands (netlists: native text format, or gate-level Verilog .v):
              to the unannotated merge). --lint gates the merge on the
              ML-* static checks: `warn` (default) prints findings to
              stderr and records them as diagnostics, `deny` refuses a
-             defective mode set, `off` skips linting.
+             defective mode set, `off` skips linting. SDC files are
+             parsed lossily: a defective command is dropped, reported
+             as an SDC-* diagnostic, and every valid command still
+             merges. --strict-parse restores the old behavior (the
+             first parse defect refuses the whole run).
   lint       --netlist FILE --mode NAME=SDC... [--threads N]
              [--json|--sarif] [--deny warnings] [--list-rules]
              Statically check constraint modes against the ML-* rule
@@ -108,7 +112,7 @@ commands (netlists: native text format, or gate-level Verilog .v):
   submit     --addr HOST:PORT (--netlist FILE --mode NAME=SDC... |
              --suite HASH | --register | --pipe)
              [--job merge|plan|lint] [--json] [--out DIR] [--threads N]
-             [--strict] [--no-uniquify]
+             [--strict] [--strict-parse] [--no-uniquify]
              Submit one job to a running server and print the reply
              (--plan is shorthand for --job plan). --register uploads
              the suite once and prints its hash; --suite HASH then
@@ -120,6 +124,15 @@ commands (netlists: native text format, or gate-level Verilog .v):
              netlist, issue the matching control request. --stats
              pretty-prints the queue, cache, suite-registry and ECO
              counters (--json for the raw reply).
+  lsp        --netlist FILE --mode NAME=SDC...
+             Run a language server over stdio for the given mode suite
+             (JSON-RPC 2.0, one message per line — the service's JSONL
+             framing, not Content-Length). Publishes SDC-* parse and
+             ML-* lint findings as diagnostics on didOpen/didChange,
+             resolves go-to-definition from a clock reference to its
+             create_clock (across all modes of the suite), and answers
+             hover on a merged constraint's source line with the MM-*
+             provenance chain that consumed it.
 ";
 
 /// Dispatches a command line.
@@ -158,6 +171,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
                 "workload" => cmd_workload(&args),
                 "serve" => cmd_serve(&args),
                 "submit" => cmd_submit(&args),
+                "lsp" => crate::lsp::cmd_lsp(&args),
                 "help" | "--help" => {
                     print!("{USAGE}");
                     Ok(())
@@ -168,11 +182,11 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     }
 }
 
-fn read(path: &str) -> Result<String, String> {
+pub(crate) fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
 }
 
-fn load_netlist(args: &Args) -> Result<Netlist, String> {
+pub(crate) fn load_netlist(args: &Args) -> Result<Netlist, String> {
     let path = args.require("netlist")?;
     let contents = read(path)?;
     if path.ends_with(".v") || path.ends_with(".sv") {
@@ -198,19 +212,30 @@ fn parse_mode_inputs(args: &Args, command: &str, min: usize) -> Result<Vec<ModeI
             "{command} needs at least {min} --mode NAME=FILE options"
         ));
     }
+    let strict = args.flag("strict-parse");
     let mut inputs = Vec::new();
     for spec in mode_specs {
         let (name, path) = spec
             .split_once('=')
             .ok_or_else(|| format!("--mode expects NAME=FILE, got `{spec}`"))?;
-        let sdc = SdcFile::parse(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
-        inputs.push(ModeInput::new(name, sdc));
+        let text = read(path)?;
+        if strict {
+            // `--strict-parse`: the pre-lossy refusal semantics — the
+            // first defect aborts with the classic one-line error.
+            let sdc = SdcFile::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            inputs.push(ModeInput::new(name, sdc));
+        } else {
+            // Lossy by default: defects become `SDC-*` diagnostics on
+            // the input and the valid commands still flow downstream.
+            inputs.push(ModeInput::parse_lossy(name, &text));
+        }
     }
     Ok(inputs)
 }
 
-/// The merge-pipeline options shared by `merge`, `explain` and `submit`.
-fn merge_options(args: &Args) -> Result<MergeOptions, String> {
+/// The merge-pipeline options shared by `merge`, `explain`, `submit`
+/// and `lsp`.
+pub(crate) fn merge_options(args: &Args) -> Result<MergeOptions, String> {
     let memo_budget_kb = match args.value("memo-budget-kb")? {
         None => None,
         Some(v) => Some(
@@ -221,6 +246,7 @@ fn merge_options(args: &Args) -> Result<MergeOptions, String> {
     Ok(MergeOptions {
         threads: args.positive_number("threads", 1)?,
         strict: args.flag("strict"),
+        strict_parse: args.flag("strict-parse"),
         uniquify_exceptions: !args.flag("no-uniquify"),
         memo_budget_kb,
         ..Default::default()
@@ -352,10 +378,13 @@ fn cmd_merge(args: &Args) -> Result<(), String> {
     }
     session.warm_up();
     let mut outcome = session.merge_all().map_err(|e| e.to_string())?;
-    if let Some(report) = &lint_report {
+    match &lint_report {
         // Findings ride the per-group diagnostics so `explain` can
-        // trace them alongside the MM-* pipeline diagnostics.
-        lint::attach_to_reports(&report.findings, &mut outcome.reports);
+        // trace them alongside the MM-* pipeline diagnostics. The lint
+        // report already leads with the parse findings.
+        Some(report) => lint::attach_to_reports(&report.findings, &mut outcome.reports),
+        // `--lint off` still reports what lossy parsing dropped.
+        None => lint::attach_parse_findings(&inputs, &mut outcome.reports),
     }
 
     if args.flag("json") {
@@ -507,10 +536,11 @@ fn cmd_merge_baseline(args: &Args, dir: &str) -> Result<(), String> {
     let bound = SessionInputs::bind(&netlist, &inputs).map_err(|e| e.to_string())?;
     let session = MergeSession::new(&netlist, &bound, &options);
     let t1 = std::time::Instant::now();
-    let (outcome, report) = session
+    let (mut outcome, report) = session
         .rebind_delta(&mut engine, input_fp, check)
         .map_err(|e| e.to_string())?;
     let warm = t1.elapsed();
+    lint::attach_parse_findings(&inputs, &mut outcome.reports);
 
     let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
     if args.flag("json") {
@@ -595,8 +625,9 @@ fn cmd_explain(args: &Args, query: &str) -> Result<(), String> {
     };
     session.warm_up();
     let mut outcome = session.merge_all().map_err(|e| e.to_string())?;
-    if let Some(report) = &lint_report {
-        lint::attach_to_reports(&report.findings, &mut outcome.reports);
+    match &lint_report {
+        Some(report) => lint::attach_to_reports(&report.findings, &mut outcome.reports),
+        None => lint::attach_parse_findings(&inputs, &mut outcome.reports),
     }
 
     let mut matches = 0usize;
@@ -1083,6 +1114,7 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
     let options = MergeOptions {
         threads: args.positive_number("threads", 1)?,
         strict: args.flag("strict"),
+        strict_parse: args.flag("strict-parse"),
         uniquify_exceptions: !args.flag("no-uniquify"),
         ..Default::default()
     };

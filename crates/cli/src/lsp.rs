@@ -1,0 +1,816 @@
+//! `modemerge lsp`: a language server over stdio.
+//!
+//! The server speaks JSON-RPC 2.0 framed exactly like the merge
+//! service's wire protocol — **one JSON message per line** — instead of
+//! the LSP `Content-Length` header framing, so the same `json::Json`
+//! parser, the same line-oriented transport code and the same smoke
+//! tooling (`nc`, shell heredocs, `scripts/verify.sh`) drive both. An
+//! editor adapter only needs to strip/add headers.
+//!
+//! The server is loaded with one mode suite (`--netlist` plus repeated
+//! `--mode NAME=FILE`). It then answers:
+//!
+//! * `textDocument/didOpen` / `didChange` (full sync) — the document
+//!   replaces the mode's buffer, the file is re-parsed **lossily**, and
+//!   every `SDC-*` parse defect plus every `ML-*` lint finding for that
+//!   mode is published as an LSP diagnostic. A defective buffer never
+//!   kills the session: the lossy front end always yields a partial
+//!   AST, so diagnostics keep flowing while the user types.
+//! * `textDocument/definition` — from any clock-name reference to the
+//!   `create_clock` / `create_generated_clock` that declares it,
+//!   searching every mode of the suite.
+//! * `textDocument/hover` — on a source line that contributed to the
+//!   merged mode, the `MM-*` provenance chain (rule code, contributing
+//!   `mode:line` pairs, detail) of each merged constraint derived from
+//!   it. The merge runs lazily and is invalidated by every edit.
+//!
+//! Positions follow LSP: zero-based line/character. The SDC side is
+//! one-based ([`modemerge_sdc::Span`]), so conversions happen at this
+//! boundary and nowhere else.
+
+use crate::args::Args;
+use crate::commands;
+use modemerge_core::json::Json;
+use modemerge_core::lint::{self, Severity};
+use modemerge_core::merge::{MergeAllOutcome, MergeOptions, ModeInput};
+use modemerge_core::session::{MergeSession, SessionInputs};
+use modemerge_netlist::Netlist;
+use modemerge_sdc::Command;
+use std::io::{BufRead, Write};
+
+/// JSON-RPC error: malformed JSON on the wire.
+const PARSE_ERROR: i64 = -32700;
+/// JSON-RPC error: method not found.
+const METHOD_NOT_FOUND: i64 = -32601;
+
+/// One mode's open document: the SDC buffer the diagnostics, the
+/// definition index and the hover merge all read.
+struct ModeDoc {
+    /// Mode name (from `--mode NAME=FILE`).
+    name: String,
+    /// SDC path on disk — the suffix the editor's `file://` URI is
+    /// matched against.
+    path: String,
+    /// Current buffer contents (file contents until a `didOpen` /
+    /// `didChange` replaces them).
+    text: String,
+    /// The exact URI the editor used, once seen; echoed back verbatim.
+    uri: Option<String>,
+}
+
+/// The language server: one registered suite plus the lazily merged
+/// outcome that backs hover.
+pub struct LspServer {
+    netlist: Netlist,
+    options: MergeOptions,
+    docs: Vec<ModeDoc>,
+    /// Cached merge of the current buffers; `None` until a hover needs
+    /// it, invalidated by every edit.
+    merged: Option<MergeAllOutcome>,
+}
+
+/// `modemerge lsp --netlist FILE --mode NAME=SDC...` — serve stdio
+/// until `exit`.
+pub fn cmd_lsp(args: &Args) -> Result<(), String> {
+    let netlist = commands::load_netlist(args)?;
+    let specs = args.values("mode");
+    if specs.is_empty() {
+        return Err("lsp needs at least one --mode NAME=FILE option".into());
+    }
+    let mut docs = Vec::new();
+    for spec in specs {
+        let (name, path) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--mode expects NAME=FILE, got `{spec}`"))?;
+        docs.push((name.to_owned(), path.to_owned(), commands::read(path)?));
+    }
+    let options = commands::merge_options(args)?;
+    let mut server = LspServer::new(netlist, options, docs);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    server.serve(stdin.lock(), stdout.lock())
+}
+
+/// Builds a shallow `Json` object from borrowed keys.
+fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+/// LSP `Position` (zero-based).
+fn position(line: u32, character: u32) -> Json {
+    obj(vec![
+        ("line", Json::count(line as usize)),
+        ("character", Json::count(character as usize)),
+    ])
+}
+
+/// LSP `Range` on a single line.
+fn range(line: u32, start: u32, end: u32) -> Json {
+    obj(vec![
+        ("start", position(line, start)),
+        ("end", position(line, end)),
+    ])
+}
+
+/// JSON-RPC success envelope.
+fn reply(id: Json, result: Json) -> Json {
+    Json::Obj(vec![
+        ("jsonrpc".into(), Json::str("2.0")),
+        ("id".into(), id),
+        ("result".into(), result),
+    ])
+}
+
+/// JSON-RPC error envelope.
+fn error_reply(id: Json, code: i64, message: &str) -> Json {
+    Json::Obj(vec![
+        ("jsonrpc".into(), Json::str("2.0")),
+        ("id".into(), id),
+        (
+            "error".into(),
+            obj(vec![
+                ("code", Json::num(code as f64)),
+                ("message", Json::str(message)),
+            ]),
+        ),
+    ])
+}
+
+/// Server-to-client notification envelope.
+fn notification(method: &str, params: Json) -> Json {
+    Json::Obj(vec![
+        ("jsonrpc".into(), Json::str("2.0")),
+        ("method".into(), Json::str(method)),
+        ("params".into(), params),
+    ])
+}
+
+/// First occurrence of `word` in `src` bounded by non-word characters
+/// on both sides (so looking up clock `c` does not land inside
+/// `create_clock`).
+fn find_word(src: &str, word: &str) -> Option<usize> {
+    let bytes = src.as_bytes();
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut from = 0;
+    while let Some(pos) = src[from..].find(word).map(|p| p + from) {
+        let before_ok = pos == 0 || !is_word(bytes[pos - 1]);
+        let after = pos + word.len();
+        let after_ok = after >= bytes.len() || !is_word(bytes[after]);
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        from = pos + 1;
+    }
+    None
+}
+
+/// The identifier under (or just left of) a zero-based position.
+fn word_at(text: &str, line: usize, character: usize) -> Option<String> {
+    let line = text.lines().nth(line)?;
+    let bytes = line.as_bytes();
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut start = character.min(bytes.len());
+    if start == bytes.len() || !is_word(bytes[start]) {
+        // Cursor sits one past the word (end-of-word hover).
+        if start == 0 || !is_word(bytes[start - 1]) {
+            return None;
+        }
+        start -= 1;
+    }
+    while start > 0 && is_word(bytes[start - 1]) {
+        start -= 1;
+    }
+    let mut end = start;
+    while end < bytes.len() && is_word(bytes[end]) {
+        end += 1;
+    }
+    Some(line[start..end].to_owned())
+}
+
+impl LspServer {
+    /// Creates a server over a suite of `(name, path, text)` documents.
+    pub fn new(
+        netlist: Netlist,
+        options: MergeOptions,
+        docs: Vec<(String, String, String)>,
+    ) -> Self {
+        Self {
+            netlist,
+            options,
+            docs: docs
+                .into_iter()
+                .map(|(name, path, text)| ModeDoc {
+                    name,
+                    path,
+                    text,
+                    uri: None,
+                })
+                .collect(),
+            merged: None,
+        }
+    }
+
+    /// Serves JSONL JSON-RPC until `exit` or end of input.
+    ///
+    /// # Errors
+    ///
+    /// Only transport failures (broken reader/writer) abort the loop;
+    /// every protocol-level problem is answered in-band.
+    pub fn serve(&mut self, reader: impl BufRead, mut writer: impl Write) -> Result<(), String> {
+        for line in reader.lines() {
+            let line = line.map_err(|e| format!("lsp transport: {e}"))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let msg = match Json::parse(&line) {
+                Ok(msg) => msg,
+                Err(e) => {
+                    write_line(
+                        &mut writer,
+                        &error_reply(Json::Null, PARSE_ERROR, &format!("parse error: {e}")),
+                    )?;
+                    continue;
+                }
+            };
+            let id = msg.get("id").cloned();
+            let method = msg
+                .get("method")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_owned();
+            let params = msg.get("params").cloned().unwrap_or(Json::Null);
+            let mut outgoing: Vec<Json> = Vec::new();
+            match method.as_str() {
+                "exit" => break,
+                "initialize" => {
+                    if let Some(id) = id {
+                        outgoing.push(reply(id, self.initialize_result()));
+                    }
+                }
+                // Notifications with nothing to do.
+                "initialized"
+                | "$/cancelRequest"
+                | "textDocument/didClose"
+                | "textDocument/didSave" => {}
+                "shutdown" => {
+                    if let Some(id) = id {
+                        outgoing.push(reply(id, Json::Null));
+                    }
+                }
+                "textDocument/didOpen" => self.did_open(&params, &mut outgoing),
+                "textDocument/didChange" => self.did_change(&params, &mut outgoing),
+                "textDocument/definition" => {
+                    if let Some(id) = id {
+                        outgoing.push(reply(id, self.definition(&params)));
+                    }
+                }
+                "textDocument/hover" => {
+                    if let Some(id) = id {
+                        outgoing.push(reply(id, self.hover(&params)));
+                    }
+                }
+                _ => {
+                    // Unknown *request* gets an error; unknown
+                    // notification is ignored per JSON-RPC.
+                    if let Some(id) = id {
+                        outgoing.push(error_reply(
+                            id,
+                            METHOD_NOT_FOUND,
+                            &format!("method not found: {method}"),
+                        ));
+                    }
+                }
+            }
+            for msg in &outgoing {
+                write_line(&mut writer, msg)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn initialize_result(&self) -> Json {
+        obj(vec![
+            (
+                "capabilities",
+                obj(vec![
+                    // 1 = full-document sync; didChange carries the
+                    // whole buffer.
+                    ("textDocumentSync", Json::count(1)),
+                    ("definitionProvider", Json::Bool(true)),
+                    ("hoverProvider", Json::Bool(true)),
+                ]),
+            ),
+            (
+                "serverInfo",
+                obj(vec![
+                    ("name", Json::str("modemerge lsp")),
+                    ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+                ]),
+            ),
+        ])
+    }
+
+    /// Maps an editor URI onto a suite mode: the exact URI a prior
+    /// `didOpen` pinned, else a path-suffix match against the mode's
+    /// SDC path (on a `/` boundary, both directions, so relative CLI
+    /// paths meet absolute editor URIs).
+    fn doc_index(&self, uri: &str) -> Option<usize> {
+        if let Some(i) = self.docs.iter().position(|d| d.uri.as_deref() == Some(uri)) {
+            return Some(i);
+        }
+        let path = uri.strip_prefix("file://").unwrap_or(uri);
+        let suffix_match = |longer: &str, shorter: &str| {
+            longer == shorter
+                || (longer.ends_with(shorter)
+                    && longer.as_bytes()[longer.len() - shorter.len() - 1] == b'/')
+        };
+        self.docs
+            .iter()
+            .position(|d| suffix_match(path, &d.path) || suffix_match(&d.path, path))
+    }
+
+    /// The URI to report for mode `idx`: whatever the editor used, else
+    /// a `file://` URI built from the SDC path.
+    fn uri_for(&self, idx: usize) -> String {
+        let doc = &self.docs[idx];
+        if let Some(uri) = &doc.uri {
+            return uri.clone();
+        }
+        let path = std::fs::canonicalize(&doc.path)
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|_| doc.path.clone());
+        format!("file://{path}")
+    }
+
+    fn did_open(&mut self, params: &Json, outgoing: &mut Vec<Json>) {
+        let Some(td) = params.get("textDocument") else {
+            return;
+        };
+        let Some(uri) = td.get("uri").and_then(Json::as_str).map(str::to_owned) else {
+            return;
+        };
+        let Some(idx) = self.doc_index(&uri) else {
+            return;
+        };
+        if let Some(text) = td.get("text").and_then(Json::as_str) {
+            self.docs[idx].text = text.to_owned();
+        }
+        self.docs[idx].uri = Some(uri);
+        self.merged = None;
+        outgoing.push(self.publish_diagnostics(idx));
+    }
+
+    fn did_change(&mut self, params: &Json, outgoing: &mut Vec<Json>) {
+        let Some(uri) = params
+            .get("textDocument")
+            .and_then(|td| td.get("uri"))
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+        else {
+            return;
+        };
+        let Some(idx) = self.doc_index(&uri) else {
+            return;
+        };
+        // Full sync: the last change wins and carries the whole buffer.
+        if let Some(text) = params
+            .get("contentChanges")
+            .and_then(Json::as_array)
+            .and_then(<[Json]>::last)
+            .and_then(|c| c.get("text"))
+            .and_then(Json::as_str)
+        {
+            self.docs[idx].text = text.to_owned();
+        }
+        self.docs[idx].uri = Some(uri);
+        self.merged = None;
+        outgoing.push(self.publish_diagnostics(idx));
+    }
+
+    /// The current lossy parse of every mode buffer.
+    fn inputs(&self) -> Vec<ModeInput> {
+        self.docs
+            .iter()
+            .map(|d| ModeInput::parse_lossy(d.name.clone(), &d.text))
+            .collect()
+    }
+
+    /// `textDocument/publishDiagnostics` for mode `idx`: the `SDC-*`
+    /// parse defects of its buffer followed by the `ML-*` lint findings
+    /// scoped to it.
+    fn publish_diagnostics(&self, idx: usize) -> Json {
+        let doc = &self.docs[idx];
+        let mut diags: Vec<Json> = Vec::new();
+        let inputs = self.inputs();
+        for d in inputs[idx].parse_diags() {
+            diags.push(obj(vec![
+                (
+                    "range",
+                    range(
+                        d.span.line.saturating_sub(1),
+                        d.span.col.saturating_sub(1),
+                        d.span.end_col.saturating_sub(1),
+                    ),
+                ),
+                ("severity", Json::count(1)),
+                ("code", Json::str(d.code.code())),
+                ("source", Json::str("modemerge")),
+                ("message", Json::str(d.message.clone())),
+            ]));
+        }
+        // Lint runs over the whole suite (cross-mode rules need every
+        // buffer) but only this document's findings are published here;
+        // the `SDC-*` findings lint prepends are skipped — they are
+        // already above, with column-precise spans.
+        if let Ok(report) = lint::lint_modes(&self.netlist, &inputs, 1) {
+            for f in &report.findings {
+                if f.mode != doc.name || !f.rule.code().starts_with("ML-") {
+                    continue;
+                }
+                let line0 = f.line.saturating_sub(1);
+                let len = doc
+                    .text
+                    .lines()
+                    .nth(line0 as usize)
+                    .map_or(1, |l| l.chars().count().max(1) as u32);
+                let severity = match f.severity {
+                    Severity::Error => 1,
+                    Severity::Warning => 2,
+                    Severity::Info => 3,
+                };
+                diags.push(obj(vec![
+                    ("range", range(line0, 0, len)),
+                    ("severity", Json::count(severity)),
+                    ("code", Json::str(f.rule.code())),
+                    ("source", Json::str("modemerge")),
+                    ("message", Json::str(f.message.clone())),
+                ]));
+            }
+        }
+        notification(
+            "textDocument/publishDiagnostics",
+            obj(vec![
+                ("uri", Json::str(self.uri_for(idx))),
+                ("diagnostics", Json::Arr(diags)),
+            ]),
+        )
+    }
+
+    /// Go-to-definition: the identifier under the cursor, resolved as a
+    /// clock name against every mode's `create_clock` /
+    /// `create_generated_clock` declarations.
+    fn definition(&self, params: &Json) -> Json {
+        let Some((idx, line0, character)) = self.locate(params) else {
+            return Json::Null;
+        };
+        let Some(word) = word_at(&self.docs[idx].text, line0, character) else {
+            return Json::Null;
+        };
+        for (i, doc) in self.docs.iter().enumerate() {
+            let input = ModeInput::parse_lossy(doc.name.clone(), &doc.text);
+            for (ci, cmd) in input.sdc.commands().iter().enumerate() {
+                let name = match cmd {
+                    Command::CreateClock(cc) => cc.name.as_deref(),
+                    Command::CreateGeneratedClock(gc) => gc.name.as_deref(),
+                    _ => None,
+                };
+                if name != Some(word.as_str()) {
+                    continue;
+                }
+                let def_line0 = input.sdc.line_of(ci).saturating_sub(1);
+                let src = doc.text.lines().nth(def_line0 as usize).unwrap_or("");
+                let col = find_word(src, &word).unwrap_or(0) as u32;
+                return obj(vec![
+                    ("uri", Json::str(self.uri_for(i))),
+                    ("range", range(def_line0, col, col + word.len() as u32)),
+                ]);
+            }
+        }
+        Json::Null
+    }
+
+    /// Hover: every merged constraint the cursor's source line
+    /// contributed to, with its `MM-*` provenance chain.
+    fn hover(&mut self, params: &Json) -> Json {
+        let Some((idx, line0, _)) = self.locate(params) else {
+            return Json::Null;
+        };
+        let mode_name = self.docs[idx].name.clone();
+        let src_line = line0 as u32 + 1;
+        let Some(outcome) = self.merged_outcome() else {
+            return Json::Null;
+        };
+        let mut parts: Vec<String> = Vec::new();
+        for (merged, report) in outcome.merged.iter().zip(&outcome.reports) {
+            if !report.mode_names.iter().any(|m| m == &mode_name) {
+                continue;
+            }
+            for (cmd_idx, record) in report.provenance.iter() {
+                let hit = record
+                    .contribs
+                    .iter()
+                    .any(|&(m, l)| l == src_line && report.provenance.mode_name(m) == mode_name);
+                if !hit {
+                    continue;
+                }
+                let text = merged
+                    .sdc
+                    .commands()
+                    .get(cmd_idx)
+                    .map(|c| c.to_text())
+                    .unwrap_or_default();
+                parts.push(format!(
+                    "`{}`\n{}",
+                    text.trim_end(),
+                    report.provenance.describe(record)
+                ));
+            }
+        }
+        if parts.is_empty() {
+            return Json::Null;
+        }
+        obj(vec![(
+            "contents",
+            obj(vec![
+                ("kind", Json::str("markdown")),
+                ("value", Json::str(parts.join("\n\n"))),
+            ]),
+        )])
+    }
+
+    /// `(mode index, zero-based line, zero-based character)` from a
+    /// `{textDocument, position}` request.
+    fn locate(&self, params: &Json) -> Option<(usize, usize, usize)> {
+        let uri = params
+            .get("textDocument")
+            .and_then(|td| td.get("uri"))
+            .and_then(Json::as_str)?;
+        let idx = self.doc_index(uri)?;
+        let pos = params.get("position")?;
+        let line = pos.get("line").and_then(Json::as_u64)? as usize;
+        let character = pos.get("character").and_then(Json::as_u64)? as usize;
+        Some((idx, line, character))
+    }
+
+    /// The merge of the current buffers, computed on first use. `None`
+    /// when the suite cannot bind or merge — hover just goes silent;
+    /// parse/lint diagnostics (which do not need a merge) still flow.
+    fn merged_outcome(&mut self) -> Option<&MergeAllOutcome> {
+        if self.merged.is_none() {
+            let inputs = self.inputs();
+            let bound = SessionInputs::bind(&self.netlist, &inputs).ok()?;
+            let session = MergeSession::new(&self.netlist, &bound, &self.options);
+            self.merged = Some(session.merge_all().ok()?);
+        }
+        self.merged.as_ref()
+    }
+}
+
+/// Writes one JSONL message.
+fn write_line(writer: &mut impl Write, msg: &Json) -> Result<(), String> {
+    writeln!(writer, "{msg}").map_err(|e| format!("lsp transport: {e}"))?;
+    writer.flush().map_err(|e| format!("lsp transport: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modemerge_netlist::paper::paper_circuit;
+
+    fn paper_server() -> LspServer {
+        LspServer::new(
+            paper_circuit(),
+            MergeOptions::default(),
+            vec![
+                (
+                    "F1".into(),
+                    "f1.sdc".into(),
+                    "create_clock -name c -period 10 [get_ports clk1]\n".into(),
+                ),
+                (
+                    "F2".into(),
+                    "f2.sdc".into(),
+                    "create_clock -name c -period 10 [get_ports clk1]\n\
+                     set_false_path -to rX/D\n"
+                        .into(),
+                ),
+            ],
+        )
+    }
+
+    fn run(server: &mut LspServer, requests: &[&str]) -> Vec<Json> {
+        let input = requests.join("\n") + "\n";
+        let mut out = Vec::new();
+        server.serve(input.as_bytes(), &mut out).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn initialize_shutdown_exit_handshake() {
+        let mut server = paper_server();
+        let replies = run(
+            &mut server,
+            &[
+                r#"{"jsonrpc":"2.0","id":1,"method":"initialize","params":{}}"#,
+                r#"{"jsonrpc":"2.0","method":"initialized","params":{}}"#,
+                r#"{"jsonrpc":"2.0","id":2,"method":"shutdown"}"#,
+                r#"{"jsonrpc":"2.0","method":"exit"}"#,
+                r#"{"jsonrpc":"2.0","id":3,"method":"initialize","params":{}}"#,
+            ],
+        );
+        // The post-exit request is never answered.
+        assert_eq!(replies.len(), 2);
+        let caps = replies[0]
+            .get("result")
+            .and_then(|r| r.get("capabilities"))
+            .expect("capabilities");
+        assert_eq!(caps.get("textDocumentSync").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            caps.get("hoverProvider").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            caps.get("definitionProvider").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert!(matches!(replies[1].get("result"), Some(Json::Null)));
+    }
+
+    #[test]
+    fn did_open_publishes_sdc_diagnostics_for_a_defective_buffer() {
+        let mut server = paper_server();
+        let replies = run(
+            &mut server,
+            &[
+                r#"{"jsonrpc":"2.0","method":"textDocument/didOpen","params":{"textDocument":{"uri":"file:///work/f2.sdc","text":"create_clock -name c -period 10 [get_ports clk1]\nset_wizardry 1\n"}}}"#,
+            ],
+        );
+        assert_eq!(replies.len(), 1);
+        assert_eq!(
+            replies[0].get("method").and_then(Json::as_str),
+            Some("textDocument/publishDiagnostics")
+        );
+        let params = replies[0].get("params").unwrap();
+        assert_eq!(
+            params.get("uri").and_then(Json::as_str),
+            Some("file:///work/f2.sdc"),
+            "echoes the editor's URI verbatim"
+        );
+        let diags = params.get("diagnostics").and_then(Json::as_array).unwrap();
+        let codes: Vec<&str> = diags
+            .iter()
+            .filter_map(|d| d.get("code").and_then(Json::as_str))
+            .collect();
+        assert!(codes.contains(&"SDC-CMD-UNKNOWN"), "{codes:?}");
+        let diag = diags
+            .iter()
+            .find(|d| d.get("code").and_then(Json::as_str) == Some("SDC-CMD-UNKNOWN"))
+            .unwrap();
+        // Zero-based line 1 = source line 2.
+        assert_eq!(
+            diag.get("range")
+                .and_then(|r| r.get("start"))
+                .and_then(|s| s.get("line"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn lint_findings_ride_along_as_ml_diagnostics() {
+        let mut server = paper_server();
+        // A false path whose -to resolves to nothing: parses clean,
+        // lints dirty.
+        let replies = run(
+            &mut server,
+            &[
+                r#"{"jsonrpc":"2.0","method":"textDocument/didChange","params":{"textDocument":{"uri":"file:///work/f2.sdc"},"contentChanges":[{"text":"create_clock -name c -period 10 [get_ports clk1]\nset_false_path -to [get_pins no_such/D]\n"}]}}"#,
+            ],
+        );
+        let diags = replies[0]
+            .get("params")
+            .and_then(|p| p.get("diagnostics"))
+            .and_then(Json::as_array)
+            .unwrap();
+        let codes: Vec<&str> = diags
+            .iter()
+            .filter_map(|d| d.get("code").and_then(Json::as_str))
+            .collect();
+        assert!(
+            codes.iter().any(|c| c.starts_with("ML-")),
+            "lint finding published: {codes:?}"
+        );
+        assert!(
+            codes.iter().all(|c| !c.starts_with("SDC-")),
+            "clean parse publishes no SDC-* codes: {codes:?}"
+        );
+    }
+
+    #[test]
+    fn definition_resolves_a_clock_reference_to_its_create_clock() {
+        let mut server = paper_server();
+        // Cursor on the `c` of `-name c` in F2 (line 0, character 19).
+        let replies = run(
+            &mut server,
+            &[
+                r#"{"jsonrpc":"2.0","id":7,"method":"textDocument/definition","params":{"textDocument":{"uri":"file:///work/f2.sdc"},"position":{"line":0,"character":19}}}"#,
+            ],
+        );
+        let result = replies[0].get("result").expect("result");
+        // First declaration wins: F1's create_clock.
+        let uri = result.get("uri").and_then(Json::as_str).unwrap();
+        assert!(uri.ends_with("f1.sdc"), "{uri}");
+        let start = result.get("range").and_then(|r| r.get("start")).unwrap();
+        assert_eq!(start.get("line").and_then(Json::as_u64), Some(0));
+        assert_eq!(start.get("character").and_then(Json::as_u64), Some(19));
+    }
+
+    #[test]
+    fn hover_reports_the_mm_provenance_chain() {
+        let mut server = paper_server();
+        // Hover the create_clock line of F2 (zero-based line 0).
+        let replies = run(
+            &mut server,
+            &[
+                r#"{"jsonrpc":"2.0","id":9,"method":"textDocument/hover","params":{"textDocument":{"uri":"file:///work/f2.sdc"},"position":{"line":0,"character":0}}}"#,
+            ],
+        );
+        let value = replies[0]
+            .get("result")
+            .and_then(|r| r.get("contents"))
+            .and_then(|c| c.get("value"))
+            .and_then(Json::as_str)
+            .expect("hover text");
+        assert!(value.contains("MM-"), "{value}");
+        assert!(
+            value.contains("F2:1"),
+            "names the contributing line: {value}"
+        );
+        assert!(value.contains("create_clock"), "{value}");
+    }
+
+    #[test]
+    fn hover_survives_a_buffer_that_cannot_bind() {
+        let mut server = paper_server();
+        let replies = run(
+            &mut server,
+            &[
+                // Unresolvable port: parses clean, binds dirty.
+                r#"{"jsonrpc":"2.0","method":"textDocument/didChange","params":{"textDocument":{"uri":"file:///work/f1.sdc"},"contentChanges":[{"text":"create_clock -name c -period 10 [get_ports no_such_port]\n"}]}}"#,
+                r#"{"jsonrpc":"2.0","id":4,"method":"textDocument/hover","params":{"textDocument":{"uri":"file:///work/f2.sdc"},"position":{"line":0,"character":0}}}"#,
+            ],
+        );
+        // One publishDiagnostics + one hover reply; hover is null, not
+        // an error or a dead server.
+        assert_eq!(replies.len(), 2);
+        assert!(matches!(replies[1].get("result"), Some(Json::Null)));
+    }
+
+    #[test]
+    fn unknown_request_errors_unknown_notification_is_ignored() {
+        let mut server = paper_server();
+        let replies = run(
+            &mut server,
+            &[
+                r#"{"jsonrpc":"2.0","method":"workspace/didChangeConfiguration","params":{}}"#,
+                r#"{"jsonrpc":"2.0","id":5,"method":"textDocument/codeAction","params":{}}"#,
+                "this is not json",
+            ],
+        );
+        assert_eq!(replies.len(), 2);
+        let err = replies[0].get("error").expect("error object");
+        assert_eq!(err.get("code").and_then(Json::as_f64), Some(-32601.0));
+        let parse_err = replies[1].get("error").expect("error object");
+        assert_eq!(parse_err.get("code").and_then(Json::as_f64), Some(-32700.0));
+    }
+
+    #[test]
+    fn edits_invalidate_the_cached_merge() {
+        let mut server = paper_server();
+        let hover_line0 = r#"{"jsonrpc":"2.0","id":1,"method":"textDocument/hover","params":{"textDocument":{"uri":"file:///work/f2.sdc"},"position":{"line":0,"character":0}}}"#;
+        let replies = run(&mut server, &[hover_line0]);
+        // Cache populated: the create_clock on line 1 has a chain.
+        assert!(
+            replies[0]
+                .get("result")
+                .unwrap()
+                .to_string()
+                .contains("MM-"),
+            "{}",
+            replies[0]
+        );
+        // Shift the clock down one line with a comment. A stale cache
+        // would still report a chain on line 1.
+        let edit = r##"{"jsonrpc":"2.0","method":"textDocument/didChange","params":{"textDocument":{"uri":"file:///work/f2.sdc"},"contentChanges":[{"text":"# moved\ncreate_clock -name c -period 10 [get_ports clk1]\nset_false_path -to rX/D\n"}]}}"##;
+        let hover_line1 = r#"{"jsonrpc":"2.0","id":2,"method":"textDocument/hover","params":{"textDocument":{"uri":"file:///work/f2.sdc"},"position":{"line":1,"character":0}}}"#;
+        let replies = run(&mut server, &[edit, hover_line0, hover_line1]);
+        assert_eq!(replies.len(), 3);
+        assert!(matches!(replies[1].get("result"), Some(Json::Null)));
+        let moved = replies[2].get("result").unwrap().to_string();
+        assert!(moved.contains("MM-") && moved.contains("F2:2"), "{moved}");
+    }
+}

@@ -137,13 +137,38 @@ impl Finding {
     }
 
     /// Converts to a pipeline [`Diagnostic`] so lint findings ride the
-    /// existing provenance/explain plumbing.
+    /// existing provenance/explain plumbing. Parse findings (`SDC-*`)
+    /// are prefixed `parse`, lint findings (`ML-*`) `lint`.
     pub fn to_diagnostic(&self) -> Diagnostic {
+        let kind = if self.rule.code().starts_with("SDC-") {
+            "parse"
+        } else {
+            "lint"
+        };
         Diagnostic {
             code: self.rule,
-            message: format!("lint {}", self.to_text()),
+            message: format!("{kind} {}", self.to_text()),
         }
     }
+}
+
+/// Converts a mode's recorded parse diagnostics into findings, in
+/// source order. Every parse defect is an error: the affected command
+/// was dropped from the mode, so the constraint set is incomplete.
+/// The column rides in the message (a [`Finding`] carries only a
+/// line); LSP clients read the precise span from the SDC layer.
+pub fn parse_findings(input: &ModeInput) -> Vec<Finding> {
+    input
+        .parse_diags()
+        .iter()
+        .map(|d| Finding {
+            rule: d.code.into(),
+            severity: Severity::Error,
+            mode: input.name.clone(),
+            line: d.span.line,
+            message: format!("{} (col {})", d.message, d.span.col),
+        })
+        .collect()
 }
 
 /// Per-mode rule inputs. `mode`/`analysis` are `None` when the mode
@@ -501,7 +526,8 @@ pub fn lint_modes(
                         analysis: Some(&analysis),
                         graph: Some(&graph),
                     };
-                    let findings = run_mode_rules(&ctx);
+                    let mut findings = parse_findings(input);
+                    findings.extend(run_mode_rules(&ctx));
                     let summary = summarize(input, Some(&mode), Some(&analysis));
                     (findings, summary, None)
                 }
@@ -513,7 +539,8 @@ pub fn lint_modes(
                         analysis: None,
                         graph: Some(&graph),
                     };
-                    let findings = run_mode_rules(&ctx);
+                    let mut findings = parse_findings(input);
+                    findings.extend(run_mode_rules(&ctx));
                     (
                         findings,
                         summarize(input, None, None),
@@ -578,6 +605,7 @@ pub fn lint_session(session: &MergeSession<'_>) -> LintReport {
             analysis: Some(session.analysis(i)),
             graph: Some(session.graph()),
         };
+        report.findings.extend(parse_findings(session.input(i)));
         report.findings.extend(run_mode_rules(&ctx));
         summaries.push(summarize(
             session.input(i),
@@ -621,6 +649,16 @@ pub fn attach_to_reports(findings: &[Finding], reports: &mut [MergeReport]) {
     }
 }
 
+/// Attaches every input's parse diagnostics to the merge reports.
+/// This is the no-lint path of `merge --json` and the service `merge`
+/// reply (the lint-gated path gets them via [`lint_session`], whose
+/// report already leads with the parse findings) — both must produce
+/// the same bytes, so both go through [`attach_to_reports`].
+pub fn attach_parse_findings(inputs: &[ModeInput], reports: &mut [MergeReport]) {
+    let findings: Vec<Finding> = inputs.iter().flat_map(parse_findings).collect();
+    attach_to_reports(&findings, reports);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -655,6 +693,55 @@ mod tests {
         assert!(Severity::Error < Severity::Warning);
         assert!(Severity::Warning < Severity::Info);
         assert_eq!(Severity::Info.sarif_level(), "note");
+    }
+
+    #[test]
+    fn parse_findings_carry_sdc_codes() {
+        let input =
+            ModeInput::parse_lossy("A", "create_clock -name c -period 10 clk\nset_wizardry 1\n");
+        let findings = parse_findings(&input);
+        assert_eq!(findings.len(), 1);
+        let f = &findings[0];
+        assert_eq!(f.rule.code(), "SDC-CMD-UNKNOWN");
+        assert_eq!(f.severity, Severity::Error);
+        assert_eq!(f.mode, "A");
+        assert_eq!(f.line, 2);
+        assert_eq!(
+            f.to_text(),
+            "error[SDC-CMD-UNKNOWN] A:2: unsupported command `set_wizardry` (col 1)"
+        );
+        // Parse findings ride the diagnostic bus with a `parse` prefix.
+        assert!(f.to_diagnostic().message.starts_with("parse "));
+        assert!(Finding {
+            rule: RuleCode::LintGlobZero,
+            severity: Severity::Warning,
+            mode: "m".into(),
+            line: 1,
+            message: "x".into(),
+        }
+        .to_diagnostic()
+        .message
+        .starts_with("lint "));
+    }
+
+    #[test]
+    fn attach_parse_findings_lands_on_the_owning_group() {
+        let clean = ModeInput::parse("A", "create_clock -name c -period 10 clk\n").unwrap();
+        let lossy = ModeInput::parse_lossy("B", "set_wizardry 1\n");
+        let mut reports = vec![
+            MergeReport {
+                mode_names: vec!["A".into()],
+                ..Default::default()
+            },
+            MergeReport {
+                mode_names: vec!["B".into()],
+                ..Default::default()
+            },
+        ];
+        attach_parse_findings(&[clean, lossy], &mut reports);
+        assert!(reports[0].diagnostics.is_empty());
+        assert_eq!(reports[1].diagnostics.len(), 1);
+        assert_eq!(reports[1].diagnostics[0].code.code(), "SDC-CMD-UNKNOWN");
     }
 
     #[test]

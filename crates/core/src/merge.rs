@@ -5,7 +5,7 @@ use crate::error::MergeError;
 use crate::json::Json;
 use crate::session::{MergeSession, SessionInputs};
 use modemerge_netlist::Netlist;
-use modemerge_sdc::{SdcError, SdcFile};
+use modemerge_sdc::{SdcDiagnostic, SdcError, SdcFile};
 
 /// Tuning knobs for the merging engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +44,12 @@ pub struct MergeOptions {
     /// recomputation for memory and surfaces as `memo_evictions` in the
     /// stage timings.
     pub memo_budget_kb: Option<u64>,
+    /// Refuse suites whose SDC carries any parse diagnostic, restoring
+    /// the pre-lossy abort-on-first-error front end. When `false` (the
+    /// default) malformed commands are dropped, surface as `SDC-*`
+    /// diagnostics in reports, and the merge proceeds on the partial
+    /// files.
+    pub strict_parse: bool,
 }
 
 impl Default for MergeOptions {
@@ -58,6 +64,7 @@ impl Default for MergeOptions {
             uniquify_exceptions: true,
             group_fixes: true,
             memo_budget_kb: None,
+            strict_parse: false,
         }
     }
 }
@@ -88,6 +95,7 @@ impl MergeOptions {
                     None => Json::Null,
                 },
             ),
+            ("strict_parse".into(), Json::Bool(self.strict_parse)),
         ])
     }
 
@@ -160,6 +168,11 @@ impl MergeOptions {
                         )
                     };
                 }
+                "strict_parse" => {
+                    out.strict_parse = value
+                        .as_bool()
+                        .ok_or("options.strict_parse: not a boolean")?;
+                }
                 other => return Err(format!("options.{other}: unknown option")),
             }
         }
@@ -184,13 +197,26 @@ impl MergeOptions {
     }
 }
 
-/// One input mode: a name and its SDC constraints.
-#[derive(Debug, Clone, PartialEq)]
+/// One input mode: a name and its SDC constraints, plus any parse
+/// diagnostics the lossy front end recorded while reading them.
+#[derive(Debug, Clone)]
 pub struct ModeInput {
     /// Mode name (used in reports).
     pub name: String,
     /// The constraints.
     pub sdc: SdcFile,
+    /// `SDC-*` diagnostics from lossy parsing (empty for strictly
+    /// parsed or constructed inputs).
+    diags: Vec<SdcDiagnostic>,
+}
+
+/// Equality ignores parse diagnostics: two modes with the same name
+/// and surviving commands are the same mode (matching `SdcFile`'s
+/// commands-only equality).
+impl PartialEq for ModeInput {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.sdc == other.sdc
+    }
 }
 
 impl ModeInput {
@@ -199,10 +225,11 @@ impl ModeInput {
         Self {
             name: name.into(),
             sdc,
+            diags: Vec::new(),
         }
     }
 
-    /// Parses SDC text into a mode input.
+    /// Parses SDC text into a mode input (strict mode).
     ///
     /// # Errors
     ///
@@ -211,7 +238,31 @@ impl ModeInput {
         Ok(Self {
             name: name.into(),
             sdc: SdcFile::parse(text)?,
+            diags: Vec::new(),
         })
+    }
+
+    /// Parses SDC text into a mode input without ever failing: defects
+    /// become diagnostics ([`Self::parse_diags`]) and the mode keeps
+    /// every command that parsed.
+    pub fn parse_lossy(name: impl Into<String>, text: &str) -> Self {
+        let (sdc, diags) = SdcFile::parse_lossy(text);
+        Self {
+            name: name.into(),
+            sdc,
+            diags,
+        }
+    }
+
+    /// Parse diagnostics recorded by [`Self::parse_lossy`], in source
+    /// order.
+    pub fn parse_diags(&self) -> &[SdcDiagnostic] {
+        &self.diags
+    }
+
+    /// `true` when lossy parsing dropped at least one command.
+    pub fn has_parse_diags(&self) -> bool {
+        !self.diags.is_empty()
     }
 }
 
@@ -498,6 +549,24 @@ mod tests {
         };
         assert_eq!(base.result_fingerprint(), threaded.result_fingerprint());
         assert_ne!(base.result_fingerprint(), strict.result_fingerprint());
+        // `strict_parse` changes what binds, so it must change the
+        // fingerprint too.
+        let strict_parse = MergeOptions {
+            strict_parse: true,
+            ..Default::default()
+        };
+        assert_ne!(base.result_fingerprint(), strict_parse.result_fingerprint());
+    }
+
+    #[test]
+    fn lossy_mode_input_keeps_diags_out_of_equality() {
+        let clean = ModeInput::parse("A", "create_clock -name c -period 10 clk\n").unwrap();
+        let lossy =
+            ModeInput::parse_lossy("A", "create_clock -name c -period 10 clk\nset_wizardry 1\n");
+        assert_eq!(lossy.parse_diags().len(), 1);
+        assert!(lossy.has_parse_diags());
+        assert_eq!(lossy, clean, "diagnostics must not affect equality");
+        assert!(!clean.has_parse_diags());
     }
 
     #[test]

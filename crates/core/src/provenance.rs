@@ -101,6 +101,22 @@ pub enum RuleCode {
     /// Lint (suite scope) — same clock name with different identities
     /// across modes (forces an `MM-CLK-RENAME` at merge time).
     LintClkXmode,
+    /// Parse — unbalanced `{`/`}` brace in a logical SDC line.
+    SdcBraceUnbalanced,
+    /// Parse — a `"` string left open at end of line.
+    SdcStringUnterminated,
+    /// Parse — unbalanced `[`/`]` around an object query.
+    SdcBracketUnbalanced,
+    /// Parse — bracket command outside the supported `get_*` set.
+    SdcQueryUnsupported,
+    /// Parse — command outside the supported SDC subset.
+    SdcCmdUnknown,
+    /// Parse — option flag the command does not accept.
+    SdcOptUnknown,
+    /// Parse — required option or positional value absent.
+    SdcArgMissing,
+    /// Parse — argument present but malformed or contradictory.
+    SdcArgInvalid,
 }
 
 impl RuleCode {
@@ -140,6 +156,14 @@ impl RuleCode {
             Self::LintDisClkCut => "ML-DIS-CLK-CUT",
             Self::LintEndUnconst => "ML-END-UNCONST",
             Self::LintClkXmode => "ML-CLK-XMODE",
+            Self::SdcBraceUnbalanced => "SDC-BRACE-UNBALANCED",
+            Self::SdcStringUnterminated => "SDC-STRING-UNTERMINATED",
+            Self::SdcBracketUnbalanced => "SDC-BRACKET-UNBALANCED",
+            Self::SdcQueryUnsupported => "SDC-QUERY-UNSUPPORTED",
+            Self::SdcCmdUnknown => "SDC-CMD-UNKNOWN",
+            Self::SdcOptUnknown => "SDC-OPT-UNKNOWN",
+            Self::SdcArgMissing => "SDC-ARG-MISSING",
+            Self::SdcArgInvalid => "SDC-ARG-INVALID",
         }
     }
 
@@ -179,7 +203,37 @@ impl RuleCode {
             Self::LintDisClkCut,
             Self::LintEndUnconst,
             Self::LintClkXmode,
+            Self::SdcBraceUnbalanced,
+            Self::SdcStringUnterminated,
+            Self::SdcBracketUnbalanced,
+            Self::SdcQueryUnsupported,
+            Self::SdcCmdUnknown,
+            Self::SdcOptUnknown,
+            Self::SdcArgMissing,
+            Self::SdcArgInvalid,
         ]
+    }
+}
+
+/// The SDC front end's diagnostic codes map 1:1 onto the `SDC-*` rows
+/// of the registry, so parse findings ride the same provenance and
+/// lint plumbing as everything else.
+impl From<modemerge_sdc::SdcDiagCode> for RuleCode {
+    fn from(code: modemerge_sdc::SdcDiagCode) -> Self {
+        use modemerge_sdc::SdcDiagCode as D;
+        match code {
+            D::BraceUnbalanced => Self::SdcBraceUnbalanced,
+            D::StringUnterminated => Self::SdcStringUnterminated,
+            D::BracketUnbalanced => Self::SdcBracketUnbalanced,
+            D::QueryUnsupported => Self::SdcQueryUnsupported,
+            D::CmdUnknown => Self::SdcCmdUnknown,
+            D::OptUnknown => Self::SdcOptUnknown,
+            D::ArgMissing => Self::SdcArgMissing,
+            D::ArgInvalid => Self::SdcArgInvalid,
+            // `SdcDiagCode` is non-exhaustive; any future code must be
+            // registered here before it can reach the wire.
+            _ => unreachable!("unregistered SdcDiagCode"),
+        }
     }
 }
 
@@ -486,7 +540,9 @@ mod tests {
         let mut seen = std::collections::BTreeSet::new();
         for &c in RuleCode::all() {
             assert!(
-                c.code().starts_with("MM-") || c.code().starts_with("ML-"),
+                c.code().starts_with("MM-")
+                    || c.code().starts_with("ML-")
+                    || c.code().starts_with("SDC-"),
                 "{c}"
             );
             assert!(seen.insert(c.code()), "duplicate code {c}");
@@ -499,6 +555,17 @@ mod tests {
         assert_eq!(RuleCode::LintRefUndef.code(), "ML-REF-UNDEF");
         assert_eq!(RuleCode::LintCaseContra.code(), "ML-CASE-CONTRA");
         assert_eq!(RuleCode::LintClkXmode.code(), "ML-CLK-XMODE");
+        assert_eq!(RuleCode::SdcCmdUnknown.code(), "SDC-CMD-UNKNOWN");
+        assert_eq!(RuleCode::SdcArgInvalid.code(), "SDC-ARG-INVALID");
+    }
+
+    #[test]
+    fn sdc_diag_codes_map_onto_registry() {
+        for &d in modemerge_sdc::SdcDiagCode::all() {
+            let rule: RuleCode = d.into();
+            assert_eq!(rule.code(), d.code(), "wire strings must agree");
+            assert!(RuleCode::all().contains(&rule));
+        }
     }
 
     #[test]

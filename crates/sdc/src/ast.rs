@@ -454,6 +454,15 @@ impl SdcFile {
         parser::parse(input)
     }
 
+    /// Parses SDC text without ever failing: lexical and grammatical
+    /// defects become [`SdcDiagnostic`](crate::error::SdcDiagnostic)s,
+    /// the offending logical lines are dropped, and every valid command
+    /// survives into the returned partial file. With zero diagnostics
+    /// the file is identical to what [`SdcFile::parse`] returns.
+    pub fn parse_lossy(input: &str) -> (Self, Vec<crate::error::SdcDiagnostic>) {
+        parser::parse_lossy(input)
+    }
+
     /// The commands in file order.
     pub fn commands(&self) -> &[Command] {
         &self.commands

@@ -1,9 +1,17 @@
-//! Error type for SDC parsing.
+//! Diagnostic model for SDC parsing.
+//!
+//! The lossy front end ([`crate::parser::parse_lossy`]) never aborts:
+//! every lexical or grammatical problem becomes an [`SdcDiagnostic`]
+//! carrying a stable `SDC-*` code ([`SdcDiagCode`]) and a precise
+//! 1-based line/column [`Span`], and parsing continues at the next
+//! logical line. The strict entry points keep returning the original
+//! [`SdcError`], now derived from the first diagnostic, so existing
+//! abort-on-error callers observe identical behavior.
 
 use std::error::Error;
 use std::fmt;
 
-/// An error produced while lexing or parsing SDC text.
+/// An error produced while lexing or parsing SDC text (strict mode).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SdcError {
     line: usize,
@@ -38,6 +46,145 @@ impl fmt::Display for SdcError {
 
 impl Error for SdcError {}
 
+/// A half-open 1-based source span: the diagnostic covers columns
+/// `col..end_col` of physical line `line`. Continuation-joined logical
+/// lines map every token back to the physical line it came from, so a
+/// span never crosses a line boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// 1-based physical source line.
+    pub line: u32,
+    /// 1-based starting column (in characters).
+    pub col: u32,
+    /// 1-based column one past the end; always `> col`.
+    pub end_col: u32,
+}
+
+impl Span {
+    /// A span covering `col..end_col` of `line`.
+    pub fn new(line: u32, col: u32, end_col: u32) -> Self {
+        Self {
+            line,
+            col,
+            end_col: end_col.max(col + 1),
+        }
+    }
+
+    /// A single-column span.
+    pub fn point(line: u32, col: u32) -> Self {
+        Self::new(line, col, col + 1)
+    }
+}
+
+/// Stable diagnostic codes of the SDC front end. Like the merge
+/// pipeline's `MM-*` and the lint subsystem's `ML-*` registries, the
+/// wire strings are a public, append-only contract: tools key on them,
+/// so existing codes never change meaning or disappear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum SdcDiagCode {
+    /// Unbalanced `{`/`}` brace in a logical line.
+    BraceUnbalanced,
+    /// A `"` string left open at end of line.
+    StringUnterminated,
+    /// Unbalanced `[`/`]` around an object query.
+    BracketUnbalanced,
+    /// A bracket command outside the supported `get_*` set, a nested
+    /// query, or a `[` with no command word.
+    QueryUnsupported,
+    /// A command outside the supported SDC subset (or a line that does
+    /// not start with a command word).
+    CmdUnknown,
+    /// An option flag the command does not accept.
+    OptUnknown,
+    /// A required option or positional value is absent.
+    ArgMissing,
+    /// An argument is present but malformed or contradictory.
+    ArgInvalid,
+}
+
+impl SdcDiagCode {
+    /// The stable wire string of this code.
+    pub fn code(self) -> &'static str {
+        match self {
+            Self::BraceUnbalanced => "SDC-BRACE-UNBALANCED",
+            Self::StringUnterminated => "SDC-STRING-UNTERMINATED",
+            Self::BracketUnbalanced => "SDC-BRACKET-UNBALANCED",
+            Self::QueryUnsupported => "SDC-QUERY-UNSUPPORTED",
+            Self::CmdUnknown => "SDC-CMD-UNKNOWN",
+            Self::OptUnknown => "SDC-OPT-UNKNOWN",
+            Self::ArgMissing => "SDC-ARG-MISSING",
+            Self::ArgInvalid => "SDC-ARG-INVALID",
+        }
+    }
+
+    /// Every registered code, in declaration order.
+    pub fn all() -> &'static [SdcDiagCode] {
+        &[
+            Self::BraceUnbalanced,
+            Self::StringUnterminated,
+            Self::BracketUnbalanced,
+            Self::QueryUnsupported,
+            Self::CmdUnknown,
+            Self::OptUnknown,
+            Self::ArgMissing,
+            Self::ArgInvalid,
+        ]
+    }
+}
+
+impl fmt::Display for SdcDiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One recoverable parse problem: a stable code, a source span and a
+/// human-readable message. The offending logical line is dropped from
+/// the partial [`crate::SdcFile`]; parsing resumes at the next line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SdcDiagnostic {
+    /// Stable `SDC-*` code.
+    pub code: SdcDiagCode,
+    /// Where the problem is (1-based line and columns).
+    pub span: Span,
+    /// Human-readable message (identical wording to the strict-mode
+    /// [`SdcError`] for the same problem).
+    pub message: String,
+}
+
+impl SdcDiagnostic {
+    /// Creates a diagnostic.
+    pub fn new(code: SdcDiagCode, span: Span, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SdcDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "error[{}] line {} col {}: {}",
+            self.code.code(),
+            self.span.line,
+            self.span.col,
+            self.message
+        )
+    }
+}
+
+/// Strict-mode view of a diagnostic: the line and message survive, the
+/// code and column are dropped (the legacy error never carried them).
+impl From<SdcDiagnostic> for SdcError {
+    fn from(d: SdcDiagnostic) -> Self {
+        SdcError::new(d.span.line as usize, d.message)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,5 +201,41 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SdcError>();
+        assert_send_sync::<SdcDiagnostic>();
+    }
+
+    #[test]
+    fn span_never_collapses() {
+        let s = Span::new(2, 5, 5);
+        assert_eq!(s.end_col, 6, "end_col is clamped past col");
+        let p = Span::point(1, 3);
+        assert_eq!((p.line, p.col, p.end_col), (1, 3, 4));
+    }
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let all = SdcDiagCode::all();
+        assert_eq!(all.len(), 8);
+        let mut seen = std::collections::HashSet::new();
+        for c in all {
+            assert!(c.code().starts_with("SDC-"), "{}", c.code());
+            assert!(seen.insert(c.code()), "duplicate code {}", c.code());
+        }
+    }
+
+    #[test]
+    fn diagnostic_display_and_strict_conversion() {
+        let d = SdcDiagnostic::new(
+            SdcDiagCode::CmdUnknown,
+            Span::new(4, 1, 12),
+            "unsupported command `set_wizardry`",
+        );
+        assert_eq!(
+            d.to_string(),
+            "error[SDC-CMD-UNKNOWN] line 4 col 1: unsupported command `set_wizardry`"
+        );
+        let e: SdcError = d.into();
+        assert_eq!(e.line(), 4);
+        assert_eq!(e.message(), "unsupported command `set_wizardry`");
     }
 }

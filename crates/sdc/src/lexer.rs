@@ -7,8 +7,16 @@
 //! attached to the *next* logical line so callers can preserve
 //! constraint-level annotations; anything after a bare `#` token inside
 //! a line is dropped.
+//!
+//! Two entry points share one implementation: [`tokenize_lossy`] never
+//! fails — a logical line with a lexical defect is dropped whole, a
+//! [`SdcDiagnostic`] records it, and scanning resumes at the next
+//! logical line — while the strict [`tokenize`] converts the first
+//! diagnostic into the legacy [`SdcError`]. Every token carries a
+//! [`Span`] mapping it back to the physical line and 1-based column it
+//! came from, even through `\` continuations.
 
-use crate::error::SdcError;
+use crate::error::{SdcDiagCode, SdcDiagnostic, SdcError, Span};
 
 /// One token of a logical SDC line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,45 +38,104 @@ pub struct LogicalLine {
     pub line: usize,
     /// Tokens of the line.
     pub tokens: Vec<Tok>,
+    /// Source span of each token, parallel to `tokens`. A span always
+    /// points into the physical line the token started on.
+    pub spans: Vec<Span>,
     /// Full-line `#` comments immediately preceding this line, with the
     /// leading `#` and surrounding whitespace stripped.
     pub comments: Vec<String>,
 }
 
-/// Tokenizes SDC text into logical lines.
-///
-/// # Errors
-///
-/// Returns [`SdcError`] on unbalanced braces or unterminated quotes.
-pub fn tokenize(input: &str) -> Result<Vec<LogicalLine>, SdcError> {
-    // First, fold continuations into logical lines.
-    let mut logical: Vec<(usize, String)> = Vec::new();
-    let mut pending: Option<(usize, String)> = None;
+/// One physical-line segment of a continuation-joined logical line:
+/// `len` characters of the joined text starting at char offset
+/// `offset` came from physical line `line` (column 1 onward).
+struct Seg {
+    offset: usize,
+    line: usize,
+    len: usize,
+}
+
+/// A logical line before tokenization: the joined text plus the
+/// segment map used to resolve char offsets back to physical spans.
+struct Joined {
+    start: usize,
+    text: String,
+    segs: Vec<Seg>,
+}
+
+/// Folds trailing-`\` continuations into logical lines, recording for
+/// each appended physical line where its characters landed in the
+/// joined text.
+fn fold_continuations(input: &str) -> Vec<Joined> {
+    let mut logical: Vec<Joined> = Vec::new();
+    let mut pending: Option<(Joined, usize)> = None; // (line, char count)
     for (idx, raw) in input.lines().enumerate() {
         let lineno = idx + 1;
-        let (joined_start, mut text) = match pending.take() {
-            Some((start, mut acc)) => {
-                acc.push(' ');
-                acc.push_str(raw);
-                (start, acc)
-            }
-            None => (lineno, raw.to_owned()),
+        let (continues, content) = match raw.strip_suffix('\\') {
+            Some(stripped) => (true, stripped),
+            None => (false, raw),
         };
-        if let Some(stripped) = text.strip_suffix('\\') {
-            text = stripped.to_owned();
-            pending = Some((joined_start, text));
+        let (mut joined, mut chars) = pending.take().unwrap_or((
+            Joined {
+                start: lineno,
+                text: String::new(),
+                segs: Vec::new(),
+            },
+            0,
+        ));
+        if !joined.segs.is_empty() {
+            joined.text.push(' ');
+            chars += 1;
+        }
+        let len = content.chars().count();
+        joined.text.push_str(content);
+        joined.segs.push(Seg {
+            offset: chars,
+            line: lineno,
+            len,
+        });
+        chars += len;
+        if continues {
+            pending = Some((joined, chars));
         } else {
-            logical.push((joined_start, text));
+            logical.push(joined);
         }
     }
-    if let Some((start, text)) = pending {
-        logical.push((start, text));
+    if let Some((joined, _)) = pending {
+        logical.push(joined);
     }
+    logical
+}
 
+/// Resolves a `start..end` char range of the joined text to a physical
+/// span. The span is anchored to the segment `start` falls in and
+/// clamped to that segment's end, so it never crosses a physical line.
+fn span_for(joined: &Joined, start: usize, end: usize) -> Span {
+    let seg = joined
+        .segs
+        .iter()
+        .rev()
+        .find(|s| s.offset <= start)
+        .unwrap_or(&joined.segs[0]);
+    let seg_end = seg.offset + seg.len;
+    let end = end.clamp(start + 1, seg_end.max(start + 1));
+    Span::new(
+        seg.line as u32,
+        (start - seg.offset + 1) as u32,
+        (end - seg.offset + 1) as u32,
+    )
+}
+
+/// Tokenizes SDC text into logical lines, never failing: lexical
+/// defects become diagnostics, the offending logical line is dropped,
+/// and scanning resumes at the next one. Comments preceding a dropped
+/// line carry over to the next surviving command.
+pub fn tokenize_lossy(input: &str) -> (Vec<LogicalLine>, Vec<SdcDiagnostic>) {
     let mut out = Vec::new();
+    let mut diags = Vec::new();
     let mut comments: Vec<String> = Vec::new();
-    for (line, text) in logical {
-        let trimmed = text.trim();
+    for joined in fold_continuations(input) {
+        let trimmed = joined.text.trim();
         if trimmed.is_empty() {
             continue;
         }
@@ -76,20 +143,41 @@ pub fn tokenize(input: &str) -> Result<Vec<LogicalLine>, SdcError> {
             comments.push(body.trim().to_owned());
             continue;
         }
-        let tokens = tokenize_line(trimmed, line)?;
-        if !tokens.is_empty() {
-            out.push(LogicalLine {
-                line,
-                tokens,
-                comments: std::mem::take(&mut comments),
-            });
+        match tokenize_line(&joined) {
+            Ok((tokens, spans)) => {
+                if !tokens.is_empty() {
+                    out.push(LogicalLine {
+                        line: joined.start,
+                        tokens,
+                        spans,
+                        comments: std::mem::take(&mut comments),
+                    });
+                }
+            }
+            Err(diag) => diags.push(diag),
         }
     }
-    Ok(out)
+    (out, diags)
 }
 
-fn tokenize_line(text: &str, line: usize) -> Result<Vec<Tok>, SdcError> {
+/// Tokenizes SDC text into logical lines (strict mode).
+///
+/// # Errors
+///
+/// Returns [`SdcError`] on unbalanced braces or unterminated quotes.
+pub fn tokenize(input: &str) -> Result<Vec<LogicalLine>, SdcError> {
+    let (lines, mut diags) = tokenize_lossy(input);
+    if diags.is_empty() {
+        Ok(lines)
+    } else {
+        Err(diags.remove(0).into())
+    }
+}
+
+fn tokenize_line(joined: &Joined) -> Result<(Vec<Tok>, Vec<Span>), SdcDiagnostic> {
+    let text = &joined.text;
     let mut tokens = Vec::new();
+    let mut spans = Vec::new();
     let chars: Vec<char> = text.chars().collect();
     let mut i = 0;
     while i < chars.len() {
@@ -100,10 +188,12 @@ fn tokenize_line(text: &str, line: usize) -> Result<Vec<Tok>, SdcError> {
             ';' => i += 1,
             '[' => {
                 tokens.push(Tok::LBracket);
+                spans.push(span_for(joined, i, i + 1));
                 i += 1;
             }
             ']' => {
                 tokens.push(Tok::RBracket);
+                spans.push(span_for(joined, i, i + 1));
                 i += 1;
             }
             '{' => {
@@ -119,14 +209,25 @@ fn tokenize_line(text: &str, line: usize) -> Result<Vec<Tok>, SdcError> {
                     j += 1;
                 }
                 if depth != 0 {
-                    return Err(SdcError::new(line, "unbalanced `{`"));
+                    return Err(SdcDiagnostic::new(
+                        SdcDiagCode::BraceUnbalanced,
+                        span_for(joined, i, chars.len()),
+                        "unbalanced `{`",
+                    ));
                 }
                 let inner: String = chars[start..j - 1].iter().collect();
                 let items = inner.split_whitespace().map(str::to_owned).collect();
                 tokens.push(Tok::Brace(items));
+                spans.push(span_for(joined, i, j));
                 i = j;
             }
-            '}' => return Err(SdcError::new(line, "unbalanced `}`")),
+            '}' => {
+                return Err(SdcDiagnostic::new(
+                    SdcDiagCode::BraceUnbalanced,
+                    span_for(joined, i, i + 1),
+                    "unbalanced `}`",
+                ))
+            }
             '"' => {
                 let start = i + 1;
                 let mut j = start;
@@ -134,9 +235,14 @@ fn tokenize_line(text: &str, line: usize) -> Result<Vec<Tok>, SdcError> {
                     j += 1;
                 }
                 if j == chars.len() {
-                    return Err(SdcError::new(line, "unterminated string"));
+                    return Err(SdcDiagnostic::new(
+                        SdcDiagCode::StringUnterminated,
+                        span_for(joined, i, chars.len()),
+                        "unterminated string",
+                    ));
                 }
                 tokens.push(Tok::Word(chars[start..j].iter().collect()));
+                spans.push(span_for(joined, i, j + 1));
                 i = j + 1;
             }
             _ => {
@@ -148,10 +254,11 @@ fn tokenize_line(text: &str, line: usize) -> Result<Vec<Tok>, SdcError> {
                     i += 1;
                 }
                 tokens.push(Tok::Word(chars[start..i].iter().collect()));
+                spans.push(span_for(joined, start, i));
             }
         }
     }
-    Ok(tokens)
+    Ok((tokens, spans))
 }
 
 #[cfg(test)]
@@ -258,5 +365,76 @@ mod tests {
         let lines = tokenize("\n\n  \ncreate_clock x\n\n").unwrap();
         assert_eq!(lines.len(), 1);
         assert_eq!(lines[0].line, 4);
+    }
+
+    #[test]
+    fn spans_track_columns() {
+        let lines = tokenize("  create_clock -period 10 [get_ports clk1]").unwrap();
+        let spans = &lines[0].spans;
+        assert_eq!(spans.len(), lines[0].tokens.len());
+        // "create_clock" starts at column 3 (after two spaces).
+        assert_eq!(spans[0], Span::new(1, 3, 15));
+        // "-period" at column 16.
+        assert_eq!(spans[1], Span::new(1, 16, 23));
+        // "[" at column 27.
+        assert_eq!(spans[3], Span::point(1, 27));
+        // closing "]" at column 42.
+        assert_eq!(spans[6], Span::point(1, 42));
+    }
+
+    #[test]
+    fn spans_cover_braces_and_quotes() {
+        let lines = tokenize("set_x {a b} \"c d\"").unwrap();
+        // "{a b}" covers columns 7..12, the quoted word 13..18.
+        assert_eq!(lines[0].spans[1], Span::new(1, 7, 12));
+        assert_eq!(lines[0].spans[2], Span::new(1, 13, 18));
+    }
+
+    #[test]
+    fn spans_map_continuations_to_physical_lines() {
+        let lines = tokenize("create_clock \\\n  -period 10 clk").unwrap();
+        let spans = &lines[0].spans;
+        assert_eq!(spans[0], Span::new(1, 1, 13));
+        // "-period" lives on physical line 2, column 3.
+        assert_eq!(spans[1], Span::new(2, 3, 10));
+        assert_eq!(spans[3], Span::new(2, 14, 17));
+    }
+
+    #[test]
+    fn lossy_drops_bad_line_and_keeps_the_rest() {
+        let (lines, diags) = tokenize_lossy("create_clock a\nfoo {bad\ncreate_clock b\n");
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].line, 1);
+        assert_eq!(lines[1].line, 3);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, SdcDiagCode::BraceUnbalanced);
+        assert_eq!(diags[0].span.line, 2);
+        assert_eq!(diags[0].span.col, 5);
+        assert_eq!(diags[0].message, "unbalanced `{`");
+    }
+
+    #[test]
+    fn lossy_diag_codes_and_spans() {
+        let (_, diags) = tokenize_lossy("a}\nfoo \"bar\n");
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags[0].code, SdcDiagCode::BraceUnbalanced);
+        assert_eq!(diags[0].span, Span::point(1, 2));
+        assert_eq!(diags[1].code, SdcDiagCode::StringUnterminated);
+        assert_eq!(diags[1].span, Span::new(2, 5, 9));
+    }
+
+    #[test]
+    fn lossy_carries_comments_past_dropped_lines() {
+        let (lines, diags) = tokenize_lossy("# keep me\nbad }\ncreate_clock x\n");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].comments, vec!["keep me".to_owned()]);
+    }
+
+    #[test]
+    fn strict_tokenize_matches_first_diag() {
+        let err = tokenize("ok\nfoo \"bar").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert_eq!(err.message(), "unterminated string");
     }
 }

@@ -48,5 +48,5 @@ pub use ast::{
     SetClockUncertainty, SetDisableTiming, SetDrive, SetInputTransition, SetLoad,
     SetPropagatedClock, SetupHold,
 };
-pub use error::SdcError;
+pub use error::{SdcDiagCode, SdcDiagnostic, SdcError, Span};
 pub use glob::glob_match;

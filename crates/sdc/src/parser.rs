@@ -1,25 +1,63 @@
 //! Parser turning tokenized SDC lines into typed [`Command`]s.
+//!
+//! The grammar layer mirrors the lexer's two entry points:
+//! [`parse_lossy`] recovers at logical-line boundaries — a command with
+//! a grammar defect is dropped whole, a [`SdcDiagnostic`] records the
+//! stable `SDC-*` code and span, and parsing continues — while the
+//! strict [`parse`] converts the first diagnostic into the legacy
+//! [`SdcError`]. With zero diagnostics both produce the identical
+//! [`SdcFile`].
 
 use crate::ast::*;
-use crate::error::SdcError;
-use crate::lexer::{tokenize, LogicalLine, Tok};
+use crate::error::{SdcDiagCode, SdcDiagnostic, SdcError, Span};
+use crate::lexer::{tokenize_lossy, LogicalLine, Tok};
 
-/// Parses SDC text into an [`SdcFile`].
+/// Accumulator for lossy parsing: the partial file under construction
+/// plus every diagnostic seen so far. Lexical diagnostics come first,
+/// then grammar diagnostics in line order (the order strict mode has
+/// always reported them in).
+struct ParseCtx {
+    file: SdcFile,
+    diags: Vec<SdcDiagnostic>,
+}
+
+/// Parses SDC text, never failing: every lexical or grammar defect
+/// becomes a diagnostic, the offending logical line is dropped, and
+/// all surrounding valid commands survive into the partial file (and
+/// round-trip byte-identically through the writer).
+pub fn parse_lossy(input: &str) -> (SdcFile, Vec<SdcDiagnostic>) {
+    let (lines, diags) = tokenize_lossy(input);
+    let mut ctx = ParseCtx {
+        file: SdcFile::new(),
+        diags,
+    };
+    for mut line in lines {
+        let comments = std::mem::take(&mut line.comments);
+        match parse_line(&line) {
+            Ok(command) => {
+                let lineno = u32::try_from(line.line).unwrap_or(u32::MAX);
+                ctx.file.push_with_meta(command, lineno, comments);
+            }
+            Err(diag) => ctx.diags.push(diag),
+        }
+    }
+    (ctx.file, ctx.diags)
+}
+
+/// Parses SDC text into an [`SdcFile`] (strict mode).
 ///
 /// # Errors
 ///
 /// Returns [`SdcError`] for lexical errors, unknown commands, missing
-/// required options or malformed values.
+/// required options or malformed values — the first diagnostic the
+/// lossy parser would report.
 pub fn parse(input: &str) -> Result<SdcFile, SdcError> {
-    let lines = tokenize(input)?;
-    let mut file = SdcFile::new();
-    for mut line in lines {
-        let comments = std::mem::take(&mut line.comments);
-        let command = parse_line(&line)?;
-        let lineno = u32::try_from(line.line).unwrap_or(u32::MAX);
-        file.push_with_meta(command, lineno, comments);
+    let (file, mut diags) = parse_lossy(input);
+    if diags.is_empty() {
+        Ok(file)
+    } else {
+        Err(diags.remove(0).into())
     }
-    Ok(file)
 }
 
 /// One pre-grouped command argument.
@@ -35,32 +73,65 @@ enum Arg {
     Query(ObjectQuery),
 }
 
-fn group_args(line: &LogicalLine) -> Result<(String, Vec<Arg>), SdcError> {
-    let mut iter = line.tokens.iter().peekable();
-    let name = match iter.next() {
-        Some(Tok::Word(w)) => w.clone(),
-        _ => return Err(SdcError::new(line.line, "expected command name")),
+/// Merges two token spans when they share a physical line; otherwise
+/// the first span stands for the whole construct.
+fn join_spans(a: Span, b: Span) -> Span {
+    if a.line == b.line {
+        Span::new(a.line, a.col, b.end_col.max(a.end_col))
+    } else {
+        a
+    }
+}
+
+type GroupedArgs = (String, Span, Vec<(Arg, Span)>);
+
+fn group_args(line: &LogicalLine) -> Result<GroupedArgs, SdcDiagnostic> {
+    let line_start = Span::point(line.line as u32, 1);
+    let mut iter = line.tokens.iter().zip(line.spans.iter());
+    let (name, name_span) = match iter.next() {
+        Some((Tok::Word(w), span)) => (w.clone(), *span),
+        Some((_, span)) => {
+            return Err(SdcDiagnostic::new(
+                SdcDiagCode::CmdUnknown,
+                *span,
+                "expected command name",
+            ))
+        }
+        None => {
+            return Err(SdcDiagnostic::new(
+                SdcDiagCode::CmdUnknown,
+                line_start,
+                "expected command name",
+            ))
+        }
     };
     let mut args = Vec::new();
-    while let Some(tok) = iter.next() {
+    while let Some((tok, span)) = iter.next() {
         match tok {
             Tok::Word(w) => {
                 if let Some(rest) = w.strip_prefix('-') {
                     // Distinguish flags from negative numbers.
                     if rest.parse::<f64>().is_ok() {
-                        args.push(Arg::Word(w.clone()));
+                        args.push((Arg::Word(w.clone()), *span));
                     } else {
-                        args.push(Arg::Flag(rest.to_owned()));
+                        args.push((Arg::Flag(rest.to_owned()), *span));
                     }
                 } else {
-                    args.push(Arg::Word(w.clone()));
+                    args.push((Arg::Word(w.clone()), *span));
                 }
             }
-            Tok::Brace(items) => args.push(Arg::List(items.clone())),
+            Tok::Brace(items) => args.push((Arg::List(items.clone()), *span)),
             Tok::LBracket => {
+                let open = *span;
                 let cmd = match iter.next() {
-                    Some(Tok::Word(w)) => w.clone(),
-                    _ => return Err(SdcError::new(line.line, "expected command after `[`")),
+                    Some((Tok::Word(w), _)) => w.clone(),
+                    _ => {
+                        return Err(SdcDiagnostic::new(
+                            SdcDiagCode::QueryUnsupported,
+                            open,
+                            "expected command after `[`",
+                        ))
+                    }
                 };
                 let class = match cmd.as_str() {
                     "get_ports" | "get_port" => ObjectClass::Port,
@@ -69,88 +140,135 @@ fn group_args(line: &LogicalLine) -> Result<(String, Vec<Arg>), SdcError> {
                     "get_cells" | "get_cell" => ObjectClass::Cell,
                     "get_nets" | "get_net" => ObjectClass::Net,
                     other => {
-                        return Err(SdcError::new(
-                            line.line,
+                        return Err(SdcDiagnostic::new(
+                            SdcDiagCode::QueryUnsupported,
+                            open,
                             format!("unsupported bracket command `{other}`"),
                         ))
                     }
                 };
                 let mut patterns = Vec::new();
+                let close;
                 loop {
                     match iter.next() {
-                        Some(Tok::Word(w)) => patterns.push(w.clone()),
-                        Some(Tok::Brace(items)) => patterns.extend(items.iter().cloned()),
-                        Some(Tok::RBracket) => break,
-                        Some(Tok::LBracket) => {
-                            return Err(SdcError::new(line.line, "nested `[` not supported"))
+                        Some((Tok::Word(w), _)) => patterns.push(w.clone()),
+                        Some((Tok::Brace(items), _)) => patterns.extend(items.iter().cloned()),
+                        Some((Tok::RBracket, span)) => {
+                            close = *span;
+                            break;
                         }
-                        None => return Err(SdcError::new(line.line, "unbalanced `[`")),
+                        Some((Tok::LBracket, span)) => {
+                            return Err(SdcDiagnostic::new(
+                                SdcDiagCode::QueryUnsupported,
+                                *span,
+                                "nested `[` not supported",
+                            ))
+                        }
+                        None => {
+                            return Err(SdcDiagnostic::new(
+                                SdcDiagCode::BracketUnbalanced,
+                                open,
+                                "unbalanced `[`",
+                            ))
+                        }
                     }
                 }
-                args.push(Arg::Query(ObjectQuery { class, patterns }));
+                args.push((
+                    Arg::Query(ObjectQuery { class, patterns }),
+                    join_spans(open, close),
+                ));
             }
-            Tok::RBracket => return Err(SdcError::new(line.line, "unbalanced `]`")),
+            Tok::RBracket => {
+                return Err(SdcDiagnostic::new(
+                    SdcDiagCode::BracketUnbalanced,
+                    *span,
+                    "unbalanced `]`",
+                ))
+            }
         }
     }
-    Ok((name, args))
+    Ok((name, name_span, args))
 }
 
-/// Cursor over grouped args with convenience accessors.
+/// Cursor over grouped args with convenience accessors. Each consumed
+/// argument updates the cursor's span, so diagnostics point at the
+/// argument that triggered them (or the command name before any
+/// argument is consumed).
 struct Cursor {
-    args: std::vec::IntoIter<Arg>,
-    peeked: Option<Arg>,
-    line: usize,
+    args: std::vec::IntoIter<(Arg, Span)>,
+    peeked: Option<(Arg, Span)>,
+    last: Span,
 }
 
 impl Cursor {
-    fn new(args: Vec<Arg>, line: usize) -> Self {
+    fn new(args: Vec<(Arg, Span)>, at: Span) -> Self {
         Self {
             args: args.into_iter(),
             peeked: None,
-            line,
+            last: at,
         }
     }
 
     fn next(&mut self) -> Option<Arg> {
-        self.peeked.take().or_else(|| self.args.next())
+        let (arg, span) = self.peeked.take().or_else(|| self.args.next())?;
+        self.last = span;
+        Some(arg)
     }
 
     fn peek(&mut self) -> Option<&Arg> {
         if self.peeked.is_none() {
             self.peeked = self.args.next();
         }
-        self.peeked.as_ref()
+        self.peeked.as_ref().map(|(arg, _)| arg)
     }
 
-    fn err(&self, msg: impl Into<String>) -> SdcError {
-        SdcError::new(self.line, msg)
+    fn diag(&self, code: SdcDiagCode, msg: impl Into<String>) -> SdcDiagnostic {
+        SdcDiagnostic::new(code, self.last, msg)
+    }
+
+    /// A malformed or contradictory argument.
+    fn err(&self, msg: impl Into<String>) -> SdcDiagnostic {
+        self.diag(SdcDiagCode::ArgInvalid, msg)
+    }
+
+    /// A required argument is absent.
+    fn missing(&self, msg: impl Into<String>) -> SdcDiagnostic {
+        self.diag(SdcDiagCode::ArgMissing, msg)
+    }
+
+    /// An option the command does not accept.
+    fn unknown_opt(&self, msg: impl Into<String>) -> SdcDiagnostic {
+        self.diag(SdcDiagCode::OptUnknown, msg)
     }
 
     /// Next arg as an f64.
-    fn value(&mut self, what: &str) -> Result<f64, SdcError> {
+    fn value(&mut self, what: &str) -> Result<f64, SdcDiagnostic> {
         match self.next() {
             Some(Arg::Word(w)) => w
                 .parse::<f64>()
                 .map_err(|_| self.err(format!("expected number for {what}, got `{w}`"))),
-            _ => Err(self.err(format!("expected number for {what}"))),
+            Some(_) => Err(self.err(format!("expected number for {what}"))),
+            None => Err(self.missing(format!("expected number for {what}"))),
         }
     }
 
     /// Next arg as a plain word.
-    fn word(&mut self, what: &str) -> Result<String, SdcError> {
+    fn word(&mut self, what: &str) -> Result<String, SdcDiagnostic> {
         match self.next() {
             Some(Arg::Word(w)) => Ok(w),
-            _ => Err(self.err(format!("expected word for {what}"))),
+            Some(_) => Err(self.err(format!("expected word for {what}"))),
+            None => Err(self.missing(format!("expected word for {what}"))),
         }
     }
 
     /// Next arg as a list of object refs (query, word or brace list).
-    fn objects(&mut self, what: &str) -> Result<Vec<ObjectRef>, SdcError> {
+    fn objects(&mut self, what: &str) -> Result<Vec<ObjectRef>, SdcDiagnostic> {
         match self.next() {
             Some(Arg::Query(q)) => Ok(vec![ObjectRef::Query(q)]),
             Some(Arg::Word(w)) => Ok(vec![ObjectRef::Name(w)]),
             Some(Arg::List(items)) => Ok(items.into_iter().map(ObjectRef::Name).collect()),
-            _ => Err(self.err(format!("expected object list for {what}"))),
+            Some(_) => Err(self.err(format!("expected object list for {what}"))),
+            None => Err(self.missing(format!("expected object list for {what}"))),
         }
     }
 
@@ -164,7 +282,7 @@ impl Cursor {
         &mut self,
         what: &str,
         stop_at_number: bool,
-    ) -> Result<Vec<ObjectRef>, SdcError> {
+    ) -> Result<Vec<ObjectRef>, SdcDiagnostic> {
         let mut refs = self.objects(what)?;
         loop {
             match self.peek() {
@@ -182,7 +300,7 @@ impl Cursor {
     }
 
     /// Next arg as a waveform pair.
-    fn pair(&mut self, what: &str) -> Result<(f64, f64), SdcError> {
+    fn pair(&mut self, what: &str) -> Result<(f64, f64), SdcDiagnostic> {
         match self.next() {
             Some(Arg::List(items)) if items.len() == 2 => {
                 let a = items[0]
@@ -193,14 +311,15 @@ impl Cursor {
                     .map_err(|_| self.err(format!("bad number in {what}")))?;
                 Ok((a, b))
             }
-            _ => Err(self.err(format!("expected {{rise fall}} for {what}"))),
+            Some(_) => Err(self.err(format!("expected {{rise fall}} for {what}"))),
+            None => Err(self.missing(format!("expected {{rise fall}} for {what}"))),
         }
     }
 }
 
-fn parse_line(line: &LogicalLine) -> Result<Command, SdcError> {
-    let (name, args) = group_args(line)?;
-    let mut c = Cursor::new(args, line.line);
+fn parse_line(line: &LogicalLine) -> Result<Command, SdcDiagnostic> {
+    let (name, name_span, args) = group_args(line)?;
+    let mut c = Cursor::new(args, name_span);
     match name.as_str() {
         "create_clock" => parse_create_clock(&mut c),
         "create_generated_clock" => parse_create_generated_clock(&mut c),
@@ -221,14 +340,15 @@ fn parse_line(line: &LogicalLine) -> Result<Command, SdcError> {
         "set_input_transition" => parse_input_transition(&mut c),
         "set_drive" | "set_driving_resistance" => parse_drive(&mut c),
         "set_load" => parse_load(&mut c),
-        other => Err(SdcError::new(
-            line.line,
+        other => Err(SdcDiagnostic::new(
+            SdcDiagCode::CmdUnknown,
+            name_span,
             format!("unsupported command `{other}`"),
         )),
     }
 }
 
-fn parse_create_clock(c: &mut Cursor) -> Result<Command, SdcError> {
+fn parse_create_clock(c: &mut Cursor) -> Result<Command, SdcDiagnostic> {
     let mut cc = CreateClock {
         name: None,
         period: f64::NAN,
@@ -243,7 +363,9 @@ fn parse_create_clock(c: &mut Cursor) -> Result<Command, SdcError> {
                 "period" | "p" => cc.period = c.value("-period")?,
                 "waveform" => cc.waveform = Some(c.pair("-waveform")?),
                 "add" => cc.add = true,
-                other => return Err(c.err(format!("create_clock: unknown option -{other}"))),
+                other => {
+                    return Err(c.unknown_opt(format!("create_clock: unknown option -{other}")))
+                }
             },
             Arg::Query(q) => cc.sources.push(ObjectRef::Query(q)),
             Arg::Word(w) => cc.sources.push(ObjectRef::Name(w)),
@@ -251,15 +373,15 @@ fn parse_create_clock(c: &mut Cursor) -> Result<Command, SdcError> {
         }
     }
     if cc.period.is_nan() {
-        return Err(c.err("create_clock: missing -period"));
+        return Err(c.missing("create_clock: missing -period"));
     }
     if cc.name.is_none() && cc.sources.is_empty() {
-        return Err(c.err("create_clock: need -name or a source"));
+        return Err(c.missing("create_clock: need -name or a source"));
     }
     Ok(Command::CreateClock(cc))
 }
 
-fn parse_create_generated_clock(c: &mut Cursor) -> Result<Command, SdcError> {
+fn parse_create_generated_clock(c: &mut Cursor) -> Result<Command, SdcDiagnostic> {
     let mut gc = CreateGeneratedClock {
         name: None,
         source: Vec::new(),
@@ -287,12 +409,14 @@ fn parse_create_generated_clock(c: &mut Cursor) -> Result<Command, SdcError> {
                 "invert" => gc.invert = true,
                 "add" => gc.add = true,
                 "combinational" | "duty_cycle" | "edges" => {
-                    return Err(c.err(format!(
+                    return Err(c.unknown_opt(format!(
                         "create_generated_clock: -{f} is not supported by this subset"
                     )))
                 }
                 other => {
-                    return Err(c.err(format!("create_generated_clock: unknown option -{other}")))
+                    return Err(
+                        c.unknown_opt(format!("create_generated_clock: unknown option -{other}"))
+                    )
                 }
             },
             Arg::Query(q) => gc.targets.push(ObjectRef::Query(q)),
@@ -301,10 +425,10 @@ fn parse_create_generated_clock(c: &mut Cursor) -> Result<Command, SdcError> {
         }
     }
     if gc.source.is_empty() {
-        return Err(c.err("create_generated_clock: missing -source"));
+        return Err(c.missing("create_generated_clock: missing -source"));
     }
     if gc.targets.is_empty() {
-        return Err(c.err("create_generated_clock: missing target pins"));
+        return Err(c.missing("create_generated_clock: missing target pins"));
     }
     if gc.divide_by.is_some() && gc.multiply_by.is_some() {
         return Err(c.err("create_generated_clock: -divide_by and -multiply_by conflict"));
@@ -320,7 +444,7 @@ fn simple_value_objects(
     c: &mut Cursor,
     cmd: &str,
     known_bools: &[&str],
-) -> Result<ValueObjects, SdcError> {
+) -> Result<ValueObjects, SdcDiagnostic> {
     let mut value: Option<f64> = None;
     let mut min_max = MinMax::Both;
     let mut setup_hold = SetupHold::Both;
@@ -337,7 +461,7 @@ fn simple_value_objects(
                     if let Some(i) = known_bools.iter().position(|k| *k == other) {
                         bools[i] = true;
                     } else {
-                        return Err(c.err(format!("{cmd}: unknown option -{other}")));
+                        return Err(c.unknown_opt(format!("{cmd}: unknown option -{other}")));
                     }
                 }
             },
@@ -354,11 +478,11 @@ fn simple_value_objects(
             Arg::List(items) => objects.extend(items.into_iter().map(ObjectRef::Name)),
         }
     }
-    let value = value.ok_or_else(|| c.err(format!("{cmd}: missing value")))?;
+    let value = value.ok_or_else(|| c.missing(format!("{cmd}: missing value")))?;
     Ok((value, min_max, setup_hold, bools, objects))
 }
 
-fn parse_clock_latency(c: &mut Cursor) -> Result<Command, SdcError> {
+fn parse_clock_latency(c: &mut Cursor) -> Result<Command, SdcDiagnostic> {
     let (value, min_max, _, bools, clocks) =
         simple_value_objects(c, "set_clock_latency", &["source", "late", "early"])?;
     Ok(Command::SetClockLatency(SetClockLatency {
@@ -369,7 +493,7 @@ fn parse_clock_latency(c: &mut Cursor) -> Result<Command, SdcError> {
     }))
 }
 
-fn parse_clock_uncertainty(c: &mut Cursor) -> Result<Command, SdcError> {
+fn parse_clock_uncertainty(c: &mut Cursor) -> Result<Command, SdcDiagnostic> {
     let mut value: Option<f64> = None;
     let mut setup_hold = SetupHold::Both;
     let mut clocks = Vec::new();
@@ -387,7 +511,9 @@ fn parse_clock_uncertainty(c: &mut Cursor) -> Result<Command, SdcError> {
                     to.extend(c.objects_greedy("-to", value.is_none())?);
                 }
                 other => {
-                    return Err(c.err(format!("set_clock_uncertainty: unknown option -{other}")))
+                    return Err(
+                        c.unknown_opt(format!("set_clock_uncertainty: unknown option -{other}"))
+                    )
                 }
             },
             Arg::Word(w) => {
@@ -403,12 +529,12 @@ fn parse_clock_uncertainty(c: &mut Cursor) -> Result<Command, SdcError> {
             Arg::List(items) => clocks.extend(items.into_iter().map(ObjectRef::Name)),
         }
     }
-    let value = value.ok_or_else(|| c.err("set_clock_uncertainty: missing value"))?;
+    let value = value.ok_or_else(|| c.missing("set_clock_uncertainty: missing value"))?;
     if from.is_empty() != to.is_empty() {
         return Err(c.err("set_clock_uncertainty: -from and -to must be given together"));
     }
     if clocks.is_empty() && from.is_empty() {
-        return Err(c.err("set_clock_uncertainty: missing clocks"));
+        return Err(c.missing("set_clock_uncertainty: missing clocks"));
     }
     Ok(Command::SetClockUncertainty(SetClockUncertainty {
         value,
@@ -419,7 +545,7 @@ fn parse_clock_uncertainty(c: &mut Cursor) -> Result<Command, SdcError> {
     }))
 }
 
-fn parse_clock_transition(c: &mut Cursor) -> Result<Command, SdcError> {
+fn parse_clock_transition(c: &mut Cursor) -> Result<Command, SdcDiagnostic> {
     let (value, min_max, _, _, clocks) = simple_value_objects(c, "set_clock_transition", &[])?;
     Ok(Command::SetClockTransition(SetClockTransition {
         value,
@@ -428,23 +554,25 @@ fn parse_clock_transition(c: &mut Cursor) -> Result<Command, SdcError> {
     }))
 }
 
-fn parse_propagated_clock(c: &mut Cursor) -> Result<Command, SdcError> {
+fn parse_propagated_clock(c: &mut Cursor) -> Result<Command, SdcDiagnostic> {
     let mut clocks = Vec::new();
     while let Some(arg) = c.next() {
         match arg {
             Arg::Query(q) => clocks.push(ObjectRef::Query(q)),
             Arg::Word(w) => clocks.push(ObjectRef::Name(w)),
             Arg::List(items) => clocks.extend(items.into_iter().map(ObjectRef::Name)),
-            Arg::Flag(f) => return Err(c.err(format!("set_propagated_clock: unknown option -{f}"))),
+            Arg::Flag(f) => {
+                return Err(c.unknown_opt(format!("set_propagated_clock: unknown option -{f}")))
+            }
         }
     }
     if clocks.is_empty() {
-        return Err(c.err("set_propagated_clock: missing clocks"));
+        return Err(c.missing("set_propagated_clock: missing clocks"));
     }
     Ok(Command::SetPropagatedClock(SetPropagatedClock { clocks }))
 }
 
-fn parse_io_delay(c: &mut Cursor, kind: IoDelayKind) -> Result<Command, SdcError> {
+fn parse_io_delay(c: &mut Cursor, kind: IoDelayKind) -> Result<Command, SdcDiagnostic> {
     let mut value: Option<f64> = None;
     let mut clock = None;
     let mut clock_fall = false;
@@ -466,7 +594,7 @@ fn parse_io_delay(c: &mut Cursor, kind: IoDelayKind) -> Result<Command, SdcError
                 "min" => min_max = MinMax::Min,
                 "max" => min_max = MinMax::Max,
                 "network_latency_included" | "source_latency_included" => {}
-                other => return Err(c.err(format!("io delay: unknown option -{other}"))),
+                other => return Err(c.unknown_opt(format!("io delay: unknown option -{other}"))),
             },
             Arg::Word(w) => {
                 if value.is_none() {
@@ -481,9 +609,9 @@ fn parse_io_delay(c: &mut Cursor, kind: IoDelayKind) -> Result<Command, SdcError
             Arg::List(items) => ports.extend(items.into_iter().map(ObjectRef::Name)),
         }
     }
-    let value = value.ok_or_else(|| c.err("io delay: missing value"))?;
+    let value = value.ok_or_else(|| c.missing("io delay: missing value"))?;
     if ports.is_empty() {
-        return Err(c.err("io delay: missing ports"));
+        return Err(c.missing("io delay: missing ports"));
     }
     Ok(Command::IoDelay(IoDelay {
         kind,
@@ -496,7 +624,7 @@ fn parse_io_delay(c: &mut Cursor, kind: IoDelayKind) -> Result<Command, SdcError
     }))
 }
 
-fn parse_case_analysis(c: &mut Cursor) -> Result<Command, SdcError> {
+fn parse_case_analysis(c: &mut Cursor) -> Result<Command, SdcDiagnostic> {
     let word = c.word("case value")?;
     let value = match word.as_str() {
         "0" | "zero" => false,
@@ -509,16 +637,18 @@ fn parse_case_analysis(c: &mut Cursor) -> Result<Command, SdcError> {
             Arg::Query(q) => objects.push(ObjectRef::Query(q)),
             Arg::Word(w) => objects.push(ObjectRef::Name(w)),
             Arg::List(items) => objects.extend(items.into_iter().map(ObjectRef::Name)),
-            Arg::Flag(f) => return Err(c.err(format!("set_case_analysis: unknown option -{f}"))),
+            Arg::Flag(f) => {
+                return Err(c.unknown_opt(format!("set_case_analysis: unknown option -{f}")))
+            }
         }
     }
     if objects.is_empty() {
-        return Err(c.err("set_case_analysis: missing objects"));
+        return Err(c.missing("set_case_analysis: missing objects"));
     }
     Ok(Command::SetCaseAnalysis(SetCaseAnalysis { value, objects }))
 }
 
-fn parse_disable_timing(c: &mut Cursor) -> Result<Command, SdcError> {
+fn parse_disable_timing(c: &mut Cursor) -> Result<Command, SdcDiagnostic> {
     let mut objects = Vec::new();
     let mut from = None;
     let mut to = None;
@@ -527,7 +657,11 @@ fn parse_disable_timing(c: &mut Cursor) -> Result<Command, SdcError> {
             Arg::Flag(f) => match f.as_str() {
                 "from" => from = Some(c.word("-from")?),
                 "to" => to = Some(c.word("-to")?),
-                other => return Err(c.err(format!("set_disable_timing: unknown option -{other}"))),
+                other => {
+                    return Err(
+                        c.unknown_opt(format!("set_disable_timing: unknown option -{other}"))
+                    )
+                }
             },
             Arg::Query(q) => objects.push(ObjectRef::Query(q)),
             Arg::Word(w) => objects.push(ObjectRef::Name(w)),
@@ -535,7 +669,7 @@ fn parse_disable_timing(c: &mut Cursor) -> Result<Command, SdcError> {
         }
     }
     if objects.is_empty() {
-        return Err(c.err("set_disable_timing: missing objects"));
+        return Err(c.missing("set_disable_timing: missing objects"));
     }
     Ok(Command::SetDisableTiming(SetDisableTiming {
         objects,
@@ -551,7 +685,7 @@ enum ExcKind {
     MaxDelay,
 }
 
-fn parse_exception(c: &mut Cursor, kind: Option<ExcKind>) -> Result<Command, SdcError> {
+fn parse_exception(c: &mut Cursor, kind: Option<ExcKind>) -> Result<Command, SdcDiagnostic> {
     let mut value: Option<f64> = None;
     let mut start = false;
     let mut setup_hold = SetupHold::Both;
@@ -575,7 +709,7 @@ fn parse_exception(c: &mut Cursor, kind: Option<ExcKind>) -> Result<Command, Sdc
                 "hold" => setup_hold = SetupHold::Hold,
                 "start" => start = true,
                 "end" => start = false,
-                other => return Err(c.err(format!("exception: unknown option -{other}"))),
+                other => return Err(c.unknown_opt(format!("exception: unknown option -{other}"))),
             },
             Arg::Word(w) => {
                 if value.is_none() && kind.is_some() {
@@ -594,7 +728,7 @@ fn parse_exception(c: &mut Cursor, kind: Option<ExcKind>) -> Result<Command, Sdc
     let kind = match kind {
         None => PathExceptionKind::FalsePath,
         Some(ExcKind::Multicycle) => {
-            let v = value.ok_or_else(|| c.err("set_multicycle_path: missing multiplier"))?;
+            let v = value.ok_or_else(|| c.missing("set_multicycle_path: missing multiplier"))?;
             if v.fract() != 0.0 || v < 0.0 {
                 return Err(c.err("set_multicycle_path: multiplier must be a non-negative integer"));
             }
@@ -603,15 +737,15 @@ fn parse_exception(c: &mut Cursor, kind: Option<ExcKind>) -> Result<Command, Sdc
                 start,
             }
         }
-        Some(ExcKind::MinDelay) => {
-            PathExceptionKind::MinDelay(value.ok_or_else(|| c.err("set_min_delay: missing value"))?)
-        }
-        Some(ExcKind::MaxDelay) => {
-            PathExceptionKind::MaxDelay(value.ok_or_else(|| c.err("set_max_delay: missing value"))?)
-        }
+        Some(ExcKind::MinDelay) => PathExceptionKind::MinDelay(
+            value.ok_or_else(|| c.missing("set_min_delay: missing value"))?,
+        ),
+        Some(ExcKind::MaxDelay) => PathExceptionKind::MaxDelay(
+            value.ok_or_else(|| c.missing("set_max_delay: missing value"))?,
+        ),
     };
     if spec.is_empty() {
-        return Err(c.err("exception: needs at least one of -from/-through/-to"));
+        return Err(c.missing("exception: needs at least one of -from/-through/-to"));
     }
     Ok(Command::PathException(PathException {
         kind,
@@ -620,7 +754,7 @@ fn parse_exception(c: &mut Cursor, kind: Option<ExcKind>) -> Result<Command, Sdc
     }))
 }
 
-fn parse_clock_groups(c: &mut Cursor) -> Result<Command, SdcError> {
+fn parse_clock_groups(c: &mut Cursor) -> Result<Command, SdcDiagnostic> {
     let mut kind = None;
     let mut name = None;
     let mut groups = Vec::new();
@@ -632,14 +766,16 @@ fn parse_clock_groups(c: &mut Cursor) -> Result<Command, SdcError> {
                 "asynchronous" => kind = Some(ClockGroupKind::Asynchronous),
                 "name" => name = Some(c.word("-name")?),
                 "group" => groups.push(c.objects_greedy("-group", false)?),
-                other => return Err(c.err(format!("set_clock_groups: unknown option -{other}"))),
+                other => {
+                    return Err(c.unknown_opt(format!("set_clock_groups: unknown option -{other}")))
+                }
             },
             _ => return Err(c.err("set_clock_groups: unexpected positional argument")),
         }
     }
-    let kind = kind.ok_or_else(|| c.err("set_clock_groups: missing exclusivity kind"))?;
+    let kind = kind.ok_or_else(|| c.missing("set_clock_groups: missing exclusivity kind"))?;
     if groups.len() < 2 {
-        return Err(c.err("set_clock_groups: need at least two -group options"));
+        return Err(c.missing("set_clock_groups: need at least two -group options"));
     }
     Ok(Command::SetClockGroups(SetClockGroups {
         kind,
@@ -648,7 +784,7 @@ fn parse_clock_groups(c: &mut Cursor) -> Result<Command, SdcError> {
     }))
 }
 
-fn parse_clock_sense(c: &mut Cursor) -> Result<Command, SdcError> {
+fn parse_clock_sense(c: &mut Cursor) -> Result<Command, SdcDiagnostic> {
     let mut stop_propagation = false;
     let mut positive = false;
     let mut negative = false;
@@ -661,7 +797,9 @@ fn parse_clock_sense(c: &mut Cursor) -> Result<Command, SdcError> {
                 "clock" | "clocks" => clocks.extend(c.objects("-clocks")?),
                 "positive" => positive = true,
                 "negative" => negative = true,
-                other => return Err(c.err(format!("set_clock_sense: unknown option -{other}"))),
+                other => {
+                    return Err(c.unknown_opt(format!("set_clock_sense: unknown option -{other}")))
+                }
             },
             Arg::Query(q) => pins.push(ObjectRef::Query(q)),
             Arg::Word(w) => pins.push(ObjectRef::Name(w)),
@@ -669,7 +807,7 @@ fn parse_clock_sense(c: &mut Cursor) -> Result<Command, SdcError> {
         }
     }
     if pins.is_empty() {
-        return Err(c.err("set_clock_sense: missing pins"));
+        return Err(c.missing("set_clock_sense: missing pins"));
     }
     if u8::from(stop_propagation) + u8::from(positive) + u8::from(negative) != 1 {
         return Err(c.err(
@@ -685,10 +823,10 @@ fn parse_clock_sense(c: &mut Cursor) -> Result<Command, SdcError> {
     }))
 }
 
-fn parse_input_transition(c: &mut Cursor) -> Result<Command, SdcError> {
+fn parse_input_transition(c: &mut Cursor) -> Result<Command, SdcDiagnostic> {
     let (value, min_max, _, _, ports) = simple_value_objects(c, "set_input_transition", &[])?;
     if ports.is_empty() {
-        return Err(c.err("set_input_transition: missing ports"));
+        return Err(c.missing("set_input_transition: missing ports"));
     }
     Ok(Command::SetInputTransition(SetInputTransition {
         value,
@@ -697,10 +835,10 @@ fn parse_input_transition(c: &mut Cursor) -> Result<Command, SdcError> {
     }))
 }
 
-fn parse_drive(c: &mut Cursor) -> Result<Command, SdcError> {
+fn parse_drive(c: &mut Cursor) -> Result<Command, SdcDiagnostic> {
     let (value, min_max, _, _, ports) = simple_value_objects(c, "set_drive", &[])?;
     if ports.is_empty() {
-        return Err(c.err("set_drive: missing ports"));
+        return Err(c.missing("set_drive: missing ports"));
     }
     Ok(Command::SetDrive(SetDrive {
         value,
@@ -709,11 +847,11 @@ fn parse_drive(c: &mut Cursor) -> Result<Command, SdcError> {
     }))
 }
 
-fn parse_load(c: &mut Cursor) -> Result<Command, SdcError> {
+fn parse_load(c: &mut Cursor) -> Result<Command, SdcDiagnostic> {
     let (value, min_max, _, _, objects) =
         simple_value_objects(c, "set_load", &["pin_load", "wire_load"])?;
     if objects.is_empty() {
-        return Err(c.err("set_load: missing objects"));
+        return Err(c.missing("set_load: missing objects"));
     }
     Ok(Command::SetLoad(SetLoad {
         value,
@@ -1008,9 +1146,70 @@ mod tests {
     fn peek_does_not_consume() {
         // Exercise Cursor::peek via grouped parsing — a flag followed by
         // positional objects still parses.
-        let mut c = Cursor::new(vec![Arg::Word("x".into())], 1);
+        let at = Span::point(1, 1);
+        let mut c = Cursor::new(vec![(Arg::Word("x".into()), Span::new(1, 3, 4))], at);
         assert!(c.peek().is_some());
         assert_eq!(c.next(), Some(Arg::Word("x".into())));
         assert!(c.peek().is_none());
+    }
+
+    #[test]
+    fn lossy_recovers_between_commands() {
+        let (f, diags) = parse_lossy(
+            "create_clock -name a -period 10 clk\n\
+             set_wizardry 3 x\n\
+             set_case_analysis 1 sel\n",
+        );
+        assert_eq!(f.commands().len(), 2);
+        assert_eq!(f.line_of(0), 1);
+        assert_eq!(f.line_of(1), 3);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, SdcDiagCode::CmdUnknown);
+        assert_eq!(diags[0].span, Span::new(2, 1, 13));
+        assert_eq!(diags[0].message, "unsupported command `set_wizardry`");
+    }
+
+    #[test]
+    fn lossy_codes_cover_missing_and_unknown() {
+        let (f, diags) = parse_lossy(
+            "create_clock -name x clk\n\
+             create_clock -period 10 -frobnicate clkZ\n",
+        );
+        assert!(f.commands().is_empty());
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags[0].code, SdcDiagCode::ArgMissing);
+        assert_eq!(diags[0].message, "create_clock: missing -period");
+        assert_eq!(diags[1].code, SdcDiagCode::OptUnknown);
+        // Span points at the offending flag on line 2.
+        assert_eq!(diags[1].span, Span::new(2, 25, 36));
+    }
+
+    #[test]
+    fn lossy_zero_diags_matches_strict() {
+        let input = "create_clock -name a -period 10 clk\nset_case_analysis 1 sel\n";
+        let (f, diags) = parse_lossy(input);
+        assert!(diags.is_empty());
+        assert_eq!(f, parse(input).unwrap());
+        assert_eq!(f.to_text(), parse(input).unwrap().to_text());
+    }
+
+    #[test]
+    fn lossy_lexer_diags_precede_grammar_diags() {
+        // Strict mode has always reported lexical errors first, even
+        // when a grammar error sits on an earlier line.
+        let (_, diags) = parse_lossy("set_wizardry 1\nfoo \"bar\n");
+        assert_eq!(diags[0].code, SdcDiagCode::StringUnterminated);
+        assert_eq!(diags[1].code, SdcDiagCode::CmdUnknown);
+        let err = parse("set_wizardry 1\nfoo \"bar\n").unwrap_err();
+        assert_eq!(err.message(), "unterminated string");
+    }
+
+    #[test]
+    fn lossy_bracket_codes() {
+        let (_, diags) = parse_lossy("set_false_path -from [get_clocks a\n");
+        assert_eq!(diags[0].code, SdcDiagCode::BracketUnbalanced);
+        let (_, diags) = parse_lossy("set_false_path -from [frobnicate a]\n");
+        assert_eq!(diags[0].code, SdcDiagCode::QueryUnsupported);
+        assert_eq!(diags[0].message, "unsupported bracket command `frobnicate`");
     }
 }

@@ -1,0 +1,163 @@
+//! Parser robustness sweep: every command fixture is mutated —
+//! truncation at each char boundary, stray `}`/`]`, bad escapes and
+//! quotes injected at each position, garbage lines interleaved between
+//! valid commands — and the lossy parser must never panic, must agree
+//! with strict mode on validity (zero diagnostics ⇔ strict parse
+//! succeeds, with byte-identical output), and must carry every valid
+//! command verbatim through the round-trip.
+
+use modemerge_sdc::SdcFile;
+
+/// One canonical fixture per supported command shape (all 15 `Command`
+/// variants are covered, several with both query and positional
+/// spellings).
+const COMMANDS: &[&str] = &[
+    "create_clock -name clkA -period 10 -waveform {0 5} [get_ports clk1]",
+    "create_clock -name vclk -period 8",
+    "create_generated_clock -name gclk -source [get_pins pll/CLK] -divide_by 2 [get_pins pll/OUT]",
+    "set_clock_latency -source -min 1.2 [get_clocks clkA]",
+    "set_clock_uncertainty -setup 0.3 [get_clocks clkA]",
+    "set_clock_transition -max 0.4 [get_clocks clkA]",
+    "set_propagated_clock [get_clocks clkA]",
+    "set_input_delay 2.0 -clock clkA [get_ports in1]",
+    "set_output_delay 1.5 -clock clkA -add_delay [get_ports out1]",
+    "set_case_analysis 1 [get_pins mux1/S]",
+    "set_disable_timing -from A -to Z [get_cells u1]",
+    "set_false_path -from [get_clocks clkA] -to [get_clocks clkB]",
+    "set_multicycle_path 2 -setup -from [get_clocks clkA]",
+    "set_min_delay 0.5 -to [get_pins rB/D]",
+    "set_max_delay 5.5 -from [get_pins rA/Q]",
+    "set_clock_groups -asynchronous -group [get_clocks clkA] -group [get_clocks clkB]",
+    "set_clock_sense -stop_propagation -clock [get_clocks clkA] [get_pins mux1/Z]",
+    "set_input_transition 0.2 [get_ports in1]",
+    "set_drive 0.5 [get_ports in1]",
+    "set_load 0.1 [get_ports out1]",
+];
+
+/// Canonical writer text of a fixture (trailing newline included).
+fn canonical(line: &str) -> String {
+    SdcFile::parse(line)
+        .unwrap_or_else(|e| panic!("fixture must be valid: {line}: {e}"))
+        .to_text()
+}
+
+/// Lossy and strict parsing must agree on validity; on agreement the
+/// outputs must be byte-identical; on disagreement the sweep fails.
+fn assert_lossy_matches_strict(input: &str) {
+    let (file, diags) = SdcFile::parse_lossy(input);
+    match SdcFile::parse(input) {
+        Ok(strict) => {
+            assert!(
+                diags.is_empty(),
+                "strict accepted but lossy diagnosed {input:?}: {diags:?}"
+            );
+            assert_eq!(
+                file.to_text(),
+                strict.to_text(),
+                "zero-diagnostic output must be byte-identical for {input:?}"
+            );
+        }
+        Err(err) => {
+            assert!(
+                !diags.is_empty(),
+                "strict rejected ({err}) but lossy had no diagnostic for {input:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_char_boundary() {
+    for cmd in COMMANDS {
+        let text = canonical(cmd);
+        let line = text.trim_end();
+        let ends: Vec<usize> = line
+            .char_indices()
+            .map(|(i, _)| i)
+            .chain([line.len()])
+            .collect();
+        for end in ends {
+            assert_lossy_matches_strict(&line[..end]);
+        }
+    }
+}
+
+#[test]
+fn injected_defects_never_panic() {
+    for cmd in COMMANDS {
+        let text = canonical(cmd);
+        let line = text.trim_end();
+        let positions: Vec<usize> = line
+            .char_indices()
+            .map(|(i, _)| i)
+            .chain([line.len()])
+            .collect();
+        for &pos in &positions {
+            for ins in ["}", "]", "\"", "\\", "{"] {
+                let mut mutated = line.to_owned();
+                mutated.insert_str(pos, ins);
+                assert_lossy_matches_strict(&mutated);
+            }
+        }
+    }
+}
+
+#[test]
+fn garbage_lines_leave_valid_neighbors_verbatim() {
+    let garbage = [
+        "set_wizardry 3 [get_pins x]",
+        "}",
+        "]",
+        "foo \"bar",
+        "create_clock -period",
+        "{{{",
+        "set_load",
+        "set_false_path -from [get_clocks a",
+    ];
+    for pair in COMMANDS.windows(2) {
+        let a = canonical(pair[0]);
+        let b = canonical(pair[1]);
+        for g in garbage {
+            let input = format!("{a}{g}\n{b}");
+            let (file, diags) = SdcFile::parse_lossy(&input);
+            assert!(
+                !diags.is_empty(),
+                "garbage line {g:?} produced no diagnostic"
+            );
+            assert_eq!(
+                file.to_text(),
+                format!("{a}{b}"),
+                "valid neighbors of {g:?} must survive verbatim"
+            );
+            assert!(SdcFile::parse(&input).is_err());
+        }
+    }
+}
+
+#[test]
+fn trailing_continuation_in_garbage_absorbs_next_line_without_panic() {
+    // A garbage line ending in `\` legitimately swallows the following
+    // physical line into one logical line; the combined line fails to
+    // parse, both commands' diagnostics point into it, and the file
+    // still comes back partial rather than as an error.
+    let input = "create_clock -name a -period 10 clk\nset_wizardry \\\nset_load 0.1 x\n";
+    let (file, diags) = SdcFile::parse_lossy(input);
+    assert_eq!(file.commands().len(), 1);
+    assert!(!diags.is_empty());
+}
+
+#[test]
+fn whole_mutated_suite_is_partial_not_fatal() {
+    // One big file: every fixture with a garbage line after it. The
+    // partial AST must contain exactly the valid commands, in order.
+    let mut input = String::new();
+    for cmd in COMMANDS {
+        input.push_str(&canonical(cmd));
+        input.push_str("oops }\n");
+    }
+    let (file, diags) = SdcFile::parse_lossy(&input);
+    assert_eq!(file.commands().len(), COMMANDS.len());
+    assert_eq!(diags.len(), COMMANDS.len());
+    let expected: String = COMMANDS.iter().map(|c| canonical(c)).collect();
+    assert_eq!(file.to_text(), expected);
+}

@@ -24,7 +24,7 @@
 //! response := {"ok":true,"type":STR,["cached":BOOL,]["result":OBJ,]
 //!              ...,["id":TAG]}
 //!           | {"ok":false,["type":STR,]["overloaded":true,]"error":STR,
-//!              ["id":TAG]}
+//!              ["diagnostics":ARR,]["id":TAG]}
 //! ```
 //!
 //! `register` uploads a suite once and answers with its content hash
@@ -34,7 +34,16 @@
 //! `options` field on a `register` line is ignored. Referencing a hash
 //! the server no longer holds (never registered, or evicted under
 //! `MODEMERGE_SUITE_CACHE_KB`) yields a structured `unknown suite`
-//! error; the client re-registers and retries.
+//! error; the client re-registers and retries. A `register` payload
+//! whose SDC has parse defects is refused **atomically** with a
+//! `diagnostics` array of structured `SDC-*` findings
+//! (`[{"mode","code","line","col","end_col","message"}]`) — nothing is
+//! cached, so a hash from a `register` reply always names a fully
+//! parsed suite. `merge`/`plan`/`lint` with an **inline** payload parse
+//! the SDC lossily instead: the job proceeds over the valid commands
+//! and the reply's `result` carries the parse findings as data
+//! (`options.strict_parse` restores the old refuse-on-first-error
+//! behavior).
 //!
 //! A full queue refuses admission with `"overloaded":true` instead of
 //! buffering unboundedly — backpressure the client sees immediately.
@@ -363,11 +372,25 @@ pub fn ok_response(kind: &str, extra: Vec<(String, Json)>) -> String {
 /// An error response envelope, echoing the request's `id` tag when
 /// present.
 pub fn error_response_tagged(kind: Option<&str>, message: &str, id: Option<&Json>) -> String {
+    error_response_with(kind, message, Vec::new(), id)
+}
+
+/// An error response envelope carrying extra structured fields after
+/// `error` — e.g. the `diagnostics` array a `register` refusal attaches
+/// for malformed SDC, so clients get machine-readable `SDC-*` findings
+/// instead of a bare message.
+pub fn error_response_with(
+    kind: Option<&str>,
+    message: &str,
+    extra: Vec<(String, Json)>,
+    id: Option<&Json>,
+) -> String {
     let mut pairs = vec![("ok".into(), Json::Bool(false))];
     if let Some(kind) = kind {
         pairs.push(("type".into(), Json::str(kind)));
     }
     pairs.push(("error".into(), Json::str(message)));
+    pairs.extend(extra);
     if let Some(id) = id {
         pairs.push(("id".into(), id.clone()));
     }

@@ -46,7 +46,7 @@ use modemerge_core::merge::MergeOptions;
 use modemerge_core::session::SessionInputs;
 use modemerge_core::ModeInput;
 use modemerge_netlist::{text, verilog, Library, Netlist};
-use modemerge_sdc::SdcFile;
+use modemerge_sdc::{SdcDiagnostic, SdcError, SdcFile};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -66,7 +66,8 @@ pub fn parse_netlist(format: NetlistFormat, netlist: &str) -> Result<Netlist, St
     }
 }
 
-/// Parses every `(name, sdc_text)` pair into [`ModeInput`]s.
+/// Parses every `(name, sdc_text)` pair into [`ModeInput`]s, refusing
+/// the whole batch on the first defect (the `strict_parse` semantics).
 ///
 /// # Errors
 ///
@@ -78,6 +79,58 @@ pub fn parse_mode_inputs(modes: &[(String, String)]) -> Result<Vec<ModeInput>, S
         inputs.push(ModeInput::new(name.clone(), sdc));
     }
     Ok(inputs)
+}
+
+/// Lossy-parses every `(name, sdc_text)` pair: defects become per-input
+/// diagnostics ([`ModeInput::parse_diags`]) instead of failures, so the
+/// job proceeds over the valid commands and the reply carries the
+/// `SDC-*` findings as data.
+pub fn parse_mode_inputs_lossy(modes: &[(String, String)]) -> Vec<ModeInput> {
+    modes
+        .iter()
+        .map(|(name, sdc_text)| ModeInput::parse_lossy(name.clone(), sdc_text))
+        .collect()
+}
+
+/// Why a `register` payload was refused. Refusal is atomic — nothing is
+/// inserted, so the registry never retains a half-bound suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterRefusal {
+    /// One-line summary (the wire `error` string).
+    pub message: String,
+    /// Per-mode SDC parse diagnostics in `(mode, diagnostic)` form,
+    /// mode order then source order. Empty when the netlist itself was
+    /// malformed.
+    pub diagnostics: Vec<(String, SdcDiagnostic)>,
+}
+
+impl RegisterRefusal {
+    fn message_only(message: String) -> Self {
+        Self {
+            message,
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Serializes the per-mode diagnostics to the wire shape:
+    /// `[{"mode":…,"code":…,"line":…,"col":…,"end_col":…,"message":…}]`.
+    pub fn diagnostics_json(&self) -> Json {
+        Json::Arr(
+            self.diagnostics
+                .iter()
+                .map(|(mode, d)| {
+                    Json::Obj(vec![
+                        ("mode".into(), Json::str(mode)),
+                        ("code".into(), Json::str(d.code.code())),
+                        ("line".into(), Json::count(d.span.line as usize)),
+                        ("col".into(), Json::count(d.span.col as usize)),
+                        ("end_col".into(), Json::count(d.span.end_col as usize)),
+                        ("message".into(), Json::str(&d.message)),
+                    ])
+                })
+                .collect(),
+        )
+    }
 }
 
 type BoundSlot = Arc<OnceLock<Result<Arc<SessionInputs>, String>>>;
@@ -145,14 +198,22 @@ impl RegisteredSuite {
     /// The bound inputs for one options fingerprint, binding on first
     /// use and sharing the `Arc` with every later job.
     ///
+    /// Only **successful** binds are memoized: a failure is reported to
+    /// every job already waiting on the slot, then the slot is evicted,
+    /// so a later retry re-runs the bind instead of inheriting a stale
+    /// failure forever (observable via [`Self::bind_counters`]).
+    ///
     /// # Errors
     ///
-    /// Returns the (memoized) bind failure message.
+    /// Returns the bind failure message.
     pub fn bound_for(&self, options: &MergeOptions) -> Result<Arc<SessionInputs>, String> {
         let fp = options.result_fingerprint();
         let slot = {
             let mut map = self.bound.lock().expect("suite poisoned");
-            Arc::clone(map.entry(fp).or_insert_with(|| Arc::new(OnceLock::new())))
+            Arc::clone(
+                map.entry(fp.clone())
+                    .or_insert_with(|| Arc::new(OnceLock::new())),
+            )
         };
         let mut fresh = false;
         let result = slot.get_or_init(|| {
@@ -163,6 +224,14 @@ impl RegisteredSuite {
         });
         if fresh {
             self.binds.fetch_add(1, Ordering::Relaxed);
+            if result.is_err() {
+                let mut map = self.bound.lock().expect("suite poisoned");
+                // Evict only our own slot — a concurrent retry may have
+                // installed a fresh one already.
+                if map.get(&fp).is_some_and(|s| Arc::ptr_eq(s, &slot)) {
+                    map.remove(&fp);
+                }
+            }
         } else {
             self.bind_reuses.fetch_add(1, Ordering::Relaxed);
         }
@@ -241,13 +310,17 @@ impl SuiteRegistry {
     ///
     /// # Errors
     ///
-    /// Returns the first netlist/SDC parse failure; nothing is inserted.
+    /// Returns a [`RegisterRefusal`] on the first netlist parse failure
+    /// or on **any** SDC parse diagnostic (the refusal carries all of
+    /// them as structured data). Refusal is atomic: nothing is
+    /// inserted, so a hash handed out by `register` always names a
+    /// fully parsed suite.
     pub fn register(
         &self,
         format: NetlistFormat,
         netlist_text: &str,
         modes: &[(String, String)],
-    ) -> Result<Arc<RegisteredSuite>, String> {
+    ) -> Result<Arc<RegisteredSuite>, RegisterRefusal> {
         let hash = suite_content_key(netlist_text, modes);
         // Fast path: identical content already resident.
         {
@@ -259,8 +332,20 @@ impl SuiteRegistry {
             }
         }
         // Parse outside the lock — registration is the cold path.
-        let netlist = parse_netlist(format, netlist_text)?;
-        let mode_inputs = parse_mode_inputs(modes)?;
+        let netlist = parse_netlist(format, netlist_text).map_err(RegisterRefusal::message_only)?;
+        let mode_inputs = parse_mode_inputs_lossy(modes);
+        let diagnostics: Vec<(String, SdcDiagnostic)> = mode_inputs
+            .iter()
+            .flat_map(|i| i.parse_diags().iter().map(|d| (i.name.clone(), d.clone())))
+            .collect();
+        if let Some((name, first)) = diagnostics.first() {
+            // A registered hash is a promise the suite is fully usable;
+            // keep the first-failure message the strict parser printed.
+            return Err(RegisterRefusal {
+                message: format!("mode {name}: {}", SdcError::from(first.clone())),
+                diagnostics,
+            });
+        }
         let bytes = netlist_text.len() as u64
             + modes
                 .iter()
@@ -390,12 +475,61 @@ mod tests {
         let err = registry
             .register(NetlistFormat::Text, "instance bad never_a_cell\n", &modes)
             .unwrap_err();
-        assert!(err.starts_with("netlist:"), "{err}");
+        assert!(err.message.starts_with("netlist:"), "{}", err.message);
+        assert!(
+            err.diagnostics.is_empty(),
+            "netlist refusals carry no SDC diags"
+        );
         let bad_sdc = vec![("M".to_owned(), "create_clock\n".to_owned())];
         let err = registry
             .register(NetlistFormat::Text, &netlist, &bad_sdc)
             .unwrap_err();
-        assert!(err.starts_with("mode M:"), "{err}");
+        assert!(err.message.starts_with("mode M:"), "{}", err.message);
+    }
+
+    #[test]
+    fn register_refuses_parse_defects_atomically_with_structured_diagnostics() {
+        let registry = SuiteRegistry::with_budget(CacheBudget::default());
+        let (netlist, mut modes) = paper_suite();
+        modes[1]
+            .1
+            .push_str("set_wizardry 3\ncreate_clock -period\n");
+        let hash = suite_content_key(&netlist, &modes);
+        let err = registry
+            .register(NetlistFormat::Text, &netlist, &modes)
+            .unwrap_err();
+        // Every defect is reported, tagged with its mode, in order.
+        assert_eq!(err.diagnostics.len(), 2);
+        assert_eq!(err.diagnostics[0].0, "F2");
+        assert_eq!(err.diagnostics[0].1.code.code(), "SDC-CMD-UNKNOWN");
+        assert_eq!(err.diagnostics[1].1.code.code(), "SDC-ARG-MISSING");
+        assert!(err.message.starts_with("mode F2:"), "{}", err.message);
+        let wire = err.diagnostics_json().to_string();
+        assert!(wire.contains("\"code\":\"SDC-CMD-UNKNOWN\""), "{wire}");
+        assert!(wire.contains("\"mode\":\"F2\""), "{wire}");
+        assert!(wire.contains("\"line\":"), "{wire}");
+        assert!(wire.contains("\"col\":"), "{wire}");
+        // Refusal is atomic: the defective suite was never inserted.
+        assert!(registry.get(hash).is_none());
+        let stats = registry.to_json();
+        assert_eq!(stats.get("entries").and_then(Json::as_u64), Some(0));
+        assert_eq!(stats.get("bytes").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn failed_binds_are_retried_not_memoized() {
+        let registry = SuiteRegistry::with_budget(CacheBudget::default());
+        let (netlist, mut modes) = paper_suite();
+        // Parses cleanly but cannot bind: the port does not exist.
+        modes[0].1 = "create_clock -name c -period 10 [get_ports no_such_port]\n".to_owned();
+        let suite = registry
+            .register(NetlistFormat::Text, &netlist, &modes)
+            .unwrap();
+        let opts = MergeOptions::default();
+        assert!(suite.bound_for(&opts).is_err());
+        assert!(suite.bound_for(&opts).is_err());
+        // Each attempt ran a real bind — the failure was never cached.
+        assert_eq!(suite.bind_counters(), (2, 0));
     }
 
     #[test]

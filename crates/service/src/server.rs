@@ -38,11 +38,13 @@
 use crate::cache::{job_key_for, suite_content_key, CacheStats, ResultCache};
 use crate::eco_store::{suite_key_from_seed, suite_seed, EcoStore};
 use crate::proto::{
-    error_response, error_response_tagged, max_request_bytes, ok_response, overloaded_response,
-    JobRef, JobSpec, Request,
+    error_response, error_response_tagged, error_response_with, max_request_bytes, ok_response,
+    overloaded_response, JobRef, JobSpec, Request,
 };
 use crate::queue::{PushError, ShardedQueue};
-use crate::registry::{parse_mode_inputs, parse_netlist, RegisteredSuite, SuiteRegistry};
+use crate::registry::{
+    parse_mode_inputs, parse_mode_inputs_lossy, parse_netlist, RegisteredSuite, SuiteRegistry,
+};
 use modemerge_core::json::Json;
 use modemerge_core::merge::MergeOptions;
 use modemerge_core::mergeability::greedy_cliques;
@@ -415,7 +417,14 @@ fn compute(state: &ServerState, job: &Job) -> Result<String, String> {
     match &job.payload {
         Payload::Inline(spec) => {
             let netlist = parse_netlist(spec.format, &spec.netlist)?;
-            let inputs = parse_mode_inputs(&spec.modes)?;
+            // Lossy by default: defective SDC still computes over its
+            // valid commands and the reply carries the `SDC-*` findings
+            // as data. `strict_parse` restores the old refusal.
+            let inputs = if spec.options.strict_parse {
+                parse_mode_inputs(&spec.modes)?
+            } else {
+                parse_mode_inputs_lossy(&spec.modes)
+            };
             if job.kind == JobKind::Lint {
                 return lint(state, &netlist, &inputs, &spec.options);
             }
@@ -492,7 +501,10 @@ fn run_session(
             let check = std::env::var("MODEMERGE_ECO_CHECK").as_deref() == Ok("1");
             let remerged = session.rebind_delta(&mut engine, input_fp, check);
             state.eco.put(skey, engine);
-            let (outcome, _report) = remerged.map_err(|e| e.to_string())?;
+            let (mut outcome, _report) = remerged.map_err(|e| e.to_string())?;
+            // Parse findings of lossily parsed inputs ride the group
+            // diagnostics — the same bytes `merge --json` prints.
+            modemerge_core::lint::attach_parse_findings(bound.inputs(), &mut outcome.reports);
             let emitted: usize = outcome.reports.iter().map(|r| r.diagnostics.len()).sum();
             state
                 .diagnostics_emitted
@@ -643,14 +655,30 @@ fn dispatch_line(line: &str, state: &ServerState, writer: &ConnWriter) -> (Optio
         Err(e) => return (Some(error_response(None, &e)), false),
     };
     match request {
-        Request::Status => (Some(ok_response("status", state.status_fields())), false),
-        Request::Stats => (Some(ok_response("stats", state.stats_fields())), false),
+        Request::Status => (
+            Some(ok_response("status", tag_fields(state.status_fields(), id))),
+            false,
+        ),
+        Request::Stats => (
+            Some(ok_response("stats", tag_fields(state.stats_fields(), id))),
+            false,
+        ),
         Request::Shutdown => (Some(shutdown(state)), true),
         Request::Register(spec) => (Some(register_suite(state, &spec, id.as_ref())), false),
         Request::Merge(job) => (submit_job(state, JobKind::Merge, job, id, writer), false),
         Request::Plan(job) => (submit_job(state, JobKind::Plan, job, id, writer), false),
         Request::Lint(job) => (submit_job(state, JobKind::Lint, job, id, writer), false),
     }
+}
+
+/// Echoes the request's `id` tag onto an inline reply's field list, so
+/// pipelined clients can correlate `status`/`stats` replies like any
+/// other.
+fn tag_fields(mut fields: Vec<(String, Json)>, id: Option<Json>) -> Vec<(String, Json)> {
+    if let Some(id) = id {
+        fields.push(("id".into(), id));
+    }
+    fields
 }
 
 /// Handles a `register` request inline (uploads are the cold path; the
@@ -674,7 +702,17 @@ fn register_suite(state: &ServerState, spec: &JobSpec, id: Option<&Json>) -> Str
             }
             ok_response("register", extra)
         }
-        Err(message) => error_response_tagged(Some("register"), &message, id),
+        Err(refusal) => {
+            // Malformed SDC answers with machine-readable `SDC-*`
+            // findings; the suite was refused atomically (never cached
+            // half-bound) and the connection stays usable.
+            let extra = if refusal.diagnostics.is_empty() {
+                Vec::new()
+            } else {
+                vec![("diagnostics".into(), refusal.diagnostics_json())]
+            };
+            error_response_with(Some("register"), &refusal.message, extra, id)
+        }
     }
 }
 

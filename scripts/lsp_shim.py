@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Content-Length <-> JSONL framing adapter for `modemerge lsp`.
+
+`modemerge lsp` speaks JSON-RPC 2.0 framed as one JSON message per
+line (the merge service's wire framing). Standard LSP clients frame
+messages with `Content-Length` headers instead. This shim sits
+between the two:
+
+    python3 scripts/lsp_shim.py target/release/modemerge lsp \
+        --netlist design.nl --mode FUNC=func.sdc --mode TEST=test.sdc
+
+stdin/stdout of the shim use LSP header framing (point your editor at
+it); the wrapped server process gets line framing.
+"""
+
+import subprocess
+import sys
+import threading
+
+
+def server_to_client(pipe, out):
+    """One JSON line from the server -> one header-framed message."""
+    for line in pipe:
+        body = line.strip()
+        if not body:
+            continue
+        out.write(b"Content-Length: %d\r\n\r\n%s" % (len(body), body))
+        out.flush()
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit("usage: lsp_shim.py <server command...>")
+    srv = subprocess.Popen(
+        sys.argv[1:], stdin=subprocess.PIPE, stdout=subprocess.PIPE
+    )
+    threading.Thread(
+        target=server_to_client,
+        args=(srv.stdout, sys.stdout.buffer),
+        daemon=True,
+    ).start()
+
+    stdin = sys.stdin.buffer
+    while True:
+        # Header block: lines up to an empty \r\n separator.
+        length = None
+        while True:
+            header = stdin.readline()
+            if not header:
+                return  # client hung up
+            if header in (b"\r\n", b"\n"):
+                break
+            name, _, value = header.partition(b":")
+            if name.lower() == b"content-length":
+                length = int(value)
+        if length is None:
+            continue
+        body = stdin.read(length)
+        if len(body) < length:
+            return
+        # One message per line: the server never emits raw newlines
+        # inside a JSON string, and neither does a conforming client.
+        srv.stdin.write(body.strip() + b"\n")
+        srv.stdin.flush()
+
+
+if __name__ == "__main__":
+    main()

@@ -139,7 +139,10 @@ if [ "${eco_checks:-0}" -lt 1 ]; then
     echo "FAIL: MODEMERGE_ECO_CHECK=1 ran no byte-identity checks: $STATS" >&2
     exit 1
 fi
-"$MM" submit --addr "$ADDR" --stats | grep -q '^eco:' \
+# Capture before grepping: `grep -q` exits on first match and a closed
+# pipe would kill the pretty-printer mid-output (EPIPE + pipefail).
+ECO_PRETTY="$("$MM" submit --addr "$ADDR" --stats)"
+echo "$ECO_PRETTY" | grep -q '^eco:' \
     || { echo "FAIL: submit --stats does not pretty-print eco counters" >&2; exit 1; }
 
 # Graceful shutdown: the daemon drains and the serve process exits 0.
@@ -250,6 +253,127 @@ if "$MM" merge --netlist "$SMOKE_DIR/suite/design.nl" "${mode_args[@]}" \
     exit 1
 fi
 echo "    lint gate OK (clean passes, seeded defect refused)"
+
+echo "==> smoke: lsp answers initialize/didOpen/definition/hover over stdio"
+# The language server on the generated suite: open the first mode with
+# two seeded defects (an unknown command -> SDC-CMD-UNKNOWN, an
+# exception from a nonexistent pin -> ML-REF-UNDEF) and require the
+# published diagnostics to carry both code families, go-to-definition
+# to locate the first clock's create_clock, and hover on that line to
+# answer with an MM-* provenance chain from the merged suite.
+json_escape() { awk '{gsub(/\\/,"\\\\"); gsub(/"/,"\\\""); gsub(/\t/,"\\t"); printf "%s\\n", $0}' "$1"; }
+LSP_DOC="$SMOKE_DIR/lsp_doc.sdc"
+cp "$SMOKE_DIR/suite/$first_sdc" "$LSP_DOC"
+printf 'set_wizardry 1\nset_false_path -from [get_pins verify_nothere/Q]\n' >>"$LSP_DOC"
+LSP_URI="file://$SMOKE_DIR/suite/$first_sdc"
+LSP_IN="$SMOKE_DIR/lsp.jsonl"
+{
+    printf '{"jsonrpc":"2.0","id":1,"method":"initialize","params":{}}\n'
+    printf '{"jsonrpc":"2.0","method":"textDocument/didOpen","params":{"textDocument":{"uri":"%s","text":"%s"}}}\n' \
+        "$LSP_URI" "$(json_escape "$LSP_DOC")"
+    printf '{"jsonrpc":"2.0","id":2,"method":"textDocument/definition","params":{"textDocument":{"uri":"%s"},"position":{"line":0,"character":20}}}\n' \
+        "$LSP_URI"
+    printf '{"jsonrpc":"2.0","id":3,"method":"textDocument/hover","params":{"textDocument":{"uri":"%s"},"position":{"line":0,"character":0}}}\n' \
+        "$LSP_URI"
+    printf '{"jsonrpc":"2.0","id":4,"method":"shutdown"}\n'
+    printf '{"jsonrpc":"2.0","method":"exit"}\n'
+} >"$LSP_IN"
+lsp_out="$("$MM" lsp --netlist "$SMOKE_DIR/suite/design.nl" "${mode_args[@]}" <"$LSP_IN")"
+lsp_fail() { echo "FAIL: $1" >&2; printf '%s\n' "$lsp_out" >&2; exit 1; }
+echo "$lsp_out" | grep -q '"method":"textDocument/publishDiagnostics"' \
+    || lsp_fail "lsp published no diagnostics"
+echo "$lsp_out" | grep -q 'SDC-CMD-UNKNOWN' \
+    || lsp_fail "lsp diagnostics lack the seeded SDC-CMD-UNKNOWN"
+echo "$lsp_out" | grep -q 'ML-REF-UNDEF' \
+    || lsp_fail "lsp diagnostics lack the seeded ML-REF-UNDEF"
+echo "$lsp_out" | grep '"id":2' | grep -q '"range"' \
+    || lsp_fail "lsp definition gave no location"
+echo "$lsp_out" | grep '"id":3' | grep -q 'MM-' \
+    || lsp_fail "lsp hover gave no MM-* provenance"
+echo "$lsp_out" | grep '"id":4' | grep -q '"result":null' \
+    || lsp_fail "lsp shutdown did not acknowledge"
+echo "    lsp initialize/didOpen/definition/hover/shutdown round trip OK"
+
+echo "==> smoke: malformed SDC traffic (structured refusal, daemon stays usable)"
+# A suite with an unparseable mode must be refused atomically by
+# `register` — structured diagnostics on the wire, nothing cached — while
+# inline merges of the same bytes succeed lossily with the findings as
+# data, and the daemon keeps serving afterwards.
+MAL_LOG="$SMOKE_DIR/serve_mal.log"
+"$MM" serve --addr 127.0.0.1:0 --threads 2 >"$MAL_LOG" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's/^modemerge-service listening on \([0-9.:]*\) .*/\1/p' "$MAL_LOG")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "FAIL: malformed-traffic daemon did not report its address" >&2; cat "$MAL_LOG" >&2; exit 1; }
+
+GARBAGE_SDC="$SMOKE_DIR/garbage.sdc"
+cp "$SMOKE_DIR/suite/$first_sdc" "$GARBAGE_SDC"
+printf 'set_wizardry 1\ncreate_clock -period\n' >>"$GARBAGE_SDC"
+
+# Raw wire shape: the register refusal carries a `diagnostics` array
+# with stable codes, and the SAME pipelined connection still answers
+# the status request queued behind it.
+MAL_IN="$SMOKE_DIR/malformed.jsonl"
+{
+    printf '{"type":"register","netlist":"%s","modes":[{"name":"garbage","sdc":"%s"}],"id":0}\n' \
+        "$(json_escape "$SMOKE_DIR/suite/design.nl")" "$(json_escape "$GARBAGE_SDC")"
+    printf '{"type":"status","id":1}\n'
+} >"$MAL_IN"
+mal_status=0
+mal_out="$("$MM" submit --addr "$ADDR" --pipe <"$MAL_IN" 2>/dev/null)" || mal_status=$?
+mal_fail() { echo "FAIL: $1" >&2; printf '%s\n' "$mal_out" >&2; exit 1; }
+[ "$mal_status" -ne 0 ] || mal_fail "pipelined register of a garbage SDC was not refused"
+echo "$mal_out" | grep '"id":0' | grep -q '"ok":false' \
+    || mal_fail "garbage register reply is not an error"
+echo "$mal_out" | grep '"id":0' | grep -q '"diagnostics":\[' \
+    || mal_fail "garbage register reply lacks structured diagnostics"
+echo "$mal_out" | grep '"id":0' | grep -q 'SDC-CMD-UNKNOWN' \
+    || mal_fail "register diagnostics lack SDC-CMD-UNKNOWN"
+echo "$mal_out" | grep '"id":0' | grep -q 'SDC-ARG-MISSING' \
+    || mal_fail "register diagnostics lack SDC-ARG-MISSING"
+echo "$mal_out" | grep '"id":1' | grep -q '"ok":true' \
+    || mal_fail "connection did not survive the refused register"
+
+# CLI surface: `submit --register` exits nonzero and names the mode.
+if reg_err="$("$MM" submit --addr "$ADDR" --netlist "$SMOKE_DIR/suite/design.nl" \
+    "${mode_args[@]}" --mode "garbage=$GARBAGE_SDC" --register 2>&1)"; then
+    echo "FAIL: submit --register accepted a suite with an unparseable mode" >&2
+    exit 1
+fi
+echo "$reg_err" | grep -q 'garbage' \
+    || { echo "FAIL: the refusal does not name the defective mode: $reg_err" >&2; exit 1; }
+
+# Atomicity: two refused registrations must leave the registry empty.
+MAL_STATS="$("$MM" submit --addr "$ADDR" --stats --json)"
+echo "$MAL_STATS" | grep -o '"suites":{[^}]*' | grep -q '"entries":0' \
+    || { echo "FAIL: registry retained a refused suite: $MAL_STATS" >&2; exit 1; }
+
+# Lossy inline path: the same garbage merges ok with the parse findings
+# riding the result; --strict-parse restores the refusal.
+inline="$("$MM" submit --addr "$ADDR" --netlist "$SMOKE_DIR/suite/design.nl" \
+    "${mode_args[@]}" --mode "garbage=$GARBAGE_SDC" --json)"
+echo "$inline" | grep -q '"ok":true' \
+    || { echo "FAIL: inline merge of a garbage SDC was refused: $inline" >&2; exit 1; }
+echo "$inline" | grep -q 'SDC-CMD-UNKNOWN' \
+    || { echo "FAIL: lossy inline merge dropped the parse diagnostics: $inline" >&2; exit 1; }
+if "$MM" submit --addr "$ADDR" --netlist "$SMOKE_DIR/suite/design.nl" \
+    "${mode_args[@]}" --mode "garbage=$GARBAGE_SDC" --strict-parse >/dev/null 2>&1; then
+    echo "FAIL: --strict-parse did not refuse the garbage SDC over the service" >&2
+    exit 1
+fi
+
+# The daemon is still usable: a clean registration goes through.
+HASH_OK="$("$MM" submit --addr "$ADDR" --netlist "$SMOKE_DIR/suite/design.nl" "${mode_args[@]}" --register | reg_hash)"
+[ -n "$HASH_OK" ] || { echo "FAIL: daemon unusable after malformed traffic" >&2; exit 1; }
+
+"$MM" submit --addr "$ADDR" --shutdown >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "    malformed traffic refused structurally; daemon and connection stayed usable"
 
 echo "==> smoke: three_pass bench produces a well-formed report"
 BENCH_OUT="$SMOKE_DIR/BENCH_three_pass.json"

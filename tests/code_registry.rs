@@ -1,4 +1,4 @@
-//! Registry consistency: the stable `MM-*` / `ML-*` rule codes.
+//! Registry consistency: the stable `MM-*` / `ML-*` / `SDC-*` codes.
 //!
 //! The codes are an external contract — sign-off scripts grep merge
 //! logs and SARIF files for them — so CHANGELOG.md carries the
@@ -10,10 +10,10 @@
 use modemerge::merge::RuleCode;
 use std::collections::BTreeMap;
 
-/// Extracts every `MM-*` / `ML-*` token from `text`, counting
-/// occurrences. A token is a maximal run of uppercase ASCII letters,
-/// digits and `-` starting with `MM-` or `ML-` (no regex crate; the
-/// scan is a hand-rolled splitter).
+/// Extracts every `MM-*` / `ML-*` / `SDC-*` token from `text`,
+/// counting occurrences. A token is a maximal run of uppercase ASCII
+/// letters, digits and `-` starting with one of the registry prefixes
+/// (no regex crate; the scan is a hand-rolled splitter).
 fn code_tokens(text: &str) -> BTreeMap<String, usize> {
     let mut counts = BTreeMap::new();
     let bytes = text.as_bytes();
@@ -29,7 +29,7 @@ fn code_tokens(text: &str) -> BTreeMap<String, usize> {
             i += 1;
         }
         let token = &text[start..i];
-        if token.starts_with("MM-") || token.starts_with("ML-") {
+        if token.starts_with("MM-") || token.starts_with("ML-") || token.starts_with("SDC-") {
             *counts.entry(token.to_owned()).or_insert(0) += 1;
         }
     }
@@ -84,9 +84,27 @@ fn lint_registry_covers_every_ml_code_and_nothing_else() {
 }
 
 #[test]
+fn sdc_front_end_codes_are_registered_and_agree_on_wire_strings() {
+    // The SDC parser's own diagnostic codes must map 1:1 onto the
+    // SDC-* rows of the registry with identical wire strings, and
+    // every SDC-* RuleCode must be reachable from a parser code.
+    let from_parser: Vec<&str> = modemerge::sdc::SdcDiagCode::all()
+        .iter()
+        .map(|d| d.code())
+        .collect();
+    let from_registry: Vec<&str> = RuleCode::all()
+        .iter()
+        .map(|c| c.code())
+        .filter(|c| c.starts_with("SDC-"))
+        .collect();
+    assert_eq!(from_parser, from_registry);
+}
+
+#[test]
 fn token_scanner_counts_occurrences() {
-    let counts = code_tokens("x `MM-EXCL` and MM-EXCL, plus ML-REF-UNDEF.");
+    let counts = code_tokens("x `MM-EXCL` and MM-EXCL, plus ML-REF-UNDEF and `SDC-ARG-MISSING`.");
     assert_eq!(counts.get("MM-EXCL"), Some(&2));
     assert_eq!(counts.get("ML-REF-UNDEF"), Some(&1));
-    assert_eq!(counts.len(), 2);
+    assert_eq!(counts.get("SDC-ARG-MISSING"), Some(&1));
+    assert_eq!(counts.len(), 3);
 }

@@ -571,6 +571,136 @@ fn shutdown_drains_in_flight_jobs_without_dropping_responses() {
 }
 
 #[test]
+fn malformed_sdc_register_is_refused_with_structured_diagnostics() {
+    let (addr, daemon) = start_server(2);
+    // Two seeded defects in F2: an unknown command and a truncated
+    // create_clock (lines 3 and 4 of the mode).
+    let mut bad = paper_spec();
+    bad.modes[1]
+        .1
+        .push_str("set_wizardry 1\ncreate_clock -period\n");
+
+    let mut client = Client::connect(addr).expect("connect");
+    let refused = client.register(&bad).expect("roundtrip");
+    assert!(
+        !refused.ok,
+        "defective suite must be refused: {}",
+        refused.raw
+    );
+    assert!(refused.suite().is_none(), "no hash for a refused suite");
+    let msg = refused.error.as_deref().unwrap_or_default();
+    assert!(msg.contains("F2"), "names the defective mode: {msg}");
+    let diags = refused
+        .json
+        .get("diagnostics")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| panic!("structured diagnostics expected: {}", refused.raw));
+    assert_eq!(diags.len(), 2, "every defect reported: {}", refused.raw);
+    assert_eq!(diags[0].get("mode").and_then(Json::as_str), Some("F2"));
+    assert_eq!(
+        diags[0].get("code").and_then(Json::as_str),
+        Some("SDC-CMD-UNKNOWN")
+    );
+    assert_eq!(diags[0].get("line").and_then(Json::as_u64), Some(3));
+    assert!(diags[0].get("col").and_then(Json::as_u64).is_some());
+    assert_eq!(
+        diags[1].get("code").and_then(Json::as_str),
+        Some("SDC-ARG-MISSING")
+    );
+    assert_eq!(diags[1].get("line").and_then(Json::as_u64), Some(4));
+
+    // The refusal is atomic: the registry holds no half-bound entry.
+    let stats = client.request(&simple_request("stats")).expect("stats");
+    assert!(stats.ok);
+    let suites = stats
+        .json
+        .get("cache")
+        .and_then(|c| c.get("suites"))
+        .expect("cache.suites block");
+    assert_eq!(
+        suites.get("entries").and_then(Json::as_u64),
+        Some(0),
+        "refused suite must not be retained: {suites}"
+    );
+
+    // The connection survives the refusal: a clean register and a
+    // hash-referenced merge on the SAME connection still work, and the
+    // bytes match the direct in-process run.
+    let reg = client.register(&paper_spec()).expect("register clean");
+    assert!(reg.ok, "{:?}", reg.error);
+    let hash = reg.suite().expect("suite hash").to_owned();
+    let merged = client
+        .compute_registered("merge", &hash, &MergeOptions::default())
+        .expect("merge by hash");
+    assert!(merged.ok, "{:?}", merged.error);
+    assert_eq!(
+        merged.json.get("result").expect("result").to_string(),
+        direct_merge_result()
+    );
+
+    let bye = client
+        .request(&simple_request("shutdown"))
+        .expect("shutdown");
+    assert!(bye.ok);
+    daemon.join().expect("daemon thread").expect("daemon io");
+}
+
+#[test]
+fn inline_merge_parses_lossily_and_strict_parse_restores_the_refusal() {
+    let (addr, daemon) = start_server(2);
+    // A garbage line in F2: the inline merge must still compute over
+    // the valid commands and report the defect as data.
+    let mut spec = paper_spec();
+    spec.modes[1].1.push_str("set_wizardry 1\n");
+
+    let mut client = Client::connect(addr).expect("connect");
+    let resp = client
+        .request(&compute_request("merge", &spec))
+        .expect("roundtrip");
+    assert!(resp.ok, "lossy merge must answer: {:?}", resp.error);
+    let result = resp.json.get("result").expect("result").to_string();
+    assert!(
+        result.contains("SDC-CMD-UNKNOWN"),
+        "parse finding rides the report diagnostics: {result}"
+    );
+
+    // Byte-identical to a direct lossy in-process run through the same
+    // serializer (the CLI `merge --json` path).
+    let netlist = paper_circuit();
+    let inputs: Vec<ModeInput> = spec
+        .modes
+        .iter()
+        .map(|(n, s)| ModeInput::parse_lossy(n.clone(), s))
+        .collect();
+    let bound = SessionInputs::bind(&netlist, &inputs).expect("bind");
+    let session = MergeSession::new(&netlist, &bound, &MergeOptions::default());
+    let mut outcome = session.merge_all().expect("merge");
+    modemerge::merge::lint::attach_parse_findings(&inputs, &mut outcome.reports);
+    assert_eq!(result, outcome_to_json(&outcome, inputs.len()).to_string());
+
+    // `strict_parse` restores the old all-or-nothing refusal, as a
+    // structured reply on a connection that stays usable.
+    let mut strict = spec.clone();
+    strict.options.strict_parse = true;
+    let refused = client
+        .request(&compute_request("merge", &strict))
+        .expect("roundtrip");
+    assert!(!refused.ok, "strict parse must refuse: {}", refused.raw);
+    let msg = refused.error.as_deref().unwrap_or_default();
+    assert!(msg.contains("set_wizardry"), "names the defect: {msg}");
+    let again = client
+        .request(&compute_request("merge", &paper_spec()))
+        .expect("roundtrip");
+    assert!(again.ok, "connection survives the refusal");
+
+    let bye = client
+        .request(&simple_request("shutdown"))
+        .expect("shutdown");
+    assert!(bye.ok);
+    daemon.join().expect("daemon thread").expect("daemon io");
+}
+
+#[test]
 fn plan_requests_share_the_cli_json_shape() {
     let (addr, daemon) = start_server(2);
     let spec = paper_spec();

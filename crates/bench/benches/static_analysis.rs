@@ -1,0 +1,141 @@
+//! Static analyzer speedup: `lint --fast` vs STA-backed lint over a
+//! cells × modes grid, writing `BENCH_analysis.json`.
+//!
+//! Each point generates a scale suite, then lints it twice from
+//! scratch: once with [`lint_modes`] (per-mode session STA — arrival
+//! propagation, tags, exception matching) and once with
+//! [`lint_modes_fast`] (the `modemerge_core::analyze` bitset dataflow
+//! pass). The run asserts the two reports are byte-identical — the
+//! speedup is only meaningful if the answers agree — and records the
+//! ratio. `scripts/verify.sh` trips if the checked-in 100k-cell row
+//! ever drops below 10×.
+//!
+//! Grid override: `MODEMERGE_ANALYSIS_GRID="5000x8,20000x16"` (commas
+//! separate points, `<cells>x<modes>` each). `MODEMERGE_BENCH_SAMPLES`
+//! scales the sample count for points below 50k cells (larger points
+//! always run once). Output lines follow the in-tree harness format:
+//!
+//! ```text
+//! bench static_analysis/20000x16 slow_ms=... fast_ms=... speedup=...
+//! ```
+
+use modemerge_core::json::Json;
+use modemerge_core::lint::{lint_modes, lint_modes_fast, LintReport};
+use modemerge_core::merge::ModeInput;
+use modemerge_core::MergeError;
+use modemerge_netlist::Netlist;
+use modemerge_workload::{generate_suite, SuiteSpec};
+use std::time::Instant;
+
+const DEFAULT_GRID: &[(usize, usize)] = &[(5_000, 8), (20_000, 16), (100_000, 32)];
+
+const SEED: u64 = 42;
+
+fn grid() -> Vec<(usize, usize)> {
+    match std::env::var("MODEMERGE_ANALYSIS_GRID") {
+        Err(_) => DEFAULT_GRID.to_vec(),
+        Ok(spec) => spec
+            .split(',')
+            .map(|point| {
+                let (c, m) = point.trim().split_once('x').unwrap_or_else(|| {
+                    panic!("MODEMERGE_ANALYSIS_GRID: `{point}` is not CELLSxMODES")
+                });
+                (
+                    c.parse().expect("cells is a number"),
+                    m.parse().expect("modes is a number"),
+                )
+            })
+            .collect(),
+    }
+}
+
+fn env_samples(default: usize) -> usize {
+    std::env::var("MODEMERGE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+/// Runs `lint` over `samples` repetitions, returning the minimum wall
+/// time in milliseconds (the least-noise estimator on a shared box)
+/// and the last report.
+fn time_lint(
+    samples: usize,
+    lint: impl Fn() -> Result<LintReport, MergeError>,
+) -> (f64, LintReport) {
+    let mut min = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        report = Some(lint().expect("lint runs"));
+        min = min.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (min, report.expect("at least one sample"))
+}
+
+fn run_point(cells: usize, modes: usize, threads: usize, samples: usize) -> Json {
+    let spec = SuiteSpec::scale(cells, modes, SEED);
+    let suite = generate_suite(&spec);
+    let netlist: &Netlist = &suite.netlist;
+    let inputs: Vec<ModeInput> = suite
+        .modes
+        .iter()
+        .map(|(name, sdc)| ModeInput::new(name.clone(), sdc.clone()))
+        .collect();
+
+    // The STA side of a 50k+ point takes long enough that repeating it
+    // buys no precision worth the wall time; the fast side is always
+    // cheap enough to repeat.
+    let slow_samples = if cells >= 50_000 { 1 } else { samples };
+    let (slow_ms, slow) = time_lint(slow_samples, || lint_modes(netlist, &inputs, threads));
+    let (fast_ms, fast) = time_lint(samples, || lint_modes_fast(netlist, &inputs, threads));
+    assert_eq!(
+        slow.to_text(),
+        fast.to_text(),
+        "fast and slow lint must agree at {cells}x{modes}"
+    );
+
+    let speedup = slow_ms / fast_ms.max(1e-9);
+    let findings = slow.findings.len();
+    println!(
+        "bench static_analysis/{cells}x{modes} slow_ms={slow_ms:.1} fast_ms={fast_ms:.1} \
+         speedup={speedup:.1} findings={findings}"
+    );
+
+    Json::Obj(vec![
+        ("cells".into(), Json::count(netlist.instance_count())),
+        ("target_cells".into(), Json::count(cells)),
+        ("modes".into(), Json::count(modes)),
+        ("threads".into(), Json::count(threads)),
+        ("samples".into(), Json::count(samples)),
+        ("slow_ms".into(), Json::num(slow_ms)),
+        ("fast_ms".into(), Json::num(fast_ms)),
+        ("speedup".into(), Json::num(speedup)),
+        ("findings".into(), Json::count(findings)),
+    ])
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8);
+    let base_samples = env_samples(3);
+
+    let mut rows: Vec<Json> = Vec::new();
+    for (cells, modes) in grid() {
+        rows.push(run_point(cells, modes, threads, base_samples));
+    }
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::str("static_analysis")),
+        ("seed".into(), Json::count(SEED as usize)),
+        ("rows".into(), Json::Arr(rows)),
+    ]);
+    let out_path = std::env::var("MODEMERGE_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_analysis.json").to_owned()
+    });
+    std::fs::write(&out_path, format!("{report}\n")).expect("write bench report");
+    println!("bench static_analysis report written to {out_path}");
+}

@@ -54,16 +54,20 @@ commands (netlists: native text format, or gate-level Verilog .v):
              as an SDC-* diagnostic, and every valid command still
              merges. --strict-parse restores the old behavior (the
              first parse defect refuses the whole run).
-  lint       --netlist FILE --mode NAME=SDC... [--threads N]
+  lint       --netlist FILE --mode NAME=SDC... [--threads N] [--fast]
              [--json|--sarif] [--deny warnings] [--list-rules]
-             Statically check constraint modes against the ML-* rule
-             registry: dangling object references, zero-match globs,
-             duplicate/dead clocks, contradictory case analysis,
-             shadowed exceptions, unconstrained endpoints. Exit is
-             nonzero on any error finding (and on warnings under
-             --deny warnings). Output is byte-identical for any
-             --threads N. --sarif emits SARIF 2.1.0 for CI annotation;
-             --list-rules prints the rule registry and exits.
+             Statically check constraint modes against the ML-*/AN-*
+             rule registry: dangling object references, zero-match
+             globs, duplicate/dead clocks, contradictory case analysis,
+             shadowed or unarmed exceptions, dead logic, unconstrained
+             endpoints. Exit is nonzero on any error finding (and on
+             warnings under --deny warnings). Output is byte-identical
+             for any --threads N. --fast answers the semantic rules
+             from the static timing-graph analyzer instead of per-mode
+             STA — identical findings, interactive latency. --sarif
+             emits SARIF 2.1.0 for CI annotation; --list-rules prints
+             the whole diagnostic surface (ML-*, AN-*, SDC-*) and
+             exits.
   explain    QUERY --netlist FILE --mode NAME=SDC... [--threads N]
              [--strict] [--no-uniquify]
              Re-run the merge and explain every merged constraint,
@@ -112,8 +116,9 @@ commands (netlists: native text format, or gate-level Verilog .v):
   submit     --addr HOST:PORT (--netlist FILE --mode NAME=SDC... |
              --suite HASH | --register | --pipe)
              [--job merge|plan|lint] [--json] [--out DIR] [--threads N]
-             [--strict] [--strict-parse] [--no-uniquify]
+             [--strict] [--strict-parse] [--no-uniquify] [--fast]
              Submit one job to a running server and print the reply
+             (--fast answers lint jobs from the static analyzer)
              (--plan is shorthand for --job plan). --register uploads
              the suite once and prints its hash; --suite HASH then
              references it without re-sending the payload. --pipe
@@ -249,6 +254,7 @@ pub(crate) fn merge_options(args: &Args) -> Result<MergeOptions, String> {
         strict_parse: args.flag("strict-parse"),
         uniquify_exceptions: !args.flag("no-uniquify"),
         memo_budget_kb,
+        fast: args.flag("fast"),
         ..Default::default()
     })
 }
@@ -296,20 +302,33 @@ fn lint_failure(report: &lint::LintReport) -> String {
 fn cmd_lint(args: &Args) -> Result<(), String> {
     if args.flag("list-rules") {
         println!(
-            "{:<18} {:<8} {:<6} description",
+            "{:<22} {:<8} {:<6} description",
             "code", "severity", "scope"
         );
+        // The ML-*/AN-* lint registry, then the SDC-* parse codes —
+        // every diagnostic namespace a lint run can emit.
         for rule in lint::registry() {
             let scope = match rule.scope {
                 lint::Scope::Mode => "mode",
                 lint::Scope::Suite => "suite",
             };
             println!(
-                "{:<18} {:<8} {:<6} {}",
+                "{:<22} {:<8} {:<6} {}",
                 rule.code.code(),
                 rule.severity.as_str(),
                 scope,
                 rule.doc
+            );
+        }
+        for &code in modemerge_sdc::SdcDiagCode::all() {
+            // Parse findings are always errors (the defective command
+            // was dropped) and always attach to one mode's file.
+            println!(
+                "{:<22} {:<8} {:<6} {}",
+                code.code(),
+                "error",
+                "mode",
+                code.description()
             );
         }
         return Ok(());
@@ -322,7 +341,12 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
     let netlist = load_netlist(args)?;
     let inputs = parse_mode_inputs(args, "lint", 1)?;
     let threads = args.positive_number("threads", 1)?;
-    let report = lint::lint_modes(&netlist, &inputs, threads).map_err(|e| e.to_string())?;
+    let report = if args.flag("fast") {
+        lint::lint_modes_fast(&netlist, &inputs, threads)
+    } else {
+        lint::lint_modes(&netlist, &inputs, threads)
+    }
+    .map_err(|e| e.to_string())?;
     if args.flag("sarif") {
         println!("{}", lint::sarif::to_sarif(&report, &mode_artifacts(args)));
     } else if args.flag("json") {
@@ -1116,6 +1140,7 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
         strict: args.flag("strict"),
         strict_parse: args.flag("strict-parse"),
         uniquify_exceptions: !args.flag("no-uniquify"),
+        fast: args.flag("fast"),
         ..Default::default()
     };
     let kind = match args.value("job")? {

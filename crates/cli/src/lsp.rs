@@ -12,17 +12,21 @@
 //!
 //! * `textDocument/didOpen` / `didChange` (full sync) — the document
 //!   replaces the mode's buffer, the file is re-parsed **lossily**, and
-//!   every `SDC-*` parse defect plus every `ML-*` lint finding for that
-//!   mode is published as an LSP diagnostic. A defective buffer never
-//!   kills the session: the lossy front end always yields a partial
-//!   AST, so diagnostics keep flowing while the user types.
+//!   every `SDC-*` parse defect plus every `ML-*`/`AN-*` lint finding
+//!   for that mode is published as an LSP diagnostic **immediately**:
+//!   the lint runs on the static timing-graph analyzer
+//!   (`lint_modes_fast` — no per-mode STA), and no merge is computed
+//!   or awaited on the keystroke path. A defective buffer never kills
+//!   the session: the lossy front end always yields a partial AST, so
+//!   diagnostics keep flowing while the user types.
 //! * `textDocument/definition` — from any clock-name reference to the
 //!   `create_clock` / `create_generated_clock` that declares it,
 //!   searching every mode of the suite.
 //! * `textDocument/hover` — on a source line that contributed to the
 //!   merged mode, the `MM-*` provenance chain (rule code, contributing
 //!   `mode:line` pairs, detail) of each merged constraint derived from
-//!   it. The merge runs lazily and is invalidated by every edit.
+//!   it. The merge runs lazily, only on hover/definition demand, and
+//!   is invalidated by every edit.
 //!
 //! Positions follow LSP: zero-based line/character. The SDC side is
 //! one-based ([`modemerge_sdc::Span`]), so conversions happen at this
@@ -396,8 +400,11 @@ impl LspServer {
     }
 
     /// `textDocument/publishDiagnostics` for mode `idx`: the `SDC-*`
-    /// parse defects of its buffer followed by the `ML-*` lint findings
-    /// scoped to it.
+    /// parse defects of its buffer followed by the `ML-*`/`AN-*` lint
+    /// findings scoped to it. Runs on the static analyzer
+    /// ([`lint::lint_modes_fast`]) — identical findings to slow lint,
+    /// no per-mode STA — so a keystroke pays bitset-sweep latency, not
+    /// tag propagation; the merge stays lazy (hover/definition demand).
     fn publish_diagnostics(&self, idx: usize) -> Json {
         let doc = &self.docs[idx];
         let mut diags: Vec<Json> = Vec::new();
@@ -422,9 +429,10 @@ impl LspServer {
         // buffer) but only this document's findings are published here;
         // the `SDC-*` findings lint prepends are skipped — they are
         // already above, with column-precise spans.
-        if let Ok(report) = lint::lint_modes(&self.netlist, &inputs, 1) {
+        if let Ok(report) = lint::lint_modes_fast(&self.netlist, &inputs, 1) {
             for f in &report.findings {
-                if f.mode != doc.name || !f.rule.code().starts_with("ML-") {
+                let code = f.rule.code();
+                if f.mode != doc.name || !(code.starts_with("ML-") || code.starts_with("AN-")) {
                     continue;
                 }
                 let line0 = f.line.saturating_sub(1);
@@ -707,6 +715,38 @@ mod tests {
         assert!(
             codes.iter().all(|c| !c.starts_with("SDC-")),
             "clean parse publishes no SDC-* codes: {codes:?}"
+        );
+    }
+
+    #[test]
+    fn analyzer_findings_publish_on_did_change() {
+        let mut server = paper_server();
+        // Both mux select inputs case-forced: xorS/Z goes constant
+        // (AN-DEAD-LOGIC) and the false path through it can never
+        // match (AN-EXC-UNARMED). Published straight from didChange —
+        // no merge runs on this path.
+        let replies = run(
+            &mut server,
+            &[
+                r#"{"jsonrpc":"2.0","method":"textDocument/didChange","params":{"textDocument":{"uri":"file:///work/f2.sdc"},"contentChanges":[{"text":"create_clock -name c -period 10 [get_ports clk1]\nset_case_analysis 0 [get_ports sel1]\nset_case_analysis 0 [get_ports sel2]\nset_false_path -through [get_pins xorS/Z]\n"}]}}"#,
+            ],
+        );
+        let diags = replies[0]
+            .get("params")
+            .and_then(|p| p.get("diagnostics"))
+            .and_then(Json::as_array)
+            .unwrap();
+        let codes: Vec<&str> = diags
+            .iter()
+            .filter_map(|d| d.get("code").and_then(Json::as_str))
+            .collect();
+        assert!(
+            codes.contains(&"AN-DEAD-LOGIC"),
+            "dead-logic finding published: {codes:?}"
+        );
+        assert!(
+            codes.contains(&"AN-EXC-UNARMED"),
+            "unarmed-exception finding published: {codes:?}"
         );
     }
 

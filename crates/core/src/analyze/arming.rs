@@ -1,0 +1,128 @@
+//! Exception-path arming analysis.
+//!
+//! An exception (`set_false_path`, `set_multicycle_path`, min/max
+//! delay) is **armed** in a mode when at least one of the paths it
+//! selects can still exist there. A structural proof of the converse —
+//! every `-from`/`-through`/`-to` anchor is statically dead — means the
+//! command can never match, which usually signals a constraint carried
+//! over from another mode (where the case analysis kept the anchors
+//! alive). This is decidable from the [`ModeAnalysis`] alone: an anchor
+//! pin is dead when the mode's constants or disables block it, and an
+//! anchor clock is dead when its reachability bitset is empty and no
+//! I/O delay keeps it meaningful.
+//!
+//! The proof is *sound*, not complete: an exception all of whose
+//! anchors are individually alive may still select zero paths (the
+//! anchors might not connect), but deciding that requires path
+//! enumeration — out of scope for a static screen. Everything this
+//! module flags is a true positive.
+//!
+//! [`ModeAnalysis`]: super::ModeAnalysis
+
+use super::ModeAnalysis;
+use modemerge_sta::mode::{ClockId, Exception};
+
+/// `true` when `clock` can still launch or capture something in the
+/// mode: it reaches at least one pin, it anchors an I/O delay, or it is
+/// virtual (virtual clocks exist *only* to anchor I/O delays, so they
+/// are never proved dead here).
+fn clock_alive(statics: &ModeAnalysis<'_>, clock: ClockId) -> bool {
+    statics.mode().clock(clock).sources.is_empty()
+        || statics.reach().is_live(clock)
+        || statics.mode().io_delays.iter().any(|d| d.clock == clock)
+}
+
+/// Structurally proves that `exc` can never match in the analyzed mode,
+/// returning the reason, or `None` when the proof does not go through.
+/// Anchor groups are checked in command order: `-from`, then
+/// `-through`, then `-to`.
+pub fn unarmed_reason(statics: &ModeAnalysis<'_>, exc: &Exception) -> Option<&'static str> {
+    if exc.has_from()
+        && exc.from_pins.iter().all(|&p| statics.node_blocked(p))
+        && exc.from_clocks.iter().all(|&c| !clock_alive(statics, c))
+    {
+        return Some("every -from object is statically dead in this mode");
+    }
+    if exc
+        .through
+        .iter()
+        .any(|hop| !hop.is_empty() && hop.iter().all(|&p| statics.node_blocked(p)))
+    {
+        return Some("every pin of a -through group is statically dead in this mode");
+    }
+    if exc.has_to()
+        && exc.to_pins.iter().all(|&p| statics.node_blocked(p))
+        && exc.to_clocks.iter().all(|&c| !clock_alive(statics, c))
+    {
+        return Some("every -to object is statically dead in this mode");
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modemerge_netlist::paper::paper_circuit;
+    use modemerge_sdc::SdcFile;
+    use modemerge_sta::graph::TimingGraph;
+    use modemerge_sta::mode::Mode;
+
+    fn analyze_exceptions(sdc: &str) -> Vec<Option<&'static str>> {
+        let netlist = paper_circuit();
+        let graph = TimingGraph::build(&netlist).expect("graph");
+        let file = SdcFile::parse(sdc).expect("parse");
+        let mode = Mode::bind("M", &netlist, &file).expect("bind");
+        let statics = ModeAnalysis::build(&netlist, &graph, &mode);
+        mode.exceptions
+            .iter()
+            .map(|e| unarmed_reason(&statics, e))
+            .collect()
+    }
+
+    #[test]
+    fn live_exceptions_stay_armed() {
+        let reasons = analyze_exceptions(
+            "create_clock -name c1 -period 10 [get_ports clk1]\n\
+             set_false_path -from [get_ports in1]\n\
+             set_false_path -through [get_pins mux1/Z]\n",
+        );
+        assert_eq!(reasons, vec![None, None]);
+    }
+
+    #[test]
+    fn case_killed_through_hop_disarms() {
+        let reasons = analyze_exceptions(
+            "create_clock -name c1 -period 10 [get_ports clk1]\n\
+             set_case_analysis 0 [get_ports in1]\n\
+             set_false_path -through [get_ports in1]\n",
+        );
+        assert_eq!(
+            reasons,
+            vec![Some(
+                "every pin of a -through group is statically dead in this mode"
+            )]
+        );
+    }
+
+    #[test]
+    fn dead_from_clock_disarms_but_virtual_survives() {
+        // clk2 case-forced to 0: the c2 domain is unreachable, so a
+        // -from c2 false path can never match. A virtual clock in the
+        // same position stays armed by definition.
+        let reasons = analyze_exceptions(
+            "create_clock -name c1 -period 10 [get_ports clk1]\n\
+             create_clock -name c2 -period 20 [get_ports clk2]\n\
+             create_clock -name virt -period 10\n\
+             set_case_analysis 0 [get_ports clk2]\n\
+             set_false_path -from [get_clocks c2]\n\
+             set_false_path -from [get_clocks virt]\n",
+        );
+        assert_eq!(
+            reasons,
+            vec![
+                Some("every -from object is statically dead in this mode"),
+                None
+            ]
+        );
+    }
+}

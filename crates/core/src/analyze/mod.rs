@@ -1,0 +1,485 @@
+//! STA-free static dataflow analysis over the timing graph.
+//!
+//! The paper's premise is that mode-merging questions can be answered
+//! by reasoning over the timing graph; this module applies the same
+//! idea to the *interactive* surface. A [`ModeAnalysis`] computes, from
+//! the netlist plus one bound mode and **without** running the STA
+//! [`Analysis`] pipeline (no tag propagation, no arrival windows):
+//!
+//! * bitset clock-domain reachability ([`reach::ClockReach`]) — which
+//!   clocks reach which pins at which polarity, clock-gate/divider
+//!   aware, one topological sweep for all clocks at once;
+//! * case-analysis constant propagation (the same [`Constants`] engine
+//!   STA uses, plus a no-case baseline to tell *case-derived* constants
+//!   from tie-cell constants);
+//! * exception arming analysis ([`arming`]) — which path exceptions can
+//!   ever match, proved structurally;
+//! * per-endpoint constrainedness classification
+//!   ([`Constrainedness`]).
+//!
+//! Consumers:
+//!
+//! * the `AN-*` lint rules ([`rules`]), registered in the same registry
+//!   as `ML-*`;
+//! * `lint --fast` / the LSP, which answer the semantic `ML-*` rules
+//!   through a [`TimingView`] backed by a `ModeAnalysis` instead of a
+//!   session STA — findings are byte-identical because the bitset reach
+//!   is reachability-equal to the arrival engine (see [`reach`]);
+//! * the mergeability pre-screen
+//!   ([`crate::mergeability::static_fingerprints`]).
+//!
+//! [`Analysis`]: modemerge_sta::analysis::Analysis
+
+pub mod arming;
+pub mod reach;
+pub(crate) mod rules;
+
+use modemerge_netlist::{Netlist, PinDirection, PinId, PinOwner};
+use modemerge_sdc::ast::IoDelayKind;
+use modemerge_sta::analysis::Analysis;
+use modemerge_sta::constants::Constants;
+use modemerge_sta::graph::TimingGraph;
+use modemerge_sta::mode::{ClockId, Mode};
+use modemerge_sta::overlay::Overlay;
+use reach::ClockReach;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How constrained one timing endpoint is in one mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Constrainedness {
+    /// At least one clock captures the endpoint.
+    Constrained,
+    /// The endpoint (or its capture pin) is cut by the mode's case
+    /// analysis or disables — no clock can ever reach it, and no data
+    /// path terminates on it. Tie-cell constants present in every mode
+    /// do not count.
+    Dead,
+    /// Alive but captured by no clock in this mode.
+    Unconstrained,
+}
+
+/// The static analyzer's per-mode artifact: everything the fast lint
+/// path, the `AN-*` rules and the mergeability pre-screen need, at the
+/// cost of one constant propagation and one bitset sweep.
+#[derive(Debug)]
+pub struct ModeAnalysis<'a> {
+    netlist: &'a Netlist,
+    graph: &'a TimingGraph,
+    mode: &'a Mode,
+    constants: Constants,
+    /// Constants with the mode's case analysis removed: tie cells only.
+    baseline_constants: Constants,
+    reach: ClockReach,
+    /// Sorted endpoints, exactly [`Analysis::endpoints`].
+    endpoints: Vec<PinId>,
+}
+
+impl<'a> ModeAnalysis<'a> {
+    /// Runs the static analysis for one bound mode.
+    pub fn build(netlist: &'a Netlist, graph: &'a TimingGraph, mode: &'a Mode) -> Self {
+        Self::build_with_baseline(
+            netlist,
+            graph,
+            mode,
+            Constants::compute(netlist, &BTreeMap::new()),
+        )
+    }
+
+    /// [`build`](Self::build) with the no-case baseline supplied by the
+    /// caller. The baseline depends only on the netlist (tie cells), so
+    /// drivers linting many modes compute it once and clone it per mode
+    /// — two `memcpy`s instead of a full propagation.
+    pub fn build_with_baseline(
+        netlist: &'a Netlist,
+        graph: &'a TimingGraph,
+        mode: &'a Mode,
+        baseline_constants: Constants,
+    ) -> Self {
+        let constants = if mode.case_values.is_empty() {
+            baseline_constants.clone()
+        } else {
+            Constants::compute(netlist, &mode.case_values)
+        };
+        let overlay = Overlay::new(netlist, mode, &constants);
+        let reach = ClockReach::compute(graph, &overlay, mode);
+        // Sorted unique, exactly `Analysis::endpoints`' BTreeSet order;
+        // `seq_data_pins` is already nearly sorted so the sort is cheap.
+        let mut endpoints: Vec<PinId> = graph.seq_data_pins().to_vec();
+        for d in &mode.io_delays {
+            if d.kind == IoDelayKind::Output {
+                endpoints.push(d.pin);
+            }
+        }
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        Self {
+            netlist,
+            graph,
+            mode,
+            constants,
+            baseline_constants,
+            reach,
+            endpoints,
+        }
+    }
+
+    /// The design.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// The shared timing graph.
+    pub fn graph(&self) -> &'a TimingGraph {
+        self.graph
+    }
+
+    /// The bound mode.
+    pub fn mode(&self) -> &'a Mode {
+        self.mode
+    }
+
+    /// The mode's propagated case-analysis constants.
+    pub fn constants(&self) -> &Constants {
+        &self.constants
+    }
+
+    /// Constants with case analysis removed (tie cells only) — the
+    /// baseline that separates mode-inflicted deadness from design
+    /// facts.
+    pub fn baseline_constants(&self) -> &Constants {
+        &self.baseline_constants
+    }
+
+    /// The clock reachability bitsets.
+    pub fn reach(&self) -> &ClockReach {
+        &self.reach
+    }
+
+    /// Sorted timing endpoints (sequential data pins plus output-delay
+    /// ports) — the same set and order as [`Analysis::endpoints`].
+    pub fn endpoints(&self) -> &[PinId] {
+        &self.endpoints
+    }
+
+    /// `true` when no timing propagates through `pin` in this mode
+    /// (constant under case analysis, or disabled).
+    pub fn node_blocked(&self, pin: PinId) -> bool {
+        self.constants.is_constant(pin) || self.mode.disabled_pins.contains(&pin)
+    }
+
+    /// `true` when `pin` is blocked *by the mode* — constant or
+    /// disabled now, but not constant in the no-case baseline.
+    pub fn mode_blocked(&self, pin: PinId) -> bool {
+        self.node_blocked(pin) && !self.baseline_constants.is_constant(pin)
+    }
+
+    /// Capture clocks at an endpoint — same contract (and byte-wise the
+    /// same ascending, deduplicated order) as
+    /// [`Analysis::capture_clocks`].
+    pub fn capture_clocks(&self, endpoint: PinId) -> Vec<ClockId> {
+        if let Some(cp) = self.graph.capture_pin(endpoint) {
+            self.reach.clock_ids_at(cp).collect()
+        } else {
+            let mut v: Vec<ClockId> = self
+                .mode
+                .io_delays
+                .iter()
+                .filter(|d| d.kind == IoDelayKind::Output && d.pin == endpoint)
+                .map(|d| d.clock)
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        }
+    }
+
+    /// Union of clocks capturing at least one endpoint, computed from a
+    /// given reachability (callers pass [`Self::reach`] or a relaxed
+    /// re-sweep).
+    fn capturing_with(&self, reach: &ClockReach) -> BTreeSet<ClockId> {
+        let mut acc = vec![0u64; reach.stride()];
+        let mut captured = BTreeSet::new();
+        for &endpoint in &self.endpoints {
+            if let Some(cp) = self.graph.capture_pin(endpoint) {
+                reach.or_words_at(cp, &mut acc);
+            } else {
+                captured.extend(
+                    self.mode
+                        .io_delays
+                        .iter()
+                        .filter(|d| d.kind == IoDelayKind::Output && d.pin == endpoint)
+                        .map(|d| d.clock),
+                );
+            }
+        }
+        captured.extend(reach.clock_ids_in(&acc));
+        captured
+    }
+
+    /// Union of clocks that capture at least one endpoint.
+    pub fn capturing_clocks(&self) -> BTreeSet<ClockId> {
+        self.capturing_with(&self.reach)
+    }
+
+    /// [`Self::capturing_clocks`] with the mode's `set_disable_timing`
+    /// constraints removed — one extra bitset sweep, mirroring the
+    /// relaxed re-analysis the slow `ML-DIS-CLK-CUT` path performs.
+    pub fn capturing_clocks_relaxed(&self) -> BTreeSet<ClockId> {
+        let mut relaxed = self.mode.clone();
+        relaxed.disabled_pins.clear();
+        relaxed.disabled_arcs.clear();
+        let overlay = Overlay::new(self.netlist, &relaxed, &self.constants);
+        let reach = ClockReach::compute(self.graph, &overlay, &relaxed);
+        self.capturing_with(&reach)
+    }
+
+    /// [`Self::capturing_clocks`] with the mode's case analysis removed
+    /// (tie-cell constants stay): what the clocks would capture if no
+    /// `set_case_analysis` were in force. Disables still apply.
+    pub fn capturing_clocks_no_case(&self) -> BTreeSet<ClockId> {
+        let overlay = Overlay::new(self.netlist, self.mode, &self.baseline_constants);
+        let reach = ClockReach::compute(self.graph, &overlay, self.mode);
+        self.capturing_with(&reach)
+    }
+
+    /// Classifies one endpoint. Deadness (a mode-blocked endpoint or
+    /// capture pin) wins over mere unconstrainedness, and a captured
+    /// endpoint is [`Constrainedness::Constrained`].
+    pub fn classify(&self, endpoint: PinId) -> Constrainedness {
+        if self.mode_blocked(endpoint)
+            || self
+                .graph
+                .capture_pin(endpoint)
+                .is_some_and(|cp| self.mode_blocked(cp))
+        {
+            return Constrainedness::Dead;
+        }
+        if self.is_endpoint_captured(endpoint) {
+            Constrainedness::Constrained
+        } else {
+            Constrainedness::Unconstrained
+        }
+    }
+
+    /// `true` if at least one clock captures `endpoint` — the
+    /// allocation-free form of `!capture_clocks(endpoint).is_empty()`.
+    pub fn is_endpoint_captured(&self, endpoint: PinId) -> bool {
+        if let Some(cp) = self.graph.capture_pin(endpoint) {
+            self.reach.reaches_some(cp)
+        } else {
+            self.mode
+                .io_delays
+                .iter()
+                .any(|d| d.kind == IoDelayKind::Output && d.pin == endpoint)
+        }
+    }
+
+    /// A deterministic fingerprint of the mode's static timing shape:
+    /// the clock-reachability bitsets, the propagated constants and the
+    /// endpoint set, folded FNV-1a. Two modes with different
+    /// fingerprints provably differ in clock reach or constant state;
+    /// two bound modes built from byte-identical SDC always fingerprint
+    /// equal (the analysis is a pure function of netlist + mode).
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.mode.clocks.len() as u64);
+        for &w in self.reach.words() {
+            eat(w);
+        }
+        for pin in self.netlist.pin_ids() {
+            let trit = match self.constants.value(pin) {
+                None => 0u64,
+                Some(false) => 1,
+                Some(true) => 2,
+            };
+            eat(trit);
+        }
+        for &e in &self.endpoints {
+            eat(e.index() as u64);
+        }
+        h
+    }
+}
+
+/// One timing backend for the semantic lint rules: the full STA
+/// [`Analysis`] (slow path; also the merge pipeline's cache) or the
+/// static [`ModeAnalysis`] (fast path). The accessor contracts are
+/// byte-identical — same endpoint order, same ascending deduplicated
+/// capture-clock lists — so a rule keyed off this view produces the
+/// same findings on either backend.
+#[derive(Clone, Copy)]
+pub enum TimingView<'a> {
+    /// Backed by a full STA analysis.
+    Sta(&'a Analysis<'a>),
+    /// Backed by the static analyzer.
+    Static(&'a ModeAnalysis<'a>),
+}
+
+impl TimingView<'_> {
+    /// Sorted timing endpoints.
+    pub fn endpoints(&self) -> Vec<PinId> {
+        match self {
+            TimingView::Sta(a) => a.endpoints(),
+            TimingView::Static(s) => s.endpoints().to_vec(),
+        }
+    }
+
+    /// Capture clocks at an endpoint, ascending and deduplicated.
+    pub fn capture_clocks(&self, endpoint: PinId) -> Vec<ClockId> {
+        match self {
+            TimingView::Sta(a) => a.capture_clocks(endpoint),
+            TimingView::Static(s) => s.capture_clocks(endpoint),
+        }
+    }
+
+    /// `true` if at least one clock captures `endpoint`; the static arm
+    /// answers from the bitset without materializing the clock list.
+    pub fn is_endpoint_captured(&self, endpoint: PinId) -> bool {
+        match self {
+            TimingView::Sta(a) => !a.capture_clocks(endpoint).is_empty(),
+            TimingView::Static(s) => s.is_endpoint_captured(endpoint),
+        }
+    }
+
+    /// The mode's propagated case-analysis constants.
+    pub fn constants(&self) -> &Constants {
+        match self {
+            TimingView::Sta(a) => a.constants(),
+            TimingView::Static(s) => s.constants(),
+        }
+    }
+
+    /// Union of clocks capturing at least one endpoint.
+    pub fn capturing_clocks(&self) -> BTreeSet<ClockId> {
+        match self {
+            TimingView::Sta(a) => {
+                let mut captured = BTreeSet::new();
+                for endpoint in a.endpoints() {
+                    captured.extend(a.capture_clocks(endpoint));
+                }
+                captured
+            }
+            TimingView::Static(s) => s.capturing_clocks(),
+        }
+    }
+
+    /// [`Self::capturing_clocks`] with `set_disable_timing` removed.
+    /// The STA backend re-runs a full analysis on the relaxed mode
+    /// (the historical `ML-DIS-CLK-CUT` behavior); the static backend
+    /// re-sweeps its bitsets. Both see the same relaxed reachability.
+    pub fn capturing_clocks_relaxed(&self) -> BTreeSet<ClockId> {
+        match self {
+            TimingView::Sta(a) => {
+                let mut relaxed = a.mode().clone();
+                relaxed.disabled_pins.clear();
+                relaxed.disabled_arcs.clear();
+                let relaxed_analysis = Analysis::run(a.netlist(), a.graph(), &relaxed);
+                let mut captured = BTreeSet::new();
+                for endpoint in relaxed_analysis.endpoints() {
+                    captured.extend(relaxed_analysis.capture_clocks(endpoint));
+                }
+                captured
+            }
+            TimingView::Static(s) => s.capturing_clocks_relaxed(),
+        }
+    }
+}
+
+/// `true` when `pin` is an instance output (the anchor the dead-logic
+/// rule reports: the cell output that went constant).
+pub(crate) fn is_instance_output(netlist: &Netlist, pin: PinId) -> bool {
+    matches!(netlist.pin(pin).owner(), PinOwner::Instance(..))
+        && netlist.pin_direction(pin) == PinDirection::Output
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modemerge_netlist::paper::paper_circuit;
+    use modemerge_sdc::SdcFile;
+
+    fn build_pair(sdc: &str) -> (Netlist, TimingGraph, Mode) {
+        let netlist = paper_circuit();
+        let graph = TimingGraph::build(&netlist).expect("graph");
+        let file = SdcFile::parse(sdc).expect("parse");
+        let mode = Mode::bind("M", &netlist, &file).expect("bind");
+        (netlist, graph, mode)
+    }
+
+    #[test]
+    fn static_view_matches_sta_view_on_endpoints_and_captures() {
+        let (netlist, graph, mode) = build_pair(
+            "create_clock -name c1 -period 10 [get_ports clk1]\n\
+             create_clock -name c2 -period 20 [get_ports clk2]\n\
+             set_output_delay 1 -clock c1 [get_ports out1]\n\
+             set_case_analysis 0 [get_ports sel1]\n",
+        );
+        let analysis = Analysis::run(&netlist, &graph, &mode);
+        let statics = ModeAnalysis::build(&netlist, &graph, &mode);
+        let sta = TimingView::Sta(&analysis);
+        let fast = TimingView::Static(&statics);
+        assert_eq!(fast.endpoints(), sta.endpoints());
+        for e in sta.endpoints() {
+            assert_eq!(
+                fast.capture_clocks(e),
+                sta.capture_clocks(e),
+                "capture clocks at {}",
+                netlist.pin_name(e)
+            );
+        }
+        assert_eq!(fast.capturing_clocks(), sta.capturing_clocks());
+        assert_eq!(
+            fast.capturing_clocks_relaxed(),
+            sta.capturing_clocks_relaxed()
+        );
+    }
+
+    #[test]
+    fn fingerprints_separate_reach_changes_and_match_identical_modes() {
+        let (netlist, graph, mode_a) = build_pair(
+            "create_clock -name c1 -period 10 [get_ports clk1]\n\
+             set_case_analysis 1 [get_pins mux1/S]\n",
+        );
+        let file_b = SdcFile::parse(
+            "create_clock -name c1 -period 10 [get_ports clk1]\n\
+             set_case_analysis 0 [get_pins mux1/S]\n",
+        )
+        .expect("parse");
+        let mode_b = Mode::bind("N", &netlist, &file_b).expect("bind");
+        let mode_a2 = {
+            let file = SdcFile::parse(
+                "create_clock -name c1 -period 10 [get_ports clk1]\n\
+                 set_case_analysis 1 [get_pins mux1/S]\n",
+            )
+            .expect("parse");
+            Mode::bind("M2", &netlist, &file).expect("bind")
+        };
+        let fp = |m: &Mode| ModeAnalysis::build(&netlist, &graph, m).fingerprint();
+        assert_eq!(fp(&mode_a), fp(&mode_a2), "same constraints, same print");
+        assert_ne!(fp(&mode_a), fp(&mode_b), "flipped mux select, new print");
+    }
+
+    #[test]
+    fn classification_distinguishes_dead_from_unconstrained() {
+        // clk2's path is muxed; forcing the select to 0 picks clk1, so
+        // rX/rY/rZ still capture (constrained), while a mode with only
+        // a dangling clock leaves rA..rC unconstrained but alive.
+        let (netlist, graph, mode) = build_pair(
+            "create_clock -name c2 -period 10 [get_ports clk2]\n\
+             set_case_analysis 1 [get_pins mux1/S]\n",
+        );
+        let statics = ModeAnalysis::build(&netlist, &graph, &mode);
+        let rx_d = netlist.find_pin("rX/D").expect("rX/D");
+        let ra_d = netlist.find_pin("rA/D").expect("rA/D");
+        assert_eq!(statics.classify(rx_d), Constrainedness::Constrained);
+        assert_eq!(statics.classify(ra_d), Constrainedness::Unconstrained);
+    }
+}

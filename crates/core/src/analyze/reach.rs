@@ -1,0 +1,325 @@
+//! Bitset clock-domain reachability — the dataflow core of the static
+//! analyzer.
+//!
+//! [`ClockReach`] answers the same reachability question as the STA
+//! engine's [`ClockArrivals`] — *which clocks reach which pins, at which
+//! polarity, under a mode's case analysis and disables* — without any
+//! delay arithmetic, heaps or per-clock hash maps. All clocks propagate
+//! simultaneously in **one** topological sweep: every graph node carries
+//! a fixed-stride word vector with two bits per clock (normal and
+//! inverted polarity), and every arc transfer is a handful of word-wide
+//! OR/shift operations. The transfer function mirrors the arrival
+//! engine's semantics exactly:
+//!
+//! * seeds: every non-blocked clock source, normal polarity;
+//! * blocked nodes ([`Overlay::node_blocked`]) and arcs never receive
+//!   bits; launch arcs never propagate clocks;
+//! * `set_clock_sense` filters at a node cut what propagates *beyond*
+//!   it (`-stop_propagation` cuts both polarities, sense restrictions
+//!   cut one) while the node itself keeps its arrival bits;
+//! * sequential clock pins are sinks: bits arrive, nothing leaves;
+//! * arc sense: positive passes polarities through, negative swaps
+//!   them, non-unate forks both.
+//!
+//! Because the reached `(clock, pin, polarity)` set of the heap-based
+//! arrival engine is exactly the BFS closure of the same seeds under
+//! the same gates, the two structures agree on reachability bit for
+//! bit — `tests/analyze_vs_sta.rs` and the `reach_matches_sta_arrivals`
+//! test below hold the equivalence down.
+//!
+//! [`ClockArrivals`]: modemerge_sta::clock_prop::ClockArrivals
+
+use modemerge_netlist::PinId;
+use modemerge_sta::graph::{ArcKind, ArcSense, TimingGraph};
+use modemerge_sta::mode::{ClockId, ClockSenseKind, Mode};
+use modemerge_sta::overlay::Overlay;
+use std::collections::BTreeMap;
+
+/// Word mask selecting the normal-polarity (even) bit lanes.
+const EVEN: u64 = 0x5555_5555_5555_5555;
+/// Word mask selecting the inverted-polarity (odd) bit lanes.
+const ODD: u64 = EVEN << 1;
+
+/// Per-node clock reachability bitsets: two bits per clock (bit `2c`
+/// = clock `c` arrives at normal polarity, bit `2c+1` = inverted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockReach {
+    /// Number of clocks (bit pairs) per node.
+    clocks: usize,
+    /// Words per node: `ceil(2 * clocks / 64)`.
+    stride: usize,
+    /// `node_count * stride` words, node-major.
+    bits: Vec<u64>,
+    /// Per clock: does it reach *any* node at all (its seeds survive
+    /// blocking)? A clock whose sources are all constant or disabled
+    /// reaches nothing and can launch/capture nothing.
+    live: Vec<bool>,
+}
+
+/// The strongest `set_clock_sense` assertion per `(pin, clock)`,
+/// folded into per-pin propagation masks. Mirrors
+/// `Mode::clock_sense_at`: `Stop` is sticky, otherwise the last
+/// matching assertion wins.
+fn sense_masks(mode: &Mode, clocks: usize, stride: usize) -> BTreeMap<PinId, Vec<u64>> {
+    let mut senses: BTreeMap<PinId, Vec<Option<ClockSenseKind>>> = BTreeMap::new();
+    for stop in &mode.clock_stops {
+        for &pin in &stop.pins {
+            let per_clock = senses.entry(pin).or_insert_with(|| vec![None; clocks]);
+            for (c, slot) in per_clock.iter_mut().enumerate() {
+                if !stop.clocks.is_empty() && !stop.clocks.contains(&ClockId(c as u32)) {
+                    continue;
+                }
+                if *slot == Some(ClockSenseKind::Stop) {
+                    continue;
+                }
+                *slot = Some(stop.kind);
+            }
+        }
+    }
+    senses
+        .into_iter()
+        .map(|(pin, per_clock)| {
+            let mut mask = vec![u64::MAX; stride];
+            for (c, sense) in per_clock.iter().enumerate() {
+                let (word, bit) = (2 * c / 64, 2 * c % 64);
+                match sense {
+                    Some(ClockSenseKind::Stop) => mask[word] &= !(0b11 << bit),
+                    Some(ClockSenseKind::PositiveOnly) => mask[word] &= !(0b10 << bit),
+                    Some(ClockSenseKind::NegativeOnly) => mask[word] &= !(0b01 << bit),
+                    None => {}
+                }
+            }
+            (pin, mask)
+        })
+        .collect()
+}
+
+impl ClockReach {
+    /// Propagates every clock of `mode` through the graph in one
+    /// topological sweep under `overlay`'s blocking rules.
+    pub fn compute(graph: &TimingGraph, overlay: &Overlay<'_>, mode: &Mode) -> Self {
+        let clocks = mode.clocks.len();
+        let stride = (2 * clocks).div_ceil(64);
+        let node_count = graph.node_count();
+        let mut bits = vec![0u64; node_count * stride];
+
+        for clock_id in mode.clock_ids() {
+            let clock = mode.clock(clock_id);
+            let c = clock_id.0 as usize;
+            let (word, bit) = (2 * c / 64, 2 * c % 64);
+            for &src in &clock.sources {
+                if overlay.node_blocked(src) {
+                    continue;
+                }
+                bits[src.index() * stride + word] |= 1 << bit;
+            }
+        }
+
+        let masks = sense_masks(mode, clocks, stride);
+        let mut out = vec![0u64; stride];
+        for &node in graph.topo_order() {
+            let base = node.index() * stride;
+            out.copy_from_slice(&bits[base..base + stride]);
+            if out.iter().all(|&w| w == 0) {
+                continue;
+            }
+            // Sense assertions and sinks gate what goes *beyond* this
+            // node; the node keeps its own arrival bits either way.
+            if let Some(mask) = masks.get(&node) {
+                for (o, m) in out.iter_mut().zip(mask) {
+                    *o &= m;
+                }
+            }
+            if graph.is_clock_sink(node) || out.iter().all(|&w| w == 0) {
+                continue;
+            }
+            for arc in graph.fanout_arcs(node) {
+                if arc.kind == ArcKind::Launch {
+                    continue;
+                }
+                if overlay.node_blocked(arc.to) || overlay.arc_blocked(arc) {
+                    continue;
+                }
+                let to_base = arc.to.index() * stride;
+                for (k, &w) in out.iter().enumerate() {
+                    bits[to_base + k] |= match arc.sense {
+                        ArcSense::Positive => w,
+                        ArcSense::Negative => ((w & EVEN) << 1) | ((w & ODD) >> 1),
+                        ArcSense::NonUnate => {
+                            let pairs = (w | (w >> 1)) & EVEN;
+                            pairs | (pairs << 1)
+                        }
+                    };
+                }
+            }
+        }
+
+        let mut live = vec![false; clocks];
+        for node_words in bits.chunks_exact(stride.max(1)) {
+            for (k, &w) in node_words.iter().enumerate() {
+                let mut w = w;
+                while w != 0 {
+                    let b = w.trailing_zeros() as usize;
+                    live[(k * 64 + b) / 2] = true;
+                    w &= w - 1;
+                }
+            }
+        }
+
+        Self {
+            clocks,
+            stride,
+            bits,
+            live,
+        }
+    }
+
+    /// The deduplicated clock ids reaching `pin`, ascending (the same
+    /// order [`ClockArrivals::clock_ids_at`] yields).
+    ///
+    /// [`ClockArrivals::clock_ids_at`]: modemerge_sta::clock_prop::ClockArrivals::clock_ids_at
+    pub fn clock_ids_at(&self, pin: PinId) -> impl Iterator<Item = ClockId> + '_ {
+        let base = pin.index() * self.stride;
+        (0..self.clocks).filter_map(move |c| {
+            let (word, bit) = (2 * c / 64, 2 * c % 64);
+            (self.bits[base + word] >> bit & 0b11 != 0).then_some(ClockId(c as u32))
+        })
+    }
+
+    /// `true` if any clock reaches `pin` at any polarity — the
+    /// allocation-free form of `clock_ids_at(pin).next().is_some()`.
+    pub fn reaches_some(&self, pin: PinId) -> bool {
+        let base = pin.index() * self.stride;
+        self.bits[base..base + self.stride].iter().any(|&w| w != 0)
+    }
+
+    /// ORs `pin`'s reach words into `acc` (length [`Self::stride`]).
+    /// Accumulating rows and decoding once with [`Self::clock_ids_in`]
+    /// turns a per-endpoint clock scan into two word ORs.
+    pub fn or_words_at(&self, pin: PinId, acc: &mut [u64]) {
+        let base = pin.index() * self.stride;
+        for (a, w) in acc.iter_mut().zip(&self.bits[base..base + self.stride]) {
+            *a |= w;
+        }
+    }
+
+    /// Words per node of the bitset layout.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Decodes the clocks present (either polarity) in an accumulated
+    /// word row, ascending — the row layout of [`Self::or_words_at`].
+    pub fn clock_ids_in<'a>(&self, words: &'a [u64]) -> impl Iterator<Item = ClockId> + 'a {
+        (0..self.clocks).filter_map(move |c| {
+            let (word, bit) = (2 * c / 64, 2 * c % 64);
+            (words[word] >> bit & 0b11 != 0).then_some(ClockId(c as u32))
+        })
+    }
+
+    /// `true` if `clock` reaches `pin` at either polarity.
+    pub fn reaches(&self, clock: ClockId, pin: PinId) -> bool {
+        let c = clock.0 as usize;
+        let (word, bit) = (2 * c / 64, 2 * c % 64);
+        self.bits[pin.index() * self.stride + word] >> bit & 0b11 != 0
+    }
+
+    /// `true` if `clock` reaches `pin` at the given polarity.
+    pub fn reaches_polarity(&self, clock: ClockId, pin: PinId, inverted: bool) -> bool {
+        let c = clock.0 as usize;
+        let lane = 2 * c + usize::from(inverted);
+        let (word, bit) = (lane / 64, lane % 64);
+        self.bits[pin.index() * self.stride + word] >> bit & 1 != 0
+    }
+
+    /// `true` if `clock` reaches at least one node (its sources are not
+    /// all blocked away).
+    pub fn is_live(&self, clock: ClockId) -> bool {
+        self.live.get(clock.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// The raw node-major bit words (for fingerprinting).
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modemerge_netlist::paper::paper_circuit;
+    use modemerge_sdc::SdcFile;
+    use modemerge_sta::clock_prop::ClockArrivals;
+    use modemerge_sta::constants::Constants;
+    use modemerge_sta::mode::Mode;
+
+    /// Binds `sdc` on the paper circuit and checks the bitset reach
+    /// against the STA arrival engine, polarity for polarity.
+    fn assert_matches_sta(sdc: &str) {
+        let netlist = paper_circuit();
+        let graph = TimingGraph::build(&netlist).expect("graph");
+        let file = SdcFile::parse(sdc).expect("parse");
+        let mode = Mode::bind("M", &netlist, &file).expect("bind");
+        let constants = Constants::compute(&netlist, &mode.case_values);
+        let overlay = Overlay::new(&netlist, &mode, &constants);
+        let arrivals = ClockArrivals::compute(&graph, &overlay, &mode);
+        let reach = ClockReach::compute(&graph, &overlay, &mode);
+        for pin in netlist.pin_ids() {
+            let want: Vec<ClockId> = arrivals.clock_ids_at(pin).collect();
+            let got: Vec<ClockId> = reach.clock_ids_at(pin).collect();
+            assert_eq!(got, want, "clock set at {}", netlist.pin_name(pin));
+            for a in arrivals.clocks_at(pin) {
+                assert!(
+                    reach.reaches_polarity(a.clock, pin, a.inverted),
+                    "missing ({:?}, inverted={}) at {}",
+                    a.clock,
+                    a.inverted,
+                    netlist.pin_name(pin)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reach_matches_sta_arrivals() {
+        assert_matches_sta(
+            "create_clock -name c1 -period 10 [get_ports clk1]\n\
+             create_clock -name c2 -period 20 [get_ports clk2]\n",
+        );
+    }
+
+    #[test]
+    fn reach_matches_sta_under_case_and_disables() {
+        assert_matches_sta(
+            "create_clock -name c1 -period 10 [get_ports clk1]\n\
+             create_clock -name c2 -period 20 [get_ports clk2]\n\
+             set_case_analysis 0 [get_ports sel1]\n\
+             set_case_analysis 0 [get_ports sel2]\n\
+             set_disable_timing [get_pins mux1/B]\n",
+        );
+    }
+
+    #[test]
+    fn reach_matches_sta_with_sense_stops() {
+        assert_matches_sta(
+            "create_clock -name c1 -period 10 [get_ports clk1]\n\
+             set_clock_sense -stop_propagation [get_pins mux1/Z]\n",
+        );
+    }
+
+    #[test]
+    fn a_case_blocked_clock_is_dead() {
+        let netlist = paper_circuit();
+        let graph = TimingGraph::build(&netlist).expect("graph");
+        let file = SdcFile::parse(
+            "create_clock -name c1 -period 10 [get_ports clk1]\n\
+             set_case_analysis 0 [get_ports clk1]\n",
+        )
+        .expect("parse");
+        let mode = Mode::bind("M", &netlist, &file).expect("bind");
+        let constants = Constants::compute(&netlist, &mode.case_values);
+        let overlay = Overlay::new(&netlist, &mode, &constants);
+        let reach = ClockReach::compute(&graph, &overlay, &mode);
+        assert!(!reach.is_live(ClockId(0)));
+    }
+}

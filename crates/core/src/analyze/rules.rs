@@ -1,0 +1,134 @@
+//! The `AN-*` lint rules — findings the static analyzer proves without
+//! any STA.
+//!
+//! Each check reads the per-mode [`ModeAnalysis`] carried in the
+//! [`LintCtx`] (`ctx.statics`). The analysis is built in **both** the
+//! fast and the slow lint paths, so these rules fire identically under
+//! `lint` and `lint --fast` by construction. A mode that failed to bind
+//! has no analysis; every rule skips quietly, like the semantic `ML-*`
+//! layer.
+//!
+//! [`ModeAnalysis`]: super::ModeAnalysis
+//! [`LintCtx`]: crate::lint::LintCtx
+
+use super::{arming, is_instance_output, Constrainedness};
+use crate::lint::{Finding, LintCtx, Severity};
+use crate::provenance::RuleCode;
+
+/// `AN-DEAD-LOGIC` — cell outputs that go constant *because of* the
+/// mode's case analysis (constants already present with no case applied
+/// — tie cells and their cones — are design facts, not mode findings).
+pub(crate) fn dead_logic(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
+    let (Some(mode), Some(statics)) = (ctx.mode, ctx.statics) else {
+        return;
+    };
+    if mode.case_values.is_empty() {
+        return;
+    }
+    for pin in ctx.netlist.pin_ids() {
+        // Cheapest test first: almost every pin carries no constant.
+        let Some(value) = statics.constants().value(pin) else {
+            continue;
+        };
+        if statics.constants().is_forced(pin)
+            || statics.baseline_constants().value(pin).is_some()
+            || !is_instance_output(ctx.netlist, pin)
+        {
+            continue;
+        }
+        out.push(Finding {
+            rule: RuleCode::AnDeadLogic,
+            severity: Severity::Info,
+            mode: ctx.input.name.clone(),
+            line: 0,
+            message: format!(
+                "pin `{}` propagates constant {} under case analysis; timing through it is statically dead",
+                ctx.netlist.pin_name(pin),
+                u8::from(value),
+            ),
+        });
+    }
+}
+
+/// `AN-CLK-CASE-CUT` — the mode's case analysis disconnects a clock
+/// network: a clock that captures nothing would capture at least one
+/// endpoint with the `set_case_analysis` constants removed (disables
+/// still in force, so this composes with `ML-DIS-CLK-CUT` instead of
+/// duplicating it).
+pub(crate) fn clk_case_cut(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
+    let (Some(mode), Some(statics)) = (ctx.mode, ctx.statics) else {
+        return;
+    };
+    if mode.case_values.is_empty() {
+        return;
+    }
+    let captured = statics.capturing_clocks();
+    let candidates: Vec<_> = mode
+        .clock_ids()
+        .filter(|&id| !mode.clock(id).sources.is_empty() && !captured.contains(&id))
+        .collect();
+    if candidates.is_empty() {
+        return;
+    }
+    let captured_no_case = statics.capturing_clocks_no_case();
+    for id in candidates {
+        if captured_no_case.contains(&id) {
+            let clock = mode.clock(id);
+            out.push(Finding {
+                rule: RuleCode::AnClkCaseCut,
+                severity: Severity::Warning,
+                mode: ctx.input.name.clone(),
+                line: clock.line,
+                message: format!(
+                    "case analysis cuts clock `{}` off from every endpoint it would otherwise capture",
+                    clock.name
+                ),
+            });
+        }
+    }
+}
+
+/// `AN-EXC-UNARMED` — a path exception none of whose anchor sets can
+/// exist in this mode; see [`arming::unarmed_reason`] for the proof
+/// obligations.
+pub(crate) fn exc_unarmed(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
+    let (Some(mode), Some(statics)) = (ctx.mode, ctx.statics) else {
+        return;
+    };
+    for exc in &mode.exceptions {
+        if let Some(reason) = arming::unarmed_reason(statics, exc) {
+            out.push(Finding {
+                rule: RuleCode::AnExcUnarmed,
+                severity: Severity::Warning,
+                mode: ctx.input.name.clone(),
+                line: exc.line,
+                message: format!("exception at line {} can never match: {reason}", exc.line),
+            });
+        }
+    }
+}
+
+/// `AN-END-DEAD` — endpoints classified [`Constrainedness::Dead`]: the
+/// endpoint or its capture pin is blocked by this mode's case analysis
+/// or disables (not by an always-on tie constant). Distinct from
+/// `ML-END-UNCONST`, which reports suite-wide coverage holes; a dead
+/// endpoint is deliberately cut in *this* mode.
+pub(crate) fn end_dead(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
+    let Some(statics) = ctx.statics else {
+        return;
+    };
+    for &endpoint in statics.endpoints() {
+        if statics.classify(endpoint) == Constrainedness::Dead {
+            out.push(Finding {
+                rule: RuleCode::AnEndDead,
+                severity: Severity::Info,
+                mode: ctx.input.name.clone(),
+                line: 0,
+                message: format!(
+                    "endpoint `{}` is statically dead in this mode; case analysis or disables block its data or clock pin",
+                    ctx.netlist.pin_name(endpoint),
+                ),
+            });
+        }
+    }
+}

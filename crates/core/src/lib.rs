@@ -46,6 +46,7 @@
 //! # }
 //! ```
 
+pub mod analyze;
 pub mod eco;
 pub mod emit;
 pub mod equivalence;
@@ -67,7 +68,7 @@ pub mod uniquify;
 pub use eco::{DeltaSummary, EcoCounters, EcoEngine, EcoRunReport};
 pub use error::{MergeConflict, MergeError};
 pub use json::Json;
-pub use lint::{lint_modes, lint_session, Finding, LintReport, Severity};
+pub use lint::{lint_modes, lint_modes_fast, lint_session, Finding, LintReport, Severity};
 pub use merge::{merge_all, merge_group, MergeOptions, MergeOutcome, MergeReport, ModeInput};
 pub use mergeability::{greedy_cliques, MergeabilityGraph};
 pub use provenance::{Diagnostic, DiagnosticSink, ProvId, ProvenanceStore, RuleCode};

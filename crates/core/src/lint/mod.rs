@@ -13,8 +13,12 @@
 //!
 //! * **syntactic/reference rules** ([`syntactic`]) need only the parsed
 //!   SDC plus the netlist — they run even when a mode fails to bind;
-//! * **semantic/graph rules** ([`semantic`]) reuse the per-mode
-//!   [`Analysis`] (cached in a session when linting gates a merge).
+//! * **semantic/graph rules** ([`semantic`]) read a [`TimingView`]: the
+//!   per-mode STA [`Analysis`] on the slow path (cached in a session
+//!   when linting gates a merge), or the static [`ModeAnalysis`] under
+//!   [`lint_modes_fast`] — the two backends agree finding for finding;
+//! * **analyzer rules** (`AN-*`, [`crate::analyze::rules`]) read the
+//!   static [`ModeAnalysis`] directly; it is built in both paths.
 //!
 //! Rule codes live in the same append-only [`RuleCode`] registry as the
 //! merge pipeline's `MM-*` diagnostics, so findings flow through the
@@ -31,6 +35,9 @@ pub mod sarif;
 mod semantic;
 mod syntactic;
 
+pub use syntactic::pin_name_table;
+
+use crate::analyze::{rules as an_rules, ModeAnalysis, TimingView};
 use crate::error::MergeError;
 use crate::json::Json;
 use crate::merge::{MergeReport, ModeInput};
@@ -171,8 +178,10 @@ pub fn parse_findings(input: &ModeInput) -> Vec<Finding> {
         .collect()
 }
 
-/// Per-mode rule inputs. `mode`/`analysis` are `None` when the mode
-/// failed to bind — syntactic rules still run, semantic rules skip.
+/// Per-mode rule inputs. `mode`/`analysis`/`statics` are `None` when
+/// the mode failed to bind — syntactic rules still run, semantic and
+/// analyzer rules skip. On the fast path `analysis` is `None` for
+/// *bound* modes too; semantic rules go through [`LintCtx::view`].
 pub struct LintCtx<'a> {
     /// The design.
     pub netlist: &'a Netlist,
@@ -180,10 +189,30 @@ pub struct LintCtx<'a> {
     pub input: &'a ModeInput,
     /// The bound mode, when binding succeeded.
     pub mode: Option<&'a Mode>,
-    /// The STA analysis for the bound mode.
+    /// The STA analysis for the bound mode (slow path only).
     pub analysis: Option<&'a Analysis<'a>>,
+    /// The static analyzer artifact for the bound mode (both paths).
+    pub statics: Option<&'a ModeAnalysis<'a>>,
     /// The shared timing graph.
     pub graph: Option<&'a TimingGraph>,
+    /// Every pin name of the netlist, precomputed once per lint
+    /// invocation ([`syntactic::pin_name_table`]) and shared by every
+    /// rule's resolver — formatting the full pin namespace per rule
+    /// per mode used to dominate lint wall time.
+    pub pin_names: &'a [String],
+}
+
+impl<'a> LintCtx<'a> {
+    /// The timing backend for semantic rules: the STA analysis when one
+    /// was run (so the slow path is bit-for-bit the historical slow
+    /// path), else the static analyzer.
+    pub fn view(&self) -> Option<TimingView<'a>> {
+        if let Some(analysis) = self.analysis {
+            Some(TimingView::Sta(analysis))
+        } else {
+            self.statics.map(TimingView::Static)
+        }
+    }
 }
 
 /// What suite-scope rules need to know about one mode, extracted during
@@ -235,7 +264,7 @@ pub struct Rule {
     pub check: Check,
 }
 
-static RULES: [Rule; 12] = [
+static RULES: [Rule; 16] = [
     Rule {
         code: RuleCode::LintRefUndef,
         severity: Severity::Error,
@@ -339,6 +368,43 @@ static RULES: [Rule; 12] = [
               period or waveform) across modes; the merged mode will \
               rename one side (MM-CLK-RENAME).",
         check: Check::Suite(semantic::clk_xmode),
+    },
+    Rule {
+        code: RuleCode::AnDeadLogic,
+        severity: Severity::Info,
+        scope: Scope::Mode,
+        doc: "A cell output propagates a constant because of the mode's \
+              set_case_analysis (not an always-on tie cell); timing \
+              through it is statically dead in this mode.",
+        check: Check::PerMode(an_rules::dead_logic),
+    },
+    Rule {
+        code: RuleCode::AnClkCaseCut,
+        severity: Severity::Warning,
+        scope: Scope::Mode,
+        doc: "Case analysis disconnects a clock network: a clock that \
+              captures no endpoint would capture at least one with the \
+              mode's set_case_analysis constants removed.",
+        check: Check::PerMode(an_rules::clk_case_cut),
+    },
+    Rule {
+        code: RuleCode::AnExcUnarmed,
+        severity: Severity::Warning,
+        scope: Scope::Mode,
+        doc: "A path exception whose -from, -through or -to anchors are \
+              all statically dead (case-constant, disabled, or on a \
+              dead clock) can never match a path in this mode.",
+        check: Check::PerMode(an_rules::exc_unarmed),
+    },
+    Rule {
+        code: RuleCode::AnEndDead,
+        severity: Severity::Info,
+        scope: Scope::Mode,
+        doc: "An endpoint whose data or clock pin is blocked by the \
+              mode's case analysis or disables; it is deliberately cut \
+              in this mode (distinct from the suite-wide ML-END-UNCONST \
+              coverage hole).",
+        check: Check::PerMode(an_rules::end_dead),
     },
 ];
 
@@ -465,11 +531,13 @@ fn run_suite_rules(suite: &SuiteCtx<'_>) -> Vec<Finding> {
     findings
 }
 
-/// Builds the suite summary for one bound (or unbound) mode.
+/// Builds the suite summary for one bound (or unbound) mode. Works off
+/// a [`TimingView`], so the fast and slow paths summarize identically.
 fn summarize(
+    netlist: &Netlist,
     input: &ModeInput,
     mode: Option<&Mode>,
-    analysis: Option<&Analysis<'_>>,
+    view: Option<TimingView<'_>>,
 ) -> ModeSummary {
     let mut summary = ModeSummary {
         name: input.name.clone(),
@@ -478,26 +546,21 @@ fn summarize(
         constrained: Vec::new(),
         clock_idents: Vec::new(),
     };
-    let (Some(mode), Some(analysis)) = (mode, analysis) else {
+    let (Some(mode), Some(view)) = (mode, view) else {
         return summary;
     };
-    let mut endpoints = analysis.endpoints();
+    let mut endpoints = view.endpoints();
     endpoints.sort();
     summary.constrained = endpoints
         .iter()
         .copied()
-        .filter(|&e| !analysis.capture_clocks(e).is_empty())
+        .filter(|&e| view.is_endpoint_captured(e))
         .collect();
     summary.endpoints = endpoints;
     summary.clock_idents = mode
         .clocks
         .iter()
-        .map(|c| {
-            (
-                c.name.clone(),
-                semantic::clock_identity(analysis.netlist(), c),
-            )
-        })
+        .map(|c| (c.name.clone(), semantic::clock_identity(netlist, c)))
         .collect();
     summary.clock_idents.sort();
     summary
@@ -512,23 +575,54 @@ pub fn lint_modes(
     inputs: &[ModeInput],
     threads: usize,
 ) -> Result<LintReport, MergeError> {
+    lint_modes_impl(netlist, inputs, threads, false)
+}
+
+/// [`lint_modes`] on the static analyzer: semantic rules are answered
+/// from [`ModeAnalysis`] bitsets instead of a per-mode STA
+/// [`Analysis`] — no tag propagation, no arrival windows. Findings are
+/// identical to [`lint_modes`] (held down by `tests/analyze_vs_sta.rs`)
+/// at a fraction of the cost; this is the `lint --fast` / LSP
+/// keystroke path.
+pub fn lint_modes_fast(
+    netlist: &Netlist,
+    inputs: &[ModeInput],
+    threads: usize,
+) -> Result<LintReport, MergeError> {
+    lint_modes_impl(netlist, inputs, threads, true)
+}
+
+fn lint_modes_impl(
+    netlist: &Netlist,
+    inputs: &[ModeInput],
+    threads: usize,
+    fast: bool,
+) -> Result<LintReport, MergeError> {
     let graph = TimingGraph::build(netlist).map_err(MergeError::Bind)?;
+    let pin_names = syntactic::pin_name_table(netlist);
+    // The no-case constants baseline depends only on the netlist;
+    // compute it once and clone it into each mode's analyzer build.
+    let baseline = modemerge_sta::constants::Constants::compute(netlist, &Default::default());
     let per_mode: Vec<(Vec<Finding>, ModeSummary, Option<String>)> =
         pool::run_indexed(threads.max(1), inputs.len(), |i| {
             let input = &inputs[i];
             match Mode::bind(input.name.clone(), netlist, &input.sdc) {
                 Ok(mode) => {
-                    let analysis = Analysis::run(netlist, &graph, &mode);
+                    let analysis = (!fast).then(|| Analysis::run(netlist, &graph, &mode));
+                    let statics =
+                        ModeAnalysis::build_with_baseline(netlist, &graph, &mode, baseline.clone());
                     let ctx = LintCtx {
                         netlist,
                         input,
                         mode: Some(&mode),
-                        analysis: Some(&analysis),
+                        analysis: analysis.as_ref(),
+                        statics: Some(&statics),
                         graph: Some(&graph),
+                        pin_names: &pin_names,
                     };
                     let mut findings = parse_findings(input);
                     findings.extend(run_mode_rules(&ctx));
-                    let summary = summarize(input, Some(&mode), Some(&analysis));
+                    let summary = summarize(netlist, input, Some(&mode), ctx.view());
                     (findings, summary, None)
                 }
                 Err(err) => {
@@ -537,13 +631,15 @@ pub fn lint_modes(
                         input,
                         mode: None,
                         analysis: None,
+                        statics: None,
                         graph: Some(&graph),
+                        pin_names: &pin_names,
                     };
                     let mut findings = parse_findings(input);
                     findings.extend(run_mode_rules(&ctx));
                     (
                         findings,
-                        summarize(input, None, None),
+                        summarize(netlist, input, None, None),
                         Some(err.to_string()),
                     )
                 }
@@ -596,21 +692,27 @@ pub fn lint_session(session: &MergeSession<'_>) -> LintReport {
         modes_bound: session.mode_count(),
         bind_errors: Vec::new(),
     };
+    let pin_names = syntactic::pin_name_table(session.analysis(0).netlist());
     let mut summaries = Vec::with_capacity(session.mode_count());
     for i in 0..session.mode_count() {
+        let netlist = session.analysis(i).netlist();
+        let statics = ModeAnalysis::build(netlist, session.graph(), session.mode(i));
         let ctx = LintCtx {
-            netlist: session.analysis(i).netlist(),
+            netlist,
             input: session.input(i),
             mode: Some(session.mode(i)),
             analysis: Some(session.analysis(i)),
+            statics: Some(&statics),
             graph: Some(session.graph()),
+            pin_names: &pin_names,
         };
         report.findings.extend(parse_findings(session.input(i)));
         report.findings.extend(run_mode_rules(&ctx));
         summaries.push(summarize(
+            netlist,
             session.input(i),
             Some(session.mode(i)),
-            Some(session.analysis(i)),
+            ctx.view(),
         ));
     }
     let suite = SuiteCtx {
@@ -666,14 +768,18 @@ mod tests {
     #[test]
     fn registry_is_well_formed() {
         let rules = registry();
-        assert_eq!(rules.len(), 12);
-        // Codes are unique, all ML-*, and docs are non-empty.
+        assert_eq!(rules.len(), 16);
+        // Codes are unique, all ML-*/AN-*, and docs are non-empty.
         let mut codes: Vec<&str> = rules.iter().map(|r| r.code.code()).collect();
         codes.sort_unstable();
         codes.dedup();
         assert_eq!(codes.len(), rules.len(), "duplicate rule code");
         for rule in rules {
-            assert!(rule.code.code().starts_with("ML-"), "{}", rule.code.code());
+            assert!(
+                rule.code.code().starts_with("ML-") || rule.code.code().starts_with("AN-"),
+                "{}",
+                rule.code.code()
+            );
             assert!(!rule.doc.is_empty());
             match (rule.scope, &rule.check) {
                 (Scope::Mode, Check::PerMode(_)) | (Scope::Suite, Check::Suite(_)) => {}

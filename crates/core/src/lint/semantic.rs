@@ -1,20 +1,23 @@
 //! Semantic/graph lint rules.
 //!
-//! These rules reuse the per-mode STA [`Analysis`] — the same cached
-//! object the merge pipeline consumes, so gating a merge on them costs
-//! no extra propagation. When a mode failed to bind, the rules that
-//! need a bound [`Mode`] quietly skip; `ML-CASE-CONTRA` keeps a purely
-//! syntactic first stage so it still fires on the very contradiction
-//! that made binding fail.
+//! These rules read a [`TimingView`] (`ctx.view()`): on the slow path
+//! that is the per-mode STA [`Analysis`] — the same cached object the
+//! merge pipeline consumes, so gating a merge on them costs no extra
+//! propagation — and under `lint --fast` it is the static
+//! [`ModeAnalysis`], whose reachability is bit-identical. When a mode
+//! failed to bind, the rules that need a bound [`Mode`] quietly skip;
+//! `ML-CASE-CONTRA` keeps a purely syntactic first stage so it still
+//! fires on the very contradiction that made binding fail.
 //!
 //! [`Analysis`]: modemerge_sta::analysis::Analysis
+//! [`TimingView`]: crate::analyze::TimingView
+//! [`ModeAnalysis`]: crate::analyze::ModeAnalysis
 
 use super::syntactic::{RefKind, Resolver};
 use super::{Finding, LintCtx, Severity, SuiteCtx, SUITE_MODE};
 use crate::provenance::RuleCode;
 use modemerge_netlist::{Netlist, PinId};
 use modemerge_sdc::ast::{Command, PathExceptionKind, SetupHold};
-use modemerge_sta::analysis::Analysis;
 use modemerge_sta::mode::{Clock, ClockId, Exception};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -33,22 +36,13 @@ pub(super) fn clock_identity(netlist: &Netlist, clock: &Clock) -> String {
     )
 }
 
-/// Union of clocks that capture at least one endpoint.
-fn capturing_clocks(analysis: &Analysis<'_>) -> BTreeSet<ClockId> {
-    let mut captured = BTreeSet::new();
-    for endpoint in analysis.endpoints() {
-        captured.extend(analysis.capture_clocks(endpoint));
-    }
-    captured
-}
-
 /// `ML-CLK-NO-ENDPOINT` — a non-virtual clock that captures no
 /// sequential endpoint and anchors no I/O delay constrains nothing.
 pub(super) fn clk_no_endpoint(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
-    let (Some(mode), Some(analysis)) = (ctx.mode, ctx.analysis) else {
+    let (Some(mode), Some(view)) = (ctx.mode, ctx.view()) else {
         return;
     };
-    let captured = capturing_clocks(analysis);
+    let captured = view.capturing_clocks();
     for id in mode.clock_ids() {
         let clock = mode.clock(id);
         if clock.sources.is_empty() {
@@ -82,7 +76,7 @@ pub(super) fn clk_no_endpoint(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
 /// constant through the case-analysis cone — the forced value wins in
 /// the engine, but the constraint contradicts the logic.
 pub(super) fn case_contra(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
-    let resolver = Resolver::new(ctx.netlist, &ctx.input.sdc);
+    let resolver = Resolver::new(ctx);
     let mut forced: BTreeMap<PinId, (bool, u32)> = BTreeMap::new();
     for (idx, cmd) in ctx.input.sdc.commands().iter().enumerate() {
         let Command::SetCaseAnalysis(c) = cmd else {
@@ -113,10 +107,10 @@ pub(super) fn case_contra(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
         }
     }
 
-    let (Some(mode), Some(analysis)) = (ctx.mode, ctx.analysis) else {
+    let (Some(mode), Some(view)) = (ctx.mode, ctx.view()) else {
         return;
     };
-    let constants = analysis.constants();
+    let constants = view.constants();
     for (&pin, &value) in &mode.case_values {
         let Some(driver) = ctx.netlist.driver_of(pin) else {
             continue;
@@ -203,16 +197,17 @@ pub(super) fn exc_shadow(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
 
 /// `ML-DIS-CLK-CUT` — `set_disable_timing` disconnects a clock network:
 /// a clock that captures nothing would capture at least one endpoint
-/// with the mode's disables removed. Costs one extra analysis, and only
-/// when a mode has both disables and a capture-less clock.
+/// with the mode's disables removed. Costs one extra analysis (a bitset
+/// re-sweep on the fast path), and only when a mode has both disables
+/// and a capture-less clock.
 pub(super) fn dis_clk_cut(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
-    let (Some(mode), Some(analysis), Some(graph)) = (ctx.mode, ctx.analysis, ctx.graph) else {
+    let (Some(mode), Some(view)) = (ctx.mode, ctx.view()) else {
         return;
     };
     if mode.disabled_pins.is_empty() && mode.disabled_arcs.is_empty() {
         return;
     }
-    let captured = capturing_clocks(analysis);
+    let captured = view.capturing_clocks();
     let candidates: Vec<ClockId> = mode
         .clock_ids()
         .filter(|&id| !mode.clock(id).sources.is_empty() && !captured.contains(&id))
@@ -220,11 +215,7 @@ pub(super) fn dis_clk_cut(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
     if candidates.is_empty() {
         return;
     }
-    let mut relaxed = mode.clone();
-    relaxed.disabled_pins.clear();
-    relaxed.disabled_arcs.clear();
-    let relaxed_analysis = Analysis::run(ctx.netlist, graph, &relaxed);
-    let captured_relaxed = capturing_clocks(&relaxed_analysis);
+    let captured_relaxed = view.capturing_clocks_relaxed();
     for id in candidates {
         if captured_relaxed.contains(&id) {
             let clock = mode.clock(id);

@@ -74,24 +74,29 @@ struct RefSite<'a> {
     pattern: &'a str,
 }
 
+/// Every pin name of the netlist, formatted once. Building this walks
+/// and allocates the whole pin namespace (`inst/PIN` strings), so the
+/// lint drivers compute it once per invocation and every rule's
+/// [`Resolver`] borrows it — rebuilding it per rule per mode used to
+/// dominate the entire lint wall time.
+pub fn pin_name_table(netlist: &Netlist) -> Vec<String> {
+    netlist.pin_ids().map(|p| netlist.pin_name(p)).collect()
+}
+
 /// Name resolution shared by the syntactic rules. Mirrors binder
 /// lookups; glob counting walks the full namespace.
 pub(crate) struct Resolver<'a> {
     netlist: &'a Netlist,
     clock_names: BTreeSet<String>,
-    pin_names: Vec<String>,
+    pin_names: &'a [String],
 }
 
 impl<'a> Resolver<'a> {
-    pub(crate) fn new(netlist: &'a Netlist, sdc: &SdcFile) -> Self {
-        let pin_names = netlist
-            .pin_ids()
-            .map(|p| netlist.pin_name(p))
-            .collect::<Vec<_>>();
+    pub(crate) fn new(ctx: &LintCtx<'a>) -> Self {
         Resolver {
-            netlist,
-            clock_names: defined_clock_names(sdc),
-            pin_names,
+            netlist: ctx.netlist,
+            clock_names: defined_clock_names(&ctx.input.sdc),
+            pin_names: ctx.pin_names,
         }
     }
 
@@ -170,7 +175,7 @@ impl<'a> Resolver<'a> {
         let mut pins = Vec::new();
         for_patterns(refs, default_kind, |_, pattern| {
             if is_glob(pattern) {
-                for name in &self.pin_names {
+                for name in self.pin_names {
                     if glob_match(pattern, name) {
                         if let Some(p) = self.netlist.find_pin(name) {
                             pins.push(p);
@@ -330,7 +335,7 @@ pub(crate) fn exception_name(kind: &PathExceptionKind) -> &'static str {
 
 /// `ML-REF-UNDEF` — a non-glob reference resolves to nothing.
 pub(super) fn ref_undef(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
-    let resolver = Resolver::new(ctx.netlist, &ctx.input.sdc);
+    let resolver = Resolver::new(ctx);
     for_each_ref(&ctx.input.sdc, |site| {
         if is_glob(site.pattern) {
             return;
@@ -354,7 +359,7 @@ pub(super) fn ref_undef(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
 
 /// `ML-GLOB-ZERO` — a glob pattern matches zero objects of its class.
 pub(super) fn glob_zero(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
-    let resolver = Resolver::new(ctx.netlist, &ctx.input.sdc);
+    let resolver = Resolver::new(ctx);
     for_each_ref(&ctx.input.sdc, |site| {
         if !is_glob(site.pattern) {
             return;
@@ -379,7 +384,7 @@ pub(super) fn glob_zero(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
 /// `ML-CLK-DUP-SRC` — duplicate clock names, or a second `create_clock`
 /// without `-add` on an already-clocked source.
 pub(super) fn clk_dup_src(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
-    let resolver = Resolver::new(ctx.netlist, &ctx.input.sdc);
+    let resolver = Resolver::new(ctx);
     let mut names_seen: BTreeMap<String, u32> = BTreeMap::new();
     let mut source_clock: BTreeMap<PinId, String> = BTreeMap::new();
     for (idx, cmd) in ctx.input.sdc.commands().iter().enumerate() {
@@ -495,7 +500,7 @@ pub(super) fn io_bad_clock(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
 /// `ML-EXC-EMPTY` — an exception selector list that is non-empty in the
 /// text but resolves to zero objects.
 pub(super) fn exc_empty(ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
-    let resolver = Resolver::new(ctx.netlist, &ctx.input.sdc);
+    let resolver = Resolver::new(ctx);
     for (idx, cmd) in ctx.input.sdc.commands().iter().enumerate() {
         let Command::PathException(c) = cmd else {
             continue;

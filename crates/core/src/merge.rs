@@ -50,6 +50,12 @@ pub struct MergeOptions {
     /// diagnostics in reports, and the merge proceeds on the partial
     /// files.
     pub strict_parse: bool,
+    /// Answer lint jobs from the static analyzer
+    /// ([`crate::lint::lint_modes_fast`]) instead of per-mode session
+    /// STA. Findings are identical by construction, but the flag rides
+    /// the request wire format and the options fingerprint so
+    /// provenance records *how* a report was produced.
+    pub fast: bool,
 }
 
 impl Default for MergeOptions {
@@ -65,6 +71,7 @@ impl Default for MergeOptions {
             group_fixes: true,
             memo_budget_kb: None,
             strict_parse: false,
+            fast: false,
         }
     }
 }
@@ -96,6 +103,7 @@ impl MergeOptions {
                 },
             ),
             ("strict_parse".into(), Json::Bool(self.strict_parse)),
+            ("fast".into(), Json::Bool(self.fast)),
         ])
     }
 
@@ -172,6 +180,9 @@ impl MergeOptions {
                     out.strict_parse = value
                         .as_bool()
                         .ok_or("options.strict_parse: not a boolean")?;
+                }
+                "fast" => {
+                    out.fast = value.as_bool().ok_or("options.fast: not a boolean")?;
                 }
                 other => return Err(format!("options.{other}: unknown option")),
             }

@@ -1,12 +1,33 @@
 //! Mergeability analysis: the mock merge, the mergeability graph
 //! (Figure 2 of the paper) and the greedy clique cover.
 
+use crate::analyze::ModeAnalysis;
 use crate::error::MergeConflict;
 use crate::merge::MergeOptions;
 use crate::pool;
 use crate::preliminary::preliminary_merge;
 use modemerge_netlist::Netlist;
+use modemerge_sta::graph::TimingGraph;
 use modemerge_sta::mode::Mode;
+
+/// One static fingerprint per mode ([`ModeAnalysis::fingerprint`]):
+/// the clock-reachability bitsets, propagated constants and endpoint
+/// set, folded to a `u64`. The fingerprint is a pure function of
+/// `netlist` + bound mode, so two modes bound from byte-identical SDC
+/// always print equal — which is what makes it usable as a *sound
+/// tightener* of the session's identical-SDC fast-accept pre-screen:
+/// requiring equal prints in addition to equal SDC can only shrink the
+/// set of pairs that skip the mock merge, never admit a new one, so
+/// the mergeability verdict (and everything downstream) is unchanged.
+pub fn static_fingerprints(netlist: &Netlist, graph: &TimingGraph, modes: &[&Mode]) -> Vec<u64> {
+    let baseline = modemerge_sta::constants::Constants::compute(netlist, &Default::default());
+    modes
+        .iter()
+        .map(|mode| {
+            ModeAnalysis::build_with_baseline(netlist, graph, mode, baseline.clone()).fingerprint()
+        })
+        .collect()
+}
 
 /// The mergeability graph: vertices are modes, edges join pairs that the
 /// mock preliminary merge found compatible.

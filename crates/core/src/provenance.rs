@@ -117,6 +117,18 @@ pub enum RuleCode {
     SdcArgMissing,
     /// Parse — argument present but malformed or contradictory.
     SdcArgInvalid,
+    /// Analyzer — a cell output forced constant by the mode's case
+    /// analysis (timing through it is statically dead).
+    AnDeadLogic,
+    /// Analyzer — case analysis cuts a clock off from every endpoint it
+    /// would otherwise capture.
+    AnClkCaseCut,
+    /// Analyzer — a path exception whose anchors are all statically
+    /// dead; it can never match in this mode.
+    AnExcUnarmed,
+    /// Analyzer — an endpoint whose data or clock pin is blocked by the
+    /// mode's case analysis or disables.
+    AnEndDead,
 }
 
 impl RuleCode {
@@ -164,6 +176,10 @@ impl RuleCode {
             Self::SdcOptUnknown => "SDC-OPT-UNKNOWN",
             Self::SdcArgMissing => "SDC-ARG-MISSING",
             Self::SdcArgInvalid => "SDC-ARG-INVALID",
+            Self::AnDeadLogic => "AN-DEAD-LOGIC",
+            Self::AnClkCaseCut => "AN-CLK-CASE-CUT",
+            Self::AnExcUnarmed => "AN-EXC-UNARMED",
+            Self::AnEndDead => "AN-END-DEAD",
         }
     }
 
@@ -211,6 +227,10 @@ impl RuleCode {
             Self::SdcOptUnknown,
             Self::SdcArgMissing,
             Self::SdcArgInvalid,
+            Self::AnDeadLogic,
+            Self::AnClkCaseCut,
+            Self::AnExcUnarmed,
+            Self::AnEndDead,
         ]
     }
 }
@@ -542,7 +562,8 @@ mod tests {
             assert!(
                 c.code().starts_with("MM-")
                     || c.code().starts_with("ML-")
-                    || c.code().starts_with("SDC-"),
+                    || c.code().starts_with("SDC-")
+                    || c.code().starts_with("AN-"),
                 "{c}"
             );
             assert!(seen.insert(c.code()), "duplicate code {c}");
@@ -557,6 +578,8 @@ mod tests {
         assert_eq!(RuleCode::LintClkXmode.code(), "ML-CLK-XMODE");
         assert_eq!(RuleCode::SdcCmdUnknown.code(), "SDC-CMD-UNKNOWN");
         assert_eq!(RuleCode::SdcArgInvalid.code(), "SDC-ARG-INVALID");
+        assert_eq!(RuleCode::AnDeadLogic.code(), "AN-DEAD-LOGIC");
+        assert_eq!(RuleCode::AnEndDead.code(), "AN-END-DEAD");
     }
 
     #[test]

@@ -40,7 +40,7 @@ use crate::equivalence::check_equivalence;
 use crate::error::{MergeConflict, MergeError};
 use crate::json::Json;
 use crate::merge::{MergeAllOutcome, MergeOptions, MergeOutcome, MergeReport, ModeInput};
-use crate::mergeability::{greedy_cliques, MergeabilityGraph};
+use crate::mergeability::{greedy_cliques, static_fingerprints, MergeabilityGraph};
 use crate::pool;
 use crate::preliminary::preliminary_merge_reused;
 use crate::provenance::DiagnosticSink;
@@ -282,6 +282,9 @@ pub struct MergeSession<'a> {
     inputs: &'a SessionInputs,
     options: MergeOptions,
     slots: Vec<OnceLock<Analysis<'a>>>,
+    /// Lazily computed static analyzer fingerprints, one per mode
+    /// (never counted as an analysis cache miss — no STA runs).
+    statics_fps: OnceLock<Vec<u64>>,
     misses: AtomicUsize,
     clock: StageClock,
 }
@@ -295,6 +298,7 @@ impl<'a> MergeSession<'a> {
             inputs,
             options: options.clone(),
             slots,
+            statics_fps: OnceLock::new(),
             misses: AtomicUsize::new(0),
             clock: StageClock::default(),
         }
@@ -389,10 +393,26 @@ impl<'a> MergeSession<'a> {
         });
     }
 
+    /// The static analyzer fingerprint of every mode
+    /// ([`crate::mergeability::static_fingerprints`]), computed lazily
+    /// on first use and cached for the session's lifetime. Costs one
+    /// constant propagation plus one bitset sweep per mode — no STA.
+    pub fn static_fingerprints(&self) -> &[u64] {
+        self.statics_fps.get_or_init(|| {
+            static_fingerprints(
+                self.netlist,
+                &self.inputs.graph,
+                &self.inputs.modes.iter().collect::<Vec<_>>(),
+            )
+        })
+    }
+
     /// Builds the mergeability graph (Figure 2) over the session's
     /// modes.
     ///
-    /// Pairs with byte-identical input SDC are pre-screened as mergeable
+    /// Pairs with byte-identical input SDC — and, as a belt-and-braces
+    /// soundness tightening, equal static analyzer fingerprints, which
+    /// identical SDC always implies — are pre-screened as mergeable
     /// without running the mock merge (self-merge is an identity); all
     /// other pairs run the full mock preliminary merge, so the conflict
     /// matrix is unchanged by the pre-screen.
@@ -410,9 +430,17 @@ impl<'a> MergeSession<'a> {
     ) -> MergeabilityGraph {
         let t0 = Instant::now();
         let mode_refs: Vec<&Mode> = self.inputs.modes.iter().collect();
+        let fps = self.static_fingerprints();
         let graph =
             MergeabilityGraph::build_with(self.netlist, &mode_refs, &self.options, |i, j| {
-                if self.inputs.inputs[i].sdc == self.inputs.inputs[j].sdc {
+                // Tightening the fast-accept with the fingerprint check
+                // cannot change the verdict: identical SDC implies equal
+                // fingerprints (the analysis is a pure function of
+                // netlist + bound mode), so the condition below accepts
+                // exactly the pairs the SDC check alone accepted — while
+                // guarding against any future identity drift between
+                // parse-level equality and bound-mode equality.
+                if self.inputs.inputs[i].sdc == self.inputs.inputs[j].sdc && fps[i] == fps[j] {
                     return Some(Vec::new());
                 }
                 resolve(i, j)

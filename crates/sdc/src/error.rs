@@ -118,6 +118,24 @@ impl SdcDiagCode {
         }
     }
 
+    /// A one-line human description of what the code means, for rule
+    /// listings (`lint --list-rules`) and SARIF rule metadata.
+    pub fn description(self) -> &'static str {
+        match self {
+            Self::BraceUnbalanced => "Unbalanced {/} brace in a logical SDC line.",
+            Self::StringUnterminated => "A \" string left open at end of line.",
+            Self::BracketUnbalanced => "Unbalanced [/] around an object query.",
+            Self::QueryUnsupported => {
+                "Bracket command outside the supported get_* set, a nested \
+                 query, or a [ with no command word."
+            }
+            Self::CmdUnknown => "Command outside the supported SDC subset.",
+            Self::OptUnknown => "Option flag the command does not accept.",
+            Self::ArgMissing => "Required option or positional value absent.",
+            Self::ArgInvalid => "Argument present but malformed or contradictory.",
+        }
+    }
+
     /// Every registered code, in declaration order.
     pub fn all() -> &'static [SdcDiagCode] {
         &[

@@ -43,7 +43,10 @@
 //! the SDC lossily instead: the job proceeds over the valid commands
 //! and the reply's `result` carries the parse findings as data
 //! (`options.strict_parse` restores the old refuse-on-first-error
-//! behavior).
+//! behavior). `lint` with `options.fast` answers from the static
+//! timing-graph analyzer instead of per-mode STA — same findings,
+//! interactive latency — and the flag rides the options fingerprint,
+//! so fast and slow reports are cached under distinct keys.
 //!
 //! A full queue refuses admission with `"overloaded":true` instead of
 //! buffering unboundedly — backpressure the client sees immediately.

@@ -461,15 +461,20 @@ fn compute(state: &ServerState, job: &Job) -> Result<String, String> {
 
 /// Lint must succeed on defective suites (that is its job), so it binds
 /// per mode itself instead of going through the all-or-nothing
-/// [`SessionInputs::bind`].
+/// [`SessionInputs::bind`]. `options.fast` routes to the static
+/// analyzer backend — identical findings, no per-mode STA.
 fn lint(
     state: &ServerState,
     netlist: &Netlist,
     inputs: &[modemerge_core::ModeInput],
     options: &MergeOptions,
 ) -> Result<String, String> {
-    let report = modemerge_core::lint::lint_modes(netlist, inputs, options.threads)
-        .map_err(|e| e.to_string())?;
+    let report = if options.fast {
+        modemerge_core::lint::lint_modes_fast(netlist, inputs, options.threads)
+    } else {
+        modemerge_core::lint::lint_modes(netlist, inputs, options.threads)
+    }
+    .map_err(|e| e.to_string())?;
     state
         .lint_findings
         .fetch_add(report.findings.len() as u64, Ordering::SeqCst);

@@ -31,19 +31,26 @@ impl Constants {
 
         let mut queue: Vec<PinId> = case_values.keys().copied().collect();
 
-        // Seed: evaluate every combinational instance once (tie cells
-        // produce constants with no inputs).
-        for inst_id in netlist.instance_ids() {
-            let inst = netlist.instance(inst_id);
-            let cell = netlist.library().cell(inst.cell());
+        // Seed: only a cell whose function folds with every input
+        // unknown (a tie cell) produces a constant before propagation —
+        // anything reacting to a case value is re-evaluated by the
+        // worklist when the value reaches its input, and the fixpoint
+        // is order-independent (propagation is monotone). Folding once
+        // per library cell avoids an allocation and evaluation per
+        // instance, which used to dominate on 100k-cell netlists.
+        let lib = netlist.library();
+        let mut fold: Vec<Option<bool>> = vec![None; lib.cell_count()];
+        for (id, cell) in lib.iter() {
             if cell.is_sequential() {
                 continue;
             }
-            let inputs: Vec<Option<bool>> = cell
-                .input_pin_indices()
-                .map(|i| values[inst.pins()[i].index()])
-                .collect();
-            if let Some(v) = cell.function().eval(&inputs) {
+            let unknown = vec![None; cell.input_pin_indices().count()];
+            fold[id.index()] = cell.function().eval(&unknown);
+        }
+        for inst_id in netlist.instance_ids() {
+            let inst = netlist.instance(inst_id);
+            if let Some(v) = fold[inst.cell().index()] {
+                let cell = lib.cell(inst.cell());
                 for out_idx in cell.output_pin_indices() {
                     let out = inst.pins()[out_idx];
                     if values[out.index()].is_none() {

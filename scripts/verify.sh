@@ -254,6 +254,32 @@ if "$MM" merge --netlist "$SMOKE_DIR/suite/design.nl" "${mode_args[@]}" \
 fi
 echo "    lint gate OK (clean passes, seeded defect refused)"
 
+echo "==> smoke: static analyzer rules (lint --fast, AN-* in text and SARIF)"
+# Seeded dead logic and a shadowed exception on the checked-in paper
+# circuit: sel1=sel2=0 makes xorS/Z a case constant, so the -through
+# exception anchored there can never arm. Both findings must come out
+# of the STA-free fast path, in the text report and in SARIF.
+AN_SDC="$SMOKE_DIR/an_smoke.sdc"
+cat >"$AN_SDC" <<'SDC'
+create_clock -name c -period 10 [get_ports clk1]
+set_input_delay 1 -clock c [get_ports in1]
+set_output_delay 1 -clock c [get_ports out1]
+set_case_analysis 0 [get_ports sel1]
+set_case_analysis 0 [get_ports sel2]
+set_false_path -through [get_pins xorS/Z]
+SDC
+an_text="$("$MM" lint --fast --netlist tests/fixtures/paper.nl --mode "AN=$AN_SDC")"
+for code in AN-DEAD-LOGIC AN-EXC-UNARMED; do
+    printf '%s\n' "$an_text" | grep -q "$code" \
+        || { echo "FAIL: fast lint text lacks $code" >&2; printf '%s\n' "$an_text" >&2; exit 1; }
+done
+an_sarif="$("$MM" lint --fast --sarif --netlist tests/fixtures/paper.nl --mode "AN=$AN_SDC")"
+for code in AN-DEAD-LOGIC AN-EXC-UNARMED; do
+    printf '%s\n' "$an_sarif" | grep -q "\"ruleId\":\"$code\"" \
+        || { echo "FAIL: fast lint SARIF lacks $code" >&2; exit 1; }
+done
+echo "    analyzer smoke OK (dead logic + unarmed exception, text and SARIF)"
+
 echo "==> smoke: lsp answers initialize/didOpen/definition/hover over stdio"
 # The language server on the generated suite: open the first mode with
 # two seeded defects (an unknown command -> SDC-CMD-UNKNOWN, an
@@ -546,5 +572,48 @@ if [ -z "$sat_ok" ]; then
     exit 1
 fi
 echo "    registered warm >= 2x payload warm (fresh ${fresh_ratio}x, checked-in ${base_ratio}x)"
+
+echo "==> smoke: static_analysis bench with >=10x fast-lint tripwire"
+# The checked-in BENCH_analysis.json 100k-cell/32-mode row must hold
+# the ISSUE-10 acceptance floor: fast lint >= 10x STA-backed lint.
+# Fresh, only the 5000x8 point is re-measured (the 100k slow side
+# costs minutes): the speedup gap narrows at small scale, so the fresh
+# floor is 3x — low enough that container noise cannot flake the
+# build, high enough that a broken fast path (which would also fail
+# the bench's internal byte-identity assert) trips loudly.
+an_speedup() { # $1=report $2=target_cells -> that row's speedup
+    grep -o "\"target_cells\":$2,[^}]*" "$1" | grep -o '"speedup":[0-9.]*' | cut -d: -f2
+}
+base_speedup="$(an_speedup BENCH_analysis.json 100000)"
+[ -n "$base_speedup" ] || { echo "FAIL: no 100k row in BENCH_analysis.json" >&2; exit 1; }
+awk -v s="$base_speedup" 'BEGIN { exit !(s >= 10) }' \
+    || { echo "FAIL: checked-in 100k fast-lint speedup ${base_speedup}x is below 10x" >&2; exit 1; }
+AN_OUT="$SMOKE_DIR/BENCH_analysis.json"
+run_analysis() {
+    MODEMERGE_ANALYSIS_GRID=5000x8 MODEMERGE_BENCH_OUT="$AN_OUT" \
+        cargo bench -q -p modemerge-bench --bench static_analysis \
+        >"$SMOKE_DIR/analysis.log" 2>&1
+}
+run_analysis \
+    || { echo "FAIL: static_analysis bench run failed" >&2; cat "$SMOKE_DIR/analysis.log" >&2; exit 1; }
+grep -q '"bench":"static_analysis"' "$AN_OUT" \
+    || { echo "FAIL: analysis report lacks its identity field" >&2; cat "$AN_OUT" >&2; exit 1; }
+an_ok=""
+for attempt in 1 2 3; do
+    fresh_speedup="$(an_speedup "$AN_OUT" 5000)"
+    [ -n "$fresh_speedup" ] || { echo "FAIL: no 5000-cell row in fresh analysis report" >&2; exit 1; }
+    if awk -v s="$fresh_speedup" 'BEGIN { exit !(s >= 3) }'; then
+        an_ok=yes
+        break
+    fi
+    echo "    attempt $attempt: fresh 5000-cell speedup ${fresh_speedup}x below 3x; re-measuring"
+    run_analysis \
+        || { echo "FAIL: static_analysis bench re-run failed" >&2; exit 1; }
+done
+if [ -z "$an_ok" ]; then
+    echo "FAIL: fresh fast-lint speedup ${fresh_speedup}x is below the 3x tripwire" >&2
+    exit 1
+fi
+echo "    fast lint >= 10x at 100k (checked-in ${base_speedup}x), fresh 5000x8 ${fresh_speedup}x"
 
 echo "==> verify.sh: all checks passed"

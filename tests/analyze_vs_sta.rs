@@ -1,0 +1,264 @@
+//! Differential guarantee of `lint --fast`: the static analyzer backend
+//! ([`lint_modes_fast`]) must produce **byte-identical** reports to the
+//! per-mode-STA backend ([`lint_modes`]) — same findings, same order,
+//! same text and JSON — on the whole seeded-defect fixture corpus of
+//! `tests/lint_rules.rs` plus a generated 5k-cell suite, at any thread
+//! count. This is what licenses answering interactive lint (CLI
+//! `--fast`, LSP keystrokes, service `options.fast`) without running
+//! STA.
+//!
+//! Also holds down the mergeability pre-screen soundness claim: static
+//! clock-reachability fingerprints tighten the identical-SDC
+//! fast-accept without ever changing the mergeability verdict or the
+//! merged output.
+
+use modemerge::merge::merge::{MergeOptions, ModeInput};
+use modemerge::merge::session::{MergeSession, SessionInputs};
+use modemerge::merge::{lint_modes, lint_modes_fast};
+use modemerge::netlist::paper::paper_circuit;
+use modemerge::netlist::Netlist;
+use modemerge::workload::{generate_suite, SuiteSpec};
+
+/// The clean baseline mode of the lint fixture corpus.
+const CLEAN: &str = "create_clock -name c -period 10 [get_ports clk1]\n\
+                     set_input_delay 1 -clock c [get_ports in1]\n\
+                     set_output_delay 1 -clock c [get_ports out1]\n";
+
+/// Every seeded-defect fixture from `tests/lint_rules.rs`, one mode per
+/// rule (including the suite-scope and bind-failure cases), plus
+/// analyzer-rule triggers: dead case logic, a case-cut clock, an
+/// unarmed exception and dead endpoints.
+fn fixture_corpus() -> Vec<(&'static str, String)> {
+    vec![
+        ("clean", CLEAN.to_owned()),
+        (
+            "ref_undef",
+            format!("{CLEAN}set_false_path -from [get_pins nothere/Q] -to [get_pins rX/D]\n"),
+        ),
+        (
+            "glob_zero",
+            format!("{CLEAN}set_false_path -from [get_pins zz*/Q] -to [get_pins rX/D]\n"),
+        ),
+        (
+            "clk_dup_src",
+            "create_clock -name c1 -period 10 [get_ports clk1]\n\
+             create_clock -name c2 -period 20 [get_ports clk1]\n"
+                .to_owned(),
+        ),
+        (
+            "io_bad_clock",
+            format!("{CLEAN}set_input_delay 2 -clock nope [get_ports in1]\n"),
+        ),
+        (
+            "exc_empty",
+            format!("{CLEAN}set_false_path -to [get_pins zz*/D]\n"),
+        ),
+        (
+            "exc_dup",
+            format!(
+                "{CLEAN}set_false_path -from [get_pins rA/Q] -to [get_pins rX/D]\n\
+                 set_false_path -from [get_pins rA/Q] -to [get_pins rX/D]\n"
+            ),
+        ),
+        (
+            "clk_no_endpoint",
+            "create_clock -name c -period 10 [get_ports clk1]\n\
+             create_clock -name cin -period 10 [get_ports in1]\n"
+                .to_owned(),
+        ),
+        (
+            "case_contra",
+            format!(
+                "{CLEAN}set_case_analysis 0 [get_ports sel1]\n\
+                 set_case_analysis 1 [get_ports sel1]\n"
+            ),
+        ),
+        (
+            "case_contra_prop",
+            format!(
+                "{CLEAN}set_case_analysis 0 [get_ports sel1]\n\
+                 set_case_analysis 0 [get_ports sel2]\n\
+                 set_case_analysis 1 [get_pins mux1/S]\n"
+            ),
+        ),
+        (
+            "exc_shadow",
+            format!(
+                "{CLEAN}set_multicycle_path 2 -to [get_pins rX/D]\n\
+                 set_false_path -to [get_pins rX/D]\n"
+            ),
+        ),
+        (
+            "dis_clk_cut",
+            "create_clock -name c2 -period 10 [get_ports clk2]\n\
+             set_disable_timing [get_pins mux1/B]\n"
+                .to_owned(),
+        ),
+        (
+            "end_unconst",
+            "create_clock -name c2 -period 10 [get_ports clk2]\n".to_owned(),
+        ),
+        (
+            "an_dead_and_unarmed",
+            format!(
+                "{CLEAN}set_case_analysis 0 [get_ports sel1]\n\
+                 set_case_analysis 0 [get_ports sel2]\n\
+                 set_false_path -through [get_pins xorS/Z]\n"
+            ),
+        ),
+        (
+            "unbound",
+            "create_clock -name c -period 10 [get_ports nosuch]\n".to_owned(),
+        ),
+    ]
+}
+
+fn parse_inputs(modes: &[(&str, String)]) -> Vec<ModeInput> {
+    modes
+        .iter()
+        .map(|(n, s)| ModeInput::parse((*n).to_owned(), s).expect("parse sdc"))
+        .collect()
+}
+
+/// Asserts fast and slow lint agree byte for byte (text and JSON) on
+/// `inputs`, at every thread count, and returns the slow report text.
+fn assert_fast_equals_slow(netlist: &Netlist, inputs: &[ModeInput]) -> String {
+    let slow = lint_modes(netlist, inputs, 1).expect("slow lint runs");
+    for threads in [1usize, 2, 8] {
+        let fast = lint_modes_fast(netlist, inputs, threads).expect("fast lint runs");
+        assert_eq!(
+            slow.to_text(),
+            fast.to_text(),
+            "fast lint text differs from slow at {threads} threads"
+        );
+        assert_eq!(
+            slow.to_json().to_string(),
+            fast.to_json().to_string(),
+            "fast lint JSON differs from slow at {threads} threads"
+        );
+    }
+    slow.to_text()
+}
+
+#[test]
+fn fast_lint_matches_slow_on_every_fixture_individually() {
+    let netlist = paper_circuit();
+    for (name, sdc) in fixture_corpus() {
+        let inputs = parse_inputs(&[(name, sdc)]);
+        assert_fast_equals_slow(&netlist, &inputs);
+    }
+}
+
+#[test]
+fn fast_lint_matches_slow_on_the_whole_fixture_suite() {
+    // All fixtures as one suite: suite-scope rules (ML-END-UNCONST,
+    // ML-CLK-XMODE) see cross-mode state, one mode fails to bind.
+    let netlist = paper_circuit();
+    let inputs = parse_inputs(&fixture_corpus());
+    let text = assert_fast_equals_slow(&netlist, &inputs);
+    assert!(text.contains("AN-DEAD-LOGIC"), "{text}");
+    assert!(text.contains("AN-EXC-UNARMED"), "{text}");
+}
+
+#[test]
+fn fast_lint_matches_slow_on_a_generated_5k_cell_suite() {
+    let spec = SuiteSpec::scale(5_000, 8, 7);
+    let suite = generate_suite(&spec);
+    let inputs: Vec<ModeInput> = suite
+        .modes
+        .iter()
+        .map(|(name, sdc)| ModeInput::new(name.clone(), sdc.clone()))
+        .collect();
+    assert_fast_equals_slow(&suite.netlist, &inputs);
+}
+
+/// The pre-screen's soundness, observed end to end: a suite with a
+/// byte-identical mode pair (pre-screen accepts the pair without STA)
+/// merges to the same output as the same suite with the pair's SDC
+/// text cosmetically reordered (pre-screen cannot accept; the full
+/// pairwise analysis runs) — at 1, 2 and 8 threads.
+#[test]
+fn pre_screen_leaves_merged_output_unchanged() {
+    let netlist = paper_circuit();
+    let a = "create_clock -name c -period 10 [get_ports clk1]\n\
+             set_input_delay 1 -clock c [get_ports in1]\n\
+             set_output_delay 1 -clock c [get_ports out1]\n";
+    // Same constraints, different command order: parses to a different
+    // SdcFile, so the identical-SDC fast-accept cannot fire.
+    let a_reordered = "create_clock -name c -period 10 [get_ports clk1]\n\
+                       set_output_delay 1 -clock c [get_ports out1]\n\
+                       set_input_delay 1 -clock c [get_ports in1]\n";
+    let b = "create_clock -name c2 -period 20 [get_ports clk2]\n\
+             set_case_analysis 1 [get_pins mux1/S]\n";
+
+    let merged = |pair_text: &str, threads: usize| -> (String, Vec<(usize, usize)>) {
+        let inputs = vec![
+            ModeInput::parse("M1".to_owned(), a).expect("parse"),
+            ModeInput::parse("M2".to_owned(), pair_text).expect("parse"),
+            ModeInput::parse("N".to_owned(), b).expect("parse"),
+        ];
+        let bound = SessionInputs::bind(&netlist, &inputs).expect("bind");
+        let options = MergeOptions {
+            threads,
+            ..Default::default()
+        };
+        let session = MergeSession::new(&netlist, &bound, &options);
+        // Force the mergeability pass (where the pre-screen lives)
+        // before merging, like the CLI plan/merge flow does.
+        let graph = session.mergeability();
+        let outcome = session.merge_all().expect("merge completes");
+        let text: String = outcome
+            .merged
+            .iter()
+            .map(|m| format!("=== {} ===\n{}", m.name, m.sdc.to_text()))
+            .collect();
+        let edges: Vec<(usize, usize)> = (0..graph.len())
+            .flat_map(|i| (i + 1..graph.len()).map(move |j| (i, j)))
+            .filter(|&(i, j)| graph.mergeable(i, j))
+            .collect();
+        (text, edges)
+    };
+
+    let (screened, screened_edges) = merged(a, 1);
+    let (full, full_edges) = merged(a_reordered, 1);
+    assert_eq!(
+        screened_edges, full_edges,
+        "pre-screen changed the mergeability verdict"
+    );
+    assert_eq!(
+        screened, full,
+        "pre-screen changed the merged output (M1/M2 are the same mode)"
+    );
+    for threads in [2usize, 8] {
+        assert_eq!(screened, merged(a, threads).0, "threads={threads}");
+    }
+}
+
+/// The fingerprints themselves: equal for byte-identical modes (the
+/// tightened fast-accept stays a fast-accept), different when the case
+/// analysis changes clock reach, and computed lazily without spending
+/// STA analyses.
+#[test]
+fn static_fingerprints_separate_modes_without_running_sta() {
+    let netlist = paper_circuit();
+    let a = "create_clock -name c -period 10 [get_ports clk1]\n";
+    let b = "create_clock -name c -period 10 [get_ports clk1]\n\
+             set_case_analysis 1 [get_pins mux1/S]\n";
+    let inputs = vec![
+        ModeInput::parse("A1".to_owned(), a).expect("parse"),
+        ModeInput::parse("A2".to_owned(), a).expect("parse"),
+        ModeInput::parse("B".to_owned(), b).expect("parse"),
+    ];
+    let bound = SessionInputs::bind(&netlist, &inputs).expect("bind");
+    let options = MergeOptions::default();
+    let session = MergeSession::new(&netlist, &bound, &options);
+    let fps = session.static_fingerprints();
+    assert_eq!(fps.len(), 3);
+    assert_eq!(fps[0], fps[1], "identical SDC must fingerprint equal");
+    assert_ne!(fps[0], fps[2], "case-cut clock reach must separate");
+    assert_eq!(
+        session.analyses_run(),
+        0,
+        "fingerprinting must not spend STA analyses"
+    );
+}

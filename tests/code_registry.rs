@@ -1,4 +1,5 @@
-//! Registry consistency: the stable `MM-*` / `ML-*` / `SDC-*` codes.
+//! Registry consistency: the stable `MM-*` / `ML-*` / `SDC-*` / `AN-*`
+//! codes.
 //!
 //! The codes are an external contract — sign-off scripts grep merge
 //! logs and SARIF files for them — so CHANGELOG.md carries the
@@ -10,7 +11,7 @@
 use modemerge::merge::RuleCode;
 use std::collections::BTreeMap;
 
-/// Extracts every `MM-*` / `ML-*` / `SDC-*` token from `text`,
+/// Extracts every `MM-*` / `ML-*` / `SDC-*` / `AN-*` token from `text`,
 /// counting occurrences. A token is a maximal run of uppercase ASCII
 /// letters, digits and `-` starting with one of the registry prefixes
 /// (no regex crate; the scan is a hand-rolled splitter).
@@ -29,7 +30,11 @@ fn code_tokens(text: &str) -> BTreeMap<String, usize> {
             i += 1;
         }
         let token = &text[start..i];
-        if token.starts_with("MM-") || token.starts_with("ML-") || token.starts_with("SDC-") {
+        if token.starts_with("MM-")
+            || token.starts_with("ML-")
+            || token.starts_with("SDC-")
+            || token.starts_with("AN-")
+        {
             *counts.entry(token.to_owned()).or_insert(0) += 1;
         }
     }
@@ -67,20 +72,22 @@ fn the_changelog_documents_no_unknown_codes() {
 }
 
 #[test]
-fn lint_registry_covers_every_ml_code_and_nothing_else() {
+fn lint_registry_covers_every_ml_and_an_code_and_nothing_else() {
     // The lint rule registry and the provenance code registry must
-    // agree on the ML-* namespace: a RuleCode without a rule would be
-    // unreachable, a rule without a RuleCode could not be explained.
+    // agree on the ML-*/AN-* namespaces: a RuleCode without a rule
+    // would be unreachable, a rule without a RuleCode could not be
+    // explained. Order matters too — the registry executes ML rules
+    // then AN rules, matching the declaration order in RuleCode::all().
     let rule_codes: Vec<&str> = modemerge::merge::lint::registry()
         .iter()
         .map(|r| r.code.code())
         .collect();
-    let ml_codes: Vec<&str> = RuleCode::all()
+    let lint_codes: Vec<&str> = RuleCode::all()
         .iter()
         .map(|c| c.code())
-        .filter(|c| c.starts_with("ML-"))
+        .filter(|c| c.starts_with("ML-") || c.starts_with("AN-"))
         .collect();
-    assert_eq!(rule_codes, ml_codes);
+    assert_eq!(rule_codes, lint_codes);
 }
 
 #[test]
